@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Ablation bench: turn off the modeling features DESIGN.md calls out
+ * (optical-window/stride effects, static laser accounting, ADC
+ * dynamic-range growth) one at a time and show how the paper's
+ * headline numbers move.  This quantifies WHY each feature is in the
+ * model: an idealized model (all ablations on) reproduces the
+ * too-good numbers the paper warns against.
+ */
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "albireo/albireo_arch.hpp"
+#include "bench_common.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "core/network_runner.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace {
+
+using namespace ploop;
+using namespace ploop::bench;
+
+SearchOptions
+fastSearch(Objective obj)
+{
+    SearchOptions opts;
+    opts.objective = obj;
+    opts.random_samples = 25;
+    opts.hill_climb_rounds = 6;
+    return opts;
+}
+
+struct Variant
+{
+    const char *label;
+    bool window;
+    bool laser_static;
+    bool adc_growth;
+};
+
+void
+report()
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+
+    static const Variant variants[] = {
+        {"full model", true, true, true},
+        {"- window/stride effects", false, true, true},
+        {"- static laser", true, false, true},
+        {"- ADC range growth", true, true, false},
+        {"idealized (all off)", false, false, false},
+    };
+
+    std::printf("=== Ablation: what each modeling feature buys ===\n\n");
+
+    // 1. AlexNet throughput (Fig.-3 sensitivity: window/stride).
+    {
+        Table table("AlexNet throughput vs. ablation "
+                    "(conservative scaling)");
+        table.setHeader({"model variant", "MACs/cycle", "% of ideal"});
+        for (const Variant &v : variants) {
+            AlbireoConfig cfg = AlbireoConfig::paperDefault(
+                ScalingProfile::Conservative);
+            cfg.model_window_effects = v.window;
+            cfg.model_laser_static = v.laser_static;
+            cfg.model_adc_growth = v.adc_growth;
+            ArchSpec arch = buildAlbireoArch(cfg);
+            Evaluator evaluator(arch, registry);
+            NetworkRunResult run =
+                runNetwork(evaluator, makeAlexNet(),
+                           fastSearch(Objective::Delay));
+            table.addRow(
+                {v.label, strFormat("%.0f", run.macsPerCycle()),
+                 strFormat("%.1f", run.macsPerCycle() /
+                                       arch.peakMacsPerCycle() *
+                                       100.0)});
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+
+    // 2. FC-layer energy (laser-static sensitivity): an underutilized
+    //    layer's pJ/MAC collapses to the best case when the laser is
+    //    amortized instead of integrated over runtime.
+    {
+        Table table("FC-layer (4096x4096) energy vs. ablation "
+                    "(conservative scaling)");
+        table.setHeader({"model variant", "pJ/MAC", "laser pJ/MAC"});
+        LayerShape fc =
+            LayerShape::fullyConnected("fc", 1, 4096, 4096);
+        for (const Variant &v : variants) {
+            AlbireoConfig cfg = AlbireoConfig::paperDefault(
+                ScalingProfile::Conservative);
+            cfg.model_window_effects = v.window;
+            cfg.model_laser_static = v.laser_static;
+            cfg.model_adc_growth = v.adc_growth;
+            ArchSpec arch = buildAlbireoArch(cfg);
+            Evaluator evaluator(arch, registry);
+            Mapper mapper(evaluator, fastSearch(Objective::Energy));
+            MapperResult r = mapper.search(fc);
+            double laser = r.result.energy.sumIf(
+                [](const EnergyEntry &e) {
+                    return e.klass == "laser" ||
+                           (e.klass == "photonic_mac" &&
+                            e.energy_j > 0);
+                });
+            table.addRow(
+                {v.label,
+                 strFormat("%.3f", r.result.energyPerMac() * 1e12),
+                 strFormat("%.3f",
+                           laser / r.result.counts.macs * 1e12)});
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+
+    // 3. Fig.-5-style max-reuse benefit (ADC-growth sensitivity).
+    {
+        Table table("Max-reuse (IR=45, OR=15, WR=3) benefit vs. "
+                    "ablation (aggressive scaling, ResNet18 conv)");
+        table.setHeader(
+            {"model variant", "orig pJ/MAC", "max-reuse pJ/MAC",
+             "reduction %"});
+        LayerShape layer =
+            LayerShape::conv("resconv", 1, 128, 128, 28, 28, 3, 3);
+        for (const Variant &v : variants) {
+            auto eval_point = [&](double ir, double orf, double wr) {
+                AlbireoConfig cfg = AlbireoConfig::paperDefault(
+                    ScalingProfile::Aggressive);
+                cfg.input_reuse = ir;
+                cfg.output_reuse = orf;
+                cfg.weight_reuse = wr;
+                cfg.model_window_effects = v.window;
+                cfg.model_laser_static = v.laser_static;
+                cfg.model_adc_growth = v.adc_growth;
+                ArchSpec arch = buildAlbireoArch(cfg);
+                Evaluator evaluator(arch, registry);
+                Mapper mapper(evaluator,
+                              fastSearch(Objective::Energy));
+                return mapper.search(layer)
+                    .result.energyPerMac() * 1e12;
+            };
+            double orig = eval_point(9, 3, 1);
+            double best = eval_point(45, 15, 3);
+            table.addRow({v.label, strFormat("%.4f", orig),
+                          strFormat("%.4f", best),
+                          strFormat("%.0f",
+                                    (1.0 - best / orig) * 100.0)});
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+}
+
+void
+BM_AblatedEvaluation(benchmark::State &state)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    AlbireoConfig cfg =
+        AlbireoConfig::paperDefault(ScalingProfile::Conservative);
+    cfg.model_window_effects = false;
+    cfg.model_laser_static = false;
+    ArchSpec arch = buildAlbireoArch(cfg);
+    Evaluator evaluator(arch, registry);
+    LayerShape layer = bestCaseLayer();
+    Mapping mapping = Mapspace(arch, layer).greedySeed();
+    for (auto _ : state) {
+        EvalResult r = evaluator.evaluate(layer, mapping);
+        benchmark::DoNotOptimize(r.counts.macs);
+    }
+}
+BENCHMARK(BM_AblatedEvaluation);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

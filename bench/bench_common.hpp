@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches: the best-case
+ * layer, category aggregation, and error formatting.
+ */
+
+#ifndef PHOTONLOOP_BENCH_BENCH_COMMON_HPP
+#define PHOTONLOOP_BENCH_BENCH_COMMON_HPP
+
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "albireo/reported_data.hpp"
+#include "model/evaluator.hpp"
+#include "workload/layer.hpp"
+
+namespace ploop::bench {
+
+/**
+ * The "best-case" layer: a 3x3 unstrided convolution whose bounds
+ * exactly fill the default Albireo spatial organization (100%
+ * utilization), the setting of the paper's Fig. 2.
+ */
+inline LayerShape
+bestCaseLayer()
+{
+    return LayerShape::conv("bestcase", 1, 48, 64, 56, 56, 3, 3);
+}
+
+/** Aggregate a result's energy by Fig.-2 category, in pJ/MAC. */
+inline std::map<std::string, double>
+fig2PjPerMac(const EvalResult &result)
+{
+    std::map<std::string, double> out;
+    for (const EnergyEntry &e : result.energy.entries) {
+        out[fig2Category(e)] +=
+            e.energy_j / result.counts.macs * 1e12;
+    }
+    return out;
+}
+
+/** Aggregate a result's energy by Fig.-4 category, in joules. */
+inline std::map<std::string, double>
+fig4Joules(const EvalResult &result)
+{
+    std::map<std::string, double> out;
+    for (const EnergyEntry &e : result.energy.entries)
+        out[fig4Category(e)] += e.energy_j;
+    return out;
+}
+
+/** Relative error |a-b| / b as a percentage. */
+inline double
+pctError(double modeled, double reported)
+{
+    if (reported == 0.0)
+        return modeled == 0.0 ? 0.0 : 100.0;
+    return std::fabs(modeled - reported) / reported * 100.0;
+}
+
+} // namespace ploop::bench
+
+#endif // PHOTONLOOP_BENCH_BENCH_COMMON_HPP

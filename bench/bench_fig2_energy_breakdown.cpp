@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Reproduces paper Fig. 2: modeled vs. reported best-case energy
+ * breakdown (pJ/MAC) of the Albireo accelerator (+ off-chip laser)
+ * under conservative / moderate / aggressive photonic scaling.
+ *
+ * Prints the stacked breakdown for each scaling profile, the
+ * per-profile total error, and the average overall energy error (the
+ * paper reports 0.4%).  Then runs a google-benchmark timing of the
+ * underlying evaluation.
+ */
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "albireo/albireo_arch.hpp"
+#include "bench_common.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "mapper/mapper.hpp"
+#include "report/export.hpp"
+
+namespace {
+
+using namespace ploop;
+using namespace ploop::bench;
+
+EvalResult
+bestCaseResult(ScalingProfile scaling, const EnergyRegistry &registry)
+{
+    AlbireoConfig cfg = AlbireoConfig::paperDefault(scaling);
+    ArchSpec arch = buildAlbireoArch(cfg);
+    Evaluator evaluator(arch, registry);
+    Mapper mapper(evaluator);
+    return mapper.search(bestCaseLayer()).result;
+}
+
+void
+report()
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+
+    std::printf("=== Fig. 2: Accelerator energy breakdown "
+                "validation ===\n");
+    std::printf("workload: best-case 3x3 conv (%s)\n\n",
+                bestCaseLayer().str().c_str());
+
+    BarChart chart("Best-case energy (pJ/MAC)", "pJ/MAC");
+    chart.setSegments(fig2Categories());
+
+    Table table("Per-component pJ/MAC (Model vs Reported)");
+    std::vector<std::string> header = {"scaling", "series"};
+    for (const auto &cat : fig2Categories())
+        header.push_back(cat);
+    header.push_back("total");
+    table.setHeader(header);
+
+    double total_err_pct = 0.0;
+    int n_profiles = 0;
+    std::vector<ResultRow> csv_rows;
+    for (const Fig2Reported &rep : fig2ReportedData()) {
+        EvalResult result = bestCaseResult(rep.scaling, registry);
+        csv_rows.push_back(flattenResult(
+            scalingProfileName(rep.scaling), result));
+        auto modeled = fig2PjPerMac(result);
+        const std::map<std::string, double> reported = {
+            {"MRR", rep.mrr},     {"MZM", rep.mzm},
+            {"Laser", rep.laser}, {"AO/AE", rep.ao_ae},
+            {"DE/AE", rep.de_ae}, {"AE/DE", rep.ae_de},
+            {"Cache", rep.cache},
+        };
+
+        auto row = [&](const std::string &series,
+                       const std::map<std::string, double> &vals) {
+            std::vector<std::string> cells = {
+                scalingProfileName(rep.scaling), series};
+            std::vector<double> segs;
+            double total = 0.0;
+            for (const auto &cat : fig2Categories()) {
+                double v = vals.count(cat) ? vals.at(cat) : 0.0;
+                cells.push_back(strFormat("%.3f", v));
+                segs.push_back(v);
+                total += v;
+            }
+            cells.push_back(strFormat("%.3f", total));
+            table.addRow(cells);
+            chart.addBar(std::string(
+                             scalingProfileName(rep.scaling)) +
+                             " " + series,
+                         segs);
+            return total;
+        };
+        double m_total = row("Model", modeled);
+        double r_total = row("Reported", reported);
+        table.addSeparator();
+        total_err_pct += pctError(m_total, r_total);
+        ++n_profiles;
+    }
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf("%s\n", chart.render().c_str());
+    std::printf("average overall energy error: %.2f%% "
+                "(paper: 0.4%%)\n\n",
+                total_err_pct / n_profiles);
+
+    writeFile("fig2_results.csv", toCsv(csv_rows));
+    std::printf("per-profile results written to fig2_results.csv\n\n");
+}
+
+void
+BM_BestCaseEvaluation(benchmark::State &state)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    AlbireoConfig cfg =
+        AlbireoConfig::paperDefault(ScalingProfile::Conservative);
+    ArchSpec arch = buildAlbireoArch(cfg);
+    Evaluator evaluator(arch, registry);
+    Mapper mapper(evaluator);
+    Mapping mapping = mapper.search(bestCaseLayer()).mapping;
+    LayerShape layer = bestCaseLayer();
+    for (auto _ : state) {
+        EvalResult r = evaluator.evaluate(layer, mapping);
+        benchmark::DoNotOptimize(r.counts.macs);
+    }
+}
+BENCHMARK(BM_BestCaseEvaluation);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

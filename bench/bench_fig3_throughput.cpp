@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Reproduces paper Fig. 3: modeled vs. reported vs. ideal throughput
+ * (MACs/cycle) for VGG16 and AlexNet on Albireo.
+ *
+ * The paper's point: the Albireo publication claims near-ideal
+ * throughput, but a model that captures underutilization (imperfect
+ * factorization, idle units on fully-connected layers, broken optical
+ * window reuse on strided convolutions) shows AlexNet falling far
+ * below ideal.  The per-layer table makes the sources visible.
+ */
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "albireo/albireo_arch.hpp"
+#include "bench_common.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "core/network_runner.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace {
+
+using namespace ploop;
+using namespace ploop::bench;
+
+SearchOptions
+throughputSearch()
+{
+    SearchOptions opts;
+    opts.objective = Objective::Delay;
+    opts.random_samples = 60;
+    opts.hill_climb_rounds = 16;
+    return opts;
+}
+
+void
+report()
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    AlbireoConfig cfg =
+        AlbireoConfig::paperDefault(ScalingProfile::Conservative);
+    ArchSpec arch = buildAlbireoArch(cfg);
+    Evaluator evaluator(arch, registry);
+
+    std::printf("=== Fig. 3: Throughput for two DNN workloads ===\n");
+    std::printf("architecture peak: %.0f MACs/cycle\n\n",
+                arch.peakMacsPerCycle());
+
+    BarChart chart("Throughput (MACs/cycle)", "MACs/cycle");
+    chart.setSegments({"throughput"});
+
+    for (const Fig3Reported &rep : fig3ReportedData()) {
+        Network net = makeNetwork(rep.network);
+        NetworkRunResult run =
+            runNetwork(evaluator, net, throughputSearch());
+
+        chart.addBar(rep.network + " Ideal",
+                     {rep.ideal_macs_per_cycle});
+        chart.addBar(rep.network + " Reported",
+                     {rep.reported_macs_per_cycle});
+        chart.addBar(rep.network + " Modeled", {run.macsPerCycle()});
+
+        std::printf("--- %s: modeled %.0f MACs/cycle (%.1f%% of "
+                    "ideal) ---\n",
+                    rep.network.c_str(), run.macsPerCycle(),
+                    run.macsPerCycle() / rep.ideal_macs_per_cycle *
+                        100.0);
+        Table table("");
+        table.setHeader({"layer", "kind", "MACs", "MACs/cycle",
+                         "util %", "stride penalty"});
+        for (const LayerRunResult &lr : run.layers) {
+            const LayerShape &layer =
+                net.layerByName(lr.layer_name);
+            table.addRow(
+                {lr.layer_name, layerKindName(layer.kind()),
+                 formatCount(lr.result.counts.macs),
+                 strFormat("%.0f",
+                           lr.result.throughput.macs_per_cycle),
+                 strFormat("%.1f",
+                           lr.result.throughput.utilization * 100.0),
+                 strFormat("%.0fx",
+                           lr.result.throughput.stride_penalty)});
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+    std::printf("%s\n", chart.render().c_str());
+}
+
+void
+BM_MapVgg16Layer(benchmark::State &state)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    AlbireoConfig cfg =
+        AlbireoConfig::paperDefault(ScalingProfile::Conservative);
+    ArchSpec arch = buildAlbireoArch(cfg);
+    Evaluator evaluator(arch, registry);
+    Network net = makeVgg16();
+    const LayerShape &layer = net.layerByName("conv3_2");
+    Mapper mapper(evaluator, throughputSearch());
+    for (auto _ : state) {
+        MapperResult r = mapper.search(layer);
+        benchmark::DoNotOptimize(r.result.counts.macs);
+    }
+}
+BENCHMARK(BM_MapVgg16Layer);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Reproduces paper Fig. 4: full-system (Albireo + DRAM) ResNet18
+ * energy under conservative and aggressive scaling, with and without
+ * input/output batching and layer fusion.
+ *
+ * Expected shape (paper §III.3): DRAM is a small share of the
+ * conservative system but dominates (~75%) the aggressive system;
+ * batching + fusion together reduce aggressive system energy by ~3x
+ * (67%).
+ */
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "albireo/full_system.hpp"
+#include "bench_common.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace {
+
+using namespace ploop;
+using namespace ploop::bench;
+
+SearchOptions
+fig4Search()
+{
+    SearchOptions opts;
+    opts.objective = Objective::Energy;
+    opts.random_samples = 30;
+    opts.hill_climb_rounds = 8;
+    return opts;
+}
+
+struct Config
+{
+    const char *label;
+    std::uint64_t batch;
+    bool fused;
+};
+
+void
+report()
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    Network net = makeResNet18();
+
+    std::printf("=== Fig. 4: Memory exploration "
+                "(full system: accelerator + DRAM) ===\n");
+    std::printf("workload: ResNet18 (%s MACs/inference)\n\n",
+                formatCount(double(net.totalMacs())).c_str());
+
+    static const Config configs[] = {
+        {"Not Fused / Non-Batched", 1, false},
+        {"Not Fused / Batched", 8, false},
+        {"Fused / Non-Batched", 1, true},
+        {"Fused / Batched", 8, true},
+    };
+
+    for (ScalingProfile scaling : {ScalingProfile::Conservative,
+                                   ScalingProfile::Aggressive}) {
+        std::printf("--- %s scaling ---\n",
+                    scalingProfileName(scaling));
+
+        BarChart chart(
+            strFormat("ResNet18 energy, normalized to the"
+                      " non-batched/not-fused %s system",
+                      scalingProfileName(scaling)),
+            "x baseline");
+        chart.setSegments(fig4Categories());
+
+        double baseline = 0.0;
+        double best = 0.0;
+        double dram_share_baseline = 0.0;
+        Table table("Per-configuration energy (per inference)");
+        table.setHeader({"configuration", "GB words", "energy",
+                         "pJ/MAC", "DRAM %", "vs baseline"});
+        for (const Config &c : configs) {
+            FullSystemOptions opts;
+            opts.config = AlbireoConfig::paperDefault(scaling, true);
+            opts.batch = c.batch;
+            opts.fused = c.fused;
+            opts.search = fig4Search();
+            FullSystemResult result =
+                runAlbireoFullSystem(net, opts, registry);
+
+            double per_inf = result.per_inference_j;
+            if (baseline == 0.0) {
+                baseline = per_inf;
+                dram_share_baseline =
+                    result.categories["DRAM"] / result.total_j;
+            }
+            best = per_inf;
+
+            std::vector<double> segs;
+            for (const auto &cat : fig4Categories()) {
+                double j = result.categories.count(cat)
+                               ? result.categories.at(cat)
+                               : 0.0;
+                segs.push_back(j / static_cast<double>(c.batch) /
+                               baseline);
+            }
+            chart.addBar(c.label, segs);
+            table.addRow(
+                {c.label,
+                 formatCount(double(result.gb_capacity_words)),
+                 formatEnergy(per_inf),
+                 strFormat("%.3f", result.energyPerMac() * 1e12),
+                 strFormat("%.1f", result.categories["DRAM"] /
+                                       result.total_j * 100.0),
+                 strFormat("%.2fx", baseline / per_inf)});
+        }
+        std::printf("%s\n", table.render().c_str());
+        std::printf("%s", chart.render().c_str());
+        std::printf(
+            "\nDRAM share of baseline system energy: %.0f%%\n"
+            "batching+fusion energy reduction: %.0f%% (%.2fx, "
+            "paper: 67%% / 3x for aggressive scaling)\n\n",
+            dram_share_baseline * 100.0,
+            (1.0 - best / baseline) * 100.0, baseline / best);
+    }
+}
+
+void
+BM_FullSystemResNet18(benchmark::State &state)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    Network net = makeResNet18();
+    FullSystemOptions opts;
+    opts.config = AlbireoConfig::paperDefault(
+        ScalingProfile::Aggressive, true);
+    opts.search.random_samples = 0;
+    opts.search.hill_climb_rounds = 2;
+    for (auto _ : state) {
+        FullSystemResult r =
+            runAlbireoFullSystem(net, opts, registry);
+        benchmark::DoNotOptimize(r.total_j);
+    }
+}
+BENCHMARK(BM_FullSystemResNet18)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

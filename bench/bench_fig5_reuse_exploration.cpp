@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Reproduces paper Fig. 5: architecture exploration of analog/optical
+ * reuse on the aggressively-scaled Albireo (accelerator only, no
+ * DRAM), running ResNet18.
+ *
+ * Sweeps output reuse OR in {3, 9, 15} x input reuse IR in {9, 27,
+ * 45} x {original, more-weight-reuse}.  More reuse cuts conversion
+ * energy (converting once and sharing spatially) at the cost of
+ * extra optical splitting loss (larger star couplers -> more laser
+ * power -> "Other AO" grows).
+ *
+ * Expected shape (paper §III.4): best point cuts data-converter
+ * energy ~42% and accelerator energy ~31% vs. the original Albireo
+ * (IR=9, OR=3).
+ */
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "albireo/albireo_arch.hpp"
+#include "bench_common.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "core/network_runner.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace {
+
+using namespace ploop;
+using namespace ploop::bench;
+
+SearchOptions
+fig5Search()
+{
+    SearchOptions opts;
+    opts.objective = Objective::Energy;
+    opts.random_samples = 20;
+    opts.hill_climb_rounds = 6;
+    return opts;
+}
+
+struct Point
+{
+    double or_factor;
+    double ir_factor;
+    bool more_weight_reuse;
+};
+
+struct PointResult
+{
+    double pj_per_mac = 0;
+    double converter_pj = 0;
+    std::map<std::string, double> segments; // pJ/MAC by category.
+};
+
+PointResult
+runPoint(const Network &net, const Point &p,
+         const EnergyRegistry &registry)
+{
+    AlbireoConfig cfg =
+        AlbireoConfig::paperDefault(ScalingProfile::Aggressive);
+    cfg.output_reuse = p.or_factor;
+    cfg.input_reuse = p.ir_factor;
+    cfg.weight_reuse = p.more_weight_reuse ? 3.0 : 1.0;
+    ArchSpec arch = buildAlbireoArch(cfg);
+    Evaluator evaluator(arch, registry);
+    NetworkRunResult run = runNetwork(evaluator, net, fig5Search());
+
+    PointResult out;
+    for (const LayerRunResult &lr : run.layers) {
+        for (const EnergyEntry &e : lr.result.energy.entries) {
+            out.segments[fig4Category(e)] += e.energy_j;
+            // "Data converters" in the paper's sense: ADCs and DACs
+            // (the DE/AE and AE/DE crossings).
+            if (e.klass == "adc" || e.klass == "dac")
+                out.converter_pj += e.energy_j;
+        }
+    }
+    for (auto &[cat, j] : out.segments)
+        j = j / run.total_macs * 1e12;
+    out.converter_pj = out.converter_pj / run.total_macs * 1e12;
+    out.pj_per_mac = run.energyPerMac() * 1e12;
+    return out;
+}
+
+void
+report()
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    Network net = makeResNet18();
+
+    std::printf("=== Fig. 5: Architecture exploration of "
+                "analog/optical reuse ===\n");
+    std::printf("aggressively-scaled Albireo, ResNet18, accelerator "
+                "only\n\n");
+
+    BarChart chart("ResNet18 energy (pJ/MAC) by (OR, IR)", "pJ/MAC");
+    chart.setSegments(fig4Categories());
+
+    double original_total = 0, original_conv = 0;
+    double best_total = 0, best_conv = 0;
+
+    Table table("Reuse sweep");
+    table.setHeader({"variant", "OR", "IR", "pJ/MAC",
+                     "converter pJ/MAC", "vs original"});
+    for (bool more_wr : {false, true}) {
+        for (double orf : {3.0, 9.0, 15.0}) {
+            for (double irf : {9.0, 27.0, 45.0}) {
+                Point p{orf, irf, more_wr};
+                PointResult r = runPoint(net, p, registry);
+                std::string variant =
+                    more_wr ? "More Weight Reuse" : "Original";
+                if (!more_wr && orf == 3.0 && irf == 9.0) {
+                    original_total = r.pj_per_mac;
+                    original_conv = r.converter_pj;
+                    variant += " (Albireo paper)";
+                }
+                if (best_total == 0 || r.pj_per_mac < best_total) {
+                    best_total = r.pj_per_mac;
+                    best_conv = r.converter_pj;
+                }
+                std::vector<double> segs;
+                for (const auto &cat : fig4Categories()) {
+                    segs.push_back(r.segments.count(cat)
+                                       ? r.segments.at(cat)
+                                       : 0.0);
+                }
+                chart.addBar(strFormat("%s OR=%-2.0f IR=%-2.0f",
+                                       more_wr ? "WR" : "--", orf,
+                                       irf),
+                             segs);
+                table.addRow(
+                    {variant, strFormat("%.0f", orf),
+                     strFormat("%.0f", irf),
+                     strFormat("%.4f", r.pj_per_mac),
+                     strFormat("%.4f", r.converter_pj),
+                     original_total > 0
+                         ? strFormat("%.2fx",
+                                     original_total / r.pj_per_mac)
+                         : "-"});
+            }
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("%s\n", chart.render().c_str());
+    std::printf(
+        "data-converter energy reduction at best point: %.0f%% "
+        "(paper: 42%%)\naccelerator energy reduction at best point: "
+        "%.0f%% (paper: 31%%)\n\n",
+        (1.0 - best_conv / original_conv) * 100.0,
+        (1.0 - best_total / original_total) * 100.0);
+}
+
+void
+BM_ReusePointResNet18(benchmark::State &state)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    Network net = makeResNet18();
+    for (auto _ : state) {
+        PointResult r =
+            runPoint(net, {3.0, 9.0, false}, registry);
+        benchmark::DoNotOptimize(r.pj_per_mac);
+    }
+}
+BENCHMARK(BM_ReusePointResNet18)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Micro-benchmarks of the modeling engine itself: tile analysis, nest
+ * analysis, full evaluation, mapspace sampling, and mapper search.
+ * These time the tool (the paper's "fast design space exploration"
+ * claim rests on evaluation being cheap), not the modeled hardware.
+ */
+
+#include <random>
+
+#include <benchmark/benchmark.h>
+
+#include "albireo/albireo_arch.hpp"
+#include "bench_common.hpp"
+#include "mapper/mapper.hpp"
+#include "model/evaluator.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace {
+
+using namespace ploop;
+using namespace ploop::bench;
+
+struct Fixture
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    ArchSpec arch = buildAlbireoArch(
+        AlbireoConfig::paperDefault(ScalingProfile::Conservative));
+    Evaluator evaluator{arch, registry};
+    LayerShape layer = bestCaseLayer();
+    Mapping mapping = Mapper(evaluator).search(layer).mapping;
+};
+
+Fixture &
+fixture()
+{
+    static Fixture f;
+    return f;
+}
+
+void
+BM_TileAnalysis(benchmark::State &state)
+{
+    Fixture &f = fixture();
+    for (auto _ : state) {
+        TileAnalysis tiles(f.arch, f.layer, f.mapping);
+        benchmark::DoNotOptimize(tiles.keptWords(0));
+    }
+}
+BENCHMARK(BM_TileAnalysis);
+
+void
+BM_AccessCounts(benchmark::State &state)
+{
+    Fixture &f = fixture();
+    TileAnalysis tiles(f.arch, f.layer, f.mapping);
+    for (auto _ : state) {
+        AccessCounts counts =
+            computeAccessCounts(f.arch, f.layer, f.mapping, tiles);
+        benchmark::DoNotOptimize(counts.macs);
+    }
+}
+BENCHMARK(BM_AccessCounts);
+
+void
+BM_FullEvaluation(benchmark::State &state)
+{
+    Fixture &f = fixture();
+    for (auto _ : state) {
+        EvalResult r = f.evaluator.evaluate(f.layer, f.mapping);
+        benchmark::DoNotOptimize(r.counts.macs);
+    }
+}
+BENCHMARK(BM_FullEvaluation);
+
+void
+BM_RandomSample(benchmark::State &state)
+{
+    Fixture &f = fixture();
+    Mapspace mapspace(f.arch, f.layer);
+    std::mt19937_64 rng(1);
+    for (auto _ : state) {
+        Mapping m = mapspace.randomSample(rng);
+        benchmark::DoNotOptimize(m.coverage(Dim::K));
+    }
+}
+BENCHMARK(BM_RandomSample);
+
+void
+BM_MapperSearchDefault(benchmark::State &state)
+{
+    Fixture &f = fixture();
+    Mapper mapper(f.evaluator);
+    for (auto _ : state) {
+        MapperResult r = mapper.search(f.layer);
+        benchmark::DoNotOptimize(r.result.counts.macs);
+    }
+}
+BENCHMARK(BM_MapperSearchDefault)->Unit(benchmark::kMillisecond);
+
+void
+BM_MapperSearchResNetLayer(benchmark::State &state)
+{
+    Fixture &f = fixture();
+    Network net = makeResNet18();
+    const LayerShape &layer = net.layerByName("layer3.0.conv1");
+    Mapper mapper(f.evaluator);
+    for (auto _ : state) {
+        MapperResult r = mapper.search(layer);
+        benchmark::DoNotOptimize(r.result.counts.macs);
+    }
+}
+BENCHMARK(BM_MapperSearchResNetLayer)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Compare DNN workloads on the same photonic system -- the paper's
+ * "compare two photonic systems across a range of DNN workloads"
+ * use-case, turned around: one system, three workloads, full-system
+ * energy and throughput side by side.
+ *
+ * Run: ./build/examples/compare_networks
+ */
+
+#include <cstdio>
+
+#include "albireo/albireo_arch.hpp"
+#include "albireo/reported_data.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "core/network_runner.hpp"
+#include "workload/model_zoo.hpp"
+
+int
+main()
+{
+    using namespace ploop;
+
+    EnergyRegistry registry = makeDefaultRegistry();
+    AlbireoConfig cfg =
+        AlbireoConfig::paperDefault(ScalingProfile::Moderate, true);
+    ArchSpec arch = buildAlbireoArch(cfg);
+    Evaluator evaluator(arch, registry);
+
+    SearchOptions search;
+    search.objective = Objective::Energy;
+    search.random_samples = 25;
+    search.hill_climb_rounds = 6;
+
+    std::printf("architecture:\n%s\n", arch.str().c_str());
+
+    Table table("Workload comparison (moderate scaling, with DRAM)");
+    table.setHeader({"network", "layers", "GMACs", "energy/inf",
+                     "pJ/MAC", "MACs/cycle", "util %", "DRAM %"});
+
+    for (const auto &name : modelZooNames()) {
+        Network net = makeNetwork(name);
+        NetworkRunResult run = runNetwork(evaluator, net, search);
+        double dram = 0;
+        for (const LayerRunResult &lr : run.layers) {
+            dram += lr.result.energy.sumIf(
+                [](const EnergyEntry &e) {
+                    return e.klass == "dram";
+                });
+        }
+        table.addRow(
+            {net.name(), std::to_string(net.size()),
+             strFormat("%.2f", run.total_macs / 1e9),
+             formatEnergy(run.total_energy_j),
+             strFormat("%.3f", run.energyPerMac() * 1e12),
+             strFormat("%.0f", run.macsPerCycle()),
+             strFormat("%.1f",
+                       run.macsPerCycle() /
+                           arch.peakMacsPerCycle() * 100.0),
+             strFormat("%.1f", dram / run.total_energy_j * 100.0)});
+    }
+    std::printf("%s", table.render().c_str());
+
+    std::printf(
+        "\nPer-layer detail for AlexNet (the throughput outlier):\n");
+    NetworkRunResult alex =
+        runNetwork(evaluator, makeAlexNet(), search);
+    std::printf("%s", alex.str().c_str());
+    return 0;
+}

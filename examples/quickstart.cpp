@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Quickstart: build the Albireo photonic accelerator model, map one
+ * convolution layer onto it, and print the energy/throughput
+ * breakdown.
+ *
+ * Run: ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "albireo/albireo_arch.hpp"
+#include "albireo/reported_data.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "energy/registry.hpp"
+#include "mapper/mapper.hpp"
+#include "model/evaluator.hpp"
+#include "workload/layer.hpp"
+
+int
+main()
+{
+    using namespace ploop;
+
+    // 1. Pick a technology scaling profile and build the
+    //    architecture.
+    AlbireoConfig cfg =
+        AlbireoConfig::paperDefault(ScalingProfile::Conservative);
+    ArchSpec arch = buildAlbireoArch(cfg);
+    std::printf("%s\n", arch.str().c_str());
+
+    // 2. Describe a workload layer: a VGG-style 3x3 convolution.
+    LayerShape layer =
+        LayerShape::conv("conv", 1, 48, 64, 56, 56, 3, 3);
+    std::printf("layer: %s (%s MACs)\n\n", layer.str().c_str(),
+                formatCount(double(layer.macs())).c_str());
+
+    // 3. Let the mapper find a good mapping and evaluate it.
+    EnergyRegistry registry = makeDefaultRegistry();
+    Evaluator evaluator(arch, registry);
+    Mapper mapper(evaluator);
+    MapperResult mapped = mapper.search(layer);
+
+    std::printf("best mapping (%s):\n%s\n",
+                mapped.stats.str().c_str(),
+                mapped.mapping.str().c_str());
+    std::printf("throughput: %s\n",
+                mapped.result.throughput.str().c_str());
+    std::printf("energy: %s total, %.3f pJ/MAC\n\n",
+                formatEnergy(mapped.result.totalEnergy()).c_str(),
+                mapped.result.energyPerMac() * 1e12);
+
+    // 4. Show the per-category breakdown (the paper's Fig.-2 axes).
+    Table table("Energy by component category");
+    table.setHeader({"category", "energy", "pJ/MAC"});
+    std::map<std::string, double> cats;
+    for (const EnergyEntry &e : mapped.result.energy.entries)
+        cats[fig2Category(e)] += e.energy_j;
+    for (const auto &[cat, joules] : cats) {
+        table.addRow({cat, formatEnergy(joules),
+                      strFormat("%.4f",
+                                joules / mapped.result.counts.macs *
+                                    1e12)});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}

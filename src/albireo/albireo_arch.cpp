@@ -1,0 +1,225 @@
+#include "albireo/albireo_arch.hpp"
+
+#include <cmath>
+
+#include "arch/arch_builder.hpp"
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace ploop {
+
+LinkBudgetResult
+albireoLaserBudget(const AlbireoConfig &cfg)
+{
+    const PhotonicScaling &tech = scalingConstants(cfg.scaling);
+    LinkBudgetSpec spec;
+    spec.tech = tech;
+    // Each input conversion is broadcast to input_reuse MAC
+    // positions.
+    spec.broadcast_fanout = cfg.input_reuse;
+    spec.accumulation_fanout = cfg.output_reuse;
+    // Light traverses the cluster's weight bank: one ring per filter
+    // bank on the bus.
+    spec.rings_in_path = static_cast<double>(cfg.unit_k);
+    spec.path_length_mm = 5.0;
+    // One active channel per concurrently-converted input: total MAC
+    // positions divided by the broadcast fanout.
+    spec.active_channels =
+        static_cast<double>(cfg.peakMacs()) / cfg.input_reuse;
+    return solveLinkBudget(spec);
+}
+
+ArchSpec
+buildAlbireoArch(const AlbireoConfig &cfg)
+{
+    fatalIf(cfg.input_reuse < cfg.input_window_reuse,
+            "Albireo: input_reuse must be >= its window part");
+    fatalIf(cfg.input_window_reuse >
+                static_cast<double>(cfg.unit_r * cfg.unit_s),
+            "Albireo: window reuse cannot exceed the R x S unroll");
+
+    const PhotonicScaling &tech = scalingConstants(cfg.scaling);
+    const double res_bits = tech.resolution_bits;
+
+    // Reuse is not a free 1/N discount (DESIGN.md §7): driving a
+    // larger broadcast raises modulator/DAC drive energy, and
+    // accumulating more partials raises receiver gain requirements.
+    // Exponents are sublinear so reuse still wins, with diminishing
+    // returns as in the paper's Fig. 5.
+    const double input_drive_growth =
+        cfg.input_reuse > 9.0 ? std::pow(cfg.input_reuse / 9.0, 0.35)
+                              : 1.0;
+    const double pd_gain_growth =
+        cfg.output_reuse > 3.0
+            ? std::pow(cfg.output_reuse / 3.0, 0.3)
+            : 1.0;
+
+    ArchBuilder builder(cfg.name(), cfg.clock_hz);
+
+    // ---- DRAM (optional; full-system mode) ----
+    if (cfg.with_dram) {
+        auto &dram = builder.addLevel("DRAM")
+                         .klass("dram")
+                         .domain(Domain::DE)
+                         .capacityWords(0)
+                         .wordBits(cfg.word_bits)
+                         .bandwidth(cfg.dram_bandwidth_words)
+                         .attr("energy_per_bit", cfg.dram_energy_per_bit);
+        if (cfg.fuse_bypass_dram_inputs)
+            dram.bypass(Tensor::Inputs);
+        if (cfg.fuse_bypass_dram_outputs)
+            dram.bypass(Tensor::Outputs);
+    }
+
+    // ---- Global buffer (DE) with cluster fanout ----
+    builder.addLevel("GlobalBuffer")
+        .klass("sram")
+        .domain(Domain::DE)
+        .capacityWords(cfg.gb_capacity_words)
+        .wordBits(cfg.word_bits)
+        .bandwidth(cfg.gb_bandwidth_words)
+        .fanoutDim(Dim::K, cfg.chip_k)
+        .fanoutDim(Dim::P, cfg.chip_p)
+        .fanoutTotal(cfg.clusters());
+
+    // ---- Per-cluster operand registers (DE) feeding the analog
+    //      fabric; converters for all three tensors live on this
+    //      boundary ----
+    ConverterSpec weight_dac;
+    weight_dac.name = "weight_dac";
+    weight_dac.klass = "dac";
+    weight_dac.from = Domain::DE;
+    weight_dac.to = Domain::AE;
+    weight_dac.attrs.set("resolution", res_bits);
+    weight_dac.attrs.set("fom_j_per_step", tech.dac_fom_j);
+    weight_dac.attrs.set("spatial_reuse", cfg.weight_reuse);
+
+    ConverterSpec input_dac;
+    input_dac.name = "input_dac";
+    input_dac.klass = "dac";
+    input_dac.from = Domain::DE;
+    input_dac.to = Domain::AE;
+    input_dac.attrs.set("resolution", res_bits);
+    input_dac.attrs.set("fom_j_per_step",
+                        tech.dac_fom_j * input_drive_growth);
+    input_dac.attrs.set("spatial_reuse", cfg.input_reuse);
+    input_dac.attrs.set("window_reuse",
+                        cfg.model_window_effects
+                            ? cfg.input_window_reuse
+                            : 1.0);
+
+    ConverterSpec input_mzm;
+    input_mzm.name = "input_mzm";
+    input_mzm.klass = "mzm";
+    input_mzm.from = Domain::AE;
+    input_mzm.to = Domain::AO;
+    input_mzm.attrs.set("energy_per_modulate",
+                        tech.mzm_modulate_j * input_drive_growth);
+    input_mzm.attrs.set("insertion_loss_db",
+                        tech.mzm_insertion_loss_db);
+    input_mzm.attrs.set("spatial_reuse", cfg.input_reuse);
+    input_mzm.attrs.set("window_reuse",
+                        cfg.model_window_effects
+                            ? cfg.input_window_reuse
+                            : 1.0);
+
+    ConverterSpec output_pd;
+    output_pd.name = "output_pd";
+    output_pd.klass = "photodiode";
+    output_pd.from = Domain::AO;
+    output_pd.to = Domain::AE;
+    output_pd.attrs.set("energy_per_sample",
+                        tech.pd_sample_j * pd_gain_growth);
+    output_pd.attrs.set("sensitivity_w", tech.pd_sensitivity_w);
+    output_pd.attrs.set("spatial_reuse", cfg.output_reuse);
+
+    ConverterSpec output_adc;
+    output_adc.name = "output_adc";
+    output_adc.klass = "adc";
+    output_adc.from = Domain::AE;
+    output_adc.to = Domain::DE;
+    // Accumulating more partials per sample grows the sample's
+    // dynamic range; the ADC gains half a bit per doubling of the
+    // accumulation count relative to Albireo's native OR=3 (see
+    // DESIGN.md §7).  This is the diminishing return that keeps
+    // output reuse from being a free 1/OR discount.
+    double adc_bits = res_bits;
+    if (cfg.model_adc_growth && cfg.output_reuse > 3.0)
+        adc_bits += 0.5 * std::log2(cfg.output_reuse / 3.0);
+    output_adc.attrs.set("resolution", adc_bits);
+    output_adc.attrs.set("fom_j_per_step", tech.adc_fom_j);
+    output_adc.attrs.set("spatial_reuse", cfg.output_reuse);
+
+    builder.addLevel("OperandRegs")
+        .klass("regfile")
+        .domain(Domain::DE)
+        .capacityWords(cfg.regs_capacity_words)
+        .wordBits(cfg.word_bits)
+        .attr("energy_per_bit", 1.5_fJ)
+        .fanoutDim(Dim::R, cfg.unit_r)
+        .fanoutDim(Dim::S, cfg.unit_s)
+        .fanoutDim(Dim::K, cfg.unit_k)
+        .fanoutDim(Dim::C, cfg.unit_c)
+        .fanoutTotal(cfg.unitsPerCluster())
+        .windowDims(cfg.model_window_effects
+                        ? DimSet{Dim::R, Dim::S}
+                        : DimSet{})
+        .converter(Tensor::Weights, weight_dac)
+        .converter(Tensor::Inputs, input_dac)
+        .converter(Tensor::Inputs, input_mzm)
+        .converter(Tensor::Outputs, output_pd)
+        .converter(Tensor::Outputs, output_adc);
+
+    // ---- Analog weight hold (AE): keeps the DAC'd weight resident
+    //      so weight conversions amortize over P/Q temporal reuse;
+    //      the microring modulates it onto light every cycle ----
+    ConverterSpec weight_mrr;
+    weight_mrr.name = "weight_mrr";
+    weight_mrr.klass = "mrr";
+    weight_mrr.from = Domain::AE;
+    weight_mrr.to = Domain::AO;
+    weight_mrr.attrs.set("energy_per_modulate", tech.mrr_modulate_j);
+    weight_mrr.attrs.set("through_loss_db", tech.mrr_through_loss_db);
+    weight_mrr.attrs.set("spatial_reuse", cfg.weight_reuse);
+
+    builder.addLevel("AnalogHold")
+        .klass("regfile")
+        .domain(Domain::AE)
+        .capacityWords(4)
+        .wordBits(cfg.word_bits)
+        .attr("energy_per_bit", 0.1_fJ)
+        .keepOnly({Tensor::Weights})
+        .converter(Tensor::Weights, weight_mrr);
+
+    // ---- Photonic MAC fabric ----
+    ComputeSpec compute;
+    compute.name = "photonic_mac";
+    compute.klass = "photonic_mac";
+    compute.domain = Domain::AO;
+    compute.macs_per_cycle = 1.0;
+
+    // ---- Laser (from the link budget) ----
+    LinkBudgetResult budget = albireoLaserBudget(cfg);
+    if (cfg.model_laser_static) {
+        // Static power: energy scales with runtime, so low
+        // utilization inflates laser pJ/MAC.
+        StaticComponentSpec laser;
+        laser.name = "laser";
+        laser.klass = "laser";
+        laser.attrs.set("power_w", budget.electrical_power_w);
+        laser.attrs.set("loss_db", budget.loss_db);
+        builder.addStatic(laser);
+    } else {
+        // Ablation: amortize the laser as a fixed per-MAC energy at
+        // peak utilization (best-case-only accounting).
+        double per_mac = budget.electrical_power_w /
+                         (cfg.clock_hz *
+                          static_cast<double>(cfg.peakMacs()));
+        compute.attrs.set("energy_per_mac", per_mac);
+    }
+    builder.compute(compute);
+
+    return builder.build();
+}
+
+} // namespace ploop

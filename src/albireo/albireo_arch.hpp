@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Builds the Albireo ArchSpec from an AlbireoConfig, including the
+ * link-budget-derived laser power.  See albireo_config.hpp for the
+ * modeled structure.
+ */
+
+#ifndef PHOTONLOOP_ALBIREO_ALBIREO_ARCH_HPP
+#define PHOTONLOOP_ALBIREO_ALBIREO_ARCH_HPP
+
+#include "albireo/albireo_config.hpp"
+#include "arch/arch_spec.hpp"
+#include "photonics/link_budget.hpp"
+
+namespace ploop {
+
+/** Laser requirement for a configuration (exposed for tests/benches). */
+LinkBudgetResult albireoLaserBudget(const AlbireoConfig &cfg);
+
+/** Build and validate the Albireo architecture. */
+ArchSpec buildAlbireoArch(const AlbireoConfig &cfg);
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_ALBIREO_ALBIREO_ARCH_HPP

@@ -1,0 +1,21 @@
+#include "albireo/albireo_config.hpp"
+
+namespace ploop {
+
+AlbireoConfig
+AlbireoConfig::paperDefault(ScalingProfile scaling, bool with_dram)
+{
+    AlbireoConfig cfg;
+    cfg.scaling = scaling;
+    cfg.with_dram = with_dram;
+    return cfg;
+}
+
+std::string
+AlbireoConfig::name() const
+{
+    return std::string("albireo-") + scalingProfileName(scaling) +
+           (with_dram ? "+dram" : "");
+}
+
+} // namespace ploop

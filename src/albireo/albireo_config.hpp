@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Configuration of the modeled Albireo photonic CNN accelerator
+ * (Shiflett et al., ISCA 2021), the paper's evaluation vehicle.
+ *
+ * Structure (paper Fig. 1): DRAM and a global buffer in DE; per
+ * cluster, operand registers feed DACs (DE/AE); AE weights are held
+ * and modulated onto light by microrings (AE/AO); AE inputs drive
+ * MZMs (AE/AO) whose light is star-coupler broadcast across the
+ * photonic MAC fabric (AO); accumulated light hits photodiodes
+ * (AO/AE) and ADCs (AE/DE) back into the digital domain.
+ *
+ * The spatial organization is parameterized: a cluster unrolls
+ * R x S (optical sliding window) x K (filter banks) x C (wavelengths),
+ * and the chip replicates clusters over K x P.  Defaults give
+ * 8 clusters x 864 MAC positions = 6912 MACs/cycle peak, our stand-in
+ * for Albireo-C (absolute peak differs from the ISCA paper; shapes,
+ * which is what the reproduction targets, do not depend on it).
+ *
+ * The Fig.-5 exploration knobs are the converter-sharing factors:
+ *  - input_reuse (IR): MAC positions sharing one input DAC+MZM
+ *    conversion; window part breaks on strided layers;
+ *  - output_reuse (OR): optically accumulated partials per PD+ADC
+ *    sample;
+ *  - weight_reuse (WR): MRR positions sharing one weight DAC+hold.
+ */
+
+#ifndef PHOTONLOOP_ALBIREO_ALBIREO_CONFIG_HPP
+#define PHOTONLOOP_ALBIREO_ALBIREO_CONFIG_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "photonics/scaling.hpp"
+
+namespace ploop {
+
+/** See file comment. */
+struct AlbireoConfig
+{
+    /** Technology scaling profile. */
+    ScalingProfile scaling = ScalingProfile::Conservative;
+
+    // --- Reuse knobs (paper §III.4, Fig. 5) ---
+    double input_reuse = 9.0;        ///< IR.
+    double input_window_reuse = 9.0; ///< Window-derived part of IR.
+    double output_reuse = 3.0;       ///< OR.
+    double weight_reuse = 1.0;       ///< WR.
+
+    // --- Spatial organization ---
+    std::uint64_t unit_r = 3; ///< Kernel-row unroll per cluster.
+    std::uint64_t unit_s = 3; ///< Kernel-column unroll per cluster.
+    std::uint64_t unit_k = 12; ///< Filter banks per cluster.
+    std::uint64_t unit_c = 8;  ///< Wavelength channels per cluster.
+    std::uint64_t chip_k = 4;  ///< Clusters along K.
+    std::uint64_t chip_p = 2;  ///< Clusters along P.
+
+    // --- Memory & clock ---
+    double clock_hz = 5e9;
+    std::uint64_t gb_capacity_words = 2ull * 1024 * 1024;
+    std::uint64_t regs_capacity_words = 16 * 1024;
+    unsigned word_bits = 8;
+    double gb_bandwidth_words = 256.0;   ///< Words/cycle.
+    double dram_bandwidth_words = 16.0;  ///< Words/cycle.
+
+    /** Include the DRAM level (full-system mode, paper §III.3). */
+    bool with_dram = false;
+
+    /** DRAM access energy per bit (DDR-class default). */
+    double dram_energy_per_bit = 22e-12;
+
+    /**
+     * Per-layer fusion bypass: when true, DRAM keeps only weights
+     * plus the selected edge tensors (inter-layer activations stay in
+     * the global buffer).
+     */
+    bool fuse_bypass_dram_inputs = false;
+    bool fuse_bypass_dram_outputs = false;
+
+    // --- Model-ablation switches (bench_ablation_model_features) ---
+
+    /**
+     * Model the optical sliding-window broadcast and its breakage on
+     * strided layers (window sharing, stride throughput penalty).
+     * Off = the idealized model the paper warns against: strided
+     * layers look as good as unstrided ones.
+     */
+    bool model_window_effects = true;
+
+    /**
+     * Charge the laser as static power (energy = P * runtime), so
+     * underutilization inflates laser energy per MAC.  Off = amortize
+     * the laser as a fixed pJ/MAC at peak utilization (the
+     * best-case-only accounting).
+     */
+    bool model_laser_static = true;
+
+    /**
+     * Grow ADC resolution with the optical accumulation count
+     * (half a bit per doubling of output_reuse beyond 3).  Off =
+     * output reuse is a free 1/OR discount.
+     */
+    bool model_adc_growth = true;
+
+    /** MAC positions per cluster. */
+    std::uint64_t unitsPerCluster() const
+    {
+        return unit_r * unit_s * unit_k * unit_c;
+    }
+
+    /** Clusters on the chip. */
+    std::uint64_t clusters() const { return chip_k * chip_p; }
+
+    /** Peak MACs per cycle. */
+    std::uint64_t peakMacs() const
+    {
+        return unitsPerCluster() * clusters();
+    }
+
+    /** Paper-default configuration for a scaling profile. */
+    static AlbireoConfig paperDefault(ScalingProfile scaling,
+                                      bool with_dram = false);
+
+    /** Human-readable config name, e.g. "albireo-aggressive". */
+    std::string name() const;
+};
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_ALBIREO_ALBIREO_CONFIG_HPP

@@ -1,0 +1,79 @@
+#include "albireo/full_system.hpp"
+
+#include <algorithm>
+
+#include "albireo/albireo_arch.hpp"
+#include "albireo/reported_data.hpp"
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "mapper/mapper.hpp"
+
+namespace ploop {
+
+std::uint64_t
+fusedBufferWords(const Network &net)
+{
+    std::uint64_t worst = 0;
+    for (std::size_t i = 0; i < net.size(); ++i) {
+        const LayerShape &layer = net.layer(i);
+        std::uint64_t need = layer.tensorWords(Tensor::Inputs) +
+                             layer.tensorWords(Tensor::Outputs) +
+                             net.residualLiveWords(i);
+        worst = std::max(worst, need);
+    }
+    // Margin for the weight tiles sharing the buffer.
+    constexpr std::uint64_t weight_margin = 64 * 1024;
+    return nextPow2(worst + weight_margin);
+}
+
+FullSystemResult
+runAlbireoFullSystem(const Network &net, const FullSystemOptions &options,
+                     const EnergyRegistry &registry)
+{
+    fatalIf(options.batch == 0, "batch must be >= 1");
+
+    Network batched = net.withBatch(options.batch);
+
+    AlbireoConfig base = options.config;
+    base.with_dram = true;
+    if (options.fused) {
+        base.gb_capacity_words =
+            std::max(base.gb_capacity_words, fusedBufferWords(batched));
+    }
+
+    FullSystemResult out;
+    out.gb_capacity_words = base.gb_capacity_words;
+
+    for (std::size_t i = 0; i < batched.size(); ++i) {
+        const LayerShape &layer = batched.layer(i);
+
+        AlbireoConfig cfg = base;
+        if (options.fused) {
+            bool first = (i == 0);
+            bool last = (i + 1 == batched.size());
+            cfg.fuse_bypass_dram_inputs = !first;
+            cfg.fuse_bypass_dram_outputs = !last;
+        }
+
+        ArchSpec arch = buildAlbireoArch(cfg);
+        Evaluator evaluator(arch, registry);
+        Mapper mapper(evaluator, options.search);
+        MapperResult mapped = mapper.search(layer);
+
+        out.total_j += mapped.result.totalEnergy();
+        out.macs += mapped.result.counts.macs;
+        out.cycles += mapped.result.throughput.cycles;
+        for (const EnergyEntry &entry : mapped.result.energy.entries)
+            out.categories[fig4Category(entry)] += entry.energy_j;
+
+        FullSystemLayerResult lr;
+        lr.layer_name = layer.name();
+        lr.result = std::move(mapped.result);
+        out.layers.push_back(std::move(lr));
+    }
+
+    out.per_inference_j = out.total_j / static_cast<double>(options.batch);
+    return out;
+}
+
+} // namespace ploop

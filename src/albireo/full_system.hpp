@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Full-system (Albireo + DRAM) evaluation with input/output batching
+ * and LoopTree-style layer fusion, reproducing the paper's §III.3
+ * (Fig. 4).
+ *
+ * Batching amortizes weight DRAM traffic across the batch (weights
+ * are irrelevant to N, so their fills do not scale with N).
+ *
+ * Fusion keeps inter-layer activations resident in the global buffer:
+ * interior layers bypass DRAM for inputs and outputs; the first layer
+ * still reads its input image from DRAM and the last layer still
+ * writes its result.  Fusion requires the global buffer to hold the
+ * largest (input + output + live-residual) activation working set,
+ * so the fused configuration auto-sizes the buffer upward, which
+ * raises its per-access energy (the paper's stated trade-off).
+ */
+
+#ifndef PHOTONLOOP_ALBIREO_FULL_SYSTEM_HPP
+#define PHOTONLOOP_ALBIREO_FULL_SYSTEM_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "albireo/albireo_config.hpp"
+#include "energy/registry.hpp"
+#include "mapper/search.hpp"
+#include "model/evaluator.hpp"
+#include "workload/network.hpp"
+
+namespace ploop {
+
+/** Full-system run options. */
+struct FullSystemOptions
+{
+    /** Base accelerator configuration (with_dram is forced on). */
+    AlbireoConfig config;
+
+    /** Batch size (N); 1 = non-batched. */
+    std::uint64_t batch = 1;
+
+    /** Keep inter-layer activations on chip. */
+    bool fused = false;
+
+    /** Mapper budget per layer. */
+    SearchOptions search;
+};
+
+/** Per-layer record. */
+struct FullSystemLayerResult
+{
+    std::string layer_name;
+    EvalResult result;
+};
+
+/** Aggregate result (per batch unless noted). */
+struct FullSystemResult
+{
+    double total_j = 0;         ///< Whole-batch energy.
+    double per_inference_j = 0; ///< total_j / batch.
+    double macs = 0;            ///< Whole-batch MACs.
+    double cycles = 0;          ///< Sum of layer cycles.
+    std::uint64_t gb_capacity_words = 0; ///< Buffer size used.
+
+    /** Energy by Fig.-4 category (whole batch). */
+    std::map<std::string, double> categories;
+
+    std::vector<FullSystemLayerResult> layers;
+
+    /** Joules per MAC. */
+    double energyPerMac() const
+    {
+        return macs > 0 ? total_j / macs : 0.0;
+    }
+
+    /**
+     * End-to-end latency of the whole batch in seconds, at the given
+     * clock.  Batching amortizes energy but the batch completes
+     * together, so per-IMAGE latency grows with the batch size -- the
+     * trade-off the paper notes for the batching strategy.
+     */
+    double batchLatencySeconds(double clock_hz) const
+    {
+        return clock_hz > 0 ? cycles / clock_hz : 0.0;
+    }
+};
+
+/**
+ * Global-buffer words fusion needs for @p net: the largest
+ * (input + output + live residual) footprint over layers, plus a
+ * weight-tile margin.
+ */
+std::uint64_t fusedBufferWords(const Network &net);
+
+/**
+ * Run the full system.
+ *
+ * @param net Network at batch 1 (options.batch is applied inside).
+ * @param options See FullSystemOptions.
+ * @param registry Estimator registry.
+ */
+FullSystemResult runAlbireoFullSystem(const Network &net,
+                                      const FullSystemOptions &options,
+                                      const EnergyRegistry &registry);
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_ALBIREO_FULL_SYSTEM_HPP

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * "Reported" data series for validation, plus the figure-category
+ * aggregation rules.
+ *
+ * The ISPASS paper validates its model against numbers reported in
+ * the Albireo ISCA'21 paper.  Neither paper publishes numeric tables,
+ * only bar charts, so this reproduction transcribes approximate
+ * values consistent with those charts and with our technology
+ * profiles (see DESIGN.md §3 and EXPERIMENTS.md).  The validation
+ * benches report model-vs-reported error the same way the paper's
+ * Fig. 2 does.
+ */
+
+#ifndef PHOTONLOOP_ALBIREO_REPORTED_DATA_HPP
+#define PHOTONLOOP_ALBIREO_REPORTED_DATA_HPP
+
+#include <string>
+#include <vector>
+
+#include "model/energy_rollup.hpp"
+#include "photonics/scaling.hpp"
+
+namespace ploop {
+
+/** Fig. 2: best-case energy breakdown, pJ/MAC per component. */
+struct Fig2Reported
+{
+    ScalingProfile scaling;
+    double mrr;   ///< Microring modulation.
+    double mzm;   ///< Input MZM modulation.
+    double laser; ///< Laser wall-plug energy.
+    double ao_ae; ///< Photodiode + TIA.
+    double de_ae; ///< DACs (inputs + weights).
+    double ae_de; ///< ADCs.
+    double cache; ///< On-chip SRAM/registers.
+
+    /** Sum of all components (pJ/MAC). */
+    double total() const;
+};
+
+/** Reported Fig.-2 series for all three scaling profiles. */
+const std::vector<Fig2Reported> &fig2ReportedData();
+
+/** Fig. 3: throughput in MACs/cycle. */
+struct Fig3Reported
+{
+    std::string network;
+    double ideal_macs_per_cycle;    ///< 100% utilization.
+    double reported_macs_per_cycle; ///< Albireo-paper claim.
+};
+
+/** Reported Fig.-3 series (VGG16, AlexNet). */
+const std::vector<Fig3Reported> &fig3ReportedData();
+
+/**
+ * Fig.-2 category of an energy entry: "MRR", "MZM", "Laser", "AO/AE",
+ * "DE/AE", "AE/DE", "Cache", or "Other".
+ */
+std::string fig2Category(const EnergyEntry &entry);
+
+/** Canonical Fig.-2 category order. */
+const std::vector<std::string> &fig2Categories();
+
+/**
+ * Fig.-4/5 category: "DRAM", "On-Chip Buffer",
+ * "Output AO/AE, AE/DE", "Input DE/AE, AE/AO",
+ * "Weight DE/AE, AE/AO", or "Other AO".
+ */
+std::string fig4Category(const EnergyEntry &entry);
+
+/** Canonical Fig.-4/5 category order (paper legend order). */
+const std::vector<std::string> &fig4Categories();
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_ALBIREO_REPORTED_DATA_HPP

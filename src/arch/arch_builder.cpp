@@ -1,0 +1,139 @@
+#include "arch/arch_builder.hpp"
+
+#include "common/error.hpp"
+
+namespace ploop {
+
+LevelBuilder::LevelBuilder(std::string name)
+{
+    spec_.name = std::move(name);
+}
+
+LevelBuilder &
+LevelBuilder::klass(const std::string &k)
+{
+    spec_.klass = k;
+    return *this;
+}
+
+LevelBuilder &
+LevelBuilder::domain(Domain d)
+{
+    spec_.domain = d;
+    return *this;
+}
+
+LevelBuilder &
+LevelBuilder::capacityWords(std::uint64_t words)
+{
+    spec_.capacity_words = words;
+    return *this;
+}
+
+LevelBuilder &
+LevelBuilder::wordBits(unsigned bits)
+{
+    spec_.word_bits = bits;
+    return *this;
+}
+
+LevelBuilder &
+LevelBuilder::bandwidth(double words_per_cycle)
+{
+    spec_.bandwidth_words_per_cycle = words_per_cycle;
+    return *this;
+}
+
+LevelBuilder &
+LevelBuilder::keepOnly(std::initializer_list<Tensor> tensors)
+{
+    spec_.keeps = {false, false, false};
+    for (Tensor t : tensors)
+        spec_.keeps[tensorIndex(t)] = true;
+    return *this;
+}
+
+LevelBuilder &
+LevelBuilder::bypass(Tensor t)
+{
+    spec_.keeps[tensorIndex(t)] = false;
+    return *this;
+}
+
+LevelBuilder &
+LevelBuilder::attr(const std::string &key, double value)
+{
+    spec_.attrs.set(key, value);
+    return *this;
+}
+
+LevelBuilder &
+LevelBuilder::converter(Tensor t, ConverterSpec conv)
+{
+    fatalIf(conv.name.empty(), "converter must have a name");
+    spec_.converters_below[tensorIndex(t)].push_back(std::move(conv));
+    return *this;
+}
+
+LevelBuilder &
+LevelBuilder::fanoutDim(Dim d, std::uint64_t cap)
+{
+    fatalIf(cap == 0, "fanout cap must be >= 1");
+    spec_.fanout.dim_caps[d] = cap;
+    return *this;
+}
+
+LevelBuilder &
+LevelBuilder::fanoutTotal(std::uint64_t cap)
+{
+    fatalIf(cap == 0, "fanout total cap must be >= 1");
+    spec_.fanout.max_total = cap;
+    return *this;
+}
+
+LevelBuilder &
+LevelBuilder::windowDims(DimSet dims)
+{
+    spec_.fanout.window_dims = dims;
+    return *this;
+}
+
+ArchBuilder::ArchBuilder(std::string name, double clock_hz)
+    : name_(std::move(name)), clock_hz_(clock_hz)
+{}
+
+LevelBuilder &
+ArchBuilder::addLevel(const std::string &name)
+{
+    levels_.emplace_back(name);
+    return levels_.back();
+}
+
+ArchBuilder &
+ArchBuilder::compute(ComputeSpec spec)
+{
+    compute_ = std::move(spec);
+    return *this;
+}
+
+ArchBuilder &
+ArchBuilder::addStatic(StaticComponentSpec spec)
+{
+    statics_.push_back(std::move(spec));
+    return *this;
+}
+
+ArchSpec
+ArchBuilder::build() const
+{
+    ArchSpec arch(name_, clock_hz_);
+    for (auto it = levels_.rbegin(); it != levels_.rend(); ++it)
+        arch.addLevelInner(it->spec());
+    arch.setCompute(compute_);
+    for (const auto &s : statics_)
+        arch.addStatic(s);
+    arch.validate();
+    return arch;
+}
+
+} // namespace ploop

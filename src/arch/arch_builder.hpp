@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Fluent builder for ArchSpec.  Levels are declared outermost-first
+ * (the natural reading order: DRAM, then the global buffer, ... down
+ * to compute); build() reverses them into the engine's
+ * innermost-first order and validates.
+ */
+
+#ifndef PHOTONLOOP_ARCH_ARCH_BUILDER_HPP
+#define PHOTONLOOP_ARCH_ARCH_BUILDER_HPP
+
+#include <string>
+#include <vector>
+
+#include "arch/arch_spec.hpp"
+
+namespace ploop {
+
+/** Fluent configurator for one storage level. */
+class LevelBuilder
+{
+  public:
+    /** @param name Level name. */
+    explicit LevelBuilder(std::string name);
+
+    /** Set the energy-model class (e.g. "sram", "dram"). */
+    LevelBuilder &klass(const std::string &k);
+
+    /** Set the level's domain. */
+    LevelBuilder &domain(Domain d);
+
+    /** Set capacity in words (0 = unbounded). */
+    LevelBuilder &capacityWords(std::uint64_t words);
+
+    /** Set bits per word. */
+    LevelBuilder &wordBits(unsigned bits);
+
+    /** Set bandwidth in words/cycle (0 = unbounded). */
+    LevelBuilder &bandwidth(double words_per_cycle);
+
+    /** Keep only the listed tensors (bypass the others). */
+    LevelBuilder &keepOnly(std::initializer_list<Tensor> tensors);
+
+    /** Bypass one tensor. */
+    LevelBuilder &bypass(Tensor t);
+
+    /** Set an estimator attribute. */
+    LevelBuilder &attr(const std::string &key, double value);
+
+    /** Append a converter to tensor @p t's below-chain. */
+    LevelBuilder &converter(Tensor t, ConverterSpec conv);
+
+    /** Allow spatial mapping of dim @p d up to @p cap below here. */
+    LevelBuilder &fanoutDim(Dim d, std::uint64_t cap);
+
+    /** Cap the product of spatial factors below here. */
+    LevelBuilder &fanoutTotal(std::uint64_t cap);
+
+    /** Mark dims as optical sliding-window unrolled (see level.hpp). */
+    LevelBuilder &windowDims(DimSet dims);
+
+    /** Finished spec (builder remains usable). */
+    const StorageLevelSpec &spec() const { return spec_; }
+
+  private:
+    StorageLevelSpec spec_;
+};
+
+/** Fluent builder for a whole architecture. */
+class ArchBuilder
+{
+  public:
+    /**
+     * @param name Architecture name.
+     * @param clock_hz Clock frequency in Hz.
+     */
+    ArchBuilder(std::string name, double clock_hz);
+
+    /**
+     * Declare the next level, outermost first.  Returns a reference
+     * valid until the next addLevel()/build() call.
+     */
+    LevelBuilder &addLevel(const std::string &name);
+
+    /** Set the compute spec. */
+    ArchBuilder &compute(ComputeSpec spec);
+
+    /** Add a static-power component. */
+    ArchBuilder &addStatic(StaticComponentSpec spec);
+
+    /** Assemble and validate the ArchSpec. */
+    ArchSpec build() const;
+
+  private:
+    std::string name_;
+    double clock_hz_;
+    std::vector<LevelBuilder> levels_; // Outermost first.
+    ComputeSpec compute_;
+    std::vector<StaticComponentSpec> statics_;
+};
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_ARCH_ARCH_BUILDER_HPP

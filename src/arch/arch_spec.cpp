@@ -1,0 +1,198 @@
+#include "arch/arch_spec.hpp"
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace ploop {
+
+ArchSpec::ArchSpec(std::string name, double clock_hz)
+    : name_(std::move(name)), clock_hz_(clock_hz)
+{
+    fatalIf(name_.empty(), "architecture must have a name");
+    fatalIf(clock_hz_ <= 0.0, "clock frequency must be positive");
+}
+
+void
+ArchSpec::addLevelInner(StorageLevelSpec level)
+{
+    fatalIf(level.name.empty(), "storage level must have a name");
+    for (const auto &l : levels_) {
+        fatalIf(l.name == level.name,
+                "duplicate level name '" + level.name + "'");
+    }
+    levels_.push_back(std::move(level));
+}
+
+const StorageLevelSpec &
+ArchSpec::level(std::size_t i) const
+{
+    fatalIf(i >= levels_.size(), "level index out of range");
+    return levels_[i];
+}
+
+StorageLevelSpec &
+ArchSpec::mutableLevel(std::size_t i)
+{
+    fatalIf(i >= levels_.size(), "level index out of range");
+    return levels_[i];
+}
+
+std::size_t
+ArchSpec::levelIndex(const std::string &name) const
+{
+    for (std::size_t i = 0; i < levels_.size(); ++i) {
+        if (levels_[i].name == name)
+            return i;
+    }
+    fatal("no storage level named '" + name + "' in '" + name_ + "'");
+}
+
+void
+ArchSpec::setCompute(ComputeSpec compute)
+{
+    compute_ = std::move(compute);
+}
+
+void
+ArchSpec::addStatic(StaticComponentSpec spec)
+{
+    fatalIf(spec.name.empty(), "static component must have a name");
+    statics_.push_back(std::move(spec));
+}
+
+double
+ArchSpec::peakMacsPerCycle() const
+{
+    return static_cast<double>(totalComputeInstances()) *
+           compute_.macs_per_cycle;
+}
+
+std::uint64_t
+ArchSpec::totalComputeInstances() const
+{
+    std::uint64_t n = 1;
+    for (const auto &l : levels_)
+        n *= l.fanout.peakInstances();
+    return n;
+}
+
+void
+ArchSpec::validate() const
+{
+    fatalIf(levels_.empty(), "architecture needs >= 1 storage level");
+    // Each tensor needs a source/sink somewhere in the hierarchy.
+    // (The outermost keeper is where the tensor originates/terminates;
+    // levels above it carry no traffic for it -- that is how layer
+    // fusion bypasses DRAM for inter-layer activations.)
+    for (Tensor t : kAllTensors) {
+        bool kept = false;
+        for (const auto &l : levels_)
+            kept = kept || l.keepsTensor(t);
+        fatalIf(!kept, "no storage level keeps " +
+                           std::string(tensorName(t)) + " in '" +
+                           name_ + "'");
+    }
+    // Check per-tensor domain continuity along each tensor's path.
+    // Converter chains may span bypassed levels (a bypassed level never
+    // holds the tensor, so its domain is not a constraint); at every
+    // level that KEEPS the tensor, the data must be in that level's
+    // domain, and at compute it must be in the compute domain.
+    for (Tensor t : kAllTensors) {
+        if (t == Tensor::Outputs) {
+            // Upward walk: compute -> outermost.
+            Domain cur = compute_.domain;
+            for (std::size_t i = 0; i < levels_.size(); ++i) {
+                const StorageLevelSpec &l = levels_[i];
+                std::string where = "arch '" + name_ + "', boundary "
+                                    "below " + l.name + ", " +
+                                    tensorName(t);
+                for (const auto &conv : l.convertersFor(t)) {
+                    fatalIf(conv.from != cur,
+                            where + ": converter '" + conv.name +
+                                "' expects " + domainName(conv.from) +
+                                " input but data is in " +
+                                domainName(cur));
+                    cur = conv.to;
+                }
+                if (l.keepsTensor(t)) {
+                    fatalIf(cur != l.domain,
+                            where + ": outputs arrive in " +
+                                domainName(cur) + " but level is " +
+                                domainName(l.domain));
+                }
+            }
+        } else {
+            // Downward walk: outermost -> compute.
+            Domain cur = levels_.back().domain;
+            for (std::size_t i = levels_.size(); i-- > 0;) {
+                const StorageLevelSpec &l = levels_[i];
+                std::string where = "arch '" + name_ + "', boundary "
+                                    "below " + l.name + ", " +
+                                    tensorName(t);
+                if (l.keepsTensor(t)) {
+                    fatalIf(cur != l.domain,
+                            where + ": " + std::string(tensorName(t)) +
+                                " arrive in " + domainName(cur) +
+                                " but level is " +
+                                domainName(l.domain));
+                }
+                for (const auto &conv : l.convertersFor(t)) {
+                    fatalIf(conv.from != cur,
+                            where + ": converter '" + conv.name +
+                                "' expects " + domainName(conv.from) +
+                                " input but data is in " +
+                                domainName(cur));
+                    cur = conv.to;
+                }
+            }
+            std::string where =
+                "arch '" + name_ + "', " + tensorName(t) + " at compute";
+            fatalIf(cur != compute_.domain,
+                    where + ": data arrives in " + domainName(cur) +
+                        " but compute is " +
+                        domainName(compute_.domain));
+        }
+    }
+    for (const auto &l : levels_) {
+        fatalIf(l.word_bits == 0,
+                "level '" + l.name + "': word_bits must be >= 1");
+    }
+    fatalIf(compute_.macs_per_cycle <= 0.0,
+            "compute must perform > 0 MACs per cycle");
+}
+
+std::string
+ArchSpec::str() const
+{
+    std::string out =
+        strFormat("%s @ %.3g GHz, peak %.0f MACs/cycle\n", name_.c_str(),
+                  clock_hz_ / 1e9, peakMacsPerCycle());
+    for (std::size_t i = levels_.size(); i-- > 0;) {
+        const auto &l = levels_[i];
+        out += strFormat(
+            "  L%zu %-14s [%s] cap=%llu words, %u b/word, fanout=%llu\n",
+            i, l.name.c_str(), domainName(l.domain),
+            static_cast<unsigned long long>(l.capacity_words),
+            l.word_bits,
+            static_cast<unsigned long long>(l.fanout.peakInstances()));
+        for (Tensor t : kAllTensors) {
+            const auto &chain = l.convertersFor(t);
+            if (chain.empty())
+                continue;
+            std::vector<std::string> names;
+            for (const auto &c : chain)
+                names.push_back(c.name + "(" + c.crossing() + ")");
+            out += strFormat("      %s: %s\n", tensorName(t),
+                             join(names, " -> ").c_str());
+        }
+    }
+    out += strFormat("  compute %s [%s], %.3g MAC/cycle/instance\n",
+                     compute_.name.c_str(), domainName(compute_.domain),
+                     compute_.macs_per_cycle);
+    for (const auto &s : statics_)
+        out += strFormat("  static %s [%s]\n", s.name.c_str(),
+                         s.klass.c_str());
+    return out;
+}
+
+} // namespace ploop

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The full architecture specification: a linear hierarchy of storage
+ * levels (innermost first), a compute spec, static-power components,
+ * and a clock.  Validation enforces the domain-continuity rule: the
+ * converter chain on each boundary must connect the two levels'
+ * domains in the direction each tensor travels.
+ */
+
+#ifndef PHOTONLOOP_ARCH_ARCH_SPEC_HPP
+#define PHOTONLOOP_ARCH_ARCH_SPEC_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/level.hpp"
+
+namespace ploop {
+
+/** A complete accelerator (+ optional DRAM) description. */
+class ArchSpec
+{
+  public:
+    /**
+     * @param name Architecture name.
+     * @param clock_hz Core clock frequency in Hz.
+     */
+    ArchSpec(std::string name, double clock_hz);
+
+    /** Architecture name. */
+    const std::string &name() const { return name_; }
+
+    /** Clock frequency in Hz. */
+    double clockHz() const { return clock_hz_; }
+
+    /** Append a storage level; index 0 is innermost. */
+    void addLevelInner(StorageLevelSpec level);
+
+    /** Number of storage levels. */
+    std::size_t numLevels() const { return levels_.size(); }
+
+    /** Level @p i (0 = innermost). */
+    const StorageLevelSpec &level(std::size_t i) const;
+
+    /** Mutable level access (for exploration knobs). */
+    StorageLevelSpec &mutableLevel(std::size_t i);
+
+    /** All levels, innermost first. */
+    const std::vector<StorageLevelSpec> &levels() const
+    {
+        return levels_;
+    }
+
+    /** Level index by name; fatal() if absent. */
+    std::size_t levelIndex(const std::string &name) const;
+
+    /** The compute units. */
+    const ComputeSpec &compute() const { return compute_; }
+
+    /** Set the compute spec. */
+    void setCompute(ComputeSpec compute);
+
+    /** Static-power components (e.g. laser). */
+    const std::vector<StaticComponentSpec> &statics() const
+    {
+        return statics_;
+    }
+
+    /** Add a static-power component. */
+    void addStatic(StaticComponentSpec spec);
+
+    /**
+     * Peak MACs per cycle: product over levels of spatial fanout peak
+     * instances times the compute spec's per-instance rate.
+     */
+    double peakMacsPerCycle() const;
+
+    /**
+     * Total spatial instances of the compute level (product of all
+     * fanouts).
+     */
+    std::uint64_t totalComputeInstances() const;
+
+    /**
+     * Validate the specification: at least one level, outermost level
+     * keeps all tensors, converter chains domain-consistent, every
+     * kept tensor has a keeper above (so fills have a source).
+     * fatal() on violation.
+     */
+    void validate() const;
+
+    /** Multi-line description of the hierarchy. */
+    std::string str() const;
+
+  private:
+    std::string name_;
+    double clock_hz_;
+    std::vector<StorageLevelSpec> levels_; // [0] = innermost.
+    ComputeSpec compute_;
+    std::vector<StaticComponentSpec> statics_;
+};
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_ARCH_ARCH_SPEC_HPP

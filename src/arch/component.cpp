@@ -1,0 +1,42 @@
+#include "arch/component.hpp"
+
+#include "common/error.hpp"
+
+namespace ploop {
+
+void
+Attributes::set(const std::string &key, double value)
+{
+    map_[key] = value;
+}
+
+bool
+Attributes::has(const std::string &key) const
+{
+    return map_.count(key) != 0;
+}
+
+double
+Attributes::get(const std::string &key) const
+{
+    auto it = map_.find(key);
+    if (it == map_.end())
+        fatal("missing component attribute '" + key + "'");
+    return it->second;
+}
+
+double
+Attributes::getOr(const std::string &key, double fallback) const
+{
+    auto it = map_.find(key);
+    return it == map_.end() ? fallback : it->second;
+}
+
+void
+Attributes::merge(const Attributes &other)
+{
+    for (const auto &[k, v] : other.all())
+        map_[k] = v;
+}
+
+} // namespace ploop

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Generic component descriptions: a named bag of numeric attributes
+ * plus an energy-model class name, in the Accelergy style.  The energy
+ * registry (src/energy) resolves (class, action, attributes) to
+ * energy; the architecture only carries the description.
+ */
+
+#ifndef PHOTONLOOP_ARCH_COMPONENT_HPP
+#define PHOTONLOOP_ARCH_COMPONENT_HPP
+
+#include <map>
+#include <string>
+
+#include "arch/domain.hpp"
+
+namespace ploop {
+
+/**
+ * Numeric attribute map for a component (e.g. width_bits, depth,
+ * resolution, fanout).  Attribute keys are free-form strings agreed
+ * between architecture builders and energy estimators.
+ */
+class Attributes
+{
+  public:
+    /** Set (or overwrite) attribute @p key. */
+    void set(const std::string &key, double value);
+
+    /** True if @p key is present. */
+    bool has(const std::string &key) const;
+
+    /** Get attribute @p key; fatal() if missing. */
+    double get(const std::string &key) const;
+
+    /** Get attribute @p key, or @p fallback if missing. */
+    double getOr(const std::string &key, double fallback) const;
+
+    /** All attributes (sorted by key, for deterministic printing). */
+    const std::map<std::string, double> &all() const { return map_; }
+
+    /** Merge: entries of @p other overwrite entries of *this. */
+    void merge(const Attributes &other);
+
+  private:
+    std::map<std::string, double> map_;
+};
+
+/**
+ * A data converter sitting on a level-to-level path.  Each word moving
+ * across the path in the relevant direction costs one "convert" action
+ * of this component (the nest analysis divides by spatial reuse first;
+ * that is how converting once and reusing many times is modeled).
+ */
+struct ConverterSpec
+{
+    std::string name;  ///< Instance name, e.g. "input_dac".
+    std::string klass; ///< Energy-model class, e.g. "dac".
+    Domain from = Domain::DE; ///< Source domain.
+    Domain to = Domain::AE;   ///< Destination domain.
+    Attributes attrs;         ///< Estimator attributes.
+
+    /** Paper notation for the crossing, e.g. "DE/AE". */
+    std::string crossing() const { return conversionName(from, to); }
+};
+
+/** The compute units at the bottom of the hierarchy. */
+struct ComputeSpec
+{
+    std::string name = "mac";  ///< Instance name.
+    std::string klass = "mac"; ///< Energy-model class.
+    Domain domain = Domain::DE;
+    Attributes attrs;
+    /** MACs one instance performs per cycle (usually 1). */
+    double macs_per_cycle = 1.0;
+};
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_ARCH_COMPONENT_HPP

@@ -1,0 +1,51 @@
+#include "arch/domain.hpp"
+
+#include "common/error.hpp"
+
+namespace ploop {
+
+const char *
+domainName(Domain d)
+{
+    switch (d) {
+      case Domain::DE: return "DE";
+      case Domain::AE: return "AE";
+      case Domain::AO: return "AO";
+      case Domain::DO: return "DO";
+    }
+    panic("domainName: bad domain");
+}
+
+Domain
+domainFromName(const std::string &name)
+{
+    if (name == "DE")
+        return Domain::DE;
+    if (name == "AE")
+        return Domain::AE;
+    if (name == "AO")
+        return Domain::AO;
+    if (name == "DO")
+        return Domain::DO;
+    fatal("unknown domain name '" + name + "'");
+}
+
+bool
+isAnalog(Domain d)
+{
+    return d == Domain::AE || d == Domain::AO;
+}
+
+bool
+isOptical(Domain d)
+{
+    return d == Domain::AO || d == Domain::DO;
+}
+
+std::string
+conversionName(Domain from, Domain to)
+{
+    return std::string(domainName(from)) + "/" + domainName(to);
+}
+
+} // namespace ploop

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Data domains.  The paper's central abstraction: every component in a
+ * photonic (or CiM) system operates in one of four domains, and moving
+ * a value between domains requires a data converter whose energy can
+ * dominate the system.
+ */
+
+#ifndef PHOTONLOOP_ARCH_DOMAIN_HPP
+#define PHOTONLOOP_ARCH_DOMAIN_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace ploop {
+
+/** The four data domains of the paper (Fig. 1). */
+enum class Domain : std::uint8_t {
+    DE = 0, ///< Digital electrical (SRAM, DRAM, digital logic).
+    AE = 1, ///< Analog electrical (charge/current/voltage signals).
+    AO = 2, ///< Analog optical (light amplitude/phase).
+    DO = 3, ///< Digital optical (optical links/switches, cf. TPUv4).
+};
+
+/** Number of domains. */
+constexpr unsigned kNumDomains = 4;
+
+/** Short name, e.g. "AE". */
+const char *domainName(Domain d);
+
+/** Parse a short name; fatal() on unknown. */
+Domain domainFromName(const std::string &name);
+
+/** True for AE and AO. */
+bool isAnalog(Domain d);
+
+/** True for AO and DO. */
+bool isOptical(Domain d);
+
+/**
+ * Conventional converter notation from the paper: "X/Y" for a
+ * conversion from domain X to domain Y (e.g. "DE/AE" is a DAC,
+ * "AE/DE" is an ADC, "AO/AE" is a photodiode).
+ */
+std::string conversionName(Domain from, Domain to);
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_ARCH_DOMAIN_HPP

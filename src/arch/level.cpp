@@ -1,0 +1,23 @@
+#include "arch/level.hpp"
+
+#include <algorithm>
+
+namespace ploop {
+
+std::uint64_t
+SpatialFanout::dimCap(Dim d) const
+{
+    auto it = dim_caps.find(d);
+    return it == dim_caps.end() ? 1 : it->second;
+}
+
+std::uint64_t
+SpatialFanout::peakInstances() const
+{
+    std::uint64_t prod = 1;
+    for (const auto &[d, cap] : dim_caps)
+        prod *= cap;
+    return std::min(prod, max_total == 0 ? prod : max_total);
+}
+
+} // namespace ploop

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Storage levels and spatial fanout: the Timeloop-style building
+ * blocks of an architecture, extended with per-tensor converter chains
+ * on the path to the next-inner level (the photonics/CiM extension).
+ */
+
+#ifndef PHOTONLOOP_ARCH_LEVEL_HPP
+#define PHOTONLOOP_ARCH_LEVEL_HPP
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/component.hpp"
+#include "workload/dims.hpp"
+
+namespace ploop {
+
+/**
+ * Spatial fanout below a storage level: how many copies of the
+ * next-inner subtree exist, and which workload dims may be unrolled
+ * across them.
+ */
+struct SpatialFanout
+{
+    /**
+     * Per-dim spatial caps.  A dim absent from the map cannot be
+     * spatially mapped at this boundary (its spatial factor must
+     * be 1).
+     */
+    std::map<Dim, std::uint64_t> dim_caps;
+
+    /** Cap on the product of all spatial factors at this boundary. */
+    std::uint64_t max_total = 1;
+
+    /**
+     * Dims unrolled by an optical sliding-window broadcast (Albireo
+     * unrolls R and S this way).  Such unrolling delivers each input
+     * to all R x S positions in one shot, which only works for
+     * unit-stride convolutions: with stride > 1, only 1/(hstride *
+     * wstride) of the broadcast positions carry useful data, and the
+     * utilization model applies that penalty.
+     */
+    DimSet window_dims;
+
+    /** Largest spatial factor allowed for @p d (1 if unlisted). */
+    std::uint64_t dimCap(Dim d) const;
+
+    /** Peak number of child instances (product of per-dim caps,
+     *  clipped by max_total). */
+    std::uint64_t peakInstances() const;
+};
+
+/**
+ * One storage level.  Levels form a linear hierarchy; each level may
+ * keep any subset of the three tensors (kept tensors are buffered and
+ * reused; bypassed tensors stream through without occupying space).
+ */
+struct StorageLevelSpec
+{
+    std::string name;          ///< e.g. "GlobalBuffer".
+    std::string klass;         ///< Energy-model class, e.g. "sram".
+    Domain domain = Domain::DE;
+    Attributes attrs;
+
+    /** Capacity in words; 0 means unbounded (e.g. DRAM). */
+    std::uint64_t capacity_words = 0;
+
+    /** Bits per stored word. */
+    unsigned word_bits = 8;
+
+    /** Read+write bandwidth in words/cycle; 0 means unbounded. */
+    double bandwidth_words_per_cycle = 0.0;
+
+    /** keeps[tensorIndex(t)]: does this level buffer tensor t? */
+    std::array<bool, kNumTensors> keeps{true, true, true};
+
+    /**
+     * Converter chain crossed by tensor t when moving between this
+     * level and the next-inner level (or compute).  For weights and
+     * inputs the traversal direction is downward (toward compute);
+     * for outputs it is upward (from compute).  One "convert" action
+     * is charged per word crossing, after spatial-reuse division.
+     */
+    std::array<std::vector<ConverterSpec>, kNumTensors>
+        converters_below;
+
+    /** Spatial fanout to the next-inner level. */
+    SpatialFanout fanout;
+
+    /** Convenience: does this level keep tensor @p t? */
+    bool keepsTensor(Tensor t) const { return keeps[tensorIndex(t)]; }
+
+    /** Converter chain for tensor @p t below this level. */
+    const std::vector<ConverterSpec> &
+    convertersFor(Tensor t) const
+    {
+        return converters_below[tensorIndex(t)];
+    }
+};
+
+/**
+ * A component with constant (static) power that runs for the whole
+ * execution, e.g. the laser.  Power is resolved through the energy
+ * registry's "power" action.
+ */
+struct StaticComponentSpec
+{
+    std::string name;  ///< e.g. "laser".
+    std::string klass; ///< e.g. "laser".
+    Attributes attrs;
+};
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_ARCH_LEVEL_HPP

@@ -1,0 +1,62 @@
+#include "baseline/electronic_baseline.hpp"
+
+#include "arch/arch_builder.hpp"
+#include "common/units.hpp"
+
+namespace ploop {
+
+ArchSpec
+buildElectronicBaseline(const ElectronicBaselineConfig &cfg)
+{
+    ArchBuilder builder("electronic-systolic", cfg.clock_hz);
+
+    if (cfg.with_dram) {
+        builder.addLevel("DRAM")
+            .klass("dram")
+            .domain(Domain::DE)
+            .capacityWords(0)
+            .wordBits(cfg.word_bits)
+            .bandwidth(cfg.dram_bandwidth_words)
+            .attr("energy_per_bit", cfg.dram_energy_per_bit);
+    }
+
+    builder.addLevel("GlobalBuffer")
+        .klass("sram")
+        .domain(Domain::DE)
+        .capacityWords(cfg.gb_capacity_words)
+        .wordBits(cfg.word_bits)
+        .bandwidth(cfg.gb_bandwidth_words)
+        .fanoutDim(Dim::P, cfg.array_p)
+        .fanoutTotal(cfg.array_p);
+
+    // The PE-local weight register: weight-stationary reuse.  The
+    // K x C systolic fanout sits below this level.
+    builder.addLevel("PERegs")
+        .klass("regfile")
+        .domain(Domain::DE)
+        .capacityWords(16 * 1024)
+        .wordBits(cfg.word_bits)
+        .attr("energy_per_bit", 1.5_fJ)
+        .fanoutDim(Dim::K, cfg.array_k)
+        .fanoutDim(Dim::C, cfg.array_c)
+        .fanoutTotal(cfg.array_k * cfg.array_c);
+
+    builder.addLevel("WeightReg")
+        .klass("regfile")
+        .domain(Domain::DE)
+        .capacityWords(4)
+        .wordBits(cfg.word_bits)
+        .attr("energy_per_bit", 0.8_fJ)
+        .keepOnly({Tensor::Weights});
+
+    ComputeSpec mac;
+    mac.name = "digital_mac";
+    mac.klass = "mac";
+    mac.domain = Domain::DE;
+    mac.attrs.set("energy_per_mac", cfg.mac_energy_j);
+    builder.compute(mac);
+
+    return builder.build();
+}
+
+} // namespace ploop

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * An all-electrical (DE-only) systolic-array DNN accelerator, built
+ * from the same storage/fanout machinery as the photonic model.  It
+ * serves as the comparison baseline: the photonics papers' headline
+ * claims are always relative to an electronic design of equal peak
+ * throughput, and having both in one tool is exactly the paper's
+ * "comparison between systems" use-case.
+ *
+ * Organization (TPU-flavored weight-stationary array):
+ *
+ *   DRAM (DE) -> GlobalBuffer (DE, SRAM) -> [array of PEs]
+ *   PE = weight register + 8-bit MAC; fanout K x C across columns/
+ *   rows, P across tiles; no converters anywhere (single domain).
+ */
+
+#ifndef PHOTONLOOP_BASELINE_ELECTRONIC_BASELINE_HPP
+#define PHOTONLOOP_BASELINE_ELECTRONIC_BASELINE_HPP
+
+#include <cstdint>
+
+#include "arch/arch_spec.hpp"
+
+namespace ploop {
+
+/** Configuration of the electronic baseline. */
+struct ElectronicBaselineConfig
+{
+    /** Systolic array: K columns x C rows x P tile copies. */
+    std::uint64_t array_k = 96;
+    std::uint64_t array_c = 36;
+    std::uint64_t array_p = 2;
+
+    double clock_hz = 1e9; ///< Electrical clock (photonics runs 5x).
+    std::uint64_t gb_capacity_words = 2ull * 1024 * 1024;
+    unsigned word_bits = 8;
+    double gb_bandwidth_words = 256.0;
+    double dram_bandwidth_words = 16.0;
+    bool with_dram = false;
+    double dram_energy_per_bit = 22e-12;
+
+    /** 8-bit MAC energy (digital, ~28 nm). */
+    double mac_energy_j = 0.25e-12;
+
+    /** Peak MACs per cycle. */
+    std::uint64_t peakMacs() const
+    {
+        return array_k * array_c * array_p;
+    }
+};
+
+/** Build and validate the electronic baseline architecture. */
+ArchSpec buildElectronicBaseline(const ElectronicBaselineConfig &cfg);
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_BASELINE_ELECTRONIC_BASELINE_HPP

@@ -1,0 +1,35 @@
+#include "common/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ploop {
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError("fatal: " + msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+fatalIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        fatal(msg);
+}
+
+void
+panicIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        panic(msg);
+}
+
+} // namespace ploop

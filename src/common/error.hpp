@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Error-reporting helpers following the gem5 fatal/panic split.
+ *
+ * fatal() is for user errors (bad configuration, invalid mapping): the
+ * situation is expected to be reachable by a user of the library and is
+ * reported as a recoverable exception so callers (and tests) can catch
+ * it.  panic() is for internal invariant violations, i.e. bugs in
+ * PhotonLoop itself, and aborts.
+ */
+
+#ifndef PHOTONLOOP_COMMON_ERROR_HPP
+#define PHOTONLOOP_COMMON_ERROR_HPP
+
+#include <stdexcept>
+#include <string>
+
+namespace ploop {
+
+/** Exception thrown by fatal() for user-caused errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/**
+ * Report a user error (bad spec, invalid mapping, ...).
+ *
+ * @param msg Human-readable description of what the user did wrong.
+ * @throws FatalError always.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/**
+ * Report an internal invariant violation (a PhotonLoop bug) and abort.
+ *
+ * @param msg Description of the violated invariant.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/** fatal() unless @p cond holds. */
+void fatalIf(bool cond, const std::string &msg);
+
+/** panic() unless @p cond holds. */
+void panicIf(bool cond, const std::string &msg);
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_COMMON_ERROR_HPP

@@ -1,0 +1,44 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+
+namespace ploop {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+inform(const std::string &msg)
+{
+    if (g_level <= LogLevel::Info)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+warn(const std::string &msg)
+{
+    if (g_level <= LogLevel::Warn)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+debugLog(const std::string &msg)
+{
+    if (g_level <= LogLevel::Debug)
+        std::fprintf(stderr, "debug: %s\n", msg.c_str());
+}
+
+} // namespace ploop

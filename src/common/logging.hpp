@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Minimal leveled logging for PhotonLoop (inform/warn per gem5 style).
+ *
+ * Messages go to stderr so they never pollute bench/table stdout.
+ * The global level can be raised to silence informational output in
+ * tests and benchmarks.
+ */
+
+#ifndef PHOTONLOOP_COMMON_LOGGING_HPP
+#define PHOTONLOOP_COMMON_LOGGING_HPP
+
+#include <string>
+
+namespace ploop {
+
+/** Severity levels, ordered. */
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Silent = 3 };
+
+/** Set the minimum level that is emitted. */
+void setLogLevel(LogLevel level);
+
+/** Current minimum emitted level. */
+LogLevel logLevel();
+
+/** Informational message ("inform" in gem5 terms). */
+void inform(const std::string &msg);
+
+/** Warning: something works but might not be what the user wants. */
+void warn(const std::string &msg);
+
+/** Debug chatter, off by default. */
+void debugLog(const std::string &msg);
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_COMMON_LOGGING_HPP

@@ -1,0 +1,148 @@
+#include "common/math_util.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ploop {
+
+std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    panicIf(b == 0, "ceilDiv by zero");
+    return (a + b - 1) / b;
+}
+
+std::uint64_t
+roundUp(std::uint64_t a, std::uint64_t b)
+{
+    return ceilDiv(a, b) * b;
+}
+
+bool
+isPow2(std::uint64_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+std::uint64_t
+nextPow2(std::uint64_t n)
+{
+    panicIf(n == 0, "nextPow2(0)");
+    std::uint64_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+unsigned
+log2Exact(std::uint64_t n)
+{
+    panicIf(!isPow2(n), "log2Exact of non-power-of-two");
+    unsigned l = 0;
+    while (n > 1) {
+        n >>= 1;
+        ++l;
+    }
+    return l;
+}
+
+std::vector<std::uint64_t>
+divisors(std::uint64_t n)
+{
+    panicIf(n == 0, "divisors(0)");
+    std::vector<std::uint64_t> low, high;
+    for (std::uint64_t d = 1; d * d <= n; ++d) {
+        if (n % d == 0) {
+            low.push_back(d);
+            if (d != n / d)
+                high.push_back(n / d);
+        }
+    }
+    low.insert(low.end(), high.rbegin(), high.rend());
+    return low;
+}
+
+std::vector<std::pair<std::uint64_t, unsigned>>
+primeFactorize(std::uint64_t n)
+{
+    std::vector<std::pair<std::uint64_t, unsigned>> out;
+    panicIf(n == 0, "primeFactorize(0)");
+    for (std::uint64_t p = 2; p * p <= n; ++p) {
+        if (n % p == 0) {
+            unsigned m = 0;
+            while (n % p == 0) {
+                n /= p;
+                ++m;
+            }
+            out.emplace_back(p, m);
+        }
+    }
+    if (n > 1)
+        out.emplace_back(n, 1u);
+    return out;
+}
+
+namespace {
+
+// Recursive helper: fill factorizations of n into `parts` slots.
+void
+factorizeRec(std::uint64_t n, unsigned parts,
+             std::vector<std::uint64_t> &cur,
+             std::vector<std::vector<std::uint64_t>> &out)
+{
+    if (parts == 1) {
+        cur.push_back(n);
+        out.push_back(cur);
+        cur.pop_back();
+        return;
+    }
+    for (std::uint64_t d : divisors(n)) {
+        cur.push_back(d);
+        factorizeRec(n / d, parts - 1, cur, out);
+        cur.pop_back();
+    }
+}
+
+} // namespace
+
+std::vector<std::vector<std::uint64_t>>
+orderedFactorizations(std::uint64_t n, unsigned parts)
+{
+    fatalIf(parts == 0, "orderedFactorizations with zero parts");
+    std::vector<std::vector<std::uint64_t>> out;
+    std::vector<std::uint64_t> cur;
+    factorizeRec(n, parts, cur, out);
+    return out;
+}
+
+double
+dbToLinear(double db)
+{
+    return std::pow(10.0, db / 10.0);
+}
+
+double
+linearToDb(double lin)
+{
+    panicIf(lin <= 0.0, "linearToDb of non-positive ratio");
+    return 10.0 * std::log10(lin);
+}
+
+bool
+approxEqual(double a, double b, double rel_tol)
+{
+    double diff = std::fabs(a - b);
+    double scale = std::max(std::fabs(a), std::fabs(b));
+    return diff <= rel_tol * std::max(scale, 1e-300) ||
+           (std::fabs(a) < 1e-300 && std::fabs(b) < 1e-300);
+}
+
+double
+clampDouble(double v, double lo, double hi)
+{
+    return std::min(std::max(v, lo), hi);
+}
+
+} // namespace ploop

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Small integer/float math helpers used throughout the modeling engine:
+ * ceiling division, integer factorization, dB<->linear conversion, and
+ * approximate floating-point comparison.
+ */
+
+#ifndef PHOTONLOOP_COMMON_MATH_UTIL_HPP
+#define PHOTONLOOP_COMMON_MATH_UTIL_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace ploop {
+
+/** Ceiling division for non-negative integers. @pre b > 0 */
+std::uint64_t ceilDiv(std::uint64_t a, std::uint64_t b);
+
+/** Round @p a up to the next multiple of @p b. @pre b > 0 */
+std::uint64_t roundUp(std::uint64_t a, std::uint64_t b);
+
+/** True if @p n is a power of two (0 is not). */
+bool isPow2(std::uint64_t n);
+
+/** Smallest power of two >= n. @pre n >= 1 */
+std::uint64_t nextPow2(std::uint64_t n);
+
+/** log2 of a power of two. @pre isPow2(n) */
+unsigned log2Exact(std::uint64_t n);
+
+/** All divisors of @p n in increasing order. @pre n >= 1 */
+std::vector<std::uint64_t> divisors(std::uint64_t n);
+
+/** Prime factorization of @p n as (prime, multiplicity) pairs. */
+std::vector<std::pair<std::uint64_t, unsigned>>
+primeFactorize(std::uint64_t n);
+
+/**
+ * All ordered factorizations of @p n into exactly @p parts factors
+ * (each >= 1, product == n).  Used to enumerate tiling mapspaces.
+ *
+ * The count grows quickly; callers should bound n (loop bounds in DNN
+ * layers are small-smooth) and parts (number of levels, <= ~6).
+ */
+std::vector<std::vector<std::uint64_t>>
+orderedFactorizations(std::uint64_t n, unsigned parts);
+
+/** Convert a power ratio in dB to a linear factor (10^(db/10)). */
+double dbToLinear(double db);
+
+/** Convert a linear power ratio to dB (10*log10(lin)). @pre lin > 0 */
+double linearToDb(double lin);
+
+/** Relative-tolerance float comparison (both near zero also matches). */
+bool approxEqual(double a, double b, double rel_tol = 1e-9);
+
+/** Clamp @p v to [lo, hi]. */
+double clampDouble(double v, double lo, double hi);
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_COMMON_MATH_UTIL_HPP

@@ -1,0 +1,139 @@
+#include "common/string_util.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace ploop {
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == sep) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::string
+strFormat(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args2;
+    va_copy(args2, args);
+    int n = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    std::string out(n > 0 ? static_cast<std::size_t>(n) : 0, '\0');
+    if (n > 0)
+        std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+    va_end(args2);
+    return out;
+}
+
+std::string
+toLower(const std::string &s)
+{
+    std::string out = s;
+    for (char &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+namespace {
+
+struct Prefix
+{
+    double scale;
+    const char *name;
+};
+
+} // namespace
+
+std::string
+formatEnergy(double joules)
+{
+    static const Prefix prefixes[] = {
+        {1.0, "J"},   {1e-3, "mJ"}, {1e-6, "uJ"},
+        {1e-9, "nJ"}, {1e-12, "pJ"}, {1e-15, "fJ"}, {1e-18, "aJ"},
+    };
+    if (joules == 0.0)
+        return "0 J";
+    double mag = std::fabs(joules);
+    for (const auto &p : prefixes) {
+        if (mag >= p.scale)
+            return strFormat("%.3g %s", joules / p.scale, p.name);
+    }
+    return strFormat("%.3g aJ", joules / 1e-18);
+}
+
+std::string
+formatBytes(std::uint64_t bytes)
+{
+    static const Prefix prefixes[] = {
+        {1024.0 * 1024 * 1024 * 1024, "TiB"},
+        {1024.0 * 1024 * 1024, "GiB"},
+        {1024.0 * 1024, "MiB"},
+        {1024.0, "KiB"},
+    };
+    for (const auto &p : prefixes) {
+        if (static_cast<double>(bytes) >= p.scale)
+            return strFormat("%.2f %s", bytes / p.scale, p.name);
+    }
+    return strFormat("%llu B", static_cast<unsigned long long>(bytes));
+}
+
+std::string
+formatCount(double count)
+{
+    static const Prefix prefixes[] = {
+        {1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"},
+    };
+    double mag = std::fabs(count);
+    for (const auto &p : prefixes) {
+        if (mag >= p.scale)
+            return strFormat("%.3g%s", count / p.scale, p.name);
+    }
+    return strFormat("%.4g", count);
+}
+
+} // namespace ploop

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * String formatting helpers: join, split, trim, printf-style format,
+ * and human-readable engineering-unit formatting for energies, sizes
+ * and rates used in reports.
+ */
+
+#ifndef PHOTONLOOP_COMMON_STRING_UTIL_HPP
+#define PHOTONLOOP_COMMON_STRING_UTIL_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ploop {
+
+/** Join @p parts with @p sep. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** Split @p s on character @p sep (empty fields kept). */
+std::vector<std::string> split(const std::string &s, char sep);
+
+/** Strip leading/trailing whitespace. */
+std::string trim(const std::string &s);
+
+/** printf-style formatting into a std::string. */
+std::string strFormat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Lower-case ASCII copy. */
+std::string toLower(const std::string &s);
+
+/** True if @p s starts with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/**
+ * Format an energy given in joules with an engineering prefix,
+ * e.g. 1.23e-12 -> "1.23 pJ".
+ */
+std::string formatEnergy(double joules);
+
+/** Format a byte count, e.g. 5242880 -> "5.00 MiB". */
+std::string formatBytes(std::uint64_t bytes);
+
+/** Format a dimensionless count with k/M/G suffix. */
+std::string formatCount(double count);
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_COMMON_STRING_UTIL_HPP

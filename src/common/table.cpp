@@ -1,0 +1,183 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstring>
+
+#include "common/string_util.hpp"
+
+namespace ploop {
+
+namespace {
+
+bool
+looksNumeric(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    bool digit = false;
+    for (char c : s) {
+        if (std::isdigit(static_cast<unsigned char>(c)))
+            digit = true;
+        else if (!std::strchr("+-.eE%x ", c))
+            return false;
+    }
+    return digit;
+}
+
+} // namespace
+
+Table::Table(std::string title)
+    : title_(std::move(title))
+{}
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+void
+Table::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+std::string
+Table::render() const
+{
+    std::size_t ncols = header_.size();
+    for (const auto &r : rows_)
+        ncols = std::max(ncols, r.size());
+    std::vector<std::size_t> widths(ncols, 0);
+    auto measure = [&](const std::vector<std::string> &r) {
+        for (std::size_t i = 0; i < r.size(); ++i)
+            widths[i] = std::max(widths[i], r[i].size());
+    };
+    measure(header_);
+    for (const auto &r : rows_)
+        measure(r);
+
+    std::string out;
+    if (!title_.empty())
+        out += title_ + "\n";
+
+    auto renderRow = [&](const std::vector<std::string> &r) {
+        std::string line;
+        for (std::size_t i = 0; i < ncols; ++i) {
+            std::string cell = i < r.size() ? r[i] : "";
+            std::size_t pad = widths[i] - cell.size();
+            if (looksNumeric(cell))
+                line += std::string(pad, ' ') + cell;
+            else
+                line += cell + std::string(pad, ' ');
+            if (i + 1 < ncols)
+                line += "  ";
+        }
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        out += line + "\n";
+    };
+
+    auto renderSep = [&]() {
+        std::string line;
+        for (std::size_t i = 0; i < ncols; ++i) {
+            line += std::string(widths[i], '-');
+            if (i + 1 < ncols)
+                line += "  ";
+        }
+        out += line + "\n";
+    };
+
+    if (!header_.empty()) {
+        renderRow(header_);
+        renderSep();
+    }
+    for (const auto &r : rows_) {
+        if (r.empty())
+            renderSep();
+        else
+            renderRow(r);
+    }
+    return out;
+}
+
+BarChart::BarChart(std::string title, std::string unit, unsigned width)
+    : title_(std::move(title)), unit_(std::move(unit)), width_(width)
+{}
+
+void
+BarChart::setSegments(std::vector<std::string> names)
+{
+    segments_ = std::move(names);
+}
+
+void
+BarChart::addBar(const std::string &label, std::vector<double> values)
+{
+    values.resize(segments_.size(), 0.0);
+    bars_.emplace_back(label, std::move(values));
+}
+
+std::string
+BarChart::render() const
+{
+    static const char glyphs[] = "#=+*o.:%@&";
+    const std::size_t nglyphs = sizeof(glyphs) - 1;
+
+    double max_total = 0.0;
+    std::size_t label_w = 0;
+    for (const auto &[label, vals] : bars_) {
+        double total = 0.0;
+        for (double v : vals)
+            total += std::max(v, 0.0);
+        max_total = std::max(max_total, total);
+        label_w = std::max(label_w, label.size());
+    }
+    if (max_total <= 0.0)
+        max_total = 1.0;
+
+    std::string out;
+    if (!title_.empty())
+        out += title_ + "\n";
+
+    // Legend.
+    std::vector<std::string> legend;
+    for (std::size_t i = 0; i < segments_.size(); ++i)
+        legend.push_back(strFormat("%c=%s", glyphs[i % nglyphs],
+                                   segments_[i].c_str()));
+    if (!legend.empty())
+        out += "  [" + join(legend, "  ") + "]\n";
+
+    for (const auto &[label, vals] : bars_) {
+        double total = 0.0;
+        std::string bar;
+        // Accumulate cells with largest-remainder rounding so the bar
+        // length matches the total as closely as possible.
+        double cells_f = 0.0;
+        std::size_t cells_used = 0;
+        for (std::size_t i = 0; i < vals.size(); ++i) {
+            double v = std::max(vals[i], 0.0);
+            total += v;
+            cells_f += v / max_total * width_;
+            auto upto = static_cast<std::size_t>(std::lround(cells_f));
+            for (; cells_used < upto; ++cells_used)
+                bar.push_back(glyphs[i % nglyphs]);
+        }
+        out += strFormat("  %-*s |%s  %.4g %s\n",
+                         static_cast<int>(label_w), label.c_str(),
+                         bar.c_str(), total, unit_.c_str());
+    }
+    out += strFormat("  scale: full bar = %.4g %s\n", max_total,
+                     unit_.c_str());
+    return out;
+}
+
+} // namespace ploop

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * ASCII table and horizontal-bar-chart rendering used by the benchmark
+ * harnesses to print the paper's tables and figures on stdout.
+ */
+
+#ifndef PHOTONLOOP_COMMON_TABLE_HPP
+#define PHOTONLOOP_COMMON_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+namespace ploop {
+
+/**
+ * A simple left/right-aligned text table.  Columns are sized to fit
+ * the widest cell; numeric-looking cells are right-aligned.
+ */
+class Table
+{
+  public:
+    /** @param title Optional heading printed above the table. */
+    explicit Table(std::string title = "");
+
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row (ragged rows are padded with ""). */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Render the table to a string (trailing newline included). */
+    std::string render() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    // Separator rows are encoded as empty row vectors.
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * A horizontal stacked-bar chart: one bar per row, each bar split into
+ * per-segment glyph runs, with a shared scale.  This is the closest
+ * terminal rendering of the paper's stacked-bar figures (Figs. 2-5).
+ */
+class BarChart
+{
+  public:
+    /**
+     * @param title Chart heading.
+     * @param unit Unit label for the scale (e.g. "pJ/MAC").
+     * @param width Number of character cells for a full-scale bar.
+     */
+    BarChart(std::string title, std::string unit, unsigned width = 60);
+
+    /** Name the stacked segments (defines glyph assignment). */
+    void setSegments(std::vector<std::string> names);
+
+    /**
+     * Add one bar.
+     *
+     * @param label Row label.
+     * @param values One value per segment (same order as setSegments).
+     */
+    void addBar(const std::string &label, std::vector<double> values);
+
+    /** Render the chart, legend and scale to a string. */
+    std::string render() const;
+
+  private:
+    std::string title_;
+    std::string unit_;
+    unsigned width_;
+    std::vector<std::string> segments_;
+    std::vector<std::pair<std::string, std::vector<double>>> bars_;
+};
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_COMMON_TABLE_HPP

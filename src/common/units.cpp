@@ -1,0 +1,22 @@
+#include "common/units.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ploop {
+
+double
+dbmToWatts(double dbm)
+{
+    return 1e-3 * std::pow(10.0, dbm / 10.0);
+}
+
+double
+wattsToDbm(double watts)
+{
+    panicIf(watts <= 0.0, "wattsToDbm of non-positive power");
+    return 10.0 * std::log10(watts / 1e-3);
+}
+
+} // namespace ploop

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Physical-unit conveniences.  All quantities in PhotonLoop are stored
+ * in SI base units as doubles: energy in joules, power in watts, time
+ * in seconds, frequency in hertz, area in square meters, length in
+ * meters.  These constants and user-defined literals make device
+ * parameter tables readable (e.g. `50_fJ`, `3.2_pJ`, `5_GHz`).
+ */
+
+#ifndef PHOTONLOOP_COMMON_UNITS_HPP
+#define PHOTONLOOP_COMMON_UNITS_HPP
+
+namespace ploop {
+
+namespace units {
+
+// Energy (joules).
+constexpr double joule = 1.0;
+constexpr double millijoule = 1e-3;
+constexpr double microjoule = 1e-6;
+constexpr double nanojoule = 1e-9;
+constexpr double picojoule = 1e-12;
+constexpr double femtojoule = 1e-15;
+constexpr double attojoule = 1e-18;
+
+// Power (watts).
+constexpr double watt = 1.0;
+constexpr double milliwatt = 1e-3;
+constexpr double microwatt = 1e-6;
+constexpr double nanowatt = 1e-9;
+
+// Time (seconds).
+constexpr double second = 1.0;
+constexpr double millisecond = 1e-3;
+constexpr double microsecond = 1e-6;
+constexpr double nanosecond = 1e-9;
+constexpr double picosecond = 1e-12;
+
+// Frequency (hertz).
+constexpr double hertz = 1.0;
+constexpr double kilohertz = 1e3;
+constexpr double megahertz = 1e6;
+constexpr double gigahertz = 1e9;
+
+// Length (meters).
+constexpr double meter = 1.0;
+constexpr double millimeter = 1e-3;
+constexpr double micrometer = 1e-6;
+constexpr double nanometer = 1e-9;
+
+// Area (square meters).
+constexpr double square_millimeter = 1e-6;
+constexpr double square_micrometer = 1e-12;
+
+} // namespace units
+
+inline namespace literals {
+
+constexpr double operator""_J(long double v)
+{ return static_cast<double>(v); }
+constexpr double operator""_mJ(long double v)
+{ return static_cast<double>(v) * units::millijoule; }
+constexpr double operator""_uJ(long double v)
+{ return static_cast<double>(v) * units::microjoule; }
+constexpr double operator""_nJ(long double v)
+{ return static_cast<double>(v) * units::nanojoule; }
+constexpr double operator""_pJ(long double v)
+{ return static_cast<double>(v) * units::picojoule; }
+constexpr double operator""_fJ(long double v)
+{ return static_cast<double>(v) * units::femtojoule; }
+constexpr double operator""_aJ(long double v)
+{ return static_cast<double>(v) * units::attojoule; }
+
+constexpr double operator""_J(unsigned long long v)
+{ return static_cast<double>(v); }
+constexpr double operator""_mJ(unsigned long long v)
+{ return static_cast<double>(v) * units::millijoule; }
+constexpr double operator""_uJ(unsigned long long v)
+{ return static_cast<double>(v) * units::microjoule; }
+constexpr double operator""_nJ(unsigned long long v)
+{ return static_cast<double>(v) * units::nanojoule; }
+constexpr double operator""_pJ(unsigned long long v)
+{ return static_cast<double>(v) * units::picojoule; }
+constexpr double operator""_fJ(unsigned long long v)
+{ return static_cast<double>(v) * units::femtojoule; }
+constexpr double operator""_aJ(unsigned long long v)
+{ return static_cast<double>(v) * units::attojoule; }
+
+constexpr double operator""_W(long double v)
+{ return static_cast<double>(v); }
+constexpr double operator""_mW(long double v)
+{ return static_cast<double>(v) * units::milliwatt; }
+constexpr double operator""_uW(long double v)
+{ return static_cast<double>(v) * units::microwatt; }
+constexpr double operator""_W(unsigned long long v)
+{ return static_cast<double>(v); }
+constexpr double operator""_mW(unsigned long long v)
+{ return static_cast<double>(v) * units::milliwatt; }
+constexpr double operator""_uW(unsigned long long v)
+{ return static_cast<double>(v) * units::microwatt; }
+
+constexpr double operator""_GHz(long double v)
+{ return static_cast<double>(v) * units::gigahertz; }
+constexpr double operator""_MHz(long double v)
+{ return static_cast<double>(v) * units::megahertz; }
+constexpr double operator""_GHz(unsigned long long v)
+{ return static_cast<double>(v) * units::gigahertz; }
+constexpr double operator""_MHz(unsigned long long v)
+{ return static_cast<double>(v) * units::megahertz; }
+
+constexpr double operator""_ns(long double v)
+{ return static_cast<double>(v) * units::nanosecond; }
+constexpr double operator""_ns(unsigned long long v)
+{ return static_cast<double>(v) * units::nanosecond; }
+
+constexpr double operator""_mm(long double v)
+{ return static_cast<double>(v) * units::millimeter; }
+constexpr double operator""_um(long double v)
+{ return static_cast<double>(v) * units::micrometer; }
+constexpr double operator""_mm(unsigned long long v)
+{ return static_cast<double>(v) * units::millimeter; }
+constexpr double operator""_um(unsigned long long v)
+{ return static_cast<double>(v) * units::micrometer; }
+
+} // namespace literals
+
+/**
+ * Convert dBm (decibel-milliwatts, the standard optical power unit) to
+ * watts.
+ */
+double dbmToWatts(double dbm);
+
+/** Convert watts to dBm. @pre watts > 0 */
+double wattsToDbm(double watts);
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_COMMON_UNITS_HPP

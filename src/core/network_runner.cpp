@@ -1,0 +1,44 @@
+#include "core/network_runner.hpp"
+
+#include "common/string_util.hpp"
+
+namespace ploop {
+
+NetworkRunResult
+runNetwork(const Evaluator &evaluator, const Network &net,
+           const SearchOptions &options)
+{
+    NetworkRunResult out;
+    Mapper mapper(evaluator, options);
+    for (const LayerShape &layer : net.layers()) {
+        MapperResult mapped = mapper.search(layer);
+        out.total_energy_j += mapped.result.totalEnergy();
+        out.total_macs += mapped.result.counts.macs;
+        out.total_cycles += mapped.result.throughput.cycles;
+        out.layers.emplace_back(layer.name(), std::move(mapped.mapping),
+                                std::move(mapped.result));
+    }
+    return out;
+}
+
+std::string
+NetworkRunResult::str() const
+{
+    std::string out;
+    for (const LayerRunResult &lr : layers) {
+        out += strFormat(
+            "  %-22s %8s MACs  %7.1f MACs/cyc  util %5.1f%%  %s\n",
+            lr.layer_name.c_str(),
+            formatCount(lr.result.counts.macs).c_str(),
+            lr.result.throughput.macs_per_cycle,
+            lr.result.throughput.utilization * 100.0,
+            formatEnergy(lr.result.totalEnergy()).c_str());
+    }
+    out += strFormat(
+        "  total: %s MACs, %.1f MACs/cycle, %s (%.3g pJ/MAC)\n",
+        formatCount(total_macs).c_str(), macsPerCycle(),
+        formatEnergy(total_energy_j).c_str(), energyPerMac() * 1e12);
+    return out;
+}
+
+} // namespace ploop

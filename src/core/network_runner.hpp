@@ -1,0 +1,74 @@
+/**
+ * @file
+ * NetworkRunner: map and evaluate every layer of a DNN on one
+ * architecture and aggregate energy/throughput -- the workflow behind
+ * the paper's Fig. 3 (whole-network throughput) and the per-network
+ * comparisons.  This is the highest-level public API; see
+ * examples/quickstart.cpp.
+ */
+
+#ifndef PHOTONLOOP_CORE_NETWORK_RUNNER_HPP
+#define PHOTONLOOP_CORE_NETWORK_RUNNER_HPP
+
+#include <string>
+#include <vector>
+
+#include "mapper/mapper.hpp"
+#include "model/evaluator.hpp"
+#include "workload/network.hpp"
+
+namespace ploop {
+
+/** One layer's mapped evaluation. */
+struct LayerRunResult
+{
+    std::string layer_name;
+    Mapping mapping;
+    EvalResult result;
+
+    LayerRunResult(std::string name, Mapping m, EvalResult r)
+        : layer_name(std::move(name)), mapping(std::move(m)),
+          result(std::move(r))
+    {}
+};
+
+/** Whole-network aggregate. */
+struct NetworkRunResult
+{
+    std::vector<LayerRunResult> layers;
+
+    double total_energy_j = 0;
+    double total_macs = 0;
+    double total_cycles = 0;
+
+    /** Joules per MAC over the network. */
+    double energyPerMac() const
+    {
+        return total_macs > 0 ? total_energy_j / total_macs : 0.0;
+    }
+
+    /** MAC-weighted average throughput. */
+    double macsPerCycle() const
+    {
+        return total_cycles > 0 ? total_macs / total_cycles : 0.0;
+    }
+
+    /** Multi-line per-layer summary table. */
+    std::string str() const;
+};
+
+/**
+ * Map and evaluate every layer of @p net on @p evaluator's
+ * architecture.
+ *
+ * @param evaluator Target architecture evaluator.
+ * @param net Workload network.
+ * @param options Mapper budget per layer.
+ */
+NetworkRunResult runNetwork(const Evaluator &evaluator,
+                            const Network &net,
+                            const SearchOptions &options = {});
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_CORE_NETWORK_RUNNER_HPP

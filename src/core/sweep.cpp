@@ -1,0 +1,47 @@
+#include "core/sweep.hpp"
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+
+namespace ploop {
+
+std::vector<SweepPoint>
+runSweep(const SweepSpec &spec, const LayerShape &layer,
+         const EnergyRegistry &registry)
+{
+    fatalIf(!spec.make_arch, "sweep needs a make_arch generator");
+    fatalIf(spec.values.empty(), "sweep needs >= 1 parameter value");
+    std::vector<SweepPoint> out;
+    out.reserve(spec.values.size());
+    for (double v : spec.values) {
+        ArchSpec arch = spec.make_arch(v);
+        Evaluator evaluator(arch, registry);
+        Mapper mapper(evaluator, spec.search);
+        MapperResult r = mapper.search(layer);
+        out.emplace_back(v, std::move(r.mapping),
+                         std::move(r.result));
+    }
+    return out;
+}
+
+std::string
+sweepTable(const std::string &param_name,
+           const std::vector<SweepPoint> &points)
+{
+    Table table("Sweep over " + param_name);
+    table.setHeader({param_name, "pJ/MAC", "MACs/cycle", "util %",
+                     "energy"});
+    for (const SweepPoint &p : points) {
+        table.addRow(
+            {strFormat("%.4g", p.value),
+             strFormat("%.4f", p.result.energyPerMac() * 1e12),
+             strFormat("%.0f", p.result.throughput.macs_per_cycle),
+             strFormat("%.1f",
+                       p.result.throughput.utilization * 100.0),
+             formatEnergy(p.result.totalEnergy())});
+    }
+    return table.render();
+}
+
+} // namespace ploop

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * One-dimensional parameter sweeps: vary a scalar knob (an
+ * architecture generator parameter), re-map the workload at each
+ * point, and collect results -- the basic building block of the
+ * paper's design-space-exploration workflow.
+ */
+
+#ifndef PHOTONLOOP_CORE_SWEEP_HPP
+#define PHOTONLOOP_CORE_SWEEP_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mapper/mapper.hpp"
+#include "model/evaluator.hpp"
+
+namespace ploop {
+
+/** One sweep sample. */
+struct SweepPoint
+{
+    double value = 0; ///< The swept parameter's value.
+    Mapping mapping;  ///< Best mapping found at this point.
+    EvalResult result;
+
+    SweepPoint(double v, Mapping m, EvalResult r)
+        : value(v), mapping(std::move(m)), result(std::move(r))
+    {}
+};
+
+/** Sweep configuration. */
+struct SweepSpec
+{
+    /** Builds the architecture for a parameter value. */
+    std::function<ArchSpec(double)> make_arch;
+
+    /** Parameter values to sample. */
+    std::vector<double> values;
+
+    /** Mapper budget per point. */
+    SearchOptions search;
+};
+
+/**
+ * Run the sweep for one layer.  Each point re-runs the mapper (a new
+ * architecture invalidates old mappings).
+ *
+ * @param spec Sweep configuration (make_arch must be set).
+ * @param layer Workload layer.
+ * @param registry Estimator registry.
+ */
+std::vector<SweepPoint> runSweep(const SweepSpec &spec,
+                                 const LayerShape &layer,
+                                 const EnergyRegistry &registry);
+
+/**
+ * Render a sweep as a two-column table (value, pJ/MAC) plus
+ * utilization, for quick printing.
+ */
+std::string sweepTable(const std::string &param_name,
+                       const std::vector<SweepPoint> &points);
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_CORE_SWEEP_HPP

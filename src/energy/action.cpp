@@ -1,0 +1,21 @@
+#include "energy/action.hpp"
+
+#include "common/error.hpp"
+
+namespace ploop {
+
+const char *
+actionName(Action a)
+{
+    switch (a) {
+      case Action::Read: return "read";
+      case Action::Write: return "write";
+      case Action::Update: return "update";
+      case Action::Convert: return "convert";
+      case Action::Compute: return "compute";
+      case Action::Power: return "power";
+    }
+    panic("actionName: bad action");
+}
+
+} // namespace ploop

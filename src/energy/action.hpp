@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Component actions.  Energy estimators resolve (component class,
+ * action, attributes) -> energy per action, in the Accelergy style.
+ */
+
+#ifndef PHOTONLOOP_ENERGY_ACTION_HPP
+#define PHOTONLOOP_ENERGY_ACTION_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace ploop {
+
+/** Actions a component may be charged for. */
+enum class Action : std::uint8_t {
+    Read = 0,    ///< Read one word from a storage component.
+    Write = 1,   ///< Write one word to a storage component.
+    Update = 2,  ///< Read-modify-write one word (partial sums).
+    Convert = 3, ///< Move one word across a domain boundary.
+    Compute = 4, ///< One MAC.
+    Power = 5,   ///< Static power in watts (not an energy).
+};
+
+/** Number of actions. */
+constexpr unsigned kNumActions = 6;
+
+/** Action name ("read", "write", ...). */
+const char *actionName(Action a);
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_ENERGY_ACTION_HPP

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Analog-to-digital converter (AE/DE) energy model based on the
+ * Walden figure of merit: E_conv = FoM * 2^bits.  This captures the
+ * exponential resolution dependence that makes ADCs the dominant
+ * converter cost in CiM and photonic systems (paper refs [8], [9]).
+ *
+ * Attributes:
+ *  - resolution      bits (required)
+ *  - fom_j_per_step  Walden FoM, joules per conversion step
+ *                    (default 10 fJ; scaling profiles override)
+ *  - area_per_step   area per conversion step, m^2 (default 6 um^2)
+ */
+
+#ifndef PHOTONLOOP_ENERGY_ADC_MODEL_HPP
+#define PHOTONLOOP_ENERGY_ADC_MODEL_HPP
+
+#include "energy/estimator.hpp"
+
+namespace ploop {
+
+/** See file comment. */
+class AdcModel : public Estimator
+{
+  public:
+    std::string klass() const override { return "adc"; }
+    bool supports(Action action) const override;
+    double energy(Action action,
+                  const Attributes &attrs) const override;
+    double area(const Attributes &attrs) const override;
+};
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_ENERGY_ADC_MODEL_HPP

@@ -1,0 +1,36 @@
+#include "energy/dac_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace ploop {
+
+bool
+DacModel::supports(Action action) const
+{
+    return action == Action::Convert;
+}
+
+double
+DacModel::energy(Action action, const Attributes &attrs) const
+{
+    fatalIf(!supports(action),
+            std::string("dac does not support action ") +
+                actionName(action));
+    double bits = attrs.get("resolution");
+    double fom = attrs.getOr("fom_j_per_step", 2.5_fJ);
+    return fom * std::pow(2.0, bits);
+}
+
+double
+DacModel::area(const Attributes &attrs) const
+{
+    double bits = attrs.get("resolution");
+    double area_per_step =
+        attrs.getOr("area_per_step", 1.5 * units::square_micrometer);
+    return area_per_step * std::pow(2.0, bits);
+}
+
+} // namespace ploop

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Digital-to-analog converter (DE/AE) energy model.  DACs are
+ * substantially cheaper than ADCs at the same resolution (no
+ * comparator ladder / successive approximation); we model the same
+ * exponential form with a smaller figure of merit.
+ *
+ * Attributes:
+ *  - resolution      bits (required)
+ *  - fom_j_per_step  joules per step (default 2.5 fJ; profiles
+ *                    override)
+ *  - area_per_step   area per step, m^2 (default 1.5 um^2)
+ */
+
+#ifndef PHOTONLOOP_ENERGY_DAC_MODEL_HPP
+#define PHOTONLOOP_ENERGY_DAC_MODEL_HPP
+
+#include "energy/estimator.hpp"
+
+namespace ploop {
+
+/** See file comment. */
+class DacModel : public Estimator
+{
+  public:
+    std::string klass() const override { return "dac"; }
+    bool supports(Action action) const override;
+    double energy(Action action,
+                  const Attributes &attrs) const override;
+    double area(const Attributes &attrs) const override;
+};
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_ENERGY_DAC_MODEL_HPP

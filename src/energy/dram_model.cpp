@@ -1,0 +1,36 @@
+#include "energy/dram_model.hpp"
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace ploop {
+
+bool
+DramModel::supports(Action action) const
+{
+    return action == Action::Read || action == Action::Write ||
+           action == Action::Update;
+}
+
+double
+DramModel::energy(Action action, const Attributes &attrs) const
+{
+    fatalIf(!supports(action),
+            std::string("dram does not support action ") +
+                actionName(action));
+    double word_bits = attrs.get("word_bits");
+    double e_bit = attrs.getOr("energy_per_bit", 12.5_pJ);
+    double per_word = e_bit * word_bits;
+    // Reads and writes cost the same at this abstraction; updates are
+    // a read plus a write.
+    return action == Action::Update ? 2.0 * per_word : per_word;
+}
+
+double
+DramModel::area(const Attributes &) const
+{
+    // Off-chip: does not count toward accelerator area.
+    return 0.0;
+}
+
+} // namespace ploop

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Off-chip DRAM energy model: constant energy per bit transferred
+ * (activation + I/O amortized), the standard Timeloop treatment.
+ *
+ * Attributes:
+ *  - word_bits        bits per word (required)
+ *  - energy_per_bit   joules per bit moved (default 12.5 pJ, DDR-class
+ *                     including PHY; LPDDR systems override lower)
+ */
+
+#ifndef PHOTONLOOP_ENERGY_DRAM_MODEL_HPP
+#define PHOTONLOOP_ENERGY_DRAM_MODEL_HPP
+
+#include "energy/estimator.hpp"
+
+namespace ploop {
+
+/** See file comment. */
+class DramModel : public Estimator
+{
+  public:
+    std::string klass() const override { return "dram"; }
+    bool supports(Action action) const override;
+    double energy(Action action,
+                  const Attributes &attrs) const override;
+    double area(const Attributes &attrs) const override;
+};
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_ENERGY_DRAM_MODEL_HPP

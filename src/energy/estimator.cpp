@@ -1,0 +1,8 @@
+#include "energy/estimator.hpp"
+
+namespace ploop {
+
+// Out-of-line destructor anchors the vtable in this translation unit.
+Estimator::~Estimator() = default;
+
+} // namespace ploop

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The estimator plug-in interface.  Each estimator models one
+ * component class ("sram", "dram", "adc", "mrr", ...) and maps
+ * (action, attributes) to energy per action (joules; for
+ * Action::Power, watts) and attributes to area (square meters).
+ *
+ * Estimators are deliberately analytical and closed-form, in the
+ * Accelergy tradition: they capture first-order scaling (with
+ * capacity, resolution, fanout, ...) with published reference points,
+ * not SPICE-level detail.
+ */
+
+#ifndef PHOTONLOOP_ENERGY_ESTIMATOR_HPP
+#define PHOTONLOOP_ENERGY_ESTIMATOR_HPP
+
+#include <memory>
+#include <string>
+
+#include "arch/component.hpp"
+#include "energy/action.hpp"
+
+namespace ploop {
+
+/** Base class for component energy/area models. */
+class Estimator
+{
+  public:
+    virtual ~Estimator();
+
+    /** The component class this estimator serves. */
+    virtual std::string klass() const = 0;
+
+    /** True if @p action is meaningful for this component class. */
+    virtual bool supports(Action action) const = 0;
+
+    /**
+     * Energy per action in joules (watts for Action::Power).
+     *
+     * @param action The action performed.
+     * @param attrs Component attributes (class-specific keys).
+     */
+    virtual double energy(Action action,
+                          const Attributes &attrs) const = 0;
+
+    /** Component area in square meters. */
+    virtual double area(const Attributes &attrs) const = 0;
+};
+
+using EstimatorPtr = std::unique_ptr<Estimator>;
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_ENERGY_ESTIMATOR_HPP

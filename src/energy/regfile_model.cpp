@@ -1,0 +1,58 @@
+#include "energy/regfile_model.hpp"
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace ploop {
+
+bool
+RegfileModel::supports(Action action) const
+{
+    return action == Action::Read || action == Action::Write ||
+           action == Action::Update;
+}
+
+double
+RegfileModel::energy(Action action, const Attributes &attrs) const
+{
+    fatalIf(!supports(action),
+            std::string("regfile does not support action ") +
+                actionName(action));
+    double word_bits = attrs.get("word_bits");
+    double e_bit = attrs.getOr("energy_per_bit", 1.5_fJ);
+    double per_access = word_bits * e_bit;
+    return action == Action::Update ? 2.0 * per_access : per_access;
+}
+
+double
+RegfileModel::area(const Attributes &attrs) const
+{
+    double word_bits = attrs.get("word_bits");
+    double capacity_words = attrs.getOr("capacity_words", 16.0);
+    double area_per_bit =
+        attrs.getOr("area_per_bit", 1.2 * units::square_micrometer);
+    return word_bits * capacity_words * area_per_bit;
+}
+
+bool
+DigitalMacModel::supports(Action action) const
+{
+    return action == Action::Compute;
+}
+
+double
+DigitalMacModel::energy(Action action, const Attributes &attrs) const
+{
+    fatalIf(!supports(action),
+            std::string("mac does not support action ") +
+                actionName(action));
+    return attrs.getOr("energy_per_mac", 0.25_pJ);
+}
+
+double
+DigitalMacModel::area(const Attributes &attrs) const
+{
+    return attrs.getOr("area", 500.0 * units::square_micrometer);
+}
+
+} // namespace ploop

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Small register-file / latch-array model for the innermost operand
+ * registers.  Flat per-bit energy (no array-size scaling: these are
+ * tens of words).
+ *
+ * Attributes:
+ *  - word_bits       bits per word (required)
+ *  - energy_per_bit  joules per bit per access (default 1.5 fJ)
+ *  - capacity_words  used only for area (default 16)
+ *  - area_per_bit    m^2 per bit (default 1.2 um^2, flop-based)
+ */
+
+#ifndef PHOTONLOOP_ENERGY_REGFILE_MODEL_HPP
+#define PHOTONLOOP_ENERGY_REGFILE_MODEL_HPP
+
+#include "energy/estimator.hpp"
+
+namespace ploop {
+
+/** See file comment. */
+class RegfileModel : public Estimator
+{
+  public:
+    std::string klass() const override { return "regfile"; }
+    bool supports(Action action) const override;
+    double energy(Action action,
+                  const Attributes &attrs) const override;
+    double area(const Attributes &attrs) const override;
+};
+
+/**
+ * Digital MAC unit model (used by electrical baselines and as the
+ * default compute class).
+ *
+ * Attributes:
+ *  - energy_per_mac  joules per MAC (default 0.25 pJ, 8-bit @ ~28nm)
+ *  - area            m^2 per MAC unit (default 500 um^2)
+ */
+class DigitalMacModel : public Estimator
+{
+  public:
+    std::string klass() const override { return "mac"; }
+    bool supports(Action action) const override;
+    double energy(Action action,
+                  const Attributes &attrs) const override;
+    double area(const Attributes &attrs) const override;
+};
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_ENERGY_REGFILE_MODEL_HPP

@@ -1,0 +1,91 @@
+#include "energy/registry.hpp"
+
+#include "common/error.hpp"
+#include "energy/adc_model.hpp"
+#include "energy/dac_model.hpp"
+#include "energy/dram_model.hpp"
+#include "energy/regfile_model.hpp"
+#include "energy/sram_model.hpp"
+#include "energy/wire_model.hpp"
+#include "photonics/laser.hpp"
+#include "photonics/mrr.hpp"
+#include "photonics/mzm.hpp"
+#include "photonics/photodiode.hpp"
+#include "photonics/star_coupler.hpp"
+#include "photonics/waveguide.hpp"
+
+namespace ploop {
+
+void
+EnergyRegistry::registerEstimator(EstimatorPtr estimator)
+{
+    fatalIf(!estimator, "null estimator");
+    std::string klass = estimator->klass();
+    fatalIf(klass.empty(), "estimator has empty class name");
+    estimators_[klass] = std::move(estimator);
+}
+
+bool
+EnergyRegistry::has(const std::string &klass) const
+{
+    return estimators_.count(klass) != 0;
+}
+
+const Estimator &
+EnergyRegistry::lookup(const std::string &klass) const
+{
+    auto it = estimators_.find(klass);
+    if (it == estimators_.end())
+        fatal("no estimator registered for component class '" + klass +
+              "'");
+    return *it->second;
+}
+
+double
+EnergyRegistry::energy(const std::string &klass, Action action,
+                       const Attributes &attrs) const
+{
+    return lookup(klass).energy(action, attrs);
+}
+
+double
+EnergyRegistry::area(const std::string &klass,
+                     const Attributes &attrs) const
+{
+    return lookup(klass).area(attrs);
+}
+
+std::vector<std::string>
+EnergyRegistry::classes() const
+{
+    std::vector<std::string> out;
+    out.reserve(estimators_.size());
+    for (const auto &[k, v] : estimators_)
+        out.push_back(k);
+    return out;
+}
+
+EnergyRegistry
+makeDefaultRegistry()
+{
+    EnergyRegistry reg;
+    // Electrical.
+    reg.registerEstimator(std::make_unique<SramModel>());
+    reg.registerEstimator(std::make_unique<RegfileModel>());
+    reg.registerEstimator(std::make_unique<DigitalMacModel>());
+    reg.registerEstimator(std::make_unique<DramModel>());
+    reg.registerEstimator(std::make_unique<AdcModel>());
+    reg.registerEstimator(std::make_unique<DacModel>());
+    reg.registerEstimator(std::make_unique<WireModel>());
+    // Photonic.
+    reg.registerEstimator(std::make_unique<MrrModel>());
+    reg.registerEstimator(std::make_unique<MzmModel>());
+    reg.registerEstimator(std::make_unique<PhotodiodeModel>());
+    reg.registerEstimator(std::make_unique<StarCouplerModel>());
+    reg.registerEstimator(std::make_unique<WaveguideModel>());
+    reg.registerEstimator(std::make_unique<PhotonicMacModel>());
+    reg.registerEstimator(std::make_unique<LaserModel>());
+    return reg;
+}
+
+} // namespace ploop

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The estimator registry: resolves component classes to estimators,
+ * in the Accelergy plug-in style.  makeDefaultRegistry() installs all
+ * built-in electrical and photonic models; users can register their
+ * own estimators (see examples/custom_component.cpp).
+ */
+
+#ifndef PHOTONLOOP_ENERGY_REGISTRY_HPP
+#define PHOTONLOOP_ENERGY_REGISTRY_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "energy/estimator.hpp"
+
+namespace ploop {
+
+/** Maps component-class names to estimators. */
+class EnergyRegistry
+{
+  public:
+    EnergyRegistry() = default;
+
+    // Movable, not copyable (owns estimators).
+    EnergyRegistry(EnergyRegistry &&) = default;
+    EnergyRegistry &operator=(EnergyRegistry &&) = default;
+    EnergyRegistry(const EnergyRegistry &) = delete;
+    EnergyRegistry &operator=(const EnergyRegistry &) = delete;
+
+    /**
+     * Register an estimator; replaces any previous estimator for the
+     * same class (so users can override built-ins).
+     */
+    void registerEstimator(EstimatorPtr estimator);
+
+    /** True if @p klass has an estimator. */
+    bool has(const std::string &klass) const;
+
+    /** Estimator for @p klass; fatal() if absent. */
+    const Estimator &lookup(const std::string &klass) const;
+
+    /** Energy per action for (@p klass, @p action, @p attrs). */
+    double energy(const std::string &klass, Action action,
+                  const Attributes &attrs) const;
+
+    /** Area for (@p klass, @p attrs). */
+    double area(const std::string &klass,
+                const Attributes &attrs) const;
+
+    /** Registered class names, sorted. */
+    std::vector<std::string> classes() const;
+
+  private:
+    std::map<std::string, EstimatorPtr> estimators_;
+};
+
+/**
+ * Registry with all built-in models: sram, regfile, dram, adc, dac,
+ * wire, mac, and the photonic set (mrr, mzm, laser, star_coupler,
+ * photodiode, waveguide, photonic_mac).
+ */
+EnergyRegistry makeDefaultRegistry();
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_ENERGY_REGISTRY_HPP

@@ -1,0 +1,59 @@
+#include "energy/sram_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace ploop {
+
+bool
+SramModel::supports(Action action) const
+{
+    return action == Action::Read || action == Action::Write ||
+           action == Action::Update;
+}
+
+double
+SramModel::sizeScale(double capacity_bits)
+{
+    // Reference: 64 KiB array.  Quarter-power growth approximates the
+    // bitline/wordline wire-length growth of banked arrays.
+    constexpr double ref_bits = 64.0 * 1024 * 8;
+    double scale = std::pow(capacity_bits / ref_bits, 0.25);
+    return scale < 0.5 ? 0.5 : scale;
+}
+
+double
+SramModel::energy(Action action, const Attributes &attrs) const
+{
+    fatalIf(!supports(action),
+            std::string("sram does not support action ") +
+                actionName(action));
+    double word_bits = attrs.get("word_bits");
+    double capacity_words = attrs.getOr("capacity_words", 4096.0);
+    double e_bit = attrs.getOr("energy_per_bit", 15.0_fJ);
+    double write_factor = attrs.getOr("write_factor", 1.1);
+
+    double read = e_bit * word_bits *
+                  sizeScale(capacity_words * word_bits);
+    switch (action) {
+      case Action::Read: return read;
+      case Action::Write: return read * write_factor;
+      case Action::Update: return read * (1.0 + write_factor);
+      default: break;
+    }
+    panic("sram energy: unreachable");
+}
+
+double
+SramModel::area(const Attributes &attrs) const
+{
+    double word_bits = attrs.get("word_bits");
+    double capacity_words = attrs.getOr("capacity_words", 4096.0);
+    double area_per_bit =
+        attrs.getOr("area_per_bit", 0.3 * units::square_micrometer);
+    return capacity_words * word_bits * area_per_bit;
+}
+
+} // namespace ploop

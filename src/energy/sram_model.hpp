@@ -1,0 +1,41 @@
+/**
+ * @file
+ * SRAM buffer energy/area model.
+ *
+ * First-order CACTI-like scaling: read energy grows with word width
+ * and (weakly) with array capacity via longer bitlines/wordlines.
+ *
+ * Attributes:
+ *  - word_bits        bits per accessed word (required)
+ *  - capacity_words   array capacity in words (default 4096)
+ *  - energy_per_bit   base read energy per bit at the 64 KiB reference
+ *                     size, joules (default 15 fJ)
+ *  - write_factor     write energy relative to read (default 1.1)
+ *  - area_per_bit     cell+overhead area per bit, m^2 (default
+ *                     0.3 um^2)
+ */
+
+#ifndef PHOTONLOOP_ENERGY_SRAM_MODEL_HPP
+#define PHOTONLOOP_ENERGY_SRAM_MODEL_HPP
+
+#include "energy/estimator.hpp"
+
+namespace ploop {
+
+/** See file comment. */
+class SramModel : public Estimator
+{
+  public:
+    std::string klass() const override { return "sram"; }
+    bool supports(Action action) const override;
+    double energy(Action action,
+                  const Attributes &attrs) const override;
+    double area(const Attributes &attrs) const override;
+
+    /** Capacity-dependent scale factor ((bits / 512Kib)^0.25, >=0.5). */
+    static double sizeScale(double capacity_bits);
+};
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_ENERGY_SRAM_MODEL_HPP

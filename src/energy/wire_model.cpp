@@ -1,0 +1,37 @@
+#include "energy/wire_model.hpp"
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace ploop {
+
+bool
+WireModel::supports(Action action) const
+{
+    // Wires move words; "read" doubles as "transfer one word", and
+    // wires can also appear inside converter chains (e.g. an AE
+    // analog distribution wire), charged as "convert".
+    return action == Action::Read || action == Action::Write ||
+           action == Action::Convert;
+}
+
+double
+WireModel::energy(Action action, const Attributes &attrs) const
+{
+    fatalIf(!supports(action),
+            std::string("wire does not support action ") +
+                actionName(action));
+    double word_bits = attrs.get("word_bits");
+    double length_mm = attrs.getOr("length_mm", 1.0);
+    double e_bit_mm = attrs.getOr("energy_per_bit_mm", 50.0_fJ);
+    return word_bits * length_mm * e_bit_mm;
+}
+
+double
+WireModel::area(const Attributes &) const
+{
+    // Routing area is accounted in the components it connects.
+    return 0.0;
+}
+
+} // namespace ploop

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * On-chip electrical wire/link energy model: energy per bit per mm
+ * of traversal.  Used for the digital NoC between buffers.
+ *
+ * Attributes:
+ *  - word_bits          bits per word moved (required)
+ *  - length_mm          traversal length in mm (default 1.0)
+ *  - energy_per_bit_mm  joules per bit per mm (default 50 fJ)
+ */
+
+#ifndef PHOTONLOOP_ENERGY_WIRE_MODEL_HPP
+#define PHOTONLOOP_ENERGY_WIRE_MODEL_HPP
+
+#include "energy/estimator.hpp"
+
+namespace ploop {
+
+/** See file comment. */
+class WireModel : public Estimator
+{
+  public:
+    std::string klass() const override { return "wire"; }
+    bool supports(Action action) const override;
+    double energy(Action action,
+                  const Attributes &attrs) const override;
+    double area(const Attributes &attrs) const override;
+};
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_ENERGY_WIRE_MODEL_HPP

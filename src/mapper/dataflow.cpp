@@ -1,0 +1,52 @@
+#include "mapper/dataflow.hpp"
+
+#include "common/error.hpp"
+
+namespace ploop {
+
+const char *
+dataflowName(Dataflow df)
+{
+    switch (df) {
+      case Dataflow::WeightStationary: return "weight-stationary";
+      case Dataflow::OutputStationary: return "output-stationary";
+      case Dataflow::InputStationary: return "input-stationary";
+    }
+    panic("dataflowName: bad dataflow");
+}
+
+std::array<Dataflow, 3>
+allDataflows()
+{
+    return {Dataflow::WeightStationary, Dataflow::OutputStationary,
+            Dataflow::InputStationary};
+}
+
+std::array<Dim, kNumDims>
+dataflowOrder(Dataflow df)
+{
+    switch (df) {
+      case Dataflow::WeightStationary:
+        // Output/batch loops innermost: the weight tile stays put.
+        return {Dim::Q, Dim::P, Dim::N, Dim::C, Dim::K, Dim::R,
+                Dim::S};
+      case Dataflow::OutputStationary:
+        // Reduction loops innermost: psums accumulate in place.
+        return {Dim::R, Dim::S, Dim::C, Dim::Q, Dim::P, Dim::K,
+                Dim::N};
+      case Dataflow::InputStationary:
+        // Filter loop innermost: the input tile is re-consumed.
+        return {Dim::K, Dim::R, Dim::S, Dim::Q, Dim::P, Dim::C,
+                Dim::N};
+    }
+    panic("dataflowOrder: bad dataflow");
+}
+
+Mapping
+presetMapping(const ArchSpec &arch, const LayerShape &layer,
+              Dataflow df)
+{
+    return Mapspace(arch, layer).greedySeedOrdered(dataflowOrder(df));
+}
+
+} // namespace ploop

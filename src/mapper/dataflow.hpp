@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Canonical dataflow presets: deterministic mappings expressing the
+ * classic accelerator taxonomies (weight- / output- / input-
+ * stationary) on any PhotonLoop architecture.  Presets are both a
+ * user convenience (reproducible, explainable mappings) and mapper
+ * seeds that often beat random restarts.
+ *
+ * A dataflow here is a temporal-placement priority: the dims whose
+ * loops sit innermost determine which tensor stays resident at the
+ * inner levels.  Keeping P/Q/N innermost reuses weights
+ * (weight-stationary); keeping C/R/S innermost accumulates outputs in
+ * place (output-stationary); keeping K innermost reuses inputs
+ * (input-stationary).
+ */
+
+#ifndef PHOTONLOOP_MAPPER_DATAFLOW_HPP
+#define PHOTONLOOP_MAPPER_DATAFLOW_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "mapper/mapspace.hpp"
+
+namespace ploop {
+
+/** The classic dataflow taxonomy. */
+enum class Dataflow : std::uint8_t {
+    WeightStationary,
+    OutputStationary,
+    InputStationary,
+};
+
+/** Dataflow name ("weight-stationary", ...). */
+const char *dataflowName(Dataflow df);
+
+/** All dataflows. */
+std::array<Dataflow, 3> allDataflows();
+
+/**
+ * The innermost-first temporal placement priority that realizes
+ * @p df.
+ */
+std::array<Dim, kNumDims> dataflowOrder(Dataflow df);
+
+/**
+ * Deterministic mapping implementing dataflow @p df for (arch,
+ * layer): spatial fanouts filled as in Mapspace::greedySeed(), then
+ * temporal residues placed innermost-first in dataflowOrder(df),
+ * overflowing outward on capacity.  Always valid on architectures
+ * with a capacity-unbounded outermost level.
+ */
+Mapping presetMapping(const ArchSpec &arch, const LayerShape &layer,
+                      Dataflow df);
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_MAPPER_DATAFLOW_HPP

@@ -1,0 +1,70 @@
+#include "mapper/factorize.hpp"
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace ploop {
+
+std::vector<std::uint64_t>
+greedyCappedSplit(std::uint64_t bound,
+                  const std::vector<std::uint64_t> &caps)
+{
+    fatalIf(bound == 0, "cannot split bound 0");
+    fatalIf(caps.empty(), "greedyCappedSplit needs >= 1 part");
+    std::vector<std::uint64_t> out(caps.size(), 1);
+    std::uint64_t rem = bound;
+    for (std::size_t i = 0; i + 1 < caps.size(); ++i) {
+        std::uint64_t f = std::min(caps[i], rem);
+        f = std::max<std::uint64_t>(f, 1);
+        out[i] = f;
+        rem = ceilDiv(rem, f);
+    }
+    out.back() = rem;
+    return out;
+}
+
+namespace {
+
+void
+splitsRec(std::uint64_t rem, unsigned parts,
+          std::vector<std::uint64_t> &cur,
+          std::vector<std::vector<std::uint64_t>> &out)
+{
+    if (parts == 1) {
+        cur.push_back(rem);
+        out.push_back(cur);
+        cur.pop_back();
+        return;
+    }
+    for (std::uint64_t d : divisors(rem)) {
+        cur.push_back(d);
+        splitsRec(ceilDiv(rem, d), parts - 1, cur, out);
+        cur.pop_back();
+    }
+}
+
+} // namespace
+
+std::vector<std::vector<std::uint64_t>>
+divisorSplits(std::uint64_t bound, unsigned parts)
+{
+    fatalIf(parts == 0, "divisorSplits needs >= 1 part");
+    std::vector<std::vector<std::uint64_t>> out;
+    std::vector<std::uint64_t> cur;
+    splitsRec(bound, parts, cur, out);
+    return out;
+}
+
+bool
+moveFactor(std::uint64_t &from, std::uint64_t &to, std::uint64_t ratio)
+{
+    fatalIf(ratio < 2, "moveFactor ratio must be >= 2");
+    if (from <= 1)
+        return false;
+    std::uint64_t r = std::min(ratio, from);
+    from = ceilDiv(from, r);
+    to *= r;
+    return true;
+}
+
+} // namespace ploop

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Factor-manipulation helpers for mapping search.  PhotonLoop allows
+ * ceiling (imperfect) factorization: per-level factors need not divide
+ * the layer bound, they only need to cover it; slack costs utilization
+ * (Ruby-style imperfect factorization, paper ref [4]).
+ */
+
+#ifndef PHOTONLOOP_MAPPER_FACTORIZE_HPP
+#define PHOTONLOOP_MAPPER_FACTORIZE_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace ploop {
+
+/**
+ * Split @p bound into @p parts ceiling-factors using per-part caps:
+ * part i gets min(cap[i], remaining), remaining = ceil(remaining /
+ * part).  Parts are filled in order; the LAST part absorbs whatever
+ * remains (uncapped).
+ *
+ * @param bound Dim bound to cover (>= 1).
+ * @param caps Per-part caps; caps.size() defines the part count.
+ * @return Factors, product >= bound.
+ */
+std::vector<std::uint64_t>
+greedyCappedSplit(std::uint64_t bound,
+                  const std::vector<std::uint64_t> &caps);
+
+/**
+ * All ways to split @p bound into @p parts ceiling-factors drawn from
+ * divisors of bound (plus the ceil remainder in the last part).  Used
+ * by exhaustive search on small dims.
+ */
+std::vector<std::vector<std::uint64_t>>
+divisorSplits(std::uint64_t bound, unsigned parts);
+
+/**
+ * Move a factor of roughly @p ratio from @p from to @p to (both >= 1):
+ * from' = ceil(from / ratio), to' = to * ratio.  Returns false when
+ * from == 1 (nothing to move).
+ */
+bool moveFactor(std::uint64_t &from, std::uint64_t &to,
+                std::uint64_t ratio);
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_MAPPER_FACTORIZE_HPP

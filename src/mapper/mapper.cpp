@@ -1,0 +1,65 @@
+#include "mapper/mapper.hpp"
+
+#include "common/error.hpp"
+#include "mapper/dataflow.hpp"
+
+namespace ploop {
+
+Mapper::Mapper(const Evaluator &evaluator, SearchOptions options)
+    : evaluator_(evaluator), options_(options)
+{}
+
+MapperResult
+Mapper::search(const LayerShape &layer) const
+{
+    Mapspace mapspace(evaluator_.arch(), layer);
+    SearchStats stats;
+
+    // Collect seeds; at least the outer seed must be valid.
+    std::optional<Candidate> best;
+    double best_val = 0.0;
+    auto consider = [&](const Mapping &mapping) {
+        if (!evaluator_.isValidMapping(layer, mapping)) {
+            ++stats.invalid;
+            return;
+        }
+        EvalResult result = evaluator_.evaluate(layer, mapping);
+        ++stats.evaluated;
+        double val = objectiveValue(options_.objective, result);
+        if (!best || val < best_val) {
+            best_val = val;
+            best = Candidate(mapping, std::move(result));
+        }
+    };
+
+    consider(mapspace.greedySeed());
+    consider(mapspace.outerSeed());
+    // The classic dataflows make strong seeds: one of them is usually
+    // near-optimal for the dominant tensor of the layer.
+    for (Dataflow df : allDataflows())
+        consider(presetMapping(evaluator_.arch(), layer, df));
+    fatalIf(!best,
+            "no valid seed mapping for layer '" + layer.name() +
+                "'; is the outermost level capacity-unbounded?");
+
+    // Random restarts.
+    if (options_.random_samples > 0) {
+        auto rnd = randomSearch(evaluator_, layer, mapspace, options_,
+                                stats);
+        if (rnd) {
+            double val = objectiveValue(options_.objective, rnd->second);
+            if (val < best_val) {
+                best_val = val;
+                best = std::move(rnd);
+            }
+        }
+    }
+
+    // Refine the incumbent.
+    Candidate refined = hillClimb(evaluator_, layer, std::move(*best),
+                                  options_, stats);
+    return MapperResult(std::move(refined.first),
+                        std::move(refined.second), stats);
+}
+
+} // namespace ploop

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The Mapper: finds a good mapping for one layer on one architecture
+ * by combining a deterministic greedy seed, hill climbing, and random
+ * restarts.  It is the "mapper" of the paper's §II, which "finds
+ * mappings that leverage available reuse to minimize energy-intensive
+ * conversions and DRAM accesses".
+ */
+
+#ifndef PHOTONLOOP_MAPPER_MAPPER_HPP
+#define PHOTONLOOP_MAPPER_MAPPER_HPP
+
+#include "mapper/search.hpp"
+#include "model/evaluator.hpp"
+
+namespace ploop {
+
+/** Mapper output: the chosen mapping, its evaluation, and stats. */
+struct MapperResult
+{
+    Mapping mapping;
+    EvalResult result;
+    SearchStats stats;
+
+    MapperResult(Mapping m, EvalResult r, SearchStats s)
+        : mapping(std::move(m)), result(std::move(r)), stats(s)
+    {}
+};
+
+/** See file comment. */
+class Mapper
+{
+  public:
+    /**
+     * @param evaluator Evaluator for the target architecture (must
+     *                  outlive the mapper).
+     * @param options Search configuration.
+     */
+    explicit Mapper(const Evaluator &evaluator,
+                    SearchOptions options = {});
+
+    /** Search options in use. */
+    const SearchOptions &options() const { return options_; }
+
+    /**
+     * Find a mapping for @p layer.  Always succeeds on sane
+     * architectures: the outer seed (all-temporal at the outermost
+     * level) is valid whenever the outermost level is
+     * capacity-unbounded.
+     */
+    MapperResult search(const LayerShape &layer) const;
+
+  private:
+    const Evaluator &evaluator_;
+    SearchOptions options_;
+};
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_MAPPER_MAPPER_HPP

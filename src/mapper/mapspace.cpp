@@ -1,0 +1,147 @@
+#include "mapper/mapspace.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "mapping/validate.hpp"
+#include "model/tile_analysis.hpp"
+
+namespace ploop {
+
+Mapspace::Mapspace(const ArchSpec &arch, const LayerShape &layer)
+    : arch_(arch), layer_(layer)
+{}
+
+void
+Mapspace::fillSpatial(Mapping &map) const
+{
+    // Inner to outer: give each boundary as much spatial unrolling as
+    // its caps and the remaining bound allow.
+    std::array<std::uint64_t, kNumDims> rem{};
+    for (Dim d : kAllDims)
+        rem[dimIndex(d)] = layer_.bound(d);
+    for (std::size_t l = 0; l < arch_.numLevels(); ++l) {
+        const SpatialFanout &fanout = arch_.level(l).fanout;
+        std::uint64_t total = 1;
+        std::uint64_t total_cap =
+            fanout.max_total == 0 ? UINT64_MAX : fanout.max_total;
+        for (const auto &[d, cap] : fanout.dim_caps) {
+            std::uint64_t want =
+                std::min<std::uint64_t>(cap, rem[dimIndex(d)]);
+            // Respect the total cap.
+            while (want > 1 && total * want > total_cap)
+                --want;
+            map.level(l).setS(d, want);
+            total *= want;
+            rem[dimIndex(d)] = ceilDiv(rem[dimIndex(d)], want);
+        }
+    }
+}
+
+std::uint64_t
+Mapspace::residue(const Mapping &map, Dim d) const
+{
+    return ceilDiv(layer_.bound(d), map.coverage(d));
+}
+
+Mapping
+Mapspace::outerSeed() const
+{
+    Mapping map(arch_.numLevels());
+    fillSpatial(map);
+    LevelMapping &outer = map.level(arch_.numLevels() - 1);
+    for (Dim d : kAllDims)
+        outer.setT(d, residue(map, d) * outer.t(d));
+    return map;
+}
+
+Mapping
+Mapspace::greedySeed() const
+{
+    // Default priority: reuse-heavy dims (P, Q keep weights resident;
+    // C, K keep activations resident) land innermost first.
+    return greedySeedOrdered({Dim::Q, Dim::P, Dim::C, Dim::K, Dim::R,
+                              Dim::S, Dim::N});
+}
+
+Mapping
+Mapspace::greedySeedOrdered(
+    const std::array<Dim, kNumDims> &order) const
+{
+    Mapping map(arch_.numLevels());
+    fillSpatial(map);
+    // Place each dim's temporal residue as far in as capacities
+    // allow, in the given priority order.
+    for (Dim d : order) {
+        std::uint64_t rem = residue(map, d);
+        if (rem == 1)
+            continue;
+        bool placed = false;
+        for (std::size_t l = 0; l < arch_.numLevels() && !placed; ++l) {
+            // Try to place the full residue here; shrink while the
+            // capacity check fails.
+            std::uint64_t original = map.level(l).t(d);
+            for (std::uint64_t f = rem; f >= 2; f = f / 2) {
+                map.level(l).setT(d, original * f);
+                TileAnalysis tiles(arch_, layer_, map);
+                if (tiles.fitsCapacities()) {
+                    rem = ceilDiv(rem, f);
+                    placed = (rem == 1);
+                    break;
+                }
+                map.level(l).setT(d, original);
+            }
+        }
+        if (rem > 1) {
+            // Overflow to the outermost level (capacity-unbounded in
+            // sane architectures: DRAM).
+            LevelMapping &outer = map.level(arch_.numLevels() - 1);
+            outer.setT(d, outer.t(d) * rem);
+        }
+    }
+    return map;
+}
+
+Mapping
+Mapspace::randomSample(std::mt19937_64 &rng) const
+{
+    Mapping map(arch_.numLevels());
+    const std::size_t nlevels = arch_.numLevels();
+
+    // Random spatial: for each capped dim, a random factor in
+    // [1, cap].
+    for (std::size_t l = 0; l < nlevels; ++l) {
+        const SpatialFanout &fanout = arch_.level(l).fanout;
+        std::uint64_t total = 1;
+        std::uint64_t total_cap =
+            fanout.max_total == 0 ? UINT64_MAX : fanout.max_total;
+        for (const auto &[d, cap] : fanout.dim_caps) {
+            std::uint64_t hi = std::min<std::uint64_t>(
+                cap, layer_.bound(d));
+            std::uniform_int_distribution<std::uint64_t> dist(1, hi);
+            std::uint64_t f = dist(rng);
+            while (f > 1 && total * f > total_cap)
+                --f;
+            map.level(l).setS(d, f);
+            total *= f;
+        }
+    }
+
+    // Random temporal: split each residue across levels by a random
+    // walk from inner to outer.
+    for (Dim d : kAllDims) {
+        std::uint64_t rem = residue(map, d);
+        for (std::size_t l = 0; l + 1 < nlevels && rem > 1; ++l) {
+            std::uniform_int_distribution<std::uint64_t> dist(1, rem);
+            std::uint64_t f = dist(rng);
+            map.level(l).setT(d, map.level(l).t(d) * f);
+            rem = ceilDiv(rem, f);
+        }
+        LevelMapping &outer = map.level(nlevels - 1);
+        outer.setT(d, outer.t(d) * rem);
+    }
+    return map;
+}
+
+} // namespace ploop

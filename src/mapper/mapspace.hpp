@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Mapspace construction: deterministic seed mappings and random
+ * sampling of the (tiling x spatial-unrolling) space for one
+ * (arch, layer) pair.  Bypass sets and converter placements are part
+ * of the architecture, not the mapspace (as in the paper's tool).
+ */
+
+#ifndef PHOTONLOOP_MAPPER_MAPSPACE_HPP
+#define PHOTONLOOP_MAPPER_MAPSPACE_HPP
+
+#include <cstdint>
+#include <random>
+
+#include "arch/arch_spec.hpp"
+#include "mapping/mapping.hpp"
+#include "workload/layer.hpp"
+
+namespace ploop {
+
+/** Seed/sample generator for mappings. */
+class Mapspace
+{
+  public:
+    /**
+     * @param arch Architecture (must outlive the mapspace).
+     * @param layer Layer (same rule).
+     */
+    Mapspace(const ArchSpec &arch, const LayerShape &layer);
+
+    /**
+     * Deterministic greedy seed: every level's spatial fanout caps are
+     * filled inner-to-outer (maximizing parallelism and analog/optical
+     * reuse), remaining bounds become temporal loops, placed at the
+     * innermost level whose capacity accepts them, overflowing
+     * outward.
+     */
+    Mapping greedySeed() const;
+
+    /**
+     * greedySeed() with an explicit innermost-first temporal
+     * placement priority (used by the dataflow presets).
+     */
+    Mapping greedySeedOrdered(
+        const std::array<Dim, kNumDims> &order) const;
+
+    /**
+     * Trivial seed: spatial filled as in greedySeed, all temporal
+     * residue at the outermost level.  Always capacity-valid.
+     */
+    Mapping outerSeed() const;
+
+    /** A random sample (may be capacity-invalid; caller validates). */
+    Mapping randomSample(std::mt19937_64 &rng) const;
+
+  private:
+    /** Fill spatial factors into @p map per the fanout caps. */
+    void fillSpatial(Mapping &map) const;
+
+    /** Bound residue for dim @p d after @p map's factors. */
+    std::uint64_t residue(const Mapping &map, Dim d) const;
+
+    const ArchSpec &arch_;
+    const LayerShape &layer_;
+};
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_MAPPER_MAPSPACE_HPP

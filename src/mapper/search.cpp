@@ -1,0 +1,117 @@
+#include "mapper/search.hpp"
+
+#include <random>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "common/string_util.hpp"
+#include "mapper/factorize.hpp"
+
+namespace ploop {
+
+const char *
+objectiveName(Objective o)
+{
+    switch (o) {
+      case Objective::Energy: return "energy";
+      case Objective::Delay: return "delay";
+      case Objective::Edp: return "edp";
+    }
+    panic("objectiveName: bad objective");
+}
+
+double
+objectiveValue(Objective o, const EvalResult &result)
+{
+    switch (o) {
+      case Objective::Energy: return result.totalEnergy();
+      case Objective::Delay: return result.throughput.runtime_s;
+      case Objective::Edp: return result.edp();
+    }
+    panic("objectiveValue: bad objective");
+}
+
+std::string
+SearchStats::str() const
+{
+    return strFormat("evaluated=%llu invalid=%llu",
+                     static_cast<unsigned long long>(evaluated),
+                     static_cast<unsigned long long>(invalid));
+}
+
+std::optional<Candidate>
+randomSearch(const Evaluator &evaluator, const LayerShape &layer,
+             const Mapspace &mapspace, const SearchOptions &options,
+             SearchStats &stats)
+{
+    std::mt19937_64 rng(options.seed);
+    std::optional<Candidate> best;
+    double best_val = 0.0;
+    for (unsigned i = 0; i < options.random_samples; ++i) {
+        Mapping candidate = mapspace.randomSample(rng);
+        if (!evaluator.isValidMapping(layer, candidate)) {
+            ++stats.invalid;
+            continue;
+        }
+        EvalResult result = evaluator.evaluate(layer, candidate);
+        ++stats.evaluated;
+        double val = objectiveValue(options.objective, result);
+        if (!best || val < best_val) {
+            best_val = val;
+            best = Candidate(std::move(candidate), std::move(result));
+        }
+    }
+    return best;
+}
+
+Candidate
+hillClimb(const Evaluator &evaluator, const LayerShape &layer,
+          Candidate start, const SearchOptions &options,
+          SearchStats &stats)
+{
+    Candidate best = std::move(start);
+    double best_val = objectiveValue(options.objective, best.second);
+    const std::size_t nlevels = best.first.numLevels();
+
+    for (unsigned round = 0; round < options.hill_climb_rounds;
+         ++round) {
+        bool improved = false;
+        for (Dim d : kAllDims) {
+            for (std::size_t a = 0; a < nlevels; ++a) {
+                for (std::size_t b = 0; b < nlevels; ++b) {
+                    if (a == b)
+                        continue;
+                    for (std::uint64_t ratio : {2ull, 3ull, 5ull, 7ull}) {
+                        Mapping cand = best.first;
+                        std::uint64_t from = cand.level(a).t(d);
+                        std::uint64_t to = cand.level(b).t(d);
+                        if (!moveFactor(from, to, ratio))
+                            continue;
+                        cand.level(a).setT(d, from);
+                        cand.level(b).setT(d, to);
+                        if (!evaluator.isValidMapping(layer, cand)) {
+                            ++stats.invalid;
+                            continue;
+                        }
+                        EvalResult result =
+                            evaluator.evaluate(layer, cand);
+                        ++stats.evaluated;
+                        double val = objectiveValue(options.objective,
+                                                    result);
+                        if (val < best_val) {
+                            best_val = val;
+                            best = Candidate(std::move(cand),
+                                             std::move(result));
+                            improved = true;
+                        }
+                    }
+                }
+            }
+        }
+        if (!improved)
+            break;
+    }
+    return best;
+}
+
+} // namespace ploop

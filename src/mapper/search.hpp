@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Mapping-search strategies: objective functions, random sampling and
+ * hill climbing over temporal factor placement.
+ */
+
+#ifndef PHOTONLOOP_MAPPER_SEARCH_HPP
+#define PHOTONLOOP_MAPPER_SEARCH_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "mapper/mapspace.hpp"
+#include "model/evaluator.hpp"
+
+namespace ploop {
+
+/** What the mapper minimizes. */
+enum class Objective : std::uint8_t {
+    Energy, ///< Total joules.
+    Delay,  ///< Runtime seconds.
+    Edp,    ///< Energy-delay product.
+};
+
+/** Objective name. */
+const char *objectiveName(Objective o);
+
+/** Scalar value of @p o for a result (lower is better). */
+double objectiveValue(Objective o, const EvalResult &result);
+
+/** Search knobs. */
+struct SearchOptions
+{
+    Objective objective = Objective::Energy;
+    unsigned random_samples = 200; ///< Random candidates to try.
+    unsigned hill_climb_rounds = 64; ///< Improvement sweeps.
+    std::uint64_t seed = 42;       ///< RNG seed (reproducible runs).
+};
+
+/** Search accounting. */
+struct SearchStats
+{
+    std::uint64_t evaluated = 0; ///< Mappings evaluated.
+    std::uint64_t invalid = 0;   ///< Candidates rejected as invalid.
+
+    std::string str() const;
+};
+
+/** A (mapping, result) candidate. */
+using Candidate = std::pair<Mapping, EvalResult>;
+
+/**
+ * Evaluate random samples from @p mapspace, returning the best valid
+ * candidate (if any).
+ */
+std::optional<Candidate>
+randomSearch(const Evaluator &evaluator, const LayerShape &layer,
+             const Mapspace &mapspace, const SearchOptions &options,
+             SearchStats &stats);
+
+/**
+ * Greedy local search: repeatedly try moving temporal factors between
+ * levels, keeping improving moves, until a sweep yields no
+ * improvement or the round budget is exhausted.
+ */
+Candidate hillClimb(const Evaluator &evaluator, const LayerShape &layer,
+                    Candidate start, const SearchOptions &options,
+                    SearchStats &stats);
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_MAPPER_SEARCH_HPP

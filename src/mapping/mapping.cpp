@@ -1,0 +1,122 @@
+#include "mapping/mapping.hpp"
+
+#include "arch/arch_spec.hpp"
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "workload/layer.hpp"
+
+namespace ploop {
+
+std::uint64_t
+LevelMapping::temporalProduct() const
+{
+    std::uint64_t p = 1;
+    for (auto v : temporal)
+        p *= v;
+    return p;
+}
+
+std::uint64_t
+LevelMapping::spatialProduct() const
+{
+    std::uint64_t p = 1;
+    for (auto v : spatial)
+        p *= v;
+    return p;
+}
+
+Mapping::Mapping(std::size_t num_levels)
+    : levels_(num_levels)
+{
+    fatalIf(num_levels == 0, "mapping needs >= 1 level");
+}
+
+LevelMapping &
+Mapping::level(std::size_t l)
+{
+    fatalIf(l >= levels_.size(), "mapping level out of range");
+    return levels_[l];
+}
+
+const LevelMapping &
+Mapping::level(std::size_t l) const
+{
+    fatalIf(l >= levels_.size(), "mapping level out of range");
+    return levels_[l];
+}
+
+std::uint64_t
+Mapping::coverage(Dim d) const
+{
+    std::uint64_t p = 1;
+    for (const auto &lm : levels_)
+        p *= lm.t(d) * lm.s(d);
+    return p;
+}
+
+std::uint64_t
+Mapping::totalTemporalSteps() const
+{
+    std::uint64_t p = 1;
+    for (const auto &lm : levels_)
+        p *= lm.temporalProduct();
+    return p;
+}
+
+std::uint64_t
+Mapping::totalSpatialInstances() const
+{
+    std::uint64_t p = 1;
+    for (const auto &lm : levels_)
+        p *= lm.spatialProduct();
+    return p;
+}
+
+std::uint64_t
+Mapping::extent(std::size_t l, Dim d) const
+{
+    fatalIf(l >= levels_.size(), "mapping level out of range");
+    std::uint64_t p = 1;
+    for (std::size_t m = 0; m <= l; ++m)
+        p *= levels_[m].t(d) * levels_[m].s(d);
+    return p;
+}
+
+Mapping
+Mapping::trivial(const ArchSpec &arch, const LayerShape &layer)
+{
+    Mapping map(arch.numLevels());
+    LevelMapping &outer = map.level(arch.numLevels() - 1);
+    for (Dim d : kAllDims)
+        outer.setT(d, layer.bound(d));
+    return map;
+}
+
+std::string
+Mapping::str() const
+{
+    std::string out;
+    for (std::size_t l = levels_.size(); l-- > 0;) {
+        const LevelMapping &lm = levels_[l];
+        std::string t_part, s_part;
+        for (Dim d : kAllDims) {
+            if (lm.t(d) > 1)
+                t_part += strFormat(
+                    "%s%llu ", dimName(d),
+                    static_cast<unsigned long long>(lm.t(d)));
+            if (lm.s(d) > 1)
+                s_part += strFormat(
+                    "%s%llu ", dimName(d),
+                    static_cast<unsigned long long>(lm.s(d)));
+        }
+        if (t_part.empty())
+            t_part = "- ";
+        if (s_part.empty())
+            s_part = "- ";
+        out += strFormat("  L%zu temporal[ %s] spatial[ %s]\n", l,
+                         t_part.c_str(), s_part.c_str());
+    }
+    return out;
+}
+
+} // namespace ploop

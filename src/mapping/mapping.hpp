@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Mapping data model: how one layer's loop nest is tiled (temporally)
+ * and unrolled (spatially) across the storage hierarchy.
+ *
+ * For each storage level l and dim d the mapping holds a temporal
+ * factor t[l][d] (loop trip count executed at that level) and a
+ * spatial factor s[l][d] (unrolling across the hardware instances
+ * below level l).  The product over all levels of t*s must cover
+ * (>=, via ceiling) the layer bound for every dim; over-provisioning
+ * models imperfect factorization and costs utilization.
+ *
+ * Permutations (intra-level loop orders) are recorded for
+ * reporting/round-tripping; the access-counting model uses the
+ * standard Timeloop buffer-reuse assumption, which is permutation
+ * independent (documented approximation, see DESIGN.md §7).
+ */
+
+#ifndef PHOTONLOOP_MAPPING_MAPPING_HPP
+#define PHOTONLOOP_MAPPING_MAPPING_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/dims.hpp"
+
+namespace ploop {
+
+class ArchSpec;
+class LayerShape;
+
+/** Per-level tiling factors. */
+struct LevelMapping
+{
+    /** Temporal loop trip counts, one per dim (default 1). */
+    std::array<std::uint64_t, kNumDims> temporal{1, 1, 1, 1, 1, 1, 1};
+
+    /** Spatial unrolling below this level, one per dim (default 1). */
+    std::array<std::uint64_t, kNumDims> spatial{1, 1, 1, 1, 1, 1, 1};
+
+    /** Loop order, innermost first (cosmetic; see file comment). */
+    std::array<Dim, kNumDims> permutation = kAllDims;
+
+    /** Temporal factor of @p d. */
+    std::uint64_t t(Dim d) const { return temporal[dimIndex(d)]; }
+
+    /** Spatial factor of @p d. */
+    std::uint64_t s(Dim d) const { return spatial[dimIndex(d)]; }
+
+    /** Set the temporal factor of @p d. */
+    void setT(Dim d, std::uint64_t v) { temporal[dimIndex(d)] = v; }
+
+    /** Set the spatial factor of @p d. */
+    void setS(Dim d, std::uint64_t v) { spatial[dimIndex(d)] = v; }
+
+    /** Product of all temporal factors. */
+    std::uint64_t temporalProduct() const;
+
+    /** Product of all spatial factors. */
+    std::uint64_t spatialProduct() const;
+};
+
+/** A complete mapping of one layer onto one architecture. */
+class Mapping
+{
+  public:
+    /** @param num_levels Number of storage levels (arch.numLevels()). */
+    explicit Mapping(std::size_t num_levels);
+
+    /** Number of levels. */
+    std::size_t numLevels() const { return levels_.size(); }
+
+    /** Per-level factors, 0 = innermost. */
+    LevelMapping &level(std::size_t l);
+
+    /** Per-level factors, 0 = innermost (const). */
+    const LevelMapping &level(std::size_t l) const;
+
+    /** Product over all levels of t*s for dim @p d. */
+    std::uint64_t coverage(Dim d) const;
+
+    /** Product over ALL levels and dims of temporal factors. */
+    std::uint64_t totalTemporalSteps() const;
+
+    /** Product over all levels of spatial products. */
+    std::uint64_t totalSpatialInstances() const;
+
+    /**
+     * Extent of dim @p d covered by one instance of level @p l,
+     * i.e. prod_{m <= l} t[m][d] * s[m][d].
+     */
+    std::uint64_t extent(std::size_t l, Dim d) const;
+
+    /**
+     * Trivial valid mapping: every bound as a temporal loop at the
+     * outermost level (always fits; never fast).  Useful as a search
+     * seed and in tests.
+     */
+    static Mapping trivial(const ArchSpec &arch, const LayerShape &layer);
+
+    /** Multi-line rendering of the mapping. */
+    std::string str() const;
+
+  private:
+    std::vector<LevelMapping> levels_;
+};
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_MAPPING_MAPPING_HPP

@@ -1,0 +1,36 @@
+#include "mapping/utilization.hpp"
+
+namespace ploop {
+
+double
+coverageSlack(const LayerShape &layer, const Mapping &mapping)
+{
+    double slack = 1.0;
+    for (Dim d : kAllDims) {
+        slack *= static_cast<double>(mapping.coverage(d)) /
+                 static_cast<double>(layer.bound(d));
+    }
+    return slack;
+}
+
+double
+spatialOccupancy(const ArchSpec &arch, const Mapping &mapping)
+{
+    double peak = static_cast<double>(arch.totalComputeInstances());
+    if (peak <= 0.0)
+        return 0.0;
+    return static_cast<double>(mapping.totalSpatialInstances()) / peak;
+}
+
+double
+quickUtilization(const ArchSpec &arch, const LayerShape &layer,
+                 const Mapping &mapping)
+{
+    double steps = static_cast<double>(mapping.totalTemporalSteps());
+    double peak = arch.peakMacsPerCycle();
+    if (steps <= 0.0 || peak <= 0.0)
+        return 0.0;
+    return static_cast<double>(layer.macs()) / (steps * peak);
+}
+
+} // namespace ploop

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Standalone mapping-utilization helpers (the full throughput model
+ * lives in model/throughput.hpp; these are lightweight inspection
+ * utilities used by the mapper's pruning and by tests).
+ */
+
+#ifndef PHOTONLOOP_MAPPING_UTILIZATION_HPP
+#define PHOTONLOOP_MAPPING_UTILIZATION_HPP
+
+#include "arch/arch_spec.hpp"
+#include "mapping/mapping.hpp"
+#include "workload/layer.hpp"
+
+namespace ploop {
+
+/**
+ * Coverage slack: product over dims of covered/bound (>= 1).  A slack
+ * of 1 means perfect factorization; 2 means the mapping wastes half
+ * the iteration space to ceiling.
+ */
+double coverageSlack(const LayerShape &layer, const Mapping &mapping);
+
+/**
+ * Spatial occupancy: fraction of provisioned hardware instances the
+ * mapping actually uses (mapped spatial product / architectural peak).
+ */
+double spatialOccupancy(const ArchSpec &arch, const Mapping &mapping);
+
+/**
+ * Quick utilization estimate: MACs / (temporal steps * peak *
+ * stride-ignored).  Matches the throughput model when bandwidth is
+ * unconstrained and the layer is unstrided.
+ */
+double quickUtilization(const ArchSpec &arch, const LayerShape &layer,
+                        const Mapping &mapping);
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_MAPPING_UTILIZATION_HPP

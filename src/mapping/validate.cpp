@@ -1,0 +1,67 @@
+#include "mapping/validate.hpp"
+
+#include "common/string_util.hpp"
+#include "model/tile_analysis.hpp"
+
+namespace ploop {
+
+bool
+validateMapping(const ArchSpec &arch, const LayerShape &layer,
+                const Mapping &mapping, std::string *why)
+{
+    auto fail = [&](const std::string &msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+
+    if (mapping.numLevels() != arch.numLevels()) {
+        return fail(strFormat("mapping has %zu levels, arch has %zu",
+                              mapping.numLevels(), arch.numLevels()));
+    }
+
+    // 1. Coverage.
+    for (Dim d : kAllDims) {
+        if (mapping.coverage(d) < layer.bound(d)) {
+            return fail(strFormat(
+                "dim %s covered %llu < bound %llu", dimName(d),
+                static_cast<unsigned long long>(mapping.coverage(d)),
+                static_cast<unsigned long long>(layer.bound(d))));
+        }
+    }
+
+    // 2 & 3. Spatial caps.
+    for (std::size_t l = 0; l < arch.numLevels(); ++l) {
+        const SpatialFanout &fanout = arch.level(l).fanout;
+        for (Dim d : kAllDims) {
+            std::uint64_t s = mapping.level(l).s(d);
+            if (s > fanout.dimCap(d)) {
+                return fail(strFormat(
+                    "level '%s': spatial %s=%llu exceeds cap %llu",
+                    arch.level(l).name.c_str(), dimName(d),
+                    static_cast<unsigned long long>(s),
+                    static_cast<unsigned long long>(fanout.dimCap(d))));
+            }
+        }
+        std::uint64_t total = mapping.level(l).spatialProduct();
+        std::uint64_t cap =
+            fanout.max_total == 0 ? total : fanout.max_total;
+        if (total > cap) {
+            return fail(strFormat(
+                "level '%s': spatial product %llu exceeds cap %llu",
+                arch.level(l).name.c_str(),
+                static_cast<unsigned long long>(total),
+                static_cast<unsigned long long>(cap)));
+        }
+    }
+
+    // 4. Capacities.
+    TileAnalysis tiles(arch, layer, mapping);
+    std::string cap_why;
+    if (!tiles.fitsCapacities(&cap_why))
+        return fail(cap_why);
+
+    return true;
+}
+
+} // namespace ploop

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Mapping validation: coverage of layer bounds, spatial-fanout caps,
+ * and capacity fit of kept tiles.
+ */
+
+#ifndef PHOTONLOOP_MAPPING_VALIDATE_HPP
+#define PHOTONLOOP_MAPPING_VALIDATE_HPP
+
+#include <string>
+
+#include "arch/arch_spec.hpp"
+#include "mapping/mapping.hpp"
+#include "workload/layer.hpp"
+
+namespace ploop {
+
+/**
+ * Check a mapping against a layer and architecture.
+ *
+ * Rules:
+ *  1. per dim: product over levels of t*s >= layer bound (ceiling
+ *     over-provisioning allowed; it costs utilization);
+ *  2. per level and dim: spatial factor <= the fanout's per-dim cap;
+ *  3. per level: product of spatial factors <= fanout max_total;
+ *  4. per capacity-bounded level: kept tile words fit.
+ *
+ * @param why Optional sink for the first violated rule.
+ * @return True when valid.
+ */
+bool validateMapping(const ArchSpec &arch, const LayerShape &layer,
+                     const Mapping &mapping, std::string *why = nullptr);
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_MAPPING_VALIDATE_HPP

@@ -1,0 +1,254 @@
+#include "model/access_counts.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace ploop {
+
+namespace {
+
+/** Product of spatial factors of dims irrelevant to @p t at level l. */
+double
+irrelevantSpatial(const Mapping &mapping, std::size_t l, Tensor t)
+{
+    DimSet rel = tensorDims(t);
+    double p = 1;
+    for (Dim d : kAllDims) {
+        if (!rel.contains(d))
+            p *= static_cast<double>(mapping.level(l).s(d));
+    }
+    return p;
+}
+
+/**
+ * fills_total(l, t): words newly loaded into all instances of keeper
+ * level l: tile(l,t) times the product of relevant temporal AND
+ * spatial factors at all levels above l.
+ */
+double
+fillsTotal(const Mapping &mapping, const TileAnalysis &tiles,
+           std::size_t l, Tensor t)
+{
+    DimSet rel = tensorDims(t);
+    double fills = static_cast<double>(tiles.tileWords(l, t));
+    for (std::size_t m = l + 1; m < mapping.numLevels(); ++m) {
+        for (Dim d : kAllDims) {
+            if (rel.contains(d)) {
+                fills *= static_cast<double>(mapping.level(m).t(d)) *
+                         static_cast<double>(mapping.level(m).s(d));
+            }
+        }
+    }
+    return fills;
+}
+
+} // namespace
+
+double
+windowShare(const ArchSpec &arch, const LayerShape &layer,
+            const Mapping &mapping, std::size_t l)
+{
+    const DimSet wdims = arch.level(l).fanout.window_dims;
+    if (wdims.empty())
+        return 1.0;
+    // A strided layer breaks the optical sliding-window broadcast:
+    // adjacent window positions no longer see consecutive inputs.
+    if (layer.isStrided())
+        return 1.0;
+    double share = 1.0;
+    for (Dim d : kAllDims) {
+        if (wdims.contains(d))
+            share *= static_cast<double>(mapping.level(l).s(d));
+    }
+    return share;
+}
+
+AccessCounts
+computeAccessCounts(const ArchSpec &arch, const LayerShape &layer,
+                    const Mapping &mapping, const TileAnalysis &tiles)
+{
+    const std::size_t nlevels = arch.numLevels();
+    fatalIf(mapping.numLevels() != nlevels,
+            "mapping/arch level count mismatch");
+
+    AccessCounts ac;
+    ac.levels.resize(nlevels);
+    ac.macs = static_cast<double>(layer.macs());
+
+    // Hardware instances of each level.
+    ac.instances.assign(nlevels, 1.0);
+    for (std::size_t l = nlevels; l-- > 0;) {
+        double inst = 1.0;
+        for (std::size_t m = l + 1; m < nlevels; ++m)
+            inst *= static_cast<double>(mapping.level(m).spatialProduct());
+        ac.instances[l] = inst;
+    }
+
+    // Resident tiles.
+    for (std::size_t l = 0; l < nlevels; ++l) {
+        for (Tensor t : kAllTensors) {
+            if (arch.level(l).keepsTensor(t)) {
+                ac.levels[l][tensorIndex(t)].tile_words =
+                    static_cast<double>(tiles.tileWords(l, t));
+            }
+        }
+    }
+
+    // ---- Downward tensors: weights and inputs. ----
+    for (Tensor t : {Tensor::Weights, Tensor::Inputs}) {
+        auto idx = [&](std::size_t l) -> TensorLevelCounts & {
+            return ac.levels[l][tensorIndex(t)];
+        };
+        // Fills and writes at keeper levels (outermost excluded: data
+        // originates there).
+        for (std::size_t l = 0; l < nlevels; ++l) {
+            if (!arch.level(l).keepsTensor(t))
+                continue;
+            double fills = fillsTotal(mapping, tiles, l, t);
+            idx(l).fills = fills;
+            if (l + 1 < nlevels)
+                idx(l).writes = fills;
+        }
+        // The tensor originates at its outermost keeper; levels above
+        // it see no traffic (fusion bypass).
+        std::size_t outermost_keeper = 0;
+        for (std::size_t l = 0; l < nlevels; ++l) {
+            if (arch.level(l).keepsTensor(t))
+                outermost_keeper = l;
+        }
+        // Crossings at each boundary x (below level x), multicast- and
+        // window-deduplicated.  k(x) = nearest keeper at level <= x-1,
+        // or compute.
+        for (std::size_t x = 0; x < nlevels; ++x) {
+            if (x > outermost_keeper)
+                continue; // No traffic above the source.
+            // Find the keeper below boundary x.
+            bool keeper_found = false;
+            std::size_t keeper = 0;
+            for (std::size_t l = x; l-- > 0;) {
+                if (arch.level(l).keepsTensor(t)) {
+                    keeper_found = true;
+                    keeper = l;
+                    break;
+                }
+            }
+            double crossings;
+            if (keeper_found) {
+                // base_nodup(keeper) * duplication above boundary x.
+                crossings = fillsTotal(mapping, tiles, keeper, t);
+                for (std::size_t y = x + 1; y < nlevels; ++y)
+                    crossings *= irrelevantSpatial(mapping, y, t);
+            } else {
+                // Compute demand, deduplicated by multicast at and
+                // below boundary x.
+                crossings = ac.macs;
+                for (std::size_t y = 0; y <= x; ++y)
+                    crossings /= irrelevantSpatial(mapping, y, t);
+            }
+            if (t == Tensor::Inputs) {
+                // Window broadcast at boundaries at/below x serves
+                // several relevant-dim positions with one crossing.
+                for (std::size_t y = 0; y <= x; ++y)
+                    crossings /= windowShare(arch, layer, mapping, y);
+            }
+            idx(x).crossings_down = crossings;
+            // Reads from level x serve boundary x.
+            idx(x).reads = crossings;
+        }
+    }
+
+    // ---- Upward tensor: outputs. ----
+    {
+        auto out = [&](std::size_t l) -> TensorLevelCounts & {
+            return ac.levels[l][tensorIndex(Tensor::Outputs)];
+        };
+        std::size_t outermost_keeper = 0;
+        for (std::size_t l = 0; l < nlevels; ++l) {
+            if (arch.level(l).keepsTensor(Tensor::Outputs))
+                outermost_keeper = l;
+        }
+        // Per reduction dim, the cumulative combining applied so far
+        // (spatial trees plus keeper-absorbed temporal loops).  The
+        // effective stream divisor clips each dim at its workload
+        // bound: ceiling-padded reduction factors add idle iterations
+        // that produce no partial sums.
+        std::array<double, kNumDims> covered;
+        std::array<double, kNumDims> pending_t;
+        covered.fill(1.0);
+        pending_t.fill(1.0);
+        auto eff_red = [&]() {
+            double p = 1.0;
+            for (Dim d : kAllDims) {
+                if (reductionDims().contains(d)) {
+                    p *= std::min(
+                        covered[dimIndex(d)],
+                        static_cast<double>(layer.bound(d)));
+                }
+            }
+            return p;
+        };
+        for (std::size_t x = 0; x < nlevels; ++x) {
+            if (x > outermost_keeper)
+                break; // Outputs terminate at their outermost keeper.
+            // Converters at boundary x see the pre-combine stream.
+            out(x).crossings_up = ac.macs / eff_red();
+            // Spatial reduction tree at boundary x combines partials;
+            // temporal reduction loops at level x queue up until a
+            // keeper absorbs them by accumulating in place.
+            for (Dim d : kAllDims) {
+                if (!reductionDims().contains(d))
+                    continue;
+                covered[dimIndex(d)] *=
+                    static_cast<double>(mapping.level(x).s(d));
+                pending_t[dimIndex(d)] *=
+                    static_cast<double>(mapping.level(x).t(d));
+            }
+            if (arch.level(x).keepsTensor(Tensor::Outputs)) {
+                // Arrivals accumulate into the resident tile.
+                out(x).updates = ac.macs / eff_red();
+                for (Dim d : kAllDims) {
+                    if (reductionDims().contains(d)) {
+                        covered[dimIndex(d)] *=
+                            pending_t[dimIndex(d)];
+                        pending_t[dimIndex(d)] = 1.0;
+                    }
+                }
+                if (x + 1 < nlevels)
+                    out(x).reads = ac.macs / eff_red(); // Send up.
+            }
+        }
+    }
+
+    return ac;
+}
+
+std::string
+AccessCounts::str() const
+{
+    std::string out = strFormat("MACs: %s\n",
+                                formatCount(macs).c_str());
+    for (std::size_t l = levels.size(); l-- > 0;) {
+        out += strFormat("  level %zu (x%g instances)\n", l,
+                         instances[l]);
+        for (Tensor t : kAllTensors) {
+            const TensorLevelCounts &c = at(l, t);
+            out += strFormat(
+                "    %-8s tile=%s fills=%s reads=%s writes=%s "
+                "updates=%s down=%s up=%s\n",
+                tensorName(t), formatCount(c.tile_words).c_str(),
+                formatCount(c.fills).c_str(),
+                formatCount(c.reads).c_str(),
+                formatCount(c.writes).c_str(),
+                formatCount(c.updates).c_str(),
+                formatCount(c.crossings_down).c_str(),
+                formatCount(c.crossings_up).c_str());
+        }
+    }
+    return out;
+}
+
+} // namespace ploop

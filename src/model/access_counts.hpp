@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Nest analysis: per-level, per-tensor access counting, the Timeloop
+ * core.  See DESIGN.md §6.2 for the math; the short version:
+ *
+ * Downward tensors (weights, inputs):
+ *  - fills(l, t): words newly loaded into all instances of level l
+ *    over the execution = tile(l,t) * prod_{m>l, d in D(t)}
+ *    (t[m][d] * s[m][d]).  Loops over dims irrelevant to t reuse the
+ *    resident tile (the standard buffer-reuse assumption).
+ *  - crossings_down(x, t): per-delivery word count over boundary x
+ *    (between level x and the next-inner holder).  If the inner level
+ *    keeps t, this equals fills of the inner level; if it bypasses t,
+ *    the stream continues undiminished from the nearest keeper below
+ *    (or compute demand = MACs when nothing below keeps t).
+ *  - reads(l, t): physical reads from level l = crossings_down(l, t)
+ *    deduplicated by the boundary multicast (spatial factors of dims
+ *    irrelevant to t) and, for inputs, by the optical sliding-window
+ *    broadcast (window_dims, only for unit-stride layers).
+ *
+ * Upward tensor (outputs):
+ *  - a running stream starts at MACs at compute; at each boundary the
+ *    pre-combine count (what converters see) is recorded, then the
+ *    stream shrinks by the boundary's spatial-reduction factor; at
+ *    each keeper level the stream is absorbed as updates
+ *    (read-modify-write accumulation) and the departing stream shrinks
+ *    by the reduction-temporal factors newly absorbed at/below that
+ *    level.  Accumulation happens AT the keeper (no psum
+ *    refetch-downward traffic; documented approximation matching
+ *    digital psum accumulation at buffers).
+ *
+ * Counts are doubles: products are large and exactness beyond ~2^53 is
+ * irrelevant at this abstraction.
+ */
+
+#ifndef PHOTONLOOP_MODEL_ACCESS_COUNTS_HPP
+#define PHOTONLOOP_MODEL_ACCESS_COUNTS_HPP
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "arch/arch_spec.hpp"
+#include "mapping/mapping.hpp"
+#include "model/tile_analysis.hpp"
+#include "workload/layer.hpp"
+
+namespace ploop {
+
+/** Access counts for one tensor at one level/boundary. */
+struct TensorLevelCounts
+{
+    double tile_words = 0; ///< Resident words (one instance).
+    double fills = 0;      ///< Words filled in (W/I at keepers).
+    double reads = 0;      ///< Physical reads from this level.
+    double writes = 0;     ///< Physical writes (fills or output adds).
+    double updates = 0;    ///< Read-modify-write accumulations (O).
+    /** Per-delivery words over the boundary below, downward (W/I). */
+    double crossings_down = 0;
+    /** Pre-combine words over the boundary below, upward (O). */
+    double crossings_up = 0;
+};
+
+/** Full access-count result for one (arch, layer, mapping). */
+struct AccessCounts
+{
+    /** counts[l][tensorIndex(t)], l = 0 is innermost. */
+    std::vector<std::array<TensorLevelCounts, kNumTensors>> levels;
+
+    /** Algorithmic MACs (compute actions). */
+    double macs = 0;
+
+    /** Per-level instance counts (hardware copies of that level). */
+    std::vector<double> instances;
+
+    /** Access counts at (level, tensor). */
+    const TensorLevelCounts &at(std::size_t l, Tensor t) const
+    {
+        return levels[l][tensorIndex(t)];
+    }
+
+    /** Multi-line debug rendering. */
+    std::string str() const;
+};
+
+/**
+ * Run the nest analysis.
+ *
+ * @param arch Architecture (validated).
+ * @param layer Workload layer.
+ * @param mapping Mapping (same level count as arch).
+ * @param tiles Precomputed tile analysis for the same triple.
+ */
+AccessCounts computeAccessCounts(const ArchSpec &arch,
+                                 const LayerShape &layer,
+                                 const Mapping &mapping,
+                                 const TileAnalysis &tiles);
+
+/**
+ * Sliding-window sharing factor at boundary @p l for inputs: the
+ * product of spatial factors of the boundary's window dims, if the
+ * layer is unstrided (a strided layer breaks the optical window
+ * broadcast and gets factor 1).
+ */
+double windowShare(const ArchSpec &arch, const LayerShape &layer,
+                   const Mapping &mapping, std::size_t l);
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_MODEL_ACCESS_COUNTS_HPP

@@ -1,0 +1,123 @@
+#include "model/converter_counts.hpp"
+
+#include "common/error.hpp"
+
+namespace ploop {
+
+namespace {
+
+/** Spatial product of dims irrelevant to @p t at level @p l. */
+double
+irrelevantSpatial(const Mapping &mapping, std::size_t l, Tensor t)
+{
+    DimSet rel = tensorDims(t);
+    double p = 1;
+    for (Dim d : kAllDims) {
+        if (!rel.contains(d))
+            p *= static_cast<double>(mapping.level(l).s(d));
+    }
+    return p;
+}
+
+/** fills_total as in access_counts (duplicated locally; tiny). */
+double
+fillsTotal(const Mapping &mapping, const TileAnalysis &tiles,
+           std::size_t l, Tensor t)
+{
+    DimSet rel = tensorDims(t);
+    double fills = static_cast<double>(tiles.tileWords(l, t));
+    for (std::size_t m = l + 1; m < mapping.numLevels(); ++m) {
+        for (Dim d : kAllDims) {
+            if (rel.contains(d)) {
+                fills *= static_cast<double>(mapping.level(m).t(d)) *
+                         static_cast<double>(mapping.level(m).s(d));
+            }
+        }
+    }
+    return fills;
+}
+
+} // namespace
+
+double
+deliveriesAtBoundary(const ArchSpec &arch, const LayerShape &layer,
+                     const Mapping &mapping, const TileAnalysis &tiles,
+                     const AccessCounts &counts, std::size_t x,
+                     Tensor t)
+{
+    (void)layer;
+    if (t == Tensor::Outputs)
+        return counts.at(x, Tensor::Outputs).crossings_up;
+
+    // No traffic above the tensor's outermost keeper (fusion bypass).
+    std::size_t outermost_keeper = 0;
+    for (std::size_t l = 0; l < arch.numLevels(); ++l) {
+        if (arch.level(l).keepsTensor(t))
+            outermost_keeper = l;
+    }
+    if (x > outermost_keeper)
+        return 0.0;
+
+    // Nearest keeper strictly below boundary x.
+    for (std::size_t l = x; l-- > 0;) {
+        if (arch.level(l).keepsTensor(t)) {
+            // Fill demand of the keeper, counted per duplicate
+            // instance (irrelevant-spatial copies above the keeper
+            // each receive their own conversion unless shared).
+            double deliv = fillsTotal(mapping, tiles, l, t);
+            for (std::size_t y = l + 1; y < mapping.numLevels(); ++y)
+                deliv *= irrelevantSpatial(mapping, y, t);
+            return deliv;
+        }
+    }
+    // Streams all the way to compute: one use per MAC.
+    return counts.macs;
+}
+
+double
+effectiveReuse(const ConverterSpec &conv, const LayerShape &layer)
+{
+    double sr = conv.attrs.getOr("spatial_reuse", 1.0);
+    double wr = conv.attrs.getOr("window_reuse", 1.0);
+    fatalIf(sr < 1.0 || wr < 1.0,
+            "converter '" + conv.name +
+                "': spatial_reuse and window_reuse must be >= 1");
+    fatalIf(wr > sr, "converter '" + conv.name +
+                         "': window_reuse cannot exceed spatial_reuse");
+    if (layer.isStrided())
+        return sr / wr;
+    return sr;
+}
+
+std::vector<ConverterCount>
+computeConverterCounts(const ArchSpec &arch, const LayerShape &layer,
+                       const Mapping &mapping, const TileAnalysis &tiles,
+                       const AccessCounts &counts)
+{
+    std::vector<ConverterCount> out;
+    for (std::size_t x = 0; x < arch.numLevels(); ++x) {
+        for (Tensor t : kAllTensors) {
+            const auto &chain = arch.level(x).convertersFor(t);
+            if (chain.empty())
+                continue;
+            double deliv = deliveriesAtBoundary(arch, layer, mapping,
+                                                tiles, counts, x, t);
+            for (const ConverterSpec &conv : chain) {
+                ConverterCount cc;
+                cc.boundary = x;
+                cc.tensor = t;
+                cc.name = conv.name;
+                cc.klass = conv.klass;
+                cc.crossing = conv.crossing();
+                cc.deliveries = deliv;
+                cc.effective_reuse = effectiveReuse(conv, layer);
+                cc.count = deliv / cc.effective_reuse;
+                cc.attrs = conv.attrs;
+                out.push_back(std::move(cc));
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace ploop

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Converter action counting: how many times each data converter fires
+ * for one (arch, layer, mapping).
+ *
+ * Converters are charged on PER-USE deliveries (not multicast-
+ * deduplicated crossings), divided by the converter's own sharing:
+ *
+ *   count = deliveries(boundary, tensor) / effective_reuse
+ *
+ * where effective_reuse comes from the converter attributes:
+ *  - "spatial_reuse": consumers sharing one conversion (default 1);
+ *  - "window_reuse": the part of spatial_reuse that comes from the
+ *    optical sliding-window broadcast (default 1).  For strided
+ *    layers the window part collapses: effective_reuse =
+ *    spatial_reuse / window_reuse.
+ *
+ * This mirrors the paper's §III.4 (IR / OR / weight-reuse knobs) and
+ * its Fig. 3 observation that strided layers lose Albireo's input
+ * reuse.
+ */
+
+#ifndef PHOTONLOOP_MODEL_CONVERTER_COUNTS_HPP
+#define PHOTONLOOP_MODEL_CONVERTER_COUNTS_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "arch/arch_spec.hpp"
+#include "mapping/mapping.hpp"
+#include "model/access_counts.hpp"
+
+namespace ploop {
+
+/** One converter's activity. */
+struct ConverterCount
+{
+    std::size_t boundary = 0; ///< Level whose converters_below fired.
+    Tensor tensor = Tensor::Weights;
+    std::string name;     ///< Converter instance name.
+    std::string klass;    ///< Energy-model class.
+    std::string crossing; ///< e.g. "DE/AE".
+    double deliveries = 0;      ///< Per-use words at the boundary.
+    double effective_reuse = 1; ///< Sharing divisor applied.
+    double count = 0;           ///< Conversions charged.
+    Attributes attrs;           ///< Converter attributes (copied).
+};
+
+/**
+ * Per-use deliveries of tensor @p t at boundary @p x (below level x):
+ * the number of word-uses the boundary serves before any conversion
+ * sharing.  For weights/inputs this is the fill demand of the nearest
+ * keeper below (or MACs if the tensor streams to compute); for
+ * outputs it is the pre-combine upward stream.
+ */
+double deliveriesAtBoundary(const ArchSpec &arch,
+                            const LayerShape &layer,
+                            const Mapping &mapping,
+                            const TileAnalysis &tiles,
+                            const AccessCounts &counts, std::size_t x,
+                            Tensor t);
+
+/**
+ * Effective conversion sharing for a converter given the layer's
+ * stride (see file comment).
+ */
+double effectiveReuse(const ConverterSpec &conv,
+                      const LayerShape &layer);
+
+/** Count all converter actions. */
+std::vector<ConverterCount>
+computeConverterCounts(const ArchSpec &arch, const LayerShape &layer,
+                       const Mapping &mapping, const TileAnalysis &tiles,
+                       const AccessCounts &counts);
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_MODEL_CONVERTER_COUNTS_HPP

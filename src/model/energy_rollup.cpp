@@ -1,0 +1,187 @@
+#include "model/energy_rollup.hpp"
+
+#include <algorithm>
+
+#include "common/string_util.hpp"
+
+namespace ploop {
+
+namespace {
+
+/** Merge a storage level's intrinsic attrs with dynamic ones. */
+Attributes
+levelAttrs(const StorageLevelSpec &level)
+{
+    Attributes attrs = level.attrs;
+    attrs.set("word_bits", static_cast<double>(level.word_bits));
+    if (!attrs.has("capacity_words") && level.capacity_words > 0) {
+        attrs.set("capacity_words",
+                  static_cast<double>(level.capacity_words));
+    }
+    return attrs;
+}
+
+} // namespace
+
+EnergyBreakdown
+computeEnergy(const ArchSpec &arch, const EnergyRegistry &registry,
+              const AccessCounts &counts,
+              const std::vector<ConverterCount> &converters,
+              const ThroughputResult &throughput)
+{
+    EnergyBreakdown out;
+
+    // Storage levels: read / write / update per tensor.
+    for (std::size_t l = 0; l < arch.numLevels(); ++l) {
+        const StorageLevelSpec &level = arch.level(l);
+        Attributes attrs = levelAttrs(level);
+        struct Act
+        {
+            Action action;
+            double TensorLevelCounts::*member;
+        };
+        static const Act acts[] = {
+            {Action::Read, &TensorLevelCounts::reads},
+            {Action::Write, &TensorLevelCounts::writes},
+            {Action::Update, &TensorLevelCounts::updates},
+        };
+        for (Tensor t : kAllTensors) {
+            const TensorLevelCounts &c = counts.at(l, t);
+            for (const Act &act : acts) {
+                double n = c.*(act.member);
+                if (n <= 0.0)
+                    continue;
+                EnergyEntry e;
+                e.component = level.name;
+                e.klass = level.klass;
+                e.action = act.action;
+                e.tensor = t;
+                e.count = n;
+                e.energy_j =
+                    n * registry.energy(level.klass, act.action, attrs);
+                out.entries.push_back(std::move(e));
+            }
+        }
+    }
+
+    // Converters.
+    for (const ConverterCount &cc : converters) {
+        if (cc.count <= 0.0)
+            continue;
+        EnergyEntry e;
+        e.component = cc.name;
+        e.klass = cc.klass;
+        e.action = Action::Convert;
+        e.crossing = cc.crossing;
+        e.tensor = cc.tensor;
+        e.count = cc.count;
+        e.energy_j =
+            cc.count * registry.energy(cc.klass, Action::Convert,
+                                       cc.attrs);
+        out.entries.push_back(std::move(e));
+    }
+
+    // Compute.
+    {
+        const ComputeSpec &compute = arch.compute();
+        EnergyEntry e;
+        e.component = compute.name;
+        e.klass = compute.klass;
+        e.action = Action::Compute;
+        e.count = counts.macs;
+        e.energy_j = counts.macs * registry.energy(compute.klass,
+                                                   Action::Compute,
+                                                   compute.attrs);
+        out.entries.push_back(std::move(e));
+    }
+
+    // Static-power components: P * runtime.
+    for (const StaticComponentSpec &s : arch.statics()) {
+        EnergyEntry e;
+        e.component = s.name;
+        e.klass = s.klass;
+        e.action = Action::Power;
+        e.count = 1;
+        double power_w = registry.energy(s.klass, Action::Power,
+                                         s.attrs);
+        e.energy_j = power_w * throughput.runtime_s;
+        out.entries.push_back(std::move(e));
+    }
+
+    return out;
+}
+
+double
+computeArea(const ArchSpec &arch, const EnergyRegistry &registry,
+            const AccessCounts &counts,
+            const std::vector<ConverterCount> &converters)
+{
+    double area = 0.0;
+
+    for (std::size_t l = 0; l < arch.numLevels(); ++l) {
+        const StorageLevelSpec &level = arch.level(l);
+        Attributes attrs = levelAttrs(level);
+        area += registry.area(level.klass, attrs) * counts.instances[l];
+    }
+
+    // One converter instance per sharing group at the boundary's inner
+    // side: (provisioned instances below the boundary) / spatial_reuse.
+    // The provisioned hardware is the architectural peak fanout, not
+    // the mapping's occupancy: idle converters still occupy area.
+    for (const ConverterCount &cc : converters) {
+        std::size_t x = cc.boundary;
+        double below = counts.instances[x] *
+                       static_cast<double>(
+                           arch.level(x).fanout.peakInstances());
+        double sharing = cc.attrs.getOr("spatial_reuse", 1.0);
+        double n = std::max(below / sharing, 1.0);
+        area += registry.area(cc.klass, cc.attrs) * n;
+    }
+
+    {
+        const ComputeSpec &compute = arch.compute();
+        area += registry.area(compute.klass, compute.attrs) *
+                static_cast<double>(arch.totalComputeInstances());
+    }
+
+    for (const StaticComponentSpec &s : arch.statics())
+        area += registry.area(s.klass, s.attrs);
+
+    return area;
+}
+
+double
+EnergyBreakdown::total() const
+{
+    double e = 0;
+    for (const auto &entry : entries)
+        e += entry.energy_j;
+    return e;
+}
+
+std::map<std::string, double>
+EnergyBreakdown::byComponent() const
+{
+    std::map<std::string, double> out;
+    for (const auto &entry : entries)
+        out[entry.component] += entry.energy_j;
+    return out;
+}
+
+std::string
+EnergyBreakdown::str() const
+{
+    std::string out;
+    for (const auto &e : entries) {
+        out += strFormat(
+            "  %-16s %-10s %-8s %-8s count=%-10s %s\n",
+            e.component.c_str(), e.klass.c_str(), actionName(e.action),
+            e.tensor ? tensorName(*e.tensor) : "-",
+            formatCount(e.count).c_str(),
+            formatEnergy(e.energy_j).c_str());
+    }
+    out += strFormat("  total: %s\n", formatEnergy(total()).c_str());
+    return out;
+}
+
+} // namespace ploop

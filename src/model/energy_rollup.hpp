@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Energy rollup: turn access/converter/compute counts into joules
+ * using the estimator registry, preserving enough structure (component
+ * instance, class, action, tensor, domain crossing) for the paper's
+ * figure categories to be re-aggregated downstream.
+ */
+
+#ifndef PHOTONLOOP_MODEL_ENERGY_ROLLUP_HPP
+#define PHOTONLOOP_MODEL_ENERGY_ROLLUP_HPP
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/arch_spec.hpp"
+#include "energy/registry.hpp"
+#include "model/access_counts.hpp"
+#include "model/converter_counts.hpp"
+#include "model/throughput.hpp"
+
+namespace ploop {
+
+/** One (component, action, tensor) energy contribution. */
+struct EnergyEntry
+{
+    std::string component; ///< Instance name, e.g. "GlobalBuffer".
+    std::string klass;     ///< Energy-model class.
+    Action action = Action::Read;
+    /** Domain crossing for converters, e.g. "DE/AE"; else empty. */
+    std::string crossing;
+    /** Tensor the activity served, if attributable. */
+    std::optional<Tensor> tensor;
+    double count = 0;    ///< Actions charged.
+    double energy_j = 0; ///< count * energy-per-action (or P*t).
+};
+
+/** Aggregated energy result. */
+struct EnergyBreakdown
+{
+    std::vector<EnergyEntry> entries;
+
+    /** Total energy in joules. */
+    double total() const;
+
+    /** Sum of entries matching a predicate. */
+    template <typename Pred>
+    double
+    sumIf(Pred pred) const
+    {
+        double e = 0;
+        for (const auto &entry : entries) {
+            if (pred(entry))
+                e += entry.energy_j;
+        }
+        return e;
+    }
+
+    /** Energy by component instance name. */
+    std::map<std::string, double> byComponent() const;
+
+    /** Multi-line table of entries. */
+    std::string str() const;
+};
+
+/**
+ * Compute the energy rollup.
+ *
+ * @param arch Architecture.
+ * @param registry Estimator registry.
+ * @param counts Access counts (storage + compute activity).
+ * @param converters Converter activity.
+ * @param throughput Used for static (power * runtime) components.
+ */
+EnergyBreakdown
+computeEnergy(const ArchSpec &arch, const EnergyRegistry &registry,
+              const AccessCounts &counts,
+              const std::vector<ConverterCount> &converters,
+              const ThroughputResult &throughput);
+
+/**
+ * Total area in m^2: storage levels (per instance), converters,
+ * compute units and static components.
+ */
+double computeArea(const ArchSpec &arch, const EnergyRegistry &registry,
+                   const AccessCounts &counts,
+                   const std::vector<ConverterCount> &converters);
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_MODEL_ENERGY_ROLLUP_HPP

@@ -1,0 +1,40 @@
+#include "model/evaluator.hpp"
+
+#include "common/error.hpp"
+#include "mapping/validate.hpp"
+
+namespace ploop {
+
+Evaluator::Evaluator(const ArchSpec &arch, const EnergyRegistry &registry)
+    : arch_(arch), registry_(registry)
+{
+    arch_.validate();
+}
+
+bool
+Evaluator::isValidMapping(const LayerShape &layer, const Mapping &mapping,
+                          std::string *why) const
+{
+    return validateMapping(arch_, layer, mapping, why);
+}
+
+EvalResult
+Evaluator::evaluate(const LayerShape &layer, const Mapping &mapping) const
+{
+    std::string why;
+    if (!validateMapping(arch_, layer, mapping, &why))
+        fatal("invalid mapping for layer '" + layer.name() + "': " + why);
+
+    EvalResult r;
+    TileAnalysis tiles(arch_, layer, mapping);
+    r.counts = computeAccessCounts(arch_, layer, mapping, tiles);
+    r.converters =
+        computeConverterCounts(arch_, layer, mapping, tiles, r.counts);
+    r.throughput = computeThroughput(arch_, layer, mapping, r.counts);
+    r.energy = computeEnergy(arch_, registry_, r.counts, r.converters,
+                             r.throughput);
+    r.area_m2 = computeArea(arch_, registry_, r.counts, r.converters);
+    return r;
+}
+
+} // namespace ploop

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The Evaluator: PhotonLoop's central entry point.  Given an
+ * architecture and an estimator registry, it evaluates (layer,
+ * mapping) pairs into a full result: access counts, converter counts,
+ * throughput, energy breakdown and area.
+ */
+
+#ifndef PHOTONLOOP_MODEL_EVALUATOR_HPP
+#define PHOTONLOOP_MODEL_EVALUATOR_HPP
+
+#include <string>
+#include <vector>
+
+#include "arch/arch_spec.hpp"
+#include "energy/registry.hpp"
+#include "mapping/mapping.hpp"
+#include "model/access_counts.hpp"
+#include "model/converter_counts.hpp"
+#include "model/energy_rollup.hpp"
+#include "model/throughput.hpp"
+#include "workload/layer.hpp"
+
+namespace ploop {
+
+/** Everything the model computes for one (layer, mapping). */
+struct EvalResult
+{
+    AccessCounts counts;
+    std::vector<ConverterCount> converters;
+    ThroughputResult throughput;
+    EnergyBreakdown energy;
+    double area_m2 = 0;
+
+    /** Total energy in joules. */
+    double totalEnergy() const { return energy.total(); }
+
+    /** Energy per MAC in joules. */
+    double energyPerMac() const
+    {
+        return counts.macs > 0 ? energy.total() / counts.macs : 0.0;
+    }
+
+    /** Energy-delay product (J*s). */
+    double edp() const { return energy.total() * throughput.runtime_s; }
+};
+
+/** Evaluates mappings of layers onto one architecture. */
+class Evaluator
+{
+  public:
+    /**
+     * @param arch Validated architecture (held by reference; must
+     *             outlive the evaluator).
+     * @param registry Estimator registry (same lifetime rule).
+     */
+    Evaluator(const ArchSpec &arch, const EnergyRegistry &registry);
+
+    /** The architecture. */
+    const ArchSpec &arch() const { return arch_; }
+
+    /**
+     * Check mapping validity (fanout caps, coverage, capacities).
+     *
+     * @param layer Workload layer.
+     * @param mapping Candidate mapping.
+     * @param why Optional failure description sink.
+     */
+    bool isValidMapping(const LayerShape &layer, const Mapping &mapping,
+                        std::string *why = nullptr) const;
+
+    /**
+     * Evaluate one mapping.  fatal() if the mapping is invalid;
+     * mappers should pre-check with isValidMapping().
+     */
+    EvalResult evaluate(const LayerShape &layer,
+                        const Mapping &mapping) const;
+
+  private:
+    const ArchSpec &arch_;
+    const EnergyRegistry &registry_;
+};
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_MODEL_EVALUATOR_HPP

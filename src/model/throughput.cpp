@@ -1,0 +1,72 @@
+#include "model/throughput.hpp"
+
+#include <algorithm>
+
+#include "common/string_util.hpp"
+
+namespace ploop {
+
+double
+stridePenalty(const ArchSpec &arch, const LayerShape &layer,
+              const Mapping &mapping)
+{
+    if (!layer.isStrided())
+        return 1.0;
+    for (std::size_t l = 0; l < arch.numLevels(); ++l) {
+        const DimSet wdims = arch.level(l).fanout.window_dims;
+        if (wdims.empty())
+            continue;
+        for (Dim d : kAllDims) {
+            if (wdims.contains(d) && mapping.level(l).s(d) > 1) {
+                return static_cast<double>(layer.hstride()) *
+                       static_cast<double>(layer.wstride());
+            }
+        }
+    }
+    return 1.0;
+}
+
+ThroughputResult
+computeThroughput(const ArchSpec &arch, const LayerShape &layer,
+                  const Mapping &mapping, const AccessCounts &counts)
+{
+    ThroughputResult r;
+    r.stride_penalty = stridePenalty(arch, layer, mapping);
+    r.compute_cycles =
+        static_cast<double>(mapping.totalTemporalSteps()) *
+        r.stride_penalty;
+
+    r.bandwidth_cycles = 0.0;
+    for (std::size_t l = 0; l < arch.numLevels(); ++l) {
+        double bw = arch.level(l).bandwidth_words_per_cycle;
+        if (bw <= 0.0)
+            continue;
+        double words = 0.0;
+        for (Tensor t : kAllTensors) {
+            const TensorLevelCounts &c = counts.at(l, t);
+            words += c.reads + c.writes + c.updates;
+        }
+        r.bandwidth_cycles = std::max(r.bandwidth_cycles, words / bw);
+    }
+
+    r.cycles = std::max(r.compute_cycles, r.bandwidth_cycles);
+    if (r.cycles <= 0.0)
+        r.cycles = 1.0;
+    double peak = arch.peakMacsPerCycle();
+    r.macs_per_cycle = counts.macs / r.cycles;
+    r.utilization = peak > 0.0 ? r.macs_per_cycle / peak : 0.0;
+    r.runtime_s = r.cycles / arch.clockHz();
+    return r;
+}
+
+std::string
+ThroughputResult::str() const
+{
+    return strFormat(
+        "cycles=%.4g (compute %.4g, bw %.4g), %.1f MACs/cycle, "
+        "util=%.1f%%, runtime=%.3g s",
+        cycles, compute_cycles, bandwidth_cycles, macs_per_cycle,
+        utilization * 100.0, runtime_s);
+}
+
+} // namespace ploop

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Throughput model: execution cycles, utilization and MACs/cycle for
+ * one (arch, layer, mapping).
+ *
+ * cycles = max(compute cycles, bandwidth cycles)
+ *  - compute cycles = product of all temporal factors, times the
+ *    stride penalty (optical window-unrolled architectures emit
+ *    1/(hstride*wstride) useful positions per step on strided
+ *    layers);
+ *  - bandwidth cycles = per level, total words moved / level
+ *    bandwidth.
+ *
+ * utilization = MACs / (cycles * peak MACs/cycle): this single number
+ * folds together ceiling (imperfect-factorization) slack, idle
+ * spatial units, stride penalties and bandwidth stalls -- the Fig.-3
+ * effect.
+ */
+
+#ifndef PHOTONLOOP_MODEL_THROUGHPUT_HPP
+#define PHOTONLOOP_MODEL_THROUGHPUT_HPP
+
+#include <string>
+
+#include "arch/arch_spec.hpp"
+#include "mapping/mapping.hpp"
+#include "model/access_counts.hpp"
+#include "workload/layer.hpp"
+
+namespace ploop {
+
+/** Throughput estimation result. */
+struct ThroughputResult
+{
+    double cycles = 0;           ///< Execution cycles (max of below).
+    double compute_cycles = 0;   ///< Temporal steps * stride penalty.
+    double bandwidth_cycles = 0; ///< Worst storage-level bottleneck.
+    double stride_penalty = 1;   ///< Cycle multiplier applied (>= 1).
+    double utilization = 0;      ///< MACs / (cycles * peak).
+    double macs_per_cycle = 0;   ///< Achieved throughput.
+    double runtime_s = 0;        ///< cycles / clock.
+
+    /** One-line summary. */
+    std::string str() const;
+};
+
+/**
+ * Stride penalty for this (arch, layer, mapping): hstride * wstride
+ * if the layer is strided and the mapping spatially unrolls any
+ * window dim at a window-broadcast boundary; else 1.
+ */
+double stridePenalty(const ArchSpec &arch, const LayerShape &layer,
+                     const Mapping &mapping);
+
+/** Compute the throughput model. */
+ThroughputResult computeThroughput(const ArchSpec &arch,
+                                   const LayerShape &layer,
+                                   const Mapping &mapping,
+                                   const AccessCounts &counts);
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_MODEL_THROUGHPUT_HPP

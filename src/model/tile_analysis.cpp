@@ -1,0 +1,102 @@
+#include "model/tile_analysis.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace ploop {
+
+TileAnalysis::TileAnalysis(const ArchSpec &arch, const LayerShape &layer,
+                           const Mapping &mapping)
+    : arch_(arch), layer_(layer)
+{
+    fatalIf(mapping.numLevels() != arch.numLevels(),
+            "mapping has " + std::to_string(mapping.numLevels()) +
+                " levels but arch has " +
+                std::to_string(arch.numLevels()));
+
+    const std::size_t nlevels = arch.numLevels();
+    ext_.resize(nlevels);
+    tiles_.resize(nlevels);
+
+    for (std::size_t l = 0; l < nlevels; ++l) {
+        for (Dim d : kAllDims) {
+            std::uint64_t e = mapping.extent(l, d);
+            ext_[l][dimIndex(d)] = std::min(e, layer.bound(d));
+        }
+    }
+
+    for (std::size_t l = 0; l < nlevels; ++l) {
+        auto e = [&](Dim d) { return ext_[l][dimIndex(d)]; };
+        // Weights: K*C*R*S.
+        tiles_[l][tensorIndex(Tensor::Weights)] =
+            e(Dim::K) * e(Dim::C) * e(Dim::R) * e(Dim::S);
+        // Inputs: N*C*h*w through the sliding window, clipped to the
+        // full input footprint.
+        std::uint64_t h = (e(Dim::P) - 1) * layer.hstride() + e(Dim::R);
+        std::uint64_t w = (e(Dim::Q) - 1) * layer.wstride() + e(Dim::S);
+        h = std::min(h, layer.inputHeight());
+        w = std::min(w, layer.inputWidth());
+        tiles_[l][tensorIndex(Tensor::Inputs)] =
+            e(Dim::N) * e(Dim::C) * h * w;
+        // Outputs: N*K*P*Q.
+        tiles_[l][tensorIndex(Tensor::Outputs)] =
+            e(Dim::N) * e(Dim::K) * e(Dim::P) * e(Dim::Q);
+    }
+}
+
+std::uint64_t
+TileAnalysis::extent(std::size_t l, Dim d) const
+{
+    fatalIf(l >= ext_.size(), "tile analysis level out of range");
+    return ext_[l][dimIndex(d)];
+}
+
+std::uint64_t
+TileAnalysis::tileWords(std::size_t l, Tensor t) const
+{
+    fatalIf(l >= tiles_.size(), "tile analysis level out of range");
+    return tiles_[l][tensorIndex(t)];
+}
+
+std::uint64_t
+TileAnalysis::keptWords(std::size_t l) const
+{
+    const StorageLevelSpec &spec = arch_.level(l);
+    std::uint64_t words = 0;
+    for (Tensor t : kAllTensors) {
+        if (spec.keepsTensor(t))
+            words += tileWords(l, t);
+    }
+    return words;
+}
+
+bool
+TileAnalysis::fitsCapacities(std::string *why) const
+{
+    // The outermost level is the data source (DRAM, or chip I/O in
+    // accelerator-only configurations): its "tile" is the whole
+    // workload footprint by construction, so it is exempt from the
+    // capacity check.
+    for (std::size_t l = 0; l + 1 < arch_.numLevels(); ++l) {
+        const StorageLevelSpec &spec = arch_.level(l);
+        if (spec.capacity_words == 0)
+            continue;
+        std::uint64_t need = keptWords(l);
+        if (need > spec.capacity_words) {
+            if (why) {
+                *why = strFormat(
+                    "level '%s' needs %llu words but holds %llu",
+                    spec.name.c_str(),
+                    static_cast<unsigned long long>(need),
+                    static_cast<unsigned long long>(
+                        spec.capacity_words));
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace ploop

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tile analysis: given (architecture, layer, mapping), compute the
+ * data-tile extents and per-tensor tile sizes resident at each storage
+ * level, and check them against level capacities.
+ *
+ * Extents are clipped to the layer bounds: over-provisioned (ceil)
+ * mapping factors cover index space that holds no data, so tiles never
+ * exceed the tensor footprint.  Inputs are sized through the sliding
+ * window: an input tile spans (P_ext-1)*hstride + R_ext rows.
+ */
+
+#ifndef PHOTONLOOP_MODEL_TILE_ANALYSIS_HPP
+#define PHOTONLOOP_MODEL_TILE_ANALYSIS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/arch_spec.hpp"
+#include "mapping/mapping.hpp"
+#include "workload/layer.hpp"
+
+namespace ploop {
+
+/** Per-level, per-tensor tile sizes. */
+class TileAnalysis
+{
+  public:
+    /**
+     * Analyze one (arch, layer, mapping) triple.  The mapping must
+     * have arch.numLevels() levels; no validity checks beyond that
+     * are performed here (see mapping/validate.hpp).
+     */
+    TileAnalysis(const ArchSpec &arch, const LayerShape &layer,
+                 const Mapping &mapping);
+
+    /** Dim extent at level @p l, clipped to the layer bound. */
+    std::uint64_t extent(std::size_t l, Dim d) const;
+
+    /** Words of tensor @p t resident in ONE instance of level @p l. */
+    std::uint64_t tileWords(std::size_t l, Tensor t) const;
+
+    /** Sum of kept tensors' tile words at level @p l. */
+    std::uint64_t keptWords(std::size_t l) const;
+
+    /**
+     * True if every capacity-bounded level fits its kept tiles.
+     * When false and @p why is non-null, a description is written.
+     */
+    bool fitsCapacities(std::string *why = nullptr) const;
+
+  private:
+    const ArchSpec &arch_;
+    const LayerShape &layer_;
+    // ext_[l][dimIndex]: clipped cumulative extent at level l.
+    std::vector<std::array<std::uint64_t, kNumDims>> ext_;
+    // tiles_[l][tensorIndex]: tile words.
+    std::vector<std::array<std::uint64_t, kNumTensors>> tiles_;
+};
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_MODEL_TILE_ANALYSIS_HPP

@@ -1,0 +1,29 @@
+#include "photonics/laser.hpp"
+
+#include "common/error.hpp"
+
+namespace ploop {
+
+bool
+LaserModel::supports(Action action) const
+{
+    return action == Action::Power;
+}
+
+double
+LaserModel::energy(Action action, const Attributes &attrs) const
+{
+    fatalIf(!supports(action),
+            std::string("laser does not support action ") +
+                actionName(action));
+    return attrs.get("power_w");
+}
+
+double
+LaserModel::area(const Attributes &attrs) const
+{
+    // Off-chip by default.
+    return attrs.getOr("area", 0.0);
+}
+
+} // namespace ploop

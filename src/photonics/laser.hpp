@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Laser model.  The (off-chip) laser is a static-power component: it
+ * runs for the whole execution, so its energy per MAC is inversely
+ * proportional to achieved throughput -- underutilization directly
+ * inflates laser energy (one of the full-system effects the paper
+ * emphasizes).
+ *
+ * Estimator attributes:
+ *  - power_w  electrical wall-plug power (required; usually computed
+ *             by the link-budget solver and stored here)
+ *  - area     m^2; 0 by default (off-chip)
+ */
+
+#ifndef PHOTONLOOP_PHOTONICS_LASER_HPP
+#define PHOTONLOOP_PHOTONICS_LASER_HPP
+
+#include "energy/estimator.hpp"
+
+namespace ploop {
+
+/** See file comment. */
+class LaserModel : public Estimator
+{
+  public:
+    std::string klass() const override { return "laser"; }
+    bool supports(Action action) const override;
+    double energy(Action action,
+                  const Attributes &attrs) const override;
+    double area(const Attributes &attrs) const override;
+};
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_PHOTONICS_LASER_HPP

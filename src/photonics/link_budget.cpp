@@ -1,0 +1,59 @@
+#include "photonics/link_budget.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "common/string_util.hpp"
+#include "photonics/star_coupler.hpp"
+#include "photonics/waveguide.hpp"
+
+namespace ploop {
+
+LinkBudgetResult
+solveLinkBudget(const LinkBudgetSpec &spec)
+{
+    fatalIf(spec.tech.laser_wallplug_eff <= 0.0 ||
+                spec.tech.laser_wallplug_eff > 1.0,
+            "laser wall-plug efficiency must be in (0, 1]");
+    fatalIf(spec.broadcast_fanout < 1.0,
+            "broadcast fanout must be >= 1");
+    fatalIf(spec.active_channels < 0.0,
+            "active channel count must be >= 0");
+
+    LinkBudgetResult r;
+    fatalIf(spec.accumulation_fanout < 1.0,
+            "accumulation fanout must be >= 1");
+    // Combining N partial sums onto one photodiode costs only the
+    // per-stage excess loss of the combiner tree: the signal powers
+    // themselves add at the detector.
+    double combine_excess_db =
+        spec.accumulation_fanout > 1.0
+            ? spec.tech.coupler_split_excess_db *
+                  std::ceil(std::log2(spec.accumulation_fanout))
+            : 0.0;
+    r.loss_db = spec.tech.chip_coupling_loss_db +
+                spec.tech.mzm_insertion_loss_db +
+                waveguideLossDb(spec.path_length_mm,
+                                spec.tech.waveguide_loss_db_per_mm) +
+                spec.tech.mrr_through_loss_db * spec.rings_in_path +
+                starCouplerLossDb(spec.broadcast_fanout,
+                                  spec.tech.coupler_split_excess_db) +
+                combine_excess_db;
+    r.power_per_channel_w =
+        spec.tech.pd_sensitivity_w * dbToLinear(r.loss_db);
+    r.optical_power_w = r.power_per_channel_w * spec.active_channels;
+    r.electrical_power_w =
+        r.optical_power_w / spec.tech.laser_wallplug_eff;
+    return r;
+}
+
+std::string
+LinkBudgetResult::str() const
+{
+    return strFormat(
+        "loss=%.2f dB, %.3g mW/channel optical, %.3g W wall-plug",
+        loss_db, power_per_channel_w * 1e3, electrical_power_w);
+}
+
+} // namespace ploop

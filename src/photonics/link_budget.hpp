@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Optical link-budget solver: derives the laser power an architecture
+ * needs from the optical path losses and the photodiode sensitivity.
+ *
+ * For each wavelength channel the laser must deliver, at the
+ * photodiode, enough power for the target precision.  Walking the
+ * path backwards:
+ *
+ *   P_laser_opt = P_sensitivity * 10^(loss_total_dB / 10)
+ *   loss_total  = chip coupling + modulator insertion + waveguide
+ *                 propagation + per-ring through loss * rings passed
+ *                 + star-coupler splitting (10log10 N + excess/stage)
+ *
+ * and the electrical (wall-plug) power is P_opt / efficiency, summed
+ * over active channels.  Bigger broadcast fanouts (more input reuse)
+ * therefore raise laser power -- the "Other AO" growth visible in the
+ * paper's Fig. 5.
+ */
+
+#ifndef PHOTONLOOP_PHOTONICS_LINK_BUDGET_HPP
+#define PHOTONLOOP_PHOTONICS_LINK_BUDGET_HPP
+
+#include <string>
+
+#include "photonics/scaling.hpp"
+
+namespace ploop {
+
+/** Inputs to the link-budget solve. */
+struct LinkBudgetSpec
+{
+    /** Technology constants. */
+    PhotonicScaling tech;
+
+    /** Star-coupler broadcast fanout per channel (input reuse). */
+    double broadcast_fanout = 1.0;
+
+    /**
+     * Partial sums optically combined before each photodiode (output
+     * reuse).  Combining costs per-stage excess loss (power itself
+     * adds constructively at the detector).
+     */
+    double accumulation_fanout = 1.0;
+
+    /** Rings each channel passes on its bus (weight-bank depth). */
+    double rings_in_path = 1.0;
+
+    /** On-chip optical path length, mm. */
+    double path_length_mm = 5.0;
+
+    /** Number of simultaneously active wavelength channels. */
+    double active_channels = 1.0;
+};
+
+/** Outputs of the link-budget solve. */
+struct LinkBudgetResult
+{
+    double loss_db = 0;           ///< Total per-channel path loss.
+    double power_per_channel_w = 0; ///< Optical power per channel.
+    double optical_power_w = 0;   ///< Total optical power.
+    double electrical_power_w = 0; ///< Wall-plug laser power.
+
+    /** One-line summary. */
+    std::string str() const;
+};
+
+/** Solve the link budget. */
+LinkBudgetResult solveLinkBudget(const LinkBudgetSpec &spec);
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_PHOTONICS_LINK_BUDGET_HPP

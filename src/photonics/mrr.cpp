@@ -1,0 +1,29 @@
+#include "photonics/mrr.hpp"
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace ploop {
+
+bool
+MrrModel::supports(Action action) const
+{
+    return action == Action::Convert;
+}
+
+double
+MrrModel::energy(Action action, const Attributes &attrs) const
+{
+    fatalIf(!supports(action),
+            std::string("mrr does not support action ") +
+                actionName(action));
+    return attrs.get("energy_per_modulate");
+}
+
+double
+MrrModel::area(const Attributes &attrs) const
+{
+    return attrs.getOr("area", 400.0 * units::square_micrometer);
+}
+
+} // namespace ploop

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Microring resonator (MRR) model.  MRRs serve as the AE/AO weight
+ * modulators in Albireo: an analog-electrical weight value detunes the
+ * ring, imprinting the weight onto the passing light.
+ *
+ * Estimator attributes:
+ *  - energy_per_modulate  J per symbol imprinted (required; profiles
+ *                         supply it)
+ *  - area                 m^2 per ring (default 400 um^2: ~10 um
+ *                         radius ring + driver + thermal tuner)
+ *
+ * Optical attributes (used by the link budget, not the estimator):
+ *  - through_loss_db      loss per ring passed on a bus.
+ */
+
+#ifndef PHOTONLOOP_PHOTONICS_MRR_HPP
+#define PHOTONLOOP_PHOTONICS_MRR_HPP
+
+#include "energy/estimator.hpp"
+
+namespace ploop {
+
+/** See file comment. */
+class MrrModel : public Estimator
+{
+  public:
+    std::string klass() const override { return "mrr"; }
+    bool supports(Action action) const override;
+    double energy(Action action,
+                  const Attributes &attrs) const override;
+    double area(const Attributes &attrs) const override;
+};
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_PHOTONICS_MRR_HPP

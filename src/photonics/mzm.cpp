@@ -1,0 +1,29 @@
+#include "photonics/mzm.hpp"
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace ploop {
+
+bool
+MzmModel::supports(Action action) const
+{
+    return action == Action::Convert;
+}
+
+double
+MzmModel::energy(Action action, const Attributes &attrs) const
+{
+    fatalIf(!supports(action),
+            std::string("mzm does not support action ") +
+                actionName(action));
+    return attrs.get("energy_per_modulate");
+}
+
+double
+MzmModel::area(const Attributes &attrs) const
+{
+    return attrs.getOr("area", 0.02 * units::square_millimeter);
+}
+
+} // namespace ploop

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Mach-Zehnder modulator (MZM) model.  MZMs serve as the AE/AO input
+ * modulators: an analog input drive sets the interferometer phase,
+ * imprinting the activation onto the optical carrier.  MZMs are
+ * faster but larger and more power hungry than microrings.
+ *
+ * Estimator attributes:
+ *  - energy_per_modulate  J per symbol (required; profiles supply it)
+ *  - area                 m^2 (default 0.02 mm^2: mm-scale device)
+ *
+ * Optical attributes (link budget):
+ *  - insertion_loss_db
+ */
+
+#ifndef PHOTONLOOP_PHOTONICS_MZM_HPP
+#define PHOTONLOOP_PHOTONICS_MZM_HPP
+
+#include "energy/estimator.hpp"
+
+namespace ploop {
+
+/** See file comment. */
+class MzmModel : public Estimator
+{
+  public:
+    std::string klass() const override { return "mzm"; }
+    bool supports(Action action) const override;
+    double energy(Action action,
+                  const Attributes &attrs) const override;
+    double area(const Attributes &attrs) const override;
+};
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_PHOTONICS_MZM_HPP

@@ -1,0 +1,29 @@
+#include "photonics/photodiode.hpp"
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace ploop {
+
+bool
+PhotodiodeModel::supports(Action action) const
+{
+    return action == Action::Convert;
+}
+
+double
+PhotodiodeModel::energy(Action action, const Attributes &attrs) const
+{
+    fatalIf(!supports(action),
+            std::string("photodiode does not support action ") +
+                actionName(action));
+    return attrs.get("energy_per_sample");
+}
+
+double
+PhotodiodeModel::area(const Attributes &attrs) const
+{
+    return attrs.getOr("area", 150.0 * units::square_micrometer);
+}
+
+} // namespace ploop

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Photodiode + transimpedance amplifier (TIA) model: the AO/AE
+ * converter.  Accumulated optical partial sums land on the PD, whose
+ * photocurrent is amplified into an analog-electrical sample for the
+ * ADC.
+ *
+ * Estimator attributes:
+ *  - energy_per_sample  J per sample (required; profiles supply it)
+ *  - area               m^2 (default 150 um^2 for PD + TIA)
+ *
+ * Optical attributes (link budget):
+ *  - sensitivity_w      optical power required for the target
+ *                       precision.
+ */
+
+#ifndef PHOTONLOOP_PHOTONICS_PHOTODIODE_HPP
+#define PHOTONLOOP_PHOTONICS_PHOTODIODE_HPP
+
+#include "energy/estimator.hpp"
+
+namespace ploop {
+
+/** See file comment. */
+class PhotodiodeModel : public Estimator
+{
+  public:
+    std::string klass() const override { return "photodiode"; }
+    bool supports(Action action) const override;
+    double energy(Action action,
+                  const Attributes &attrs) const override;
+    double area(const Attributes &attrs) const override;
+};
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_PHOTONICS_PHOTODIODE_HPP

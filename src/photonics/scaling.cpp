@@ -1,0 +1,85 @@
+#include "photonics/scaling.hpp"
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace ploop {
+
+const char *
+scalingProfileName(ScalingProfile p)
+{
+    switch (p) {
+      case ScalingProfile::Conservative: return "conservative";
+      case ScalingProfile::Moderate: return "moderate";
+      case ScalingProfile::Aggressive: return "aggressive";
+    }
+    panic("scalingProfileName: bad profile");
+}
+
+std::vector<ScalingProfile>
+allScalingProfiles()
+{
+    return {ScalingProfile::Conservative, ScalingProfile::Moderate,
+            ScalingProfile::Aggressive};
+}
+
+const PhotonicScaling &
+scalingConstants(ScalingProfile p)
+{
+    static const PhotonicScaling conservative = {
+        /*name=*/"conservative",
+        /*mrr_modulate_j=*/300.0_fJ,
+        /*mzm_modulate_j=*/3.0_pJ,
+        /*pd_sample_j=*/900.0_fJ,
+        /*adc_fom_j=*/20.0_fJ,
+        /*dac_fom_j=*/5.0_fJ,
+        /*laser_wallplug_eff=*/0.08,
+        /*pd_sensitivity_w=*/25.0_uW,
+        /*mrr_through_loss_db=*/0.10,
+        /*mzm_insertion_loss_db=*/2.0,
+        /*coupler_split_excess_db=*/0.5,
+        /*waveguide_loss_db_per_mm=*/0.2,
+        /*chip_coupling_loss_db=*/2.0,
+        /*resolution_bits=*/8.0,
+    };
+    static const PhotonicScaling moderate = {
+        /*name=*/"moderate",
+        /*mrr_modulate_j=*/120.0_fJ,
+        /*mzm_modulate_j=*/1.2_pJ,
+        /*pd_sample_j=*/360.0_fJ,
+        /*adc_fom_j=*/8.0_fJ,
+        /*dac_fom_j=*/2.0_fJ,
+        /*laser_wallplug_eff=*/0.10,
+        /*pd_sensitivity_w=*/18.0_uW,
+        /*mrr_through_loss_db=*/0.08,
+        /*mzm_insertion_loss_db=*/1.5,
+        /*coupler_split_excess_db=*/0.35,
+        /*waveguide_loss_db_per_mm=*/0.15,
+        /*chip_coupling_loss_db=*/1.5,
+        /*resolution_bits=*/8.0,
+    };
+    static const PhotonicScaling aggressive = {
+        /*name=*/"aggressive",
+        /*mrr_modulate_j=*/40.0_fJ,
+        /*mzm_modulate_j=*/0.4_pJ,
+        /*pd_sample_j=*/120.0_fJ,
+        /*adc_fom_j=*/2.5_fJ,
+        /*dac_fom_j=*/0.8_fJ,
+        /*laser_wallplug_eff=*/0.12,
+        /*pd_sensitivity_w=*/8.0_uW,
+        /*mrr_through_loss_db=*/0.05,
+        /*mzm_insertion_loss_db=*/1.0,
+        /*coupler_split_excess_db=*/0.2,
+        /*waveguide_loss_db_per_mm=*/0.1,
+        /*chip_coupling_loss_db=*/1.0,
+        /*resolution_bits=*/8.0,
+    };
+    switch (p) {
+      case ScalingProfile::Conservative: return conservative;
+      case ScalingProfile::Moderate: return moderate;
+      case ScalingProfile::Aggressive: return aggressive;
+    }
+    panic("scalingConstants: bad profile");
+}
+
+} // namespace ploop

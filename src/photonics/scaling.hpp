@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Photonic technology scaling profiles.
+ *
+ * The Albireo paper (and ours) evaluates the system under projections
+ * for future optical components: "conservative" uses demonstrated
+ * device energies, "aggressive" uses optimistic end-of-roadmap
+ * projections, "moderate" sits between.  All device estimators and
+ * the Albireo architecture builder draw their constants from one of
+ * these profiles, so a single switch re-scales the whole system
+ * (paper Figs. 2 and 4).
+ *
+ * Values are assembled from the photonics literature cited by the
+ * paper ([5], [12]-[20]): microring modulation/tuning in the
+ * tens-to-hundreds of fJ, MZM drivers at pJ/symbol scale, photodiode+
+ * TIA receivers at ~0.1-1 pJ/sample, multi-GS/s ADC Walden FoMs of a
+ * few to tens of fJ/step.  Exact constants are calibration targets
+ * (EXPERIMENTS.md records model-vs-reported).
+ */
+
+#ifndef PHOTONLOOP_PHOTONICS_SCALING_HPP
+#define PHOTONLOOP_PHOTONICS_SCALING_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ploop {
+
+/** Named scaling points. */
+enum class ScalingProfile : std::uint8_t {
+    Conservative = 0, ///< Demonstrated devices.
+    Moderate = 1,     ///< Mid-term projection.
+    Aggressive = 2,   ///< End-of-roadmap projection.
+};
+
+/** Profile name ("conservative", ...). */
+const char *scalingProfileName(ScalingProfile p);
+
+/** All profiles, in order. */
+std::vector<ScalingProfile> allScalingProfiles();
+
+/** The technology constants of one scaling point. */
+struct PhotonicScaling
+{
+    std::string name;
+
+    // --- Dynamic energies (joules per action) ---
+    double mrr_modulate_j;  ///< MRR weight modulation, per symbol.
+    double mzm_modulate_j;  ///< MZM input modulation, per symbol.
+    double pd_sample_j;     ///< Photodiode + TIA, per sample.
+    double adc_fom_j;       ///< ADC Walden FoM (J per 2^bits step).
+    double dac_fom_j;       ///< DAC FoM.
+
+    // --- Optical link budget (losses in dB, powers in watts) ---
+    double laser_wallplug_eff;     ///< Electrical->optical efficiency.
+    double pd_sensitivity_w;       ///< Optical power needed at the PD.
+    double mrr_through_loss_db;    ///< Per ring passed on a bus.
+    double mzm_insertion_loss_db;  ///< Modulator insertion loss.
+    double coupler_split_excess_db;///< Star-coupler excess per stage.
+    double waveguide_loss_db_per_mm;
+    double chip_coupling_loss_db;  ///< Laser-to-chip coupling.
+
+    /** Data resolution the profile assumes (bits). */
+    double resolution_bits;
+};
+
+/** Constants for profile @p p. */
+const PhotonicScaling &scalingConstants(ScalingProfile p);
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_PHOTONICS_SCALING_HPP

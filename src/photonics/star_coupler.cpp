@@ -1,0 +1,46 @@
+#include "photonics/star_coupler.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace ploop {
+
+bool
+StarCouplerModel::supports(Action action) const
+{
+    // Passive: splitting costs no dynamic energy (loss is charged to
+    // the laser through the link budget).
+    return action == Action::Convert;
+}
+
+double
+StarCouplerModel::energy(Action action, const Attributes &) const
+{
+    fatalIf(!supports(action),
+            std::string("star_coupler does not support action ") +
+                actionName(action));
+    return 0.0;
+}
+
+double
+StarCouplerModel::area(const Attributes &attrs) const
+{
+    double ports = attrs.getOr("ports", 8.0);
+    double per_port =
+        attrs.getOr("area_per_port", 50.0 * units::square_micrometer);
+    return ports * per_port;
+}
+
+double
+starCouplerLossDb(double n_way, double excess_db_per_stage)
+{
+    fatalIf(n_way < 1.0, "star coupler must have >= 1 way");
+    if (n_way <= 1.0)
+        return 0.0;
+    double stages = std::ceil(std::log2(n_way));
+    return 10.0 * std::log10(n_way) + excess_db_per_stage * stages;
+}
+
+} // namespace ploop

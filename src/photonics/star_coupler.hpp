@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Star coupler model: the passive optical broadcast element that
+ * splits one modulated input across N receivers.  Splitting is
+ * passive (no dynamic energy); its cost is optical loss, which the
+ * link budget converts into laser power:
+ *
+ *   loss(N) = 10*log10(N) + excess_db * ceil(log2(N))
+ *
+ * (intrinsic 1/N splitting plus per-stage excess loss of the
+ * cascaded coupler tree).
+ *
+ * Estimator attributes:
+ *  - area_per_port  m^2 per output port (default 50 um^2)
+ */
+
+#ifndef PHOTONLOOP_PHOTONICS_STAR_COUPLER_HPP
+#define PHOTONLOOP_PHOTONICS_STAR_COUPLER_HPP
+
+#include "energy/estimator.hpp"
+
+namespace ploop {
+
+/** See file comment. */
+class StarCouplerModel : public Estimator
+{
+  public:
+    std::string klass() const override { return "star_coupler"; }
+    bool supports(Action action) const override;
+    double energy(Action action,
+                  const Attributes &attrs) const override;
+    double area(const Attributes &attrs) const override;
+};
+
+/**
+ * Total splitting loss in dB of an N-way star coupler with the given
+ * per-stage excess loss.  N=1 means no coupler (0 dB).
+ */
+double starCouplerLossDb(double n_way, double excess_db_per_stage);
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_PHOTONICS_STAR_COUPLER_HPP

@@ -1,0 +1,58 @@
+#include "photonics/waveguide.hpp"
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace ploop {
+
+bool
+WaveguideModel::supports(Action action) const
+{
+    return action == Action::Convert;
+}
+
+double
+WaveguideModel::energy(Action action, const Attributes &) const
+{
+    fatalIf(!supports(action),
+            std::string("waveguide does not support action ") +
+                actionName(action));
+    return 0.0;
+}
+
+double
+WaveguideModel::area(const Attributes &attrs) const
+{
+    return attrs.getOr("area", 0.0);
+}
+
+double
+waveguideLossDb(double length_mm, double db_per_mm)
+{
+    fatalIf(length_mm < 0.0 || db_per_mm < 0.0,
+            "waveguide loss arguments must be non-negative");
+    return length_mm * db_per_mm;
+}
+
+bool
+PhotonicMacModel::supports(Action action) const
+{
+    return action == Action::Compute;
+}
+
+double
+PhotonicMacModel::energy(Action action, const Attributes &attrs) const
+{
+    fatalIf(!supports(action),
+            std::string("photonic_mac does not support action ") +
+                actionName(action));
+    return attrs.getOr("energy_per_mac", 0.0);
+}
+
+double
+PhotonicMacModel::area(const Attributes &attrs) const
+{
+    return attrs.getOr("area", 100.0 * units::square_micrometer);
+}
+
+} // namespace ploop

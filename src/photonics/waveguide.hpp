@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Waveguide model: on-chip optical routing.  Like the star coupler it
+ * is passive; its propagation loss feeds the link budget.
+ *
+ * Estimator attributes:
+ *  - area: negligible, returns 0 by default.
+ */
+
+#ifndef PHOTONLOOP_PHOTONICS_WAVEGUIDE_HPP
+#define PHOTONLOOP_PHOTONICS_WAVEGUIDE_HPP
+
+#include "energy/estimator.hpp"
+
+namespace ploop {
+
+/** See file comment. */
+class WaveguideModel : public Estimator
+{
+  public:
+    std::string klass() const override { return "waveguide"; }
+    bool supports(Action action) const override;
+    double energy(Action action,
+                  const Attributes &attrs) const override;
+    double area(const Attributes &attrs) const override;
+};
+
+/** Propagation loss in dB over @p length_mm at @p db_per_mm. */
+double waveguideLossDb(double length_mm, double db_per_mm);
+
+/**
+ * Photonic MAC "compute unit" model: the optical multiply itself is
+ * passive (the modulators already paid the energy), so compute energy
+ * is zero by default, with an attribute escape hatch.
+ *
+ * Attributes:
+ *  - energy_per_mac  J per MAC (default 0)
+ *  - area            m^2 per MAC position (default 100 um^2 of
+ *                    waveguide/combiner fabric)
+ */
+class PhotonicMacModel : public Estimator
+{
+  public:
+    std::string klass() const override { return "photonic_mac"; }
+    bool supports(Action action) const override;
+    double energy(Action action,
+                  const Attributes &attrs) const override;
+    double area(const Attributes &attrs) const override;
+};
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_PHOTONICS_WAVEGUIDE_HPP

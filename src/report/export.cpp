@@ -1,0 +1,123 @@
+#include "report/export.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace ploop {
+
+std::string
+csvField(const std::string &value)
+{
+    bool needs_quotes =
+        value.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quotes)
+        return value;
+    std::string out = "\"";
+    for (char c : value) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    out += "\"";
+    return out;
+}
+
+std::string
+toCsv(const std::vector<ResultRow> &rows)
+{
+    if (rows.empty())
+        return "label\n";
+    std::string out = "label";
+    for (const auto &[key, v] : rows.front().values)
+        out += "," + csvField(key);
+    out += "\n";
+    for (const ResultRow &row : rows) {
+        fatalIf(row.values.size() != rows.front().values.size(),
+                "CSV rows must share the same keys (row '" +
+                    row.label + "' differs)");
+        out += csvField(row.label);
+        for (std::size_t i = 0; i < row.values.size(); ++i) {
+            fatalIf(row.values[i].first !=
+                        rows.front().values[i].first,
+                    "CSV rows must share the same keys (key '" +
+                        row.values[i].first + "' differs)");
+            out += strFormat(",%.9g", row.values[i].second);
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+toJson(const std::vector<ResultRow> &rows)
+{
+    std::string out = "[\n";
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        out += "  {\"label\": \"" + jsonEscape(rows[r].label) + "\"";
+        for (const auto &[key, v] : rows[r].values)
+            out += strFormat(", \"%s\": %.9g",
+                             jsonEscape(key).c_str(), v);
+        out += r + 1 < rows.size() ? "},\n" : "}\n";
+    }
+    out += "]\n";
+    return out;
+}
+
+ResultRow
+flattenResult(const std::string &label, const EvalResult &result)
+{
+    ResultRow row;
+    row.label = label;
+    row.values.emplace_back("energy_total_j", result.totalEnergy());
+    row.values.emplace_back("energy_per_mac_j",
+                            result.energyPerMac());
+    row.values.emplace_back("macs", result.counts.macs);
+    row.values.emplace_back("cycles", result.throughput.cycles);
+    row.values.emplace_back("utilization",
+                            result.throughput.utilization);
+    row.values.emplace_back("macs_per_cycle",
+                            result.throughput.macs_per_cycle);
+    row.values.emplace_back("runtime_s",
+                            result.throughput.runtime_s);
+    row.values.emplace_back("area_m2", result.area_m2);
+    for (const auto &[component, joules] :
+         result.energy.byComponent()) {
+        row.values.emplace_back("energy." + component, joules);
+    }
+    return row;
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary);
+    fatalIf(!out.is_open(), "cannot open '" + path + "' for writing");
+    out << content;
+    fatalIf(!out.good(), "write to '" + path + "' failed");
+}
+
+} // namespace ploop

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Result export: serialize evaluation results to CSV and a minimal
+ * JSON, so downstream plotting (the paper's figures are bar charts)
+ * can consume PhotonLoop output directly.
+ */
+
+#ifndef PHOTONLOOP_REPORT_EXPORT_HPP
+#define PHOTONLOOP_REPORT_EXPORT_HPP
+
+#include <string>
+#include <vector>
+
+#include "model/evaluator.hpp"
+
+namespace ploop {
+
+/**
+ * Escape and quote a CSV field per RFC 4180 (quotes doubled, fields
+ * containing separators/quotes/newlines wrapped in quotes).
+ */
+std::string csvField(const std::string &value);
+
+/** One row of labeled numeric results. */
+struct ResultRow
+{
+    std::string label;
+    std::vector<std::pair<std::string, double>> values;
+};
+
+/**
+ * Render rows as CSV: header from the first row's keys (all rows
+ * must share the same keys, checked), one line per row.
+ */
+std::string toCsv(const std::vector<ResultRow> &rows);
+
+/** Render rows as a JSON array of objects. */
+std::string toJson(const std::vector<ResultRow> &rows);
+
+/**
+ * Flatten an EvalResult into a ResultRow: total/per-MAC energy,
+ * cycles, utilization, MACs/cycle, area, and per-component energy
+ * (keys "energy.<component>").
+ */
+ResultRow flattenResult(const std::string &label,
+                        const EvalResult &result);
+
+/** Write @p content to @p path; fatal() on I/O failure. */
+void writeFile(const std::string &path, const std::string &content);
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_REPORT_EXPORT_HPP

@@ -1,0 +1,102 @@
+#include "workload/dims.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace ploop {
+
+const char *
+dimName(Dim d)
+{
+    switch (d) {
+      case Dim::N: return "N";
+      case Dim::K: return "K";
+      case Dim::C: return "C";
+      case Dim::P: return "P";
+      case Dim::Q: return "Q";
+      case Dim::R: return "R";
+      case Dim::S: return "S";
+    }
+    panic("dimName: bad dim");
+}
+
+Dim
+dimFromName(const std::string &name)
+{
+    for (Dim d : kAllDims) {
+        if (name == dimName(d))
+            return d;
+    }
+    fatal("unknown dim name: '" + name + "'");
+}
+
+const char *
+tensorName(Tensor t)
+{
+    switch (t) {
+      case Tensor::Weights: return "Weights";
+      case Tensor::Inputs: return "Inputs";
+      case Tensor::Outputs: return "Outputs";
+    }
+    panic("tensorName: bad tensor");
+}
+
+unsigned
+DimSet::count() const
+{
+    unsigned n = 0;
+    for (Dim d : kAllDims) {
+        if (contains(d))
+            ++n;
+    }
+    return n;
+}
+
+std::string
+DimSet::str() const
+{
+    std::vector<std::string> names;
+    for (Dim d : kAllDims) {
+        if (contains(d))
+            names.emplace_back(dimName(d));
+    }
+    return "{" + join(names, ",") + "}";
+}
+
+DimSet
+tensorDims(Tensor t)
+{
+    switch (t) {
+      case Tensor::Weights:
+        return DimSet{Dim::K, Dim::C, Dim::R, Dim::S};
+      case Tensor::Inputs:
+        // P,R and Q,S both index the input through the sliding
+        // window, so all of them are data-relevant.
+        return DimSet{Dim::N, Dim::C, Dim::P, Dim::Q, Dim::R, Dim::S};
+      case Tensor::Outputs:
+        return DimSet{Dim::N, Dim::K, Dim::P, Dim::Q};
+    }
+    panic("tensorDims: bad tensor");
+}
+
+DimSet
+irrelevantDims(Tensor t)
+{
+    DimSet rel = tensorDims(t);
+    DimSet out;
+    for (Dim d : kAllDims) {
+        if (!rel.contains(d))
+            out.insert(d);
+    }
+    return out;
+}
+
+DimSet
+reductionDims()
+{
+    return DimSet{Dim::C, Dim::R, Dim::S};
+}
+
+} // namespace ploop

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The seven canonical DNN-layer loop dimensions used by Timeloop-style
+ * modeling, plus the three tensors (dataspaces) of a layer and their
+ * dimension projections.
+ *
+ * A convolutional layer is the loop nest
+ *
+ *   for n in N:  for k in K:  for c in C:
+ *     for p in P:  for q in Q:  for r in R:  for s in S:
+ *       O[n,k,p,q] += W[k,c,r,s] * I[n,c,p*Hs+r,q*Ws+s]
+ *
+ * Fully-connected layers are the special case P=Q=R=S=1.
+ */
+
+#ifndef PHOTONLOOP_WORKLOAD_DIMS_HPP
+#define PHOTONLOOP_WORKLOAD_DIMS_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace ploop {
+
+/** Loop dimensions of a DNN layer. */
+enum class Dim : std::uint8_t {
+    N = 0, ///< Batch.
+    K = 1, ///< Output channels (filters).
+    C = 2, ///< Input channels.
+    P = 3, ///< Output rows.
+    Q = 4, ///< Output columns.
+    R = 5, ///< Filter rows.
+    S = 6, ///< Filter columns.
+};
+
+/** Number of loop dimensions. */
+constexpr unsigned kNumDims = 7;
+
+/** All dims in canonical order. */
+constexpr std::array<Dim, kNumDims> kAllDims = {
+    Dim::N, Dim::K, Dim::C, Dim::P, Dim::Q, Dim::R, Dim::S,
+};
+
+/** Index of a dim into per-dim arrays. */
+constexpr unsigned dimIndex(Dim d) { return static_cast<unsigned>(d); }
+
+/** One-letter name of a dim ("N", "K", ...). */
+const char *dimName(Dim d);
+
+/** Parse a one-letter dim name; fatal() on unknown names. */
+Dim dimFromName(const std::string &name);
+
+/** The three tensors (dataspaces) of a layer. */
+enum class Tensor : std::uint8_t {
+    Weights = 0,
+    Inputs = 1,
+    Outputs = 2,
+};
+
+/** Number of tensors. */
+constexpr unsigned kNumTensors = 3;
+
+/** All tensors in canonical order. */
+constexpr std::array<Tensor, kNumTensors> kAllTensors = {
+    Tensor::Weights, Tensor::Inputs, Tensor::Outputs,
+};
+
+/** Index of a tensor into per-tensor arrays. */
+constexpr unsigned tensorIndex(Tensor t)
+{
+    return static_cast<unsigned>(t);
+}
+
+/** Human-readable tensor name. */
+const char *tensorName(Tensor t);
+
+/** A set of dims, stored as a bitmask. */
+class DimSet
+{
+  public:
+    constexpr DimSet() = default;
+
+    constexpr DimSet(std::initializer_list<Dim> dims)
+    {
+        for (Dim d : dims)
+            mask_ |= bit(d);
+    }
+
+    constexpr bool contains(Dim d) const { return mask_ & bit(d); }
+    constexpr void insert(Dim d) { mask_ |= bit(d); }
+    constexpr void erase(Dim d) { mask_ &= ~bit(d); }
+    constexpr bool empty() const { return mask_ == 0; }
+    constexpr bool operator==(const DimSet &o) const = default;
+
+    /** Union. */
+    constexpr DimSet operator|(const DimSet &o) const
+    {
+        DimSet s;
+        s.mask_ = mask_ | o.mask_;
+        return s;
+    }
+
+    /** Intersection. */
+    constexpr DimSet operator&(const DimSet &o) const
+    {
+        DimSet s;
+        s.mask_ = mask_ & o.mask_;
+        return s;
+    }
+
+    /** Number of dims in the set. */
+    unsigned count() const;
+
+    /** Render e.g. "{K,C,R,S}". */
+    std::string str() const;
+
+  private:
+    static constexpr std::uint8_t bit(Dim d)
+    {
+        return static_cast<std::uint8_t>(1u << dimIndex(d));
+    }
+
+    std::uint8_t mask_ = 0;
+};
+
+/**
+ * Dims whose loop index appears in tensor @p t's subscript, i.e. dims
+ * for which a changed index means different data.  Inputs project
+ * through the sliding window, so P,Q,R,S are all relevant to Inputs.
+ */
+DimSet tensorDims(Tensor t);
+
+/**
+ * Dims that tensor @p t does NOT depend on.  Iterating such a loop
+ * with the tensor resident in a buffer reuses the same tile
+ * (temporal reuse); spatial fanout over such a dim multicasts
+ * (weights/inputs) or reduces (outputs).
+ */
+DimSet irrelevantDims(Tensor t);
+
+/** Reduction dims of the layer (summed into outputs): C, R, S. */
+DimSet reductionDims();
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_WORKLOAD_DIMS_HPP

@@ -1,0 +1,147 @@
+#include "workload/layer.hpp"
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace ploop {
+
+const char *
+layerKindName(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::Conv: return "Conv";
+      case LayerKind::FullyConnected: return "FullyConnected";
+    }
+    panic("layerKindName: bad kind");
+}
+
+LayerShape
+LayerShape::conv(std::string name, std::uint64_t n, std::uint64_t k,
+                 std::uint64_t c, std::uint64_t p, std::uint64_t q,
+                 std::uint64_t r, std::uint64_t s, std::uint64_t hstride,
+                 std::uint64_t wstride)
+{
+    LayerShape l;
+    l.name_ = std::move(name);
+    l.kind_ = LayerKind::Conv;
+    l.bounds_[dimIndex(Dim::N)] = n;
+    l.bounds_[dimIndex(Dim::K)] = k;
+    l.bounds_[dimIndex(Dim::C)] = c;
+    l.bounds_[dimIndex(Dim::P)] = p;
+    l.bounds_[dimIndex(Dim::Q)] = q;
+    l.bounds_[dimIndex(Dim::R)] = r;
+    l.bounds_[dimIndex(Dim::S)] = s;
+    l.hstride_ = hstride;
+    l.wstride_ = wstride;
+    l.validate();
+    return l;
+}
+
+LayerShape
+LayerShape::fullyConnected(std::string name, std::uint64_t n,
+                           std::uint64_t k, std::uint64_t c)
+{
+    LayerShape l = conv(std::move(name), n, k, c, 1, 1, 1, 1, 1, 1);
+    l.kind_ = LayerKind::FullyConnected;
+    return l;
+}
+
+void
+LayerShape::setWordBits(Tensor t, unsigned bits)
+{
+    fatalIf(bits == 0 || bits > 64,
+            "word bits must be in [1, 64], got " + std::to_string(bits));
+    word_bits_[tensorIndex(t)] = bits;
+}
+
+std::uint64_t
+LayerShape::macs() const
+{
+    std::uint64_t m = 1;
+    for (Dim d : kAllDims)
+        m *= bound(d);
+    return m;
+}
+
+std::uint64_t
+LayerShape::inputHeight() const
+{
+    return (bound(Dim::P) - 1) * hstride_ + bound(Dim::R);
+}
+
+std::uint64_t
+LayerShape::inputWidth() const
+{
+    return (bound(Dim::Q) - 1) * wstride_ + bound(Dim::S);
+}
+
+std::uint64_t
+LayerShape::tensorWords(Tensor t) const
+{
+    switch (t) {
+      case Tensor::Weights:
+        return bound(Dim::K) * bound(Dim::C) * bound(Dim::R) *
+               bound(Dim::S);
+      case Tensor::Inputs:
+        return bound(Dim::N) * bound(Dim::C) * inputHeight() *
+               inputWidth();
+      case Tensor::Outputs:
+        return bound(Dim::N) * bound(Dim::K) * bound(Dim::P) *
+               bound(Dim::Q);
+    }
+    panic("tensorWords: bad tensor");
+}
+
+std::uint64_t
+LayerShape::tensorBytes(Tensor t) const
+{
+    return (tensorWords(t) * wordBits(t) + 7) / 8;
+}
+
+LayerShape
+LayerShape::withBatch(std::uint64_t n) const
+{
+    fatalIf(n == 0, "batch size must be >= 1");
+    LayerShape l = *this;
+    l.bounds_[dimIndex(Dim::N)] = n;
+    return l;
+}
+
+std::string
+LayerShape::str() const
+{
+    return strFormat(
+        "%s [%s] N=%llu K=%llu C=%llu PQ=%llux%llu RS=%llux%llu "
+        "stride=%llux%llu",
+        name_.c_str(), layerKindName(kind_),
+        static_cast<unsigned long long>(bound(Dim::N)),
+        static_cast<unsigned long long>(bound(Dim::K)),
+        static_cast<unsigned long long>(bound(Dim::C)),
+        static_cast<unsigned long long>(bound(Dim::P)),
+        static_cast<unsigned long long>(bound(Dim::Q)),
+        static_cast<unsigned long long>(bound(Dim::R)),
+        static_cast<unsigned long long>(bound(Dim::S)),
+        static_cast<unsigned long long>(hstride_),
+        static_cast<unsigned long long>(wstride_));
+}
+
+void
+LayerShape::validate() const
+{
+    fatalIf(name_.empty(), "layer must have a name");
+    for (Dim d : kAllDims) {
+        fatalIf(bound(d) == 0,
+                "layer '" + name_ + "': bound " + dimName(d) +
+                    " must be >= 1");
+    }
+    fatalIf(hstride_ == 0 || wstride_ == 0,
+            "layer '" + name_ + "': strides must be >= 1");
+    if (kind_ == LayerKind::FullyConnected) {
+        fatalIf(bound(Dim::P) != 1 || bound(Dim::Q) != 1 ||
+                    bound(Dim::R) != 1 || bound(Dim::S) != 1,
+                "layer '" + name_ +
+                    "': fully-connected layers need P=Q=R=S=1");
+    }
+}
+
+} // namespace ploop

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * DNN layer shapes: loop bounds, strides, kind, datawidths, and the
+ * derived quantities the modeling engine needs (MAC count, tensor
+ * sizes including input halos).
+ */
+
+#ifndef PHOTONLOOP_WORKLOAD_LAYER_HPP
+#define PHOTONLOOP_WORKLOAD_LAYER_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "workload/dims.hpp"
+
+namespace ploop {
+
+/** Coarse layer categories used for reporting and utilization rules. */
+enum class LayerKind : std::uint8_t {
+    Conv,           ///< Standard convolution.
+    FullyConnected, ///< P=Q=R=S=1 matrix-vector layer.
+};
+
+/** Human-readable kind name. */
+const char *layerKindName(LayerKind kind);
+
+/**
+ * Shape of one DNN layer: the seven loop bounds plus convolution
+ * strides and per-tensor data widths.
+ *
+ * Bounds are the *workload* bounds (e.g. K=64 filters); the mapping
+ * decides how they tile onto hardware.  All bounds must be >= 1.
+ */
+class LayerShape
+{
+  public:
+    /**
+     * Construct a convolution layer.
+     *
+     * @param name Layer name (unique within a network).
+     * @param n Batch size.
+     * @param k Output channels.
+     * @param c Input channels.
+     * @param p Output feature-map rows.
+     * @param q Output feature-map columns.
+     * @param r Filter rows.
+     * @param s Filter columns.
+     * @param hstride Vertical stride (along P).
+     * @param wstride Horizontal stride (along Q).
+     */
+    static LayerShape conv(std::string name, std::uint64_t n,
+                           std::uint64_t k, std::uint64_t c,
+                           std::uint64_t p, std::uint64_t q,
+                           std::uint64_t r, std::uint64_t s,
+                           std::uint64_t hstride = 1,
+                           std::uint64_t wstride = 1);
+
+    /**
+     * Construct a fully-connected layer (P=Q=R=S=1).
+     *
+     * @param name Layer name.
+     * @param n Batch size.
+     * @param k Output features.
+     * @param c Input features.
+     */
+    static LayerShape fullyConnected(std::string name, std::uint64_t n,
+                                     std::uint64_t k, std::uint64_t c);
+
+    /** Layer name. */
+    const std::string &name() const { return name_; }
+
+    /** Layer kind. */
+    LayerKind kind() const { return kind_; }
+
+    /** Loop bound of dimension @p d. */
+    std::uint64_t bound(Dim d) const { return bounds_[dimIndex(d)]; }
+
+    /** Vertical (P-direction) stride. */
+    std::uint64_t hstride() const { return hstride_; }
+
+    /** Horizontal (Q-direction) stride. */
+    std::uint64_t wstride() const { return wstride_; }
+
+    /** Bits per word of tensor @p t (default 8). */
+    unsigned wordBits(Tensor t) const
+    {
+        return word_bits_[tensorIndex(t)];
+    }
+
+    /** Set bits per word of tensor @p t. */
+    void setWordBits(Tensor t, unsigned bits);
+
+    /** Total multiply-accumulates: N*K*C*P*Q*R*S. */
+    std::uint64_t macs() const;
+
+    /** Input feature-map height: (P-1)*hstride + R. */
+    std::uint64_t inputHeight() const;
+
+    /** Input feature-map width: (Q-1)*wstride + S. */
+    std::uint64_t inputWidth() const;
+
+    /**
+     * Number of words in tensor @p t.  Inputs use the halo'd
+     * H x W footprint, not P*Q*R*S.
+     */
+    std::uint64_t tensorWords(Tensor t) const;
+
+    /** Bytes of tensor @p t (bits rounded up to whole bytes). */
+    std::uint64_t tensorBytes(Tensor t) const;
+
+    /** True if the layer has spatial stride > 1 in either direction. */
+    bool isStrided() const { return hstride_ > 1 || wstride_ > 1; }
+
+    /**
+     * The same layer with a different batch size (used by the
+     * full-system batching experiments).
+     */
+    LayerShape withBatch(std::uint64_t n) const;
+
+    /** One-line summary, e.g. "conv3 K=384 C=256 PQ=13x13 RS=3x3". */
+    std::string str() const;
+
+    /** Validate invariants; fatal() on violation. */
+    void validate() const;
+
+  private:
+    LayerShape() = default;
+
+    std::string name_;
+    LayerKind kind_ = LayerKind::Conv;
+    std::array<std::uint64_t, kNumDims> bounds_{};
+    std::uint64_t hstride_ = 1;
+    std::uint64_t wstride_ = 1;
+    std::array<unsigned, kNumTensors> word_bits_{8, 8, 8};
+};
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_WORKLOAD_LAYER_HPP

@@ -1,0 +1,169 @@
+#include "workload/model_zoo.hpp"
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace ploop {
+
+Network
+makeAlexNet(std::uint64_t batch)
+{
+    Network net("AlexNet");
+    const std::uint64_t n = batch;
+    // conv1: 227x227x3 -> 55x55x96, 11x11 stride 4.
+    net.addLayer(LayerShape::conv("conv1", n, 96, 3, 55, 55, 11, 11,
+                                  4, 4));
+    // pool -> 27x27. conv2: 5x5 pad 2, 96 -> 256.
+    net.addLayer(LayerShape::conv("conv2", n, 256, 96, 27, 27, 5, 5));
+    // pool -> 13x13. conv3..5: 3x3 pad 1.
+    net.addLayer(LayerShape::conv("conv3", n, 384, 256, 13, 13, 3, 3));
+    net.addLayer(LayerShape::conv("conv4", n, 384, 384, 13, 13, 3, 3));
+    net.addLayer(LayerShape::conv("conv5", n, 256, 384, 13, 13, 3, 3));
+    // pool -> 6x6x256 = 9216. fc6..8.
+    net.addLayer(LayerShape::fullyConnected("fc6", n, 4096, 9216));
+    net.addLayer(LayerShape::fullyConnected("fc7", n, 4096, 4096));
+    net.addLayer(LayerShape::fullyConnected("fc8", n, 1000, 4096));
+    return net;
+}
+
+Network
+makeVgg16(std::uint64_t batch)
+{
+    Network net("VGG16");
+    const std::uint64_t n = batch;
+    struct ConvCfg
+    {
+        const char *name;
+        std::uint64_t k, c, pq;
+    };
+    static const ConvCfg cfgs[] = {
+        {"conv1_1", 64, 3, 224},   {"conv1_2", 64, 64, 224},
+        {"conv2_1", 128, 64, 112}, {"conv2_2", 128, 128, 112},
+        {"conv3_1", 256, 128, 56}, {"conv3_2", 256, 256, 56},
+        {"conv3_3", 256, 256, 56}, {"conv4_1", 512, 256, 28},
+        {"conv4_2", 512, 512, 28}, {"conv4_3", 512, 512, 28},
+        {"conv5_1", 512, 512, 14}, {"conv5_2", 512, 512, 14},
+        {"conv5_3", 512, 512, 14},
+    };
+    for (const auto &cfg : cfgs) {
+        net.addLayer(LayerShape::conv(cfg.name, n, cfg.k, cfg.c, cfg.pq,
+                                      cfg.pq, 3, 3));
+    }
+    // pool -> 7x7x512 = 25088.
+    net.addLayer(LayerShape::fullyConnected("fc1", n, 4096, 25088));
+    net.addLayer(LayerShape::fullyConnected("fc2", n, 4096, 4096));
+    net.addLayer(LayerShape::fullyConnected("fc3", n, 1000, 4096));
+    return net;
+}
+
+namespace {
+
+/**
+ * Append one ResNet basic block: two 3x3 convs, plus an optional
+ * 1x1/2 downsample conv on the shortcut when the block changes
+ * resolution/width.  Residual spans are annotated so the fusion model
+ * can account for the skip value staying live across the block.
+ */
+void
+addBasicBlock(Network &net, const std::string &prefix, std::uint64_t n,
+              std::uint64_t c_in, std::uint64_t c_out, std::uint64_t pq,
+              bool downsample)
+{
+    std::uint64_t stride = downsample ? 2 : 1;
+    net.addLayer(LayerShape::conv(prefix + ".conv1", n, c_out, c_in, pq,
+                                  pq, 3, 3, stride, stride));
+    // The block input is consumed again by the residual add after
+    // conv2 (2 layers later from conv1's producer, i.e. the previous
+    // layer); approximate by marking conv1 as holding a residual for
+    // the next layer.
+    net.markResidualSource(1);
+    net.addLayer(LayerShape::conv(prefix + ".conv2", n, c_out, c_out,
+                                  pq, pq, 3, 3));
+    if (downsample) {
+        net.addLayer(LayerShape::conv(prefix + ".downsample", n, c_out,
+                                      c_in, pq, pq, 1, 1, 2, 2));
+    }
+}
+
+} // namespace
+
+Network
+makeResNet18(std::uint64_t batch)
+{
+    Network net("ResNet18");
+    const std::uint64_t n = batch;
+    // Stem: 7x7/2, 3 -> 64, 224 -> 112; then 3x3/2 maxpool -> 56.
+    net.addLayer(LayerShape::conv("conv1", n, 64, 3, 112, 112, 7, 7,
+                                  2, 2));
+    // Stage 1: two blocks at 56x56, 64 channels.
+    addBasicBlock(net, "layer1.0", n, 64, 64, 56, false);
+    addBasicBlock(net, "layer1.1", n, 64, 64, 56, false);
+    // Stage 2: 28x28, 128 channels, first block downsamples.
+    addBasicBlock(net, "layer2.0", n, 64, 128, 28, true);
+    addBasicBlock(net, "layer2.1", n, 128, 128, 28, false);
+    // Stage 3: 14x14, 256 channels.
+    addBasicBlock(net, "layer3.0", n, 128, 256, 14, true);
+    addBasicBlock(net, "layer3.1", n, 256, 256, 14, false);
+    // Stage 4: 7x7, 512 channels.
+    addBasicBlock(net, "layer4.0", n, 256, 512, 7, true);
+    addBasicBlock(net, "layer4.1", n, 512, 512, 7, false);
+    // Global average pool -> 512; classifier.
+    net.addLayer(LayerShape::fullyConnected("fc", n, 1000, 512));
+    return net;
+}
+
+Network
+makeResNet34(std::uint64_t batch)
+{
+    Network net("ResNet34");
+    const std::uint64_t n = batch;
+    net.addLayer(LayerShape::conv("conv1", n, 64, 3, 112, 112, 7, 7,
+                                  2, 2));
+    struct Stage
+    {
+        const char *prefix;
+        std::uint64_t c_in, c_out, pq;
+        unsigned blocks;
+    };
+    static const Stage stages[] = {
+        {"layer1", 64, 64, 56, 3},
+        {"layer2", 64, 128, 28, 4},
+        {"layer3", 128, 256, 14, 6},
+        {"layer4", 256, 512, 7, 3},
+    };
+    for (const Stage &st : stages) {
+        for (unsigned b = 0; b < st.blocks; ++b) {
+            bool down = (b == 0 && st.c_in != st.c_out);
+            std::string prefix =
+                std::string(st.prefix) + "." + std::to_string(b);
+            addBasicBlock(net, prefix, n,
+                          b == 0 ? st.c_in : st.c_out, st.c_out,
+                          st.pq, down);
+        }
+    }
+    net.addLayer(LayerShape::fullyConnected("fc", n, 1000, 512));
+    return net;
+}
+
+std::vector<std::string>
+modelZooNames()
+{
+    return {"alexnet", "vgg16", "resnet18", "resnet34"};
+}
+
+Network
+makeNetwork(const std::string &name, std::uint64_t batch)
+{
+    std::string lower = toLower(name);
+    if (lower == "alexnet")
+        return makeAlexNet(batch);
+    if (lower == "vgg16")
+        return makeVgg16(batch);
+    if (lower == "resnet18")
+        return makeResNet18(batch);
+    if (lower == "resnet34")
+        return makeResNet34(batch);
+    fatal("unknown model-zoo network '" + name + "'");
+}
+
+} // namespace ploop

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The three DNN workloads the paper evaluates: AlexNet and VGG16
+ * (throughput, Fig. 3) and ResNet18 (full-system and reuse
+ * explorations, Figs. 4-5).  Layer tables follow the original
+ * publications; all shapes assume 224x224 (227x227 for AlexNet conv1
+ * arithmetic, folded into the output size) ImageNet inputs.
+ */
+
+#ifndef PHOTONLOOP_WORKLOAD_MODEL_ZOO_HPP
+#define PHOTONLOOP_WORKLOAD_MODEL_ZOO_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/network.hpp"
+
+namespace ploop {
+
+/**
+ * AlexNet (Krizhevsky et al., 2012), single-tower variant:
+ * 5 conv layers (conv1 is 11x11 stride 4) + 3 FC layers.
+ */
+Network makeAlexNet(std::uint64_t batch = 1);
+
+/**
+ * VGG16 (Simonyan & Zisserman, 2015): 13 unstrided 3x3 conv layers +
+ * 3 FC layers.
+ */
+Network makeVgg16(std::uint64_t batch = 1);
+
+/**
+ * ResNet18 (He et al., 2016): 7x7/2 stem, four 2-block stages of 3x3
+ * convs with 1x1/2 downsample shortcuts, final FC.  Residual edges are
+ * annotated for the fusion model.
+ */
+Network makeResNet18(std::uint64_t batch = 1);
+
+/**
+ * ResNet34 (He et al., 2016): the deeper basic-block variant
+ * (3/4/6/3 blocks per stage).
+ */
+Network makeResNet34(std::uint64_t batch = 1);
+
+/** Names accepted by makeNetwork(). */
+std::vector<std::string> modelZooNames();
+
+/** Build a zoo network by (case-insensitive) name; fatal() if unknown. */
+Network makeNetwork(const std::string &name, std::uint64_t batch = 1);
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_WORKLOAD_MODEL_ZOO_HPP

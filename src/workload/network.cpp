@@ -1,0 +1,116 @@
+#include "workload/network.hpp"
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace ploop {
+
+Network::Network(std::string name)
+    : name_(std::move(name))
+{
+    fatalIf(name_.empty(), "network must have a name");
+}
+
+void
+Network::addLayer(LayerShape layer)
+{
+    layer.validate();
+    for (const auto &l : layers_) {
+        fatalIf(l.name() == layer.name(),
+                "duplicate layer name '" + layer.name() + "' in network '" +
+                    name_ + "'");
+    }
+    layers_.push_back(std::move(layer));
+}
+
+void
+Network::markResidualSource(unsigned consumer_layers_later)
+{
+    fatalIf(layers_.empty(), "markResidualSource before any layer");
+    fatalIf(consumer_layers_later == 0,
+            "residual consumer must be a later layer");
+    std::size_t src = layers_.size() - 1;
+    residual_spans_.emplace_back(src, src + consumer_layers_later);
+}
+
+const LayerShape &
+Network::layer(std::size_t i) const
+{
+    fatalIf(i >= layers_.size(),
+            "layer index " + std::to_string(i) + " out of range in '" +
+                name_ + "'");
+    return layers_[i];
+}
+
+const LayerShape &
+Network::layerByName(const std::string &name) const
+{
+    for (const auto &l : layers_) {
+        if (l.name() == name)
+            return l;
+    }
+    fatal("no layer named '" + name + "' in network '" + name_ + "'");
+}
+
+std::uint64_t
+Network::residualLiveWords(std::size_t i) const
+{
+    std::uint64_t words = 0;
+    for (const auto &[src, last] : residual_spans_) {
+        // The residual value is the *output* of layer src; it is live
+        // through evaluation of layers (src, last].
+        if (i > src && i <= last)
+            words += layers_[src].tensorWords(Tensor::Outputs);
+    }
+    return words;
+}
+
+std::uint64_t
+Network::totalMacs() const
+{
+    std::uint64_t m = 0;
+    for (const auto &l : layers_)
+        m += l.macs();
+    return m;
+}
+
+std::uint64_t
+Network::totalWeightWords() const
+{
+    std::uint64_t w = 0;
+    for (const auto &l : layers_)
+        w += l.tensorWords(Tensor::Weights);
+    return w;
+}
+
+std::uint64_t
+Network::totalTensorWords(Tensor t) const
+{
+    std::uint64_t w = 0;
+    for (const auto &l : layers_)
+        w += l.tensorWords(t);
+    return w;
+}
+
+Network
+Network::withBatch(std::uint64_t n) const
+{
+    Network out(name_);
+    for (const auto &l : layers_)
+        out.addLayer(l.withBatch(n));
+    out.residual_spans_ = residual_spans_;
+    return out;
+}
+
+std::string
+Network::str() const
+{
+    std::string out = name_ + " (" + std::to_string(layers_.size()) +
+                      " layers, " + formatCount(double(totalMacs())) +
+                      " MACs)\n";
+    for (const auto &l : layers_)
+        out += "  " + l.str() + "\n";
+    return out;
+}
+
+} // namespace ploop

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * A Network is an ordered list of layers (a simple feed-forward chain,
+ * which is how Timeloop-class tools see DNNs: each layer is evaluated
+ * independently, with inter-layer tensors flowing through the memory
+ * hierarchy).  Residual/skip edges only matter for the fusion model's
+ * live-footprint computation and are recorded as the number of extra
+ * live activations per layer.
+ */
+
+#ifndef PHOTONLOOP_WORKLOAD_NETWORK_HPP
+#define PHOTONLOOP_WORKLOAD_NETWORK_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/layer.hpp"
+
+namespace ploop {
+
+/** An ordered feed-forward DNN. */
+class Network
+{
+  public:
+    /** @param name Network name (e.g. "ResNet18"). */
+    explicit Network(std::string name);
+
+    /** Network name. */
+    const std::string &name() const { return name_; }
+
+    /** Append a layer. Names must be unique. */
+    void addLayer(LayerShape layer);
+
+    /**
+     * Mark the last-added layer as feeding a residual connection whose
+     * value stays live until @p consumer_layers_later layers later.
+     * Used by the fusion model to size the on-chip buffer.
+     */
+    void markResidualSource(unsigned consumer_layers_later);
+
+    /** Number of layers. */
+    std::size_t size() const { return layers_.size(); }
+
+    /** Layer by position. */
+    const LayerShape &layer(std::size_t i) const;
+
+    /** All layers. */
+    const std::vector<LayerShape> &layers() const { return layers_; }
+
+    /** Layer by name; fatal() if absent. */
+    const LayerShape &layerByName(const std::string &name) const;
+
+    /**
+     * Residual liveness: extra words of activations (beyond the
+     * producing/consuming pair) live while evaluating layer @p i.
+     */
+    std::uint64_t residualLiveWords(std::size_t i) const;
+
+    /** Total MACs over all layers. */
+    std::uint64_t totalMacs() const;
+
+    /** Total weight words over all layers. */
+    std::uint64_t totalWeightWords() const;
+
+    /**
+     * Sum over layers of the given tensor's word count (inputs and
+     * outputs count per-layer, so inter-layer tensors count twice:
+     * once as an output and once as the next layer's input).
+     */
+    std::uint64_t totalTensorWords(Tensor t) const;
+
+    /** The same network with every layer's batch set to @p n. */
+    Network withBatch(std::uint64_t n) const;
+
+    /** Multi-line summary table of all layers. */
+    std::string str() const;
+
+  private:
+    std::string name_;
+    std::vector<LayerShape> layers_;
+    // For layer i: list of (source_layer, last_consumer_layer) spans
+    // of residual values, stored sparsely.
+    std::vector<std::pair<std::size_t, std::size_t>> residual_spans_;
+};
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_WORKLOAD_NETWORK_HPP

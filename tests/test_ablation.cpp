@@ -1,0 +1,131 @@
+/** @file Tests of the model-ablation switches on the Albireo config. */
+
+#include <gtest/gtest.h>
+
+#include "albireo/albireo_arch.hpp"
+#include "mapper/mapper.hpp"
+#include "model/evaluator.hpp"
+
+namespace ploop {
+namespace {
+
+SearchOptions
+fastSearch(Objective obj = Objective::Energy)
+{
+    SearchOptions opts;
+    opts.objective = obj;
+    opts.random_samples = 15;
+    opts.hill_climb_rounds = 4;
+    return opts;
+}
+
+TEST(Ablation, WindowOffRemovesStridePenalty)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    LayerShape strided =
+        LayerShape::conv("s", 1, 96, 3, 55, 55, 11, 11, 4, 4);
+    auto util = [&](bool window) {
+        AlbireoConfig cfg = AlbireoConfig::paperDefault(
+            ScalingProfile::Conservative);
+        cfg.model_window_effects = window;
+        ArchSpec arch = buildAlbireoArch(cfg);
+        Evaluator evaluator(arch, registry);
+        MapperResult r =
+            Mapper(evaluator, fastSearch(Objective::Delay))
+                .search(strided);
+        return r.result.throughput.utilization;
+    };
+    EXPECT_GT(util(false), 2.0 * util(true));
+}
+
+TEST(Ablation, WindowOffKeepsInputSharingOnStridedLayers)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    LayerShape strided =
+        LayerShape::conv("s", 1, 48, 64, 28, 28, 3, 3, 2, 2);
+    auto mzm_count = [&](bool window) {
+        AlbireoConfig cfg = AlbireoConfig::paperDefault(
+            ScalingProfile::Aggressive);
+        cfg.model_window_effects = window;
+        ArchSpec arch = buildAlbireoArch(cfg);
+        Evaluator evaluator(arch, registry);
+        MapperResult r =
+            Mapper(evaluator, fastSearch()).search(strided);
+        for (const ConverterCount &cc : r.result.converters) {
+            if (cc.name == "input_mzm")
+                return cc.count;
+        }
+        return -1.0;
+    };
+    // With window modeling, stride collapses the 9x sharing; the
+    // ablated model keeps it.
+    EXPECT_NEAR(mzm_count(true), double(strided.macs()), 1.0);
+    EXPECT_NEAR(mzm_count(false), double(strided.macs()) / 9.0, 1.0);
+}
+
+TEST(Ablation, AmortizedLaserHidesUnderutilization)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    LayerShape fc = LayerShape::fullyConnected("fc", 1, 4096, 4096);
+    auto pj = [&](bool laser_static) {
+        AlbireoConfig cfg = AlbireoConfig::paperDefault(
+            ScalingProfile::Conservative);
+        cfg.model_laser_static = laser_static;
+        ArchSpec arch = buildAlbireoArch(cfg);
+        Evaluator evaluator(arch, registry);
+        MapperResult r =
+            Mapper(evaluator, fastSearch()).search(fc);
+        return r.result.energyPerMac();
+    };
+    // The static-laser model charges underutilized layers far more.
+    EXPECT_GT(pj(true), 2.0 * pj(false));
+}
+
+TEST(Ablation, AmortizedLaserArchHasNoStatics)
+{
+    AlbireoConfig cfg =
+        AlbireoConfig::paperDefault(ScalingProfile::Conservative);
+    cfg.model_laser_static = false;
+    ArchSpec arch = buildAlbireoArch(cfg);
+    EXPECT_TRUE(arch.statics().empty());
+    EXPECT_GT(arch.compute().attrs.get("energy_per_mac"), 0.0);
+}
+
+TEST(Ablation, AdcGrowthOffMakesOutputReuseFree)
+{
+    AlbireoConfig cfg =
+        AlbireoConfig::paperDefault(ScalingProfile::Aggressive);
+    cfg.output_reuse = 15.0;
+    cfg.model_adc_growth = false;
+    ArchSpec arch = buildAlbireoArch(cfg);
+    const auto &regs = arch.level(arch.levelIndex("OperandRegs"));
+    EXPECT_DOUBLE_EQ(
+        regs.convertersFor(Tensor::Outputs)[1].attrs.get(
+            "resolution"),
+        8.0);
+}
+
+TEST(Ablation, BestCaseUnaffectedByLaserAccounting)
+{
+    // At 100% utilization, static and amortized laser accounting
+    // agree (same energy, just booked differently).
+    EnergyRegistry registry = makeDefaultRegistry();
+    LayerShape best =
+        LayerShape::conv("best", 1, 48, 64, 56, 56, 3, 3);
+    auto pj = [&](bool laser_static) {
+        AlbireoConfig cfg = AlbireoConfig::paperDefault(
+            ScalingProfile::Conservative);
+        cfg.model_laser_static = laser_static;
+        ArchSpec arch = buildAlbireoArch(cfg);
+        Evaluator evaluator(arch, registry);
+        MapperResult r = Mapper(evaluator, fastSearch(
+                                               Objective::Delay))
+                             .search(best);
+        EXPECT_NEAR(r.result.throughput.utilization, 1.0, 1e-9);
+        return r.result.energyPerMac();
+    };
+    EXPECT_NEAR(pj(true), pj(false), pj(true) * 0.02);
+}
+
+} // namespace
+} // namespace ploop

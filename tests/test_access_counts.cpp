@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Nest-analysis tests with hand-computed expectations.
+ *
+ * Reference workload: N1 K8 C4 P6 Q6 R3 S3 (10368 MACs, 288 weights,
+ * 8x8 inputs per channel = 256 input words, 288 outputs).
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/access_counts.hpp"
+#include "test_helpers.hpp"
+
+namespace ploop {
+namespace {
+
+using ploop::testing::makeDigitalArch;
+using ploop::testing::makePhotonicToyArch;
+using ploop::testing::makeSmallConv;
+
+/**
+ * The "good" digital mapping:
+ *   Regs (L0):  temporal R3 S3
+ *   Buffer(L1): spatial K4, temporal C4 P6 Q6
+ *   DRAM  (L2): temporal K2
+ */
+Mapping
+goodDigitalMapping()
+{
+    Mapping m(3);
+    m.level(0).setT(Dim::R, 3);
+    m.level(0).setT(Dim::S, 3);
+    m.level(1).setS(Dim::K, 4);
+    m.level(1).setT(Dim::C, 4);
+    m.level(1).setT(Dim::P, 6);
+    m.level(1).setT(Dim::Q, 6);
+    m.level(2).setT(Dim::K, 2);
+    return m;
+}
+
+struct DigitalFixture : public ::testing::Test
+{
+    ArchSpec arch = makeDigitalArch();
+    LayerShape layer = makeSmallConv();
+    Mapping mapping = goodDigitalMapping();
+    TileAnalysis tiles{arch, layer, mapping};
+    AccessCounts counts =
+        computeAccessCounts(arch, layer, mapping, tiles);
+};
+
+TEST_F(DigitalFixture, MacsAndInstances)
+{
+    EXPECT_DOUBLE_EQ(counts.macs, 10368.0);
+    EXPECT_DOUBLE_EQ(counts.instances[2], 1.0); // DRAM.
+    EXPECT_DOUBLE_EQ(counts.instances[1], 1.0); // Buffer.
+    EXPECT_DOUBLE_EQ(counts.instances[0], 4.0); // Regs (K fanout).
+}
+
+TEST_F(DigitalFixture, WeightsLoadedExactlyOnce)
+{
+    // 288 distinct weights, each filled once into Regs over the run.
+    EXPECT_DOUBLE_EQ(counts.at(0, Tensor::Weights).fills, 288.0);
+    // Each MAC consumes its resident weight word.
+    EXPECT_DOUBLE_EQ(counts.at(0, Tensor::Weights).reads, 10368.0);
+    // Buffer serves each weight once; DRAM likewise.
+    EXPECT_DOUBLE_EQ(counts.at(1, Tensor::Weights).reads, 288.0);
+    EXPECT_DOUBLE_EQ(counts.at(2, Tensor::Weights).reads, 288.0);
+    // Fill writes at the intermediate levels.
+    EXPECT_DOUBLE_EQ(counts.at(1, Tensor::Weights).writes, 288.0);
+    EXPECT_DOUBLE_EQ(counts.at(0, Tensor::Weights).writes, 288.0);
+    // DRAM is the source: no fill writes.
+    EXPECT_DOUBLE_EQ(counts.at(2, Tensor::Weights).writes, 0.0);
+}
+
+TEST_F(DigitalFixture, InputsMulticastAcrossKFanout)
+{
+    // Distinct input deliveries into Regs: 9-word window tiles x
+    // C4 P6 Q6 = 1296; the K4 spatial fanout is irrelevant to inputs
+    // (multicast), so Buffer reads stay at 1296.
+    EXPECT_DOUBLE_EQ(counts.at(0, Tensor::Inputs).fills, 1296.0);
+    EXPECT_DOUBLE_EQ(counts.at(1, Tensor::Inputs).reads, 1296.0);
+    // Each MAC consumes one input word from Regs.
+    EXPECT_DOUBLE_EQ(counts.at(0, Tensor::Inputs).reads, 10368.0);
+    // DRAM reads the input tensor exactly once (256 words).
+    EXPECT_DOUBLE_EQ(counts.at(2, Tensor::Inputs).reads, 256.0);
+}
+
+TEST_F(DigitalFixture, OutputAccumulationHierarchy)
+{
+    // Regs absorb all MAC updates, accumulate over R*S=9.
+    EXPECT_DOUBLE_EQ(counts.at(0, Tensor::Outputs).updates, 10368.0);
+    EXPECT_DOUBLE_EQ(counts.at(0, Tensor::Outputs).reads, 1152.0);
+    // Buffer accumulates over C4: 10368/9 = 1152 arrivals.
+    EXPECT_DOUBLE_EQ(counts.at(1, Tensor::Outputs).updates, 1152.0);
+    EXPECT_DOUBLE_EQ(counts.at(1, Tensor::Outputs).reads, 288.0);
+    // DRAM receives each of the 288 outputs once.
+    EXPECT_DOUBLE_EQ(counts.at(2, Tensor::Outputs).updates, 288.0);
+}
+
+TEST_F(DigitalFixture, CrossingsMatchReads)
+{
+    EXPECT_DOUBLE_EQ(counts.at(2, Tensor::Weights).crossings_down,
+                     288.0);
+    EXPECT_DOUBLE_EQ(counts.at(0, Tensor::Weights).crossings_down,
+                     10368.0);
+    EXPECT_DOUBLE_EQ(counts.at(1, Tensor::Outputs).crossings_up,
+                     1152.0);
+    EXPECT_DOUBLE_EQ(counts.at(2, Tensor::Outputs).crossings_up,
+                     288.0);
+}
+
+TEST(AccessCounts, TrivialMappingChargesDramEveryPsum)
+{
+    // With ALL loops at DRAM (reduction outermost included), inner
+    // keepers cannot absorb reduction iterations, so every partial
+    // sum travels to DRAM: a deliberately terrible mapping the
+    // energy model should punish.
+    ArchSpec arch = makeDigitalArch();
+    LayerShape layer = makeSmallConv();
+    Mapping m = Mapping::trivial(arch, layer);
+    TileAnalysis tiles(arch, layer, m);
+    AccessCounts counts = computeAccessCounts(arch, layer, m, tiles);
+    EXPECT_DOUBLE_EQ(counts.at(2, Tensor::Outputs).updates, 10368.0);
+    EXPECT_DOUBLE_EQ(counts.at(2, Tensor::Weights).reads, 288.0);
+}
+
+TEST(AccessCounts, WindowShareReducesInputTraffic)
+{
+    ArchSpec arch = makePhotonicToyArch();
+    LayerShape layer = makeSmallConv();
+    Mapping m(2);
+    // Buffer (level 1) fanout: K8 C4 R3, window {R}.
+    m.level(1).setS(Dim::K, 8);
+    m.level(1).setS(Dim::C, 4);
+    m.level(1).setS(Dim::R, 3);
+    m.level(1).setT(Dim::P, 6);
+    m.level(1).setT(Dim::Q, 6);
+    m.level(1).setT(Dim::S, 3);
+    TileAnalysis tiles(arch, layer, m);
+    AccessCounts counts = computeAccessCounts(arch, layer, m, tiles);
+
+    EXPECT_DOUBLE_EQ(windowShare(arch, layer, m, 1), 3.0);
+    // Input reads from Buffer: MACs / (K multicast 8 * window 3).
+    EXPECT_DOUBLE_EQ(counts.at(1, Tensor::Inputs).reads,
+                     10368.0 / 24.0);
+}
+
+TEST(AccessCounts, StrideBreaksWindowShare)
+{
+    ArchSpec arch = makePhotonicToyArch();
+    LayerShape layer =
+        LayerShape::conv("strided", 1, 8, 4, 6, 6, 3, 3, 2, 2);
+    Mapping m(2);
+    m.level(1).setS(Dim::K, 8);
+    m.level(1).setS(Dim::C, 4);
+    m.level(1).setS(Dim::R, 3);
+    m.level(1).setT(Dim::P, 6);
+    m.level(1).setT(Dim::Q, 6);
+    m.level(1).setT(Dim::S, 3);
+    EXPECT_DOUBLE_EQ(windowShare(arch, layer, m, 1), 1.0);
+    TileAnalysis tiles(arch, layer, m);
+    AccessCounts counts = computeAccessCounts(arch, layer, m, tiles);
+    // Only the K multicast remains.
+    EXPECT_DOUBLE_EQ(counts.at(1, Tensor::Inputs).reads,
+                     10368.0 / 8.0);
+}
+
+TEST(AccessCounts, SpatialReductionCombinesPartials)
+{
+    ArchSpec arch = makePhotonicToyArch();
+    LayerShape layer = makeSmallConv();
+    Mapping m(2);
+    m.level(1).setS(Dim::C, 4);
+    m.level(1).setS(Dim::R, 3);
+    m.level(1).setS(Dim::K, 8);
+    m.level(1).setT(Dim::P, 6);
+    m.level(1).setT(Dim::Q, 6);
+    m.level(1).setT(Dim::S, 3);
+    TileAnalysis tiles(arch, layer, m);
+    AccessCounts counts = computeAccessCounts(arch, layer, m, tiles);
+    // Pre-combine stream at the Buffer boundary is all MACs; the
+    // C4*R3=12-way reduction tree combines before the update.
+    EXPECT_DOUBLE_EQ(counts.at(1, Tensor::Outputs).crossings_up,
+                     10368.0);
+    EXPECT_DOUBLE_EQ(counts.at(1, Tensor::Outputs).updates,
+                     10368.0 / 12.0);
+}
+
+TEST(AccessCounts, FusionBypassSilencesOuterLevel)
+{
+    // Digital arch variant where DRAM bypasses inputs and outputs:
+    // no DRAM traffic for them, Buffer becomes their source/sink.
+    ArchBuilder b("fused", 1e9);
+    b.addLevel("DRAM")
+        .klass("dram")
+        .domain(Domain::DE)
+        .keepOnly({Tensor::Weights});
+    b.addLevel("Buffer").klass("sram").domain(Domain::DE);
+    b.compute(ComputeSpec{});
+    ArchSpec arch = b.build();
+
+    LayerShape layer = makeSmallConv();
+    Mapping m(2);
+    for (Dim d : kAllDims)
+        m.level(0).setT(d, layer.bound(d));
+    TileAnalysis tiles(arch, layer, m);
+    AccessCounts counts = computeAccessCounts(arch, layer, m, tiles);
+
+    EXPECT_DOUBLE_EQ(counts.at(1, Tensor::Inputs).reads, 0.0);
+    EXPECT_DOUBLE_EQ(counts.at(1, Tensor::Inputs).crossings_down,
+                     0.0);
+    EXPECT_DOUBLE_EQ(counts.at(1, Tensor::Outputs).updates, 0.0);
+    EXPECT_DOUBLE_EQ(counts.at(1, Tensor::Outputs).crossings_up, 0.0);
+    // Weights still flow from DRAM.
+    EXPECT_GT(counts.at(1, Tensor::Weights).reads, 0.0);
+    // Buffer still sees its own traffic.
+    EXPECT_GT(counts.at(0, Tensor::Inputs).reads, 0.0);
+}
+
+TEST(AccessCounts, StrOutputsSummary)
+{
+    ArchSpec arch = makeDigitalArch();
+    LayerShape layer = makeSmallConv();
+    Mapping m = goodDigitalMapping();
+    TileAnalysis tiles(arch, layer, m);
+    AccessCounts counts = computeAccessCounts(arch, layer, m, tiles);
+    std::string s = counts.str();
+    EXPECT_NE(s.find("MACs"), std::string::npos);
+    EXPECT_NE(s.find("Weights"), std::string::npos);
+}
+
+} // namespace
+} // namespace ploop

@@ -1,0 +1,163 @@
+/** @file Unit tests for the Albireo architecture builder. */
+
+#include <gtest/gtest.h>
+
+#include "albireo/albireo_arch.hpp"
+#include "common/error.hpp"
+
+namespace ploop {
+namespace {
+
+TEST(AlbireoConfig, Defaults)
+{
+    AlbireoConfig cfg;
+    EXPECT_EQ(cfg.unitsPerCluster(), 864u); // 3*3*12*8.
+    EXPECT_EQ(cfg.clusters(), 8u);
+    EXPECT_EQ(cfg.peakMacs(), 6912u);
+    EXPECT_DOUBLE_EQ(cfg.input_reuse, 9.0);
+    EXPECT_DOUBLE_EQ(cfg.output_reuse, 3.0);
+    EXPECT_DOUBLE_EQ(cfg.weight_reuse, 1.0);
+}
+
+TEST(AlbireoConfig, Names)
+{
+    EXPECT_EQ(AlbireoConfig::paperDefault(ScalingProfile::Aggressive)
+                  .name(),
+              "albireo-aggressive");
+    EXPECT_EQ(AlbireoConfig::paperDefault(ScalingProfile::Moderate,
+                                          true)
+                  .name(),
+              "albireo-moderate+dram");
+}
+
+TEST(AlbireoArch, BuildsAndValidates)
+{
+    for (ScalingProfile p : allScalingProfiles()) {
+        ArchSpec arch =
+            buildAlbireoArch(AlbireoConfig::paperDefault(p));
+        EXPECT_EQ(arch.numLevels(), 3u); // GB, Regs, AnalogHold.
+        EXPECT_DOUBLE_EQ(arch.peakMacsPerCycle(), 6912.0);
+        EXPECT_NO_THROW(arch.validate());
+    }
+}
+
+TEST(AlbireoArch, DramModeAddsLevel)
+{
+    ArchSpec arch = buildAlbireoArch(
+        AlbireoConfig::paperDefault(ScalingProfile::Aggressive, true));
+    EXPECT_EQ(arch.numLevels(), 4u);
+    EXPECT_EQ(arch.level(3).name, "DRAM");
+    EXPECT_EQ(arch.level(3).klass, "dram");
+}
+
+TEST(AlbireoArch, DomainsMatchPaperFigure1)
+{
+    ArchSpec arch =
+        buildAlbireoArch(AlbireoConfig::paperDefault(
+            ScalingProfile::Conservative));
+    EXPECT_EQ(arch.level(arch.levelIndex("GlobalBuffer")).domain,
+              Domain::DE);
+    EXPECT_EQ(arch.level(arch.levelIndex("OperandRegs")).domain,
+              Domain::DE);
+    EXPECT_EQ(arch.level(arch.levelIndex("AnalogHold")).domain,
+              Domain::AE);
+    EXPECT_EQ(arch.compute().domain, Domain::AO);
+}
+
+TEST(AlbireoArch, ConverterChainsPresent)
+{
+    ArchSpec arch =
+        buildAlbireoArch(AlbireoConfig::paperDefault(
+            ScalingProfile::Conservative));
+    const auto &regs = arch.level(arch.levelIndex("OperandRegs"));
+    EXPECT_EQ(regs.convertersFor(Tensor::Weights).size(), 1u);
+    EXPECT_EQ(regs.convertersFor(Tensor::Inputs).size(), 2u);
+    EXPECT_EQ(regs.convertersFor(Tensor::Outputs).size(), 2u);
+    const auto &hold = arch.level(arch.levelIndex("AnalogHold"));
+    ASSERT_EQ(hold.convertersFor(Tensor::Weights).size(), 1u);
+    EXPECT_EQ(hold.convertersFor(Tensor::Weights)[0].klass, "mrr");
+}
+
+TEST(AlbireoArch, AnalogHoldKeepsOnlyWeights)
+{
+    ArchSpec arch =
+        buildAlbireoArch(AlbireoConfig::paperDefault(
+            ScalingProfile::Conservative));
+    const auto &hold = arch.level(arch.levelIndex("AnalogHold"));
+    EXPECT_TRUE(hold.keepsTensor(Tensor::Weights));
+    EXPECT_FALSE(hold.keepsTensor(Tensor::Inputs));
+    EXPECT_FALSE(hold.keepsTensor(Tensor::Outputs));
+}
+
+TEST(AlbireoArch, LaserPowerSet)
+{
+    ArchSpec arch =
+        buildAlbireoArch(AlbireoConfig::paperDefault(
+            ScalingProfile::Conservative));
+    ASSERT_EQ(arch.statics().size(), 1u);
+    EXPECT_GT(arch.statics()[0].attrs.get("power_w"), 0.0);
+}
+
+TEST(AlbireoArch, LaserScalesDownWithAggressiveTech)
+{
+    LinkBudgetResult cons = albireoLaserBudget(
+        AlbireoConfig::paperDefault(ScalingProfile::Conservative));
+    LinkBudgetResult aggr = albireoLaserBudget(
+        AlbireoConfig::paperDefault(ScalingProfile::Aggressive));
+    EXPECT_LT(aggr.electrical_power_w, cons.electrical_power_w);
+}
+
+TEST(AlbireoArch, MoreInputReuseRaisesLoss)
+{
+    AlbireoConfig base =
+        AlbireoConfig::paperDefault(ScalingProfile::Aggressive);
+    AlbireoConfig wide = base;
+    wide.input_reuse = 45.0;
+    EXPECT_GT(albireoLaserBudget(wide).loss_db,
+              albireoLaserBudget(base).loss_db);
+}
+
+TEST(AlbireoArch, AdcResolutionGrowsWithOutputReuse)
+{
+    AlbireoConfig base =
+        AlbireoConfig::paperDefault(ScalingProfile::Aggressive);
+    AlbireoConfig more = base;
+    more.output_reuse = 15.0;
+    ArchSpec a = buildAlbireoArch(base);
+    ArchSpec b = buildAlbireoArch(more);
+    auto adc_res = [](const ArchSpec &arch) {
+        const auto &regs =
+            arch.level(arch.levelIndex("OperandRegs"));
+        return regs.convertersFor(Tensor::Outputs)[1].attrs.get(
+            "resolution");
+    };
+    EXPECT_GT(adc_res(b), adc_res(a));
+    EXPECT_DOUBLE_EQ(adc_res(a), 8.0);
+}
+
+TEST(AlbireoArch, WindowReuseBounds)
+{
+    AlbireoConfig bad =
+        AlbireoConfig::paperDefault(ScalingProfile::Conservative);
+    bad.input_window_reuse = 100.0; // > R*S and > input_reuse.
+    EXPECT_THROW(buildAlbireoArch(bad), FatalError);
+    bad = AlbireoConfig::paperDefault(ScalingProfile::Conservative);
+    bad.input_reuse = 4.0; // Below the window part (9).
+    EXPECT_THROW(buildAlbireoArch(bad), FatalError);
+}
+
+TEST(AlbireoArch, FusionBypassReflectedInKeeps)
+{
+    AlbireoConfig cfg =
+        AlbireoConfig::paperDefault(ScalingProfile::Aggressive, true);
+    cfg.fuse_bypass_dram_inputs = true;
+    cfg.fuse_bypass_dram_outputs = true;
+    ArchSpec arch = buildAlbireoArch(cfg);
+    const auto &dram = arch.level(arch.levelIndex("DRAM"));
+    EXPECT_TRUE(dram.keepsTensor(Tensor::Weights));
+    EXPECT_FALSE(dram.keepsTensor(Tensor::Inputs));
+    EXPECT_FALSE(dram.keepsTensor(Tensor::Outputs));
+}
+
+} // namespace
+} // namespace ploop

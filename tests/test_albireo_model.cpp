@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Model-level tests of the Albireo reproduction: the paper's
+ * qualitative claims checked as assertions (Figs. 2 and 3 scope; the
+ * full-system Fig. 4 lives in test_full_system.cpp).
+ */
+
+#include <gtest/gtest.h>
+
+#include "albireo/albireo_arch.hpp"
+#include "albireo/reported_data.hpp"
+#include "core/network_runner.hpp"
+#include "mapper/mapper.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace ploop {
+namespace {
+
+LayerShape
+bestCaseLayer()
+{
+    return LayerShape::conv("bestcase", 1, 48, 64, 56, 56, 3, 3);
+}
+
+EvalResult
+bestCase(ScalingProfile scaling)
+{
+    static EnergyRegistry registry = makeDefaultRegistry();
+    ArchSpec arch =
+        buildAlbireoArch(AlbireoConfig::paperDefault(scaling));
+    Evaluator evaluator(arch, registry);
+    Mapper mapper(evaluator);
+    return mapper.search(bestCaseLayer()).result;
+}
+
+std::map<std::string, double>
+fig2Pj(const EvalResult &r)
+{
+    std::map<std::string, double> out;
+    for (const EnergyEntry &e : r.energy.entries)
+        out[fig2Category(e)] += e.energy_j / r.counts.macs * 1e12;
+    return out;
+}
+
+TEST(AlbireoFig2, BestCaseReachesFullUtilization)
+{
+    EvalResult r = bestCase(ScalingProfile::Conservative);
+    EXPECT_NEAR(r.throughput.utilization, 1.0, 1e-9);
+}
+
+TEST(AlbireoFig2, TotalsMatchReportedWithinFivePercent)
+{
+    for (const Fig2Reported &rep : fig2ReportedData()) {
+        EvalResult r = bestCase(rep.scaling);
+        double modeled = r.energyPerMac() * 1e12;
+        EXPECT_NEAR(modeled, rep.total(), rep.total() * 0.05)
+            << scalingProfileName(rep.scaling);
+    }
+}
+
+TEST(AlbireoFig2, AdcDominatesConverters)
+{
+    // The paper's motivation: AE/DE conversion is the single largest
+    // accelerator component under all scalings.
+    for (ScalingProfile p : allScalingProfiles()) {
+        auto pj = fig2Pj(bestCase(p));
+        for (const auto &cat : fig2Categories()) {
+            if (cat == "AE/DE")
+                continue;
+            EXPECT_GE(pj["AE/DE"], pj[cat])
+                << scalingProfileName(p) << " " << cat;
+        }
+    }
+}
+
+TEST(AlbireoFig2, ScalingMonotonicallyReducesEnergy)
+{
+    double cons =
+        bestCase(ScalingProfile::Conservative).energyPerMac();
+    double mod = bestCase(ScalingProfile::Moderate).energyPerMac();
+    double aggr =
+        bestCase(ScalingProfile::Aggressive).energyPerMac();
+    EXPECT_GT(cons, mod);
+    EXPECT_GT(mod, aggr);
+    // Order-of-magnitude spread between extremes (the figure shows
+    // roughly 3.2 vs 0.4 pJ/MAC).
+    EXPECT_GT(cons / aggr, 4.0);
+}
+
+SearchOptions
+fastDelaySearch()
+{
+    SearchOptions opts;
+    opts.objective = Objective::Delay;
+    opts.random_samples = 30;
+    opts.hill_climb_rounds = 8;
+    return opts;
+}
+
+TEST(AlbireoFig3, Vgg16NearIdealAlexNetFarBelow)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    ArchSpec arch = buildAlbireoArch(
+        AlbireoConfig::paperDefault(ScalingProfile::Conservative));
+    Evaluator evaluator(arch, registry);
+
+    NetworkRunResult vgg =
+        runNetwork(evaluator, makeVgg16(), fastDelaySearch());
+    NetworkRunResult alex =
+        runNetwork(evaluator, makeAlexNet(), fastDelaySearch());
+
+    double peak = arch.peakMacsPerCycle();
+    // VGG16: mostly 3x3 unstrided convs, decently utilized.
+    EXPECT_GT(vgg.macsPerCycle() / peak, 0.55);
+    // AlexNet: strided conv1 + FC layers crush utilization.
+    EXPECT_LT(alex.macsPerCycle() / peak, 0.35);
+    // And VGG16 is much better utilized than AlexNet.
+    EXPECT_GT(vgg.macsPerCycle(), 2.0 * alex.macsPerCycle());
+}
+
+TEST(AlbireoFig3, FullyConnectedLayersUnderutilize)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    ArchSpec arch = buildAlbireoArch(
+        AlbireoConfig::paperDefault(ScalingProfile::Conservative));
+    Evaluator evaluator(arch, registry);
+    Mapper mapper(evaluator, fastDelaySearch());
+    MapperResult fc = mapper.search(
+        LayerShape::fullyConnected("fc", 1, 4096, 4096));
+    // R=S=1 leaves the 3x3 window unrolling idle: <= 1/9 + slack.
+    EXPECT_LT(fc.result.throughput.utilization, 0.2);
+}
+
+TEST(AlbireoFig3, StridedConvPenalized)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    ArchSpec arch = buildAlbireoArch(
+        AlbireoConfig::paperDefault(ScalingProfile::Conservative));
+    Evaluator evaluator(arch, registry);
+    Mapper mapper(evaluator, fastDelaySearch());
+    LayerShape alex_conv1 =
+        LayerShape::conv("conv1", 1, 96, 3, 55, 55, 11, 11, 4, 4);
+    MapperResult r = mapper.search(alex_conv1);
+    EXPECT_LT(r.result.throughput.utilization, 0.15);
+}
+
+TEST(ReportedData, CategoriesConsistent)
+{
+    EXPECT_EQ(fig2Categories().size(), 7u);
+    EXPECT_EQ(fig4Categories().size(), 6u);
+    EXPECT_EQ(fig2ReportedData().size(), 3u);
+    EXPECT_EQ(fig3ReportedData().size(), 2u);
+    for (const auto &rep : fig2ReportedData())
+        EXPECT_GT(rep.total(), 0.0);
+}
+
+TEST(ReportedData, Fig4CategoryRouting)
+{
+    EnergyEntry dram;
+    dram.klass = "dram";
+    EXPECT_EQ(fig4Category(dram), "DRAM");
+    EnergyEntry adc;
+    adc.klass = "adc";
+    adc.action = Action::Convert;
+    adc.tensor = Tensor::Outputs;
+    EXPECT_EQ(fig4Category(adc), "Output AO/AE, AE/DE");
+    EnergyEntry mzm;
+    mzm.klass = "mzm";
+    mzm.action = Action::Convert;
+    mzm.tensor = Tensor::Inputs;
+    EXPECT_EQ(fig4Category(mzm), "Input DE/AE, AE/AO");
+    EnergyEntry laser;
+    laser.klass = "laser";
+    laser.action = Action::Power;
+    EXPECT_EQ(fig4Category(laser), "Other AO");
+    EnergyEntry sram;
+    sram.klass = "sram";
+    EXPECT_EQ(fig4Category(sram), "On-Chip Buffer");
+}
+
+TEST(ReportedData, Fig2CategoryRouting)
+{
+    EnergyEntry e;
+    e.klass = "mrr";
+    EXPECT_EQ(fig2Category(e), "MRR");
+    e.klass = "photodiode";
+    EXPECT_EQ(fig2Category(e), "AO/AE");
+    e.klass = "dac";
+    EXPECT_EQ(fig2Category(e), "DE/AE");
+    e.klass = "regfile";
+    EXPECT_EQ(fig2Category(e), "Cache");
+    e.klass = "photonic_mac";
+    EXPECT_EQ(fig2Category(e), "Other");
+}
+
+} // namespace
+} // namespace ploop

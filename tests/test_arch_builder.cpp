@@ -1,0 +1,135 @@
+/** @file Unit tests for arch/arch_builder. */
+
+#include <gtest/gtest.h>
+
+#include "arch/arch_builder.hpp"
+#include "common/error.hpp"
+
+namespace ploop {
+namespace {
+
+TEST(ArchBuilder, LevelsReversedIntoInnermostFirst)
+{
+    ArchBuilder b("a", 1e9);
+    b.addLevel("Outer").klass("dram").domain(Domain::DE);
+    b.addLevel("Inner").klass("sram").domain(Domain::DE);
+    ComputeSpec mac;
+    b.compute(mac);
+    ArchSpec arch = b.build();
+    EXPECT_EQ(arch.level(0).name, "Inner");
+    EXPECT_EQ(arch.level(1).name, "Outer");
+}
+
+TEST(ArchBuilder, LevelSettersApply)
+{
+    ArchBuilder b("a", 2e9);
+    b.addLevel("L")
+        .klass("sram")
+        .domain(Domain::DE)
+        .capacityWords(1000)
+        .wordBits(16)
+        .bandwidth(32)
+        .attr("custom", 5.0);
+    b.compute(ComputeSpec{});
+    ArchSpec arch = b.build();
+    const StorageLevelSpec &l = arch.level(0);
+    EXPECT_EQ(l.klass, "sram");
+    EXPECT_EQ(l.capacity_words, 1000u);
+    EXPECT_EQ(l.word_bits, 16u);
+    EXPECT_DOUBLE_EQ(l.bandwidth_words_per_cycle, 32.0);
+    EXPECT_DOUBLE_EQ(l.attrs.get("custom"), 5.0);
+}
+
+TEST(ArchBuilder, KeepOnlyAndBypass)
+{
+    ArchBuilder b("a", 1e9);
+    b.addLevel("Outer").klass("dram").domain(Domain::DE);
+    b.addLevel("L")
+        .klass("sram")
+        .domain(Domain::DE)
+        .keepOnly({Tensor::Weights});
+    b.compute(ComputeSpec{});
+    ArchSpec arch = b.build();
+    EXPECT_TRUE(arch.level(0).keepsTensor(Tensor::Weights));
+    EXPECT_FALSE(arch.level(0).keepsTensor(Tensor::Inputs));
+    EXPECT_FALSE(arch.level(0).keepsTensor(Tensor::Outputs));
+}
+
+TEST(ArchBuilder, FanoutConfiguration)
+{
+    ArchBuilder b("a", 1e9);
+    b.addLevel("L")
+        .klass("sram")
+        .domain(Domain::DE)
+        .fanoutDim(Dim::K, 16)
+        .fanoutDim(Dim::C, 2)
+        .fanoutTotal(24)
+        .windowDims(DimSet{Dim::R, Dim::S});
+    b.compute(ComputeSpec{});
+    ArchSpec arch = b.build();
+    const SpatialFanout &f = arch.level(0).fanout;
+    EXPECT_EQ(f.dimCap(Dim::K), 16u);
+    EXPECT_EQ(f.max_total, 24u);
+    EXPECT_TRUE(f.window_dims.contains(Dim::R));
+    EXPECT_EQ(f.peakInstances(), 24u);
+}
+
+TEST(ArchBuilder, ConverterChainsAppendInOrder)
+{
+    ConverterSpec dac{"dac0", "dac", Domain::DE, Domain::AE, {}};
+    ConverterSpec mzm{"mzm0", "mzm", Domain::AE, Domain::AO, {}};
+    // Weights/outputs need domain-valid chains too (every tensor is
+    // kept at the single level, which is DE, while compute is AO).
+    ConverterSpec wdac{"wdac", "dac", Domain::DE, Domain::AO, {}};
+    ConverterSpec oadc{"oadc", "adc", Domain::AO, Domain::DE, {}};
+    ComputeSpec mac;
+    mac.domain = Domain::AO;
+    ArchBuilder b2("a2", 1e9);
+    b2.addLevel("L")
+        .klass("sram")
+        .domain(Domain::DE)
+        .converter(Tensor::Inputs, dac)
+        .converter(Tensor::Inputs, mzm)
+        .converter(Tensor::Weights, wdac)
+        .converter(Tensor::Outputs, oadc);
+    b2.compute(mac);
+    ArchSpec arch = b2.build();
+    const auto &chain = arch.level(0).convertersFor(Tensor::Inputs);
+    ASSERT_EQ(chain.size(), 2u);
+    EXPECT_EQ(chain[0].name, "dac0");
+    EXPECT_EQ(chain[1].name, "mzm0");
+}
+
+TEST(ArchBuilder, RejectsNamelessConverter)
+{
+    ArchBuilder b("a", 1e9);
+    ConverterSpec anon;
+    EXPECT_THROW(b.addLevel("L").converter(Tensor::Inputs, anon),
+                 FatalError);
+}
+
+TEST(ArchBuilder, RejectsZeroFanoutCaps)
+{
+    ArchBuilder b("a", 1e9);
+    EXPECT_THROW(b.addLevel("L").fanoutDim(Dim::K, 0), FatalError);
+    ArchBuilder b2("a2", 1e9);
+    EXPECT_THROW(b2.addLevel("L").fanoutTotal(0), FatalError);
+}
+
+TEST(ArchBuilder, StaticComponents)
+{
+    ArchBuilder b("a", 1e9);
+    b.addLevel("L").klass("sram").domain(Domain::DE);
+    b.compute(ComputeSpec{});
+    StaticComponentSpec laser;
+    laser.name = "laser";
+    laser.klass = "laser";
+    laser.attrs.set("power_w", 2.0);
+    b.addStatic(laser);
+    ArchSpec arch = b.build();
+    ASSERT_EQ(arch.statics().size(), 1u);
+    EXPECT_EQ(arch.statics()[0].name, "laser");
+}
+
+} // namespace
+} // namespace ploop

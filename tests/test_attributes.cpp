@@ -1,0 +1,80 @@
+/** @file Unit tests for arch/component (Attributes, ConverterSpec). */
+
+#include <gtest/gtest.h>
+
+#include "arch/component.hpp"
+#include "common/error.hpp"
+
+namespace ploop {
+namespace {
+
+TEST(Attributes, SetGet)
+{
+    Attributes a;
+    EXPECT_FALSE(a.has("x"));
+    a.set("x", 1.5);
+    EXPECT_TRUE(a.has("x"));
+    EXPECT_DOUBLE_EQ(a.get("x"), 1.5);
+}
+
+TEST(Attributes, Overwrite)
+{
+    Attributes a;
+    a.set("x", 1.0);
+    a.set("x", 2.0);
+    EXPECT_DOUBLE_EQ(a.get("x"), 2.0);
+}
+
+TEST(Attributes, MissingGetIsFatal)
+{
+    Attributes a;
+    EXPECT_THROW(a.get("missing"), FatalError);
+}
+
+TEST(Attributes, GetOrFallback)
+{
+    Attributes a;
+    EXPECT_DOUBLE_EQ(a.getOr("x", 7.0), 7.0);
+    a.set("x", 3.0);
+    EXPECT_DOUBLE_EQ(a.getOr("x", 7.0), 3.0);
+}
+
+TEST(Attributes, MergeOverwrites)
+{
+    Attributes a, b;
+    a.set("keep", 1.0);
+    a.set("clash", 2.0);
+    b.set("clash", 9.0);
+    b.set("new", 4.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.get("keep"), 1.0);
+    EXPECT_DOUBLE_EQ(a.get("clash"), 9.0);
+    EXPECT_DOUBLE_EQ(a.get("new"), 4.0);
+}
+
+TEST(Attributes, AllIsSortedByKey)
+{
+    Attributes a;
+    a.set("z", 1);
+    a.set("a", 2);
+    auto it = a.all().begin();
+    EXPECT_EQ(it->first, "a");
+}
+
+TEST(ConverterSpec, CrossingNotation)
+{
+    ConverterSpec c;
+    c.from = Domain::AO;
+    c.to = Domain::AE;
+    EXPECT_EQ(c.crossing(), "AO/AE");
+}
+
+TEST(ComputeSpec, Defaults)
+{
+    ComputeSpec c;
+    EXPECT_EQ(c.klass, "mac");
+    EXPECT_DOUBLE_EQ(c.macs_per_cycle, 1.0);
+}
+
+} // namespace
+} // namespace ploop

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Converter-count tests with hand-computed expectations on the toy
+ * photonic architecture (see test_helpers.hpp).
+ *
+ * Workload: N1 K8 C4 P6 Q6 R3 S3 = 10368 MACs.
+ * Mapping: Buffer spatial K8 C4 R3, temporal P6 Q6 S3.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "model/converter_counts.hpp"
+#include "test_helpers.hpp"
+
+namespace ploop {
+namespace {
+
+using ploop::testing::makePhotonicToyArch;
+using ploop::testing::makeSmallConv;
+
+Mapping
+toyMapping()
+{
+    Mapping m(2);
+    m.level(1).setS(Dim::K, 8);
+    m.level(1).setS(Dim::C, 4);
+    m.level(1).setS(Dim::R, 3);
+    m.level(1).setT(Dim::P, 6);
+    m.level(1).setT(Dim::Q, 6);
+    m.level(1).setT(Dim::S, 3);
+    return m;
+}
+
+const ConverterCount &
+findConverter(const std::vector<ConverterCount> &counts,
+              const std::string &name)
+{
+    auto it = std::find_if(counts.begin(), counts.end(),
+                           [&](const ConverterCount &c) {
+                               return c.name == name;
+                           });
+    EXPECT_NE(it, counts.end()) << "missing converter " << name;
+    return *it;
+}
+
+struct ToyFixture : public ::testing::Test
+{
+    // IR=3 (all window), OR=2.
+    ArchSpec arch = makePhotonicToyArch(3.0, 2.0, 3.0);
+    LayerShape layer = makeSmallConv();
+    Mapping mapping = toyMapping();
+    TileAnalysis tiles{arch, layer, mapping};
+    AccessCounts counts =
+        computeAccessCounts(arch, layer, mapping, tiles);
+    std::vector<ConverterCount> conv = computeConverterCounts(
+        arch, layer, mapping, tiles, counts);
+};
+
+TEST_F(ToyFixture, AllConvertersPresent)
+{
+    EXPECT_EQ(conv.size(), 6u); // wdac, idac, mzm, pd, adc, mrr.
+}
+
+TEST_F(ToyFixture, WeightDacCountsFillsOfHold)
+{
+    // Hold keeps weights: fills = tile(1 word) * relevant factors
+    // above = K8*C4*R3 (spatial) * S3 (temporal) = 288.
+    const ConverterCount &wdac = findConverter(conv, "wdac");
+    EXPECT_DOUBLE_EQ(wdac.deliveries, 288.0);
+    EXPECT_DOUBLE_EQ(wdac.count, 288.0);
+    EXPECT_EQ(wdac.crossing, "DE/AE");
+    EXPECT_EQ(wdac.tensor, Tensor::Weights);
+}
+
+TEST_F(ToyFixture, MrrModulatesEveryMac)
+{
+    // The ring imprints the (held) weight every cycle it is used.
+    const ConverterCount &mrr = findConverter(conv, "mrr");
+    EXPECT_DOUBLE_EQ(mrr.deliveries, 10368.0);
+    EXPECT_DOUBLE_EQ(mrr.count, 10368.0);
+    EXPECT_EQ(mrr.boundary, 0u);
+}
+
+TEST_F(ToyFixture, InputConvertersShareAcrossWindow)
+{
+    // Inputs stream to compute: deliveries = MACs; IR=3 sharing.
+    const ConverterCount &mzm = findConverter(conv, "mzm");
+    EXPECT_DOUBLE_EQ(mzm.deliveries, 10368.0);
+    EXPECT_DOUBLE_EQ(mzm.effective_reuse, 3.0);
+    EXPECT_DOUBLE_EQ(mzm.count, 3456.0);
+    const ConverterCount &idac = findConverter(conv, "idac");
+    EXPECT_DOUBLE_EQ(idac.count, 3456.0);
+}
+
+TEST_F(ToyFixture, OutputConvertersShareAcrossAccumulation)
+{
+    // Pre-combine upward stream at the Buffer boundary = MACs; OR=2.
+    const ConverterCount &pd = findConverter(conv, "pd");
+    EXPECT_DOUBLE_EQ(pd.deliveries, 10368.0);
+    EXPECT_DOUBLE_EQ(pd.count, 5184.0);
+    const ConverterCount &adc = findConverter(conv, "adc");
+    EXPECT_DOUBLE_EQ(adc.count, 5184.0);
+    EXPECT_EQ(adc.crossing, "AE/DE");
+}
+
+TEST(ConverterCounts, StrideCollapsesWindowReuse)
+{
+    ArchSpec arch = makePhotonicToyArch(3.0, 2.0, 3.0);
+    LayerShape layer =
+        LayerShape::conv("strided", 1, 8, 4, 6, 6, 3, 3, 2, 2);
+    Mapping m = toyMapping();
+    TileAnalysis tiles(arch, layer, m);
+    AccessCounts counts = computeAccessCounts(arch, layer, m, tiles);
+    auto conv = computeConverterCounts(arch, layer, m, tiles, counts);
+    const ConverterCount &mzm = findConverter(conv, "mzm");
+    // All 3x sharing was window-derived: strided layers lose it.
+    EXPECT_DOUBLE_EQ(mzm.effective_reuse, 1.0);
+    EXPECT_DOUBLE_EQ(mzm.count, 10368.0);
+    // Output sharing is unaffected by stride.
+    EXPECT_DOUBLE_EQ(findConverter(conv, "pd").effective_reuse, 2.0);
+}
+
+TEST(ConverterCounts, NonWindowShareSurvivesStride)
+{
+    // IR=6 with window part 3: strided layers keep 6/3 = 2x sharing.
+    ArchSpec arch = makePhotonicToyArch(6.0, 2.0, 3.0);
+    LayerShape layer =
+        LayerShape::conv("strided", 1, 8, 4, 6, 6, 3, 3, 2, 2);
+    Mapping m = toyMapping();
+    TileAnalysis tiles(arch, layer, m);
+    AccessCounts counts = computeAccessCounts(arch, layer, m, tiles);
+    auto conv = computeConverterCounts(arch, layer, m, tiles, counts);
+    EXPECT_DOUBLE_EQ(findConverter(conv, "mzm").effective_reuse, 2.0);
+}
+
+TEST(ConverterCounts, EffectiveReuseValidation)
+{
+    LayerShape layer = makeSmallConv();
+    ConverterSpec c{"c", "dac", Domain::DE, Domain::AE, {}};
+    c.attrs.set("spatial_reuse", 2.0);
+    c.attrs.set("window_reuse", 4.0); // window > spatial: invalid.
+    EXPECT_THROW(effectiveReuse(c, layer), FatalError);
+    c.attrs.set("spatial_reuse", 0.5);
+    c.attrs.set("window_reuse", 0.5);
+    EXPECT_THROW(effectiveReuse(c, layer), FatalError);
+}
+
+TEST(ConverterCounts, DefaultReuseIsOne)
+{
+    LayerShape layer = makeSmallConv();
+    ConverterSpec c{"c", "dac", Domain::DE, Domain::AE, {}};
+    EXPECT_DOUBLE_EQ(effectiveReuse(c, layer), 1.0);
+}
+
+} // namespace
+} // namespace ploop

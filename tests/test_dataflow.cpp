@@ -1,0 +1,103 @@
+/** @file Unit tests for the dataflow presets. */
+
+#include <gtest/gtest.h>
+
+#include "mapper/dataflow.hpp"
+#include "mapping/validate.hpp"
+#include "model/evaluator.hpp"
+#include "test_helpers.hpp"
+
+namespace ploop {
+namespace {
+
+using ploop::testing::makeDigitalArch;
+using ploop::testing::makeSmallConv;
+
+TEST(Dataflow, NamesAndOrders)
+{
+    for (Dataflow df : allDataflows()) {
+        EXPECT_NE(std::string(dataflowName(df)), "");
+        // Orders are permutations of all dims.
+        auto order = dataflowOrder(df);
+        DimSet seen;
+        for (Dim d : order)
+            seen.insert(d);
+        EXPECT_EQ(seen.count(), kNumDims);
+    }
+}
+
+TEST(Dataflow, PresetsAreValid)
+{
+    ArchSpec arch = makeDigitalArch();
+    for (const LayerShape &layer :
+         {makeSmallConv(),
+          LayerShape::conv("big", 1, 64, 32, 28, 28, 3, 3),
+          LayerShape::fullyConnected("fc", 1, 256, 512)}) {
+        for (Dataflow df : allDataflows()) {
+            Mapping m = presetMapping(arch, layer, df);
+            std::string why;
+            EXPECT_TRUE(validateMapping(arch, layer, m, &why))
+                << dataflowName(df) << ": " << why;
+        }
+    }
+}
+
+TEST(Dataflow, WeightStationaryMinimizesWeightFills)
+{
+    // Weight-stationary puts P/Q innermost: weights are filled fewer
+    // times into the inner levels than under output-stationary,
+    // which cycles weights per reduction tile.
+    EnergyRegistry registry = makeDefaultRegistry();
+    ArchSpec arch = makeDigitalArch();
+    Evaluator evaluator(arch, registry);
+    LayerShape layer =
+        LayerShape::conv("c", 1, 64, 32, 28, 28, 3, 3);
+    auto weight_fills = [&](Dataflow df) {
+        EvalResult r =
+            evaluator.evaluate(layer, presetMapping(arch, layer, df));
+        return r.counts.at(0, Tensor::Weights).fills;
+    };
+    EXPECT_LE(weight_fills(Dataflow::WeightStationary),
+              weight_fills(Dataflow::InputStationary));
+}
+
+TEST(Dataflow, OutputStationaryMinimizesOuterPsumTraffic)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    ArchSpec arch = makeDigitalArch();
+    Evaluator evaluator(arch, registry);
+    LayerShape layer =
+        LayerShape::conv("c", 1, 64, 32, 28, 28, 3, 3);
+    auto dram_updates = [&](Dataflow df) {
+        EvalResult r =
+            evaluator.evaluate(layer, presetMapping(arch, layer, df));
+        return r.counts.at(arch.numLevels() - 1, Tensor::Outputs)
+            .updates;
+    };
+    // OS accumulates reduction innermost: DRAM sees only finals.
+    double os = dram_updates(Dataflow::OutputStationary);
+    EXPECT_NEAR(os, double(layer.tensorWords(Tensor::Outputs)),
+                os * 1e-9);
+    EXPECT_LE(os, dram_updates(Dataflow::WeightStationary));
+}
+
+TEST(Dataflow, PresetsBeatTrivialMapping)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    ArchSpec arch = makeDigitalArch();
+    Evaluator evaluator(arch, registry);
+    LayerShape layer = makeSmallConv();
+    double trivial =
+        evaluator.evaluate(layer, Mapping::trivial(arch, layer))
+            .totalEnergy();
+    for (Dataflow df : allDataflows()) {
+        double preset =
+            evaluator
+                .evaluate(layer, presetMapping(arch, layer, df))
+                .totalEnergy();
+        EXPECT_LT(preset, trivial) << dataflowName(df);
+    }
+}
+
+} // namespace
+} // namespace ploop

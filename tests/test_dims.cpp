@@ -1,0 +1,108 @@
+/** @file Unit tests for workload/dims. */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "workload/dims.hpp"
+
+namespace ploop {
+namespace {
+
+TEST(DimNames, RoundTrip)
+{
+    for (Dim d : kAllDims)
+        EXPECT_EQ(dimFromName(dimName(d)), d);
+}
+
+TEST(DimNames, UnknownIsFatal)
+{
+    EXPECT_THROW(dimFromName("Z"), FatalError);
+    EXPECT_THROW(dimFromName(""), FatalError);
+}
+
+TEST(TensorNames, Distinct)
+{
+    EXPECT_STRNE(tensorName(Tensor::Weights),
+                 tensorName(Tensor::Inputs));
+    EXPECT_STRNE(tensorName(Tensor::Inputs),
+                 tensorName(Tensor::Outputs));
+}
+
+TEST(DimSet, InsertEraseContains)
+{
+    DimSet s;
+    EXPECT_TRUE(s.empty());
+    s.insert(Dim::K);
+    EXPECT_TRUE(s.contains(Dim::K));
+    EXPECT_FALSE(s.contains(Dim::C));
+    s.erase(Dim::K);
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(DimSet, InitializerListAndCount)
+{
+    DimSet s{Dim::K, Dim::C, Dim::R, Dim::S};
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_TRUE(s.contains(Dim::R));
+    EXPECT_FALSE(s.contains(Dim::N));
+}
+
+TEST(DimSet, SetOperations)
+{
+    DimSet a{Dim::K, Dim::C};
+    DimSet b{Dim::C, Dim::P};
+    DimSet u = a | b;
+    DimSet i = a & b;
+    EXPECT_EQ(u.count(), 3u);
+    EXPECT_EQ(i.count(), 1u);
+    EXPECT_TRUE(i.contains(Dim::C));
+}
+
+TEST(DimSet, Str)
+{
+    DimSet s{Dim::K, Dim::S};
+    EXPECT_EQ(s.str(), "{K,S}");
+    EXPECT_EQ(DimSet{}.str(), "{}");
+}
+
+TEST(TensorDims, WeightsProjection)
+{
+    DimSet w = tensorDims(Tensor::Weights);
+    EXPECT_EQ(w, (DimSet{Dim::K, Dim::C, Dim::R, Dim::S}));
+}
+
+TEST(TensorDims, InputsIncludeWindowDims)
+{
+    DimSet in = tensorDims(Tensor::Inputs);
+    // P,Q index inputs via the sliding window; only K is irrelevant.
+    EXPECT_TRUE(in.contains(Dim::P));
+    EXPECT_TRUE(in.contains(Dim::R));
+    EXPECT_FALSE(in.contains(Dim::K));
+    EXPECT_EQ(in.count(), 6u);
+}
+
+TEST(TensorDims, OutputsProjection)
+{
+    EXPECT_EQ(tensorDims(Tensor::Outputs),
+              (DimSet{Dim::N, Dim::K, Dim::P, Dim::Q}));
+}
+
+TEST(IrrelevantDims, ComplementOfRelevant)
+{
+    for (Tensor t : kAllTensors) {
+        DimSet rel = tensorDims(t);
+        DimSet irr = irrelevantDims(t);
+        EXPECT_TRUE((rel & irr).empty());
+        EXPECT_EQ((rel | irr).count(), kNumDims);
+    }
+}
+
+TEST(ReductionDims, AreCRS)
+{
+    EXPECT_EQ(reductionDims(), (DimSet{Dim::C, Dim::R, Dim::S}));
+    // Reduction dims are exactly the dims irrelevant to outputs.
+    EXPECT_EQ(reductionDims() & tensorDims(Tensor::Outputs), DimSet{});
+}
+
+} // namespace
+} // namespace ploop

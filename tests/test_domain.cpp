@@ -1,0 +1,47 @@
+/** @file Unit tests for arch/domain. */
+
+#include <gtest/gtest.h>
+
+#include "arch/domain.hpp"
+#include "common/error.hpp"
+
+namespace ploop {
+namespace {
+
+TEST(Domain, NameRoundTrip)
+{
+    for (Domain d : {Domain::DE, Domain::AE, Domain::AO, Domain::DO})
+        EXPECT_EQ(domainFromName(domainName(d)), d);
+}
+
+TEST(Domain, UnknownNameIsFatal)
+{
+    EXPECT_THROW(domainFromName("XX"), FatalError);
+    EXPECT_THROW(domainFromName("de"), FatalError); // Case-sensitive.
+}
+
+TEST(Domain, AnalogPredicate)
+{
+    EXPECT_FALSE(isAnalog(Domain::DE));
+    EXPECT_TRUE(isAnalog(Domain::AE));
+    EXPECT_TRUE(isAnalog(Domain::AO));
+    EXPECT_FALSE(isAnalog(Domain::DO));
+}
+
+TEST(Domain, OpticalPredicate)
+{
+    EXPECT_FALSE(isOptical(Domain::DE));
+    EXPECT_FALSE(isOptical(Domain::AE));
+    EXPECT_TRUE(isOptical(Domain::AO));
+    EXPECT_TRUE(isOptical(Domain::DO));
+}
+
+TEST(Domain, ConversionNameMatchesPaperNotation)
+{
+    EXPECT_EQ(conversionName(Domain::DE, Domain::AE), "DE/AE");
+    EXPECT_EQ(conversionName(Domain::AO, Domain::AE), "AO/AE");
+    EXPECT_EQ(conversionName(Domain::AE, Domain::DE), "AE/DE");
+}
+
+} // namespace
+} // namespace ploop

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Edge-case and failure-injection tests: degenerate hierarchies,
+ * intermediate-level bypass, batch relevance, large bounds, and
+ * word-width effects -- the corners a downstream user will hit first.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mapper/mapper.hpp"
+#include "model/evaluator.hpp"
+#include "test_helpers.hpp"
+
+namespace ploop {
+namespace {
+
+using ploop::testing::makeSmallConv;
+
+/** Single storage level directly above compute. */
+ArchSpec
+singleLevelArch()
+{
+    ArchBuilder b("single", 1e9);
+    b.addLevel("Mem").klass("dram").domain(Domain::DE).wordBits(8);
+    b.compute(ComputeSpec{});
+    return b.build();
+}
+
+TEST(EdgeCases, SingleLevelArchEvaluates)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    ArchSpec arch = singleLevelArch();
+    Evaluator evaluator(arch, registry);
+    LayerShape layer = makeSmallConv();
+    EvalResult r =
+        evaluator.evaluate(layer, Mapping::trivial(arch, layer));
+    EXPECT_DOUBLE_EQ(r.counts.macs, 10368.0);
+    // Every operand streams from the single level.
+    EXPECT_DOUBLE_EQ(r.counts.at(0, Tensor::Weights).reads, 10368.0);
+    EXPECT_DOUBLE_EQ(r.counts.at(0, Tensor::Outputs).updates,
+                     10368.0);
+}
+
+TEST(EdgeCases, IntermediateLevelBypassStreamsThrough)
+{
+    // Middle level keeps only outputs; weights/inputs stream from
+    // DRAM straight to the inner regs.
+    ArchBuilder b("bypass", 1e9);
+    b.addLevel("DRAM").klass("dram").domain(Domain::DE).attr(
+        "energy_per_bit", 10e-12);
+    b.addLevel("PsumBuf")
+        .klass("sram")
+        .domain(Domain::DE)
+        .capacityWords(64 * 1024)
+        .keepOnly({Tensor::Outputs});
+    b.addLevel("Regs")
+        .klass("regfile")
+        .domain(Domain::DE)
+        .capacityWords(1024);
+    b.compute(ComputeSpec{});
+    ArchSpec arch = b.build();
+
+    EnergyRegistry registry = makeDefaultRegistry();
+    Evaluator evaluator(arch, registry);
+    LayerShape layer = makeSmallConv();
+    Mapping m(3);
+    // R,S inner so regs get weight reuse; rest at DRAM.
+    m.level(0).setT(Dim::R, 3);
+    m.level(0).setT(Dim::S, 3);
+    for (Dim d : {Dim::N, Dim::K, Dim::C, Dim::P, Dim::Q})
+        m.level(2).setT(d, layer.bound(d));
+    EvalResult r = evaluator.evaluate(layer, m);
+    // The bypassing middle level never reads/writes weights.
+    EXPECT_DOUBLE_EQ(r.counts.at(1, Tensor::Weights).fills, 0.0);
+    EXPECT_DOUBLE_EQ(r.counts.at(1, Tensor::Weights).writes, 0.0);
+    // But it still passes crossings downward (reads counted at the
+    // serving level, DRAM).
+    EXPECT_GT(r.counts.at(2, Tensor::Weights).reads, 0.0);
+    // And it does accumulate psums.
+    EXPECT_GT(r.counts.at(1, Tensor::Outputs).updates, 0.0);
+}
+
+TEST(EdgeCases, BatchDimIsIrrelevantToWeights)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    ArchSpec arch = ploop::testing::makeDigitalArch();
+    Evaluator evaluator(arch, registry);
+    LayerShape l1 = makeSmallConv();
+    LayerShape l8 = l1.withBatch(8);
+    Mapping m1 = Mapping::trivial(arch, l1);
+    Mapping m8 = Mapping::trivial(arch, l8);
+    EvalResult r1 = evaluator.evaluate(l1, m1);
+    EvalResult r8 = evaluator.evaluate(l8, m8);
+    // Weight DRAM reads identical; input/output traffic scales by 8.
+    EXPECT_DOUBLE_EQ(r1.counts.at(2, Tensor::Weights).reads,
+                     r8.counts.at(2, Tensor::Weights).reads);
+    EXPECT_DOUBLE_EQ(r8.counts.at(2, Tensor::Outputs).updates,
+                     8.0 * r1.counts.at(2, Tensor::Outputs).updates);
+}
+
+TEST(EdgeCases, LargeBoundsStayFinite)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    ArchSpec arch = ploop::testing::makeDigitalArch();
+    Evaluator evaluator(arch, registry);
+    // A transformer-scale matmul: 16G MACs.
+    LayerShape big =
+        LayerShape::fullyConnected("big", 64, 16384, 16384);
+    EvalResult r =
+        evaluator.evaluate(big, Mapping::trivial(arch, big));
+    EXPECT_TRUE(std::isfinite(r.totalEnergy()));
+    EXPECT_TRUE(std::isfinite(r.throughput.cycles));
+    EXPECT_NEAR(r.counts.macs, 64.0 * 16384 * 16384,
+                r.counts.macs * 1e-12);
+}
+
+TEST(EdgeCases, WiderWordsCostProportionalDram)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    auto dram_energy = [&](unsigned bits) {
+        ArchBuilder b("w", 1e9);
+        b.addLevel("Mem")
+            .klass("dram")
+            .domain(Domain::DE)
+            .wordBits(bits)
+            .attr("energy_per_bit", 10e-12);
+        b.compute(ComputeSpec{});
+        ArchSpec arch = b.build();
+        Evaluator evaluator(arch, registry);
+        LayerShape layer = makeSmallConv();
+        EvalResult r =
+            evaluator.evaluate(layer, Mapping::trivial(arch, layer));
+        return r.energy.sumIf([](const EnergyEntry &e) {
+            return e.klass == "dram";
+        });
+    };
+    EXPECT_NEAR(dram_energy(16) / dram_energy(8), 2.0, 1e-9);
+}
+
+TEST(EdgeCases, MapperHandlesDegenerateOneMacLayer)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    ArchSpec arch = ploop::testing::makePhotonicToyArch();
+    Evaluator evaluator(arch, registry);
+    LayerShape one = LayerShape::conv("one", 1, 1, 1, 1, 1, 1, 1);
+    MapperResult r = Mapper(evaluator).search(one);
+    EXPECT_DOUBLE_EQ(r.result.counts.macs, 1.0);
+    EXPECT_GT(r.result.totalEnergy(), 0.0);
+}
+
+TEST(EdgeCases, ZeroBandwidthMeansUnbounded)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    ArchSpec arch = singleLevelArch(); // bandwidth = 0.
+    Evaluator evaluator(arch, registry);
+    LayerShape layer = makeSmallConv();
+    EvalResult r =
+        evaluator.evaluate(layer, Mapping::trivial(arch, layer));
+    EXPECT_DOUBLE_EQ(r.throughput.bandwidth_cycles, 0.0);
+    EXPECT_DOUBLE_EQ(r.throughput.cycles,
+                     r.throughput.compute_cycles);
+}
+
+} // namespace
+} // namespace ploop

@@ -1,0 +1,98 @@
+/** @file Unit tests for the electronic systolic baseline. */
+
+#include <gtest/gtest.h>
+
+#include "baseline/electronic_baseline.hpp"
+#include "mapper/mapper.hpp"
+#include "model/evaluator.hpp"
+
+namespace ploop {
+namespace {
+
+TEST(ElectronicBaseline, BuildsWithDefaultPeak)
+{
+    ElectronicBaselineConfig cfg;
+    ArchSpec arch = buildElectronicBaseline(cfg);
+    EXPECT_EQ(cfg.peakMacs(), 6912u); // Matches Albireo's peak.
+    EXPECT_DOUBLE_EQ(arch.peakMacsPerCycle(), 6912.0);
+    EXPECT_NO_THROW(arch.validate());
+}
+
+TEST(ElectronicBaseline, SingleDomainNoConverters)
+{
+    ArchSpec arch = buildElectronicBaseline({});
+    for (std::size_t l = 0; l < arch.numLevels(); ++l) {
+        EXPECT_EQ(arch.level(l).domain, Domain::DE);
+        for (Tensor t : kAllTensors)
+            EXPECT_TRUE(arch.level(l).convertersFor(t).empty());
+    }
+    EXPECT_EQ(arch.compute().domain, Domain::DE);
+    EXPECT_TRUE(arch.statics().empty()); // No laser.
+}
+
+TEST(ElectronicBaseline, DramModeAddsLevel)
+{
+    ElectronicBaselineConfig cfg;
+    EXPECT_EQ(buildElectronicBaseline(cfg).numLevels(), 3u);
+    cfg.with_dram = true;
+    ArchSpec arch = buildElectronicBaseline(cfg);
+    EXPECT_EQ(arch.numLevels(), 4u);
+    EXPECT_EQ(arch.level(3).klass, "dram");
+}
+
+TEST(ElectronicBaseline, EveryMacCostsDigitalEnergy)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    ElectronicBaselineConfig cfg;
+    ArchSpec arch = buildElectronicBaseline(cfg);
+    Evaluator evaluator(arch, registry);
+    LayerShape layer =
+        LayerShape::conv("c", 1, 96, 36, 28, 28, 3, 3);
+    SearchOptions opts;
+    opts.random_samples = 20;
+    opts.hill_climb_rounds = 4;
+    MapperResult r = Mapper(evaluator, opts).search(layer);
+    double mac_j = r.result.energy.sumIf([](const EnergyEntry &e) {
+        return e.action == Action::Compute;
+    });
+    EXPECT_NEAR(mac_j, r.result.counts.macs * cfg.mac_energy_j,
+                mac_j * 1e-9);
+    // Digital MACs dominate this accelerator's energy.
+    EXPECT_GT(mac_j / r.result.totalEnergy(), 0.2);
+}
+
+TEST(ElectronicBaseline, NoStridePenalty)
+{
+    // No optical window: strided layers map without the photonic
+    // penalty.
+    EnergyRegistry registry = makeDefaultRegistry();
+    ArchSpec arch = buildElectronicBaseline({});
+    Evaluator evaluator(arch, registry);
+    LayerShape strided =
+        LayerShape::conv("s", 1, 96, 36, 28, 28, 3, 3, 2, 2);
+    SearchOptions opts;
+    opts.random_samples = 10;
+    opts.hill_climb_rounds = 2;
+    MapperResult r = Mapper(evaluator, opts).search(strided);
+    EXPECT_DOUBLE_EQ(r.result.throughput.stride_penalty, 1.0);
+}
+
+TEST(ElectronicBaseline, WeightStationaryRegisterWorks)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    ArchSpec arch = buildElectronicBaseline({});
+    Evaluator evaluator(arch, registry);
+    LayerShape layer =
+        LayerShape::conv("c", 1, 96, 36, 28, 28, 3, 3);
+    SearchOptions opts;
+    opts.random_samples = 30;
+    opts.hill_climb_rounds = 6;
+    MapperResult r = Mapper(evaluator, opts).search(layer);
+    // The per-PE weight register amortizes fills: far fewer weight
+    // fills at level 0 than MACs.
+    double fills = r.result.counts.at(0, Tensor::Weights).fills;
+    EXPECT_LT(fills, r.result.counts.macs / 10.0);
+}
+
+} // namespace
+} // namespace ploop

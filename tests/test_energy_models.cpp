@@ -1,0 +1,177 @@
+/** @file Unit tests for the electrical estimators (energy/). */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "energy/adc_model.hpp"
+#include "energy/dac_model.hpp"
+#include "energy/dram_model.hpp"
+#include "energy/regfile_model.hpp"
+#include "energy/sram_model.hpp"
+#include "energy/wire_model.hpp"
+
+namespace ploop {
+namespace {
+
+Attributes
+withWordBits(unsigned bits)
+{
+    Attributes a;
+    a.set("word_bits", bits);
+    return a;
+}
+
+TEST(SramModel, ReadScalesWithWordBits)
+{
+    SramModel sram;
+    // Pin the array small enough that the size-scale floor (0.5)
+    // applies to both, isolating the word-width dependence.
+    Attributes a8 = withWordBits(8);
+    a8.set("capacity_words", 16);
+    Attributes a16 = withWordBits(16);
+    a16.set("capacity_words", 16);
+    double e8 = sram.energy(Action::Read, a8);
+    double e16 = sram.energy(Action::Read, a16);
+    EXPECT_NEAR(e16 / e8, 2.0, 1e-9);
+}
+
+TEST(SramModel, ReadGrowsWithCapacity)
+{
+    SramModel sram;
+    Attributes small = withWordBits(8);
+    small.set("capacity_words", 16 * 1024);
+    Attributes big = withWordBits(8);
+    big.set("capacity_words", 16 * 1024 * 1024);
+    EXPECT_GT(sram.energy(Action::Read, big),
+              sram.energy(Action::Read, small));
+}
+
+TEST(SramModel, SizeScaleFloor)
+{
+    EXPECT_GE(SramModel::sizeScale(1.0), 0.5);
+    EXPECT_NEAR(SramModel::sizeScale(64.0 * 1024 * 8), 1.0, 1e-9);
+}
+
+TEST(SramModel, WriteAndUpdateRelations)
+{
+    SramModel sram;
+    Attributes a = withWordBits(8);
+    double r = sram.energy(Action::Read, a);
+    double w = sram.energy(Action::Write, a);
+    double u = sram.energy(Action::Update, a);
+    EXPECT_GT(w, r);
+    EXPECT_NEAR(u, r + w, 1e-18);
+}
+
+TEST(SramModel, UnsupportedActionIsFatal)
+{
+    SramModel sram;
+    Attributes a = withWordBits(8);
+    EXPECT_THROW(sram.energy(Action::Convert, a), FatalError);
+    EXPECT_FALSE(sram.supports(Action::Compute));
+}
+
+TEST(SramModel, AreaScalesWithBits)
+{
+    SramModel sram;
+    Attributes a = withWordBits(8);
+    a.set("capacity_words", 1024);
+    Attributes b = withWordBits(8);
+    b.set("capacity_words", 2048);
+    EXPECT_NEAR(sram.area(b) / sram.area(a), 2.0, 1e-9);
+}
+
+TEST(DramModel, EnergyPerBitTimesWordBits)
+{
+    DramModel dram;
+    Attributes a = withWordBits(8);
+    a.set("energy_per_bit", 10.0_pJ);
+    EXPECT_NEAR(dram.energy(Action::Read, a), 80.0_pJ, 1e-18);
+    EXPECT_NEAR(dram.energy(Action::Write, a), 80.0_pJ, 1e-18);
+    EXPECT_NEAR(dram.energy(Action::Update, a), 160.0_pJ, 1e-18);
+}
+
+TEST(DramModel, OffChipHasNoArea)
+{
+    DramModel dram;
+    EXPECT_DOUBLE_EQ(dram.area(Attributes{}), 0.0);
+}
+
+TEST(AdcModel, WaldenExponential)
+{
+    AdcModel adc;
+    Attributes a8;
+    a8.set("resolution", 8);
+    a8.set("fom_j_per_step", 10.0_fJ);
+    Attributes a10 = a8;
+    a10.set("resolution", 10);
+    double e8 = adc.energy(Action::Convert, a8);
+    double e10 = adc.energy(Action::Convert, a10);
+    EXPECT_NEAR(e8, 10.0_fJ * 256, 1e-20);
+    EXPECT_NEAR(e10 / e8, 4.0, 1e-9);
+}
+
+TEST(AdcModel, OnlyConvertSupported)
+{
+    AdcModel adc;
+    EXPECT_TRUE(adc.supports(Action::Convert));
+    EXPECT_FALSE(adc.supports(Action::Read));
+    Attributes a;
+    a.set("resolution", 8);
+    EXPECT_THROW(adc.energy(Action::Read, a), FatalError);
+}
+
+TEST(DacModel, CheaperThanAdcAtSameDefaults)
+{
+    AdcModel adc;
+    DacModel dac;
+    Attributes a;
+    a.set("resolution", 8);
+    EXPECT_LT(dac.energy(Action::Convert, a),
+              adc.energy(Action::Convert, a));
+}
+
+TEST(DacModel, FractionalResolutionIsContinuous)
+{
+    DacModel dac;
+    Attributes lo, hi;
+    lo.set("resolution", 8.0);
+    hi.set("resolution", 8.5);
+    EXPECT_GT(dac.energy(Action::Convert, hi),
+              dac.energy(Action::Convert, lo));
+}
+
+TEST(WireModel, EnergyScalesWithLengthAndBits)
+{
+    WireModel wire;
+    Attributes a = withWordBits(8);
+    a.set("length_mm", 2.0);
+    a.set("energy_per_bit_mm", 50.0_fJ);
+    EXPECT_NEAR(wire.energy(Action::Read, a), 8 * 2.0 * 50.0_fJ,
+                1e-22);
+    EXPECT_TRUE(wire.supports(Action::Convert));
+}
+
+TEST(RegfileModel, FlatPerBitEnergy)
+{
+    RegfileModel rf;
+    Attributes a = withWordBits(8);
+    a.set("energy_per_bit", 2.0_fJ);
+    EXPECT_NEAR(rf.energy(Action::Read, a), 16.0_fJ, 1e-22);
+    EXPECT_NEAR(rf.energy(Action::Update, a), 32.0_fJ, 1e-22);
+}
+
+TEST(DigitalMacModel, DefaultAndOverride)
+{
+    DigitalMacModel mac;
+    Attributes def;
+    EXPECT_NEAR(mac.energy(Action::Compute, def), 0.25_pJ, 1e-18);
+    Attributes ovr;
+    ovr.set("energy_per_mac", 1.0_pJ);
+    EXPECT_NEAR(mac.energy(Action::Compute, ovr), 1.0_pJ, 1e-18);
+    EXPECT_GT(mac.area(def), 0.0);
+}
+
+} // namespace
+} // namespace ploop

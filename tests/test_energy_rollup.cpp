@@ -1,0 +1,185 @@
+/** @file Unit tests for the energy rollup and area model. */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "energy/registry.hpp"
+#include "model/energy_rollup.hpp"
+#include "test_helpers.hpp"
+
+namespace ploop {
+namespace {
+
+using ploop::testing::makeDigitalArch;
+using ploop::testing::makePhotonicToyArch;
+using ploop::testing::makeSmallConv;
+
+struct RollupFixture : public ::testing::Test
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    ArchSpec arch = makeDigitalArch();
+    LayerShape layer = makeSmallConv();
+    Mapping mapping = Mapping::trivial(arch, layer);
+    TileAnalysis tiles{arch, layer, mapping};
+    AccessCounts counts =
+        computeAccessCounts(arch, layer, mapping, tiles);
+    std::vector<ConverterCount> conv = computeConverterCounts(
+        arch, layer, mapping, tiles, counts);
+    ThroughputResult tp =
+        computeThroughput(arch, layer, mapping, counts);
+    EnergyBreakdown energy = computeEnergy(arch, registry, counts,
+                                           conv, tp);
+};
+
+TEST_F(RollupFixture, TotalIsSumOfEntries)
+{
+    double sum = 0;
+    for (const auto &e : energy.entries)
+        sum += e.energy_j;
+    EXPECT_DOUBLE_EQ(energy.total(), sum);
+    EXPECT_GT(energy.total(), 0.0);
+}
+
+TEST_F(RollupFixture, EveryLevelContributes)
+{
+    auto by_comp = energy.byComponent();
+    EXPECT_TRUE(by_comp.count("DRAM"));
+    EXPECT_TRUE(by_comp.count("Buffer"));
+    EXPECT_TRUE(by_comp.count("Regs"));
+    EXPECT_TRUE(by_comp.count("mac"));
+}
+
+TEST_F(RollupFixture, DramEnergyMatchesHandComputation)
+{
+    // Trivial mapping: weights read once each (288); inputs refetch
+    // per sliding-window position (N*C*P*Q*R*S = 1296 -- the trivial
+    // mapping gets no halo reuse); every partial sum updates DRAM
+    // (10368, update = 2x a word access).  10 pJ/bit * 8 bits.
+    double per_word = 10e-12 * 8;
+    double expect =
+        288 * per_word + 1296 * per_word + 10368 * 2 * per_word;
+    double dram = energy.byComponent().at("DRAM");
+    EXPECT_NEAR(dram, expect, expect * 1e-9);
+}
+
+TEST_F(RollupFixture, ComputeChargedPerMac)
+{
+    double mac_energy = registry.energy("mac", Action::Compute,
+                                        arch.compute().attrs);
+    double found = 0;
+    for (const auto &e : energy.entries) {
+        if (e.action == Action::Compute)
+            found += e.energy_j;
+    }
+    EXPECT_NEAR(found, counts.macs * mac_energy, 1e-18);
+}
+
+TEST_F(RollupFixture, EntriesTagTensors)
+{
+    bool weights_read_found = false;
+    for (const auto &e : energy.entries) {
+        if (e.component == "Buffer" && e.action == Action::Read &&
+            e.tensor == Tensor::Weights) {
+            weights_read_found = true;
+        }
+    }
+    EXPECT_TRUE(weights_read_found);
+}
+
+TEST_F(RollupFixture, SumIfFiltersCorrectly)
+{
+    double all = energy.total();
+    double dram_only = energy.sumIf([](const EnergyEntry &e) {
+        return e.component == "DRAM";
+    });
+    double rest = energy.sumIf([](const EnergyEntry &e) {
+        return e.component != "DRAM";
+    });
+    EXPECT_NEAR(all, dram_only + rest, all * 1e-12);
+}
+
+TEST_F(RollupFixture, AreaPositiveAndDominatedByStorage)
+{
+    double area = computeArea(arch, registry, counts, conv);
+    EXPECT_GT(area, 0.0);
+    // Buffer: 64Ki words * 8 b * 0.3 um^2 = 0.157 mm^2 at least.
+    EXPECT_GT(area, 0.1e-6);
+}
+
+TEST(EnergyRollup, StaticPowerChargedByRuntime)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    ArchBuilder b("static", 1e9);
+    b.addLevel("Mem").klass("dram").domain(Domain::DE);
+    b.compute(ComputeSpec{});
+    StaticComponentSpec laser;
+    laser.name = "laser";
+    laser.klass = "laser";
+    laser.attrs.set("power_w", 2.0);
+    b.addStatic(laser);
+    ArchSpec arch = b.build();
+
+    LayerShape layer = ploop::testing::makeSmallConv();
+    Mapping m = Mapping::trivial(arch, layer);
+    TileAnalysis tiles(arch, layer, m);
+    AccessCounts counts = computeAccessCounts(arch, layer, m, tiles);
+    auto conv = computeConverterCounts(arch, layer, m, tiles, counts);
+    ThroughputResult tp = computeThroughput(arch, layer, m, counts);
+    EnergyBreakdown energy =
+        computeEnergy(arch, registry, counts, conv, tp);
+
+    // 10368 cycles at 1 GHz, 2 W: 20.7 uJ.
+    double expect = 2.0 * 10368e-9;
+    double laser_j = energy.byComponent().at("laser");
+    EXPECT_NEAR(laser_j, expect, expect * 1e-9);
+}
+
+TEST(EnergyRollup, ConvertersAppearWithCrossings)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    ArchSpec arch = makePhotonicToyArch();
+    LayerShape layer = makeSmallConv();
+    Mapping m(2);
+    for (Dim d : kAllDims)
+        m.level(1).setT(d, layer.bound(d));
+    TileAnalysis tiles(arch, layer, m);
+    AccessCounts counts = computeAccessCounts(arch, layer, m, tiles);
+    auto conv = computeConverterCounts(arch, layer, m, tiles, counts);
+    ThroughputResult tp = computeThroughput(arch, layer, m, counts);
+    EnergyBreakdown energy =
+        computeEnergy(arch, registry, counts, conv, tp);
+
+    bool adc = false, mzm = false;
+    for (const auto &e : energy.entries) {
+        if (e.action != Action::Convert)
+            continue;
+        EXPECT_FALSE(e.crossing.empty());
+        if (e.component == "adc")
+            adc = true;
+        if (e.component == "mzm")
+            mzm = true;
+    }
+    EXPECT_TRUE(adc);
+    EXPECT_TRUE(mzm);
+}
+
+TEST(EnergyRollup, StrRendersEntries)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    ArchSpec arch = makeDigitalArch();
+    LayerShape layer = ploop::testing::makeSmallConv();
+    Mapping m = Mapping::trivial(arch, layer);
+    TileAnalysis tiles(arch, layer, m);
+    AccessCounts counts = computeAccessCounts(arch, layer, m, tiles);
+    auto conv = computeConverterCounts(arch, layer, m, tiles, counts);
+    ThroughputResult tp = computeThroughput(arch, layer, m, counts);
+    EnergyBreakdown energy =
+        computeEnergy(arch, registry, counts, conv, tp);
+    std::string s = energy.str();
+    EXPECT_NE(s.find("total"), std::string::npos);
+    EXPECT_NE(s.find("DRAM"), std::string::npos);
+}
+
+} // namespace
+} // namespace ploop

@@ -1,0 +1,66 @@
+/** @file Tests for the error-reporting and logging facilities. */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace ploop {
+namespace {
+
+TEST(Fatal, ThrowsFatalError)
+{
+    EXPECT_THROW(fatal("user mistake"), FatalError);
+    try {
+        fatal("describe the problem");
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("describe the problem"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("fatal"),
+                  std::string::npos);
+    }
+}
+
+TEST(FatalIf, OnlyFiresWhenTrue)
+{
+    EXPECT_NO_THROW(fatalIf(false, "nope"));
+    EXPECT_THROW(fatalIf(true, "yes"), FatalError);
+}
+
+TEST(PanicDeathTest, Aborts)
+{
+    EXPECT_DEATH(panic("invariant broken"), "invariant broken");
+}
+
+TEST(PanicIfDeathTest, OnlyFiresWhenTrue)
+{
+    EXPECT_NO_THROW(panicIf(false, "fine"));
+    EXPECT_DEATH(panicIf(true, "bad"), "bad");
+}
+
+TEST(Logging, LevelFiltering)
+{
+    LogLevel before = logLevel();
+    setLogLevel(LogLevel::Silent);
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+    // These must not crash regardless of level.
+    inform("hidden");
+    warn("hidden");
+    debugLog("hidden");
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(before);
+}
+
+TEST(Logging, LevelsAreOrdered)
+{
+    EXPECT_LT(static_cast<int>(LogLevel::Debug),
+              static_cast<int>(LogLevel::Info));
+    EXPECT_LT(static_cast<int>(LogLevel::Info),
+              static_cast<int>(LogLevel::Warn));
+    EXPECT_LT(static_cast<int>(LogLevel::Warn),
+              static_cast<int>(LogLevel::Silent));
+}
+
+} // namespace
+} // namespace ploop

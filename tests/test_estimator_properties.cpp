@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Parameterized property sweeps over the estimator library: energy
+ * monotonicity and scaling laws that must hold across the whole
+ * attribute range (resolution, capacity, fanout, scaling profile).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "energy/adc_model.hpp"
+#include "energy/dac_model.hpp"
+#include "energy/sram_model.hpp"
+#include "photonics/link_budget.hpp"
+#include "photonics/star_coupler.hpp"
+
+namespace ploop {
+namespace {
+
+// ---- ADC/DAC: Walden exponential across resolutions ----
+
+class ConverterResolution
+    : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(ConverterResolution, AdcDoublesPerBit)
+{
+    unsigned bits = GetParam();
+    AdcModel adc;
+    Attributes lo, hi;
+    lo.set("resolution", bits);
+    hi.set("resolution", bits + 1);
+    EXPECT_NEAR(adc.energy(Action::Convert, hi) /
+                    adc.energy(Action::Convert, lo),
+                2.0, 1e-9);
+}
+
+TEST_P(ConverterResolution, DacAlwaysBelowAdc)
+{
+    unsigned bits = GetParam();
+    AdcModel adc;
+    DacModel dac;
+    Attributes a;
+    a.set("resolution", bits);
+    EXPECT_LT(dac.energy(Action::Convert, a),
+              adc.energy(Action::Convert, a));
+    EXPECT_LT(dac.area(a), adc.area(a));
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, ConverterResolution,
+                         ::testing::Values(4u, 6u, 8u, 10u, 12u,
+                                           14u));
+
+// ---- SRAM: monotone in capacity across sizes ----
+
+class SramCapacity : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(SramCapacity, ReadEnergyMonotoneInCapacity)
+{
+    SramModel sram;
+    Attributes small, big;
+    small.set("word_bits", 8);
+    small.set("capacity_words", double(GetParam()));
+    big.set("word_bits", 8);
+    big.set("capacity_words", double(GetParam() * 4));
+    EXPECT_LE(sram.energy(Action::Read, small),
+              sram.energy(Action::Read, big));
+    EXPECT_LT(sram.area(small), sram.area(big));
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, SramCapacity,
+                         ::testing::Values(1u << 10, 1u << 14,
+                                           1u << 18, 1u << 22));
+
+// ---- Star coupler / link budget: monotone in fanout ----
+
+class CouplerFanout : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(CouplerFanout, LossMonotoneInFanout)
+{
+    double n = GetParam();
+    EXPECT_LT(starCouplerLossDb(n, 0.3),
+              starCouplerLossDb(n * 2, 0.3));
+    // Intrinsic part is exactly 10 log10 N.
+    EXPECT_NEAR(starCouplerLossDb(n, 0.0), 10.0 * std::log10(n),
+                1e-9);
+}
+
+TEST_P(CouplerFanout, LaserPowerMonotoneInBroadcast)
+{
+    LinkBudgetSpec spec;
+    spec.tech = scalingConstants(ScalingProfile::Moderate);
+    spec.active_channels = 64;
+    spec.broadcast_fanout = GetParam();
+    double p1 = solveLinkBudget(spec).electrical_power_w;
+    spec.broadcast_fanout = GetParam() * 3;
+    double p3 = solveLinkBudget(spec).electrical_power_w;
+    EXPECT_GT(p3, p1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, CouplerFanout,
+                         ::testing::Values(2.0, 4.0, 9.0, 16.0,
+                                           45.0));
+
+// ---- Scaling profiles: every profile's link budget is solvable and
+//      produces a physical (positive, finite) laser power ----
+
+class ProfileBudget
+    : public ::testing::TestWithParam<ScalingProfile>
+{};
+
+TEST_P(ProfileBudget, SolvableAndPhysical)
+{
+    LinkBudgetSpec spec;
+    spec.tech = scalingConstants(GetParam());
+    spec.broadcast_fanout = 9;
+    spec.rings_in_path = 12;
+    spec.path_length_mm = 5;
+    spec.active_channels = 768;
+    LinkBudgetResult r = solveLinkBudget(spec);
+    EXPECT_GT(r.loss_db, 0.0);
+    EXPECT_LT(r.loss_db, 60.0); // Sanity: under 60 dB.
+    EXPECT_GT(r.electrical_power_w, 0.0);
+    EXPECT_LT(r.electrical_power_w, 1000.0);
+    EXPECT_TRUE(std::isfinite(r.electrical_power_w));
+}
+
+TEST_P(ProfileBudget, ElectricalAlwaysExceedsOptical)
+{
+    LinkBudgetSpec spec;
+    spec.tech = scalingConstants(GetParam());
+    spec.active_channels = 16;
+    LinkBudgetResult r = solveLinkBudget(spec);
+    EXPECT_GT(r.electrical_power_w, r.optical_power_w);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Profiles, ProfileBudget,
+    ::testing::Values(ScalingProfile::Conservative,
+                      ScalingProfile::Moderate,
+                      ScalingProfile::Aggressive));
+
+} // namespace
+} // namespace ploop

@@ -1,0 +1,99 @@
+/** @file Unit tests for the Evaluator facade. */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "model/evaluator.hpp"
+#include "test_helpers.hpp"
+
+namespace ploop {
+namespace {
+
+using ploop::testing::makeDigitalArch;
+using ploop::testing::makePhotonicToyArch;
+using ploop::testing::makeSmallConv;
+
+struct EvaluatorFixture : public ::testing::Test
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    ArchSpec arch = makeDigitalArch();
+    Evaluator evaluator{arch, registry};
+    LayerShape layer = makeSmallConv();
+};
+
+TEST_F(EvaluatorFixture, EvaluateTrivialMapping)
+{
+    Mapping m = Mapping::trivial(arch, layer);
+    EvalResult r = evaluator.evaluate(layer, m);
+    EXPECT_DOUBLE_EQ(r.counts.macs, 10368.0);
+    EXPECT_GT(r.totalEnergy(), 0.0);
+    EXPECT_GT(r.energyPerMac(), 0.0);
+    EXPECT_GT(r.throughput.cycles, 0.0);
+    EXPECT_GT(r.area_m2, 0.0);
+    EXPECT_NEAR(r.edp(),
+                r.totalEnergy() * r.throughput.runtime_s, 1e-24);
+}
+
+TEST_F(EvaluatorFixture, InvalidMappingIsFatal)
+{
+    Mapping m(3); // Covers nothing.
+    EXPECT_FALSE(evaluator.isValidMapping(layer, m));
+    EXPECT_THROW(evaluator.evaluate(layer, m), FatalError);
+}
+
+TEST_F(EvaluatorFixture, IsValidMappingExplains)
+{
+    Mapping m(3);
+    std::string why;
+    EXPECT_FALSE(evaluator.isValidMapping(layer, m, &why));
+    EXPECT_FALSE(why.empty());
+}
+
+TEST_F(EvaluatorFixture, BetterMappingUsesLessEnergy)
+{
+    Mapping trivial = Mapping::trivial(arch, layer);
+    // Move reduction loops inward so psums accumulate on-chip.
+    Mapping good(3);
+    good.level(0).setT(Dim::R, 3);
+    good.level(0).setT(Dim::S, 3);
+    good.level(1).setS(Dim::K, 4);
+    good.level(1).setT(Dim::C, 4);
+    good.level(1).setT(Dim::P, 6);
+    good.level(1).setT(Dim::Q, 6);
+    good.level(2).setT(Dim::K, 2);
+    EvalResult r_trivial = evaluator.evaluate(layer, trivial);
+    EvalResult r_good = evaluator.evaluate(layer, good);
+    EXPECT_LT(r_good.totalEnergy(), r_trivial.totalEnergy());
+    EXPECT_LT(r_good.throughput.cycles, r_trivial.throughput.cycles);
+}
+
+TEST(Evaluator, PhotonicToyEndToEnd)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    ArchSpec arch = makePhotonicToyArch();
+    Evaluator evaluator(arch, registry);
+    LayerShape layer = makeSmallConv();
+    Mapping m(2);
+    m.level(1).setS(Dim::K, 8);
+    m.level(1).setS(Dim::C, 4);
+    m.level(1).setS(Dim::R, 3);
+    m.level(1).setT(Dim::P, 6);
+    m.level(1).setT(Dim::Q, 6);
+    m.level(1).setT(Dim::S, 3);
+    EvalResult r = evaluator.evaluate(layer, m);
+    EXPECT_EQ(r.converters.size(), 6u);
+    // Converter energy present in the breakdown.
+    double conv_j = r.energy.sumIf([](const EnergyEntry &e) {
+        return e.action == Action::Convert;
+    });
+    EXPECT_GT(conv_j, 0.0);
+}
+
+TEST(Evaluator, EnergyPerMacZeroGuard)
+{
+    EvalResult r;
+    EXPECT_DOUBLE_EQ(r.energyPerMac(), 0.0);
+}
+
+} // namespace
+} // namespace ploop

@@ -1,0 +1,117 @@
+/** @file Unit tests for the report/export module. */
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "report/export.hpp"
+#include "test_helpers.hpp"
+
+namespace ploop {
+namespace {
+
+TEST(CsvField, PlainValuesUnquoted)
+{
+    EXPECT_EQ(csvField("simple"), "simple");
+    EXPECT_EQ(csvField("with space"), "with space");
+}
+
+TEST(CsvField, SpecialsQuotedAndEscaped)
+{
+    EXPECT_EQ(csvField("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvField("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(csvField("line\nbreak"), "\"line\nbreak\"");
+}
+
+std::vector<ResultRow>
+sampleRows()
+{
+    ResultRow a{"rowA", {{"x", 1.5}, {"y", -2.0}}};
+    ResultRow b{"rowB", {{"x", 3.0}, {"y", 4.25}}};
+    return {a, b};
+}
+
+TEST(ToCsv, HeaderAndRows)
+{
+    std::string csv = toCsv(sampleRows());
+    EXPECT_EQ(csv, "label,x,y\nrowA,1.5,-2\nrowB,3,4.25\n");
+}
+
+TEST(ToCsv, EmptyRows)
+{
+    EXPECT_EQ(toCsv({}), "label\n");
+}
+
+TEST(ToCsv, MismatchedKeysAreFatal)
+{
+    auto rows = sampleRows();
+    rows[1].values[0].first = "z";
+    EXPECT_THROW(toCsv(rows), FatalError);
+    rows = sampleRows();
+    rows[1].values.pop_back();
+    EXPECT_THROW(toCsv(rows), FatalError);
+}
+
+TEST(ToJson, WellFormed)
+{
+    std::string json = toJson(sampleRows());
+    EXPECT_NE(json.find("\"label\": \"rowA\""), std::string::npos);
+    EXPECT_NE(json.find("\"x\": 1.5"), std::string::npos);
+    EXPECT_NE(json.find("\"y\": 4.25"), std::string::npos);
+    // Array brackets and object separators.
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_NE(json.find("},"), std::string::npos);
+}
+
+TEST(ToJson, EscapesStrings)
+{
+    ResultRow r{"we\"ird\nlabel", {{"k", 1.0}}};
+    std::string json = toJson({r});
+    EXPECT_NE(json.find("we\\\"ird\\nlabel"), std::string::npos);
+}
+
+TEST(FlattenResult, ContainsCoreMetricsAndComponents)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    ArchSpec arch = ploop::testing::makeDigitalArch();
+    Evaluator evaluator(arch, registry);
+    LayerShape layer = ploop::testing::makeSmallConv();
+    EvalResult result =
+        evaluator.evaluate(layer, Mapping::trivial(arch, layer));
+    ResultRow row = flattenResult("probe", result);
+    EXPECT_EQ(row.label, "probe");
+    auto find = [&](const std::string &key) {
+        for (const auto &[k, v] : row.values) {
+            if (k == key)
+                return v;
+        }
+        ADD_FAILURE() << "missing key " << key;
+        return 0.0;
+    };
+    EXPECT_DOUBLE_EQ(find("macs"), 10368.0);
+    EXPECT_GT(find("energy_total_j"), 0.0);
+    EXPECT_GT(find("energy.DRAM"), 0.0);
+    EXPECT_GT(find("energy.Buffer"), 0.0);
+}
+
+TEST(WriteFile, RoundTrips)
+{
+    std::string path = ::testing::TempDir() + "/ploop_export_test.csv";
+    writeFile(path, "hello,world\n");
+    std::ifstream in(path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(content, "hello,world\n");
+    std::remove(path.c_str());
+}
+
+TEST(WriteFile, BadPathIsFatal)
+{
+    EXPECT_THROW(writeFile("/nonexistent-dir-xyz/file.csv", "x"),
+                 FatalError);
+}
+
+} // namespace
+} // namespace ploop

@@ -1,0 +1,118 @@
+/** @file Unit tests for mapper/factorize. */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "mapper/factorize.hpp"
+
+namespace ploop {
+namespace {
+
+std::uint64_t
+product(const std::vector<std::uint64_t> &v)
+{
+    std::uint64_t p = 1;
+    for (auto x : v)
+        p *= x;
+    return p;
+}
+
+TEST(GreedyCappedSplit, RespectsCapsAndCovers)
+{
+    auto f = greedyCappedSplit(64, {4, 4, 100});
+    ASSERT_EQ(f.size(), 3u);
+    EXPECT_EQ(f[0], 4u);
+    EXPECT_EQ(f[1], 4u);
+    EXPECT_EQ(f[2], 4u);
+    EXPECT_GE(product(f), 64u);
+}
+
+TEST(GreedyCappedSplit, CeilingCoverage)
+{
+    auto f = greedyCappedSplit(55, {3, 100});
+    EXPECT_EQ(f[0], 3u);
+    EXPECT_EQ(f[1], 19u); // ceil(55/3).
+    EXPECT_GE(product(f), 55u);
+}
+
+TEST(GreedyCappedSplit, SmallBoundLeavesOnes)
+{
+    auto f = greedyCappedSplit(2, {8, 8, 8});
+    EXPECT_EQ(f[0], 2u);
+    EXPECT_EQ(f[1], 1u);
+    EXPECT_EQ(f[2], 1u);
+}
+
+TEST(GreedyCappedSplit, SinglePartTakesAll)
+{
+    auto f = greedyCappedSplit(17, {100});
+    ASSERT_EQ(f.size(), 1u);
+    EXPECT_EQ(f[0], 17u);
+}
+
+TEST(GreedyCappedSplit, ErrorsOnBadInput)
+{
+    EXPECT_THROW(greedyCappedSplit(0, {2}), FatalError);
+    EXPECT_THROW(greedyCappedSplit(4, {}), FatalError);
+}
+
+TEST(DivisorSplits, AllCoverAndUseDivisors)
+{
+    auto splits = divisorSplits(12, 2);
+    EXPECT_EQ(splits.size(), 6u);
+    for (const auto &s : splits) {
+        ASSERT_EQ(s.size(), 2u);
+        EXPECT_GE(product(s), 12u);
+        EXPECT_EQ(12 % s[0], 0u);
+    }
+}
+
+TEST(DivisorSplits, ThreeParts)
+{
+    auto splits = divisorSplits(8, 3);
+    for (const auto &s : splits)
+        EXPECT_GE(product(s), 8u);
+    // 1*1*8, 1*2*4, ..., count = sum over d|8 of
+    // divisors(8/d) = 4+3+2+1 = 10.
+    EXPECT_EQ(splits.size(), 10u);
+}
+
+TEST(MoveFactor, ExactMove)
+{
+    std::uint64_t from = 6, to = 2;
+    EXPECT_TRUE(moveFactor(from, to, 3));
+    EXPECT_EQ(from, 2u);
+    EXPECT_EQ(to, 6u);
+}
+
+TEST(MoveFactor, CeilMoveNeverShrinksCoverage)
+{
+    std::uint64_t from = 7, to = 3;
+    std::uint64_t before = from * to;
+    EXPECT_TRUE(moveFactor(from, to, 2));
+    EXPECT_GE(from * to, before);
+}
+
+TEST(MoveFactor, NothingToMove)
+{
+    std::uint64_t from = 1, to = 5;
+    EXPECT_FALSE(moveFactor(from, to, 2));
+    EXPECT_EQ(to, 5u);
+}
+
+TEST(MoveFactor, RatioClampedToFrom)
+{
+    std::uint64_t from = 3, to = 1;
+    EXPECT_TRUE(moveFactor(from, to, 100));
+    EXPECT_EQ(from, 1u);
+    EXPECT_EQ(to, 3u);
+}
+
+TEST(MoveFactor, BadRatioIsPanic)
+{
+    std::uint64_t from = 4, to = 1;
+    EXPECT_THROW(moveFactor(from, to, 1), FatalError);
+}
+
+} // namespace
+} // namespace ploop

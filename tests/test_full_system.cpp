@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Full-system (Fig. 4) tests: DRAM share, batching, and fusion on a
+ * shrunken ResNet-style network (small enough for test-speed mapper
+ * budgets, same qualitative structure).
+ */
+
+#include <gtest/gtest.h>
+
+#include "albireo/full_system.hpp"
+#include "common/error.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace ploop {
+namespace {
+
+/** A 4-layer mini ResNet-ish chain. */
+Network
+miniNet()
+{
+    Network net("mini");
+    net.addLayer(LayerShape::conv("c1", 1, 48, 8, 28, 28, 3, 3));
+    net.markResidualSource(1);
+    net.addLayer(LayerShape::conv("c2", 1, 48, 48, 28, 28, 3, 3));
+    net.addLayer(LayerShape::conv("c3", 1, 96, 48, 14, 14, 3, 3, 2,
+                                  2));
+    net.addLayer(LayerShape::fullyConnected("fc", 1, 100, 96));
+    return net;
+}
+
+SearchOptions
+fastSearch()
+{
+    SearchOptions opts;
+    opts.random_samples = 10;
+    opts.hill_climb_rounds = 3;
+    return opts;
+}
+
+FullSystemResult
+run(ScalingProfile scaling, std::uint64_t batch, bool fused)
+{
+    static EnergyRegistry registry = makeDefaultRegistry();
+    FullSystemOptions opts;
+    opts.config = AlbireoConfig::paperDefault(scaling, true);
+    opts.batch = batch;
+    opts.fused = fused;
+    opts.search = fastSearch();
+    return runAlbireoFullSystem(miniNet(), opts, registry);
+}
+
+TEST(FullSystem, BaselineBasics)
+{
+    FullSystemResult r = run(ScalingProfile::Aggressive, 1, false);
+    EXPECT_EQ(r.layers.size(), 4u);
+    EXPECT_GT(r.total_j, 0.0);
+    EXPECT_DOUBLE_EQ(r.per_inference_j, r.total_j);
+    EXPECT_DOUBLE_EQ(r.macs, double(miniNet().totalMacs()));
+    EXPECT_GT(r.categories.at("DRAM"), 0.0);
+}
+
+TEST(FullSystem, DramDominatesAggressiveNotConservative)
+{
+    FullSystemResult aggr =
+        run(ScalingProfile::Aggressive, 1, false);
+    FullSystemResult cons =
+        run(ScalingProfile::Conservative, 1, false);
+    double aggr_share = aggr.categories.at("DRAM") / aggr.total_j;
+    double cons_share = cons.categories.at("DRAM") / cons.total_j;
+    // The paper's §III.3 claim, qualitatively.
+    EXPECT_GT(aggr_share, cons_share);
+    EXPECT_GT(aggr_share, 0.4);
+    EXPECT_LT(cons_share, 0.45);
+}
+
+TEST(FullSystem, BatchingAmortizesWeightTraffic)
+{
+    FullSystemResult base = run(ScalingProfile::Aggressive, 1, false);
+    FullSystemResult batched =
+        run(ScalingProfile::Aggressive, 8, false);
+    EXPECT_LT(batched.per_inference_j, base.per_inference_j);
+    // Whole-batch DRAM energy grows sublinearly in the batch.
+    EXPECT_LT(batched.categories.at("DRAM"),
+              8.0 * base.categories.at("DRAM"));
+}
+
+TEST(FullSystem, FusionCutsDramTraffic)
+{
+    FullSystemResult base = run(ScalingProfile::Aggressive, 1, false);
+    FullSystemResult fused = run(ScalingProfile::Aggressive, 1, true);
+    EXPECT_LT(fused.categories.at("DRAM"),
+              base.categories.at("DRAM"));
+    EXPECT_LT(fused.per_inference_j, base.per_inference_j);
+}
+
+TEST(FullSystem, BatchedFusedIsBest)
+{
+    FullSystemResult base = run(ScalingProfile::Aggressive, 1, false);
+    FullSystemResult both = run(ScalingProfile::Aggressive, 8, true);
+    EXPECT_LT(both.per_inference_j, base.per_inference_j);
+    // Substantial gain, per the paper's 3x claim (qualitative bound
+    // here: at least 1.5x on the mini network).
+    EXPECT_GT(base.per_inference_j / both.per_inference_j, 1.5);
+}
+
+TEST(FullSystem, FusionGrowsBufferWhenNeeded)
+{
+    Network net = miniNet().withBatch(8);
+    std::uint64_t need = fusedBufferWords(net);
+    EXPECT_GT(need, 0u);
+    // Buffer words are a power of two and cover the worst layer.
+    EXPECT_TRUE((need & (need - 1)) == 0);
+    std::uint64_t worst = 0;
+    for (std::size_t i = 0; i < net.size(); ++i) {
+        worst = std::max(worst,
+                         net.layer(i).tensorWords(Tensor::Inputs) +
+                             net.layer(i).tensorWords(
+                                 Tensor::Outputs) +
+                             net.residualLiveWords(i));
+    }
+    EXPECT_GE(need, worst);
+}
+
+TEST(FullSystem, ZeroBatchIsFatal)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    FullSystemOptions opts;
+    opts.batch = 0;
+    EXPECT_THROW(runAlbireoFullSystem(miniNet(), opts, registry),
+                 FatalError);
+}
+
+TEST(FullSystem, BatchingTradesLatencyForEnergy)
+{
+    // The paper: batching amortizes weight movement "at the cost of
+    // increased latency" -- the batch finishes together.
+    FullSystemResult base = run(ScalingProfile::Aggressive, 1, false);
+    FullSystemResult batched =
+        run(ScalingProfile::Aggressive, 8, false);
+    double clock = 5e9;
+    EXPECT_GT(batched.batchLatencySeconds(clock),
+              base.batchLatencySeconds(clock));
+    EXPECT_LT(batched.per_inference_j, base.per_inference_j);
+    EXPECT_DOUBLE_EQ(base.batchLatencySeconds(0.0), 0.0);
+}
+
+TEST(FullSystem, CategoriesSumToTotal)
+{
+    FullSystemResult r = run(ScalingProfile::Aggressive, 1, false);
+    double sum = 0;
+    for (const auto &[cat, j] : r.categories)
+        sum += j;
+    EXPECT_NEAR(sum, r.total_j, r.total_j * 1e-9);
+}
+
+} // namespace
+} // namespace ploop

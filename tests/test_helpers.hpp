@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Shared fixtures for the test suite: small digital and photonic
+ * architectures with known, hand-checkable structure.
+ */
+
+#ifndef PHOTONLOOP_TESTS_TEST_HELPERS_HPP
+#define PHOTONLOOP_TESTS_TEST_HELPERS_HPP
+
+#include "arch/arch_builder.hpp"
+#include "workload/layer.hpp"
+
+namespace ploop::testing {
+
+/**
+ * Three-level all-digital architecture:
+ *   DRAM (unbounded) -> Buffer (64Ki words, fanout K<=4) ->
+ *   Regs (64 words) -> mac
+ */
+inline ArchSpec
+makeDigitalArch()
+{
+    ArchBuilder b("digital-test", 1e9);
+    b.addLevel("DRAM")
+        .klass("dram")
+        .domain(Domain::DE)
+        .capacityWords(0)
+        .wordBits(8)
+        .attr("energy_per_bit", 10e-12);
+    b.addLevel("Buffer")
+        .klass("sram")
+        .domain(Domain::DE)
+        .capacityWords(64 * 1024)
+        .wordBits(8)
+        .fanoutDim(Dim::K, 4)
+        .fanoutTotal(4);
+    b.addLevel("Regs")
+        .klass("regfile")
+        .domain(Domain::DE)
+        .capacityWords(64)
+        .wordBits(8);
+    ComputeSpec mac;
+    mac.name = "mac";
+    mac.klass = "mac";
+    mac.domain = Domain::DE;
+    b.compute(mac);
+    return b.build();
+}
+
+/**
+ * Two-level toy photonic architecture, a shrunken Albireo:
+ *
+ *   Buffer (DE, unbounded)
+ *     -- boundary 1: weights cross a DAC (DE/AE) into Hold; inputs
+ *        cross DAC + MZM (DE/AE/AO, bypassing Hold); outputs cross
+ *        PD + ADC upward (AO/AE/DE)
+ *   Hold (AE, keeps weights only; fanout K<=8, C<=4, R<=3 with R a
+ *        window dim)
+ *     -- boundary 0: weights cross the MRR (AE/AO)
+ *   photonic mac (AO)
+ */
+inline ArchSpec
+makePhotonicToyArch(double input_reuse = 3.0, double output_reuse = 2.0,
+                    double window_reuse = 3.0)
+{
+    ArchBuilder b("photonic-toy", 1e9);
+
+    ConverterSpec wdac{"wdac", "dac", Domain::DE, Domain::AE, {}};
+    wdac.attrs.set("resolution", 8);
+    ConverterSpec idac{"idac", "dac", Domain::DE, Domain::AE, {}};
+    idac.attrs.set("resolution", 8);
+    idac.attrs.set("spatial_reuse", input_reuse);
+    idac.attrs.set("window_reuse", window_reuse);
+    ConverterSpec mzm{"mzm", "mzm", Domain::AE, Domain::AO, {}};
+    mzm.attrs.set("energy_per_modulate", 1e-12);
+    mzm.attrs.set("spatial_reuse", input_reuse);
+    mzm.attrs.set("window_reuse", window_reuse);
+    ConverterSpec pd{"pd", "photodiode", Domain::AO, Domain::AE, {}};
+    pd.attrs.set("energy_per_sample", 1e-12);
+    pd.attrs.set("spatial_reuse", output_reuse);
+    ConverterSpec adc{"adc", "adc", Domain::AE, Domain::DE, {}};
+    adc.attrs.set("resolution", 8);
+    adc.attrs.set("spatial_reuse", output_reuse);
+    ConverterSpec mrr{"mrr", "mrr", Domain::AE, Domain::AO, {}};
+    mrr.attrs.set("energy_per_modulate", 0.5e-12);
+
+    b.addLevel("Buffer")
+        .klass("sram")
+        .domain(Domain::DE)
+        .capacityWords(0)
+        .wordBits(8)
+        .fanoutDim(Dim::K, 8)
+        .fanoutDim(Dim::C, 4)
+        .fanoutDim(Dim::R, 3)
+        .fanoutTotal(96)
+        .windowDims(DimSet{Dim::R})
+        .converter(Tensor::Weights, wdac)
+        .converter(Tensor::Inputs, idac)
+        .converter(Tensor::Inputs, mzm)
+        .converter(Tensor::Outputs, pd)
+        .converter(Tensor::Outputs, adc);
+
+    b.addLevel("Hold")
+        .klass("regfile")
+        .domain(Domain::AE)
+        .capacityWords(256)
+        .wordBits(8)
+        .keepOnly({Tensor::Weights})
+        .converter(Tensor::Weights, mrr);
+
+    ComputeSpec mac;
+    mac.name = "pmac";
+    mac.klass = "photonic_mac";
+    mac.domain = Domain::AO;
+    b.compute(mac);
+    return b.build();
+}
+
+/** A small conv layer with friendly factors. */
+inline LayerShape
+makeSmallConv()
+{
+    return LayerShape::conv("small", 1, 8, 4, 6, 6, 3, 3);
+}
+
+} // namespace ploop::testing
+
+#endif // PHOTONLOOP_TESTS_TEST_HELPERS_HPP

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Cross-module integration tests: whole-tool flows on the real
+ * Albireo architecture, checking the invariants the paper's
+ * experiments rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "albireo/albireo_arch.hpp"
+#include "albireo/full_system.hpp"
+#include "core/network_runner.hpp"
+#include "mapper/mapper.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace ploop {
+namespace {
+
+SearchOptions
+fastSearch()
+{
+    SearchOptions opts;
+    opts.random_samples = 15;
+    opts.hill_climb_rounds = 4;
+    return opts;
+}
+
+TEST(Integration, AlbireoMapsEveryResNet18Layer)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    ArchSpec arch = buildAlbireoArch(
+        AlbireoConfig::paperDefault(ScalingProfile::Aggressive));
+    Evaluator evaluator(arch, registry);
+    Mapper mapper(evaluator, fastSearch());
+    Network net = makeResNet18();
+    for (const LayerShape &layer : net.layers()) {
+        MapperResult r = mapper.search(layer);
+        EXPECT_DOUBLE_EQ(r.result.counts.macs, double(layer.macs()))
+            << layer.name();
+        EXPECT_GT(r.result.totalEnergy(), 0.0) << layer.name();
+        EXPECT_LE(r.result.throughput.utilization, 1.0 + 1e-9)
+            << layer.name();
+    }
+}
+
+TEST(Integration, MacConservationAcrossConfigs)
+{
+    // Total converter deliveries of weights/inputs and the ADC
+    // pre-combine stream are tied to MACs, not to the mapping: the
+    // mapper cannot create or destroy work.
+    EnergyRegistry registry = makeDefaultRegistry();
+    LayerShape layer =
+        LayerShape::conv("probe", 1, 48, 64, 28, 28, 3, 3);
+    for (double ir : {9.0, 27.0}) {
+        AlbireoConfig cfg =
+            AlbireoConfig::paperDefault(ScalingProfile::Aggressive);
+        cfg.input_reuse = ir;
+        ArchSpec arch = buildAlbireoArch(cfg);
+        Evaluator evaluator(arch, registry);
+        Mapper mapper(evaluator, fastSearch());
+        MapperResult r = mapper.search(layer);
+        for (const ConverterCount &cc : r.result.converters) {
+            if (cc.name == "input_mzm") {
+                EXPECT_DOUBLE_EQ(cc.deliveries,
+                                 double(layer.macs()));
+                EXPECT_DOUBLE_EQ(cc.count,
+                                 double(layer.macs()) / ir);
+            }
+        }
+    }
+}
+
+TEST(Integration, HigherInputReuseLowersInputConversionEnergy)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    LayerShape layer =
+        LayerShape::conv("probe", 1, 48, 64, 28, 28, 3, 3);
+    auto input_conv_energy = [&](double ir) {
+        AlbireoConfig cfg =
+            AlbireoConfig::paperDefault(ScalingProfile::Aggressive);
+        cfg.input_reuse = ir;
+        ArchSpec arch = buildAlbireoArch(cfg);
+        Evaluator evaluator(arch, registry);
+        MapperResult r =
+            Mapper(evaluator, fastSearch()).search(layer);
+        return r.result.energy.sumIf([](const EnergyEntry &e) {
+            return e.action == Action::Convert &&
+                   e.tensor == Tensor::Inputs;
+        });
+    };
+    EXPECT_LT(input_conv_energy(27.0), input_conv_energy(9.0));
+}
+
+TEST(Integration, HigherOutputReuseLowersOutputConversionEnergy)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    LayerShape layer =
+        LayerShape::conv("probe", 1, 48, 64, 28, 28, 3, 3);
+    auto output_conv_energy = [&](double orf) {
+        AlbireoConfig cfg =
+            AlbireoConfig::paperDefault(ScalingProfile::Aggressive);
+        cfg.output_reuse = orf;
+        ArchSpec arch = buildAlbireoArch(cfg);
+        Evaluator evaluator(arch, registry);
+        MapperResult r =
+            Mapper(evaluator, fastSearch()).search(layer);
+        return r.result.energy.sumIf([](const EnergyEntry &e) {
+            return e.action == Action::Convert &&
+                   e.tensor == Tensor::Outputs;
+        });
+    };
+    EXPECT_LT(output_conv_energy(9.0), output_conv_energy(3.0));
+}
+
+TEST(Integration, WeightReuseLowersWeightConversionEnergy)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    LayerShape layer =
+        LayerShape::conv("probe", 1, 48, 64, 28, 28, 3, 3);
+    auto weight_conv_energy = [&](double wr) {
+        AlbireoConfig cfg =
+            AlbireoConfig::paperDefault(ScalingProfile::Aggressive);
+        cfg.weight_reuse = wr;
+        ArchSpec arch = buildAlbireoArch(cfg);
+        Evaluator evaluator(arch, registry);
+        MapperResult r =
+            Mapper(evaluator, fastSearch()).search(layer);
+        return r.result.energy.sumIf([](const EnergyEntry &e) {
+            return e.action == Action::Convert &&
+                   e.tensor == Tensor::Weights;
+        });
+    };
+    EXPECT_LT(weight_conv_energy(3.0), weight_conv_energy(1.0));
+}
+
+TEST(Integration, UnderutilizationInflatesLaserEnergyPerMac)
+{
+    // The laser burns static power: an FC layer (poor utilization)
+    // pays more laser pJ/MAC than a well-matched conv.
+    EnergyRegistry registry = makeDefaultRegistry();
+    ArchSpec arch = buildAlbireoArch(
+        AlbireoConfig::paperDefault(ScalingProfile::Conservative));
+    Evaluator evaluator(arch, registry);
+    Mapper mapper(evaluator, fastSearch());
+    auto laser_pj_per_mac = [&](const LayerShape &layer) {
+        MapperResult r = mapper.search(layer);
+        double laser = r.result.energy.sumIf(
+            [](const EnergyEntry &e) { return e.klass == "laser"; });
+        return laser / r.result.counts.macs;
+    };
+    double conv = laser_pj_per_mac(
+        LayerShape::conv("conv", 1, 48, 64, 56, 56, 3, 3));
+    double fc = laser_pj_per_mac(
+        LayerShape::fullyConnected("fc", 1, 4096, 4096));
+    EXPECT_GT(fc, 2.0 * conv);
+}
+
+TEST(Integration, DramBypassedWhenFusedMidLayer)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    AlbireoConfig cfg =
+        AlbireoConfig::paperDefault(ScalingProfile::Aggressive, true);
+    cfg.fuse_bypass_dram_inputs = true;
+    cfg.fuse_bypass_dram_outputs = true;
+    cfg.gb_capacity_words = 8ull * 1024 * 1024;
+    ArchSpec arch = buildAlbireoArch(cfg);
+    Evaluator evaluator(arch, registry);
+    LayerShape layer =
+        LayerShape::conv("mid", 1, 48, 64, 28, 28, 3, 3);
+    MapperResult r = Mapper(evaluator, fastSearch()).search(layer);
+    double dram_act = r.result.energy.sumIf([](const EnergyEntry &e) {
+        return e.klass == "dram" && e.tensor != Tensor::Weights;
+    });
+    double dram_w = r.result.energy.sumIf([](const EnergyEntry &e) {
+        return e.klass == "dram" && e.tensor == Tensor::Weights;
+    });
+    EXPECT_DOUBLE_EQ(dram_act, 0.0);
+    EXPECT_GT(dram_w, 0.0);
+}
+
+} // namespace
+} // namespace ploop

@@ -1,0 +1,117 @@
+/** @file Unit tests for workload/layer. */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "workload/layer.hpp"
+
+namespace ploop {
+namespace {
+
+TEST(LayerShape, ConvBasics)
+{
+    LayerShape l = LayerShape::conv("c", 2, 64, 32, 28, 28, 3, 3);
+    EXPECT_EQ(l.kind(), LayerKind::Conv);
+    EXPECT_EQ(l.bound(Dim::N), 2u);
+    EXPECT_EQ(l.bound(Dim::K), 64u);
+    EXPECT_EQ(l.bound(Dim::C), 32u);
+    EXPECT_EQ(l.bound(Dim::P), 28u);
+    EXPECT_EQ(l.bound(Dim::R), 3u);
+    EXPECT_EQ(l.hstride(), 1u);
+}
+
+TEST(LayerShape, Macs)
+{
+    LayerShape l = LayerShape::conv("c", 2, 4, 8, 5, 6, 3, 3);
+    EXPECT_EQ(l.macs(), 2ull * 4 * 8 * 5 * 6 * 3 * 3);
+}
+
+TEST(LayerShape, InputHaloSizing)
+{
+    LayerShape l = LayerShape::conv("c", 1, 1, 1, 10, 10, 3, 3);
+    EXPECT_EQ(l.inputHeight(), 12u); // (10-1)*1 + 3
+    EXPECT_EQ(l.inputWidth(), 12u);
+
+    LayerShape s = LayerShape::conv("s", 1, 1, 1, 10, 10, 3, 3, 2, 2);
+    EXPECT_EQ(s.inputHeight(), 21u); // (10-1)*2 + 3
+}
+
+TEST(LayerShape, TensorWords)
+{
+    LayerShape l = LayerShape::conv("c", 1, 4, 8, 5, 5, 3, 3);
+    EXPECT_EQ(l.tensorWords(Tensor::Weights), 4ull * 8 * 3 * 3);
+    EXPECT_EQ(l.tensorWords(Tensor::Outputs), 4ull * 5 * 5);
+    EXPECT_EQ(l.tensorWords(Tensor::Inputs), 8ull * 7 * 7);
+}
+
+TEST(LayerShape, TensorBytesRoundsBitsUp)
+{
+    LayerShape l = LayerShape::fullyConnected("f", 1, 3, 1);
+    l.setWordBits(Tensor::Outputs, 10);
+    // 3 words * 10 bits = 30 bits -> 4 bytes.
+    EXPECT_EQ(l.tensorBytes(Tensor::Outputs), 4u);
+}
+
+TEST(LayerShape, FullyConnected)
+{
+    LayerShape l = LayerShape::fullyConnected("fc", 4, 1000, 512);
+    EXPECT_EQ(l.kind(), LayerKind::FullyConnected);
+    EXPECT_EQ(l.bound(Dim::P), 1u);
+    EXPECT_EQ(l.bound(Dim::R), 1u);
+    EXPECT_EQ(l.macs(), 4ull * 1000 * 512);
+    EXPECT_FALSE(l.isStrided());
+}
+
+TEST(LayerShape, IsStrided)
+{
+    EXPECT_FALSE(
+        LayerShape::conv("a", 1, 1, 1, 4, 4, 3, 3).isStrided());
+    EXPECT_TRUE(
+        LayerShape::conv("b", 1, 1, 1, 4, 4, 3, 3, 2, 1).isStrided());
+    EXPECT_TRUE(
+        LayerShape::conv("c", 1, 1, 1, 4, 4, 3, 3, 1, 2).isStrided());
+}
+
+TEST(LayerShape, WithBatch)
+{
+    LayerShape l = LayerShape::conv("c", 1, 4, 8, 5, 5, 3, 3);
+    LayerShape b = l.withBatch(16);
+    EXPECT_EQ(b.bound(Dim::N), 16u);
+    EXPECT_EQ(b.macs(), l.macs() * 16);
+    EXPECT_EQ(l.bound(Dim::N), 1u); // Original untouched.
+}
+
+TEST(LayerShape, WordBits)
+{
+    LayerShape l = LayerShape::conv("c", 1, 1, 1, 1, 1, 1, 1);
+    EXPECT_EQ(l.wordBits(Tensor::Weights), 8u);
+    l.setWordBits(Tensor::Weights, 16);
+    EXPECT_EQ(l.wordBits(Tensor::Weights), 16u);
+    EXPECT_EQ(l.wordBits(Tensor::Inputs), 8u);
+}
+
+TEST(LayerShape, ValidationRejectsBadShapes)
+{
+    EXPECT_THROW(LayerShape::conv("", 1, 1, 1, 1, 1, 1, 1),
+                 FatalError);
+    EXPECT_THROW(LayerShape::conv("z", 0, 1, 1, 1, 1, 1, 1),
+                 FatalError);
+    EXPECT_THROW(LayerShape::conv("z", 1, 1, 1, 1, 1, 1, 0),
+                 FatalError);
+    EXPECT_THROW(LayerShape::conv("z", 1, 1, 1, 1, 1, 1, 1, 0, 1),
+                 FatalError);
+    LayerShape l = LayerShape::conv("ok", 1, 1, 1, 1, 1, 1, 1);
+    EXPECT_THROW(l.setWordBits(Tensor::Inputs, 0), FatalError);
+    EXPECT_THROW(l.withBatch(0), FatalError);
+}
+
+TEST(LayerShape, StrMentionsNameAndShape)
+{
+    LayerShape l = LayerShape::conv("conv7", 1, 4, 8, 5, 5, 3, 3);
+    std::string s = l.str();
+    EXPECT_NE(s.find("conv7"), std::string::npos);
+    EXPECT_NE(s.find("K=4"), std::string::npos);
+}
+
+} // namespace
+} // namespace ploop

@@ -1,0 +1,128 @@
+/** @file Unit tests for the optical link-budget solver. */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "photonics/link_budget.hpp"
+
+namespace ploop {
+namespace {
+
+LinkBudgetSpec
+baseSpec()
+{
+    LinkBudgetSpec spec;
+    spec.tech = scalingConstants(ScalingProfile::Conservative);
+    spec.broadcast_fanout = 1.0;
+    spec.rings_in_path = 0.0;
+    spec.path_length_mm = 0.0;
+    spec.active_channels = 1.0;
+    return spec;
+}
+
+TEST(LinkBudget, MinimalPathLoss)
+{
+    LinkBudgetSpec spec = baseSpec();
+    LinkBudgetResult r = solveLinkBudget(spec);
+    // Only coupling + modulator insertion remain.
+    EXPECT_NEAR(r.loss_db,
+                spec.tech.chip_coupling_loss_db +
+                    spec.tech.mzm_insertion_loss_db,
+                1e-9);
+    EXPECT_NEAR(r.power_per_channel_w,
+                spec.tech.pd_sensitivity_w * dbToLinear(r.loss_db),
+                1e-15);
+}
+
+TEST(LinkBudget, ElectricalDividesByWallplug)
+{
+    LinkBudgetSpec spec = baseSpec();
+    LinkBudgetResult r = solveLinkBudget(spec);
+    EXPECT_NEAR(r.electrical_power_w,
+                r.optical_power_w / spec.tech.laser_wallplug_eff,
+                1e-12);
+    EXPECT_GT(r.electrical_power_w, r.optical_power_w);
+}
+
+TEST(LinkBudget, PowerScalesWithChannels)
+{
+    LinkBudgetSpec spec = baseSpec();
+    spec.active_channels = 10.0;
+    LinkBudgetResult ten = solveLinkBudget(spec);
+    spec.active_channels = 1.0;
+    LinkBudgetResult one = solveLinkBudget(spec);
+    EXPECT_NEAR(ten.optical_power_w / one.optical_power_w, 10.0,
+                1e-9);
+}
+
+TEST(LinkBudget, BroadcastFanoutAddsSplitLoss)
+{
+    LinkBudgetSpec spec = baseSpec();
+    LinkBudgetResult narrow = solveLinkBudget(spec);
+    spec.broadcast_fanout = 16.0;
+    LinkBudgetResult wide = solveLinkBudget(spec);
+    // 16-way splitting adds >= 12 dB.
+    EXPECT_GE(wide.loss_db - narrow.loss_db, 12.0);
+    EXPECT_GT(wide.power_per_channel_w, narrow.power_per_channel_w);
+}
+
+TEST(LinkBudget, AccumulationFanoutAddsOnlyExcess)
+{
+    LinkBudgetSpec spec = baseSpec();
+    LinkBudgetResult no_acc = solveLinkBudget(spec);
+    spec.accumulation_fanout = 8.0;
+    LinkBudgetResult acc = solveLinkBudget(spec);
+    // Power adds at the detector: only per-stage excess is charged.
+    EXPECT_NEAR(acc.loss_db - no_acc.loss_db,
+                spec.tech.coupler_split_excess_db * 3.0, 1e-9);
+}
+
+TEST(LinkBudget, RingsAndWaveguideAddLoss)
+{
+    LinkBudgetSpec spec = baseSpec();
+    spec.rings_in_path = 10.0;
+    spec.path_length_mm = 5.0;
+    LinkBudgetResult r = solveLinkBudget(spec);
+    EXPECT_NEAR(r.loss_db,
+                spec.tech.chip_coupling_loss_db +
+                    spec.tech.mzm_insertion_loss_db +
+                    10.0 * spec.tech.mrr_through_loss_db +
+                    5.0 * spec.tech.waveguide_loss_db_per_mm,
+                1e-9);
+}
+
+TEST(LinkBudget, AggressiveNeedsLessPowerThanConservative)
+{
+    LinkBudgetSpec spec = baseSpec();
+    spec.broadcast_fanout = 9.0;
+    spec.rings_in_path = 12.0;
+    spec.path_length_mm = 5.0;
+    spec.active_channels = 768.0;
+    LinkBudgetResult cons = solveLinkBudget(spec);
+    spec.tech = scalingConstants(ScalingProfile::Aggressive);
+    LinkBudgetResult aggr = solveLinkBudget(spec);
+    EXPECT_LT(aggr.electrical_power_w, cons.electrical_power_w);
+}
+
+TEST(LinkBudget, InvalidSpecsAreFatal)
+{
+    LinkBudgetSpec spec = baseSpec();
+    spec.tech.laser_wallplug_eff = 0.0;
+    EXPECT_THROW(solveLinkBudget(spec), FatalError);
+    spec = baseSpec();
+    spec.broadcast_fanout = 0.5;
+    EXPECT_THROW(solveLinkBudget(spec), FatalError);
+    spec = baseSpec();
+    spec.accumulation_fanout = 0.0;
+    EXPECT_THROW(solveLinkBudget(spec), FatalError);
+}
+
+TEST(LinkBudget, StrIsInformative)
+{
+    LinkBudgetResult r = solveLinkBudget(baseSpec());
+    EXPECT_NE(r.str().find("dB"), std::string::npos);
+}
+
+} // namespace
+} // namespace ploop

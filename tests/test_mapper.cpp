@@ -1,0 +1,106 @@
+/** @file Unit tests for the Mapper facade. */
+
+#include <gtest/gtest.h>
+
+#include "mapper/mapper.hpp"
+#include "test_helpers.hpp"
+
+namespace ploop {
+namespace {
+
+using ploop::testing::makeDigitalArch;
+using ploop::testing::makePhotonicToyArch;
+using ploop::testing::makeSmallConv;
+
+struct MapperFixture : public ::testing::Test
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    ArchSpec arch = makeDigitalArch();
+    Evaluator evaluator{arch, registry};
+};
+
+TEST_F(MapperFixture, SearchReturnsValidMapping)
+{
+    Mapper mapper(evaluator);
+    MapperResult r = mapper.search(makeSmallConv());
+    EXPECT_TRUE(evaluator.isValidMapping(makeSmallConv(), r.mapping));
+    EXPECT_GT(r.result.totalEnergy(), 0.0);
+    EXPECT_GT(r.stats.evaluated, 0u);
+}
+
+TEST_F(MapperFixture, BeatsTrivialMapping)
+{
+    LayerShape layer = makeSmallConv();
+    EvalResult trivial =
+        evaluator.evaluate(layer, Mapping::trivial(arch, layer));
+    Mapper mapper(evaluator);
+    MapperResult best = mapper.search(layer);
+    EXPECT_LT(best.result.totalEnergy(), trivial.totalEnergy());
+}
+
+TEST_F(MapperFixture, RespectsObjective)
+{
+    LayerShape layer = makeSmallConv();
+    SearchOptions energy_opts;
+    energy_opts.objective = Objective::Energy;
+    SearchOptions delay_opts;
+    delay_opts.objective = Objective::Delay;
+    MapperResult e = Mapper(evaluator, energy_opts).search(layer);
+    MapperResult d = Mapper(evaluator, delay_opts).search(layer);
+    // The delay-optimized mapping is at least as fast.
+    EXPECT_LE(d.result.throughput.runtime_s,
+              e.result.throughput.runtime_s * 1.0001);
+    // The energy-optimized mapping is at least as efficient.
+    EXPECT_LE(e.result.totalEnergy(),
+              d.result.totalEnergy() * 1.0001);
+}
+
+TEST_F(MapperFixture, DeterministicForFixedSeed)
+{
+    LayerShape layer = makeSmallConv();
+    Mapper mapper(evaluator);
+    MapperResult a = mapper.search(layer);
+    MapperResult b = mapper.search(layer);
+    EXPECT_DOUBLE_EQ(a.result.totalEnergy(), b.result.totalEnergy());
+}
+
+TEST(Mapper, WorksOnAwkwardShapes)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    ArchSpec arch = makePhotonicToyArch();
+    Evaluator evaluator(arch, registry);
+    SearchOptions opts;
+    opts.random_samples = 40;
+    opts.hill_climb_rounds = 4;
+    Mapper mapper(evaluator, opts);
+    // Prime-ish bounds, strided, fully-connected.
+    for (const LayerShape &layer :
+         {LayerShape::conv("prime", 1, 7, 5, 13, 13, 3, 3),
+          LayerShape::conv("strided", 1, 16, 3, 55, 55, 11, 11, 4, 4),
+          LayerShape::fullyConnected("fc", 1, 1000, 512)}) {
+        MapperResult r = mapper.search(layer);
+        EXPECT_TRUE(evaluator.isValidMapping(layer, r.mapping))
+            << layer.name();
+        EXPECT_DOUBLE_EQ(r.result.counts.macs,
+                         double(layer.macs()))
+            << layer.name();
+    }
+}
+
+TEST(Mapper, UtilizationNeverExceedsOne)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    ArchSpec arch = makePhotonicToyArch();
+    Evaluator evaluator(arch, registry);
+    Mapper mapper(evaluator);
+    for (const LayerShape &layer :
+         {makeSmallConv(),
+          LayerShape::conv("big", 1, 64, 32, 28, 28, 3, 3)}) {
+        MapperResult r = mapper.search(layer);
+        EXPECT_LE(r.result.throughput.utilization, 1.0 + 1e-9)
+            << layer.name();
+    }
+}
+
+} // namespace
+} // namespace ploop

@@ -1,0 +1,101 @@
+/** @file Unit tests for mapping/mapping. */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "mapping/mapping.hpp"
+#include "test_helpers.hpp"
+
+namespace ploop {
+namespace {
+
+using ploop::testing::makeDigitalArch;
+using ploop::testing::makeSmallConv;
+
+TEST(LevelMapping, DefaultsToOnes)
+{
+    LevelMapping lm;
+    for (Dim d : kAllDims) {
+        EXPECT_EQ(lm.t(d), 1u);
+        EXPECT_EQ(lm.s(d), 1u);
+    }
+    EXPECT_EQ(lm.temporalProduct(), 1u);
+    EXPECT_EQ(lm.spatialProduct(), 1u);
+}
+
+TEST(LevelMapping, Products)
+{
+    LevelMapping lm;
+    lm.setT(Dim::K, 4);
+    lm.setT(Dim::C, 3);
+    lm.setS(Dim::P, 2);
+    EXPECT_EQ(lm.temporalProduct(), 12u);
+    EXPECT_EQ(lm.spatialProduct(), 2u);
+}
+
+TEST(Mapping, CoverageMultipliesAcrossLevels)
+{
+    Mapping m(3);
+    m.level(0).setT(Dim::K, 2);
+    m.level(1).setS(Dim::K, 3);
+    m.level(2).setT(Dim::K, 5);
+    EXPECT_EQ(m.coverage(Dim::K), 30u);
+    EXPECT_EQ(m.coverage(Dim::C), 1u);
+}
+
+TEST(Mapping, ExtentIsCumulativeFromInside)
+{
+    Mapping m(3);
+    m.level(0).setT(Dim::P, 2);
+    m.level(1).setS(Dim::P, 3);
+    m.level(2).setT(Dim::P, 4);
+    EXPECT_EQ(m.extent(0, Dim::P), 2u);
+    EXPECT_EQ(m.extent(1, Dim::P), 6u);
+    EXPECT_EQ(m.extent(2, Dim::P), 24u);
+}
+
+TEST(Mapping, TotalsSeparateTemporalAndSpatial)
+{
+    Mapping m(2);
+    m.level(0).setT(Dim::K, 2);
+    m.level(0).setS(Dim::C, 3);
+    m.level(1).setT(Dim::P, 5);
+    m.level(1).setS(Dim::Q, 7);
+    EXPECT_EQ(m.totalTemporalSteps(), 10u);
+    EXPECT_EQ(m.totalSpatialInstances(), 21u);
+}
+
+TEST(Mapping, TrivialCoversLayerAtOutermost)
+{
+    ArchSpec arch = makeDigitalArch();
+    LayerShape layer = makeSmallConv();
+    Mapping m = Mapping::trivial(arch, layer);
+    for (Dim d : kAllDims)
+        EXPECT_EQ(m.coverage(d), layer.bound(d));
+    // Everything is temporal at the outermost level.
+    EXPECT_EQ(m.totalSpatialInstances(), 1u);
+    EXPECT_EQ(m.level(arch.numLevels() - 1).temporalProduct(),
+              layer.macs());
+}
+
+TEST(Mapping, OutOfRangeLevelIsFatal)
+{
+    Mapping m(2);
+    EXPECT_THROW(m.level(2), FatalError);
+    EXPECT_THROW(Mapping(0), FatalError);
+    const Mapping &cm = m;
+    EXPECT_THROW(cm.level(5), FatalError);
+}
+
+TEST(Mapping, StrShowsFactors)
+{
+    Mapping m(2);
+    m.level(0).setT(Dim::Q, 56);
+    m.level(1).setS(Dim::K, 4);
+    std::string s = m.str();
+    EXPECT_NE(s.find("Q56"), std::string::npos);
+    EXPECT_NE(s.find("K4"), std::string::npos);
+}
+
+} // namespace
+} // namespace ploop

@@ -1,0 +1,128 @@
+/** @file Unit tests for the mapspace seeds and random sampling. */
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "mapper/mapspace.hpp"
+#include "mapping/validate.hpp"
+#include "model/tile_analysis.hpp"
+#include "test_helpers.hpp"
+
+namespace ploop {
+namespace {
+
+using ploop::testing::makeDigitalArch;
+using ploop::testing::makePhotonicToyArch;
+using ploop::testing::makeSmallConv;
+
+TEST(Mapspace, OuterSeedIsValid)
+{
+    ArchSpec arch = makeDigitalArch();
+    LayerShape layer = makeSmallConv();
+    Mapspace ms(arch, layer);
+    Mapping seed = ms.outerSeed();
+    std::string why;
+    EXPECT_TRUE(validateMapping(arch, layer, seed, &why)) << why;
+}
+
+TEST(Mapspace, OuterSeedFillsSpatial)
+{
+    ArchSpec arch = makeDigitalArch(); // Buffer K <= 4.
+    LayerShape layer = makeSmallConv();
+    Mapping seed = Mapspace(arch, layer).outerSeed();
+    EXPECT_EQ(seed.level(1).s(Dim::K), 4u);
+}
+
+TEST(Mapspace, GreedySeedValidAndFasterThanOuter)
+{
+    ArchSpec arch = makeDigitalArch();
+    LayerShape layer = makeSmallConv();
+    Mapspace ms(arch, layer);
+    Mapping greedy = ms.greedySeed();
+    std::string why;
+    ASSERT_TRUE(validateMapping(arch, layer, greedy, &why)) << why;
+    // Greedy moves temporal factors inward; it never has MORE
+    // temporal steps than the outer seed.
+    EXPECT_LE(greedy.totalTemporalSteps(),
+              ms.outerSeed().totalTemporalSteps());
+}
+
+TEST(Mapspace, GreedySeedRespectsCapacity)
+{
+    ArchSpec arch = makeDigitalArch(); // Regs: 64 words.
+    LayerShape layer = makeSmallConv();
+    Mapping greedy = Mapspace(arch, layer).greedySeed();
+    TileAnalysis tiles(arch, layer, greedy);
+    EXPECT_TRUE(tiles.fitsCapacities());
+}
+
+TEST(Mapspace, SeedsCoverAllDims)
+{
+    for (const LayerShape &layer :
+         {makeSmallConv(),
+          LayerShape::conv("odd", 1, 55, 7, 13, 13, 11, 11, 4, 4),
+          LayerShape::fullyConnected("fc", 1, 1000, 512)}) {
+        ArchSpec arch = makePhotonicToyArch();
+        Mapspace ms(arch, layer);
+        for (const Mapping &m : {ms.outerSeed(), ms.greedySeed()}) {
+            for (Dim d : kAllDims) {
+                EXPECT_GE(m.coverage(d), layer.bound(d))
+                    << layer.name() << " " << dimName(d);
+            }
+        }
+    }
+}
+
+TEST(Mapspace, RandomSamplesCoverAllDims)
+{
+    ArchSpec arch = makePhotonicToyArch();
+    LayerShape layer = makeSmallConv();
+    Mapspace ms(arch, layer);
+    std::mt19937_64 rng(123);
+    for (int i = 0; i < 50; ++i) {
+        Mapping m = ms.randomSample(rng);
+        for (Dim d : kAllDims)
+            EXPECT_GE(m.coverage(d), layer.bound(d));
+    }
+}
+
+TEST(Mapspace, RandomSamplesRespectSpatialCaps)
+{
+    ArchSpec arch = makePhotonicToyArch();
+    LayerShape layer = makeSmallConv();
+    Mapspace ms(arch, layer);
+    std::mt19937_64 rng(7);
+    for (int i = 0; i < 50; ++i) {
+        Mapping m = ms.randomSample(rng);
+        for (std::size_t l = 0; l < arch.numLevels(); ++l) {
+            const SpatialFanout &f = arch.level(l).fanout;
+            for (Dim d : kAllDims)
+                EXPECT_LE(m.level(l).s(d), f.dimCap(d));
+            std::uint64_t cap =
+                f.max_total == 0 ? UINT64_MAX : f.max_total;
+            EXPECT_LE(m.level(l).spatialProduct(), cap);
+        }
+    }
+}
+
+TEST(Mapspace, RandomSamplingIsDeterministicPerSeed)
+{
+    ArchSpec arch = makeDigitalArch();
+    LayerShape layer = makeSmallConv();
+    Mapspace ms(arch, layer);
+    std::mt19937_64 rng1(42), rng2(42);
+    for (int i = 0; i < 10; ++i) {
+        Mapping a = ms.randomSample(rng1);
+        Mapping b = ms.randomSample(rng2);
+        for (std::size_t l = 0; l < arch.numLevels(); ++l) {
+            for (Dim d : kAllDims) {
+                EXPECT_EQ(a.level(l).t(d), b.level(l).t(d));
+                EXPECT_EQ(a.level(l).s(d), b.level(l).s(d));
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace ploop

@@ -1,0 +1,141 @@
+/** @file Unit tests for common/math_util. */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace ploop {
+namespace {
+
+TEST(CeilDiv, ExactDivision)
+{
+    EXPECT_EQ(ceilDiv(12, 3), 4u);
+    EXPECT_EQ(ceilDiv(12, 12), 1u);
+    EXPECT_EQ(ceilDiv(0, 5), 0u);
+}
+
+TEST(CeilDiv, RoundsUp)
+{
+    EXPECT_EQ(ceilDiv(13, 3), 5u);
+    EXPECT_EQ(ceilDiv(1, 100), 1u);
+    EXPECT_EQ(ceilDiv(99, 100), 1u);
+    EXPECT_EQ(ceilDiv(101, 100), 2u);
+}
+
+TEST(RoundUp, Basics)
+{
+    EXPECT_EQ(roundUp(13, 4), 16u);
+    EXPECT_EQ(roundUp(16, 4), 16u);
+    EXPECT_EQ(roundUp(0, 4), 0u);
+}
+
+TEST(IsPow2, Basics)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(1ull << 40));
+    EXPECT_FALSE(isPow2((1ull << 40) + 1));
+}
+
+TEST(NextPow2, Basics)
+{
+    EXPECT_EQ(nextPow2(1), 1u);
+    EXPECT_EQ(nextPow2(2), 2u);
+    EXPECT_EQ(nextPow2(3), 4u);
+    EXPECT_EQ(nextPow2(1000), 1024u);
+}
+
+TEST(Log2Exact, PowersOfTwo)
+{
+    EXPECT_EQ(log2Exact(1), 0u);
+    EXPECT_EQ(log2Exact(2), 1u);
+    EXPECT_EQ(log2Exact(1024), 10u);
+}
+
+TEST(Divisors, Small)
+{
+    EXPECT_EQ(divisors(1), (std::vector<std::uint64_t>{1}));
+    EXPECT_EQ(divisors(12),
+              (std::vector<std::uint64_t>{1, 2, 3, 4, 6, 12}));
+    EXPECT_EQ(divisors(13), (std::vector<std::uint64_t>{1, 13}));
+}
+
+TEST(Divisors, PerfectSquare)
+{
+    EXPECT_EQ(divisors(36),
+              (std::vector<std::uint64_t>{1, 2, 3, 4, 6, 9, 12, 18,
+                                          36}));
+}
+
+TEST(PrimeFactorize, Basics)
+{
+    auto f = primeFactorize(360); // 2^3 * 3^2 * 5
+    ASSERT_EQ(f.size(), 3u);
+    EXPECT_EQ(f[0], (std::pair<std::uint64_t, unsigned>{2, 3}));
+    EXPECT_EQ(f[1], (std::pair<std::uint64_t, unsigned>{3, 2}));
+    EXPECT_EQ(f[2], (std::pair<std::uint64_t, unsigned>{5, 1}));
+}
+
+TEST(PrimeFactorize, One)
+{
+    EXPECT_TRUE(primeFactorize(1).empty());
+}
+
+TEST(PrimeFactorize, Prime)
+{
+    auto f = primeFactorize(97);
+    ASSERT_EQ(f.size(), 1u);
+    EXPECT_EQ(f[0].first, 97u);
+}
+
+TEST(OrderedFactorizations, CountsAndProducts)
+{
+    auto fs = orderedFactorizations(12, 2);
+    // One per divisor of 12.
+    EXPECT_EQ(fs.size(), 6u);
+    for (const auto &f : fs) {
+        ASSERT_EQ(f.size(), 2u);
+        EXPECT_EQ(f[0] * f[1], 12u);
+    }
+}
+
+TEST(OrderedFactorizations, OnePart)
+{
+    auto fs = orderedFactorizations(30, 1);
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0][0], 30u);
+}
+
+TEST(DbLinear, RoundTrip)
+{
+    EXPECT_NEAR(dbToLinear(0.0), 1.0, 1e-12);
+    EXPECT_NEAR(dbToLinear(10.0), 10.0, 1e-9);
+    EXPECT_NEAR(dbToLinear(3.0), 1.9953, 1e-3);
+    EXPECT_NEAR(linearToDb(dbToLinear(7.25)), 7.25, 1e-9);
+}
+
+TEST(ApproxEqual, Tolerances)
+{
+    EXPECT_TRUE(approxEqual(1.0, 1.0));
+    EXPECT_TRUE(approxEqual(1.0, 1.0 + 1e-12, 1e-9));
+    EXPECT_FALSE(approxEqual(1.0, 1.1, 1e-9));
+    EXPECT_TRUE(approxEqual(0.0, 0.0));
+}
+
+TEST(ClampDouble, Basics)
+{
+    EXPECT_EQ(clampDouble(5.0, 0.0, 10.0), 5.0);
+    EXPECT_EQ(clampDouble(-5.0, 0.0, 10.0), 0.0);
+    EXPECT_EQ(clampDouble(15.0, 0.0, 10.0), 10.0);
+}
+
+TEST(OrderedFactorizations, ZeroPartsIsFatal)
+{
+    EXPECT_THROW(orderedFactorizations(4, 0), FatalError);
+}
+
+} // namespace
+} // namespace ploop

@@ -1,0 +1,154 @@
+/** @file Unit tests for the model zoo (AlexNet, VGG16, ResNet18). */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace ploop {
+namespace {
+
+TEST(ModelZoo, AlexNetStructure)
+{
+    Network net = makeAlexNet();
+    EXPECT_EQ(net.size(), 8u); // 5 conv + 3 fc.
+    const LayerShape &conv1 = net.layerByName("conv1");
+    EXPECT_EQ(conv1.bound(Dim::K), 96u);
+    EXPECT_EQ(conv1.bound(Dim::C), 3u);
+    EXPECT_EQ(conv1.bound(Dim::R), 11u);
+    EXPECT_EQ(conv1.hstride(), 4u);
+    EXPECT_TRUE(conv1.isStrided());
+    EXPECT_EQ(net.layerByName("fc8").bound(Dim::K), 1000u);
+}
+
+TEST(ModelZoo, AlexNetMacCount)
+{
+    // Classic figure: ~0.7-0.75 GMACs for batch 1 (single tower with
+    // full cross-connections).
+    Network net = makeAlexNet();
+    double g = double(net.totalMacs()) / 1e9;
+    EXPECT_GT(g, 0.6);
+    EXPECT_LT(g, 1.5);
+}
+
+TEST(ModelZoo, Vgg16Structure)
+{
+    Network net = makeVgg16();
+    EXPECT_EQ(net.size(), 16u); // 13 conv + 3 fc.
+    // All convs are 3x3 unstrided.
+    for (const auto &l : net.layers()) {
+        if (l.kind() != LayerKind::Conv)
+            continue;
+        EXPECT_EQ(l.bound(Dim::R), 3u) << l.name();
+        EXPECT_FALSE(l.isStrided()) << l.name();
+    }
+    EXPECT_EQ(net.layerByName("fc1").bound(Dim::C), 25088u);
+}
+
+TEST(ModelZoo, Vgg16MacCount)
+{
+    // ~15.5 GMACs at batch 1.
+    Network net = makeVgg16();
+    double g = double(net.totalMacs()) / 1e9;
+    EXPECT_GT(g, 14.0);
+    EXPECT_LT(g, 16.5);
+}
+
+TEST(ModelZoo, ResNet18Structure)
+{
+    Network net = makeResNet18();
+    EXPECT_EQ(net.size(), 21u); // 20 conv + 1 fc.
+    const LayerShape &stem = net.layerByName("conv1");
+    EXPECT_EQ(stem.bound(Dim::R), 7u);
+    EXPECT_EQ(stem.hstride(), 2u);
+    // Downsample shortcuts are strided 1x1.
+    const LayerShape &ds = net.layerByName("layer2.0.downsample");
+    EXPECT_EQ(ds.bound(Dim::R), 1u);
+    EXPECT_EQ(ds.hstride(), 2u);
+    EXPECT_EQ(net.layerByName("fc").bound(Dim::C), 512u);
+}
+
+TEST(ModelZoo, ResNet18MacCount)
+{
+    // ~1.8 GMACs at batch 1.
+    Network net = makeResNet18();
+    double g = double(net.totalMacs()) / 1e9;
+    EXPECT_GT(g, 1.6);
+    EXPECT_LT(g, 2.0);
+}
+
+TEST(ModelZoo, ResNet18WeightCount)
+{
+    // ~11M parameters in conv + fc weights.
+    Network net = makeResNet18();
+    double m = double(net.totalWeightWords()) / 1e6;
+    EXPECT_GT(m, 10.0);
+    EXPECT_LT(m, 12.5);
+}
+
+TEST(ModelZoo, ResNet18HasResidualAnnotations)
+{
+    Network net = makeResNet18();
+    bool any = false;
+    for (std::size_t i = 0; i < net.size(); ++i)
+        any = any || net.residualLiveWords(i) > 0;
+    EXPECT_TRUE(any);
+}
+
+TEST(ModelZoo, ResNet34Structure)
+{
+    Network net = makeResNet34();
+    // 1 stem + 2*(3+4+6+3) convs + 3 downsamples + 1 fc = 37.
+    EXPECT_EQ(net.size(), 37u);
+    EXPECT_EQ(net.layerByName("layer3.5.conv2").bound(Dim::K), 256u);
+    EXPECT_EQ(net.layerByName("layer4.0.downsample").hstride(), 2u);
+    // ~3.6 GMACs.
+    double g = double(net.totalMacs()) / 1e9;
+    EXPECT_GT(g, 3.2);
+    EXPECT_LT(g, 4.0);
+}
+
+TEST(ModelZoo, ResNet34DeeperThanResNet18)
+{
+    EXPECT_GT(makeResNet34().size(), makeResNet18().size());
+    EXPECT_GT(makeResNet34().totalMacs(),
+              makeResNet18().totalMacs());
+    EXPECT_GT(makeResNet34().totalWeightWords(),
+              makeResNet18().totalWeightWords());
+}
+
+TEST(ModelZoo, BatchParameter)
+{
+    EXPECT_EQ(makeResNet18(8).totalMacs(),
+              makeResNet18(1).totalMacs() * 8);
+}
+
+TEST(ModelZoo, MakeNetworkByName)
+{
+    EXPECT_EQ(makeNetwork("AlexNet").name(), "AlexNet");
+    EXPECT_EQ(makeNetwork("vgg16").name(), "VGG16");
+    EXPECT_EQ(makeNetwork("RESNET18").name(), "ResNet18");
+    EXPECT_THROW(makeNetwork("lenet"), FatalError);
+}
+
+TEST(ModelZoo, NamesListMatchesFactories)
+{
+    for (const auto &name : modelZooNames())
+        EXPECT_NO_THROW(makeNetwork(name));
+}
+
+TEST(ModelZoo, InterLayerShapeConsistency)
+{
+    // Each conv layer's input channel count equals the previous
+    // non-shortcut layer's output channels (spot check VGG16, which
+    // is a pure chain).
+    Network net = makeVgg16();
+    for (std::size_t i = 1; i < 13; ++i) {
+        EXPECT_EQ(net.layer(i).bound(Dim::C),
+                  net.layer(i - 1).bound(Dim::K))
+            << net.layer(i).name();
+    }
+}
+
+} // namespace
+} // namespace ploop

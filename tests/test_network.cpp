@@ -1,0 +1,119 @@
+/** @file Unit tests for workload/network. */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "workload/network.hpp"
+
+namespace ploop {
+namespace {
+
+Network
+tinyNet()
+{
+    Network net("tiny");
+    net.addLayer(LayerShape::conv("c1", 1, 8, 3, 8, 8, 3, 3));
+    net.addLayer(LayerShape::conv("c2", 1, 16, 8, 8, 8, 3, 3));
+    net.addLayer(LayerShape::fullyConnected("fc", 1, 10, 16 * 64));
+    return net;
+}
+
+TEST(Network, BasicAccessors)
+{
+    Network net = tinyNet();
+    EXPECT_EQ(net.name(), "tiny");
+    EXPECT_EQ(net.size(), 3u);
+    EXPECT_EQ(net.layer(0).name(), "c1");
+    EXPECT_EQ(net.layerByName("c2").bound(Dim::K), 16u);
+}
+
+TEST(Network, TotalMacs)
+{
+    Network net = tinyNet();
+    std::uint64_t expect = 0;
+    for (const auto &l : net.layers())
+        expect += l.macs();
+    EXPECT_EQ(net.totalMacs(), expect);
+    EXPECT_GT(expect, 0u);
+}
+
+TEST(Network, TotalTensorWords)
+{
+    Network net = tinyNet();
+    EXPECT_EQ(net.totalWeightWords(),
+              net.totalTensorWords(Tensor::Weights));
+    EXPECT_GT(net.totalTensorWords(Tensor::Inputs), 0u);
+}
+
+TEST(Network, DuplicateLayerNameIsFatal)
+{
+    Network net("n");
+    net.addLayer(LayerShape::conv("dup", 1, 1, 1, 1, 1, 1, 1));
+    EXPECT_THROW(
+        net.addLayer(LayerShape::conv("dup", 1, 2, 2, 1, 1, 1, 1)),
+        FatalError);
+}
+
+TEST(Network, UnknownLayerLookupIsFatal)
+{
+    Network net = tinyNet();
+    EXPECT_THROW(net.layerByName("nope"), FatalError);
+    EXPECT_THROW(net.layer(99), FatalError);
+}
+
+TEST(Network, WithBatchScalesAllLayers)
+{
+    Network net = tinyNet();
+    Network b = net.withBatch(4);
+    EXPECT_EQ(b.totalMacs(), net.totalMacs() * 4);
+    for (const auto &l : b.layers())
+        EXPECT_EQ(l.bound(Dim::N), 4u);
+    // Weights do not scale with batch.
+    EXPECT_EQ(b.totalWeightWords(), net.totalWeightWords());
+}
+
+TEST(Network, ResidualLiveness)
+{
+    Network net("res");
+    net.addLayer(LayerShape::conv("a", 1, 8, 8, 4, 4, 3, 3));
+    net.markResidualSource(2); // Live through layers b and c.
+    net.addLayer(LayerShape::conv("b", 1, 8, 8, 4, 4, 3, 3));
+    net.addLayer(LayerShape::conv("c", 1, 8, 8, 4, 4, 3, 3));
+    net.addLayer(LayerShape::conv("d", 1, 8, 8, 4, 4, 3, 3));
+
+    std::uint64_t a_out = net.layer(0).tensorWords(Tensor::Outputs);
+    EXPECT_EQ(net.residualLiveWords(0), 0u);
+    EXPECT_EQ(net.residualLiveWords(1), a_out);
+    EXPECT_EQ(net.residualLiveWords(2), a_out);
+    EXPECT_EQ(net.residualLiveWords(3), 0u);
+}
+
+TEST(Network, ResidualSurvivesWithBatch)
+{
+    Network net("res");
+    net.addLayer(LayerShape::conv("a", 1, 8, 8, 4, 4, 3, 3));
+    net.markResidualSource(1);
+    net.addLayer(LayerShape::conv("b", 1, 8, 8, 4, 4, 3, 3));
+    Network batched = net.withBatch(4);
+    EXPECT_EQ(batched.residualLiveWords(1),
+              net.residualLiveWords(1) * 4);
+}
+
+TEST(Network, ResidualMisuseIsFatal)
+{
+    Network net("n");
+    EXPECT_THROW(net.markResidualSource(1), FatalError);
+    net.addLayer(LayerShape::conv("a", 1, 1, 1, 1, 1, 1, 1));
+    EXPECT_THROW(net.markResidualSource(0), FatalError);
+}
+
+TEST(Network, StrHasAllLayers)
+{
+    std::string s = tinyNet().str();
+    EXPECT_NE(s.find("c1"), std::string::npos);
+    EXPECT_NE(s.find("fc"), std::string::npos);
+    EXPECT_NE(s.find("tiny"), std::string::npos);
+}
+
+} // namespace
+} // namespace ploop

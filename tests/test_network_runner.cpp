@@ -1,0 +1,85 @@
+/** @file Unit tests for the NetworkRunner. */
+
+#include <gtest/gtest.h>
+
+#include "core/network_runner.hpp"
+#include "test_helpers.hpp"
+
+namespace ploop {
+namespace {
+
+using ploop::testing::makeDigitalArch;
+
+Network
+twoLayerNet()
+{
+    Network net("two");
+    net.addLayer(LayerShape::conv("a", 1, 8, 4, 6, 6, 3, 3));
+    net.addLayer(LayerShape::conv("b", 1, 4, 8, 6, 6, 3, 3));
+    return net;
+}
+
+struct RunnerFixture : public ::testing::Test
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    ArchSpec arch = makeDigitalArch();
+    Evaluator evaluator{arch, registry};
+    SearchOptions opts = [] {
+        SearchOptions o;
+        o.random_samples = 20;
+        o.hill_climb_rounds = 4;
+        return o;
+    }();
+};
+
+TEST_F(RunnerFixture, AggregatesAcrossLayers)
+{
+    Network net = twoLayerNet();
+    NetworkRunResult r = runNetwork(evaluator, net, opts);
+    ASSERT_EQ(r.layers.size(), 2u);
+    EXPECT_EQ(r.layers[0].layer_name, "a");
+    EXPECT_DOUBLE_EQ(r.total_macs, double(net.totalMacs()));
+    double sum = 0;
+    for (const auto &lr : r.layers)
+        sum += lr.result.totalEnergy();
+    EXPECT_NEAR(r.total_energy_j, sum, sum * 1e-12);
+}
+
+TEST_F(RunnerFixture, DerivedMetrics)
+{
+    NetworkRunResult r = runNetwork(evaluator, twoLayerNet(), opts);
+    EXPECT_NEAR(r.energyPerMac(), r.total_energy_j / r.total_macs,
+                1e-20);
+    EXPECT_NEAR(r.macsPerCycle(), r.total_macs / r.total_cycles,
+                1e-9);
+}
+
+TEST_F(RunnerFixture, MappingsAreValid)
+{
+    Network net = twoLayerNet();
+    NetworkRunResult r = runNetwork(evaluator, net, opts);
+    for (std::size_t i = 0; i < net.size(); ++i) {
+        EXPECT_TRUE(
+            evaluator.isValidMapping(net.layer(i), r.layers[i].mapping))
+            << net.layer(i).name();
+    }
+}
+
+TEST_F(RunnerFixture, StrSummarizes)
+{
+    NetworkRunResult r = runNetwork(evaluator, twoLayerNet(), opts);
+    std::string s = r.str();
+    EXPECT_NE(s.find("total"), std::string::npos);
+    EXPECT_NE(s.find("pJ/MAC"), std::string::npos);
+    EXPECT_NE(s.find("a"), std::string::npos);
+}
+
+TEST(NetworkRunner, EmptyMetricsGuards)
+{
+    NetworkRunResult r;
+    EXPECT_DOUBLE_EQ(r.energyPerMac(), 0.0);
+    EXPECT_DOUBLE_EQ(r.macsPerCycle(), 0.0);
+}
+
+} // namespace
+} // namespace ploop

@@ -1,0 +1,130 @@
+/** @file Unit tests for the photonic device estimators. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "photonics/laser.hpp"
+#include "photonics/mrr.hpp"
+#include "photonics/mzm.hpp"
+#include "photonics/photodiode.hpp"
+#include "photonics/star_coupler.hpp"
+#include "photonics/waveguide.hpp"
+
+namespace ploop {
+namespace {
+
+TEST(MrrModel, ModulationEnergyFromAttr)
+{
+    MrrModel mrr;
+    Attributes a;
+    a.set("energy_per_modulate", 300.0_fJ);
+    EXPECT_DOUBLE_EQ(mrr.energy(Action::Convert, a), 300.0_fJ);
+    EXPECT_FALSE(mrr.supports(Action::Read));
+    EXPECT_THROW(mrr.energy(Action::Read, a), FatalError);
+}
+
+TEST(MrrModel, MissingEnergyAttrIsFatal)
+{
+    MrrModel mrr;
+    EXPECT_THROW(mrr.energy(Action::Convert, Attributes{}),
+                 FatalError);
+}
+
+TEST(MrrModel, AreaDefaultAndOverride)
+{
+    MrrModel mrr;
+    EXPECT_GT(mrr.area(Attributes{}), 0.0);
+    Attributes a;
+    a.set("area", 1e-9);
+    EXPECT_DOUBLE_EQ(mrr.area(a), 1e-9);
+}
+
+TEST(MzmModel, LargerThanMrrByDefault)
+{
+    MzmModel mzm;
+    MrrModel mrr;
+    EXPECT_GT(mzm.area(Attributes{}), mrr.area(Attributes{}));
+}
+
+TEST(MzmModel, ModulationEnergyFromAttr)
+{
+    MzmModel mzm;
+    Attributes a;
+    a.set("energy_per_modulate", 3.0_pJ);
+    EXPECT_DOUBLE_EQ(mzm.energy(Action::Convert, a), 3.0_pJ);
+}
+
+TEST(PhotodiodeModel, SampleEnergyFromAttr)
+{
+    PhotodiodeModel pd;
+    Attributes a;
+    a.set("energy_per_sample", 900.0_fJ);
+    EXPECT_DOUBLE_EQ(pd.energy(Action::Convert, a), 900.0_fJ);
+    EXPECT_TRUE(pd.supports(Action::Convert));
+}
+
+TEST(StarCoupler, PassiveZeroEnergy)
+{
+    StarCouplerModel sc;
+    EXPECT_DOUBLE_EQ(sc.energy(Action::Convert, Attributes{}), 0.0);
+}
+
+TEST(StarCoupler, LossGrowsWithFanout)
+{
+    double l1 = starCouplerLossDb(1, 0.5);
+    double l8 = starCouplerLossDb(8, 0.5);
+    double l64 = starCouplerLossDb(64, 0.5);
+    EXPECT_DOUBLE_EQ(l1, 0.0);
+    EXPECT_NEAR(l8, 10.0 * std::log10(8.0) + 0.5 * 3, 1e-9);
+    EXPECT_GT(l64, l8);
+}
+
+TEST(StarCoupler, ExcessLossPerStage)
+{
+    // 9-way: ceil(log2(9)) = 4 stages.
+    EXPECT_NEAR(starCouplerLossDb(9, 1.0) - starCouplerLossDb(9, 0.0),
+                4.0, 1e-9);
+}
+
+TEST(StarCoupler, InvalidFanoutIsFatal)
+{
+    EXPECT_THROW(starCouplerLossDb(0.5, 0.2), FatalError);
+}
+
+TEST(Waveguide, PropagationLoss)
+{
+    EXPECT_DOUBLE_EQ(waveguideLossDb(10.0, 0.3), 3.0);
+    EXPECT_DOUBLE_EQ(waveguideLossDb(0.0, 0.3), 0.0);
+    EXPECT_THROW(waveguideLossDb(-1.0, 0.3), FatalError);
+}
+
+TEST(PhotonicMac, NearZeroComputeEnergy)
+{
+    PhotonicMacModel mac;
+    EXPECT_DOUBLE_EQ(mac.energy(Action::Compute, Attributes{}), 0.0);
+    Attributes a;
+    a.set("energy_per_mac", 1.0_fJ);
+    EXPECT_DOUBLE_EQ(mac.energy(Action::Compute, a), 1.0_fJ);
+}
+
+TEST(LaserModel, PowerActionReturnsWatts)
+{
+    LaserModel laser;
+    Attributes a;
+    a.set("power_w", 7.5);
+    EXPECT_DOUBLE_EQ(laser.energy(Action::Power, a), 7.5);
+    EXPECT_FALSE(laser.supports(Action::Convert));
+    EXPECT_THROW(laser.energy(Action::Convert, a), FatalError);
+}
+
+TEST(LaserModel, OffChipByDefault)
+{
+    LaserModel laser;
+    EXPECT_DOUBLE_EQ(laser.area(Attributes{}), 0.0);
+}
+
+} // namespace
+} // namespace ploop

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Property-style parameterized sweeps: model invariants that must
+ * hold for EVERY (architecture, layer, mapping) combination, checked
+ * over a grid of awkward layer shapes and both test architectures
+ * plus the real Albireo instance.
+ */
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "albireo/albireo_arch.hpp"
+#include "mapper/mapper.hpp"
+#include "mapping/utilization.hpp"
+#include "mapping/validate.hpp"
+#include "test_helpers.hpp"
+
+namespace ploop {
+namespace {
+
+struct PropertyCase
+{
+    const char *arch_name;
+    LayerShape layer;
+};
+
+ArchSpec
+archByName(const std::string &name)
+{
+    if (name == "digital")
+        return ploop::testing::makeDigitalArch();
+    if (name == "toy")
+        return ploop::testing::makePhotonicToyArch();
+    return buildAlbireoArch(
+        AlbireoConfig::paperDefault(ScalingProfile::Aggressive));
+}
+
+std::vector<PropertyCase>
+propertyCases()
+{
+    std::vector<LayerShape> layers = {
+        LayerShape::conv("even", 1, 8, 4, 6, 6, 3, 3),
+        LayerShape::conv("prime", 1, 7, 5, 13, 13, 3, 3),
+        LayerShape::conv("wide", 1, 64, 3, 112, 112, 7, 7, 2, 2),
+        LayerShape::conv("alex1", 1, 96, 3, 55, 55, 11, 11, 4, 4),
+        LayerShape::conv("deep", 2, 32, 64, 7, 7, 3, 3),
+        LayerShape::conv("one", 1, 1, 1, 1, 1, 1, 1),
+        LayerShape::conv("pointwise", 1, 128, 64, 28, 28, 1, 1),
+        LayerShape::fullyConnected("fc", 1, 1000, 512),
+        LayerShape::fullyConnected("fcbatch", 8, 100, 256),
+    };
+    std::vector<PropertyCase> cases;
+    for (const char *arch : {"digital", "toy", "albireo"}) {
+        for (const auto &l : layers)
+            cases.push_back({arch, l});
+    }
+    return cases;
+}
+
+class ModelProperties
+    : public ::testing::TestWithParam<PropertyCase>
+{
+  protected:
+    EnergyRegistry registry = makeDefaultRegistry();
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<PropertyCase> &info)
+{
+    return std::string(info.param.arch_name) + "_" +
+           info.param.layer.name();
+}
+
+TEST_P(ModelProperties, SeedsAreValid)
+{
+    ArchSpec arch = archByName(GetParam().arch_name);
+    const LayerShape &layer = GetParam().layer;
+    Mapspace ms(arch, layer);
+    std::string why;
+    EXPECT_TRUE(validateMapping(arch, layer, ms.outerSeed(), &why))
+        << why;
+    EXPECT_TRUE(validateMapping(arch, layer, ms.greedySeed(), &why))
+        << why;
+}
+
+TEST_P(ModelProperties, CountsAreFiniteAndNonNegative)
+{
+    ArchSpec arch = archByName(GetParam().arch_name);
+    const LayerShape &layer = GetParam().layer;
+    Evaluator evaluator(arch, registry);
+    Mapping m = Mapspace(arch, layer).greedySeed();
+    EvalResult r = evaluator.evaluate(layer, m);
+    for (std::size_t l = 0; l < arch.numLevels(); ++l) {
+        for (Tensor t : kAllTensors) {
+            const TensorLevelCounts &c = r.counts.at(l, t);
+            for (double v :
+                 {c.fills, c.reads, c.writes, c.updates,
+                  c.crossings_down, c.crossings_up, c.tile_words}) {
+                EXPECT_GE(v, 0.0);
+                EXPECT_TRUE(std::isfinite(v));
+            }
+        }
+    }
+    EXPECT_TRUE(std::isfinite(r.totalEnergy()));
+    EXPECT_GE(r.totalEnergy(), 0.0);
+}
+
+TEST_P(ModelProperties, UtilizationWithinBounds)
+{
+    ArchSpec arch = archByName(GetParam().arch_name);
+    const LayerShape &layer = GetParam().layer;
+    Evaluator evaluator(arch, registry);
+    Mapping m = Mapspace(arch, layer).greedySeed();
+    EvalResult r = evaluator.evaluate(layer, m);
+    EXPECT_GT(r.throughput.utilization, 0.0);
+    EXPECT_LE(r.throughput.utilization, 1.0 + 1e-9);
+    EXPECT_LE(r.throughput.macs_per_cycle,
+              arch.peakMacsPerCycle() + 1e-9);
+}
+
+TEST_P(ModelProperties, MacsMatchWorkload)
+{
+    ArchSpec arch = archByName(GetParam().arch_name);
+    const LayerShape &layer = GetParam().layer;
+    Evaluator evaluator(arch, registry);
+    Mapping m = Mapspace(arch, layer).outerSeed();
+    EvalResult r = evaluator.evaluate(layer, m);
+    EXPECT_DOUBLE_EQ(r.counts.macs, double(layer.macs()));
+}
+
+TEST_P(ModelProperties, OuterLevelServesWholeTensors)
+{
+    // The outermost level must deliver at least every distinct word
+    // of each downward tensor, and absorb every final output.
+    ArchSpec arch = archByName(GetParam().arch_name);
+    const LayerShape &layer = GetParam().layer;
+    Evaluator evaluator(arch, registry);
+    Mapping m = Mapspace(arch, layer).greedySeed();
+    EvalResult r = evaluator.evaluate(layer, m);
+    std::size_t outer = arch.numLevels() - 1;
+    EXPECT_GE(r.counts.at(outer, Tensor::Weights).reads,
+              double(layer.tensorWords(Tensor::Weights)) * (1 - 1e-9));
+    EXPECT_GE(r.counts.at(outer, Tensor::Outputs).updates,
+              double(layer.tensorWords(Tensor::Outputs)) *
+                  (1 - 1e-9));
+}
+
+TEST_P(ModelProperties, ConverterCountsBoundedByDeliveries)
+{
+    ArchSpec arch = archByName(GetParam().arch_name);
+    const LayerShape &layer = GetParam().layer;
+    Evaluator evaluator(arch, registry);
+    Mapping m = Mapspace(arch, layer).greedySeed();
+    EvalResult r = evaluator.evaluate(layer, m);
+    // The padded iteration space bounds all per-use activity.
+    double space = 1.0;
+    for (Dim d : kAllDims)
+        space *= static_cast<double>(m.coverage(d));
+    for (const ConverterCount &cc : r.converters) {
+        EXPECT_LE(cc.count, cc.deliveries + 1e-9) << cc.name;
+        EXPECT_GE(cc.effective_reuse, 1.0) << cc.name;
+        EXPECT_LE(cc.count, space + 1e-9) << cc.name;
+    }
+}
+
+TEST_P(ModelProperties, BatchScalingMonotone)
+{
+    ArchSpec arch = archByName(GetParam().arch_name);
+    const LayerShape &layer = GetParam().layer;
+    if (layer.bound(Dim::N) != 1)
+        return; // Only test batch-1 bases.
+    Evaluator evaluator(arch, registry);
+    LayerShape batched = layer.withBatch(4);
+    EvalResult r1 = evaluator.evaluate(
+        layer, Mapspace(arch, layer).outerSeed());
+    EvalResult r4 = evaluator.evaluate(
+        batched, Mapspace(arch, batched).outerSeed());
+    EXPECT_DOUBLE_EQ(r4.counts.macs, 4.0 * r1.counts.macs);
+    EXPECT_GT(r4.totalEnergy(), r1.totalEnergy());
+    // Weight traffic at the outermost level must NOT scale with N.
+    std::size_t outer = arch.numLevels() - 1;
+    EXPECT_NEAR(r4.counts.at(outer, Tensor::Weights).reads,
+                r1.counts.at(outer, Tensor::Weights).reads,
+                r1.counts.at(outer, Tensor::Weights).reads * 1e-9);
+}
+
+TEST_P(ModelProperties, RandomMappingsNeverBreakInvariants)
+{
+    ArchSpec arch = archByName(GetParam().arch_name);
+    const LayerShape &layer = GetParam().layer;
+    Evaluator evaluator(arch, registry);
+    Mapspace ms(arch, layer);
+    std::mt19937_64 rng(2024);
+    int valid = 0;
+    for (int i = 0; i < 20; ++i) {
+        Mapping m = ms.randomSample(rng);
+        if (!evaluator.isValidMapping(layer, m))
+            continue;
+        ++valid;
+        EvalResult r = evaluator.evaluate(layer, m);
+        EXPECT_DOUBLE_EQ(r.counts.macs, double(layer.macs()));
+        EXPECT_GE(r.totalEnergy(), 0.0);
+        EXPECT_LE(r.throughput.utilization, 1.0 + 1e-9);
+    }
+    // The outer seed always exists even if random sampling misses.
+    EXPECT_GE(valid, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ModelProperties,
+                         ::testing::ValuesIn(propertyCases()),
+                         caseName);
+
+} // namespace
+} // namespace ploop

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The README's quickstart snippet, compiled and asserted: if this
+ * test breaks, the documentation is lying.
+ */
+
+#include <gtest/gtest.h>
+
+#include "albireo/albireo_arch.hpp"
+#include "mapper/mapper.hpp"
+#include "model/evaluator.hpp"
+
+namespace ploop {
+namespace {
+
+TEST(QuickstartApi, ReadmeSnippetWorks)
+{
+    // 1. An architecture: the Albireo photonic accelerator under
+    //    conservative technology scaling.
+    ArchSpec arch = buildAlbireoArch(
+        AlbireoConfig::paperDefault(ScalingProfile::Conservative));
+
+    // 2. A workload layer: a VGG-style 3x3 convolution.
+    LayerShape layer =
+        LayerShape::conv("conv", 1, 48, 64, 56, 56, 3, 3);
+
+    // 3. Map it and read the results.
+    EnergyRegistry registry = makeDefaultRegistry();
+    Evaluator evaluator(arch, registry);
+    MapperResult best = Mapper(evaluator).search(layer);
+    double pj_per_mac = best.result.energyPerMac() * 1e12;
+    double util = best.result.throughput.utilization;
+
+    // The quickstart's implicit promises: a conservative photonic
+    // system lands in the few-pJ/MAC range at full utilization on a
+    // well-matched conv.
+    EXPECT_GT(pj_per_mac, 1.0);
+    EXPECT_LT(pj_per_mac, 10.0);
+    EXPECT_NEAR(util, 1.0, 1e-6);
+}
+
+} // namespace
+} // namespace ploop

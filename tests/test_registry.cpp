@@ -1,0 +1,95 @@
+/** @file Unit tests for the estimator registry. */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "energy/registry.hpp"
+
+namespace ploop {
+namespace {
+
+/** A fixed-energy estimator for plug-in tests. */
+class FixedEstimator : public Estimator
+{
+  public:
+    explicit FixedEstimator(std::string klass, double energy)
+        : klass_(std::move(klass)), energy_(energy)
+    {}
+
+    std::string klass() const override { return klass_; }
+    bool supports(Action) const override { return true; }
+    double
+    energy(Action, const Attributes &) const override
+    {
+        return energy_;
+    }
+    double area(const Attributes &) const override { return 1e-6; }
+
+  private:
+    std::string klass_;
+    double energy_;
+};
+
+TEST(Registry, DefaultHasAllBuiltinClasses)
+{
+    EnergyRegistry reg = makeDefaultRegistry();
+    for (const char *klass :
+         {"sram", "regfile", "mac", "dram", "adc", "dac", "wire",
+          "mrr", "mzm", "photodiode", "star_coupler", "waveguide",
+          "photonic_mac", "laser"}) {
+        EXPECT_TRUE(reg.has(klass)) << klass;
+    }
+}
+
+TEST(Registry, LookupUnknownIsFatal)
+{
+    EnergyRegistry reg;
+    EXPECT_FALSE(reg.has("sram"));
+    EXPECT_THROW(reg.lookup("sram"), FatalError);
+    Attributes a;
+    EXPECT_THROW(reg.energy("sram", Action::Read, a), FatalError);
+}
+
+TEST(Registry, RegisterAndUse)
+{
+    EnergyRegistry reg;
+    reg.registerEstimator(
+        std::make_unique<FixedEstimator>("custom", 3.0));
+    Attributes a;
+    EXPECT_DOUBLE_EQ(reg.energy("custom", Action::Read, a), 3.0);
+    EXPECT_DOUBLE_EQ(reg.area("custom", a), 1e-6);
+}
+
+TEST(Registry, UserOverridesBuiltin)
+{
+    EnergyRegistry reg = makeDefaultRegistry();
+    reg.registerEstimator(
+        std::make_unique<FixedEstimator>("sram", 42.0));
+    Attributes a;
+    a.set("word_bits", 8);
+    EXPECT_DOUBLE_EQ(reg.energy("sram", Action::Read, a), 42.0);
+}
+
+TEST(Registry, NullEstimatorIsFatal)
+{
+    EnergyRegistry reg;
+    EXPECT_THROW(reg.registerEstimator(nullptr), FatalError);
+}
+
+TEST(Registry, ClassesSorted)
+{
+    EnergyRegistry reg = makeDefaultRegistry();
+    auto classes = reg.classes();
+    EXPECT_TRUE(std::is_sorted(classes.begin(), classes.end()));
+    EXPECT_GE(classes.size(), 14u);
+}
+
+TEST(Registry, MoveSemantics)
+{
+    EnergyRegistry reg = makeDefaultRegistry();
+    EnergyRegistry moved = std::move(reg);
+    EXPECT_TRUE(moved.has("sram"));
+}
+
+} // namespace
+} // namespace ploop

@@ -1,0 +1,84 @@
+/** @file Unit tests for the photonic scaling profiles. */
+
+#include <gtest/gtest.h>
+
+#include "photonics/scaling.hpp"
+
+namespace ploop {
+namespace {
+
+TEST(Scaling, ThreeProfiles)
+{
+    auto all = allScalingProfiles();
+    ASSERT_EQ(all.size(), 3u);
+    EXPECT_EQ(all[0], ScalingProfile::Conservative);
+    EXPECT_EQ(all[2], ScalingProfile::Aggressive);
+}
+
+TEST(Scaling, NamesMatch)
+{
+    EXPECT_STREQ(scalingProfileName(ScalingProfile::Conservative),
+                 "conservative");
+    EXPECT_STREQ(scalingProfileName(ScalingProfile::Moderate),
+                 "moderate");
+    EXPECT_STREQ(scalingProfileName(ScalingProfile::Aggressive),
+                 "aggressive");
+    for (ScalingProfile p : allScalingProfiles()) {
+        EXPECT_EQ(scalingConstants(p).name, scalingProfileName(p));
+    }
+}
+
+TEST(Scaling, MonotonicallyImprovingEnergies)
+{
+    const auto &c = scalingConstants(ScalingProfile::Conservative);
+    const auto &m = scalingConstants(ScalingProfile::Moderate);
+    const auto &a = scalingConstants(ScalingProfile::Aggressive);
+    EXPECT_GT(c.mrr_modulate_j, m.mrr_modulate_j);
+    EXPECT_GT(m.mrr_modulate_j, a.mrr_modulate_j);
+    EXPECT_GT(c.mzm_modulate_j, m.mzm_modulate_j);
+    EXPECT_GT(m.mzm_modulate_j, a.mzm_modulate_j);
+    EXPECT_GT(c.pd_sample_j, m.pd_sample_j);
+    EXPECT_GT(m.pd_sample_j, a.pd_sample_j);
+    EXPECT_GT(c.adc_fom_j, m.adc_fom_j);
+    EXPECT_GT(m.adc_fom_j, a.adc_fom_j);
+    EXPECT_GT(c.dac_fom_j, m.dac_fom_j);
+    EXPECT_GT(m.dac_fom_j, a.dac_fom_j);
+}
+
+TEST(Scaling, MonotonicallyImprovingOptics)
+{
+    const auto &c = scalingConstants(ScalingProfile::Conservative);
+    const auto &m = scalingConstants(ScalingProfile::Moderate);
+    const auto &a = scalingConstants(ScalingProfile::Aggressive);
+    EXPECT_LT(c.laser_wallplug_eff, a.laser_wallplug_eff);
+    EXPECT_GT(c.pd_sensitivity_w, a.pd_sensitivity_w);
+    EXPECT_GE(c.mrr_through_loss_db, m.mrr_through_loss_db);
+    EXPECT_GE(m.mzm_insertion_loss_db, a.mzm_insertion_loss_db);
+    EXPECT_GE(c.waveguide_loss_db_per_mm, a.waveguide_loss_db_per_mm);
+}
+
+TEST(Scaling, PhysicallyPlausibleRanges)
+{
+    for (ScalingProfile p : allScalingProfiles()) {
+        const auto &t = scalingConstants(p);
+        EXPECT_GT(t.laser_wallplug_eff, 0.0);
+        EXPECT_LE(t.laser_wallplug_eff, 1.0);
+        EXPECT_GT(t.pd_sensitivity_w, 0.0);
+        EXPECT_LT(t.pd_sensitivity_w, 1e-3); // Below a milliwatt.
+        EXPECT_GT(t.mrr_modulate_j, 0.0);
+        EXPECT_LT(t.mzm_modulate_j, 1e-11); // Below 10 pJ.
+        EXPECT_GE(t.resolution_bits, 4.0);
+        EXPECT_LE(t.resolution_bits, 16.0);
+    }
+}
+
+TEST(Scaling, AdcDominatesDacEverywhere)
+{
+    for (ScalingProfile p : allScalingProfiles()) {
+        const auto &t = scalingConstants(p);
+        EXPECT_GT(t.adc_fom_j, t.dac_fom_j);
+    }
+}
+
+} // namespace
+} // namespace ploop

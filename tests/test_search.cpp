@@ -1,0 +1,125 @@
+/** @file Unit tests for the search strategies. */
+
+#include <gtest/gtest.h>
+
+#include "mapper/search.hpp"
+#include "test_helpers.hpp"
+
+namespace ploop {
+namespace {
+
+using ploop::testing::makeDigitalArch;
+using ploop::testing::makeSmallConv;
+
+struct SearchFixture : public ::testing::Test
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    ArchSpec arch = makeDigitalArch();
+    Evaluator evaluator{arch, registry};
+    LayerShape layer = makeSmallConv();
+    Mapspace mapspace{arch, layer};
+};
+
+TEST(Objective, Names)
+{
+    EXPECT_STREQ(objectiveName(Objective::Energy), "energy");
+    EXPECT_STREQ(objectiveName(Objective::Delay), "delay");
+    EXPECT_STREQ(objectiveName(Objective::Edp), "edp");
+}
+
+TEST_F(SearchFixture, ObjectiveValuesMatchResultFields)
+{
+    EvalResult r =
+        evaluator.evaluate(layer, Mapping::trivial(arch, layer));
+    EXPECT_DOUBLE_EQ(objectiveValue(Objective::Energy, r),
+                     r.totalEnergy());
+    EXPECT_DOUBLE_EQ(objectiveValue(Objective::Delay, r),
+                     r.throughput.runtime_s);
+    EXPECT_DOUBLE_EQ(objectiveValue(Objective::Edp, r), r.edp());
+}
+
+TEST_F(SearchFixture, RandomSearchFindsSomethingValid)
+{
+    SearchOptions opts;
+    opts.random_samples = 100;
+    SearchStats stats;
+    auto best =
+        randomSearch(evaluator, layer, mapspace, opts, stats);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_TRUE(evaluator.isValidMapping(layer, best->first));
+    EXPECT_GT(stats.evaluated, 0u);
+}
+
+TEST_F(SearchFixture, RandomSearchDeterministicPerSeed)
+{
+    SearchOptions opts;
+    opts.random_samples = 50;
+    SearchStats s1, s2;
+    auto a = randomSearch(evaluator, layer, mapspace, opts, s1);
+    auto b = randomSearch(evaluator, layer, mapspace, opts, s2);
+    ASSERT_TRUE(a && b);
+    EXPECT_DOUBLE_EQ(a->second.totalEnergy(),
+                     b->second.totalEnergy());
+    EXPECT_EQ(s1.evaluated, s2.evaluated);
+}
+
+TEST_F(SearchFixture, ZeroSamplesReturnsNothing)
+{
+    SearchOptions opts;
+    opts.random_samples = 0;
+    SearchStats stats;
+    EXPECT_FALSE(
+        randomSearch(evaluator, layer, mapspace, opts, stats)
+            .has_value());
+}
+
+TEST_F(SearchFixture, HillClimbNeverWorsens)
+{
+    SearchOptions opts;
+    opts.hill_climb_rounds = 8;
+    SearchStats stats;
+    Mapping seed = Mapping::trivial(arch, layer);
+    EvalResult seed_result = evaluator.evaluate(layer, seed);
+    double seed_energy = seed_result.totalEnergy();
+    Candidate improved =
+        hillClimb(evaluator, layer,
+                  Candidate(seed, std::move(seed_result)), opts,
+                  stats);
+    EXPECT_LE(improved.second.totalEnergy(), seed_energy);
+    EXPECT_TRUE(evaluator.isValidMapping(layer, improved.first));
+}
+
+TEST_F(SearchFixture, HillClimbImprovesTrivialSeed)
+{
+    // The trivial mapping leaves obvious wins (moving reduction
+    // loops inward); hill climbing must find at least one.
+    SearchOptions opts;
+    opts.hill_climb_rounds = 16;
+    SearchStats stats;
+    Mapping seed = Mapping::trivial(arch, layer);
+    EvalResult seed_result = evaluator.evaluate(layer, seed);
+    double seed_energy = seed_result.totalEnergy();
+    Candidate improved =
+        hillClimb(evaluator, layer,
+                  Candidate(seed, std::move(seed_result)), opts,
+                  stats);
+    EXPECT_LT(improved.second.totalEnergy(), seed_energy * 0.9);
+}
+
+TEST_F(SearchFixture, StatsAccumulate)
+{
+    SearchOptions opts;
+    opts.random_samples = 30;
+    opts.hill_climb_rounds = 2;
+    SearchStats stats;
+    auto best =
+        randomSearch(evaluator, layer, mapspace, opts, stats);
+    ASSERT_TRUE(best);
+    std::uint64_t after_random = stats.evaluated;
+    hillClimb(evaluator, layer, std::move(*best), opts, stats);
+    EXPECT_GE(stats.evaluated, after_random);
+    EXPECT_NE(stats.str().find("evaluated"), std::string::npos);
+}
+
+} // namespace
+} // namespace ploop

@@ -1,0 +1,85 @@
+/** @file Unit tests for common/string_util. */
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.hpp"
+
+namespace ploop {
+namespace {
+
+TEST(Join, Basics)
+{
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"a"}, ","), "a");
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(Split, Basics)
+{
+    EXPECT_EQ(split("a,b,c", ','),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+    EXPECT_EQ(split("a,,c", ','),
+              (std::vector<std::string>{"a", "", "c"}));
+}
+
+TEST(SplitJoin, RoundTrip)
+{
+    std::string s = "N,K,C,P,Q,R,S";
+    EXPECT_EQ(join(split(s, ','), ","), s);
+}
+
+TEST(Trim, Basics)
+{
+    EXPECT_EQ(trim("  x  "), "x");
+    EXPECT_EQ(trim("x"), "x");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("\ta b\n"), "a b");
+}
+
+TEST(StrFormat, Basics)
+{
+    EXPECT_EQ(strFormat("%d-%s", 42, "x"), "42-x");
+    EXPECT_EQ(strFormat("%.2f", 3.14159), "3.14");
+    EXPECT_EQ(strFormat("empty"), "empty");
+}
+
+TEST(ToLower, Basics)
+{
+    EXPECT_EQ(toLower("VGG16"), "vgg16");
+    EXPECT_EQ(toLower("already"), "already");
+}
+
+TEST(StartsWith, Basics)
+{
+    EXPECT_TRUE(startsWith("GlobalBuffer", "Global"));
+    EXPECT_FALSE(startsWith("Global", "GlobalBuffer"));
+    EXPECT_TRUE(startsWith("x", ""));
+}
+
+TEST(FormatEnergy, Prefixes)
+{
+    EXPECT_EQ(formatEnergy(0.0), "0 J");
+    EXPECT_EQ(formatEnergy(1.5e-12), "1.5 pJ");
+    EXPECT_EQ(formatEnergy(2.5e-3), "2.5 mJ");
+    EXPECT_EQ(formatEnergy(3.0), "3 J");
+    EXPECT_EQ(formatEnergy(42e-15), "42 fJ");
+}
+
+TEST(FormatBytes, Prefixes)
+{
+    EXPECT_EQ(formatBytes(512), "512 B");
+    EXPECT_EQ(formatBytes(2048), "2.00 KiB");
+    EXPECT_EQ(formatBytes(5ull * 1024 * 1024), "5.00 MiB");
+}
+
+TEST(FormatCount, Prefixes)
+{
+    EXPECT_EQ(formatCount(999), "999");
+    EXPECT_EQ(formatCount(1.5e3), "1.5k");
+    EXPECT_EQ(formatCount(2e6), "2M");
+    EXPECT_EQ(formatCount(3.1e9), "3.1G");
+}
+
+} // namespace
+} // namespace ploop

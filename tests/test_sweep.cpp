@@ -1,0 +1,79 @@
+/** @file Unit tests for the parameter-sweep utility. */
+
+#include <gtest/gtest.h>
+
+#include "albireo/albireo_arch.hpp"
+#include "common/error.hpp"
+#include "core/sweep.hpp"
+#include "test_helpers.hpp"
+
+namespace ploop {
+namespace {
+
+using ploop::testing::makeSmallConv;
+
+SweepSpec
+adcFomSweep()
+{
+    SweepSpec spec;
+    spec.make_arch = [](double fom_fj) {
+        AlbireoConfig cfg =
+            AlbireoConfig::paperDefault(ScalingProfile::Aggressive);
+        ArchSpec arch = buildAlbireoArch(cfg);
+        // Override the ADC figure of merit.
+        std::size_t regs = arch.levelIndex("OperandRegs");
+        auto &chain = arch.mutableLevel(regs)
+                          .converters_below[tensorIndex(
+                              Tensor::Outputs)];
+        chain[1].attrs.set("fom_j_per_step", fom_fj * 1e-15);
+        return arch;
+    };
+    spec.values = {1.0, 5.0, 20.0};
+    spec.search.random_samples = 10;
+    spec.search.hill_climb_rounds = 2;
+    return spec;
+}
+
+TEST(Sweep, RunsEveryPoint)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    auto points = runSweep(adcFomSweep(), makeSmallConv(), registry);
+    ASSERT_EQ(points.size(), 3u);
+    EXPECT_DOUBLE_EQ(points[0].value, 1.0);
+    EXPECT_DOUBLE_EQ(points[2].value, 20.0);
+}
+
+TEST(Sweep, AdcFomMonotonicallyRaisesEnergy)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    auto points = runSweep(adcFomSweep(), makeSmallConv(), registry);
+    EXPECT_LT(points[0].result.totalEnergy(),
+              points[1].result.totalEnergy());
+    EXPECT_LT(points[1].result.totalEnergy(),
+              points[2].result.totalEnergy());
+}
+
+TEST(Sweep, TableRendersAllPoints)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    auto points = runSweep(adcFomSweep(), makeSmallConv(), registry);
+    std::string table = sweepTable("adc_fom_fJ", points);
+    EXPECT_NE(table.find("adc_fom_fJ"), std::string::npos);
+    EXPECT_NE(table.find("20"), std::string::npos);
+}
+
+TEST(Sweep, EmptySpecsAreFatal)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    SweepSpec spec;
+    spec.values = {1.0};
+    EXPECT_THROW(runSweep(spec, makeSmallConv(), registry),
+                 FatalError);
+    spec = adcFomSweep();
+    spec.values.clear();
+    EXPECT_THROW(runSweep(spec, makeSmallConv(), registry),
+                 FatalError);
+}
+
+} // namespace
+} // namespace ploop

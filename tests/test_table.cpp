@@ -1,0 +1,113 @@
+/** @file Unit tests for common/table rendering. */
+
+#include <gtest/gtest.h>
+
+#include "common/table.hpp"
+
+namespace ploop {
+namespace {
+
+TEST(Table, RendersHeaderAndRows)
+{
+    Table t("Title");
+    t.setHeader({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("Title"), std::string::npos);
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(Table, SeparatorRows)
+{
+    Table t;
+    t.setHeader({"a"});
+    t.addRow({"x"});
+    t.addSeparator();
+    t.addRow({"y"});
+    std::string out = t.render();
+    // Header separator plus explicit one.
+    std::size_t dashes = 0, pos = 0;
+    while ((pos = out.find("-", pos)) != std::string::npos) {
+        ++dashes;
+        ++pos;
+    }
+    EXPECT_GE(dashes, 2u);
+}
+
+TEST(Table, RaggedRowsPadded)
+{
+    Table t;
+    t.setHeader({"a", "b", "c"});
+    t.addRow({"only-one"});
+    EXPECT_NO_THROW(t.render());
+}
+
+TEST(Table, NumericRightAlignment)
+{
+    Table t;
+    t.setHeader({"col"});
+    t.addRow({"1.5"});
+    t.addRow({"wide-label"});
+    std::string out = t.render();
+    // The numeric cell should be right-aligned: padded on the left.
+    EXPECT_NE(out.find("       1.5"), std::string::npos);
+}
+
+TEST(BarChart, RendersBarsAndLegend)
+{
+    BarChart chart("Chart", "pJ", 20);
+    chart.setSegments({"x", "y"});
+    chart.addBar("row1", {1.0, 1.0});
+    chart.addBar("row2", {0.5, 0.0});
+    std::string out = chart.render();
+    EXPECT_NE(out.find("Chart"), std::string::npos);
+    EXPECT_NE(out.find("x"), std::string::npos);
+    EXPECT_NE(out.find("row1"), std::string::npos);
+    EXPECT_NE(out.find("scale"), std::string::npos);
+}
+
+TEST(BarChart, BarLengthProportional)
+{
+    BarChart chart("", "u", 40);
+    chart.setSegments({"s"});
+    chart.addBar("full", {2.0});
+    chart.addBar("half", {1.0});
+    std::string out = chart.render();
+    // Count '#' per line.
+    std::size_t full_count = 0, half_count = 0;
+    for (const auto &line :
+         {out.substr(out.find("full")), out.substr(out.find("half"))}) {
+        std::size_t n = 0;
+        for (char c : line.substr(0, line.find('\n')))
+            if (c == '#')
+                ++n;
+        if (line.rfind("full", 0) == 0)
+            full_count = n;
+        else
+            half_count = n;
+    }
+    EXPECT_EQ(full_count, 40u);
+    EXPECT_EQ(half_count, 20u);
+}
+
+TEST(BarChart, EmptyChartDoesNotCrash)
+{
+    BarChart chart("empty", "u");
+    chart.setSegments({});
+    EXPECT_NO_THROW(chart.render());
+}
+
+TEST(BarChart, NegativeValuesClampedToZero)
+{
+    BarChart chart("", "u", 10);
+    chart.setSegments({"s"});
+    chart.addBar("neg", {-5.0});
+    std::string out = chart.render();
+    EXPECT_NE(out.find("neg"), std::string::npos);
+}
+
+} // namespace
+} // namespace ploop

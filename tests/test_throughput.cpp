@@ -1,0 +1,149 @@
+/** @file Unit tests for the throughput model. */
+
+#include <gtest/gtest.h>
+
+#include "model/throughput.hpp"
+#include "test_helpers.hpp"
+
+namespace ploop {
+namespace {
+
+using ploop::testing::makeDigitalArch;
+using ploop::testing::makePhotonicToyArch;
+using ploop::testing::makeSmallConv;
+
+ThroughputResult
+run(const ArchSpec &arch, const LayerShape &layer, const Mapping &m)
+{
+    TileAnalysis tiles(arch, layer, m);
+    AccessCounts counts = computeAccessCounts(arch, layer, m, tiles);
+    return computeThroughput(arch, layer, m, counts);
+}
+
+TEST(Throughput, TrivialMappingIsSerial)
+{
+    ArchSpec arch = makeDigitalArch();
+    LayerShape layer = makeSmallConv();
+    Mapping m = Mapping::trivial(arch, layer);
+    ThroughputResult r = run(arch, layer, m);
+    // One MAC per cycle: cycles = MACs.
+    EXPECT_DOUBLE_EQ(r.compute_cycles, 10368.0);
+    EXPECT_DOUBLE_EQ(r.macs_per_cycle, 1.0);
+    // Peak is 4 (K fanout): utilization 25%.
+    EXPECT_DOUBLE_EQ(r.utilization, 0.25);
+}
+
+TEST(Throughput, SpatialMappingSpeedsUp)
+{
+    ArchSpec arch = makeDigitalArch();
+    LayerShape layer = makeSmallConv();
+    Mapping m = Mapping::trivial(arch, layer);
+    m.level(1).setS(Dim::K, 4);
+    m.level(2).setT(Dim::K, 2);
+    ThroughputResult r = run(arch, layer, m);
+    EXPECT_DOUBLE_EQ(r.compute_cycles, 10368.0 / 4.0);
+    EXPECT_DOUBLE_EQ(r.macs_per_cycle, 4.0);
+    EXPECT_DOUBLE_EQ(r.utilization, 1.0);
+}
+
+TEST(Throughput, CeilSlackCostsUtilization)
+{
+    ArchSpec arch = makeDigitalArch();
+    // K=6 on a K<=4 fanout: spatial 4 x temporal 2 covers 8 (slack).
+    LayerShape layer = LayerShape::conv("c", 1, 6, 4, 6, 6, 3, 3);
+    Mapping m = Mapping::trivial(arch, layer);
+    m.level(1).setS(Dim::K, 4);
+    m.level(2).setT(Dim::K, 2);
+    ThroughputResult r = run(arch, layer, m);
+    double macs = static_cast<double>(layer.macs());
+    EXPECT_DOUBLE_EQ(r.compute_cycles, 10368.0 / 4.0); // Padded space.
+    EXPECT_NEAR(r.utilization, macs / (r.cycles * 4.0), 1e-12);
+    EXPECT_LT(r.utilization, 1.0);
+}
+
+TEST(Throughput, StridePenaltyAppliesOnlyWithWindowUnroll)
+{
+    ArchSpec arch = makePhotonicToyArch();
+    LayerShape strided =
+        LayerShape::conv("s", 1, 8, 4, 6, 6, 3, 3, 2, 2);
+    // Mapping WITHOUT spatial R: no window unroll used -> no penalty.
+    Mapping no_window(2);
+    for (Dim d : kAllDims)
+        no_window.level(1).setT(d, strided.bound(d));
+    EXPECT_DOUBLE_EQ(stridePenalty(arch, strided, no_window), 1.0);
+
+    // Mapping WITH spatial R at the window boundary -> 2*2 penalty.
+    Mapping window(2);
+    window.level(1).setS(Dim::R, 3);
+    for (Dim d : kAllDims) {
+        if (d != Dim::R)
+            window.level(1).setT(d, strided.bound(d));
+    }
+    EXPECT_DOUBLE_EQ(stridePenalty(arch, strided, window), 4.0);
+
+    ThroughputResult r = run(arch, strided, window);
+    EXPECT_DOUBLE_EQ(r.stride_penalty, 4.0);
+    EXPECT_DOUBLE_EQ(r.compute_cycles,
+                     double(strided.macs()) / 3.0 * 4.0);
+}
+
+TEST(Throughput, UnstridedLayerNeverPenalized)
+{
+    ArchSpec arch = makePhotonicToyArch();
+    LayerShape layer = makeSmallConv();
+    Mapping m(2);
+    m.level(1).setS(Dim::R, 3);
+    for (Dim d : kAllDims) {
+        if (d != Dim::R)
+            m.level(1).setT(d, layer.bound(d));
+    }
+    EXPECT_DOUBLE_EQ(stridePenalty(arch, layer, m), 1.0);
+}
+
+TEST(Throughput, BandwidthBound)
+{
+    // Buffer with 1 word/cycle bandwidth forces a memory bottleneck.
+    ArchBuilder b("bw", 1e9);
+    b.addLevel("Mem")
+        .klass("dram")
+        .domain(Domain::DE)
+        .bandwidth(1.0)
+        .fanoutDim(Dim::K, 8)
+        .fanoutTotal(8);
+    b.compute(ComputeSpec{});
+    ArchSpec arch = b.build();
+    LayerShape layer = makeSmallConv();
+    Mapping m(1);
+    m.level(0).setS(Dim::K, 8);
+    for (Dim d : kAllDims) {
+        if (d != Dim::K)
+            m.level(0).setT(d, layer.bound(d));
+    }
+    TileAnalysis tiles(arch, layer, m);
+    AccessCounts counts = computeAccessCounts(arch, layer, m, tiles);
+    ThroughputResult r = computeThroughput(arch, layer, m, counts);
+    EXPECT_GT(r.bandwidth_cycles, r.compute_cycles);
+    EXPECT_DOUBLE_EQ(r.cycles, r.bandwidth_cycles);
+}
+
+TEST(Throughput, RuntimeUsesClock)
+{
+    ArchSpec arch = makeDigitalArch(); // 1 GHz.
+    LayerShape layer = makeSmallConv();
+    Mapping m = Mapping::trivial(arch, layer);
+    ThroughputResult r = run(arch, layer, m);
+    EXPECT_NEAR(r.runtime_s, r.cycles / 1e9, 1e-15);
+}
+
+TEST(Throughput, StrMentionsCyclesAndUtil)
+{
+    ArchSpec arch = makeDigitalArch();
+    LayerShape layer = makeSmallConv();
+    ThroughputResult r =
+        run(arch, layer, Mapping::trivial(arch, layer));
+    EXPECT_NE(r.str().find("cycles"), std::string::npos);
+    EXPECT_NE(r.str().find("util"), std::string::npos);
+}
+
+} // namespace
+} // namespace ploop

@@ -1,0 +1,121 @@
+/** @file Unit tests for model/tile_analysis. */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "model/tile_analysis.hpp"
+#include "test_helpers.hpp"
+
+namespace ploop {
+namespace {
+
+using ploop::testing::makeDigitalArch;
+using ploop::testing::makeSmallConv;
+
+TEST(TileAnalysis, TrivialMappingTilesAreWholeTensorsAtOutermost)
+{
+    ArchSpec arch = makeDigitalArch();
+    LayerShape layer = makeSmallConv();
+    Mapping m = Mapping::trivial(arch, layer);
+    TileAnalysis tiles(arch, layer, m);
+    EXPECT_EQ(tiles.tileWords(2, Tensor::Weights),
+              layer.tensorWords(Tensor::Weights));
+    EXPECT_EQ(tiles.tileWords(2, Tensor::Inputs),
+              layer.tensorWords(Tensor::Inputs));
+    EXPECT_EQ(tiles.tileWords(2, Tensor::Outputs),
+              layer.tensorWords(Tensor::Outputs));
+    // Inner levels hold single words.
+    EXPECT_EQ(tiles.tileWords(0, Tensor::Weights), 1u);
+}
+
+TEST(TileAnalysis, ExtentsClippedToBounds)
+{
+    ArchSpec arch = makeDigitalArch();
+    LayerShape layer = makeSmallConv(); // K=8.
+    Mapping m = Mapping::trivial(arch, layer);
+    m.level(2).setT(Dim::K, 10); // Covers 8 with slack 10.
+    TileAnalysis tiles(arch, layer, m);
+    EXPECT_EQ(tiles.extent(2, Dim::K), 8u);
+}
+
+TEST(TileAnalysis, InputHaloTileSizing)
+{
+    ArchSpec arch = makeDigitalArch();
+    // P=6, R=3, stride 1: input tile height for P-tile 2 is 4.
+    LayerShape layer = makeSmallConv();
+    Mapping m = Mapping::trivial(arch, layer);
+    m.level(0).setT(Dim::P, 2);
+    m.level(0).setT(Dim::R, 3);
+    m.level(2).setT(Dim::P, 3);
+    m.level(2).setT(Dim::R, 1);
+    TileAnalysis tiles(arch, layer, m);
+    // Inner tile: N1 C1 h=(2-1)*1+3=4, w=(1-1)+1=1 -> 4 words.
+    EXPECT_EQ(tiles.tileWords(0, Tensor::Inputs), 4u);
+}
+
+TEST(TileAnalysis, StridedInputTile)
+{
+    ArchBuilder b("s", 1e9);
+    b.addLevel("Mem").klass("dram").domain(Domain::DE);
+    b.compute(ComputeSpec{});
+    ArchSpec arch = b.build();
+    LayerShape layer =
+        LayerShape::conv("c", 1, 1, 1, 5, 5, 3, 3, 2, 2);
+    Mapping m = Mapping::trivial(arch, layer);
+    TileAnalysis tiles(arch, layer, m);
+    // h = (5-1)*2+3 = 11 -> 11x11 inputs.
+    EXPECT_EQ(tiles.tileWords(0, Tensor::Inputs), 121u);
+}
+
+TEST(TileAnalysis, KeptWordsSumsOnlyKeptTensors)
+{
+    ArchSpec arch = ploop::testing::makePhotonicToyArch();
+    LayerShape layer = makeSmallConv();
+    Mapping m = Mapping::trivial(arch, layer);
+    m.level(0).setT(Dim::K, 2); // Hold keeps weights only.
+    m.level(1).setT(Dim::K, 4);
+    TileAnalysis tiles(arch, layer, m);
+    EXPECT_EQ(tiles.keptWords(0),
+              tiles.tileWords(0, Tensor::Weights));
+}
+
+TEST(TileAnalysis, SpatialFactorsGrowParentTiles)
+{
+    ArchSpec arch = makeDigitalArch();
+    LayerShape layer = makeSmallConv();
+    Mapping m = Mapping::trivial(arch, layer);
+    m.level(1).setS(Dim::K, 4);
+    m.level(2).setT(Dim::K, 2);
+    TileAnalysis tiles(arch, layer, m);
+    // Buffer's own extent excludes the fanout ABOVE it but includes
+    // its own spatial spread below... extent at level 1 includes
+    // level-1 factors: s(K)=4.
+    EXPECT_EQ(tiles.extent(1, Dim::K), 4u);
+    EXPECT_EQ(tiles.extent(0, Dim::K), 1u);
+}
+
+TEST(TileAnalysis, FitsCapacitiesReportsViolator)
+{
+    ArchSpec arch = makeDigitalArch();
+    LayerShape layer = makeSmallConv();
+    Mapping m = Mapping::trivial(arch, layer);
+    m.level(0).setT(Dim::K, 8);
+    m.level(0).setT(Dim::C, 4);
+    m.level(0).setT(Dim::R, 3);
+    m.level(0).setT(Dim::S, 3);
+    TileAnalysis tiles(arch, layer, m);
+    std::string why;
+    EXPECT_FALSE(tiles.fitsCapacities(&why));
+    EXPECT_NE(why.find("Regs"), std::string::npos);
+}
+
+TEST(TileAnalysis, MismatchedLevelsIsFatal)
+{
+    ArchSpec arch = makeDigitalArch();
+    LayerShape layer = makeSmallConv();
+    Mapping m(2);
+    EXPECT_THROW(TileAnalysis(arch, layer, m), FatalError);
+}
+
+} // namespace
+} // namespace ploop

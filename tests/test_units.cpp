@@ -1,0 +1,52 @@
+/** @file Unit tests for common/units. */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace ploop {
+namespace {
+
+TEST(UnitLiterals, Energy)
+{
+    EXPECT_DOUBLE_EQ(1.0_pJ, 1e-12);
+    EXPECT_DOUBLE_EQ(2.5_fJ, 2.5e-15);
+    EXPECT_DOUBLE_EQ(3_nJ, 3e-9);
+    EXPECT_DOUBLE_EQ(1_mJ, 1e-3);
+    EXPECT_DOUBLE_EQ(1.0_J, 1.0);
+    EXPECT_DOUBLE_EQ(7_aJ, 7e-18);
+}
+
+TEST(UnitLiterals, PowerAndFrequency)
+{
+    EXPECT_DOUBLE_EQ(5_mW, 5e-3);
+    EXPECT_DOUBLE_EQ(20.0_uW, 2e-5);
+    EXPECT_DOUBLE_EQ(5_GHz, 5e9);
+    EXPECT_DOUBLE_EQ(100_MHz, 1e8);
+}
+
+TEST(UnitLiterals, Lengths)
+{
+    EXPECT_DOUBLE_EQ(5_mm, 5e-3);
+    EXPECT_DOUBLE_EQ(10.0_um, 1e-5);
+    EXPECT_DOUBLE_EQ(1_ns, 1e-9);
+}
+
+TEST(Dbm, Conversions)
+{
+    EXPECT_NEAR(dbmToWatts(0.0), 1e-3, 1e-12);
+    EXPECT_NEAR(dbmToWatts(10.0), 1e-2, 1e-10);
+    EXPECT_NEAR(dbmToWatts(-20.0), 1e-5, 1e-12);
+    EXPECT_NEAR(wattsToDbm(1e-3), 0.0, 1e-9);
+    EXPECT_NEAR(wattsToDbm(dbmToWatts(-13.7)), -13.7, 1e-9);
+}
+
+TEST(UnitConstants, Consistency)
+{
+    EXPECT_DOUBLE_EQ(units::picojoule * 1000, units::nanojoule);
+    EXPECT_DOUBLE_EQ(units::gigahertz, 1e9 * units::hertz);
+    EXPECT_DOUBLE_EQ(units::square_millimeter, 1e-6);
+}
+
+} // namespace
+} // namespace ploop

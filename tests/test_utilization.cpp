@@ -1,0 +1,68 @@
+/** @file Unit tests for mapping/utilization helpers. */
+
+#include <gtest/gtest.h>
+
+#include "mapping/utilization.hpp"
+#include "test_helpers.hpp"
+
+namespace ploop {
+namespace {
+
+using ploop::testing::makeDigitalArch;
+using ploop::testing::makeSmallConv;
+
+TEST(CoverageSlack, PerfectFactorizationIsOne)
+{
+    ArchSpec arch = makeDigitalArch();
+    LayerShape layer = makeSmallConv();
+    Mapping m = Mapping::trivial(arch, layer);
+    EXPECT_DOUBLE_EQ(coverageSlack(layer, m), 1.0);
+}
+
+TEST(CoverageSlack, PaddingCounted)
+{
+    ArchSpec arch = makeDigitalArch();
+    LayerShape layer = makeSmallConv(); // K=8.
+    Mapping m = Mapping::trivial(arch, layer);
+    m.level(2).setT(Dim::K, 10); // Covers 8 with 1.25x slack.
+    EXPECT_DOUBLE_EQ(coverageSlack(layer, m), 10.0 / 8.0);
+    m.level(2).setT(Dim::C, 5); // C=4: another 1.25x.
+    EXPECT_DOUBLE_EQ(coverageSlack(layer, m), 1.25 * 1.25);
+}
+
+TEST(SpatialOccupancy, FullAndPartial)
+{
+    ArchSpec arch = makeDigitalArch(); // Peak instances: 4.
+    LayerShape layer = makeSmallConv();
+    Mapping m = Mapping::trivial(arch, layer);
+    EXPECT_DOUBLE_EQ(spatialOccupancy(arch, m), 0.25);
+    m.level(1).setS(Dim::K, 4);
+    m.level(2).setT(Dim::K, 2);
+    EXPECT_DOUBLE_EQ(spatialOccupancy(arch, m), 1.0);
+}
+
+TEST(QuickUtilization, MatchesThroughputModelWhenUnconstrained)
+{
+    ArchSpec arch = makeDigitalArch();
+    LayerShape layer = makeSmallConv();
+    Mapping m = Mapping::trivial(arch, layer);
+    m.level(1).setS(Dim::K, 4);
+    m.level(2).setT(Dim::K, 2);
+    // No bandwidth caps in the digital arch except none set: quick
+    // utilization equals MACs / (steps * peak).
+    double quick = quickUtilization(arch, layer, m);
+    EXPECT_DOUBLE_EQ(quick, 1.0);
+    m.level(2).setT(Dim::K, 3); // Padded: covers 12 for K=8.
+    EXPECT_NEAR(quickUtilization(arch, layer, m), 8.0 / 12.0, 1e-12);
+}
+
+TEST(QuickUtilization, ZeroGuards)
+{
+    ArchSpec arch = makeDigitalArch();
+    LayerShape layer = makeSmallConv();
+    Mapping m(3); // Degenerate: steps = 1.
+    EXPECT_GT(quickUtilization(arch, layer, m), 0.0);
+}
+
+} // namespace
+} // namespace ploop

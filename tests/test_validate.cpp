@@ -1,0 +1,130 @@
+/** @file Unit tests for mapping validation. */
+
+#include <gtest/gtest.h>
+
+#include "mapping/validate.hpp"
+#include "test_helpers.hpp"
+
+namespace ploop {
+namespace {
+
+using ploop::testing::makeDigitalArch;
+using ploop::testing::makeSmallConv;
+
+TEST(ValidateMapping, TrivialMappingIsValid)
+{
+    ArchSpec arch = makeDigitalArch();
+    LayerShape layer = makeSmallConv();
+    Mapping m = Mapping::trivial(arch, layer);
+    std::string why;
+    EXPECT_TRUE(validateMapping(arch, layer, m, &why)) << why;
+}
+
+TEST(ValidateMapping, LevelCountMismatch)
+{
+    ArchSpec arch = makeDigitalArch();
+    LayerShape layer = makeSmallConv();
+    Mapping m(2);
+    std::string why;
+    EXPECT_FALSE(validateMapping(arch, layer, m, &why));
+    EXPECT_NE(why.find("levels"), std::string::npos);
+}
+
+TEST(ValidateMapping, UncoveredDimRejected)
+{
+    ArchSpec arch = makeDigitalArch();
+    LayerShape layer = makeSmallConv();
+    Mapping m = Mapping::trivial(arch, layer);
+    m.level(2).setT(Dim::K, 1); // K=8 now uncovered.
+    std::string why;
+    EXPECT_FALSE(validateMapping(arch, layer, m, &why));
+    EXPECT_NE(why.find("K"), std::string::npos);
+}
+
+TEST(ValidateMapping, CeilOverProvisioningAccepted)
+{
+    ArchSpec arch = makeDigitalArch();
+    LayerShape layer = makeSmallConv();
+    Mapping m = Mapping::trivial(arch, layer);
+    m.level(2).setT(Dim::K, 9); // K=8 covered with slack.
+    EXPECT_TRUE(validateMapping(arch, layer, m));
+}
+
+TEST(ValidateMapping, SpatialDimCapEnforced)
+{
+    ArchSpec arch = makeDigitalArch(); // Buffer fanout: K <= 4.
+    LayerShape layer = makeSmallConv();
+    Mapping m = Mapping::trivial(arch, layer);
+    m.level(1).setS(Dim::K, 8);
+    m.level(2).setT(Dim::K, 1);
+    std::string why;
+    EXPECT_FALSE(validateMapping(arch, layer, m, &why));
+    EXPECT_NE(why.find("exceeds cap"), std::string::npos);
+}
+
+TEST(ValidateMapping, UnlistedDimCannotBeSpatial)
+{
+    ArchSpec arch = makeDigitalArch();
+    LayerShape layer = makeSmallConv();
+    Mapping m = Mapping::trivial(arch, layer);
+    m.level(1).setS(Dim::C, 2); // C not in Buffer's fanout caps.
+    std::string why;
+    EXPECT_FALSE(validateMapping(arch, layer, m, &why));
+}
+
+TEST(ValidateMapping, SpatialTotalCapEnforced)
+{
+    ArchSpec arch = ploop::testing::makePhotonicToyArch();
+    // Toy: caps K8 * C4 * R3 = 96, total cap 96 -- fill all caps
+    // fully then the product equals 96, fine; raise K beyond by using
+    // full caps on a layer that allows it but with max_total lowered
+    // is covered in arch tests.  Here check an over-product via caps:
+    LayerShape layer =
+        LayerShape::conv("big", 1, 8, 4, 6, 6, 3, 3);
+    Mapping m = Mapping::trivial(arch, layer);
+    m.level(0).setS(Dim::K, 8);
+    m.level(0).setS(Dim::C, 4);
+    m.level(0).setS(Dim::R, 3);
+    m.level(1).setT(Dim::K, 1);
+    m.level(1).setT(Dim::C, 1);
+    m.level(1).setT(Dim::R, 1);
+    // Hold (level 0) has no fanout caps at all -> spatial forbidden.
+    std::string why;
+    EXPECT_FALSE(validateMapping(arch, layer, m, &why));
+}
+
+TEST(ValidateMapping, CapacityOverflowRejected)
+{
+    ArchSpec arch = makeDigitalArch(); // Regs: 64 words.
+    LayerShape layer = makeSmallConv();
+    Mapping m = Mapping::trivial(arch, layer);
+    // Move a big weight tile into Regs: K8 C4 R3 S3 = 288 words > 64.
+    m.level(0).setT(Dim::K, 8);
+    m.level(0).setT(Dim::C, 4);
+    m.level(0).setT(Dim::R, 3);
+    m.level(0).setT(Dim::S, 3);
+    m.level(2).setT(Dim::K, 1);
+    m.level(2).setT(Dim::C, 1);
+    m.level(2).setT(Dim::R, 1);
+    m.level(2).setT(Dim::S, 1);
+    std::string why;
+    EXPECT_FALSE(validateMapping(arch, layer, m, &why));
+    EXPECT_NE(why.find("Regs"), std::string::npos);
+}
+
+TEST(ValidateMapping, OutermostLevelCapacityExempt)
+{
+    // The digital arch's Buffer (level 1) holds 64Ki words; the layer
+    // fits, but make a HUGE layer: outermost DRAM is unbounded and
+    // Buffer would overflow unless factors stay outside.  The
+    // trivial mapping keeps everything at DRAM, so tiles at Buffer
+    // are minimal and validation passes.
+    ArchSpec arch = makeDigitalArch();
+    LayerShape layer =
+        LayerShape::conv("huge", 1, 512, 512, 56, 56, 3, 3);
+    Mapping m = Mapping::trivial(arch, layer);
+    EXPECT_TRUE(validateMapping(arch, layer, m));
+}
+
+} // namespace
+} // namespace ploop
