@@ -86,15 +86,33 @@ BM_RandomSample(benchmark::State &state)
 }
 BENCHMARK(BM_RandomSample);
 
+/** Surface SearchStats (cache behavior, wall time) on a bench. */
+void
+reportSearchStats(benchmark::State &state, const SearchStats &stats)
+{
+    state.counters["evals"] =
+        static_cast<double>(stats.evaluated);
+    state.counters["cache_hits"] =
+        static_cast<double>(stats.cache_hits);
+    state.counters["cache_misses"] =
+        static_cast<double>(stats.cache_misses);
+    state.counters["hit_rate"] = stats.cacheHitRate();
+    state.counters["search_wall_s"] = stats.wall_time_s;
+    state.SetLabel(stats.str());
+}
+
 void
 BM_MapperSearchDefault(benchmark::State &state)
 {
     Fixture &f = fixture();
     Mapper mapper(f.evaluator);
+    SearchStats last;
     for (auto _ : state) {
         MapperResult r = mapper.search(f.layer);
         benchmark::DoNotOptimize(r.result.counts.macs);
+        last = r.stats;
     }
+    reportSearchStats(state, last);
 }
 BENCHMARK(BM_MapperSearchDefault)->Unit(benchmark::kMillisecond);
 
@@ -105,10 +123,13 @@ BM_MapperSearchResNetLayer(benchmark::State &state)
     Network net = makeResNet18();
     const LayerShape &layer = net.layerByName("layer3.0.conv1");
     Mapper mapper(f.evaluator);
+    SearchStats last;
     for (auto _ : state) {
         MapperResult r = mapper.search(layer);
         benchmark::DoNotOptimize(r.result.counts.macs);
+        last = r.stats;
     }
+    reportSearchStats(state, last);
 }
 BENCHMARK(BM_MapperSearchResNetLayer)->Unit(benchmark::kMillisecond);
 

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Mapper-search scaling bench: throughput (evals/sec) of the parallel
+ * cache-aware engine at 1/2/4/8 threads against a faithful replica of
+ * the original serial seed path (single RNG stream, double
+ * validation, full mapping copy per hill-climb probe, no
+ * memoization).  Emits a BENCH_search.json summary line for CI
+ * tracking and asserts the determinism contract across thread counts.
+ *
+ * Plain main() harness (not google-benchmark): each measurement is a
+ * full end-to-end search pass, and we want one JSON line, not
+ * statistics over micro-iterations.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "albireo/albireo_arch.hpp"
+#include "common/error.hpp"
+#include "bench_common.hpp"
+#include "mapper/factorize.hpp"
+#include "mapper/mapper.hpp"
+#include "model/evaluator.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace {
+
+using namespace ploop;
+using namespace ploop::bench;
+
+double
+now_s()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * The seed repository's search path, reproduced verbatim in spirit:
+ * serial, evaluate() re-validates every pre-validated candidate,
+ * every hill-climb probe copies the whole Mapping, nothing is
+ * memoized.  This is the baseline the tentpole is measured against.
+ */
+MapperResult
+legacySearch(const Evaluator &evaluator, const LayerShape &layer,
+             const SearchOptions &options)
+{
+    Mapspace mapspace(evaluator.arch(), layer);
+    SearchStats stats;
+
+    std::optional<Candidate> best;
+    double best_val = 0.0;
+    auto consider = [&](const Mapping &mapping) {
+        if (!evaluator.isValidMapping(layer, mapping))
+            return;
+        EvalResult result = evaluator.evaluate(layer, mapping);
+        ++stats.evaluated;
+        double val = objectiveValue(options.objective, result);
+        if (!best || val < best_val) {
+            best_val = val;
+            best = Candidate(mapping, std::move(result));
+        }
+    };
+    consider(mapspace.greedySeed());
+    consider(mapspace.outerSeed());
+
+    std::mt19937_64 rng(options.seed);
+    for (unsigned i = 0; i < options.random_samples; ++i) {
+        Mapping candidate = mapspace.randomSample(rng);
+        if (!evaluator.isValidMapping(layer, candidate))
+            continue;
+        EvalResult result = evaluator.evaluate(layer, candidate);
+        ++stats.evaluated;
+        double val = objectiveValue(options.objective, result);
+        if (!best || val < best_val) {
+            best_val = val;
+            best = Candidate(std::move(candidate), std::move(result));
+        }
+    }
+
+    fatalIf(!best, "bench: no valid seed or random candidate");
+    const std::size_t nlevels = best->first.numLevels();
+    for (unsigned round = 0; round < options.hill_climb_rounds;
+         ++round) {
+        bool improved = false;
+        for (Dim d : kAllDims) {
+            for (std::size_t a = 0; a < nlevels; ++a) {
+                for (std::size_t b = 0; b < nlevels; ++b) {
+                    if (a == b)
+                        continue;
+                    for (std::uint64_t ratio : {2ull, 3ull, 5ull, 7ull}) {
+                        Mapping cand = best->first; // full copy/probe
+                        std::uint64_t from = cand.level(a).t(d);
+                        std::uint64_t to = cand.level(b).t(d);
+                        if (!moveFactor(from, to, ratio))
+                            continue;
+                        cand.level(a).setT(d, from);
+                        cand.level(b).setT(d, to);
+                        if (!evaluator.isValidMapping(layer, cand))
+                            continue;
+                        EvalResult result =
+                            evaluator.evaluate(layer, cand);
+                        ++stats.evaluated;
+                        double val =
+                            objectiveValue(options.objective, result);
+                        if (val < best_val) {
+                            best_val = val;
+                            best = Candidate(std::move(cand),
+                                             std::move(result));
+                            improved = true;
+                        }
+                    }
+                }
+            }
+        }
+        if (!improved)
+            break;
+    }
+    return MapperResult(std::move(best->first), std::move(best->second),
+                        stats);
+}
+
+struct Sample
+{
+    double wall_s = 0;
+    double evals_per_s = 0;
+    double hit_rate = 0;
+    double best_energy = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    ArchSpec arch = buildAlbireoArch(
+        AlbireoConfig::paperDefault(ScalingProfile::Conservative));
+    Evaluator evaluator(arch, registry);
+
+    // A mapper-search workload shaped like real use: one search per
+    // distinct layer shape, as runNetwork and every sweep point
+    // execute.  Hill-climb refinement dominates, as it does
+    // end-to-end.
+    Network net = makeResNet18();
+    std::vector<LayerShape> layers = {bestCaseLayer(),
+                                      net.layerByName("conv1"),
+                                      net.layerByName("layer2.0.conv1"),
+                                      net.layerByName("layer3.0.conv1"),
+                                      net.layerByName("layer4.1.conv2")};
+
+    SearchOptions options;
+    options.random_samples = 64;
+    options.hill_climb_rounds = 64;
+    options.seed = 42;
+
+    const unsigned reps = 3;
+    std::printf("workload: %zu layers on %s (samples=%u rounds=%u)\n",
+                layers.size(), arch.name().c_str(),
+                options.random_samples, options.hill_climb_rounds);
+
+    // Best-of-reps aggregate of a full pass over the layers.
+    auto runAll =
+        [&](const std::function<MapperResult(const LayerShape &)>
+                &search) {
+            Sample total;
+            for (unsigned r = 0; r < reps; ++r) {
+                double wall = 0, energy = 0;
+                std::uint64_t evals = 0, hits = 0, misses = 0;
+                for (const LayerShape &layer : layers) {
+                    double t0 = now_s();
+                    MapperResult result = search(layer);
+                    wall += now_s() - t0;
+                    evals += result.stats.evaluated;
+                    hits += result.stats.cache_hits;
+                    misses += result.stats.cache_misses;
+                    energy += result.result.totalEnergy();
+                }
+                if (r == 0 || wall < total.wall_s) {
+                    total.wall_s = wall;
+                    // Model evaluations actually computed: cache
+                    // hits are excluded so the legacy path (no
+                    // cache, hits == 0) and the engine report the
+                    // same quantity.
+                    total.evals_per_s = (evals - hits) / wall;
+                    total.hit_rate =
+                        hits + misses > 0 ? static_cast<double>(hits) /
+                                                (hits + misses)
+                                          : 0.0;
+                    total.best_energy = energy;
+                }
+            }
+            return total;
+        };
+
+    Sample legacy = runAll([&](const LayerShape &layer) {
+        return legacySearch(evaluator, layer, options);
+    });
+    std::printf("legacy serial seed path: %8.1f ms  %9.0f evals/s\n",
+                legacy.wall_s * 1e3, legacy.evals_per_s);
+
+    const std::vector<unsigned> thread_counts = {1, 2, 4, 8};
+    std::vector<Sample> samples;
+    std::string threads_json;
+    double speedup_4t = 0, hit_rate_4t = 0;
+    for (unsigned t : thread_counts) {
+        SearchOptions opts = options;
+        opts.threads = t;
+        Mapper mapper(evaluator, opts);
+        Sample s = runAll(
+            [&](const LayerShape &layer) { return mapper.search(layer); });
+        samples.push_back(s);
+        double speedup = legacy.wall_s / s.wall_s;
+        if (t == 4) {
+            speedup_4t = speedup;
+            hit_rate_4t = s.hit_rate;
+        }
+        std::printf("engine %u thread%s:       %8.1f ms  %9.0f "
+                    "evals/s  %5.2fx vs legacy  hit_rate=%.1f%%\n",
+                    t, t == 1 ? " " : "s", s.wall_s * 1e3,
+                    s.evals_per_s, speedup, s.hit_rate * 100.0);
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "%s{\"threads\":%u,\"wall_s\":%.6f,"
+                      "\"evals_per_s\":%.0f,\"speedup_vs_legacy\":%.3f,"
+                      "\"cache_hit_rate\":%.4f}",
+                      threads_json.empty() ? "" : ",", t, s.wall_s,
+                      s.evals_per_s, speedup, s.hit_rate);
+        threads_json += buf;
+    }
+
+    // Determinism contract: every thread count found the same bests.
+    for (const Sample &s : samples) {
+        if (s.best_energy != samples.front().best_energy) {
+            std::fprintf(stderr,
+                         "FAIL: best energy differs across thread "
+                         "counts (%.17g vs %.17g)\n",
+                         s.best_energy, samples.front().best_energy);
+            return 1;
+        }
+    }
+
+    std::printf("BENCH_search.json: {\"bench\":\"search_scaling\","
+                "\"workload\":\"resnet18-5layers\","
+                "\"legacy_wall_s\":%.6f,"
+                "\"legacy_evals_per_s\":%.0f,\"points\":[%s],"
+                "\"speedup_4t_vs_legacy\":%.3f,"
+                "\"cache_hit_rate_4t\":%.4f,\"deterministic\":true}\n",
+                legacy.wall_s, legacy.evals_per_s,
+                threads_json.c_str(), speedup_4t, hit_rate_4t);
+    return 0;
+}

@@ -44,8 +44,29 @@ class FatalError : public std::runtime_error
 /** fatal() unless @p cond holds. */
 void fatalIf(bool cond, const std::string &msg);
 
+/**
+ * Literal-message overload: defers std::string construction to the
+ * failure path, so hot-path checks with literal messages cost a
+ * branch, not an allocation.  (Call sites that concatenate a message
+ * should guard with `if (cond) fatal(...)` themselves.)
+ */
+inline void
+fatalIf(bool cond, const char *msg)
+{
+    if (cond)
+        fatal(msg);
+}
+
 /** panic() unless @p cond holds. */
 void panicIf(bool cond, const std::string &msg);
+
+/** Literal-message overload (see fatalIf). */
+inline void
+panicIf(bool cond, const char *msg)
+{
+    if (cond)
+        panic(msg);
+}
 
 } // namespace ploop
 

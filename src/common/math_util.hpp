@@ -13,6 +13,17 @@
 
 namespace ploop {
 
+/** splitmix64 finalizer: cheap, strong 64-bit mixing (hash keys,
+ *  decorrelating RNG seeds). */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
 /** Ceiling division for non-negative integers. @pre b > 0 */
 std::uint64_t ceilDiv(std::uint64_t a, std::uint64_t b);
 

@@ -1,0 +1,183 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace ploop {
+
+ThreadPool::ThreadPool(unsigned size)
+    : size_(std::max(1u, std::min(size, kMaxThreads)))
+{
+    workers_.reserve(size_ - 1);
+    for (unsigned i = 0; i + 1 < size_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+namespace {
+
+/** Shared bookkeeping for one parallelFor call. */
+struct LoopState
+{
+    std::function<void(std::size_t, std::size_t, unsigned)> body;
+    std::size_t n = 0;
+    unsigned chunks = 0;
+    std::atomic<unsigned> next{0}; ///< Next unclaimed chunk.
+    std::atomic<unsigned> done{0}; ///< Completed chunks.
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr error; ///< First body exception (under mu).
+
+    /** Claim and run chunks until none remain. */
+    void drain()
+    {
+        for (;;) {
+            unsigned c = next.fetch_add(1, std::memory_order_relaxed);
+            if (c >= chunks)
+                return;
+            try {
+                std::size_t begin = c * n / chunks;
+                std::size_t end = (c + 1) * n / chunks;
+                body(begin, end, c);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mu);
+                if (!error)
+                    error = std::current_exception();
+            }
+            if (done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+                chunks) {
+                std::lock_guard<std::mutex> lock(mu);
+                cv.notify_all();
+            }
+        }
+    }
+};
+
+} // namespace
+
+void
+ThreadPool::parallelForChunked(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, unsigned)> &body)
+{
+    if (n == 0)
+        return;
+    unsigned chunks = static_cast<unsigned>(
+        std::min<std::size_t>(size_, n));
+    if (chunks <= 1) {
+        body(0, n, 0);
+        return;
+    }
+
+    auto state = std::make_shared<LoopState>();
+    state->body = body;
+    state->n = n;
+    state->chunks = chunks;
+
+    // One helper per extra chunk; late helpers find nothing to claim
+    // and return immediately (the shared_ptr keeps state alive).
+    for (unsigned i = 1; i < chunks; ++i)
+        enqueue([state] { state->drain(); });
+
+    // The caller always participates, so the loop finishes even when
+    // every worker is busy with other (possibly enclosing) loops.
+    state->drain();
+
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&] {
+        return state->done.load(std::memory_order_acquire) ==
+               state->chunks;
+    });
+    if (state->error)
+        std::rethrow_exception(state->error);
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body)
+{
+    parallelForChunked(
+        n, [&body](std::size_t begin, std::size_t end, unsigned) {
+            for (std::size_t i = begin; i < end; ++i)
+                body(i);
+        });
+}
+
+unsigned
+ThreadPool::defaultThreads()
+{
+    if (const char *env = std::getenv("PLOOP_THREADS")) {
+        long v = std::atol(env);
+        if (v >= 1)
+            return static_cast<unsigned>(
+                std::min<long>(v, kMaxThreads));
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? std::min(hw, kMaxThreads) : 1;
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    return forThreads(defaultThreads());
+}
+
+ThreadPool &
+ThreadPool::forThreads(unsigned size)
+{
+    if (size == 0)
+        size = defaultThreads();
+    size = std::max(1u, std::min(size, kMaxThreads));
+
+    // Cached per size; pools are small (threads only spawn on first
+    // use of a size) and live for the process.
+    static std::mutex registry_mu;
+    static std::map<unsigned, std::unique_ptr<ThreadPool>> registry;
+    std::lock_guard<std::mutex> lock(registry_mu);
+    std::unique_ptr<ThreadPool> &slot = registry[size];
+    if (!slot)
+        slot = std::make_unique<ThreadPool>(size);
+    return *slot;
+}
+
+} // namespace ploop

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Fixed-size thread pool with task futures and a caller-participating
+ * parallelFor, the execution engine behind mapper search, sweeps and
+ * network runs.
+ *
+ * Design notes:
+ *  - A pool of "size" N runs work at parallelism N: N-1 background
+ *    workers plus the calling thread, which always participates in
+ *    parallelFor.  A size-1 pool therefore runs everything inline
+ *    with zero threads and zero locking surprises.
+ *  - parallelFor is nest-safe on a shared pool: the caller drains its
+ *    own loop's chunks, so an inner loop issued from a worker thread
+ *    makes progress even when every other worker is busy.  No
+ *    parallelFor can deadlock waiting for queue slots.
+ *  - Determinism is structural, not scheduling-based: callers decide
+ *    work partitioning (shards, chunk tie-breaks); the pool only
+ *    promises that every index is executed exactly once.
+ *
+ * The default pool size honors the PLOOP_THREADS environment variable
+ * (1..kMaxThreads), falling back to std::thread::hardware_concurrency.
+ */
+
+#ifndef PHOTONLOOP_COMMON_THREAD_POOL_HPP
+#define PHOTONLOOP_COMMON_THREAD_POOL_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace ploop {
+
+/** See file comment. */
+class ThreadPool
+{
+  public:
+    /** Upper bound on accepted pool sizes (sanity cap). */
+    static constexpr unsigned kMaxThreads = 256;
+
+    /**
+     * @param size Total parallelism (>= 1): the pool spawns size-1
+     *             background workers; the caller is the size-th lane.
+     */
+    explicit ThreadPool(unsigned size);
+
+    /** Joins all workers; pending submitted tasks are completed. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total parallelism (workers + caller). */
+    unsigned size() const { return size_; }
+
+    /**
+     * Queue one task; returns a future for its result.  On a size-1
+     * pool the task runs inline before submit returns.
+     */
+    template <typename F>
+    auto submit(F &&fn) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> result = task->get_future();
+        if (size_ <= 1) {
+            (*task)();
+            return result;
+        }
+        enqueue([task] { (*task)(); });
+        return result;
+    }
+
+    /**
+     * Run body(i) once for every i in [0, n), in parallel.  Blocks
+     * until all indices completed; rethrows the first body exception.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+    /**
+     * Chunked variant: body(begin, end, chunk) with [begin, end)
+     * ranges partitioning [0, n) and chunk a stable id in
+     * [0, numChunks) -- use it to index per-chunk scratch state.
+     * Chunk boundaries depend only on (n, size()), never on
+     * scheduling.
+     */
+    void parallelForChunked(
+        std::size_t n,
+        const std::function<void(std::size_t, std::size_t, unsigned)>
+            &body);
+
+    /**
+     * Default parallelism: PLOOP_THREADS if set (clamped to
+     * [1, kMaxThreads]), else hardware_concurrency, else 1.  Read on
+     * every call (not cached) so tests can vary the environment.
+     */
+    static unsigned defaultThreads();
+
+    /** Process-wide shared pool, sized by defaultThreads() at first use. */
+    static ThreadPool &global();
+
+    /**
+     * Shared pool of exactly @p size lanes (0 = global()).  Pools are
+     * cached per size and live for the process; intended for explicit
+     * thread-count requests (tests, scaling benches).
+     */
+    static ThreadPool &forThreads(unsigned size);
+
+  private:
+    void enqueue(std::function<void()> task);
+    void workerLoop();
+
+    unsigned size_ = 1;
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_COMMON_THREAD_POOL_HPP

@@ -1,6 +1,9 @@
 #include "core/network_runner.hpp"
 
+#include <optional>
+
 #include "common/string_util.hpp"
+#include "common/thread_pool.hpp"
 
 namespace ploop {
 
@@ -8,14 +11,24 @@ NetworkRunResult
 runNetwork(const Evaluator &evaluator, const Network &net,
            const SearchOptions &options)
 {
-    NetworkRunResult out;
+    const std::vector<LayerShape> &layers = net.layers();
+    std::vector<std::optional<MapperResult>> slots(layers.size());
     Mapper mapper(evaluator, options);
-    for (const LayerShape &layer : net.layers()) {
-        MapperResult mapped = mapper.search(layer);
+    ThreadPool &pool = ThreadPool::forThreads(options.threads);
+    pool.parallelFor(layers.size(), [&](std::size_t i) {
+        slots[i].emplace(mapper.search(layers[i]));
+    });
+
+    // Aggregate sequentially in layer order so floating-point totals
+    // are reproducible at any thread count.
+    NetworkRunResult out;
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        MapperResult &mapped = *slots[i];
         out.total_energy_j += mapped.result.totalEnergy();
         out.total_macs += mapped.result.counts.macs;
         out.total_cycles += mapped.result.throughput.cycles;
-        out.layers.emplace_back(layer.name(), std::move(mapped.mapping),
+        out.layers.emplace_back(layers[i].name(),
+                                std::move(mapped.mapping),
                                 std::move(mapped.result));
     }
     return out;

@@ -1,8 +1,11 @@
 #include "core/sweep.hpp"
 
+#include <optional>
+
 #include "common/error.hpp"
 #include "common/string_util.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 
 namespace ploop {
 
@@ -12,16 +15,32 @@ runSweep(const SweepSpec &spec, const LayerShape &layer,
 {
     fatalIf(!spec.make_arch, "sweep needs a make_arch generator");
     fatalIf(spec.values.empty(), "sweep needs >= 1 parameter value");
-    std::vector<SweepPoint> out;
-    out.reserve(spec.values.size());
-    for (double v : spec.values) {
-        ArchSpec arch = spec.make_arch(v);
-        Evaluator evaluator(arch, registry);
+
+    // Build the architectures serially: make_arch is user code and
+    // the old serial contract allowed stateful generators (shared
+    // builders, captured counters).  Only the searches fan out.
+    std::vector<ArchSpec> archs;
+    archs.reserve(spec.values.size());
+    for (double v : spec.values)
+        archs.push_back(spec.make_arch(v));
+
+    // Arch points are independent (each gets its own Evaluator), so
+    // they fan out across the pool; slots keep the output in
+    // parameter order regardless of completion order.
+    std::vector<std::optional<SweepPoint>> slots(spec.values.size());
+    ThreadPool &pool = ThreadPool::forThreads(spec.search.threads);
+    pool.parallelFor(spec.values.size(), [&](std::size_t i) {
+        Evaluator evaluator(archs[i], registry);
         Mapper mapper(evaluator, spec.search);
         MapperResult r = mapper.search(layer);
-        out.emplace_back(v, std::move(r.mapping),
+        slots[i].emplace(spec.values[i], std::move(r.mapping),
                          std::move(r.result));
-    }
+    });
+
+    std::vector<SweepPoint> out;
+    out.reserve(slots.size());
+    for (std::optional<SweepPoint> &s : slots)
+        out.push_back(std::move(*s));
     return out;
 }
 

@@ -1,0 +1,157 @@
+#include "mapper/eval_cache.hpp"
+
+#include "common/math_util.hpp"
+
+namespace ploop {
+
+namespace {
+
+/** Flatten a mapping's factor tuples (mappingKey's input, verbatim). */
+std::vector<std::uint64_t>
+flattenFactors(const Mapping &mapping)
+{
+    std::vector<std::uint64_t> out;
+    out.reserve(mapping.numLevels() * 2 * kNumDims);
+    for (std::size_t l = 0; l < mapping.numLevels(); ++l) {
+        const LevelMapping &lm = mapping.level(l);
+        out.insert(out.end(), lm.temporal.begin(), lm.temporal.end());
+        out.insert(out.end(), lm.spatial.begin(), lm.spatial.end());
+    }
+    return out;
+}
+
+/** Allocation-free comparison of flattened tuples vs a mapping. */
+bool
+matchesFactors(const std::vector<std::uint64_t> &factors,
+               const Mapping &mapping)
+{
+    if (factors.size() != mapping.numLevels() * 2 * kNumDims)
+        return false;
+    std::size_t i = 0;
+    for (std::size_t l = 0; l < mapping.numLevels(); ++l) {
+        const LevelMapping &lm = mapping.level(l);
+        for (std::uint64_t t : lm.temporal)
+            if (factors[i++] != t)
+                return false;
+        for (std::uint64_t s : lm.spatial)
+            if (factors[i++] != s)
+                return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::uint64_t
+mappingKey(const Mapping &mapping)
+{
+    std::uint64_t h = mix64(mapping.numLevels());
+    for (std::size_t l = 0; l < mapping.numLevels(); ++l) {
+        const LevelMapping &lm = mapping.level(l);
+        for (std::uint64_t t : lm.temporal)
+            h = mix64(h ^ t);
+        for (std::uint64_t s : lm.spatial)
+            h = mix64(h ^ s);
+    }
+    return h;
+}
+
+bool
+sameFactorTuples(const Mapping &a, const Mapping &b)
+{
+    if (a.numLevels() != b.numLevels())
+        return false;
+    for (std::size_t l = 0; l < a.numLevels(); ++l) {
+        if (a.level(l).temporal != b.level(l).temporal ||
+            a.level(l).spatial != b.level(l).spatial)
+            return false;
+    }
+    return true;
+}
+
+std::uint64_t
+evalScopeKey(const Evaluator &evaluator, const LayerShape &layer)
+{
+    std::uint64_t h = mix64(evaluator.archFingerprint());
+    for (Dim d : kAllDims)
+        h = mix64(h ^ layer.bound(d));
+    h = mix64(h ^ layer.hstride());
+    h = mix64(h ^ layer.wstride());
+    return h;
+}
+
+CachedEval
+EvalCache::evaluateThrough(const Evaluator &evaluator,
+                           const LayerShape &layer,
+                           const Mapping &mapping, QuickEval &out)
+{
+    std::uint64_t scope = evalScopeKey(evaluator, layer);
+    std::uint64_t key;
+    if (const QuickEval *hit = find(scope, mapping, &key)) {
+        out = *hit;
+        return CachedEval::Hit;
+    }
+    std::optional<QuickEval> eval =
+        evaluator.quickEvaluate(layer, mapping);
+    if (!eval)
+        return CachedEval::Invalid;
+    insert(mapping, key, *eval);
+    out = *eval;
+    return CachedEval::Computed;
+}
+
+void
+EvalCache::store(const Evaluator &evaluator, const LayerShape &layer,
+                 const Mapping &mapping, const QuickEval &result)
+{
+    std::uint64_t scope = evalScopeKey(evaluator, layer);
+    insert(mapping, mix64(scope ^ mappingKey(mapping)), result);
+}
+
+const QuickEval *
+EvalCache::find(std::uint64_t scope, const Mapping &mapping,
+                std::uint64_t *key_out)
+{
+    std::uint64_t key = mix64(scope ^ mappingKey(mapping));
+    if (key_out)
+        *key_out = key;
+    Shard &shard = shardFor(key);
+    {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto it = shard.map.find(key);
+        if (it != shard.map.end() &&
+            matchesFactors(it->second.factors, mapping)) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            // Entries are immutable once published and never erased,
+            // so the pointer stays valid without the lock.
+            return &it->second.result;
+        }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+}
+
+void
+EvalCache::insert(const Mapping &mapping, std::uint64_t key,
+                  const QuickEval &result)
+{
+    Entry entry;
+    entry.factors = flattenFactors(mapping);
+    entry.result = result;
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.emplace(key, std::move(entry));
+}
+
+std::size_t
+EvalCache::size() const
+{
+    std::size_t total = 0;
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        total += shard.map.size();
+    }
+    return total;
+}
+
+} // namespace ploop

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Memoization cache for mapping evaluations.  Hill-climb
+ * neighborhoods overlap between rounds (inverse moves regenerate
+ * earlier points) and random sampling can redraw candidates; caching
+ * turns those repeats into hash lookups.
+ *
+ * Keys are 64-bit hashes of the mapping's temporal and spatial
+ * factor tuples; every entry also stores the flattened tuples and
+ * verifies them on lookup, so a hash collision degrades to a miss
+ * instead of returning another mapping's result (the determinism
+ * contract survives collisions; the colliding mapping just stays
+ * uncached).  Permutations are deliberately excluded from the key
+ * and the tuples: the model is permutation-independent (see
+ * mapping.hpp), so mappings differing only in loop order evaluate
+ * identically and share an entry.
+ *
+ * Entries are objective-only QuickEvals (16 bytes + tuples): search
+ * ranks candidates by energy/runtime and never reads the structured
+ * breakdown, so caching full EvalResults (strings, vectors,
+ * attribute maps) would waste memory and copy time.  Only VALID
+ * mappings are stored, so a hit also proves validity and lets the
+ * caller skip validation entirely.
+ *
+ * Thread safety: the table is sharded by key with one mutex per
+ * shard, so concurrent hill-climb probes rarely contend.  Hit/miss
+ * counters are atomics.  A cache is scoped to one (architecture,
+ * layer) pair -- the Mapper creates a fresh one per search.
+ */
+
+#ifndef PHOTONLOOP_MAPPER_EVAL_CACHE_HPP
+#define PHOTONLOOP_MAPPER_EVAL_CACHE_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "mapping/mapping.hpp"
+#include "model/evaluator.hpp"
+
+namespace ploop {
+
+/** 64-bit hash of a mapping's factor tuples (permutation-blind). */
+std::uint64_t mappingKey(const Mapping &mapping);
+
+/**
+ * True when @p a and @p b have identical temporal and spatial factor
+ * tuples (permutation-blind, the equality mappingKey() approximates).
+ */
+bool sameFactorTuples(const Mapping &a, const Mapping &b);
+
+/**
+ * Fingerprint of an evaluation scope: the same factor tuples mean
+ * different results on a different architecture or layer shape, so
+ * cache lookups mix this into the key.  Combines the evaluator's
+ * arch CONTENT fingerprint (so reconstructed-but-identical archs --
+ * e.g. the same sweep point re-built -- share a scope, and
+ * different archs at a reused address do not) with the layer's
+ * bounds and strides; two identically-shaped layers share a scope
+ * by design (they evaluate identically).
+ */
+std::uint64_t evalScopeKey(const Evaluator &evaluator,
+                           const LayerShape &layer);
+
+/** Outcome of EvalCache::evaluateThrough(). */
+enum class CachedEval : std::uint8_t {
+    Invalid,  ///< Mapping failed validation (never cached).
+    Hit,      ///< Served from the cache (validity proven).
+    Computed, ///< Freshly evaluated and stored.
+};
+
+/** See file comment. */
+class EvalCache
+{
+  public:
+    EvalCache() = default;
+
+    EvalCache(const EvalCache &) = delete;
+    EvalCache &operator=(const EvalCache &) = delete;
+
+    /**
+     * Memoized quick evaluation: the one lookup protocol every
+     * search phase shares.  Scope (arch, layer) is folded into the
+     * key, so one cache can safely span layers or sweep points.
+     *
+     * @param out Receives the evaluation unless Invalid is returned.
+     */
+    CachedEval evaluateThrough(const Evaluator &evaluator,
+                               const LayerShape &layer,
+                               const Mapping &mapping, QuickEval &out);
+
+    /**
+     * Pre-store a known-valid evaluation (e.g. the hill-climb
+     * incumbent) so later lookups hit.
+     */
+    void store(const Evaluator &evaluator, const LayerShape &layer,
+               const Mapping &mapping, const QuickEval &result);
+
+    /**
+     * Low-level lookup under an explicit @p scope: nullptr on miss,
+     * else a pointer valid for the cache's lifetime (entries are
+     * never erased and node-based maps keep element references
+     * stable).  Counts a hit or miss.
+     *
+     * @param key_out Receives the scoped key when non-null, for
+     *                reuse in a subsequent insert() on the miss path.
+     */
+    const QuickEval *find(std::uint64_t scope, const Mapping &mapping,
+                          std::uint64_t *key_out = nullptr);
+
+    /**
+     * Low-level store of a VALID mapping's evaluation under @p key
+     * (from find()).  No-op if the key is already occupied -- by
+     * this mapping, or by a hash-colliding one (first writer wins;
+     * the loser is simply never cached).
+     */
+    void insert(const Mapping &mapping, std::uint64_t key,
+                const QuickEval &result);
+
+    /** Lookup hits so far. */
+    std::uint64_t hits() const
+    {
+        return hits_.load(std::memory_order_relaxed);
+    }
+
+    /** Lookup misses so far. */
+    std::uint64_t misses() const
+    {
+        return misses_.load(std::memory_order_relaxed);
+    }
+
+    /** Distinct mappings stored. */
+    std::size_t size() const;
+
+  private:
+    static constexpr unsigned kNumShards = 16;
+
+    struct Entry
+    {
+        /** Flattened factor tuples for collision verification. */
+        std::vector<std::uint64_t> factors;
+        QuickEval result;
+    };
+
+    struct Shard
+    {
+        mutable std::mutex mu;
+        std::unordered_map<std::uint64_t, Entry> map;
+    };
+
+    Shard &shardFor(std::uint64_t key)
+    {
+        return shards_[key % kNumShards];
+    }
+
+    Shard shards_[kNumShards];
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+};
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_MAPPER_EVAL_CACHE_HPP

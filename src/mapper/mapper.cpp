@@ -1,7 +1,10 @@
 #include "mapper/mapper.hpp"
 
+#include <chrono>
+
 #include "common/error.hpp"
 #include "mapper/dataflow.hpp"
+#include "mapper/eval_cache.hpp"
 
 namespace ploop {
 
@@ -12,23 +15,31 @@ Mapper::Mapper(const Evaluator &evaluator, SearchOptions options)
 MapperResult
 Mapper::search(const LayerShape &layer) const
 {
+    auto t0 = std::chrono::steady_clock::now();
+
     Mapspace mapspace(evaluator_.arch(), layer);
     SearchStats stats;
+    // One memoization cache spans seeds, random restarts and hill
+    // climb: any candidate revisited across phases is evaluated once.
+    // The whole search runs in the quick (objective-only) domain; the
+    // final mapping is materialized into a full EvalResult at the end.
+    EvalCache cache;
 
     // Collect seeds; at least the outer seed must be valid.
-    std::optional<Candidate> best;
+    std::optional<QuickCandidate> best;
     double best_val = 0.0;
     auto consider = [&](const Mapping &mapping) {
-        if (!evaluator_.isValidMapping(layer, mapping)) {
+        QuickEval result;
+        if (cache.evaluateThrough(evaluator_, layer, mapping, result) ==
+            CachedEval::Invalid) {
             ++stats.invalid;
             return;
         }
-        EvalResult result = evaluator_.evaluate(layer, mapping);
         ++stats.evaluated;
         double val = objectiveValue(options_.objective, result);
         if (!best || val < best_val) {
             best_val = val;
-            best = Candidate(mapping, std::move(result));
+            best = QuickCandidate(mapping, result);
         }
     };
 
@@ -41,11 +52,15 @@ Mapper::search(const LayerShape &layer) const
     fatalIf(!best,
             "no valid seed mapping for layer '" + layer.name() +
                 "'; is the outermost level capacity-unbounded?");
+    // Seed-phase cache traffic (randomSearchQuick/hillClimbQuick
+    // account for their own phases the same way).
+    stats.cache_hits += cache.hits();
+    stats.cache_misses += cache.misses();
 
     // Random restarts.
     if (options_.random_samples > 0) {
-        auto rnd = randomSearch(evaluator_, layer, mapspace, options_,
-                                stats);
+        auto rnd = randomSearchQuick(evaluator_, layer, mapspace,
+                                     options_, stats, &cache);
         if (rnd) {
             double val = objectiveValue(options_.objective, rnd->second);
             if (val < best_val) {
@@ -56,10 +71,20 @@ Mapper::search(const LayerShape &layer) const
     }
 
     // Refine the incumbent.
-    Candidate refined = hillClimb(evaluator_, layer, std::move(*best),
-                                  options_, stats);
-    return MapperResult(std::move(refined.first),
-                        std::move(refined.second), stats);
+    QuickCandidate refined =
+        hillClimbQuick(evaluator_, layer, std::move(*best), options_,
+                       stats, &cache);
+
+    // One full evaluation for the winner (breakdown, area, counts).
+    EvalResult full =
+        evaluator_.evaluateValidated(layer, refined.first);
+
+    stats.wall_time_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    return MapperResult(std::move(refined.first), std::move(full),
+                        stats);
 }
 
 } // namespace ploop

@@ -1,10 +1,13 @@
 #include "mapper/search.hpp"
 
+#include <algorithm>
 #include <random>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/math_util.hpp"
 #include "common/string_util.hpp"
+#include "common/thread_pool.hpp"
 #include "mapper/factorize.hpp"
 
 namespace ploop {
@@ -31,35 +34,346 @@ objectiveValue(Objective o, const EvalResult &result)
     panic("objectiveValue: bad objective");
 }
 
+double
+objectiveValue(Objective o, const QuickEval &result)
+{
+    switch (o) {
+      case Objective::Energy: return result.energy_j;
+      case Objective::Delay: return result.runtime_s;
+      case Objective::Edp: return result.edp();
+    }
+    panic("objectiveValue: bad objective");
+}
+
 std::string
 SearchStats::str() const
 {
-    return strFormat("evaluated=%llu invalid=%llu",
-                     static_cast<unsigned long long>(evaluated),
-                     static_cast<unsigned long long>(invalid));
+    return strFormat(
+        "evaluated=%llu invalid=%llu cache_hits=%llu "
+        "cache_misses=%llu hit_rate=%.1f%% wall=%.3fs",
+        static_cast<unsigned long long>(evaluated),
+        static_cast<unsigned long long>(invalid),
+        static_cast<unsigned long long>(cache_hits),
+        static_cast<unsigned long long>(cache_misses),
+        cacheHitRate() * 100.0, wall_time_s);
+}
+
+namespace {
+
+/**
+ * Random-search shard count.  Fixed (not tied to the thread count) so
+ * the sample partition, and therefore the search result, is identical
+ * at any parallelism; thread counts above it just leave lanes idle.
+ */
+constexpr unsigned kRandomShards = 16;
+
+/** Accumulates an EvalCache's hit/miss delta into SearchStats. */
+class CacheDeltaScope
+{
+  public:
+    CacheDeltaScope(EvalCache &cache, SearchStats &stats)
+        : cache_(cache), stats_(stats), hits0_(cache.hits()),
+          misses0_(cache.misses())
+    {}
+
+    ~CacheDeltaScope()
+    {
+        stats_.cache_hits += cache_.hits() - hits0_;
+        stats_.cache_misses += cache_.misses() - misses0_;
+    }
+
+  private:
+    EvalCache &cache_;
+    SearchStats &stats_;
+    std::uint64_t hits0_, misses0_;
+};
+
+} // namespace
+
+std::optional<QuickCandidate>
+randomSearchQuick(const Evaluator &evaluator, const LayerShape &layer,
+                  const Mapspace &mapspace, const SearchOptions &options,
+                  SearchStats &stats, EvalCache *cache)
+{
+    if (options.random_samples == 0)
+        return std::nullopt;
+
+    EvalCache local_cache;
+    if (!cache)
+        cache = &local_cache;
+    CacheDeltaScope delta(*cache, stats);
+    ThreadPool &pool = ThreadPool::forThreads(options.threads);
+
+    const unsigned shards =
+        std::min(kRandomShards, options.random_samples);
+    struct ShardBest
+    {
+        std::optional<QuickCandidate> best;
+        double val = 0.0;
+        std::uint64_t evaluated = 0;
+        std::uint64_t invalid = 0;
+    };
+    std::vector<ShardBest> results(shards);
+
+    pool.parallelFor(shards, [&](std::size_t s) {
+        // Independent, decorrelated stream per shard; shard s always
+        // draws the same candidates no matter which lane runs it.
+        // The seed is mixed BEFORE combining with the shard id so
+        // nearby user seeds don't alias across shards (a bare
+        // seed ^ s would give seed=42/shard=1 the same stream as
+        // seed=43/shard=0).
+        std::mt19937_64 rng(mix64(options.seed) +
+                            static_cast<std::uint64_t>(s));
+        unsigned count = options.random_samples / shards +
+                         (s < options.random_samples % shards ? 1 : 0);
+        ShardBest &out = results[s];
+        for (unsigned i = 0; i < count; ++i) {
+            Mapping candidate = mapspace.randomSample(rng);
+            // Cache first: only valid mappings are stored, so a hit
+            // skips validation as well as evaluation.
+            QuickEval result;
+            if (cache->evaluateThrough(evaluator, layer, candidate,
+                                       result) ==
+                CachedEval::Invalid) {
+                ++out.invalid;
+                continue;
+            }
+            ++out.evaluated;
+            double val = objectiveValue(options.objective, result);
+            // Strict < keeps the earliest index on ties.
+            if (!out.best || val < out.val) {
+                out.val = val;
+                out.best =
+                    QuickCandidate(std::move(candidate), result);
+            }
+        }
+    });
+
+    // (value, shard, index) reduction: within a shard the earliest
+    // index already won; across shards strict < keeps the lowest
+    // shard id on ties.
+    std::optional<QuickCandidate> best;
+    double best_val = 0.0;
+    for (ShardBest &out : results) {
+        stats.evaluated += out.evaluated;
+        stats.invalid += out.invalid;
+        if (out.best && (!best || out.val < best_val)) {
+            best_val = out.val;
+            best = std::move(out.best);
+        }
+    }
+    return best;
 }
 
 std::optional<Candidate>
 randomSearch(const Evaluator &evaluator, const LayerShape &layer,
              const Mapspace &mapspace, const SearchOptions &options,
-             SearchStats &stats)
+             SearchStats &stats, EvalCache *cache)
 {
-    std::mt19937_64 rng(options.seed);
-    std::optional<Candidate> best;
-    double best_val = 0.0;
-    for (unsigned i = 0; i < options.random_samples; ++i) {
-        Mapping candidate = mapspace.randomSample(rng);
-        if (!evaluator.isValidMapping(layer, candidate)) {
-            ++stats.invalid;
-            continue;
+    std::optional<QuickCandidate> best = randomSearchQuick(
+        evaluator, layer, mapspace, options, stats, cache);
+    if (!best)
+        return std::nullopt;
+    EvalResult full =
+        evaluator.evaluateValidated(layer, best->first);
+    return Candidate(std::move(best->first), std::move(full));
+}
+
+namespace {
+
+/** One hill-climb neighbor: move a ~ratio factor of dim d from level
+ *  a to level b. */
+struct Move
+{
+    Dim d;
+    std::size_t a, b;
+    std::uint64_t ratio;
+};
+
+/** The full neighborhood, in the order that defines tie-breaks. */
+std::vector<Move>
+enumerateMoves(std::size_t nlevels)
+{
+    std::vector<Move> moves;
+    for (Dim d : kAllDims)
+        for (std::size_t a = 0; a < nlevels; ++a)
+            for (std::size_t b = 0; b < nlevels; ++b) {
+                if (a == b)
+                    continue;
+                for (std::uint64_t ratio : {2ull, 3ull, 5ull, 7ull})
+                    moves.push_back(Move{d, a, b, ratio});
+            }
+    return moves;
+}
+
+/** Apply @p m to @p mapping in place. */
+void
+applyMove(Mapping &mapping, const Move &m)
+{
+    std::uint64_t from = mapping.level(m.a).t(m.d);
+    std::uint64_t to = mapping.level(m.b).t(m.d);
+    moveFactor(from, to, m.ratio);
+    mapping.level(m.a).setT(m.d, from);
+    mapping.level(m.b).setT(m.d, to);
+}
+
+} // namespace
+
+QuickCandidate
+hillClimbQuick(const Evaluator &evaluator, const LayerShape &layer,
+               QuickCandidate start, const SearchOptions &options,
+               SearchStats &stats, EvalCache *cache)
+{
+    EvalCache local_cache;
+    if (!cache)
+        cache = &local_cache;
+    CacheDeltaScope delta(*cache, stats);
+    ThreadPool &pool = ThreadPool::forThreads(options.threads);
+
+    QuickCandidate best = std::move(start);
+    double best_val = objectiveValue(options.objective, best.second);
+    const std::size_t nlevels = best.first.numLevels();
+    // Seed the cache with the incumbent: inverse moves regenerate it
+    // every round and should not pay a model evaluation.
+    cache->store(evaluator, layer, best.first, best.second);
+
+    const std::vector<Move> moves = enumerateMoves(nlevels);
+    const unsigned max_chunks = pool.size();
+
+    /** One improving neighbor found during a round's batch. */
+    struct Improving
+    {
+        double val;
+        std::size_t move;
+        QuickEval eval;
+    };
+    struct ChunkOut
+    {
+        std::vector<Improving> improving; ///< In move-index order.
+        std::uint64_t evaluated = 0;
+        std::uint64_t invalid = 0;
+    };
+
+    for (unsigned round = 0; round < options.hill_climb_rounds;
+         ++round) {
+        std::vector<ChunkOut> chunk_out(max_chunks);
+
+        pool.parallelForChunked(
+            moves.size(),
+            [&](std::size_t begin, std::size_t end, unsigned chunk) {
+                // One scratch copy per chunk; each probe mutates the
+                // two touched factors and restores them afterwards
+                // instead of copying the whole Mapping.
+                Mapping scratch = best.first;
+                ChunkOut &out = chunk_out[chunk];
+                for (std::size_t i = begin; i < end; ++i) {
+                    const Move &m = moves[i];
+                    const std::uint64_t orig_from =
+                        scratch.level(m.a).t(m.d);
+                    const std::uint64_t orig_to =
+                        scratch.level(m.b).t(m.d);
+                    std::uint64_t from = orig_from, to = orig_to;
+                    if (!moveFactor(from, to, m.ratio))
+                        continue;
+                    scratch.level(m.a).setT(m.d, from);
+                    scratch.level(m.b).setT(m.d, to);
+                    // Cache first: a hit proves validity and skips
+                    // both validation and the model.
+                    QuickEval result;
+                    if (cache->evaluateThrough(evaluator, layer,
+                                               scratch, result) !=
+                        CachedEval::Invalid) {
+                        ++out.evaluated;
+                        double val = objectiveValue(options.objective,
+                                                    result);
+                        if (val < best_val)
+                            out.improving.push_back(
+                                Improving{val, i, result});
+                    } else {
+                        ++out.invalid;
+                    }
+                    scratch.level(m.a).setT(m.d, orig_from);
+                    scratch.level(m.b).setT(m.d, orig_to);
+                }
+            });
+
+        // Gather improving moves; chunks are contiguous index ranges,
+        // so concatenating by chunk id preserves move-index order.
+        std::vector<Improving> improving;
+        for (ChunkOut &out : chunk_out) {
+            stats.evaluated += out.evaluated;
+            stats.invalid += out.invalid;
+            improving.insert(improving.end(), out.improving.begin(),
+                             out.improving.end());
         }
-        EvalResult result = evaluator.evaluate(layer, candidate);
-        ++stats.evaluated;
-        double val = objectiveValue(options.objective, result);
-        if (!best || val < best_val) {
-            best_val = val;
-            best = Candidate(std::move(candidate), std::move(result));
+        if (improving.empty())
+            break; // converged: no improving move
+
+        // (value, move-index) order: deterministic regardless of
+        // chunking or thread count.
+        std::sort(improving.begin(), improving.end(),
+                  [](const Improving &x, const Improving &y) {
+                      return x.val != y.val ? x.val < y.val
+                                            : x.move < y.move;
+                  });
+
+        // Commit the best move plus every further improving move
+        // touching disjoint (level, dim) factor slots -- the batch
+        // analogue of the classic sweep that commits many moves per
+        // round, which converges in far fewer (batched) rounds than
+        // one-move-per-round steepest descent.
+        std::vector<char> touched(nlevels * kNumDims, 0);
+        auto slot = [](std::size_t level, Dim d) {
+            return level * kNumDims + dimIndex(d);
+        };
+        Mapping combined = best.first;
+        unsigned committed = 0;
+        for (const Improving &h : improving) {
+            const Move &m = moves[h.move];
+            if (touched[slot(m.a, m.d)] || touched[slot(m.b, m.d)])
+                continue;
+            // Untouched slots still hold the base factors, so this
+            // reproduces exactly the probe that was evaluated.
+            applyMove(combined, m);
+            touched[slot(m.a, m.d)] = touched[slot(m.b, m.d)] = 1;
+            ++committed;
         }
+
+        const Improving &top = improving.front();
+        QuickEval chosen_eval;
+        double chosen_val = 0.0;
+        bool use_combined = false;
+        if (committed > 1) {
+            // The combination is not guaranteed better than its best
+            // member (or even valid): accept it only when it is.
+            QuickEval combined_eval;
+            if (cache->evaluateThrough(evaluator, layer, combined,
+                                       combined_eval) !=
+                CachedEval::Invalid) {
+                ++stats.evaluated;
+                double val =
+                    objectiveValue(options.objective, combined_eval);
+                if (val <= top.val) {
+                    use_combined = true;
+                    chosen_eval = combined_eval;
+                    chosen_val = val;
+                }
+            } else {
+                ++stats.invalid;
+            }
+        }
+        if (!use_combined) {
+            // The top move alone; its evaluation was kept from the
+            // batch, so no lookup is needed.
+            combined = best.first;
+            applyMove(combined, moves[top.move]);
+            chosen_eval = top.eval;
+            chosen_val = top.val;
+        }
+
+        best.first = std::move(combined);
+        best.second = chosen_eval;
+        best_val = chosen_val;
     }
     return best;
 }
@@ -67,51 +381,22 @@ randomSearch(const Evaluator &evaluator, const LayerShape &layer,
 Candidate
 hillClimb(const Evaluator &evaluator, const LayerShape &layer,
           Candidate start, const SearchOptions &options,
-          SearchStats &stats)
+          SearchStats &stats, EvalCache *cache)
 {
-    Candidate best = std::move(start);
-    double best_val = objectiveValue(options.objective, best.second);
-    const std::size_t nlevels = best.first.numLevels();
-
-    for (unsigned round = 0; round < options.hill_climb_rounds;
-         ++round) {
-        bool improved = false;
-        for (Dim d : kAllDims) {
-            for (std::size_t a = 0; a < nlevels; ++a) {
-                for (std::size_t b = 0; b < nlevels; ++b) {
-                    if (a == b)
-                        continue;
-                    for (std::uint64_t ratio : {2ull, 3ull, 5ull, 7ull}) {
-                        Mapping cand = best.first;
-                        std::uint64_t from = cand.level(a).t(d);
-                        std::uint64_t to = cand.level(b).t(d);
-                        if (!moveFactor(from, to, ratio))
-                            continue;
-                        cand.level(a).setT(d, from);
-                        cand.level(b).setT(d, to);
-                        if (!evaluator.isValidMapping(layer, cand)) {
-                            ++stats.invalid;
-                            continue;
-                        }
-                        EvalResult result =
-                            evaluator.evaluate(layer, cand);
-                        ++stats.evaluated;
-                        double val = objectiveValue(options.objective,
-                                                    result);
-                        if (val < best_val) {
-                            best_val = val;
-                            best = Candidate(std::move(cand),
-                                             std::move(result));
-                            improved = true;
-                        }
-                    }
-                }
-            }
-        }
-        if (!improved)
-            break;
+    QuickEval start_quick;
+    start_quick.energy_j = start.second.totalEnergy();
+    start_quick.runtime_s = start.second.throughput.runtime_s;
+    QuickCandidate refined = hillClimbQuick(
+        evaluator, layer, QuickCandidate(start.first, start_quick),
+        options, stats, cache);
+    if (sameFactorTuples(refined.first, start.first)) {
+        // No move improved: the caller's full result is still exact.
+        return Candidate(std::move(refined.first),
+                         std::move(start.second));
     }
-    return best;
+    EvalResult full =
+        evaluator.evaluateValidated(layer, refined.first);
+    return Candidate(std::move(refined.first), std::move(full));
 }
 
 } // namespace ploop

@@ -1,7 +1,22 @@
 /**
  * @file
- * Mapping-search strategies: objective functions, random sampling and
- * hill climbing over temporal factor placement.
+ * Mapping-search strategies: objective functions, sharded parallel
+ * random sampling and batch-parallel hill climbing over temporal
+ * factor placement.
+ *
+ * Determinism contract: for a fixed SearchOptions::seed, both
+ * strategies return bit-identical best mappings and objective values
+ * at ANY thread count.  Random search partitions its sample budget
+ * over a fixed number of shards with independent
+ * mt19937_64(mix(seed) + shard) streams and reduces with a
+ * (value, shard, index) tie-break; hill climbing evaluates each
+ * round's full neighbor batch and commits moves with a
+ * (value, move-index) tie-break.  Scheduling never influences the
+ * result, only who computes it.
+ *
+ * The hot loops run in the "quick" domain (Evaluator::quickEvaluate:
+ * objective-only, single-pass validation, memoized through
+ * EvalCache); full EvalResults are materialized once for the winners.
  */
 
 #ifndef PHOTONLOOP_MAPPER_SEARCH_HPP
@@ -12,6 +27,7 @@
 #include <string>
 #include <utility>
 
+#include "mapper/eval_cache.hpp"
 #include "mapper/mapspace.hpp"
 #include "model/evaluator.hpp"
 
@@ -30,6 +46,9 @@ const char *objectiveName(Objective o);
 /** Scalar value of @p o for a result (lower is better). */
 double objectiveValue(Objective o, const EvalResult &result);
 
+/** Scalar value of @p o for a quick result (lower is better). */
+double objectiveValue(Objective o, const QuickEval &result);
+
 /** Search knobs. */
 struct SearchOptions
 {
@@ -37,37 +56,100 @@ struct SearchOptions
     unsigned random_samples = 200; ///< Random candidates to try.
     unsigned hill_climb_rounds = 64; ///< Improvement sweeps.
     std::uint64_t seed = 42;       ///< RNG seed (reproducible runs).
+
+    /**
+     * Worker lanes for candidate evaluation; 0 = automatic
+     * (PLOOP_THREADS env var, else hardware concurrency).  The best
+     * mapping found is identical at every value -- see file comment.
+     */
+    unsigned threads = 0;
 };
 
-/** Search accounting. */
+/**
+ * Search accounting.
+ *
+ * Thread-count invariance: evaluated, invalid, and the search result
+ * are identical at any thread count.  cache_hits/cache_misses (and
+ * hence cacheHitRate()) are NOT -- two lanes can race to first
+ * evaluation of the same candidate, turning one run's hit into
+ * another's miss.  Compare only evaluated/invalid across runs.
+ */
 struct SearchStats
 {
-    std::uint64_t evaluated = 0; ///< Mappings evaluated.
+    std::uint64_t evaluated = 0; ///< Valid candidates considered.
     std::uint64_t invalid = 0;   ///< Candidates rejected as invalid.
+    std::uint64_t cache_hits = 0; ///< Evals served from EvalCache.
+    /** Lookups not served from cache: computed evals PLUS probes of
+     *  invalid candidates (never computed or stored). */
+    std::uint64_t cache_misses = 0;
+    double wall_time_s = 0; ///< End-to-end search time (Mapper only).
+
+    /** Evals served from cache, in [0, 1]. */
+    double cacheHitRate() const
+    {
+        std::uint64_t total = cache_hits + cache_misses;
+        return total > 0 ? static_cast<double>(cache_hits) / total : 0.0;
+    }
 
     std::string str() const;
 };
 
-/** A (mapping, result) candidate. */
+/** A (mapping, full result) candidate. */
 using Candidate = std::pair<Mapping, EvalResult>;
 
+/** A (mapping, objective-only result) candidate (search hot path). */
+using QuickCandidate = std::pair<Mapping, QuickEval>;
+
 /**
- * Evaluate random samples from @p mapspace, returning the best valid
- * candidate (if any).
+ * Evaluate random samples from @p mapspace in parallel, returning the
+ * best valid candidate (if any) in the quick domain.  The sample
+ * budget is split over a fixed shard count, so results do not depend
+ * on options.threads.
+ *
+ * @param cache Optional shared memoization cache (the Mapper passes
+ *              one spanning seeds, random search and hill climb); a
+ *              private cache is used when null.
+ */
+std::optional<QuickCandidate>
+randomSearchQuick(const Evaluator &evaluator, const LayerShape &layer,
+                  const Mapspace &mapspace, const SearchOptions &options,
+                  SearchStats &stats, EvalCache *cache = nullptr);
+
+/**
+ * randomSearchQuick() plus a full evaluation of the winner, for
+ * callers that want a complete EvalResult.
  */
 std::optional<Candidate>
 randomSearch(const Evaluator &evaluator, const LayerShape &layer,
              const Mapspace &mapspace, const SearchOptions &options,
-             SearchStats &stats);
+             SearchStats &stats, EvalCache *cache = nullptr);
 
 /**
- * Greedy local search: repeatedly try moving temporal factors between
- * levels, keeping improving moves, until a sweep yields no
- * improvement or the round budget is exhausted.
+ * Batch local search in the quick domain: each round evaluates the
+ * full factor-move neighborhood in parallel (mutating/restoring a
+ * per-chunk scratch mapping instead of copying the mapping per
+ * probe), then commits the best improving move plus any further
+ * improving moves on disjoint (level, dim) slots -- re-evaluating the
+ * combination and falling back to the single best move if combining
+ * worsened it.  Stops when no move improves or the round budget is
+ * exhausted; the result is never worse than @p start.
+ *
+ * @param cache As in randomSearchQuick().
+ */
+QuickCandidate hillClimbQuick(const Evaluator &evaluator,
+                              const LayerShape &layer,
+                              QuickCandidate start,
+                              const SearchOptions &options,
+                              SearchStats &stats,
+                              EvalCache *cache = nullptr);
+
+/**
+ * hillClimbQuick() plus a full evaluation of the winner (the start
+ * result is reused when no move improved).
  */
 Candidate hillClimb(const Evaluator &evaluator, const LayerShape &layer,
                     Candidate start, const SearchOptions &options,
-                    SearchStats &stats);
+                    SearchStats &stats, EvalCache *cache = nullptr);
 
 } // namespace ploop
 

@@ -6,8 +6,8 @@
 namespace ploop {
 
 bool
-validateMapping(const ArchSpec &arch, const LayerShape &layer,
-                const Mapping &mapping, std::string *why)
+validateMappingShape(const ArchSpec &arch, const LayerShape &layer,
+                     const Mapping &mapping, std::string *why)
 {
     auto fail = [&](const std::string &msg) {
         if (why)
@@ -55,12 +55,24 @@ validateMapping(const ArchSpec &arch, const LayerShape &layer,
         }
     }
 
+    return true;
+}
+
+bool
+validateMapping(const ArchSpec &arch, const LayerShape &layer,
+                const Mapping &mapping, std::string *why)
+{
+    if (!validateMappingShape(arch, layer, mapping, why))
+        return false;
+
     // 4. Capacities.
     TileAnalysis tiles(arch, layer, mapping);
     std::string cap_why;
-    if (!tiles.fitsCapacities(&cap_why))
-        return fail(cap_why);
-
+    if (!tiles.fitsCapacities(&cap_why)) {
+        if (why)
+            *why = cap_why;
+        return false;
+    }
     return true;
 }
 

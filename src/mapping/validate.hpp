@@ -31,6 +31,18 @@ namespace ploop {
 bool validateMapping(const ArchSpec &arch, const LayerShape &layer,
                      const Mapping &mapping, std::string *why = nullptr);
 
+/**
+ * Rules 1-3 only (coverage and spatial caps): the checks that need no
+ * tile analysis.  Callers that go on to evaluate can run this, build
+ * ONE TileAnalysis, check fitsCapacities() on it (rule 4) and feed
+ * the same analysis to the model -- single-pass validation instead of
+ * rebuilding the tile analysis per check (see
+ * Evaluator::quickEvaluate).
+ */
+bool validateMappingShape(const ArchSpec &arch, const LayerShape &layer,
+                          const Mapping &mapping,
+                          std::string *why = nullptr);
+
 } // namespace ploop
 
 #endif // PHOTONLOOP_MAPPING_VALIDATE_HPP

@@ -74,19 +74,28 @@ deliveriesAtBoundary(const ArchSpec &arch, const LayerShape &layer,
     return counts.macs;
 }
 
+void
+validateReuseAttrs(const std::string &converter_name,
+                   double spatial_reuse, double window_reuse)
+{
+    // Only build the message strings on actual failure.
+    if (spatial_reuse < 1.0 || window_reuse < 1.0) {
+        fatal("converter '" + converter_name +
+              "': spatial_reuse and window_reuse must be >= 1");
+    }
+    if (window_reuse > spatial_reuse) {
+        fatal("converter '" + converter_name +
+              "': window_reuse cannot exceed spatial_reuse");
+    }
+}
+
 double
 effectiveReuse(const ConverterSpec &conv, const LayerShape &layer)
 {
     double sr = conv.attrs.getOr("spatial_reuse", 1.0);
     double wr = conv.attrs.getOr("window_reuse", 1.0);
-    fatalIf(sr < 1.0 || wr < 1.0,
-            "converter '" + conv.name +
-                "': spatial_reuse and window_reuse must be >= 1");
-    fatalIf(wr > sr, "converter '" + conv.name +
-                         "': window_reuse cannot exceed spatial_reuse");
-    if (layer.isStrided())
-        return sr / wr;
-    return sr;
+    validateReuseAttrs(conv.name, sr, wr);
+    return effectiveReuseResolved(sr, wr, layer.isStrided());
 }
 
 std::vector<ConverterCount>

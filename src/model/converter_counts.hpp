@@ -68,6 +68,26 @@ double deliveriesAtBoundary(const ArchSpec &arch,
 double effectiveReuse(const ConverterSpec &conv,
                       const LayerShape &layer);
 
+/**
+ * effectiveReuse() on already-resolved attribute values: the single
+ * definition of the sharing formula, used by both the full rollup
+ * and the precomputed-coefficient quick path so the two stay
+ * bit-identical.
+ */
+inline double
+effectiveReuseResolved(double spatial_reuse, double window_reuse,
+                       bool strided)
+{
+    return strided ? spatial_reuse / window_reuse : spatial_reuse;
+}
+
+/**
+ * Validate resolved reuse attributes (fatal() on violation) -- the
+ * single definition of the invariants effectiveReuse() enforces.
+ */
+void validateReuseAttrs(const std::string &converter_name,
+                        double spatial_reuse, double window_reuse);
+
 /** Count all converter actions. */
 std::vector<ConverterCount>
 computeConverterCounts(const ArchSpec &arch, const LayerShape &layer,

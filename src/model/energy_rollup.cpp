@@ -1,7 +1,10 @@
 #include "model/energy_rollup.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
+#include "common/error.hpp"
 #include "common/string_util.hpp"
 
 namespace ploop {
@@ -148,6 +151,161 @@ computeArea(const ArchSpec &arch, const EnergyRegistry &registry,
         area += registry.area(s.klass, s.attrs);
 
     return area;
+}
+
+namespace {
+
+/**
+ * Resolve one coefficient, deferring estimator rejections: the full
+ * rollup only queries actions whose counts are nonzero, so an
+ * unsupported-action (or unknown-class) error must not fire at
+ * resolution time for actions this architecture never exercises.
+ */
+double
+resolveCoefficient(const EnergyRegistry &registry,
+                   const std::string &klass, Action action,
+                   const Attributes &attrs)
+{
+    try {
+        return registry.energy(klass, action, attrs);
+    } catch (const FatalError &) {
+        return std::numeric_limits<double>::quiet_NaN();
+    }
+}
+
+/** Enforce a deferred coefficient error when its action fires. */
+double
+requireCoefficient(double coeff, const std::string &klass,
+                   const char *action_name)
+{
+    if (std::isnan(coeff)) {
+        fatal("energy model for class '" + klass + "' rejected " +
+              action_name +
+              " needed by this mapping (run Evaluator::evaluate for "
+              "the original error)");
+    }
+    return coeff;
+}
+
+} // namespace
+
+EnergyCoefficients
+computeEnergyCoefficients(const ArchSpec &arch,
+                          const EnergyRegistry &registry)
+{
+    EnergyCoefficients co;
+
+    co.levels.reserve(arch.numLevels());
+    for (std::size_t l = 0; l < arch.numLevels(); ++l) {
+        const StorageLevelSpec &level = arch.level(l);
+        Attributes attrs = levelAttrs(level);
+        EnergyCoefficients::LevelEnergy e;
+        e.klass = level.klass;
+        e.read = resolveCoefficient(registry, level.klass,
+                                    Action::Read, attrs);
+        e.write = resolveCoefficient(registry, level.klass,
+                                     Action::Write, attrs);
+        e.update = resolveCoefficient(registry, level.klass,
+                                      Action::Update, attrs);
+        co.levels.push_back(std::move(e));
+    }
+
+    // Same iteration order as computeConverterCounts, so the summing
+    // loop in computeEnergyTotal replays computeEnergy exactly.
+    for (std::size_t x = 0; x < arch.numLevels(); ++x) {
+        for (Tensor t : kAllTensors) {
+            for (const ConverterSpec &conv :
+                 arch.level(x).convertersFor(t)) {
+                EnergyCoefficients::ConverterEnergy ce;
+                ce.boundary = x;
+                ce.tensor = t;
+                ce.klass = conv.klass;
+                ce.energy_per_conversion = resolveCoefficient(
+                    registry, conv.klass, Action::Convert, conv.attrs);
+                // Resolve and validate the reuse attributes once;
+                // the hot loop then avoids per-eval string-keyed
+                // attribute lookups.  Shared helpers keep values
+                // (and failures) identical to the full rollup.
+                ce.spatial_reuse =
+                    conv.attrs.getOr("spatial_reuse", 1.0);
+                ce.window_reuse =
+                    conv.attrs.getOr("window_reuse", 1.0);
+                validateReuseAttrs(conv.name, ce.spatial_reuse,
+                                   ce.window_reuse);
+                co.converters.push_back(ce);
+            }
+        }
+    }
+
+    const ComputeSpec &compute = arch.compute();
+    co.mac_energy =
+        registry.energy(compute.klass, Action::Compute, compute.attrs);
+
+    co.static_powers_w.reserve(arch.statics().size());
+    for (const StaticComponentSpec &s : arch.statics()) {
+        co.static_powers_w.push_back(
+            registry.energy(s.klass, Action::Power, s.attrs));
+    }
+    return co;
+}
+
+double
+computeEnergyTotal(const EnergyCoefficients &co, const ArchSpec &arch,
+                   const LayerShape &layer, const Mapping &mapping,
+                   const TileAnalysis &tiles, const AccessCounts &counts,
+                   const ThroughputResult &throughput)
+{
+    double total = 0.0;
+
+    // Storage levels, mirroring computeEnergy's (level, tensor,
+    // action) order and its n <= 0 skips.
+    for (std::size_t l = 0; l < arch.numLevels(); ++l) {
+        const EnergyCoefficients::LevelEnergy &e = co.levels[l];
+        for (Tensor t : kAllTensors) {
+            const TensorLevelCounts &c = counts.at(l, t);
+            if (c.reads > 0.0)
+                total += c.reads *
+                         requireCoefficient(e.read, e.klass, "reads");
+            if (c.writes > 0.0)
+                total += c.writes * requireCoefficient(e.write, e.klass,
+                                                       "writes");
+            if (c.updates > 0.0)
+                total += c.updates * requireCoefficient(
+                                         e.update, e.klass, "updates");
+        }
+    }
+
+    // Converters: deliveries computed once per (boundary, tensor)
+    // group (the coefficient list is grouped by construction).
+    const bool strided = layer.isStrided();
+    for (std::size_t i = 0; i < co.converters.size();) {
+        const std::size_t x = co.converters[i].boundary;
+        const Tensor t = co.converters[i].tensor;
+        double deliv = deliveriesAtBoundary(arch, layer, mapping, tiles,
+                                            counts, x, t);
+        for (; i < co.converters.size() &&
+               co.converters[i].boundary == x &&
+               co.converters[i].tensor == t;
+             ++i) {
+            const EnergyCoefficients::ConverterEnergy &ce =
+                co.converters[i];
+            double count =
+                deliv / effectiveReuseResolved(ce.spatial_reuse,
+                                               ce.window_reuse,
+                                               strided);
+            if (count > 0.0)
+                total += count * requireCoefficient(
+                                     ce.energy_per_conversion,
+                                     ce.klass, "conversions");
+        }
+    }
+
+    total += counts.macs * co.mac_energy;
+
+    for (double power_w : co.static_powers_w)
+        total += power_w * throughput.runtime_s;
+
+    return total;
 }
 
 double

@@ -80,6 +80,67 @@ computeEnergy(const ArchSpec &arch, const EnergyRegistry &registry,
               const ThroughputResult &throughput);
 
 /**
+ * Precomputed per-architecture energy coefficients: every
+ * registry.energy() lookup (string-keyed, attribute-merging) a full
+ * rollup performs, resolved once.  Mapping search evaluates thousands
+ * of candidates against one architecture; with these coefficients the
+ * per-candidate energy total is pure arithmetic -- no string hashing,
+ * no Attributes copies, no allocation.  All values are copied out of
+ * the arch and registry (no lifetime coupling).
+ */
+struct EnergyCoefficients
+{
+    /**
+     * Per-action energy for one storage level.  A coefficient is NaN
+     * when the estimator rejected the action at resolution time --
+     * the full rollup only queries actions with nonzero counts, so
+     * the error is deferred the same way: computeEnergyTotal fatals
+     * only if such an action is actually exercised.
+     */
+    struct LevelEnergy
+    {
+        double read = 0, write = 0, update = 0;
+        std::string klass; ///< For deferred error messages.
+    };
+    std::vector<LevelEnergy> levels; ///< One per storage level.
+
+    /** One converter's resolved energy, in rollup iteration order.
+     *  energy_per_conversion may be NaN (see LevelEnergy). */
+    struct ConverterEnergy
+    {
+        std::size_t boundary = 0;
+        Tensor tensor = Tensor::Weights;
+        double energy_per_conversion = 0;
+        /** Pre-validated reuse attributes (see effectiveReuse()). */
+        double spatial_reuse = 1;
+        double window_reuse = 1;
+        std::string klass; ///< For deferred error messages.
+    };
+    std::vector<ConverterEnergy> converters;
+
+    double mac_energy = 0;
+    std::vector<double> static_powers_w; ///< Per static component.
+};
+
+/** Resolve all coefficients for one (arch, registry) pair. */
+EnergyCoefficients
+computeEnergyCoefficients(const ArchSpec &arch,
+                          const EnergyRegistry &registry);
+
+/**
+ * Total energy only, using precomputed coefficients.  Matches
+ * computeEnergy(...).total() bit-for-bit: identical per-term values
+ * summed in identical order, so search decisions made on this total
+ * agree exactly with a full rollup of the same mapping.
+ */
+double computeEnergyTotal(const EnergyCoefficients &co,
+                          const ArchSpec &arch, const LayerShape &layer,
+                          const Mapping &mapping,
+                          const TileAnalysis &tiles,
+                          const AccessCounts &counts,
+                          const ThroughputResult &throughput);
+
+/**
  * Total area in m^2: storage levels (per instance), converters,
  * compute units and static components.
  */

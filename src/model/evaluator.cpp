@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "mapping/validate.hpp"
+#include "model/tile_analysis.hpp"
 
 namespace ploop {
 
@@ -24,9 +25,115 @@ Evaluator::evaluate(const LayerShape &layer, const Mapping &mapping) const
     std::string why;
     if (!validateMapping(arch_, layer, mapping, &why))
         fatal("invalid mapping for layer '" + layer.name() + "': " + why);
+    return evaluateValidated(layer, mapping);
+}
 
-    EvalResult r;
+EvalResult
+Evaluator::evaluateValidated(const LayerShape &layer,
+                             const Mapping &mapping) const
+{
     TileAnalysis tiles(arch_, layer, mapping);
+    return modelFromTiles(layer, mapping, tiles);
+}
+
+std::optional<QuickEval>
+Evaluator::quickEvaluate(const LayerShape &layer,
+                         const Mapping &mapping,
+                         std::string *why) const
+{
+    if (!validateMappingShape(arch_, layer, mapping, why))
+        return std::nullopt;
+    // One tile analysis serves the capacity check AND the model.
+    TileAnalysis tiles(arch_, layer, mapping);
+    if (!tiles.fitsCapacities(why))
+        return std::nullopt;
+
+    const EnergyCoefficients &co = quickCoefficients();
+    AccessCounts counts =
+        computeAccessCounts(arch_, layer, mapping, tiles);
+    ThroughputResult throughput =
+        computeThroughput(arch_, layer, mapping, counts);
+    QuickEval q;
+    q.runtime_s = throughput.runtime_s;
+    q.energy_j = computeEnergyTotal(co, arch_, layer, mapping, tiles,
+                                    counts, throughput);
+    return q;
+}
+
+std::uint64_t
+Evaluator::archFingerprint() const
+{
+    std::call_once(fingerprint_once_, [this] {
+        // FNV-1a over the spec's rendering PLUS the energy-relevant
+        // fields str() omits (component classes and attributes), so
+        // architectures differing only in an attribute -- exactly
+        // what sweeps vary -- never share a fingerprint.
+        std::uint64_t h = 1469598103934665603ull;
+        auto addBytes = [&h](const void *p, std::size_t n) {
+            const unsigned char *bytes =
+                static_cast<const unsigned char *>(p);
+            for (std::size_t i = 0; i < n; ++i) {
+                h ^= bytes[i];
+                h *= 1099511628211ull;
+            }
+        };
+        auto addString = [&](const std::string &s) {
+            addBytes(s.data(), s.size());
+            addBytes("\x1f", 1); // field separator
+        };
+        auto addDouble = [&](double v) { addBytes(&v, sizeof(v)); };
+        auto addAttrs = [&](const Attributes &attrs) {
+            for (const auto &[key, value] : attrs.all()) {
+                addString(key);
+                addDouble(value);
+            }
+        };
+
+        addString(arch_.str());
+        for (std::size_t l = 0; l < arch_.numLevels(); ++l) {
+            const StorageLevelSpec &level = arch_.level(l);
+            addString(level.klass);
+            addAttrs(level.attrs);
+            for (Tensor t : kAllTensors) {
+                for (const ConverterSpec &conv :
+                     level.convertersFor(t)) {
+                    addString(conv.name);
+                    addString(conv.klass);
+                    addString(conv.crossing());
+                    addAttrs(conv.attrs);
+                }
+            }
+        }
+        addString(arch_.compute().klass);
+        addAttrs(arch_.compute().attrs);
+        addDouble(arch_.compute().macs_per_cycle);
+        for (const StaticComponentSpec &s : arch_.statics()) {
+            addString(s.name);
+            addString(s.klass);
+            addAttrs(s.attrs);
+        }
+        fingerprint_ = h;
+    });
+    return fingerprint_;
+}
+
+const EnergyCoefficients &
+Evaluator::quickCoefficients() const
+{
+    // Lazy so an evaluator whose registry lacks a class still fails
+    // at first evaluation (as the full path does), not construction.
+    std::call_once(quick_once_, [this] {
+        quick_ = computeEnergyCoefficients(arch_, registry_);
+    });
+    return quick_;
+}
+
+EvalResult
+Evaluator::modelFromTiles(const LayerShape &layer,
+                          const Mapping &mapping,
+                          const TileAnalysis &tiles) const
+{
+    EvalResult r;
     r.counts = computeAccessCounts(arch_, layer, mapping, tiles);
     r.converters =
         computeConverterCounts(arch_, layer, mapping, tiles, r.counts);

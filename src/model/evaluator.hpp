@@ -9,6 +9,9 @@
 #ifndef PHOTONLOOP_MODEL_EVALUATOR_HPP
 #define PHOTONLOOP_MODEL_EVALUATOR_HPP
 
+#include <cstdint>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -22,6 +25,8 @@
 #include "workload/layer.hpp"
 
 namespace ploop {
+
+class TileAnalysis;
 
 /** Everything the model computes for one (layer, mapping). */
 struct EvalResult
@@ -45,6 +50,21 @@ struct EvalResult
     double edp() const { return energy.total() * throughput.runtime_s; }
 };
 
+/**
+ * Objective-only evaluation: just enough to rank candidates during
+ * mapping search (16 bytes; cheap to cache and copy).  Produced by
+ * Evaluator::quickEvaluate(); values are bit-identical to the
+ * corresponding full EvalResult fields.
+ */
+struct QuickEval
+{
+    double energy_j = 0;  ///< == EvalResult::totalEnergy().
+    double runtime_s = 0; ///< == EvalResult::throughput.runtime_s.
+
+    /** Energy-delay product (J*s), == EvalResult::edp(). */
+    double edp() const { return energy_j * runtime_s; }
+};
+
 /** Evaluates mappings of layers onto one architecture. */
 class Evaluator
 {
@@ -60,6 +80,16 @@ class Evaluator
     const ArchSpec &arch() const { return arch_; }
 
     /**
+     * 64-bit content fingerprint of the architecture: hash of its
+     * rendering plus every component class and attribute (computed
+     * once, thread-safe).  Two evaluators over identical specs share
+     * a fingerprint even when the ArchSpec objects differ (or reuse
+     * an address), so caches keyed on it survive arch
+     * reconstruction -- e.g. across sweep points.
+     */
+    std::uint64_t archFingerprint() const;
+
+    /**
      * Check mapping validity (fanout caps, coverage, capacities).
      *
      * @param layer Workload layer.
@@ -70,15 +100,59 @@ class Evaluator
                         std::string *why = nullptr) const;
 
     /**
-     * Evaluate one mapping.  fatal() if the mapping is invalid;
-     * mappers should pre-check with isValidMapping().
+     * Evaluate one mapping.  fatal() if the mapping is invalid.
+     * Checked entry point for external callers; search loops that
+     * already ran isValidMapping() should use evaluateValidated() to
+     * avoid paying validation twice.
      */
     EvalResult evaluate(const LayerShape &layer,
                         const Mapping &mapping) const;
 
+    /**
+     * Evaluate a mapping the caller has ALREADY validated with
+     * isValidMapping().  Skips re-validation (the hot-path fix: the
+     * mapper validates every candidate before evaluating, so the
+     * checked path validated each candidate twice).  Passing an
+     * invalid mapping is undefined (garbage numbers, possible
+     * panic()).  Thread-safe: const, touches no shared mutable state.
+     */
+    EvalResult evaluateValidated(const LayerShape &layer,
+                                 const Mapping &mapping) const;
+
+    /**
+     * Objective-only single-pass evaluation for search loops:
+     * validates (shape checks + one shared TileAnalysis) and computes
+     * just total energy and runtime -- no EnergyBreakdown entries, no
+     * converter records, no area, no string formatting, no
+     * allocation beyond the access counts.  Energy and runtime are
+     * bit-identical to the corresponding evaluate() fields (see
+     * computeEnergyTotal), so rankings made on QuickEval agree
+     * exactly with full results.  Registry coefficients are resolved
+     * once per evaluator, lazily and thread-safely.
+     *
+     * @param why Optional failure description sink.
+     * @return std::nullopt when the mapping is invalid.
+     */
+    std::optional<QuickEval>
+    quickEvaluate(const LayerShape &layer, const Mapping &mapping,
+                  std::string *why = nullptr) const;
+
   private:
+    /** Model rollup from an already-built tile analysis. */
+    EvalResult modelFromTiles(const LayerShape &layer,
+                              const Mapping &mapping,
+                              const TileAnalysis &tiles) const;
+
+    /** Coefficients for quickEvaluate(), resolved on first use. */
+    const EnergyCoefficients &quickCoefficients() const;
+
     const ArchSpec &arch_;
     const EnergyRegistry &registry_;
+
+    mutable std::once_flag quick_once_;
+    mutable EnergyCoefficients quick_;
+    mutable std::once_flag fingerprint_once_;
+    mutable std::uint64_t fingerprint_ = 0;
 };
 
 } // namespace ploop

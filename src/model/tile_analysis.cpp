@@ -11,10 +11,13 @@ TileAnalysis::TileAnalysis(const ArchSpec &arch, const LayerShape &layer,
                            const Mapping &mapping)
     : arch_(arch), layer_(layer)
 {
-    fatalIf(mapping.numLevels() != arch.numLevels(),
-            "mapping has " + std::to_string(mapping.numLevels()) +
-                " levels but arch has " +
-                std::to_string(arch.numLevels()));
+    // Hot path (one TileAnalysis per candidate evaluation): only
+    // build the message when the check actually fails.
+    if (mapping.numLevels() != arch.numLevels()) {
+        fatal("mapping has " + std::to_string(mapping.numLevels()) +
+              " levels but arch has " +
+              std::to_string(arch.numLevels()));
+    }
 
     const std::size_t nlevels = arch.numLevels();
     ext_.resize(nlevels);

@@ -90,7 +90,14 @@ class DimSet
     constexpr void insert(Dim d) { mask_ |= bit(d); }
     constexpr void erase(Dim d) { mask_ &= ~bit(d); }
     constexpr bool empty() const { return mask_ == 0; }
-    constexpr bool operator==(const DimSet &o) const = default;
+    constexpr bool operator==(const DimSet &o) const
+    {
+        return mask_ == o.mask_;
+    }
+    constexpr bool operator!=(const DimSet &o) const
+    {
+        return mask_ != o.mask_;
+    }
 
     /** Union. */
     constexpr DimSet operator|(const DimSet &o) const

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "mapper/eval_cache.hpp"
+#include "mapper/mapper.hpp"
 #include "mapper/search.hpp"
 #include "test_helpers.hpp"
 
@@ -104,6 +106,199 @@ TEST_F(SearchFixture, HillClimbImprovesTrivialSeed)
                   Candidate(seed, std::move(seed_result)), opts,
                   stats);
     EXPECT_LT(improved.second.totalEnergy(), seed_energy * 0.9);
+}
+
+TEST_F(SearchFixture, DeterministicAcrossThreadCounts)
+{
+    // The determinism contract: same seed => identical best mapping
+    // and objective at ANY thread count.
+    SearchOptions base;
+    base.random_samples = 64;
+    base.hill_climb_rounds = 8;
+    base.seed = 123;
+
+    base.threads = 1;
+    MapperResult serial = Mapper(evaluator, base).search(layer);
+    for (unsigned threads : {2u, 4u, 8u}) {
+        SearchOptions opts = base;
+        opts.threads = threads;
+        MapperResult parallel = Mapper(evaluator, opts).search(layer);
+        EXPECT_DOUBLE_EQ(parallel.result.totalEnergy(),
+                         serial.result.totalEnergy())
+            << "at " << threads << " threads";
+        EXPECT_EQ(parallel.mapping.str(), serial.mapping.str())
+            << "at " << threads << " threads";
+        EXPECT_EQ(parallel.stats.evaluated, serial.stats.evaluated)
+            << "at " << threads << " threads";
+    }
+}
+
+TEST_F(SearchFixture, RandomSearchDeterministicAcrossThreadCounts)
+{
+    SearchOptions opts;
+    opts.random_samples = 100;
+    opts.seed = 7;
+    opts.threads = 1;
+    SearchStats s1, s4;
+    auto serial = randomSearch(evaluator, layer, mapspace, opts, s1);
+    opts.threads = 4;
+    auto parallel = randomSearch(evaluator, layer, mapspace, opts, s4);
+    ASSERT_TRUE(serial && parallel);
+    EXPECT_DOUBLE_EQ(serial->second.totalEnergy(),
+                     parallel->second.totalEnergy());
+    EXPECT_EQ(serial->first.str(), parallel->first.str());
+    EXPECT_EQ(s1.evaluated, s4.evaluated);
+    EXPECT_EQ(s1.invalid, s4.invalid);
+}
+
+TEST_F(SearchFixture, QuickEvaluateMatchesFullEvaluation)
+{
+    // The quick (objective-only) path must agree bit-for-bit with the
+    // full rollup, on validity AND on values, or search decisions
+    // would diverge from reported results.
+    std::mt19937_64 rng(99);
+    std::vector<Mapping> mappings = {Mapping::trivial(arch, layer),
+                                     mapspace.greedySeed(),
+                                     mapspace.outerSeed()};
+    for (int i = 0; i < 50; ++i)
+        mappings.push_back(mapspace.randomSample(rng));
+
+    unsigned valid = 0;
+    for (const Mapping &m : mappings) {
+        std::optional<QuickEval> quick = evaluator.quickEvaluate(layer, m);
+        ASSERT_EQ(quick.has_value(),
+                  evaluator.isValidMapping(layer, m));
+        if (!quick)
+            continue;
+        ++valid;
+        EvalResult full = evaluator.evaluate(layer, m);
+        EXPECT_EQ(quick->energy_j, full.totalEnergy());
+        EXPECT_EQ(quick->runtime_s, full.throughput.runtime_s);
+        EXPECT_EQ(quick->edp(), full.edp());
+    }
+    EXPECT_GT(valid, 0u);
+}
+
+TEST_F(SearchFixture, EvalCacheStoresAndCountsLookups)
+{
+    Mapping mapping = Mapping::trivial(arch, layer);
+    std::optional<QuickEval> direct =
+        evaluator.quickEvaluate(layer, mapping);
+    ASSERT_TRUE(direct.has_value());
+
+    EvalCache cache;
+    QuickEval first, second;
+    EXPECT_EQ(cache.evaluateThrough(evaluator, layer, mapping, first),
+              CachedEval::Computed);
+    EXPECT_EQ(cache.evaluateThrough(evaluator, layer, mapping, second),
+              CachedEval::Hit);
+    for (const QuickEval *q : {&first, &second}) {
+        EXPECT_EQ(q->energy_j, direct->energy_j);
+        EXPECT_EQ(q->runtime_s, direct->runtime_s);
+    }
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.size(), 1u);
+
+    // Invalid mappings are never cached.
+    Mapping invalid(arch.numLevels());
+    QuickEval unused;
+    EXPECT_EQ(cache.evaluateThrough(evaluator, layer, invalid, unused),
+              CachedEval::Invalid);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_F(SearchFixture, EvalCacheVerifiesEntriesByContent)
+{
+    // A lookup must never return another mapping's result: entries
+    // are verified against the factor tuples, so even a forged hash
+    // collision degrades to a miss.
+    Mapping a = Mapping::trivial(arch, layer);
+    Mapping b = a;
+    b.level(0).setT(Dim::K, b.level(0).t(Dim::K) * 2);
+    ASSERT_FALSE(sameFactorTuples(a, b));
+    EXPECT_TRUE(sameFactorTuples(a, a));
+
+    EvalCache cache;
+    std::uint64_t bkey = 0;
+    EXPECT_EQ(cache.find(0, b, &bkey), nullptr);
+    // Store a's payload under b's KEY (a forged hash collision): a
+    // find(b) sees its key occupied by a's tuples and must miss,
+    // not return a's result.
+    cache.insert(a, bkey, QuickEval{1.0, 2.0});
+    EXPECT_EQ(cache.find(0, b), nullptr);
+}
+
+TEST_F(SearchFixture, EvalCacheSeparatesScopes)
+{
+    // The same factor tuples mean different results on a different
+    // (arch, layer) scope; scoped keys keep the entries apart.
+    Mapping m = Mapping::trivial(arch, layer);
+    EvalCache cache;
+    std::uint64_t k1 = 0, k2 = 0;
+    EXPECT_EQ(cache.find(1, m, &k1), nullptr);
+    EXPECT_EQ(cache.find(2, m, &k2), nullptr);
+    EXPECT_NE(k1, k2);
+    cache.insert(m, k1, QuickEval{5.0, 6.0});
+    EXPECT_NE(cache.find(1, m), nullptr);
+    EXPECT_EQ(cache.find(2, m), nullptr);
+}
+
+TEST_F(SearchFixture, QuickEvaluateReportsWhyInvalid)
+{
+    Mapping invalid(arch.numLevels()); // covers no layer bounds
+    std::string why;
+    EXPECT_FALSE(
+        evaluator.quickEvaluate(layer, invalid, &why).has_value());
+    EXPECT_FALSE(why.empty());
+    EXPECT_FALSE(evaluator.isValidMapping(layer, invalid));
+}
+
+TEST_F(SearchFixture, EvalCacheKeyIgnoresPermutation)
+{
+    Mapping a = Mapping::trivial(arch, layer);
+    Mapping b = a;
+    std::swap(b.level(0).permutation[0], b.level(0).permutation[1]);
+    EXPECT_EQ(mappingKey(a), mappingKey(b));
+
+    Mapping c = a;
+    c.level(0).setT(Dim::K, c.level(0).t(Dim::K) * 2);
+    EXPECT_NE(mappingKey(a), mappingKey(c));
+}
+
+TEST_F(SearchFixture, HillClimbHitsTheCache)
+{
+    // Inverse moves regenerate the incumbent each round, so a shared
+    // cache must see hits during hill climbing.
+    SearchOptions opts;
+    opts.hill_climb_rounds = 16;
+    SearchStats stats;
+    EvalCache cache;
+    Mapping seed = Mapping::trivial(arch, layer);
+    EvalResult seed_result = evaluator.evaluate(layer, seed);
+    hillClimb(evaluator, layer, Candidate(seed, std::move(seed_result)),
+              opts, stats, &cache);
+    EXPECT_GT(stats.cache_hits, 0u);
+    EXPECT_GT(stats.cache_misses, 0u);
+    EXPECT_EQ(stats.cache_hits, cache.hits());
+    EXPECT_GT(stats.cacheHitRate(), 0.0);
+}
+
+TEST_F(SearchFixture, MapperReportsCacheAndWallTimeStats)
+{
+    SearchOptions opts;
+    opts.random_samples = 50;
+    opts.hill_climb_rounds = 8;
+    MapperResult r = Mapper(evaluator, opts).search(layer);
+    EXPECT_GT(r.stats.cache_misses, 0u);
+    EXPECT_GT(r.stats.cache_hits, 0u);
+    EXPECT_GT(r.stats.wall_time_s, 0.0);
+    // Every valid candidate goes through the cache (hill climb also
+    // re-reads committed moves, so lookups can exceed evaluated).
+    EXPECT_GE(r.stats.cache_hits + r.stats.cache_misses,
+              r.stats.evaluated);
+    EXPECT_NE(r.stats.str().find("cache_hits"), std::string::npos);
+    EXPECT_NE(r.stats.str().find("wall"), std::string::npos);
 }
 
 TEST_F(SearchFixture, StatsAccumulate)

@@ -1,0 +1,140 @@
+/** @file Unit tests for the thread pool and parallelFor. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace ploop {
+namespace {
+
+TEST(ThreadPool, SizeClampedToAtLeastOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(ThreadPool, SubmitRunsAllTasksAndReturnsResults)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 100; ++i) {
+        futures.push_back(pool.submit([i, &ran] {
+            ran.fetch_add(1);
+            return i * i;
+        }));
+    }
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(futures[i].get(), i * i);
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, SubmitOnSerialPoolRunsInline)
+{
+    ThreadPool pool(1);
+    auto f = pool.submit([] { return 7; });
+    EXPECT_EQ(f.get(), 7);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions)
+{
+    ThreadPool pool(2);
+    auto f = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce)
+{
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        ThreadPool pool(threads);
+        const std::size_t n = 10007; // prime: uneven chunks
+        std::vector<std::atomic<int>> seen(n);
+        pool.parallelFor(n,
+                         [&](std::size_t i) { seen[i].fetch_add(1); });
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(seen[i].load(), 1)
+                << "index " << i << " at " << threads << " threads";
+    }
+}
+
+TEST(ThreadPool, ParallelForZeroAndOneElement)
+{
+    ThreadPool pool(4);
+    int calls = 0;
+    pool.parallelFor(0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    pool.parallelFor(1, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ParallelForChunkedPartitionsTheRange)
+{
+    ThreadPool pool(4);
+    const std::size_t n = 1001;
+    std::vector<std::atomic<int>> seen(n);
+    std::atomic<unsigned> max_chunk{0};
+    pool.parallelForChunked(
+        n, [&](std::size_t begin, std::size_t end, unsigned chunk) {
+            EXPECT_LT(begin, end);
+            unsigned prev = max_chunk.load();
+            while (chunk > prev &&
+                   !max_chunk.compare_exchange_weak(prev, chunk)) {
+            }
+            for (std::size_t i = begin; i < end; ++i)
+                seen[i].fetch_add(1);
+        });
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(seen[i].load(), 1) << "index " << i;
+    EXPECT_LT(max_chunk.load(), pool.size());
+}
+
+TEST(ThreadPool, ParallelForPropagatesBodyException)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(100,
+                                  [](std::size_t i) {
+                                      if (i == 57)
+                                          throw std::runtime_error(
+                                              "bad index");
+                                  }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock)
+{
+    ThreadPool pool(4);
+    std::atomic<int> total{0};
+    pool.parallelFor(8, [&](std::size_t) {
+        pool.parallelFor(8, [&](std::size_t) { total.fetch_add(1); });
+    });
+    EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, DefaultThreadsHonorsEnvOverride)
+{
+    ::setenv("PLOOP_THREADS", "3", 1);
+    EXPECT_EQ(ThreadPool::defaultThreads(), 3u);
+    ::setenv("PLOOP_THREADS", "0", 1); // invalid: fall back
+    EXPECT_GE(ThreadPool::defaultThreads(), 1u);
+    ::unsetenv("PLOOP_THREADS");
+    EXPECT_GE(ThreadPool::defaultThreads(), 1u);
+}
+
+TEST(ThreadPool, ForThreadsCachesPerSizeAndZeroMeansDefault)
+{
+    ThreadPool &a = ThreadPool::forThreads(2);
+    ThreadPool &b = ThreadPool::forThreads(2);
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(a.size(), 2u);
+    EXPECT_EQ(ThreadPool::forThreads(0).size(),
+              ThreadPool::defaultThreads());
+}
+
+} // namespace
+} // namespace ploop
