@@ -14,9 +14,15 @@ runNetwork(const Evaluator &evaluator, const Network &net,
     const std::vector<LayerShape> &layers = net.layers();
     std::vector<std::optional<MapperResult>> slots(layers.size());
     Mapper mapper(evaluator, options);
+    // One EvalCache spans every layer's search: real networks repeat
+    // layer shapes (ResNet stages reuse one conv shape many times),
+    // and the cache scope folds in the layer bounds, so identical
+    // shapes share entries -- later duplicates search almost entirely
+    // from warm hits -- while distinct shapes never collide.
+    EvalCache shared_cache;
     ThreadPool &pool = ThreadPool::forThreads(options.threads);
     pool.parallelFor(layers.size(), [&](std::size_t i) {
-        slots[i].emplace(mapper.search(layers[i]));
+        slots[i].emplace(mapper.search(layers[i], &shared_cache));
     });
 
     // Aggregate sequentially in layer order so floating-point totals

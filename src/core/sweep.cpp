@@ -26,13 +26,20 @@ runSweep(const SweepSpec &spec, const LayerShape &layer,
 
     // Arch points are independent (each gets its own Evaluator), so
     // they fan out across the pool; slots keep the output in
-    // parameter order regardless of completion order.
+    // parameter order regardless of completion order.  One EvalCache
+    // spans every point: keys are scoped by (arch fingerprint, layer
+    // shape), so points whose generated architectures coincide --
+    // repeated parameter values, knobs the arch ignores -- reuse each
+    // other's evaluations instead of recomputing them, and distinct
+    // points never collide.  Cached values are bit-identical to fresh
+    // ones, so results are unchanged by sharing.
     std::vector<std::optional<SweepPoint>> slots(spec.values.size());
+    EvalCache shared_cache;
     ThreadPool &pool = ThreadPool::forThreads(spec.search.threads);
     pool.parallelFor(spec.values.size(), [&](std::size_t i) {
         Evaluator evaluator(archs[i], registry);
         Mapper mapper(evaluator, spec.search);
-        MapperResult r = mapper.search(layer);
+        MapperResult r = mapper.search(layer, &shared_cache);
         slots[i].emplace(spec.values[i], std::move(r.mapping),
                          std::move(r.result));
     });

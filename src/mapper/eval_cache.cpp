@@ -72,7 +72,11 @@ sameFactorTuples(const Mapping &a, const Mapping &b)
 std::uint64_t
 evalScopeKey(const Evaluator &evaluator, const LayerShape &layer)
 {
-    std::uint64_t h = mix64(evaluator.archFingerprint());
+    // The MODEL fingerprint (arch + resolved energy coefficients),
+    // not the arch fingerprint alone: two evaluators over the same
+    // arch but different registries produce different energies and
+    // must never share entries.
+    std::uint64_t h = mix64(evaluator.modelFingerprint());
     for (Dim d : kAllDims)
         h = mix64(h ^ layer.bound(d));
     h = mix64(h ^ layer.hstride());
@@ -80,24 +84,62 @@ evalScopeKey(const Evaluator &evaluator, const LayerShape &layer)
     return h;
 }
 
+namespace {
+
+/** Shared lookup protocol: cache-first, compute-on-miss via @p fn. */
+template <typename ComputeFn>
+CachedEval
+throughImpl(EvalCache &cache, const Evaluator &evaluator,
+            const LayerShape &layer, const Mapping &mapping,
+            QuickEval &out, ComputeFn &&fn)
+{
+    std::uint64_t scope = evalScopeKey(evaluator, layer);
+    std::uint64_t key;
+    if (const QuickEval *hit = cache.find(scope, mapping, &key)) {
+        out = *hit;
+        return CachedEval::Hit;
+    }
+    std::optional<QuickEval> eval = fn();
+    if (!eval)
+        return CachedEval::Invalid;
+    cache.insert(mapping, key, *eval);
+    out = *eval;
+    return CachedEval::Computed;
+}
+
+} // namespace
+
 CachedEval
 EvalCache::evaluateThrough(const Evaluator &evaluator,
                            const LayerShape &layer,
                            const Mapping &mapping, QuickEval &out)
 {
-    std::uint64_t scope = evalScopeKey(evaluator, layer);
-    std::uint64_t key;
-    if (const QuickEval *hit = find(scope, mapping, &key)) {
-        out = *hit;
-        return CachedEval::Hit;
-    }
-    std::optional<QuickEval> eval =
-        evaluator.quickEvaluate(layer, mapping);
-    if (!eval)
-        return CachedEval::Invalid;
-    insert(mapping, key, *eval);
-    out = *eval;
-    return CachedEval::Computed;
+    return throughImpl(*this, evaluator, layer, mapping, out, [&] {
+        return evaluator.quickEvaluate(layer, mapping);
+    });
+}
+
+CachedEval
+EvalCache::evaluateThrough(const Evaluator &evaluator,
+                           const LayerShape &layer,
+                           const Mapping &mapping, EvalScratch &scratch,
+                           QuickEval &out)
+{
+    return throughImpl(*this, evaluator, layer, mapping, out, [&] {
+        return evaluator.quickEvaluateWith(scratch, layer, mapping);
+    });
+}
+
+CachedEval
+EvalCache::evaluateThroughDelta(const Evaluator &evaluator,
+                                const LayerShape &layer,
+                                const Mapping &mapping, Dim moved,
+                                EvalScratch &scratch, QuickEval &out)
+{
+    return throughImpl(*this, evaluator, layer, mapping, out, [&] {
+        return evaluator.quickEvaluateDelta(scratch, layer, mapping,
+                                            moved);
+    });
 }
 
 void

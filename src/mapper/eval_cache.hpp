@@ -24,8 +24,17 @@
  *
  * Thread safety: the table is sharded by key with one mutex per
  * shard, so concurrent hill-climb probes rarely contend.  Hit/miss
- * counters are atomics.  A cache is scoped to one (architecture,
- * layer) pair -- the Mapper creates a fresh one per search.
+ * counters are atomics.
+ *
+ * Scope and sharing: every key folds in evalScopeKey(arch
+ * fingerprint, layer shape), so ONE cache can safely span layers,
+ * searches and sweep points -- runSweep and runNetwork share a single
+ * cache across all their Mapper calls, and identical (arch, layer)
+ * scopes hit warm entries from earlier points.  The hit/miss
+ * counters here are therefore GLOBAL -- cumulative over the cache's
+ * life and mixed across every search sharing it; per-search
+ * statistics must be accounted from evaluateThrough() outcomes
+ * instead (see CacheDeltaScope in search.hpp).
  */
 
 #ifndef PHOTONLOOP_MAPPER_EVAL_CACHE_HPP
@@ -53,13 +62,14 @@ bool sameFactorTuples(const Mapping &a, const Mapping &b);
 
 /**
  * Fingerprint of an evaluation scope: the same factor tuples mean
- * different results on a different architecture or layer shape, so
- * cache lookups mix this into the key.  Combines the evaluator's
- * arch CONTENT fingerprint (so reconstructed-but-identical archs --
- * e.g. the same sweep point re-built -- share a scope, and
- * different archs at a reused address do not) with the layer's
- * bounds and strides; two identically-shaped layers share a scope
- * by design (they evaluate identically).
+ * different results on a different architecture, energy registry or
+ * layer shape, so cache lookups mix this into the key.  Combines the
+ * evaluator's MODEL fingerprint -- its arch CONTENT fingerprint plus
+ * the resolved energy coefficients, so reconstructed-but-identical
+ * (arch, registry) pairs (e.g. the same sweep point re-built) share
+ * a scope, and same-arch evaluators under different registries do
+ * not -- with the layer's bounds and strides; two identically-shaped
+ * layers share a scope by design (they evaluate identically).
  */
 std::uint64_t evalScopeKey(const Evaluator &evaluator,
                            const LayerShape &layer);
@@ -90,6 +100,29 @@ class EvalCache
     CachedEval evaluateThrough(const Evaluator &evaluator,
                                const LayerShape &layer,
                                const Mapping &mapping, QuickEval &out);
+
+    /**
+     * Arena-backed variant: misses evaluate through
+     * Evaluator::quickEvaluateWith against @p scratch, so a worker
+     * looping over candidates performs no per-candidate allocation.
+     */
+    CachedEval evaluateThrough(const Evaluator &evaluator,
+                               const LayerShape &layer,
+                               const Mapping &mapping,
+                               EvalScratch &scratch, QuickEval &out);
+
+    /**
+     * Incremental variant for hill-climb probes: misses evaluate
+     * through Evaluator::quickEvaluateDelta (see its precondition --
+     * scratch.tiles analyzed for a base mapping differing from
+     * @p mapping only in dim @p moved).  Hits skip the delta
+     * entirely; the arena is left synced to the base either way.
+     */
+    CachedEval evaluateThroughDelta(const Evaluator &evaluator,
+                                    const LayerShape &layer,
+                                    const Mapping &mapping, Dim moved,
+                                    EvalScratch &scratch,
+                                    QuickEval &out);
 
     /**
      * Pre-store a known-valid evaluation (e.g. the hill-climb

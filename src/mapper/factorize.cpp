@@ -19,7 +19,20 @@ greedyCappedSplit(std::uint64_t bound,
         out[i] = f;
         rem = ceilDiv(rem, f);
     }
-    out.back() = rem;
+    // The last part is capped like every other (the seed wrote the
+    // raw remainder here, silently exceeding caps.back()).  No
+    // residue can be pushed back into earlier parts: a remainder
+    // above the last cap implies every earlier part is already
+    // filled exactly to its cap (an under-cap part collapses the
+    // remainder to 1), so an unfittable bound is a hard error.
+    std::uint64_t last = std::min(rem, std::max<std::uint64_t>(
+                                           caps.back(), 1));
+    out.back() = last;
+    rem = ceilDiv(rem, last);
+    fatalIf(rem > 1,
+            "greedyCappedSplit: bound " + std::to_string(bound) +
+                " cannot fit the caps (residual " +
+                std::to_string(rem) + ")");
     return out;
 }
 

@@ -17,12 +17,15 @@ namespace ploop {
 /**
  * Split @p bound into @p parts ceiling-factors using per-part caps:
  * part i gets min(cap[i], remaining), remaining = ceil(remaining /
- * part).  Parts are filled in order; the LAST part absorbs whatever
- * remains (uncapped).
+ * part).  Parts are filled in order; the last part is capped like
+ * every other.  fatal() when the bound cannot fit the caps at all
+ * (the caps' product, with ceiling division, falls short) -- a
+ * remainder above the last cap means every earlier part is already
+ * at its cap, so there is never slack to absorb it.
  *
  * @param bound Dim bound to cover (>= 1).
  * @param caps Per-part caps; caps.size() defines the part count.
- * @return Factors, product >= bound.
+ * @return Factors, product >= bound, out[i] <= max(caps[i], 1).
  */
 std::vector<std::uint64_t>
 greedyCappedSplit(std::uint64_t bound,

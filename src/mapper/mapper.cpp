@@ -13,7 +13,7 @@ Mapper::Mapper(const Evaluator &evaluator, SearchOptions options)
 {}
 
 MapperResult
-Mapper::search(const LayerShape &layer) const
+Mapper::search(const LayerShape &layer, EvalCache *shared_cache) const
 {
     auto t0 = std::chrono::steady_clock::now();
 
@@ -21,41 +21,53 @@ Mapper::search(const LayerShape &layer) const
     SearchStats stats;
     // One memoization cache spans seeds, random restarts and hill
     // climb: any candidate revisited across phases is evaluated once.
-    // The whole search runs in the quick (objective-only) domain; the
-    // final mapping is materialized into a full EvalResult at the end.
-    EvalCache cache;
+    // Callers may pass a cache shared across searches (sweep points,
+    // network layers) for cross-search warm hits; keys are scoped, so
+    // sharing is always safe.  The whole search runs in the quick
+    // (objective-only) domain; the final mapping is materialized into
+    // a full EvalResult at the end.
+    EvalCache local_cache;
+    EvalCache &cache = shared_cache ? *shared_cache : local_cache;
 
     // Collect seeds; at least the outer seed must be valid.
     std::optional<QuickCandidate> best;
     double best_val = 0.0;
-    auto consider = [&](const Mapping &mapping) {
-        QuickEval result;
-        if (cache.evaluateThrough(evaluator_, layer, mapping, result) ==
-            CachedEval::Invalid) {
-            ++stats.invalid;
-            return;
-        }
-        ++stats.evaluated;
-        double val = objectiveValue(options_.objective, result);
-        if (!best || val < best_val) {
-            best_val = val;
-            best = QuickCandidate(mapping, result);
-        }
-    };
+    {
+        // Seed-phase cache traffic, accounted from lookup OUTCOMES:
+        // the cache's global counters include every other search
+        // sharing it (absolute counts or counter deltas would
+        // attribute -- and double-count -- their traffic here).
+        // randomSearchQuick/hillClimbQuick account for their own
+        // phases the same way.
+        CacheDeltaScope seed_delta(stats);
+        EvalScratch scratch;
+        auto consider = [&](const Mapping &mapping) {
+            QuickEval result;
+            CachedEval outcome = cache.evaluateThrough(
+                evaluator_, layer, mapping, scratch, result);
+            seed_delta.record(outcome);
+            if (outcome == CachedEval::Invalid) {
+                ++stats.invalid;
+                return;
+            }
+            ++stats.evaluated;
+            double val = objectiveValue(options_.objective, result);
+            if (!best || val < best_val) {
+                best_val = val;
+                best = QuickCandidate(mapping, result);
+            }
+        };
 
-    consider(mapspace.greedySeed());
-    consider(mapspace.outerSeed());
-    // The classic dataflows make strong seeds: one of them is usually
-    // near-optimal for the dominant tensor of the layer.
-    for (Dataflow df : allDataflows())
-        consider(presetMapping(evaluator_.arch(), layer, df));
+        consider(mapspace.greedySeed());
+        consider(mapspace.outerSeed());
+        // The classic dataflows make strong seeds: one of them is
+        // usually near-optimal for the dominant tensor of the layer.
+        for (Dataflow df : allDataflows())
+            consider(presetMapping(evaluator_.arch(), layer, df));
+    }
     fatalIf(!best,
             "no valid seed mapping for layer '" + layer.name() +
                 "'; is the outermost level capacity-unbounded?");
-    // Seed-phase cache traffic (randomSearchQuick/hillClimbQuick
-    // account for their own phases the same way).
-    stats.cache_hits += cache.hits();
-    stats.cache_misses += cache.misses();
 
     // Random restarts.
     if (options_.random_samples > 0) {

@@ -47,8 +47,20 @@ class Mapper
      * architectures: the outer seed (all-temporal at the outermost
      * level) is valid whenever the outermost level is
      * capacity-unbounded.
+     *
+     * @param shared_cache Optional cross-search memoization cache.
+     *     EvalCache keys fold in the (arch fingerprint, layer shape)
+     *     scope, so one cache may be shared across layers, searches
+     *     and sweep points (runSweep/runNetwork do): repeated scopes
+     *     hit warm entries from earlier searches.  Cached values are
+     *     bit-identical to fresh evaluations, so sharing never
+     *     changes the search result.  The reported cache stats are
+     *     this search's own lookups only (delta accounting).  When
+     *     null, a private cache spanning this search's phases is
+     *     used.
      */
-    MapperResult search(const LayerShape &layer) const;
+    MapperResult search(const LayerShape &layer,
+                        EvalCache *shared_cache = nullptr) const;
 
   private:
     const Evaluator &evaluator_;

@@ -67,27 +67,6 @@ namespace {
  */
 constexpr unsigned kRandomShards = 16;
 
-/** Accumulates an EvalCache's hit/miss delta into SearchStats. */
-class CacheDeltaScope
-{
-  public:
-    CacheDeltaScope(EvalCache &cache, SearchStats &stats)
-        : cache_(cache), stats_(stats), hits0_(cache.hits()),
-          misses0_(cache.misses())
-    {}
-
-    ~CacheDeltaScope()
-    {
-        stats_.cache_hits += cache_.hits() - hits0_;
-        stats_.cache_misses += cache_.misses() - misses0_;
-    }
-
-  private:
-    EvalCache &cache_;
-    SearchStats &stats_;
-    std::uint64_t hits0_, misses0_;
-};
-
 } // namespace
 
 std::optional<QuickCandidate>
@@ -101,7 +80,7 @@ randomSearchQuick(const Evaluator &evaluator, const LayerShape &layer,
     EvalCache local_cache;
     if (!cache)
         cache = &local_cache;
-    CacheDeltaScope delta(*cache, stats);
+    CacheDeltaScope delta(stats);
     ThreadPool &pool = ThreadPool::forThreads(options.threads);
 
     const unsigned shards =
@@ -112,6 +91,8 @@ randomSearchQuick(const Evaluator &evaluator, const LayerShape &layer,
         double val = 0.0;
         std::uint64_t evaluated = 0;
         std::uint64_t invalid = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
     };
     std::vector<ShardBest> results(shards);
 
@@ -127,14 +108,21 @@ randomSearchQuick(const Evaluator &evaluator, const LayerShape &layer,
         unsigned count = options.random_samples / shards +
                          (s < options.random_samples % shards ? 1 : 0);
         ShardBest &out = results[s];
+        // One arena per shard: every candidate this shard computes
+        // reuses the same tile-analysis/access-count buffers.
+        EvalScratch scratch;
         for (unsigned i = 0; i < count; ++i) {
             Mapping candidate = mapspace.randomSample(rng);
             // Cache first: only valid mappings are stored, so a hit
             // skips validation as well as evaluation.
             QuickEval result;
-            if (cache->evaluateThrough(evaluator, layer, candidate,
-                                       result) ==
-                CachedEval::Invalid) {
+            CachedEval outcome = cache->evaluateThrough(
+                evaluator, layer, candidate, scratch, result);
+            if (outcome == CachedEval::Hit)
+                ++out.hits;
+            else
+                ++out.misses;
+            if (outcome == CachedEval::Invalid) {
                 ++out.invalid;
                 continue;
             }
@@ -157,6 +145,7 @@ randomSearchQuick(const Evaluator &evaluator, const LayerShape &layer,
     for (ShardBest &out : results) {
         stats.evaluated += out.evaluated;
         stats.invalid += out.invalid;
+        delta.add(out.hits, out.misses);
         if (out.best && (!best || out.val < best_val)) {
             best_val = out.val;
             best = std::move(out.best);
@@ -227,7 +216,7 @@ hillClimbQuick(const Evaluator &evaluator, const LayerShape &layer,
     EvalCache local_cache;
     if (!cache)
         cache = &local_cache;
-    CacheDeltaScope delta(*cache, stats);
+    CacheDeltaScope delta(stats);
     ThreadPool &pool = ThreadPool::forThreads(options.threads);
 
     QuickCandidate best = std::move(start);
@@ -252,6 +241,8 @@ hillClimbQuick(const Evaluator &evaluator, const LayerShape &layer,
         std::vector<Improving> improving; ///< In move-index order.
         std::uint64_t evaluated = 0;
         std::uint64_t invalid = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
     };
 
     for (unsigned round = 0; round < options.hill_climb_rounds;
@@ -265,6 +256,13 @@ hillClimbQuick(const Evaluator &evaluator, const LayerShape &layer,
                 // two touched factors and restores them afterwards
                 // instead of copying the whole Mapping.
                 Mapping scratch = best.first;
+                // One arena per chunk, analyzed once for the
+                // incumbent: a probe differs from it in a single dim
+                // column, so only that column is recomputed
+                // (TileAnalysis::applyDelta) and restored per probe.
+                EvalScratch arena;
+                arena.tiles.analyze(evaluator.arch(), layer,
+                                    best.first);
                 ChunkOut &out = chunk_out[chunk];
                 for (std::size_t i = begin; i < end; ++i) {
                     const Move &m = moves[i];
@@ -280,9 +278,14 @@ hillClimbQuick(const Evaluator &evaluator, const LayerShape &layer,
                     // Cache first: a hit proves validity and skips
                     // both validation and the model.
                     QuickEval result;
-                    if (cache->evaluateThrough(evaluator, layer,
-                                               scratch, result) !=
-                        CachedEval::Invalid) {
+                    CachedEval outcome = cache->evaluateThroughDelta(
+                        evaluator, layer, scratch, m.d, arena,
+                        result);
+                    if (outcome == CachedEval::Hit)
+                        ++out.hits;
+                    else
+                        ++out.misses;
+                    if (outcome != CachedEval::Invalid) {
                         ++out.evaluated;
                         double val = objectiveValue(options.objective,
                                                     result);
@@ -303,6 +306,7 @@ hillClimbQuick(const Evaluator &evaluator, const LayerShape &layer,
         for (ChunkOut &out : chunk_out) {
             stats.evaluated += out.evaluated;
             stats.invalid += out.invalid;
+            delta.add(out.hits, out.misses);
             improving.insert(improving.end(), out.improving.begin(),
                              out.improving.end());
         }
@@ -347,9 +351,10 @@ hillClimbQuick(const Evaluator &evaluator, const LayerShape &layer,
             // The combination is not guaranteed better than its best
             // member (or even valid): accept it only when it is.
             QuickEval combined_eval;
-            if (cache->evaluateThrough(evaluator, layer, combined,
-                                       combined_eval) !=
-                CachedEval::Invalid) {
+            CachedEval outcome = cache->evaluateThrough(
+                evaluator, layer, combined, combined_eval);
+            delta.record(outcome);
+            if (outcome != CachedEval::Invalid) {
                 ++stats.evaluated;
                 double val =
                     objectiveValue(options.objective, combined_eval);

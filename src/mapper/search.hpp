@@ -68,11 +68,15 @@ struct SearchOptions
 /**
  * Search accounting.
  *
- * Thread-count invariance: evaluated, invalid, and the search result
- * are identical at any thread count.  cache_hits/cache_misses (and
- * hence cacheHitRate()) are NOT -- two lanes can race to first
- * evaluation of the same candidate, turning one run's hit into
- * another's miss.  Compare only evaluated/invalid across runs.
+ * Thread-count invariance: evaluated, invalid, the total lookup
+ * count (cache_hits + cache_misses) and the search result are
+ * identical at any thread count.  The hit/miss SPLIT (and hence
+ * cacheHitRate()) is NOT -- two lanes can race to first evaluation
+ * of the same candidate, turning one run's hit into another's miss.
+ * Compare only evaluated/invalid/totals across runs.  All counts are
+ * this search's own traffic, even on an EvalCache shared with other
+ * concurrent searches (outcome-based accounting, see
+ * CacheDeltaScope).
  */
 struct SearchStats
 {
@@ -92,6 +96,56 @@ struct SearchStats
     }
 
     std::string str() const;
+};
+
+/**
+ * RAII accumulator of ONE search phase's cache traffic into
+ * SearchStats, fed from evaluateThrough() OUTCOMES -- never from the
+ * cache's global hit/miss counters.  Those counters are cumulative
+ * over the cache's whole life AND shared: one EvalCache now serves
+ * many concurrent searches (sweep points, network layers), so both
+ * absolute counters (as the seed phase once added) and
+ * counter-snapshot deltas attribute other searches' interleaved
+ * traffic -- double-counted across points -- to this phase.
+ * Outcomes are this search's own lookups by construction.  record()
+ * each serial outcome (a Hit is a hit; Computed and Invalid both
+ * missed the lookup); add() folds counts gathered in per-shard or
+ * per-chunk accumulators by parallel phases.  Flushes into the stats
+ * on destruction.
+ */
+class CacheDeltaScope
+{
+  public:
+    explicit CacheDeltaScope(SearchStats &stats) : stats_(stats) {}
+
+    ~CacheDeltaScope()
+    {
+        stats_.cache_hits += hits_;
+        stats_.cache_misses += misses_;
+    }
+
+    /** Record one evaluateThrough()/evaluateThroughDelta() outcome. */
+    void record(CachedEval outcome)
+    {
+        if (outcome == CachedEval::Hit)
+            ++hits_;
+        else
+            ++misses_;
+    }
+
+    /** Fold outcome counts gathered in per-worker accumulators. */
+    void add(std::uint64_t hits, std::uint64_t misses)
+    {
+        hits_ += hits;
+        misses_ += misses;
+    }
+
+    CacheDeltaScope(const CacheDeltaScope &) = delete;
+    CacheDeltaScope &operator=(const CacheDeltaScope &) = delete;
+
+  private:
+    SearchStats &stats_;
+    std::uint64_t hits_ = 0, misses_ = 0;
 };
 
 /** A (mapping, full result) candidate. */

@@ -59,6 +59,37 @@ validateMappingShape(const ArchSpec &arch, const LayerShape &layer,
 }
 
 bool
+validateMovedDim(const ArchSpec &arch, const LayerShape &layer,
+                 const Mapping &mapping, Dim d, std::string *why)
+{
+    if (mapping.coverage(d) < layer.bound(d)) {
+        if (why) {
+            *why = strFormat(
+                "dim %s covered %llu < bound %llu", dimName(d),
+                static_cast<unsigned long long>(mapping.coverage(d)),
+                static_cast<unsigned long long>(layer.bound(d)));
+        }
+        return false;
+    }
+    for (std::size_t l = 0; l < arch.numLevels(); ++l) {
+        const SpatialFanout &fanout = arch.level(l).fanout;
+        std::uint64_t s = mapping.level(l).s(d);
+        if (s > fanout.dimCap(d)) {
+            if (why) {
+                *why = strFormat(
+                    "level '%s': spatial %s=%llu exceeds cap %llu",
+                    arch.level(l).name.c_str(), dimName(d),
+                    static_cast<unsigned long long>(s),
+                    static_cast<unsigned long long>(
+                        fanout.dimCap(d)));
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
 validateMapping(const ArchSpec &arch, const LayerShape &layer,
                 const Mapping &mapping, std::string *why)
 {

@@ -43,6 +43,22 @@ bool validateMappingShape(const ArchSpec &arch, const LayerShape &layer,
                           const Mapping &mapping,
                           std::string *why = nullptr);
 
+/**
+ * Rules 1-2 for ONE dim: coverage of @p d and @p d's per-level
+ * spatial caps.  This is the complete shape re-validation for a
+ * mapping that differs from an already-shape-valid base only in dim
+ * @p d's TEMPORAL factors (a hill-climb factor move): temporal
+ * factors cannot violate spatial caps, and the other dims are
+ * untouched.  The per-dim cap check (free for temporal moves) also
+ * catches the likely misuse of a spatial change through the delta
+ * path; rule 3 (the per-level spatial PRODUCT cap) stays with the
+ * temporal-only precondition.  The hot-path companion of
+ * Evaluator::quickEvaluateDelta.
+ */
+bool validateMovedDim(const ArchSpec &arch, const LayerShape &layer,
+                      const Mapping &mapping, Dim d,
+                      std::string *why = nullptr);
+
 } // namespace ploop
 
 #endif // PHOTONLOOP_MAPPING_VALIDATE_HPP

@@ -6,45 +6,21 @@
 
 #include "common/error.hpp"
 #include "common/string_util.hpp"
+#include "model/nest_detail.hpp"
 
 namespace ploop {
 
 namespace {
 
-/** Product of spatial factors of dims irrelevant to @p t at level l. */
-double
-irrelevantSpatial(const Mapping &mapping, std::size_t l, Tensor t)
-{
-    DimSet rel = tensorDims(t);
-    double p = 1;
-    for (Dim d : kAllDims) {
-        if (!rel.contains(d))
-            p *= static_cast<double>(mapping.level(l).s(d));
-    }
-    return p;
-}
+using detail::fillsTotal;
+using detail::irrelevantSpatial;
 
 /**
- * fills_total(l, t): words newly loaded into all instances of keeper
- * level l: tile(l,t) times the product of relevant temporal AND
- * spatial factors at all levels above l.
+ * Stack-cache capacity for per-level precomputed factors.  Real
+ * hierarchies have 2-6 storage levels; beyond the cap the code falls
+ * back to recomputing per use (same values, just slower).
  */
-double
-fillsTotal(const Mapping &mapping, const TileAnalysis &tiles,
-           std::size_t l, Tensor t)
-{
-    DimSet rel = tensorDims(t);
-    double fills = static_cast<double>(tiles.tileWords(l, t));
-    for (std::size_t m = l + 1; m < mapping.numLevels(); ++m) {
-        for (Dim d : kAllDims) {
-            if (rel.contains(d)) {
-                fills *= static_cast<double>(mapping.level(m).t(d)) *
-                         static_cast<double>(mapping.level(m).s(d));
-            }
-        }
-    }
-    return fills;
-}
+constexpr std::size_t kLevelStack = 64;
 
 } // namespace
 
@@ -71,20 +47,44 @@ AccessCounts
 computeAccessCounts(const ArchSpec &arch, const LayerShape &layer,
                     const Mapping &mapping, const TileAnalysis &tiles)
 {
+    AccessCounts ac;
+    computeAccessCounts(arch, layer, mapping, tiles, ac);
+    return ac;
+}
+
+void
+computeAccessCounts(const ArchSpec &arch, const LayerShape &layer,
+                    const Mapping &mapping, const TileAnalysis &tiles,
+                    AccessCounts &out)
+{
     const std::size_t nlevels = arch.numLevels();
     fatalIf(mapping.numLevels() != nlevels,
             "mapping/arch level count mismatch");
 
-    AccessCounts ac;
-    ac.levels.resize(nlevels);
+    AccessCounts &ac = out;
+    ac.levels.assign(nlevels,
+                     std::array<TensorLevelCounts, kNumTensors>{});
     ac.macs = static_cast<double>(layer.macs());
+
+    // Per-level spatial products, fetched once (search evaluates
+    // thousands of candidates through here; the hot loops below reuse
+    // every per-level quantity instead of re-deriving it per pair).
+    const bool stack = nlevels <= kLevelStack;
+    std::array<std::uint64_t, kLevelStack> sp_cache{};
+    if (stack) {
+        for (std::size_t l = 0; l < nlevels; ++l)
+            sp_cache[l] = mapping.level(l).spatialProduct();
+    }
+    auto spatialAt = [&](std::size_t l) {
+        return stack ? sp_cache[l] : mapping.level(l).spatialProduct();
+    };
 
     // Hardware instances of each level.
     ac.instances.assign(nlevels, 1.0);
     for (std::size_t l = nlevels; l-- > 0;) {
         double inst = 1.0;
         for (std::size_t m = l + 1; m < nlevels; ++m)
-            inst *= static_cast<double>(mapping.level(m).spatialProduct());
+            inst *= static_cast<double>(spatialAt(m));
         ac.instances[l] = inst;
     }
 
@@ -98,17 +98,42 @@ computeAccessCounts(const ArchSpec &arch, const LayerShape &layer,
         }
     }
 
+    // Window-broadcast share per boundary (inputs only), computed
+    // once per level; the crossings loop divides by it per (x, y)
+    // pair.
+    std::array<double, kLevelStack> win_cache{};
+    if (stack) {
+        for (std::size_t l = 0; l < nlevels; ++l)
+            win_cache[l] = windowShare(arch, layer, mapping, l);
+    }
+    auto winAt = [&](std::size_t y) {
+        return stack ? win_cache[y]
+                     : windowShare(arch, layer, mapping, y);
+    };
+
     // ---- Downward tensors: weights and inputs. ----
     for (Tensor t : {Tensor::Weights, Tensor::Inputs}) {
         auto idx = [&](std::size_t l) -> TensorLevelCounts & {
             return ac.levels[l][tensorIndex(t)];
+        };
+        const DimSet rel = tensorDims(t);
+        // Irrelevant-spatial multicast factor per level, computed
+        // once; the crossings loop walks (x, y) pairs over these.
+        std::array<double, kLevelStack> irr_cache{};
+        if (stack) {
+            for (std::size_t l = 0; l < nlevels; ++l)
+                irr_cache[l] = irrelevantSpatial(mapping, l, rel);
+        }
+        auto irrAt = [&](std::size_t y) {
+            return stack ? irr_cache[y]
+                         : irrelevantSpatial(mapping, y, rel);
         };
         // Fills and writes at keeper levels (outermost excluded: data
         // originates there).
         for (std::size_t l = 0; l < nlevels; ++l) {
             if (!arch.level(l).keepsTensor(t))
                 continue;
-            double fills = fillsTotal(mapping, tiles, l, t);
+            double fills = fillsTotal(mapping, tiles, l, t, rel);
             idx(l).fills = fills;
             if (l + 1 < nlevels)
                 idx(l).writes = fills;
@@ -139,21 +164,23 @@ computeAccessCounts(const ArchSpec &arch, const LayerShape &layer,
             double crossings;
             if (keeper_found) {
                 // base_nodup(keeper) * duplication above boundary x.
-                crossings = fillsTotal(mapping, tiles, keeper, t);
+                // The keeper's fills were just computed and stored
+                // above -- reuse them instead of re-deriving.
+                crossings = idx(keeper).fills;
                 for (std::size_t y = x + 1; y < nlevels; ++y)
-                    crossings *= irrelevantSpatial(mapping, y, t);
+                    crossings *= irrAt(y);
             } else {
                 // Compute demand, deduplicated by multicast at and
                 // below boundary x.
                 crossings = ac.macs;
                 for (std::size_t y = 0; y <= x; ++y)
-                    crossings /= irrelevantSpatial(mapping, y, t);
+                    crossings /= irrAt(y);
             }
             if (t == Tensor::Inputs) {
                 // Window broadcast at boundaries at/below x serves
                 // several relevant-dim positions with one crossing.
                 for (std::size_t y = 0; y <= x; ++y)
-                    crossings /= windowShare(arch, layer, mapping, y);
+                    crossings /= winAt(y);
             }
             idx(x).crossings_down = crossings;
             // Reads from level x serve boundary x.
@@ -163,9 +190,10 @@ computeAccessCounts(const ArchSpec &arch, const LayerShape &layer,
 
     // ---- Upward tensor: outputs. ----
     {
-        auto out = [&](std::size_t l) -> TensorLevelCounts & {
+        auto out_at = [&](std::size_t l) -> TensorLevelCounts & {
             return ac.levels[l][tensorIndex(Tensor::Outputs)];
         };
+        const DimSet red = reductionDims();
         std::size_t outermost_keeper = 0;
         for (std::size_t l = 0; l < nlevels; ++l) {
             if (arch.level(l).keepsTensor(Tensor::Outputs))
@@ -183,7 +211,7 @@ computeAccessCounts(const ArchSpec &arch, const LayerShape &layer,
         auto eff_red = [&]() {
             double p = 1.0;
             for (Dim d : kAllDims) {
-                if (reductionDims().contains(d)) {
+                if (red.contains(d)) {
                     p *= std::min(
                         covered[dimIndex(d)],
                         static_cast<double>(layer.bound(d)));
@@ -195,12 +223,12 @@ computeAccessCounts(const ArchSpec &arch, const LayerShape &layer,
             if (x > outermost_keeper)
                 break; // Outputs terminate at their outermost keeper.
             // Converters at boundary x see the pre-combine stream.
-            out(x).crossings_up = ac.macs / eff_red();
+            out_at(x).crossings_up = ac.macs / eff_red();
             // Spatial reduction tree at boundary x combines partials;
             // temporal reduction loops at level x queue up until a
             // keeper absorbs them by accumulating in place.
             for (Dim d : kAllDims) {
-                if (!reductionDims().contains(d))
+                if (!red.contains(d))
                     continue;
                 covered[dimIndex(d)] *=
                     static_cast<double>(mapping.level(x).s(d));
@@ -209,21 +237,19 @@ computeAccessCounts(const ArchSpec &arch, const LayerShape &layer,
             }
             if (arch.level(x).keepsTensor(Tensor::Outputs)) {
                 // Arrivals accumulate into the resident tile.
-                out(x).updates = ac.macs / eff_red();
+                out_at(x).updates = ac.macs / eff_red();
                 for (Dim d : kAllDims) {
-                    if (reductionDims().contains(d)) {
+                    if (red.contains(d)) {
                         covered[dimIndex(d)] *=
                             pending_t[dimIndex(d)];
                         pending_t[dimIndex(d)] = 1.0;
                     }
                 }
                 if (x + 1 < nlevels)
-                    out(x).reads = ac.macs / eff_red(); // Send up.
+                    out_at(x).reads = ac.macs / eff_red(); // Send up.
             }
         }
     }
-
-    return ac;
 }
 
 std::string

@@ -97,6 +97,17 @@ AccessCounts computeAccessCounts(const ArchSpec &arch,
                                  const TileAnalysis &tiles);
 
 /**
+ * In-place variant: fill @p out, reusing its buffers.  After the
+ * first call on a given level count, recomputation performs no heap
+ * allocation -- the search hot path keeps one AccessCounts per worker
+ * and overwrites it per candidate.  Results are bit-identical to the
+ * returning overload (which delegates here).
+ */
+void computeAccessCounts(const ArchSpec &arch, const LayerShape &layer,
+                         const Mapping &mapping,
+                         const TileAnalysis &tiles, AccessCounts &out);
+
+/**
  * Sliding-window sharing factor at boundary @p l for inputs: the
  * product of spatial factors of the boundary's window dims, if the
  * layer is unstrided (a strided layer breaks the optical window

@@ -1,41 +1,14 @@
 #include "model/converter_counts.hpp"
 
 #include "common/error.hpp"
+#include "model/nest_detail.hpp"
 
 namespace ploop {
 
 namespace {
 
-/** Spatial product of dims irrelevant to @p t at level @p l. */
-double
-irrelevantSpatial(const Mapping &mapping, std::size_t l, Tensor t)
-{
-    DimSet rel = tensorDims(t);
-    double p = 1;
-    for (Dim d : kAllDims) {
-        if (!rel.contains(d))
-            p *= static_cast<double>(mapping.level(l).s(d));
-    }
-    return p;
-}
-
-/** fills_total as in access_counts (duplicated locally; tiny). */
-double
-fillsTotal(const Mapping &mapping, const TileAnalysis &tiles,
-           std::size_t l, Tensor t)
-{
-    DimSet rel = tensorDims(t);
-    double fills = static_cast<double>(tiles.tileWords(l, t));
-    for (std::size_t m = l + 1; m < mapping.numLevels(); ++m) {
-        for (Dim d : kAllDims) {
-            if (rel.contains(d)) {
-                fills *= static_cast<double>(mapping.level(m).t(d)) *
-                         static_cast<double>(mapping.level(m).s(d));
-            }
-        }
-    }
-    return fills;
-}
+using detail::fillsTotal;
+using detail::irrelevantSpatial;
 
 } // namespace
 
@@ -59,14 +32,15 @@ deliveriesAtBoundary(const ArchSpec &arch, const LayerShape &layer,
         return 0.0;
 
     // Nearest keeper strictly below boundary x.
+    const DimSet rel = tensorDims(t);
     for (std::size_t l = x; l-- > 0;) {
         if (arch.level(l).keepsTensor(t)) {
             // Fill demand of the keeper, counted per duplicate
             // instance (irrelevant-spatial copies above the keeper
             // each receive their own conversion unless shared).
-            double deliv = fillsTotal(mapping, tiles, l, t);
+            double deliv = fillsTotal(mapping, tiles, l, t, rel);
             for (std::size_t y = l + 1; y < mapping.numLevels(); ++y)
-                deliv *= irrelevantSpatial(mapping, y, t);
+                deliv *= irrelevantSpatial(mapping, y, rel);
             return deliv;
         }
     }

@@ -1,6 +1,7 @@
 #include "model/evaluator.hpp"
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "mapping/validate.hpp"
 #include "model/tile_analysis.hpp"
 
@@ -41,23 +42,90 @@ Evaluator::quickEvaluate(const LayerShape &layer,
                          const Mapping &mapping,
                          std::string *why) const
 {
+    EvalScratch scratch;
+    return quickEvaluateWith(scratch, layer, mapping, why);
+}
+
+std::optional<QuickEval>
+Evaluator::quickEvaluateWith(EvalScratch &scratch,
+                             const LayerShape &layer,
+                             const Mapping &mapping,
+                             std::string *why) const
+{
     if (!validateMappingShape(arch_, layer, mapping, why))
         return std::nullopt;
     // One tile analysis serves the capacity check AND the model.
-    TileAnalysis tiles(arch_, layer, mapping);
-    if (!tiles.fitsCapacities(why))
+    scratch.tiles.analyze(arch_, layer, mapping);
+    return quickFromScratch(scratch, layer, mapping, why);
+}
+
+std::optional<QuickEval>
+Evaluator::quickEvaluateDelta(EvalScratch &scratch,
+                              const LayerShape &layer,
+                              const Mapping &mapping, Dim moved,
+                              std::string *why) const
+{
+    // Full shape validation reduces to one dim here: the base was
+    // shape-valid and only dim `moved`'s temporal factors changed
+    // (see the precondition), which cannot violate spatial caps.
+    if (!validateMovedDim(arch_, layer, mapping, moved, why))
+        return std::nullopt;
+    scratch.tiles.applyDelta(mapping, moved);
+    std::optional<QuickEval> q =
+        quickFromScratch(scratch, layer, mapping, why);
+    scratch.tiles.revert();
+    return q;
+}
+
+std::optional<QuickEval>
+Evaluator::quickFromScratch(EvalScratch &scratch,
+                            const LayerShape &layer,
+                            const Mapping &mapping,
+                            std::string *why) const
+{
+    if (!scratch.tiles.fitsCapacities(why))
         return std::nullopt;
 
     const EnergyCoefficients &co = quickCoefficients();
-    AccessCounts counts =
-        computeAccessCounts(arch_, layer, mapping, tiles);
+    computeAccessCounts(arch_, layer, mapping, scratch.tiles,
+                        scratch.counts);
     ThroughputResult throughput =
-        computeThroughput(arch_, layer, mapping, counts);
+        computeThroughput(arch_, layer, mapping, scratch.counts);
     QuickEval q;
     q.runtime_s = throughput.runtime_s;
-    q.energy_j = computeEnergyTotal(co, arch_, layer, mapping, tiles,
-                                    counts, throughput);
+    q.energy_j =
+        computeEnergyTotal(co, arch_, layer, mapping, scratch.tiles,
+                           scratch.counts, throughput);
     return q;
+}
+
+std::vector<std::optional<QuickEval>>
+Evaluator::quickEvaluateBatch(const LayerShape &layer,
+                              const Mapping *mappings, std::size_t n,
+                              unsigned threads) const
+{
+    std::vector<std::optional<QuickEval>> out(n);
+    ThreadPool &pool = ThreadPool::forThreads(threads);
+    pool.parallelForChunked(
+        n, [&](std::size_t begin, std::size_t end, unsigned) {
+            // One arena per worker chunk: every candidate in the
+            // chunk reuses the same tile-analysis and access-count
+            // buffers.
+            EvalScratch scratch;
+            for (std::size_t i = begin; i < end; ++i)
+                out[i] =
+                    quickEvaluateWith(scratch, layer, mappings[i]);
+        });
+    return out;
+}
+
+std::vector<std::optional<QuickEval>>
+Evaluator::quickEvaluateBatch(const LayerShape &layer,
+                              const std::vector<Mapping> &mappings,
+                              unsigned threads) const
+{
+    return quickEvaluateBatch(layer, mappings.data(), mappings.size(),
+                              threads);
 }
 
 std::uint64_t
@@ -115,6 +183,53 @@ Evaluator::archFingerprint() const
         fingerprint_ = h;
     });
     return fingerprint_;
+}
+
+std::uint64_t
+Evaluator::modelFingerprint() const
+{
+    std::call_once(model_fingerprint_once_, [this] {
+        // FNV-1a over the arch fingerprint plus every resolved
+        // coefficient a QuickEval's energy reads: the registry is
+        // opaque (arbitrary estimator code), but the resolved
+        // coefficients ARE its entire contribution to quick
+        // evaluation, so hashing them keys exactly the quantity
+        // cached results depend on.
+        const EnergyCoefficients &co = quickCoefficients();
+        std::uint64_t h = 1469598103934665603ull;
+        auto addBytes = [&h](const void *p, std::size_t n) {
+            const unsigned char *bytes =
+                static_cast<const unsigned char *>(p);
+            for (std::size_t i = 0; i < n; ++i) {
+                h ^= bytes[i];
+                h *= 1099511628211ull;
+            }
+        };
+        auto addDouble = [&](double v) { addBytes(&v, sizeof(v)); };
+        auto addU64 = [&](std::uint64_t v) {
+            addBytes(&v, sizeof(v));
+        };
+
+        addU64(archFingerprint());
+        for (const EnergyCoefficients::LevelEnergy &e : co.levels) {
+            addDouble(e.read);
+            addDouble(e.write);
+            addDouble(e.update);
+        }
+        for (const EnergyCoefficients::ConverterEnergy &ce :
+             co.converters) {
+            addU64(ce.boundary);
+            addU64(tensorIndex(ce.tensor));
+            addDouble(ce.energy_per_conversion);
+            addDouble(ce.spatial_reuse);
+            addDouble(ce.window_reuse);
+        }
+        addDouble(co.mac_energy);
+        for (double p : co.static_powers_w)
+            addDouble(p);
+        model_fingerprint_ = h;
+    });
+    return model_fingerprint_;
 }
 
 const EnergyCoefficients &

@@ -24,9 +24,9 @@
 #include "model/throughput.hpp"
 #include "workload/layer.hpp"
 
-namespace ploop {
+#include "model/tile_analysis.hpp"
 
-class TileAnalysis;
+namespace ploop {
 
 /** Everything the model computes for one (layer, mapping). */
 struct EvalResult
@@ -65,6 +65,20 @@ struct QuickEval
     double edp() const { return energy_j * runtime_s; }
 };
 
+/**
+ * Reusable scratch arena for quick evaluation: one TileAnalysis and
+ * one AccessCounts buffer, overwritten per candidate.  A search
+ * worker keeps one EvalScratch for its whole run, so evaluating a
+ * candidate allocates nothing after the arena's first use.  Arenas
+ * are not thread-safe; give each worker lane its own (see
+ * Evaluator::quickEvaluateBatch).
+ */
+struct EvalScratch
+{
+    TileAnalysis tiles;
+    AccessCounts counts;
+};
+
 /** Evaluates mappings of layers onto one architecture. */
 class Evaluator
 {
@@ -88,6 +102,19 @@ class Evaluator
      * reconstruction -- e.g. across sweep points.
      */
     std::uint64_t archFingerprint() const;
+
+    /**
+     * Fingerprint of everything a QuickEval depends on: the arch
+     * fingerprint combined with the RESOLVED energy coefficients of
+     * this (arch, registry) pair.  Two evaluators share a model
+     * fingerprint exactly when they produce bit-identical quick
+     * evaluations, so caches keyed on it (EvalCache's scope) can be
+     * shared across evaluators without ever serving an energy
+     * computed under a different registry.  Computed once,
+     * thread-safe; resolves the coefficients lazily like
+     * quickEvaluate does.
+     */
+    std::uint64_t modelFingerprint() const;
 
     /**
      * Check mapping validity (fanout caps, coverage, capacities).
@@ -137,7 +164,65 @@ class Evaluator
     quickEvaluate(const LayerShape &layer, const Mapping &mapping,
                   std::string *why = nullptr) const;
 
+    /**
+     * quickEvaluate() against a caller-owned arena: identical values
+     * (quickEvaluate delegates here with a local arena), but all
+     * intermediate state lives in @p scratch, so repeated calls
+     * perform no heap allocation.  On return scratch.tiles holds the
+     * analysis of @p mapping (valid-shape mappings only), ready for
+     * quickEvaluateDelta() probes around it.
+     */
+    std::optional<QuickEval>
+    quickEvaluateWith(EvalScratch &scratch, const LayerShape &layer,
+                      const Mapping &mapping,
+                      std::string *why = nullptr) const;
+
+    /**
+     * Incremental probe evaluation for hill climbing.  Precondition:
+     * scratch.tiles holds the analysis (via quickEvaluateWith or
+     * TileAnalysis::analyze) of a shape-VALID base mapping for this
+     * layer, and @p mapping differs from that base only in dim
+     * @p moved's per-level TEMPORAL factors (a hill-climb factor
+     * move).  That precondition shrinks shape re-validation to one
+     * dim's coverage, and only the moved tile column is recomputed
+     * (TileAnalysis::applyDelta) and restored afterwards, so the
+     * arena stays synced to the base for the next probe.  Values are
+     * bit-identical to quickEvaluate(layer, mapping) (tested over
+     * randomized triples).
+     */
+    std::optional<QuickEval>
+    quickEvaluateDelta(EvalScratch &scratch, const LayerShape &layer,
+                       const Mapping &mapping, Dim moved,
+                       std::string *why = nullptr) const;
+
+    /**
+     * Batched quick evaluation: validate and score @p n candidates in
+     * one call, fanning out across the thread pool with one arena per
+     * worker chunk.  out[i] is quickEvaluate(layer, mappings[i])
+     * (nullopt for invalid candidates), bit-identical to the
+     * per-candidate path.
+     *
+     * @param threads Worker lanes (0 = automatic, as SearchOptions).
+     */
+    std::vector<std::optional<QuickEval>>
+    quickEvaluateBatch(const LayerShape &layer, const Mapping *mappings,
+                       std::size_t n, unsigned threads = 0) const;
+
+    /** Convenience overload over a vector of candidates. */
+    std::vector<std::optional<QuickEval>>
+    quickEvaluateBatch(const LayerShape &layer,
+                       const std::vector<Mapping> &mappings,
+                       unsigned threads = 0) const;
+
   private:
+    /**
+     * Shared tail of the quick paths: capacity check on
+     * scratch.tiles, then the objective-only rollup into
+     * scratch.counts.
+     */
+    std::optional<QuickEval>
+    quickFromScratch(EvalScratch &scratch, const LayerShape &layer,
+                     const Mapping &mapping, std::string *why) const;
     /** Model rollup from an already-built tile analysis. */
     EvalResult modelFromTiles(const LayerShape &layer,
                               const Mapping &mapping,
@@ -153,6 +238,8 @@ class Evaluator
     mutable EnergyCoefficients quick_;
     mutable std::once_flag fingerprint_once_;
     mutable std::uint64_t fingerprint_ = 0;
+    mutable std::once_flag model_fingerprint_once_;
+    mutable std::uint64_t model_fingerprint_ = 0;
 };
 
 } // namespace ploop

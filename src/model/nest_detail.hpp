@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared internals of the nest analysis: the per-level factor
+ * products both the access-count model (access_counts.cpp) and the
+ * converter-count model (converter_counts.cpp) are defined over.
+ * One definition keeps the two models from silently diverging.
+ */
+
+#ifndef PHOTONLOOP_MODEL_NEST_DETAIL_HPP
+#define PHOTONLOOP_MODEL_NEST_DETAIL_HPP
+
+#include <cstddef>
+
+#include "mapping/mapping.hpp"
+#include "model/tile_analysis.hpp"
+#include "workload/dims.hpp"
+
+namespace ploop::detail {
+
+/** Product of spatial factors of dims NOT in @p rel at level @p l. */
+inline double
+irrelevantSpatial(const Mapping &mapping, std::size_t l, DimSet rel)
+{
+    double p = 1;
+    for (Dim d : kAllDims) {
+        if (!rel.contains(d))
+            p *= static_cast<double>(mapping.level(l).s(d));
+    }
+    return p;
+}
+
+/**
+ * fills_total(l, t): words newly loaded into all instances of keeper
+ * level l: tile(l,t) times the product of relevant temporal AND
+ * spatial factors at all levels above l.  @p rel must be
+ * tensorDims(t), hoisted by the caller.
+ */
+inline double
+fillsTotal(const Mapping &mapping, const TileAnalysis &tiles,
+           std::size_t l, Tensor t, DimSet rel)
+{
+    double fills = static_cast<double>(tiles.tileWords(l, t));
+    for (std::size_t m = l + 1; m < mapping.numLevels(); ++m) {
+        for (Dim d : kAllDims) {
+            if (rel.contains(d)) {
+                fills *= static_cast<double>(mapping.level(m).t(d)) *
+                         static_cast<double>(mapping.level(m).s(d));
+            }
+        }
+    }
+    return fills;
+}
+
+} // namespace ploop::detail
+
+#endif // PHOTONLOOP_MODEL_NEST_DETAIL_HPP

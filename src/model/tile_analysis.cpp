@@ -9,15 +9,24 @@ namespace ploop {
 
 TileAnalysis::TileAnalysis(const ArchSpec &arch, const LayerShape &layer,
                            const Mapping &mapping)
-    : arch_(arch), layer_(layer)
 {
-    // Hot path (one TileAnalysis per candidate evaluation): only
-    // build the message when the check actually fails.
+    analyze(arch, layer, mapping);
+}
+
+void
+TileAnalysis::analyze(const ArchSpec &arch, const LayerShape &layer,
+                      const Mapping &mapping)
+{
+    // Hot path (one analysis per candidate evaluation): only build
+    // the message when the check actually fails.
     if (mapping.numLevels() != arch.numLevels()) {
         fatal("mapping has " + std::to_string(mapping.numLevels()) +
               " levels but arch has " +
               std::to_string(arch.numLevels()));
     }
+    arch_ = &arch;
+    layer_ = &layer;
+    delta_pending_ = false;
 
     const std::size_t nlevels = arch.numLevels();
     ext_.resize(nlevels);
@@ -30,23 +39,77 @@ TileAnalysis::TileAnalysis(const ArchSpec &arch, const LayerShape &layer,
         }
     }
 
+    for (std::size_t l = 0; l < nlevels; ++l)
+        recomputeTiles(l);
+}
+
+void
+TileAnalysis::recomputeTiles(std::size_t l)
+{
+    const LayerShape &layer = *layer_;
+    auto e = [&](Dim d) { return ext_[l][dimIndex(d)]; };
+    // Weights: K*C*R*S.
+    tiles_[l][tensorIndex(Tensor::Weights)] =
+        e(Dim::K) * e(Dim::C) * e(Dim::R) * e(Dim::S);
+    // Inputs: N*C*h*w through the sliding window, clipped to the
+    // full input footprint.
+    std::uint64_t h = (e(Dim::P) - 1) * layer.hstride() + e(Dim::R);
+    std::uint64_t w = (e(Dim::Q) - 1) * layer.wstride() + e(Dim::S);
+    h = std::min(h, layer.inputHeight());
+    w = std::min(w, layer.inputWidth());
+    tiles_[l][tensorIndex(Tensor::Inputs)] =
+        e(Dim::N) * e(Dim::C) * h * w;
+    // Outputs: N*K*P*Q.
+    tiles_[l][tensorIndex(Tensor::Outputs)] =
+        e(Dim::N) * e(Dim::K) * e(Dim::P) * e(Dim::Q);
+}
+
+void
+TileAnalysis::applyDelta(const Mapping &mapping, Dim d)
+{
+    fatalIf(!arch_, "applyDelta before analyze");
+    fatalIf(delta_pending_, "applyDelta with a delta pending");
+    fatalIf(mapping.numLevels() != ext_.size(),
+            "applyDelta level count mismatch");
+
+    const std::size_t nlevels = ext_.size();
+    const std::size_t di = dimIndex(d);
+    saved_ext_.resize(nlevels);
+    saved_tiles_.resize(nlevels);
     for (std::size_t l = 0; l < nlevels; ++l) {
-        auto e = [&](Dim d) { return ext_[l][dimIndex(d)]; };
-        // Weights: K*C*R*S.
-        tiles_[l][tensorIndex(Tensor::Weights)] =
-            e(Dim::K) * e(Dim::C) * e(Dim::R) * e(Dim::S);
-        // Inputs: N*C*h*w through the sliding window, clipped to the
-        // full input footprint.
-        std::uint64_t h = (e(Dim::P) - 1) * layer.hstride() + e(Dim::R);
-        std::uint64_t w = (e(Dim::Q) - 1) * layer.wstride() + e(Dim::S);
-        h = std::min(h, layer.inputHeight());
-        w = std::min(w, layer.inputWidth());
-        tiles_[l][tensorIndex(Tensor::Inputs)] =
-            e(Dim::N) * e(Dim::C) * h * w;
-        // Outputs: N*K*P*Q.
-        tiles_[l][tensorIndex(Tensor::Outputs)] =
-            e(Dim::N) * e(Dim::K) * e(Dim::P) * e(Dim::Q);
+        saved_ext_[l] = ext_[l][di];
+        saved_tiles_[l] = tiles_[l];
     }
+    delta_dim_ = d;
+    delta_pending_ = true;
+
+    // Cumulative product over levels 0..l, the same order
+    // Mapping::extent() multiplies in, clipped to the layer bound.
+    // Levels whose clipped extent is unchanged (inner levels below
+    // the move, or anything already clipped at the bound) keep their
+    // tile rows as-is: tiles_[l] depends only on ext_[l].
+    const std::uint64_t bound = layer_->bound(d);
+    std::uint64_t cum = 1;
+    for (std::size_t l = 0; l < nlevels; ++l) {
+        cum *= mapping.level(l).t(d) * mapping.level(l).s(d);
+        std::uint64_t clipped = std::min(cum, bound);
+        if (clipped != ext_[l][di]) {
+            ext_[l][di] = clipped;
+            recomputeTiles(l);
+        }
+    }
+}
+
+void
+TileAnalysis::revert()
+{
+    fatalIf(!delta_pending_, "revert without a pending delta");
+    const std::size_t di = dimIndex(delta_dim_);
+    for (std::size_t l = 0; l < ext_.size(); ++l) {
+        ext_[l][di] = saved_ext_[l];
+        tiles_[l] = saved_tiles_[l];
+    }
+    delta_pending_ = false;
 }
 
 std::uint64_t
@@ -66,7 +129,8 @@ TileAnalysis::tileWords(std::size_t l, Tensor t) const
 std::uint64_t
 TileAnalysis::keptWords(std::size_t l) const
 {
-    const StorageLevelSpec &spec = arch_.level(l);
+    fatalIf(!arch_, "tile analysis used before analyze()");
+    const StorageLevelSpec &spec = arch_->level(l);
     std::uint64_t words = 0;
     for (Tensor t : kAllTensors) {
         if (spec.keepsTensor(t))
@@ -78,12 +142,13 @@ TileAnalysis::keptWords(std::size_t l) const
 bool
 TileAnalysis::fitsCapacities(std::string *why) const
 {
+    fatalIf(!arch_, "tile analysis used before analyze()");
     // The outermost level is the data source (DRAM, or chip I/O in
     // accelerator-only configurations): its "tile" is the whole
     // workload footprint by construction, so it is exempt from the
     // capacity check.
-    for (std::size_t l = 0; l + 1 < arch_.numLevels(); ++l) {
-        const StorageLevelSpec &spec = arch_.level(l);
+    for (std::size_t l = 0; l + 1 < arch_->numLevels(); ++l) {
+        const StorageLevelSpec &spec = arch_->level(l);
         if (spec.capacity_words == 0)
             continue;
         std::uint64_t need = keptWords(l);

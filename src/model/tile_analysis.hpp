@@ -8,6 +8,13 @@
  * mapping factors cover index space that holds no data, so tiles never
  * exceed the tensor footprint.  Inputs are sized through the sliding
  * window: an input tile spans (P_ext-1)*hstride + R_ext rows.
+ *
+ * The analysis is reusable: analyze() recomputes in place against the
+ * same buffers, so a search loop can keep ONE TileAnalysis per worker
+ * and evaluate thousands of candidates without heap allocation.  For
+ * hill-climb probes, applyDelta()/revert() recompute only the one dim
+ * column a factor move touches -- bit-identical to a full analyze()
+ * of the moved mapping (tested).
  */
 
 #ifndef PHOTONLOOP_MODEL_TILE_ANALYSIS_HPP
@@ -27,6 +34,9 @@ namespace ploop {
 class TileAnalysis
 {
   public:
+    /** Empty analysis; call analyze() before any accessor. */
+    TileAnalysis() = default;
+
     /**
      * Analyze one (arch, layer, mapping) triple.  The mapping must
      * have arch.numLevels() levels; no validity checks beyond that
@@ -34,6 +44,33 @@ class TileAnalysis
      */
     TileAnalysis(const ArchSpec &arch, const LayerShape &layer,
                  const Mapping &mapping);
+
+    /**
+     * Recompute for a (possibly different) triple, reusing the
+     * internal buffers: after the first call on a given level count,
+     * re-analysis performs no heap allocation.  @p arch and @p layer
+     * are held by pointer and must outlive the next analyze().
+     */
+    void analyze(const ArchSpec &arch, const LayerShape &layer,
+                 const Mapping &mapping);
+
+    /**
+     * Incremental re-analysis for a factor move: @p mapping must be
+     * the analyzed mapping with ONLY dim @p d's per-level factors
+     * changed (any levels, temporal or spatial -- the tile math is
+     * exact for both; note Evaluator::quickEvaluateDelta layers a
+     * stricter TEMPORAL-only precondition on top, because its
+     * validation shortcut assumes spatial factors are unchanged).
+     * Recomputes just the d column of extents and the tile rows
+     * whose clipped extent actually changed; the result is
+     * bit-identical to analyze(arch, layer, mapping).  The previous
+     * column is saved so revert() can restore it; deltas do not nest
+     * (applyDelta with a delta pending is fatal).
+     */
+    void applyDelta(const Mapping &mapping, Dim d);
+
+    /** Undo the last applyDelta() (fatal if none is pending). */
+    void revert();
 
     /** Dim extent at level @p l, clipped to the layer bound. */
     std::uint64_t extent(std::size_t l, Dim d) const;
@@ -51,12 +88,21 @@ class TileAnalysis
     bool fitsCapacities(std::string *why = nullptr) const;
 
   private:
-    const ArchSpec &arch_;
-    const LayerShape &layer_;
+    /** Recompute tiles_[l] from ext_[l] (the one formula site). */
+    void recomputeTiles(std::size_t l);
+
+    const ArchSpec *arch_ = nullptr;
+    const LayerShape *layer_ = nullptr;
     // ext_[l][dimIndex]: clipped cumulative extent at level l.
     std::vector<std::array<std::uint64_t, kNumDims>> ext_;
     // tiles_[l][tensorIndex]: tile words.
     std::vector<std::array<std::uint64_t, kNumTensors>> tiles_;
+
+    // applyDelta() undo state: the saved dim column and tile rows.
+    bool delta_pending_ = false;
+    Dim delta_dim_ = Dim::K;
+    std::vector<std::uint64_t> saved_ext_;
+    std::vector<std::array<std::uint64_t, kNumTensors>> saved_tiles_;
 };
 
 } // namespace ploop

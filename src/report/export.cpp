@@ -1,5 +1,6 @@
 #include "report/export.hpp"
 
+#include <cmath>
 #include <fstream>
 
 #include "common/error.hpp"
@@ -73,14 +74,23 @@ jsonEscape(const std::string &s)
 } // namespace
 
 std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    return strFormat("%.9g", v);
+}
+
+std::string
 toJson(const std::vector<ResultRow> &rows)
 {
     std::string out = "[\n";
     for (std::size_t r = 0; r < rows.size(); ++r) {
         out += "  {\"label\": \"" + jsonEscape(rows[r].label) + "\"";
         for (const auto &[key, v] : rows[r].values)
-            out += strFormat(", \"%s\": %.9g",
-                             jsonEscape(key).c_str(), v);
+            out += strFormat(", \"%s\": %s",
+                             jsonEscape(key).c_str(),
+                             jsonNumber(v).c_str());
         out += r + 1 < rows.size() ? "},\n" : "}\n";
     }
     out += "]\n";

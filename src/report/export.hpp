@@ -34,6 +34,15 @@ struct ResultRow
  */
 std::string toCsv(const std::vector<ResultRow> &rows);
 
+/**
+ * Render a double as a JSON number token.  JSON has no NaN/Inf
+ * literals, so non-finite values (an unreachable throughput, a 0/0
+ * ratio) render as "null" -- a bare "nan"/"inf" token would make the
+ * whole document unparseable.  Every JSON emitter must route doubles
+ * through this.
+ */
+std::string jsonNumber(double v);
+
 /** Render rows as a JSON array of objects. */
 std::string toJson(const std::vector<ResultRow> &rows);
 

@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Tests for the batched + incremental evaluation pipeline: arena
+ * (EvalScratch) evaluation parity, quickEvaluateBatch parity,
+ * incremental (delta) quick evaluation parity, and cross-search
+ * EvalCache sharing with exact per-phase statistics.
+ */
+
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.hpp"
+#include "core/sweep.hpp"
+#include "mapper/factorize.hpp"
+#include "mapper/mapper.hpp"
+#include "mapper/mapspace.hpp"
+#include "model/evaluator.hpp"
+#include "test_helpers.hpp"
+
+namespace ploop {
+namespace {
+
+using ploop::testing::makeDigitalArch;
+using ploop::testing::makeSmallConv;
+
+/** Both optionals empty, or both engaged with bit-identical values. */
+void
+expectSameQuick(const std::optional<QuickEval> &a,
+                const std::optional<QuickEval> &b,
+                const std::string &what)
+{
+    ASSERT_EQ(a.has_value(), b.has_value()) << what;
+    if (a) {
+        EXPECT_EQ(a->energy_j, b->energy_j) << what;
+        EXPECT_EQ(a->runtime_s, b->runtime_s) << what;
+    }
+}
+
+/** Random candidates, a mix of valid and invalid mappings. */
+std::vector<Mapping>
+randomCandidates(const ArchSpec &arch, const LayerShape &layer,
+                 std::size_t n, std::uint64_t seed)
+{
+    Mapspace mapspace(arch, layer);
+    std::mt19937_64 rng(seed);
+    std::vector<Mapping> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        Mapping m = mapspace.randomSample(rng);
+        if (i % 4 == 3) {
+            // Break validity in assorted ways: blow a spatial cap or
+            // shrink coverage below the bound.
+            if ((i / 4) % 2 == 0)
+                m.level(0).setS(Dim::K, 1000);
+            else
+                for (std::size_t l = 0; l < m.numLevels(); ++l)
+                    m.level(l).setT(Dim::C, 1);
+        }
+        out.push_back(std::move(m));
+    }
+    return out;
+}
+
+TEST(BatchEval, ArenaEvaluationMatchesPerCandidatePath)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    ArchSpec arch = makeDigitalArch();
+    Evaluator evaluator(arch, registry);
+    LayerShape layer = makeSmallConv();
+
+    std::vector<Mapping> candidates =
+        randomCandidates(arch, layer, 64, 7);
+    EvalScratch scratch; // ONE arena reused across all candidates.
+    for (const Mapping &m : candidates) {
+        expectSameQuick(
+            evaluator.quickEvaluateWith(scratch, layer, m),
+            evaluator.quickEvaluate(layer, m), "arena parity");
+    }
+}
+
+TEST(BatchEval, QuickEvaluateBatchMatchesPerCandidatePath)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    ArchSpec arch = makeDigitalArch();
+    Evaluator evaluator(arch, registry);
+    LayerShape layer = makeSmallConv();
+
+    std::vector<Mapping> candidates =
+        randomCandidates(arch, layer, 100, 11);
+    for (unsigned threads : {1u, 4u}) {
+        auto batch =
+            evaluator.quickEvaluateBatch(layer, candidates, threads);
+        ASSERT_EQ(batch.size(), candidates.size());
+        std::size_t valid = 0;
+        for (std::size_t i = 0; i < candidates.size(); ++i) {
+            expectSameQuick(batch[i],
+                            evaluator.quickEvaluate(layer,
+                                                    candidates[i]),
+                            "batch parity");
+            valid += batch[i].has_value();
+        }
+        // The mix must exercise both outcomes to mean anything.
+        EXPECT_GT(valid, 0u);
+        EXPECT_LT(valid, candidates.size());
+    }
+}
+
+TEST(BatchEval, DeltaEvaluationMatchesFullQuickEvaluate)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    ArchSpec arch = makeDigitalArch();
+    Evaluator evaluator(arch, registry);
+    LayerShape layer = makeSmallConv();
+
+    Mapspace mapspace(arch, layer);
+    std::mt19937_64 rng(13);
+    const std::size_t nlevels = arch.numLevels();
+    int checked = 0;
+    for (int trial = 0; trial < 40; ++trial) {
+        Mapping base = mapspace.randomSample(rng);
+        EvalScratch scratch;
+        // Delta probes require an analyzed base in the arena.
+        if (!evaluator.quickEvaluateWith(scratch, layer, base))
+            continue;
+        for (Dim d : kAllDims) {
+            std::size_t a = rng() % nlevels;
+            std::size_t b =
+                (a + 1 + rng() % (nlevels - 1)) % nlevels;
+            Mapping probe = base;
+            std::uint64_t from = probe.level(a).t(d);
+            std::uint64_t to = probe.level(b).t(d);
+            if (!moveFactor(from, to, 2 + rng() % 6))
+                continue;
+            probe.level(a).setT(d, from);
+            probe.level(b).setT(d, to);
+            expectSameQuick(
+                evaluator.quickEvaluateDelta(scratch, layer, probe,
+                                             d),
+                evaluator.quickEvaluate(layer, probe),
+                "delta parity");
+            ++checked;
+        }
+        // The arena must still be synced to the base after the
+        // probes: a plain arena evaluation of the base agrees.
+        expectSameQuick(
+            evaluator.quickEvaluateWith(scratch, layer, base),
+            evaluator.quickEvaluate(layer, base), "base resync");
+    }
+    EXPECT_GT(checked, 20);
+}
+
+/**
+ * Cross-point cache sharing: two sweep points with identical
+ * architectures (separately built, so only the CONTENT fingerprint
+ * can match) and the same layer share one EvalCache.  The second
+ * search runs almost entirely from warm entries, finds the identical
+ * result, and both report exact per-phase stats -- the seed phase
+ * once added absolute counters, which double-counts the moment a
+ * cache outlives one search.
+ */
+TEST(SharedEvalCache, CrossPointHitsWithExactPerPhaseStats)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    ArchSpec arch1 = makeDigitalArch();
+    ArchSpec arch2 = makeDigitalArch();
+    Evaluator e1(arch1, registry);
+    Evaluator e2(arch2, registry);
+    LayerShape layer = makeSmallConv();
+
+    SearchOptions options;
+    options.random_samples = 32;
+    options.hill_climb_rounds = 8;
+    options.threads = 1; // Deterministic hit/miss sequence.
+
+    EvalCache cache;
+    MapperResult r1 = Mapper(e1, options).search(layer, &cache);
+    MapperResult r2 = Mapper(e2, options).search(layer, &cache);
+
+    // Same deterministic search, same result.
+    EXPECT_TRUE(sameFactorTuples(r1.mapping, r2.mapping));
+    EXPECT_EQ(r1.result.totalEnergy(), r2.result.totalEnergy());
+    EXPECT_EQ(r1.stats.evaluated, r2.stats.evaluated);
+    EXPECT_EQ(r1.stats.invalid, r2.stats.invalid);
+
+    // Exact per-phase accounting: each run reports ITS OWN lookups.
+    // The runs perform identical lookup sequences, so totals agree;
+    // absolute (non-delta) accounting would have inflated run 2's
+    // totals by run 1's entire traffic.
+    EXPECT_EQ(r1.stats.cache_hits + r1.stats.cache_misses,
+              r2.stats.cache_hits + r2.stats.cache_misses);
+
+    // Cross-point warmth: run 2 serves from run 1's entries.  Every
+    // valid evaluation hits (only invalid probes still miss).
+    EXPECT_GT(r2.stats.cache_hits, r1.stats.cache_hits);
+    EXPECT_EQ(r2.stats.cache_misses, r2.stats.invalid);
+}
+
+TEST(SharedEvalCache, PrivateCacheStatsUnchangedByDeltaAccounting)
+{
+    // A lone search (fresh private cache) must report the same stats
+    // as before the accounting fix: deltas from zero are absolutes.
+    EnergyRegistry registry = makeDefaultRegistry();
+    ArchSpec arch = makeDigitalArch();
+    Evaluator evaluator(arch, registry);
+    LayerShape layer = makeSmallConv();
+
+    SearchOptions options;
+    options.random_samples = 32;
+    options.hill_climb_rounds = 8;
+    options.threads = 1;
+
+    EvalCache lone;
+    MapperResult shared =
+        Mapper(evaluator, options).search(layer, &lone);
+    MapperResult priv = Mapper(evaluator, options).search(layer);
+    EXPECT_EQ(priv.stats.cache_hits, shared.stats.cache_hits);
+    EXPECT_EQ(priv.stats.cache_misses, shared.stats.cache_misses);
+    EXPECT_EQ(priv.stats.evaluated, shared.stats.evaluated);
+}
+
+// Regression: stats must be accounted from lookup OUTCOMES.
+// Counter-snapshot deltas against the shared cache's global counters
+// would attribute the traffic of concurrently-running searches to
+// each other; outcome accounting makes every search's
+// hits + misses equal ITS OWN deterministic lookup count no matter
+// how many searches share the cache in parallel.
+TEST(SharedEvalCache, ConcurrentSearchesAccountOnlyTheirOwnLookups)
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    ArchSpec arch = makeDigitalArch();
+    Evaluator evaluator(arch, registry);
+    LayerShape layer = makeSmallConv();
+
+    SearchOptions options;
+    options.random_samples = 32;
+    options.hill_climb_rounds = 8;
+    options.threads = 1; // Per-search; the searches themselves race.
+
+    // Reference: a lone search's lookup total (thread-invariant).
+    MapperResult ref = Mapper(evaluator, options).search(layer);
+    const std::uint64_t lookups =
+        ref.stats.cache_hits + ref.stats.cache_misses;
+
+    EvalCache shared;
+    constexpr std::size_t kSearches = 4;
+    std::vector<std::optional<MapperResult>> slots(kSearches);
+    ThreadPool::forThreads(4).parallelFor(
+        kSearches, [&](std::size_t i) {
+            slots[i].emplace(Mapper(evaluator, options)
+                                 .search(layer, &shared));
+        });
+    for (const auto &slot : slots) {
+        ASSERT_TRUE(slot.has_value());
+        EXPECT_EQ(slot->stats.cache_hits + slot->stats.cache_misses,
+                  lookups);
+        EXPECT_TRUE(sameFactorTuples(slot->mapping, ref.mapping));
+        EXPECT_EQ(slot->result.totalEnergy(),
+                  ref.result.totalEnergy());
+    }
+}
+
+/** Constant-energy "sram" estimator with a configurable magnitude. */
+class FlatSramEstimator : public Estimator
+{
+  public:
+    explicit FlatSramEstimator(double joules) : joules_(joules) {}
+    std::string klass() const override { return "sram"; }
+    bool supports(Action action) const override
+    {
+        return action == Action::Read || action == Action::Write ||
+               action == Action::Update;
+    }
+    double energy(Action, const Attributes &) const override
+    {
+        return joules_;
+    }
+    double area(const Attributes &) const override { return 0.0; }
+
+  private:
+    double joules_;
+};
+
+// Regression: the cache scope must fold in the energy model, not the
+// architecture alone.  Two evaluators over the SAME arch but
+// different registries produce different energies; a shared cache
+// keyed only on the arch fingerprint would serve the first
+// evaluator's energies to the second.
+TEST(SharedEvalCache, DifferentRegistriesNeverShareEntries)
+{
+    ArchSpec arch = makeDigitalArch();
+    LayerShape layer = makeSmallConv();
+    Mapping mapping = Mapping::trivial(arch, layer);
+
+    EnergyRegistry cheap = makeDefaultRegistry();
+    cheap.registerEstimator(
+        std::make_unique<FlatSramEstimator>(1e-12));
+    EnergyRegistry pricey = makeDefaultRegistry();
+    pricey.registerEstimator(
+        std::make_unique<FlatSramEstimator>(5e-12));
+
+    Evaluator cheap_eval(arch, cheap);
+    Evaluator pricey_eval(arch, pricey);
+    EXPECT_EQ(cheap_eval.archFingerprint(),
+              pricey_eval.archFingerprint());
+    EXPECT_NE(cheap_eval.modelFingerprint(),
+              pricey_eval.modelFingerprint());
+
+    EvalCache cache;
+    QuickEval a, b;
+    ASSERT_EQ(cache.evaluateThrough(cheap_eval, layer, mapping, a),
+              CachedEval::Computed);
+    // Same arch, same mapping, other registry: must NOT hit.
+    ASSERT_EQ(cache.evaluateThrough(pricey_eval, layer, mapping, b),
+              CachedEval::Computed);
+    EXPECT_NE(a.energy_j, b.energy_j);
+
+    // Each scope memoizes independently.
+    EXPECT_EQ(cache.evaluateThrough(cheap_eval, layer, mapping, a),
+              CachedEval::Hit);
+    EXPECT_EQ(cache.evaluateThrough(pricey_eval, layer, mapping, b),
+              CachedEval::Hit);
+}
+
+TEST(SharedEvalCache, SweepSharesAcrossIdenticalPoints)
+{
+    // A sweep whose generator ignores the parameter: every point
+    // builds the identical architecture, so all points share one
+    // evaluation scope through runSweep's shared cache and must agree
+    // exactly.
+    EnergyRegistry registry = makeDefaultRegistry();
+    SweepSpec spec;
+    spec.make_arch = [](double) { return makeDigitalArch(); };
+    spec.values = {1.0, 2.0, 3.0};
+    spec.search.random_samples = 16;
+    spec.search.hill_climb_rounds = 4;
+
+    auto points = runSweep(spec, makeSmallConv(), registry);
+    ASSERT_EQ(points.size(), 3u);
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        EXPECT_TRUE(
+            sameFactorTuples(points[0].mapping, points[i].mapping));
+        EXPECT_EQ(points[0].result.totalEnergy(),
+                  points[i].result.totalEnergy());
+    }
+}
+
+} // namespace
+} // namespace ploop

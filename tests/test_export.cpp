@@ -1,5 +1,6 @@
 /** @file Unit tests for the report/export module. */
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 
@@ -63,6 +64,37 @@ TEST(ToJson, WellFormed)
     // Array brackets and object separators.
     EXPECT_EQ(json.front(), '[');
     EXPECT_NE(json.find("},"), std::string::npos);
+}
+
+TEST(JsonNumber, FiniteRendersNonFiniteIsNull)
+{
+    EXPECT_EQ(jsonNumber(1.5), "1.5");
+    EXPECT_EQ(jsonNumber(-2.0), "-2");
+    EXPECT_EQ(jsonNumber(0.0), "0");
+    EXPECT_EQ(jsonNumber(std::nan("")), "null");
+    EXPECT_EQ(jsonNumber(HUGE_VAL), "null");
+    EXPECT_EQ(jsonNumber(-HUGE_VAL), "null");
+}
+
+// Regression: %.9g printed bare nan/inf tokens, which no JSON parser
+// accepts -- one unreachable-throughput metric poisoned the whole
+// document.
+TEST(ToJson, NonFiniteValuesBecomeNull)
+{
+    ResultRow r{"bad",
+                {{"ok", 1.5},
+                 {"nan_metric", std::nan("")},
+                 {"inf_metric", HUGE_VAL},
+                 {"ninf_metric", -HUGE_VAL}}};
+    std::string json = toJson({r});
+    EXPECT_NE(json.find("\"ok\": 1.5"), std::string::npos);
+    EXPECT_NE(json.find("\"nan_metric\": null"), std::string::npos);
+    EXPECT_NE(json.find("\"inf_metric\": null"), std::string::npos);
+    EXPECT_NE(json.find("\"ninf_metric\": null"), std::string::npos);
+    EXPECT_EQ(json.find("nan\n"), std::string::npos);
+    EXPECT_EQ(json.find(": nan"), std::string::npos);
+    EXPECT_EQ(json.find(": inf"), std::string::npos);
+    EXPECT_EQ(json.find(": -inf"), std::string::npos);
 }
 
 TEST(ToJson, EscapesStrings)

@@ -1,5 +1,7 @@
 /** @file Unit tests for mapper/factorize. */
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
@@ -54,6 +56,51 @@ TEST(GreedyCappedSplit, ErrorsOnBadInput)
 {
     EXPECT_THROW(greedyCappedSplit(0, {2}), FatalError);
     EXPECT_THROW(greedyCappedSplit(4, {}), FatalError);
+}
+
+// Regression: the seed wrote the raw remainder into the last part,
+// so a split could exceed caps.back() (e.g. 64 over {4,4,2} returned
+// {4,4,4}).  The last part must respect its cap like every other;
+// when the caps cannot cover the bound at all, that is fatal, never a
+// silently-overflowing part.
+TEST(GreedyCappedSplit, LastPartNeverExceedsItsCap)
+{
+    struct Case
+    {
+        std::uint64_t bound;
+        std::vector<std::uint64_t> caps;
+    };
+    const std::vector<Case> cases = {
+        {64, {4, 4, 4}},  {32, {4, 4, 4}}, {55, {3, 20}},
+        {10, {4, 2, 2}},  {9, {2, 2, 3}},  {17, {100}},
+        {13, {6, 2, 2}},  {5, {0, 8}},
+    };
+    for (const Case &c : cases) {
+        auto f = greedyCappedSplit(c.bound, c.caps);
+        ASSERT_EQ(f.size(), c.caps.size());
+        EXPECT_GE(product(f), c.bound);
+        for (std::size_t i = 0; i < f.size(); ++i) {
+            EXPECT_LE(f[i],
+                      std::max<std::uint64_t>(c.caps[i], 1))
+                << "part " << i << " of bound " << c.bound;
+        }
+    }
+}
+
+TEST(GreedyCappedSplit, UnfittableBoundIsFatalNotOverflowing)
+{
+    // 4*4*2 = 32 < 64: the seed returned {4,4,4}, breaking the last
+    // cap; now it is a hard error.
+    EXPECT_THROW(greedyCappedSplit(64, {4, 4, 2}), FatalError);
+    EXPECT_THROW(greedyCappedSplit(64, {2, 2, 2}), FatalError);
+    // Single capped part that cannot take the whole bound.
+    EXPECT_THROW(greedyCappedSplit(17, {8}), FatalError);
+}
+
+TEST(GreedyCappedSplit, ExactFitAtAllCaps)
+{
+    auto f = greedyCappedSplit(64, {4, 4, 4});
+    EXPECT_EQ(f, (std::vector<std::uint64_t>{4, 4, 4}));
 }
 
 TEST(DivisorSplits, AllCoverAndUseDivisors)

@@ -1,8 +1,13 @@
 /** @file Unit tests for model/tile_analysis. */
 
+#include <random>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
+#include "mapper/factorize.hpp"
+#include "mapper/mapspace.hpp"
 #include "model/tile_analysis.hpp"
 #include "test_helpers.hpp"
 
@@ -107,6 +112,116 @@ TEST(TileAnalysis, FitsCapacitiesReportsViolator)
     std::string why;
     EXPECT_FALSE(tiles.fitsCapacities(&why));
     EXPECT_NE(why.find("Regs"), std::string::npos);
+}
+
+/** All extents and tile words of @p a equal @p b's, bit for bit. */
+void
+expectAnalysesEqual(const TileAnalysis &a, const TileAnalysis &b,
+                    std::size_t nlevels, const std::string &what)
+{
+    for (std::size_t l = 0; l < nlevels; ++l) {
+        for (Dim d : kAllDims) {
+            EXPECT_EQ(a.extent(l, d), b.extent(l, d))
+                << what << ": extent level " << l << " dim "
+                << dimName(d);
+        }
+        for (Tensor t : kAllTensors) {
+            EXPECT_EQ(a.tileWords(l, t), b.tileWords(l, t))
+                << what << ": tile level " << l << " tensor "
+                << tensorName(t);
+        }
+    }
+}
+
+// The incremental path must be indistinguishable from a full
+// recomputation: over randomized (layer, mapping, move) triples,
+// applyDelta() equals a fresh analysis of the moved mapping, and
+// revert() restores the base analysis exactly.
+TEST(TileAnalysisIncremental, DeltaMatchesFullAnalysisRandomized)
+{
+    ArchSpec arch = makeDigitalArch();
+    const std::vector<LayerShape> layers = {
+        makeSmallConv(),
+        LayerShape::conv("strided", 2, 16, 8, 14, 14, 3, 3, 2, 2),
+        LayerShape::conv("pointwise", 1, 32, 16, 7, 7, 1, 1),
+    };
+    std::mt19937_64 rng(2024);
+    const std::size_t nlevels = arch.numLevels();
+
+    for (const LayerShape &layer : layers) {
+        Mapspace mapspace(arch, layer);
+        for (int trial = 0; trial < 50; ++trial) {
+            Mapping base = mapspace.randomSample(rng);
+            TileAnalysis inc(arch, layer, base);
+            TileAnalysis fresh_base(arch, layer, base);
+
+            // Random factor move: dim d between two levels, plus an
+            // occasional spatial perturbation of the same dim -- any
+            // change confined to one dim column is in-contract.
+            Dim d = kAllDims[rng() % kNumDims];
+            std::size_t a = rng() % nlevels;
+            std::size_t b = (a + 1 + rng() % (nlevels - 1)) % nlevels;
+            Mapping moved = base;
+            std::uint64_t from = moved.level(a).t(d);
+            std::uint64_t to = moved.level(b).t(d);
+            moveFactor(from, to, 2 + rng() % 6);
+            moved.level(a).setT(d, from);
+            moved.level(b).setT(d, to);
+            if (trial % 3 == 0)
+                moved.level(b).setS(d, 1 + rng() % 4);
+
+            inc.applyDelta(moved, d);
+            TileAnalysis full(arch, layer, moved);
+            expectAnalysesEqual(inc, full, nlevels, "after delta");
+
+            inc.revert();
+            expectAnalysesEqual(inc, fresh_base, nlevels,
+                                "after revert");
+        }
+    }
+}
+
+TEST(TileAnalysisIncremental, AnalyzeReusesBuffersAcrossTriples)
+{
+    ArchSpec arch = makeDigitalArch();
+    LayerShape small = makeSmallConv();
+    LayerShape other = LayerShape::conv("o", 1, 4, 2, 8, 8, 3, 3);
+    Mapping ms = Mapping::trivial(arch, small);
+    Mapping mo = Mapping::trivial(arch, other);
+
+    TileAnalysis reused(arch, small, ms);
+    reused.analyze(arch, other, mo);
+    TileAnalysis fresh(arch, other, mo);
+    expectAnalysesEqual(reused, fresh, arch.numLevels(), "re-analyze");
+
+    // And back again.
+    reused.analyze(arch, small, ms);
+    TileAnalysis fresh2(arch, small, ms);
+    expectAnalysesEqual(reused, fresh2, arch.numLevels(),
+                        "re-analyze back");
+}
+
+TEST(TileAnalysisIncremental, MisuseIsFatal)
+{
+    ArchSpec arch = makeDigitalArch();
+    LayerShape layer = makeSmallConv();
+    Mapping m = Mapping::trivial(arch, layer);
+
+    TileAnalysis tiles(arch, layer, m);
+    EXPECT_THROW(tiles.revert(), FatalError); // No delta pending.
+
+    Mapping moved = m;
+    moved.level(0).setT(Dim::K, 2);
+    tiles.applyDelta(moved, Dim::K);
+    EXPECT_THROW(tiles.applyDelta(moved, Dim::K),
+                 FatalError); // Deltas do not nest.
+    tiles.revert();
+
+    TileAnalysis unanalyzed;
+    EXPECT_THROW(unanalyzed.applyDelta(moved, Dim::K), FatalError);
+    EXPECT_THROW(unanalyzed.fitsCapacities(), FatalError);
+    EXPECT_THROW(unanalyzed.keptWords(0), FatalError);
+    EXPECT_THROW(unanalyzed.extent(0, Dim::K), FatalError);
 }
 
 TEST(TileAnalysis, MismatchedLevelsIsFatal)
