@@ -3,10 +3,17 @@
  * Design-space exploration example: sweep the Albireo reuse knobs
  * (input/output/weight conversion sharing) and the technology scaling
  * profile over ResNet18's most common layer, and print the
- * energy/throughput frontier -- the paper's §III.4 workflow in ~60
- * lines of user code.
+ * energy/throughput frontier -- the paper's §III.4 workflow.
  *
- * Run: ./build/examples/design_space_exploration
+ * The whole study runs through an EvalService session: each of the
+ * 24 configurations is built once and registered under its
+ * fingerprint, every search shares one scope-keyed EvalCache, and
+ * the warm cache is persisted to a CacheStore on exit -- so a SECOND
+ * run of this example answers almost entirely from warm entries
+ * (watch the "fresh evals" column collapse to 0).  Delete the store
+ * file to start cold again.
+ *
+ * Run: ./build/examples/example_design_space_exploration
  */
 
 #include <cstdio>
@@ -14,63 +21,100 @@
 #include "albireo/albireo_arch.hpp"
 #include "common/string_util.hpp"
 #include "common/table.hpp"
-#include "mapper/mapper.hpp"
-#include "model/evaluator.hpp"
+#include "mapper/cache_store.hpp"
+#include "service/eval_service.hpp"
 
 int
 main()
 {
     using namespace ploop;
 
+    const std::string store_path = "dse_cache.plc";
+    const std::uint64_t store_fp = 0xd5e0001ull;
+
     // ResNet18 layer2.1.conv1-like shape: the workhorse 3x3 conv.
-    LayerShape layer =
-        LayerShape::conv("resnet-3x3", 1, 128, 128, 28, 28, 3, 3);
-    EnergyRegistry registry = makeDefaultRegistry();
+    LayerRequest layer;
+    layer.name = "resnet-3x3";
+    layer.k = 128;
+    layer.c = 128;
+    layer.p = 28;
+    layer.q = 28;
+    layer.r = 3;
+    layer.s = 3;
 
     SearchOptions search;
     search.objective = Objective::Energy;
     search.random_samples = 40;
     search.hill_climb_rounds = 8;
 
-    Table table("Reuse / scaling design space (" + layer.name() +
-                ")");
+    // One session for the whole study; warm-start from a previous
+    // run's store when present.
+    EvalService service;
+    CacheStoreLoad load =
+        loadCacheStore(service.cache(), store_path, store_fp);
+    std::printf("cache store: %s\n\n", load.detail.c_str());
+
+    Table table("Reuse / scaling design space (" + layer.name + ")");
     table.setHeader({"scaling", "IR", "OR", "WR", "pJ/MAC",
-                     "MACs/cycle", "laser W", "area mm^2"});
+                     "MACs/cycle", "laser W", "area mm^2",
+                     "fresh evals"});
 
     for (ScalingProfile scaling : allScalingProfiles()) {
         for (double ir : {9.0, 27.0}) {
             for (double orf : {3.0, 9.0}) {
                 for (double wr : {1.0, 3.0}) {
-                    AlbireoConfig cfg =
-                        AlbireoConfig::paperDefault(scaling);
-                    cfg.input_reuse = ir;
-                    cfg.output_reuse = orf;
-                    cfg.weight_reuse = wr;
-                    ArchSpec arch = buildAlbireoArch(cfg);
-                    Evaluator evaluator(arch, registry);
-                    Mapper mapper(evaluator, search);
-                    MapperResult r = mapper.search(layer);
+                    SearchRequest req;
+                    req.arch = AlbireoConfig::paperDefault(scaling);
+                    req.arch.input_reuse = ir;
+                    req.arch.output_reuse = orf;
+                    req.arch.weight_reuse = wr;
+                    req.layer = layer;
+                    req.options = search;
+                    SearchResponse r = service.search(req);
+                    auto metric = [&](const char *key) {
+                        for (const auto &[k, v] : r.row.values)
+                            if (k == key)
+                                return v;
+                        return 0.0;
+                    };
                     table.addRow(
                         {scalingProfileName(scaling),
                          strFormat("%.0f", ir),
                          strFormat("%.0f", orf),
                          strFormat("%.0f", wr),
                          strFormat("%.4f",
-                                   r.result.energyPerMac() * 1e12),
-                         strFormat(
-                             "%.0f",
-                             r.result.throughput.macs_per_cycle),
+                                   metric("energy_per_mac_j") * 1e12),
+                         strFormat("%.0f", metric("macs_per_cycle")),
                          strFormat("%.2f",
-                                   albireoLaserBudget(cfg)
+                                   albireoLaserBudget(req.arch)
                                        .electrical_power_w),
-                         strFormat("%.2f",
-                                   r.result.area_m2 * 1e6)});
+                         strFormat("%.2f", metric("area_m2") * 1e6),
+                         strFormat(
+                             "%llu",
+                             static_cast<unsigned long long>(
+                                 r.stats.freshEvals()))});
                 }
             }
         }
         table.addSeparator();
     }
     std::printf("%s", table.render().c_str());
+
+    EvalService::Stats stats = service.stats();
+    std::printf("\nsession: %llu requests, %llu archs built, "
+                "%llu reused; cache %zu entries, %llu hits / %llu "
+                "misses\n",
+                static_cast<unsigned long long>(stats.requests),
+                static_cast<unsigned long long>(stats.models_built),
+                static_cast<unsigned long long>(stats.models_reused),
+                stats.cache_entries,
+                static_cast<unsigned long long>(stats.cache_hits),
+                static_cast<unsigned long long>(stats.cache_misses));
+
+    saveCacheStore(service.cache(), store_path, store_fp);
+    std::printf("saved warm cache to %s -- re-run to start warm\n",
+                store_path.c_str());
+
     std::printf("\nReading the frontier: more reuse cuts converter\n"
                 "energy but grows the star couplers (laser power) and\n"
                 "ADC dynamic range -- the optimum is interior, which\n"

@@ -1,8 +1,12 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
+#include <string>
 
 #include "common/error.hpp"
 
@@ -143,14 +147,66 @@ ThreadPool::parallelFor(std::size_t n,
         });
 }
 
+namespace {
+
+/**
+ * Warn about a bad PLOOP_THREADS value, once per distinct value: the
+ * environment rarely changes within a process, but defaultThreads()
+ * is consulted on every pool request, so an unconditional fprintf
+ * would spam stderr.
+ */
+void
+warnBadThreadsOnce(const char *value, const char *what)
+{
+    static std::mutex mu;
+    static std::string last_warned;
+    std::lock_guard<std::mutex> lock(mu);
+    if (last_warned == value)
+        return;
+    last_warned = value;
+    std::fprintf(stderr,
+                 "ploop: warning: PLOOP_THREADS='%s' is %s; %s\n",
+                 value, what,
+                 std::strcmp(what, "above the supported maximum") == 0
+                     ? "clamping"
+                     : "using the hardware default");
+}
+
+} // namespace
+
+std::optional<long>
+ThreadPool::parseThreadsEnv(const char *text)
+{
+    if (!text)
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    long v = std::strtol(text, &end, 10);
+    if (end == text || errno == ERANGE)
+        return std::nullopt;
+    while (*end == ' ' || *end == '\t' || *end == '\n')
+        ++end;
+    if (*end != '\0')
+        return std::nullopt;
+    return v;
+}
+
 unsigned
 ThreadPool::defaultThreads()
 {
     if (const char *env = std::getenv("PLOOP_THREADS")) {
-        long v = std::atol(env);
-        if (v >= 1)
-            return static_cast<unsigned>(
-                std::min<long>(v, kMaxThreads));
+        std::optional<long> v = parseThreadsEnv(env);
+        if (v && *v >= 1 && *v <= long(kMaxThreads))
+            return static_cast<unsigned>(*v);
+        if (v && *v > long(kMaxThreads)) {
+            warnBadThreadsOnce(env, "above the supported maximum");
+            return kMaxThreads;
+        }
+        // Unparseable ("abc", "3x", overflow) or non-positive: the
+        // old atol() path silently read these as "hardware default";
+        // now the fallback is explicit.
+        warnBadThreadsOnce(env, v ? "not a positive thread count"
+                                  : "not a number");
     }
     unsigned hw = std::thread::hardware_concurrency();
     return hw >= 1 ? std::min(hw, kMaxThreads) : 1;

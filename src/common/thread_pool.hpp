@@ -32,6 +32,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -99,11 +100,25 @@ class ThreadPool
             &body);
 
     /**
-     * Default parallelism: PLOOP_THREADS if set (clamped to
-     * [1, kMaxThreads]), else hardware_concurrency, else 1.  Read on
-     * every call (not cached) so tests can vary the environment.
+     * Default parallelism: PLOOP_THREADS if set and sane, else
+     * hardware_concurrency, else 1.  Read on every call (not cached)
+     * so tests can vary the environment.  An unparseable or
+     * non-positive PLOOP_THREADS falls back to the hardware default
+     * and a value above kMaxThreads is clamped -- both warn once per
+     * distinct value on stderr instead of silently ignoring the
+     * request (atol("abc") used to read as 0 and quietly mean
+     * "hardware default").
      */
     static unsigned defaultThreads();
+
+    /**
+     * Strict parse of a PLOOP_THREADS-style string: the full text
+     * must be one base-10 integer (surrounding whitespace allowed).
+     * Returns std::nullopt for empty/non-numeric/trailing-junk/
+     * overflowing input; range policy (>= 1, clamp to kMaxThreads)
+     * is the caller's.  Exposed for tests.
+     */
+    static std::optional<long> parseThreadsEnv(const char *text);
 
     /** Process-wide shared pool, sized by defaultThreads() at first use. */
     static ThreadPool &global();

@@ -9,7 +9,8 @@ namespace ploop {
 
 NetworkRunResult
 runNetwork(const Evaluator &evaluator, const Network &net,
-           const SearchOptions &options)
+           const SearchOptions &options, EvalCache *shared_cache,
+           SearchStats *aggregate)
 {
     const std::vector<LayerShape> &layers = net.layers();
     std::vector<std::optional<MapperResult>> slots(layers.size());
@@ -18,11 +19,15 @@ runNetwork(const Evaluator &evaluator, const Network &net,
     // layer shapes (ResNet stages reuse one conv shape many times),
     // and the cache scope folds in the layer bounds, so identical
     // shapes share entries -- later duplicates search almost entirely
-    // from warm hits -- while distinct shapes never collide.
-    EvalCache shared_cache;
+    // from warm hits -- while distinct shapes never collide.  A
+    // caller-provided cache (the evaluation service's session cache)
+    // extends that sharing across whole requests and, with a
+    // CacheStore, across process restarts.
+    EvalCache local_cache;
+    EvalCache &cache = shared_cache ? *shared_cache : local_cache;
     ThreadPool &pool = ThreadPool::forThreads(options.threads);
     pool.parallelFor(layers.size(), [&](std::size_t i) {
-        slots[i].emplace(mapper.search(layers[i], &shared_cache));
+        slots[i].emplace(mapper.search(layers[i], &cache));
     });
 
     // Aggregate sequentially in layer order so floating-point totals
@@ -33,6 +38,8 @@ runNetwork(const Evaluator &evaluator, const Network &net,
         out.total_energy_j += mapped.result.totalEnergy();
         out.total_macs += mapped.result.counts.macs;
         out.total_cycles += mapped.result.throughput.cycles;
+        if (aggregate)
+            aggregate->accumulate(mapped.stats);
         out.layers.emplace_back(layers[i].name(),
                                 std::move(mapped.mapping),
                                 std::move(mapped.result));

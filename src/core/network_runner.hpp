@@ -64,10 +64,20 @@ struct NetworkRunResult
  * @param evaluator Target architecture evaluator.
  * @param net Workload network.
  * @param options Mapper budget per layer.
+ * @param shared_cache Optional cross-request EvalCache (the
+ *     evaluation service passes its session cache): scope keys make
+ *     sharing always safe, and re-running the same network answers
+ *     from warm entries.  When null, a private cache spans this run's
+ *     layers as before.
+ * @param aggregate Optional sink accumulating every layer's
+ *     SearchStats (summed in layer order; totals deterministic, the
+ *     hit/miss split scheduling-dependent as documented).
  */
 NetworkRunResult runNetwork(const Evaluator &evaluator,
                             const Network &net,
-                            const SearchOptions &options = {});
+                            const SearchOptions &options = {},
+                            EvalCache *shared_cache = nullptr,
+                            SearchStats *aggregate = nullptr);
 
 } // namespace ploop
 

@@ -1,5 +1,6 @@
 #include "core/sweep.hpp"
 
+#include <memory>
 #include <optional>
 
 #include "common/error.hpp"
@@ -10,8 +11,55 @@
 namespace ploop {
 
 std::vector<SweepPoint>
+runSweepEvaluators(const std::vector<const Evaluator *> &evaluators,
+                   const std::vector<double> &values,
+                   const LayerShape &layer, const SearchOptions &search,
+                   EvalCache *shared_cache, SearchStats *aggregate)
+{
+    fatalIf(evaluators.size() != values.size(),
+            "sweep needs one evaluator per parameter value");
+    fatalIf(values.empty(), "sweep needs >= 1 parameter value");
+
+    // Arch points are independent, so they fan out across the pool;
+    // slots keep the output in parameter order regardless of
+    // completion order.  One EvalCache spans every point: keys are
+    // scoped by (model fingerprint, layer shape), so points whose
+    // generated architectures coincide -- repeated parameter values,
+    // knobs the arch ignores -- reuse each other's evaluations
+    // instead of recomputing them, and distinct points never collide.
+    // Cached values are bit-identical to fresh ones, so results are
+    // unchanged by sharing -- including sharing a service-lifetime
+    // cache across repeated sweep requests.
+    std::vector<std::optional<SweepPoint>> slots(values.size());
+    std::vector<SearchStats> stats(values.size());
+    EvalCache local_cache;
+    EvalCache &cache = shared_cache ? *shared_cache : local_cache;
+    ThreadPool &pool = ThreadPool::forThreads(search.threads);
+    pool.parallelFor(values.size(), [&](std::size_t i) {
+        Mapper mapper(*evaluators[i], search);
+        MapperResult r = mapper.search(layer, &cache);
+        stats[i] = r.stats;
+        slots[i].emplace(values[i], std::move(r.mapping),
+                         std::move(r.result));
+    });
+
+    if (aggregate) {
+        // Point order, not completion order: totals are reproducible.
+        for (const SearchStats &s : stats)
+            aggregate->accumulate(s);
+    }
+
+    std::vector<SweepPoint> out;
+    out.reserve(slots.size());
+    for (std::optional<SweepPoint> &s : slots)
+        out.push_back(std::move(*s));
+    return out;
+}
+
+std::vector<SweepPoint>
 runSweep(const SweepSpec &spec, const LayerShape &layer,
-         const EnergyRegistry &registry)
+         const EnergyRegistry &registry, EvalCache *shared_cache,
+         SearchStats *aggregate)
 {
     fatalIf(!spec.make_arch, "sweep needs a make_arch generator");
     fatalIf(spec.values.empty(), "sweep needs >= 1 parameter value");
@@ -24,31 +72,19 @@ runSweep(const SweepSpec &spec, const LayerShape &layer,
     for (double v : spec.values)
         archs.push_back(spec.make_arch(v));
 
-    // Arch points are independent (each gets its own Evaluator), so
-    // they fan out across the pool; slots keep the output in
-    // parameter order regardless of completion order.  One EvalCache
-    // spans every point: keys are scoped by (arch fingerprint, layer
-    // shape), so points whose generated architectures coincide --
-    // repeated parameter values, knobs the arch ignores -- reuse each
-    // other's evaluations instead of recomputing them, and distinct
-    // points never collide.  Cached values are bit-identical to fresh
-    // ones, so results are unchanged by sharing.
-    std::vector<std::optional<SweepPoint>> slots(spec.values.size());
-    EvalCache shared_cache;
-    ThreadPool &pool = ThreadPool::forThreads(spec.search.threads);
-    pool.parallelFor(spec.values.size(), [&](std::size_t i) {
-        Evaluator evaluator(archs[i], registry);
-        Mapper mapper(evaluator, spec.search);
-        MapperResult r = mapper.search(layer, &shared_cache);
-        slots[i].emplace(spec.values[i], std::move(r.mapping),
-                         std::move(r.result));
-    });
+    // unique_ptr storage: Evaluator is pinned (once_flag members).
+    std::vector<std::unique_ptr<Evaluator>> evaluators;
+    evaluators.reserve(archs.size());
+    for (const ArchSpec &arch : archs)
+        evaluators.push_back(
+            std::make_unique<Evaluator>(arch, registry));
+    std::vector<const Evaluator *> ptrs;
+    ptrs.reserve(evaluators.size());
+    for (const auto &e : evaluators)
+        ptrs.push_back(e.get());
 
-    std::vector<SweepPoint> out;
-    out.reserve(slots.size());
-    for (std::optional<SweepPoint> &s : slots)
-        out.push_back(std::move(*s));
-    return out;
+    return runSweepEvaluators(ptrs, spec.values, layer, spec.search,
+                              shared_cache, aggregate);
 }
 
 std::string

@@ -50,10 +50,39 @@ struct SweepSpec
  * @param spec Sweep configuration (make_arch must be set).
  * @param layer Workload layer.
  * @param registry Estimator registry.
+ * @param shared_cache Optional cross-request EvalCache (the
+ *     evaluation service passes its session cache): scope keys make
+ *     sharing always safe, and a repeated sweep answers from warm
+ *     entries.  When null, a private cache spans this sweep's points
+ *     as before.
+ * @param aggregate Optional sink accumulating every point's
+ *     SearchStats (summed in point order, so totals are
+ *     deterministic; the hit/miss split is scheduling-dependent as
+ *     documented on SearchStats).
  */
 std::vector<SweepPoint> runSweep(const SweepSpec &spec,
                                  const LayerShape &layer,
-                                 const EnergyRegistry &registry);
+                                 const EnergyRegistry &registry,
+                                 EvalCache *shared_cache = nullptr,
+                                 SearchStats *aggregate = nullptr);
+
+/**
+ * Evaluator-provider variant: the caller supplies one prebuilt
+ * evaluator per point (the evaluation service reuses its
+ * fingerprint-keyed registry, so repeated sweep requests skip arch
+ * construction entirely); only the per-point searches run here.
+ *
+ * @param evaluators One evaluator per point (same length as
+ *     @p values; all must outlive the call).
+ * @param values The swept parameter values, for SweepPoint labeling.
+ */
+std::vector<SweepPoint>
+runSweepEvaluators(const std::vector<const Evaluator *> &evaluators,
+                   const std::vector<double> &values,
+                   const LayerShape &layer,
+                   const SearchOptions &search,
+                   EvalCache *shared_cache = nullptr,
+                   SearchStats *aggregate = nullptr);
 
 /**
  * Render a sweep as a two-column table (value, pJ/MAC) plus

@@ -1,0 +1,195 @@
+#include "mapper/cache_store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "common/string_util.hpp"
+
+namespace ploop {
+
+namespace {
+
+/** "PLOOPEC\1" little-endian: identifies a PhotonLoop eval cache. */
+constexpr std::uint64_t kMagic = 0x01434550504f4f4cull;
+
+std::uint64_t
+doubleBits(double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+double
+bitsDouble(std::uint64_t bits)
+{
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+/** Checksum chain over the words preceding the checksum itself. */
+std::uint64_t
+chainChecksum(const std::uint64_t *words, std::size_t n)
+{
+    std::uint64_t h = kMagic;
+    for (std::size_t i = 0; i < n; ++i)
+        h = mix64(h ^ words[i]);
+    return h;
+}
+
+} // namespace
+
+void
+saveCacheStore(const EvalCache &cache, const std::string &path,
+               std::uint64_t fingerprint)
+{
+    std::vector<std::uint64_t> words;
+    words.push_back(kMagic);
+    words.push_back(kCacheStoreVersion);
+    words.push_back(fingerprint);
+    words.push_back(0); // entry count, patched below
+
+    std::uint64_t count = 0;
+    cache.forEach([&](std::uint64_t key,
+                      const std::vector<std::uint64_t> &factors,
+                      const QuickEval &result) {
+        words.push_back(key);
+        words.push_back(factors.size());
+        words.insert(words.end(), factors.begin(), factors.end());
+        words.push_back(doubleBits(result.energy_j));
+        words.push_back(doubleBits(result.runtime_s));
+        ++count;
+    });
+    words[3] = count;
+    words.push_back(chainChecksum(words.data(), words.size()));
+
+    // Write-then-rename: a crash mid-write leaves the previous store
+    // intact, and readers never see a partial file.
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        fatalIf(!out.is_open(),
+                "cannot open '" + tmp + "' for writing");
+        out.write(reinterpret_cast<const char *>(words.data()),
+                  static_cast<std::streamsize>(words.size() *
+                                               sizeof(std::uint64_t)));
+        out.flush();
+        fatalIf(!out.good(), "write to '" + tmp + "' failed");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        fatal("cannot rename '" + tmp + "' to '" + path + "'");
+    }
+}
+
+CacheStoreLoad
+loadCacheStore(EvalCache &cache, const std::string &path,
+               std::uint64_t fingerprint)
+{
+    CacheStoreLoad out;
+
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in.is_open()) {
+        out.detail = "no store file at '" + path + "' (cold start)";
+        return out;
+    }
+    std::streamsize bytes = in.tellg();
+    in.seekg(0);
+    if (bytes < 0 ||
+        static_cast<std::size_t>(bytes) % sizeof(std::uint64_t) != 0 ||
+        static_cast<std::size_t>(bytes) < 5 * sizeof(std::uint64_t)) {
+        out.detail = "truncated store (" + std::to_string(bytes) +
+                     " bytes); cold start";
+        return out;
+    }
+    std::vector<std::uint64_t> words(
+        static_cast<std::size_t>(bytes) / sizeof(std::uint64_t));
+    in.read(reinterpret_cast<char *>(words.data()), bytes);
+    if (!in.good()) {
+        out.detail = "read of '" + path + "' failed; cold start";
+        return out;
+    }
+
+    if (words[0] != kMagic) {
+        out.detail = "bad magic (not a cache store); cold start";
+        return out;
+    }
+    if (words[1] != kCacheStoreVersion) {
+        out.detail = strFormat(
+            "version mismatch (store v%llu, expected v%llu); "
+            "cold start",
+            static_cast<unsigned long long>(words[1]),
+            static_cast<unsigned long long>(kCacheStoreVersion));
+        return out;
+    }
+    if (words[2] != fingerprint) {
+        out.detail = strFormat(
+            "fingerprint mismatch (store %016llx, expected %016llx); "
+            "cold start",
+            static_cast<unsigned long long>(words[2]),
+            static_cast<unsigned long long>(fingerprint));
+        return out;
+    }
+    if (chainChecksum(words.data(), words.size() - 1) != words.back()) {
+        out.detail = "checksum mismatch (corrupt store); cold start";
+        return out;
+    }
+
+    // Structure walk: parse every entry into a staging list BEFORE
+    // merging anything, so a malformed body can never half-load.
+    struct Staged
+    {
+        std::uint64_t key;
+        std::vector<std::uint64_t> factors;
+        QuickEval result;
+    };
+    std::vector<Staged> staged;
+    std::uint64_t claimed = words[3];
+    std::size_t pos = 4;
+    std::size_t end = words.size() - 1; // checksum excluded
+    staged.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(claimed, 1u << 20)));
+    for (std::uint64_t e = 0; e < claimed; ++e) {
+        if (pos + 2 > end) {
+            out.detail = "entry table overruns file; cold start";
+            return out;
+        }
+        std::uint64_t key = words[pos];
+        std::uint64_t nfactors = words[pos + 1];
+        pos += 2;
+        if (nfactors > end - pos || end - pos - nfactors < 2) {
+            out.detail = "entry table overruns file; cold start";
+            return out;
+        }
+        Staged s;
+        s.key = key;
+        s.factors.assign(words.begin() + pos,
+                         words.begin() + pos + nfactors);
+        pos += nfactors;
+        s.result.energy_j = bitsDouble(words[pos]);
+        s.result.runtime_s = bitsDouble(words[pos + 1]);
+        pos += 2;
+        staged.push_back(std::move(s));
+    }
+    if (pos != end) {
+        out.detail = "trailing bytes after entry table; cold start";
+        return out;
+    }
+
+    for (Staged &s : staged)
+        cache.insertRaw(s.key, std::move(s.factors), s.result);
+    out.loaded = true;
+    out.entries = staged.size();
+    out.detail = strFormat("merged %zu warm entries from '%s'",
+                           staged.size(), path.c_str());
+    return out;
+}
+
+} // namespace ploop

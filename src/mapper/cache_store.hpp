@@ -1,0 +1,92 @@
+/**
+ * @file
+ * CacheStore: persistent on-disk serialization of warm EvalCache
+ * entries, so repeated runs of the same study -- CLI re-runs, CI
+ * jobs, evaluation-service restarts -- start with the previous run's
+ * evaluations instead of a cold cache.
+ *
+ * Format: a flat sequence of 64-bit words.
+ *
+ *   [magic][format version][store fingerprint][entry count]
+ *   per entry: [scoped key][#factors][factors...][energy][runtime]
+ *   [checksum]
+ *
+ * Doubles travel as raw bit patterns, so a loaded entry is
+ * bit-identical to the evaluation that produced it -- a search
+ * answered from a loaded cache returns exactly the cold run's result.
+ * The trailing checksum chains mix64 over every preceding word.
+ *
+ * Failure policy: loading NEVER produces a wrong hit and never
+ * throws on damaged input.  A missing, truncated, corrupted,
+ * version-mismatched or fingerprint-mismatched file yields
+ * {loaded = false, reason} and an untouched cache -- a clean cold
+ * start.  The whole file is parsed and verified before the first
+ * entry is merged, so a failure mid-file cannot half-load.  Entries
+ * keep their collision-verification factor tuples, and scoped keys
+ * fold in Evaluator::modelFingerprint(), so even a store written for
+ * a different architecture could only waste memory, never corrupt
+ * results (its scopes match no live evaluator).
+ *
+ * Writes are atomic: the store is written to "<path>.tmp" and
+ * rename()d over the destination, so a crash mid-save leaves the old
+ * store intact and readers never observe a partial file.
+ *
+ * The store fingerprint is the caller's identity check (e.g. an
+ * Evaluator::modelFingerprint() for single-model tools, or the
+ * serving tool's session constant): it guards against *pointing a
+ * tool at the wrong file*, while per-entry scoped keys guard
+ * correctness.
+ */
+
+#ifndef PHOTONLOOP_MAPPER_CACHE_STORE_HPP
+#define PHOTONLOOP_MAPPER_CACHE_STORE_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "mapper/eval_cache.hpp"
+
+namespace ploop {
+
+/** CacheStore format version; bump on layout changes. */
+constexpr std::uint64_t kCacheStoreVersion = 1;
+
+/** Outcome of loadCacheStore(). */
+struct CacheStoreLoad
+{
+    /** True when the file existed, verified, and was merged. */
+    bool loaded = false;
+
+    /** Entries merged into the cache (0 unless loaded). */
+    std::size_t entries = 0;
+
+    /** Human-readable summary ("merged 815 entries") or the cold-
+     *  start reason ("checksum mismatch", "fingerprint mismatch"). */
+    std::string detail;
+};
+
+/**
+ * Atomically persist every resident entry of @p cache to @p path
+ * (write to "<path>.tmp", then rename).  fatal() on I/O errors --
+ * persistence failures are user-environment problems, not corruption
+ * hazards (the old store survives).
+ *
+ * @param fingerprint Store identity recorded in the header; load
+ *                    with the same value (see file comment).
+ */
+void saveCacheStore(const EvalCache &cache, const std::string &path,
+                    std::uint64_t fingerprint);
+
+/**
+ * Verify @p path and merge its entries into @p cache (first writer
+ * wins, same as live inserts; an entry cap applies as usual).  Any
+ * damage or mismatch returns {loaded = false, reason} with the cache
+ * untouched.  Never throws on file content; see the file comment's
+ * failure policy.
+ */
+CacheStoreLoad loadCacheStore(EvalCache &cache, const std::string &path,
+                              std::uint64_t fingerprint);
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_MAPPER_CACHE_STORE_HPP

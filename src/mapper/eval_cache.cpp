@@ -95,10 +95,8 @@ throughImpl(EvalCache &cache, const Evaluator &evaluator,
 {
     std::uint64_t scope = evalScopeKey(evaluator, layer);
     std::uint64_t key;
-    if (const QuickEval *hit = cache.find(scope, mapping, &key)) {
-        out = *hit;
+    if (cache.find(scope, mapping, &out, &key))
         return CachedEval::Hit;
-    }
     std::optional<QuickEval> eval = fn();
     if (!eval)
         return CachedEval::Invalid;
@@ -150,9 +148,9 @@ EvalCache::store(const Evaluator &evaluator, const LayerShape &layer,
     insert(mapping, mix64(scope ^ mappingKey(mapping)), result);
 }
 
-const QuickEval *
+bool
 EvalCache::find(std::uint64_t scope, const Mapping &mapping,
-                std::uint64_t *key_out)
+                QuickEval *out, std::uint64_t *key_out)
 {
     std::uint64_t key = mix64(scope ^ mappingKey(mapping));
     if (key_out)
@@ -164,25 +162,62 @@ EvalCache::find(std::uint64_t scope, const Mapping &mapping,
         if (it != shard.map.end() &&
             matchesFactors(it->second.factors, mapping)) {
             hits_.fetch_add(1, std::memory_order_relaxed);
-            // Entries are immutable once published and never erased,
-            // so the pointer stays valid without the lock.
-            return &it->second.result;
+            // Copy out under the lock: with a cap set, a concurrent
+            // insert may evict this entry the moment we unlock.
+            if (out)
+                *out = it->second.result;
+            return true;
         }
     }
     misses_.fetch_add(1, std::memory_order_relaxed);
-    return nullptr;
+    return false;
 }
 
 void
 EvalCache::insert(const Mapping &mapping, std::uint64_t key,
                   const QuickEval &result)
 {
+    insertRaw(key, flattenFactors(mapping), result);
+}
+
+void
+EvalCache::insertRaw(std::uint64_t key,
+                     std::vector<std::uint64_t> factors,
+                     const QuickEval &result)
+{
     Entry entry;
-    entry.factors = flattenFactors(mapping);
+    entry.factors = std::move(factors);
     entry.result = result;
     Shard &shard = shardFor(key);
     std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.map.count(key))
+        return; // first writer wins (possibly a hash collision)
+    if (std::size_t cap = shardCap()) {
+        std::uint64_t evicted = 0;
+        while (shard.map.size() >= cap) {
+            // Arbitrary-victim eviction: begin() of the hash table is
+            // effectively random and O(1); no recency list to update
+            // on every hit.
+            shard.map.erase(shard.map.begin());
+            ++evicted;
+        }
+        if (evicted)
+            evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    }
     shard.map.emplace(key, std::move(entry));
+}
+
+void
+EvalCache::forEach(const std::function<void(
+                       std::uint64_t,
+                       const std::vector<std::uint64_t> &,
+                       const QuickEval &)> &fn) const
+{
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        for (const auto &[key, entry] : shard.map)
+            fn(key, entry.factors, entry.result);
+    }
 }
 
 std::size_t

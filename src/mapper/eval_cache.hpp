@@ -26,6 +26,21 @@
  * shard, so concurrent hill-climb probes rarely contend.  Hit/miss
  * counters are atomics.
  *
+ * Bounding: a long-lived cache (the evaluation service keeps one per
+ * process) can opt into an entry cap via setMaxEntries().  The cap is
+ * enforced per shard (ceil(cap / shards) entries each), and inserting
+ * into a full shard evicts an arbitrary resident entry first -- O(1),
+ * no recency bookkeeping on the hot path.  Eviction never changes
+ * values, only hit rates: an evicted mapping is simply re-evaluated
+ * (bit-identically) on its next probe, so the determinism contract is
+ * untouched.  Evictions are counted for the service's stats.
+ *
+ * Persistence: entries are plain (key, factor tuple, QuickEval)
+ * records, exposed through forEach()/insertRaw() so CacheStore (see
+ * cache_store.hpp) can serialize a warm cache to disk and merge it
+ * back on startup.  Loaded entries keep their collision-verification
+ * tuples, so a merged cache is exactly as safe as a live one.
+ *
  * Scope and sharing: every key folds in evalScopeKey(arch
  * fingerprint, layer shape), so ONE cache can safely span layers,
  * searches and sweep points -- runSweep and runNetwork share a single
@@ -41,7 +56,9 @@
 #define PHOTONLOOP_MAPPER_EVAL_CACHE_HPP
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -132,16 +149,19 @@ class EvalCache
                const Mapping &mapping, const QuickEval &result);
 
     /**
-     * Low-level lookup under an explicit @p scope: nullptr on miss,
-     * else a pointer valid for the cache's lifetime (entries are
-     * never erased and node-based maps keep element references
-     * stable).  Counts a hit or miss.
+     * Low-level lookup under an explicit @p scope: false on miss,
+     * else true with the entry copied into @p out (copy-out, not a
+     * pointer: entries can be evicted by concurrent inserts when a
+     * cap is set, so references must not escape the shard lock).
+     * Counts a hit or miss.
      *
+     * @param out Receives the cached evaluation on a hit; may be
+     *            null for a presence probe.
      * @param key_out Receives the scoped key when non-null, for
      *                reuse in a subsequent insert() on the miss path.
      */
-    const QuickEval *find(std::uint64_t scope, const Mapping &mapping,
-                          std::uint64_t *key_out = nullptr);
+    bool find(std::uint64_t scope, const Mapping &mapping,
+              QuickEval *out, std::uint64_t *key_out = nullptr);
 
     /**
      * Low-level store of a VALID mapping's evaluation under @p key
@@ -151,6 +171,49 @@ class EvalCache
      */
     void insert(const Mapping &mapping, std::uint64_t key,
                 const QuickEval &result);
+
+    /**
+     * Store a deserialized entry (CacheStore load path): @p factors
+     * is the flattened tuple list exactly as flattenFactors() built
+     * it (and forEach() reported it).  Same first-writer-wins and
+     * eviction semantics as insert().
+     */
+    void insertRaw(std::uint64_t key, std::vector<std::uint64_t> factors,
+                   const QuickEval &result);
+
+    /**
+     * Visit every resident entry as (scoped key, flattened factor
+     * tuples, result), shard by shard under the shard locks --
+     * CacheStore's serialization walk.  @p fn must not call back
+     * into the cache.
+     */
+    void forEach(const std::function<void(
+                     std::uint64_t, const std::vector<std::uint64_t> &,
+                     const QuickEval &)> &fn) const;
+
+    /**
+     * Bound the cache to roughly @p cap entries (0 = unbounded, the
+     * default).  Enforced as ceil(cap / shards) per shard, so the
+     * effective ceiling is at most cap + shards - 1 entries.
+     * Shrinking the cap evicts lazily, on the next insert into each
+     * over-full shard.
+     */
+    void setMaxEntries(std::size_t cap)
+    {
+        max_entries_.store(cap, std::memory_order_relaxed);
+    }
+
+    /** Entry cap (0 = unbounded). */
+    std::size_t maxEntries() const
+    {
+        return max_entries_.load(std::memory_order_relaxed);
+    }
+
+    /** Entries evicted to honor the cap so far. */
+    std::uint64_t evictions() const
+    {
+        return evictions_.load(std::memory_order_relaxed);
+    }
 
     /** Lookup hits so far. */
     std::uint64_t hits() const
@@ -188,9 +251,18 @@ class EvalCache
         return shards_[key % kNumShards];
     }
 
+    /** Per-shard entry cap for the current max_entries_ (0 = none). */
+    std::size_t shardCap() const
+    {
+        std::size_t cap = max_entries_.load(std::memory_order_relaxed);
+        return cap ? (cap + kNumShards - 1) / kNumShards : 0;
+    }
+
     Shard shards_[kNumShards];
     std::atomic<std::uint64_t> hits_{0};
     std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::size_t> max_entries_{0};
+    std::atomic<std::uint64_t> evictions_{0};
 };
 
 } // namespace ploop

@@ -95,6 +95,31 @@ struct SearchStats
         return total > 0 ? static_cast<double>(cache_hits) / total : 0.0;
     }
 
+    /**
+     * Lookups that computed a fresh evaluation (stored in the
+     * cache): misses minus invalid-candidate probes, which are never
+     * computed or cached.  Zero exactly when every valid candidate
+     * was answered warm -- the service's warm-start criterion.
+     */
+    std::uint64_t freshEvals() const
+    {
+        return cache_misses >= invalid ? cache_misses - invalid : 0;
+    }
+
+    /**
+     * Fold another phase's/search's stats into this one (sweeps and
+     * network runs aggregate per-point stats in point order, keeping
+     * totals deterministic).
+     */
+    void accumulate(const SearchStats &other)
+    {
+        evaluated += other.evaluated;
+        invalid += other.invalid;
+        cache_hits += other.cache_hits;
+        cache_misses += other.cache_misses;
+        wall_time_s += other.wall_time_s;
+    }
+
     std::string str() const;
 };
 

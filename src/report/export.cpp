@@ -52,8 +52,6 @@ toCsv(const std::vector<ResultRow> &rows)
     return out;
 }
 
-namespace {
-
 std::string
 jsonEscape(const std::string &s)
 {
@@ -65,13 +63,20 @@ jsonEscape(const std::string &s)
           case '\n': out += "\\n"; break;
           case '\r': out += "\\r"; break;
           case '\t': out += "\\t"; break;
-          default: out += c;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          default:
+            // JSON forbids ALL raw control characters in strings,
+            // not just the ones with short escapes: a stray \x1b in
+            // a label must not break the document.
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strFormat("\\u%04x", c);
+            else
+                out += c;
         }
     }
     return out;
 }
-
-} // namespace
 
 std::string
 jsonNumber(double v)

@@ -35,6 +35,15 @@ struct ResultRow
 std::string toCsv(const std::vector<ResultRow> &rows);
 
 /**
+ * Escape a string for embedding in a JSON string literal: quotes and
+ * backslashes, the short control escapes (\n \r \t \b \f), and every
+ * other control character as \u00XX (JSON forbids raw controls in
+ * strings).  Every JSON emitter -- values AND keys -- must route
+ * strings through this; the service protocol reuses it.
+ */
+std::string jsonEscape(const std::string &s);
+
+/**
  * Render a double as a JSON number token.  JSON has no NaN/Inf
  * literals, so non-finite values (an unreachable throughput, a 0/0
  * ratio) render as "null" -- a bare "nan"/"inf" token would make the

@@ -1,0 +1,276 @@
+#include "service/eval_service.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "mapper/dataflow.hpp"
+#include "mapper/eval_cache.hpp"
+#include "mapper/mapspace.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace ploop {
+
+namespace {
+
+std::uint64_t
+mixDouble(std::uint64_t h, double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return mix64(h ^ bits);
+}
+
+std::uint64_t
+mixU64(std::uint64_t h, std::uint64_t v)
+{
+    return mix64(h ^ v);
+}
+
+} // namespace
+
+std::uint64_t
+albireoConfigKey(const AlbireoConfig &cfg)
+{
+    // Every field participates: two configs differing anywhere get
+    // distinct registry slots (the cheap pre-build key; EvalCache
+    // scoping uses the post-build model fingerprint, so two configs
+    // that RESOLVE to the same model still share cache entries).
+    std::uint64_t h = mixU64(0x414c4249u, std::uint64_t(cfg.scaling));
+    h = mixDouble(h, cfg.input_reuse);
+    h = mixDouble(h, cfg.input_window_reuse);
+    h = mixDouble(h, cfg.output_reuse);
+    h = mixDouble(h, cfg.weight_reuse);
+    h = mixU64(h, cfg.unit_r);
+    h = mixU64(h, cfg.unit_s);
+    h = mixU64(h, cfg.unit_k);
+    h = mixU64(h, cfg.unit_c);
+    h = mixU64(h, cfg.chip_k);
+    h = mixU64(h, cfg.chip_p);
+    h = mixDouble(h, cfg.clock_hz);
+    h = mixU64(h, cfg.gb_capacity_words);
+    h = mixU64(h, cfg.regs_capacity_words);
+    h = mixU64(h, cfg.word_bits);
+    h = mixDouble(h, cfg.gb_bandwidth_words);
+    h = mixDouble(h, cfg.dram_bandwidth_words);
+    h = mixU64(h, cfg.with_dram ? 1 : 0);
+    h = mixDouble(h, cfg.dram_energy_per_bit);
+    h = mixU64(h, cfg.fuse_bypass_dram_inputs ? 1 : 0);
+    h = mixU64(h, cfg.fuse_bypass_dram_outputs ? 1 : 0);
+    h = mixU64(h, cfg.model_window_effects ? 1 : 0);
+    h = mixU64(h, cfg.model_laser_static ? 1 : 0);
+    h = mixU64(h, cfg.model_adc_growth ? 1 : 0);
+    return h;
+}
+
+AlbireoConfig
+applySweepKnob(const AlbireoConfig &base, const std::string &knob,
+               double value)
+{
+    AlbireoConfig cfg = base;
+    if (knob == "input_reuse") {
+        cfg.input_reuse = value;
+    } else if (knob == "input_window_reuse") {
+        cfg.input_window_reuse = value;
+    } else if (knob == "output_reuse") {
+        cfg.output_reuse = value;
+    } else if (knob == "weight_reuse") {
+        cfg.weight_reuse = value;
+    } else if (knob == "unit_k") {
+        cfg.unit_k = std::uint64_t(value);
+    } else if (knob == "unit_c") {
+        cfg.unit_c = std::uint64_t(value);
+    } else if (knob == "chip_k") {
+        cfg.chip_k = std::uint64_t(value);
+    } else if (knob == "chip_p") {
+        cfg.chip_p = std::uint64_t(value);
+    } else if (knob == "clock_hz") {
+        cfg.clock_hz = value;
+    } else if (knob == "gb_capacity_words") {
+        cfg.gb_capacity_words = std::uint64_t(value);
+    } else if (knob == "dram_bandwidth_words") {
+        cfg.dram_bandwidth_words = value;
+    } else {
+        std::string known;
+        for (const std::string &k : sweepKnobNames())
+            known += (known.empty() ? "" : ", ") + k;
+        fatal("unknown sweep knob '" + knob + "' (known: " + known +
+              ")");
+    }
+    return cfg;
+}
+
+std::vector<std::string>
+sweepKnobNames()
+{
+    return {"input_reuse", "input_window_reuse", "output_reuse",
+            "weight_reuse", "unit_k", "unit_c", "chip_k", "chip_p",
+            "clock_hz", "gb_capacity_words", "dram_bandwidth_words"};
+}
+
+LayerShape
+LayerRequest::toLayer() const
+{
+    if (fully_connected)
+        return LayerShape::fullyConnected(name, n, k, c);
+    return LayerShape::conv(name, n, k, c, p, q, r, s, hstride,
+                            wstride);
+}
+
+EvalService::EvalService() : EvalService(Config{}) {}
+
+EvalService::EvalService(Config cfg) : registry_(makeDefaultRegistry())
+{
+    cache_.setMaxEntries(cfg.cache_max_entries);
+}
+
+const Evaluator &
+EvalService::evaluatorFor(const AlbireoConfig &cfg)
+{
+    std::uint64_t key = albireoConfigKey(cfg);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = models_.find(key);
+        if (it != models_.end()) {
+            ++models_reused_;
+            return *it->second->evaluator;
+        }
+    }
+
+    // Build OUTSIDE the lock: arch construction validates link
+    // budgets and renders specs, and a slow build must not serialize
+    // unrelated requests.  A racing duplicate build loses the
+    // emplace and is discarded.
+    auto model = std::make_unique<Model>(buildAlbireoArch(cfg));
+    model->evaluator =
+        std::make_unique<Evaluator>(model->arch, registry_);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = models_.emplace(key, std::move(model));
+    if (inserted)
+        ++models_built_;
+    else
+        ++models_reused_;
+    return *it->second->evaluator;
+}
+
+EvaluateResponse
+EvalService::evaluate(const EvaluateRequest &req)
+{
+    const Evaluator &evaluator = evaluatorFor(req.arch);
+    LayerShape layer = req.layer.toLayer();
+
+    Mapping mapping = [&]() -> Mapping {
+        if (req.mapping == "greedy")
+            return Mapspace(evaluator.arch(), layer).greedySeed();
+        if (req.mapping == "outer")
+            return Mapspace(evaluator.arch(), layer).outerSeed();
+        for (Dataflow df : allDataflows()) {
+            if (req.mapping == dataflowName(df))
+                return presetMapping(evaluator.arch(), layer, df);
+        }
+        fatal("unknown mapping '" + req.mapping +
+              "' (use greedy, outer, or a dataflow name)");
+    }();
+
+    EvalResult result = evaluator.evaluate(layer, mapping);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++requests_;
+    }
+    return EvaluateResponse{
+        flattenResult(req.mapping + ":" + layer.name(), result),
+        mapping.str()};
+}
+
+SearchResponse
+EvalService::search(const SearchRequest &req)
+{
+    const Evaluator &evaluator = evaluatorFor(req.arch);
+    LayerShape layer = req.layer.toLayer();
+
+    Mapper mapper(evaluator, req.options);
+    MapperResult r = mapper.search(layer, &cache_);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++requests_;
+    }
+
+    QuickEval best{r.result.totalEnergy(),
+                   r.result.throughput.runtime_s};
+    SearchResponse out{std::move(r.mapping),
+                       std::string(),
+                       0,
+                       objectiveValue(req.options.objective, best),
+                       best,
+                       r.stats,
+                       flattenResult(layer.name(), r.result)};
+    out.mapping_str = out.mapping.str();
+    out.mapping_key = mappingKey(out.mapping);
+    return out;
+}
+
+SweepResponse
+EvalService::sweep(const SweepRequest &req)
+{
+    fatalIf(req.values.empty(), "sweep needs >= 1 parameter value");
+    LayerShape layer = req.layer.toLayer();
+
+    // Registry-cached evaluators per point: a repeated sweep request
+    // rebuilds nothing.
+    std::vector<const Evaluator *> evaluators;
+    evaluators.reserve(req.values.size());
+    for (double v : req.values)
+        evaluators.push_back(
+            &evaluatorFor(applySweepKnob(req.arch, req.knob, v)));
+
+    SweepResponse out;
+    out.points = runSweepEvaluators(evaluators, req.values, layer,
+                                    req.options, &cache_, &out.stats);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++requests_;
+    return out;
+}
+
+NetworkResponse
+EvalService::network(const NetworkRequest &req)
+{
+    const Evaluator &evaluator = evaluatorFor(req.arch);
+
+    Network net = [&]() -> Network {
+        if (!req.network.empty())
+            return makeNetwork(req.network, req.batch);
+        fatalIf(req.layers.empty(),
+                "network request needs a zoo name or inline layers");
+        Network custom("custom");
+        for (const LayerRequest &lr : req.layers)
+            custom.addLayer(lr.toLayer());
+        return custom;
+    }();
+
+    NetworkResponse out;
+    out.result =
+        runNetwork(evaluator, net, req.options, &cache_, &out.stats);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++requests_;
+    return out;
+}
+
+EvalService::Stats
+EvalService::stats() const
+{
+    Stats out;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        out.requests = requests_;
+        out.models_built = models_built_;
+        out.models_reused = models_reused_;
+    }
+    out.cache_entries = cache_.size();
+    out.cache_hits = cache_.hits();
+    out.cache_misses = cache_.misses();
+    out.cache_evictions = cache_.evictions();
+    return out;
+}
+
+} // namespace ploop

@@ -1,0 +1,444 @@
+#include "service/json.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "report/export.hpp"
+
+namespace ploop {
+
+JsonValue
+JsonValue::boolean(bool b)
+{
+    JsonValue v;
+    v.kind_ = Kind::Bool;
+    v.bool_ = b;
+    return v;
+}
+
+JsonValue
+JsonValue::number(double d)
+{
+    JsonValue v;
+    v.kind_ = Kind::Number;
+    v.number_ = d;
+    return v;
+}
+
+JsonValue
+JsonValue::string(std::string s)
+{
+    JsonValue v;
+    v.kind_ = Kind::String;
+    v.string_ = std::move(s);
+    return v;
+}
+
+JsonValue
+JsonValue::array()
+{
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    return v;
+}
+
+JsonValue
+JsonValue::object()
+{
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    return v;
+}
+
+bool
+JsonValue::asBool() const
+{
+    fatalIf(kind_ != Kind::Bool, "JSON value is not a bool");
+    return bool_;
+}
+
+double
+JsonValue::asNumber() const
+{
+    fatalIf(kind_ != Kind::Number, "JSON value is not a number");
+    return number_;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    fatalIf(kind_ != Kind::String, "JSON value is not a string");
+    return string_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::items() const
+{
+    fatalIf(kind_ != Kind::Array, "JSON value is not an array");
+    return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::members() const
+{
+    fatalIf(kind_ != Kind::Object, "JSON value is not an object");
+    return members_;
+}
+
+const JsonValue *
+JsonValue::get(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : members_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+void
+JsonValue::push(JsonValue v)
+{
+    fatalIf(kind_ != Kind::Array, "JSON push on a non-array");
+    items_.push_back(std::move(v));
+}
+
+void
+JsonValue::set(std::string key, JsonValue v)
+{
+    fatalIf(kind_ != Kind::Object, "JSON set on a non-object");
+    members_.emplace_back(std::move(key), std::move(v));
+}
+
+std::string
+JsonValue::serialize() const
+{
+    switch (kind_) {
+      case Kind::Null:
+        return "null";
+      case Kind::Bool:
+        return bool_ ? "true" : "false";
+      case Kind::Number:
+        // %.17g round-trips every finite double exactly; non-finite
+        // has no JSON literal and becomes null (see jsonNumber).
+        if (!std::isfinite(number_))
+            return "null";
+        return strFormat("%.17g", number_);
+      case Kind::String:
+        return "\"" + jsonEscape(string_) + "\"";
+      case Kind::Array: {
+        std::string out = "[";
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+            if (i)
+                out += ",";
+            out += items_[i].serialize();
+        }
+        return out + "]";
+      }
+      case Kind::Object: {
+        std::string out = "{";
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            if (i)
+                out += ",";
+            out += "\"" + jsonEscape(members_[i].first) +
+                   "\":" + members_[i].second.serialize();
+        }
+        return out + "}";
+      }
+    }
+    return "null"; // unreachable
+}
+
+namespace {
+
+/** Recursive-descent parser over one text buffer (see parseJson). */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    std::optional<JsonValue> run(std::string *error)
+    {
+        std::optional<JsonValue> v = value(0);
+        if (v) {
+            skipSpace();
+            if (pos_ != text_.size()) {
+                fail("trailing content after document");
+                v.reset();
+            }
+        }
+        if (!v && error)
+            *error = error_;
+        return v;
+    }
+
+  private:
+    /** Nesting bound: a hostile "[[[[..." must not smash the stack. */
+    static constexpr unsigned kMaxDepth = 64;
+
+    void fail(const std::string &what)
+    {
+        if (error_.empty())
+            error_ = what + strFormat(" (at byte %zu)", pos_);
+    }
+
+    void skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool literal(const char *word)
+    {
+        std::size_t n = std::string(word).size();
+        if (text_.compare(pos_, n, word) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    /** Append one \uXXXX code point (with surrogate pairing) as UTF-8. */
+    bool unicodeEscape(std::string &out)
+    {
+        auto hex4 = [&](std::uint32_t &cp) {
+            if (pos_ + 4 > text_.size())
+                return false;
+            cp = 0;
+            for (int i = 0; i < 4; ++i) {
+                char c = text_[pos_ + i];
+                cp <<= 4;
+                if (c >= '0' && c <= '9')
+                    cp |= std::uint32_t(c - '0');
+                else if (c >= 'a' && c <= 'f')
+                    cp |= std::uint32_t(c - 'a' + 10);
+                else if (c >= 'A' && c <= 'F')
+                    cp |= std::uint32_t(c - 'A' + 10);
+                else
+                    return false;
+            }
+            pos_ += 4;
+            return true;
+        };
+
+        std::uint32_t cp = 0;
+        if (!hex4(cp)) {
+            fail("bad \\u escape");
+            return false;
+        }
+        if (cp >= 0xd800 && cp <= 0xdbff) {
+            std::uint32_t lo = 0;
+            if (!literal("\\u") || !hex4(lo) || lo < 0xdc00 ||
+                lo > 0xdfff) {
+                fail("unpaired surrogate in \\u escape");
+                return false;
+            }
+            cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+        } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+            fail("unpaired surrogate in \\u escape");
+            return false;
+        }
+
+        if (cp < 0x80) {
+            out += char(cp);
+        } else if (cp < 0x800) {
+            out += char(0xc0 | (cp >> 6));
+            out += char(0x80 | (cp & 0x3f));
+        } else if (cp < 0x10000) {
+            out += char(0xe0 | (cp >> 12));
+            out += char(0x80 | ((cp >> 6) & 0x3f));
+            out += char(0x80 | (cp & 0x3f));
+        } else {
+            out += char(0xf0 | (cp >> 18));
+            out += char(0x80 | ((cp >> 12) & 0x3f));
+            out += char(0x80 | ((cp >> 6) & 0x3f));
+            out += char(0x80 | (cp & 0x3f));
+        }
+        return true;
+    }
+
+    std::optional<std::string> stringBody()
+    {
+        // Opening quote already consumed.
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size()) {
+                fail("unterminated string");
+                return std::nullopt;
+            }
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20) {
+                fail("raw control character in string");
+                return std::nullopt;
+            }
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) {
+                fail("unterminated escape");
+                return std::nullopt;
+            }
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u':
+                if (!unicodeEscape(out))
+                    return std::nullopt;
+                break;
+              default:
+                fail("unknown escape");
+                return std::nullopt;
+            }
+        }
+    }
+
+    std::optional<JsonValue> value(unsigned depth)
+    {
+        if (depth > kMaxDepth) {
+            fail("nesting too deep");
+            return std::nullopt;
+        }
+        skipSpace();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return std::nullopt;
+        }
+        char c = text_[pos_];
+        if (c == '{')
+            return object(depth);
+        if (c == '[')
+            return array(depth);
+        if (c == '"') {
+            ++pos_;
+            std::optional<std::string> s = stringBody();
+            if (!s)
+                return std::nullopt;
+            return JsonValue::string(std::move(*s));
+        }
+        if (literal("true"))
+            return JsonValue::boolean(true);
+        if (literal("false"))
+            return JsonValue::boolean(false);
+        if (literal("null"))
+            return JsonValue();
+        return number();
+    }
+
+    std::optional<JsonValue> number()
+    {
+        const char *start = text_.c_str() + pos_;
+        char *end = nullptr;
+        double v = std::strtod(start, &end);
+        if (end == start) {
+            fail("expected a JSON value");
+            return std::nullopt;
+        }
+        // strtod accepts "nan"/"inf"/hex floats; JSON does not.
+        for (const char *p = start; p != end; ++p) {
+            char d = *p;
+            bool ok = (d >= '0' && d <= '9') || d == '-' || d == '+' ||
+                      d == '.' || d == 'e' || d == 'E';
+            if (!ok) {
+                fail("expected a JSON value");
+                return std::nullopt;
+            }
+        }
+        pos_ += std::size_t(end - start);
+        return JsonValue::number(v);
+    }
+
+    std::optional<JsonValue> array(unsigned depth)
+    {
+        ++pos_; // '['
+        JsonValue out = JsonValue::array();
+        skipSpace();
+        if (consume(']'))
+            return out;
+        for (;;) {
+            std::optional<JsonValue> v = value(depth + 1);
+            if (!v)
+                return std::nullopt;
+            out.push(std::move(*v));
+            skipSpace();
+            if (consume(']'))
+                return out;
+            if (!consume(',')) {
+                fail("expected ',' or ']' in array");
+                return std::nullopt;
+            }
+        }
+    }
+
+    std::optional<JsonValue> object(unsigned depth)
+    {
+        ++pos_; // '{'
+        JsonValue out = JsonValue::object();
+        skipSpace();
+        if (consume('}'))
+            return out;
+        for (;;) {
+            skipSpace();
+            if (!consume('"')) {
+                fail("expected a string key in object");
+                return std::nullopt;
+            }
+            std::optional<std::string> key = stringBody();
+            if (!key)
+                return std::nullopt;
+            skipSpace();
+            if (!consume(':')) {
+                fail("expected ':' after object key");
+                return std::nullopt;
+            }
+            std::optional<JsonValue> v = value(depth + 1);
+            if (!v)
+                return std::nullopt;
+            out.set(std::move(*key), std::move(*v));
+            skipSpace();
+            if (consume('}'))
+                return out;
+            if (!consume(',')) {
+                fail("expected ',' or '}' in object");
+                return std::nullopt;
+            }
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+} // namespace
+
+std::optional<JsonValue>
+parseJson(const std::string &text, std::string *error)
+{
+    return Parser(text).run(error);
+}
+
+} // namespace ploop

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Minimal JSON document model for the evaluation-service protocol:
+ * a parse function for incoming request lines and a builder/serializer
+ * for responses.  Deliberately small -- the protocol needs objects,
+ * arrays, strings (with escapes), doubles, bools and null, nothing
+ * else (no streaming, no comments, no 64-bit-exact integers beyond
+ * the 2^53 doubles give us; exact values travel as hex strings).
+ *
+ * Robustness: parseJson() never throws on malformed input -- it
+ * returns std::nullopt with a position-annotated error message, and
+ * it bounds recursion depth, so a hostile request line cannot crash
+ * a long-lived server.  serialize() emits compact one-line JSON with
+ * every string routed through jsonEscape() (control characters
+ * included) and doubles at %.17g (round-trip exact); non-finite
+ * doubles become null, as everywhere else in PhotonLoop.
+ */
+
+#ifndef PHOTONLOOP_SERVICE_JSON_HPP
+#define PHOTONLOOP_SERVICE_JSON_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ploop {
+
+/** One JSON value (see file comment). */
+class JsonValue
+{
+  public:
+    enum class Kind : std::uint8_t {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    /** Null by default. */
+    JsonValue() = default;
+
+    static JsonValue boolean(bool b);
+    static JsonValue number(double v);
+    static JsonValue string(std::string s);
+    static JsonValue array();
+    static JsonValue object();
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Value accessors; fatal() on kind mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+
+    /** Array elements; fatal() unless array. */
+    const std::vector<JsonValue> &items() const;
+
+    /** Object members in insertion order; fatal() unless object. */
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const;
+
+    /**
+     * Object member lookup: nullptr when absent (or when this is not
+     * an object) -- the protocol treats absent fields as defaults.
+     */
+    const JsonValue *get(const std::string &key) const;
+
+    /** Append to an array; fatal() unless array. */
+    void push(JsonValue v);
+
+    /** Set an object member (appends; no duplicate-key replacement --
+     *  builders set each key once).  fatal() unless object. */
+    void set(std::string key, JsonValue v);
+
+    /** Compact one-line rendering (see file comment). */
+    std::string serialize() const;
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0;
+    std::string string_;
+    std::vector<JsonValue> items_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/**
+ * Parse one JSON document (the whole text, surrounding whitespace
+ * allowed).  Returns std::nullopt on any syntax error, trailing
+ * content, or nesting beyond a fixed depth bound, with a
+ * human-readable message in @p error.
+ */
+std::optional<JsonValue> parseJson(const std::string &text,
+                                   std::string *error = nullptr);
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_SERVICE_JSON_HPP

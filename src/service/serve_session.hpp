@@ -1,0 +1,99 @@
+/**
+ * @file
+ * ServeSession: the line-oriented JSON protocol over EvalService that
+ * ploop_serve speaks.  One request object per input line, one
+ * response object per output line -- trivially scriptable
+ * (`printf '...' | ploop_serve`) and language-agnostic.
+ *
+ * Requests: {"op": "...", "id": <any>, ...}.  Ops:
+ *
+ *   ping                    liveness check
+ *   evaluate                arch+layer+mapping -> full metrics
+ *   search                  arch+layer+options -> best mapping+stats
+ *   sweep                   arch+layer+knob+values -> per-point rows
+ *   network                 arch+network|layers -> totals+per-layer
+ *   stats                   session counters (models, cache, store)
+ *   save_cache              persist the cache store now
+ *   shutdown                save (if configured) and stop
+ *
+ * Responses always carry "ok" plus the echoed "op"/"id"; failures
+ * ("ok": false) carry "error" and never kill the session -- a
+ * malformed line or a fatal() from a bad spec is that request's
+ * problem, not the server's.  Search responses include exact hex bit
+ * patterns (mapping_key, energy_bits, runtime_bits) so warm-start
+ * bit-identity can be asserted by string comparison from any client.
+ *
+ * Persistence: with ServeConfig::cache_store set, the session merges
+ * the store at construction (graceful cold start on damage -- see
+ * cache_store.hpp) and saves on save_cache/shutdown, so the next
+ * process answers its first request warm.
+ */
+
+#ifndef PHOTONLOOP_SERVICE_SERVE_SESSION_HPP
+#define PHOTONLOOP_SERVICE_SERVE_SESSION_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "mapper/cache_store.hpp"
+#include "service/eval_service.hpp"
+#include "service/json.hpp"
+
+namespace ploop {
+
+/** Default CacheStore fingerprint of ploop_serve sessions. */
+constexpr std::uint64_t kServeStoreFingerprint = 0x706c6f6f702d7376ull;
+
+/** Session configuration (the tool's command line). */
+struct ServeConfig
+{
+    /** CacheStore path; empty = no persistence. */
+    std::string cache_store;
+
+    /** EvalCache entry cap (0 = unbounded). */
+    std::size_t cache_max_entries = 0;
+
+    /** Store identity (see cache_store.hpp). */
+    std::uint64_t store_fingerprint = kServeStoreFingerprint;
+};
+
+/** See file comment. */
+class ServeSession
+{
+  public:
+    explicit ServeSession(ServeConfig cfg = {});
+
+    /**
+     * Handle one request line; returns exactly one serialized JSON
+     * response object (no trailing newline).  Never throws.
+     */
+    std::string handleLine(const std::string &line);
+
+    /** True once a shutdown request was handled. */
+    bool shutdownRequested() const { return shutdown_; }
+
+    /** What happened to the cache store at construction. */
+    const CacheStoreLoad &storeLoad() const { return load_; }
+
+    /**
+     * Persist the cache store now (no-op without a configured path).
+     * @param detail Optional sink for a summary or failure message.
+     * @return True when a store was written.
+     */
+    bool saveStore(std::string *detail = nullptr);
+
+    /** The underlying typed service (tests poke it directly). */
+    EvalService &service() { return service_; }
+
+  private:
+    JsonValue handleParsed(const JsonValue &req);
+
+    ServeConfig cfg_;
+    EvalService service_;
+    CacheStoreLoad load_;
+    bool shutdown_ = false;
+};
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_SERVICE_SERVE_SESSION_HPP

@@ -1,0 +1,285 @@
+/** @file CacheStore failure-path and round-trip tests: every kind of
+ *  damaged store must produce a clean cold start, never a wrong hit,
+ *  and a healthy store must round-trip bit-identically. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "mapper/cache_store.hpp"
+#include "mapper/eval_cache.hpp"
+#include "test_helpers.hpp"
+
+namespace ploop {
+namespace {
+
+using ploop::testing::makeDigitalArch;
+
+constexpr std::uint64_t kFp = 0x1234abcdu;
+
+struct CacheStoreFixture : public ::testing::Test
+{
+    EnergyRegistry registry = makeDefaultRegistry();
+    ArchSpec arch = makeDigitalArch();
+    Evaluator evaluator{arch, registry};
+    LayerShape layer =
+        LayerShape::conv("store-conv", 1, 8, 8, 6, 6, 3, 3);
+    std::string path;
+
+    void SetUp() override
+    {
+        path = ::testing::TempDir() + "cache_store_" +
+               ::testing::UnitTest::GetInstance()
+                   ->current_test_info()
+                   ->name() +
+               ".plc";
+        std::remove(path.c_str());
+        std::remove((path + ".tmp").c_str());
+    }
+
+    void TearDown() override
+    {
+        std::remove(path.c_str());
+        std::remove((path + ".tmp").c_str());
+    }
+
+    /** Cache warmed with a handful of real evaluations. */
+    std::vector<Mapping> populate(EvalCache &cache)
+    {
+        std::vector<Mapping> mappings;
+        Mapping base = Mapping::trivial(arch, layer);
+        for (std::uint64_t f : {1, 2, 4, 8}) {
+            Mapping m = base;
+            m.level(0).setT(Dim::K, f);
+            QuickEval out;
+            if (cache.evaluateThrough(evaluator, layer, m, out) !=
+                CachedEval::Invalid)
+                mappings.push_back(m);
+        }
+        EXPECT_GT(cache.size(), 0u);
+        return mappings;
+    }
+
+    std::string readFile()
+    {
+        std::ifstream in(path, std::ios::binary);
+        EXPECT_TRUE(in.is_open());
+        return std::string(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+    }
+
+    void writeFile(const std::string &bytes)
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << bytes;
+    }
+};
+
+TEST_F(CacheStoreFixture, RoundTripIsBitIdentical)
+{
+    EvalCache cache;
+    std::vector<Mapping> mappings = populate(cache);
+    saveCacheStore(cache, path, kFp);
+
+    EvalCache loaded;
+    CacheStoreLoad load = loadCacheStore(loaded, path, kFp);
+    EXPECT_TRUE(load.loaded);
+    EXPECT_EQ(load.entries, cache.size());
+    EXPECT_EQ(loaded.size(), cache.size());
+
+    std::uint64_t scope = evalScopeKey(evaluator, layer);
+    for (const Mapping &m : mappings) {
+        QuickEval direct, warm;
+        ASSERT_TRUE(cache.find(scope, m, &direct));
+        ASSERT_TRUE(loaded.find(scope, m, &warm));
+        // Bit-identical, not approximately equal.
+        EXPECT_EQ(direct.energy_j, warm.energy_j);
+        EXPECT_EQ(direct.runtime_s, warm.runtime_s);
+        // And identical to a fresh evaluation.
+        std::optional<QuickEval> fresh =
+            evaluator.quickEvaluate(layer, m);
+        ASSERT_TRUE(fresh.has_value());
+        EXPECT_EQ(warm.energy_j, fresh->energy_j);
+        EXPECT_EQ(warm.runtime_s, fresh->runtime_s);
+    }
+
+    // A loaded cache serves Hits (warm start), not recomputation.
+    QuickEval out;
+    EXPECT_EQ(loaded.evaluateThrough(evaluator, layer, mappings[0],
+                                     out),
+              CachedEval::Hit);
+}
+
+TEST_F(CacheStoreFixture, EmptyCacheRoundTrips)
+{
+    EvalCache cache;
+    saveCacheStore(cache, path, kFp);
+    EvalCache loaded;
+    CacheStoreLoad load = loadCacheStore(loaded, path, kFp);
+    EXPECT_TRUE(load.loaded);
+    EXPECT_EQ(load.entries, 0u);
+    EXPECT_EQ(loaded.size(), 0u);
+}
+
+TEST_F(CacheStoreFixture, MissingFileIsCleanColdStart)
+{
+    EvalCache cache;
+    CacheStoreLoad load =
+        loadCacheStore(cache, path + ".does-not-exist", kFp);
+    EXPECT_FALSE(load.loaded);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_NE(load.detail.find("cold start"), std::string::npos);
+}
+
+TEST_F(CacheStoreFixture, AtomicWriteLeavesNoTempFile)
+{
+    EvalCache cache;
+    populate(cache);
+    saveCacheStore(cache, path, kFp);
+    std::ifstream tmp(path + ".tmp");
+    EXPECT_FALSE(tmp.is_open()) << "temp file left behind";
+}
+
+TEST_F(CacheStoreFixture, TruncationIsCleanColdStart)
+{
+    EvalCache cache;
+    populate(cache);
+    saveCacheStore(cache, path, kFp);
+    std::string bytes = readFile();
+
+    // Every possible truncation point: never a crash, never a load,
+    // never a merged entry.
+    for (std::size_t keep :
+         {std::size_t(0), std::size_t(3), std::size_t(8),
+          std::size_t(17), bytes.size() / 2, bytes.size() - 8,
+          bytes.size() - 1}) {
+        writeFile(bytes.substr(0, keep));
+        EvalCache loaded;
+        CacheStoreLoad load = loadCacheStore(loaded, path, kFp);
+        EXPECT_FALSE(load.loaded) << "keep=" << keep;
+        EXPECT_EQ(loaded.size(), 0u) << "keep=" << keep;
+    }
+}
+
+TEST_F(CacheStoreFixture, CorruptionIsCleanColdStart)
+{
+    EvalCache cache;
+    populate(cache);
+    saveCacheStore(cache, path, kFp);
+    std::string bytes = readFile();
+
+    // Flip one byte at a spread of positions (header, entries,
+    // checksum): the checksum or a structural check must reject all
+    // of them -- a flipped byte may NEVER surface as a wrong hit.
+    for (std::size_t pos = 0; pos < bytes.size();
+         pos += bytes.size() / 13 + 1) {
+        std::string bad = bytes;
+        bad[pos] = char(bad[pos] ^ 0x40);
+        writeFile(bad);
+        EvalCache loaded;
+        CacheStoreLoad load = loadCacheStore(loaded, path, kFp);
+        EXPECT_FALSE(load.loaded) << "flipped byte " << pos;
+        EXPECT_EQ(loaded.size(), 0u) << "flipped byte " << pos;
+    }
+}
+
+TEST_F(CacheStoreFixture, VersionMismatchIsCleanColdStart)
+{
+    EvalCache cache;
+    populate(cache);
+    saveCacheStore(cache, path, kFp);
+    std::string bytes = readFile();
+
+    // Word [1] is the format version; a future version must be
+    // rejected with a version message (checked before checksum).
+    bytes[8] = char(kCacheStoreVersion + 1);
+    writeFile(bytes);
+    EvalCache loaded;
+    CacheStoreLoad load = loadCacheStore(loaded, path, kFp);
+    EXPECT_FALSE(load.loaded);
+    EXPECT_EQ(loaded.size(), 0u);
+    EXPECT_NE(load.detail.find("version"), std::string::npos)
+        << load.detail;
+}
+
+TEST_F(CacheStoreFixture, FingerprintMismatchIsCleanColdStart)
+{
+    EvalCache cache;
+    populate(cache);
+    saveCacheStore(cache, path, kFp);
+
+    EvalCache loaded;
+    CacheStoreLoad load = loadCacheStore(loaded, path, kFp + 1);
+    EXPECT_FALSE(load.loaded);
+    EXPECT_EQ(loaded.size(), 0u);
+    EXPECT_NE(load.detail.find("fingerprint"), std::string::npos)
+        << load.detail;
+}
+
+TEST_F(CacheStoreFixture, LyingEntryCountIsCleanColdStart)
+{
+    EvalCache cache;
+    populate(cache);
+    saveCacheStore(cache, path, kFp);
+    std::string bytes = readFile();
+
+    // Word [3] is the entry count; inflating it makes the entry walk
+    // overrun (caught structurally even before the checksum check
+    // would fire -- both reject).
+    bytes[24] = char(bytes[24] + 100);
+    writeFile(bytes);
+    EvalCache loaded;
+    CacheStoreLoad load = loadCacheStore(loaded, path, kFp);
+    EXPECT_FALSE(load.loaded);
+    EXPECT_EQ(loaded.size(), 0u);
+}
+
+TEST_F(CacheStoreFixture, LoadMergesIntoWarmCache)
+{
+    // Load-and-merge on startup: existing entries survive, loaded
+    // ones join them (first writer wins on key collisions).
+    EvalCache first;
+    std::vector<Mapping> mappings = populate(first);
+    saveCacheStore(first, path, kFp);
+
+    EvalCache second;
+    Mapping extra = Mapping::trivial(arch, layer);
+    extra.level(0).setT(Dim::C, 2);
+    QuickEval out;
+    second.evaluateThrough(evaluator, layer, extra, out);
+    std::size_t before = second.size();
+
+    CacheStoreLoad load = loadCacheStore(second, path, kFp);
+    EXPECT_TRUE(load.loaded);
+    EXPECT_GE(second.size(), before);
+    std::uint64_t scope = evalScopeKey(evaluator, layer);
+    QuickEval warm;
+    EXPECT_TRUE(second.find(scope, mappings[0], &warm));
+    EXPECT_TRUE(second.find(scope, extra, &warm));
+}
+
+TEST_F(CacheStoreFixture, CapAppliesToLoadedEntries)
+{
+    EvalCache cache;
+    Mapping m = Mapping::trivial(arch, layer);
+    for (std::uint64_t i = 1; i <= 200; ++i) {
+        m.level(0).setT(Dim::K, i);
+        std::uint64_t key = 0;
+        if (!cache.find(3, m, nullptr, &key))
+            cache.insert(m, key, QuickEval{double(i), 1.0});
+    }
+    saveCacheStore(cache, path, kFp);
+
+    EvalCache capped;
+    capped.setMaxEntries(32);
+    CacheStoreLoad load = loadCacheStore(capped, path, kFp);
+    EXPECT_TRUE(load.loaded);
+    EXPECT_LE(capped.size(), 32u);
+    EXPECT_GT(capped.evictions(), 0u);
+}
+
+} // namespace
+} // namespace ploop

@@ -1,0 +1,257 @@
+/** @file EvalService session tests: arch registry reuse, warm-cache
+ *  behavior within a session and across CacheStore restarts
+ *  (bit-identity at multiple thread counts), sweeps/networks routed
+ *  through a session, and the bounded-cache configuration. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/error.hpp"
+#include "mapper/cache_store.hpp"
+#include "service/eval_service.hpp"
+
+namespace ploop {
+namespace {
+
+SearchRequest
+smallSearch(unsigned threads = 1)
+{
+    SearchRequest req;
+    req.arch = AlbireoConfig::paperDefault(ScalingProfile::Conservative);
+    req.layer.name = "conv";
+    req.layer.k = 32;
+    req.layer.c = 32;
+    req.layer.p = 14;
+    req.layer.q = 14;
+    req.layer.r = 3;
+    req.layer.s = 3;
+    req.options.random_samples = 25;
+    req.options.hill_climb_rounds = 5;
+    req.options.seed = 9;
+    req.options.threads = threads;
+    return req;
+}
+
+TEST(EvalService, BuildsEachArchOnceAndReuses)
+{
+    EvalService service;
+    SearchRequest req = smallSearch();
+    service.search(req);
+    service.search(req);
+
+    AlbireoConfig other = req.arch;
+    other.output_reuse = 9.0;
+    const Evaluator &a = service.evaluatorFor(req.arch);
+    const Evaluator &b = service.evaluatorFor(req.arch);
+    const Evaluator &c = service.evaluatorFor(other);
+    EXPECT_EQ(&a, &b) << "same config must reuse the same evaluator";
+    EXPECT_NE(&a, &c);
+
+    EvalService::Stats s = service.stats();
+    EXPECT_EQ(s.models_built, 2u);
+    EXPECT_GE(s.models_reused, 3u);
+    EXPECT_EQ(s.requests, 2u);
+}
+
+TEST(EvalService, SecondIdenticalSearchIsFullyWarm)
+{
+    EvalService service;
+    SearchRequest req = smallSearch();
+
+    SearchResponse cold = service.search(req);
+    EXPECT_GT(cold.stats.freshEvals(), 0u);
+
+    SearchResponse warm = service.search(req);
+    // Every valid candidate of the repeat answers from the session
+    // cache; only invalid probes (never cached) still miss.
+    EXPECT_EQ(warm.stats.freshEvals(), 0u);
+    EXPECT_GT(warm.stats.cache_hits, 0u);
+
+    // And the result is bit-identical to the cold run.
+    EXPECT_EQ(warm.mapping_key, cold.mapping_key);
+    EXPECT_TRUE(sameFactorTuples(warm.mapping, cold.mapping));
+    EXPECT_EQ(warm.best.energy_j, cold.best.energy_j);
+    EXPECT_EQ(warm.best.runtime_s, cold.best.runtime_s);
+}
+
+TEST(EvalService, WarmStartAcrossCacheStoreRestart)
+{
+    const std::uint64_t fp = 77;
+    std::string path =
+        ::testing::TempDir() + "eval_service_store.plc";
+    std::remove(path.c_str());
+
+    // "Process 1": cold search, persist the warm cache.
+    std::uint64_t cold_key;
+    double cold_energy, cold_runtime;
+    {
+        EvalService service;
+        SearchResponse cold = service.search(smallSearch());
+        cold_key = cold.mapping_key;
+        cold_energy = cold.best.energy_j;
+        cold_runtime = cold.best.runtime_s;
+        saveCacheStore(service.cache(), path, fp);
+    }
+
+    // "Process 2" (and a multi-threaded "process 3"): load the
+    // store; the FIRST request answers fully warm and bit-identical.
+    for (unsigned threads : {1u, 4u}) {
+        EvalService service;
+        CacheStoreLoad load =
+            loadCacheStore(service.cache(), path, fp);
+        ASSERT_TRUE(load.loaded) << load.detail;
+        EXPECT_GT(load.entries, 0u);
+
+        SearchResponse warm = service.search(smallSearch(threads));
+        EXPECT_EQ(warm.stats.freshEvals(), 0u)
+            << "threads=" << threads;
+        EXPECT_GT(warm.stats.cache_hits, 0u);
+        EXPECT_EQ(warm.mapping_key, cold_key);
+        EXPECT_EQ(warm.best.energy_j, cold_energy);
+        EXPECT_EQ(warm.best.runtime_s, cold_runtime);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(EvalService, SweepRoutesThroughSessionCache)
+{
+    EvalService service;
+    SweepRequest req;
+    req.arch = AlbireoConfig::paperDefault(ScalingProfile::Conservative);
+    req.layer.k = 16;
+    req.layer.c = 16;
+    req.layer.p = 7;
+    req.layer.q = 7;
+    req.layer.r = 3;
+    req.layer.s = 3;
+    req.knob = "output_reuse";
+    req.values = {3.0, 9.0};
+    req.options.random_samples = 10;
+    req.options.hill_climb_rounds = 2;
+    req.options.threads = 1;
+
+    SweepResponse first = service.sweep(req);
+    ASSERT_EQ(first.points.size(), 2u);
+    EXPECT_GT(first.stats.evaluated, 0u);
+    EXPECT_GT(first.stats.freshEvals(), 0u);
+
+    // The repeated sweep answers from the session cache and reuses
+    // the registry's per-point evaluators: no fresh evaluations, no
+    // new arch builds, identical numbers.
+    std::uint64_t built_before = service.stats().models_built;
+    SweepResponse second = service.sweep(req);
+    EXPECT_EQ(second.stats.freshEvals(), 0u);
+    EXPECT_EQ(service.stats().models_built, built_before);
+    for (std::size_t i = 0; i < first.points.size(); ++i) {
+        EXPECT_EQ(second.points[i].result.totalEnergy(),
+                  first.points[i].result.totalEnergy());
+        EXPECT_TRUE(sameFactorTuples(second.points[i].mapping,
+                                     first.points[i].mapping));
+    }
+}
+
+TEST(EvalService, SweepRejectsUnknownKnob)
+{
+    EvalService service;
+    SweepRequest req;
+    req.arch = AlbireoConfig::paperDefault(ScalingProfile::Conservative);
+    req.layer.k = 4;
+    req.layer.c = 4;
+    req.knob = "warp_factor";
+    req.values = {1.0};
+    EXPECT_THROW(service.sweep(req), FatalError);
+    for (const std::string &knob : sweepKnobNames()) {
+        // Every advertised knob must be applicable (5.0 differs from
+        // every knob's paper default, so the key must change).
+        AlbireoConfig cfg = applySweepKnob(req.arch, knob, 5.0);
+        EXPECT_NE(albireoConfigKey(cfg), albireoConfigKey(req.arch))
+            << knob << " did not change the config key";
+    }
+}
+
+TEST(EvalService, NetworkRequestWithInlineLayers)
+{
+    EvalService service;
+    NetworkRequest req;
+    req.arch = AlbireoConfig::paperDefault(ScalingProfile::Conservative);
+    LayerRequest a;
+    a.name = "a";
+    a.k = 8;
+    a.c = 4;
+    a.p = 6;
+    a.q = 6;
+    a.r = 3;
+    a.s = 3;
+    LayerRequest b = a;
+    b.name = "b";
+    b.k = 4;
+    b.c = 8;
+    req.layers = {a, b};
+    req.options.random_samples = 10;
+    req.options.hill_climb_rounds = 2;
+    req.options.threads = 1;
+
+    NetworkResponse first = service.network(req);
+    ASSERT_EQ(first.result.layers.size(), 2u);
+    EXPECT_GT(first.result.total_energy_j, 0.0);
+    EXPECT_GT(first.stats.evaluated, 0u);
+
+    // Same network again: fully warm, bit-identical totals.
+    NetworkResponse second = service.network(req);
+    EXPECT_EQ(second.stats.freshEvals(), 0u);
+    EXPECT_GT(second.stats.cache_hits, 0u);
+    EXPECT_EQ(second.result.total_energy_j,
+              first.result.total_energy_j);
+}
+
+TEST(EvalService, CacheCapIsForwardedAndBounds)
+{
+    EvalService::Config cfg;
+    cfg.cache_max_entries = 16;
+    EvalService service(cfg);
+    EXPECT_EQ(service.cache().maxEntries(), 16u);
+
+    SearchRequest req = smallSearch();
+    req.options.random_samples = 200;
+    req.options.hill_climb_rounds = 8;
+    service.search(req);
+    EXPECT_LE(service.stats().cache_entries, 16u);
+    EXPECT_GT(service.stats().cache_evictions, 0u);
+}
+
+TEST(EvalService, EvaluatePresetMappings)
+{
+    EvalService service;
+    EvaluateRequest req;
+    req.arch = AlbireoConfig::paperDefault(ScalingProfile::Conservative);
+    req.layer.k = 16;
+    req.layer.c = 16;
+    req.layer.p = 7;
+    req.layer.q = 7;
+    req.layer.r = 3;
+    req.layer.s = 3;
+
+    for (const char *mapping :
+         {"greedy", "outer", "weight-stationary", "output-stationary",
+          "input-stationary"}) {
+        req.mapping = mapping;
+        EvaluateResponse r = service.evaluate(req);
+        EXPECT_FALSE(r.mapping_str.empty()) << mapping;
+        bool found_energy = false;
+        for (const auto &[key, v] : r.row.values) {
+            if (key == "energy_total_j") {
+                EXPECT_GT(v, 0.0) << mapping;
+                found_energy = true;
+            }
+        }
+        EXPECT_TRUE(found_energy) << mapping;
+    }
+
+    req.mapping = "mystery";
+    EXPECT_THROW(service.evaluate(req), FatalError);
+}
+
+} // namespace
+} // namespace ploop

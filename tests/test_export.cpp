@@ -104,6 +104,39 @@ TEST(ToJson, EscapesStrings)
     EXPECT_NE(json.find("we\\\"ird\\nlabel"), std::string::npos);
 }
 
+TEST(JsonEscape, HandlesEveryControlCharacter)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("q\"b\\"), "q\\\"b\\\\");
+    EXPECT_EQ(jsonEscape("\n\r\t\b\f"), "\\n\\r\\t\\b\\f");
+    // Controls without short escapes must become \u00XX, never pass
+    // through raw (JSON forbids raw controls in strings).
+    EXPECT_EQ(jsonEscape(std::string("\x01", 1)), "\\u0001");
+    EXPECT_EQ(jsonEscape("\x1b[0m"), "\\u001b[0m");
+    EXPECT_EQ(jsonEscape(std::string("a\x1f") + "b"), "a\\u001fb");
+    // 0x20 and above (including 8-bit bytes) pass through untouched.
+    EXPECT_EQ(jsonEscape(" ~\x7f"), " ~\x7f");
+    EXPECT_EQ(jsonEscape("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+// Regression: column-name KEYS are interpolated into the document
+// too; a quote or control character in a key must be escaped exactly
+// like one in a value string.
+TEST(ToJson, EscapesKeysAndControlCharacters)
+{
+    ResultRow r{std::string("l\x01"
+                            "bl"),
+                {{"k\"ey\tone", 1.0}, {"e\x02njoy", 2.0}}};
+    std::string json = toJson({r});
+    EXPECT_NE(json.find("\"l\\u0001bl\""), std::string::npos);
+    EXPECT_NE(json.find("\"k\\\"ey\\tone\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"e\\u0002njoy\": 2"), std::string::npos);
+    // No raw control byte may survive anywhere in the document.
+    for (char c : json)
+        EXPECT_TRUE(static_cast<unsigned char>(c) >= 0x20 || c == '\n')
+            << "raw control byte in JSON output";
+}
+
 TEST(FlattenResult, ContainsCoreMetricsAndComponents)
 {
     EnergyRegistry registry = makeDefaultRegistry();

@@ -221,12 +221,12 @@ TEST_F(SearchFixture, EvalCacheVerifiesEntriesByContent)
 
     EvalCache cache;
     std::uint64_t bkey = 0;
-    EXPECT_EQ(cache.find(0, b, &bkey), nullptr);
+    EXPECT_FALSE(cache.find(0, b, nullptr, &bkey));
     // Store a's payload under b's KEY (a forged hash collision): a
     // find(b) sees its key occupied by a's tuples and must miss,
     // not return a's result.
     cache.insert(a, bkey, QuickEval{1.0, 2.0});
-    EXPECT_EQ(cache.find(0, b), nullptr);
+    EXPECT_FALSE(cache.find(0, b, nullptr));
 }
 
 TEST_F(SearchFixture, EvalCacheSeparatesScopes)
@@ -236,12 +236,55 @@ TEST_F(SearchFixture, EvalCacheSeparatesScopes)
     Mapping m = Mapping::trivial(arch, layer);
     EvalCache cache;
     std::uint64_t k1 = 0, k2 = 0;
-    EXPECT_EQ(cache.find(1, m, &k1), nullptr);
-    EXPECT_EQ(cache.find(2, m, &k2), nullptr);
+    EXPECT_FALSE(cache.find(1, m, nullptr, &k1));
+    EXPECT_FALSE(cache.find(2, m, nullptr, &k2));
     EXPECT_NE(k1, k2);
     cache.insert(m, k1, QuickEval{5.0, 6.0});
-    EXPECT_NE(cache.find(1, m), nullptr);
-    EXPECT_EQ(cache.find(2, m), nullptr);
+    QuickEval got;
+    EXPECT_TRUE(cache.find(1, m, &got));
+    EXPECT_EQ(got.energy_j, 5.0);
+    EXPECT_EQ(got.runtime_s, 6.0);
+    EXPECT_FALSE(cache.find(2, m, nullptr));
+}
+
+TEST_F(SearchFixture, EvalCacheEntryCapEvictsAndCounts)
+{
+    // A capped cache (the long-lived service's configuration) must
+    // stay bounded under unbounded distinct insertions, count its
+    // evictions, and keep answering lookups correctly.
+    EvalCache cache;
+    cache.setMaxEntries(32);
+    EXPECT_EQ(cache.maxEntries(), 32u);
+
+    Mapping m = Mapping::trivial(arch, layer);
+    for (std::uint64_t i = 1; i <= 500; ++i) {
+        m.level(0).setT(Dim::K, i);
+        std::uint64_t key = 0;
+        QuickEval unused;
+        if (!cache.find(7, m, &unused, &key))
+            cache.insert(m, key, QuickEval{double(i), 1.0});
+    }
+    // Cap is per shard (ceil(32/16) = 2 each), so at most 32 stay.
+    EXPECT_LE(cache.size(), 32u);
+    EXPECT_GE(cache.evictions(), 500u - 32u);
+
+    // Whatever survived must still be the right payload.
+    unsigned survivors = 0;
+    for (std::uint64_t i = 1; i <= 500; ++i) {
+        m.level(0).setT(Dim::K, i);
+        QuickEval got;
+        if (cache.find(7, m, &got)) {
+            EXPECT_EQ(got.energy_j, double(i));
+            ++survivors;
+        }
+    }
+    EXPECT_GT(survivors, 0u);
+    EXPECT_LE(survivors, 32u);
+
+    // An uncapped cache never evicts.
+    EvalCache unbounded;
+    EXPECT_EQ(unbounded.maxEntries(), 0u);
+    EXPECT_EQ(unbounded.evictions(), 0u);
 }
 
 TEST_F(SearchFixture, QuickEvaluateReportsWhyInvalid)

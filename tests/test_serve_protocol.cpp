@@ -1,0 +1,287 @@
+/** @file Tests for the service JSON model/parser and the ServeSession
+ *  line protocol (the in-process twin of tools/serve_smoke.sh). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "service/json.hpp"
+#include "service/serve_session.hpp"
+
+namespace ploop {
+namespace {
+
+// ---------------------------------------------------------------- JSON
+
+TEST(Json, ParsesScalars)
+{
+    EXPECT_TRUE(parseJson("null")->isNull());
+    EXPECT_EQ(parseJson("true")->asBool(), true);
+    EXPECT_EQ(parseJson("false")->asBool(), false);
+    EXPECT_DOUBLE_EQ(parseJson("42")->asNumber(), 42.0);
+    EXPECT_DOUBLE_EQ(parseJson("-1.5e3")->asNumber(), -1500.0);
+    EXPECT_EQ(parseJson("\"hi\"")->asString(), "hi");
+    EXPECT_EQ(parseJson("  7  ")->asNumber(), 7.0);
+}
+
+TEST(Json, ParsesStructures)
+{
+    std::optional<JsonValue> v = parseJson(
+        "{\"op\":\"search\",\"options\":{\"seed\":7},"
+        "\"values\":[1,2,3],\"flag\":true}");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->get("op")->asString(), "search");
+    EXPECT_EQ(v->get("options")->get("seed")->asNumber(), 7.0);
+    ASSERT_EQ(v->get("values")->items().size(), 3u);
+    EXPECT_EQ(v->get("values")->items()[2].asNumber(), 3.0);
+    EXPECT_TRUE(v->get("flag")->asBool());
+    EXPECT_EQ(v->get("absent"), nullptr);
+}
+
+TEST(Json, ParsesStringEscapes)
+{
+    EXPECT_EQ(parseJson("\"a\\n\\t\\\"b\\\\c\\/\"")->asString(),
+              "a\n\t\"b\\c/");
+    EXPECT_EQ(parseJson("\"\\u0041\"")->asString(), "A");
+    EXPECT_EQ(parseJson("\"\\u00e9\"")->asString(), "\xc3\xa9");
+    EXPECT_EQ(parseJson("\"\\u001b\"")->asString(), "\x1b");
+    // Surrogate pair (U+1F600).
+    EXPECT_EQ(parseJson("\"\\ud83d\\ude00\"")->asString(),
+              "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    std::string err;
+    for (const char *bad :
+         {"", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "{a:1}", "tru",
+          "\"unterminated", "\"bad\\x\"", "\"\\u12\"",
+          "\"\\ud83d\"", "1 2", "{} extra", "nan", "inf",
+          "{\"a\":1,}"}) {
+        err.clear();
+        EXPECT_FALSE(parseJson(bad, &err).has_value()) << bad;
+        EXPECT_FALSE(err.empty()) << bad;
+    }
+    // Raw control characters inside strings are invalid JSON.
+    EXPECT_FALSE(parseJson("\"a\nb\"").has_value());
+}
+
+TEST(Json, BoundsNestingDepth)
+{
+    std::string bomb(100000, '[');
+    std::string err;
+    EXPECT_FALSE(parseJson(bomb, &err).has_value());
+    EXPECT_NE(err.find("deep"), std::string::npos);
+}
+
+TEST(Json, SerializeRoundTrips)
+{
+    JsonValue obj = JsonValue::object();
+    obj.set("s", JsonValue::string("a\"b\nc\x01"));
+    obj.set("n", JsonValue::number(0.1));
+    obj.set("big", JsonValue::number(1.2345678901234567e300));
+    obj.set("t", JsonValue::boolean(true));
+    obj.set("z", JsonValue());
+    JsonValue arr = JsonValue::array();
+    arr.push(JsonValue::number(1));
+    arr.push(JsonValue::string("x"));
+    obj.set("a", std::move(arr));
+
+    std::string text = obj.serialize();
+    // Compact one-line output, no raw control characters.
+    EXPECT_EQ(text.find('\n'), std::string::npos);
+    std::optional<JsonValue> back = parseJson(text);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->get("s")->asString(), "a\"b\nc\x01");
+    // %.17g makes doubles round-trip bit-exactly.
+    EXPECT_EQ(back->get("n")->asNumber(), 0.1);
+    EXPECT_EQ(back->get("big")->asNumber(), 1.2345678901234567e300);
+    EXPECT_TRUE(back->get("t")->asBool());
+    EXPECT_TRUE(back->get("z")->isNull());
+    EXPECT_EQ(back->get("a")->items()[1].asString(), "x");
+}
+
+TEST(Json, NonFiniteSerializesAsNull)
+{
+    EXPECT_EQ(JsonValue::number(std::nan("")).serialize(), "null");
+    EXPECT_EQ(JsonValue::number(HUGE_VAL).serialize(), "null");
+}
+
+// ------------------------------------------------------------ protocol
+
+TEST(ServeSession, PingEchoesOpAndId)
+{
+    ServeSession session;
+    std::string resp =
+        session.handleLine("{\"op\":\"ping\",\"id\":41}");
+    std::optional<JsonValue> v = parseJson(resp);
+    ASSERT_TRUE(v.has_value()) << resp;
+    EXPECT_TRUE(v->get("ok")->asBool());
+    EXPECT_EQ(v->get("op")->asString(), "ping");
+    EXPECT_EQ(v->get("id")->asNumber(), 41.0);
+}
+
+TEST(ServeSession, MalformedAndUnknownRequestsFailSoftly)
+{
+    ServeSession session;
+
+    std::optional<JsonValue> v = parseJson(session.handleLine("{nope"));
+    ASSERT_TRUE(v.has_value());
+    EXPECT_FALSE(v->get("ok")->asBool());
+    EXPECT_NE(v->get("error")->asString().find("bad JSON"),
+              std::string::npos);
+
+    v = parseJson(session.handleLine("[1,2,3]"));
+    EXPECT_FALSE(v->get("ok")->asBool());
+
+    v = parseJson(session.handleLine("{\"op\":\"frobnicate\"}"));
+    EXPECT_FALSE(v->get("ok")->asBool());
+    EXPECT_NE(v->get("error")->asString().find("unknown op"),
+              std::string::npos);
+
+    // Bad request payloads fail that request, not the session.
+    v = parseJson(session.handleLine(
+        "{\"op\":\"search\",\"layer\":{\"kind\":\"banana\"}}"));
+    EXPECT_FALSE(v->get("ok")->asBool());
+
+    // A non-string "op" must produce an error response, not escape
+    // handleLine (the op echo runs outside the try block).
+    v = parseJson(session.handleLine("{\"op\":123}"));
+    ASSERT_TRUE(v.has_value());
+    EXPECT_FALSE(v->get("ok")->asBool());
+
+    // Out-of-range numeric fields (strtod overflows 1e999 to inf)
+    // fail cleanly instead of hitting undefined double->u64 casts.
+    v = parseJson(session.handleLine(
+        "{\"op\":\"search\",\"layer\":{\"k\":1e999}}"));
+    EXPECT_FALSE(v->get("ok")->asBool());
+    EXPECT_NE(v->get("error")->asString().find("below 2^64"),
+              std::string::npos);
+    v = parseJson(session.handleLine(
+        "{\"op\":\"search\",\"layer\":{\"k\":-3}}"));
+    EXPECT_FALSE(v->get("ok")->asBool());
+    EXPECT_TRUE(parseJson(session.handleLine("{\"op\":\"ping\"}"))
+                    ->get("ok")
+                    ->asBool());
+    EXPECT_FALSE(session.shutdownRequested());
+}
+
+TEST(ServeSession, SearchRespondsWithStatsAndExactBits)
+{
+    ServeSession session;
+    const char *req =
+        "{\"op\":\"search\",\"id\":1,"
+        "\"layer\":{\"name\":\"c\",\"k\":16,\"c\":16,\"p\":7,"
+        "\"q\":7,\"r\":3,\"s\":3},"
+        "\"options\":{\"random_samples\":15,"
+        "\"hill_climb_rounds\":3,\"seed\":5,\"threads\":1}}";
+
+    std::optional<JsonValue> first = parseJson(session.handleLine(req));
+    ASSERT_TRUE(first.has_value());
+    ASSERT_TRUE(first->get("ok")->asBool());
+    EXPECT_EQ(first->get("objective")->asString(), "energy");
+    EXPECT_GT(first->get("energy_j")->asNumber(), 0.0);
+    EXPECT_EQ(first->get("mapping_key")->asString().substr(0, 2),
+              "0x");
+    const JsonValue *stats = first->get("stats");
+    ASSERT_NE(stats, nullptr);
+    EXPECT_GT(stats->get("evaluated")->asNumber(), 0.0);
+    EXPECT_GT(stats->get("fresh_evals")->asNumber(), 0.0);
+
+    // The same request again: fully warm, identical bit patterns.
+    std::optional<JsonValue> second =
+        parseJson(session.handleLine(req));
+    EXPECT_EQ(second->get("stats")->get("fresh_evals")->asNumber(),
+              0.0);
+    EXPECT_GT(second->get("stats")->get("cache_hits")->asNumber(),
+              0.0);
+    EXPECT_EQ(second->get("mapping_key")->asString(),
+              first->get("mapping_key")->asString());
+    EXPECT_EQ(second->get("energy_bits")->asString(),
+              first->get("energy_bits")->asString());
+    EXPECT_EQ(second->get("runtime_bits")->asString(),
+              first->get("runtime_bits")->asString());
+}
+
+TEST(ServeSession, StoreRoundTripAcrossSessions)
+{
+    std::string path =
+        ::testing::TempDir() + "serve_session_store.plc";
+    std::remove(path.c_str());
+    const char *req =
+        "{\"op\":\"search\","
+        "\"layer\":{\"k\":16,\"c\":16,\"p\":7,\"q\":7,\"r\":3,"
+        "\"s\":3},"
+        "\"options\":{\"random_samples\":12,"
+        "\"hill_climb_rounds\":2,\"seed\":3,\"threads\":1}}";
+
+    ServeConfig cfg;
+    cfg.cache_store = path;
+
+    std::string cold_key;
+    {
+        ServeSession session(cfg);
+        EXPECT_FALSE(session.storeLoad().loaded); // nothing yet
+        std::optional<JsonValue> r =
+            parseJson(session.handleLine(req));
+        cold_key = r->get("mapping_key")->asString();
+        // Shutdown persists the store and flips the session flag.
+        std::optional<JsonValue> bye = parseJson(
+            session.handleLine("{\"op\":\"shutdown\"}"));
+        EXPECT_TRUE(bye->get("ok")->asBool());
+        EXPECT_TRUE(bye->get("saved")->asBool());
+        EXPECT_TRUE(session.shutdownRequested());
+    }
+    {
+        ServeSession session(cfg);
+        EXPECT_TRUE(session.storeLoad().loaded)
+            << session.storeLoad().detail;
+        std::optional<JsonValue> r =
+            parseJson(session.handleLine(req));
+        EXPECT_EQ(r->get("stats")->get("fresh_evals")->asNumber(),
+                  0.0);
+        EXPECT_GT(r->get("stats")->get("cache_hits")->asNumber(),
+                  0.0);
+        EXPECT_EQ(r->get("mapping_key")->asString(), cold_key);
+
+        // The stats op reports the store and session state.
+        std::optional<JsonValue> s =
+            parseJson(session.handleLine("{\"op\":\"stats\"}"));
+        EXPECT_TRUE(s->get("store_loaded")->asBool());
+        EXPECT_GT(s->get("cache")->get("entries")->asNumber(), 0.0);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ServeSession, NetworkAndSweepOps)
+{
+    ServeSession session;
+    std::optional<JsonValue> net = parseJson(session.handleLine(
+        "{\"op\":\"network\","
+        "\"layers\":[{\"name\":\"a\",\"k\":8,\"c\":4,\"p\":6,"
+        "\"q\":6,\"r\":3,\"s\":3},"
+        "{\"name\":\"b\",\"kind\":\"fc\",\"k\":16,\"c\":32}],"
+        "\"options\":{\"random_samples\":8,"
+        "\"hill_climb_rounds\":2,\"threads\":1}}"));
+    ASSERT_TRUE(net->get("ok")->asBool()) << net->serialize();
+    EXPECT_EQ(net->get("layers")->items().size(), 2u);
+    EXPECT_GT(net->get("total_energy_j")->asNumber(), 0.0);
+
+    std::optional<JsonValue> sweep = parseJson(session.handleLine(
+        "{\"op\":\"sweep\","
+        "\"layer\":{\"k\":8,\"c\":8,\"p\":6,\"q\":6,\"r\":3,"
+        "\"s\":3},"
+        "\"knob\":\"weight_reuse\",\"values\":[1,3],"
+        "\"options\":{\"random_samples\":6,"
+        "\"hill_climb_rounds\":1,\"threads\":1}}"));
+    ASSERT_TRUE(sweep->get("ok")->asBool()) << sweep->serialize();
+    ASSERT_EQ(sweep->get("points")->items().size(), 2u);
+    EXPECT_DOUBLE_EQ(
+        sweep->get("points")->items()[1].get("value")->asNumber(),
+        3.0);
+}
+
+} // namespace
+} // namespace ploop

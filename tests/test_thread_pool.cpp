@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "common/thread_pool.hpp"
@@ -124,6 +125,70 @@ TEST(ThreadPool, DefaultThreadsHonorsEnvOverride)
     EXPECT_GE(ThreadPool::defaultThreads(), 1u);
     ::unsetenv("PLOOP_THREADS");
     EXPECT_GE(ThreadPool::defaultThreads(), 1u);
+}
+
+TEST(ThreadPool, ParseThreadsEnvIsStrict)
+{
+    // The old atol() parse read "abc" as 0 and silently fell back;
+    // the strict parse rejects everything that isn't one integer.
+    EXPECT_EQ(ThreadPool::parseThreadsEnv("4"), 4);
+    EXPECT_EQ(ThreadPool::parseThreadsEnv(" 12 "), 12);
+    EXPECT_EQ(ThreadPool::parseThreadsEnv("0"), 0);
+    EXPECT_EQ(ThreadPool::parseThreadsEnv("-3"), -3);
+    EXPECT_EQ(ThreadPool::parseThreadsEnv("300"), 300);
+    EXPECT_FALSE(ThreadPool::parseThreadsEnv("abc").has_value());
+    EXPECT_FALSE(ThreadPool::parseThreadsEnv("3x").has_value());
+    EXPECT_FALSE(ThreadPool::parseThreadsEnv("4 lanes").has_value());
+    EXPECT_FALSE(ThreadPool::parseThreadsEnv("").has_value());
+    EXPECT_FALSE(ThreadPool::parseThreadsEnv(" ").has_value());
+    EXPECT_FALSE(
+        ThreadPool::parseThreadsEnv("99999999999999999999999999")
+            .has_value());
+    EXPECT_FALSE(ThreadPool::parseThreadsEnv(nullptr).has_value());
+}
+
+TEST(ThreadPool, GarbageEnvWarnsOnceAndFallsBack)
+{
+    // Preserve the suite's environment (CI pins PLOOP_THREADS).
+    const char *saved_env = ::getenv("PLOOP_THREADS");
+    std::string saved = saved_env ? saved_env : "";
+
+    unsigned hw_default = [] {
+        ::unsetenv("PLOOP_THREADS");
+        return ThreadPool::defaultThreads();
+    }();
+
+    // Unparseable value: warned on stderr, hardware fallback.
+    ::setenv("PLOOP_THREADS", "garbage-7", 1);
+    ::testing::internal::CaptureStderr();
+    EXPECT_EQ(ThreadPool::defaultThreads(), hw_default);
+    std::string first = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(first.find("PLOOP_THREADS"), std::string::npos);
+    EXPECT_NE(first.find("garbage-7"), std::string::npos);
+
+    // Same value again: no second warning (warn once per value).
+    ::testing::internal::CaptureStderr();
+    EXPECT_EQ(ThreadPool::defaultThreads(), hw_default);
+    EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+
+    // Out-of-range value: warned, clamped to the supported maximum.
+    ::setenv("PLOOP_THREADS", "100000", 1);
+    ::testing::internal::CaptureStderr();
+    EXPECT_EQ(ThreadPool::defaultThreads(), ThreadPool::kMaxThreads);
+    EXPECT_NE(::testing::internal::GetCapturedStderr().find("100000"),
+              std::string::npos);
+
+    // Non-positive value: warned, hardware fallback.
+    ::setenv("PLOOP_THREADS", "-2", 1);
+    ::testing::internal::CaptureStderr();
+    EXPECT_EQ(ThreadPool::defaultThreads(), hw_default);
+    EXPECT_NE(::testing::internal::GetCapturedStderr().find("-2"),
+              std::string::npos);
+
+    if (saved_env)
+        ::setenv("PLOOP_THREADS", saved.c_str(), 1);
+    else
+        ::unsetenv("PLOOP_THREADS");
 }
 
 TEST(ThreadPool, ForThreadsCachesPerSizeAndZeroMeansDefault)

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * ploop_serve: the long-lived evaluation server.  Speaks the
+ * line-oriented JSON protocol of ServeSession on stdin/stdout (one
+ * request per line, one response per line), or replays a request
+ * script with --script (batch mode).  Protocol documentation lives
+ * in serve_session.hpp; the README section "The evaluation service"
+ * shows end-to-end examples.
+ *
+ *   ploop_serve [--cache-store PATH] [--cache-max-entries N]
+ *               [--script FILE]
+ *
+ * With --cache-store, warm EvalCache entries are merged from PATH at
+ * startup (graceful cold start on a missing/damaged file) and saved
+ * back on shutdown/EOF and on the save_cache op -- so repeated runs
+ * of the same study answer from warm entries immediately.
+ *
+ * Diagnostics go to stderr; stdout carries protocol lines only.
+ */
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "service/serve_session.hpp"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--cache-store PATH] [--cache-max-entries N]\n"
+        "          [--script FILE]\n"
+        "\n"
+        "Line-oriented JSON evaluation service (one request object\n"
+        "per line on stdin, one response per line on stdout; ops:\n"
+        "ping, evaluate, search, sweep, network, stats, save_cache,\n"
+        "shutdown).  --script replays FILE instead of stdin; blank\n"
+        "lines and lines starting with '#' are skipped.\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ploop;
+
+    ServeConfig cfg;
+    std::string script;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--cache-store") {
+            cfg.cache_store = value();
+        } else if (arg == "--cache-max-entries") {
+            // Strict parse: a typo'd cap must not silently mean
+            // "unbounded" (the PLOOP_THREADS atol lesson).
+            const char *text = value();
+            char *end = nullptr;
+            errno = 0;
+            unsigned long long cap = std::strtoull(text, &end, 10);
+            if (end == text || *end != '\0' || errno == ERANGE ||
+                std::strchr(text, '-') != nullptr) {
+                std::fprintf(stderr,
+                             "--cache-max-entries '%s' is not a "
+                             "non-negative integer\n",
+                             text);
+                return 2;
+            }
+            cfg.cache_max_entries = static_cast<std::size_t>(cap);
+        } else if (arg == "--script") {
+            script = value();
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(argv[0]);
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n",
+                         arg.c_str());
+            return usage(argv[0]);
+        }
+    }
+
+    ServeSession session(cfg);
+    std::fprintf(stderr, "ploop_serve: %s\n",
+                 session.storeLoad().detail.c_str());
+
+    std::ifstream script_in;
+    if (!script.empty()) {
+        script_in.open(script);
+        if (!script_in.is_open()) {
+            std::fprintf(stderr, "cannot open script '%s'\n",
+                         script.c_str());
+            return 2;
+        }
+    }
+    std::istream &in = script.empty() ? std::cin : script_in;
+
+    std::string line;
+    while (!session.shutdownRequested() && std::getline(in, line)) {
+        // Script convenience: blank lines and #-comments.
+        std::size_t first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos || line[first] == '#')
+            continue;
+        std::fputs(session.handleLine(line).c_str(), stdout);
+        std::fputc('\n', stdout);
+        std::fflush(stdout);
+    }
+
+    // EOF without a shutdown op: still persist, so piped one-shot
+    // sessions warm the next run.
+    if (!session.shutdownRequested()) {
+        std::string detail;
+        if (session.saveStore(&detail))
+            std::fprintf(stderr, "ploop_serve: %s\n", detail.c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Protocol smoke + warm-start checks for ploop_serve.
+#
+#   serve_smoke.sh <ploop_serve binary> [smoke|warm|all]
+#
+# smoke: pipe a scripted request sequence through the server and
+#        assert the responses (ping, evaluate, search, sweep, stats,
+#        error handling).
+# warm:  run the same search request in fresh processes sharing a
+#        persisted cache store, at PLOOP_THREADS=1 and 4, and assert
+#        (a) the second request of a session and the first request
+#        after a restart answer fully warm (fresh_evals == 0, hits
+#        > 0), and (b) the best mapping and its energy/runtime are
+#        BIT-identical across cold/warm and thread counts.
+set -euo pipefail
+
+SERVE="$1"
+MODE="${2:-all}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+fail() { echo "serve_smoke: FAIL: $*" >&2; exit 1; }
+
+# Extract the first "key":"value" / "key":value for a key from line $2.
+jget() { # key line
+    printf '%s\n' "$2" | grep -o "\"$1\":\"[^\"]*\"\|\"$1\":[^,}]*" \
+        | head -n1 | sed -e 's/^"[^"]*"://' -e 's/^"//' -e 's/"$//'
+}
+
+SEARCH_REQ='{"op":"search","id":1,"arch":{"scaling":"conservative"},"layer":{"name":"conv","k":32,"c":32,"p":14,"q":14,"r":3,"s":3},"options":{"random_samples":30,"hill_climb_rounds":6,"seed":11}}'
+
+smoke() {
+    local out="$TMP/smoke.out"
+    {
+        echo '{"op":"ping","id":"p1"}'
+        echo '{"op":"evaluate","id":2,"layer":{"name":"l","k":16,"c":16,"p":7,"q":7,"r":3,"s":3},"mapping":"weight-stationary"}'
+        echo "$SEARCH_REQ"
+        echo '{"op":"sweep","id":3,"layer":{"k":16,"c":16,"p":7,"q":7,"r":3,"s":3},"knob":"output_reuse","values":[3,9],"options":{"random_samples":10,"hill_climb_rounds":2}}'
+        echo '{"op":"stats","id":4}'
+        echo '{"op":"frobnicate","id":5}'
+        echo 'this is not json'
+    } | "$SERVE" >"$out" 2>"$TMP/smoke.err"
+
+    [ "$(wc -l <"$out")" -eq 7 ] || fail "expected 7 responses, got $(wc -l <"$out")"
+    sed -n 1p "$out" | grep -q '"ok":true.*"op":"ping".*"id":"p1"' || fail "ping response: $(sed -n 1p "$out")"
+    sed -n 2p "$out" | grep -q '"ok":true.*"energy_total_j"' || fail "evaluate response"
+    sed -n 3p "$out" | grep -q '"mapping_key":"0x' || fail "search response"
+    sed -n 4p "$out" | grep -q '"points":\[{"value":3' || fail "sweep response"
+    # Distinct archs: the default config (shared by evaluate, search
+    # and the output_reuse=3 sweep point, which IS the default) plus
+    # the output_reuse=9 point => exactly 2 builds.
+    sed -n 5p "$out" | grep -q '"models_built":2' || fail "stats response (2 distinct archs): $(sed -n 5p "$out")"
+    sed -n 6p "$out" | grep -q '"ok":false.*unknown op' || fail "unknown-op response"
+    sed -n 7p "$out" | grep -q '"ok":false.*bad JSON' || fail "malformed-line response"
+    echo "serve_smoke: smoke OK"
+}
+
+warm() {
+    local store="$TMP/warm.plc"
+    printf '%s\n%s\n' "$SEARCH_REQ" "$SEARCH_REQ" >"$TMP/req.jsonl"
+
+    run() { # threads outfile
+        PLOOP_THREADS="$1" "$SERVE" --cache-store "$store" \
+            --script "$TMP/req.jsonl" >"$2" 2>/dev/null
+    }
+
+    rm -f "$store"
+    run 1 "$TMP/cold.out"   # session 1: cold then in-session warm
+    run 1 "$TMP/warm1.out"  # session 2: warm from the store
+    run 4 "$TMP/warm4.out"  # session 3: warm, multi-threaded
+
+    local r1 r2 w1 w4
+    r1="$(sed -n 1p "$TMP/cold.out")"
+    r2="$(sed -n 2p "$TMP/cold.out")"
+    w1="$(sed -n 1p "$TMP/warm1.out")"
+    w4="$(sed -n 1p "$TMP/warm4.out")"
+
+    # Cold first request computes; the repeat answers fully warm.
+    [ "$(jget fresh_evals "$r1")" != "0" ] || fail "cold run reported no fresh evaluations"
+    [ "$(jget fresh_evals "$r2")" = "0" ] || fail "in-session repeat was not fully warm: $r2"
+    [ "$(jget cache_hits "$r2")" != "0" ] || fail "in-session repeat reported no hits"
+
+    # Restarted sessions answer their FIRST request fully warm.
+    for line in "$w1" "$w4"; do
+        [ "$(jget fresh_evals "$line")" = "0" ] || fail "restart was not fully warm: $line"
+        [ "$(jget cache_hits "$line")" != "0" ] || fail "restart reported no hits"
+    done
+
+    # Bit-identity of the result across cold/warm and thread counts.
+    local key bits
+    key="$(jget mapping_key "$r1")"
+    bits="$(jget energy_bits "$r1")$(jget runtime_bits "$r1")"
+    [ -n "$key" ] || fail "no mapping_key in cold response"
+    for line in "$r2" "$w1" "$w4"; do
+        [ "$(jget mapping_key "$line")" = "$key" ] || fail "mapping diverged: $line"
+        [ "$(jget energy_bits "$line")$(jget runtime_bits "$line")" = "$bits" ] \
+            || fail "energy/runtime bits diverged: $line"
+    done
+    echo "serve_smoke: warm-start OK (mapping $key)"
+}
+
+case "$MODE" in
+  smoke) smoke ;;
+  warm) warm ;;
+  all) smoke; warm ;;
+  *) fail "unknown mode '$MODE'" ;;
+esac
