@@ -18,7 +18,7 @@
 #include "bench_common.hpp"
 #include "common/string_util.hpp"
 #include "common/table.hpp"
-#include "core/network_runner.hpp"
+#include "service/eval_service.hpp"
 #include "workload/model_zoo.hpp"
 
 namespace {
@@ -39,11 +39,12 @@ throughputSearch()
 void
 report()
 {
-    EnergyRegistry registry = makeDefaultRegistry();
+    // One declarative-API session for both networks: the arch is
+    // built once and the per-candidate cache spans the runs.
+    EvalService service;
     AlbireoConfig cfg =
         AlbireoConfig::paperDefault(ScalingProfile::Conservative);
-    ArchSpec arch = buildAlbireoArch(cfg);
-    Evaluator evaluator(arch, registry);
+    const ArchSpec &arch = service.evaluatorFor(cfg).arch();
 
     std::printf("=== Fig. 3: Throughput for two DNN workloads ===\n");
     std::printf("architecture peak: %.0f MACs/cycle\n\n",
@@ -53,9 +54,12 @@ report()
     chart.setSegments({"throughput"});
 
     for (const Fig3Reported &rep : fig3ReportedData()) {
-        Network net = makeNetwork(rep.network);
-        NetworkRunResult run =
-            runNetwork(evaluator, net, throughputSearch());
+        Network net = makeNetwork(rep.network); // layer-shape lookup
+        NetworkRequest req;
+        req.arch = cfg;
+        req.network = rep.network;
+        req.options = throughputSearch();
+        NetworkRunResult run = service.network(req).result;
 
         chart.addBar(rep.network + " Ideal",
                      {rep.ideal_macs_per_cycle});

@@ -23,7 +23,7 @@
 #include "bench_common.hpp"
 #include "common/string_util.hpp"
 #include "common/table.hpp"
-#include "core/network_runner.hpp"
+#include "service/eval_service.hpp"
 #include "workload/model_zoo.hpp"
 
 namespace {
@@ -56,17 +56,20 @@ struct PointResult
 };
 
 PointResult
-runPoint(const Network &net, const Point &p,
-         const EnergyRegistry &registry)
+runPoint(EvalService &service, const Point &p)
 {
-    AlbireoConfig cfg =
+    // One declarative network request per exploration point; the
+    // shared service session reuses registered archs and warm cache
+    // entries across points and repeats.
+    NetworkRequest req;
+    req.arch =
         AlbireoConfig::paperDefault(ScalingProfile::Aggressive);
-    cfg.output_reuse = p.or_factor;
-    cfg.input_reuse = p.ir_factor;
-    cfg.weight_reuse = p.more_weight_reuse ? 3.0 : 1.0;
-    ArchSpec arch = buildAlbireoArch(cfg);
-    Evaluator evaluator(arch, registry);
-    NetworkRunResult run = runNetwork(evaluator, net, fig5Search());
+    req.arch.output_reuse = p.or_factor;
+    req.arch.input_reuse = p.ir_factor;
+    req.arch.weight_reuse = p.more_weight_reuse ? 3.0 : 1.0;
+    req.network = "resnet18";
+    req.options = fig5Search();
+    NetworkRunResult run = service.network(req).result;
 
     PointResult out;
     for (const LayerRunResult &lr : run.layers) {
@@ -88,8 +91,7 @@ runPoint(const Network &net, const Point &p,
 void
 report()
 {
-    EnergyRegistry registry = makeDefaultRegistry();
-    Network net = makeResNet18();
+    EvalService service;
 
     std::printf("=== Fig. 5: Architecture exploration of "
                 "analog/optical reuse ===\n");
@@ -109,7 +111,7 @@ report()
         for (double orf : {3.0, 9.0, 15.0}) {
             for (double irf : {9.0, 27.0, 45.0}) {
                 Point p{orf, irf, more_wr};
-                PointResult r = runPoint(net, p, registry);
+                PointResult r = runPoint(service, p);
                 std::string variant =
                     more_wr ? "More Weight Reuse" : "Original";
                 if (!more_wr && orf == 3.0 && irf == 9.0) {
@@ -156,11 +158,11 @@ report()
 void
 BM_ReusePointResNet18(benchmark::State &state)
 {
-    EnergyRegistry registry = makeDefaultRegistry();
-    Network net = makeResNet18();
+    // A fresh session per iteration keeps the old cold-run timing
+    // semantics (arch build + searches, no warm-cache carryover).
     for (auto _ : state) {
-        PointResult r =
-            runPoint(net, {3.0, 9.0, false}, registry);
+        EvalService service;
+        PointResult r = runPoint(service, {3.0, 9.0, false});
         benchmark::DoNotOptimize(r.pj_per_mac);
     }
 }

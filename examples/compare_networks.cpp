@@ -5,7 +5,12 @@
  * use-case, turned around: one system, three workloads, full-system
  * energy and throughput side by side.
  *
- * Run: ./build/examples/compare_networks
+ * The whole comparison runs through the declarative request API: one
+ * EvalService session, one NetworkRequest per model-zoo entry.  The
+ * same requests, JSON-encoded, drive ploop_serve (see the README's
+ * request-API section).
+ *
+ * Run: ./build/examples/example_compare_networks
  */
 
 #include <cstdio>
@@ -14,7 +19,7 @@
 #include "albireo/reported_data.hpp"
 #include "common/string_util.hpp"
 #include "common/table.hpp"
-#include "core/network_runner.hpp"
+#include "service/eval_service.hpp"
 #include "workload/model_zoo.hpp"
 
 int
@@ -22,11 +27,10 @@ main()
 {
     using namespace ploop;
 
-    EnergyRegistry registry = makeDefaultRegistry();
+    EvalService service;
     AlbireoConfig cfg =
         AlbireoConfig::paperDefault(ScalingProfile::Moderate, true);
-    ArchSpec arch = buildAlbireoArch(cfg);
-    Evaluator evaluator(arch, registry);
+    const ArchSpec &arch = service.evaluatorFor(cfg).arch();
 
     SearchOptions search;
     search.objective = Objective::Energy;
@@ -40,8 +44,11 @@ main()
                      "pJ/MAC", "MACs/cycle", "util %", "DRAM %"});
 
     for (const auto &name : modelZooNames()) {
-        Network net = makeNetwork(name);
-        NetworkRunResult run = runNetwork(evaluator, net, search);
+        NetworkRequest req;
+        req.arch = cfg;
+        req.network = name;
+        req.options = search;
+        NetworkRunResult run = service.network(req).result;
         double dram = 0;
         for (const LayerRunResult &lr : run.layers) {
             dram += lr.result.energy.sumIf(
@@ -50,7 +57,7 @@ main()
                 });
         }
         table.addRow(
-            {net.name(), std::to_string(net.size()),
+            {name, std::to_string(run.layers.size()),
              strFormat("%.2f", run.total_macs / 1e9),
              formatEnergy(run.total_energy_j),
              strFormat("%.3f", run.energyPerMac() * 1e12),
@@ -64,8 +71,16 @@ main()
 
     std::printf(
         "\nPer-layer detail for AlexNet (the throughput outlier):\n");
-    NetworkRunResult alex =
-        runNetwork(evaluator, makeAlexNet(), search);
-    std::printf("%s", alex.str().c_str());
+    NetworkRequest alex_req;
+    alex_req.arch = cfg;
+    alex_req.network = "alexnet";
+    alex_req.options = search;
+    // The repeated layers answer from the session cache warm.
+    NetworkResponse alex = service.network(alex_req);
+    std::printf("%s", alex.result.str().c_str());
+    std::printf("\nsession stats: %llu fresh evals on the repeat "
+                "(0 = fully warm)\n",
+                static_cast<unsigned long long>(
+                    alex.stats.freshEvals()));
     return 0;
 }

@@ -5,13 +5,19 @@
  * profile over ResNet18's most common layer, and print the
  * energy/throughput frontier -- the paper's §III.4 workflow.
  *
- * The whole study runs through an EvalService session: each of the
- * 24 configurations is built once and registered under its
- * fingerprint, every search shares one scope-keyed EvalCache, and
- * the warm cache is persisted to a CacheStore on exit -- so a SECOND
- * run of this example answers almost entirely from warm entries
- * (watch the "fresh evals" column collapse to 0).  Delete the store
- * file to start cold again.
+ * The study is ONE declarative grid-sweep request per scaling
+ * profile: a ParamGrid over input_reuse x output_reuse x weight_reuse
+ * (the cartesian product enumerates all 8 points, last axis fastest),
+ * answered by an EvalService session.  The identical request --
+ * JSON-encoded, see the README's request-API section -- drives
+ * ploop_serve and --script files.
+ *
+ * The session builds each of the 24 configurations once, every
+ * search shares one scope-keyed EvalCache, and the warm cache is
+ * persisted to a CacheStore on exit -- so a SECOND run of this
+ * example answers almost entirely from warm entries (watch the
+ * "fresh evals" column collapse to 0).  Delete the store file to
+ * start cold again.
  *
  * Run: ./build/examples/example_design_space_exploration
  */
@@ -42,6 +48,12 @@ main()
     layer.r = 3;
     layer.s = 3;
 
+    // The reuse grid swept at every scaling profile.
+    ParamGrid grid;
+    grid.axes = {{"input_reuse", {9.0, 27.0}},
+                 {"output_reuse", {3.0, 9.0}},
+                 {"weight_reuse", {1.0, 3.0}}};
+
     SearchOptions search;
     search.objective = Objective::Energy;
     search.random_samples = 40;
@@ -56,49 +68,41 @@ main()
 
     Table table("Reuse / scaling design space (" + layer.name + ")");
     table.setHeader({"scaling", "IR", "OR", "WR", "pJ/MAC",
-                     "MACs/cycle", "laser W", "area mm^2",
-                     "fresh evals"});
+                     "MACs/cycle", "laser W", "area mm^2"});
 
     for (ScalingProfile scaling : allScalingProfiles()) {
-        for (double ir : {9.0, 27.0}) {
-            for (double orf : {3.0, 9.0}) {
-                for (double wr : {1.0, 3.0}) {
-                    SearchRequest req;
-                    req.arch = AlbireoConfig::paperDefault(scaling);
-                    req.arch.input_reuse = ir;
-                    req.arch.output_reuse = orf;
-                    req.arch.weight_reuse = wr;
-                    req.layer = layer;
-                    req.options = search;
-                    SearchResponse r = service.search(req);
-                    auto metric = [&](const char *key) {
-                        for (const auto &[k, v] : r.row.values)
-                            if (k == key)
-                                return v;
-                        return 0.0;
-                    };
-                    table.addRow(
-                        {scalingProfileName(scaling),
-                         strFormat("%.0f", ir),
-                         strFormat("%.0f", orf),
-                         strFormat("%.0f", wr),
-                         strFormat("%.4f",
-                                   metric("energy_per_mac_j") * 1e12),
-                         strFormat("%.0f", metric("macs_per_cycle")),
-                         strFormat("%.2f",
-                                   albireoLaserBudget(req.arch)
-                                       .electrical_power_w),
-                         strFormat("%.2f", metric("area_m2") * 1e6),
-                         strFormat(
-                             "%llu",
-                             static_cast<unsigned long long>(
-                                 r.stats.freshEvals()))});
-                }
-            }
+        SweepRequest req;
+        req.arch = AlbireoConfig::paperDefault(scaling);
+        req.layer = layer;
+        req.grid = grid;
+        req.options = search;
+        SweepResponse r = service.sweep(req);
+
+        for (const SweepPoint &p : r.points) {
+            AlbireoConfig point_cfg =
+                grid.configAt(req.arch, p.coords);
+            table.addRow(
+                {scalingProfileName(scaling),
+                 strFormat("%.0f", p.coords[0]),
+                 strFormat("%.0f", p.coords[1]),
+                 strFormat("%.0f", p.coords[2]),
+                 strFormat("%.4f",
+                           p.result.energyPerMac() * 1e12),
+                 strFormat("%.0f",
+                           p.result.throughput.macs_per_cycle),
+                 strFormat("%.2f",
+                           albireoLaserBudget(point_cfg)
+                               .electrical_power_w),
+                 strFormat("%.2f", p.result.area_m2 * 1e6)});
         }
+        std::printf("%s sweep: %zu points, %llu fresh evals "
+                    "(0 = fully warm)\n",
+                    scalingProfileName(scaling), r.points.size(),
+                    static_cast<unsigned long long>(
+                        r.stats.freshEvals()));
         table.addSeparator();
     }
-    std::printf("%s", table.render().c_str());
+    std::printf("\n%s", table.render().c_str());
 
     EvalService::Stats stats = service.stats();
     std::printf("\nsession: %llu requests, %llu archs built, "

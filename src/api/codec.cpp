@@ -1,0 +1,143 @@
+#include "api/codec.hpp"
+
+#include <cstring>
+
+#include "common/string_util.hpp"
+
+namespace ploop {
+
+JsonValue
+statsJson(const SearchStats &stats)
+{
+    JsonValue out = JsonValue::object();
+    out.set("evaluated", JsonValue::number(double(stats.evaluated)));
+    out.set("invalid", JsonValue::number(double(stats.invalid)));
+    out.set("cache_hits",
+            JsonValue::number(double(stats.cache_hits)));
+    out.set("cache_misses",
+            JsonValue::number(double(stats.cache_misses)));
+    // freshEvals() == 0 is the machine-checkable "fully warm" signal
+    // (every valid candidate answered from cache).
+    out.set("fresh_evals",
+            JsonValue::number(double(stats.freshEvals())));
+    out.set("wall_time_s", JsonValue::number(stats.wall_time_s));
+    return out;
+}
+
+JsonValue
+rowJson(const ResultRow &row)
+{
+    JsonValue out = JsonValue::object();
+    out.set("label", JsonValue::string(row.label));
+    for (const auto &[key, v] : row.values)
+        out.set(key, JsonValue::number(v));
+    return out;
+}
+
+std::string
+hexU64(std::uint64_t v)
+{
+    return strFormat("0x%016llx", static_cast<unsigned long long>(v));
+}
+
+JsonValue
+responseJson(const EvaluateResponse &r)
+{
+    JsonValue resp = JsonValue::object();
+    resp.set("ok", JsonValue::boolean(true));
+    resp.set("result", rowJson(r.row));
+    resp.set("mapping", JsonValue::string(r.mapping_str));
+    return resp;
+}
+
+JsonValue
+responseJson(const SearchRequest &req, const SearchResponse &r)
+{
+    JsonValue resp = JsonValue::object();
+    resp.set("ok", JsonValue::boolean(true));
+    resp.set("objective",
+             JsonValue::string(objectiveName(req.options.objective)));
+    resp.set("best_value", JsonValue::number(r.best_value));
+    resp.set("energy_j", JsonValue::number(r.best.energy_j));
+    resp.set("runtime_s", JsonValue::number(r.best.runtime_s));
+    // Exact bit patterns: warm-start bit-identity is assertable by
+    // plain string comparison from any client (the smoke script
+    // greps these).
+    std::uint64_t ebits, rbits;
+    static_assert(sizeof(double) == sizeof(std::uint64_t), "");
+    std::memcpy(&ebits, &r.best.energy_j, sizeof(ebits));
+    std::memcpy(&rbits, &r.best.runtime_s, sizeof(rbits));
+    resp.set("energy_bits", JsonValue::string(hexU64(ebits)));
+    resp.set("runtime_bits", JsonValue::string(hexU64(rbits)));
+    resp.set("mapping_key", JsonValue::string(hexU64(r.mapping_key)));
+    resp.set("mapping", JsonValue::string(r.mapping_str));
+    resp.set("fingerprint", JsonValue::string(hexU64(r.fingerprint)));
+    resp.set("from_result_cache",
+             JsonValue::boolean(r.from_result_cache));
+    resp.set("stats", statsJson(r.stats));
+    resp.set("result", rowJson(r.row));
+    return resp;
+}
+
+JsonValue
+responseJson(const SweepRequest &req, const SweepResponse &r)
+{
+    JsonValue resp = JsonValue::object();
+    resp.set("ok", JsonValue::boolean(true));
+    JsonValue axes = JsonValue::array();
+    for (const std::string &knob : r.axes)
+        axes.push(JsonValue::string(knob));
+    resp.set("axes", std::move(axes));
+    JsonValue points = JsonValue::array();
+    for (const SweepPoint &p : r.points) {
+        JsonValue pt = JsonValue::object();
+        JsonValue coords = JsonValue::object();
+        for (std::size_t i = 0;
+             i < p.coords.size() && i < r.axes.size(); ++i)
+            coords.set(r.axes[i], JsonValue::number(p.coords[i]));
+        pt.set("coords", std::move(coords));
+        pt.set("energy_per_mac_j",
+               JsonValue::number(p.result.energyPerMac()));
+        pt.set("macs_per_cycle",
+               JsonValue::number(p.result.throughput.macs_per_cycle));
+        pt.set("utilization",
+               JsonValue::number(p.result.throughput.utilization));
+        pt.set("energy_total_j",
+               JsonValue::number(p.result.totalEnergy()));
+        points.push(std::move(pt));
+    }
+    resp.set("points", std::move(points));
+    resp.set("stats", statsJson(r.stats));
+    (void)req;
+    return resp;
+}
+
+JsonValue
+responseJson(const NetworkResponse &r)
+{
+    JsonValue resp = JsonValue::object();
+    resp.set("ok", JsonValue::boolean(true));
+    resp.set("total_energy_j",
+             JsonValue::number(r.result.total_energy_j));
+    resp.set("total_macs", JsonValue::number(r.result.total_macs));
+    resp.set("macs_per_cycle",
+             JsonValue::number(r.result.macsPerCycle()));
+    resp.set("energy_per_mac_j",
+             JsonValue::number(r.result.energyPerMac()));
+    JsonValue layers = JsonValue::array();
+    for (const LayerRunResult &lr : r.result.layers) {
+        JsonValue l = JsonValue::object();
+        l.set("name", JsonValue::string(lr.layer_name));
+        l.set("energy_j", JsonValue::number(lr.result.totalEnergy()));
+        l.set("macs_per_cycle",
+              JsonValue::number(lr.result.throughput.macs_per_cycle));
+        l.set("utilization",
+              JsonValue::number(lr.result.throughput.utilization));
+        layers.push(std::move(l));
+    }
+    resp.set("layers", std::move(layers));
+    resp.set("stats", statsJson(r.stats));
+    return resp;
+}
+
+} // namespace ploop

@@ -1,0 +1,369 @@
+/**
+ * @file
+ * JSON codec for the declarative request API, derived mechanically
+ * from the field lists in requests.hpp.
+ *
+ * Decode (decodeRequestJson<T>) is STRICT: unknown fields are
+ * rejected by name (listing the known ones), duplicate keys are
+ * rejected, every field's type is checked with a message naming the
+ * field path ("arch.unit_k"), and integers must be integral,
+ * non-negative and in range.  Absent fields keep the request's
+ * defaults, so minimal requests stay minimal.  The protocol's
+ * transport keys ("op", "id") are allowed at the top level only.
+ * All failures fatal() -- callers (ServeSession) turn them into
+ * per-request error responses.
+ *
+ * Encode (encodeRequestJson) emits every field in description order:
+ * one canonical wire form per request, re-decodable to an identical
+ * request (round-trip identity is tested).
+ *
+ * Response serialization for the line protocol lives here too
+ * (responseJson overloads), so ServeSession is a thin transport.
+ */
+
+#ifndef PHOTONLOOP_API_CODEC_HPP
+#define PHOTONLOOP_API_CODEC_HPP
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "api/json.hpp"
+#include "api/requests.hpp"
+#include "common/error.hpp"
+
+namespace ploop {
+
+/** Strict decoding visitor (see file comment). */
+class JsonFieldDecoder
+{
+  public:
+    /**
+     * @param obj The JSON object to decode (fatal() unless object).
+     * @param path Field-path prefix for messages ("" at top level).
+     */
+    JsonFieldDecoder(const JsonValue &obj, std::string path)
+        : obj_(obj), path_(std::move(path))
+    {
+        fatalIf(!obj.isObject(),
+                where("request") + " must be a JSON object");
+        std::set<std::string> seen;
+        for (const auto &[key, value] : obj.members()) {
+            (void)value;
+            fatalIf(!seen.insert(key).second,
+                    "duplicate field '" + join(key) + "'");
+        }
+    }
+
+    /** Allow the protocol transport keys (top level only). */
+    void allowTransportKeys()
+    {
+        known_.push_back("op");
+        known_.push_back("id");
+    }
+
+    void field(const FieldMeta &m, double &v)
+    {
+        if (const JsonValue *j = lookup(m)) {
+            // JSON has no literal for non-finite values, but an
+            // overflowing literal (1e999) parses to inf -- reject it
+            // here so no request field can smuggle inf/NaN into the
+            // model (and the ResultCache).
+            fatalIf(!j->isNumber() ||
+                        !std::isfinite(j->asNumber()),
+                    "field '" + join(m.name) +
+                        "' must be a finite number");
+            v = j->asNumber();
+        }
+    }
+
+    void field(const FieldMeta &m, std::uint64_t &v)
+    {
+        v = integer(m, 18446744073709551616.0 /* 2^64 */, v);
+    }
+
+    void field(const FieldMeta &m, unsigned &v)
+    {
+        v = static_cast<unsigned>(
+            integer(m, 4294967296.0 /* 2^32 */, v));
+    }
+
+    void field(const FieldMeta &m, bool &v)
+    {
+        if (const JsonValue *j = lookup(m)) {
+            fatalIf(!j->isBool(), "field '" + join(m.name) +
+                                      "' must be true or false");
+            v = j->asBool();
+        }
+    }
+
+    void field(const FieldMeta &m, std::string &v)
+    {
+        if (const JsonValue *j = lookup(m)) {
+            fatalIf(!j->isString(),
+                    "field '" + join(m.name) + "' must be a string");
+            v = j->asString();
+        }
+    }
+
+    void numberList(const FieldMeta &m, std::vector<double> &v)
+    {
+        if (const JsonValue *j = lookup(m)) {
+            fatalIf(!j->isArray(), "field '" + join(m.name) +
+                                       "' must be an array of "
+                                       "numbers");
+            v.clear();
+            for (const JsonValue &item : j->items()) {
+                fatalIf(!item.isNumber() ||
+                            !std::isfinite(item.asNumber()),
+                        "field '" + join(m.name) +
+                            "' must contain only finite numbers");
+                v.push_back(item.asNumber());
+            }
+        }
+    }
+
+    template <class T, class Names>
+    void enumField(const FieldMeta &m, T &v, const Names &names)
+    {
+        const JsonValue *j = lookup(m);
+        if (!j)
+            return;
+        fatalIf(!j->isString(),
+                "field '" + join(m.name) + "' must be a string");
+        for (const auto &n : names) {
+            if (j->asString() == n.name) {
+                v = n.value;
+                return;
+            }
+        }
+        std::string allowed;
+        for (const auto &n : names)
+            allowed += std::string(allowed.empty() ? "" : ", ") +
+                       n.name;
+        fatal("field '" + join(m.name) + "' must be one of: " +
+              allowed + " (got '" + j->asString() + "')");
+    }
+
+    template <class T> void object(const FieldMeta &m, T &sub)
+    {
+        if (const JsonValue *j = lookup(m)) {
+            fatalIf(!j->isObject(),
+                    "field '" + join(m.name) + "' must be an object");
+            JsonFieldDecoder d(*j, join(m.name));
+            describeFields(d, sub);
+            d.finish();
+        }
+    }
+
+    template <class T>
+    void objectList(const FieldMeta &m, std::vector<T> &out)
+    {
+        const JsonValue *j = lookup(m);
+        if (!j)
+            return;
+        fatalIf(!j->isArray(), "field '" + join(m.name) +
+                                   "' must be an array of objects");
+        out.clear();
+        std::size_t i = 0;
+        for (const JsonValue &item : j->items()) {
+            std::string elem_path =
+                join(m.name) + "[" + std::to_string(i++) + "]";
+            fatalIf(!item.isObject(),
+                    "field '" + elem_path + "' must be an object");
+            T decoded{};
+            JsonFieldDecoder d(item, elem_path);
+            describeFields(d, decoded);
+            d.finish();
+            out.push_back(std::move(decoded));
+        }
+    }
+
+    /** Decode-order hook (see fields.hpp): runs immediately. */
+    template <class F> void checkpoint(F &&fixup) { fixup(); }
+
+    /** Reject members no field() call consumed, by name. */
+    void finish()
+    {
+        for (const auto &[key, value] : obj_.members()) {
+            (void)value;
+            bool known = false;
+            for (const std::string &k : known_)
+                known = known || k == key;
+            if (known)
+                continue;
+            std::string list;
+            for (const std::string &k : known_)
+                list += (list.empty() ? "" : ", ") + k;
+            fatal("unknown field '" + join(key) + "' (known: " +
+                  list + ")");
+        }
+    }
+
+  private:
+    std::string join(const std::string &name) const
+    {
+        return path_.empty() ? name : path_ + "." + name;
+    }
+
+    std::string where(const char *what) const
+    {
+        return path_.empty() ? what : "field '" + path_ + "'";
+    }
+
+    const JsonValue *lookup(const FieldMeta &m)
+    {
+        known_.push_back(m.name);
+        return obj_.get(m.name);
+    }
+
+    std::uint64_t integer(const FieldMeta &m, double limit,
+                          std::uint64_t dflt = 0)
+    {
+        const JsonValue *j = obj_.get(m.name);
+        known_.push_back(m.name);
+        if (!j)
+            return dflt;
+        double d = j->isNumber() ? j->asNumber() : -1.0;
+        // !(d >= 0) also rejects NaN; the upper bound rejects inf
+        // and anything the uint64 cast would make undefined; the
+        // floor check rejects fractions.
+        fatalIf(!j->isNumber() || !(d >= 0) || d >= limit ||
+                    d != std::floor(d),
+                "field '" + join(m.name) +
+                    "' must be a non-negative integer below " +
+                    (limit >= 18446744073709551616.0 ? "2^64"
+                                                     : "2^32"));
+        return static_cast<std::uint64_t>(d);
+    }
+
+    const JsonValue &obj_;
+    std::string path_;
+    std::vector<std::string> known_;
+};
+
+/** Canonical encoding visitor: every field, description order. */
+class JsonFieldEncoder
+{
+  public:
+    void field(const FieldMeta &m, double &v)
+    {
+        out_.set(m.name, JsonValue::number(v));
+    }
+
+    void field(const FieldMeta &m, std::uint64_t &v)
+    {
+        out_.set(m.name, JsonValue::number(double(v)));
+    }
+
+    void field(const FieldMeta &m, unsigned &v)
+    {
+        out_.set(m.name, JsonValue::number(double(v)));
+    }
+
+    void field(const FieldMeta &m, bool &v)
+    {
+        out_.set(m.name, JsonValue::boolean(v));
+    }
+
+    void field(const FieldMeta &m, std::string &v)
+    {
+        out_.set(m.name, JsonValue::string(v));
+    }
+
+    void numberList(const FieldMeta &m, std::vector<double> &v)
+    {
+        JsonValue arr = JsonValue::array();
+        for (double d : v)
+            arr.push(JsonValue::number(d));
+        out_.set(m.name, std::move(arr));
+    }
+
+    template <class T, class Names>
+    void enumField(const FieldMeta &m, T &v, const Names &names)
+    {
+        for (const auto &n : names) {
+            if (n.value == v) {
+                out_.set(m.name, JsonValue::string(n.name));
+                return;
+            }
+        }
+        fatal(std::string("field '") + m.name +
+              "' holds a value outside its enum");
+    }
+
+    template <class T> void object(const FieldMeta &m, T &sub)
+    {
+        JsonFieldEncoder e;
+        describeFields(e, sub);
+        out_.set(m.name, e.take());
+    }
+
+    template <class T>
+    void objectList(const FieldMeta &m, std::vector<T> &v)
+    {
+        JsonValue arr = JsonValue::array();
+        for (T &item : v) {
+            JsonFieldEncoder e;
+            describeFields(e, item);
+            arr.push(e.take());
+        }
+        out_.set(m.name, std::move(arr));
+    }
+
+    template <class F> void checkpoint(F &&) {}
+
+    JsonValue take() { return std::move(out_); }
+
+  private:
+    JsonValue out_ = JsonValue::object();
+};
+
+/**
+ * Decode one request object (a protocol line's parsed JSON, or any
+ * object following the same schema).  Strict -- see file comment.
+ */
+template <class T>
+T
+decodeRequestJson(const JsonValue &obj)
+{
+    T out{};
+    JsonFieldDecoder d(obj, "");
+    d.allowTransportKeys();
+    describeFields(d, out);
+    d.finish();
+    return out;
+}
+
+/** Canonical JSON form of a request (round-trips via decode). */
+template <class T>
+JsonValue
+encodeRequestJson(T req)
+{
+    JsonFieldEncoder e;
+    describeFields(e, req);
+    return e.take();
+}
+
+// ---- response serialization (the line protocol's output side) ----
+
+/** {"evaluated":..,"cache_hits":..,...} for a response's stats. */
+JsonValue statsJson(const SearchStats &stats);
+
+/** Flattened metric row as an object ("label" plus every metric). */
+JsonValue rowJson(const ResultRow &row);
+
+/** "0x%016x" rendering of exact bit patterns. */
+std::string hexU64(std::uint64_t v);
+
+JsonValue responseJson(const EvaluateResponse &r);
+JsonValue responseJson(const SearchRequest &req,
+                       const SearchResponse &r);
+JsonValue responseJson(const SweepRequest &req,
+                       const SweepResponse &r);
+JsonValue responseJson(const NetworkResponse &r);
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_API_CODEC_HPP

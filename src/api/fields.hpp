@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The declarative request layer's foundation: every request type is
+ * described ONCE as a field list (a `describeFields(visitor, obj)`
+ * function template), and everything the API needs is derived
+ * mechanically by running a visitor over that list:
+ *
+ *  - JSON decode with strict validation (codec.hpp): unknown and
+ *    duplicate fields are rejected BY NAME, types are checked, absent
+ *    fields keep the struct's defaults;
+ *  - canonical JSON encode (codec.hpp): every field, in description
+ *    order -- one canonical wire form per request;
+ *  - the canonical request fingerprint (fingerprint.hpp): semantic
+ *    fields only, independent of JSON key order by construction;
+ *  - the machine-readable schema served by the `capabilities` op
+ *    (schema.hpp): names, types, defaults, semantic flags.
+ *
+ * There is no code generation: a visitor is any type providing the
+ * member functions below (duck typing), and a field list is ordinary
+ * code, so adding a request field is a one-line change that updates
+ * the wire format, the fingerprint and the schema together.
+ *
+ * Visitor concept (all members required; Meta is FieldMeta):
+ *
+ *   void field(Meta, double&);          // JSON number
+ *   void field(Meta, std::uint64_t&);   // non-negative integer
+ *   void field(Meta, unsigned&);        // non-negative integer < 2^32
+ *   void field(Meta, bool&);            // true/false
+ *   void field(Meta, std::string&);     // string
+ *   void numberList(Meta, std::vector<double>&);
+ *   template <class T, class Names>
+ *   void enumField(Meta, T&, const Names&);   // string from a closed set
+ *   template <class T> void object(Meta, T&); // nested described type
+ *   template <class T> void objectList(Meta, std::vector<T>&);
+ *   template <class F> void checkpoint(F&&);  // decode-order hook
+ *
+ * checkpoint() runs its callback between fields DURING DECODE only
+ * (encode/fingerprint/schema visitors ignore it); the arch request
+ * uses it to re-derive profile defaults once `scaling`/`with_dram`
+ * are known, before overrides apply.
+ */
+
+#ifndef PHOTONLOOP_API_FIELDS_HPP
+#define PHOTONLOOP_API_FIELDS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ploop {
+
+/** Per-field description (the first argument of every visitor call). */
+struct FieldMeta
+{
+    /** Wire name (JSON object key). */
+    const char *name;
+
+    /** One-line description, surfaced in the capabilities schema. */
+    const char *doc = "";
+
+    /**
+     * Folded into requestFingerprint()?  Non-semantic fields (e.g.
+     * SearchOptions::threads) change how a request is computed, never
+     * what it computes, so cached results survive changes to them.
+     */
+    bool semantic = true;
+};
+
+/** Convenience for non-semantic fields. */
+inline FieldMeta
+nonSemantic(const char *name, const char *doc = "")
+{
+    return FieldMeta{name, doc, false};
+}
+
+/** One (wire name, value) pair of a closed string-valued field. */
+template <class T> struct EnumName
+{
+    const char *name;
+    T value;
+};
+
+/** FNV-1a, for field-name tags in fingerprints. */
+inline std::uint64_t
+fieldNameHash(const char *s)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (; *s; ++s) {
+        h ^= static_cast<unsigned char>(*s);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** FNV-1a over all bytes plus the length (NUL-safe: request strings
+ *  may legally contain embedded NULs via unicode escapes). */
+inline std::uint64_t
+stringValueHash(const std::string &s)
+{
+    std::uint64_t h = 1469598103934665603ull ^ s.size();
+    for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_API_FIELDS_HPP

@@ -1,0 +1,146 @@
+#include "api/fingerprint.hpp"
+
+#include <cstring>
+
+#include "common/math_util.hpp"
+
+namespace ploop {
+
+namespace {
+
+/** Field-list visitor hashing semantic fields only (see header). */
+class RequestFingerprinter
+{
+  public:
+    explicit RequestFingerprinter(std::uint64_t seed)
+        : h_(mix64(seed))
+    {}
+
+    void field(const FieldMeta &m, double &v)
+    {
+        if (!m.semantic)
+            return;
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        mixTagged(m, bits);
+    }
+
+    void field(const FieldMeta &m, std::uint64_t &v)
+    {
+        if (m.semantic)
+            mixTagged(m, v);
+    }
+
+    void field(const FieldMeta &m, unsigned &v)
+    {
+        if (m.semantic)
+            mixTagged(m, v);
+    }
+
+    void field(const FieldMeta &m, bool &v)
+    {
+        if (m.semantic)
+            mixTagged(m, v ? 1 : 0);
+    }
+
+    void field(const FieldMeta &m, std::string &v)
+    {
+        if (m.semantic)
+            mixTagged(m, stringValueHash(v));
+    }
+
+    void numberList(const FieldMeta &m, std::vector<double> &v)
+    {
+        if (!m.semantic)
+            return;
+        mixTagged(m, v.size());
+        for (double d : v) {
+            std::uint64_t bits;
+            std::memcpy(&bits, &d, sizeof(bits));
+            h_ = mix64(h_ ^ bits);
+        }
+    }
+
+    template <class T, class Names>
+    void enumField(const FieldMeta &m, T &v, const Names &)
+    {
+        if (m.semantic)
+            mixTagged(m, static_cast<std::uint64_t>(v));
+    }
+
+    /** The arch component is its full-config key, by contract. */
+    void object(const FieldMeta &m, AlbireoConfig &cfg)
+    {
+        if (m.semantic)
+            mixTagged(m, albireoConfigKey(cfg));
+    }
+
+    template <class T> void object(const FieldMeta &m, T &sub)
+    {
+        if (!m.semantic)
+            return;
+        mixTagged(m, 0);
+        describeFields(*this, sub);
+    }
+
+    template <class T>
+    void objectList(const FieldMeta &m, std::vector<T> &v)
+    {
+        if (!m.semantic)
+            return;
+        mixTagged(m, v.size());
+        for (T &item : v)
+            describeFields(*this, item);
+    }
+
+    template <class F> void checkpoint(F &&) {}
+
+    std::uint64_t value() const { return h_; }
+
+  private:
+    void mixTagged(const FieldMeta &m, std::uint64_t v)
+    {
+        h_ = mix64(h_ ^ fieldNameHash(m.name));
+        h_ = mix64(h_ ^ v);
+    }
+
+    std::uint64_t h_;
+};
+
+template <class T>
+std::uint64_t
+fingerprintOf(T req)
+{
+    RequestFingerprinter f(
+        fieldNameHash(requestName(&req)));
+    describeFields(f, req);
+    return f.value();
+}
+
+} // namespace
+
+std::uint64_t
+requestFingerprint(const EvaluateRequest &req)
+{
+    return fingerprintOf(req);
+}
+
+std::uint64_t
+requestFingerprint(const SearchRequest &req)
+{
+    return fingerprintOf(req);
+}
+
+std::uint64_t
+requestFingerprint(const SweepRequest &req)
+{
+    return fingerprintOf(req);
+}
+
+std::uint64_t
+requestFingerprint(const NetworkRequest &req)
+{
+    return fingerprintOf(req);
+}
+
+} // namespace ploop

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Canonical request fingerprints, derived from the field lists in
+ * requests.hpp: a 64-bit key identifying WHAT a request computes.
+ *
+ * What is folded in: a per-request-type tag, albireoConfigKey() for
+ * the (resolved) architecture configuration, every layer field
+ * (name included -- responses echo it), and every SEMANTIC search
+ * option; for sweeps, the grid axes in order (axis order fixes the
+ * point enumeration order); for networks, the zoo name/batch or the
+ * inline layer list.
+ *
+ * What is NOT folded in: non-semantic fields (FieldMeta::semantic ==
+ * false) -- today exactly SearchOptions::threads, which changes how
+ * a search runs but never its result (the engine's determinism
+ * contract), so result-cache hits survive thread-count changes.
+ * JSON key order never matters: fingerprints are computed over the
+ * DECODED struct in field-list order, not over the wire bytes.
+ *
+ * The fingerprint keys the service-side ResultCache (whole
+ * SearchResponse memoization); a collision would serve a wrong
+ * response, so the 64-bit space is deliberately fed through mix64
+ * per field with distinct field-name tags (same birthday math as the
+ * EvalCache keys: ~10^-10 collision odds at a million cached
+ * requests).
+ */
+
+#ifndef PHOTONLOOP_API_FINGERPRINT_HPP
+#define PHOTONLOOP_API_FINGERPRINT_HPP
+
+#include "api/requests.hpp"
+
+namespace ploop {
+
+std::uint64_t requestFingerprint(const EvaluateRequest &req);
+std::uint64_t requestFingerprint(const SearchRequest &req);
+std::uint64_t requestFingerprint(const SweepRequest &req);
+std::uint64_t requestFingerprint(const NetworkRequest &req);
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_API_FINGERPRINT_HPP

@@ -1,4 +1,4 @@
-#include "service/json.hpp"
+#include "api/json.hpp"
 
 #include <cmath>
 #include <cstdlib>

@@ -16,8 +16,8 @@
  * doubles become null, as everywhere else in PhotonLoop.
  */
 
-#ifndef PHOTONLOOP_SERVICE_JSON_HPP
-#define PHOTONLOOP_SERVICE_JSON_HPP
+#ifndef PHOTONLOOP_API_JSON_HPP
+#define PHOTONLOOP_API_JSON_HPP
 
 #include <cstdint>
 #include <optional>
@@ -105,4 +105,4 @@ std::optional<JsonValue> parseJson(const std::string &text,
 
 } // namespace ploop
 
-#endif // PHOTONLOOP_SERVICE_JSON_HPP
+#endif // PHOTONLOOP_API_JSON_HPP

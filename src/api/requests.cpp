@@ -1,0 +1,251 @@
+#include "api/requests.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "common/string_util.hpp"
+
+namespace ploop {
+
+namespace {
+
+std::uint64_t
+mixDouble(std::uint64_t h, double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return mix64(h ^ bits);
+}
+
+std::uint64_t
+mixU64(std::uint64_t h, std::uint64_t v)
+{
+    return mix64(h ^ v);
+}
+
+} // namespace
+
+std::uint64_t
+albireoConfigKey(const AlbireoConfig &cfg)
+{
+    // Every field participates: two configs differing anywhere get
+    // distinct registry slots (the cheap pre-build key; EvalCache
+    // scoping uses the post-build model fingerprint, so two configs
+    // that RESOLVE to the same model still share cache entries).
+    std::uint64_t h = mixU64(0x414c4249u, std::uint64_t(cfg.scaling));
+    h = mixDouble(h, cfg.input_reuse);
+    h = mixDouble(h, cfg.input_window_reuse);
+    h = mixDouble(h, cfg.output_reuse);
+    h = mixDouble(h, cfg.weight_reuse);
+    h = mixU64(h, cfg.unit_r);
+    h = mixU64(h, cfg.unit_s);
+    h = mixU64(h, cfg.unit_k);
+    h = mixU64(h, cfg.unit_c);
+    h = mixU64(h, cfg.chip_k);
+    h = mixU64(h, cfg.chip_p);
+    h = mixDouble(h, cfg.clock_hz);
+    h = mixU64(h, cfg.gb_capacity_words);
+    h = mixU64(h, cfg.regs_capacity_words);
+    h = mixU64(h, cfg.word_bits);
+    h = mixDouble(h, cfg.gb_bandwidth_words);
+    h = mixDouble(h, cfg.dram_bandwidth_words);
+    h = mixU64(h, cfg.with_dram ? 1 : 0);
+    h = mixDouble(h, cfg.dram_energy_per_bit);
+    h = mixU64(h, cfg.fuse_bypass_dram_inputs ? 1 : 0);
+    h = mixU64(h, cfg.fuse_bypass_dram_outputs ? 1 : 0);
+    h = mixU64(h, cfg.model_window_effects ? 1 : 0);
+    h = mixU64(h, cfg.model_laser_static ? 1 : 0);
+    h = mixU64(h, cfg.model_adc_growth ? 1 : 0);
+    return h;
+}
+
+namespace {
+
+/** Integer-knob values must survive the uint64 cast exactly: the
+ *  strict decoder enforces this for arch fields, and grid axis
+ *  values (plain JSON numbers) get the same contract here. */
+std::uint64_t
+knobInteger(const std::string &knob, double value)
+{
+    fatalIf(!(value >= 0) || value >= 18446744073709551616.0 ||
+                value != std::floor(value),
+            "sweep knob '" + knob +
+                "' needs a non-negative integer value");
+    return static_cast<std::uint64_t>(value);
+}
+
+} // namespace
+
+AlbireoConfig
+applySweepKnob(const AlbireoConfig &base, const std::string &knob,
+               double value)
+{
+    fatalIf(!std::isfinite(value),
+            "sweep knob '" + knob + "' needs a finite value");
+    AlbireoConfig cfg = base;
+    if (knob == "input_reuse") {
+        cfg.input_reuse = value;
+    } else if (knob == "input_window_reuse") {
+        cfg.input_window_reuse = value;
+    } else if (knob == "output_reuse") {
+        cfg.output_reuse = value;
+    } else if (knob == "weight_reuse") {
+        cfg.weight_reuse = value;
+    } else if (knob == "unit_k") {
+        cfg.unit_k = knobInteger(knob, value);
+    } else if (knob == "unit_c") {
+        cfg.unit_c = knobInteger(knob, value);
+    } else if (knob == "chip_k") {
+        cfg.chip_k = knobInteger(knob, value);
+    } else if (knob == "chip_p") {
+        cfg.chip_p = knobInteger(knob, value);
+    } else if (knob == "clock_hz") {
+        cfg.clock_hz = value;
+    } else if (knob == "gb_capacity_words") {
+        cfg.gb_capacity_words = knobInteger(knob, value);
+    } else if (knob == "dram_bandwidth_words") {
+        cfg.dram_bandwidth_words = value;
+    } else {
+        std::string known;
+        for (const std::string &k : sweepKnobNames())
+            known += (known.empty() ? "" : ", ") + k;
+        fatal("unknown sweep knob '" + knob + "' (known: " + known +
+              ")");
+    }
+    return cfg;
+}
+
+std::vector<std::string>
+sweepKnobNames()
+{
+    return {"input_reuse", "input_window_reuse", "output_reuse",
+            "weight_reuse", "unit_k", "unit_c", "chip_k", "chip_p",
+            "clock_hz", "gb_capacity_words", "dram_bandwidth_words"};
+}
+
+const std::vector<EnumName<ScalingProfile>> &
+scalingEnumNames()
+{
+    static const std::vector<EnumName<ScalingProfile>> names = [] {
+        std::vector<EnumName<ScalingProfile>> out;
+        for (ScalingProfile p : allScalingProfiles())
+            out.push_back({scalingProfileName(p), p});
+        return out;
+    }();
+    return names;
+}
+
+const std::vector<EnumName<Objective>> &
+objectiveEnumNames()
+{
+    static const std::vector<EnumName<Objective>> names = {
+        {"energy", Objective::Energy},
+        {"delay", Objective::Delay},
+        {"edp", Objective::Edp},
+    };
+    return names;
+}
+
+const std::vector<EnumName<bool>> &
+layerKindEnumNames()
+{
+    static const std::vector<EnumName<bool>> names = {
+        {"conv", false},
+        {"fc", true},
+    };
+    return names;
+}
+
+LayerShape
+LayerRequest::toLayer() const
+{
+    if (fully_connected)
+        return LayerShape::fullyConnected(name, n, k, c);
+    return LayerShape::conv(name, n, k, c, p, q, r, s, hstride,
+                            wstride);
+}
+
+std::size_t
+ParamGrid::points() const
+{
+    if (axes.empty())
+        return 0;
+    std::size_t n = 1;
+    for (const GridAxis &a : axes) {
+        if (a.values.empty())
+            return 0;
+        // Saturating multiply: validate() reports oversized grids
+        // with the real bound, not an overflowed product.
+        if (n > kMaxPoints * 16 / a.values.size())
+            return kMaxPoints + 1;
+        n *= a.values.size();
+    }
+    return n;
+}
+
+void
+ParamGrid::validate(std::size_t max_points) const
+{
+    fatalIf(axes.empty(),
+            "sweep grid needs >= 1 axis (field 'grid' is empty)");
+    for (const GridAxis &a : axes)
+        fatalIf(a.values.empty(), "grid axis '" + a.knob +
+                                      "' needs >= 1 value (field "
+                                      "'values' is empty)");
+    for (std::size_t i = 0; i < axes.size(); ++i) {
+        // Unknown knobs and out-of-domain values (non-finite, or
+        // non-integral for integer knobs) fail here, before any
+        // point runs -- same messages as applySweepKnob.
+        for (double v : axes[i].values)
+            applySweepKnob(AlbireoConfig{}, axes[i].knob, v);
+        for (std::size_t j = i + 1; j < axes.size(); ++j)
+            fatalIf(axes[i].knob == axes[j].knob,
+                    "duplicate grid knob '" + axes[i].knob + "'");
+    }
+    std::size_t n = points();
+    fatalIf(n > max_points,
+            strFormat("grid has %zu points, more than the %zu "
+                      "allowed",
+                      n, max_points));
+}
+
+std::vector<std::vector<double>>
+ParamGrid::coords() const
+{
+    validate();
+    std::vector<std::vector<double>> out;
+    out.reserve(points());
+    std::vector<std::size_t> idx(axes.size(), 0);
+    for (;;) {
+        std::vector<double> coord(axes.size());
+        for (std::size_t i = 0; i < axes.size(); ++i)
+            coord[i] = axes[i].values[idx[i]];
+        out.push_back(std::move(coord));
+        // Odometer increment, last axis fastest.
+        std::size_t i = axes.size();
+        while (i > 0) {
+            --i;
+            if (++idx[i] < axes[i].values.size())
+                break;
+            idx[i] = 0;
+            if (i == 0)
+                return out;
+        }
+    }
+}
+
+AlbireoConfig
+ParamGrid::configAt(const AlbireoConfig &base,
+                    const std::vector<double> &coord) const
+{
+    fatalIf(coord.size() != axes.size(),
+            "grid coordinate arity mismatch");
+    AlbireoConfig cfg = base;
+    for (std::size_t i = 0; i < axes.size(); ++i)
+        cfg = applySweepKnob(cfg, axes[i].knob, coord[i]);
+    return cfg;
+}
+
+} // namespace ploop

@@ -1,0 +1,378 @@
+/**
+ * @file
+ * The unified declarative request API.  Every operation the system
+ * performs -- evaluate one mapping, search one layer, sweep a grid of
+ * architecture knobs, run a whole network -- is a plain request
+ * struct described as a field list (fields.hpp), so the in-process
+ * API (EvalService), the line protocol (ServeSession/ploop_serve)
+ * and --script files all speak the SAME requests with one canonical
+ * serialization, one fingerprint, and one schema.
+ *
+ * Derived mechanically from the field lists here:
+ *  - codec.hpp      strict JSON decode / canonical encode
+ *  - fingerprint.hpp  requestFingerprint() (semantic fields only)
+ *  - schema.hpp     the capabilities schema listing
+ *
+ * Grid sweeps: SweepRequest carries a ParamGrid -- an ordered list of
+ * named knob axes (sweepKnobNames()) whose cartesian product defines
+ * the sweep points; each point's architecture is derived from the
+ * base config via applySweepKnob().  Axis order is semantic: it fixes
+ * the point enumeration order (last axis fastest), exactly like
+ * nested loops written in axis order.
+ */
+
+#ifndef PHOTONLOOP_API_REQUESTS_HPP
+#define PHOTONLOOP_API_REQUESTS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "albireo/albireo_config.hpp"
+#include "api/fields.hpp"
+#include "core/network_runner.hpp"
+#include "core/sweep.hpp"
+#include "mapper/mapper.hpp"
+#include "report/export.hpp"
+
+namespace ploop {
+
+/** Protocol/schema version served by the capabilities op.  Bumped on
+ *  any change to a request field list or response shape. */
+constexpr int kApiVersion = 1;
+
+/** Hash of every AlbireoConfig field: the arch-registry key, and the
+ *  arch component of every request fingerprint. */
+std::uint64_t albireoConfigKey(const AlbireoConfig &cfg);
+
+/**
+ * Apply one named sweep knob to a base configuration; fatal() on an
+ * unknown knob (see sweepKnobNames()).
+ */
+AlbireoConfig applySweepKnob(const AlbireoConfig &base,
+                             const std::string &knob, double value);
+
+/** Knobs applySweepKnob() understands. */
+std::vector<std::string> sweepKnobNames();
+
+/** Closed string sets for enum-valued request fields. */
+const std::vector<EnumName<ScalingProfile>> &scalingEnumNames();
+const std::vector<EnumName<Objective>> &objectiveEnumNames();
+const std::vector<EnumName<bool>> &layerKindEnumNames();
+
+/** A layer described over the request API (conv by default). */
+struct LayerRequest
+{
+    std::string name = "layer";
+    bool fully_connected = false;
+    std::uint64_t n = 1, k = 1, c = 1;
+    std::uint64_t p = 1, q = 1, r = 1, s = 1;
+    std::uint64_t hstride = 1, wstride = 1;
+
+    /** Materialize (validates); fatal() on bad shapes. */
+    LayerShape toLayer() const;
+};
+
+/** Evaluate one deterministic mapping (no search). */
+struct EvaluateRequest
+{
+    AlbireoConfig arch;
+    LayerRequest layer;
+
+    /** "greedy", "outer", or a dataflow name ("weight-stationary",
+     *  "output-stationary", "input-stationary"). */
+    std::string mapping = "greedy";
+};
+
+struct EvaluateResponse
+{
+    ResultRow row;           ///< Flattened full evaluation.
+    std::string mapping_str; ///< Rendering of the evaluated mapping.
+};
+
+/** Run the mapper for one layer. */
+struct SearchRequest
+{
+    AlbireoConfig arch;
+    LayerRequest layer;
+    SearchOptions options;
+};
+
+struct SearchResponse
+{
+    Mapping mapping;            ///< Best mapping found.
+    std::string mapping_str;    ///< Its rendering.
+    std::uint64_t mapping_key;  ///< mappingKey(mapping) (bit-exact id).
+    double best_value;          ///< Objective value (lower = better).
+    QuickEval best;             ///< Exact energy/runtime of the best.
+    SearchStats stats;          ///< This request's own search stats.
+    ResultRow row;              ///< Flattened full evaluation.
+
+    /** requestFingerprint() of the request this answers. */
+    std::uint64_t fingerprint = 0;
+
+    /** True when the whole response was served from the service-side
+     *  ResultCache (stats are then this request's -- all zero). */
+    bool from_result_cache = false;
+};
+
+/** One axis of a parameter grid: a named knob and its sample values. */
+struct GridAxis
+{
+    std::string knob; ///< See sweepKnobNames().
+    std::vector<double> values;
+};
+
+/**
+ * A multi-knob parameter grid: the cartesian product of its axes, in
+ * row-major order (first axis slowest, last axis fastest).
+ */
+struct ParamGrid
+{
+    std::vector<GridAxis> axes;
+
+    /** Number of grid points (product of axis sizes; 0 when empty). */
+    std::size_t points() const;
+
+    /**
+     * Every grid point as one coordinate vector per point (same
+     * length/order as axes), in enumeration order.  fatal() unless
+     * valid (see validate()).
+     */
+    std::vector<std::vector<double>> coords() const;
+
+    /** The architecture at one grid point: applySweepKnob per axis. */
+    AlbireoConfig configAt(const AlbireoConfig &base,
+                           const std::vector<double> &coord) const;
+
+    /**
+     * Request-level validation, fatal() with a field-naming message
+     * on: no axes, an axis with no values, an unknown or duplicate
+     * knob, or a grid larger than @p max_points.
+     */
+    void validate(std::size_t max_points = kMaxPoints) const;
+
+    /** Hard cap on grid size (hostile-request guard). */
+    static constexpr std::size_t kMaxPoints = 65536;
+};
+
+/** Sweep a parameter grid, re-mapping the layer at each point. */
+struct SweepRequest
+{
+    AlbireoConfig arch; ///< Base configuration.
+    LayerRequest layer;
+    ParamGrid grid;
+    SearchOptions options;
+};
+
+struct SweepResponse
+{
+    std::vector<std::string> axes; ///< Axis knob names, grid order.
+    std::vector<SweepPoint> points; ///< One per grid point, in order.
+    SearchStats stats; ///< Aggregate over all points.
+};
+
+/** Map and evaluate a whole network. */
+struct NetworkRequest
+{
+    AlbireoConfig arch;
+
+    /** Model-zoo name ("alexnet", "vgg16", "resnet18", "resnet34");
+     *  leave empty to use @p layers instead. */
+    std::string network;
+    std::uint64_t batch = 1;
+
+    /** Inline layer list (used when @p network is empty). */
+    std::vector<LayerRequest> layers;
+
+    SearchOptions options;
+};
+
+struct NetworkResponse
+{
+    NetworkRunResult result;
+    SearchStats stats; ///< Aggregate over all layers.
+};
+
+// ------------------------------------------------------------------
+// Field lists.  THE single source of truth for the wire format, the
+// fingerprint and the schema of each type.  Order matters twice: it
+// is the canonical encode order, and (for arch) the decode order
+// around the checkpoint.
+// ------------------------------------------------------------------
+
+template <class V>
+void
+describeFields(V &v, AlbireoConfig &c)
+{
+    // scaling/with_dram select the paper-default baseline; the
+    // checkpoint re-derives it before the remaining fields override.
+    v.enumField(FieldMeta{"scaling", "technology scaling profile"},
+                c.scaling, scalingEnumNames());
+    v.field(FieldMeta{"with_dram", "include the DRAM level"},
+            c.with_dram);
+    v.checkpoint([&c] {
+        c = AlbireoConfig::paperDefault(c.scaling, c.with_dram);
+    });
+    v.field(FieldMeta{"input_reuse", "IR: MACs per input conversion"},
+            c.input_reuse);
+    v.field(FieldMeta{"input_window_reuse",
+                      "window-derived part of IR"},
+            c.input_window_reuse);
+    v.field(FieldMeta{"output_reuse",
+                      "OR: partials per PD+ADC sample"},
+            c.output_reuse);
+    v.field(FieldMeta{"weight_reuse", "WR: MRRs per weight DAC"},
+            c.weight_reuse);
+    v.field(FieldMeta{"unit_r", "kernel-row unroll per cluster"},
+            c.unit_r);
+    v.field(FieldMeta{"unit_s", "kernel-column unroll per cluster"},
+            c.unit_s);
+    v.field(FieldMeta{"unit_k", "filter banks per cluster"}, c.unit_k);
+    v.field(FieldMeta{"unit_c", "wavelength channels per cluster"},
+            c.unit_c);
+    v.field(FieldMeta{"chip_k", "clusters along K"}, c.chip_k);
+    v.field(FieldMeta{"chip_p", "clusters along P"}, c.chip_p);
+    v.field(FieldMeta{"clock_hz", "modulation clock"}, c.clock_hz);
+    v.field(FieldMeta{"gb_capacity_words", "global buffer capacity"},
+            c.gb_capacity_words);
+    v.field(FieldMeta{"regs_capacity_words",
+                      "operand register capacity"},
+            c.regs_capacity_words);
+    v.field(FieldMeta{"word_bits", "operand word width"}, c.word_bits);
+    v.field(FieldMeta{"gb_bandwidth_words",
+                      "global buffer words/cycle"},
+            c.gb_bandwidth_words);
+    v.field(FieldMeta{"dram_bandwidth_words", "DRAM words/cycle"},
+            c.dram_bandwidth_words);
+    v.field(FieldMeta{"dram_energy_per_bit", "DRAM J/bit"},
+            c.dram_energy_per_bit);
+    v.field(FieldMeta{"fuse_bypass_dram_inputs",
+                      "fusion: inputs stay in the global buffer"},
+            c.fuse_bypass_dram_inputs);
+    v.field(FieldMeta{"fuse_bypass_dram_outputs",
+                      "fusion: outputs stay in the global buffer"},
+            c.fuse_bypass_dram_outputs);
+    v.field(FieldMeta{"model_window_effects",
+                      "model optical-window breakage on strides"},
+            c.model_window_effects);
+    v.field(FieldMeta{"model_laser_static",
+                      "charge the laser as static power"},
+            c.model_laser_static);
+    v.field(FieldMeta{"model_adc_growth",
+                      "grow ADC resolution with output reuse"},
+            c.model_adc_growth);
+}
+
+template <class V>
+void
+describeFields(V &v, LayerRequest &l)
+{
+    v.field(FieldMeta{"name", "layer label (echoed in result rows)"},
+            l.name);
+    v.enumField(FieldMeta{"kind", "layer kind"}, l.fully_connected,
+                layerKindEnumNames());
+    v.field(FieldMeta{"n", "batch"}, l.n);
+    v.field(FieldMeta{"k", "output channels"}, l.k);
+    v.field(FieldMeta{"c", "input channels"}, l.c);
+    v.field(FieldMeta{"p", "output rows"}, l.p);
+    v.field(FieldMeta{"q", "output columns"}, l.q);
+    v.field(FieldMeta{"r", "kernel rows"}, l.r);
+    v.field(FieldMeta{"s", "kernel columns"}, l.s);
+    v.field(FieldMeta{"hstride", "vertical stride"}, l.hstride);
+    v.field(FieldMeta{"wstride", "horizontal stride"}, l.wstride);
+}
+
+template <class V>
+void
+describeFields(V &v, SearchOptions &o)
+{
+    v.enumField(FieldMeta{"objective", "what the mapper minimizes"},
+                o.objective, objectiveEnumNames());
+    v.field(FieldMeta{"random_samples", "random candidates to try"},
+            o.random_samples);
+    v.field(FieldMeta{"hill_climb_rounds", "improvement sweeps"},
+            o.hill_climb_rounds);
+    v.field(FieldMeta{"seed", "RNG seed (reproducible runs)"},
+            o.seed);
+    // Worker count changes HOW a search runs, never its result (the
+    // determinism contract), so it stays out of the fingerprint:
+    // warm result-cache hits survive thread-count changes.
+    v.field(nonSemantic("threads", "worker lanes (0 = automatic)"),
+            o.threads);
+}
+
+template <class V>
+void
+describeFields(V &v, GridAxis &a)
+{
+    v.field(FieldMeta{"knob", "swept knob (see sweepKnobNames())"},
+            a.knob);
+    v.numberList(FieldMeta{"values", "sample values, >= 1"},
+                 a.values);
+}
+
+template <class V>
+void
+describeFields(V &v, EvaluateRequest &r)
+{
+    v.object(FieldMeta{"arch", "architecture configuration"}, r.arch);
+    v.object(FieldMeta{"layer", "workload layer"}, r.layer);
+    v.field(FieldMeta{"mapping",
+                      "greedy, outer, or a dataflow name"},
+            r.mapping);
+}
+
+template <class V>
+void
+describeFields(V &v, SearchRequest &r)
+{
+    v.object(FieldMeta{"arch", "architecture configuration"}, r.arch);
+    v.object(FieldMeta{"layer", "workload layer"}, r.layer);
+    v.object(FieldMeta{"options", "mapper budget"}, r.options);
+}
+
+template <class V>
+void
+describeFields(V &v, SweepRequest &r)
+{
+    v.object(FieldMeta{"arch", "base architecture configuration"},
+             r.arch);
+    v.object(FieldMeta{"layer", "workload layer"}, r.layer);
+    v.objectList(FieldMeta{"grid",
+                           "knob axes; points = cartesian product"},
+                 r.grid.axes);
+    v.object(FieldMeta{"options", "mapper budget per point"},
+             r.options);
+}
+
+template <class V>
+void
+describeFields(V &v, NetworkRequest &r)
+{
+    v.object(FieldMeta{"arch", "architecture configuration"}, r.arch);
+    v.field(FieldMeta{"network", "model-zoo name (or use layers)"},
+            r.network);
+    v.field(FieldMeta{"batch", "network batch size"}, r.batch);
+    v.objectList(FieldMeta{"layers",
+                           "inline layers (when network is empty)"},
+                 r.layers);
+    v.object(FieldMeta{"options", "mapper budget per layer"},
+             r.options);
+}
+
+/** Wire name of each request type (the protocol op). */
+inline const char *requestName(const EvaluateRequest *) { return "evaluate"; }
+inline const char *requestName(const SearchRequest *) { return "search"; }
+inline const char *requestName(const SweepRequest *) { return "sweep"; }
+inline const char *requestName(const NetworkRequest *) { return "network"; }
+
+/** Schema name of each nested described type. */
+inline const char *typeName(const AlbireoConfig *) { return "arch"; }
+inline const char *typeName(const LayerRequest *) { return "layer"; }
+inline const char *typeName(const SearchOptions *) { return "options"; }
+inline const char *typeName(const GridAxis *) { return "grid_axis"; }
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_API_REQUESTS_HPP

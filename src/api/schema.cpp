@@ -1,0 +1,172 @@
+#include "api/schema.hpp"
+
+#include "api/requests.hpp"
+
+namespace ploop {
+
+namespace {
+
+/**
+ * Field-list visitor collecting one schema entry per field.  Nested
+ * described types are referenced by name ("of") and expanded once
+ * into the shared "types" registry, so the document stays flat.
+ */
+class SchemaCollector
+{
+  public:
+    explicit SchemaCollector(JsonValue *types) : types_(types)
+    {
+        fields_ = JsonValue::array();
+    }
+
+    void field(const FieldMeta &m, double &v)
+    {
+        add(m, "number", JsonValue::number(v));
+    }
+
+    void field(const FieldMeta &m, std::uint64_t &v)
+    {
+        add(m, "integer", JsonValue::number(double(v)));
+    }
+
+    void field(const FieldMeta &m, unsigned &v)
+    {
+        add(m, "integer", JsonValue::number(double(v)));
+    }
+
+    void field(const FieldMeta &m, bool &v)
+    {
+        add(m, "bool", JsonValue::boolean(v));
+    }
+
+    void field(const FieldMeta &m, std::string &v)
+    {
+        add(m, "string", JsonValue::string(v));
+    }
+
+    void numberList(const FieldMeta &m, std::vector<double> &)
+    {
+        add(m, "number_list", JsonValue::array());
+    }
+
+    template <class T, class Names>
+    void enumField(const FieldMeta &m, T &v, const Names &names)
+    {
+        JsonValue allowed = JsonValue::array();
+        const char *current = "";
+        for (const auto &n : names) {
+            allowed.push(JsonValue::string(n.name));
+            if (n.value == v)
+                current = n.name;
+        }
+        JsonValue entry = base(m, "enum", JsonValue::string(current));
+        entry.set("values", std::move(allowed));
+        fields_.push(std::move(entry));
+    }
+
+    template <class T> void object(const FieldMeta &m, T &sub)
+    {
+        registerType(sub);
+        JsonValue entry = base(m, "object", JsonValue());
+        entry.set("of", JsonValue::string(typeName(&sub)));
+        fields_.push(std::move(entry));
+    }
+
+    template <class T>
+    void objectList(const FieldMeta &m, std::vector<T> &)
+    {
+        T prototype{};
+        registerType(prototype);
+        JsonValue entry = base(m, "object_list", JsonValue::array());
+        entry.set("of", JsonValue::string(typeName(&prototype)));
+        fields_.push(std::move(entry));
+    }
+
+    template <class F> void checkpoint(F &&) {}
+
+    JsonValue take()
+    {
+        JsonValue out = JsonValue::object();
+        out.set("fields", std::move(fields_));
+        return out;
+    }
+
+  private:
+    JsonValue base(const FieldMeta &m, const char *type,
+                   JsonValue dflt)
+    {
+        JsonValue entry = JsonValue::object();
+        entry.set("name", JsonValue::string(m.name));
+        entry.set("type", JsonValue::string(type));
+        entry.set("default", std::move(dflt));
+        entry.set("semantic", JsonValue::boolean(m.semantic));
+        entry.set("doc", JsonValue::string(m.doc));
+        return entry;
+    }
+
+    void add(const FieldMeta &m, const char *type, JsonValue dflt)
+    {
+        fields_.push(base(m, type, std::move(dflt)));
+    }
+
+    template <class T> void registerType(T &)
+    {
+        const char *name = typeName(static_cast<T *>(nullptr));
+        if (types_->get(name))
+            return;
+        // Reserve the slot first: self-referential types would
+        // otherwise recurse forever (none exist today).
+        types_->set(name, JsonValue());
+        T prototype{};
+        SchemaCollector nested(types_);
+        describeFields(nested, prototype);
+        // Replace the placeholder (set() appends; rebuild instead).
+        JsonValue rebuilt = JsonValue::object();
+        for (const auto &[key, value] : types_->members()) {
+            if (key == name)
+                rebuilt.set(key, nested.take());
+            else
+                rebuilt.set(key, value);
+        }
+        *types_ = std::move(rebuilt);
+    }
+
+    JsonValue *types_;
+    JsonValue fields_;
+};
+
+template <class T>
+void
+addRequestSchema(JsonValue &requests, JsonValue *types)
+{
+    T prototype{};
+    SchemaCollector c(types);
+    describeFields(c, prototype);
+    requests.set(requestName(&prototype), c.take());
+}
+
+} // namespace
+
+JsonValue
+apiSchemaJson()
+{
+    JsonValue types = JsonValue::object();
+    JsonValue requests = JsonValue::object();
+    addRequestSchema<EvaluateRequest>(requests, &types);
+    addRequestSchema<SearchRequest>(requests, &types);
+    addRequestSchema<SweepRequest>(requests, &types);
+    addRequestSchema<NetworkRequest>(requests, &types);
+
+    JsonValue knobs = JsonValue::array();
+    for (const std::string &k : sweepKnobNames())
+        knobs.push(JsonValue::string(k));
+
+    JsonValue out = JsonValue::object();
+    out.set("version", JsonValue::number(double(kApiVersion)));
+    out.set("requests", std::move(requests));
+    out.set("types", std::move(types));
+    out.set("sweep_knobs", std::move(knobs));
+    return out;
+}
+
+} // namespace ploop

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Machine-readable schema of the request API, derived from the field
+ * lists in requests.hpp and served by the `capabilities` protocol op:
+ *
+ *   {
+ *     "version": <kApiVersion>,
+ *     "requests": { "evaluate": {"fields": [...]}, "search": ...,
+ *                   "sweep": ..., "network": ... },
+ *     "types":    { "arch": {"fields": [...]}, "layer": ...,
+ *                   "options": ..., "grid_axis": ... },
+ *     "sweep_knobs": ["input_reuse", ...]
+ *   }
+ *
+ * Every field entry lists name, wire type, the default value (from a
+ * default-constructed request), whether the field is semantic (folded
+ * into requestFingerprint()), the allowed values for enum fields, the
+ * element type for object lists, and the one-line doc string.  The
+ * listing is STABLE: it changes exactly when a field list changes,
+ * and kApiVersion is bumped with it -- clients can pin a version and
+ * validate requests offline.
+ */
+
+#ifndef PHOTONLOOP_API_SCHEMA_HPP
+#define PHOTONLOOP_API_SCHEMA_HPP
+
+#include "api/json.hpp"
+
+namespace ploop {
+
+/** The full schema document (see file comment). */
+JsonValue apiSchemaJson();
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_API_SCHEMA_HPP

@@ -1,6 +1,5 @@
 #include "core/sweep.hpp"
 
-#include <memory>
 #include <optional>
 
 #include "common/error.hpp"
@@ -12,34 +11,34 @@ namespace ploop {
 
 std::vector<SweepPoint>
 runSweepEvaluators(const std::vector<const Evaluator *> &evaluators,
-                   const std::vector<double> &values,
+                   const std::vector<std::vector<double>> &coords,
                    const LayerShape &layer, const SearchOptions &search,
                    EvalCache *shared_cache, SearchStats *aggregate)
 {
-    fatalIf(evaluators.size() != values.size(),
-            "sweep needs one evaluator per parameter value");
-    fatalIf(values.empty(), "sweep needs >= 1 parameter value");
+    fatalIf(evaluators.size() != coords.size(),
+            "sweep needs one evaluator per point");
+    fatalIf(coords.empty(), "sweep needs >= 1 point");
 
-    // Arch points are independent, so they fan out across the pool;
-    // slots keep the output in parameter order regardless of
-    // completion order.  One EvalCache spans every point: keys are
-    // scoped by (model fingerprint, layer shape), so points whose
-    // generated architectures coincide -- repeated parameter values,
-    // knobs the arch ignores -- reuse each other's evaluations
-    // instead of recomputing them, and distinct points never collide.
-    // Cached values are bit-identical to fresh ones, so results are
-    // unchanged by sharing -- including sharing a service-lifetime
-    // cache across repeated sweep requests.
-    std::vector<std::optional<SweepPoint>> slots(values.size());
-    std::vector<SearchStats> stats(values.size());
+    // Points are independent, so they fan out across the pool; slots
+    // keep the output in point order regardless of completion order.
+    // One EvalCache spans every point: keys are scoped by (model
+    // fingerprint, layer shape), so points whose architectures
+    // coincide -- repeated parameter values, knobs the arch ignores
+    // -- reuse each other's evaluations instead of recomputing them,
+    // and distinct points never collide.  Cached values are
+    // bit-identical to fresh ones, so results are unchanged by
+    // sharing -- including sharing a service-lifetime cache across
+    // repeated sweep requests.
+    std::vector<std::optional<SweepPoint>> slots(coords.size());
+    std::vector<SearchStats> stats(coords.size());
     EvalCache local_cache;
     EvalCache &cache = shared_cache ? *shared_cache : local_cache;
     ThreadPool &pool = ThreadPool::forThreads(search.threads);
-    pool.parallelFor(values.size(), [&](std::size_t i) {
+    pool.parallelFor(coords.size(), [&](std::size_t i) {
         Mapper mapper(*evaluators[i], search);
         MapperResult r = mapper.search(layer, &cache);
         stats[i] = r.stats;
-        slots[i].emplace(values[i], std::move(r.mapping),
+        slots[i].emplace(coords[i], std::move(r.mapping),
                          std::move(r.result));
     });
 
@@ -56,52 +55,34 @@ runSweepEvaluators(const std::vector<const Evaluator *> &evaluators,
     return out;
 }
 
-std::vector<SweepPoint>
-runSweep(const SweepSpec &spec, const LayerShape &layer,
-         const EnergyRegistry &registry, EvalCache *shared_cache,
-         SearchStats *aggregate)
-{
-    fatalIf(!spec.make_arch, "sweep needs a make_arch generator");
-    fatalIf(spec.values.empty(), "sweep needs >= 1 parameter value");
-
-    // Build the architectures serially: make_arch is user code and
-    // the old serial contract allowed stateful generators (shared
-    // builders, captured counters).  Only the searches fan out.
-    std::vector<ArchSpec> archs;
-    archs.reserve(spec.values.size());
-    for (double v : spec.values)
-        archs.push_back(spec.make_arch(v));
-
-    // unique_ptr storage: Evaluator is pinned (once_flag members).
-    std::vector<std::unique_ptr<Evaluator>> evaluators;
-    evaluators.reserve(archs.size());
-    for (const ArchSpec &arch : archs)
-        evaluators.push_back(
-            std::make_unique<Evaluator>(arch, registry));
-    std::vector<const Evaluator *> ptrs;
-    ptrs.reserve(evaluators.size());
-    for (const auto &e : evaluators)
-        ptrs.push_back(e.get());
-
-    return runSweepEvaluators(ptrs, spec.values, layer, spec.search,
-                              shared_cache, aggregate);
-}
-
 std::string
-sweepTable(const std::string &param_name,
+sweepTable(const std::vector<std::string> &axis_names,
            const std::vector<SweepPoint> &points)
 {
-    Table table("Sweep over " + param_name);
-    table.setHeader({param_name, "pJ/MAC", "MACs/cycle", "util %",
-                     "energy"});
+    std::string title;
+    for (const std::string &name : axis_names)
+        title += (title.empty() ? "" : " x ") + name;
+    Table table("Sweep over " + title);
+    std::vector<std::string> header = axis_names;
+    header.insert(header.end(),
+                  {"pJ/MAC", "MACs/cycle", "util %", "energy"});
+    table.setHeader(header);
     for (const SweepPoint &p : points) {
-        table.addRow(
-            {strFormat("%.4g", p.value),
-             strFormat("%.4f", p.result.energyPerMac() * 1e12),
-             strFormat("%.0f", p.result.throughput.macs_per_cycle),
-             strFormat("%.1f",
-                       p.result.throughput.utilization * 100.0),
-             formatEnergy(p.result.totalEnergy())});
+        std::vector<std::string> row;
+        for (double c : p.coords)
+            row.push_back(strFormat("%.4g", c));
+        // Points decoded from hostile input could in principle carry
+        // fewer coords than axes; pad so the table stays rectangular.
+        while (row.size() < axis_names.size())
+            row.push_back("-");
+        row.push_back(
+            strFormat("%.4f", p.result.energyPerMac() * 1e12));
+        row.push_back(
+            strFormat("%.0f", p.result.throughput.macs_per_cycle));
+        row.push_back(strFormat(
+            "%.1f", p.result.throughput.utilization * 100.0));
+        row.push_back(formatEnergy(p.result.totalEnergy()));
+        table.addRow(row);
     }
     return table.render();
 }

@@ -1,15 +1,22 @@
 /**
  * @file
- * One-dimensional parameter sweeps: vary a scalar knob (an
- * architecture generator parameter), re-map the workload at each
- * point, and collect results -- the basic building block of the
- * paper's design-space-exploration workflow.
+ * Parameter-sweep mechanism: re-map one workload layer on a list of
+ * prebuilt architecture evaluators (one per sweep point) and collect
+ * labeled results.  This is the engine under the declarative grid
+ * API (api/requests.hpp: SweepRequest/ParamGrid -> EvalService), and
+ * remains directly usable for sweeps over architectures that are NOT
+ * expressible as AlbireoConfig knobs (custom ArchSpec edits -- build
+ * the evaluators yourself and pass them in).
+ *
+ * The old SweepSpec (a non-serializable std::function<ArchSpec(double)>
+ * knob) is gone: scalar knob sweeps are one-axis grids through the
+ * request layer now, which makes them identical in-process, over the
+ * protocol, and from --script files.
  */
 
 #ifndef PHOTONLOOP_CORE_SWEEP_HPP
 #define PHOTONLOOP_CORE_SWEEP_HPP
 
-#include <functional>
 #include <string>
 #include <vector>
 
@@ -21,74 +28,53 @@ namespace ploop {
 /** One sweep sample. */
 struct SweepPoint
 {
-    double value = 0; ///< The swept parameter's value.
-    Mapping mapping;  ///< Best mapping found at this point.
+    /** The swept parameter values at this point (one per axis; a
+     *  scalar sweep has one coordinate). */
+    std::vector<double> coords;
+
+    Mapping mapping; ///< Best mapping found at this point.
     EvalResult result;
 
-    SweepPoint(double v, Mapping m, EvalResult r)
-        : value(v), mapping(std::move(m)), result(std::move(r))
+    SweepPoint(std::vector<double> c, Mapping m, EvalResult r)
+        : coords(std::move(c)), mapping(std::move(m)),
+          result(std::move(r))
     {}
 };
 
-/** Sweep configuration. */
-struct SweepSpec
-{
-    /** Builds the architecture for a parameter value. */
-    std::function<ArchSpec(double)> make_arch;
-
-    /** Parameter values to sample. */
-    std::vector<double> values;
-
-    /** Mapper budget per point. */
-    SearchOptions search;
-};
-
 /**
- * Run the sweep for one layer.  Each point re-runs the mapper (a new
- * architecture invalidates old mappings).
+ * Run the sweep for one layer: one mapper search per point, fanned
+ * out across the thread pool, results in point order.
  *
- * @param spec Sweep configuration (make_arch must be set).
+ * @param evaluators One prebuilt evaluator per point (all must
+ *     outlive the call).  The evaluation service passes its
+ *     fingerprint-keyed registry entries, so repeated sweep requests
+ *     skip arch construction entirely.
+ * @param coords Per-point coordinate labels (same length as
+ *     @p evaluators; copied into the SweepPoints).
  * @param layer Workload layer.
- * @param registry Estimator registry.
+ * @param search Mapper budget per point.
  * @param shared_cache Optional cross-request EvalCache (the
  *     evaluation service passes its session cache): scope keys make
  *     sharing always safe, and a repeated sweep answers from warm
- *     entries.  When null, a private cache spans this sweep's points
- *     as before.
+ *     entries.  When null, a private cache spans this sweep's points.
  * @param aggregate Optional sink accumulating every point's
  *     SearchStats (summed in point order, so totals are
  *     deterministic; the hit/miss split is scheduling-dependent as
  *     documented on SearchStats).
  */
-std::vector<SweepPoint> runSweep(const SweepSpec &spec,
-                                 const LayerShape &layer,
-                                 const EnergyRegistry &registry,
-                                 EvalCache *shared_cache = nullptr,
-                                 SearchStats *aggregate = nullptr);
-
-/**
- * Evaluator-provider variant: the caller supplies one prebuilt
- * evaluator per point (the evaluation service reuses its
- * fingerprint-keyed registry, so repeated sweep requests skip arch
- * construction entirely); only the per-point searches run here.
- *
- * @param evaluators One evaluator per point (same length as
- *     @p values; all must outlive the call).
- * @param values The swept parameter values, for SweepPoint labeling.
- */
 std::vector<SweepPoint>
 runSweepEvaluators(const std::vector<const Evaluator *> &evaluators,
-                   const std::vector<double> &values,
+                   const std::vector<std::vector<double>> &coords,
                    const LayerShape &layer,
                    const SearchOptions &search,
                    EvalCache *shared_cache = nullptr,
                    SearchStats *aggregate = nullptr);
 
 /**
- * Render a sweep as a two-column table (value, pJ/MAC) plus
- * utilization, for quick printing.
+ * Render a sweep as a table: one column per axis name, then the
+ * standard metric columns, for quick printing.
  */
-std::string sweepTable(const std::string &param_name,
+std::string sweepTable(const std::vector<std::string> &axis_names,
                        const std::vector<SweepPoint> &points);
 
 } // namespace ploop

@@ -43,7 +43,7 @@
  *
  * Scope and sharing: every key folds in evalScopeKey(arch
  * fingerprint, layer shape), so ONE cache can safely span layers,
- * searches and sweep points -- runSweep and runNetwork share a single
+ * searches and sweep points -- runSweepEvaluators and runNetwork share a
  * cache across all their Mapper calls, and identical (arch, layer)
  * scopes hit warm entries from earlier points.  The hit/miss
  * counters here are therefore GLOBAL -- cumulative over the cache's

@@ -51,7 +51,7 @@ class Mapper
      * @param shared_cache Optional cross-search memoization cache.
      *     EvalCache keys fold in the (arch fingerprint, layer shape)
      *     scope, so one cache may be shared across layers, searches
-     *     and sweep points (runSweep/runNetwork do): repeated scopes
+     *     and sweep points (runSweepEvaluators/runNetwork do): repeated scopes
      *     hit warm entries from earlier searches.  Cached values are
      *     bit-identical to fresh evaluations, so sharing never
      *     changes the search result.  The reported cache stats are

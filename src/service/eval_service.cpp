@@ -1,9 +1,6 @@
 #include "service/eval_service.hpp"
 
-#include <cstring>
-
 #include "common/error.hpp"
-#include "common/math_util.hpp"
 #include "mapper/dataflow.hpp"
 #include "mapper/eval_cache.hpp"
 #include "mapper/mapspace.hpp"
@@ -11,115 +8,11 @@
 
 namespace ploop {
 
-namespace {
-
-std::uint64_t
-mixDouble(std::uint64_t h, double v)
-{
-    std::uint64_t bits;
-    std::memcpy(&bits, &v, sizeof(bits));
-    return mix64(h ^ bits);
-}
-
-std::uint64_t
-mixU64(std::uint64_t h, std::uint64_t v)
-{
-    return mix64(h ^ v);
-}
-
-} // namespace
-
-std::uint64_t
-albireoConfigKey(const AlbireoConfig &cfg)
-{
-    // Every field participates: two configs differing anywhere get
-    // distinct registry slots (the cheap pre-build key; EvalCache
-    // scoping uses the post-build model fingerprint, so two configs
-    // that RESOLVE to the same model still share cache entries).
-    std::uint64_t h = mixU64(0x414c4249u, std::uint64_t(cfg.scaling));
-    h = mixDouble(h, cfg.input_reuse);
-    h = mixDouble(h, cfg.input_window_reuse);
-    h = mixDouble(h, cfg.output_reuse);
-    h = mixDouble(h, cfg.weight_reuse);
-    h = mixU64(h, cfg.unit_r);
-    h = mixU64(h, cfg.unit_s);
-    h = mixU64(h, cfg.unit_k);
-    h = mixU64(h, cfg.unit_c);
-    h = mixU64(h, cfg.chip_k);
-    h = mixU64(h, cfg.chip_p);
-    h = mixDouble(h, cfg.clock_hz);
-    h = mixU64(h, cfg.gb_capacity_words);
-    h = mixU64(h, cfg.regs_capacity_words);
-    h = mixU64(h, cfg.word_bits);
-    h = mixDouble(h, cfg.gb_bandwidth_words);
-    h = mixDouble(h, cfg.dram_bandwidth_words);
-    h = mixU64(h, cfg.with_dram ? 1 : 0);
-    h = mixDouble(h, cfg.dram_energy_per_bit);
-    h = mixU64(h, cfg.fuse_bypass_dram_inputs ? 1 : 0);
-    h = mixU64(h, cfg.fuse_bypass_dram_outputs ? 1 : 0);
-    h = mixU64(h, cfg.model_window_effects ? 1 : 0);
-    h = mixU64(h, cfg.model_laser_static ? 1 : 0);
-    h = mixU64(h, cfg.model_adc_growth ? 1 : 0);
-    return h;
-}
-
-AlbireoConfig
-applySweepKnob(const AlbireoConfig &base, const std::string &knob,
-               double value)
-{
-    AlbireoConfig cfg = base;
-    if (knob == "input_reuse") {
-        cfg.input_reuse = value;
-    } else if (knob == "input_window_reuse") {
-        cfg.input_window_reuse = value;
-    } else if (knob == "output_reuse") {
-        cfg.output_reuse = value;
-    } else if (knob == "weight_reuse") {
-        cfg.weight_reuse = value;
-    } else if (knob == "unit_k") {
-        cfg.unit_k = std::uint64_t(value);
-    } else if (knob == "unit_c") {
-        cfg.unit_c = std::uint64_t(value);
-    } else if (knob == "chip_k") {
-        cfg.chip_k = std::uint64_t(value);
-    } else if (knob == "chip_p") {
-        cfg.chip_p = std::uint64_t(value);
-    } else if (knob == "clock_hz") {
-        cfg.clock_hz = value;
-    } else if (knob == "gb_capacity_words") {
-        cfg.gb_capacity_words = std::uint64_t(value);
-    } else if (knob == "dram_bandwidth_words") {
-        cfg.dram_bandwidth_words = value;
-    } else {
-        std::string known;
-        for (const std::string &k : sweepKnobNames())
-            known += (known.empty() ? "" : ", ") + k;
-        fatal("unknown sweep knob '" + knob + "' (known: " + known +
-              ")");
-    }
-    return cfg;
-}
-
-std::vector<std::string>
-sweepKnobNames()
-{
-    return {"input_reuse", "input_window_reuse", "output_reuse",
-            "weight_reuse", "unit_k", "unit_c", "chip_k", "chip_p",
-            "clock_hz", "gb_capacity_words", "dram_bandwidth_words"};
-}
-
-LayerShape
-LayerRequest::toLayer() const
-{
-    if (fully_connected)
-        return LayerShape::fullyConnected(name, n, k, c);
-    return LayerShape::conv(name, n, k, c, p, q, r, s, hstride,
-                            wstride);
-}
-
 EvalService::EvalService() : EvalService(Config{}) {}
 
-EvalService::EvalService(Config cfg) : registry_(makeDefaultRegistry())
+EvalService::EvalService(Config cfg)
+    : registry_(makeDefaultRegistry()),
+      result_cache_(cfg.result_cache_max_entries)
 {
     cache_.setMaxEntries(cfg.cache_max_entries);
 }
@@ -186,6 +79,18 @@ EvalService::evaluate(const EvaluateRequest &req)
 SearchResponse
 EvalService::search(const SearchRequest &req)
 {
+    std::uint64_t fp = requestFingerprint(req);
+    if (std::optional<SearchResponse> hit = result_cache_.find(fp)) {
+        // The whole response is served from the result cache; by the
+        // determinism contract it is bit-identical to re-running the
+        // search.  The stats are THIS request's own work: none.
+        hit->from_result_cache = true;
+        hit->stats = SearchStats{};
+        std::lock_guard<std::mutex> lock(mu_);
+        ++requests_;
+        return std::move(*hit);
+    }
+
     const Evaluator &evaluator = evaluatorFor(req.arch);
     LayerShape layer = req.layer.toLayer();
 
@@ -204,28 +109,34 @@ EvalService::search(const SearchRequest &req)
                        objectiveValue(req.options.objective, best),
                        best,
                        r.stats,
-                       flattenResult(layer.name(), r.result)};
+                       flattenResult(layer.name(), r.result),
+                       fp,
+                       false};
     out.mapping_str = out.mapping.str();
     out.mapping_key = mappingKey(out.mapping);
+    result_cache_.insert(fp, out);
     return out;
 }
 
 SweepResponse
 EvalService::sweep(const SweepRequest &req)
 {
-    fatalIf(req.values.empty(), "sweep needs >= 1 parameter value");
     LayerShape layer = req.layer.toLayer();
+    // coords() validates the grid (axes, knobs, values, size cap).
+    std::vector<std::vector<double>> coords = req.grid.coords();
 
     // Registry-cached evaluators per point: a repeated sweep request
     // rebuilds nothing.
     std::vector<const Evaluator *> evaluators;
-    evaluators.reserve(req.values.size());
-    for (double v : req.values)
+    evaluators.reserve(coords.size());
+    for (const std::vector<double> &coord : coords)
         evaluators.push_back(
-            &evaluatorFor(applySweepKnob(req.arch, req.knob, v)));
+            &evaluatorFor(req.grid.configAt(req.arch, coord)));
 
     SweepResponse out;
-    out.points = runSweepEvaluators(evaluators, req.values, layer,
+    for (const GridAxis &axis : req.grid.axes)
+        out.axes.push_back(axis.knob);
+    out.points = runSweepEvaluators(evaluators, coords, layer,
                                     req.options, &cache_, &out.stats);
     std::lock_guard<std::mutex> lock(mu_);
     ++requests_;
@@ -270,6 +181,10 @@ EvalService::stats() const
     out.cache_hits = cache_.hits();
     out.cache_misses = cache_.misses();
     out.cache_evictions = cache_.evictions();
+    out.result_cache_entries = result_cache_.size();
+    out.result_cache_hits = result_cache_.hits();
+    out.result_cache_misses = result_cache_.misses();
+    out.result_cache_evictions = result_cache_.evictions();
     return out;
 }
 

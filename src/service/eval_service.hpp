@@ -9,23 +9,32 @@
  *  - one EnergyRegistry for the whole session;
  *  - a fingerprint-keyed arch/evaluator registry: each distinct
  *    architecture configuration is built and validated ONCE, then
- *    reused by every later request that names it (sweep requests
+ *    reused by every later request that names it (grid-sweep points
  *    reuse per-point evaluators the same way);
  *  - one scope-keyed EvalCache spanning every request -- safe by the
  *    (model fingerprint, layer shape) scope contract, optionally
  *    bounded by an entry cap so the process cannot grow without
  *    limit;
+ *  - a bounded ResultCache memoizing WHOLE search responses by
+ *    requestFingerprint(): repeating an identical search request
+ *    skips the search entirely and answers bit-identically (the
+ *    fingerprint excludes `threads`, so hits survive thread-count
+ *    changes);
  *  - the shared thread pool underneath (PLOOP_THREADS).
  *
  * Determinism: cached values are bit-identical to fresh evaluations,
- * so a request answered warm -- from earlier requests or from a
- * loaded CacheStore -- returns exactly the result of a cold run, at
- * any thread count.  Per-request cache stats come from lookup
- * outcomes (CacheDeltaScope accounting), so SearchStats::freshEvals()
- * == 0 is the "fully warm" signal the smoke tests assert.
+ * so a request answered warm -- from earlier requests, from a loaded
+ * CacheStore, or whole from the ResultCache -- returns exactly the
+ * result of a cold run, at any thread count.  Per-request cache
+ * stats come from lookup outcomes (CacheDeltaScope accounting), so
+ * SearchStats::freshEvals() == 0 is the "fully warm" signal; a
+ * ResultCache hit reports zero stats plus from_result_cache (no
+ * search ran at all).
  *
- * This is the typed, in-process API; the line-oriented JSON protocol
- * lives in serve_session.hpp and the ploop_serve tool on top of that.
+ * The request/response types live in api/requests.hpp -- the same
+ * declarative structs the line protocol (serve_session.hpp,
+ * ploop_serve) decodes from JSON, so in-process and remote callers
+ * are one API.
  */
 
 #ifndef PHOTONLOOP_SERVICE_EVAL_SERVICE_HPP
@@ -39,112 +48,11 @@
 #include <vector>
 
 #include "albireo/albireo_arch.hpp"
-#include "core/network_runner.hpp"
-#include "core/sweep.hpp"
-#include "mapper/mapper.hpp"
-#include "report/export.hpp"
+#include "api/fingerprint.hpp"
+#include "api/requests.hpp"
+#include "service/result_cache.hpp"
 
 namespace ploop {
-
-/** Hash of every AlbireoConfig field: the arch-registry key. */
-std::uint64_t albireoConfigKey(const AlbireoConfig &cfg);
-
-/**
- * Apply one named sweep knob to a base configuration; fatal() on an
- * unknown knob (see sweepKnobNames()).
- */
-AlbireoConfig applySweepKnob(const AlbireoConfig &base,
-                             const std::string &knob, double value);
-
-/** Knobs applySweepKnob() understands. */
-std::vector<std::string> sweepKnobNames();
-
-/** A layer described over the protocol (conv by default). */
-struct LayerRequest
-{
-    std::string name = "layer";
-    bool fully_connected = false;
-    std::uint64_t n = 1, k = 1, c = 1;
-    std::uint64_t p = 1, q = 1, r = 1, s = 1;
-    std::uint64_t hstride = 1, wstride = 1;
-
-    /** Materialize (validates); fatal() on bad shapes. */
-    LayerShape toLayer() const;
-};
-
-/** Evaluate one deterministic mapping (no search). */
-struct EvaluateRequest
-{
-    AlbireoConfig arch;
-    LayerRequest layer;
-
-    /** "greedy", "outer", or a dataflow name ("weight-stationary",
-     *  "output-stationary", "input-stationary"). */
-    std::string mapping = "greedy";
-};
-
-struct EvaluateResponse
-{
-    ResultRow row;           ///< Flattened full evaluation.
-    std::string mapping_str; ///< Rendering of the evaluated mapping.
-};
-
-/** Run the mapper for one layer. */
-struct SearchRequest
-{
-    AlbireoConfig arch;
-    LayerRequest layer;
-    SearchOptions options;
-};
-
-struct SearchResponse
-{
-    Mapping mapping;            ///< Best mapping found.
-    std::string mapping_str;    ///< Its rendering.
-    std::uint64_t mapping_key;  ///< mappingKey(mapping) (bit-exact id).
-    double best_value;          ///< Objective value (lower = better).
-    QuickEval best;             ///< Exact energy/runtime of the best.
-    SearchStats stats;          ///< This request's own search stats.
-    ResultRow row;              ///< Flattened full evaluation.
-};
-
-/** Sweep one arch knob, re-mapping the layer at each value. */
-struct SweepRequest
-{
-    AlbireoConfig arch; ///< Base configuration.
-    LayerRequest layer;
-    std::string knob; ///< See sweepKnobNames().
-    std::vector<double> values;
-    SearchOptions options;
-};
-
-struct SweepResponse
-{
-    std::vector<SweepPoint> points;
-    SearchStats stats; ///< Aggregate over all points.
-};
-
-/** Map and evaluate a whole network. */
-struct NetworkRequest
-{
-    AlbireoConfig arch;
-
-    /** Model-zoo name ("alexnet", "vgg16", "resnet18", "resnet34");
-     *  leave empty to use @p layers instead. */
-    std::string network;
-    std::uint64_t batch = 1;
-
-    /** Inline layer list (used when @p network is empty). */
-    std::vector<LayerRequest> layers;
-
-    SearchOptions options;
-};
-
-struct NetworkResponse
-{
-    NetworkRunResult result;
-    SearchStats stats; ///< Aggregate over all layers.
-};
 
 /** See file comment. */
 class EvalService
@@ -154,6 +62,10 @@ class EvalService
     {
         /** EvalCache entry cap (0 = unbounded). */
         std::size_t cache_max_entries = 0;
+
+        /** ResultCache entry cap (0 disables whole-response
+         *  memoization; per-candidate EvalCache warmth remains). */
+        std::size_t result_cache_max_entries = 256;
     };
 
     /** Session counters (cache counters are cache-lifetime global). */
@@ -166,6 +78,10 @@ class EvalService
         std::uint64_t cache_hits = 0;
         std::uint64_t cache_misses = 0;
         std::uint64_t cache_evictions = 0;
+        std::size_t result_cache_entries = 0;
+        std::uint64_t result_cache_hits = 0;
+        std::uint64_t result_cache_misses = 0;
+        std::uint64_t result_cache_evictions = 0;
     };
 
     EvalService();
@@ -194,6 +110,9 @@ class EvalService
      */
     EvalCache &cache() { return cache_; }
 
+    /** The whole-response cache (stats/tests). */
+    const ResultCache &resultCache() const { return result_cache_; }
+
     /** The session registry (estimator set shared by all archs). */
     const EnergyRegistry &registry() const { return registry_; }
 
@@ -212,6 +131,7 @@ class EvalService
 
     EnergyRegistry registry_;
     EvalCache cache_;
+    ResultCache result_cache_;
 
     mutable std::mutex mu_; ///< Guards models_ and the counters.
     std::unordered_map<std::uint64_t, std::unique_ptr<Model>> models_;

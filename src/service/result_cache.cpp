@@ -1,0 +1,72 @@
+#include "service/result_cache.hpp"
+
+namespace ploop {
+
+std::optional<SearchResponse>
+ResultCache::find(std::uint64_t fingerprint)
+{
+    if (!enabled())
+        return std::nullopt;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(fingerprint);
+    if (it == index_.end()) {
+        ++misses_;
+        return std::nullopt;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    return it->second->second;
+}
+
+void
+ResultCache::insert(std::uint64_t fingerprint,
+                    const SearchResponse &response)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(fingerprint);
+    if (it != index_.end()) {
+        // Same fingerprint, same (deterministic) response: refresh.
+        lru_.splice(lru_.begin(), lru_, it->second);
+        it->second->second = response;
+        return;
+    }
+    lru_.emplace_front(fingerprint, response);
+    index_.emplace(fingerprint, lru_.begin());
+    if (lru_.size() > max_entries_) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+        ++evictions_;
+    }
+}
+
+std::size_t
+ResultCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return lru_.size();
+}
+
+std::uint64_t
+ResultCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+}
+
+std::uint64_t
+ResultCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+}
+
+std::uint64_t
+ResultCache::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return evictions_;
+}
+
+} // namespace ploop

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * ResultCache: bounded service-side memoization of WHOLE search
+ * responses, keyed by requestFingerprint().  It sits ABOVE the
+ * QuickEval EvalCache: where the EvalCache answers individual
+ * candidate evaluations warm (the search still enumerates and ranks
+ * candidates), a ResultCache hit skips the search entirely --
+ * repeating an identical request costs one hash lookup and one copy.
+ *
+ * Correctness leans on two contracts established below it:
+ *  - the engine's determinism contract (same request => bit-identical
+ *    result at any thread count), so serving a stored response is
+ *    indistinguishable from re-running the search -- tests assert
+ *    bit-identity of mapping_key/energy_bits/runtime_bits against
+ *    fresh runs;
+ *  - requestFingerprint() folds every semantic request field and
+ *    excludes non-semantic ones (threads), so hits survive
+ *    thread-count changes and never cross distinct requests.
+ *
+ * Bounded LRU: whole responses are heavyweight (mapping, flattened
+ * metric row), so the cap is small and recency-based -- a sweep of
+ * distinct requests cannot grow the service without limit.  The
+ * cache is in-memory only; across a restart the persisted EvalCache
+ * (CacheStore) makes the re-run warm instead.  Thread-safe.
+ */
+
+#ifndef PHOTONLOOP_SERVICE_RESULT_CACHE_HPP
+#define PHOTONLOOP_SERVICE_RESULT_CACHE_HPP
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "api/requests.hpp"
+
+namespace ploop {
+
+/** See file comment. */
+class ResultCache
+{
+  public:
+    /** @param max_entries Entry cap; 0 disables the cache. */
+    explicit ResultCache(std::size_t max_entries = 0)
+        : max_entries_(max_entries)
+    {}
+
+    ResultCache(const ResultCache &) = delete;
+    ResultCache &operator=(const ResultCache &) = delete;
+
+    /**
+     * Look up a response by request fingerprint.  On a hit, returns
+     * a copy of the stored response and refreshes its recency.
+     */
+    std::optional<SearchResponse> find(std::uint64_t fingerprint);
+
+    /** Store a response (no-op when disabled; evicts the least
+     *  recently used entry at the cap; replaces same-key entries). */
+    void insert(std::uint64_t fingerprint,
+                const SearchResponse &response);
+
+    std::size_t size() const;
+    std::size_t maxEntries() const { return max_entries_; }
+    bool enabled() const { return max_entries_ > 0; }
+    std::uint64_t hits() const;
+    std::uint64_t misses() const;
+    std::uint64_t evictions() const;
+
+  private:
+    using Entry = std::pair<std::uint64_t, SearchResponse>;
+
+    const std::size_t max_entries_;
+    mutable std::mutex mu_;
+    std::list<Entry> lru_; ///< Front = most recently used.
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator>
+        index_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_SERVICE_RESULT_CACHE_HPP

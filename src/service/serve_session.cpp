@@ -1,186 +1,19 @@
 #include "service/serve_session.hpp"
 
-#include <cstring>
 #include <exception>
 
+#include "api/codec.hpp"
+#include "api/schema.hpp"
 #include "common/error.hpp"
 #include "common/string_util.hpp"
 #include "mapper/eval_cache.hpp"
-#include "photonics/scaling.hpp"
 
 namespace ploop {
 
-namespace {
-
-// ---- request-field readers (absent fields keep defaults) ----------
-
-double
-numberOr(const JsonValue *obj, const char *key, double dflt)
-{
-    const JsonValue *v = obj ? obj->get(key) : nullptr;
-    return v ? v->asNumber() : dflt;
-}
-
-std::uint64_t
-u64Or(const JsonValue *obj, const char *key, std::uint64_t dflt)
-{
-    const JsonValue *v = obj ? obj->get(key) : nullptr;
-    if (!v)
-        return dflt;
-    double d = v->asNumber();
-    // !(d >= 0) also rejects NaN; the upper bound rejects inf and
-    // anything a uint64 cast would make undefined (2^64 is exactly
-    // representable as a double).
-    if (!(d >= 0) || d >= 18446744073709551616.0)
-        fatal(std::string("field '") + key +
-              "' must be a non-negative integer below 2^64");
-    return static_cast<std::uint64_t>(d);
-}
-
-bool
-boolOr(const JsonValue *obj, const char *key, bool dflt)
-{
-    const JsonValue *v = obj ? obj->get(key) : nullptr;
-    return v ? v->asBool() : dflt;
-}
-
-std::string
-stringOr(const JsonValue *obj, const char *key, const std::string &dflt)
-{
-    const JsonValue *v = obj ? obj->get(key) : nullptr;
-    return v ? v->asString() : dflt;
-}
-
-ScalingProfile
-scalingByName(const std::string &name)
-{
-    for (ScalingProfile p : allScalingProfiles()) {
-        if (name == scalingProfileName(p))
-            return p;
-    }
-    fatal("unknown scaling profile '" + name + "'");
-}
-
-/** Decode an "arch" object: paperDefault(scaling) plus overrides. */
-AlbireoConfig
-parseArch(const JsonValue *arch)
-{
-    ScalingProfile scaling =
-        scalingByName(stringOr(arch, "scaling", "conservative"));
-    bool with_dram = boolOr(arch, "with_dram", false);
-    AlbireoConfig cfg = AlbireoConfig::paperDefault(scaling, with_dram);
-
-    cfg.input_reuse = numberOr(arch, "input_reuse", cfg.input_reuse);
-    cfg.input_window_reuse =
-        numberOr(arch, "input_window_reuse", cfg.input_window_reuse);
-    cfg.output_reuse = numberOr(arch, "output_reuse", cfg.output_reuse);
-    cfg.weight_reuse = numberOr(arch, "weight_reuse", cfg.weight_reuse);
-    cfg.unit_r = u64Or(arch, "unit_r", cfg.unit_r);
-    cfg.unit_s = u64Or(arch, "unit_s", cfg.unit_s);
-    cfg.unit_k = u64Or(arch, "unit_k", cfg.unit_k);
-    cfg.unit_c = u64Or(arch, "unit_c", cfg.unit_c);
-    cfg.chip_k = u64Or(arch, "chip_k", cfg.chip_k);
-    cfg.chip_p = u64Or(arch, "chip_p", cfg.chip_p);
-    cfg.clock_hz = numberOr(arch, "clock_hz", cfg.clock_hz);
-    cfg.gb_capacity_words =
-        u64Or(arch, "gb_capacity_words", cfg.gb_capacity_words);
-    cfg.regs_capacity_words =
-        u64Or(arch, "regs_capacity_words", cfg.regs_capacity_words);
-    cfg.gb_bandwidth_words =
-        numberOr(arch, "gb_bandwidth_words", cfg.gb_bandwidth_words);
-    cfg.dram_bandwidth_words = numberOr(arch, "dram_bandwidth_words",
-                                        cfg.dram_bandwidth_words);
-    cfg.dram_energy_per_bit = numberOr(arch, "dram_energy_per_bit",
-                                       cfg.dram_energy_per_bit);
-    return cfg;
-}
-
-LayerRequest
-parseLayer(const JsonValue *layer)
-{
-    LayerRequest lr;
-    lr.name = stringOr(layer, "name", lr.name);
-    std::string kind = stringOr(layer, "kind", "conv");
-    if (kind == "fc" || kind == "fully_connected")
-        lr.fully_connected = true;
-    else
-        fatalIf(kind != "conv",
-                "layer kind must be 'conv' or 'fc', got '" + kind +
-                    "'");
-    lr.n = u64Or(layer, "n", lr.n);
-    lr.k = u64Or(layer, "k", lr.k);
-    lr.c = u64Or(layer, "c", lr.c);
-    lr.p = u64Or(layer, "p", lr.p);
-    lr.q = u64Or(layer, "q", lr.q);
-    lr.r = u64Or(layer, "r", lr.r);
-    lr.s = u64Or(layer, "s", lr.s);
-    lr.hstride = u64Or(layer, "hstride", lr.hstride);
-    lr.wstride = u64Or(layer, "wstride", lr.wstride);
-    return lr;
-}
-
-SearchOptions
-parseOptions(const JsonValue *options)
-{
-    SearchOptions opts;
-    std::string obj = stringOr(options, "objective", "energy");
-    if (obj == "energy")
-        opts.objective = Objective::Energy;
-    else if (obj == "delay")
-        opts.objective = Objective::Delay;
-    else if (obj == "edp")
-        opts.objective = Objective::Edp;
-    else
-        fatal("unknown objective '" + obj + "'");
-    opts.random_samples = static_cast<unsigned>(
-        u64Or(options, "random_samples", opts.random_samples));
-    opts.hill_climb_rounds = static_cast<unsigned>(
-        u64Or(options, "hill_climb_rounds", opts.hill_climb_rounds));
-    opts.seed = u64Or(options, "seed", opts.seed);
-    opts.threads =
-        static_cast<unsigned>(u64Or(options, "threads", opts.threads));
-    return opts;
-}
-
-JsonValue
-statsJson(const SearchStats &stats)
-{
-    JsonValue out = JsonValue::object();
-    out.set("evaluated", JsonValue::number(double(stats.evaluated)));
-    out.set("invalid", JsonValue::number(double(stats.invalid)));
-    out.set("cache_hits",
-            JsonValue::number(double(stats.cache_hits)));
-    out.set("cache_misses",
-            JsonValue::number(double(stats.cache_misses)));
-    // freshEvals() == 0 is the machine-checkable "fully warm" signal
-    // (every valid candidate answered from cache).
-    out.set("fresh_evals",
-            JsonValue::number(double(stats.freshEvals())));
-    out.set("wall_time_s", JsonValue::number(stats.wall_time_s));
-    return out;
-}
-
-JsonValue
-rowJson(const ResultRow &row)
-{
-    JsonValue out = JsonValue::object();
-    out.set("label", JsonValue::string(row.label));
-    for (const auto &[key, v] : row.values)
-        out.set(key, JsonValue::number(v));
-    return out;
-}
-
-std::string
-hexU64(std::uint64_t v)
-{
-    return strFormat("0x%016llx", static_cast<unsigned long long>(v));
-}
-
-} // namespace
-
 ServeSession::ServeSession(ServeConfig cfg)
     : cfg_(std::move(cfg)),
-      service_(EvalService::Config{cfg_.cache_max_entries})
+      service_(EvalService::Config{cfg_.cache_max_entries,
+                                   cfg_.result_cache_max_entries})
 {
     if (!cfg_.cache_store.empty())
         load_ = loadCacheStore(service_.cache(), cfg_.cache_store,
@@ -226,7 +59,7 @@ ServeSession::handleLine(const std::string &line)
     try {
         resp = handleParsed(*req);
     } catch (const FatalError &e) {
-        // A bad request (unknown knob, invalid layer shape, ...)
+        // A bad request (unknown field, invalid layer shape, ...)
         // fails THIS request; the session keeps serving.
         resp = JsonValue::object();
         resp.set("ok", JsonValue::boolean(false));
@@ -251,10 +84,19 @@ ServeSession::handleLine(const std::string &line)
     return resp.serialize();
 }
 
+/**
+ * Thin transport: every request op decodes through the declarative
+ * api/ codec (strict: unknown/duplicate/mistyped fields fail the
+ * request by name) and encodes through the shared responseJson
+ * serializers.  Only the session-level ops (ping, capabilities,
+ * stats, save_cache, shutdown) are handled inline.
+ */
 JsonValue
 ServeSession::handleParsed(const JsonValue &req)
 {
-    std::string op = stringOr(&req, "op", "");
+    const JsonValue *opv = req.get("op");
+    std::string op =
+        opv && opv->isString() ? opv->asString() : std::string();
     JsonValue resp = JsonValue::object();
 
     if (op == "ping") {
@@ -262,114 +104,36 @@ ServeSession::handleParsed(const JsonValue &req)
         return resp;
     }
 
-    if (op == "evaluate") {
-        EvaluateRequest er;
-        er.arch = parseArch(req.get("arch"));
-        er.layer = parseLayer(req.get("layer"));
-        er.mapping = stringOr(&req, "mapping", er.mapping);
-        EvaluateResponse r = service_.evaluate(er);
+    if (op == "capabilities") {
         resp.set("ok", JsonValue::boolean(true));
-        resp.set("result", rowJson(r.row));
-        resp.set("mapping", JsonValue::string(r.mapping_str));
+        resp.set("version", JsonValue::number(double(kApiVersion)));
+        JsonValue ops = JsonValue::array();
+        for (const char *name :
+             {"ping", "capabilities", "evaluate", "search", "sweep",
+              "network", "stats", "save_cache", "shutdown"})
+            ops.push(JsonValue::string(name));
+        resp.set("ops", std::move(ops));
+        resp.set("schema", apiSchemaJson());
         return resp;
     }
 
+    if (op == "evaluate")
+        return responseJson(
+            service_.evaluate(decodeRequestJson<EvaluateRequest>(req)));
+
     if (op == "search") {
-        SearchRequest sr;
-        sr.arch = parseArch(req.get("arch"));
-        sr.layer = parseLayer(req.get("layer"));
-        sr.options = parseOptions(req.get("options"));
-        SearchResponse r = service_.search(sr);
-        resp.set("ok", JsonValue::boolean(true));
-        resp.set("objective",
-                 JsonValue::string(objectiveName(sr.options.objective)));
-        resp.set("best_value", JsonValue::number(r.best_value));
-        resp.set("energy_j", JsonValue::number(r.best.energy_j));
-        resp.set("runtime_s", JsonValue::number(r.best.runtime_s));
-        // Exact bit patterns: warm-start bit-identity is assertable
-        // by plain string comparison from any client (the smoke
-        // script greps these).
-        std::uint64_t ebits, rbits;
-        static_assert(sizeof(double) == sizeof(std::uint64_t), "");
-        std::memcpy(&ebits, &r.best.energy_j, sizeof(ebits));
-        std::memcpy(&rbits, &r.best.runtime_s, sizeof(rbits));
-        resp.set("energy_bits", JsonValue::string(hexU64(ebits)));
-        resp.set("runtime_bits", JsonValue::string(hexU64(rbits)));
-        resp.set("mapping_key",
-                 JsonValue::string(hexU64(r.mapping_key)));
-        resp.set("mapping", JsonValue::string(r.mapping_str));
-        resp.set("stats", statsJson(r.stats));
-        resp.set("result", rowJson(r.row));
-        return resp;
+        SearchRequest sr = decodeRequestJson<SearchRequest>(req);
+        return responseJson(sr, service_.search(sr));
     }
 
     if (op == "sweep") {
-        SweepRequest sr;
-        sr.arch = parseArch(req.get("arch"));
-        sr.layer = parseLayer(req.get("layer"));
-        sr.knob = stringOr(&req, "knob", "");
-        const JsonValue *values = req.get("values");
-        fatalIf(!values || !values->isArray(),
-                "sweep needs a 'values' array");
-        for (const JsonValue &v : values->items())
-            sr.values.push_back(v.asNumber());
-        sr.options = parseOptions(req.get("options"));
-        SweepResponse r = service_.sweep(sr);
-        resp.set("ok", JsonValue::boolean(true));
-        JsonValue points = JsonValue::array();
-        for (const SweepPoint &p : r.points) {
-            JsonValue pt = JsonValue::object();
-            pt.set("value", JsonValue::number(p.value));
-            pt.set("energy_per_mac_j",
-                   JsonValue::number(p.result.energyPerMac()));
-            pt.set("macs_per_cycle",
-                   JsonValue::number(p.result.throughput.macs_per_cycle));
-            pt.set("utilization",
-                   JsonValue::number(p.result.throughput.utilization));
-            pt.set("energy_total_j",
-                   JsonValue::number(p.result.totalEnergy()));
-            points.push(std::move(pt));
-        }
-        resp.set("points", std::move(points));
-        resp.set("stats", statsJson(r.stats));
-        return resp;
+        SweepRequest sr = decodeRequestJson<SweepRequest>(req);
+        return responseJson(sr, service_.sweep(sr));
     }
 
-    if (op == "network") {
-        NetworkRequest nr;
-        nr.arch = parseArch(req.get("arch"));
-        nr.network = stringOr(&req, "network", "");
-        nr.batch = u64Or(&req, "batch", 1);
-        if (const JsonValue *layers = req.get("layers")) {
-            for (const JsonValue &l : layers->items())
-                nr.layers.push_back(parseLayer(&l));
-        }
-        nr.options = parseOptions(req.get("options"));
-        NetworkResponse r = service_.network(nr);
-        resp.set("ok", JsonValue::boolean(true));
-        resp.set("total_energy_j",
-                 JsonValue::number(r.result.total_energy_j));
-        resp.set("total_macs", JsonValue::number(r.result.total_macs));
-        resp.set("macs_per_cycle",
-                 JsonValue::number(r.result.macsPerCycle()));
-        resp.set("energy_per_mac_j",
-                 JsonValue::number(r.result.energyPerMac()));
-        JsonValue layers = JsonValue::array();
-        for (const LayerRunResult &lr : r.result.layers) {
-            JsonValue l = JsonValue::object();
-            l.set("name", JsonValue::string(lr.layer_name));
-            l.set("energy_j",
-                  JsonValue::number(lr.result.totalEnergy()));
-            l.set("macs_per_cycle",
-                  JsonValue::number(lr.result.throughput.macs_per_cycle));
-            l.set("utilization",
-                  JsonValue::number(lr.result.throughput.utilization));
-            layers.push(std::move(l));
-        }
-        resp.set("layers", std::move(layers));
-        resp.set("stats", statsJson(r.stats));
-        return resp;
-    }
+    if (op == "network")
+        return responseJson(
+            service_.network(decodeRequestJson<NetworkRequest>(req)));
 
     if (op == "stats") {
         EvalService::Stats s = service_.stats();
@@ -390,6 +154,20 @@ ServeSession::handleParsed(const JsonValue &req)
                   JsonValue::number(
                       double(service_.cache().maxEntries())));
         resp.set("cache", std::move(cache));
+        JsonValue results = JsonValue::object();
+        results.set("entries",
+                    JsonValue::number(double(s.result_cache_entries)));
+        results.set("hits",
+                    JsonValue::number(double(s.result_cache_hits)));
+        results.set("misses",
+                    JsonValue::number(double(s.result_cache_misses)));
+        results.set("evictions",
+                    JsonValue::number(
+                        double(s.result_cache_evictions)));
+        results.set("max_entries",
+                    JsonValue::number(double(
+                        service_.resultCache().maxEntries())));
+        resp.set("result_cache", std::move(results));
         resp.set("store_loaded", JsonValue::boolean(load_.loaded));
         resp.set("store_detail", JsonValue::string(load_.detail));
         return resp;
@@ -415,8 +193,8 @@ ServeSession::handleParsed(const JsonValue &req)
     }
 
     fatal("unknown op '" + op +
-          "' (ping, evaluate, search, sweep, network, stats, "
-          "save_cache, shutdown)");
+          "' (ping, capabilities, evaluate, search, sweep, network, "
+          "stats, save_cache, shutdown)");
 }
 
 } // namespace ploop

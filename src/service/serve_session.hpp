@@ -8,20 +8,29 @@
  * Requests: {"op": "...", "id": <any>, ...}.  Ops:
  *
  *   ping                    liveness check
+ *   capabilities            api version + ops + request schema
  *   evaluate                arch+layer+mapping -> full metrics
  *   search                  arch+layer+options -> best mapping+stats
- *   sweep                   arch+layer+knob+values -> per-point rows
+ *   sweep                   arch+layer+grid -> per-grid-point rows
  *   network                 arch+network|layers -> totals+per-layer
- *   stats                   session counters (models, cache, store)
+ *   stats                   session counters (models, caches, store)
  *   save_cache              persist the cache store now
  *   shutdown                save (if configured) and stop
+ *
+ * Request bodies are decoded by the declarative api/ layer
+ * (requests.hpp + codec.hpp): one canonical schema shared with the
+ * in-process API, STRICT decoding (unknown or duplicate fields are
+ * rejected by name, types are checked), and the whole schema is
+ * machine-readable via the capabilities op.
  *
  * Responses always carry "ok" plus the echoed "op"/"id"; failures
  * ("ok": false) carry "error" and never kill the session -- a
  * malformed line or a fatal() from a bad spec is that request's
  * problem, not the server's.  Search responses include exact hex bit
  * patterns (mapping_key, energy_bits, runtime_bits) so warm-start
- * bit-identity can be asserted by string comparison from any client.
+ * bit-identity can be asserted by string comparison from any client,
+ * plus the request "fingerprint" and "from_result_cache" (whole
+ * responses repeat from the service ResultCache).
  *
  * Persistence: with ServeConfig::cache_store set, the session merges
  * the store at construction (graceful cold start on damage -- see
@@ -37,7 +46,7 @@
 
 #include "mapper/cache_store.hpp"
 #include "service/eval_service.hpp"
-#include "service/json.hpp"
+#include "api/json.hpp"
 
 namespace ploop {
 
@@ -52,6 +61,9 @@ struct ServeConfig
 
     /** EvalCache entry cap (0 = unbounded). */
     std::size_t cache_max_entries = 0;
+
+    /** ResultCache entry cap (0 disables whole-response reuse). */
+    std::size_t result_cache_max_entries = 256;
 
     /** Store identity (see cache_store.hpp). */
     std::uint64_t store_fingerprint = kServeStoreFingerprint;

@@ -1,0 +1,395 @@
+/** @file Tests for the declarative request API (src/api/): canonical
+ *  encode/decode round-trips, strict decoding, request fingerprints
+ *  (semantic fields only, key-order invariance), schema stability,
+ *  and the knob list contract. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "api/codec.hpp"
+#include "api/fingerprint.hpp"
+#include "api/schema.hpp"
+#include "common/error.hpp"
+
+namespace ploop {
+namespace {
+
+SearchRequest
+sampleSearch()
+{
+    SearchRequest req;
+    req.arch = AlbireoConfig::paperDefault(ScalingProfile::Moderate);
+    req.arch.output_reuse = 9.0;
+    req.layer.name = "conv3x3";
+    req.layer.k = 32;
+    req.layer.c = 16;
+    req.layer.p = 14;
+    req.layer.q = 14;
+    req.layer.r = 3;
+    req.layer.s = 3;
+    req.options.objective = Objective::Edp;
+    req.options.random_samples = 12;
+    req.options.hill_climb_rounds = 3;
+    req.options.seed = 7;
+    req.options.threads = 2;
+    return req;
+}
+
+// ------------------------------------------------------ round trips
+
+TEST(ApiCodec, SearchRequestRoundTripsCanonically)
+{
+    SearchRequest req = sampleSearch();
+    JsonValue encoded = encodeRequestJson(req);
+    SearchRequest back =
+        decodeRequestJson<SearchRequest>(encoded);
+
+    // Decoded == original: same fingerprint AND same canonical form.
+    EXPECT_EQ(requestFingerprint(back), requestFingerprint(req));
+    EXPECT_EQ(encodeRequestJson(back).serialize(),
+              encoded.serialize());
+    EXPECT_EQ(back.options.threads, 2u);
+    EXPECT_EQ(back.layer.name, "conv3x3");
+    EXPECT_EQ(back.arch.scaling, ScalingProfile::Moderate);
+    EXPECT_DOUBLE_EQ(back.arch.output_reuse, 9.0);
+}
+
+TEST(ApiCodec, SweepRequestRoundTripsGrid)
+{
+    SweepRequest req;
+    req.arch = AlbireoConfig::paperDefault(ScalingProfile::Aggressive);
+    req.layer.k = 8;
+    req.layer.c = 8;
+    req.grid.axes = {{"output_reuse", {3.0, 9.0}},
+                     {"unit_k", {6.0, 12.0, 24.0}}};
+    req.options.seed = 3;
+
+    SweepRequest back = decodeRequestJson<SweepRequest>(
+        encodeRequestJson(req));
+    ASSERT_EQ(back.grid.axes.size(), 2u);
+    EXPECT_EQ(back.grid.axes[1].knob, "unit_k");
+    EXPECT_EQ(back.grid.axes[1].values,
+              (std::vector<double>{6.0, 12.0, 24.0}));
+    EXPECT_EQ(back.grid.points(), 6u);
+    EXPECT_EQ(requestFingerprint(back), requestFingerprint(req));
+}
+
+TEST(ApiCodec, EvaluateAndNetworkRoundTrip)
+{
+    EvaluateRequest ev;
+    ev.layer.name = "fc1";
+    ev.layer.fully_connected = true;
+    ev.layer.k = 64;
+    ev.layer.c = 128;
+    ev.mapping = "weight-stationary";
+    EvaluateRequest ev_back =
+        decodeRequestJson<EvaluateRequest>(encodeRequestJson(ev));
+    EXPECT_TRUE(ev_back.layer.fully_connected);
+    EXPECT_EQ(ev_back.mapping, "weight-stationary");
+    EXPECT_EQ(requestFingerprint(ev_back), requestFingerprint(ev));
+
+    NetworkRequest net;
+    net.network = "alexnet";
+    net.batch = 4;
+    NetworkRequest net_back =
+        decodeRequestJson<NetworkRequest>(encodeRequestJson(net));
+    EXPECT_EQ(net_back.network, "alexnet");
+    EXPECT_EQ(net_back.batch, 4u);
+    EXPECT_EQ(requestFingerprint(net_back), requestFingerprint(net));
+
+    NetworkRequest inline_net;
+    LayerRequest a;
+    a.name = "a";
+    a.k = 8;
+    inline_net.layers = {a};
+    NetworkRequest inline_back = decodeRequestJson<NetworkRequest>(
+        encodeRequestJson(inline_net));
+    ASSERT_EQ(inline_back.layers.size(), 1u);
+    EXPECT_EQ(inline_back.layers[0].name, "a");
+    EXPECT_EQ(requestFingerprint(inline_back),
+              requestFingerprint(inline_net));
+    EXPECT_NE(requestFingerprint(inline_net),
+              requestFingerprint(net));
+}
+
+TEST(ApiCodec, ArchDefaultsRederiveFromScaling)
+{
+    // Decoding {"scaling": "aggressive"} must produce EXACTLY the
+    // aggressive paper default -- scaling selects the baseline, the
+    // remaining fields override it.
+    std::optional<JsonValue> j =
+        parseJson("{\"arch\":{\"scaling\":\"aggressive\"}}");
+    ASSERT_TRUE(j.has_value());
+    SearchRequest req = decodeRequestJson<SearchRequest>(*j);
+    EXPECT_EQ(albireoConfigKey(req.arch),
+              albireoConfigKey(AlbireoConfig::paperDefault(
+                  ScalingProfile::Aggressive)));
+
+    // ... and overrides still apply on top of the re-derived base.
+    j = parseJson("{\"arch\":{\"scaling\":\"aggressive\","
+                  "\"unit_k\":24}}");
+    req = decodeRequestJson<SearchRequest>(*j);
+    EXPECT_EQ(req.arch.scaling, ScalingProfile::Aggressive);
+    EXPECT_EQ(req.arch.unit_k, 24u);
+}
+
+// -------------------------------------------------- strict decoding
+
+TEST(ApiCodec, RejectsUnknownDuplicateAndMistypedFields)
+{
+    auto decode_err = [](const char *text) -> std::string {
+        std::optional<JsonValue> j = parseJson(text);
+        EXPECT_TRUE(j.has_value()) << text;
+        try {
+            decodeRequestJson<SearchRequest>(*j);
+        } catch (const FatalError &e) {
+            return e.what();
+        }
+        return "";
+    };
+
+    EXPECT_NE(decode_err("{\"nope\":1}").find("unknown field "
+                                             "'nope'"),
+              std::string::npos);
+    EXPECT_NE(decode_err("{\"arch\":{\"warp\":1}}")
+                  .find("unknown field 'arch.warp'"),
+              std::string::npos);
+    EXPECT_NE(decode_err("{\"arch\":{\"unit_k\":1,\"unit_k\":2}}")
+                  .find("duplicate field 'arch.unit_k'"),
+              std::string::npos);
+    EXPECT_NE(decode_err("{\"arch\":{\"unit_k\":-1}}")
+                  .find("'arch.unit_k'"),
+              std::string::npos);
+    EXPECT_NE(decode_err("{\"arch\":{\"unit_k\":2.5}}")
+                  .find("'arch.unit_k'"),
+              std::string::npos);
+    EXPECT_NE(decode_err("{\"arch\":{\"with_dram\":1}}")
+                  .find("'arch.with_dram'"),
+              std::string::npos);
+    EXPECT_NE(decode_err("{\"layer\":7}").find("'layer'"),
+              std::string::npos);
+    EXPECT_NE(decode_err("{\"options\":{\"objective\":\"fast\"}}")
+                  .find("one of: energy, delay, edp"),
+              std::string::npos);
+    // Transport keys are allowed at the top level only.
+    EXPECT_NE(decode_err("{\"layer\":{\"op\":\"x\"}}")
+                  .find("unknown field 'layer.op'"),
+              std::string::npos);
+    EXPECT_EQ(decode_err("{\"op\":\"search\",\"id\":3}"), "");
+}
+
+TEST(ApiCodec, MissingOptionalFieldsKeepDefaults)
+{
+    std::optional<JsonValue> j = parseJson("{\"layer\":{\"k\":4}}");
+    SearchRequest req = decodeRequestJson<SearchRequest>(*j);
+    SearchRequest dflt;
+    EXPECT_EQ(req.layer.k, 4u);
+    EXPECT_EQ(req.layer.c, dflt.layer.c);   // untouched default (1)
+    EXPECT_EQ(req.layer.name, dflt.layer.name);
+    EXPECT_EQ(req.options.random_samples,
+              dflt.options.random_samples);
+    EXPECT_EQ(albireoConfigKey(req.arch),
+              albireoConfigKey(dflt.arch));
+}
+
+// ------------------------------------------------------ fingerprints
+
+TEST(ApiFingerprint, InvariantToThreadsAndKeyOrder)
+{
+    SearchRequest req = sampleSearch();
+    std::uint64_t fp = requestFingerprint(req);
+
+    // threads is non-semantic.
+    SearchRequest threads = req;
+    threads.options.threads = 16;
+    EXPECT_EQ(requestFingerprint(threads), fp);
+
+    // JSON key order is irrelevant: the fingerprint hashes the
+    // DECODED struct in field-list order.
+    std::string forward = encodeRequestJson(req).serialize();
+    std::optional<JsonValue> parsed = parseJson(forward);
+    ASSERT_TRUE(parsed.has_value());
+    JsonValue reversed = JsonValue::object();
+    const auto &members = parsed->members();
+    for (auto it = members.rbegin(); it != members.rend(); ++it)
+        reversed.set(it->first, it->second);
+    EXPECT_NE(reversed.serialize(), forward);
+    EXPECT_EQ(requestFingerprint(
+                  decodeRequestJson<SearchRequest>(reversed)),
+              fp);
+}
+
+TEST(ApiFingerprint, SemanticFieldsChangeIt)
+{
+    SearchRequest req = sampleSearch();
+    std::uint64_t fp = requestFingerprint(req);
+
+    SearchRequest seed = req;
+    seed.options.seed = 8;
+    EXPECT_NE(requestFingerprint(seed), fp);
+
+    SearchRequest layer = req;
+    layer.layer.k = 33;
+    EXPECT_NE(requestFingerprint(layer), fp);
+
+    SearchRequest name = req;
+    name.layer.name = "conv3x4";
+    EXPECT_NE(requestFingerprint(name), fp);
+
+    SearchRequest arch = req;
+    arch.arch.weight_reuse = 3.0;
+    EXPECT_NE(requestFingerprint(arch), fp);
+
+    SearchRequest objective = req;
+    objective.options.objective = Objective::Energy;
+    EXPECT_NE(requestFingerprint(objective), fp);
+}
+
+TEST(ApiFingerprint, DistinguishesRequestTypesAndGrids)
+{
+    // An evaluate and a search over the same arch+layer differ.
+    EvaluateRequest ev;
+    SearchRequest se;
+    ev.layer.k = se.layer.k = 8;
+    EXPECT_NE(requestFingerprint(ev), requestFingerprint(se));
+
+    // Axis order is semantic (it fixes point enumeration order).
+    SweepRequest ab, ba;
+    ab.grid.axes = {{"unit_k", {1.0}}, {"unit_c", {2.0}}};
+    ba.grid.axes = {{"unit_c", {2.0}}, {"unit_k", {1.0}}};
+    EXPECT_NE(requestFingerprint(ab), requestFingerprint(ba));
+
+    // Value split across axes matters, not just the flat list.
+    SweepRequest one, two;
+    one.grid.axes = {{"unit_k", {1.0, 2.0}}};
+    two.grid.axes = {{"unit_k", {1.0}}, {"unit_c", {2.0}}};
+    EXPECT_NE(requestFingerprint(one), requestFingerprint(two));
+}
+
+// ------------------------------------------------------------ schema
+
+TEST(ApiSchema, ListsEveryRequestTypeAndKnob)
+{
+    JsonValue schema = apiSchemaJson();
+    EXPECT_EQ(schema.get("version")->asNumber(),
+              double(kApiVersion));
+    for (const char *op : {"evaluate", "search", "sweep", "network"})
+        ASSERT_NE(schema.get("requests")->get(op), nullptr) << op;
+
+    // The arch type lists its fields with types and defaults.
+    const JsonValue *arch = schema.get("types")->get("arch");
+    ASSERT_NE(arch, nullptr);
+    bool saw_unit_k = false, saw_scaling = false;
+    for (const JsonValue &f : arch->get("fields")->items()) {
+        if (f.get("name")->asString() == "unit_k") {
+            saw_unit_k = true;
+            EXPECT_EQ(f.get("type")->asString(), "integer");
+            EXPECT_EQ(f.get("default")->asNumber(), 12.0);
+        }
+        if (f.get("name")->asString() == "scaling") {
+            saw_scaling = true;
+            EXPECT_EQ(f.get("type")->asString(), "enum");
+            EXPECT_EQ(f.get("values")->items().size(), 3u);
+        }
+    }
+    EXPECT_TRUE(saw_unit_k);
+    EXPECT_TRUE(saw_scaling);
+
+    // The sweep request references the grid_axis type.
+    bool saw_grid = false;
+    for (const JsonValue &f : schema.get("requests")
+                                  ->get("sweep")
+                                  ->get("fields")
+                                  ->items()) {
+        if (f.get("name")->asString() == "grid") {
+            saw_grid = true;
+            EXPECT_EQ(f.get("type")->asString(), "object_list");
+            EXPECT_EQ(f.get("of")->asString(), "grid_axis");
+        }
+    }
+    EXPECT_TRUE(saw_grid);
+
+    // Knob list contract: schema knobs == sweepKnobNames().
+    const JsonValue *knobs = schema.get("sweep_knobs");
+    ASSERT_NE(knobs, nullptr);
+    std::vector<std::string> names = sweepKnobNames();
+    ASSERT_EQ(knobs->items().size(), names.size());
+    for (std::size_t i = 0; i < names.size(); ++i)
+        EXPECT_EQ(knobs->items()[i].asString(), names[i]);
+}
+
+// ----------------------------------------------- knob list contract
+
+TEST(ApiKnobs, EveryKnobAppliesAndChangesTheConfigKey)
+{
+    // Satellite contract: every advertised knob is accepted by
+    // applySweepKnob, changes albireoConfigKey (no dead knobs, no
+    // knob-list drift), and is usable as a one-axis grid.
+    AlbireoConfig base =
+        AlbireoConfig::paperDefault(ScalingProfile::Conservative);
+    for (const std::string &knob : sweepKnobNames()) {
+        AlbireoConfig cfg = applySweepKnob(base, knob, 5.0);
+        EXPECT_NE(albireoConfigKey(cfg), albireoConfigKey(base))
+            << knob << " did not change the config key";
+
+        ParamGrid grid;
+        grid.axes = {{knob, {5.0}}};
+        EXPECT_NO_THROW(grid.validate()) << knob;
+        EXPECT_EQ(albireoConfigKey(grid.configAt(base, {5.0})),
+                  albireoConfigKey(cfg))
+            << knob;
+    }
+    EXPECT_THROW(applySweepKnob(base, "warp_factor", 1.0),
+                 FatalError);
+}
+
+TEST(ApiKnobs, RejectsOutOfDomainKnobValues)
+{
+    AlbireoConfig base =
+        AlbireoConfig::paperDefault(ScalingProfile::Conservative);
+    // Integer knobs get the strict-decoder contract: the value must
+    // survive the uint64 cast exactly (no UB, no silent truncation).
+    EXPECT_THROW(applySweepKnob(base, "unit_k", -1.0), FatalError);
+    EXPECT_THROW(applySweepKnob(base, "unit_k", 2.5), FatalError);
+    EXPECT_THROW(applySweepKnob(base, "unit_k", 1e300), FatalError);
+    // Non-finite values are rejected for every knob.
+    EXPECT_THROW(applySweepKnob(base, "input_reuse",
+                                std::nan("")),
+                 FatalError);
+
+    // Grid validation catches a bad value on ANY axis position,
+    // before any point runs.
+    ParamGrid grid;
+    grid.axes = {{"unit_k", {6.0, -1.0}}};
+    EXPECT_THROW(grid.validate(), FatalError);
+}
+
+TEST(ApiCodec, RejectsNonFiniteNumbers)
+{
+    // 1e999 is valid JSON that strtod overflows to inf; the strict
+    // decoder must refuse it so inf/NaN never reaches the model (or
+    // the ResultCache).
+    std::optional<JsonValue> j =
+        parseJson("{\"arch\":{\"clock_hz\":1e999}}");
+    ASSERT_TRUE(j.has_value());
+    try {
+        decodeRequestJson<SearchRequest>(*j);
+        FAIL() << "inf must be rejected";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("'arch.clock_hz'"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("finite"),
+                  std::string::npos);
+    }
+
+    std::optional<JsonValue> g = parseJson(
+        "{\"grid\":[{\"knob\":\"output_reuse\","
+        "\"values\":[3,1e999]}]}");
+    ASSERT_TRUE(g.has_value());
+    EXPECT_THROW(decodeRequestJson<SweepRequest>(*g), FatalError);
+}
+
+} // namespace
+} // namespace ploop

@@ -327,18 +327,20 @@ TEST(SharedEvalCache, DifferentRegistriesNeverShareEntries)
 
 TEST(SharedEvalCache, SweepSharesAcrossIdenticalPoints)
 {
-    // A sweep whose generator ignores the parameter: every point
-    // builds the identical architecture, so all points share one
-    // evaluation scope through runSweep's shared cache and must agree
-    // exactly.
+    // A sweep whose points all use the identical architecture: all
+    // points share one evaluation scope through the sweep's shared
+    // cache and must agree exactly.
     EnergyRegistry registry = makeDefaultRegistry();
-    SweepSpec spec;
-    spec.make_arch = [](double) { return makeDigitalArch(); };
-    spec.values = {1.0, 2.0, 3.0};
-    spec.search.random_samples = 16;
-    spec.search.hill_climb_rounds = 4;
+    ArchSpec arch = makeDigitalArch();
+    Evaluator evaluator(arch, registry);
+    std::vector<const Evaluator *> evaluators(3, &evaluator);
+    SearchOptions search;
+    search.random_samples = 16;
+    search.hill_climb_rounds = 4;
 
-    auto points = runSweep(spec, makeSmallConv(), registry);
+    auto points =
+        runSweepEvaluators(evaluators, {{1.0}, {2.0}, {3.0}},
+                           makeSmallConv(), search);
     ASSERT_EQ(points.size(), 3u);
     for (std::size_t i = 1; i < points.size(); ++i) {
         EXPECT_TRUE(

@@ -51,29 +51,101 @@ TEST(EvalService, BuildsEachArchOnceAndReuses)
 
     EvalService::Stats s = service.stats();
     EXPECT_EQ(s.models_built, 2u);
-    EXPECT_GE(s.models_reused, 3u);
+    // The repeated search was answered whole from the ResultCache
+    // (no evaluatorFor call); the two explicit lookups above reuse.
+    EXPECT_GE(s.models_reused, 2u);
     EXPECT_EQ(s.requests, 2u);
 }
 
-TEST(EvalService, SecondIdenticalSearchIsFullyWarm)
+TEST(EvalService, SecondIdenticalSearchHitsResultCache)
 {
     EvalService service;
     SearchRequest req = smallSearch();
 
     SearchResponse cold = service.search(req);
+    EXPECT_FALSE(cold.from_result_cache);
     EXPECT_GT(cold.stats.freshEvals(), 0u);
+    EXPECT_EQ(cold.fingerprint, requestFingerprint(req));
 
+    // The repeat is answered WHOLE from the ResultCache: no search
+    // ran, so its per-request stats are zero.
     SearchResponse warm = service.search(req);
-    // Every valid candidate of the repeat answers from the session
-    // cache; only invalid probes (never cached) still miss.
+    EXPECT_TRUE(warm.from_result_cache);
+    EXPECT_EQ(warm.stats.evaluated, 0u);
     EXPECT_EQ(warm.stats.freshEvals(), 0u);
-    EXPECT_GT(warm.stats.cache_hits, 0u);
+    EXPECT_EQ(warm.fingerprint, cold.fingerprint);
+    EXPECT_EQ(service.stats().result_cache_hits, 1u);
 
     // And the result is bit-identical to the cold run.
     EXPECT_EQ(warm.mapping_key, cold.mapping_key);
     EXPECT_TRUE(sameFactorTuples(warm.mapping, cold.mapping));
     EXPECT_EQ(warm.best.energy_j, cold.best.energy_j);
     EXPECT_EQ(warm.best.runtime_s, cold.best.runtime_s);
+
+    // Thread count is non-semantic: a different `threads` value is
+    // the same request and must hit (bit-identical by the engine's
+    // determinism contract anyway).
+    SearchRequest other_threads = req;
+    other_threads.options.threads = req.options.threads == 1 ? 4 : 1;
+    SearchResponse across = service.search(other_threads);
+    EXPECT_TRUE(across.from_result_cache);
+    EXPECT_EQ(across.mapping_key, cold.mapping_key);
+    EXPECT_EQ(across.best.energy_j, cold.best.energy_j);
+    EXPECT_EQ(across.best.runtime_s, cold.best.runtime_s);
+
+    // Bit-identity against a FRESH service (a from-scratch run of
+    // the same request in a cold process).
+    EvalService fresh;
+    SearchResponse scratch = fresh.search(req);
+    EXPECT_EQ(scratch.mapping_key, warm.mapping_key);
+    EXPECT_EQ(scratch.best.energy_j, warm.best.energy_j);
+    EXPECT_EQ(scratch.best.runtime_s, warm.best.runtime_s);
+    EXPECT_EQ(scratch.best_value, warm.best_value);
+}
+
+TEST(EvalService, ResultCacheDisabledStillAnswersWarm)
+{
+    EvalService::Config cfg;
+    cfg.result_cache_max_entries = 0;
+    EvalService service(cfg);
+    SearchRequest req = smallSearch();
+
+    SearchResponse cold = service.search(req);
+    SearchResponse warm = service.search(req);
+    // No whole-response reuse, but every valid candidate of the
+    // repeat answers from the session EvalCache; only invalid probes
+    // (never cached) still miss.
+    EXPECT_FALSE(warm.from_result_cache);
+    EXPECT_EQ(warm.stats.freshEvals(), 0u);
+    EXPECT_GT(warm.stats.cache_hits, 0u);
+    EXPECT_EQ(warm.mapping_key, cold.mapping_key);
+    EXPECT_EQ(warm.best.energy_j, cold.best.energy_j);
+    EXPECT_EQ(warm.best.runtime_s, cold.best.runtime_s);
+    EXPECT_EQ(service.stats().result_cache_hits, 0u);
+}
+
+TEST(EvalService, ResultCacheIsBoundedLru)
+{
+    EvalService::Config cfg;
+    cfg.result_cache_max_entries = 2;
+    EvalService service(cfg);
+
+    SearchRequest req = smallSearch();
+    req.options.random_samples = 8;
+    req.options.hill_climb_rounds = 2;
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+        req.options.seed = seed; // semantic: three distinct requests
+        service.search(req);
+    }
+    EvalService::Stats s = service.stats();
+    EXPECT_LE(s.result_cache_entries, 2u);
+    EXPECT_EQ(s.result_cache_evictions, 1u);
+
+    // seed=1 was evicted (LRU); seed=3 is still resident.
+    req.options.seed = 3;
+    EXPECT_TRUE(service.search(req).from_result_cache);
+    req.options.seed = 1;
+    EXPECT_FALSE(service.search(req).from_result_cache);
 }
 
 TEST(EvalService, WarmStartAcrossCacheStoreRestart)
@@ -126,14 +198,16 @@ TEST(EvalService, SweepRoutesThroughSessionCache)
     req.layer.q = 7;
     req.layer.r = 3;
     req.layer.s = 3;
-    req.knob = "output_reuse";
-    req.values = {3.0, 9.0};
+    req.grid.axes = {{"output_reuse", {3.0, 9.0}}};
     req.options.random_samples = 10;
     req.options.hill_climb_rounds = 2;
     req.options.threads = 1;
 
     SweepResponse first = service.sweep(req);
     ASSERT_EQ(first.points.size(), 2u);
+    EXPECT_EQ(first.axes,
+              (std::vector<std::string>{"output_reuse"}));
+    EXPECT_EQ(first.points[1].coords, (std::vector<double>{9.0}));
     EXPECT_GT(first.stats.evaluated, 0u);
     EXPECT_GT(first.stats.freshEvals(), 0u);
 
@@ -152,16 +226,74 @@ TEST(EvalService, SweepRoutesThroughSessionCache)
     }
 }
 
-TEST(EvalService, SweepRejectsUnknownKnob)
+TEST(EvalService, MultiKnobGridSweep)
+{
+    EvalService service;
+    SweepRequest req;
+    req.arch = AlbireoConfig::paperDefault(ScalingProfile::Conservative);
+    req.layer.k = 8;
+    req.layer.c = 8;
+    req.layer.p = 6;
+    req.layer.q = 6;
+    req.layer.r = 3;
+    req.layer.s = 3;
+    req.grid.axes = {{"output_reuse", {3.0, 9.0}},
+                     {"weight_reuse", {1.0, 3.0}}};
+    req.options.random_samples = 6;
+    req.options.hill_climb_rounds = 1;
+    req.options.threads = 1;
+
+    SweepResponse r = service.sweep(req);
+    ASSERT_EQ(r.points.size(), 4u);
+    EXPECT_EQ(r.axes,
+              (std::vector<std::string>{"output_reuse",
+                                        "weight_reuse"}));
+    // Point order is the grid's cartesian order, last axis fastest.
+    EXPECT_EQ(r.points[0].coords, (std::vector<double>{3.0, 1.0}));
+    EXPECT_EQ(r.points[1].coords, (std::vector<double>{3.0, 3.0}));
+    EXPECT_EQ(r.points[3].coords, (std::vector<double>{9.0, 3.0}));
+    for (const SweepPoint &p : r.points)
+        EXPECT_GT(p.result.totalEnergy(), 0.0);
+
+    // A grid point is the same work as the equivalent plain search:
+    // the (3.0, 3.0) point must agree bit-for-bit with a search on
+    // the knob-derived config.
+    SearchRequest sr;
+    sr.arch = req.grid.configAt(req.arch, {3.0, 3.0});
+    sr.layer = req.layer;
+    sr.options = req.options;
+    SearchResponse direct = service.search(sr);
+    EXPECT_EQ(direct.best.energy_j,
+              r.points[1].result.totalEnergy());
+    EXPECT_TRUE(
+        sameFactorTuples(direct.mapping, r.points[1].mapping));
+}
+
+TEST(EvalService, SweepRejectsBadGrids)
 {
     EvalService service;
     SweepRequest req;
     req.arch = AlbireoConfig::paperDefault(ScalingProfile::Conservative);
     req.layer.k = 4;
     req.layer.c = 4;
-    req.knob = "warp_factor";
-    req.values = {1.0};
-    EXPECT_THROW(service.sweep(req), FatalError);
+
+    req.grid.axes = {{"warp_factor", {1.0}}};
+    EXPECT_THROW(service.sweep(req), FatalError); // unknown knob
+
+    req.grid.axes.clear();
+    EXPECT_THROW(service.sweep(req), FatalError); // no axes
+
+    // An axis with an empty values list is a request-level error
+    // naming the field, never an empty response.
+    req.grid.axes = {{"output_reuse", {}}};
+    try {
+        service.sweep(req);
+        FAIL() << "empty values must be a request-level error";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("output_reuse"),
+                  std::string::npos);
+    }
+
     for (const std::string &knob : sweepKnobNames()) {
         // Every advertised knob must be applicable (5.0 differs from
         // every knob's paper default, so the key must change).

@@ -7,7 +7,7 @@
 #include <cstdio>
 #include <string>
 
-#include "service/json.hpp"
+#include "api/json.hpp"
 #include "service/serve_session.hpp"
 
 namespace ploop {
@@ -190,18 +190,47 @@ TEST(ServeSession, SearchRespondsWithStatsAndExactBits)
     EXPECT_GT(stats->get("evaluated")->asNumber(), 0.0);
     EXPECT_GT(stats->get("fresh_evals")->asNumber(), 0.0);
 
-    // The same request again: fully warm, identical bit patterns.
+    EXPECT_FALSE(first->get("from_result_cache")->asBool());
+    EXPECT_EQ(first->get("fingerprint")->asString().substr(0, 2),
+              "0x");
+
+    // The same request again: answered whole from the ResultCache,
+    // identical bit patterns, no search work at all.
     std::optional<JsonValue> second =
         parseJson(session.handleLine(req));
+    EXPECT_TRUE(second->get("from_result_cache")->asBool());
     EXPECT_EQ(second->get("stats")->get("fresh_evals")->asNumber(),
               0.0);
-    EXPECT_GT(second->get("stats")->get("cache_hits")->asNumber(),
+    EXPECT_EQ(second->get("stats")->get("evaluated")->asNumber(),
               0.0);
+    EXPECT_EQ(second->get("fingerprint")->asString(),
+              first->get("fingerprint")->asString());
     EXPECT_EQ(second->get("mapping_key")->asString(),
               first->get("mapping_key")->asString());
     EXPECT_EQ(second->get("energy_bits")->asString(),
               first->get("energy_bits")->asString());
     EXPECT_EQ(second->get("runtime_bits")->asString(),
+              first->get("runtime_bits")->asString());
+
+    // Same request with a different worker count and shuffled JSON
+    // key order: the fingerprint is computed over the DECODED
+    // request, so both still hit the result cache.
+    const char *reordered =
+        "{\"options\":{\"threads\":2,\"seed\":5,"
+        "\"hill_climb_rounds\":3,\"random_samples\":15},"
+        "\"layer\":{\"s\":3,\"r\":3,\"q\":7,\"p\":7,\"c\":16,"
+        "\"k\":16,\"name\":\"c\"},\"op\":\"search\",\"id\":9}";
+    std::optional<JsonValue> third =
+        parseJson(session.handleLine(reordered));
+    ASSERT_TRUE(third->get("ok")->asBool()) << third->serialize();
+    EXPECT_TRUE(third->get("from_result_cache")->asBool());
+    EXPECT_EQ(third->get("fingerprint")->asString(),
+              first->get("fingerprint")->asString());
+    EXPECT_EQ(third->get("mapping_key")->asString(),
+              first->get("mapping_key")->asString());
+    EXPECT_EQ(third->get("energy_bits")->asString(),
+              first->get("energy_bits")->asString());
+    EXPECT_EQ(third->get("runtime_bits")->asString(),
               first->get("runtime_bits")->asString());
 }
 
@@ -273,14 +302,166 @@ TEST(ServeSession, NetworkAndSweepOps)
         "{\"op\":\"sweep\","
         "\"layer\":{\"k\":8,\"c\":8,\"p\":6,\"q\":6,\"r\":3,"
         "\"s\":3},"
-        "\"knob\":\"weight_reuse\",\"values\":[1,3],"
+        "\"grid\":[{\"knob\":\"weight_reuse\",\"values\":[1,3]},"
+        "{\"knob\":\"output_reuse\",\"values\":[3,9]}],"
         "\"options\":{\"random_samples\":6,"
         "\"hill_climb_rounds\":1,\"threads\":1}}"));
     ASSERT_TRUE(sweep->get("ok")->asBool()) << sweep->serialize();
-    ASSERT_EQ(sweep->get("points")->items().size(), 2u);
+    ASSERT_EQ(sweep->get("points")->items().size(), 4u);
+    EXPECT_EQ(sweep->get("axes")->items()[0].asString(),
+              "weight_reuse");
+    // Cartesian order, last axis fastest: point 1 is WR=1, OR=9.
+    const JsonValue &pt = sweep->get("points")->items()[1];
     EXPECT_DOUBLE_EQ(
-        sweep->get("points")->items()[1].get("value")->asNumber(),
-        3.0);
+        pt.get("coords")->get("weight_reuse")->asNumber(), 1.0);
+    EXPECT_DOUBLE_EQ(
+        pt.get("coords")->get("output_reuse")->asNumber(), 9.0);
+    EXPECT_GT(pt.get("energy_total_j")->asNumber(), 0.0);
+
+    // An empty values list is a request-level error naming the axis,
+    // not an empty response.
+    std::optional<JsonValue> empty = parseJson(session.handleLine(
+        "{\"op\":\"sweep\",\"layer\":{\"k\":8,\"c\":8},"
+        "\"grid\":[{\"knob\":\"weight_reuse\",\"values\":[]}]}"));
+    EXPECT_FALSE(empty->get("ok")->asBool());
+    EXPECT_NE(empty->get("error")->asString().find("weight_reuse"),
+              std::string::npos);
+}
+
+TEST(ServeSession, CapabilitiesServesSchemaAndKnobs)
+{
+    ServeSession session;
+    std::optional<JsonValue> v = parseJson(
+        session.handleLine("{\"op\":\"capabilities\",\"id\":1}"));
+    ASSERT_TRUE(v.has_value());
+    ASSERT_TRUE(v->get("ok")->asBool());
+    EXPECT_EQ(v->get("version")->asNumber(), double(kApiVersion));
+
+    // Every op is listed.
+    bool has_sweep = false;
+    for (const JsonValue &op : v->get("ops")->items())
+        has_sweep = has_sweep || op.asString() == "sweep";
+    EXPECT_TRUE(has_sweep);
+
+    const JsonValue *schema = v->get("schema");
+    ASSERT_NE(schema, nullptr);
+    // All four request types and their nested types are described.
+    for (const char *op :
+         {"evaluate", "search", "sweep", "network"})
+        EXPECT_NE(schema->get("requests")->get(op), nullptr) << op;
+    for (const char *type :
+         {"arch", "layer", "options", "grid_axis"})
+        EXPECT_NE(schema->get("types")->get(type), nullptr) << type;
+
+    // The knob list matches sweepKnobNames().
+    const JsonValue *knobs = schema->get("sweep_knobs");
+    ASSERT_NE(knobs, nullptr);
+    EXPECT_EQ(knobs->items().size(), sweepKnobNames().size());
+
+    // `threads` is declared non-semantic (excluded from the request
+    // fingerprint); `seed` is semantic.
+    for (const JsonValue &f :
+         v->get("schema")->get("types")->get("options")
+             ->get("fields")->items()) {
+        if (f.get("name")->asString() == "threads")
+            EXPECT_FALSE(f.get("semantic")->asBool());
+        if (f.get("name")->asString() == "seed")
+            EXPECT_TRUE(f.get("semantic")->asBool());
+    }
+}
+
+TEST(ServeSession, StrictDecodeRejectsBadFieldsByName)
+{
+    ServeSession session;
+
+    // Unknown top-level field.
+    std::optional<JsonValue> v = parseJson(session.handleLine(
+        "{\"op\":\"search\",\"laier\":{\"k\":4}}"));
+    EXPECT_FALSE(v->get("ok")->asBool());
+    EXPECT_NE(v->get("error")->asString().find("unknown field "
+                                              "'laier'"),
+              std::string::npos)
+        << v->serialize();
+    // ... and the message lists the known ones.
+    EXPECT_NE(v->get("error")->asString().find("layer"),
+              std::string::npos);
+
+    // Unknown nested field, named with its path.
+    v = parseJson(session.handleLine(
+        "{\"op\":\"search\",\"layer\":{\"k\":4,\"frobs\":1}}"));
+    EXPECT_FALSE(v->get("ok")->asBool());
+    EXPECT_NE(v->get("error")->asString().find("layer.frobs"),
+              std::string::npos)
+        << v->serialize();
+
+    // Wrong-typed field.
+    v = parseJson(session.handleLine(
+        "{\"op\":\"search\",\"layer\":{\"k\":\"sixteen\"}}"));
+    EXPECT_FALSE(v->get("ok")->asBool());
+    EXPECT_NE(v->get("error")->asString().find("'layer.k'"),
+              std::string::npos)
+        << v->serialize();
+
+    // Fractional integer field.
+    v = parseJson(session.handleLine(
+        "{\"op\":\"search\",\"layer\":{\"k\":1.5}}"));
+    EXPECT_FALSE(v->get("ok")->asBool());
+    EXPECT_NE(v->get("error")->asString().find("'layer.k'"),
+              std::string::npos);
+
+    // Duplicate key.
+    v = parseJson(session.handleLine(
+        "{\"op\":\"search\",\"layer\":{\"k\":4,\"k\":8}}"));
+    EXPECT_FALSE(v->get("ok")->asBool());
+    EXPECT_NE(v->get("error")->asString().find("duplicate field "
+                                              "'layer.k'"),
+              std::string::npos)
+        << v->serialize();
+
+    // Enum outside its closed set, listing the allowed values.
+    v = parseJson(session.handleLine(
+        "{\"op\":\"search\",\"options\":{\"objective\":\"speed\"}}"));
+    EXPECT_FALSE(v->get("ok")->asBool());
+    EXPECT_NE(v->get("error")->asString().find("energy"),
+              std::string::npos)
+        << v->serialize();
+
+    // The session keeps serving after every rejection.
+    EXPECT_TRUE(parseJson(session.handleLine("{\"op\":\"ping\"}"))
+                    ->get("ok")
+                    ->asBool());
+}
+
+TEST(ServeSession, SurrogatePairLayerNamesRoundTrip)
+{
+    ServeSession session;
+    // U+1F600 via a surrogate pair in the layer name: decoded to
+    // UTF-8, echoed back intact in the result row label.
+    std::optional<JsonValue> v = parseJson(session.handleLine(
+        "{\"op\":\"evaluate\","
+        "\"layer\":{\"name\":\"l-\\ud83d\\ude00\",\"k\":8,\"c\":8,"
+        "\"p\":6,\"q\":6,\"r\":3,\"s\":3},"
+        "\"mapping\":\"weight-stationary\"}"));
+    ASSERT_TRUE(v->get("ok")->asBool()) << v->serialize();
+    EXPECT_NE(v->get("result")->get("label")->asString().find(
+                  "l-\xf0\x9f\x98\x80"),
+              std::string::npos);
+}
+
+TEST(ServeSession, MissingOptionalsKeepDefaults)
+{
+    ServeSession session;
+    // A minimal evaluate request: every absent field defaults (arch
+    // = paper default conservative, mapping = greedy, layer dims 1).
+    std::optional<JsonValue> v = parseJson(session.handleLine(
+        "{\"op\":\"evaluate\",\"layer\":{\"k\":8,\"c\":8,\"p\":6,"
+        "\"q\":6,\"r\":3,\"s\":3}}"));
+    ASSERT_TRUE(v->get("ok")->asBool()) << v->serialize();
+    EXPECT_NE(v->get("result")->get("label")->asString().find(
+                  "greedy"),
+              std::string::npos);
+    EXPECT_GT(v->get("result")->get("energy_total_j")->asNumber(),
+              0.0);
 }
 
 } // namespace

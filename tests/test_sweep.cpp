@@ -1,8 +1,12 @@
-/** @file Unit tests for the parameter-sweep utility. */
+/** @file Unit tests for the sweep mechanism (runSweepEvaluators) and
+ *  the declarative ParamGrid it serves (api/requests.hpp). */
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "albireo/albireo_arch.hpp"
+#include "api/requests.hpp"
 #include "common/error.hpp"
 #include "core/sweep.hpp"
 #include "test_helpers.hpp"
@@ -12,41 +16,64 @@ namespace {
 
 using ploop::testing::makeSmallConv;
 
-SweepSpec
-adcFomSweep()
+/** The custom-ArchSpec sweep the declarative knobs cannot express:
+ *  override the ADC figure of merit per point. */
+ArchSpec
+adcFomArch(double fom_fj)
 {
-    SweepSpec spec;
-    spec.make_arch = [](double fom_fj) {
-        AlbireoConfig cfg =
-            AlbireoConfig::paperDefault(ScalingProfile::Aggressive);
-        ArchSpec arch = buildAlbireoArch(cfg);
-        // Override the ADC figure of merit.
-        std::size_t regs = arch.levelIndex("OperandRegs");
-        auto &chain = arch.mutableLevel(regs)
-                          .converters_below[tensorIndex(
-                              Tensor::Outputs)];
-        chain[1].attrs.set("fom_j_per_step", fom_fj * 1e-15);
-        return arch;
-    };
-    spec.values = {1.0, 5.0, 20.0};
-    spec.search.random_samples = 10;
-    spec.search.hill_climb_rounds = 2;
-    return spec;
+    AlbireoConfig cfg =
+        AlbireoConfig::paperDefault(ScalingProfile::Aggressive);
+    ArchSpec arch = buildAlbireoArch(cfg);
+    std::size_t regs = arch.levelIndex("OperandRegs");
+    auto &chain = arch.mutableLevel(regs)
+                      .converters_below[tensorIndex(Tensor::Outputs)];
+    chain[1].attrs.set("fom_j_per_step", fom_fj * 1e-15);
+    return arch;
 }
+
+struct AdcFomSweep
+{
+    std::vector<double> values = {1.0, 5.0, 20.0};
+    std::vector<ArchSpec> archs;
+    std::vector<std::unique_ptr<Evaluator>> owned;
+    std::vector<const Evaluator *> evaluators;
+    std::vector<std::vector<double>> coords;
+    SearchOptions search;
+
+    explicit AdcFomSweep(const EnergyRegistry &registry)
+    {
+        archs.reserve(values.size());
+        for (double v : values)
+            archs.push_back(adcFomArch(v));
+        for (std::size_t i = 0; i < archs.size(); ++i) {
+            owned.push_back(
+                std::make_unique<Evaluator>(archs[i], registry));
+            evaluators.push_back(owned.back().get());
+            coords.push_back({values[i]});
+        }
+        search.random_samples = 10;
+        search.hill_climb_rounds = 2;
+    }
+};
 
 TEST(Sweep, RunsEveryPoint)
 {
     EnergyRegistry registry = makeDefaultRegistry();
-    auto points = runSweep(adcFomSweep(), makeSmallConv(), registry);
+    AdcFomSweep sweep(registry);
+    auto points = runSweepEvaluators(sweep.evaluators, sweep.coords,
+                                     makeSmallConv(), sweep.search);
     ASSERT_EQ(points.size(), 3u);
-    EXPECT_DOUBLE_EQ(points[0].value, 1.0);
-    EXPECT_DOUBLE_EQ(points[2].value, 20.0);
+    ASSERT_EQ(points[0].coords.size(), 1u);
+    EXPECT_DOUBLE_EQ(points[0].coords[0], 1.0);
+    EXPECT_DOUBLE_EQ(points[2].coords[0], 20.0);
 }
 
 TEST(Sweep, AdcFomMonotonicallyRaisesEnergy)
 {
     EnergyRegistry registry = makeDefaultRegistry();
-    auto points = runSweep(adcFomSweep(), makeSmallConv(), registry);
+    AdcFomSweep sweep(registry);
+    auto points = runSweepEvaluators(sweep.evaluators, sweep.coords,
+                                     makeSmallConv(), sweep.search);
     EXPECT_LT(points[0].result.totalEnergy(),
               points[1].result.totalEnergy());
     EXPECT_LT(points[1].result.totalEnergy(),
@@ -56,23 +83,100 @@ TEST(Sweep, AdcFomMonotonicallyRaisesEnergy)
 TEST(Sweep, TableRendersAllPoints)
 {
     EnergyRegistry registry = makeDefaultRegistry();
-    auto points = runSweep(adcFomSweep(), makeSmallConv(), registry);
-    std::string table = sweepTable("adc_fom_fJ", points);
+    AdcFomSweep sweep(registry);
+    auto points = runSweepEvaluators(sweep.evaluators, sweep.coords,
+                                     makeSmallConv(), sweep.search);
+    std::string table = sweepTable({"adc_fom_fJ"}, points);
     EXPECT_NE(table.find("adc_fom_fJ"), std::string::npos);
     EXPECT_NE(table.find("20"), std::string::npos);
 }
 
-TEST(Sweep, EmptySpecsAreFatal)
+TEST(Sweep, EmptyAndMismatchedInputsAreFatal)
 {
     EnergyRegistry registry = makeDefaultRegistry();
-    SweepSpec spec;
-    spec.values = {1.0};
-    EXPECT_THROW(runSweep(spec, makeSmallConv(), registry),
+    AdcFomSweep sweep(registry);
+    EXPECT_THROW(runSweepEvaluators({}, {}, makeSmallConv(),
+                                    sweep.search),
                  FatalError);
-    spec = adcFomSweep();
-    spec.values.clear();
-    EXPECT_THROW(runSweep(spec, makeSmallConv(), registry),
+    EXPECT_THROW(runSweepEvaluators(sweep.evaluators, {{1.0}},
+                                    makeSmallConv(), sweep.search),
                  FatalError);
+}
+
+// ------------------------------------------------------------- grids
+
+TEST(ParamGrid, CartesianProductLastAxisFastest)
+{
+    ParamGrid grid;
+    grid.axes = {{"output_reuse", {3.0, 9.0}},
+                 {"weight_reuse", {1.0, 2.0, 3.0}}};
+    EXPECT_EQ(grid.points(), 6u);
+    auto coords = grid.coords();
+    ASSERT_EQ(coords.size(), 6u);
+    EXPECT_EQ(coords[0], (std::vector<double>{3.0, 1.0}));
+    EXPECT_EQ(coords[1], (std::vector<double>{3.0, 2.0}));
+    EXPECT_EQ(coords[2], (std::vector<double>{3.0, 3.0}));
+    EXPECT_EQ(coords[3], (std::vector<double>{9.0, 1.0}));
+    EXPECT_EQ(coords[5], (std::vector<double>{9.0, 3.0}));
+}
+
+TEST(ParamGrid, ConfigAtAppliesEveryAxis)
+{
+    ParamGrid grid;
+    grid.axes = {{"output_reuse", {3.0, 9.0}},
+                 {"unit_k", {6.0, 12.0}}};
+    AlbireoConfig base =
+        AlbireoConfig::paperDefault(ScalingProfile::Conservative);
+    AlbireoConfig cfg = grid.configAt(base, {9.0, 6.0});
+    EXPECT_DOUBLE_EQ(cfg.output_reuse, 9.0);
+    EXPECT_EQ(cfg.unit_k, 6u);
+    // Other fields untouched.
+    EXPECT_EQ(cfg.unit_c, base.unit_c);
+}
+
+TEST(ParamGrid, ValidateRejectsBadGrids)
+{
+    ParamGrid grid; // no axes
+    EXPECT_THROW(grid.validate(), FatalError);
+
+    // Empty values on an axis: a request-level error naming the
+    // axis, never an empty response.
+    grid.axes = {{"output_reuse", {}}};
+    try {
+        grid.validate();
+        FAIL() << "empty values must be fatal";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("output_reuse"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("values"),
+                  std::string::npos);
+    }
+
+    grid.axes = {{"warp_factor", {1.0}}};
+    EXPECT_THROW(grid.validate(), FatalError); // unknown knob
+
+    grid.axes = {{"unit_k", {1.0}}, {"unit_k", {2.0}}};
+    EXPECT_THROW(grid.validate(), FatalError); // duplicate knob
+
+    grid.axes = {{"unit_k", {1.0, 2.0}}};
+    EXPECT_THROW(grid.validate(1), FatalError); // over max_points
+    EXPECT_NO_THROW(grid.validate(2));
+}
+
+TEST(ParamGrid, OversizedGridsAreRejectedWithoutOverflow)
+{
+    // 5 axes x 64 values = 64^5 > 2^30 points: points() must not
+    // overflow and validate() must reject.
+    std::vector<double> values(64);
+    for (std::size_t i = 0; i < values.size(); ++i)
+        values[i] = double(i + 1);
+    ParamGrid grid;
+    const char *knobs[] = {"unit_k", "unit_c", "chip_k", "chip_p",
+                           "output_reuse"};
+    for (const char *k : knobs)
+        grid.axes.push_back({k, values});
+    EXPECT_GT(grid.points(), ParamGrid::kMaxPoints);
+    EXPECT_THROW(grid.validate(), FatalError);
 }
 
 } // namespace

@@ -36,13 +36,15 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [--cache-store PATH] [--cache-max-entries N]\n"
-        "          [--script FILE]\n"
+        "          [--result-cache-max-entries N] [--script FILE]\n"
         "\n"
         "Line-oriented JSON evaluation service (one request object\n"
         "per line on stdin, one response per line on stdout; ops:\n"
-        "ping, evaluate, search, sweep, network, stats, save_cache,\n"
-        "shutdown).  --script replays FILE instead of stdin; blank\n"
-        "lines and lines starting with '#' are skipped.\n",
+        "ping, capabilities, evaluate, search, sweep, network,\n"
+        "stats, save_cache, shutdown).  --script replays FILE\n"
+        "instead of stdin; blank lines and lines starting with '#'\n"
+        "are skipped.  --result-cache-max-entries bounds the\n"
+        "whole-response memoization (0 disables it).\n",
         argv0);
     return 2;
 }
@@ -66,11 +68,9 @@ main(int argc, char **argv)
             }
             return argv[++i];
         };
-        if (arg == "--cache-store") {
-            cfg.cache_store = value();
-        } else if (arg == "--cache-max-entries") {
-            // Strict parse: a typo'd cap must not silently mean
-            // "unbounded" (the PLOOP_THREADS atol lesson).
+        // Strict parse: a typo'd cap must not silently mean
+        // "unbounded" (the PLOOP_THREADS atol lesson).
+        auto cap_value = [&]() -> std::size_t {
             const char *text = value();
             char *end = nullptr;
             errno = 0;
@@ -78,12 +78,19 @@ main(int argc, char **argv)
             if (end == text || *end != '\0' || errno == ERANGE ||
                 std::strchr(text, '-') != nullptr) {
                 std::fprintf(stderr,
-                             "--cache-max-entries '%s' is not a "
-                             "non-negative integer\n",
-                             text);
-                return 2;
+                             "%s '%s' is not a non-negative "
+                             "integer\n",
+                             arg.c_str(), text);
+                std::exit(2);
             }
-            cfg.cache_max_entries = static_cast<std::size_t>(cap);
+            return static_cast<std::size_t>(cap);
+        };
+        if (arg == "--cache-store") {
+            cfg.cache_store = value();
+        } else if (arg == "--cache-max-entries") {
+            cfg.cache_max_entries = cap_value();
+        } else if (arg == "--result-cache-max-entries") {
+            cfg.result_cache_max_entries = cap_value();
         } else if (arg == "--script") {
             script = value();
         } else if (arg == "--help" || arg == "-h") {

@@ -33,25 +33,30 @@ smoke() {
     local out="$TMP/smoke.out"
     {
         echo '{"op":"ping","id":"p1"}'
+        echo '{"op":"capabilities","id":"c1"}'
         echo '{"op":"evaluate","id":2,"layer":{"name":"l","k":16,"c":16,"p":7,"q":7,"r":3,"s":3},"mapping":"weight-stationary"}'
         echo "$SEARCH_REQ"
-        echo '{"op":"sweep","id":3,"layer":{"k":16,"c":16,"p":7,"q":7,"r":3,"s":3},"knob":"output_reuse","values":[3,9],"options":{"random_samples":10,"hill_climb_rounds":2}}'
+        echo '{"op":"sweep","id":3,"layer":{"k":16,"c":16,"p":7,"q":7,"r":3,"s":3},"grid":[{"knob":"output_reuse","values":[3,9]}],"options":{"random_samples":10,"hill_climb_rounds":2}}'
         echo '{"op":"stats","id":4}'
         echo '{"op":"frobnicate","id":5}'
+        echo '{"op":"search","id":6,"layer":{"k":16,"sneaky_field":1}}'
         echo 'this is not json'
     } | "$SERVE" >"$out" 2>"$TMP/smoke.err"
 
-    [ "$(wc -l <"$out")" -eq 7 ] || fail "expected 7 responses, got $(wc -l <"$out")"
+    [ "$(wc -l <"$out")" -eq 9 ] || fail "expected 9 responses, got $(wc -l <"$out")"
     sed -n 1p "$out" | grep -q '"ok":true.*"op":"ping".*"id":"p1"' || fail "ping response: $(sed -n 1p "$out")"
-    sed -n 2p "$out" | grep -q '"ok":true.*"energy_total_j"' || fail "evaluate response"
-    sed -n 3p "$out" | grep -q '"mapping_key":"0x' || fail "search response"
-    sed -n 4p "$out" | grep -q '"points":\[{"value":3' || fail "sweep response"
+    sed -n 2p "$out" | grep -q '"sweep_knobs":\["input_reuse"' || fail "capabilities response: $(sed -n 2p "$out" | head -c 200)"
+    sed -n 3p "$out" | grep -q '"ok":true.*"energy_total_j"' || fail "evaluate response"
+    sed -n 4p "$out" | grep -q '"mapping_key":"0x' || fail "search response"
+    sed -n 5p "$out" | grep -q '"points":\[{"coords":{"output_reuse":3' || fail "sweep response: $(sed -n 5p "$out" | head -c 200)"
     # Distinct archs: the default config (shared by evaluate, search
     # and the output_reuse=3 sweep point, which IS the default) plus
     # the output_reuse=9 point => exactly 2 builds.
-    sed -n 5p "$out" | grep -q '"models_built":2' || fail "stats response (2 distinct archs): $(sed -n 5p "$out")"
-    sed -n 6p "$out" | grep -q '"ok":false.*unknown op' || fail "unknown-op response"
-    sed -n 7p "$out" | grep -q '"ok":false.*bad JSON' || fail "malformed-line response"
+    sed -n 6p "$out" | grep -q '"models_built":2' || fail "stats response (2 distinct archs): $(sed -n 6p "$out")"
+    sed -n 7p "$out" | grep -q '"ok":false.*unknown op' || fail "unknown-op response"
+    # Strict decoding: unknown request fields are rejected BY NAME.
+    sed -n 8p "$out" | grep -q '"ok":false.*unknown field .layer.sneaky_field.' || fail "unknown-field response: $(sed -n 8p "$out")"
+    sed -n 9p "$out" | grep -q '"ok":false.*bad JSON' || fail "malformed-line response"
     echo "serve_smoke: smoke OK"
 }
 
@@ -75,13 +80,18 @@ warm() {
     w1="$(sed -n 1p "$TMP/warm1.out")"
     w4="$(sed -n 1p "$TMP/warm4.out")"
 
-    # Cold first request computes; the repeat answers fully warm.
+    # Cold first request computes; the in-session repeat is answered
+    # WHOLE from the result cache.
     [ "$(jget fresh_evals "$r1")" != "0" ] || fail "cold run reported no fresh evaluations"
+    [ "$(jget from_result_cache "$r1")" = "false" ] || fail "cold run claimed a result-cache hit: $r1"
+    [ "$(jget from_result_cache "$r2")" = "true" ] || fail "in-session repeat missed the result cache: $r2"
     [ "$(jget fresh_evals "$r2")" = "0" ] || fail "in-session repeat was not fully warm: $r2"
-    [ "$(jget cache_hits "$r2")" != "0" ] || fail "in-session repeat reported no hits"
 
-    # Restarted sessions answer their FIRST request fully warm.
+    # Restarted sessions answer their FIRST request fully warm from
+    # the persisted EvalCache (the result cache is NOT persisted, so
+    # this is the per-candidate warm path).
     for line in "$w1" "$w4"; do
+        [ "$(jget from_result_cache "$line")" = "false" ] || fail "restart claimed a result-cache hit: $line"
         [ "$(jget fresh_evals "$line")" = "0" ] || fail "restart was not fully warm: $line"
         [ "$(jget cache_hits "$line")" != "0" ] || fail "restart reported no hits"
     done
