@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Serving-layer concurrency bench: aggregate WARM-cache throughput
+ * of a NetServer as the client count grows.  Every request repeats
+ * an already-cached search (a ResultCache hit -- decode, fingerprint,
+ * lookup, serialize), so the measured quantity is the serving layer
+ * itself: framing, scheduling, pooled execution and delivery, not
+ * mapper math.
+ *
+ * One lockstep client's throughput is bounded by its own round-trip
+ * latency; N concurrent clients overlap those round trips, so
+ * aggregate throughput must SCALE with the client count while the
+ * per-request work parallelizes across the pool.  Emits a
+ * BENCH_serve.json line with the 1-client and 4-client aggregate
+ * rates.
+ *
+ * Gate: 4-client warm aggregate throughput >= 2x the 1-client figure
+ * -- enforced when the hardware can possibly deliver it (>= 2
+ * cores); on a single core concurrency cannot beat one saturated
+ * CPU, so the gate degrades to a no-collapse check (>= 0.6x), and
+ * --no-perf-gate reports without failing either way (CI's shared
+ * runners).  Plain main() harness, like bench_search_scaling.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "net/line_client.hpp"
+#include "net/server.hpp"
+#include "report/export.hpp"
+#include "service/serve_session.hpp"
+
+namespace {
+
+using namespace ploop;
+
+double
+now_s()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+std::string
+warmRequest(int seed)
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"op\":\"search\",\"id\":%d,"
+        "\"layer\":{\"name\":\"c\",\"k\":32,\"c\":32,\"p\":14,"
+        "\"q\":14,\"r\":3,\"s\":3},"
+        "\"options\":{\"random_samples\":40,"
+        "\"hill_climb_rounds\":4,\"seed\":%d}}",
+        seed, seed);
+    return buf;
+}
+
+/** Aggregate req/s of @p n_clients lockstep clients x @p per_client
+ *  warm requests each. */
+double
+measure(std::uint16_t port, int n_clients, int per_client,
+        const std::vector<std::string> &requests, bool &ok)
+{
+    std::vector<std::thread> threads;
+    // vector<char>, not vector<bool>: each thread writes its own
+    // element, and vector<bool>'s packed bits would make that a
+    // data race.
+    std::vector<char> fine(std::size_t(n_clients), 0);
+    double t0 = now_s();
+    for (int c = 0; c < n_clients; ++c) {
+        threads.emplace_back([&, c] {
+            LineClient client(port);
+            if (!client.connected())
+                return;
+            for (int i = 0; i < per_client; ++i) {
+                const std::string &req =
+                    requests[std::size_t(i) % requests.size()];
+                std::string resp = client.roundTrip(req);
+                if (resp.empty())
+                    return;
+                if (resp.find("\"from_result_cache\":true") ==
+                    std::string::npos)
+                    return; // not warm: the measurement is invalid
+            }
+            fine[std::size_t(c)] = 1;
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    double elapsed = now_s() - t0;
+    ok = true;
+    for (char f : fine)
+        ok = ok && f != 0;
+    return double(n_clients) * double(per_client) / elapsed;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool perf_gate = true;
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--no-perf-gate")
+            perf_gate = false;
+
+    // A 4-lane pool regardless of PLOOP_THREADS: the bench measures
+    // the serving layer's concurrency, so it provisions its own
+    // parallelism explicitly.
+    ThreadPool &pool = ThreadPool::forThreads(4);
+
+    ServeConfig cfg;
+    cfg.transport = "tcp";
+    ServeSession session(cfg);
+    NetConfig net;
+    net.pool = &pool;
+    NetServer server(session, net);
+    std::string error;
+    if (!server.open(&error)) {
+        std::fprintf(stderr, "bench_serve_concurrency: %s\n",
+                     error.c_str());
+        return 1;
+    }
+    std::thread serving([&] { server.run(); });
+
+    // Distinct warm requests so concurrent clients do not serialize
+    // on one ResultCache entry's copy; all pre-warmed here.
+    std::vector<std::string> requests;
+    for (int seed = 1; seed <= 8; ++seed)
+        requests.push_back(warmRequest(seed));
+    {
+        LineClient warmer(server.port());
+        if (!warmer.connected()) {
+            std::fprintf(stderr, "cannot connect to own server\n");
+            return 1;
+        }
+        for (const std::string &req : requests) {
+            std::string resp = warmer.roundTrip(req);
+            if (resp.find("\"ok\":true") == std::string::npos) {
+                std::fprintf(stderr, "warmup failed: %s\n",
+                             resp.c_str());
+                return 1;
+            }
+        }
+    }
+
+    constexpr int kPerClient = 800;
+    bool ok1 = false, ok4 = false;
+    // Interleave a warmup measurement pass to stabilize timing.
+    measure(server.port(), 1, kPerClient / 4, requests, ok1);
+    double rate1 =
+        measure(server.port(), 1, kPerClient, requests, ok1);
+    double rate4 =
+        measure(server.port(), 4, kPerClient, requests, ok4);
+
+    {
+        LineClient killer(server.port());
+        if (killer.connected())
+            killer.roundTrip("{\"op\":\"shutdown\"}");
+    }
+    serving.join();
+
+    if (!ok1 || !ok4) {
+        std::fprintf(stderr,
+                     "bench_serve_concurrency: a client saw a "
+                     "non-warm or failed response\n");
+        return 1;
+    }
+
+    double speedup = rate4 / rate1;
+    unsigned cores = std::thread::hardware_concurrency();
+    std::printf("%-24s %10.0f req/s\n", "1 client (warm)", rate1);
+    std::printf("%-24s %10.0f req/s  %.2fx aggregate\n",
+                "4 clients (warm)", rate4, speedup);
+
+    std::printf("BENCH_serve.json: {\"bench\":\"serve_concurrency\","
+                "\"requests_per_client\":%d,"
+                "\"warm_rate_1_client\":%s,"
+                "\"warm_rate_4_clients\":%s,"
+                "\"aggregate_speedup\":%s,\"cores\":%u}\n",
+                kPerClient, jsonNumber(rate1).c_str(),
+                jsonNumber(rate4).c_str(),
+                jsonNumber(speedup).c_str(), cores);
+
+    // See file comment: 2x needs >= 2 cores; a single core can only
+    // be asked not to collapse under concurrency.
+    double required = cores >= 2 ? 2.0 : 0.6;
+    if (speedup < required) {
+        std::fprintf(stderr,
+                     "bench_serve_concurrency: aggregate speedup "
+                     "%.2fx below the %.1fx gate (%u cores)%s\n",
+                     speedup, required, cores,
+                     perf_gate ? "" : " [gate disabled]");
+        if (perf_gate)
+            return 1;
+    }
+    return 0;
+}

@@ -46,28 +46,51 @@ chainChecksum(const std::uint64_t *words, std::size_t n)
 
 } // namespace
 
-void
+std::size_t
 saveCacheStore(const EvalCache &cache, const std::string &path,
-               std::uint64_t fingerprint)
+               std::uint64_t fingerprint, std::size_t max_entries)
 {
+    // Snapshot first: a bounded save must rank ALL entries by reuse
+    // before deciding which make the cut.
+    struct Snap
+    {
+        std::uint64_t key;
+        std::vector<std::uint64_t> factors;
+        QuickEval result;
+        std::uint64_t hits;
+    };
+    std::vector<Snap> snaps;
+    cache.forEach([&](std::uint64_t key,
+                      const std::vector<std::uint64_t> &factors,
+                      const QuickEval &result, std::uint64_t hits) {
+        snaps.push_back(Snap{key, factors, result, hits});
+    });
+
+    // Deterministic file contents regardless of shard/hash order:
+    // most-reused first, ties by key.  The sort also defines WHICH
+    // entries a bounded save keeps.
+    std::sort(snaps.begin(), snaps.end(),
+              [](const Snap &a, const Snap &b) {
+                  if (a.hits != b.hits)
+                      return a.hits > b.hits;
+                  return a.key < b.key;
+              });
+    if (max_entries && snaps.size() > max_entries)
+        snaps.resize(max_entries);
+
     std::vector<std::uint64_t> words;
     words.push_back(kMagic);
     words.push_back(kCacheStoreVersion);
     words.push_back(fingerprint);
-    words.push_back(0); // entry count, patched below
-
-    std::uint64_t count = 0;
-    cache.forEach([&](std::uint64_t key,
-                      const std::vector<std::uint64_t> &factors,
-                      const QuickEval &result) {
-        words.push_back(key);
-        words.push_back(factors.size());
-        words.insert(words.end(), factors.begin(), factors.end());
-        words.push_back(doubleBits(result.energy_j));
-        words.push_back(doubleBits(result.runtime_s));
-        ++count;
-    });
-    words[3] = count;
+    words.push_back(snaps.size());
+    for (const Snap &s : snaps) {
+        words.push_back(s.key);
+        words.push_back(s.factors.size());
+        words.insert(words.end(), s.factors.begin(), s.factors.end());
+        words.push_back(doubleBits(s.result.energy_j));
+        words.push_back(doubleBits(s.result.runtime_s));
+        words.push_back(s.hits);
+    }
     words.push_back(chainChecksum(words.data(), words.size()));
 
     // Write-then-rename: a crash mid-write leaves the previous store
@@ -87,6 +110,7 @@ saveCacheStore(const EvalCache &cache, const std::string &path,
         std::remove(tmp.c_str());
         fatal("cannot rename '" + tmp + "' to '" + path + "'");
     }
+    return snaps.size();
 }
 
 CacheStoreLoad
@@ -149,6 +173,7 @@ loadCacheStore(EvalCache &cache, const std::string &path,
         std::uint64_t key;
         std::vector<std::uint64_t> factors;
         QuickEval result;
+        std::uint64_t hits;
     };
     std::vector<Staged> staged;
     std::uint64_t claimed = words[3];
@@ -164,7 +189,7 @@ loadCacheStore(EvalCache &cache, const std::string &path,
         std::uint64_t key = words[pos];
         std::uint64_t nfactors = words[pos + 1];
         pos += 2;
-        if (nfactors > end - pos || end - pos - nfactors < 2) {
+        if (nfactors > end - pos || end - pos - nfactors < 3) {
             out.detail = "entry table overruns file; cold start";
             return out;
         }
@@ -175,7 +200,8 @@ loadCacheStore(EvalCache &cache, const std::string &path,
         pos += nfactors;
         s.result.energy_j = bitsDouble(words[pos]);
         s.result.runtime_s = bitsDouble(words[pos + 1]);
-        pos += 2;
+        s.hits = words[pos + 2];
+        pos += 3;
         staged.push_back(std::move(s));
     }
     if (pos != end) {
@@ -184,7 +210,7 @@ loadCacheStore(EvalCache &cache, const std::string &path,
     }
 
     for (Staged &s : staged)
-        cache.insertRaw(s.key, std::move(s.factors), s.result);
+        cache.insertRaw(s.key, std::move(s.factors), s.result, s.hits);
     out.loaded = true;
     out.entries = staged.size();
     out.detail = strFormat("merged %zu warm entries from '%s'",

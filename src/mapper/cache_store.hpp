@@ -9,7 +9,14 @@
  *
  *   [magic][format version][store fingerprint][entry count]
  *   per entry: [scoped key][#factors][factors...][energy][runtime]
+ *              [hits]
  *   [checksum]
+ *
+ * The per-entry hit count records how often the live cache served the
+ * entry; it rides along so size-bounded saves can persist the
+ * most-reused entries first, and so that ordering survives
+ * save/load/save generations (a compaction never forgets which
+ * entries earn their keep).
  *
  * Doubles travel as raw bit patterns, so a loaded entry is
  * bit-identical to the evaluation that produced it -- a search
@@ -48,8 +55,9 @@
 
 namespace ploop {
 
-/** CacheStore format version; bump on layout changes. */
-constexpr std::uint64_t kCacheStoreVersion = 1;
+/** CacheStore format version; bump on layout changes.
+ *  v2 added the per-entry reuse (hit) count. */
+constexpr std::uint64_t kCacheStoreVersion = 2;
 
 /** Outcome of loadCacheStore(). */
 struct CacheStoreLoad
@@ -66,16 +74,24 @@ struct CacheStoreLoad
 };
 
 /**
- * Atomically persist every resident entry of @p cache to @p path
- * (write to "<path>.tmp", then rename).  fatal() on I/O errors --
+ * Atomically persist resident entries of @p cache to @p path (write
+ * to "<path>.tmp", then rename).  fatal() on I/O errors --
  * persistence failures are user-environment problems, not corruption
  * hazards (the old store survives).
  *
  * @param fingerprint Store identity recorded in the header; load
  *                    with the same value (see file comment).
+ * @param max_entries Size bound: 0 persists everything; otherwise
+ *                    the @p max_entries MOST-REUSED entries (highest
+ *                    lookup-hit counts, ties broken by key for a
+ *                    deterministic file) are kept and the long tail
+ *                    of never-reused evaluations is dropped.
+ * @return Entries written.
  */
-void saveCacheStore(const EvalCache &cache, const std::string &path,
-                    std::uint64_t fingerprint);
+std::size_t saveCacheStore(const EvalCache &cache,
+                           const std::string &path,
+                           std::uint64_t fingerprint,
+                           std::size_t max_entries = 0);
 
 /**
  * Verify @p path and merge its entries into @p cache (first writer

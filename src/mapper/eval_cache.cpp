@@ -162,6 +162,7 @@ EvalCache::find(std::uint64_t scope, const Mapping &mapping,
         if (it != shard.map.end() &&
             matchesFactors(it->second.factors, mapping)) {
             hits_.fetch_add(1, std::memory_order_relaxed);
+            ++it->second.hits;
             // Copy out under the lock: with a cap set, a concurrent
             // insert may evict this entry the moment we unlock.
             if (out)
@@ -183,11 +184,12 @@ EvalCache::insert(const Mapping &mapping, std::uint64_t key,
 void
 EvalCache::insertRaw(std::uint64_t key,
                      std::vector<std::uint64_t> factors,
-                     const QuickEval &result)
+                     const QuickEval &result, std::uint64_t hits)
 {
     Entry entry;
     entry.factors = std::move(factors);
     entry.result = result;
+    entry.hits = hits;
     Shard &shard = shardFor(key);
     std::lock_guard<std::mutex> lock(shard.mu);
     if (shard.map.count(key))
@@ -211,12 +213,12 @@ void
 EvalCache::forEach(const std::function<void(
                        std::uint64_t,
                        const std::vector<std::uint64_t> &,
-                       const QuickEval &)> &fn) const
+                       const QuickEval &, std::uint64_t)> &fn) const
 {
     for (const Shard &shard : shards_) {
         std::lock_guard<std::mutex> lock(shard.mu);
         for (const auto &[key, entry] : shard.map)
-            fn(key, entry.factors, entry.result);
+            fn(key, entry.factors, entry.result, entry.hits);
     }
 }
 

@@ -176,20 +176,23 @@ class EvalCache
      * Store a deserialized entry (CacheStore load path): @p factors
      * is the flattened tuple list exactly as flattenFactors() built
      * it (and forEach() reported it).  Same first-writer-wins and
-     * eviction semantics as insert().
+     * eviction semantics as insert().  @p hits seeds the entry's
+     * reuse count, so a loaded store keeps its most-reused-first
+     * ordering across save/load generations.
      */
     void insertRaw(std::uint64_t key, std::vector<std::uint64_t> factors,
-                   const QuickEval &result);
+                   const QuickEval &result, std::uint64_t hits = 0);
 
     /**
      * Visit every resident entry as (scoped key, flattened factor
-     * tuples, result), shard by shard under the shard locks --
-     * CacheStore's serialization walk.  @p fn must not call back
-     * into the cache.
+     * tuples, result, lookup hits), shard by shard under the shard
+     * locks -- CacheStore's serialization walk.  The per-entry hit
+     * count orders size-bounded saves (most-reused entries persist
+     * first).  @p fn must not call back into the cache.
      */
     void forEach(const std::function<void(
                      std::uint64_t, const std::vector<std::uint64_t> &,
-                     const QuickEval &)> &fn) const;
+                     const QuickEval &, std::uint64_t)> &fn) const;
 
     /**
      * Bound the cache to roughly @p cap entries (0 = unbounded, the
@@ -238,6 +241,11 @@ class EvalCache
         /** Flattened factor tuples for collision verification. */
         std::vector<std::uint64_t> factors;
         QuickEval result;
+
+        /** Lookup hits on THIS entry (guarded by the shard mutex);
+         *  size-bounded CacheStore saves persist high-hit entries
+         *  first. */
+        std::uint64_t hits = 0;
     };
 
     struct Shard

@@ -1,0 +1,14 @@
+#include "net/client_session.hpp"
+
+#include "service/serve_session.hpp"
+
+namespace ploop {
+
+std::string
+ClientSession::protocolErrorResponseLine(const std::string &line,
+                                         const std::string &message)
+{
+    return protocolErrorResponse(line, message);
+}
+
+} // namespace ploop

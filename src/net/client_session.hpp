@@ -1,0 +1,157 @@
+/**
+ * @file
+ * ClientSession: the per-connection slice of serving state.  All
+ * heavy state (models, caches, thread pool) lives in the ONE shared
+ * EvalService behind ServeSession; a connection owns only protocol
+ * plumbing:
+ *
+ *  - its socket and line framing (partial reads re-assemble);
+ *  - its pending-output buffer (partial writes resume on POLLOUT);
+ *  - reject-response generation, which echoes the request's op/id
+ *    (protocolErrorResponse) so pipelined clients can correlate
+ *    backpressure and drain failures exactly like request failures;
+ *  - its own counters for the stats op's per-connection rows.
+ *
+ * Lifecycle is driven by NetServer's event loop; the counters are
+ * atomics because the stats op reads them from a worker thread.
+ */
+
+#ifndef PHOTONLOOP_NET_CLIENT_SESSION_HPP
+#define PHOTONLOOP_NET_CLIENT_SESSION_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace ploop {
+
+/** See file comment. */
+class ClientSession
+{
+  public:
+    ClientSession(std::uint64_t id, int fd)
+        : id_(id), conn_(std::make_unique<Connection>(fd))
+    {}
+
+    std::uint64_t id() const { return id_; }
+    Connection &conn() { return *conn_; }
+
+    /**
+     * Pull available bytes off the socket and frame them.  Complete
+     * request lines land in @p lines; @p overflow reports an
+     * over-long line (protocol violation).  Closed = client gone
+     * (already-framed lines are still valid).
+     */
+    IoStatus readLines(std::vector<std::string> &lines, bool &overflow)
+    {
+        std::string chunk;
+        IoStatus st = conn_->readAvailable(chunk);
+        if (!chunk.empty())
+            splitter_.append(chunk.data(), chunk.size(), lines,
+                             overflow);
+        received_.fetch_add(lines.size(),
+                            std::memory_order_relaxed);
+        return st;
+    }
+
+    /** Queue one response line for delivery (adds the newline). */
+    void queueResponse(const std::string &response)
+    {
+        out_ += response;
+        out_ += '\n';
+        completed_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Queue a reject (backpressure / drain / overflow) response:
+     *  op/id echoed from @p line when recoverable. */
+    void queueReject(const std::string &line,
+                     const std::string &message)
+    {
+        out_ += protocolErrorResponseLine(line, message);
+        out_ += '\n';
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Flush as much queued output as the socket accepts. */
+    IoStatus flush()
+    {
+        if (out_offset_ >= out_.size())
+            return IoStatus::Ok;
+        IoStatus st = conn_->writeSome(out_, out_offset_);
+        if (out_offset_ >= out_.size()) {
+            out_.clear();
+            out_offset_ = 0;
+        } else if (out_offset_ >= 65536) {
+            // Drop the flushed prefix: a slow reader with a small
+            // standing backlog must not grow the buffer forever.
+            out_.erase(0, out_offset_);
+            out_offset_ = 0;
+        }
+        return st;
+    }
+
+    bool hasPendingOutput() const
+    {
+        return out_offset_ < out_.size();
+    }
+
+    /** Unflushed output bound: past it the server stops READING this
+     *  connection (poll interest drops), so a client that pipelines
+     *  requests but never reads responses throttles itself through
+     *  TCP backpressure instead of growing the server without
+     *  limit.  Reading resumes once the backlog drains. */
+    static constexpr std::size_t kMaxBufferedOutputBytes = 4u << 20;
+
+    bool outputBacklogged() const
+    {
+        return out_.size() - out_offset_ > kMaxBufferedOutputBytes;
+    }
+
+    /** Responses delivered in full (close_when_flushed gate). */
+    bool flushed() const { return !hasPendingOutput(); }
+
+    /** The read side is done (EOF, error, or an over-long-line
+     *  hangup): no further requests will be admitted, and the server
+     *  reaps the connection once every owed response has flushed. */
+    bool inputClosed() const { return input_closed_; }
+    void markInputClosed() { input_closed_ = true; }
+
+    /** Per-connection stats row (read from worker threads). */
+    std::uint64_t received() const
+    {
+        return received_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t completed() const
+    {
+        return completed_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t rejected() const
+    {
+        return rejected_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    /** Indirection so this header stays free of service/ includes
+     *  (defined in client_session.cpp via serve_session.hpp). */
+    static std::string
+    protocolErrorResponseLine(const std::string &line,
+                              const std::string &message);
+
+    std::uint64_t id_;
+    std::unique_ptr<Connection> conn_;
+    LineSplitter splitter_;
+    std::string out_;
+    std::size_t out_offset_ = 0;
+    bool input_closed_ = false;
+    std::atomic<std::uint64_t> received_{0};
+    std::atomic<std::uint64_t> completed_{0};
+    std::atomic<std::uint64_t> rejected_{0};
+};
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_NET_CLIENT_SESSION_HPP

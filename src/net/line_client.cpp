@@ -1,0 +1,133 @@
+#include "net/line_client.hpp"
+
+#include <cerrno>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace ploop {
+
+bool
+LineClient::connect(std::uint16_t port)
+{
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        return false;
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        // An EINTR'd connect keeps handshaking in the kernel:
+        // retrying connect() yields EALREADY/EISCONN, so the correct
+        // recovery is wait-for-writable + SO_ERROR.
+        if (errno != EINTR) {
+            close();
+            return false;
+        }
+        pollfd pfd{fd_, POLLOUT, 0};
+        int rc;
+        do {
+            rc = ::poll(&pfd, 1, -1);
+        } while (rc < 0 && errno == EINTR);
+        int soerr = 0;
+        socklen_t len = sizeof(soerr);
+        if (rc < 0 ||
+            ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &soerr, &len) <
+                0 ||
+            soerr != 0) {
+            close();
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+LineClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    buffer_.clear();
+}
+
+bool
+LineClient::sendLine(const std::string &line)
+{
+    if (fd_ < 0)
+        return false;
+    std::string framed = line + "\n";
+    std::size_t off = 0;
+    while (off < framed.size()) {
+        ssize_t n = ::send(fd_, framed.data() + off,
+                           framed.size() - off, MSG_NOSIGNAL);
+        if (n > 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+bool
+LineClient::recvLine(std::string &line)
+{
+    if (fd_ < 0)
+        return false;
+    for (;;) {
+        std::size_t nl = buffer_.find('\n');
+        if (nl != std::string::npos) {
+            line = buffer_.substr(0, nl);
+            buffer_.erase(0, nl + 1);
+            return true;
+        }
+        char chunk[65536];
+        ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+            buffer_.append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+}
+
+bool
+LineClient::tryRecvLine(std::string &line)
+{
+    if (fd_ < 0)
+        return false;
+    for (;;) {
+        std::size_t nl = buffer_.find('\n');
+        if (nl != std::string::npos) {
+            line = buffer_.substr(0, nl);
+            buffer_.erase(0, nl + 1);
+            return true;
+        }
+        char chunk[65536];
+        ssize_t n = ::recv(fd_, chunk, sizeof(chunk), MSG_DONTWAIT);
+        if (n > 0) {
+            buffer_.append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false; // EAGAIN (nothing yet), EOF, or error
+    }
+}
+
+} // namespace ploop

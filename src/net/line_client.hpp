@@ -1,0 +1,79 @@
+/**
+ * @file
+ * LineClient: a minimal BLOCKING loopback client for the line
+ * protocol -- connect, send '\n'-framed request lines, receive
+ * '\n'-framed response lines.  The client-side twin of the server's
+ * non-blocking machinery, shared by tools/ploop_client, the net
+ * tests and bench_serve_concurrency so the connect/EINTR/framing
+ * details live in exactly one place.
+ *
+ * Deliberately simple: blocking sockets (the callers are clients
+ * with nothing else to do), EINTR retried, MSG_NOSIGNAL on sends.
+ * Any failure (server gone, refused, EOF mid-line) surfaces as a
+ * false return; callers decide whether that is an error.
+ */
+
+#ifndef PHOTONLOOP_NET_LINE_CLIENT_HPP
+#define PHOTONLOOP_NET_LINE_CLIENT_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace ploop {
+
+/** See file comment. */
+class LineClient
+{
+  public:
+    LineClient() = default;
+
+    /** Connects to 127.0.0.1:@p port (see connected()). */
+    explicit LineClient(std::uint16_t port) { connect(port); }
+
+    ~LineClient() { close(); }
+
+    LineClient(const LineClient &) = delete;
+    LineClient &operator=(const LineClient &) = delete;
+
+    /** (Re)connect; false on failure. */
+    bool connect(std::uint16_t port);
+
+    bool connected() const { return fd_ >= 0; }
+
+    void close();
+
+    /** Send one request line (terminator added).  False when the
+     *  server is gone. */
+    bool sendLine(const std::string &line);
+
+    /** Receive one response line (terminator stripped).  False on
+     *  EOF or error before a full line arrived. */
+    bool recvLine(std::string &line);
+
+    /**
+     * Non-blocking receive: true with a line when one is already
+     * available, false immediately otherwise (no line, or EOF with
+     * none buffered).  Lets a pipelining sender drain responses
+     * between sends, so it can never deadlock against a server that
+     * stops reading while the client's unread responses pile up.
+     */
+    bool tryRecvLine(std::string &line);
+
+    /** Lockstep convenience: sendLine + recvLine; empty on failure
+     *  (protocol lines are never empty). */
+    std::string roundTrip(const std::string &line)
+    {
+        std::string resp;
+        if (!sendLine(line) || !recvLine(resp))
+            return std::string();
+        return resp;
+    }
+
+  private:
+    int fd_ = -1;
+    std::string buffer_; ///< Bytes received past the last line.
+};
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_NET_LINE_CLIENT_HPP

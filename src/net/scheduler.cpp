@@ -1,0 +1,180 @@
+#include "net/scheduler.hpp"
+
+#include <utility>
+
+namespace ploop {
+
+RequestScheduler::RequestScheduler(ThreadPool &pool, Handler handler,
+                                   WakeFn wake, Config cfg)
+    : pool_(pool), handler_(std::move(handler)),
+      wake_(std::move(wake)), cfg_(cfg)
+{}
+
+unsigned
+RequestScheduler::maxInflight() const
+{
+    return cfg_.max_inflight ? cfg_.max_inflight : pool_.size();
+}
+
+bool
+RequestScheduler::submit(std::uint64_t conn, std::string line)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (depth_ >= cfg_.max_queue) {
+        ++rejected_;
+        return false;
+    }
+    Conn &c = conns_[conn];
+    c.pending.push_back(std::move(line));
+    ++depth_;
+    ++admitted_;
+    if (depth_ > peak_depth_)
+        peak_depth_ = depth_;
+    return true;
+}
+
+void
+RequestScheduler::pump()
+{
+    // Decide under the lock, dispatch outside it: on a parallelism-1
+    // pool submit() runs the task INLINE, and the completing handler
+    // re-enters this mutex.
+    std::vector<std::pair<std::uint64_t, std::string>> start;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        while (inflight_ < maxInflight()) {
+            // Round-robin: first eligible connection strictly after
+            // the last-dispatched id, wrapping.
+            auto it = conns_.upper_bound(rr_cursor_);
+            auto eligible = conns_.end();
+            for (std::size_t i = 0; i < conns_.size(); ++i) {
+                if (it == conns_.end())
+                    it = conns_.begin();
+                if (!it->second.inflight && !it->second.dead &&
+                    !it->second.pending.empty()) {
+                    eligible = it;
+                    break;
+                }
+                ++it;
+            }
+            if (eligible == conns_.end())
+                break;
+            rr_cursor_ = eligible->first;
+            eligible->second.inflight = true;
+            start.emplace_back(
+                eligible->first,
+                std::move(eligible->second.pending.front()));
+            eligible->second.pending.pop_front();
+            --depth_;
+            ++inflight_;
+        }
+    }
+    for (auto &[conn, line] : start) {
+        std::uint64_t c = conn;
+        std::string l = std::move(line);
+        pool_.submit([this, c, l = std::move(l)] { runOne(c, l); });
+    }
+}
+
+void
+RequestScheduler::runOne(std::uint64_t conn, const std::string &line)
+{
+    std::string response = handler_(conn, line);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        --inflight_;
+        ++completed_;
+        auto it = conns_.find(conn);
+        if (it != conns_.end()) {
+            it->second.inflight = false;
+            if (it->second.dead) {
+                // The client vanished while we computed: nobody can
+                // receive this response.
+                ++discarded_;
+                conns_.erase(it);
+            } else {
+                done_.push_back(
+                    Completed{conn, std::move(response)});
+            }
+        }
+    }
+    wake_();
+}
+
+void
+RequestScheduler::dropConnection(std::uint64_t conn)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = conns_.find(conn);
+    if (it == conns_.end())
+        return;
+    depth_ -= it->second.pending.size();
+    it->second.pending.clear();
+    if (it->second.inflight) {
+        // The running handler finishes on the pool; runOne() will
+        // discard its response and erase the entry.
+        it->second.dead = true;
+    } else {
+        conns_.erase(it);
+    }
+}
+
+std::vector<RequestScheduler::Completed>
+RequestScheduler::drainCompleted()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Completed> out;
+    out.swap(done_);
+    return out;
+}
+
+bool
+RequestScheduler::idle() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return depth_ == 0 && inflight_ == 0;
+}
+
+RequestScheduler::Stats
+RequestScheduler::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Stats out;
+    out.depth = depth_;
+    out.peak_depth = peak_depth_;
+    out.inflight = inflight_;
+    out.max_queue = cfg_.max_queue;
+    out.max_inflight = maxInflight();
+    out.admitted = admitted_;
+    out.rejected = rejected_;
+    out.completed = completed_;
+    out.discarded = discarded_;
+    return out;
+}
+
+std::size_t
+RequestScheduler::pendingFor(std::uint64_t conn) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = conns_.find(conn);
+    return it == conns_.end() ? 0 : it->second.pending.size();
+}
+
+bool
+RequestScheduler::busy(std::uint64_t conn) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = conns_.find(conn);
+    if (it != conns_.end() &&
+        (it->second.inflight || !it->second.pending.empty()))
+        return true;
+    // A finished-but-undelivered response counts as busy too, so a
+    // half-closed connection cannot be reaped between a worker
+    // pushing its response and the loop delivering it.
+    for (const Completed &c : done_)
+        if (c.conn == conn)
+            return true;
+    return false;
+}
+
+} // namespace ploop

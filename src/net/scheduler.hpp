@@ -1,0 +1,166 @@
+/**
+ * @file
+ * RequestScheduler: fair, bounded execution of protocol requests
+ * from many connections over the shared thread pool.
+ *
+ * Model:
+ *  - every connection has its own FIFO of admitted request lines;
+ *  - the AGGREGATE number of queued lines is bounded (max_queue);
+ *    submit() refuses beyond it -- the serving layer turns that into
+ *    a backpressure error response instead of letting one client
+ *    queue unbounded work;
+ *  - dispatch is ROUND-ROBIN across connections with at most ONE
+ *    request of each connection in flight: a client pipelining 1000
+ *    searches shares the pool fairly with a client sending one, and
+ *    each connection's responses arrive in request order (pipelined
+ *    clients never see reordering);
+ *  - total in-flight requests are capped at the pool's parallelism;
+ *  - handlers run on pool workers (nested parallelFor inside a
+ *    search is safe: the pool's loops are caller-participating).
+ *
+ * Threading: submit()/pump()/drainCompleted()/dropConnection() are
+ * called by the serving event loop; handlers complete on worker
+ * threads, which enqueue the response and call the wake function
+ * (the event loop's self-pipe).  stats() is safe from any thread --
+ * the stats op itself executes on a worker.
+ *
+ * A dropped (disconnected) connection's queued lines are discarded
+ * immediately and its in-flight handler -- which cannot be safely
+ * interrupted -- finishes on the pool and has its response discarded:
+ * an abruptly departing client never stalls or corrupts the others.
+ */
+
+#ifndef PHOTONLOOP_NET_SCHEDULER_HPP
+#define PHOTONLOOP_NET_SCHEDULER_HPP
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace ploop {
+
+/** See file comment. */
+class RequestScheduler
+{
+  public:
+    struct Config
+    {
+        /** Aggregate cap on queued (admitted, not yet started)
+         *  request lines; submit() refuses beyond it. */
+        std::size_t max_queue = 256;
+
+        /** Cap on concurrently executing requests
+         *  (0 = the pool's parallelism). */
+        unsigned max_inflight = 0;
+    };
+
+    /** Executes one request line; must not throw (ServeSession::
+     *  handleLine's contract).  Runs on pool worker threads. */
+    using Handler =
+        std::function<std::string(std::uint64_t, const std::string &)>;
+
+    /** Called (from worker threads) when a completion is ready to
+     *  collect; must be cheap and thread-safe (self-pipe write). */
+    using WakeFn = std::function<void()>;
+
+    RequestScheduler(ThreadPool &pool, Handler handler, WakeFn wake,
+                     Config cfg);
+
+    RequestScheduler(const RequestScheduler &) = delete;
+    RequestScheduler &operator=(const RequestScheduler &) = delete;
+
+    /**
+     * Admit one request line from @p conn.  False when the aggregate
+     * queue is full (backpressure; the line is NOT queued).  Call
+     * pump() afterwards to start eligible work.
+     */
+    bool submit(std::uint64_t conn, std::string line);
+
+    /**
+     * Start as many queued requests as fairness and the in-flight
+     * cap allow (round-robin over connections, one in flight each).
+     */
+    void pump();
+
+    /**
+     * Discard @p conn's queued lines and mark it dead: its in-flight
+     * request (if any) still completes on the pool but the response
+     * is discarded instead of delivered.
+     */
+    void dropConnection(std::uint64_t conn);
+
+    /** One finished request's response, ready for delivery. */
+    struct Completed
+    {
+        std::uint64_t conn;
+        std::string response;
+    };
+
+    /** Collect finished responses (delivery order = completion
+     *  order; per connection that equals request order). */
+    std::vector<Completed> drainCompleted();
+
+    /** True when nothing is queued or in flight (drain condition). */
+    bool idle() const;
+
+    /** Aggregate counters for the stats op's "queue" section. */
+    struct Stats
+    {
+        std::size_t depth = 0;      ///< Queued lines right now.
+        std::size_t peak_depth = 0; ///< High-water queue depth.
+        unsigned inflight = 0;      ///< Executing right now.
+        std::size_t max_queue = 0;  ///< The admission bound.
+        unsigned max_inflight = 0;  ///< The execution bound.
+        std::uint64_t admitted = 0; ///< Lines accepted by submit().
+        std::uint64_t rejected = 0; ///< Lines refused (queue full).
+        std::uint64_t completed = 0; ///< Handlers finished.
+        std::uint64_t discarded = 0; ///< Responses dropped (dead conn).
+    };
+
+    Stats stats() const;
+
+    /** Queued lines for one connection (its stats-row "pending"). */
+    std::size_t pendingFor(std::uint64_t conn) const;
+
+    /** True while @p conn has queued or in-flight work (the reap
+     *  gate for half-closed connections awaiting responses). */
+    bool busy(std::uint64_t conn) const;
+
+  private:
+    struct Conn
+    {
+        std::deque<std::string> pending;
+        bool inflight = false;
+        bool dead = false;
+    };
+
+    void runOne(std::uint64_t conn, const std::string &line);
+    unsigned maxInflight() const;
+
+    ThreadPool &pool_;
+    Handler handler_;
+    WakeFn wake_;
+    Config cfg_;
+
+    mutable std::mutex mu_;
+    std::map<std::uint64_t, Conn> conns_; ///< Ordered: stable RR.
+    std::uint64_t rr_cursor_ = 0; ///< Conn id dispatched last.
+    std::size_t depth_ = 0;
+    std::size_t peak_depth_ = 0;
+    unsigned inflight_ = 0;
+    std::uint64_t admitted_ = 0;
+    std::uint64_t rejected_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t discarded_ = 0;
+    std::vector<Completed> done_;
+};
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_NET_SCHEDULER_HPP

@@ -1,0 +1,394 @@
+#include "net/server.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include "common/string_util.hpp"
+
+namespace ploop {
+
+NetServer::NetServer(ServeSession &session, NetConfig cfg)
+    : session_(session), cfg_(cfg),
+      pool_(cfg.pool ? *cfg.pool : ThreadPool::global()),
+      scheduler_(
+          pool_,
+          [this](std::uint64_t, const std::string &line) {
+              return session_.handleLine(line);
+          },
+          [this] { wake(); },
+          RequestScheduler::Config{session.config().max_queue, 0})
+{
+    session_.setStatsHook([this](JsonValue &r) { appendStats(r); });
+}
+
+NetServer::~NetServer()
+{
+    session_.setStatsHook(nullptr);
+    if (wake_read_ >= 0)
+        ::close(wake_read_);
+    if (wake_write_ >= 0)
+        ::close(wake_write_);
+}
+
+bool
+NetServer::open(std::string *error)
+{
+    int fds[2];
+    if (wake_read_ < 0) {
+        if (::pipe(fds) != 0) {
+            if (error)
+                *error =
+                    std::string("pipe: ") + std::strerror(errno);
+            return false;
+        }
+        wake_read_ = fds[0];
+        wake_write_ = fds[1];
+        // Non-blocking both ways: draining must stop at "empty" and
+        // a worker's wake() must not stall on a full pipe (a full
+        // pipe IS a pending wake).
+        for (int fd : {wake_read_, wake_write_}) {
+            int flags = ::fcntl(fd, F_GETFL, 0);
+            if (flags >= 0)
+                ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+        }
+    }
+    return listener_.open(cfg_.port, error);
+}
+
+void
+NetServer::wake()
+{
+    // One byte is enough; a full pipe already means a wake is
+    // pending, so EAGAIN is success too.
+    char b = 1;
+    ssize_t rc;
+    do {
+        rc = ::write(wake_write_, &b, 1);
+    } while (rc < 0 && errno == EINTR);
+}
+
+void
+NetServer::deliverCompletions()
+{
+    std::vector<RequestScheduler::Completed> done =
+        scheduler_.drainCompleted();
+    std::lock_guard<std::mutex> lock(clients_mu_);
+    for (RequestScheduler::Completed &d : done) {
+        auto it = clients_.find(d.conn);
+        // A vanished client's scheduler entry is discarded inside
+        // the scheduler; this guards the small window where the
+        // completion was already collected.
+        if (it != clients_.end())
+            it->second->queueResponse(d.response);
+    }
+}
+
+void
+NetServer::acceptPending()
+{
+    for (;;) {
+        int fd = listener_.acceptFd();
+        if (fd < 0)
+            return;
+        std::lock_guard<std::mutex> lock(clients_mu_);
+        if (clients_.size() >= session_.config().max_connections) {
+            // Greet-and-close: a fresh socket's buffer accepts this
+            // one line, so the client learns WHY instead of seeing a
+            // bare EOF.
+            Connection doomed(fd);
+            std::string line =
+                protocolErrorResponse(
+                    "", strFormat("server full (max %zu connections)",
+                                  session_.config()
+                                      .max_connections)) +
+                "\n";
+            std::size_t off = 0;
+            doomed.writeSome(line, off);
+            rejected_full_.fetch_add(1, std::memory_order_relaxed);
+            continue;
+        }
+        std::uint64_t id = next_id_++;
+        clients_.emplace(id,
+                         std::make_unique<ClientSession>(id, fd));
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        if (clients_.size() >
+            peak_open_.load(std::memory_order_relaxed))
+            peak_open_.store(clients_.size(),
+                             std::memory_order_relaxed);
+    }
+}
+
+void
+NetServer::readFrom(ClientSession &client)
+{
+    std::vector<std::string> lines;
+    bool overflow = false;
+    IoStatus st = client.readLines(lines, overflow);
+
+    for (const std::string &line : lines) {
+        if (draining_)
+            client.queueReject(line, "server is shutting down");
+        else if (!scheduler_.submit(client.id(), line))
+            client.queueReject(
+                line, strFormat("server busy: request queue full "
+                                "(max %zu queued requests)",
+                                session_.config().max_queue));
+    }
+    if (overflow) {
+        // Protocol violation: stop reading and hang up -- but only
+        // after requests admitted BEFORE the bad line complete and
+        // their responses flush (every admitted request gets a
+        // correlatable response; the reap gate waits on busy()).
+        client.queueReject(
+            "", strFormat("request line exceeds %zu bytes",
+                          LineSplitter::kMaxLineBytes));
+        client.markInputClosed();
+        return;
+    }
+    if (st == IoStatus::Closed) {
+        // EOF: no more requests, but admitted work still completes
+        // and its responses still get delivered (half-close
+        // support).  The reap happens once nothing is owed.
+        client.markInputClosed();
+    } else if (st == IoStatus::Error) {
+        // Broken socket: discard its work; the reap gate fires as
+        // soon as the scheduler lets go.
+        client.markInputClosed();
+        scheduler_.dropConnection(client.id());
+    }
+}
+
+void
+NetServer::disconnect(std::uint64_t id)
+{
+    scheduler_.dropConnection(id);
+    std::lock_guard<std::mutex> lock(clients_mu_);
+    if (clients_.erase(id))
+        closed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+NetServer::flushAndReap()
+{
+    std::vector<std::uint64_t> gone;
+    {
+        std::lock_guard<std::mutex> lock(clients_mu_);
+        for (auto &[id, client] : clients_) {
+            if (client->hasPendingOutput()) {
+                IoStatus st = client->flush();
+                if (st == IoStatus::Closed ||
+                    st == IoStatus::Error) {
+                    // The client died with responses owed; nothing
+                    // left to deliver to.
+                    gone.push_back(id);
+                    continue;
+                }
+            }
+            // Reap only once nothing is owed: responses for every
+            // admitted request delivered AND flushed.  This covers
+            // half-closed clients and the overflow hangup alike.
+            if (client->inputClosed() && client->flushed() &&
+                !scheduler_.busy(id))
+                gone.push_back(id);
+        }
+    }
+    for (std::uint64_t id : gone)
+        disconnect(id);
+}
+
+bool
+NetServer::allFlushed() const
+{
+    std::lock_guard<std::mutex> lock(clients_mu_);
+    for (const auto &[id, client] : clients_) {
+        (void)id;
+        if (client->hasPendingOutput())
+            return false;
+    }
+    return true;
+}
+
+std::uint64_t
+NetServer::run()
+{
+    std::chrono::steady_clock::time_point drain_deadline{};
+    while (true) {
+        // ---- build the poll set ------------------------------------
+        std::vector<pollfd> fds;
+        std::vector<std::uint64_t> fd_conn; // conn id per pollfd
+        fds.push_back(pollfd{wake_read_, POLLIN, 0});
+        fd_conn.push_back(0);
+        if (listener_.isOpen() && !draining_) {
+            fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
+            fd_conn.push_back(0);
+        }
+        int listener_idx = draining_ || !listener_.isOpen() ? -1 : 1;
+        {
+            std::lock_guard<std::mutex> lock(clients_mu_);
+            for (auto &[id, client] : clients_) {
+                short events = 0;
+                // No POLLIN while this client's unread responses
+                // pile up: its requests back up into ITS socket
+                // buffers (TCP backpressure), not our memory.
+                if (!client->inputClosed() &&
+                    !client->outputBacklogged())
+                    events |= POLLIN;
+                if (client->hasPendingOutput())
+                    events |= POLLOUT;
+                // No interest (input done, output flushed, request
+                // in flight): keep the fd OUT of the poll set --
+                // poll() reports POLLHUP/POLLERR regardless of the
+                // requested events, so a dead socket with events=0
+                // would turn poll(-1) into a busy spin.  The wake
+                // pipe covers its completion.
+                if (events == 0)
+                    continue;
+                fds.push_back(
+                    pollfd{client->conn().fd(), events, 0});
+                fd_conn.push_back(id);
+            }
+        }
+
+        // While draining, wake periodically so the drain deadline
+        // fires even with no socket activity.
+        int rc = ::poll(fds.data(),
+                        static_cast<nfds_t>(fds.size()),
+                        draining_ ? 50 : -1);
+        if (rc < 0 && errno != EINTR)
+            break; // unrecoverable poll failure
+        if (rc < 0)
+            continue;
+
+        if (fds[0].revents & POLLIN) {
+            char buf[256];
+            while (::read(wake_read_, buf, sizeof(buf)) > 0) {
+            }
+        }
+
+        // ---- deliver finished work first ---------------------------
+        deliverCompletions();
+
+        // A worker just handled a shutdown request: stop accepting,
+        // refuse new lines, and drain what is already owed.
+        if (!draining_ && session_.shutdownRequested()) {
+            draining_ = true;
+            listener_.close();
+            drain_deadline =
+                std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(cfg_.drain_timeout_ms);
+        }
+
+        if (listener_idx >= 0 && !draining_ &&
+            (fds[listener_idx].revents & POLLIN))
+            acceptPending();
+
+        // ---- read request lines ------------------------------------
+        for (std::size_t i = 1; i < fds.size(); ++i) {
+            if (fd_conn[i] == 0 ||
+                !(fds[i].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            ClientSession *client = nullptr;
+            {
+                std::lock_guard<std::mutex> lock(clients_mu_);
+                auto it = clients_.find(fd_conn[i]);
+                if (it != clients_.end())
+                    client = it->second.get();
+            }
+            // Single-threaded loop: the pointer stays valid, only
+            // this thread mutates clients_.
+            if (client && !client->inputClosed())
+                readFrom(*client);
+        }
+
+        scheduler_.pump();
+        flushAndReap();
+
+        if (draining_ && scheduler_.idle() && allFlushed()) {
+            deliverCompletions(); // belt and braces: nothing races
+            if (scheduler_.idle() && allFlushed())
+                break;
+        }
+        // A drain blocked past its deadline (a live client that
+        // never reads its responses): force the exit.  Whatever it
+        // left unread was not going to be read.
+        if (draining_ &&
+            std::chrono::steady_clock::now() >= drain_deadline)
+            break;
+    }
+
+    // Drained: every response owed was flushed; close what is left.
+    {
+        std::lock_guard<std::mutex> lock(clients_mu_);
+        closed_.fetch_add(clients_.size(),
+                          std::memory_order_relaxed);
+        clients_.clear();
+    }
+    listener_.close();
+    return accepted_.load(std::memory_order_relaxed);
+}
+
+void
+NetServer::appendStats(JsonValue &resp) const
+{
+    JsonValue conns = JsonValue::object();
+    JsonValue list = JsonValue::array();
+    {
+        std::lock_guard<std::mutex> lock(clients_mu_);
+        conns.set("open",
+                  JsonValue::number(double(clients_.size())));
+        for (const auto &[id, client] : clients_) {
+            JsonValue row = JsonValue::object();
+            row.set("id", JsonValue::number(double(id)));
+            row.set("received",
+                    JsonValue::number(double(client->received())));
+            row.set("completed",
+                    JsonValue::number(double(client->completed())));
+            row.set("rejected",
+                    JsonValue::number(double(client->rejected())));
+            row.set("pending",
+                    JsonValue::number(
+                        double(scheduler_.pendingFor(id))));
+            list.push(std::move(row));
+        }
+    }
+    conns.set("peak_open",
+              JsonValue::number(
+                  double(peak_open_.load(std::memory_order_relaxed))));
+    conns.set("accepted",
+              JsonValue::number(
+                  double(accepted_.load(std::memory_order_relaxed))));
+    conns.set("rejected_full",
+              JsonValue::number(double(
+                  rejected_full_.load(std::memory_order_relaxed))));
+    conns.set("closed",
+              JsonValue::number(
+                  double(closed_.load(std::memory_order_relaxed))));
+    conns.set("max_connections",
+              JsonValue::number(
+                  double(session_.config().max_connections)));
+    conns.set("list", std::move(list));
+    resp.set("connections", std::move(conns));
+
+    RequestScheduler::Stats s = scheduler_.stats();
+    JsonValue queue = JsonValue::object();
+    queue.set("depth", JsonValue::number(double(s.depth)));
+    queue.set("peak_depth",
+              JsonValue::number(double(s.peak_depth)));
+    queue.set("inflight", JsonValue::number(double(s.inflight)));
+    queue.set("max_queue", JsonValue::number(double(s.max_queue)));
+    queue.set("max_inflight",
+              JsonValue::number(double(s.max_inflight)));
+    queue.set("admitted", JsonValue::number(double(s.admitted)));
+    queue.set("rejected", JsonValue::number(double(s.rejected)));
+    queue.set("completed", JsonValue::number(double(s.completed)));
+    queue.set("discarded", JsonValue::number(double(s.discarded)));
+    resp.set("queue", std::move(queue));
+}
+
+} // namespace ploop

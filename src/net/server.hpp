@@ -1,0 +1,144 @@
+/**
+ * @file
+ * NetServer: the concurrent multi-client serving layer.  One process,
+ * one shared ServeSession/EvalService, many TCP connections speaking
+ * the same line-oriented JSON protocol as stdio serving -- so N
+ * clients share one warm EvalCache/ResultCache and every client
+ * benefits from every other client's evaluations.
+ *
+ * Architecture (single-threaded I/O, pooled execution):
+ *
+ *   poll() event loop --- owns the listener and every ClientSession
+ *        |  complete request lines
+ *        v
+ *   RequestScheduler --- bounded admission queue, round-robin across
+ *        |                connections, <= 1 in-flight per connection
+ *        v
+ *   ThreadPool workers --- run ServeSession::handleLine (EvalService
+ *        |                  is thread-safe; searches may nest their
+ *        |                  own parallelFor on the same pool)
+ *        v
+ *   self-pipe wake -> event loop delivers responses, in request
+ *                     order per connection
+ *
+ * Robustness contract: an abruptly disconnecting client (kill -9 mid
+ * search) can never kill or stall the server -- reads see EOF, its
+ * queued lines are discarded, its in-flight response is dropped, and
+ * writes to dead sockets surface as EPIPE (MSG_NOSIGNAL), never
+ * SIGPIPE.  A client that half-closes after pipelining requests
+ * still receives every response before the connection is reaped.
+ *
+ * Admission control: beyond max_connections new sockets are greeted
+ * with a server-full error and closed; beyond max_queue queued lines,
+ * requests are answered immediately with a backpressure error that
+ * echoes the request's op/id.  On a shutdown request the server
+ * stops accepting, drains queued and in-flight work, flushes every
+ * response, then run() returns (graceful drain-then-exit).
+ *
+ * The stats op grows "connections" and "queue" sections while a
+ * NetServer is attached (ServeSession::setStatsHook).
+ */
+
+#ifndef PHOTONLOOP_NET_SERVER_HPP
+#define PHOTONLOOP_NET_SERVER_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "net/client_session.hpp"
+#include "net/scheduler.hpp"
+#include "net/socket.hpp"
+#include "service/serve_session.hpp"
+
+namespace ploop {
+
+/**
+ * Transport-layer knobs.  The serving LIMITS (max_connections,
+ * max_queue) live in ServeConfig -- one source of truth, so what the
+ * capabilities op advertises is by construction what the server
+ * enforces.
+ */
+struct NetConfig
+{
+    /** Port to bind on 127.0.0.1 (0 = kernel-chosen; see port()). */
+    std::uint16_t port = 0;
+
+    /** Executor (nullptr = ThreadPool::global()). */
+    ThreadPool *pool = nullptr;
+
+    /** Bound on the shutdown drain: a client that never reads its
+     *  responses must not block exit forever, so past this deadline
+     *  remaining connections are force-closed (their unflushed
+     *  output is lost -- they were not reading it). */
+    int drain_timeout_ms = 5000;
+};
+
+/** See file comment. */
+class NetServer
+{
+  public:
+    /** @param session The shared protocol session (its EvalService
+     *                 is the one warm state all clients share; its
+     *                 config's max_connections/max_queue are the
+     *                 limits this server enforces). */
+    NetServer(ServeSession &session, NetConfig cfg);
+    ~NetServer();
+
+    NetServer(const NetServer &) = delete;
+    NetServer &operator=(const NetServer &) = delete;
+
+    /**
+     * Bind and listen.  False with a message in @p error on failure
+     * (port in use, ...).  Must be called before run().
+     */
+    bool open(std::string *error);
+
+    /** The bound port (valid after open(); answers port 0). */
+    std::uint16_t port() const { return listener_.port(); }
+
+    /**
+     * Serve until a shutdown request drains (see file comment).
+     * Returns the number of connections served.  Call from one
+     * thread only.
+     */
+    std::uint64_t run();
+
+    /** Append the "connections" and "queue" stats sections (the
+     *  session stats hook; thread-safe). */
+    void appendStats(JsonValue &resp) const;
+
+  private:
+    void acceptPending();
+    void readFrom(ClientSession &client);
+    void deliverCompletions();
+    void flushAndReap();
+    void disconnect(std::uint64_t id);
+    void wake();
+    bool allFlushed() const;
+
+    ServeSession &session_;
+    NetConfig cfg_;
+    ThreadPool &pool_;
+    TcpListener listener_;
+    RequestScheduler scheduler_;
+    int wake_read_ = -1;
+    int wake_write_ = -1;
+    bool draining_ = false;
+
+    mutable std::mutex clients_mu_; ///< Map shape (stats vs loop).
+    std::map<std::uint64_t, std::unique_ptr<ClientSession>> clients_;
+    std::uint64_t next_id_ = 1;
+
+    std::atomic<std::uint64_t> accepted_{0};
+    std::atomic<std::uint64_t> rejected_full_{0};
+    std::atomic<std::uint64_t> closed_{0};
+    std::atomic<std::size_t> peak_open_{0};
+};
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_NET_SERVER_HPP

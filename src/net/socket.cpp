@@ -1,0 +1,187 @@
+#include "net/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace ploop {
+
+namespace {
+
+bool
+setNonBlocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) >= 0;
+}
+
+} // namespace
+
+// ------------------------------------------------------- Connection
+
+Connection::Connection(int fd) : fd_(fd)
+{
+    setNonBlocking(fd_);
+    // The protocol is small request/response lines; Nagle only adds
+    // latency between a client's write and the server's read.
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Connection::~Connection()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+IoStatus
+Connection::readAvailable(std::string &out)
+{
+    char chunk[65536];
+    bool any = false;
+    for (;;) {
+        ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+            out.append(chunk, static_cast<std::size_t>(n));
+            any = true;
+            continue;
+        }
+        if (n == 0)
+            return IoStatus::Closed; // caller processes appended bytes first
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return any ? IoStatus::Ok : IoStatus::WouldBlock;
+        if (errno == ECONNRESET)
+            return IoStatus::Closed;
+        return IoStatus::Error;
+    }
+}
+
+IoStatus
+Connection::writeSome(const std::string &data, std::size_t &offset)
+{
+    while (offset < data.size()) {
+        ssize_t n = ::send(fd_, data.data() + offset,
+                           data.size() - offset, MSG_NOSIGNAL);
+        if (n > 0) {
+            offset += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return IoStatus::WouldBlock;
+        if (n < 0 && (errno == EPIPE || errno == ECONNRESET))
+            return IoStatus::Closed;
+        return IoStatus::Error;
+    }
+    return IoStatus::Ok;
+}
+
+// ------------------------------------------------------ TcpListener
+
+bool
+TcpListener::open(std::uint16_t port, std::string *error)
+{
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        if (error)
+            *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0 ||
+        ::listen(fd_, 64) < 0 || !setNonBlocking(fd_)) {
+        if (error)
+            *error = std::string("bind/listen on 127.0.0.1:") +
+                     std::to_string(port) + ": " +
+                     std::strerror(errno);
+        close();
+        return false;
+    }
+
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd_, reinterpret_cast<sockaddr *>(&addr),
+                      &len) < 0) {
+        if (error)
+            *error = std::string("getsockname: ") +
+                     std::strerror(errno);
+        close();
+        return false;
+    }
+    port_ = ntohs(addr.sin_port);
+    return true;
+}
+
+void
+TcpListener::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+int
+TcpListener::acceptFd()
+{
+    for (;;) {
+        int fd = ::accept(fd_, nullptr, nullptr);
+        if (fd >= 0)
+            return fd;
+        if (errno == EINTR)
+            continue;
+        // EAGAIN: nothing pending.  Anything else (ECONNABORTED, fd
+        // exhaustion, ...) is that connection's problem; the
+        // listener keeps serving.
+        return -1;
+    }
+}
+
+// ----------------------------------------------------- LineSplitter
+
+void
+LineSplitter::append(const char *data, std::size_t n,
+                     std::vector<std::string> &lines, bool &overflow)
+{
+    overflow = false;
+    if (poisoned_)
+        return;
+    for (std::size_t i = 0; i < n; ++i) {
+        char c = data[i];
+        if (c == '\n') {
+            if (!buf_.empty() && buf_.back() == '\r')
+                buf_.pop_back();
+            lines.push_back(std::move(buf_));
+            buf_.clear();
+            continue;
+        }
+        if (buf_.size() >= kMaxLineBytes) {
+            // Terminal: nothing after the violation may be framed
+            // (see header) -- a request smuggled in behind the junk
+            // must not execute on a stream we are hanging up on.
+            buf_.clear();
+            poisoned_ = true;
+            overflow = true;
+            return;
+        }
+        buf_.push_back(c);
+    }
+}
+
+} // namespace ploop

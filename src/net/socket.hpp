@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Portable POSIX socket primitives for the serving layer: a loopback
+ * TCP listener, a non-blocking connection wrapper, and line framing
+ * for the one-request-per-line JSON protocol.
+ *
+ * Design rules (the server must survive arbitrary client behavior):
+ *  - every read/write retries EINTR internally;
+ *  - writes use MSG_NOSIGNAL, so a client that disconnects mid-write
+ *    surfaces as EPIPE instead of killing the process with SIGPIPE;
+ *  - partial writes are the normal case: writeSome() advances an
+ *    offset and reports WouldBlock, the caller re-arms POLLOUT;
+ *  - sockets are non-blocking, so one slow client can never stall
+ *    the accept/poll loop;
+ *  - line framing is bounded (LineSplitter::kMaxLineBytes), so a
+ *    client streaming an endless unterminated line cannot grow the
+ *    server without limit.
+ *
+ * The listener binds 127.0.0.1 only: the serving layer is a local
+ * multi-process hub (many clients, one warm EvalService), not an
+ * internet-facing endpoint.
+ */
+
+#ifndef PHOTONLOOP_NET_SOCKET_HPP
+#define PHOTONLOOP_NET_SOCKET_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ploop {
+
+/** Outcome of one non-blocking I/O slice. */
+enum class IoStatus : std::uint8_t {
+    Ok,         ///< Progress was made (bytes moved).
+    WouldBlock, ///< Nothing to do now; wait for poll() readiness.
+    Closed,     ///< Peer closed (EOF on read, EPIPE/ECONNRESET on write).
+    Error,      ///< Unrecoverable socket error (errno preserved).
+};
+
+/**
+ * One accepted client socket, owned (closed on destruction) and
+ * switched to non-blocking mode.  See file comment for the I/O
+ * contract.
+ */
+class Connection
+{
+  public:
+    /** Takes ownership of @p fd and makes it non-blocking. */
+    explicit Connection(int fd);
+    ~Connection();
+
+    Connection(const Connection &) = delete;
+    Connection &operator=(const Connection &) = delete;
+
+    int fd() const { return fd_; }
+
+    /**
+     * Append every currently-available byte to @p out (drains until
+     * EAGAIN).  Ok when at least one byte arrived; Closed on EOF --
+     * bytes appended before the EOF are still valid and must be
+     * processed by the caller first.
+     */
+    IoStatus readAvailable(std::string &out);
+
+    /**
+     * Write data[offset..) as far as the socket accepts, advancing
+     * @p offset.  Ok when everything through data.size() was written;
+     * WouldBlock on a partial write (re-arm POLLOUT); Closed when the
+     * peer is gone (EPIPE/ECONNRESET -- never a SIGPIPE).
+     */
+    IoStatus writeSome(const std::string &data, std::size_t &offset);
+
+  private:
+    int fd_ = -1;
+};
+
+/** Loopback TCP listener (see file comment). */
+class TcpListener
+{
+  public:
+    TcpListener() = default;
+    ~TcpListener() { close(); }
+
+    TcpListener(const TcpListener &) = delete;
+    TcpListener &operator=(const TcpListener &) = delete;
+
+    /**
+     * Bind 127.0.0.1:@p port (0 = kernel-chosen ephemeral port) and
+     * listen, non-blocking, SO_REUSEADDR.  False with a message in
+     * @p error on failure.
+     */
+    bool open(std::uint16_t port, std::string *error);
+
+    /** Stop accepting (idempotent). */
+    void close();
+
+    bool isOpen() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /** The bound port (after open(); the answer to port 0). */
+    std::uint16_t port() const { return port_; }
+
+    /**
+     * Accept one pending connection.  Returns the new fd, or -1 when
+     * none is pending (or on a transient per-connection failure --
+     * the listener itself stays healthy either way).
+     */
+    int acceptFd();
+
+  private:
+    int fd_ = -1;
+    std::uint16_t port_ = 0;
+};
+
+/**
+ * Line framing: raw received bytes in, complete protocol lines out.
+ * '\n' terminates a line; a preceding '\r' is stripped so raw telnet
+ * and CRLF clients work.  An unterminated line longer than
+ * kMaxLineBytes is a protocol violation and POISONS the stream:
+ * append() reports it once via @p overflow, and every byte from the
+ * violation on is discarded -- lines framed BEFORE the bad line are
+ * the only ones ever delivered, matching the server's contract of
+ * answering pre-violation requests and hanging up (requests smuggled
+ * in after the violation must never execute).
+ */
+class LineSplitter
+{
+  public:
+    /** Bound on one request line (1 MiB -- far above any legitimate
+     *  request, far below "grows the server without limit"). */
+    static constexpr std::size_t kMaxLineBytes = 1u << 20;
+
+    /**
+     * Append @p data and move every completed line into @p lines
+     * (without the terminator).  Sets @p overflow when the line
+     * under construction exceeded kMaxLineBytes (terminal -- see
+     * file comment).
+     */
+    void append(const char *data, std::size_t n,
+                std::vector<std::string> &lines, bool &overflow);
+
+    /** Bytes buffered awaiting a terminator. */
+    std::size_t pendingBytes() const { return buf_.size(); }
+
+    /** True once an over-long line poisoned the stream. */
+    bool poisoned() const { return poisoned_; }
+
+  private:
+    std::string buf_;
+    bool poisoned_ = false; ///< Over-long line seen; all input dead.
+};
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_NET_SOCKET_HPP

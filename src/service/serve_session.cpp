@@ -30,12 +30,21 @@ ServeSession::saveStore(std::string *detail)
             *detail = "no cache store configured";
         return false;
     }
-    saveCacheStore(service_.cache(), cfg_.cache_store,
-                   cfg_.store_fingerprint);
-    if (detail)
-        *detail = strFormat("saved %zu entries to '%s'",
-                            service_.cache().size(),
-                            cfg_.cache_store.c_str());
+    std::lock_guard<std::mutex> lock(store_mu_);
+    std::size_t resident = service_.cache().size();
+    std::size_t written =
+        saveCacheStore(service_.cache(), cfg_.cache_store,
+                       cfg_.store_fingerprint,
+                       cfg_.cache_store_max_entries);
+    if (detail) {
+        if (written < resident)
+            *detail = strFormat(
+                "saved %zu most-reused of %zu entries to '%s'",
+                written, resident, cfg_.cache_store.c_str());
+        else
+            *detail = strFormat("saved %zu entries to '%s'", written,
+                                cfg_.cache_store.c_str());
+    }
     return true;
 }
 
@@ -113,6 +122,23 @@ ServeSession::handleParsed(const JsonValue &req)
               "network", "stats", "save_cache", "shutdown"})
             ops.push(JsonValue::string(name));
         resp.set("ops", std::move(ops));
+        // Clients discover HOW they are connected and what the
+        // serving layer will bound before they hit the bounds.
+        resp.set("transport", JsonValue::string(cfg_.transport));
+        JsonValue limits = JsonValue::object();
+        limits.set("max_connections",
+                   JsonValue::number(double(cfg_.max_connections)));
+        limits.set("max_queue",
+                   JsonValue::number(double(cfg_.max_queue)));
+        limits.set("cache_max_entries",
+                   JsonValue::number(double(cfg_.cache_max_entries)));
+        limits.set("result_cache_max_entries",
+                   JsonValue::number(
+                       double(cfg_.result_cache_max_entries)));
+        limits.set("cache_store_max_entries",
+                   JsonValue::number(
+                       double(cfg_.cache_store_max_entries)));
+        resp.set("limits", std::move(limits));
         resp.set("schema", apiSchemaJson());
         return resp;
     }
@@ -170,6 +196,10 @@ ServeSession::handleParsed(const JsonValue &req)
         resp.set("result_cache", std::move(results));
         resp.set("store_loaded", JsonValue::boolean(load_.loaded));
         resp.set("store_detail", JsonValue::string(load_.detail));
+        // The serving layer (NetServer) appends its "connections"
+        // and "queue" sections here.
+        if (stats_hook_)
+            stats_hook_(resp);
         return resp;
     }
 
@@ -183,7 +213,7 @@ ServeSession::handleParsed(const JsonValue &req)
     }
 
     if (op == "shutdown") {
-        shutdown_ = true;
+        shutdown_.store(true, std::memory_order_release);
         std::string detail;
         bool saved = saveStore(&detail);
         resp.set("ok", JsonValue::boolean(true));
@@ -195,6 +225,27 @@ ServeSession::handleParsed(const JsonValue &req)
     fatal("unknown op '" + op +
           "' (ping, capabilities, evaluate, search, sweep, network, "
           "stats, save_cache, shutdown)");
+}
+
+std::string
+protocolErrorResponse(const std::string &line,
+                      const std::string &message)
+{
+    JsonValue resp = JsonValue::object();
+    resp.set("ok", JsonValue::boolean(false));
+    resp.set("error", JsonValue::string(message));
+    // Best-effort correlation: echo op/id exactly like handleLine()
+    // does, so rejected pipelined requests are attributable.
+    if (std::optional<JsonValue> req = parseJson(line)) {
+        if (req->isObject()) {
+            const JsonValue *opv = req->get("op");
+            if (opv && opv->isString() && !opv->asString().empty())
+                resp.set("op", *opv);
+            if (const JsonValue *id = req->get("id"))
+                resp.set("id", *id);
+        }
+    }
+    return resp.serialize();
 }
 
 } // namespace ploop

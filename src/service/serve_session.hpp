@@ -41,7 +41,10 @@
 #ifndef PHOTONLOOP_SERVICE_SERVE_SESSION_HPP
 #define PHOTONLOOP_SERVICE_SERVE_SESSION_HPP
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <mutex>
 #include <string>
 
 #include "mapper/cache_store.hpp"
@@ -65,11 +68,35 @@ struct ServeConfig
     /** ResultCache entry cap (0 disables whole-response reuse). */
     std::size_t result_cache_max_entries = 256;
 
+    /** CacheStore save bound: persist only the N most-reused entries
+     *  (0 = everything).  See saveCacheStore(). */
+    std::size_t cache_store_max_entries = 0;
+
     /** Store identity (see cache_store.hpp). */
     std::uint64_t store_fingerprint = kServeStoreFingerprint;
+
+    /** Transport the session is served over, advertised by the
+     *  capabilities op ("stdio", "script", or "tcp"). */
+    std::string transport = "stdio";
+
+    /** Connection cap advertised by capabilities; enforced by the
+     *  net server (NetServer), meaningless for stdio/script. */
+    std::size_t max_connections = 64;
+
+    /** Request-scheduler admission-queue cap advertised by
+     *  capabilities; enforced by RequestScheduler. */
+    std::size_t max_queue = 256;
 };
 
-/** See file comment. */
+/**
+ * See file comment.
+ *
+ * Thread safety: handleLine() may be called concurrently from many
+ * threads over ONE session -- the net serving layer executes requests
+ * from different connections in parallel.  All heavy state lives in
+ * the (thread-safe) EvalService; the session's own mutable state is
+ * an atomic shutdown flag and the mutex-guarded store save.
+ */
 class ServeSession
 {
   public:
@@ -77,22 +104,42 @@ class ServeSession
 
     /**
      * Handle one request line; returns exactly one serialized JSON
-     * response object (no trailing newline).  Never throws.
+     * response object (no trailing newline).  Never throws.  Safe to
+     * call concurrently.
      */
     std::string handleLine(const std::string &line);
 
     /** True once a shutdown request was handled. */
-    bool shutdownRequested() const { return shutdown_; }
+    bool shutdownRequested() const
+    {
+        return shutdown_.load(std::memory_order_acquire);
+    }
 
     /** What happened to the cache store at construction. */
     const CacheStoreLoad &storeLoad() const { return load_; }
 
     /**
-     * Persist the cache store now (no-op without a configured path).
+     * Persist the cache store now (no-op without a configured path;
+     * bounded by ServeConfig::cache_store_max_entries).  Serialized
+     * by an internal mutex, so concurrent save_cache/shutdown
+     * requests cannot interleave tmp-file writes.
      * @param detail Optional sink for a summary or failure message.
      * @return True when a store was written.
      */
     bool saveStore(std::string *detail = nullptr);
+
+    /**
+     * Extra sections for the stats op (the net server hooks in its
+     * "connections" and "queue" sections here).  The hook must be
+     * thread-safe: the stats op runs on scheduler worker threads.
+     */
+    void setStatsHook(std::function<void(JsonValue &)> hook)
+    {
+        stats_hook_ = std::move(hook);
+    }
+
+    /** The session's configuration (read-only after construction). */
+    const ServeConfig &config() const { return cfg_; }
 
     /** The underlying typed service (tests poke it directly). */
     EvalService &service() { return service_; }
@@ -103,8 +150,22 @@ class ServeSession
     ServeConfig cfg_;
     EvalService service_;
     CacheStoreLoad load_;
-    bool shutdown_ = false;
+    std::atomic<bool> shutdown_{false};
+    std::mutex store_mu_; ///< Serializes saveStore().
+    std::function<void(JsonValue &)> stats_hook_;
 };
+
+/**
+ * A protocol error response generated OUTSIDE the normal request
+ * path (admission-queue backpressure, drain-phase rejects, oversized
+ * lines): {"ok":false,"error":<message>} with the request's "op" and
+ * "id" echoed when @p line parses far enough to recover them -- a
+ * pipelined client must be able to correlate EVERY failure, not just
+ * ones that reached the session.  Returns one serialized JSON object,
+ * no trailing newline; never throws.
+ */
+std::string protocolErrorResponse(const std::string &line,
+                                  const std::string &message);
 
 } // namespace ploop
 

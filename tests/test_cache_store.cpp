@@ -261,6 +261,71 @@ TEST_F(CacheStoreFixture, LoadMergesIntoWarmCache)
     EXPECT_TRUE(second.find(scope, extra, &warm));
 }
 
+TEST_F(CacheStoreFixture, BoundedSaveKeepsMostReusedEntries)
+{
+    EvalCache cache;
+    std::vector<Mapping> mappings = populate(cache);
+    ASSERT_GE(mappings.size(), 3u);
+    std::uint64_t scope = evalScopeKey(evaluator, layer);
+
+    // Make mappings[1] and mappings[2] clearly the most reused.
+    QuickEval out;
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(cache.find(scope, mappings[1], &out));
+    for (int i = 0; i < 3; ++i)
+        ASSERT_TRUE(cache.find(scope, mappings[2], &out));
+
+    std::size_t written = saveCacheStore(cache, path, kFp, 2);
+    EXPECT_EQ(written, 2u);
+
+    EvalCache loaded;
+    CacheStoreLoad load = loadCacheStore(loaded, path, kFp);
+    EXPECT_TRUE(load.loaded);
+    EXPECT_EQ(load.entries, 2u);
+    EXPECT_EQ(loaded.size(), 2u);
+
+    // The two hot entries made the cut; the never-reused ones (zero
+    // lookup hits) were dropped.
+    EXPECT_TRUE(loaded.find(scope, mappings[1], &out));
+    EXPECT_TRUE(loaded.find(scope, mappings[2], &out));
+    EXPECT_FALSE(loaded.find(scope, mappings[0], &out));
+}
+
+TEST_F(CacheStoreFixture, ReuseCountsSurviveSaveLoadGenerations)
+{
+    // A store saved, reloaded and compacted must still know which
+    // entries earned their keep -- reuse counts travel in the file.
+    EvalCache cache;
+    std::vector<Mapping> mappings = populate(cache);
+    std::uint64_t scope = evalScopeKey(evaluator, layer);
+    QuickEval out;
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(cache.find(scope, mappings[1], &out));
+    saveCacheStore(cache, path, kFp); // unbounded generation 1
+
+    EvalCache middle;
+    ASSERT_TRUE(loadCacheStore(middle, path, kFp).loaded);
+    // No lookups at all in this generation; compact to ONE entry.
+    EXPECT_EQ(saveCacheStore(middle, path, kFp, 1), 1u);
+
+    EvalCache loaded;
+    ASSERT_TRUE(loadCacheStore(loaded, path, kFp).loaded);
+    EXPECT_EQ(loaded.size(), 1u);
+    EXPECT_TRUE(loaded.find(scope, mappings[1], &out));
+}
+
+TEST_F(CacheStoreFixture, UnboundedSaveReportsEveryEntry)
+{
+    EvalCache cache;
+    populate(cache);
+    EXPECT_EQ(saveCacheStore(cache, path, kFp), cache.size());
+    // A bound >= size changes nothing.
+    EXPECT_EQ(saveCacheStore(cache, path, kFp, 1000), cache.size());
+    EvalCache loaded;
+    EXPECT_TRUE(loadCacheStore(loaded, path, kFp).loaded);
+    EXPECT_EQ(loaded.size(), cache.size());
+}
+
 TEST_F(CacheStoreFixture, CapAppliesToLoadedEntries)
 {
     EvalCache cache;

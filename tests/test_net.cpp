@@ -1,0 +1,582 @@
+/** @file Tests for the net/ serving subsystem: line framing, the
+ *  fair bounded scheduler, and end-to-end loopback serving (the
+ *  in-process twin of tools/serve_net_smoke.sh): N concurrent
+ *  clients get bit-identical results to a serial session, share one
+ *  result cache, and survive each other's abrupt disconnects. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/json.hpp"
+#include "net/line_client.hpp"
+#include "net/scheduler.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+#include "service/serve_session.hpp"
+
+namespace ploop {
+namespace {
+
+// -------------------------------------------------------- LineSplitter
+
+TEST(LineSplitter, ReassemblesPartialLinesAndStripsCr)
+{
+    LineSplitter splitter;
+    std::vector<std::string> lines;
+    bool overflow = false;
+    auto feed = [&](const char *s) {
+        splitter.append(s, std::strlen(s), lines, overflow);
+    };
+
+    feed("{\"op\":\"pi");
+    EXPECT_TRUE(lines.empty());
+    EXPECT_GT(splitter.pendingBytes(), 0u);
+
+    feed("ng\"}\r\nnext");
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], "{\"op\":\"ping\"}"); // CR stripped
+    EXPECT_FALSE(overflow);
+
+    feed("\n\na\n");
+    ASSERT_EQ(lines.size(), 4u);
+    EXPECT_EQ(lines[1], "next");
+    EXPECT_EQ(lines[2], ""); // blank line IS a line (caller skips)
+    EXPECT_EQ(lines[3], "a");
+}
+
+TEST(LineSplitter, OverLongLinePoisonsTheStream)
+{
+    LineSplitter splitter;
+    std::vector<std::string> lines;
+    bool overflow = false;
+
+    // A line framed BEFORE the violation is delivered; the
+    // violation is terminal for everything after it -- a request
+    // smuggled in behind the junk must never be framed.
+    std::string input = "before\n";
+    input += std::string(LineSplitter::kMaxLineBytes + 2, 'x');
+    input += "\n{\"op\":\"shutdown\"}\n";
+    splitter.append(input.data(), input.size(), lines, overflow);
+    EXPECT_TRUE(overflow);
+    EXPECT_TRUE(splitter.poisoned());
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], "before");
+
+    splitter.append("ok\n", 3, lines, overflow);
+    EXPECT_FALSE(overflow); // reported once
+    EXPECT_EQ(lines.size(), 1u);
+    EXPECT_TRUE(splitter.poisoned());
+}
+
+// ---------------------------------------------------- RequestScheduler
+
+TEST(RequestScheduler, RoundRobinAcrossConnections)
+{
+    // Parallelism-1 pool: tasks run inline, so dispatch order IS
+    // execution order and the test is deterministic.
+    ThreadPool &pool = ThreadPool::forThreads(1);
+    std::vector<std::uint64_t> order;
+    RequestScheduler sched(
+        pool,
+        [&](std::uint64_t conn, const std::string &) {
+            order.push_back(conn);
+            return std::string("r");
+        },
+        [] {}, RequestScheduler::Config{64, 0});
+
+    // Connection 1 pipelines three requests before 2 and 3 send one.
+    EXPECT_TRUE(sched.submit(1, "a"));
+    EXPECT_TRUE(sched.submit(1, "b"));
+    EXPECT_TRUE(sched.submit(1, "c"));
+    EXPECT_TRUE(sched.submit(2, "d"));
+    EXPECT_TRUE(sched.submit(3, "e"));
+
+    while (!sched.idle())
+        sched.pump();
+
+    // Fair interleave, not 1,1,1,2,3.
+    EXPECT_EQ(order,
+              (std::vector<std::uint64_t>{1, 2, 3, 1, 1}));
+    EXPECT_EQ(sched.drainCompleted().size(), 5u);
+    EXPECT_EQ(sched.stats().completed, 5u);
+    EXPECT_EQ(sched.stats().rejected, 0u);
+}
+
+TEST(RequestScheduler, PerConnectionResponsesStayInRequestOrder)
+{
+    ThreadPool &pool = ThreadPool::forThreads(1);
+    RequestScheduler sched(
+        pool,
+        [&](std::uint64_t, const std::string &line) {
+            return "resp:" + line;
+        },
+        [] {}, RequestScheduler::Config{64, 0});
+    for (const char *line : {"1", "2", "3", "4"})
+        EXPECT_TRUE(sched.submit(7, line));
+    while (!sched.idle())
+        sched.pump();
+    std::vector<RequestScheduler::Completed> done =
+        sched.drainCompleted();
+    ASSERT_EQ(done.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(done[i].conn, 7u);
+        EXPECT_EQ(done[i].response,
+                  "resp:" + std::to_string(i + 1));
+    }
+}
+
+TEST(RequestScheduler, BackpressureAtMaxQueue)
+{
+    ThreadPool &pool = ThreadPool::forThreads(1);
+    RequestScheduler sched(
+        pool, [](std::uint64_t, const std::string &) { return ""; },
+        [] {}, RequestScheduler::Config{2, 0});
+
+    EXPECT_TRUE(sched.submit(1, "a"));
+    EXPECT_TRUE(sched.submit(2, "b"));
+    EXPECT_FALSE(sched.submit(3, "c")); // full: refused, not queued
+    RequestScheduler::Stats s = sched.stats();
+    EXPECT_EQ(s.depth, 2u);
+    EXPECT_EQ(s.peak_depth, 2u);
+    EXPECT_EQ(s.admitted, 2u);
+    EXPECT_EQ(s.rejected, 1u);
+
+    while (!sched.idle())
+        sched.pump();
+    EXPECT_TRUE(sched.submit(3, "c")); // space again after drain
+    while (!sched.idle())
+        sched.pump();
+    EXPECT_EQ(sched.stats().completed, 3u);
+}
+
+TEST(RequestScheduler, DroppedConnectionDiscardsQueuedAndInflight)
+{
+    // Parallelism-2 pool: one background worker executes while the
+    // test thread orchestrates.
+    ThreadPool &pool = ThreadPool::forThreads(2);
+    std::mutex mu;
+    std::condition_variable cv;
+    bool release = false, started = false;
+    RequestScheduler sched(
+        pool,
+        [&](std::uint64_t, const std::string &) {
+            std::unique_lock<std::mutex> lock(mu);
+            started = true;
+            cv.notify_all();
+            cv.wait(lock, [&] { return release; });
+            return std::string("late");
+        },
+        [] {}, RequestScheduler::Config{8, 1});
+
+    EXPECT_TRUE(sched.submit(1, "inflight"));
+    EXPECT_TRUE(sched.submit(1, "queued"));
+    sched.pump();
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return started; });
+    }
+
+    // The client vanishes mid-request.
+    sched.dropConnection(1);
+    EXPECT_EQ(sched.pendingFor(1), 0u); // queued line discarded
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        release = true;
+        cv.notify_all();
+    }
+    while (!sched.idle())
+        std::this_thread::yield();
+
+    EXPECT_TRUE(sched.drainCompleted().empty()); // response dropped
+    RequestScheduler::Stats s = sched.stats();
+    EXPECT_EQ(s.completed, 1u);
+    EXPECT_EQ(s.discarded, 1u);
+    EXPECT_FALSE(sched.busy(1));
+}
+
+// ------------------------------------------------- loopback serving
+//
+// Clients are the shared blocking LineClient (net/line_client.hpp)
+// -- the same implementation tools/ploop_client ships.
+
+/** A served session on an ephemeral port, torn down via shutdown. */
+struct ServedSession
+{
+    ServeSession session;
+    NetServer server;
+    std::thread thread;
+
+    explicit ServedSession(ServeConfig cfg = ServeConfig{})
+        : session(withTransport(std::move(cfg))),
+          server(session, NetConfig{})
+    {
+        std::string error;
+        if (!server.open(&error))
+            ADD_FAILURE() << error;
+        thread = std::thread([this] { server.run(); });
+    }
+
+    static ServeConfig withTransport(ServeConfig cfg)
+    {
+        cfg.transport = "tcp";
+        return cfg;
+    }
+
+    std::uint16_t port() const { return server.port(); }
+
+    void shutdown()
+    {
+        if (!thread.joinable())
+            return;
+        // The shutdown connection itself can be turned away while a
+        // previous client still occupies the last slot (max_
+        // connections), so retry until the op lands.
+        for (int attempt = 0;
+             attempt < 500 && !session.shutdownRequested();
+             ++attempt) {
+            LineClient killer(port());
+            if (killer.connected()) {
+                std::string resp =
+                    killer.roundTrip("{\"op\":\"shutdown\"}");
+                std::optional<JsonValue> r = parseJson(resp);
+                if (r && r->isObject() && r->get("ok") &&
+                    r->get("ok")->asBool())
+                    break;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(5));
+        }
+        thread.join();
+    }
+
+    ~ServedSession() { shutdown(); }
+};
+
+std::string
+searchRequest(int seed, int id)
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"op\":\"search\",\"id\":%d,"
+        "\"layer\":{\"name\":\"c\",\"k\":16,\"c\":16,\"p\":7,"
+        "\"q\":7,\"r\":3,\"s\":3},"
+        "\"options\":{\"random_samples\":12,"
+        "\"hill_climb_rounds\":2,\"seed\":%d}}",
+        id, seed);
+    return buf;
+}
+
+std::string
+bitsOf(const JsonValue &resp)
+{
+    return resp.get("mapping_key")->asString() + "/" +
+           resp.get("energy_bits")->asString() + "/" +
+           resp.get("runtime_bits")->asString();
+}
+
+TEST(NetServe, ConcurrentClientsBitIdenticalAndShareResultCache)
+{
+    // Serial single-client reference: a FRESH session answering the
+    // same requests cold.
+    std::vector<std::string> reference;
+    {
+        ServeSession serial;
+        for (int seed : {5, 6, 7}) {
+            std::optional<JsonValue> r = parseJson(
+                serial.handleLine(searchRequest(seed, seed)));
+            ASSERT_TRUE(r.has_value());
+            ASSERT_TRUE(r->get("ok")->asBool()) << r->serialize();
+            reference.push_back(bitsOf(*r));
+        }
+    }
+
+    ServedSession served;
+
+    // Warm the shared session through one connection: every
+    // concurrent client below must then be answered whole from the
+    // ResultCache another connection populated (cross-client
+    // warmth), deterministically at any thread count.
+    {
+        LineClient warmer(served.port());
+        ASSERT_TRUE(warmer.connected());
+        for (int seed : {5, 6, 7}) {
+            std::optional<JsonValue> r = parseJson(
+                warmer.roundTrip(searchRequest(seed, seed)));
+            ASSERT_TRUE(r.has_value());
+            ASSERT_TRUE(r->get("ok")->asBool()) << r->serialize();
+            EXPECT_FALSE(r->get("from_result_cache")->asBool());
+        }
+    }
+
+    constexpr int kClients = 4;
+    std::vector<std::vector<std::string>> got(kClients);
+    std::vector<std::vector<bool>> warm(kClients);
+    std::atomic<int> failures{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            LineClient client(served.port());
+            if (!client.connected()) {
+                ++failures;
+                return;
+            }
+            for (int seed : {5, 6, 7}) {
+                std::string resp =
+                    client.roundTrip(searchRequest(seed, seed));
+                std::optional<JsonValue> r = parseJson(resp);
+                if (!r || !r->get("ok") ||
+                    !r->get("ok")->asBool()) {
+                    ++failures;
+                    return;
+                }
+                got[c].push_back(bitsOf(*r));
+                warm[c].push_back(
+                    r->get("from_result_cache")->asBool());
+            }
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+    ASSERT_EQ(failures.load(), 0);
+
+    // Every client's every response is bit-identical to the serial
+    // single-client run, and EVERY one is a cross-client
+    // result-cache hit (the warmer connection computed them all).
+    for (int c = 0; c < kClients; ++c) {
+        ASSERT_EQ(got[c].size(), reference.size());
+        for (std::size_t i = 0; i < reference.size(); ++i) {
+            EXPECT_EQ(got[c][i], reference[i])
+                << "client " << c << " request " << i;
+            EXPECT_TRUE(warm[c][i])
+                << "client " << c << " request " << i
+                << " was not served from the shared ResultCache";
+        }
+    }
+
+    // The stats op reports the serving sections.
+    LineClient observer(served.port());
+    std::optional<JsonValue> stats =
+        parseJson(observer.roundTrip("{\"op\":\"stats\"}"));
+    ASSERT_TRUE(stats.has_value());
+    const JsonValue *conns = stats->get("connections");
+    ASSERT_NE(conns, nullptr);
+    EXPECT_GE(conns->get("accepted")->asNumber(), 5.0);
+    EXPECT_GE(conns->get("peak_open")->asNumber(), 1.0);
+    ASSERT_NE(conns->get("list"), nullptr);
+    const JsonValue *queue = stats->get("queue");
+    ASSERT_NE(queue, nullptr);
+    EXPECT_GE(queue->get("admitted")->asNumber(), 12.0);
+    EXPECT_EQ(queue->get("max_queue")->asNumber(), 256.0);
+    EXPECT_GE(queue->get("completed")->asNumber(), 12.0);
+
+    served.shutdown();
+}
+
+TEST(NetServe, AbruptDisconnectMidRequestLeavesOthersServed)
+{
+    ServedSession served;
+
+    // Client A fires a heavier search and vanishes without reading.
+    {
+        LineClient doomed(served.port());
+        ASSERT_TRUE(doomed.connected());
+        ASSERT_TRUE(doomed.sendLine(
+            "{\"op\":\"search\",\"id\":\"doomed\","
+            "\"layer\":{\"k\":32,\"c\":32,\"p\":14,\"q\":14,"
+            "\"r\":3,\"s\":3},"
+            "\"options\":{\"random_samples\":600,"
+            "\"hill_climb_rounds\":6,\"seed\":3}}"));
+        doomed.close(); // kill -9 equivalent: no goodbye
+    }
+
+    // Client B keeps getting real answers.
+    LineClient alive(served.port());
+    ASSERT_TRUE(alive.connected());
+    std::optional<JsonValue> pong =
+        parseJson(alive.roundTrip("{\"op\":\"ping\",\"id\":1}"));
+    ASSERT_TRUE(pong.has_value());
+    EXPECT_TRUE(pong->get("ok")->asBool());
+
+    std::optional<JsonValue> r =
+        parseJson(alive.roundTrip(searchRequest(11, 2)));
+    ASSERT_TRUE(r.has_value());
+    EXPECT_TRUE(r->get("ok")->asBool()) << r->serialize();
+
+    served.shutdown();
+}
+
+TEST(NetServe, BackpressureRejectsEchoTheRequestId)
+{
+    // max_queue = 1: a pipelined burst behind one in-flight search
+    // overflows the admission queue deterministically (all lines
+    // arrive in one read batch, rejects are answered immediately).
+    ServeConfig cfg;
+    cfg.max_queue = 1;
+    ServedSession served(cfg);
+
+    LineClient client(served.port());
+    ASSERT_TRUE(client.connected());
+    std::string burst =
+        searchRequest(21, 1) + "\n" + searchRequest(22, 2) + "\n" +
+        searchRequest(23, 3) + "\n" + searchRequest(24, 4);
+    ASSERT_TRUE(client.sendLine(burst));
+
+    // Exactly 4 responses; match them up by echoed id.
+    std::map<double, JsonValue> by_id;
+    for (int i = 0; i < 4; ++i) {
+        std::string line;
+        ASSERT_TRUE(client.recvLine(line)) << "response " << i;
+        std::optional<JsonValue> r = parseJson(line);
+        ASSERT_TRUE(r.has_value());
+        ASSERT_NE(r->get("id"), nullptr) << line;
+        by_id.emplace(r->get("id")->asNumber(), *r);
+    }
+    ASSERT_EQ(by_id.size(), 4u);
+    // How many of the burst land in one read batch depends on TCP
+    // segmentation, so the exact served/rejected split can be 1/3 or
+    // 2/2 -- but every response is id-attributable either way, and
+    // rejects name the queue.
+    int served_ok = 0, backpressure = 0;
+    for (const auto &[id, r] : by_id) {
+        if (r.get("ok")->asBool()) {
+            ++served_ok;
+        } else {
+            EXPECT_NE(r.get("error")->asString().find("queue full"),
+                      std::string::npos)
+                << r.get("error")->asString();
+            EXPECT_EQ(r.get("op")->asString(), "search");
+            ++backpressure;
+        }
+    }
+    EXPECT_GE(served_ok, 1);
+    EXPECT_GE(backpressure, 1);
+    EXPECT_EQ(served_ok + backpressure, 4);
+
+    served.shutdown();
+}
+
+TEST(NetServe, ServerFullGreetsAndCloses)
+{
+    ServeConfig cfg;
+    cfg.max_connections = 1;
+    ServedSession served(cfg);
+
+    LineClient first(served.port());
+    ASSERT_TRUE(first.connected());
+    ASSERT_TRUE(parseJson(first.roundTrip("{\"op\":\"ping\"}"))
+                    ->get("ok")
+                    ->asBool());
+
+    LineClient second(served.port());
+    ASSERT_TRUE(second.connected());
+    std::string line;
+    ASSERT_TRUE(second.recvLine(line));
+    std::optional<JsonValue> r = parseJson(line);
+    ASSERT_TRUE(r.has_value()) << line;
+    EXPECT_FALSE(r->get("ok")->asBool());
+    EXPECT_NE(r->get("error")->asString().find("server full"),
+              std::string::npos);
+    // ... and then EOF.
+    EXPECT_FALSE(second.recvLine(line));
+
+    // The slot frees up once the first client leaves.
+    first.close();
+    for (int attempt = 0;; ++attempt) {
+        LineClient retry(served.port());
+        ASSERT_TRUE(retry.connected());
+        std::string resp = retry.roundTrip("{\"op\":\"ping\"}");
+        std::optional<JsonValue> pong = parseJson(resp);
+        if (pong && pong->get("ok") && pong->get("ok")->asBool())
+            break;
+        ASSERT_LT(attempt, 100) << "slot never freed";
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+
+    served.shutdown();
+}
+
+TEST(NetServe, OversizeLineStillAnswersEarlierRequests)
+{
+    ServedSession served;
+    LineClient client(served.port());
+    ASSERT_TRUE(client.connected());
+
+    // One batch: a valid request, then a line beyond the cap.  The
+    // admitted request must still be answered (correlatable by id)
+    // alongside the violation error, and only then does the server
+    // hang up.
+    std::string huge(LineSplitter::kMaxLineBytes + 2, 'x');
+    ASSERT_TRUE(
+        client.sendLine("{\"op\":\"ping\",\"id\":1}\n" + huge));
+
+    bool got_pong = false, got_violation = false;
+    for (int i = 0; i < 2; ++i) {
+        std::string line;
+        ASSERT_TRUE(client.recvLine(line)) << "response " << i;
+        std::optional<JsonValue> r = parseJson(line);
+        ASSERT_TRUE(r.has_value()) << line;
+        if (r->get("ok")->asBool()) {
+            EXPECT_EQ(r->get("op")->asString(), "ping");
+            EXPECT_EQ(r->get("id")->asNumber(), 1.0);
+            got_pong = true;
+        } else {
+            EXPECT_NE(r->get("error")->asString().find("exceeds"),
+                      std::string::npos)
+                << line;
+            got_violation = true;
+        }
+    }
+    EXPECT_TRUE(got_pong);
+    EXPECT_TRUE(got_violation);
+
+    // ... and then EOF: the connection is reaped, the server lives.
+    std::string eof;
+    EXPECT_FALSE(client.recvLine(eof));
+    LineClient next(served.port());
+    ASSERT_TRUE(next.connected());
+    EXPECT_TRUE(parseJson(next.roundTrip("{\"op\":\"ping\"}"))
+                    ->get("ok")
+                    ->asBool());
+
+    served.shutdown();
+}
+
+TEST(NetServe, ShutdownDrainsPipelinedWork)
+{
+    ServedSession served;
+
+    LineClient client(served.port());
+    ASSERT_TRUE(client.connected());
+    // Pipeline real work followed by shutdown: every response must
+    // still arrive, in order, before the server exits.
+    std::string burst = searchRequest(31, 1) + "\n" +
+                        searchRequest(32, 2) + "\n" +
+                        "{\"op\":\"shutdown\",\"id\":3}";
+    ASSERT_TRUE(client.sendLine(burst));
+    std::vector<std::string> lines(3);
+    for (std::string &line : lines)
+        ASSERT_TRUE(client.recvLine(line));
+    for (int i = 0; i < 3; ++i) {
+        std::optional<JsonValue> r = parseJson(lines[i]);
+        ASSERT_TRUE(r.has_value());
+        EXPECT_TRUE(r->get("ok")->asBool()) << lines[i];
+        EXPECT_EQ(r->get("id")->asNumber(), double(i + 1));
+    }
+    // Server side is gone now.
+    std::string eof;
+    EXPECT_FALSE(client.recvLine(eof));
+    served.shutdown(); // just joins
+}
+
+} // namespace
+} // namespace ploop

@@ -1,0 +1,143 @@
+/** @file ResultCache unit tests: LRU eviction ORDER, the entry-cap
+ *  boundaries (0 = disabled, 1 = singleton), and the stats op's
+ *  result_cache section, field by field. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "api/json.hpp"
+#include "service/result_cache.hpp"
+#include "service/serve_session.hpp"
+
+namespace ploop {
+namespace {
+
+/** A distinguishable response (only fields the cache must carry). */
+SearchResponse
+makeResponse(std::uint64_t tag)
+{
+    SearchResponse r{Mapping(2), "", 0, 0.0, QuickEval{},
+                     SearchStats{}, ResultRow{}, 0, false};
+    r.mapping_key = tag;
+    r.best_value = double(tag) * 1.5;
+    r.best.energy_j = double(tag) + 0.25;
+    r.best.runtime_s = double(tag) + 0.75;
+    r.fingerprint = tag;
+    return r;
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsedInOrder)
+{
+    ResultCache cache(2);
+    cache.insert(1, makeResponse(1));
+    cache.insert(2, makeResponse(2));
+
+    // Touch 1: now 2 is the least recently used...
+    EXPECT_TRUE(cache.find(1).has_value());
+    cache.insert(3, makeResponse(3));
+
+    // ... so 3 evicted 2, not 1.
+    EXPECT_TRUE(cache.find(1).has_value());
+    EXPECT_FALSE(cache.find(2).has_value());
+    EXPECT_TRUE(cache.find(3).has_value());
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.evictions(), 1u);
+
+    // Insert-refresh counts as recency too: refresh 1, add 4 -> 3
+    // is now the victim.
+    cache.insert(1, makeResponse(1));
+    cache.insert(4, makeResponse(4));
+    EXPECT_TRUE(cache.find(1).has_value());
+    EXPECT_FALSE(cache.find(3).has_value());
+    EXPECT_TRUE(cache.find(4).has_value());
+    EXPECT_EQ(cache.evictions(), 2u);
+}
+
+TEST(ResultCache, CapZeroDisablesEntirely)
+{
+    ResultCache cache(0);
+    EXPECT_FALSE(cache.enabled());
+    cache.insert(1, makeResponse(1));
+    EXPECT_FALSE(cache.find(1).has_value());
+    EXPECT_EQ(cache.size(), 0u);
+    // Disabled lookups are not counted as misses: the cache is out
+    // of the picture, not missing.
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+    EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(ResultCache, CapOneKeepsExactlyTheNewestEntry)
+{
+    ResultCache cache(1);
+    EXPECT_TRUE(cache.enabled());
+    cache.insert(1, makeResponse(1));
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_TRUE(cache.find(1).has_value());
+
+    cache.insert(2, makeResponse(2));
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_FALSE(cache.find(1).has_value());
+    EXPECT_TRUE(cache.find(2).has_value());
+    EXPECT_EQ(cache.evictions(), 1u);
+
+    // Same-key reinsert REPLACES (no eviction, no growth).
+    cache.insert(2, makeResponse(22));
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.evictions(), 1u);
+    std::optional<SearchResponse> hit = cache.find(2);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->mapping_key, 22u);
+}
+
+TEST(ResultCache, FindReturnsTheStoredResponseVerbatim)
+{
+    ResultCache cache(4);
+    cache.insert(9, makeResponse(9));
+    std::optional<SearchResponse> hit = cache.find(9);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->mapping_key, 9u);
+    EXPECT_EQ(hit->fingerprint, 9u);
+    EXPECT_EQ(hit->best_value, 9.0 * 1.5);
+    EXPECT_EQ(hit->best.energy_j, 9.25);
+    EXPECT_EQ(hit->best.runtime_s, 9.75);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 0u);
+    EXPECT_FALSE(cache.find(10).has_value());
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ResultCache, StatsOpReportsResultCacheSectionFieldByField)
+{
+    ServeConfig cfg;
+    cfg.result_cache_max_entries = 2;
+    ServeSession session(cfg);
+
+    const char *req =
+        "{\"op\":\"search\","
+        "\"layer\":{\"k\":8,\"c\":8,\"p\":6,\"q\":6,\"r\":3,"
+        "\"s\":3},"
+        "\"options\":{\"random_samples\":8,"
+        "\"hill_climb_rounds\":2,\"seed\":4,\"threads\":1}}";
+    ASSERT_TRUE(parseJson(session.handleLine(req))
+                    ->get("ok")
+                    ->asBool());        // miss + insert
+    std::optional<JsonValue> second =
+        parseJson(session.handleLine(req)); // hit
+    ASSERT_TRUE(second->get("from_result_cache")->asBool());
+
+    std::optional<JsonValue> stats =
+        parseJson(session.handleLine("{\"op\":\"stats\"}"));
+    ASSERT_TRUE(stats.has_value());
+    const JsonValue *rc = stats->get("result_cache");
+    ASSERT_NE(rc, nullptr);
+    EXPECT_EQ(rc->get("entries")->asNumber(), 1.0);
+    EXPECT_EQ(rc->get("hits")->asNumber(), 1.0);
+    EXPECT_EQ(rc->get("misses")->asNumber(), 1.0);
+    EXPECT_EQ(rc->get("evictions")->asNumber(), 0.0);
+    EXPECT_EQ(rc->get("max_entries")->asNumber(), 2.0);
+}
+
+} // namespace
+} // namespace ploop

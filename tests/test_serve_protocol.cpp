@@ -168,6 +168,84 @@ TEST(ServeSession, MalformedAndUnknownRequestsFailSoftly)
     EXPECT_FALSE(session.shutdownRequested());
 }
 
+TEST(ServeSession, ErrorResponsesEchoOpAndId)
+{
+    // Pipelined clients correlate responses by id, so EVERY failure
+    // shape must echo the request id (and op, when it is a usable
+    // string) -- not just the success paths.
+    ServeSession session;
+
+    // Unknown op.
+    std::optional<JsonValue> v = parseJson(
+        session.handleLine("{\"op\":\"frobnicate\",\"id\":7}"));
+    EXPECT_FALSE(v->get("ok")->asBool());
+    ASSERT_NE(v->get("id"), nullptr) << v->serialize();
+    EXPECT_EQ(v->get("id")->asNumber(), 7.0);
+    EXPECT_EQ(v->get("op")->asString(), "frobnicate");
+
+    // Strict-decode failure.
+    v = parseJson(session.handleLine(
+        "{\"op\":\"search\",\"id\":\"req-9\","
+        "\"layer\":{\"k\":4,\"frobs\":1}}"));
+    EXPECT_FALSE(v->get("ok")->asBool());
+    ASSERT_NE(v->get("id"), nullptr) << v->serialize();
+    EXPECT_EQ(v->get("id")->asString(), "req-9");
+    EXPECT_EQ(v->get("op")->asString(), "search");
+
+    // Non-string op: id still echoed, bogus op omitted.
+    v = parseJson(session.handleLine("{\"op\":123,\"id\":8}"));
+    EXPECT_FALSE(v->get("ok")->asBool());
+    ASSERT_NE(v->get("id"), nullptr) << v->serialize();
+    EXPECT_EQ(v->get("id")->asNumber(), 8.0);
+    EXPECT_EQ(v->get("op"), nullptr);
+
+    // Failing session op (save_cache without a configured store).
+    v = parseJson(
+        session.handleLine("{\"op\":\"save_cache\",\"id\":11}"));
+    EXPECT_FALSE(v->get("ok")->asBool());
+    ASSERT_NE(v->get("id"), nullptr) << v->serialize();
+    EXPECT_EQ(v->get("id")->asNumber(), 11.0);
+    EXPECT_EQ(v->get("op")->asString(), "save_cache");
+
+    // A null id is still an id; echo it.
+    v = parseJson(session.handleLine(
+        "{\"op\":\"frobnicate\",\"id\":null}"));
+    EXPECT_FALSE(v->get("ok")->asBool());
+    ASSERT_NE(v->get("id"), nullptr) << v->serialize();
+    EXPECT_TRUE(v->get("id")->isNull());
+}
+
+TEST(ServeSession, ProtocolErrorResponseEchoesWhatItCan)
+{
+    // The serving layer's out-of-band rejects (backpressure, drain,
+    // oversized lines) use this helper: op/id recovered whenever the
+    // line parses, error-only otherwise.
+    std::optional<JsonValue> v = parseJson(protocolErrorResponse(
+        "{\"op\":\"search\",\"id\":42,\"layer\":{}}",
+        "server busy"));
+    ASSERT_TRUE(v.has_value());
+    EXPECT_FALSE(v->get("ok")->asBool());
+    EXPECT_EQ(v->get("error")->asString(), "server busy");
+    EXPECT_EQ(v->get("op")->asString(), "search");
+    EXPECT_EQ(v->get("id")->asNumber(), 42.0);
+
+    v = parseJson(protocolErrorResponse("this is not json",
+                                        "server busy"));
+    ASSERT_TRUE(v.has_value());
+    EXPECT_FALSE(v->get("ok")->asBool());
+    EXPECT_EQ(v->get("op"), nullptr);
+    EXPECT_EQ(v->get("id"), nullptr);
+
+    // Non-object JSON and non-string ops degrade the same way.
+    v = parseJson(protocolErrorResponse("[1,2]", "nope"));
+    EXPECT_EQ(v->get("id"), nullptr);
+    v = parseJson(
+        protocolErrorResponse("{\"op\":1,\"id\":\"x\"}", "nope"));
+    EXPECT_EQ(v->get("op"), nullptr);
+    ASSERT_NE(v->get("id"), nullptr);
+    EXPECT_EQ(v->get("id")->asString(), "x");
+}
+
 TEST(ServeSession, SearchRespondsWithStatsAndExactBits)
 {
     ServeSession session;

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * ploop_client: a small line client for a ploop_serve --listen
+ * server.  Reads request lines from stdin (or --script FILE), sends
+ * them over loopback TCP, and prints each response line to stdout --
+ * the socket twin of `... | ploop_serve`.
+ *
+ *   ploop_client --port PORT [--script FILE] [--pipeline]
+ *
+ * Default mode is lockstep: send one request, wait for its response,
+ * print it, repeat -- the natural shape for shell scripts comparing
+ * responses line by line.  --pipeline sends every request first and
+ * then reads all responses (exercises server-side queueing and
+ * per-connection response ordering).
+ *
+ * Blank lines and lines starting with '#' are skipped, like
+ * ploop_serve --script.  Exit status: 0 when every request got a
+ * response line, 1 on connection failure or a server that closed
+ * early, 2 on usage errors.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "net/line_client.hpp"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s --port PORT [--script FILE] "
+                 "[--pipeline]\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ploop;
+
+    long port = -1;
+    std::string script;
+    bool pipeline = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--port") {
+            char *end = nullptr;
+            const char *text = value();
+            port = std::strtol(text, &end, 10);
+            if (end == text || *end != '\0' || port < 1 ||
+                port > 65535) {
+                std::fprintf(stderr, "bad --port '%s'\n", text);
+                return 2;
+            }
+        } else if (arg == "--script") {
+            script = value();
+        } else if (arg == "--pipeline") {
+            pipeline = true;
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(argv[0]);
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n",
+                         arg.c_str());
+            return usage(argv[0]);
+        }
+    }
+    if (port < 0)
+        return usage(argv[0]);
+
+    std::ifstream script_in;
+    if (!script.empty()) {
+        script_in.open(script);
+        if (!script_in.is_open()) {
+            std::fprintf(stderr, "cannot open script '%s'\n",
+                         script.c_str());
+            return 2;
+        }
+    }
+    std::istream &in = script.empty() ? std::cin : script_in;
+
+    LineClient client(static_cast<std::uint16_t>(port));
+    if (!client.connected()) {
+        std::fprintf(stderr, "cannot connect to 127.0.0.1:%ld\n",
+                     port);
+        return 1;
+    }
+
+    std::string line, resp;
+    std::size_t sent = 0, answered = 0;
+    bool ok = true;
+    while (std::getline(in, line)) {
+        std::size_t first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos || line[first] == '#')
+            continue;
+        if (!client.sendLine(line)) {
+            std::fprintf(stderr, "server closed the connection\n");
+            ok = false;
+            break;
+        }
+        ++sent;
+        if (pipeline) {
+            // Drain whatever responses already arrived so a deep
+            // pipeline can never deadlock against a server that
+            // stops reading while our unread responses pile up.
+            while (client.tryRecvLine(resp)) {
+                ++answered;
+                std::puts(resp.c_str());
+            }
+            continue;
+        }
+        if (!client.recvLine(resp)) {
+            std::fprintf(stderr,
+                         "no response (server closed early)\n");
+            ok = false;
+            break;
+        }
+        ++answered;
+        std::puts(resp.c_str());
+        std::fflush(stdout);
+    }
+    while (ok && answered < sent) {
+        if (!client.recvLine(resp)) {
+            std::fprintf(stderr,
+                         "missing %zu responses (server closed "
+                         "early)\n",
+                         sent - answered);
+            ok = false;
+            break;
+        }
+        ++answered;
+        std::puts(resp.c_str());
+        std::fflush(stdout);
+    }
+    return ok ? 0 : 1;
+}

@@ -2,23 +2,40 @@
  * @file
  * ploop_serve: the long-lived evaluation server.  Speaks the
  * line-oriented JSON protocol of ServeSession on stdin/stdout (one
- * request per line, one response per line), or replays a request
- * script with --script (batch mode).  Protocol documentation lives
- * in serve_session.hpp; the README section "The evaluation service"
- * shows end-to-end examples.
+ * request per line, one response per line), replays a request script
+ * with --script (batch mode), or serves MANY CONCURRENT CLIENTS over
+ * loopback TCP with --listen (see net/server.hpp).  Protocol
+ * documentation lives in serve_session.hpp; the README sections "The
+ * evaluation service" and "Serving multiple clients" show end-to-end
+ * examples.
  *
  *   ploop_serve [--cache-store PATH] [--cache-max-entries N]
+ *               [--result-cache-max-entries N]
+ *               [--cache-store-max-entries N]
  *               [--script FILE]
+ *               [--listen PORT] [--port-file PATH]
+ *               [--max-connections N] [--max-queue N]
+ *               [--compact]
  *
  * With --cache-store, warm EvalCache entries are merged from PATH at
  * startup (graceful cold start on a missing/damaged file) and saved
  * back on shutdown/EOF and on the save_cache op -- so repeated runs
  * of the same study answer from warm entries immediately.
+ * --cache-store-max-entries bounds saves to the N most-reused
+ * entries.  --compact is a one-shot maintenance mode: load the
+ * store, verify it, rewrite it bounded and freshly checksummed, and
+ * exit (no serving).
+ *
+ * With --listen, all connected clients share ONE warm session:
+ * every client benefits from every other client's evaluations.
+ * --listen 0 binds a kernel-chosen port; --port-file writes the
+ * bound port for scripts to discover.
  *
  * Diagnostics go to stderr; stdout carries protocol lines only.
  */
 
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,6 +43,8 @@
 #include <iostream>
 #include <string>
 
+#include "mapper/cache_store.hpp"
+#include "net/server.hpp"
 #include "service/serve_session.hpp"
 
 namespace {
@@ -36,17 +55,56 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [--cache-store PATH] [--cache-max-entries N]\n"
-        "          [--result-cache-max-entries N] [--script FILE]\n"
+        "          [--result-cache-max-entries N]\n"
+        "          [--cache-store-max-entries N] [--script FILE]\n"
+        "          [--listen PORT] [--port-file PATH]\n"
+        "          [--max-connections N] [--max-queue N] [--compact]\n"
         "\n"
         "Line-oriented JSON evaluation service (one request object\n"
-        "per line on stdin, one response per line on stdout; ops:\n"
-        "ping, capabilities, evaluate, search, sweep, network,\n"
-        "stats, save_cache, shutdown).  --script replays FILE\n"
-        "instead of stdin; blank lines and lines starting with '#'\n"
-        "are skipped.  --result-cache-max-entries bounds the\n"
-        "whole-response memoization (0 disables it).\n",
+        "per line, one response per line; ops: ping, capabilities,\n"
+        "evaluate, search, sweep, network, stats, save_cache,\n"
+        "shutdown).  Default transport is stdin/stdout; --script\n"
+        "replays FILE (blank lines and '#' comments skipped);\n"
+        "--listen serves concurrent clients on 127.0.0.1:PORT (0 =\n"
+        "ephemeral port, written to --port-file).  All clients share\n"
+        "one warm cache session.  --max-connections/--max-queue\n"
+        "bound the serving layer; excess requests get backpressure\n"
+        "error responses.  --cache-store-max-entries bounds store\n"
+        "saves to the N most-reused entries;\n"
+        "--result-cache-max-entries bounds whole-response\n"
+        "memoization (0 disables it).  --compact loads, verifies,\n"
+        "compacts and rewrites the cache store, then exits.\n",
         argv0);
     return 2;
+}
+
+/** One-shot store maintenance (--compact): see file comment. */
+int
+compactStore(const ploop::ServeConfig &cfg)
+{
+    using namespace ploop;
+    if (cfg.cache_store.empty()) {
+        std::fprintf(stderr,
+                     "--compact needs --cache-store PATH\n");
+        return 2;
+    }
+    EvalCache cache;
+    CacheStoreLoad load = loadCacheStore(cache, cfg.cache_store,
+                                         cfg.store_fingerprint);
+    if (!load.loaded) {
+        std::fprintf(stderr, "ploop_serve --compact: %s\n",
+                     load.detail.c_str());
+        return 1;
+    }
+    std::size_t written =
+        saveCacheStore(cache, cfg.cache_store, cfg.store_fingerprint,
+                       cfg.cache_store_max_entries);
+    std::fprintf(stderr,
+                 "ploop_serve --compact: %s; rewrote %zu of %zu "
+                 "entries (bound %zu) with a fresh checksum\n",
+                 load.detail.c_str(), written, load.entries,
+                 cfg.cache_store_max_entries);
+    return 0;
 }
 
 } // namespace
@@ -57,7 +115,11 @@ main(int argc, char **argv)
     using namespace ploop;
 
     ServeConfig cfg;
+    NetConfig net;
     std::string script;
+    std::string port_file;
+    bool listen = false;
+    bool compact = false;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         auto value = [&]() -> const char * {
@@ -91,8 +153,28 @@ main(int argc, char **argv)
             cfg.cache_max_entries = cap_value();
         } else if (arg == "--result-cache-max-entries") {
             cfg.result_cache_max_entries = cap_value();
+        } else if (arg == "--cache-store-max-entries") {
+            cfg.cache_store_max_entries = cap_value();
         } else if (arg == "--script") {
             script = value();
+        } else if (arg == "--listen") {
+            std::size_t port = cap_value();
+            if (port > 65535) {
+                std::fprintf(stderr,
+                             "--listen port %zu out of range\n",
+                             port);
+                return 2;
+            }
+            net.port = static_cast<std::uint16_t>(port);
+            listen = true;
+        } else if (arg == "--port-file") {
+            port_file = value();
+        } else if (arg == "--max-connections") {
+            cfg.max_connections = cap_value();
+        } else if (arg == "--max-queue") {
+            cfg.max_queue = cap_value();
+        } else if (arg == "--compact") {
+            compact = true;
         } else if (arg == "--help" || arg == "-h") {
             return usage(argv[0]);
         } else {
@@ -102,9 +184,55 @@ main(int argc, char **argv)
         }
     }
 
+    if (compact)
+        return compactStore(cfg);
+    if (listen && !script.empty()) {
+        std::fprintf(stderr,
+                     "--listen and --script are exclusive\n");
+        return 2;
+    }
+
+    cfg.transport = listen ? "tcp" : (script.empty() ? "stdio"
+                                                     : "script");
+
     ServeSession session(cfg);
     std::fprintf(stderr, "ploop_serve: %s\n",
                  session.storeLoad().detail.c_str());
+
+    if (listen) {
+        // A client disconnecting mid-write must be an EPIPE on that
+        // connection, never a process-killing SIGPIPE (sends use
+        // MSG_NOSIGNAL too; this covers any stray write).
+        std::signal(SIGPIPE, SIG_IGN);
+
+        NetServer server(session, net);
+        std::string error;
+        if (!server.open(&error)) {
+            std::fprintf(stderr, "ploop_serve: %s\n", error.c_str());
+            return 1;
+        }
+        if (!port_file.empty()) {
+            std::ofstream pf(port_file, std::ios::trunc);
+            if (!pf.is_open()) {
+                std::fprintf(stderr,
+                             "cannot write port file '%s'\n",
+                             port_file.c_str());
+                return 1;
+            }
+            pf << server.port() << "\n";
+        }
+        std::fprintf(stderr,
+                     "ploop_serve: listening on 127.0.0.1:%u "
+                     "(max %zu connections, queue %zu)\n",
+                     unsigned(server.port()), cfg.max_connections,
+                     cfg.max_queue);
+        std::uint64_t served = server.run();
+        std::fprintf(stderr,
+                     "ploop_serve: drained; served %llu "
+                     "connections\n",
+                     static_cast<unsigned long long>(served));
+        return 0;
+    }
 
     std::ifstream script_in;
     if (!script.empty()) {

@@ -1,0 +1,142 @@
+#!/usr/bin/env bash
+# Multi-client loopback smoke for ploop_serve --listen.
+#
+#   serve_net_smoke.sh <ploop_serve binary> <ploop_client binary>
+#
+# Asserts, against a real server process on an ephemeral port:
+#   1. N=4 CONCURRENT clients each receive responses bit-identical
+#      (mapping_key / energy_bits / runtime_bits) to a serial
+#      single-client stdio session answering the same requests;
+#   2. the clients share ONE warm session: a separate warm-up
+#      connection computes the 3 searches first, so ALL 12 concurrent
+#      responses must report from_result_cache -- cross-client
+#      result-cache hits, deterministic at any thread count;
+#   3. killing a client mid-request (kill -9) leaves the server
+#      answering everyone else;
+#   4. the stats op grows "connections" and "queue" sections;
+#   5. shutdown drains gracefully and the server process exits 0.
+#
+# The in-process equivalents live in tests/test_net.cpp; this script
+# checks the same contracts across real process/socket boundaries.
+set -euo pipefail
+
+SERVE="$1"
+CLIENT="$2"
+TMP="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() { echo "serve_net_smoke: FAIL: $*" >&2; exit 1; }
+
+# Extract the first "key":"value" / "key":value for a key from $2.
+jget() { # key line
+    printf '%s\n' "$2" | grep -o "\"$1\":\"[^\"]*\"\|\"$1\":[^,}]*" \
+        | head -n1 | sed -e 's/^"[^"]*"://' -e 's/^"//' -e 's/"$//'
+}
+
+# Three distinct small searches, ids 1..3 (seed varies).
+REQS="$TMP/requests.jsonl"
+for seed in 5 6 7; do
+    echo '{"op":"search","id":'"$seed"',"layer":{"name":"c","k":16,"c":16,"p":7,"q":7,"r":3,"s":3},"options":{"random_samples":12,"hill_climb_rounds":2,"seed":'"$seed"'}}'
+done >"$REQS"
+
+# ---- 1. serial single-client reference (stdio transport) ----------
+"$SERVE" <"$REQS" >"$TMP/serial.out" 2>/dev/null
+[ "$(wc -l <"$TMP/serial.out")" -eq 3 ] || fail "serial run: expected 3 responses"
+
+# ---- start the shared server --------------------------------------
+PORT_FILE="$TMP/port"
+"$SERVE" --listen 0 --port-file "$PORT_FILE" 2>"$TMP/server.err" &
+SERVER_PID=$!
+for i in $(seq 200); do [ -s "$PORT_FILE" ] && break; sleep 0.05; done
+[ -s "$PORT_FILE" ] || fail "server never wrote its port file"
+PORT="$(cat "$PORT_FILE")"
+
+# ---- 2. four concurrent clients -----------------------------------
+# Warm the shared session through one connection first: every
+# concurrent client below must then be answered whole from the
+# ResultCache that a DIFFERENT connection populated -- cross-client
+# warmth, deterministic at any thread count.
+"$CLIENT" --port "$PORT" --script "$REQS" >"$TMP/warmer.out" \
+    || fail "warmup client failed"
+[ "$(wc -l <"$TMP/warmer.out")" -eq 3 ] || fail "warmer: expected 3 responses"
+while IFS= read -r line; do
+    [ "$(jget ok "$line")" = "true" ] || fail "warmer response not ok: $line"
+done <"$TMP/warmer.out"
+
+CLIENT_PIDS=()
+for c in 1 2 3 4; do
+    "$CLIENT" --port "$PORT" --script "$REQS" >"$TMP/client$c.out" \
+        2>"$TMP/client$c.err" &
+    CLIENT_PIDS+=($!)
+done
+for pid in "${CLIENT_PIDS[@]}"; do
+    wait "$pid" || fail "a concurrent client exited non-zero"
+done
+
+warm_hits=0
+for c in 1 2 3 4; do
+    [ "$(wc -l <"$TMP/client$c.out")" -eq 3 ] \
+        || fail "client $c: expected 3 responses"
+    for i in 1 2 3; do
+        ref="$(sed -n ${i}p "$TMP/serial.out")"
+        got="$(sed -n ${i}p "$TMP/client$c.out")"
+        [ "$(jget ok "$got")" = "true" ] || fail "client $c response $i not ok: $got"
+        [ "$(jget id "$got")" = "$(jget id "$ref")" ] \
+            || fail "client $c response $i id mismatch"
+        for key in mapping_key energy_bits runtime_bits; do
+            [ "$(jget $key "$got")" = "$(jget $key "$ref")" ] \
+                || fail "client $c response $i: $key diverged from the serial run"
+        done
+        [ "$(jget from_result_cache "$got")" = "true" ] \
+            && warm_hits=$((warm_hits + 1))
+    done
+done
+# All 12 responses were computed by the warmer's CONNECTION, so all
+# 12 must be cross-client result-cache hits.
+[ "$warm_hits" -eq 12 ] \
+    || fail "expected 12 cross-client result-cache hits, got $warm_hits"
+
+# ---- 3. kill a client mid-request ---------------------------------
+echo '{"op":"search","id":"doomed","layer":{"k":32,"c":32,"p":14,"q":14,"r":3,"s":3},"options":{"random_samples":800,"hill_climb_rounds":8,"seed":3}}' \
+    >"$TMP/heavy.jsonl"
+"$CLIENT" --port "$PORT" --script "$TMP/heavy.jsonl" \
+    >/dev/null 2>&1 &
+DOOMED=$!
+sleep 0.1
+kill -9 "$DOOMED" 2>/dev/null || true
+wait "$DOOMED" 2>/dev/null || true
+
+# The survivors still get real answers.
+SURV="$("$CLIENT" --port "$PORT" --script "$REQS")" \
+    || fail "client after the kill could not be served"
+[ "$(printf '%s\n' "$SURV" | wc -l)" -eq 3 ] || fail "survivor: expected 3 responses"
+printf '%s\n' "$SURV" | while IFS= read -r line; do
+    [ "$(jget ok "$line")" = "true" ] || fail "survivor response not ok: $line"
+done
+
+# ---- 4. stats sections --------------------------------------------
+STATS="$(echo '{"op":"stats","id":"s"}' | "$CLIENT" --port "$PORT")"
+printf '%s' "$STATS" | grep -q '"connections":{' || fail "stats lacks connections section: $STATS"
+printf '%s' "$STATS" | grep -q '"queue":{' || fail "stats lacks queue section: $STATS"
+printf '%s' "$STATS" | grep -q '"max_queue":' || fail "stats lacks max_queue: $STATS"
+[ "$(jget accepted "$STATS")" -ge 6 ] || fail "stats accepted too low: $STATS"
+
+# Error responses over the wire still echo the id (pipelined
+# correlation; the backpressure equivalent is tested in-process).
+ERR="$(echo '{"op":"search","id":"e9","layer":{"sneaky":1}}' | "$CLIENT" --port "$PORT")"
+[ "$(jget ok "$ERR")" = "false" ] || fail "bad request was accepted: $ERR"
+[ "$(jget id "$ERR")" = "e9" ] || fail "error response lost its id: $ERR"
+
+# ---- 5. graceful drain-then-exit ----------------------------------
+BYE="$(echo '{"op":"shutdown","id":"z"}' | "$CLIENT" --port "$PORT")"
+[ "$(jget ok "$BYE")" = "true" ] || fail "shutdown refused: $BYE"
+wait "$SERVER_PID" || fail "server exited non-zero after shutdown"
+SERVER_PID=""
+grep -q "drained" "$TMP/server.err" || fail "server did not report a drained exit"
+
+echo "serve_net_smoke: OK (4 concurrent clients bit-identical, $warm_hits cross-client warm hits)"

@@ -53,9 +53,13 @@ smoke() {
     # and the output_reuse=3 sweep point, which IS the default) plus
     # the output_reuse=9 point => exactly 2 builds.
     sed -n 6p "$out" | grep -q '"models_built":2' || fail "stats response (2 distinct archs): $(sed -n 6p "$out")"
+    # Error responses echo op/id too (pipelined clients correlate
+    # failures exactly like successes).
     sed -n 7p "$out" | grep -q '"ok":false.*unknown op' || fail "unknown-op response"
+    sed -n 7p "$out" | grep -q '"op":"frobnicate".*"id":5' || fail "unknown-op response lost op/id: $(sed -n 7p "$out")"
     # Strict decoding: unknown request fields are rejected BY NAME.
     sed -n 8p "$out" | grep -q '"ok":false.*unknown field .layer.sneaky_field.' || fail "unknown-field response: $(sed -n 8p "$out")"
+    sed -n 8p "$out" | grep -q '"op":"search".*"id":6' || fail "decode-error response lost op/id: $(sed -n 8p "$out")"
     sed -n 9p "$out" | grep -q '"ok":false.*bad JSON' || fail "malformed-line response"
     echo "serve_smoke: smoke OK"
 }
