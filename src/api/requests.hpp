@@ -39,7 +39,7 @@ namespace ploop {
 
 /** Protocol/schema version served by the capabilities op.  Bumped on
  *  any change to a request field list or response shape. */
-constexpr int kApiVersion = 1;
+constexpr int kApiVersion = 2;
 
 /** Hash of every AlbireoConfig field: the arch-registry key, and the
  *  arch component of every request fingerprint. */
@@ -300,6 +300,14 @@ describeFields(V &v, SearchOptions &o)
     // warm result-cache hits survive thread-count changes.
     v.field(nonSemantic("threads", "worker lanes (0 = automatic)"),
             o.threads);
+    // A deadline changes WHETHER a search finishes, never what a
+    // finished search returns, so like threads it stays out of the
+    // fingerprint: a warm hit answers instantly whatever budget the
+    // retry carries, and a timed-out request never populates the
+    // result cache in the first place.
+    v.field(nonSemantic("timeout_ms",
+                        "request deadline in ms (0 = none)"),
+            o.timeout_ms);
 }
 
 template <class V>

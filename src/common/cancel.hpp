@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Cooperative cancellation for long-running requests.
+ *
+ * A CancelToken is created at a request's entry point (EvalService
+ * builds one from SearchOptions::timeout_ms) and passed BY POINTER
+ * down through the mapper's search phases.  Hot loops poll expired()
+ * -- a relaxed atomic load plus, until the first trip, one
+ * steady_clock read -- and bail out early; the serial top level then
+ * throws CancelledError, which the protocol layer turns into a
+ * `deadline_exceeded` error response with the request's op/id echoed.
+ *
+ * Contract notes:
+ *  - cancellation is COOPERATIVE: a timed-out search stops at the
+ *    next checkpoint, it is never interrupted mid-evaluation;
+ *  - partial results are discarded by the throw, so a cancelled
+ *    search can never surface a nondeterministic "best so far";
+ *  - EvalCache entries written before the trip are kept -- cached
+ *    values are bit-identical to fresh evaluations, so a cancelled
+ *    attempt safely pre-warms the retry;
+ *  - CancelledError is NOT a FatalError: the request did nothing
+ *    wrong, it just ran out of budget, and callers that want to
+ *    distinguish "bad request" from "deadline" can.
+ */
+
+#ifndef PHOTONLOOP_COMMON_CANCEL_HPP
+#define PHOTONLOOP_COMMON_CANCEL_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace ploop {
+
+/** Thrown at a cancellation checkpoint once a token expired.  The
+ *  message always starts with "deadline_exceeded" so transports can
+ *  classify it without a dedicated exception hierarchy. */
+class CancelledError : public std::runtime_error
+{
+  public:
+    explicit CancelledError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** See file comment.  Not copyable or movable: the token lives at
+ *  the request's entry frame and everyone below holds a pointer. */
+class CancelToken
+{
+  public:
+    /** An inert token (never expires) -- the same as passing no
+     *  token, which keeps call sites uniform. */
+    CancelToken() = default;
+
+    /** A token that expires @p timeout_ms from now (0 = inert). */
+    explicit CancelToken(std::uint64_t timeout_ms)
+    {
+        if (timeout_ms > 0) {
+            has_deadline_ = true;
+            deadline_ = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+        }
+    }
+
+    CancelToken(const CancelToken &) = delete;
+    CancelToken &operator=(const CancelToken &) = delete;
+
+    /** Expire the token now (tests; future per-connection aborts). */
+    void cancel() { expired_.store(true, std::memory_order_relaxed); }
+
+    /**
+     * True once the deadline passed or cancel() was called.  Cheap
+     * enough for per-candidate polling: after the first trip the
+     * answer is a relaxed atomic load (the clock result is latched).
+     */
+    bool expired() const
+    {
+        if (expired_.load(std::memory_order_relaxed))
+            return true;
+        if (!has_deadline_ ||
+            std::chrono::steady_clock::now() < deadline_)
+            return false;
+        expired_.store(true, std::memory_order_relaxed);
+        return true;
+    }
+
+  private:
+    mutable std::atomic<bool> expired_{false};
+    bool has_deadline_ = false;
+    std::chrono::steady_clock::time_point deadline_{};
+};
+
+/**
+ * Serial-checkpoint helper: throw CancelledError when @p token (may
+ * be null = no deadline) has expired.  Parallel loop BODIES should
+ * poll token->expired() and return early instead -- the owning serial
+ * frame calls this after the join, so exactly one throw unwinds the
+ * search.
+ */
+inline void
+throwIfCancelled(const CancelToken *token)
+{
+    if (token && token->expired())
+        throw CancelledError(
+            "deadline_exceeded: the request's timeout_ms budget "
+            "elapsed before the work completed; partial results were "
+            "discarded (cache warmth is kept)");
+}
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_COMMON_CANCEL_HPP

@@ -10,8 +10,9 @@ namespace ploop {
 NetworkRunResult
 runNetwork(const Evaluator &evaluator, const Network &net,
            const SearchOptions &options, EvalCache *shared_cache,
-           SearchStats *aggregate)
+           SearchStats *aggregate, const CancelToken *cancel)
 {
+    throwIfCancelled(cancel);
     const std::vector<LayerShape> &layers = net.layers();
     std::vector<std::optional<MapperResult>> slots(layers.size());
     Mapper mapper(evaluator, options);
@@ -26,8 +27,11 @@ runNetwork(const Evaluator &evaluator, const Network &net,
     EvalCache local_cache;
     EvalCache &cache = shared_cache ? *shared_cache : local_cache;
     ThreadPool &pool = ThreadPool::forThreads(options.threads);
+    // As in runSweepEvaluators: an expired deadline throws out of
+    // the per-layer searches and the whole run unwinds -- never a
+    // partial network result.
     pool.parallelFor(layers.size(), [&](std::size_t i) {
-        slots[i].emplace(mapper.search(layers[i], &cache));
+        slots[i].emplace(mapper.search(layers[i], &cache, cancel));
     });
 
     // Aggregate sequentially in layer order so floating-point totals

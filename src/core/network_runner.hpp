@@ -72,12 +72,16 @@ struct NetworkRunResult
  * @param aggregate Optional sink accumulating every layer's
  *     SearchStats (summed in layer order; totals deterministic, the
  *     hit/miss split scheduling-dependent as documented).
+ * @param cancel Optional cooperative deadline shared by every
+ *     layer's search (see Mapper::search): once expired, the run
+ *     throws CancelledError and no partial result is returned.
  */
 NetworkRunResult runNetwork(const Evaluator &evaluator,
                             const Network &net,
                             const SearchOptions &options = {},
                             EvalCache *shared_cache = nullptr,
-                            SearchStats *aggregate = nullptr);
+                            SearchStats *aggregate = nullptr,
+                            const CancelToken *cancel = nullptr);
 
 } // namespace ploop
 

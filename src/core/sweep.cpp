@@ -13,11 +13,13 @@ std::vector<SweepPoint>
 runSweepEvaluators(const std::vector<const Evaluator *> &evaluators,
                    const std::vector<std::vector<double>> &coords,
                    const LayerShape &layer, const SearchOptions &search,
-                   EvalCache *shared_cache, SearchStats *aggregate)
+                   EvalCache *shared_cache, SearchStats *aggregate,
+                   const CancelToken *cancel)
 {
     fatalIf(evaluators.size() != coords.size(),
             "sweep needs one evaluator per point");
     fatalIf(coords.empty(), "sweep needs >= 1 point");
+    throwIfCancelled(cancel);
 
     // Points are independent, so they fan out across the pool; slots
     // keep the output in point order regardless of completion order.
@@ -34,9 +36,12 @@ runSweepEvaluators(const std::vector<const Evaluator *> &evaluators,
     EvalCache local_cache;
     EvalCache &cache = shared_cache ? *shared_cache : local_cache;
     ThreadPool &pool = ThreadPool::forThreads(search.threads);
+    // A point's search throws CancelledError once the shared token
+    // expires; parallelFor rethrows the first one after the join, so
+    // a timed-out sweep unwinds with NO partial point list.
     pool.parallelFor(coords.size(), [&](std::size_t i) {
         Mapper mapper(*evaluators[i], search);
-        MapperResult r = mapper.search(layer, &cache);
+        MapperResult r = mapper.search(layer, &cache, cancel);
         stats[i] = r.stats;
         slots[i].emplace(coords[i], std::move(r.mapping),
                          std::move(r.result));

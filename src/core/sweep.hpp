@@ -61,6 +61,9 @@ struct SweepPoint
  *     SearchStats (summed in point order, so totals are
  *     deterministic; the hit/miss split is scheduling-dependent as
  *     documented on SearchStats).
+ * @param cancel Optional cooperative deadline shared by every
+ *     point's search (see Mapper::search): once expired, the sweep
+ *     throws CancelledError and no partial point list is returned.
  */
 std::vector<SweepPoint>
 runSweepEvaluators(const std::vector<const Evaluator *> &evaluators,
@@ -68,7 +71,8 @@ runSweepEvaluators(const std::vector<const Evaluator *> &evaluators,
                    const LayerShape &layer,
                    const SearchOptions &search,
                    EvalCache *shared_cache = nullptr,
-                   SearchStats *aggregate = nullptr);
+                   SearchStats *aggregate = nullptr,
+                   const CancelToken *cancel = nullptr);
 
 /**
  * Render a sweep as a table: one column per axis name, then the

@@ -13,7 +13,8 @@ Mapper::Mapper(const Evaluator &evaluator, SearchOptions options)
 {}
 
 MapperResult
-Mapper::search(const LayerShape &layer, EvalCache *shared_cache) const
+Mapper::search(const LayerShape &layer, EvalCache *shared_cache,
+               const CancelToken *cancel) const
 {
     auto t0 = std::chrono::steady_clock::now();
 
@@ -42,6 +43,7 @@ Mapper::search(const LayerShape &layer, EvalCache *shared_cache) const
         CacheDeltaScope seed_delta(stats);
         EvalScratch scratch;
         auto consider = [&](const Mapping &mapping) {
+            throwIfCancelled(cancel);
             QuickEval result;
             CachedEval outcome = cache.evaluateThrough(
                 evaluator_, layer, mapping, scratch, result);
@@ -72,7 +74,7 @@ Mapper::search(const LayerShape &layer, EvalCache *shared_cache) const
     // Random restarts.
     if (options_.random_samples > 0) {
         auto rnd = randomSearchQuick(evaluator_, layer, mapspace,
-                                     options_, stats, &cache);
+                                     options_, stats, &cache, cancel);
         if (rnd) {
             double val = objectiveValue(options_.objective, rnd->second);
             if (val < best_val) {
@@ -85,7 +87,7 @@ Mapper::search(const LayerShape &layer, EvalCache *shared_cache) const
     // Refine the incumbent.
     QuickCandidate refined =
         hillClimbQuick(evaluator_, layer, std::move(*best), options_,
-                       stats, &cache);
+                       stats, &cache, cancel);
 
     // One full evaluation for the winner (breakdown, area, counts).
     EvalResult full =

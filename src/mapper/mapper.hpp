@@ -58,9 +58,17 @@ class Mapper
      *     this search's own lookups only (delta accounting).  When
      *     null, a private cache spanning this search's phases is
      *     used.
+     * @param cancel Optional cooperative deadline (see
+     *     common/cancel.hpp): polled between seeds, per random-search
+     *     candidate and per hill-climb probe.  An expired token
+     *     throws CancelledError; no partial result is returned, and
+     *     cache entries already computed stay valid (they are
+     *     bit-identical to fresh evaluations, so a retry starts
+     *     warm).
      */
     MapperResult search(const LayerShape &layer,
-                        EvalCache *shared_cache = nullptr) const;
+                        EvalCache *shared_cache = nullptr,
+                        const CancelToken *cancel = nullptr) const;
 
   private:
     const Evaluator &evaluator_;

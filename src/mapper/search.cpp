@@ -72,10 +72,12 @@ constexpr unsigned kRandomShards = 16;
 std::optional<QuickCandidate>
 randomSearchQuick(const Evaluator &evaluator, const LayerShape &layer,
                   const Mapspace &mapspace, const SearchOptions &options,
-                  SearchStats &stats, EvalCache *cache)
+                  SearchStats &stats, EvalCache *cache,
+                  const CancelToken *cancel)
 {
     if (options.random_samples == 0)
         return std::nullopt;
+    throwIfCancelled(cancel);
 
     EvalCache local_cache;
     if (!cache)
@@ -112,6 +114,12 @@ randomSearchQuick(const Evaluator &evaluator, const LayerShape &layer,
         // reuses the same tile-analysis/access-count buffers.
         EvalScratch scratch;
         for (unsigned i = 0; i < count; ++i) {
+            // Cooperative deadline: bail out of the shard; the
+            // post-join checkpoint below throws, discarding every
+            // shard's partial best (determinism is preserved by
+            // never RETURNING a partial result).
+            if (cancel && cancel->expired())
+                return;
             Mapping candidate = mapspace.randomSample(rng);
             // Cache first: only valid mappings are stored, so a hit
             // skips validation as well as evaluation.
@@ -137,6 +145,8 @@ randomSearchQuick(const Evaluator &evaluator, const LayerShape &layer,
         }
     });
 
+    throwIfCancelled(cancel);
+
     // (value, shard, index) reduction: within a shard the earliest
     // index already won; across shards strict < keeps the lowest
     // shard id on ties.
@@ -157,10 +167,11 @@ randomSearchQuick(const Evaluator &evaluator, const LayerShape &layer,
 std::optional<Candidate>
 randomSearch(const Evaluator &evaluator, const LayerShape &layer,
              const Mapspace &mapspace, const SearchOptions &options,
-             SearchStats &stats, EvalCache *cache)
+             SearchStats &stats, EvalCache *cache,
+             const CancelToken *cancel)
 {
     std::optional<QuickCandidate> best = randomSearchQuick(
-        evaluator, layer, mapspace, options, stats, cache);
+        evaluator, layer, mapspace, options, stats, cache, cancel);
     if (!best)
         return std::nullopt;
     EvalResult full =
@@ -211,7 +222,8 @@ applyMove(Mapping &mapping, const Move &m)
 QuickCandidate
 hillClimbQuick(const Evaluator &evaluator, const LayerShape &layer,
                QuickCandidate start, const SearchOptions &options,
-               SearchStats &stats, EvalCache *cache)
+               SearchStats &stats, EvalCache *cache,
+               const CancelToken *cancel)
 {
     EvalCache local_cache;
     if (!cache)
@@ -247,6 +259,7 @@ hillClimbQuick(const Evaluator &evaluator, const LayerShape &layer,
 
     for (unsigned round = 0; round < options.hill_climb_rounds;
          ++round) {
+        throwIfCancelled(cancel);
         std::vector<ChunkOut> chunk_out(max_chunks);
 
         pool.parallelForChunked(
@@ -265,6 +278,10 @@ hillClimbQuick(const Evaluator &evaluator, const LayerShape &layer,
                                     best.first);
                 ChunkOut &out = chunk_out[chunk];
                 for (std::size_t i = begin; i < end; ++i) {
+                    // Deadline poll per probe; the post-batch
+                    // checkpoint throws before anything commits.
+                    if (cancel && cancel->expired())
+                        return;
                     const Move &m = moves[i];
                     const std::uint64_t orig_from =
                         scratch.level(m.a).t(m.d);
@@ -299,6 +316,11 @@ hillClimbQuick(const Evaluator &evaluator, const LayerShape &layer,
                     scratch.level(m.b).setT(m.d, orig_to);
                 }
             });
+
+        // An expired deadline means this round's batch is partial:
+        // throw BEFORE gathering, so no partially evaluated round
+        // can ever commit a move.
+        throwIfCancelled(cancel);
 
         // Gather improving moves; chunks are contiguous index ranges,
         // so concatenating by chunk id preserves move-index order.
@@ -386,14 +408,15 @@ hillClimbQuick(const Evaluator &evaluator, const LayerShape &layer,
 Candidate
 hillClimb(const Evaluator &evaluator, const LayerShape &layer,
           Candidate start, const SearchOptions &options,
-          SearchStats &stats, EvalCache *cache)
+          SearchStats &stats, EvalCache *cache,
+          const CancelToken *cancel)
 {
     QuickEval start_quick;
     start_quick.energy_j = start.second.totalEnergy();
     start_quick.runtime_s = start.second.throughput.runtime_s;
     QuickCandidate refined = hillClimbQuick(
         evaluator, layer, QuickCandidate(start.first, start_quick),
-        options, stats, cache);
+        options, stats, cache, cancel);
     if (sameFactorTuples(refined.first, start.first)) {
         // No move improved: the caller's full result is still exact.
         return Candidate(std::move(refined.first),

@@ -27,6 +27,7 @@
 #include <string>
 #include <utility>
 
+#include "common/cancel.hpp"
 #include "mapper/eval_cache.hpp"
 #include "mapper/mapspace.hpp"
 #include "model/evaluator.hpp"
@@ -63,6 +64,17 @@ struct SearchOptions
      * mapping found is identical at every value -- see file comment.
      */
     unsigned threads = 0;
+
+    /**
+     * Cooperative deadline in milliseconds (0 = none).  A search
+     * past its budget throws CancelledError at the next checkpoint
+     * instead of holding its thread; the protocol layer reports it
+     * as a `deadline_exceeded` error.  Non-semantic like threads: it
+     * changes whether a result is produced, never which result, so
+     * it stays out of requestFingerprint() and warm result-cache
+     * hits answer instantly whatever deadline they carry.
+     */
+    std::uint64_t timeout_ms = 0;
 };
 
 /**
@@ -188,11 +200,16 @@ using QuickCandidate = std::pair<Mapping, QuickEval>;
  * @param cache Optional shared memoization cache (the Mapper passes
  *              one spanning seeds, random search and hill climb); a
  *              private cache is used when null.
+ * @param cancel Optional cooperative deadline: shard loops poll it
+ *              per candidate and bail out early; after the join the
+ *              call throws CancelledError, discarding partial
+ *              results (cache entries already written are kept).
  */
 std::optional<QuickCandidate>
 randomSearchQuick(const Evaluator &evaluator, const LayerShape &layer,
                   const Mapspace &mapspace, const SearchOptions &options,
-                  SearchStats &stats, EvalCache *cache = nullptr);
+                  SearchStats &stats, EvalCache *cache = nullptr,
+                  const CancelToken *cancel = nullptr);
 
 /**
  * randomSearchQuick() plus a full evaluation of the winner, for
@@ -201,7 +218,8 @@ randomSearchQuick(const Evaluator &evaluator, const LayerShape &layer,
 std::optional<Candidate>
 randomSearch(const Evaluator &evaluator, const LayerShape &layer,
              const Mapspace &mapspace, const SearchOptions &options,
-             SearchStats &stats, EvalCache *cache = nullptr);
+             SearchStats &stats, EvalCache *cache = nullptr,
+             const CancelToken *cancel = nullptr);
 
 /**
  * Batch local search in the quick domain: each round evaluates the
@@ -214,13 +232,18 @@ randomSearch(const Evaluator &evaluator, const LayerShape &layer,
  * exhausted; the result is never worse than @p start.
  *
  * @param cache As in randomSearchQuick().
+ * @param cancel As in randomSearchQuick(): polled per probe inside
+ *              each round's batch and re-checked before any move
+ *              commits, so an expired deadline can never commit a
+ *              partially evaluated round.
  */
 QuickCandidate hillClimbQuick(const Evaluator &evaluator,
                               const LayerShape &layer,
                               QuickCandidate start,
                               const SearchOptions &options,
                               SearchStats &stats,
-                              EvalCache *cache = nullptr);
+                              EvalCache *cache = nullptr,
+                              const CancelToken *cancel = nullptr);
 
 /**
  * hillClimbQuick() plus a full evaluation of the winner (the start
@@ -228,7 +251,8 @@ QuickCandidate hillClimbQuick(const Evaluator &evaluator,
  */
 Candidate hillClimb(const Evaluator &evaluator, const LayerShape &layer,
                     Candidate start, const SearchOptions &options,
-                    SearchStats &stats, EvalCache *cache = nullptr);
+                    SearchStats &stats, EvalCache *cache = nullptr,
+                    const CancelToken *cancel = nullptr);
 
 } // namespace ploop
 

@@ -6,9 +6,11 @@ namespace ploop {
 
 std::string
 ClientSession::protocolErrorResponseLine(const std::string &line,
-                                         const std::string &message)
+                                         const std::string &message,
+                                         const char *code,
+                                         std::int64_t retry_after_ms)
 {
-    return protocolErrorResponse(line, message);
+    return protocolErrorResponse(line, message, code, retry_after_ms);
 }
 
 } // namespace ploop

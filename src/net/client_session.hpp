@@ -20,11 +20,13 @@
 #define PHOTONLOOP_NET_CLIENT_SESSION_HPP
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "net/rate_limit.hpp"
 #include "net/socket.hpp"
 
 namespace ploop {
@@ -33,8 +35,11 @@ namespace ploop {
 class ClientSession
 {
   public:
-    ClientSession(std::uint64_t id, int fd)
-        : id_(id), conn_(std::make_unique<Connection>(fd))
+    ClientSession(std::uint64_t id, int fd,
+                  TokenBucket bucket = TokenBucket{})
+        : id_(id), conn_(std::make_unique<Connection>(fd)),
+          bucket_(bucket),
+          last_activity_(std::chrono::steady_clock::now())
     {}
 
     std::uint64_t id() const { return id_; }
@@ -66,14 +71,44 @@ class ClientSession
         completed_.fetch_add(1, std::memory_order_relaxed);
     }
 
-    /** Queue a reject (backpressure / drain / overflow) response:
-     *  op/id echoed from @p line when recoverable. */
+    /** Queue a reject (backpressure / drain / overflow / rate limit
+     *  / shed) response: op/id echoed from @p line when recoverable;
+     *  optional machine-readable code and retry_after_ms hint (see
+     *  protocolErrorResponse). */
     void queueReject(const std::string &line,
-                     const std::string &message)
+                     const std::string &message,
+                     const char *code = nullptr,
+                     std::int64_t retry_after_ms = -1)
     {
-        out_ += protocolErrorResponseLine(line, message);
+        out_ += protocolErrorResponseLine(line, message, code,
+                                          retry_after_ms);
         out_ += '\n';
         rejected_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Per-connection rate limiting (event-loop thread only).
+     *  admitRate consumes a token; on false, retryAfterMs gives the
+     *  reject's hint. */
+    bool admitRate(std::chrono::steady_clock::time_point now)
+    {
+        return bucket_.tryTake(now);
+    }
+    std::int64_t retryAfterMs(std::chrono::steady_clock::time_point now)
+    {
+        return bucket_.retryAfterMs(now);
+    }
+
+    /** Idle-reap bookkeeping: touched whenever the client delivers
+     *  bytes.  Writes (us flushing responses) deliberately do NOT
+     *  count -- a client that never sends but happily reads is still
+     *  idle by the protocol's definition. */
+    void touch(std::chrono::steady_clock::time_point now)
+    {
+        last_activity_ = now;
+    }
+    std::chrono::steady_clock::time_point lastActivity() const
+    {
+        return last_activity_;
     }
 
     /** Flush as much queued output as the socket accepts. */
@@ -139,11 +174,15 @@ class ClientSession
      *  (defined in client_session.cpp via serve_session.hpp). */
     static std::string
     protocolErrorResponseLine(const std::string &line,
-                              const std::string &message);
+                              const std::string &message,
+                              const char *code,
+                              std::int64_t retry_after_ms);
 
     std::uint64_t id_;
     std::unique_ptr<Connection> conn_;
     LineSplitter splitter_;
+    TokenBucket bucket_;
+    std::chrono::steady_clock::time_point last_activity_;
     std::string out_;
     std::size_t out_offset_ = 0;
     bool input_closed_ = false;

@@ -1,18 +1,25 @@
 #include "net/line_client.hpp"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <optional>
+#include <thread>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "api/json.hpp"
+
 namespace ploop {
 
 bool
-LineClient::connect(std::uint16_t port)
+LineClient::connect(std::uint16_t port, int timeout_ms)
 {
     close();
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -24,29 +31,69 @@ LineClient::connect(std::uint16_t port)
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     addr.sin_port = htons(port);
-    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
-                  sizeof(addr)) < 0) {
-        // An EINTR'd connect keeps handshaking in the kernel:
-        // retrying connect() yields EALREADY/EISCONN, so the correct
-        // recovery is wait-for-writable + SO_ERROR.
-        if (errno != EINTR) {
-            close();
-            return false;
+
+    // Non-blocking connect so the handshake can be bounded: a
+    // blocking connect() to a wedged server (listening socket alive,
+    // accept loop stuck) can hang for the kernel's SYN-retry
+    // schedule -- minutes.  EINPROGRESS + poll(POLLOUT) + SO_ERROR
+    // is the classic bounded form; the socket reverts to blocking
+    // before data I/O.
+    int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (flags < 0 ||
+        ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) < 0) {
+        close();
+        return false;
+    }
+
+    int rc = ::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+    if (rc < 0 && errno != EINPROGRESS && errno != EINTR) {
+        close();
+        return false;
+    }
+    if (rc < 0) {
+        // Wait for writability within the deadline, surviving EINTR
+        // with the REMAINING time (not the full timeout again).
+        auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(
+                            timeout_ms < 0 ? 0 : timeout_ms);
+        for (;;) {
+            int wait_ms = -1;
+            if (timeout_ms >= 0) {
+                auto left =
+                    std::chrono::duration_cast<
+                        std::chrono::milliseconds>(
+                        deadline - std::chrono::steady_clock::now())
+                        .count();
+                if (left <= 0) {
+                    close();
+                    return false; // connect timed out
+                }
+                wait_ms = static_cast<int>(left);
+            }
+            pollfd pfd{fd_, POLLOUT, 0};
+            int prc = ::poll(&pfd, 1, wait_ms);
+            if (prc < 0 && errno == EINTR)
+                continue;
+            if (prc <= 0) { // error, or timeout with nothing ready
+                close();
+                return false;
+            }
+            break;
         }
-        pollfd pfd{fd_, POLLOUT, 0};
-        int rc;
-        do {
-            rc = ::poll(&pfd, 1, -1);
-        } while (rc < 0 && errno == EINTR);
         int soerr = 0;
         socklen_t len = sizeof(soerr);
-        if (rc < 0 ||
-            ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &soerr, &len) <
+        if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &soerr, &len) <
                 0 ||
             soerr != 0) {
             close();
             return false;
         }
+    }
+
+    if (::fcntl(fd_, F_SETFL, flags) < 0) { // restore blocking mode
+        close();
+        return false;
     }
     return true;
 }
@@ -127,6 +174,78 @@ LineClient::tryRecvLine(std::string &line)
         if (n < 0 && errno == EINTR)
             continue;
         return false; // EAGAIN (nothing yet), EOF, or error
+    }
+}
+
+// ----------------------------------------------- RetryingLineClient
+
+namespace {
+
+/** A server-directed retry: ok=false carrying retry_after_ms.  Out
+ *  of all failures, ONLY these are worth resending to a live
+ *  connection -- other rejects (bad request, unknown op) would just
+ *  fail identically again. */
+bool
+serverAskedForRetry(const std::string &response,
+                    std::int64_t &retry_after_ms)
+{
+    std::optional<JsonValue> parsed = parseJson(response);
+    if (!parsed || !parsed->isObject())
+        return false;
+    const JsonValue *ok = parsed->get("ok");
+    if (!ok || !ok->isBool() || ok->asBool())
+        return false;
+    const JsonValue *hint = parsed->get("retry_after_ms");
+    if (!hint || !hint->isNumber())
+        return false;
+    retry_after_ms = static_cast<std::int64_t>(hint->asNumber());
+    return retry_after_ms >= 0;
+}
+
+} // namespace
+
+std::string
+RetryingLineClient::roundTrip(const std::string &line)
+{
+    std::string last_response;
+    for (unsigned attempt = 0;; ++attempt) {
+        std::string resp;
+        bool transported = client_.connected() &&
+                           client_.sendLine(line) &&
+                           client_.recvLine(resp);
+        if (transported) {
+            std::int64_t hint_ms = 0;
+            if (!serverAskedForRetry(resp, hint_ms))
+                return resp; // success, or a non-retryable reject
+            last_response = std::move(resp);
+            if (attempt >= policy_.retries)
+                return last_response; // exhausted: surface the WHY
+            ++retries_used_;
+            // Honor the server's hint but never back off LESS than
+            // the exponential schedule -- a hint of 1ms from a
+            // saturated server must not turn us into a hot loop.
+            std::uint64_t backoff_ms =
+                std::min<std::uint64_t>(
+                    std::uint64_t(policy_.backoff_base_ms) << attempt,
+                    policy_.backoff_cap_ms);
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                std::max<std::uint64_t>(
+                    backoff_ms,
+                    static_cast<std::uint64_t>(hint_ms))));
+            continue;
+        }
+        // Transport failure: the connection is unusable (never
+        // connected, server restarted, injected reset, EOF before a
+        // full response).  Resending is safe -- ops are idempotent
+        // (class comment) -- so back off, reconnect, retry.
+        if (attempt >= policy_.retries)
+            return last_response; // usually empty: transport death
+        ++retries_used_;
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            std::min<std::uint64_t>(
+                std::uint64_t(policy_.backoff_base_ms) << attempt,
+                policy_.backoff_cap_ms)));
+        connect();
     }
 }
 

@@ -21,6 +21,11 @@
 
 namespace ploop {
 
+/** Default bound on LineClient::connect (a loopback handshake takes
+ *  microseconds; seconds of nothing means the server is wedged --
+ *  fail fast instead of hanging the caller forever). */
+constexpr int kDefaultConnectTimeoutMs = 5000;
+
 /** See file comment. */
 class LineClient
 {
@@ -35,8 +40,14 @@ class LineClient
     LineClient(const LineClient &) = delete;
     LineClient &operator=(const LineClient &) = delete;
 
-    /** (Re)connect; false on failure. */
-    bool connect(std::uint16_t port);
+    /**
+     * (Re)connect; false on failure or once @p timeout_ms elapses
+     * without the handshake completing (-1 = block forever, the old
+     * behavior).  The timeout applies to connection ESTABLISHMENT
+     * only; the socket reverts to blocking afterwards.
+     */
+    bool connect(std::uint16_t port,
+                 int timeout_ms = kDefaultConnectTimeoutMs);
 
     bool connected() const { return fd_ >= 0; }
 
@@ -72,6 +83,80 @@ class LineClient
   private:
     int fd_ = -1;
     std::string buffer_; ///< Bytes received past the last line.
+};
+
+/** Retry/backoff knobs for RetryingLineClient. */
+struct RetryPolicy
+{
+    /** Retries after the first attempt (so retries=3 means up to 4
+     *  tries total). */
+    unsigned retries = 3;
+
+    int connect_timeout_ms = kDefaultConnectTimeoutMs;
+
+    /** Exponential backoff: base * 2^attempt, capped.  Deterministic
+     *  (no jitter): reproducible test timelines matter more here
+     *  than thundering-herd smoothing on a loopback hub. */
+    unsigned backoff_base_ms = 25;
+    unsigned backoff_cap_ms = 1000;
+};
+
+/**
+ * LineClient plus a resilience loop: reconnect-and-resend on
+ * transport failure, honor retry_after_ms hints on rate-limit and
+ * overload rejects, give up after RetryPolicy::retries.
+ *
+ * ONLY safe for idempotent requests -- which every ploop op is: the
+ * protocol is deterministic request/response (same request, same
+ * answer; the determinism contract makes even search repeatable), so
+ * resending after an ambiguous failure (sent but no response read)
+ * cannot change outcomes, only redo work the caches mostly absorb.
+ *
+ * Lockstep only (one in flight): retry semantics for a pipelined
+ * window are ambiguous (which of the unacked requests failed?), so
+ * pipelining callers keep using LineClient directly.
+ */
+class RetryingLineClient
+{
+  public:
+    explicit RetryingLineClient(std::uint16_t port,
+                                RetryPolicy policy = {})
+        : port_(port), policy_(policy)
+    {
+        client_.connect(port_, policy_.connect_timeout_ms);
+    }
+
+    bool connected() const { return client_.connected(); }
+
+    /** Reconnect now (also false when the server stays down). */
+    bool connect()
+    {
+        return client_.connect(port_, policy_.connect_timeout_ms);
+    }
+
+    /**
+     * Send one request line and receive its response, retrying
+     * through transport failures (reconnect + resend) and
+     * server-directed retries (ok=false with retry_after_ms: sleep
+     * the larger of the hint and the backoff, then resend).  Empty
+     * string when every attempt failed at the transport; the last
+     * reject response when the server kept refusing -- callers see
+     * WHY (rate limit, overload) instead of a bare failure.
+     */
+    std::string roundTrip(const std::string &line);
+
+    /** Total retries spent across roundTrip calls (observability:
+     *  ploop_client --verbose reports it). */
+    std::uint64_t retriesUsed() const { return retries_used_; }
+
+    /** The underlying client (tests poke the raw transport). */
+    LineClient &raw() { return client_; }
+
+  private:
+    std::uint16_t port_;
+    RetryPolicy policy_;
+    LineClient client_;
+    std::uint64_t retries_used_ = 0;
 };
 
 } // namespace ploop

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Token-bucket rate limiter for per-connection request admission.
+ *
+ * Deliberately clock-free: every operation takes an explicit
+ * steady_clock time point, so the server passes one `now` per poll
+ * iteration (cheap, consistent across connections) and tests drive
+ * the bucket with synthetic time points for fully deterministic
+ * admit/reject sequences -- no sleeping, no flakiness.
+ *
+ * Semantics are the classic leaky-bucket dual: the bucket holds up
+ * to `burst` tokens, refills continuously at `rate_per_s`, and each
+ * admitted request takes one token.  A client may burst `burst`
+ * requests instantly, then sustain `rate_per_s`; rejects carry a
+ * retry_after_ms hint computed from the current deficit.
+ */
+
+#ifndef PHOTONLOOP_NET_RATE_LIMIT_HPP
+#define PHOTONLOOP_NET_RATE_LIMIT_HPP
+
+#include <chrono>
+#include <cstdint>
+
+namespace ploop {
+
+/** Per-connection token bucket.  Default-constructed buckets are
+ *  disabled and admit everything (serving keeps zero overhead unless
+ *  the operator opts in with --rate-limit). */
+class TokenBucket
+{
+public:
+    using Clock = std::chrono::steady_clock;
+
+    /** Disabled: tryTake always succeeds. */
+    TokenBucket() = default;
+
+    /**
+     * @param rate_per_s Sustained admits per second (<= 0 disables).
+     * @param burst Bucket capacity; also the initial fill, so a new
+     *     connection may burst this many requests at once.  Values
+     *     below 1 are raised to 1 (a bucket that can never hold a
+     *     whole token would reject everything forever).
+     */
+    TokenBucket(double rate_per_s, double burst)
+        : rate_per_s_(rate_per_s),
+          burst_(burst < 1.0 ? 1.0 : burst),
+          tokens_(burst < 1.0 ? 1.0 : burst)
+    {}
+
+    bool enabled() const { return rate_per_s_ > 0.0; }
+
+    /** Admit one request at @p now: refill from the elapsed time,
+     *  then take a token if one is available. */
+    bool tryTake(Clock::time_point now)
+    {
+        if (!enabled())
+            return true;
+        refill(now);
+        if (tokens_ >= 1.0) {
+            tokens_ -= 1.0;
+            return true;
+        }
+        return false;
+    }
+
+    /** How long (ms, >= 1) until a whole token accrues at @p now --
+     *  the retry_after_ms hint attached to rate-limit rejects.  Only
+     *  meaningful right after a failed tryTake. */
+    std::int64_t retryAfterMs(Clock::time_point now)
+    {
+        if (!enabled())
+            return 0;
+        refill(now);
+        if (tokens_ >= 1.0)
+            return 1;
+        double need_s = (1.0 - tokens_) / rate_per_s_;
+        auto ms = static_cast<std::int64_t>(need_s * 1000.0) + 1;
+        return ms < 1 ? 1 : ms;
+    }
+
+    /** Current fill (for tests/stats). */
+    double tokens() const { return tokens_; }
+
+private:
+    void refill(Clock::time_point now)
+    {
+        if (last_ == Clock::time_point{}) {
+            last_ = now;
+            return;
+        }
+        if (now <= last_)
+            return; // Never drain on a stale/equal time point.
+        double dt = std::chrono::duration<double>(now - last_).count();
+        last_ = now;
+        tokens_ += dt * rate_per_s_;
+        if (tokens_ > burst_)
+            tokens_ = burst_;
+    }
+
+    double rate_per_s_ = 0.0;
+    double burst_ = 0.0;
+    double tokens_ = 0.0;
+    Clock::time_point last_{};
+};
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_NET_RATE_LIMIT_HPP

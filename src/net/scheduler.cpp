@@ -16,21 +16,51 @@ RequestScheduler::maxInflight() const
     return cfg_.max_inflight ? cfg_.max_inflight : pool_.size();
 }
 
-bool
+std::uint64_t
+RequestScheduler::oldestWaitMsLocked(
+    std::chrono::steady_clock::time_point now) const
+{
+    // Scan every connection's FRONT line: fronts are each FIFO's
+    // oldest, so the global oldest is among them.  Bounded by the
+    // connection cap (64 by default), not the queue depth.
+    std::uint64_t oldest = 0;
+    for (const auto &[id, c] : conns_) {
+        if (c.pending.empty())
+            continue;
+        auto wait =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                now - c.pending.front().enqueued)
+                .count();
+        if (wait > 0 && std::uint64_t(wait) > oldest)
+            oldest = std::uint64_t(wait);
+    }
+    return oldest;
+}
+
+RequestScheduler::Admit
 RequestScheduler::submit(std::uint64_t conn, std::string line)
 {
+    auto now = std::chrono::steady_clock::now();
     std::lock_guard<std::mutex> lock(mu_);
     if (depth_ >= cfg_.max_queue) {
         ++rejected_;
-        return false;
+        return Admit::QueueFull;
+    }
+    if (cfg_.shed_queue_wait_ms > 0 &&
+        oldestWaitMsLocked(now) > cfg_.shed_queue_wait_ms) {
+        // Already-queued lines keep their place (they will still be
+        // answered); only NEW work is turned away while the backlog
+        // drains past the wait bound.
+        ++shed_;
+        return Admit::Shed;
     }
     Conn &c = conns_[conn];
-    c.pending.push_back(std::move(line));
+    c.pending.push_back(PendingLine{std::move(line), now});
     ++depth_;
     ++admitted_;
     if (depth_ > peak_depth_)
         peak_depth_ = depth_;
-    return true;
+    return Admit::Ok;
 }
 
 void
@@ -63,7 +93,7 @@ RequestScheduler::pump()
             eligible->second.inflight = true;
             start.emplace_back(
                 eligible->first,
-                std::move(eligible->second.pending.front()));
+                std::move(eligible->second.pending.front().line));
             eligible->second.pending.pop_front();
             --depth_;
             ++inflight_;
@@ -147,8 +177,11 @@ RequestScheduler::stats() const
     out.max_inflight = maxInflight();
     out.admitted = admitted_;
     out.rejected = rejected_;
+    out.shed = shed_;
     out.completed = completed_;
     out.discarded = discarded_;
+    out.oldest_wait_ms =
+        oldestWaitMsLocked(std::chrono::steady_clock::now());
     return out;
 }
 

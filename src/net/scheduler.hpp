@@ -33,6 +33,7 @@
 #ifndef PHOTONLOOP_NET_SCHEDULER_HPP
 #define PHOTONLOOP_NET_SCHEDULER_HPP
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -58,6 +59,23 @@ class RequestScheduler
         /** Cap on concurrently executing requests
          *  (0 = the pool's parallelism). */
         unsigned max_inflight = 0;
+
+        /** Shed NEW lines once the oldest queued line has waited
+         *  longer than this (ms; 0 disables).  Queue-wait is the
+         *  honest overload signal: a deep-but-draining queue admits,
+         *  a shallow-but-stuck one sheds. */
+        std::uint64_t shed_queue_wait_ms = 0;
+    };
+
+    /** submit() outcome.  Distinct rejects get distinct protocol
+     *  errors: QueueFull is a hard bound (client backs off on its
+     *  own), Shed is advisory overload (the reject carries a
+     *  retry_after_ms hint). */
+    enum class Admit
+    {
+        Ok,
+        QueueFull, ///< Aggregate max_queue reached.
+        Shed,      ///< Oldest queued wait exceeds the shed bound.
     };
 
     /** Executes one request line; must not throw (ServeSession::
@@ -76,11 +94,12 @@ class RequestScheduler
     RequestScheduler &operator=(const RequestScheduler &) = delete;
 
     /**
-     * Admit one request line from @p conn.  False when the aggregate
-     * queue is full (backpressure; the line is NOT queued).  Call
-     * pump() afterwards to start eligible work.
+     * Admit one request line from @p conn.  Non-Ok outcomes mean the
+     * line was NOT queued: QueueFull at the aggregate bound, Shed
+     * when overload shedding triggers (see Config).  Call pump()
+     * afterwards to start eligible work.
      */
-    bool submit(std::uint64_t conn, std::string line);
+    Admit submit(std::uint64_t conn, std::string line);
 
     /**
      * Start as many queued requests as fairness and the in-flight
@@ -119,8 +138,10 @@ class RequestScheduler
         unsigned max_inflight = 0;  ///< The execution bound.
         std::uint64_t admitted = 0; ///< Lines accepted by submit().
         std::uint64_t rejected = 0; ///< Lines refused (queue full).
+        std::uint64_t shed = 0;      ///< Lines refused (overload).
         std::uint64_t completed = 0; ///< Handlers finished.
         std::uint64_t discarded = 0; ///< Responses dropped (dead conn).
+        std::uint64_t oldest_wait_ms = 0; ///< Oldest queued line's wait.
     };
 
     Stats stats() const;
@@ -133,15 +154,28 @@ class RequestScheduler
     bool busy(std::uint64_t conn) const;
 
   private:
+    /** A queued line plus its admission time (shed decisions and the
+     *  oldest_wait_ms stat work off queue-wait). */
+    struct PendingLine
+    {
+        std::string line;
+        std::chrono::steady_clock::time_point enqueued;
+    };
+
     struct Conn
     {
-        std::deque<std::string> pending;
+        std::deque<PendingLine> pending;
         bool inflight = false;
         bool dead = false;
     };
 
     void runOne(std::uint64_t conn, const std::string &line);
     unsigned maxInflight() const;
+
+    /** Oldest queued line's wait in ms at @p now (0 when the queue
+     *  is empty).  Caller holds mu_. */
+    std::uint64_t
+    oldestWaitMsLocked(std::chrono::steady_clock::time_point now) const;
 
     ThreadPool &pool_;
     Handler handler_;
@@ -156,6 +190,7 @@ class RequestScheduler
     unsigned inflight_ = 0;
     std::uint64_t admitted_ = 0;
     std::uint64_t rejected_ = 0;
+    std::uint64_t shed_ = 0;
     std::uint64_t completed_ = 0;
     std::uint64_t discarded_ = 0;
     std::vector<Completed> done_;

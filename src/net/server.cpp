@@ -22,14 +22,17 @@ NetServer::NetServer(ServeSession &session, NetConfig cfg)
               return session_.handleLine(line);
           },
           [this] { wake(); },
-          RequestScheduler::Config{session.config().max_queue, 0})
+          RequestScheduler::Config{session.config().max_queue, 0,
+                                   session.config().shed_queue_wait_ms})
 {
     session_.setStatsHook([this](JsonValue &r) { appendStats(r); });
+    session_.setHealthHook([this] { return healthStatus(); });
 }
 
 NetServer::~NetServer()
 {
     session_.setStatsHook(nullptr);
+    session_.setHealthHook(nullptr);
     if (wake_read_ >= 0)
         ::close(wake_read_);
     if (wake_write_ >= 0)
@@ -114,8 +117,18 @@ NetServer::acceptPending()
             continue;
         }
         std::uint64_t id = next_id_++;
-        clients_.emplace(id,
-                         std::make_unique<ClientSession>(id, fd));
+        // Every connection gets its own bucket: one chatty client
+        // exhausts its own tokens, never a neighbor's.
+        TokenBucket bucket;
+        if (session_.config().rate_limit_rps > 0.0) {
+            double burst = session_.config().rate_limit_burst > 0.0
+                               ? session_.config().rate_limit_burst
+                               : session_.config().rate_limit_rps;
+            bucket = TokenBucket(session_.config().rate_limit_rps,
+                                 burst);
+        }
+        clients_.emplace(
+            id, std::make_unique<ClientSession>(id, fd, bucket));
         accepted_.fetch_add(1, std::memory_order_relaxed);
         if (clients_.size() >
             peak_open_.load(std::memory_order_relaxed))
@@ -130,15 +143,59 @@ NetServer::readFrom(ClientSession &client)
     std::vector<std::string> lines;
     bool overflow = false;
     IoStatus st = client.readLines(lines, overflow);
+    auto now = std::chrono::steady_clock::now();
+    if (!lines.empty())
+        client.touch(now); // Delivered requests = not idle.
 
     for (const std::string &line : lines) {
-        if (draining_)
+        if (draining_) {
             client.queueReject(line, "server is shutting down");
-        else if (!scheduler_.submit(client.id(), line))
+            continue;
+        }
+        // Rate limit BEFORE the scheduler sees the line: a client
+        // over its budget must not consume shared queue slots.
+        if (!client.admitRate(now)) {
+            session_.robustness().rate_limited.fetch_add(
+                1, std::memory_order_relaxed);
             client.queueReject(
-                line, strFormat("server busy: request queue full "
-                                "(max %zu queued requests)",
-                                session_.config().max_queue));
+                line,
+                strFormat("rate limit exceeded (%.6g requests/s "
+                          "sustained, burst %.6g)",
+                          session_.config().rate_limit_rps,
+                          session_.config().rate_limit_burst > 0.0
+                              ? session_.config().rate_limit_burst
+                              : session_.config().rate_limit_rps),
+                "rate_limited", client.retryAfterMs(now));
+            continue;
+        }
+        switch (scheduler_.submit(client.id(), line)) {
+        case RequestScheduler::Admit::Ok:
+            break;
+        case RequestScheduler::Admit::QueueFull:
+            client.queueReject(
+                line,
+                strFormat("server busy: request queue full "
+                          "(max %zu queued requests)",
+                          session_.config().max_queue),
+                "queue_full");
+            break;
+        case RequestScheduler::Admit::Shed:
+            session_.robustness().shed.fetch_add(
+                1, std::memory_order_relaxed);
+            // The hint is the shed bound itself: by then the current
+            // backlog has either drained past the threshold or the
+            // retry is (correctly) shed again.
+            client.queueReject(
+                line,
+                strFormat("server overloaded: queued work has "
+                          "waited over %llu ms; retry later",
+                          static_cast<unsigned long long>(
+                              session_.config().shed_queue_wait_ms)),
+                "overloaded",
+                static_cast<std::int64_t>(
+                    session_.config().shed_queue_wait_ms));
+            break;
+        }
     }
     if (overflow) {
         // Protocol violation: stop reading and hang up -- but only
@@ -176,6 +233,8 @@ NetServer::disconnect(std::uint64_t id)
 void
 NetServer::flushAndReap()
 {
+    const std::uint64_t idle_ms = session_.config().idle_timeout_ms;
+    auto now = std::chrono::steady_clock::now();
     std::vector<std::uint64_t> gone;
     {
         std::lock_guard<std::mutex> lock(clients_mu_);
@@ -196,6 +255,28 @@ NetServer::flushAndReap()
             if (client->inputClosed() && client->flushed() &&
                 !scheduler_.busy(id))
                 gone.push_back(id);
+            // Idle reap: a connection that has sent nothing for the
+            // whole timeout and owes us nothing is wedged (or
+            // forgotten) -- it holds a max_connections slot hostage.
+            // Queue a courtesy notice, flush best-effort ONCE, and
+            // force the disconnect; waiting for flushed() would let
+            // a client that also never READS evade the reaper.
+            else if (idle_ms > 0 && !client->inputClosed() &&
+                     !scheduler_.busy(id) &&
+                     now - client->lastActivity() >=
+                         std::chrono::milliseconds(idle_ms)) {
+                client->queueReject(
+                    "", strFormat("idle timeout: no request for "
+                                  "%llu ms; closing",
+                                  static_cast<unsigned long long>(
+                                      idle_ms)),
+                    "idle_timeout");
+                client->flush();
+                idle_reaped_.fetch_add(1, std::memory_order_relaxed);
+                session_.robustness().idle_reaped.fetch_add(
+                    1, std::memory_order_relaxed);
+                gone.push_back(id);
+            }
         }
     }
     for (std::uint64_t id : gone)
@@ -256,10 +337,16 @@ NetServer::run()
         }
 
         // While draining, wake periodically so the drain deadline
-        // fires even with no socket activity.
+        // fires even with no socket activity; with idle reaping on,
+        // wake often enough that a silent wedged client is reaped
+        // near its deadline instead of whenever traffic happens.
+        int timeout_ms =
+            draining_
+                ? 50
+                : (session_.config().idle_timeout_ms > 0 ? 250 : -1);
         int rc = ::poll(fds.data(),
                         static_cast<nfds_t>(fds.size()),
-                        draining_ ? 50 : -1);
+                        timeout_ms);
         if (rc < 0 && errno != EINTR)
             break; // unrecoverable poll failure
         if (rc < 0)
@@ -369,6 +456,9 @@ NetServer::appendStats(JsonValue &resp) const
     conns.set("closed",
               JsonValue::number(
                   double(closed_.load(std::memory_order_relaxed))));
+    conns.set("idle_reaped",
+              JsonValue::number(double(
+                  idle_reaped_.load(std::memory_order_relaxed))));
     conns.set("max_connections",
               JsonValue::number(
                   double(session_.config().max_connections)));
@@ -386,9 +476,33 @@ NetServer::appendStats(JsonValue &resp) const
               JsonValue::number(double(s.max_inflight)));
     queue.set("admitted", JsonValue::number(double(s.admitted)));
     queue.set("rejected", JsonValue::number(double(s.rejected)));
+    queue.set("shed", JsonValue::number(double(s.shed)));
     queue.set("completed", JsonValue::number(double(s.completed)));
     queue.set("discarded", JsonValue::number(double(s.discarded)));
+    queue.set("oldest_wait_ms",
+              JsonValue::number(double(s.oldest_wait_ms)));
     resp.set("queue", std::move(queue));
+}
+
+std::string
+NetServer::healthStatus() const
+{
+    RequestScheduler::Stats s = scheduler_.stats();
+    const std::uint64_t shed_ms =
+        session_.config().shed_queue_wait_ms;
+    // Overloaded: rejects are happening (or imminent).  The depth
+    // check fires even without a shed bound configured.
+    if (s.max_queue > 0 && s.depth >= s.max_queue)
+        return "overloaded";
+    if (shed_ms > 0 && s.oldest_wait_ms >= shed_ms)
+        return "overloaded";
+    // Degraded: half-way to either bound -- back off now and the
+    // rejects never start.
+    if (s.max_queue > 0 && s.depth * 2 >= s.max_queue)
+        return "degraded";
+    if (shed_ms > 0 && s.oldest_wait_ms * 2 >= shed_ms)
+        return "degraded";
+    return "ok";
 }
 
 } // namespace ploop

@@ -111,6 +111,15 @@ class NetServer
      *  session stats hook; thread-safe). */
     void appendStats(JsonValue &resp) const;
 
+    /**
+     * The health op's status (the session health hook; thread-safe):
+     * "overloaded" when the queue is full or the oldest queued line
+     * has waited past the shed bound, "degraded" at half either
+     * threshold, "ok" otherwise.  Probes get pressure signals BEFORE
+     * rejects start, so load balancers can back off early.
+     */
+    std::string healthStatus() const;
+
   private:
     void acceptPending();
     void readFrom(ClientSession &client);
@@ -136,6 +145,7 @@ class NetServer
     std::atomic<std::uint64_t> accepted_{0};
     std::atomic<std::uint64_t> rejected_full_{0};
     std::atomic<std::uint64_t> closed_{0};
+    std::atomic<std::uint64_t> idle_reaped_{0};
     std::atomic<std::size_t> peak_open_{0};
 };
 

@@ -1,7 +1,9 @@
 #include "net/socket.hpp"
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
+#include <random>
 
 #include <arpa/inet.h>
 #include <fcntl.h>
@@ -21,9 +23,179 @@ setNonBlocking(int fd)
     return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) >= 0;
 }
 
+unsigned
+clampPct(unsigned pct)
+{
+    // Never 100%: a fault that fires on EVERY slice would livelock
+    // the harness (a write that never accepts a byte, a read that
+    // never completes a line).  95 keeps chaos high while forward
+    // progress stays certain.
+    return pct > 95 ? 95 : pct;
+}
+
 } // namespace
 
+// ---------------------------------------------------- FaultInjector
+
+FaultInjector &
+FaultInjector::instance()
+{
+    static FaultInjector *inj = [] {
+        auto *p = new FaultInjector();
+        if (const char *spec = std::getenv("PLOOP_FAULTS")) {
+            Config cfg;
+            // An unparsable spec stays disabled: a typo in the env
+            // must degrade to clean serving, not a crash.  Tools
+            // that care (ploop_serve) call parse() themselves to
+            // report the error.
+            if (parse(spec, cfg, nullptr))
+                p->configure(cfg);
+        }
+        return p;
+    }();
+    return *inj;
+}
+
+bool
+FaultInjector::parse(const std::string &spec, Config &out,
+                     std::string *error)
+{
+    Config cfg;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t end = spec.find(',', pos);
+        if (end == std::string::npos)
+            end = spec.size();
+        std::string item = spec.substr(pos, end - pos);
+        pos = end + 1;
+        if (item.empty())
+            continue;
+        std::size_t eq = item.find('=');
+        if (eq == std::string::npos) {
+            if (error)
+                *error = "fault spec item '" + item +
+                         "' is not key=value";
+            return false;
+        }
+        std::string key = item.substr(0, eq);
+        std::string val = item.substr(eq + 1);
+        char *endp = nullptr;
+        unsigned long long num = std::strtoull(val.c_str(), &endp, 10);
+        if (val.empty() || endp == nullptr || *endp != '\0') {
+            if (error)
+                *error = "fault spec value '" + val + "' for '" +
+                         key + "' is not a number";
+            return false;
+        }
+        if (key == "short_read")
+            cfg.short_read_pct = static_cast<unsigned>(num);
+        else if (key == "short_write")
+            cfg.short_write_pct = static_cast<unsigned>(num);
+        else if (key == "eintr")
+            cfg.eintr_pct = static_cast<unsigned>(num);
+        else if (key == "stall")
+            cfg.stall_pct = static_cast<unsigned>(num);
+        else if (key == "reset_after")
+            cfg.reset_after_bytes = num;
+        else if (key == "seed")
+            cfg.seed = num;
+        else {
+            if (error)
+                *error = "unknown fault spec key '" + key +
+                         "' (short_read, short_write, eintr, stall, "
+                         "reset_after, seed)";
+            return false;
+        }
+    }
+    out = cfg;
+    return true;
+}
+
+void
+FaultInjector::configure(const Config &cfg)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    cfg_ = cfg;
+    cfg_.short_read_pct = clampPct(cfg_.short_read_pct);
+    cfg_.short_write_pct = clampPct(cfg_.short_write_pct);
+    cfg_.eintr_pct = clampPct(cfg_.eintr_pct);
+    cfg_.stall_pct = clampPct(cfg_.stall_pct);
+    stream_counter_ = 0;
+    counts_short_reads_.store(0, std::memory_order_relaxed);
+    counts_short_writes_.store(0, std::memory_order_relaxed);
+    counts_eintrs_.store(0, std::memory_order_relaxed);
+    counts_stalls_.store(0, std::memory_order_relaxed);
+    counts_resets_.store(0, std::memory_order_relaxed);
+    enabled_.store(cfg_.enabled(), std::memory_order_release);
+}
+
+FaultInjector::Config
+FaultInjector::config() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return cfg_;
+}
+
+FaultInjector::Counts
+FaultInjector::counts() const
+{
+    Counts out;
+    out.short_reads = counts_short_reads_.load(std::memory_order_relaxed);
+    out.short_writes =
+        counts_short_writes_.load(std::memory_order_relaxed);
+    out.eintrs = counts_eintrs_.load(std::memory_order_relaxed);
+    out.stalls = counts_stalls_.load(std::memory_order_relaxed);
+    out.resets = counts_resets_.load(std::memory_order_relaxed);
+    return out;
+}
+
+std::uint64_t
+FaultInjector::nextStreamSeed()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    // splitmix64-style mix of (seed, ordinal): distinct, stable
+    // per-connection streams from one configured seed.
+    std::uint64_t z = cfg_.seed + (++stream_counter_) *
+                                      0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
 // ------------------------------------------------------- Connection
+
+/** Per-connection injection state: a config snapshot (faults stay
+ *  coherent even if the injector is reconfigured mid-connection) and
+ *  a private RNG stream. */
+struct Connection::FaultState
+{
+    FaultInjector::Config cfg;
+    std::mt19937_64 rng;
+    std::uint64_t total_bytes = 0; ///< Both directions (reset_after).
+    bool dead = false;             ///< Injected reset already fired.
+
+    explicit FaultState(FaultInjector &inj)
+        : cfg(inj.config()), rng(inj.nextStreamSeed())
+    {}
+
+    bool roll(unsigned pct)
+    {
+        return pct > 0 && rng() % 100 < pct;
+    }
+
+    /** 1..cap "bytes the kernel accepted" for short reads/writes. */
+    std::size_t shortLen(std::size_t cap, std::size_t want)
+    {
+        std::size_t n = 1 + static_cast<std::size_t>(rng() % cap);
+        return n < want ? n : want;
+    }
+
+    bool resetDue() const
+    {
+        return cfg.reset_after_bytes > 0 &&
+               total_bytes >= cfg.reset_after_bytes;
+    }
+};
 
 Connection::Connection(int fd) : fd_(fd)
 {
@@ -32,6 +204,9 @@ Connection::Connection(int fd) : fd_(fd)
     // latency between a client's write and the server's read.
     int one = 1;
     ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    FaultInjector &inj = FaultInjector::instance();
+    if (inj.enabled())
+        faults_ = std::make_unique<FaultState>(inj);
 }
 
 Connection::~Connection()
@@ -45,11 +220,45 @@ Connection::readAvailable(std::string &out)
 {
     char chunk[65536];
     bool any = false;
+    // Injected-EINTR budget per call: the real-kernel EINTR path
+    // retries, and bounding the injected bursts keeps that retry
+    // loop finite no matter what the RNG rolls.
+    int eintr_budget = 3;
     for (;;) {
-        ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        std::size_t want = sizeof(chunk);
+        if (faults_) {
+            if (faults_->dead || faults_->resetDue()) {
+                if (!faults_->dead) {
+                    faults_->dead = true;
+                    FaultInjector::instance().countReset();
+                }
+                return IoStatus::Closed; // as-if ECONNRESET
+            }
+            if (eintr_budget > 0 &&
+                faults_->roll(faults_->cfg.eintr_pct)) {
+                --eintr_budget;
+                FaultInjector::instance().countEintr();
+                continue; // what the EINTR branch below would do
+            }
+            if (faults_->roll(faults_->cfg.short_read_pct))
+                want = faults_->shortLen(16, want);
+        }
+        ssize_t n = ::recv(fd_, chunk, want, 0);
         if (n > 0) {
             out.append(chunk, static_cast<std::size_t>(n));
             any = true;
+            if (faults_) {
+                faults_->total_bytes +=
+                    static_cast<std::uint64_t>(n);
+                if (want < sizeof(chunk)) {
+                    // A short read ends the slice early: the caller
+                    // frames a FRAGMENT now and the rest next time,
+                    // exercising reassembly at arbitrary split
+                    // points.
+                    FaultInjector::instance().countShortRead();
+                    return IoStatus::Ok;
+                }
+            }
             continue;
         }
         if (n == 0)
@@ -67,11 +276,47 @@ Connection::readAvailable(std::string &out)
 IoStatus
 Connection::writeSome(const std::string &data, std::size_t &offset)
 {
+    int eintr_budget = 3; // see readAvailable
     while (offset < data.size()) {
-        ssize_t n = ::send(fd_, data.data() + offset,
-                           data.size() - offset, MSG_NOSIGNAL);
+        std::size_t want = data.size() - offset;
+        if (faults_) {
+            if (faults_->dead || faults_->resetDue()) {
+                if (!faults_->dead) {
+                    faults_->dead = true;
+                    FaultInjector::instance().countReset();
+                }
+                return IoStatus::Closed; // as-if EPIPE/ECONNRESET
+            }
+            if (eintr_budget > 0 &&
+                faults_->roll(faults_->cfg.eintr_pct)) {
+                --eintr_budget;
+                FaultInjector::instance().countEintr();
+                continue;
+            }
+            if (faults_->roll(faults_->cfg.stall_pct)) {
+                // Zero-progress slice: caller re-arms POLLOUT and
+                // retries later, exactly like a full socket buffer.
+                FaultInjector::instance().countStall();
+                return IoStatus::WouldBlock;
+            }
+            if (faults_->roll(faults_->cfg.short_write_pct))
+                want = faults_->shortLen(8, want);
+        }
+        bool injected_short = want < data.size() - offset;
+        ssize_t n = ::send(fd_, data.data() + offset, want,
+                           MSG_NOSIGNAL);
         if (n > 0) {
             offset += static_cast<std::size_t>(n);
+            if (faults_) {
+                faults_->total_bytes +=
+                    static_cast<std::uint64_t>(n);
+                if (injected_short) {
+                    // Partial write injected: end the slice so the
+                    // caller exercises offset-resume on POLLOUT.
+                    FaultInjector::instance().countShortWrite();
+                    return IoStatus::WouldBlock;
+                }
+            }
             continue;
         }
         if (n < 0 && errno == EINTR)

@@ -24,8 +24,11 @@
 #ifndef PHOTONLOOP_NET_SOCKET_HPP
 #define PHOTONLOOP_NET_SOCKET_HPP
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -40,6 +43,119 @@ enum class IoStatus : std::uint8_t {
 };
 
 /**
+ * Deterministic fault injection for Connection I/O -- the chaos-test
+ * harness.  Disabled (zero config) it costs one pointer check per
+ * Connection construction and nothing per byte.
+ *
+ * Faults model what real networks and kernels do to a server:
+ *
+ *   short_read_pct   recv() returns only 1..16 bytes (fragments line
+ *                    framing at arbitrary byte boundaries);
+ *   short_write_pct  send() accepts only 1..8 bytes, then the slice
+ *                    reports WouldBlock (exercises partial-write
+ *                    resume via POLLOUT re-arming);
+ *   eintr_pct        a syscall slice is interrupted first (EINTR
+ *                    retry paths);
+ *   stall_pct        a write slice makes no progress at all
+ *                    (WouldBlock with nothing accepted);
+ *   reset_after_bytes connection dies (as if ECONNRESET) once this
+ *                    many TOTAL bytes crossed it in either direction
+ *                    (0 = never) -- mid-line and mid-response cuts.
+ *
+ * Determinism: each Connection draws a private seed from the shared
+ * sequence at construction, so a test run's fault schedule depends
+ * only on the configured seed and the order connections are
+ * accepted, never on wall-clock timing.  Percentages are clamped to
+ * 95 so progress is always possible (no livelock).
+ *
+ * Enable via the test API (configure()) or the PLOOP_FAULTS
+ * environment variable read on first use:
+ *   PLOOP_FAULTS="short_read=35,short_write=35,eintr=25,seed=9"
+ */
+class FaultInjector
+{
+  public:
+    struct Config
+    {
+        unsigned short_read_pct = 0;
+        unsigned short_write_pct = 0;
+        unsigned eintr_pct = 0;
+        unsigned stall_pct = 0;
+        std::uint64_t reset_after_bytes = 0;
+        std::uint64_t seed = 1;
+
+        bool enabled() const
+        {
+            return short_read_pct || short_write_pct || eintr_pct ||
+                   stall_pct || reset_after_bytes;
+        }
+    };
+
+    /** Injection totals since the last configure()/reset() --
+     *  chaos tests assert faults actually fired. */
+    struct Counts
+    {
+        std::uint64_t short_reads = 0;
+        std::uint64_t short_writes = 0;
+        std::uint64_t eintrs = 0;
+        std::uint64_t stalls = 0;
+        std::uint64_t resets = 0;
+    };
+
+    /** Process-wide instance.  First call reads PLOOP_FAULTS (an
+     *  invalid spec is ignored -- never crash serving over an env
+     *  typo; ploop_serve logs it via parse()). */
+    static FaultInjector &instance();
+
+    /** Parse a "key=value,key=value" spec (keys: short_read,
+     *  short_write, eintr, stall, reset_after, seed).  False with a
+     *  message in @p error on a bad key/value. */
+    static bool parse(const std::string &spec, Config &out,
+                      std::string *error);
+
+    /** Install @p cfg (percentages clamped to 95) and zero the
+     *  counters.  Affects Connections created AFTERWARDS. */
+    void configure(const Config &cfg);
+
+    /** Disable injection and zero the counters. */
+    void reset() { configure(Config{}); }
+
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_acquire);
+    }
+    Config config() const;
+    Counts counts() const;
+
+    /** Next per-connection RNG seed (mixes the configured seed with
+     *  a connection ordinal; see class comment). */
+    std::uint64_t nextStreamSeed();
+
+    /** Counter bumps (from Connection's fault paths). */
+    void countShortRead() { bump(counts_short_reads_); }
+    void countShortWrite() { bump(counts_short_writes_); }
+    void countEintr() { bump(counts_eintrs_); }
+    void countStall() { bump(counts_stalls_); }
+    void countReset() { bump(counts_resets_); }
+
+  private:
+    static void bump(std::atomic<std::uint64_t> &c)
+    {
+        c.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex mu_; ///< Guards cfg_ and stream_counter_.
+    Config cfg_;
+    std::uint64_t stream_counter_ = 0;
+    std::atomic<std::uint64_t> counts_short_reads_{0};
+    std::atomic<std::uint64_t> counts_short_writes_{0};
+    std::atomic<std::uint64_t> counts_eintrs_{0};
+    std::atomic<std::uint64_t> counts_stalls_{0};
+    std::atomic<std::uint64_t> counts_resets_{0};
+};
+
+/**
  * One accepted client socket, owned (closed on destruction) and
  * switched to non-blocking mode.  See file comment for the I/O
  * contract.
@@ -47,7 +163,9 @@ enum class IoStatus : std::uint8_t {
 class Connection
 {
   public:
-    /** Takes ownership of @p fd and makes it non-blocking. */
+    /** Takes ownership of @p fd and makes it non-blocking.  When the
+     *  FaultInjector is enabled, this connection gets a private
+     *  deterministic fault stream (see FaultInjector). */
     explicit Connection(int fd);
     ~Connection();
 
@@ -73,7 +191,10 @@ class Connection
     IoStatus writeSome(const std::string &data, std::size_t &offset);
 
   private:
+    struct FaultState; ///< Per-connection fault stream (chaos tests).
+
     int fd_ = -1;
+    std::unique_ptr<FaultState> faults_; ///< Null when injection off.
 };
 
 /** Loopback TCP listener (see file comment). */

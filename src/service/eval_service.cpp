@@ -94,8 +94,16 @@ EvalService::search(const SearchRequest &req)
     const Evaluator &evaluator = evaluatorFor(req.arch);
     LayerShape layer = req.layer.toLayer();
 
+    // The deadline clock starts here, after the result-cache lookup:
+    // a warm hit answers instantly whatever budget the request
+    // carries.  On expiry the search throws CancelledError before
+    // result_cache_.insert below, so a timed-out request never
+    // pollutes the result cache; EvalCache warmth accumulated before
+    // the cutoff is kept (cached values are bit-identical to fresh,
+    // so a retry benefits without changing its answer).
+    CancelToken cancel(req.options.timeout_ms);
     Mapper mapper(evaluator, req.options);
-    MapperResult r = mapper.search(layer, &cache_);
+    MapperResult r = mapper.search(layer, &cache_, &cancel);
     {
         std::lock_guard<std::mutex> lock(mu_);
         ++requests_;
@@ -136,8 +144,12 @@ EvalService::sweep(const SweepRequest &req)
     SweepResponse out;
     for (const GridAxis &axis : req.grid.axes)
         out.axes.push_back(axis.knob);
-    out.points = runSweepEvaluators(evaluators, coords, layer,
-                                    req.options, &cache_, &out.stats);
+    // Deadline spans the whole fan-out; an expired token unwinds with
+    // no partial point list (EvalCache warmth is kept, see search()).
+    CancelToken cancel(req.options.timeout_ms);
+    out.points =
+        runSweepEvaluators(evaluators, coords, layer, req.options,
+                           &cache_, &out.stats, &cancel);
     std::lock_guard<std::mutex> lock(mu_);
     ++requests_;
     return out;
@@ -160,8 +172,11 @@ EvalService::network(const NetworkRequest &req)
     }();
 
     NetworkResponse out;
-    out.result =
-        runNetwork(evaluator, net, req.options, &cache_, &out.stats);
+    // Deadline spans every layer's search; expiry unwinds with no
+    // partial network result (EvalCache warmth kept, see search()).
+    CancelToken cancel(req.options.timeout_ms);
+    out.result = runNetwork(evaluator, net, req.options, &cache_,
+                            &out.stats, &cancel);
     std::lock_guard<std::mutex> lock(mu_);
     ++requests_;
     return out;

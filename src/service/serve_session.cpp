@@ -4,6 +4,7 @@
 
 #include "api/codec.hpp"
 #include "api/schema.hpp"
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "common/string_util.hpp"
 #include "mapper/eval_cache.hpp"
@@ -13,7 +14,8 @@ namespace ploop {
 ServeSession::ServeSession(ServeConfig cfg)
     : cfg_(std::move(cfg)),
       service_(EvalService::Config{cfg_.cache_max_entries,
-                                   cfg_.result_cache_max_entries})
+                                   cfg_.result_cache_max_entries}),
+      started_(std::chrono::steady_clock::now())
 {
     if (!cfg_.cache_store.empty())
         load_ = loadCacheStore(service_.cache(), cfg_.cache_store,
@@ -67,6 +69,19 @@ ServeSession::handleLine(const std::string &line)
 
     try {
         resp = handleParsed(*req);
+    } catch (const CancelledError &e) {
+        // The request's own timeout_ms elapsed.  Not a client error
+        // and not a server fault: the budget was simply too small
+        // for the work.  A machine-readable code lets clients (and
+        // RetryingLineClient) distinguish it from bad requests --
+        // retrying with a larger budget is legitimate, and warm
+        // EvalCache entries make the retry cheaper.
+        robustness_.deadline_exceeded.fetch_add(
+            1, std::memory_order_relaxed);
+        resp = JsonValue::object();
+        resp.set("ok", JsonValue::boolean(false));
+        resp.set("error", JsonValue::string(e.what()));
+        resp.set("code", JsonValue::string("deadline_exceeded"));
     } catch (const FatalError &e) {
         // A bad request (unknown field, invalid layer shape, ...)
         // fails THIS request; the session keeps serving.
@@ -119,7 +134,7 @@ ServeSession::handleParsed(const JsonValue &req)
         JsonValue ops = JsonValue::array();
         for (const char *name :
              {"ping", "capabilities", "evaluate", "search", "sweep",
-              "network", "stats", "save_cache", "shutdown"})
+              "network", "stats", "health", "save_cache", "shutdown"})
             ops.push(JsonValue::string(name));
         resp.set("ops", std::move(ops));
         // Clients discover HOW they are connected and what the
@@ -138,6 +153,15 @@ ServeSession::handleParsed(const JsonValue &req)
         limits.set("cache_store_max_entries",
                    JsonValue::number(
                        double(cfg_.cache_store_max_entries)));
+        limits.set("idle_timeout_ms",
+                   JsonValue::number(double(cfg_.idle_timeout_ms)));
+        limits.set("rate_limit_rps",
+                   JsonValue::number(cfg_.rate_limit_rps));
+        limits.set("rate_limit_burst",
+                   JsonValue::number(cfg_.rate_limit_burst));
+        limits.set("shed_queue_wait_ms",
+                   JsonValue::number(
+                       double(cfg_.shed_queue_wait_ms)));
         resp.set("limits", std::move(limits));
         resp.set("schema", apiSchemaJson());
         return resp;
@@ -196,10 +220,45 @@ ServeSession::handleParsed(const JsonValue &req)
         resp.set("result_cache", std::move(results));
         resp.set("store_loaded", JsonValue::boolean(load_.loaded));
         resp.set("store_detail", JsonValue::string(load_.detail));
+        // Always emitted (zeros when nothing went wrong) so
+        // dashboards and tests can assert the fields exist without
+        // first provoking a failure.
+        JsonValue robustness = JsonValue::object();
+        robustness.set(
+            "deadline_exceeded",
+            JsonValue::number(double(robustness_.deadline_exceeded
+                                         .load(std::memory_order_relaxed))));
+        robustness.set(
+            "rate_limited",
+            JsonValue::number(double(robustness_.rate_limited.load(
+                std::memory_order_relaxed))));
+        robustness.set(
+            "idle_reaped",
+            JsonValue::number(double(robustness_.idle_reaped.load(
+                std::memory_order_relaxed))));
+        robustness.set("shed",
+                       JsonValue::number(double(robustness_.shed.load(
+                           std::memory_order_relaxed))));
+        robustness.set("uptime_ms",
+                       JsonValue::number(double(uptimeMs())));
+        resp.set("robustness", std::move(robustness));
         // The serving layer (NetServer) appends its "connections"
         // and "queue" sections here.
         if (stats_hook_)
             stats_hook_(resp);
+        return resp;
+    }
+
+    if (op == "health") {
+        // Cheap by design: answered inline even when every scheduler
+        // worker is busy, so probes see pressure instead of timing
+        // out.  Status comes from the serving layer's queue view; a
+        // stdio session has no queue and is always "ok".
+        resp.set("ok", JsonValue::boolean(true));
+        resp.set("status",
+                 JsonValue::string(health_hook_ ? health_hook_()
+                                                : "ok"));
+        resp.set("uptime_ms", JsonValue::number(double(uptimeMs())));
         return resp;
     }
 
@@ -224,16 +283,31 @@ ServeSession::handleParsed(const JsonValue &req)
 
     fatal("unknown op '" + op +
           "' (ping, capabilities, evaluate, search, sweep, network, "
-          "stats, save_cache, shutdown)");
+          "stats, health, save_cache, shutdown)");
+}
+
+std::uint64_t
+ServeSession::uptimeMs() const
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - started_)
+            .count());
 }
 
 std::string
 protocolErrorResponse(const std::string &line,
-                      const std::string &message)
+                      const std::string &message, const char *code,
+                      std::int64_t retry_after_ms)
 {
     JsonValue resp = JsonValue::object();
     resp.set("ok", JsonValue::boolean(false));
     resp.set("error", JsonValue::string(message));
+    if (code)
+        resp.set("code", JsonValue::string(code));
+    if (retry_after_ms >= 0)
+        resp.set("retry_after_ms",
+                 JsonValue::number(double(retry_after_ms)));
     // Best-effort correlation: echo op/id exactly like handleLine()
     // does, so rejected pipelined requests are attributable.
     if (std::optional<JsonValue> req = parseJson(line)) {

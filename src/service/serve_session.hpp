@@ -14,6 +14,7 @@
  *   sweep                   arch+layer+grid -> per-grid-point rows
  *   network                 arch+network|layers -> totals+per-layer
  *   stats                   session counters (models, caches, store)
+ *   health                  ok/degraded/overloaded + uptime_ms
  *   save_cache              persist the cache store now
  *   shutdown                save (if configured) and stop
  *
@@ -42,6 +43,7 @@
 #define PHOTONLOOP_SERVICE_SERVE_SESSION_HPP
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -86,6 +88,32 @@ struct ServeConfig
     /** Request-scheduler admission-queue cap advertised by
      *  capabilities; enforced by RequestScheduler. */
     std::size_t max_queue = 256;
+
+    /** Reap a connection idle (no bytes read) this long; 0 disables.
+     *  Enforced by NetServer, advertised by capabilities. */
+    std::uint64_t idle_timeout_ms = 0;
+
+    /** Per-connection sustained requests/second (0 disables) and
+     *  burst allowance (see net/rate_limit.hpp).  Enforced by
+     *  NetServer; rejects carry retry_after_ms. */
+    double rate_limit_rps = 0.0;
+    double rate_limit_burst = 0.0;
+
+    /** Shed new requests when the oldest queued line has waited this
+     *  long (ms; 0 disables).  Enforced by RequestScheduler via
+     *  NetServer; sheds carry retry_after_ms. */
+    std::uint64_t shed_queue_wait_ms = 0;
+};
+
+/** Counters behind the stats op's "robustness" section.  Atomics:
+ *  deadline_exceeded is bumped from scheduler worker threads while
+ *  the serving thread bumps the rest. */
+struct RobustnessCounters
+{
+    std::atomic<std::uint64_t> deadline_exceeded{0};
+    std::atomic<std::uint64_t> rate_limited{0};
+    std::atomic<std::uint64_t> idle_reaped{0};
+    std::atomic<std::uint64_t> shed{0};
 };
 
 /**
@@ -138,6 +166,22 @@ class ServeSession
         stats_hook_ = std::move(hook);
     }
 
+    /**
+     * Status source for the health op ("ok"/"degraded"/"overloaded").
+     * The net server wires in its queue-pressure view; without a hook
+     * the op reports "ok" (stdio serving has no queue to degrade).
+     * Must be thread-safe, like the stats hook.
+     */
+    void setHealthHook(std::function<std::string()> hook)
+    {
+        health_hook_ = std::move(hook);
+    }
+
+    /** Counters surfaced in the stats op's "robustness" section.
+     *  The net server bumps rate_limited/idle_reaped/shed; the
+     *  session itself bumps deadline_exceeded. */
+    RobustnessCounters &robustness() { return robustness_; }
+
     /** The session's configuration (read-only after construction). */
     const ServeConfig &config() const { return cfg_; }
 
@@ -147,25 +191,41 @@ class ServeSession
   private:
     JsonValue handleParsed(const JsonValue &req);
 
+    /** Milliseconds since construction (health + stats ops). */
+    std::uint64_t uptimeMs() const;
+
     ServeConfig cfg_;
     EvalService service_;
     CacheStoreLoad load_;
     std::atomic<bool> shutdown_{false};
     std::mutex store_mu_; ///< Serializes saveStore().
     std::function<void(JsonValue &)> stats_hook_;
+    std::function<std::string()> health_hook_;
+    RobustnessCounters robustness_;
+    std::chrono::steady_clock::time_point started_;
 };
 
 /**
  * A protocol error response generated OUTSIDE the normal request
  * path (admission-queue backpressure, drain-phase rejects, oversized
- * lines): {"ok":false,"error":<message>} with the request's "op" and
- * "id" echoed when @p line parses far enough to recover them -- a
- * pipelined client must be able to correlate EVERY failure, not just
- * ones that reached the session.  Returns one serialized JSON object,
- * no trailing newline; never throws.
+ * lines, rate limits, load shedding): {"ok":false,"error":<message>}
+ * with the request's "op" and "id" echoed when @p line parses far
+ * enough to recover them -- a pipelined client must be able to
+ * correlate EVERY failure, not just ones that reached the session.
+ * Returns one serialized JSON object, no trailing newline; never
+ * throws.
+ *
+ * @param code Optional machine-readable "code" field
+ *     ("rate_limited", "overloaded", ...) so clients branch on it
+ *     instead of parsing prose.
+ * @param retry_after_ms When >= 0, attached as "retry_after_ms": the
+ *     server's hint for when a retry could succeed (rate-limit and
+ *     shed rejects).  RetryingLineClient honors it.
  */
 std::string protocolErrorResponse(const std::string &line,
-                                  const std::string &message);
+                                  const std::string &message,
+                                  const char *code = nullptr,
+                                  std::int64_t retry_after_ms = -1);
 
 } // namespace ploop
 

@@ -206,6 +206,13 @@ TEST(ApiFingerprint, InvariantToThreadsAndKeyOrder)
     threads.options.threads = 16;
     EXPECT_EQ(requestFingerprint(threads), fp);
 
+    // timeout_ms too: a deadline is an execution budget, not a
+    // different question -- a timed-out attempt and its deadline-free
+    // retry must share one ResultCache slot.
+    SearchRequest deadline = req;
+    deadline.options.timeout_ms = 250;
+    EXPECT_EQ(requestFingerprint(deadline), fp);
+
     // JSON key order is irrelevant: the fingerprint hashes the
     // DECODED struct in field-list order.
     std::string forward = encodeRequestJson(req).serialize();

@@ -1,0 +1,173 @@
+/** @file Cooperative-cancellation tests: CancelToken semantics, the
+ *  deadline threading through Mapper/sweep/network searches, and the
+ *  EvalService guarantees around a timed-out request (no partial
+ *  results, no ResultCache pollution, EvalCache warmth kept). */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "common/cancel.hpp"
+#include "common/error.hpp"
+#include "service/eval_service.hpp"
+
+namespace ploop {
+namespace {
+
+// --------------------------------------------------------- CancelToken
+
+TEST(CancelToken, DefaultAndZeroTimeoutAreInert)
+{
+    CancelToken inert;
+    EXPECT_FALSE(inert.expired());
+    CancelToken zero(0);
+    EXPECT_FALSE(zero.expired());
+    EXPECT_NO_THROW(throwIfCancelled(&inert));
+    EXPECT_NO_THROW(throwIfCancelled(nullptr));
+}
+
+TEST(CancelToken, ExplicitCancelTripsImmediately)
+{
+    CancelToken token;
+    EXPECT_FALSE(token.expired());
+    token.cancel();
+    EXPECT_TRUE(token.expired());
+    EXPECT_THROW(throwIfCancelled(&token), CancelledError);
+}
+
+TEST(CancelToken, DeadlineExpiresAndLatches)
+{
+    CancelToken token(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_TRUE(token.expired());
+    EXPECT_TRUE(token.expired()); // latched, stays expired
+    try {
+        throwIfCancelled(&token);
+        FAIL() << "expired token must throw";
+    } catch (const CancelledError &e) {
+        // Transports classify by this prefix (serve_session).
+        EXPECT_EQ(std::string(e.what()).rfind("deadline_exceeded", 0),
+                  0u);
+    }
+}
+
+// ------------------------------------------------------------ fixtures
+
+/** Enough work that a 1ms deadline ALWAYS trips (thousands of
+ *  evaluations cannot finish in 1ms), small enough that the
+ *  deadline-free retry stays test-sized. */
+SearchRequest
+heavySearch(unsigned threads)
+{
+    SearchRequest req;
+    req.arch = AlbireoConfig::paperDefault(ScalingProfile::Conservative);
+    req.layer.name = "conv";
+    req.layer.k = 32;
+    req.layer.c = 32;
+    req.layer.p = 14;
+    req.layer.q = 14;
+    req.layer.r = 3;
+    req.layer.s = 3;
+    req.options.random_samples = 4000;
+    req.options.hill_climb_rounds = 10;
+    req.options.seed = 9;
+    req.options.threads = threads;
+    return req;
+}
+
+// ------------------------------------------------------------- Mapper
+
+TEST(Cancel, PreCancelledTokenStopsMapperBeforeAnyResult)
+{
+    SearchRequest req = heavySearch(1);
+    EvalService service;
+    const Evaluator &evaluator = service.evaluatorFor(req.arch);
+    Mapper mapper(evaluator, req.options);
+    CancelToken cancelled;
+    cancelled.cancel();
+    EXPECT_THROW(mapper.search(req.layer.toLayer(), nullptr,
+                               &cancelled),
+                 CancelledError);
+}
+
+// -------------------------------------------------------- EvalService
+
+TEST(Cancel, TimedOutSearchThrowsThenWarmRetrySucceedsBitIdentical)
+{
+    EvalService service;
+    SearchRequest req = heavySearch(2);
+    req.options.timeout_ms = 1;
+    EXPECT_THROW(service.search(req), CancelledError);
+
+    // The cancelled attempt must NOT have populated the ResultCache:
+    // timeout_ms is non-semantic, so the retry has the SAME
+    // fingerprint -- a polluted cache would answer it "from cache".
+    SearchRequest retry = req;
+    retry.options.timeout_ms = 0;
+    SearchResponse warm = service.search(retry);
+    EXPECT_FALSE(warm.from_result_cache)
+        << "a cancelled search leaked into the ResultCache";
+
+    // EvalCache warmth from the cancelled attempt is kept (cached
+    // values are bit-identical to fresh ones), so the retry answered
+    // some candidates warm.
+    EXPECT_GT(warm.stats.cache_hits, 0u);
+
+    // And the retry is bit-identical to a never-cancelled run in a
+    // fresh service at a different thread count.
+    EvalService fresh;
+    SearchRequest clean = heavySearch(1);
+    SearchResponse scratch = fresh.search(clean);
+    EXPECT_EQ(warm.mapping_key, scratch.mapping_key);
+    EXPECT_EQ(warm.best.energy_j, scratch.best.energy_j);
+    EXPECT_EQ(warm.best.runtime_s, scratch.best.runtime_s);
+
+    // The service is fully usable after: the repeat now hits the
+    // ResultCache (populated by the SUCCESSFUL run only).
+    SearchResponse again = service.search(retry);
+    EXPECT_TRUE(again.from_result_cache);
+    EXPECT_EQ(again.mapping_key, warm.mapping_key);
+}
+
+TEST(Cancel, TimedOutSweepUnwindsWithoutPartialPoints)
+{
+    EvalService service;
+    SweepRequest req;
+    req.arch = AlbireoConfig::paperDefault(ScalingProfile::Conservative);
+    req.layer = heavySearch(1).layer;
+    req.grid.axes = {{"output_reuse", {3.0, 9.0}},
+                     {"weight_reuse", {1.0, 3.0}}};
+    req.options = heavySearch(2).options;
+    req.options.timeout_ms = 1;
+    EXPECT_THROW(service.sweep(req), CancelledError);
+
+    // Deadline off: the identical grid completes normally.
+    req.options.timeout_ms = 0;
+    req.options.random_samples = 6;
+    req.options.hill_climb_rounds = 1;
+    SweepResponse ok = service.sweep(req);
+    EXPECT_EQ(ok.points.size(), 4u);
+}
+
+TEST(Cancel, TimedOutNetworkUnwinds)
+{
+    EvalService service;
+    NetworkRequest req;
+    req.arch = AlbireoConfig::paperDefault(ScalingProfile::Conservative);
+    req.network = "alexnet";
+    req.options = heavySearch(2).options;
+    req.options.timeout_ms = 1;
+    EXPECT_THROW(service.network(req), CancelledError);
+
+    // A deadline generous enough for the work passes untouched.
+    req.options.timeout_ms = 0;
+    req.options.random_samples = 4;
+    req.options.hill_climb_rounds = 1;
+    NetworkResponse ok = service.network(req);
+    EXPECT_FALSE(ok.result.layers.empty());
+}
+
+} // namespace
+} // namespace ploop

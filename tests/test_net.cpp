@@ -18,6 +18,7 @@
 
 #include "api/json.hpp"
 #include "net/line_client.hpp"
+#include "net/rate_limit.hpp"
 #include "net/scheduler.hpp"
 #include "net/server.hpp"
 #include "net/socket.hpp"
@@ -77,6 +78,31 @@ TEST(LineSplitter, OverLongLinePoisonsTheStream)
     EXPECT_TRUE(splitter.poisoned());
 }
 
+TEST(LineSplitter, ByteAtATimeFragmentsFrameIdentically)
+{
+    // The worst case short reads can produce: every byte arrives in
+    // its own append.  Framing -- including the overflow poisoning
+    // boundary -- must be byte-exact, independent of split points.
+    std::string input = "alpha\r\n";
+    input += std::string(LineSplitter::kMaxLineBytes + 1, 'y');
+    input += "\nsmuggled\n";
+
+    LineSplitter splitter;
+    std::vector<std::string> lines;
+    bool poisoned = false;
+    for (char c : input) {
+        bool overflow = false;
+        splitter.append(&c, 1, lines, overflow);
+        poisoned = poisoned || overflow;
+    }
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], "alpha");
+    EXPECT_TRUE(poisoned);
+    EXPECT_TRUE(splitter.poisoned());
+    // The post-violation request was never framed, even though it
+    // arrived in separate appends.
+}
+
 // ---------------------------------------------------- RequestScheduler
 
 TEST(RequestScheduler, RoundRobinAcrossConnections)
@@ -94,11 +120,11 @@ TEST(RequestScheduler, RoundRobinAcrossConnections)
         [] {}, RequestScheduler::Config{64, 0});
 
     // Connection 1 pipelines three requests before 2 and 3 send one.
-    EXPECT_TRUE(sched.submit(1, "a"));
-    EXPECT_TRUE(sched.submit(1, "b"));
-    EXPECT_TRUE(sched.submit(1, "c"));
-    EXPECT_TRUE(sched.submit(2, "d"));
-    EXPECT_TRUE(sched.submit(3, "e"));
+    EXPECT_EQ(sched.submit(1, "a"), RequestScheduler::Admit::Ok);
+    EXPECT_EQ(sched.submit(1, "b"), RequestScheduler::Admit::Ok);
+    EXPECT_EQ(sched.submit(1, "c"), RequestScheduler::Admit::Ok);
+    EXPECT_EQ(sched.submit(2, "d"), RequestScheduler::Admit::Ok);
+    EXPECT_EQ(sched.submit(3, "e"), RequestScheduler::Admit::Ok);
 
     while (!sched.idle())
         sched.pump();
@@ -121,7 +147,7 @@ TEST(RequestScheduler, PerConnectionResponsesStayInRequestOrder)
         },
         [] {}, RequestScheduler::Config{64, 0});
     for (const char *line : {"1", "2", "3", "4"})
-        EXPECT_TRUE(sched.submit(7, line));
+        EXPECT_EQ(sched.submit(7, line), RequestScheduler::Admit::Ok);
     while (!sched.idle())
         sched.pump();
     std::vector<RequestScheduler::Completed> done =
@@ -141,9 +167,10 @@ TEST(RequestScheduler, BackpressureAtMaxQueue)
         pool, [](std::uint64_t, const std::string &) { return ""; },
         [] {}, RequestScheduler::Config{2, 0});
 
-    EXPECT_TRUE(sched.submit(1, "a"));
-    EXPECT_TRUE(sched.submit(2, "b"));
-    EXPECT_FALSE(sched.submit(3, "c")); // full: refused, not queued
+    EXPECT_EQ(sched.submit(1, "a"), RequestScheduler::Admit::Ok);
+    EXPECT_EQ(sched.submit(2, "b"), RequestScheduler::Admit::Ok);
+    EXPECT_EQ(sched.submit(3, "c"),
+              RequestScheduler::Admit::QueueFull); // refused, not queued
     RequestScheduler::Stats s = sched.stats();
     EXPECT_EQ(s.depth, 2u);
     EXPECT_EQ(s.peak_depth, 2u);
@@ -152,7 +179,8 @@ TEST(RequestScheduler, BackpressureAtMaxQueue)
 
     while (!sched.idle())
         sched.pump();
-    EXPECT_TRUE(sched.submit(3, "c")); // space again after drain
+    EXPECT_EQ(sched.submit(3, "c"),
+              RequestScheduler::Admit::Ok); // space again after drain
     while (!sched.idle())
         sched.pump();
     EXPECT_EQ(sched.stats().completed, 3u);
@@ -177,8 +205,10 @@ TEST(RequestScheduler, DroppedConnectionDiscardsQueuedAndInflight)
         },
         [] {}, RequestScheduler::Config{8, 1});
 
-    EXPECT_TRUE(sched.submit(1, "inflight"));
-    EXPECT_TRUE(sched.submit(1, "queued"));
+    EXPECT_EQ(sched.submit(1, "inflight"),
+              RequestScheduler::Admit::Ok);
+    EXPECT_EQ(sched.submit(1, "queued"),
+              RequestScheduler::Admit::Ok);
     sched.pump();
     {
         std::unique_lock<std::mutex> lock(mu);
@@ -576,6 +606,451 @@ TEST(NetServe, ShutdownDrainsPipelinedWork)
     std::string eof;
     EXPECT_FALSE(client.recvLine(eof));
     served.shutdown(); // just joins
+}
+
+// ---------------------------------------------------------- TokenBucket
+
+TEST(TokenBucket, DisabledAdmitsEverything)
+{
+    TokenBucket bucket;
+    EXPECT_FALSE(bucket.enabled());
+    auto now = std::chrono::steady_clock::now();
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_TRUE(bucket.tryTake(now));
+    EXPECT_EQ(bucket.retryAfterMs(now), 0);
+}
+
+TEST(TokenBucket, BurstThenSustainedRateDeterministic)
+{
+    // Explicit time points: the whole admit/reject sequence is exact
+    // -- no sleeping, no flakiness.
+    TokenBucket bucket(10.0, 3.0); // 10/s sustained, burst of 3
+    EXPECT_TRUE(bucket.enabled());
+    auto t0 = std::chrono::steady_clock::time_point{} +
+              std::chrono::seconds(1000);
+
+    // The full burst admits instantly, then the bucket is dry.
+    EXPECT_TRUE(bucket.tryTake(t0));
+    EXPECT_TRUE(bucket.tryTake(t0));
+    EXPECT_TRUE(bucket.tryTake(t0));
+    EXPECT_FALSE(bucket.tryTake(t0));
+    // A whole token accrues in 100ms at 10/s.
+    EXPECT_GT(bucket.retryAfterMs(t0), 0);
+    EXPECT_LE(bucket.retryAfterMs(t0), 101);
+
+    // 50ms later: still only half a token.
+    EXPECT_FALSE(bucket.tryTake(t0 + std::chrono::milliseconds(50)));
+    // 100ms after the dry point: exactly one token back.
+    EXPECT_TRUE(bucket.tryTake(t0 + std::chrono::milliseconds(100)));
+    EXPECT_FALSE(bucket.tryTake(t0 + std::chrono::milliseconds(100)));
+
+    // A long quiet period refills to the burst cap, never beyond.
+    auto later = t0 + std::chrono::seconds(60);
+    EXPECT_TRUE(bucket.tryTake(later));
+    EXPECT_TRUE(bucket.tryTake(later));
+    EXPECT_TRUE(bucket.tryTake(later));
+    EXPECT_FALSE(bucket.tryTake(later));
+}
+
+TEST(TokenBucket, StaleTimePointsNeverDrain)
+{
+    TokenBucket bucket(10.0, 1.0);
+    auto t0 = std::chrono::steady_clock::time_point{} +
+              std::chrono::seconds(1000);
+    EXPECT_TRUE(bucket.tryTake(t0));
+    // Time going backwards (clock skew between call sites) must not
+    // mint or destroy tokens.
+    EXPECT_FALSE(bucket.tryTake(t0 - std::chrono::seconds(5)));
+    EXPECT_TRUE(bucket.tryTake(t0 + std::chrono::milliseconds(100)));
+}
+
+// ------------------------------------------------------ overload shed
+
+TEST(RequestScheduler, ShedsWhenOldestQueuedWaitExceedsBound)
+{
+    ThreadPool &pool = ThreadPool::forThreads(2);
+    std::mutex mu;
+    std::condition_variable cv;
+    bool release = false, started = false;
+    RequestScheduler::Config cfg;
+    cfg.max_queue = 8;
+    cfg.max_inflight = 1;
+    cfg.shed_queue_wait_ms = 50;
+    RequestScheduler sched(
+        pool,
+        [&](std::uint64_t, const std::string &) {
+            std::unique_lock<std::mutex> lock(mu);
+            started = true;
+            cv.notify_all();
+            cv.wait(lock, [&] { return release; });
+            return std::string("done");
+        },
+        [] {}, cfg);
+
+    // One request in flight (blocking), one queued behind it.
+    EXPECT_EQ(sched.submit(1, "inflight"),
+              RequestScheduler::Admit::Ok);
+    sched.pump();
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return started; });
+    }
+    EXPECT_EQ(sched.submit(1, "queued"), RequestScheduler::Admit::Ok);
+
+    // Fresh work while the queue is young: admitted.
+    EXPECT_EQ(sched.submit(2, "young"), RequestScheduler::Admit::Ok);
+
+    // Once the queued line has waited past the bound, NEW work is
+    // shed -- but the queued lines keep their place.
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    EXPECT_EQ(sched.submit(3, "late"), RequestScheduler::Admit::Shed);
+    RequestScheduler::Stats s = sched.stats();
+    EXPECT_EQ(s.shed, 1u);
+    EXPECT_GE(s.oldest_wait_ms, 50u);
+    EXPECT_EQ(s.depth, 2u); // "queued" and "young" still there
+
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        release = true;
+        cv.notify_all();
+    }
+    while (!sched.idle()) {
+        sched.pump();
+        std::this_thread::yield();
+    }
+    EXPECT_EQ(sched.stats().completed, 3u);
+}
+
+// -------------------------------------------------- fault injection
+
+/** Scope guard: chaos tests must never leak an enabled injector into
+ *  later tests, even when an ASSERT bails out early. */
+struct FaultScope
+{
+    explicit FaultScope(FaultInjector::Config cfg)
+    {
+        FaultInjector::instance().configure(cfg);
+    }
+    ~FaultScope() { FaultInjector::instance().reset(); }
+};
+
+TEST(FaultInjector, ParsesSpecStrings)
+{
+    FaultInjector::Config cfg;
+    std::string error;
+    ASSERT_TRUE(FaultInjector::parse(
+        "short_read=35,short_write=40,eintr=25,stall=10,"
+        "reset_after=1000,seed=9",
+        cfg, &error))
+        << error;
+    EXPECT_EQ(cfg.short_read_pct, 35u);
+    EXPECT_EQ(cfg.short_write_pct, 40u);
+    EXPECT_EQ(cfg.eintr_pct, 25u);
+    EXPECT_EQ(cfg.stall_pct, 10u);
+    EXPECT_EQ(cfg.reset_after_bytes, 1000u);
+    EXPECT_EQ(cfg.seed, 9u);
+    EXPECT_TRUE(cfg.enabled());
+
+    EXPECT_FALSE(FaultInjector::parse("bogus=1", cfg, &error));
+    EXPECT_NE(error.find("bogus"), std::string::npos);
+    EXPECT_FALSE(FaultInjector::parse("short_read", cfg, &error));
+    EXPECT_FALSE(
+        FaultInjector::parse("short_read=abc", cfg, &error));
+    ASSERT_TRUE(FaultInjector::parse("", cfg, &error));
+    EXPECT_FALSE(cfg.enabled());
+}
+
+TEST(FaultInjector, PercentagesClampSoProgressIsCertain)
+{
+    FaultScope scope([] {
+        FaultInjector::Config cfg;
+        cfg.short_read_pct = 100;
+        cfg.eintr_pct = 3000;
+        return cfg;
+    }());
+    FaultInjector::Config cfg = FaultInjector::instance().config();
+    EXPECT_EQ(cfg.short_read_pct, 95u);
+    EXPECT_EQ(cfg.eintr_pct, 95u);
+}
+
+TEST(NetServe, ChaosShortReadsWritesEintrStayBitIdentical)
+{
+    // Clean serial reference first, faults strictly off.
+    std::vector<std::string> reference;
+    {
+        ServeSession serial;
+        for (int seed : {41, 42}) {
+            std::optional<JsonValue> r = parseJson(
+                serial.handleLine(searchRequest(seed, seed)));
+            ASSERT_TRUE(r.has_value());
+            ASSERT_TRUE(r->get("ok")->asBool()) << r->serialize();
+            reference.push_back(bitsOf(*r));
+        }
+    }
+
+    // Heavy fragmentation chaos on every server-side connection:
+    // reads deliver 1..16 bytes at a time, writes accept 1..8, EINTR
+    // bursts in between.  The protocol must not notice.  High pcts
+    // plus plenty of round trips: each fault kind fires with
+    // overwhelming probability regardless of how the rolls land.
+    FaultInjector::Config cfg;
+    cfg.short_read_pct = 60;
+    cfg.short_write_pct = 80;
+    cfg.eintr_pct = 30;
+    cfg.seed = 7;
+    FaultScope scope(cfg);
+
+    {
+        ServedSession served;
+        LineClient client(served.port());
+        ASSERT_TRUE(client.connected());
+        for (std::size_t i = 0; i < reference.size(); ++i) {
+            int seed = 41 + static_cast<int>(i);
+            std::optional<JsonValue> r = parseJson(
+                client.roundTrip(searchRequest(seed, seed)));
+            ASSERT_TRUE(r.has_value());
+            ASSERT_TRUE(r->get("ok")->asBool()) << r->serialize();
+            EXPECT_EQ(bitsOf(*r), reference[i]) << "request " << i;
+        }
+        for (int i = 0; i < 20; ++i) {
+            std::optional<JsonValue> r = parseJson(client.roundTrip(
+                "{\"op\":\"ping\",\"id\":" + std::to_string(i) +
+                "}"));
+            ASSERT_TRUE(r.has_value());
+            EXPECT_TRUE(r->get("ok")->asBool());
+        }
+        served.shutdown();
+    }
+
+    // The chaos actually happened: framing reassembly and
+    // partial-write resume were exercised, not skipped.
+    FaultInjector::Counts counts = FaultInjector::instance().counts();
+    EXPECT_GT(counts.short_reads, 0u);
+    EXPECT_GT(counts.short_writes, 0u);
+    EXPECT_GT(counts.eintrs, 0u);
+}
+
+TEST(NetServe, OversizeLineUnderChaosStillAnswersEarlierRequests)
+{
+    // The overflow-poisoning contract (earlier requests answered,
+    // then hangup) must hold when the oversize line ALSO arrives in
+    // injected 1..16-byte fragments and the responses leave through
+    // injected partial writes.
+    FaultInjector::Config cfg;
+    cfg.short_read_pct = 60;
+    cfg.short_write_pct = 60;
+    cfg.seed = 11;
+    FaultScope scope(cfg);
+
+    ServedSession served;
+    LineClient client(served.port());
+    ASSERT_TRUE(client.connected());
+    std::string huge(LineSplitter::kMaxLineBytes + 2, 'x');
+    ASSERT_TRUE(
+        client.sendLine("{\"op\":\"ping\",\"id\":1}\n" + huge));
+
+    bool got_pong = false, got_violation = false;
+    for (int i = 0; i < 2; ++i) {
+        std::string line;
+        ASSERT_TRUE(client.recvLine(line)) << "response " << i;
+        std::optional<JsonValue> r = parseJson(line);
+        ASSERT_TRUE(r.has_value()) << line;
+        if (r->get("ok")->asBool()) {
+            EXPECT_EQ(r->get("id")->asNumber(), 1.0);
+            got_pong = true;
+        } else {
+            EXPECT_NE(r->get("error")->asString().find("exceeds"),
+                      std::string::npos)
+                << line;
+            got_violation = true;
+        }
+    }
+    EXPECT_TRUE(got_pong);
+    EXPECT_TRUE(got_violation);
+    std::string eof;
+    EXPECT_FALSE(client.recvLine(eof)); // hangup after the violation
+
+    // The server (and a fresh connection) carries on.
+    LineClient next(served.port());
+    ASSERT_TRUE(next.connected());
+    EXPECT_TRUE(parseJson(next.roundTrip("{\"op\":\"ping\"}"))
+                    ->get("ok")
+                    ->asBool());
+    served.shutdown();
+
+    EXPECT_GT(FaultInjector::instance().counts().short_reads, 0u);
+}
+
+TEST(NetServe, RetryingClientSurvivesInjectedConnectionResets)
+{
+    // Every connection dies (as-if ECONNRESET) after ~600 bytes of
+    // total traffic -- a few ping round trips.  The retrying client
+    // must reconnect-and-resend through the carnage.
+    FaultInjector::Config cfg;
+    cfg.reset_after_bytes = 600;
+    cfg.seed = 3;
+    FaultScope scope(cfg);
+
+    ServedSession served;
+    RetryPolicy policy;
+    policy.retries = 5;
+    policy.backoff_base_ms = 1; // fast test timeline
+    RetryingLineClient client(served.port(), policy);
+    int ok = 0;
+    for (int i = 0; i < 30; ++i) {
+        std::string resp = client.roundTrip(
+            "{\"op\":\"ping\",\"id\":" + std::to_string(i) + "}");
+        std::optional<JsonValue> r = parseJson(resp);
+        if (r && r->isObject() && r->get("ok") &&
+            r->get("ok")->asBool())
+            ++ok;
+    }
+    // Every ping must eventually land (5 retries vastly exceeds the
+    // per-connection death rate), and the resets must have fired.
+    EXPECT_EQ(ok, 30);
+    EXPECT_GT(client.retriesUsed(), 0u);
+    EXPECT_GT(FaultInjector::instance().counts().resets, 0u);
+
+    // The shutdown helper's plain client also survives: each fresh
+    // connection has a fresh byte budget.
+    served.shutdown();
+}
+
+// ------------------------------------------- per-client protection
+
+TEST(NetServe, RateLimitRejectsCarryRetryAfterAndEchoId)
+{
+    ServeConfig cfg;
+    cfg.rate_limit_rps = 1.0; // refill far slower than the test
+    cfg.rate_limit_burst = 2.0;
+    ServedSession served(cfg);
+
+    LineClient client(served.port());
+    ASSERT_TRUE(client.connected());
+    std::string burst;
+    for (int i = 1; i <= 5; ++i)
+        burst += "{\"op\":\"ping\",\"id\":" + std::to_string(i) +
+                 "}\n";
+    burst.pop_back();
+    ASSERT_TRUE(client.sendLine(burst));
+
+    int ok = 0, limited = 0;
+    for (int i = 0; i < 5; ++i) {
+        std::string line;
+        ASSERT_TRUE(client.recvLine(line)) << "response " << i;
+        std::optional<JsonValue> r = parseJson(line);
+        ASSERT_TRUE(r.has_value()) << line;
+        ASSERT_NE(r->get("id"), nullptr) << line;
+        if (r->get("ok")->asBool()) {
+            ++ok;
+            continue;
+        }
+        // Every reject is attributable and machine-actionable.
+        EXPECT_EQ(r->get("op")->asString(), "ping");
+        ASSERT_NE(r->get("code"), nullptr) << line;
+        EXPECT_EQ(r->get("code")->asString(), "rate_limited");
+        ASSERT_NE(r->get("retry_after_ms"), nullptr) << line;
+        EXPECT_GE(r->get("retry_after_ms")->asNumber(), 1.0);
+        ++limited;
+    }
+    EXPECT_GE(ok, 2);      // the burst allowance
+    EXPECT_GE(limited, 2); // the excess
+    EXPECT_EQ(ok + limited, 5);
+
+    // A second connection has its own untouched bucket.
+    LineClient fresh(served.port());
+    ASSERT_TRUE(fresh.connected());
+    EXPECT_TRUE(parseJson(fresh.roundTrip("{\"op\":\"ping\"}"))
+                    ->get("ok")
+                    ->asBool());
+
+    // The robustness counters saw it.
+    std::optional<JsonValue> stats =
+        parseJson(fresh.roundTrip("{\"op\":\"stats\"}"));
+    ASSERT_TRUE(stats.has_value());
+    const JsonValue *rob = stats->get("robustness");
+    ASSERT_NE(rob, nullptr);
+    EXPECT_GE(rob->get("rate_limited")->asNumber(), 2.0);
+
+    served.shutdown();
+}
+
+TEST(NetServe, IdleConnectionIsReapedOthersUndisturbed)
+{
+    ServeConfig cfg;
+    cfg.idle_timeout_ms = 200;
+    ServedSession served(cfg);
+
+    // The wedge: connects, sends NOTHING, holds its slot.
+    LineClient wedged(served.port());
+    ASSERT_TRUE(wedged.connected());
+
+    // A healthy client keeps talking the whole time (its activity
+    // keeps refreshing, so it must NOT be reaped).
+    LineClient healthy(served.port());
+    ASSERT_TRUE(healthy.connected());
+    auto t0 = std::chrono::steady_clock::now();
+    while (std::chrono::steady_clock::now() - t0 <
+           std::chrono::milliseconds(700)) {
+        EXPECT_TRUE(parseJson(healthy.roundTrip("{\"op\":\"ping\"}"))
+                        ->get("ok")
+                        ->asBool());
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+
+    // The wedged connection got the courtesy notice and then EOF.
+    std::string line;
+    bool got_notice = wedged.recvLine(line);
+    if (got_notice) {
+        std::optional<JsonValue> r = parseJson(line);
+        ASSERT_TRUE(r.has_value()) << line;
+        EXPECT_FALSE(r->get("ok")->asBool());
+        ASSERT_NE(r->get("code"), nullptr) << line;
+        EXPECT_EQ(r->get("code")->asString(), "idle_timeout");
+        EXPECT_FALSE(wedged.recvLine(line)); // then EOF
+    }
+    // (got_notice can be false if the kernel dropped the buffered
+    // notice at close; the reap itself is what matters.)
+
+    std::optional<JsonValue> stats =
+        parseJson(healthy.roundTrip("{\"op\":\"stats\"}"));
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_GE(stats->get("robustness")
+                  ->get("idle_reaped")
+                  ->asNumber(),
+              1.0);
+    EXPECT_GE(stats->get("connections")
+                  ->get("idle_reaped")
+                  ->asNumber(),
+              1.0);
+
+    served.shutdown();
+}
+
+TEST(NetServe, HealthOpReportsOkAndUptime)
+{
+    ServedSession served;
+    LineClient client(served.port());
+    ASSERT_TRUE(client.connected());
+    std::optional<JsonValue> r = parseJson(
+        client.roundTrip("{\"op\":\"health\",\"id\":\"h\"}"));
+    ASSERT_TRUE(r.has_value());
+    EXPECT_TRUE(r->get("ok")->asBool());
+    EXPECT_EQ(r->get("status")->asString(), "ok");
+    ASSERT_NE(r->get("uptime_ms"), nullptr);
+    EXPECT_GE(r->get("uptime_ms")->asNumber(), 0.0);
+    EXPECT_EQ(r->get("id")->asString(), "h");
+    served.shutdown();
+}
+
+TEST(NetServer, HealthStatusTracksQueuePressure)
+{
+    // Directly against the server's own view: an idle server is ok.
+    ServeConfig cfg;
+    cfg.shed_queue_wait_ms = 1000;
+    ServedSession served(cfg);
+    EXPECT_EQ(served.server.healthStatus(), "ok");
+    served.shutdown();
 }
 
 } // namespace

@@ -542,5 +542,119 @@ TEST(ServeSession, MissingOptionalsKeepDefaults)
               0.0);
 }
 
+TEST(ServeSession, StatsReportRobustnessCountersFieldByField)
+{
+    ServeSession session;
+    std::optional<JsonValue> v =
+        parseJson(session.handleLine("{\"op\":\"stats\",\"id\":1}"));
+    ASSERT_TRUE(v.has_value());
+    ASSERT_TRUE(v->get("ok")->asBool());
+
+    // The robustness section is always present (zeroed on a fresh
+    // session), so dashboards never have to guess at its absence.
+    const JsonValue *rob = v->get("robustness");
+    ASSERT_NE(rob, nullptr);
+    EXPECT_EQ(rob->get("deadline_exceeded")->asNumber(), 0.0);
+    EXPECT_EQ(rob->get("rate_limited")->asNumber(), 0.0);
+    EXPECT_EQ(rob->get("idle_reaped")->asNumber(), 0.0);
+    EXPECT_EQ(rob->get("shed")->asNumber(), 0.0);
+    EXPECT_GE(rob->get("uptime_ms")->asNumber(), 0.0);
+}
+
+TEST(ServeSession, HealthOpReportsStatusAndUptime)
+{
+    ServeSession session;
+    std::optional<JsonValue> v = parseJson(
+        session.handleLine("{\"op\":\"health\",\"id\":\"h1\"}"));
+    ASSERT_TRUE(v.has_value());
+    EXPECT_TRUE(v->get("ok")->asBool());
+    // Standalone (no NetServer hook): always "ok".
+    EXPECT_EQ(v->get("status")->asString(), "ok");
+    EXPECT_GE(v->get("uptime_ms")->asNumber(), 0.0);
+    EXPECT_EQ(v->get("op")->asString(), "health");
+    EXPECT_EQ(v->get("id")->asString(), "h1");
+}
+
+TEST(ServeSession, DeadlineExceededEchoesOpIdAndLeavesSessionWarm)
+{
+    ServeSession session;
+    // Work far beyond a 1ms budget...
+    const char *doomed =
+        "{\"op\":\"search\",\"id\":\"slow-1\","
+        "\"layer\":{\"name\":\"c\",\"k\":32,\"c\":32,\"p\":14,"
+        "\"q\":14,\"r\":3,\"s\":3},"
+        "\"options\":{\"random_samples\":4000,"
+        "\"hill_climb_rounds\":10,\"seed\":5,\"threads\":2,"
+        "\"timeout_ms\":1}}";
+    std::optional<JsonValue> v = parseJson(session.handleLine(doomed));
+    ASSERT_TRUE(v.has_value());
+    EXPECT_FALSE(v->get("ok")->asBool());
+    // The reject is attributable and classifiable.
+    EXPECT_EQ(v->get("op")->asString(), "search");
+    EXPECT_EQ(v->get("id")->asString(), "slow-1");
+    ASSERT_NE(v->get("code"), nullptr) << v->serialize();
+    EXPECT_EQ(v->get("code")->asString(), "deadline_exceeded");
+    EXPECT_NE(v->get("error")->asString().find("deadline"),
+              std::string::npos);
+
+    // ...the same request WITHOUT the deadline succeeds on the same
+    // session, partly warm from the cancelled attempt's EvalCache.
+    const char *retry =
+        "{\"op\":\"search\",\"id\":\"slow-2\","
+        "\"layer\":{\"name\":\"c\",\"k\":32,\"c\":32,\"p\":14,"
+        "\"q\":14,\"r\":3,\"s\":3},"
+        "\"options\":{\"random_samples\":4000,"
+        "\"hill_climb_rounds\":10,\"seed\":5,\"threads\":2}}";
+    std::optional<JsonValue> ok = parseJson(session.handleLine(retry));
+    ASSERT_TRUE(ok.has_value());
+    ASSERT_TRUE(ok->get("ok")->asBool()) << ok->serialize();
+    // timeout_ms is non-semantic, so the cancelled attempt would
+    // have poisoned THIS response had it leaked into the ResultCache.
+    EXPECT_FALSE(ok->get("from_result_cache")->asBool());
+    EXPECT_GT(ok->get("stats")->get("cache_hits")->asNumber(), 0.0);
+
+    // The deadline shows up in the robustness counters.
+    std::optional<JsonValue> stats =
+        parseJson(session.handleLine("{\"op\":\"stats\"}"));
+    EXPECT_EQ(stats->get("robustness")
+                  ->get("deadline_exceeded")
+                  ->asNumber(),
+              1.0);
+}
+
+TEST(ServeSession, CapabilitiesAdvertiseHardeningKnobsAndHealthOp)
+{
+    ServeConfig cfg;
+    cfg.idle_timeout_ms = 30000;
+    cfg.rate_limit_rps = 50.0;
+    cfg.rate_limit_burst = 100.0;
+    cfg.shed_queue_wait_ms = 2000;
+    ServeSession session(cfg);
+    std::optional<JsonValue> v = parseJson(
+        session.handleLine("{\"op\":\"capabilities\"}"));
+    ASSERT_TRUE(v.has_value());
+    ASSERT_TRUE(v->get("ok")->asBool());
+
+    bool has_health = false;
+    for (const JsonValue &op : v->get("ops")->items())
+        has_health = has_health || op.asString() == "health";
+    EXPECT_TRUE(has_health);
+
+    const JsonValue *limits = v->get("limits");
+    ASSERT_NE(limits, nullptr);
+    EXPECT_EQ(limits->get("idle_timeout_ms")->asNumber(), 30000.0);
+    EXPECT_EQ(limits->get("rate_limit_rps")->asNumber(), 50.0);
+    EXPECT_EQ(limits->get("rate_limit_burst")->asNumber(), 100.0);
+    EXPECT_EQ(limits->get("shed_queue_wait_ms")->asNumber(), 2000.0);
+
+    // timeout_ms is in the options schema and declared non-semantic
+    // (a deadline is an execution budget, not a different request).
+    for (const JsonValue &f :
+         v->get("schema")->get("types")->get("options")
+             ->get("fields")->items())
+        if (f.get("name")->asString() == "timeout_ms")
+            EXPECT_FALSE(f.get("semantic")->asBool());
+}
+
 } // namespace
 } // namespace ploop

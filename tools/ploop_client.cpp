@@ -6,12 +6,20 @@
  * the socket twin of `... | ploop_serve`.
  *
  *   ploop_client --port PORT [--script FILE] [--pipeline]
+ *                [--retries N] [--timeout-ms MS] [--verbose]
  *
  * Default mode is lockstep: send one request, wait for its response,
  * print it, repeat -- the natural shape for shell scripts comparing
  * responses line by line.  --pipeline sends every request first and
  * then reads all responses (exercises server-side queueing and
  * per-connection response ordering).
+ *
+ * Resilience (lockstep only -- see RetryingLineClient for why a
+ * pipelined window cannot be retried): --retries N reconnects and
+ * resends through transport failures and honors server retry_after_ms
+ * hints with exponential backoff; --timeout-ms bounds connection
+ * establishment.  Every ploop op is idempotent (deterministic
+ * request/response), so resending after an ambiguous failure is safe.
  *
  * Blank lines and lines starting with '#' are skipped, like
  * ploop_serve --script.  Exit status: 0 when every request got a
@@ -21,6 +29,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -34,9 +43,27 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s --port PORT [--script FILE] "
-                 "[--pipeline]\n",
+                 "[--pipeline]\n"
+                 "          [--retries N] [--timeout-ms MS] "
+                 "[--verbose]\n"
+                 "\n"
+                 "--retries/--timeout-ms add reconnect-and-resend\n"
+                 "resilience (lockstep mode only; retry semantics\n"
+                 "for a pipelined window are ambiguous).\n",
                  argv0);
     return 2;
+}
+
+long
+parseCount(const char *arg, const char *text, long max)
+{
+    char *end = nullptr;
+    long v = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || v < 0 || v > max) {
+        std::fprintf(stderr, "bad %s '%s'\n", arg, text);
+        std::exit(2);
+    }
+    return v;
 }
 
 } // namespace
@@ -49,6 +76,10 @@ main(int argc, char **argv)
     long port = -1;
     std::string script;
     bool pipeline = false;
+    bool verbose = false;
+    bool retries_set = false;
+    RetryPolicy policy;
+    policy.retries = 0; // plain behavior unless --retries asks
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         auto value = [&]() -> const char * {
@@ -60,18 +91,24 @@ main(int argc, char **argv)
             return argv[++i];
         };
         if (arg == "--port") {
-            char *end = nullptr;
-            const char *text = value();
-            port = std::strtol(text, &end, 10);
-            if (end == text || *end != '\0' || port < 1 ||
-                port > 65535) {
-                std::fprintf(stderr, "bad --port '%s'\n", text);
+            port = parseCount("--port", value(), 65535);
+            if (port < 1) {
+                std::fprintf(stderr, "bad --port %ld\n", port);
                 return 2;
             }
         } else if (arg == "--script") {
             script = value();
         } else if (arg == "--pipeline") {
             pipeline = true;
+        } else if (arg == "--retries") {
+            policy.retries = static_cast<unsigned>(
+                parseCount("--retries", value(), 1000));
+            retries_set = true;
+        } else if (arg == "--timeout-ms") {
+            policy.connect_timeout_ms = static_cast<int>(
+                parseCount("--timeout-ms", value(), 3600 * 1000));
+        } else if (arg == "--verbose") {
+            verbose = true;
         } else if (arg == "--help" || arg == "-h") {
             return usage(argv[0]);
         } else {
@@ -82,6 +119,13 @@ main(int argc, char **argv)
     }
     if (port < 0)
         return usage(argv[0]);
+    if (retries_set && pipeline) {
+        std::fprintf(stderr,
+                     "--retries needs lockstep mode: a pipelined "
+                     "window cannot be retried safely (which of the "
+                     "unacked requests failed?)\n");
+        return 2;
+    }
 
     std::ifstream script_in;
     if (!script.empty()) {
@@ -94,8 +138,9 @@ main(int argc, char **argv)
     }
     std::istream &in = script.empty() ? std::cin : script_in;
 
-    LineClient client(static_cast<std::uint16_t>(port));
-    if (!client.connected()) {
+    RetryingLineClient client(static_cast<std::uint16_t>(port),
+                              policy);
+    if (!client.connected() && !retries_set) {
         std::fprintf(stderr, "cannot connect to 127.0.0.1:%ld\n",
                      port);
         return 1;
@@ -108,23 +153,29 @@ main(int argc, char **argv)
         std::size_t first = line.find_first_not_of(" \t\r");
         if (first == std::string::npos || line[first] == '#')
             continue;
-        if (!client.sendLine(line)) {
-            std::fprintf(stderr, "server closed the connection\n");
-            ok = false;
-            break;
-        }
-        ++sent;
         if (pipeline) {
+            if (!client.raw().sendLine(line)) {
+                std::fprintf(stderr,
+                             "server closed the connection\n");
+                ok = false;
+                break;
+            }
+            ++sent;
             // Drain whatever responses already arrived so a deep
             // pipeline can never deadlock against a server that
             // stops reading while our unread responses pile up.
-            while (client.tryRecvLine(resp)) {
+            while (client.raw().tryRecvLine(resp)) {
                 ++answered;
                 std::puts(resp.c_str());
             }
             continue;
         }
-        if (!client.recvLine(resp)) {
+        // Lockstep: the retrying round trip reconnects and resends
+        // through transport failures and waits out retry_after_ms
+        // rejects (no-op with --retries 0).
+        ++sent;
+        resp = client.roundTrip(line);
+        if (resp.empty()) {
             std::fprintf(stderr,
                          "no response (server closed early)\n");
             ok = false;
@@ -135,7 +186,7 @@ main(int argc, char **argv)
         std::fflush(stdout);
     }
     while (ok && answered < sent) {
-        if (!client.recvLine(resp)) {
+        if (!client.raw().recvLine(resp)) {
             std::fprintf(stderr,
                          "missing %zu responses (server closed "
                          "early)\n",
@@ -147,5 +198,11 @@ main(int argc, char **argv)
         std::puts(resp.c_str());
         std::fflush(stdout);
     }
+    if (verbose)
+        std::fprintf(stderr, "ploop_client: %zu sent, %zu answered, "
+                             "%llu retries used\n",
+                     sent, answered,
+                     static_cast<unsigned long long>(
+                         client.retriesUsed()));
     return ok ? 0 : 1;
 }

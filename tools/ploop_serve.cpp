@@ -15,7 +15,17 @@
  *               [--script FILE]
  *               [--listen PORT] [--port-file PATH]
  *               [--max-connections N] [--max-queue N]
+ *               [--idle-timeout-ms MS] [--rate-limit RPS]
+ *               [--rate-limit-burst N] [--shed-queue-wait-ms MS]
  *               [--compact]
+ *
+ * Hardening knobs (all off by default; see README "Operating under
+ * load"): --idle-timeout-ms reaps silent connections, --rate-limit
+ * bounds each connection's sustained request rate (rejects carry
+ * retry_after_ms), --shed-queue-wait-ms sheds new work once queued
+ * requests wait too long.  The PLOOP_FAULTS environment variable
+ * enables the deterministic fault-injection harness (chaos testing;
+ * see net/socket.hpp).
  *
  * With --cache-store, warm EvalCache entries are merged from PATH at
  * startup (graceful cold start on a missing/damaged file) and saved
@@ -45,6 +55,7 @@
 
 #include "mapper/cache_store.hpp"
 #include "net/server.hpp"
+#include "net/socket.hpp"
 #include "service/serve_session.hpp"
 
 namespace {
@@ -58,7 +69,10 @@ usage(const char *argv0)
         "          [--result-cache-max-entries N]\n"
         "          [--cache-store-max-entries N] [--script FILE]\n"
         "          [--listen PORT] [--port-file PATH]\n"
-        "          [--max-connections N] [--max-queue N] [--compact]\n"
+        "          [--max-connections N] [--max-queue N]\n"
+        "          [--idle-timeout-ms MS] [--rate-limit RPS]\n"
+        "          [--rate-limit-burst N]\n"
+        "          [--shed-queue-wait-ms MS] [--compact]\n"
         "\n"
         "Line-oriented JSON evaluation service (one request object\n"
         "per line, one response per line; ops: ping, capabilities,\n"
@@ -72,7 +86,11 @@ usage(const char *argv0)
         "error responses.  --cache-store-max-entries bounds store\n"
         "saves to the N most-reused entries;\n"
         "--result-cache-max-entries bounds whole-response\n"
-        "memoization (0 disables it).  --compact loads, verifies,\n"
+        "memoization (0 disables it).  --idle-timeout-ms reaps\n"
+        "connections silent that long; --rate-limit/-burst bound\n"
+        "each connection's request rate (rejects carry\n"
+        "retry_after_ms); --shed-queue-wait-ms sheds new work once\n"
+        "queued requests wait too long.  --compact loads, verifies,\n"
         "compacts and rewrites the cache store, then exits.\n",
         argv0);
     return 2;
@@ -173,6 +191,14 @@ main(int argc, char **argv)
             cfg.max_connections = cap_value();
         } else if (arg == "--max-queue") {
             cfg.max_queue = cap_value();
+        } else if (arg == "--idle-timeout-ms") {
+            cfg.idle_timeout_ms = cap_value();
+        } else if (arg == "--rate-limit") {
+            cfg.rate_limit_rps = double(cap_value());
+        } else if (arg == "--rate-limit-burst") {
+            cfg.rate_limit_burst = double(cap_value());
+        } else if (arg == "--shed-queue-wait-ms") {
+            cfg.shed_queue_wait_ms = cap_value();
         } else if (arg == "--compact") {
             compact = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -194,6 +220,23 @@ main(int argc, char **argv)
 
     cfg.transport = listen ? "tcp" : (script.empty() ? "stdio"
                                                      : "script");
+
+    // The injector itself silently ignores an unparsable spec (a
+    // typo must degrade to clean serving); the TOOL is where the
+    // operator learns about it -- and that chaos is active at all.
+    if (const char *spec = std::getenv("PLOOP_FAULTS")) {
+        FaultInjector::Config faults;
+        std::string fault_err;
+        if (!FaultInjector::parse(spec, faults, &fault_err))
+            std::fprintf(stderr,
+                         "ploop_serve: ignoring PLOOP_FAULTS: %s\n",
+                         fault_err.c_str());
+        else if (faults.enabled())
+            std::fprintf(stderr,
+                         "ploop_serve: fault injection ACTIVE "
+                         "(PLOOP_FAULTS=%s)\n",
+                         spec);
+    }
 
     ServeSession session(cfg);
     std::fprintf(stderr, "ploop_serve: %s\n",

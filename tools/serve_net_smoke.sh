@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Multi-client loopback smoke for ploop_serve --listen.
 #
-#   serve_net_smoke.sh <ploop_serve binary> <ploop_client binary>
+#   serve_net_smoke.sh <ploop_serve binary> <ploop_client binary> [--chaos]
 #
 # Asserts, against a real server process on an ephemeral port:
 #   1. N=4 CONCURRENT clients each receive responses bit-identical
@@ -16,12 +16,29 @@
 #   4. the stats op grows "connections" and "queue" sections;
 #   5. shutdown drains gracefully and the server process exits 0.
 #
-# The in-process equivalents live in tests/test_net.cpp; this script
-# checks the same contracts across real process/socket boundaries.
+# --chaos re-runs the whole flow with the deterministic
+# fault-injection harness active on every server-side connection
+# (PLOOP_FAULTS: short reads/writes, EINTR bursts, write stalls) and
+# the hardening knobs on, then additionally asserts:
+#   6. surviving responses stay BIT-IDENTICAL to the clean serial
+#      reference -- fault injection must be invisible to results;
+#   7. a ping flood trips the per-connection rate limiter: rejects
+#      carry code=rate_limited and retry_after_ms, and echo op/id;
+#   8. a wedged connection (bytes but never a full line) is idle-
+#      reaped without disturbing the others;
+#   9. a search with timeout_ms=1 returns code=deadline_exceeded and
+#      the SAME request without the deadline then succeeds warm;
+#  10. the stats robustness section counts all of the above.
+#
+# The in-process equivalents live in tests/test_net.cpp and
+# tests/test_cancel.cpp; this script checks the same contracts across
+# real process/socket boundaries.
 set -euo pipefail
 
 SERVE="$1"
 CLIENT="$2"
+CHAOS=0
+[ "${3:-}" = "--chaos" ] && CHAOS=1
 TMP="$(mktemp -d)"
 SERVER_PID=""
 cleanup() {
@@ -30,13 +47,26 @@ cleanup() {
 }
 trap cleanup EXIT
 
-fail() { echo "serve_net_smoke: FAIL: $*" >&2; exit 1; }
+TAG="serve_net_smoke"
+[ "$CHAOS" -eq 1 ] && TAG="serve_net_smoke[chaos]"
+fail() { echo "$TAG: FAIL: $*" >&2; exit 1; }
 
 # Extract the first "key":"value" / "key":value for a key from $2.
 jget() { # key line
     printf '%s\n' "$2" | grep -o "\"$1\":\"[^\"]*\"\|\"$1\":[^,}]*" \
         | head -n1 | sed -e 's/^"[^"]*"://' -e 's/^"//' -e 's/"$//'
 }
+
+# Chaos mode: clients retry through injected trouble; the server gets
+# the full hardening config and deterministic fault injection.
+CLIENT_RETRY=""
+SERVER_HARDEN=""
+FAULT_SPEC=""
+if [ "$CHAOS" -eq 1 ]; then
+    CLIENT_RETRY="--retries 5"
+    SERVER_HARDEN="--idle-timeout-ms 1000 --rate-limit 40 --rate-limit-burst 40 --shed-queue-wait-ms 2000"
+    FAULT_SPEC="short_read=35,short_write=35,eintr=25,stall=20,seed=9"
+fi
 
 # Three distinct small searches, ids 1..3 (seed varies).
 REQS="$TMP/requests.jsonl"
@@ -45,12 +75,15 @@ for seed in 5 6 7; do
 done >"$REQS"
 
 # ---- 1. serial single-client reference (stdio transport) ----------
+# Always a CLEAN run (no faults): in chaos mode this is the oracle the
+# injected run must match bit for bit.
 "$SERVE" <"$REQS" >"$TMP/serial.out" 2>/dev/null
 [ "$(wc -l <"$TMP/serial.out")" -eq 3 ] || fail "serial run: expected 3 responses"
 
 # ---- start the shared server --------------------------------------
 PORT_FILE="$TMP/port"
-"$SERVE" --listen 0 --port-file "$PORT_FILE" 2>"$TMP/server.err" &
+PLOOP_FAULTS="$FAULT_SPEC" "$SERVE" --listen 0 --port-file "$PORT_FILE" \
+    $SERVER_HARDEN 2>"$TMP/server.err" &
 SERVER_PID=$!
 for i in $(seq 200); do [ -s "$PORT_FILE" ] && break; sleep 0.05; done
 [ -s "$PORT_FILE" ] || fail "server never wrote its port file"
@@ -61,7 +94,7 @@ PORT="$(cat "$PORT_FILE")"
 # concurrent client below must then be answered whole from the
 # ResultCache that a DIFFERENT connection populated -- cross-client
 # warmth, deterministic at any thread count.
-"$CLIENT" --port "$PORT" --script "$REQS" >"$TMP/warmer.out" \
+"$CLIENT" --port "$PORT" $CLIENT_RETRY --script "$REQS" >"$TMP/warmer.out" \
     || fail "warmup client failed"
 [ "$(wc -l <"$TMP/warmer.out")" -eq 3 ] || fail "warmer: expected 3 responses"
 while IFS= read -r line; do
@@ -70,7 +103,7 @@ done <"$TMP/warmer.out"
 
 CLIENT_PIDS=()
 for c in 1 2 3 4; do
-    "$CLIENT" --port "$PORT" --script "$REQS" >"$TMP/client$c.out" \
+    "$CLIENT" --port "$PORT" $CLIENT_RETRY --script "$REQS" >"$TMP/client$c.out" \
         2>"$TMP/client$c.err" &
     CLIENT_PIDS+=($!)
 done
@@ -112,7 +145,7 @@ kill -9 "$DOOMED" 2>/dev/null || true
 wait "$DOOMED" 2>/dev/null || true
 
 # The survivors still get real answers.
-SURV="$("$CLIENT" --port "$PORT" --script "$REQS")" \
+SURV="$("$CLIENT" --port "$PORT" $CLIENT_RETRY --script "$REQS")" \
     || fail "client after the kill could not be served"
 [ "$(printf '%s\n' "$SURV" | wc -l)" -eq 3 ] || fail "survivor: expected 3 responses"
 printf '%s\n' "$SURV" | while IFS= read -r line; do
@@ -124,6 +157,7 @@ STATS="$(echo '{"op":"stats","id":"s"}' | "$CLIENT" --port "$PORT")"
 printf '%s' "$STATS" | grep -q '"connections":{' || fail "stats lacks connections section: $STATS"
 printf '%s' "$STATS" | grep -q '"queue":{' || fail "stats lacks queue section: $STATS"
 printf '%s' "$STATS" | grep -q '"max_queue":' || fail "stats lacks max_queue: $STATS"
+printf '%s' "$STATS" | grep -q '"robustness":{' || fail "stats lacks robustness section: $STATS"
 [ "$(jget accepted "$STATS")" -ge 6 ] || fail "stats accepted too low: $STATS"
 
 # Error responses over the wire still echo the id (pipelined
@@ -132,11 +166,98 @@ ERR="$(echo '{"op":"search","id":"e9","layer":{"sneaky":1}}' | "$CLIENT" --port 
 [ "$(jget ok "$ERR")" = "false" ] || fail "bad request was accepted: $ERR"
 [ "$(jget id "$ERR")" = "e9" ] || fail "error response lost its id: $ERR"
 
+# The health op answers on the wire.
+HEALTH="$(echo '{"op":"health","id":"h"}' | "$CLIENT" --port "$PORT")"
+[ "$(jget ok "$HEALTH")" = "true" ] || fail "health op failed: $HEALTH"
+case "$(jget status "$HEALTH")" in
+    ok|degraded|overloaded) ;;
+    *) fail "health status unrecognized: $HEALTH" ;;
+esac
+
+if [ "$CHAOS" -eq 1 ]; then
+    # ---- 7. ping flood trips the per-connection rate limiter ------
+    FLOOD="$TMP/flood.jsonl"
+    for i in $(seq 80); do
+        echo '{"op":"ping","id":'"$i"'}'
+    done >"$FLOOD"
+    # Pipelined on ONE connection (its own token bucket; retries are
+    # meaningless for a flood we EXPECT to be partially rejected).
+    "$CLIENT" --port "$PORT" --pipeline --script "$FLOOD" \
+        >"$TMP/flood.out" || fail "flood client lost its connection"
+    [ "$(wc -l <"$TMP/flood.out")" -eq 80 ] \
+        || fail "flood: every request deserves a response line"
+    flood_ok=0; flood_limited=0
+    while IFS= read -r line; do
+        if [ "$(jget ok "$line")" = "true" ]; then
+            flood_ok=$((flood_ok + 1))
+            continue
+        fi
+        [ "$(jget code "$line")" = "rate_limited" ] \
+            || fail "flood reject without code=rate_limited: $line"
+        [ -n "$(jget retry_after_ms "$line")" ] \
+            || fail "rate-limit reject lacks retry_after_ms: $line"
+        [ "$(jget op "$line")" = "ping" ] \
+            || fail "rate-limit reject lost its op: $line"
+        [ -n "$(jget id "$line")" ] \
+            || fail "rate-limit reject lost its id: $line"
+        flood_limited=$((flood_limited + 1))
+    done <"$TMP/flood.out"
+    [ "$flood_ok" -ge 1 ] || fail "flood: burst allowance admitted nothing"
+    [ "$flood_limited" -ge 10 ] \
+        || fail "flood: expected >=10 rate-limited rejects, got $flood_limited"
+
+    # ---- 8. a wedged connection is idle-reaped --------------------
+    # Opens a raw socket, dribbles bytes that never form a line, and
+    # goes silent -- the classic stuck client holding a slot hostage.
+    exec 3<>"/dev/tcp/127.0.0.1/$PORT" \
+        || fail "could not open the wedge socket"
+    printf 'not json and never a newline' >&3
+    sleep 2  # idle-timeout 1000ms + reap-poll slack
+    exec 3>&- 3<&- || true
+    STATS2="$(echo '{"op":"stats"}' | "$CLIENT" --port "$PORT" $CLIENT_RETRY)"
+    [ "$(jget idle_reaped "$STATS2")" -ge 1 ] \
+        || fail "wedged connection was not idle-reaped: $STATS2"
+
+    # ---- 9. request deadlines ------------------------------------
+    DL='{"op":"search","id":"dl","layer":{"k":32,"c":32,"p":14,"q":14,"r":3,"s":3},"options":{"random_samples":4000,"hill_climb_rounds":10,"seed":3,"timeout_ms":1}}'
+    DLRESP="$(printf '%s\n' "$DL" | "$CLIENT" --port "$PORT" $CLIENT_RETRY)"
+    [ "$(jget ok "$DLRESP")" = "false" ] \
+        || fail "timeout_ms=1 search was not cut off: $DLRESP"
+    [ "$(jget code "$DLRESP")" = "deadline_exceeded" ] \
+        || fail "deadline reject lacks its code: $DLRESP"
+    [ "$(jget op "$DLRESP")" = "search" ] || fail "deadline reject lost op: $DLRESP"
+    [ "$(jget id "$DLRESP")" = "dl" ] || fail "deadline reject lost id: $DLRESP"
+    # The SAME request minus the deadline completes (warm from the
+    # cancelled attempt's EvalCache; the cancelled attempt must NOT
+    # have leaked a partial answer into the ResultCache).
+    OKRESP="$(printf '%s\n' "$DL" | sed 's/,"timeout_ms":1//' \
+        | "$CLIENT" --port "$PORT" $CLIENT_RETRY)"
+    [ "$(jget ok "$OKRESP")" = "true" ] \
+        || fail "deadline-free retry failed: $OKRESP"
+    [ "$(jget from_result_cache "$OKRESP")" = "false" ] \
+        || fail "cancelled attempt polluted the ResultCache: $OKRESP"
+
+    # ---- 10. robustness counters saw all of it --------------------
+    RSTATS="$(echo '{"op":"stats"}' | "$CLIENT" --port "$PORT" $CLIENT_RETRY)"
+    ROB="$(printf '%s' "$RSTATS" | grep -o '"robustness":{[^}]*}')"
+    [ -n "$ROB" ] || fail "stats lost the robustness section: $RSTATS"
+    [ "$(jget deadline_exceeded "$ROB")" -ge 1 ] \
+        || fail "robustness missed the deadline: $ROB"
+    [ "$(jget rate_limited "$ROB")" -ge 10 ] \
+        || fail "robustness missed the rate limiting: $ROB"
+    [ "$(jget idle_reaped "$ROB")" -ge 1 ] \
+        || fail "robustness missed the idle reap: $ROB"
+fi
+
 # ---- 5. graceful drain-then-exit ----------------------------------
-BYE="$(echo '{"op":"shutdown","id":"z"}' | "$CLIENT" --port "$PORT")"
+BYE="$(echo '{"op":"shutdown","id":"z"}' | "$CLIENT" --port "$PORT" $CLIENT_RETRY)"
 [ "$(jget ok "$BYE")" = "true" ] || fail "shutdown refused: $BYE"
 wait "$SERVER_PID" || fail "server exited non-zero after shutdown"
 SERVER_PID=""
 grep -q "drained" "$TMP/server.err" || fail "server did not report a drained exit"
 
-echo "serve_net_smoke: OK (4 concurrent clients bit-identical, $warm_hits cross-client warm hits)"
+if [ "$CHAOS" -eq 1 ]; then
+    echo "$TAG: OK (bit-identical under injected faults; $flood_limited rate-limited, wedge reaped, deadline enforced)"
+else
+    echo "$TAG: OK (4 concurrent clients bit-identical, $warm_hits cross-client warm hits)"
+fi
