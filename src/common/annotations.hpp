@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Compiler-enforced locking discipline: clang Thread Safety Analysis
+ * attributes behind portable macros, plus the annotated mutex
+ * primitives every concurrent subsystem in this codebase uses.
+ *
+ * Why this exists: the engine's determinism guarantee (same seed =>
+ * bit-identical best at any thread count) rests on a locking
+ * discipline that dynamic tests can only sample.  With these
+ * annotations, every shared field DECLARES its lock (`GUARDED_BY`),
+ * and a clang build with `-Werror=thread-safety` (CMake option
+ * PLOOP_THREAD_SAFETY, default ON for clang) turns a missing lock
+ * acquisition into a compile error -- "we tested it" becomes "it
+ * cannot compile wrong".  Off clang (gcc, MSVC) the macros expand to
+ * nothing and the wrappers cost exactly what std::mutex +
+ * std::lock_guard cost.
+ *
+ * House rules (enforced by tools/lint_invariants.py, rule raw-mutex):
+ *  - no raw std::mutex / std::lock_guard / std::unique_lock /
+ *    std::condition_variable outside this header -- always
+ *    ploop::Mutex, ploop::MutexLock and ploop::CondVar, so every lock
+ *    in the project is visible to the analysis;
+ *  - every field a Mutex guards carries GUARDED_BY(that_mutex);
+ *    fields shared WITHOUT a mutex must be std::atomic and carry a
+ *    comment justifying their memory ordering;
+ *  - helper functions that expect the caller to hold a lock say so
+ *    with REQUIRES(mu) instead of a "caller holds mu" comment.
+ *
+ * Condition variables: CondVar::wait() takes the MutexLock itself.
+ * Predicate waits are written as explicit `while (!pred) cv.wait(l);`
+ * loops in the annotated function -- a predicate lambda would be
+ * analyzed as a separate unannotated function and spuriously warn on
+ * guarded-field access.
+ */
+
+#ifndef PHOTONLOOP_COMMON_ANNOTATIONS_HPP
+#define PHOTONLOOP_COMMON_ANNOTATIONS_HPP
+
+#include <condition_variable>
+#include <mutex>
+
+// --------------------------------------------------------------- macros
+
+// Clang exposes thread safety attributes through
+// __attribute__((...)); every other compiler sees empty macros.  The
+// attribute set below is the standard one from the clang Thread
+// Safety Analysis documentation (mutex.h), trimmed to what this
+// codebase uses plus the shared/try variants kept for future use.
+#if defined(__clang__) && !defined(SWIG)
+#define PLOOP_TSA(x) __attribute__((x))
+#else
+#define PLOOP_TSA(x) // no-op off clang
+#endif
+
+/** Marks a type as a lockable capability ("mutex"). */
+#define CAPABILITY(x) PLOOP_TSA(capability(x))
+
+/** Marks an RAII type that acquires in its ctor, releases in its dtor. */
+#define SCOPED_CAPABILITY PLOOP_TSA(scoped_lockable)
+
+/** Declares which mutex guards a field: access without holding it is
+ *  a compile error under -Wthread-safety. */
+#define GUARDED_BY(x) PLOOP_TSA(guarded_by(x))
+
+/** Like GUARDED_BY, for the data a pointer field points TO. */
+#define PT_GUARDED_BY(x) PLOOP_TSA(pt_guarded_by(x))
+
+/** The caller must hold these mutexes ("Locked" helper functions). */
+#define REQUIRES(...) PLOOP_TSA(requires_capability(__VA_ARGS__))
+
+/** The caller must hold these mutexes at least shared. */
+#define REQUIRES_SHARED(...)                                         \
+    PLOOP_TSA(requires_shared_capability(__VA_ARGS__))
+
+/** The function acquires the mutex and does not release it. */
+#define ACQUIRE(...) PLOOP_TSA(acquire_capability(__VA_ARGS__))
+
+/** The function releases a held mutex. */
+#define RELEASE(...) PLOOP_TSA(release_capability(__VA_ARGS__))
+
+/** The function acquires the mutex iff it returns the given value. */
+#define TRY_ACQUIRE(...) PLOOP_TSA(try_acquire_capability(__VA_ARGS__))
+
+/** The caller must NOT hold these mutexes (deadlock prevention for
+ *  non-reentrant locks). */
+#define EXCLUDES(...) PLOOP_TSA(locks_excluded(__VA_ARGS__))
+
+/** The function returns a reference to the named mutex. */
+#define RETURN_CAPABILITY(x) PLOOP_TSA(lock_returned(x))
+
+/** Escape hatch: the analysis is wrong or the function is trusted
+ *  (use sparingly, with a comment saying why). */
+#define NO_THREAD_SAFETY_ANALYSIS PLOOP_TSA(no_thread_safety_analysis)
+
+namespace ploop {
+
+// ----------------------------------------------------------- primitives
+
+class CondVar;
+
+/**
+ * An annotated std::mutex.  Functionally identical; the CAPABILITY
+ * tag is what lets GUARDED_BY/REQUIRES name it in the analysis.
+ */
+class CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() ACQUIRE() { mu_.lock(); }
+    void unlock() RELEASE() { mu_.unlock(); }
+    bool tryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  private:
+    friend class MutexLock;
+    std::mutex mu_;
+};
+
+/**
+ * RAII lock over a Mutex -- the project's std::lock_guard.  Also the
+ * handle CondVar::wait() parks on (it wraps a std::unique_lock so the
+ * wait can release and reacquire without the analysis losing track of
+ * the scoped capability).
+ */
+class SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mu) ACQUIRE(mu) : lock_(mu.mu_) {}
+    ~MutexLock() RELEASE() {}
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    friend class CondVar;
+    std::unique_lock<std::mutex> lock_;
+};
+
+/**
+ * Condition variable over a MutexLock.  wait() atomically releases
+ * the lock while parked and reacquires before returning, exactly like
+ * std::condition_variable::wait -- the analysis treats the capability
+ * as held across the call, which matches what the caller may assume
+ * on either side of it.  No predicate overload on purpose: write the
+ * `while (!pred) cv.wait(lock);` loop in the annotated caller (see
+ * file comment).
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    /** Park until notified; @p lock must hold the guarded mutex. */
+    void wait(MutexLock &lock) { cv_.wait(lock.lock_); }
+
+    void notifyOne() { cv_.notify_one(); }
+    void notifyAll() { cv_.notify_all(); }
+
+  private:
+    std::condition_variable cv_;
+};
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_COMMON_ANNOTATIONS_HPP

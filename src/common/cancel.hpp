@@ -87,9 +87,15 @@ class CancelToken
     }
 
   private:
+    /** One-way latch, relaxed ordering on purpose: expiry carries no
+     *  payload (no data is published through the flag -- observers
+     *  only stop early), the steady_clock re-check makes a stale
+     *  false harmless, and racing true-stores are idempotent.  The
+     *  unwind that follows synchronizes via the pool's completion
+     *  protocol, not via this flag. */
     mutable std::atomic<bool> expired_{false};
-    bool has_deadline_ = false;
-    std::chrono::steady_clock::time_point deadline_{};
+    bool has_deadline_ = false; ///< Immutable after construction.
+    std::chrono::steady_clock::time_point deadline_{}; ///< Immutable.
 };
 
 /**

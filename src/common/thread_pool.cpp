@@ -23,10 +23,10 @@ ThreadPool::ThreadPool(unsigned size)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         stop_ = true;
     }
-    cv_.notify_all();
+    cv_.notifyAll();
     for (std::thread &w : workers_)
         w.join();
 }
@@ -35,10 +35,10 @@ void
 ThreadPool::enqueue(std::function<void()> task)
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         queue_.push_back(std::move(task));
     }
-    cv_.notify_one();
+    cv_.notifyOne();
 }
 
 void
@@ -47,8 +47,9 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mu_);
-            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            MutexLock lock(mu_);
+            while (!stop_ && queue_.empty())
+                cv_.wait(lock);
             if (queue_.empty())
                 return; // stop_ and drained
             task = std::move(queue_.front());
@@ -66,11 +67,16 @@ struct LoopState
     std::function<void(std::size_t, std::size_t, unsigned)> body;
     std::size_t n = 0;
     unsigned chunks = 0;
-    std::atomic<unsigned> next{0}; ///< Next unclaimed chunk.
-    std::atomic<unsigned> done{0}; ///< Completed chunks.
-    std::mutex mu;
-    std::condition_variable cv;
-    std::exception_ptr error; ///< First body exception (under mu).
+    /** Lock-free chunk claiming: relaxed suffices -- the ticket value
+     *  itself is the only datum, nothing is published through it. */
+    std::atomic<unsigned> next{0};
+    /** Completed chunks.  acq_rel on the increment / acquire on the
+     *  completion-wait load: the finisher's writes (including body
+     *  side effects) must be visible to the joiner. */
+    std::atomic<unsigned> done{0};
+    Mutex mu;
+    CondVar cv;
+    std::exception_ptr error GUARDED_BY(mu); ///< First body exception.
 
     /** Claim and run chunks until none remain. */
     void drain()
@@ -84,14 +90,14 @@ struct LoopState
                 std::size_t end = (c + 1) * n / chunks;
                 body(begin, end, c);
             } catch (...) {
-                std::lock_guard<std::mutex> lock(mu);
+                MutexLock lock(mu);
                 if (!error)
                     error = std::current_exception();
             }
             if (done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
                 chunks) {
-                std::lock_guard<std::mutex> lock(mu);
-                cv.notify_all();
+                MutexLock lock(mu);
+                cv.notifyAll();
             }
         }
     }
@@ -127,11 +133,10 @@ ThreadPool::parallelForChunked(
     // every worker is busy with other (possibly enclosing) loops.
     state->drain();
 
-    std::unique_lock<std::mutex> lock(state->mu);
-    state->cv.wait(lock, [&] {
-        return state->done.load(std::memory_order_acquire) ==
-               state->chunks;
-    });
+    MutexLock lock(state->mu);
+    while (state->done.load(std::memory_order_acquire) !=
+           state->chunks)
+        state->cv.wait(lock);
     if (state->error)
         std::rethrow_exception(state->error);
 }
@@ -158,9 +163,9 @@ namespace {
 void
 warnBadThreadsOnce(const char *value, const char *what)
 {
-    static std::mutex mu;
+    static Mutex mu;
     static std::string last_warned;
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     if (last_warned == value)
         return;
     last_warned = value;
@@ -227,9 +232,9 @@ ThreadPool::forThreads(unsigned size)
 
     // Cached per size; pools are small (threads only spawn on first
     // use of a size) and live for the process.
-    static std::mutex registry_mu;
+    static Mutex registry_mu;
     static std::map<unsigned, std::unique_ptr<ThreadPool>> registry;
-    std::lock_guard<std::mutex> lock(registry_mu);
+    MutexLock lock(registry_mu);
     std::unique_ptr<ThreadPool> &slot = registry[size];
     if (!slot)
         slot = std::make_unique<ThreadPool>(size);

@@ -25,17 +25,17 @@
 #define PHOTONLOOP_COMMON_THREAD_POOL_HPP
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/annotations.hpp"
 
 namespace ploop {
 
@@ -136,10 +136,10 @@ class ThreadPool
 
     unsigned size_ = 1;
     std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
-    std::mutex mu_;
-    std::condition_variable cv_;
-    bool stop_ = false;
+    Mutex mu_;
+    CondVar cv_;
+    std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+    bool stop_ GUARDED_BY(mu_) = false;
 };
 
 } // namespace ploop

@@ -157,7 +157,7 @@ EvalCache::find(std::uint64_t scope, const Mapping &mapping,
         *key_out = key;
     Shard &shard = shardFor(key);
     {
-        std::lock_guard<std::mutex> lock(shard.mu);
+        MutexLock lock(shard.mu);
         auto it = shard.map.find(key);
         if (it != shard.map.end() &&
             matchesFactors(it->second.factors, mapping)) {
@@ -191,7 +191,7 @@ EvalCache::insertRaw(std::uint64_t key,
     entry.result = result;
     entry.hits = hits;
     Shard &shard = shardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     if (shard.map.count(key))
         return; // first writer wins (possibly a hash collision)
     if (std::size_t cap = shardCap()) {
@@ -216,7 +216,7 @@ EvalCache::forEach(const std::function<void(
                        const QuickEval &, std::uint64_t)> &fn) const
 {
     for (const Shard &shard : shards_) {
-        std::lock_guard<std::mutex> lock(shard.mu);
+        MutexLock lock(shard.mu);
         for (const auto &[key, entry] : shard.map)
             fn(key, entry.factors, entry.result, entry.hits);
     }
@@ -227,7 +227,7 @@ EvalCache::size() const
 {
     std::size_t total = 0;
     for (const Shard &shard : shards_) {
-        std::lock_guard<std::mutex> lock(shard.mu);
+        MutexLock lock(shard.mu);
         total += shard.map.size();
     }
     return total;

@@ -59,10 +59,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "mapping/mapping.hpp"
 #include "model/evaluator.hpp"
 
@@ -242,7 +242,9 @@ class EvalCache
         std::vector<std::uint64_t> factors;
         QuickEval result;
 
-        /** Lookup hits on THIS entry (guarded by the shard mutex);
+        /** Lookup hits on THIS entry (guarded transitively by the
+         *  owning shard's mutex, via Shard::map's GUARDED_BY --
+         *  entries are only reachable through the map);
          *  size-bounded CacheStore saves persist high-hit entries
          *  first. */
         std::uint64_t hits = 0;
@@ -250,8 +252,8 @@ class EvalCache
 
     struct Shard
     {
-        mutable std::mutex mu;
-        std::unordered_map<std::uint64_t, Entry> map;
+        mutable Mutex mu;
+        std::unordered_map<std::uint64_t, Entry> map GUARDED_BY(mu);
     };
 
     Shard &shardFor(std::uint64_t key)
@@ -267,6 +269,12 @@ class EvalCache
     }
 
     Shard shards_[kNumShards];
+
+    // Statistics and the entry cap are lock-free with relaxed
+    // ordering: each is an independent monotonic counter (or a
+    // standalone limit) read only for reporting / sizing -- no other
+    // data is published through them, so no acquire/release pairing
+    // is needed and torn cross-counter snapshots are acceptable.
     std::atomic<std::uint64_t> hits_{0};
     std::atomic<std::uint64_t> misses_{0};
     std::atomic<std::size_t> max_entries_{0};

@@ -186,6 +186,11 @@ class ClientSession
     std::string out_;
     std::size_t out_offset_ = 0;
     bool input_closed_ = false;
+    // Per-connection tallies: written only by the event-loop thread,
+    // read by worker-thread stats ops.  Relaxed ordering -- each is
+    // an independent monotonic counter used for reporting only, so a
+    // slightly stale or cross-counter-torn stats row is fine and no
+    // data is published through them.
     std::atomic<std::uint64_t> received_{0};
     std::atomic<std::uint64_t> completed_{0};
     std::atomic<std::uint64_t> rejected_{0};

@@ -41,7 +41,7 @@ RequestScheduler::Admit
 RequestScheduler::submit(std::uint64_t conn, std::string line)
 {
     auto now = std::chrono::steady_clock::now();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (depth_ >= cfg_.max_queue) {
         ++rejected_;
         return Admit::QueueFull;
@@ -71,7 +71,7 @@ RequestScheduler::pump()
     // re-enters this mutex.
     std::vector<std::pair<std::uint64_t, std::string>> start;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         while (inflight_ < maxInflight()) {
             // Round-robin: first eligible connection strictly after
             // the last-dispatched id, wrapping.
@@ -111,7 +111,7 @@ RequestScheduler::runOne(std::uint64_t conn, const std::string &line)
 {
     std::string response = handler_(conn, line);
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         --inflight_;
         ++completed_;
         auto it = conns_.find(conn);
@@ -134,7 +134,7 @@ RequestScheduler::runOne(std::uint64_t conn, const std::string &line)
 void
 RequestScheduler::dropConnection(std::uint64_t conn)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = conns_.find(conn);
     if (it == conns_.end())
         return;
@@ -152,7 +152,7 @@ RequestScheduler::dropConnection(std::uint64_t conn)
 std::vector<RequestScheduler::Completed>
 RequestScheduler::drainCompleted()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::vector<Completed> out;
     out.swap(done_);
     return out;
@@ -161,14 +161,14 @@ RequestScheduler::drainCompleted()
 bool
 RequestScheduler::idle() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return depth_ == 0 && inflight_ == 0;
 }
 
 RequestScheduler::Stats
 RequestScheduler::stats() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     Stats out;
     out.depth = depth_;
     out.peak_depth = peak_depth_;
@@ -188,7 +188,7 @@ RequestScheduler::stats() const
 std::size_t
 RequestScheduler::pendingFor(std::uint64_t conn) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = conns_.find(conn);
     return it == conns_.end() ? 0 : it->second.pending.size();
 }
@@ -196,7 +196,7 @@ RequestScheduler::pendingFor(std::uint64_t conn) const
 bool
 RequestScheduler::busy(std::uint64_t conn) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = conns_.find(conn);
     if (it != conns_.end() &&
         (it->second.inflight || !it->second.pending.empty()))

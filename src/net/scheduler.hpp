@@ -38,10 +38,10 @@
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/thread_pool.hpp"
 
 namespace ploop {
@@ -173,27 +173,30 @@ class RequestScheduler
     unsigned maxInflight() const;
 
     /** Oldest queued line's wait in ms at @p now (0 when the queue
-     *  is empty).  Caller holds mu_. */
+     *  is empty). */
     std::uint64_t
-    oldestWaitMsLocked(std::chrono::steady_clock::time_point now) const;
+    oldestWaitMsLocked(std::chrono::steady_clock::time_point now) const
+        REQUIRES(mu_);
 
     ThreadPool &pool_;
     Handler handler_;
     WakeFn wake_;
     Config cfg_;
 
-    mutable std::mutex mu_;
-    std::map<std::uint64_t, Conn> conns_; ///< Ordered: stable RR.
-    std::uint64_t rr_cursor_ = 0; ///< Conn id dispatched last.
-    std::size_t depth_ = 0;
-    std::size_t peak_depth_ = 0;
-    unsigned inflight_ = 0;
-    std::uint64_t admitted_ = 0;
-    std::uint64_t rejected_ = 0;
-    std::uint64_t shed_ = 0;
-    std::uint64_t completed_ = 0;
-    std::uint64_t discarded_ = 0;
-    std::vector<Completed> done_;
+    mutable Mutex mu_;
+    /** Ordered: stable RR. */
+    std::map<std::uint64_t, Conn> conns_ GUARDED_BY(mu_);
+    /** Conn id dispatched last. */
+    std::uint64_t rr_cursor_ GUARDED_BY(mu_) = 0;
+    std::size_t depth_ GUARDED_BY(mu_) = 0;
+    std::size_t peak_depth_ GUARDED_BY(mu_) = 0;
+    unsigned inflight_ GUARDED_BY(mu_) = 0;
+    std::uint64_t admitted_ GUARDED_BY(mu_) = 0;
+    std::uint64_t rejected_ GUARDED_BY(mu_) = 0;
+    std::uint64_t shed_ GUARDED_BY(mu_) = 0;
+    std::uint64_t completed_ GUARDED_BY(mu_) = 0;
+    std::uint64_t discarded_ GUARDED_BY(mu_) = 0;
+    std::vector<Completed> done_ GUARDED_BY(mu_);
 };
 
 } // namespace ploop

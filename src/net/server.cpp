@@ -81,7 +81,7 @@ NetServer::deliverCompletions()
 {
     std::vector<RequestScheduler::Completed> done =
         scheduler_.drainCompleted();
-    std::lock_guard<std::mutex> lock(clients_mu_);
+    MutexLock lock(clients_mu_);
     for (RequestScheduler::Completed &d : done) {
         auto it = clients_.find(d.conn);
         // A vanished client's scheduler entry is discarded inside
@@ -99,7 +99,7 @@ NetServer::acceptPending()
         int fd = listener_.acceptFd();
         if (fd < 0)
             return;
-        std::lock_guard<std::mutex> lock(clients_mu_);
+        MutexLock lock(clients_mu_);
         if (clients_.size() >= session_.config().max_connections) {
             // Greet-and-close: a fresh socket's buffer accepts this
             // one line, so the client learns WHY instead of seeing a
@@ -225,7 +225,7 @@ void
 NetServer::disconnect(std::uint64_t id)
 {
     scheduler_.dropConnection(id);
-    std::lock_guard<std::mutex> lock(clients_mu_);
+    MutexLock lock(clients_mu_);
     if (clients_.erase(id))
         closed_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -237,7 +237,7 @@ NetServer::flushAndReap()
     auto now = std::chrono::steady_clock::now();
     std::vector<std::uint64_t> gone;
     {
-        std::lock_guard<std::mutex> lock(clients_mu_);
+        MutexLock lock(clients_mu_);
         for (auto &[id, client] : clients_) {
             if (client->hasPendingOutput()) {
                 IoStatus st = client->flush();
@@ -286,7 +286,7 @@ NetServer::flushAndReap()
 bool
 NetServer::allFlushed() const
 {
-    std::lock_guard<std::mutex> lock(clients_mu_);
+    MutexLock lock(clients_mu_);
     for (const auto &[id, client] : clients_) {
         (void)id;
         if (client->hasPendingOutput())
@@ -311,7 +311,7 @@ NetServer::run()
         }
         int listener_idx = draining_ || !listener_.isOpen() ? -1 : 1;
         {
-            std::lock_guard<std::mutex> lock(clients_mu_);
+            MutexLock lock(clients_mu_);
             for (auto &[id, client] : clients_) {
                 short events = 0;
                 // No POLLIN while this client's unread responses
@@ -382,7 +382,7 @@ NetServer::run()
                 continue;
             ClientSession *client = nullptr;
             {
-                std::lock_guard<std::mutex> lock(clients_mu_);
+                MutexLock lock(clients_mu_);
                 auto it = clients_.find(fd_conn[i]);
                 if (it != clients_.end())
                     client = it->second.get();
@@ -411,7 +411,7 @@ NetServer::run()
 
     // Drained: every response owed was flushed; close what is left.
     {
-        std::lock_guard<std::mutex> lock(clients_mu_);
+        MutexLock lock(clients_mu_);
         closed_.fetch_add(clients_.size(),
                           std::memory_order_relaxed);
         clients_.clear();
@@ -426,7 +426,7 @@ NetServer::appendStats(JsonValue &resp) const
     JsonValue conns = JsonValue::object();
     JsonValue list = JsonValue::array();
     {
-        std::lock_guard<std::mutex> lock(clients_mu_);
+        MutexLock lock(clients_mu_);
         conns.set("open",
                   JsonValue::number(double(clients_.size())));
         for (const auto &[id, client] : clients_) {

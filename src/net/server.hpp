@@ -46,9 +46,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/annotations.hpp"
 #include "net/client_session.hpp"
 #include "net/scheduler.hpp"
 #include "net/socket.hpp"
@@ -138,10 +138,18 @@ class NetServer
     int wake_write_ = -1;
     bool draining_ = false;
 
-    mutable std::mutex clients_mu_; ///< Map shape (stats vs loop).
-    std::map<std::uint64_t, std::unique_ptr<ClientSession>> clients_;
-    std::uint64_t next_id_ = 1;
+    /** Guards the map SHAPE: the event loop mutates it while stats
+     *  ops on worker threads size it.  ClientSession contents are
+     *  still event-loop-owned (see client_session.hpp). */
+    mutable Mutex clients_mu_;
+    std::map<std::uint64_t, std::unique_ptr<ClientSession>>
+        clients_ GUARDED_BY(clients_mu_);
+    std::uint64_t next_id_ GUARDED_BY(clients_mu_) = 1;
 
+    // Monotonic counters read by worker-thread stats ops: relaxed
+    // ordering, nothing is published through them.  peak_open_'s
+    // load+store is not atomic as an RMW, but every update happens
+    // under clients_mu_ (accept path), so updates never race.
     std::atomic<std::uint64_t> accepted_{0};
     std::atomic<std::uint64_t> rejected_full_{0};
     std::atomic<std::uint64_t> closed_{0};

@@ -114,7 +114,7 @@ FaultInjector::parse(const std::string &spec, Config &out,
 void
 FaultInjector::configure(const Config &cfg)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     cfg_ = cfg;
     cfg_.short_read_pct = clampPct(cfg_.short_read_pct);
     cfg_.short_write_pct = clampPct(cfg_.short_write_pct);
@@ -132,7 +132,7 @@ FaultInjector::configure(const Config &cfg)
 FaultInjector::Config
 FaultInjector::config() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return cfg_;
 }
 
@@ -152,7 +152,7 @@ FaultInjector::counts() const
 std::uint64_t
 FaultInjector::nextStreamSeed()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // splitmix64-style mix of (seed, ordinal): distinct, stable
     // per-connection streams from one configured seed.
     std::uint64_t z = cfg_.seed + (++stream_counter_) *

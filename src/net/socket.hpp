@@ -28,9 +28,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/annotations.hpp"
 
 namespace ploop {
 
@@ -144,10 +145,16 @@ class FaultInjector
         c.fetch_add(1, std::memory_order_relaxed);
     }
 
+    /** Release on configure() / acquire on enabled(): a reader that
+     *  sees true must also see the cfg_ write that preceded it (via
+     *  the mu_-guarded config() read that follows). */
     std::atomic<bool> enabled_{false};
-    mutable std::mutex mu_; ///< Guards cfg_ and stream_counter_.
-    Config cfg_;
-    std::uint64_t stream_counter_ = 0;
+    mutable Mutex mu_;
+    Config cfg_ GUARDED_BY(mu_);
+    std::uint64_t stream_counter_ GUARDED_BY(mu_) = 0;
+    // Injection tallies bumped from fault paths on any thread and
+    // read only by test assertions/stats: independent monotonic
+    // counters, relaxed ordering suffices.
     std::atomic<std::uint64_t> counts_short_reads_{0};
     std::atomic<std::uint64_t> counts_short_writes_{0};
     std::atomic<std::uint64_t> counts_eintrs_{0};

@@ -22,7 +22,7 @@ EvalService::evaluatorFor(const AlbireoConfig &cfg)
 {
     std::uint64_t key = albireoConfigKey(cfg);
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         auto it = models_.find(key);
         if (it != models_.end()) {
             ++models_reused_;
@@ -38,7 +38,7 @@ EvalService::evaluatorFor(const AlbireoConfig &cfg)
     model->evaluator =
         std::make_unique<Evaluator>(model->arch, registry_);
 
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto [it, inserted] = models_.emplace(key, std::move(model));
     if (inserted)
         ++models_built_;
@@ -68,7 +68,7 @@ EvalService::evaluate(const EvaluateRequest &req)
 
     EvalResult result = evaluator.evaluate(layer, mapping);
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         ++requests_;
     }
     return EvaluateResponse{
@@ -86,7 +86,7 @@ EvalService::search(const SearchRequest &req)
         // search.  The stats are THIS request's own work: none.
         hit->from_result_cache = true;
         hit->stats = SearchStats{};
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         ++requests_;
         return std::move(*hit);
     }
@@ -105,7 +105,7 @@ EvalService::search(const SearchRequest &req)
     Mapper mapper(evaluator, req.options);
     MapperResult r = mapper.search(layer, &cache_, &cancel);
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         ++requests_;
     }
 
@@ -150,7 +150,7 @@ EvalService::sweep(const SweepRequest &req)
     out.points =
         runSweepEvaluators(evaluators, coords, layer, req.options,
                            &cache_, &out.stats, &cancel);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++requests_;
     return out;
 }
@@ -177,7 +177,7 @@ EvalService::network(const NetworkRequest &req)
     CancelToken cancel(req.options.timeout_ms);
     out.result = runNetwork(evaluator, net, req.options, &cache_,
                             &out.stats, &cancel);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++requests_;
     return out;
 }
@@ -187,7 +187,7 @@ EvalService::stats() const
 {
     Stats out;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         out.requests = requests_;
         out.models_built = models_built_;
         out.models_reused = models_reused_;

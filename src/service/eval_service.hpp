@@ -42,7 +42,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -50,6 +49,7 @@
 #include "albireo/albireo_arch.hpp"
 #include "api/fingerprint.hpp"
 #include "api/requests.hpp"
+#include "common/annotations.hpp"
 #include "service/result_cache.hpp"
 
 namespace ploop {
@@ -133,11 +133,12 @@ class EvalService
     EvalCache cache_;
     ResultCache result_cache_;
 
-    mutable std::mutex mu_; ///< Guards models_ and the counters.
-    std::unordered_map<std::uint64_t, std::unique_ptr<Model>> models_;
-    std::uint64_t requests_ = 0;
-    std::uint64_t models_built_ = 0;
-    std::uint64_t models_reused_ = 0;
+    mutable Mutex mu_;
+    std::unordered_map<std::uint64_t, std::unique_ptr<Model>>
+        models_ GUARDED_BY(mu_);
+    std::uint64_t requests_ GUARDED_BY(mu_) = 0;
+    std::uint64_t models_built_ GUARDED_BY(mu_) = 0;
+    std::uint64_t models_reused_ GUARDED_BY(mu_) = 0;
 };
 
 } // namespace ploop

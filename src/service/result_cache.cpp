@@ -7,7 +7,7 @@ ResultCache::find(std::uint64_t fingerprint)
 {
     if (!enabled())
         return std::nullopt;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = index_.find(fingerprint);
     if (it == index_.end()) {
         ++misses_;
@@ -24,7 +24,7 @@ ResultCache::insert(std::uint64_t fingerprint,
 {
     if (!enabled())
         return;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = index_.find(fingerprint);
     if (it != index_.end()) {
         // Same fingerprint, same (deterministic) response: refresh.
@@ -44,28 +44,28 @@ ResultCache::insert(std::uint64_t fingerprint,
 std::size_t
 ResultCache::size() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return lru_.size();
 }
 
 std::uint64_t
 ResultCache::hits() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return hits_;
 }
 
 std::uint64_t
 ResultCache::misses() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return misses_;
 }
 
 std::uint64_t
 ResultCache::evictions() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return evictions_;
 }
 

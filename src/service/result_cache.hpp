@@ -29,12 +29,12 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
 
 #include "api/requests.hpp"
+#include "common/annotations.hpp"
 
 namespace ploop {
 
@@ -71,14 +71,15 @@ class ResultCache
   private:
     using Entry = std::pair<std::uint64_t, SearchResponse>;
 
-    const std::size_t max_entries_;
-    mutable std::mutex mu_;
-    std::list<Entry> lru_; ///< Front = most recently used.
+    const std::size_t max_entries_; ///< Immutable after construction.
+    mutable Mutex mu_;
+    /** Front = most recently used. */
+    std::list<Entry> lru_ GUARDED_BY(mu_);
     std::unordered_map<std::uint64_t, std::list<Entry>::iterator>
-        index_;
-    std::uint64_t hits_ = 0;
-    std::uint64_t misses_ = 0;
-    std::uint64_t evictions_ = 0;
+        index_ GUARDED_BY(mu_);
+    std::uint64_t hits_ GUARDED_BY(mu_) = 0;
+    std::uint64_t misses_ GUARDED_BY(mu_) = 0;
+    std::uint64_t evictions_ GUARDED_BY(mu_) = 0;
 };
 
 } // namespace ploop

@@ -32,7 +32,7 @@ ServeSession::saveStore(std::string *detail)
             *detail = "no cache store configured";
         return false;
     }
-    std::lock_guard<std::mutex> lock(store_mu_);
+    MutexLock lock(store_mu_);
     std::size_t resident = service_.cache().size();
     std::size_t written =
         saveCacheStore(service_.cache(), cfg_.cache_store,
@@ -243,9 +243,10 @@ ServeSession::handleParsed(const JsonValue &req)
                        JsonValue::number(double(uptimeMs())));
         resp.set("robustness", std::move(robustness));
         // The serving layer (NetServer) appends its "connections"
-        // and "queue" sections here.
-        if (stats_hook_)
-            stats_hook_(resp);
+        // and "queue" sections here.  Snapshot under hooks_mu_, call
+        // outside it: the hook takes the scheduler's lock internally.
+        if (std::function<void(JsonValue &)> hook = statsHook())
+            hook(resp);
         return resp;
     }
 
@@ -255,9 +256,8 @@ ServeSession::handleParsed(const JsonValue &req)
         // out.  Status comes from the serving layer's queue view; a
         // stdio session has no queue and is always "ok".
         resp.set("ok", JsonValue::boolean(true));
-        resp.set("status",
-                 JsonValue::string(health_hook_ ? health_hook_()
-                                                : "ok"));
+        std::function<std::string()> hook = healthHook();
+        resp.set("status", JsonValue::string(hook ? hook() : "ok"));
         resp.set("uptime_ms", JsonValue::number(double(uptimeMs())));
         return resp;
     }
@@ -284,6 +284,20 @@ ServeSession::handleParsed(const JsonValue &req)
     fatal("unknown op '" + op +
           "' (ping, capabilities, evaluate, search, sweep, network, "
           "stats, health, save_cache, shutdown)");
+}
+
+std::function<void(JsonValue &)>
+ServeSession::statsHook() const
+{
+    MutexLock lock(hooks_mu_);
+    return stats_hook_;
+}
+
+std::function<std::string()>
+ServeSession::healthHook() const
+{
+    MutexLock lock(hooks_mu_);
+    return health_hook_;
 }
 
 std::uint64_t

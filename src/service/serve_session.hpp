@@ -46,9 +46,9 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 
+#include "common/annotations.hpp"
 #include "mapper/cache_store.hpp"
 #include "service/eval_service.hpp"
 #include "api/json.hpp"
@@ -107,7 +107,9 @@ struct ServeConfig
 
 /** Counters behind the stats op's "robustness" section.  Atomics:
  *  deadline_exceeded is bumped from scheduler worker threads while
- *  the serving thread bumps the rest. */
+ *  the serving thread bumps the rest.  Relaxed ordering throughout:
+ *  each counter is an independent monotonic tally read only for
+ *  reporting; nothing is published through them. */
 struct RobustnessCounters
 {
     std::atomic<std::uint64_t> deadline_exceeded{0};
@@ -163,6 +165,7 @@ class ServeSession
      */
     void setStatsHook(std::function<void(JsonValue &)> hook)
     {
+        MutexLock lock(hooks_mu_);
         stats_hook_ = std::move(hook);
     }
 
@@ -174,6 +177,7 @@ class ServeSession
      */
     void setHealthHook(std::function<std::string()> hook)
     {
+        MutexLock lock(hooks_mu_);
         health_hook_ = std::move(hook);
     }
 
@@ -191,16 +195,32 @@ class ServeSession
   private:
     JsonValue handleParsed(const JsonValue &req);
 
+    /** Thread-safe snapshot of stats_hook_ (may be empty). */
+    std::function<void(JsonValue &)> statsHook() const;
+
+    /** Thread-safe snapshot of health_hook_ (may be empty). */
+    std::function<std::string()> healthHook() const;
+
     /** Milliseconds since construction (health + stats ops). */
     std::uint64_t uptimeMs() const;
 
     ServeConfig cfg_;
     EvalService service_;
     CacheStoreLoad load_;
+    /** Shutdown latch: release on store / acquire on load so state
+     *  written before the request (e.g. the saved store) is visible
+     *  to whoever observes the flag. */
     std::atomic<bool> shutdown_{false};
-    std::mutex store_mu_; ///< Serializes saveStore().
-    std::function<void(JsonValue &)> stats_hook_;
-    std::function<std::string()> health_hook_;
+    Mutex store_mu_; ///< Serializes saveStore().
+    /** Guards the hook slots: NetServer installs them at construction
+     *  and clears them in its destructor while scheduler workers may
+     *  be serving stats/health ops.  Hooks are COPIED out under the
+     *  lock and invoked outside it (they take the scheduler's own
+     *  lock internally). */
+    mutable Mutex hooks_mu_;
+    std::function<void(JsonValue &)> stats_hook_
+        GUARDED_BY(hooks_mu_);
+    std::function<std::string()> health_hook_ GUARDED_BY(hooks_mu_);
     RobustnessCounters robustness_;
     std::chrono::steady_clock::time_point started_;
 };

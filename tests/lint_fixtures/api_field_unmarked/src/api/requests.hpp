@@ -1,0 +1,27 @@
+// Fixture: DemoRequest::beta is visited but with a bare name string
+// instead of FieldMeta{...}/nonSemantic(...) -> api-field-marked
+// must fire on the beta line.
+#ifndef FIXTURE_API_FIELD_UNMARKED
+#define FIXTURE_API_FIELD_UNMARKED
+
+#include "api/fields.hpp"
+
+namespace ploop {
+
+struct DemoRequest
+{
+    double alpha = 1.0;
+    double beta = 2.0;
+};
+
+template <class V>
+void
+describeFields(V &v, DemoRequest &r)
+{
+    v.field(FieldMeta{"alpha", "visited and marked"}, r.alpha);
+    v.field("beta", r.beta);
+}
+
+} // namespace ploop
+
+#endif

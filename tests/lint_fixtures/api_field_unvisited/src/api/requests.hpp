@@ -1,0 +1,25 @@
+// Fixture: DemoRequest::beta is a data member but describeFields
+// never visits it -> api-field-visited must fire on the beta line.
+#ifndef FIXTURE_API_FIELD_UNVISITED
+#define FIXTURE_API_FIELD_UNVISITED
+
+#include "api/fields.hpp"
+
+namespace ploop {
+
+struct DemoRequest
+{
+    double alpha = 1.0;
+    double beta = 2.0;
+};
+
+template <class V>
+void
+describeFields(V &v, DemoRequest &r)
+{
+    v.field(FieldMeta{"alpha", "visited and marked"}, r.alpha);
+}
+
+} // namespace ploop
+
+#endif

@@ -1,0 +1,14 @@
+// Fixture: a hand-rolled {"ok":false,...} protocol error in src/net/
+// -> error-response must fire (the real code must route through
+// protocolErrorResponse()).
+#include <string>
+
+namespace ploop {
+
+std::string
+rejectByHand()
+{
+    return "{\"ok\":false,\"error\":\"server full\"}";
+}
+
+} // namespace ploop

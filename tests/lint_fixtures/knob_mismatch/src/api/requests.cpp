@@ -1,0 +1,29 @@
+// Fixture: sweepKnobNames() advertises "beta" but applySweepKnob()
+// only dispatches "alpha" -> knob-dispatch must fire.
+#include <string>
+#include <vector>
+
+namespace ploop {
+
+struct Cfg
+{
+    double alpha = 0;
+};
+
+Cfg
+applySweepKnob(const Cfg &base, const std::string &knob, double value)
+{
+    Cfg cfg = base;
+    if (knob == "alpha") {
+        cfg.alpha = value;
+    }
+    return cfg;
+}
+
+std::vector<std::string>
+sweepKnobNames()
+{
+    return {"alpha", "beta"};
+}
+
+} // namespace ploop

@@ -1,0 +1,19 @@
+// Fixture: a raw std::mutex outside common/annotations.hpp ->
+// raw-mutex must fire (twice: the field and the lock_guard).
+#include <mutex>
+
+namespace ploop {
+
+struct BadLock
+{
+    std::mutex mu;
+    int value = 0;
+
+    void set(int v)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        value = v;
+    }
+};
+
+} // namespace ploop

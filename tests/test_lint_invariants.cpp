@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Self-tests for tools/lint_invariants.py: each rule must FIRE on a
+ * seeded fixture violation (with the rule name and file:line in the
+ * output) and the real tree must pass clean.  A linter nobody has
+ * seen fail is indistinguishable from `exit 0`.
+ *
+ * The fixtures live in tests/lint_fixtures/<case>/, each a miniature
+ * repo tree (src/api/..., src/net/...) seeding exactly one kind of
+ * violation; the linter is pointed at them via --root.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+struct RunResult
+{
+    int exit_code = -1;
+    std::string output;
+};
+
+/** Run the linter against @p root; captures stdout+stderr. */
+RunResult
+runLinter(const std::string &root)
+{
+    std::string cmd = "python3 " PLOOP_SOURCE_ROOT
+                      "/tools/lint_invariants.py --root " +
+                      root + " 2>&1";
+    RunResult r;
+    FILE *pipe = popen(cmd.c_str(), "r");
+    if (!pipe)
+        return r;
+    char buf[4096];
+    while (std::size_t n = std::fread(buf, 1, sizeof(buf), pipe))
+        r.output.append(buf, n);
+    int status = pclose(pipe);
+    r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return r;
+}
+
+std::string
+fixtureRoot(const std::string &name)
+{
+    return std::string(PLOOP_SOURCE_ROOT "/tests/lint_fixtures/") +
+           name;
+}
+
+bool
+havePython()
+{
+    return std::system("python3 -c 'pass' >/dev/null 2>&1") == 0;
+}
+
+#define REQUIRE_PYTHON()                                             \
+    if (!havePython())                                               \
+    GTEST_SKIP() << "python3 not available"
+
+TEST(LintInvariants, CleanTreePasses)
+{
+    REQUIRE_PYTHON();
+    RunResult r = runLinter(PLOOP_SOURCE_ROOT);
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("lint_invariants: clean"),
+              std::string::npos)
+        << r.output;
+}
+
+TEST(LintInvariants, UnvisitedApiFieldFires)
+{
+    REQUIRE_PYTHON();
+    RunResult r = runLinter(fixtureRoot("api_field_unvisited"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("api-field-visited"), std::string::npos)
+        << r.output;
+    // Rule + location: DemoRequest::beta is declared on line 13.
+    EXPECT_NE(r.output.find("src/api/requests.hpp:13"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("DemoRequest::beta"), std::string::npos)
+        << r.output;
+}
+
+TEST(LintInvariants, UnmarkedApiFieldFires)
+{
+    REQUIRE_PYTHON();
+    RunResult r = runLinter(fixtureRoot("api_field_unmarked"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("api-field-marked"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("src/api/requests.hpp:14"),
+              std::string::npos)
+        << r.output;
+    // The properly-marked sibling must NOT fire.
+    EXPECT_EQ(r.output.find("DemoRequest::alpha"), std::string::npos)
+        << r.output;
+}
+
+TEST(LintInvariants, KnobMismatchFires)
+{
+    REQUIRE_PYTHON();
+    RunResult r = runLinter(fixtureRoot("knob_mismatch"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("knob-dispatch"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("src/api/requests.cpp:"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("'beta'"), std::string::npos) << r.output;
+    // The knob present on both sides must not be reported.
+    EXPECT_EQ(r.output.find("'alpha'"), std::string::npos)
+        << r.output;
+}
+
+TEST(LintInvariants, RawMutexFires)
+{
+    REQUIRE_PYTHON();
+    RunResult r = runLinter(fixtureRoot("raw_mutex"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("raw-mutex"), std::string::npos)
+        << r.output;
+    // Both the field (line 9) and the lock_guard (line 14).
+    EXPECT_NE(r.output.find("src/net/bad_lock.cpp:9"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("src/net/bad_lock.cpp:14"),
+              std::string::npos)
+        << r.output;
+}
+
+TEST(LintInvariants, HandRolledErrorResponseFires)
+{
+    REQUIRE_PYTHON();
+    RunResult r = runLinter(fixtureRoot("error_response"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("error-response"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("src/net/bad_response.cpp:11"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("protocolErrorResponse"),
+              std::string::npos)
+        << r.output;
+}
+
+} // namespace

@@ -3,9 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include "api/json.hpp"
 #include "service/serve_session.hpp"
@@ -654,6 +656,55 @@ TEST(ServeSession, CapabilitiesAdvertiseHardeningKnobsAndHealthOp)
              ->get("fields")->items())
         if (f.get("name")->asString() == "timeout_ms")
             EXPECT_FALSE(f.get("semantic")->asBool());
+}
+
+// Regression: the stats/health hooks used to be plain std::function
+// members, SET by NetServer's constructor and CLEARED by its
+// destructor while scheduler worker threads could be invoking them
+// through stats/health ops -- a racing clear could tear the function
+// object mid-call.  The hooks are now snapshotted under a mutex; this
+// hammers the set/clear path against concurrent ops (TSan makes the
+// old race a hard failure, and the invariants below catch torn or
+// half-installed hooks on any build).
+TEST(ServeSession, HookInstallRacesWithStatsAndHealthOps)
+{
+    ServeSession session;
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> hook_calls{0};
+
+    std::thread installer([&] {
+        while (!stop.load(std::memory_order_acquire)) {
+            session.setStatsHook([&](JsonValue &resp) {
+                hook_calls.fetch_add(1, std::memory_order_relaxed);
+                resp.set("hooked", JsonValue::boolean(true));
+            });
+            session.setHealthHook([&]() -> std::string {
+                hook_calls.fetch_add(1, std::memory_order_relaxed);
+                return "degraded";
+            });
+            session.setStatsHook(nullptr);
+            session.setHealthHook(nullptr);
+        }
+    });
+
+    for (int i = 0; i < 400; ++i) {
+        std::optional<JsonValue> stats =
+            parseJson(session.handleLine("{\"op\":\"stats\"}"));
+        ASSERT_TRUE(stats.has_value());
+        EXPECT_TRUE(stats->get("ok")->asBool());
+
+        std::optional<JsonValue> health =
+            parseJson(session.handleLine("{\"op\":\"health\"}"));
+        ASSERT_TRUE(health.has_value());
+        EXPECT_TRUE(health->get("ok")->asBool());
+        // Either the hook view or the hookless default -- never a
+        // torn in-between.
+        std::string status = health->get("status")->asString();
+        EXPECT_TRUE(status == "ok" || status == "degraded") << status;
+    }
+
+    stop.store(true, std::memory_order_release);
+    installer.join();
 }
 
 } // namespace

@@ -1,0 +1,395 @@
+#!/usr/bin/env python3
+"""Project-invariant linter: structural rules clang cannot know.
+
+The declarative request API and the annotated locking discipline both
+rest on conventions that hold the codebase together but live outside
+any one translation unit, so neither the compiler nor clang-tidy can
+check them.  This linter does, as a ctest and a CI step:
+
+  api-field-visited   every data member of a struct that has a
+                      describeFields() overload in src/api/requests.hpp
+                      must be visited by that overload -- a field left
+                      out silently drops out of the wire format, the
+                      fingerprint AND the capabilities schema at once.
+  api-field-marked    every visited field must carry an explicit
+                      semantic marking: FieldMeta{...} (semantic,
+                      folded into the request fingerprint) or
+                      nonSemantic(...) (excluded).  An unmarked visit
+                      means nobody decided whether the field changes
+                      WHAT a request computes or only HOW.
+  knob-dispatch       the sweepKnobNames() list (which feeds the
+                      capabilities schema via schema.cpp and the
+                      unknown-knob error message) must exactly match
+                      the `knob == "..."` dispatch in applySweepKnob()
+                      -- a knob in one but not the other is either
+                      advertised-but-broken or secret.
+  raw-mutex           no raw std::mutex / lock_guard / unique_lock /
+                      scoped_lock / condition_variable outside
+                      src/common/annotations.hpp: every lock must be a
+                      ploop::Mutex so clang Thread Safety Analysis
+                      sees it (see annotations.hpp's house rules).
+  error-response      protocol-level error responses in src/net/ and
+                      src/service/ must route through
+                      protocolErrorResponse() (serve_session.cpp), not
+                      hand-rolled {"ok":false,...} JSON -- hand-rolled
+                      errors lose the op/id echo and the
+                      code/retry_after_ms contract clients rely on.
+
+Output: one `file:line: rule-name: message` per violation on stdout;
+exit status 1 when any fired, 0 on a clean tree.  `--root` points at
+the repo root (default: the parent of this script's directory), which
+is how the self-tests feed seeded-violation fixture trees.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+
+def strip_comments(text):
+    """Remove // and /* */ comments, preserving line structure and
+    string literals (so `"// not a comment"` survives)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == '"':
+            out.append(c)
+            i += 1
+            while i < n and text[i] != '"':
+                if text[i] == "\\" and i + 1 < n:
+                    out.append(text[i : i + 2])
+                    i += 2
+                    continue
+                out.append(text[i])
+                i += 1
+            if i < n:
+                out.append('"')
+                i += 1
+        elif c == "'":
+            out.append(c)
+            i += 1
+            while i < n and text[i] != "'":
+                if text[i] == "\\" and i + 1 < n:
+                    out.append(text[i : i + 2])
+                    i += 2
+                    continue
+                out.append(text[i])
+                i += 1
+            if i < n:
+                out.append("'")
+                i += 1
+        elif text.startswith("//", i):
+            while i < n and text[i] != "\n":
+                i += 1
+        elif text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            end = n if end < 0 else end + 2
+            # Keep newlines so line numbers stay right.
+            out.append("\n" * text.count("\n", i, end))
+            i = end
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+class Violation:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return "%s:%d: %s: %s" % (self.path, self.line, self.rule,
+                                  self.message)
+
+
+def source_files(root, subdirs, exts=(".hpp", ".cpp")):
+    for sub in subdirs:
+        base = os.path.join(root, sub)
+        for dirpath, _, names in os.walk(base):
+            for name in sorted(names):
+                if name.endswith(exts):
+                    yield os.path.join(dirpath, name)
+
+
+def read(path):
+    with open(path, encoding="utf-8") as f:
+        return f.read()
+
+
+def relpath(root, path):
+    return os.path.relpath(path, root)
+
+
+def matched_brace_block(text, open_idx):
+    """Return (body, end_idx) for the brace block opening at
+    text[open_idx] == '{' (body excludes the braces)."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return text[open_idx + 1 : i], i
+    return text[open_idx + 1 :], len(text)
+
+
+def split_statements(body):
+    """Split a brace-depth-0 body into ';'-terminated statements
+    (nested braces/parens are kept whole)."""
+    stmts, start, depth = [], 0, 0
+    for i, c in enumerate(body):
+        if c in "{(":
+            depth += 1
+        elif c in "})":
+            depth -= 1
+        elif c == ";" and depth == 0:
+            stmts.append((body[start:i], start))
+            start = i + 1
+    return stmts
+
+
+def struct_members(body):
+    """Yield (name, offset) for the data members of a struct body
+    (methods, statics, usings and nested types are skipped)."""
+    for stmt, offset in split_statements(body):
+        text = stmt.strip()
+        if not text:
+            continue
+        # Drop a leading access specifier glued on by the split.
+        text = re.sub(r"^\s*(public|private|protected)\s*:\s*", "",
+                      text)
+        # Point at the declaration itself, not the whitespace run
+        # trailing the previous statement's ';'.
+        offset += len(stmt) - len(stmt.lstrip())
+        first = text.split()[0] if text.split() else ""
+        if first in ("static", "using", "friend", "typedef", "struct",
+                     "class", "enum", "template", "explicit"):
+            continue
+        paren = text.find("(")
+        eq = text.find("=")
+        if paren >= 0 and (eq < 0 or paren < eq):
+            continue  # function declaration / constructor
+        # Multi-declarator statements (`std::uint64_t n = 1, k = 1;`)
+        # declare one member per comma-separated declarator; commas
+        # inside template arguments or initializers do not split.
+        parts, start, depth = [], 0, 0
+        for i, ch in enumerate(text):
+            if ch in "<({[":
+                depth += 1
+            elif ch in ">)}]":
+                depth -= 1
+            elif ch == "," and depth == 0:
+                parts.append(text[start:i])
+                start = i + 1
+        parts.append(text[start:])
+        first_decl = True
+        for part in parts:
+            eq = part.find("=")
+            decl = part[:eq] if eq >= 0 else part
+            decl = decl.split("[")[0]  # arrays: name precedes bound
+            idents = re.findall(r"[A-Za-z_]\w*", decl)
+            if first_decl and len(idents) < 2:
+                break  # no type + name pair: not a data member
+            if idents:
+                yield idents[-1], offset
+            first_decl = False
+
+
+def check_api_fields(root):
+    """api-field-visited + api-field-marked over requests.hpp."""
+    requests_path = os.path.join(root, "src", "api", "requests.hpp")
+    if not os.path.isfile(requests_path):
+        return []
+    text = strip_comments(read(requests_path))
+    violations = []
+
+    # Every describeFields overload in the file, with its parameter
+    # name and body.
+    overloads = {}
+    for m in re.finditer(
+            r"describeFields\(\s*V\s*&\s*\w+\s*,\s*(\w+)\s*&\s*(\w+)"
+            r"\s*\)", text):
+        struct_name, var = m.group(1), m.group(2)
+        open_idx = text.find("{", m.end())
+        if open_idx < 0:
+            continue
+        body, _ = matched_brace_block(text, open_idx)
+        overloads[struct_name] = (var, body)
+
+    # Struct definitions live in requests.hpp or elsewhere under src/
+    # (AlbireoConfig, SearchOptions); find each by name.
+    def find_struct(name):
+        pat = re.compile(r"\bstruct\s+" + name + r"\b[^;{]*\{")
+        for path in [requests_path] + sorted(
+                source_files(root, ["src"], exts=(".hpp",))):
+            if not os.path.isfile(path):
+                continue
+            body_text = strip_comments(read(path))
+            m = pat.search(body_text)
+            if m:
+                body, _ = matched_brace_block(body_text, m.end() - 1)
+                return path, body_text, m.end() - 1, body
+        return None
+
+    for struct_name, (var, fields_body) in sorted(overloads.items()):
+        found = find_struct(struct_name)
+        if not found:
+            continue
+        path, struct_text, body_start, body = found
+        rel = relpath(root, path)
+        for member, offset in struct_members(body):
+            line = line_of(struct_text, body_start + 1 + offset)
+            ref = re.compile(r"\b" + var + r"\." + member + r"\b")
+            referencing = [
+                stmt for stmt, _ in split_statements(fields_body)
+                if ref.search(stmt)
+            ]
+            if not referencing:
+                violations.append(Violation(
+                    rel, line, "api-field-visited",
+                    "%s::%s is not visited by describeFields(V&, "
+                    "%s&) -- it is absent from the wire format, the "
+                    "fingerprint and the schema" %
+                    (struct_name, member, struct_name)))
+                continue
+            if not any("FieldMeta{" in s or "nonSemantic(" in s
+                       for s in referencing):
+                violations.append(Violation(
+                    rel, line, "api-field-marked",
+                    "%s::%s is visited without a FieldMeta{...} / "
+                    "nonSemantic(...) marking -- decide whether it "
+                    "is folded into the request fingerprint" %
+                    (struct_name, member)))
+    return violations
+
+
+def check_knob_dispatch(root):
+    """knob-dispatch over requests.cpp."""
+    path = os.path.join(root, "src", "api", "requests.cpp")
+    if not os.path.isfile(path):
+        return []
+    text = strip_comments(read(path))
+    rel = relpath(root, path)
+
+    m = re.search(r"applySweepKnob\([^)]*\)\s*\{", text)
+    if not m:
+        return []
+    dispatch_body, _ = matched_brace_block(text, m.end() - 1)
+    dispatched = set(re.findall(r'knob\s*==\s*"([^"]+)"',
+                                dispatch_body))
+
+    m2 = re.search(r"sweepKnobNames\(\)\s*\{", text)
+    if not m2:
+        return []
+    names_line = line_of(text, m2.start())
+    names_body, _ = matched_brace_block(text, m2.end() - 1)
+    advertised = set(re.findall(r'"([^"]+)"', names_body))
+
+    violations = []
+    for knob in sorted(advertised - dispatched):
+        violations.append(Violation(
+            rel, names_line, "knob-dispatch",
+            "knob '%s' is advertised by sweepKnobNames() (and so by "
+            "the capabilities schema) but applySweepKnob() has no "
+            "dispatch arm for it" % knob))
+    for knob in sorted(dispatched - advertised):
+        violations.append(Violation(
+            rel, names_line, "knob-dispatch",
+            "knob '%s' is dispatched by applySweepKnob() but missing "
+            "from sweepKnobNames() -- a working knob the schema "
+            "never advertises" % knob))
+    return violations
+
+
+RAW_LOCK = re.compile(
+    r"std::(mutex|recursive_mutex|shared_mutex|timed_mutex|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock|"
+    r"condition_variable(_any)?)\b")
+
+
+def check_raw_mutex(root):
+    """raw-mutex over src/ and tools/."""
+    allowed = os.path.join(root, "src", "common", "annotations.hpp")
+    violations = []
+    for path in sorted(source_files(root, ["src", "tools"])):
+        if os.path.abspath(path) == os.path.abspath(allowed):
+            continue
+        text = strip_comments(read(path))
+        for m in RAW_LOCK.finditer(text):
+            violations.append(Violation(
+                relpath(root, path), line_of(text, m.start()),
+                "raw-mutex",
+                "raw std::%s -- use ploop::Mutex / MutexLock / "
+                "CondVar from common/annotations.hpp so the lock is "
+                "visible to thread safety analysis" % m.group(1)))
+    return violations
+
+
+# Hand-rolled {"ok":false,...} JSON text, or building the same
+# response through the JSON layer.
+RAW_ERROR_JSON = re.compile(r'\\"ok\\"\s*:\s*false')
+BUILT_ERROR_JSON = re.compile(
+    r'set\(\s*"ok"\s*,\s*JsonValue::boolean\(\s*false\s*\)\s*\)')
+
+
+def check_error_response(root):
+    """error-response over src/net/ and src/service/."""
+    exempt = os.path.join(root, "src", "service", "serve_session.cpp")
+    violations = []
+    for path in sorted(source_files(root,
+                                    [os.path.join("src", "net"),
+                                     os.path.join("src", "service")])):
+        if os.path.abspath(path) == os.path.abspath(exempt):
+            # protocolErrorResponse() itself plus the session's
+            # in-request-path error construction live here.
+            continue
+        text = strip_comments(read(path))
+        for pat in (RAW_ERROR_JSON, BUILT_ERROR_JSON):
+            for m in pat.finditer(text):
+                violations.append(Violation(
+                    relpath(root, path), line_of(text, m.start()),
+                    "error-response",
+                    "error response constructed by hand -- route it "
+                    "through protocolErrorResponse() so the op/id "
+                    "echo and code/retry_after_ms contract hold"))
+    return violations
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="ploop project-invariant linter")
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))),
+        help="repo root to lint (default: this script's repo)")
+    args = parser.parse_args()
+    root = os.path.abspath(args.root)
+
+    violations = []
+    violations += check_api_fields(root)
+    violations += check_knob_dispatch(root)
+    violations += check_raw_mutex(root)
+    violations += check_error_response(root)
+
+    for v in violations:
+        print(v)
+    if violations:
+        print("lint_invariants: %d violation(s)" % len(violations))
+        return 1
+    print("lint_invariants: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
