@@ -56,11 +56,18 @@ class JsonFieldDecoder
         }
     }
 
-    /** Allow the protocol transport keys (top level only). */
+    /** Allow the protocol transport keys (top level only).
+     *  "trace" lives here rather than in any field list: it asks the
+     *  TRANSPORT to attach a span tree to the response, changes no
+     *  request semantics, and therefore must stay out of
+     *  requestFingerprint() -- which it does by construction, since
+     *  fingerprints hash described fields only (asserted in tests
+     *  like timeout_ms). */
     void allowTransportKeys()
     {
         known_.push_back("op");
         known_.push_back("id");
+        known_.push_back("trace");
     }
 
     void field(const FieldMeta &m, double &v)

@@ -38,8 +38,10 @@
 namespace ploop {
 
 /** Protocol/schema version served by the capabilities op.  Bumped on
- *  any change to a request field list or response shape. */
-constexpr int kApiVersion = 2;
+ *  any change to a request field list or response shape.  v3: the
+ *  `metrics` op, the `trace` transport key, and the stats op's
+ *  latency section. */
+constexpr int kApiVersion = 3;
 
 /** Hash of every AlbireoConfig field: the arch-registry key, and the
  *  arch component of every request fingerprint. */

@@ -55,7 +55,12 @@ ThreadPool::workerLoop()
             task = std::move(queue_.front());
             queue_.pop_front();
         }
+        // Tasks do not throw (packaged_task and LoopState::drain
+        // both swallow exceptions into their own channels), so plain
+        // inc/dec brackets are unwind-safe in practice.
+        active_.fetch_add(1, std::memory_order_relaxed);
         task();
+        active_.fetch_sub(1, std::memory_order_relaxed);
     }
 }
 

@@ -61,6 +61,16 @@ class ThreadPool
     /** Total parallelism (workers + caller). */
     unsigned size() const { return size_; }
 
+    /** Background workers executing a task right now (0..size()-1;
+     *  excludes caller-lane work).  A utilization gauge for the
+     *  metrics registry, nothing synchronizes through it. */
+    unsigned activeWorkers() const
+    {
+        // Relaxed: a monitoring read of an independent tally; no
+        // other data is published through this load.
+        return active_.load(std::memory_order_relaxed);
+    }
+
     /**
      * Queue one task; returns a future for its result.  On a size-1
      * pool the task runs inline before submit returns.
@@ -140,6 +150,9 @@ class ThreadPool
     CondVar cv_;
     std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
     bool stop_ GUARDED_BY(mu_) = false;
+    /** Workers inside task() right now.  Relaxed increments around
+     *  the call: the counter is its own datum (see activeWorkers). */
+    std::atomic<unsigned> active_{0};
 };
 
 } // namespace ploop

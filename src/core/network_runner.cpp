@@ -10,7 +10,8 @@ namespace ploop {
 NetworkRunResult
 runNetwork(const Evaluator &evaluator, const Network &net,
            const SearchOptions &options, EvalCache *shared_cache,
-           SearchStats *aggregate, const CancelToken *cancel)
+           SearchStats *aggregate, const CancelToken *cancel,
+           SpanRef span)
 {
     throwIfCancelled(cancel);
     const std::vector<LayerShape> &layers = net.layers();
@@ -31,7 +32,10 @@ runNetwork(const Evaluator &evaluator, const Network &net,
     // the per-layer searches and the whole run unwinds -- never a
     // partial network result.
     pool.parallelFor(layers.size(), [&](std::size_t i) {
-        slots[i].emplace(mapper.search(layers[i], &cache, cancel));
+        SpanScope layer_span(span, "layer",
+                             static_cast<std::int64_t>(i));
+        slots[i].emplace(
+            mapper.search(layers[i], &cache, cancel, layer_span.ref()));
     });
 
     // Aggregate sequentially in layer order so floating-point totals

@@ -75,13 +75,17 @@ struct NetworkRunResult
  * @param cancel Optional cooperative deadline shared by every
  *     layer's search (see Mapper::search): once expired, the run
  *     throws CancelledError and no partial result is returned.
+ * @param span Optional trace parent (see obs/trace.hpp): each layer
+ *     opens a "layer" span (index = layer ordinal) with the mapper's
+ *     phase spans nested beneath.
  */
 NetworkRunResult runNetwork(const Evaluator &evaluator,
                             const Network &net,
                             const SearchOptions &options = {},
                             EvalCache *shared_cache = nullptr,
                             SearchStats *aggregate = nullptr,
-                            const CancelToken *cancel = nullptr);
+                            const CancelToken *cancel = nullptr,
+                            SpanRef span = {});
 
 } // namespace ploop
 

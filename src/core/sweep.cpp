@@ -14,7 +14,7 @@ runSweepEvaluators(const std::vector<const Evaluator *> &evaluators,
                    const std::vector<std::vector<double>> &coords,
                    const LayerShape &layer, const SearchOptions &search,
                    EvalCache *shared_cache, SearchStats *aggregate,
-                   const CancelToken *cancel)
+                   const CancelToken *cancel, SpanRef span)
 {
     fatalIf(evaluators.size() != coords.size(),
             "sweep needs one evaluator per point");
@@ -40,8 +40,10 @@ runSweepEvaluators(const std::vector<const Evaluator *> &evaluators,
     // expires; parallelFor rethrows the first one after the join, so
     // a timed-out sweep unwinds with NO partial point list.
     pool.parallelFor(coords.size(), [&](std::size_t i) {
+        SpanScope point(span, "point", static_cast<std::int64_t>(i));
         Mapper mapper(*evaluators[i], search);
-        MapperResult r = mapper.search(layer, &cache, cancel);
+        MapperResult r =
+            mapper.search(layer, &cache, cancel, point.ref());
         stats[i] = r.stats;
         slots[i].emplace(coords[i], std::move(r.mapping),
                          std::move(r.result));

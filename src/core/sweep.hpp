@@ -64,6 +64,9 @@ struct SweepPoint
  * @param cancel Optional cooperative deadline shared by every
  *     point's search (see Mapper::search): once expired, the sweep
  *     throws CancelledError and no partial point list is returned.
+ * @param span Optional trace parent (see obs/trace.hpp): each sweep
+ *     point opens a "point" span (index = point ordinal) with the
+ *     mapper's phase spans nested beneath.
  */
 std::vector<SweepPoint>
 runSweepEvaluators(const std::vector<const Evaluator *> &evaluators,
@@ -72,7 +75,8 @@ runSweepEvaluators(const std::vector<const Evaluator *> &evaluators,
                    const SearchOptions &search,
                    EvalCache *shared_cache = nullptr,
                    SearchStats *aggregate = nullptr,
-                   const CancelToken *cancel = nullptr);
+                   const CancelToken *cancel = nullptr,
+                   SpanRef span = {});
 
 /**
  * Render a sweep as a table: one column per axis name, then the

@@ -14,7 +14,7 @@ Mapper::Mapper(const Evaluator &evaluator, SearchOptions options)
 
 MapperResult
 Mapper::search(const LayerShape &layer, EvalCache *shared_cache,
-               const CancelToken *cancel) const
+               const CancelToken *cancel, SpanRef span) const
 {
     auto t0 = std::chrono::steady_clock::now();
 
@@ -41,6 +41,7 @@ Mapper::search(const LayerShape &layer, EvalCache *shared_cache,
         // randomSearchQuick/hillClimbQuick account for their own
         // phases the same way.
         CacheDeltaScope seed_delta(stats);
+        SpanScope seeds(span, "seeds");
         EvalScratch scratch;
         auto consider = [&](const Mapping &mapping) {
             throwIfCancelled(cancel);
@@ -73,8 +74,9 @@ Mapper::search(const LayerShape &layer, EvalCache *shared_cache,
 
     // Random restarts.
     if (options_.random_samples > 0) {
-        auto rnd = randomSearchQuick(evaluator_, layer, mapspace,
-                                     options_, stats, &cache, cancel);
+        auto rnd =
+            randomSearchQuick(evaluator_, layer, mapspace, options_,
+                              stats, &cache, cancel, span);
         if (rnd) {
             double val = objectiveValue(options_.objective, rnd->second);
             if (val < best_val) {
@@ -87,7 +89,7 @@ Mapper::search(const LayerShape &layer, EvalCache *shared_cache,
     // Refine the incumbent.
     QuickCandidate refined =
         hillClimbQuick(evaluator_, layer, std::move(*best), options_,
-                       stats, &cache, cancel);
+                       stats, &cache, cancel, span);
 
     // One full evaluation for the winner (breakdown, area, counts).
     EvalResult full =

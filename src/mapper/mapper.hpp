@@ -65,10 +65,16 @@ class Mapper
      *     cache entries already computed stay valid (they are
      *     bit-identical to fresh evaluations, so a retry starts
      *     warm).
+     * @param span Optional trace parent, threaded exactly like the
+     *     CancelToken: inert by default, and when a request carries
+     *     `trace: true` the search's phases ("seeds",
+     *     "random_search" with per-shard batches, "hill_climb" with
+     *     per-round children) land in the span tree.
      */
     MapperResult search(const LayerShape &layer,
                         EvalCache *shared_cache = nullptr,
-                        const CancelToken *cancel = nullptr) const;
+                        const CancelToken *cancel = nullptr,
+                        SpanRef span = {}) const;
 
   private:
     const Evaluator &evaluator_;

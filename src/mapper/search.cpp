@@ -73,11 +73,12 @@ std::optional<QuickCandidate>
 randomSearchQuick(const Evaluator &evaluator, const LayerShape &layer,
                   const Mapspace &mapspace, const SearchOptions &options,
                   SearchStats &stats, EvalCache *cache,
-                  const CancelToken *cancel)
+                  const CancelToken *cancel, SpanRef span)
 {
     if (options.random_samples == 0)
         return std::nullopt;
     throwIfCancelled(cancel);
+    SpanScope phase(span, "random_search");
 
     EvalCache local_cache;
     if (!cache)
@@ -105,6 +106,8 @@ randomSearchQuick(const Evaluator &evaluator, const LayerShape &layer,
         // nearby user seeds don't alias across shards (a bare
         // seed ^ s would give seed=42/shard=1 the same stream as
         // seed=43/shard=0).
+        SpanScope batch(phase.ref(), "sample_batch",
+                        static_cast<std::int64_t>(s));
         std::mt19937_64 rng(mix64(options.seed) +
                             static_cast<std::uint64_t>(s));
         unsigned count = options.random_samples / shards +
@@ -223,8 +226,9 @@ QuickCandidate
 hillClimbQuick(const Evaluator &evaluator, const LayerShape &layer,
                QuickCandidate start, const SearchOptions &options,
                SearchStats &stats, EvalCache *cache,
-               const CancelToken *cancel)
+               const CancelToken *cancel, SpanRef span)
 {
+    SpanScope phase(span, "hill_climb");
     EvalCache local_cache;
     if (!cache)
         cache = &local_cache;
@@ -260,6 +264,8 @@ hillClimbQuick(const Evaluator &evaluator, const LayerShape &layer,
     for (unsigned round = 0; round < options.hill_climb_rounds;
          ++round) {
         throwIfCancelled(cancel);
+        SpanScope round_span(phase.ref(), "round",
+                             static_cast<std::int64_t>(round));
         std::vector<ChunkOut> chunk_out(max_chunks);
 
         pool.parallelForChunked(

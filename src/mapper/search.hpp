@@ -31,6 +31,7 @@
 #include "mapper/eval_cache.hpp"
 #include "mapper/mapspace.hpp"
 #include "model/evaluator.hpp"
+#include "obs/trace.hpp"
 
 namespace ploop {
 
@@ -204,12 +205,16 @@ using QuickCandidate = std::pair<Mapping, QuickEval>;
  *              per candidate and bail out early; after the join the
  *              call throws CancelledError, discarding partial
  *              results (cache entries already written are kept).
+ * @param span Optional trace parent (see obs/trace.hpp): inert by
+ *              default, opens a "random_search" span with per-shard
+ *              "sample_batch" children when a trace rides along.
  */
 std::optional<QuickCandidate>
 randomSearchQuick(const Evaluator &evaluator, const LayerShape &layer,
                   const Mapspace &mapspace, const SearchOptions &options,
                   SearchStats &stats, EvalCache *cache = nullptr,
-                  const CancelToken *cancel = nullptr);
+                  const CancelToken *cancel = nullptr,
+                  SpanRef span = {});
 
 /**
  * randomSearchQuick() plus a full evaluation of the winner, for
@@ -236,6 +241,8 @@ randomSearch(const Evaluator &evaluator, const LayerShape &layer,
  *              each round's batch and re-checked before any move
  *              commits, so an expired deadline can never commit a
  *              partially evaluated round.
+ * @param span As in randomSearchQuick(): a "hill_climb" span with
+ *              per-round "round" children when tracing.
  */
 QuickCandidate hillClimbQuick(const Evaluator &evaluator,
                               const LayerShape &layer,
@@ -243,7 +250,8 @@ QuickCandidate hillClimbQuick(const Evaluator &evaluator,
                               const SearchOptions &options,
                               SearchStats &stats,
                               EvalCache *cache = nullptr,
-                              const CancelToken *cancel = nullptr);
+                              const CancelToken *cancel = nullptr,
+                              SpanRef span = {});
 
 /**
  * hillClimbQuick() plus a full evaluation of the winner (the start

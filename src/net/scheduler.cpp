@@ -69,7 +69,14 @@ RequestScheduler::pump()
     // Decide under the lock, dispatch outside it: on a parallelism-1
     // pool submit() runs the task INLINE, and the completing handler
     // re-enters this mutex.
-    std::vector<std::pair<std::uint64_t, std::string>> start;
+    struct Dispatch
+    {
+        std::uint64_t conn;
+        std::string line;
+        std::uint64_t queue_wait_ns;
+    };
+    auto now = std::chrono::steady_clock::now();
+    std::vector<Dispatch> start;
     {
         MutexLock lock(mu_);
         while (inflight_ < maxInflight()) {
@@ -91,25 +98,44 @@ RequestScheduler::pump()
                 break;
             rr_cursor_ = eligible->first;
             eligible->second.inflight = true;
-            start.emplace_back(
-                eligible->first,
-                std::move(eligible->second.pending.front().line));
+            PendingLine &front = eligible->second.pending.front();
+            auto waited = now - front.enqueued;
+            std::uint64_t wait_ns =
+                waited.count() > 0
+                    ? std::uint64_t(
+                          std::chrono::duration_cast<
+                              std::chrono::nanoseconds>(waited)
+                              .count())
+                    : 0;
+            start.push_back(Dispatch{eligible->first,
+                                     std::move(front.line), wait_ns});
             eligible->second.pending.pop_front();
             --depth_;
             ++inflight_;
         }
     }
-    for (auto &[conn, line] : start) {
-        std::uint64_t c = conn;
-        std::string l = std::move(line);
-        pool_.submit([this, c, l = std::move(l)] { runOne(c, l); });
+    for (Dispatch &d : start) {
+        if (cfg_.queue_wait_hist)
+            cfg_.queue_wait_hist->record(d.queue_wait_ns);
+        std::uint64_t c = d.conn;
+        std::uint64_t w = d.queue_wait_ns;
+        pool_.submit([this, c, w, l = std::move(d.line)] {
+            runOne(c, l, w);
+        });
     }
 }
 
 void
-RequestScheduler::runOne(std::uint64_t conn, const std::string &line)
+RequestScheduler::runOne(std::uint64_t conn, const std::string &line,
+                         std::uint64_t queue_wait_ns)
 {
-    std::string response = handler_(conn, line);
+    auto t0 = std::chrono::steady_clock::now();
+    std::string response = handler_(conn, line, queue_wait_ns);
+    if (cfg_.run_hist)
+        cfg_.run_hist->record(std::uint64_t(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()));
     {
         MutexLock lock(mu_);
         --inflight_;

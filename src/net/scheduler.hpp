@@ -43,6 +43,7 @@
 
 #include "common/annotations.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
 
 namespace ploop {
 
@@ -65,6 +66,13 @@ class RequestScheduler
          *  honest overload signal: a deep-but-draining queue admits,
          *  a shallow-but-stuck one sheds. */
         std::uint64_t shed_queue_wait_ms = 0;
+
+        /** Optional latency histograms (owned by the serving
+         *  layer's MetricsRegistry, which outlives the scheduler):
+         *  queue_wait records admission-to-dispatch time per line,
+         *  run records handler execution time.  Null = untracked. */
+        Histogram *queue_wait_hist = nullptr;
+        Histogram *run_hist = nullptr;
     };
 
     /** submit() outcome.  Distinct rejects get distinct protocol
@@ -79,9 +87,13 @@ class RequestScheduler
     };
 
     /** Executes one request line; must not throw (ServeSession::
-     *  handleLine's contract).  Runs on pool worker threads. */
-    using Handler =
-        std::function<std::string(std::uint64_t, const std::string &)>;
+     *  handleLine's contract).  Runs on pool worker threads.  The
+     *  third argument is the line's measured queue wait in ns --
+     *  the handler folds it into per-request latency and the trace's
+     *  queue_wait span (the scheduler is the only party that knows
+     *  when the line was admitted). */
+    using Handler = std::function<std::string(
+        std::uint64_t, const std::string &, std::uint64_t)>;
 
     /** Called (from worker threads) when a completion is ready to
      *  collect; must be cheap and thread-safe (self-pipe write). */
@@ -169,7 +181,8 @@ class RequestScheduler
         bool dead = false;
     };
 
-    void runOne(std::uint64_t conn, const std::string &line);
+    void runOne(std::uint64_t conn, const std::string &line,
+                std::uint64_t queue_wait_ns);
     unsigned maxInflight() const;
 
     /** Oldest queued line's wait in ms at @p now (0 when the queue

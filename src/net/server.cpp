@@ -13,24 +13,92 @@
 
 namespace ploop {
 
+namespace {
+
+/** The scheduler's config, with its queue-wait/run histograms wired
+ *  to the session's registry when observability is on.  The registry
+ *  owns the histograms and outlives the scheduler (the session
+ *  outlives the server), so the raw pointers are safe. */
+RequestScheduler::Config
+schedulerConfig(ServeSession &session)
+{
+    RequestScheduler::Config cfg{session.config().max_queue, 0,
+                                 session.config().shed_queue_wait_ms};
+    if (MetricsRegistry *m = session.metrics()) {
+        cfg.queue_wait_hist = &m->histogram(
+            "ploop_queue_wait_seconds",
+            "Time admitted request lines wait before dispatch.");
+        cfg.run_hist = &m->histogram(
+            "ploop_request_run_seconds",
+            "Handler execution time on pool workers (queue wait "
+            "excluded).");
+    }
+    return cfg;
+}
+
+} // namespace
+
 NetServer::NetServer(ServeSession &session, NetConfig cfg)
     : session_(session), cfg_(cfg),
       pool_(cfg.pool ? *cfg.pool : ThreadPool::global()),
       scheduler_(
           pool_,
-          [this](std::uint64_t, const std::string &line) {
-              return session_.handleLine(line);
+          [this](std::uint64_t, const std::string &line,
+                 std::uint64_t queue_wait_ns) {
+              return session_.handleLine(line, queue_wait_ns);
           },
-          [this] { wake(); },
-          RequestScheduler::Config{session.config().max_queue, 0,
-                                   session.config().shed_queue_wait_ms})
+          [this] { wake(); }, schedulerConfig(session))
 {
     session_.setStatsHook([this](JsonValue &r) { appendStats(r); });
     session_.setHealthHook([this] { return healthStatus(); });
+
+    // Connection-lifecycle and queue metrics.  Every callback
+    // captures `this`, so the destructor must remove() these before
+    // the server dies (the registry lives as long as the session) --
+    // the same discipline as the stats/health hooks above.
+    if (MetricsRegistry *m = session_.metrics()) {
+        auto relaxed = [](const std::atomic<std::uint64_t> &c) {
+            // Relaxed: independent monotonic tally, reporting only.
+            return double(c.load(std::memory_order_relaxed));
+        };
+        metric_ids_.push_back(m->counterFn(
+            "ploop_connections_accepted_total",
+            "Client connections accepted.",
+            [this, relaxed] { return relaxed(accepted_); }));
+        metric_ids_.push_back(m->counterFn(
+            "ploop_connections_rejected_full_total",
+            "Connections refused at the max_connections cap.",
+            [this, relaxed] { return relaxed(rejected_full_); }));
+        metric_ids_.push_back(m->counterFn(
+            "ploop_connections_closed_total",
+            "Client connections closed (any reason).",
+            [this, relaxed] { return relaxed(closed_); }));
+        metric_ids_.push_back(m->counterFn(
+            "ploop_connections_idle_reaped_total",
+            "Connections reaped by the idle timeout.",
+            [this, relaxed] { return relaxed(idle_reaped_); }));
+        metric_ids_.push_back(m->gauge(
+            "ploop_connections_open", "Client connections open now.",
+            [this] {
+                MutexLock lock(clients_mu_);
+                return double(clients_.size());
+            }));
+        metric_ids_.push_back(m->gauge(
+            "ploop_queue_depth",
+            "Admitted request lines waiting for dispatch.",
+            [this] { return double(scheduler_.stats().depth); }));
+        metric_ids_.push_back(m->gauge(
+            "ploop_queue_inflight",
+            "Requests executing on pool workers right now.",
+            [this] { return double(scheduler_.stats().inflight); }));
+    }
 }
 
 NetServer::~NetServer()
 {
+    if (MetricsRegistry *m = session_.metrics())
+        for (std::uint64_t id : metric_ids_)
+            m->remove(id);
     session_.setStatsHook(nullptr);
     session_.setHealthHook(nullptr);
     if (wake_read_ >= 0)

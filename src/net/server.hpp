@@ -47,6 +47,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/annotations.hpp"
 #include "net/client_session.hpp"
@@ -155,6 +156,10 @@ class NetServer
     std::atomic<std::uint64_t> closed_{0};
     std::atomic<std::uint64_t> idle_reaped_{0};
     std::atomic<std::size_t> peak_open_{0};
+
+    /** Registry entries whose callbacks capture `this`; removed in
+     *  the destructor (the registry outlives the server). */
+    std::vector<std::uint64_t> metric_ids_;
 };
 
 } // namespace ploop

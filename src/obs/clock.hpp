@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Injectable time source for the observability layer.
+ *
+ * Everything in src/obs/ that needs "now" takes a Clock pointer and
+ * falls back to the process steady clock when given none.  Tests
+ * substitute a ManualClock and advance it explicitly, so histogram
+ * quantiles, span durations and slow-request thresholds are asserted
+ * on exact values -- no test ever sleeps to "make time pass".
+ *
+ * Nanosecond ticks: the histogram buckets are powers of two in ns
+ * (see metrics.hpp) and span durations are reported in microseconds
+ * with sub-microsecond precision, so ns is the one resolution every
+ * consumer can derive from without rounding twice.
+ */
+
+#ifndef PHOTONLOOP_OBS_CLOCK_HPP
+#define PHOTONLOOP_OBS_CLOCK_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace ploop {
+
+/** See file comment. */
+class Clock
+{
+  public:
+    virtual ~Clock() = default;
+
+    /** Monotonic now, in nanoseconds from an arbitrary origin. */
+    virtual std::uint64_t nowNs() const = 0;
+};
+
+/** The real (steady_clock) time source; stateless and shared. */
+class SteadyClock : public Clock
+{
+  public:
+    std::uint64_t nowNs() const override
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+    }
+
+    /** Process-wide instance (Clock* defaults resolve to this). */
+    static const SteadyClock &instance()
+    {
+        static SteadyClock clock;
+        return clock;
+    }
+};
+
+/** Test clock: time moves only when advance() is called.  Atomic so
+ *  worker threads may read it while the test thread advances it
+ *  (relaxed: the tick value is the only datum; tests that need
+ *  happens-before get it from their own joins). */
+class ManualClock : public Clock
+{
+  public:
+    explicit ManualClock(std::uint64_t start_ns = 0) : now_(start_ns)
+    {}
+
+    std::uint64_t nowNs() const override
+    {
+        return now_.load(std::memory_order_relaxed);
+    }
+
+    void advanceNs(std::uint64_t delta_ns)
+    {
+        now_.fetch_add(delta_ns, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> now_;
+};
+
+/** @p clock or the process steady clock -- keeps call sites uniform
+ *  ("pass nullptr for real time"). */
+inline const Clock &
+clockOrSteady(const Clock *clock)
+{
+    return clock ? *clock : SteadyClock::instance();
+}
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_OBS_CLOCK_HPP

@@ -1,0 +1,358 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace ploop {
+
+bool
+validMetricName(const std::string &name)
+{
+    const std::string prefix = "ploop_";
+    if (name.size() <= prefix.size() ||
+        name.compare(0, prefix.size(), prefix) != 0)
+        return false;
+    for (std::size_t i = prefix.size(); i < name.size(); ++i) {
+        char c = name[i];
+        bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                  c == '_';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+// ------------------------------------------------------------ Histogram
+
+unsigned
+Histogram::shardIndex()
+{
+    // Round-robin shard assignment at each thread's first record();
+    // relaxed on the ticket: the assigned index is the only datum,
+    // nothing is published through it.
+    static std::atomic<unsigned> next{0};
+    thread_local unsigned mine =
+        next.fetch_add(1, std::memory_order_relaxed) % kShards;
+    return mine;
+}
+
+Histogram::Snapshot
+Histogram::snapshot() const
+{
+    // Relaxed loads: each tally is an independent monotonic count; a
+    // snapshot racing concurrent record()s may split one value's
+    // bucket/sum update across reads, which only shifts that value
+    // into the NEXT snapshot -- fine for reporting.
+    Snapshot out;
+    for (const Shard &s : shards_) {
+        for (unsigned b = 0; b <= kBuckets; ++b)
+            out.counts[b] +=
+                s.counts[b].load(std::memory_order_relaxed);
+        out.sum_ns += s.sum_ns.load(std::memory_order_relaxed);
+    }
+    return out;
+}
+
+std::uint64_t
+Histogram::Snapshot::quantileNs(double q) const
+{
+    std::uint64_t n = total();
+    if (n == 0)
+        return 0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // Rank ceil(q*n) in [1, n]: the smallest bucket whose cumulative
+    // count reaches it.  Upper-bound reporting makes the answer a
+    // pure function of the recorded multiset -- no interpolation, no
+    // scheduling sensitivity.
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(n)));
+    if (rank < 1)
+        rank = 1;
+    std::uint64_t cum = 0;
+    for (unsigned b = 0; b < kBuckets; ++b) {
+        cum += counts[b];
+        if (cum >= rank)
+            return bucketUpperNs(b);
+    }
+    // Overflow bucket: saturate at the largest finite bound.
+    return bucketUpperNs(kBuckets - 1);
+}
+
+// ------------------------------------------------------- MetricsRegistry
+
+namespace {
+
+/** Integral values render as integers (counters, bucket counts);
+ *  everything else at round-trip precision. */
+std::string
+formatMetricValue(double v)
+{
+    if (v == std::floor(v) && std::fabs(v) < 9007199254740992.0)
+        return strFormat("%lld", static_cast<long long>(v));
+    return strFormat("%.17g", v);
+}
+
+/** Prometheus label-value escaping: backslash, quote, newline. */
+std::string
+escapeLabelValue(const std::string &v)
+{
+    std::string out;
+    out.reserve(v.size());
+    for (char c : v) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '"')
+            out += "\\\"";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+/** Prometheus HELP-text escaping: backslash and newline. */
+std::string
+escapeHelp(const std::string &v)
+{
+    std::string out;
+    out.reserve(v.size());
+    for (char c : v) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+/** `{k="v",...}` (or "" without labels); @p extra appends one more
+ *  pre-rendered pair (the histogram le). */
+std::string
+renderLabels(const MetricsRegistry::Labels &labels,
+             const std::string &extra = std::string())
+{
+    if (labels.empty() && extra.empty())
+        return "";
+    std::string out = "{";
+    for (const auto &[k, v] : labels) {
+        if (out.size() > 1)
+            out += ",";
+        out += k + "=\"" + escapeLabelValue(v) + "\"";
+    }
+    if (!extra.empty()) {
+        if (out.size() > 1)
+            out += ",";
+        out += extra;
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace
+
+MetricsRegistry::Family &
+MetricsRegistry::familyFor(const std::string &name,
+                           const std::string &help, const char *type)
+{
+    fatalIf(!validMetricName(name),
+            "metric name '" + name +
+                "' violates the naming contract "
+                "(^ploop_[a-z0-9_]+$)");
+    fatalIf(help.empty(),
+            "metric '" + name + "' needs non-empty help text");
+    for (Family &fam : families_) {
+        if (fam.name != name)
+            continue;
+        fatalIf(std::string(fam.type) != type,
+                "metric '" + name + "' registered as " + fam.type +
+                    " and again as " + type);
+        return fam;
+    }
+    families_.push_back(Family{name, help, type, {}});
+    return families_.back();
+}
+
+MetricsRegistry::Entry *
+MetricsRegistry::findEntry(Family &fam, const Labels &labels,
+                           Shape shape)
+{
+    for (Entry &e : fam.entries) {
+        if (e.labels != labels)
+            continue;
+        fatalIf(e.shape != shape,
+                "metric '" + fam.name +
+                    "' series re-registered with a different shape");
+        return &e;
+    }
+    return nullptr;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name,
+                         const std::string &help, Labels labels)
+{
+    MutexLock lock(mu_);
+    Family &fam = familyFor(name, help, "counter");
+    if (Entry *e = findEntry(fam, labels, Shape::CounterOwned))
+        return *e->counter;
+    Entry entry;
+    entry.id = next_id_++;
+    entry.shape = Shape::CounterOwned;
+    entry.labels = std::move(labels);
+    entry.counter = std::make_unique<Counter>();
+    Counter &out = *entry.counter;
+    fam.entries.push_back(std::move(entry));
+    return out;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           const std::string &help, Labels labels)
+{
+    MutexLock lock(mu_);
+    Family &fam = familyFor(name, help, "histogram");
+    if (Entry *e = findEntry(fam, labels, Shape::Hist))
+        return *e->hist;
+    Entry entry;
+    entry.id = next_id_++;
+    entry.shape = Shape::Hist;
+    entry.labels = std::move(labels);
+    entry.hist = std::make_unique<Histogram>();
+    Histogram &out = *entry.hist;
+    fam.entries.push_back(std::move(entry));
+    return out;
+}
+
+std::uint64_t
+MetricsRegistry::gauge(const std::string &name,
+                       const std::string &help, ValueFn fn,
+                       Labels labels)
+{
+    MutexLock lock(mu_);
+    Family &fam = familyFor(name, help, "gauge");
+    fatalIf(findEntry(fam, labels, Shape::GaugeFn) != nullptr,
+            "gauge '" + name + "' series registered twice");
+    Entry entry;
+    entry.id = next_id_++;
+    entry.shape = Shape::GaugeFn;
+    entry.labels = std::move(labels);
+    entry.fn = std::move(fn);
+    fam.entries.push_back(std::move(entry));
+    return fam.entries.back().id;
+}
+
+std::uint64_t
+MetricsRegistry::counterFn(const std::string &name,
+                           const std::string &help, ValueFn fn,
+                           Labels labels)
+{
+    MutexLock lock(mu_);
+    Family &fam = familyFor(name, help, "counter");
+    fatalIf(findEntry(fam, labels, Shape::CounterFn) != nullptr,
+            "counter '" + name + "' series registered twice");
+    Entry entry;
+    entry.id = next_id_++;
+    entry.shape = Shape::CounterFn;
+    entry.labels = std::move(labels);
+    entry.fn = std::move(fn);
+    fam.entries.push_back(std::move(entry));
+    return fam.entries.back().id;
+}
+
+void
+MetricsRegistry::remove(std::uint64_t id)
+{
+    MutexLock lock(mu_);
+    for (Family &fam : families_) {
+        for (std::size_t i = 0; i < fam.entries.size(); ++i) {
+            if (fam.entries[i].id != id)
+                continue;
+            fam.entries.erase(fam.entries.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+            return;
+        }
+    }
+}
+
+std::string
+MetricsRegistry::renderPrometheus() const
+{
+    MutexLock lock(mu_);
+    std::string out;
+    for (const Family &fam : families_) {
+        if (fam.entries.empty())
+            continue; // every callback series was remove()d
+        out += "# HELP " + fam.name + " " + escapeHelp(fam.help) +
+               "\n";
+        out += "# TYPE " + fam.name + " " + fam.type + "\n";
+        for (const Entry &e : fam.entries) {
+            switch (e.shape) {
+            case Shape::CounterOwned:
+                out += fam.name + renderLabels(e.labels) + " " +
+                       formatMetricValue(
+                           double(e.counter->value())) +
+                       "\n";
+                break;
+            case Shape::CounterFn:
+            case Shape::GaugeFn:
+                out += fam.name + renderLabels(e.labels) + " " +
+                       formatMetricValue(e.fn()) + "\n";
+                break;
+            case Shape::Hist: {
+                Histogram::Snapshot snap = e.hist->snapshot();
+                std::uint64_t cum = 0;
+                for (unsigned b = 0; b < Histogram::kBuckets; ++b) {
+                    cum += snap.counts[b];
+                    out += fam.name + "_bucket" +
+                           renderLabels(
+                               e.labels,
+                               strFormat(
+                                   "le=\"%g\"",
+                                   double(Histogram::bucketUpperNs(
+                                       b)) /
+                                       1e9)) +
+                           " " + formatMetricValue(double(cum)) +
+                           "\n";
+                }
+                cum += snap.counts[Histogram::kBuckets];
+                out += fam.name + "_bucket" +
+                       renderLabels(e.labels, "le=\"+Inf\"") + " " +
+                       formatMetricValue(double(cum)) + "\n";
+                out += fam.name + "_sum" + renderLabels(e.labels) +
+                       " " +
+                       formatMetricValue(double(snap.sum_ns) / 1e9) +
+                       "\n";
+                out += fam.name + "_count" + renderLabels(e.labels) +
+                       " " + formatMetricValue(double(cum)) + "\n";
+                break;
+            }
+            }
+        }
+    }
+    return out;
+}
+
+Histogram::Snapshot
+MetricsRegistry::histogramSnapshot(const std::string &name,
+                                   const Labels &labels) const
+{
+    MutexLock lock(mu_);
+    for (const Family &fam : families_) {
+        if (fam.name != name)
+            continue;
+        for (const Entry &e : fam.entries)
+            if (e.shape == Shape::Hist && e.labels == labels)
+                return e.hist->snapshot();
+    }
+    return Histogram::Snapshot{};
+}
+
+} // namespace ploop

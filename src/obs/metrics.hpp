@@ -1,0 +1,283 @@
+/**
+ * @file
+ * MetricsRegistry: the serving layer's metric store, rendered on
+ * demand as Prometheus text exposition by the `metrics` protocol op.
+ *
+ * Three metric shapes cover everything the request path needs:
+ *
+ *  - Counter: an owned monotonic tally the instrumented code bumps
+ *    directly (relaxed atomic; the handle is a stable reference, so
+ *    the hot path never touches the registry lock).
+ *  - Callback counters/gauges: the value is READ at render time from
+ *    a function (cache hit counts, queue depth, pool utilization) --
+ *    subsystems that already keep counters are surfaced without
+ *    double bookkeeping.  Callback registrations return an id so an
+ *    owner with a shorter lifetime than the registry (NetServer) can
+ *    remove() them in its destructor, exactly like it clears the
+ *    stats/health hooks.
+ *  - Histogram: log-bucketed latency distribution with sharded
+ *    relaxed-atomic buckets.  record() is wait-free and allocation-
+ *    free (tested), so per-request latency tracking rides the hot
+ *    path at negligible cost; quantiles are DETERMINISTIC (the upper
+ *    bound of the bucket containing the rank), so tests assert exact
+ *    p50/p95/p99 values from known sequences.
+ *
+ * Naming contract (enforced here with fatal() and mechanically by
+ * tools/lint_invariants.py, rule metric-naming): every metric name
+ * matches ^ploop_[a-z0-9_]+$ and carries non-empty help text.  Two
+ * registrations of the same (name, labels, shape) return the same
+ * instance; the same name with a different shape is a hard error.
+ *
+ * Thread safety: registration and render take the registry mutex;
+ * Counter/Histogram handles are stable pointers into heap slots, so
+ * recording never locks.  Render invokes value callbacks WHILE
+ * holding the registry mutex -- callbacks must be cheap and must not
+ * re-enter the registry (they take their own subsystem locks, which
+ * never call back in, so no cycle is possible).
+ */
+
+#ifndef PHOTONLOOP_OBS_METRICS_HPP
+#define PHOTONLOOP_OBS_METRICS_HPP
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/annotations.hpp"
+
+namespace ploop {
+
+/** Monotonic event tally.  Relaxed ordering: each counter is an
+ *  independent statistic read only for reporting; no data is
+ *  published through it. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1)
+    {
+        v_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> v_{0};
+};
+
+/**
+ * Log-bucketed latency histogram over nanosecond durations.
+ *
+ * Buckets are powers of two: bucket b counts durations in
+ * (2^(10+b-1), 2^(10+b)] ns -- the finite upper bounds run from
+ * 1.024 us (2^10 ns) to ~34.4 s (2^35 ns), plus one overflow bucket.
+ * Fixed boundaries make snapshots mergeable across shards, servers
+ * and runs, and make quantiles reproducible: quantileNs() returns
+ * the UPPER BOUND of the bucket holding the requested rank, so the
+ * same recorded multiset always yields the same quantile, bit for
+ * bit, at any thread count.
+ *
+ * record() is the hot-path operation: bucket index by bit scan, then
+ * two relaxed fetch_adds on a per-thread shard -- no locks, no
+ * allocation (tested), no false sharing (shards are cacheline-
+ * aligned).
+ */
+class Histogram
+{
+  public:
+    /** Finite buckets; index kBuckets is the overflow bucket. */
+    static constexpr unsigned kBuckets = 26;
+
+    /** Smallest finite upper bound (ns). */
+    static constexpr std::uint64_t kMinUpperNs = 1024;
+
+    /** Concurrency shards (fixed: snapshots must not depend on the
+     *  thread count). */
+    static constexpr unsigned kShards = 16;
+
+    Histogram() = default;
+
+    Histogram(const Histogram &) = delete;
+    Histogram &operator=(const Histogram &) = delete;
+
+    /** Count one duration.  Wait-free, allocation-free. */
+    void record(std::uint64_t ns)
+    {
+        Shard &s = shards_[shardIndex()];
+        // Relaxed throughout: bucket tallies are independent counts
+        // read only by snapshot(); nothing is published through them
+        // and snapshots tolerate torn cross-bucket views (each value
+        // lands exactly once eventually).
+        s.counts[bucketFor(ns)].fetch_add(1,
+                                          std::memory_order_relaxed);
+        s.sum_ns.fetch_add(ns, std::memory_order_relaxed);
+    }
+
+    /** The finite upper bound of bucket @p b (ns); b < kBuckets. */
+    static std::uint64_t bucketUpperNs(unsigned b)
+    {
+        return kMinUpperNs << b;
+    }
+
+    /** Bucket index for a duration (kBuckets = overflow). */
+    static unsigned bucketFor(std::uint64_t ns)
+    {
+        std::uint64_t upper = kMinUpperNs;
+        for (unsigned b = 0; b < kBuckets; ++b, upper <<= 1)
+            if (ns <= upper)
+                return b;
+        return kBuckets;
+    }
+
+    /** A coherent copy of the tallies (see class comment). */
+    struct Snapshot
+    {
+        std::array<std::uint64_t, kBuckets + 1> counts{};
+        std::uint64_t sum_ns = 0;
+
+        /** Total recorded values. */
+        std::uint64_t total() const
+        {
+            std::uint64_t n = 0;
+            for (std::uint64_t c : counts)
+                n += c;
+            return n;
+        }
+
+        /** Fold @p other in (shard/server aggregation; associative
+         *  and commutative -- tested). */
+        void merge(const Snapshot &other)
+        {
+            for (unsigned b = 0; b <= kBuckets; ++b)
+                counts[b] += other.counts[b];
+            sum_ns += other.sum_ns;
+        }
+
+        /**
+         * Deterministic quantile: the upper bound of the bucket
+         * containing rank ceil(q * total), q in (0, 1].  Saturates
+         * at the largest finite bound for overflow-bucket ranks;
+         * 0 when nothing was recorded.
+         */
+        std::uint64_t quantileNs(double q) const;
+    };
+
+    Snapshot snapshot() const;
+
+  private:
+    /** Cacheline-sized so two threads' records never contend. */
+    struct alignas(64) Shard
+    {
+        std::array<std::atomic<std::uint64_t>, kBuckets + 1> counts{};
+        std::atomic<std::uint64_t> sum_ns{0};
+    };
+
+    /** Stable per-thread shard assignment (round-robin at first
+     *  use); relaxed on the ticket -- the value itself is the only
+     *  datum. */
+    static unsigned shardIndex();
+
+    std::array<Shard, kShards> shards_;
+};
+
+/** See file comment. */
+class MetricsRegistry
+{
+  public:
+    /** Label set, rendered in registration order. */
+    using Labels = std::vector<std::pair<std::string, std::string>>;
+
+    /** Render-time value source for callback metrics. */
+    using ValueFn = std::function<double()>;
+
+    MetricsRegistry() = default;
+
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** An owned counter handle (stable for the registry's life). */
+    Counter &counter(const std::string &name, const std::string &help,
+                     Labels labels = {});
+
+    /** An owned histogram handle (stable for the registry's life). */
+    Histogram &histogram(const std::string &name,
+                         const std::string &help, Labels labels = {});
+
+    /** A callback gauge; returns a removal id (see file comment). */
+    std::uint64_t gauge(const std::string &name,
+                        const std::string &help, ValueFn fn,
+                        Labels labels = {});
+
+    /** A callback counter (monotonicity is the callback's promise);
+     *  returns a removal id. */
+    std::uint64_t counterFn(const std::string &name,
+                            const std::string &help, ValueFn fn,
+                            Labels labels = {});
+
+    /** Unregister a callback metric before its value source dies.
+     *  Unknown ids are ignored (double-remove is harmless). */
+    void remove(std::uint64_t id);
+
+    /** The full Prometheus text exposition (HELP/TYPE per family,
+     *  one sample line per series, histograms as cumulative
+     *  _bucket{le=...}/_sum/_count with seconds units). */
+    std::string renderPrometheus() const;
+
+    /** Snapshot of a registered histogram series, or an empty
+     *  snapshot when absent (quantile reporting: health/stats). */
+    Histogram::Snapshot histogramSnapshot(const std::string &name,
+                                          const Labels &labels) const;
+
+  private:
+    enum class Shape : std::uint8_t {
+        CounterOwned,
+        CounterFn,
+        GaugeFn,
+        Hist,
+    };
+
+    struct Entry
+    {
+        std::uint64_t id = 0;
+        Shape shape = Shape::CounterOwned;
+        Labels labels;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Histogram> hist;
+        ValueFn fn;
+    };
+
+    struct Family
+    {
+        std::string name;
+        std::string help;
+        const char *type = "counter"; // Prometheus TYPE keyword.
+        std::vector<Entry> entries;
+    };
+
+    /** Find-or-create the family / entry; fatal() on naming or
+     *  shape violations (programmer error, not request error). */
+    Family &familyFor(const std::string &name,
+                      const std::string &help, const char *type)
+        REQUIRES(mu_);
+    Entry *findEntry(Family &fam, const Labels &labels, Shape shape)
+        REQUIRES(mu_);
+
+    mutable Mutex mu_;
+    std::vector<Family> families_ GUARDED_BY(mu_);
+    std::uint64_t next_id_ GUARDED_BY(mu_) = 1;
+};
+
+/** True when @p name matches ^ploop_[a-z0-9_]+$ (the project metric
+ *  naming contract; exposed for tests). */
+bool validMetricName(const std::string &name);
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_OBS_METRICS_HPP

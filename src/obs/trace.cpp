@@ -1,0 +1,96 @@
+#include "obs/trace.hpp"
+
+namespace ploop {
+
+Trace::Trace(const Clock *clock) : clock_(clockOrSteady(clock))
+{
+    MutexLock lock(mu_);
+    spans_.push_back(Span{"request", kRoot, -1, clock_.nowNs(), 0});
+}
+
+Trace::SpanId
+Trace::begin(const char *name, SpanId parent, std::int64_t index)
+{
+    std::uint64_t now = clock_.nowNs();
+    MutexLock lock(mu_);
+    spans_.push_back(Span{name, parent, index, now, 0});
+    return static_cast<SpanId>(spans_.size() - 1);
+}
+
+void
+Trace::end(SpanId id)
+{
+    std::uint64_t now = clock_.nowNs();
+    MutexLock lock(mu_);
+    if (id < spans_.size() && spans_[id].end_ns == 0)
+        spans_[id].end_ns = now;
+}
+
+Trace::SpanId
+Trace::addSpan(const char *name, SpanId parent,
+               std::uint64_t start_ns, std::uint64_t end_ns,
+               std::int64_t index)
+{
+    MutexLock lock(mu_);
+    spans_.push_back(Span{name, parent, index, start_ns, end_ns});
+    return static_cast<SpanId>(spans_.size() - 1);
+}
+
+void
+Trace::backdateRootNs(std::uint64_t delta_ns)
+{
+    MutexLock lock(mu_);
+    Span &root = spans_[kRoot];
+    root.start_ns =
+        root.start_ns >= delta_ns ? root.start_ns - delta_ns : 0;
+}
+
+std::uint64_t
+Trace::rootDurationNs() const
+{
+    std::uint64_t now = clock_.nowNs();
+    MutexLock lock(mu_);
+    const Span &root = spans_[kRoot];
+    std::uint64_t end = root.end_ns ? root.end_ns : now;
+    return end >= root.start_ns ? end - root.start_ns : 0;
+}
+
+JsonValue
+Trace::spanJson(const std::vector<Span> &spans, std::size_t i,
+                std::uint64_t origin_ns) const
+{
+    const Span &s = spans[i];
+    JsonValue node = JsonValue::object();
+    node.set("name", JsonValue::string(s.name));
+    std::uint64_t start =
+        s.start_ns >= origin_ns ? s.start_ns - origin_ns : 0;
+    // An unclosed span (only possible on an exception unwind that
+    // skipped its scope) reports zero duration rather than lying.
+    std::uint64_t end = s.end_ns >= s.start_ns ? s.end_ns : s.start_ns;
+    node.set("start_us", JsonValue::number(double(start) / 1e3));
+    node.set("dur_us",
+             JsonValue::number(double(end - s.start_ns) / 1e3));
+    if (s.index >= 0)
+        node.set("index", JsonValue::number(double(s.index)));
+    JsonValue children = JsonValue::array();
+    for (std::size_t c = i + 1; c < spans.size(); ++c)
+        if (spans[c].parent == i)
+            children.push(spanJson(spans, c, origin_ns));
+    node.set("children", std::move(children));
+    return node;
+}
+
+JsonValue
+Trace::toJson() const
+{
+    // Copy out under the lock, render outside it: rendering is
+    // recursive and spanJson takes no locks on the copy.
+    std::vector<Span> spans;
+    {
+        MutexLock lock(mu_);
+        spans = spans_;
+    }
+    return spanJson(spans, kRoot, spans[kRoot].start_ns);
+}
+
+} // namespace ploop

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Per-request trace: a span tree recording where a request's time
+ * went (queue wait -> parse -> decode -> execute -> serialize, with
+ * execute subdivided down to sweep points, hill-climb rounds and
+ * random-search sample batches).
+ *
+ * A Trace is created by the protocol layer only when someone will
+ * look at it -- the request carried `trace: true`, or the slow-
+ * request log is armed -- and is threaded down the call stack as a
+ * nullable pointer alongside the CancelToken.  The carrier is
+ * SpanRef (trace + parent span id) plus the SpanScope RAII handle:
+ * both are INERT when the trace pointer is null, so instrumented
+ * code reads identically with tracing on or off and the untraced
+ * hot path pays one pointer test per would-be span.
+ *
+ * Thread safety: spans are begun/ended from pool worker threads
+ * (sweep points and shards run in parallel), so the span vector is
+ * mutex-guarded.  That lock is acceptable precisely because tracing
+ * is opt-in per request: the default path never takes it.
+ *
+ * Sum invariant (asserted by tests and the protocol smoke): sibling
+ * spans under the root are sequential sections of one request, so
+ * their durations sum to at most the root span's duration.  The
+ * root starts at queue ADMISSION (handler entry backdated by the
+ * scheduler-measured queue wait) and ends after response
+ * serialization, so every child lies inside it by construction.
+ */
+
+#ifndef PHOTONLOOP_OBS_TRACE_HPP
+#define PHOTONLOOP_OBS_TRACE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "api/json.hpp"
+#include "common/annotations.hpp"
+#include "obs/clock.hpp"
+
+namespace ploop {
+
+/** See file comment. */
+class Trace
+{
+  public:
+    using SpanId = std::uint32_t;
+
+    /** The root span ("request"), created by the constructor. */
+    static constexpr SpanId kRoot = 0;
+
+    /** Begins the root span at clock-now.
+     *  @param clock Injectable time source (nullptr = steady). */
+    explicit Trace(const Clock *clock = nullptr);
+
+    Trace(const Trace &) = delete;
+    Trace &operator=(const Trace &) = delete;
+
+    /** Open a child span of @p parent starting now.
+     *  @param name Static string (span names are literals).
+     *  @param index Optional ordinal (shard, round, point; -1 =
+     *               none) distinguishing repeated sibling spans. */
+    SpanId begin(const char *name, SpanId parent,
+                 std::int64_t index = -1);
+
+    /** Close @p id at clock-now (idempotent: later end() wins are
+     *  not expected, but a double close is harmless). */
+    void end(SpanId id);
+
+    /** Record an already-measured interval (the synthetic
+     *  queue_wait/parse spans, measured before the Trace existed). */
+    SpanId addSpan(const char *name, SpanId parent,
+                   std::uint64_t start_ns, std::uint64_t end_ns,
+                   std::int64_t index = -1);
+
+    /** Move the root start earlier by @p delta_ns: the scheduler
+     *  measured queue wait before the handler (and this Trace)
+     *  existed, and the root must cover it. */
+    void backdateRootNs(std::uint64_t delta_ns);
+
+    /** Close the root span (call once, after serialization). */
+    void endRoot() { end(kRoot); }
+
+    /** The trace clock's now (callers reuse it for synthetic
+     *  spans so all timestamps share one source). */
+    std::uint64_t nowNs() const { return clock_.nowNs(); }
+
+    /** Root span duration so far (ns); after endRoot(), the
+     *  request's total traced time. */
+    std::uint64_t rootDurationNs() const;
+
+    /**
+     * The span tree as JSON: each node carries "name", "start_us"
+     * (relative to the root start), "dur_us", optionally "index",
+     * and "children" in creation order.  Attached to the response
+     * as "trace" and to slow-request log lines.
+     */
+    JsonValue toJson() const;
+
+  private:
+    struct Span
+    {
+        const char *name;
+        SpanId parent;
+        std::int64_t index;
+        std::uint64_t start_ns;
+        std::uint64_t end_ns; ///< 0 while open.
+    };
+
+    JsonValue spanJson(const std::vector<Span> &spans,
+                       std::size_t i, std::uint64_t origin_ns) const;
+
+    const Clock &clock_;
+    mutable Mutex mu_;
+    std::vector<Span> spans_ GUARDED_BY(mu_);
+};
+
+/**
+ * A nullable handle to one span: the unit instrumented signatures
+ * accept (`SpanRef span = {}`), exactly parallel to the nullable
+ * CancelToken pointer.  Inert when trace is null.
+ */
+struct SpanRef
+{
+    Trace *trace = nullptr;
+    Trace::SpanId id = Trace::kRoot;
+};
+
+/**
+ * RAII span: begins a child of @p parent on construction, ends it
+ * on destruction.  Inert (no-op, no allocation) when the parent's
+ * trace is null, so call sites need no `if (trace)` guards.
+ */
+class SpanScope
+{
+  public:
+    SpanScope(SpanRef parent, const char *name,
+              std::int64_t index = -1)
+        : trace_(parent.trace)
+    {
+        if (trace_)
+            id_ = trace_->begin(name, parent.id, index);
+    }
+
+    ~SpanScope()
+    {
+        if (trace_)
+            trace_->end(id_);
+    }
+
+    SpanScope(const SpanScope &) = delete;
+    SpanScope &operator=(const SpanScope &) = delete;
+
+    /** This span as a parent for nested scopes (inert propagates). */
+    SpanRef ref() const { return SpanRef{trace_, id_}; }
+
+  private:
+    Trace *trace_;
+    Trace::SpanId id_ = Trace::kRoot;
+};
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_OBS_TRACE_HPP

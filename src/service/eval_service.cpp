@@ -48,8 +48,9 @@ EvalService::evaluatorFor(const AlbireoConfig &cfg)
 }
 
 EvaluateResponse
-EvalService::evaluate(const EvaluateRequest &req)
+EvalService::evaluate(const EvaluateRequest &req, SpanRef span)
 {
+    SpanScope exec(span, "execute");
     const Evaluator &evaluator = evaluatorFor(req.arch);
     LayerShape layer = req.layer.toLayer();
 
@@ -77,8 +78,9 @@ EvalService::evaluate(const EvaluateRequest &req)
 }
 
 SearchResponse
-EvalService::search(const SearchRequest &req)
+EvalService::search(const SearchRequest &req, SpanRef span)
 {
+    SpanScope exec(span, "execute");
     std::uint64_t fp = requestFingerprint(req);
     if (std::optional<SearchResponse> hit = result_cache_.find(fp)) {
         // The whole response is served from the result cache; by the
@@ -103,7 +105,8 @@ EvalService::search(const SearchRequest &req)
     // so a retry benefits without changing its answer).
     CancelToken cancel(req.options.timeout_ms);
     Mapper mapper(evaluator, req.options);
-    MapperResult r = mapper.search(layer, &cache_, &cancel);
+    MapperResult r =
+        mapper.search(layer, &cache_, &cancel, exec.ref());
     {
         MutexLock lock(mu_);
         ++requests_;
@@ -127,8 +130,9 @@ EvalService::search(const SearchRequest &req)
 }
 
 SweepResponse
-EvalService::sweep(const SweepRequest &req)
+EvalService::sweep(const SweepRequest &req, SpanRef span)
 {
+    SpanScope exec(span, "execute");
     LayerShape layer = req.layer.toLayer();
     // coords() validates the grid (axes, knobs, values, size cap).
     std::vector<std::vector<double>> coords = req.grid.coords();
@@ -149,15 +153,16 @@ EvalService::sweep(const SweepRequest &req)
     CancelToken cancel(req.options.timeout_ms);
     out.points =
         runSweepEvaluators(evaluators, coords, layer, req.options,
-                           &cache_, &out.stats, &cancel);
+                           &cache_, &out.stats, &cancel, exec.ref());
     MutexLock lock(mu_);
     ++requests_;
     return out;
 }
 
 NetworkResponse
-EvalService::network(const NetworkRequest &req)
+EvalService::network(const NetworkRequest &req, SpanRef span)
 {
+    SpanScope exec(span, "execute");
     const Evaluator &evaluator = evaluatorFor(req.arch);
 
     Network net = [&]() -> Network {
@@ -176,7 +181,7 @@ EvalService::network(const NetworkRequest &req)
     // partial network result (EvalCache warmth kept, see search()).
     CancelToken cancel(req.options.timeout_ms);
     out.result = runNetwork(evaluator, net, req.options, &cache_,
-                            &out.stats, &cancel);
+                            &out.stats, &cancel, exec.ref());
     MutexLock lock(mu_);
     ++requests_;
     return out;

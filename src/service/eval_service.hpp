@@ -50,6 +50,7 @@
 #include "api/fingerprint.hpp"
 #include "api/requests.hpp"
 #include "common/annotations.hpp"
+#include "obs/trace.hpp"
 #include "service/result_cache.hpp"
 
 namespace ploop {
@@ -90,10 +91,16 @@ class EvalService
     EvalService(const EvalService &) = delete;
     EvalService &operator=(const EvalService &) = delete;
 
-    EvaluateResponse evaluate(const EvaluateRequest &req);
-    SearchResponse search(const SearchRequest &req);
-    SweepResponse sweep(const SweepRequest &req);
-    NetworkResponse network(const NetworkRequest &req);
+    /** Each op takes an optional trace parent (inert by default):
+     *  the service opens an "execute" span covering model lookup +
+     *  search and threads it into the mapper stack, exactly parallel
+     *  to how the CancelToken rides along. */
+    EvaluateResponse evaluate(const EvaluateRequest &req,
+                              SpanRef span = {});
+    SearchResponse search(const SearchRequest &req, SpanRef span = {});
+    SweepResponse sweep(const SweepRequest &req, SpanRef span = {});
+    NetworkResponse network(const NetworkRequest &req,
+                            SpanRef span = {});
 
     /**
      * The registry-cached evaluator for @p cfg: built (and validated)

@@ -7,9 +7,23 @@
 #include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "common/string_util.hpp"
+#include "common/thread_pool.hpp"
 #include "mapper/eval_cache.hpp"
+#include "net/socket.hpp"
 
 namespace ploop {
+
+namespace {
+
+/** Every protocol op, in advertisement order.  One list drives the
+ *  capabilities response, the unknown-op message, and the per-op
+ *  latency histogram set, so they cannot drift apart. */
+constexpr const char *kOps[] = {
+    "ping",    "capabilities", "evaluate", "search",
+    "sweep",   "network",      "stats",    "health",
+    "metrics", "save_cache",   "shutdown"};
+
+} // namespace
 
 ServeSession::ServeSession(ServeConfig cfg)
     : cfg_(std::move(cfg)),
@@ -22,6 +36,160 @@ ServeSession::ServeSession(ServeConfig cfg)
                                cfg_.store_fingerprint);
     else
         load_.detail = "no cache store configured";
+    if (cfg_.observe)
+        registerMetrics();
+    if (!cfg_.obs_log.empty()) {
+        MutexLock lock(obs_mu_);
+        obs_file_ = std::fopen(cfg_.obs_log.c_str(), "a");
+        if (!obs_file_)
+            std::fprintf(stderr,
+                         "ploop_serve: warning: cannot open obs log "
+                         "'%s'; slow-request lines go to stderr\n",
+                         cfg_.obs_log.c_str());
+    }
+}
+
+ServeSession::~ServeSession()
+{
+    MutexLock lock(obs_mu_);
+    if (obs_file_)
+        std::fclose(obs_file_);
+}
+
+void
+ServeSession::registerMetrics()
+{
+    metrics_ = std::make_unique<MetricsRegistry>();
+    MetricsRegistry &m = *metrics_;
+
+    for (const char *op : kOps)
+        op_hist_[op] = &m.histogram(
+            "ploop_request_latency_seconds",
+            "End-to-end request latency (queue wait included), by op.",
+            {{"op", op}});
+    errors_ = &m.counter("ploop_request_errors_total",
+                         "Requests answered with ok:false.");
+
+    // Cache effectiveness.  Hits/misses/evictions are cache-lifetime
+    // monotonic tallies (counters); entries and the hit ratio are
+    // instantaneous (gauges).
+    EvalService *svc = &service_;
+    m.counterFn("ploop_eval_cache_hits_total",
+                "EvalCache lookups served warm.",
+                [svc] { return double(svc->cache().hits()); });
+    m.counterFn("ploop_eval_cache_misses_total",
+                "EvalCache lookups that missed.",
+                [svc] { return double(svc->cache().misses()); });
+    m.counterFn("ploop_eval_cache_evictions_total",
+                "EvalCache entries evicted by the entry cap.",
+                [svc] { return double(svc->cache().evictions()); });
+    m.gauge("ploop_eval_cache_entries", "EvalCache resident entries.",
+            [svc] { return double(svc->cache().size()); });
+    m.gauge("ploop_eval_cache_hit_ratio",
+            "EvalCache hits / lookups over the cache's life (0..1).",
+            [svc] {
+                double h = double(svc->cache().hits());
+                double t = h + double(svc->cache().misses());
+                return t > 0 ? h / t : 0.0;
+            });
+    m.counterFn("ploop_result_cache_hits_total",
+                "Whole-response ResultCache hits.",
+                [svc] { return double(svc->resultCache().hits()); });
+    m.counterFn("ploop_result_cache_misses_total",
+                "Whole-response ResultCache misses.",
+                [svc] { return double(svc->resultCache().misses()); });
+    m.counterFn(
+        "ploop_result_cache_evictions_total",
+        "ResultCache entries evicted by the entry cap.",
+        [svc] { return double(svc->resultCache().evictions()); });
+    m.gauge("ploop_result_cache_entries",
+            "ResultCache resident entries.",
+            [svc] { return double(svc->resultCache().size()); });
+    m.gauge("ploop_result_cache_hit_ratio",
+            "ResultCache hits / lookups over the cache's life (0..1).",
+            [svc] {
+                double h = double(svc->resultCache().hits());
+                double t = h + double(svc->resultCache().misses());
+                return t > 0 ? h / t : 0.0;
+            });
+
+    // Thread-pool utilization: lanes and how many background workers
+    // are executing right now.
+    m.gauge("ploop_thread_pool_size",
+            "Shared pool parallelism (workers + caller lane).",
+            [] { return double(ThreadPool::global().size()); });
+    m.gauge("ploop_thread_pool_active_workers",
+            "Background workers executing a task right now.",
+            [] { return double(ThreadPool::global().activeWorkers()); });
+
+    // Self-protection outcomes, one family with a kind label (the
+    // stats op's "robustness" section as metrics).
+    RobustnessCounters *rob = &robustness_;
+    struct RobKind
+    {
+        const char *kind;
+        const std::atomic<std::uint64_t> *counter;
+    };
+    for (const RobKind &rk :
+         {RobKind{"deadline_exceeded", &rob->deadline_exceeded},
+          RobKind{"rate_limited", &rob->rate_limited},
+          RobKind{"idle_reaped", &rob->idle_reaped},
+          RobKind{"shed", &rob->shed}}) {
+        const std::atomic<std::uint64_t> *c = rk.counter;
+        m.counterFn(
+            "ploop_protection_events_total",
+            "Self-protection outcomes (deadlines, rate limits, idle "
+            "reaps, load sheds), by kind.",
+            // Relaxed: independent monotonic tally, reporting only.
+            [c] { return double(c->load(std::memory_order_relaxed)); },
+            {{"kind", rk.kind}});
+    }
+
+    // Injected I/O faults (PLOOP_FAULTS chaos runs assert these
+    // surface; all-zero when injection is off).
+    struct FaultKind
+    {
+        const char *kind;
+        std::uint64_t FaultInjector::Counts::*field;
+    };
+    for (const FaultKind &fk :
+         {FaultKind{"short_read", &FaultInjector::Counts::short_reads},
+          FaultKind{"short_write",
+                    &FaultInjector::Counts::short_writes},
+          FaultKind{"eintr", &FaultInjector::Counts::eintrs},
+          FaultKind{"stall", &FaultInjector::Counts::stalls},
+          FaultKind{"reset", &FaultInjector::Counts::resets}}) {
+        std::uint64_t FaultInjector::Counts::*field = fk.field;
+        m.counterFn("ploop_faults_injected_total",
+                    "I/O faults injected by the fault harness "
+                    "(PLOOP_FAULTS), by kind.",
+                    [field] {
+                        return double(
+                            FaultInjector::instance().counts().*field);
+                    },
+                    {{"kind", fk.kind}});
+    }
+
+    m.gauge("ploop_uptime_seconds",
+            "Seconds since the session was constructed.",
+            [this] { return double(uptimeMs()) / 1e3; });
+}
+
+Histogram *
+ServeSession::opHistogram(const std::string &op) const
+{
+    auto it = op_hist_.find(op);
+    return it == op_hist_.end() ? nullptr : it->second;
+}
+
+void
+ServeSession::writeObsLine(const JsonValue &entry)
+{
+    std::string line = entry.serialize();
+    MutexLock lock(obs_mu_);
+    std::FILE *out = obs_file_ ? obs_file_ : stderr;
+    std::fprintf(out, "%s\n", line.c_str());
+    std::fflush(out);
 }
 
 bool
@@ -53,6 +221,16 @@ ServeSession::saveStore(std::string *detail)
 std::string
 ServeSession::handleLine(const std::string &line)
 {
+    return handleLine(line, 0);
+}
+
+std::string
+ServeSession::handleLine(const std::string &line,
+                         std::uint64_t queue_wait_ns)
+{
+    const Clock &clock = clockOrSteady(cfg_.clock);
+    const std::uint64_t t0 = clock.nowNs();
+
     JsonValue resp;
     std::string error;
     const JsonValue *id = nullptr;
@@ -66,9 +244,35 @@ ServeSession::handleLine(const std::string &line)
                                        : "bad JSON: " + error));
         return resp.serialize();
     }
+    const std::uint64_t t_parsed = clock.nowNs();
+
+    // Tracing rides the transport: `trace: true` on any request, or
+    // the slow-request log (which must have the breakdown in hand
+    // BEFORE it knows the request was slow, so arming it traces
+    // every request).
+    bool want_trace = false;
+    std::unique_ptr<Trace> trace;
 
     try {
-        resp = handleParsed(*req);
+        const JsonValue *tracev = req->get("trace");
+        fatalIf(tracev && !tracev->isBool(),
+                "field 'trace' must be true or false");
+        want_trace = tracev && tracev->asBool();
+        if (want_trace || cfg_.slow_request_ms > 0) {
+            trace = std::make_unique<Trace>(cfg_.clock);
+            // The root must cover queue wait + parse, both measured
+            // before the Trace existed.
+            trace->backdateRootNs((trace->nowNs() - t0) +
+                                  queue_wait_ns);
+            if (queue_wait_ns > 0)
+                trace->addSpan("queue_wait", Trace::kRoot,
+                               t0 >= queue_wait_ns
+                                   ? t0 - queue_wait_ns
+                                   : 0,
+                               t0);
+            trace->addSpan("parse", Trace::kRoot, t0, t_parsed);
+        }
+        resp = handleParsed(*req, trace.get());
     } catch (const CancelledError &e) {
         // The request's own timeout_ms elapsed.  Not a client error
         // and not a server fault: the budget was simply too small
@@ -100,11 +304,48 @@ ServeSession::handleLine(const std::string &line)
     // defensively: this runs outside the try block, and a non-string
     // "op" must not throw past the "never throws" contract.
     const JsonValue *opv = req->get("op");
-    if (opv && opv->isString() && !opv->asString().empty())
+    std::string op =
+        opv && opv->isString() ? opv->asString() : std::string();
+    if (!op.empty())
         resp.set("op", *opv);
     id = req->get("id");
     if (id)
         resp.set("id", *id);
+
+    // Close the trace and account the request.  Total latency spans
+    // admission (queue wait) to here -- response building included,
+    // final string serialization and delivery excluded (those are
+    // covered by the scheduler's run/queue histograms and are
+    // microseconds against search milliseconds).
+    if (trace)
+        trace->endRoot();
+    const std::uint64_t total_ns =
+        (clock.nowNs() - t0) + queue_wait_ns;
+    const JsonValue *okv = resp.get("ok");
+    const bool ok = okv && okv->isBool() && okv->asBool();
+    if (metrics_) {
+        if (Histogram *h = opHistogram(op))
+            h->record(total_ns);
+        if (!ok)
+            errors_->inc();
+    }
+    if (trace && want_trace)
+        resp.set("trace", trace->toJson());
+
+    if (trace && cfg_.slow_request_ms > 0 &&
+        total_ns / 1000000 >= cfg_.slow_request_ms) {
+        JsonValue entry = JsonValue::object();
+        entry.set("slow_request", JsonValue::boolean(true));
+        entry.set("op", JsonValue::string(op));
+        if (id)
+            entry.set("id", *id);
+        entry.set("ms", JsonValue::number(double(total_ns) / 1e6));
+        entry.set("queue_wait_ms",
+                  JsonValue::number(double(queue_wait_ns) / 1e6));
+        entry.set("ok", JsonValue::boolean(ok));
+        entry.set("trace", trace->toJson());
+        writeObsLine(entry);
+    }
     return resp.serialize();
 }
 
@@ -116,12 +357,13 @@ ServeSession::handleLine(const std::string &line)
  * stats, save_cache, shutdown) are handled inline.
  */
 JsonValue
-ServeSession::handleParsed(const JsonValue &req)
+ServeSession::handleParsed(const JsonValue &req, Trace *trace)
 {
     const JsonValue *opv = req.get("op");
     std::string op =
         opv && opv->isString() ? opv->asString() : std::string();
     JsonValue resp = JsonValue::object();
+    const SpanRef root{trace, Trace::kRoot};
 
     if (op == "ping") {
         resp.set("ok", JsonValue::boolean(true));
@@ -132,9 +374,7 @@ ServeSession::handleParsed(const JsonValue &req)
         resp.set("ok", JsonValue::boolean(true));
         resp.set("version", JsonValue::number(double(kApiVersion)));
         JsonValue ops = JsonValue::array();
-        for (const char *name :
-             {"ping", "capabilities", "evaluate", "search", "sweep",
-              "network", "stats", "health", "save_cache", "shutdown"})
+        for (const char *name : kOps)
             ops.push(JsonValue::string(name));
         resp.set("ops", std::move(ops));
         // Clients discover HOW they are connected and what the
@@ -167,23 +407,49 @@ ServeSession::handleParsed(const JsonValue &req)
         return resp;
     }
 
-    if (op == "evaluate")
-        return responseJson(
-            service_.evaluate(decodeRequestJson<EvaluateRequest>(req)));
+    if (op == "evaluate") {
+        EvaluateRequest er;
+        {
+            SpanScope decode(root, "decode");
+            er = decodeRequestJson<EvaluateRequest>(req);
+        }
+        EvaluateResponse r = service_.evaluate(er, root);
+        SpanScope serialize(root, "serialize");
+        return responseJson(r);
+    }
 
     if (op == "search") {
-        SearchRequest sr = decodeRequestJson<SearchRequest>(req);
-        return responseJson(sr, service_.search(sr));
+        SearchRequest sr;
+        {
+            SpanScope decode(root, "decode");
+            sr = decodeRequestJson<SearchRequest>(req);
+        }
+        SearchResponse r = service_.search(sr, root);
+        SpanScope serialize(root, "serialize");
+        return responseJson(sr, r);
     }
 
     if (op == "sweep") {
-        SweepRequest sr = decodeRequestJson<SweepRequest>(req);
-        return responseJson(sr, service_.sweep(sr));
+        SweepRequest sr;
+        {
+            SpanScope decode(root, "decode");
+            sr = decodeRequestJson<SweepRequest>(req);
+        }
+        SweepResponse r = service_.sweep(sr, root);
+        SpanScope serialize(root, "serialize");
+        return responseJson(sr, r);
     }
 
-    if (op == "network")
-        return responseJson(
-            service_.network(decodeRequestJson<NetworkRequest>(req)));
+    if (op == "network") {
+        NetworkRequest nr;
+        {
+            SpanScope decode(root, "decode");
+            nr = decodeRequestJson<NetworkRequest>(req);
+        }
+        NetworkResponse r = service_.network(nr, root);
+        SpanScope serialize(root, "serialize");
+        return responseJson(r);
+    }
 
     if (op == "stats") {
         EvalService::Stats s = service_.stats();
@@ -242,6 +508,31 @@ ServeSession::handleParsed(const JsonValue &req)
         robustness.set("uptime_ms",
                        JsonValue::number(double(uptimeMs())));
         resp.set("robustness", std::move(robustness));
+        // Latency quantiles per op, from the same histograms the
+        // metrics op exposes; ops with no traffic are omitted.
+        if (metrics_) {
+            JsonValue latency = JsonValue::object();
+            for (const char *name : kOps) {
+                Histogram::Snapshot snap =
+                    op_hist_.at(name)->snapshot();
+                if (snap.total() == 0)
+                    continue;
+                JsonValue row = JsonValue::object();
+                row.set("count",
+                        JsonValue::number(double(snap.total())));
+                row.set("p50_ms",
+                        JsonValue::number(
+                            double(snap.quantileNs(0.50)) / 1e6));
+                row.set("p95_ms",
+                        JsonValue::number(
+                            double(snap.quantileNs(0.95)) / 1e6));
+                row.set("p99_ms",
+                        JsonValue::number(
+                            double(snap.quantileNs(0.99)) / 1e6));
+                latency.set(name, std::move(row));
+            }
+            resp.set("latency", std::move(latency));
+        }
         // The serving layer (NetServer) appends its "connections"
         // and "queue" sections here.  Snapshot under hooks_mu_, call
         // outside it: the hook takes the scheduler's lock internally.
@@ -259,6 +550,29 @@ ServeSession::handleParsed(const JsonValue &req)
         std::function<std::string()> hook = healthHook();
         resp.set("status", JsonValue::string(hook ? hook() : "ok"));
         resp.set("uptime_ms", JsonValue::number(double(uptimeMs())));
+        // Probes watch tail latency without scraping: search p99
+        // from the same histogram the metrics op exposes (0 before
+        // any search completed).
+        if (metrics_) {
+            Histogram::Snapshot snap =
+                op_hist_.at("search")->snapshot();
+            resp.set("p99_ms",
+                     JsonValue::number(
+                         snap.total() > 0
+                             ? double(snap.quantileNs(0.99)) / 1e6
+                             : 0.0));
+        }
+        return resp;
+    }
+
+    if (op == "metrics") {
+        fatalIf(!metrics_,
+                "metrics are disabled on this session (--no-observe)");
+        resp.set("ok", JsonValue::boolean(true));
+        resp.set("content_type",
+                 JsonValue::string("text/plain; version=0.0.4"));
+        resp.set("body",
+                 JsonValue::string(metrics_->renderPrometheus()));
         return resp;
     }
 
@@ -281,9 +595,10 @@ ServeSession::handleParsed(const JsonValue &req)
         return resp;
     }
 
-    fatal("unknown op '" + op +
-          "' (ping, capabilities, evaluate, search, sweep, network, "
-          "stats, health, save_cache, shutdown)");
+    std::string known;
+    for (const char *name : kOps)
+        known += std::string(known.empty() ? "" : ", ") + name;
+    fatal("unknown op '" + op + "' (" + known + ")");
 }
 
 std::function<void(JsonValue &)>

@@ -15,8 +15,15 @@
  *   network                 arch+network|layers -> totals+per-layer
  *   stats                   session counters (models, caches, store)
  *   health                  ok/degraded/overloaded + uptime_ms
+ *   metrics                 Prometheus text exposition of the session
  *   save_cache              persist the cache store now
  *   shutdown                save (if configured) and stop
+ *
+ * Any request may carry `"trace": true` (a transport key, like "op"
+ * and "id"): the response gains a "trace" span tree showing where the
+ * request's time went.  Non-semantic by construction -- trace lives
+ * outside every request's field list, so requestFingerprint() and
+ * ResultCache behavior are untouched.
  *
  * Request bodies are decoded by the declarative api/ layer
  * (requests.hpp + codec.hpp): one canonical schema shared with the
@@ -45,11 +52,17 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
+#include <map>
+#include <memory>
 #include <string>
 
 #include "common/annotations.hpp"
 #include "mapper/cache_store.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/eval_service.hpp"
 #include "api/json.hpp"
 
@@ -103,6 +116,29 @@ struct ServeConfig
      *  long (ms; 0 disables).  Enforced by RequestScheduler via
      *  NetServer; sheds carry retry_after_ms. */
     std::uint64_t shed_queue_wait_ms = 0;
+
+    /** Observability master switch: when true (the default) the
+     *  session owns a MetricsRegistry -- per-op latency histograms,
+     *  cache/pool/fault gauges, the `metrics` op -- and the serving
+     *  layer adds queue/connection metrics to it.  The overhead of
+     *  recording-but-never-querying is bounded by a bench gate
+     *  (bench_serve_concurrency); false removes even that, for the
+     *  overhead bench's baseline. */
+    bool observe = true;
+
+    /** Log any request slower than this (ms; 0 disables) as one
+     *  JSONL object -- op, id, total/queue-wait ms, ok, and the full
+     *  span tree (arming this traces EVERY request so offenders come
+     *  with their breakdown attached). */
+    std::uint64_t slow_request_ms = 0;
+
+    /** Slow-request log destination (append); empty = stderr. */
+    std::string obs_log;
+
+    /** Injectable time source for request timing, the slow-request
+     *  gate and traces (nullptr = steady clock).  Tests drive a
+     *  ManualClock so "slow" requests need no sleeping. */
+    const Clock *clock = nullptr;
 };
 
 /** Counters behind the stats op's "robustness" section.  Atomics:
@@ -131,6 +167,7 @@ class ServeSession
 {
   public:
     explicit ServeSession(ServeConfig cfg = {});
+    ~ServeSession();
 
     /**
      * Handle one request line; returns exactly one serialized JSON
@@ -138,6 +175,15 @@ class ServeSession
      * call concurrently.
      */
     std::string handleLine(const std::string &line);
+
+    /**
+     * As above, with the scheduler-measured queue wait (ns) folded
+     * into the request's recorded latency and, when tracing, the
+     * trace's queue_wait span.  The plain overload passes 0 (stdio
+     * serving has no admission queue).
+     */
+    std::string handleLine(const std::string &line,
+                           std::uint64_t queue_wait_ns);
 
     /** True once a shutdown request was handled. */
     bool shutdownRequested() const
@@ -186,6 +232,12 @@ class ServeSession
      *  session itself bumps deadline_exceeded. */
     RobustnessCounters &robustness() { return robustness_; }
 
+    /** The session's metrics registry, or nullptr when observability
+     *  is off (ServeConfig::observe).  The serving layer registers
+     *  its queue/connection metrics here (and must remove() callback
+     *  series referencing itself before it dies). */
+    MetricsRegistry *metrics() { return metrics_.get(); }
+
     /** The session's configuration (read-only after construction). */
     const ServeConfig &config() const { return cfg_; }
 
@@ -193,7 +245,20 @@ class ServeSession
     EvalService &service() { return service_; }
 
   private:
-    JsonValue handleParsed(const JsonValue &req);
+    JsonValue handleParsed(const JsonValue &req, Trace *trace);
+
+    /** Register the session-level metric families (ctor, when
+     *  ServeConfig::observe). */
+    void registerMetrics();
+
+    /** Per-op latency histogram, or nullptr (unknown op / metrics
+     *  off).  The map is built in the constructor and read-only
+     *  afterwards, so concurrent lookups need no lock. */
+    Histogram *opHistogram(const std::string &op) const;
+
+    /** Append one JSONL line to the slow-request sink (obs_log file
+     *  or stderr), serialized by obs_mu_. */
+    void writeObsLine(const JsonValue &entry);
 
     /** Thread-safe snapshot of stats_hook_ (may be empty). */
     std::function<void(JsonValue &)> statsHook() const;
@@ -223,6 +288,16 @@ class ServeSession
     std::function<std::string()> health_hook_ GUARDED_BY(hooks_mu_);
     RobustnessCounters robustness_;
     std::chrono::steady_clock::time_point started_;
+
+    /** Observability state.  The registry outlives every consumer of
+     *  its entries within the session; its gauge callbacks capture
+     *  `this` and run only inside handleLine (renderPrometheus), so
+     *  member destruction order never races them. */
+    std::unique_ptr<MetricsRegistry> metrics_;
+    std::map<std::string, Histogram *> op_hist_; ///< Read-only post-ctor.
+    Counter *errors_ = nullptr; ///< ok:false responses.
+    Mutex obs_mu_;              ///< Serializes slow-log writes.
+    std::FILE *obs_file_ GUARDED_BY(obs_mu_) = nullptr;
 };
 
 /**

@@ -1,0 +1,15 @@
+// Fixture: seeded metric-naming violations.  Line numbers matter to
+// the self-test in test_lint_invariants.cpp.
+
+void
+registerFixtureMetrics(MetricsRegistry &reg)
+{
+    // Fine: contract-conforming name and help (must NOT fire).
+    reg.counter("ploop_good_total", "A well-named counter.");
+    // Violation (line 10): name lacks the ploop_ prefix.
+    reg.counter("requests_total", "Counts requests.");
+    // Violation (line 12): uppercase breaks ^ploop_[a-z0-9_]+$.
+    reg.gauge("ploop_queueDepth", "Queued lines.", [] { return 0.0; });
+    // Violation (line 14): empty help text.
+    reg.histogram("ploop_latency_seconds", "");
+}

@@ -228,6 +228,32 @@ TEST(ApiFingerprint, InvariantToThreadsAndKeyOrder)
               fp);
 }
 
+TEST(ApiFingerprint, TraceTransportKeyNeverChangesIt)
+{
+    // `trace` rides the transport next to op/id: requesting a span
+    // tree must not change WHAT is computed, so a traced request and
+    // its untraced twin share one ResultCache slot by construction
+    // -- the key is stripped before decoding, like op and id.
+    SearchRequest req = sampleSearch();
+    JsonValue encoded = encodeRequestJson(req);
+    std::uint64_t fp =
+        requestFingerprint(decodeRequestJson<SearchRequest>(encoded));
+
+    JsonValue traced = encoded;
+    traced.set("op", JsonValue::string("search"));
+    traced.set("id", JsonValue::number(12));
+    traced.set("trace", JsonValue::boolean(true));
+    EXPECT_EQ(requestFingerprint(
+                  decodeRequestJson<SearchRequest>(traced)),
+              fp);
+
+    JsonValue untraced = encoded;
+    untraced.set("trace", JsonValue::boolean(false));
+    EXPECT_EQ(requestFingerprint(
+                  decodeRequestJson<SearchRequest>(untraced)),
+              fp);
+}
+
 TEST(ApiFingerprint, SemanticFieldsChangeIt)
 {
     SearchRequest req = sampleSearch();

@@ -147,4 +147,29 @@ TEST(LintInvariants, HandRolledErrorResponseFires)
         << r.output;
 }
 
+TEST(LintInvariants, MetricNamingFires)
+{
+    REQUIRE_PYTHON();
+    RunResult r = runLinter(fixtureRoot("metric_naming"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("metric-naming"), std::string::npos)
+        << r.output;
+    // The unprefixed name (line 10), the uppercase name (line 12)
+    // and the empty help (line 14).
+    EXPECT_NE(r.output.find("src/obs/bad_metrics.cpp:10"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("src/obs/bad_metrics.cpp:12"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("src/obs/bad_metrics.cpp:14"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("empty help"), std::string::npos)
+        << r.output;
+    // The contract-conforming registration must NOT fire.
+    EXPECT_EQ(r.output.find("ploop_good_total"), std::string::npos)
+        << r.output;
+}
+
 } // namespace

@@ -113,7 +113,7 @@ TEST(RequestScheduler, RoundRobinAcrossConnections)
     std::vector<std::uint64_t> order;
     RequestScheduler sched(
         pool,
-        [&](std::uint64_t conn, const std::string &) {
+        [&](std::uint64_t conn, const std::string &, std::uint64_t) {
             order.push_back(conn);
             return std::string("r");
         },
@@ -142,7 +142,7 @@ TEST(RequestScheduler, PerConnectionResponsesStayInRequestOrder)
     ThreadPool &pool = ThreadPool::forThreads(1);
     RequestScheduler sched(
         pool,
-        [&](std::uint64_t, const std::string &line) {
+        [&](std::uint64_t, const std::string &line, std::uint64_t) {
             return "resp:" + line;
         },
         [] {}, RequestScheduler::Config{64, 0});
@@ -164,7 +164,9 @@ TEST(RequestScheduler, BackpressureAtMaxQueue)
 {
     ThreadPool &pool = ThreadPool::forThreads(1);
     RequestScheduler sched(
-        pool, [](std::uint64_t, const std::string &) { return ""; },
+        pool, [](std::uint64_t, const std::string &, std::uint64_t) {
+            return "";
+        },
         [] {}, RequestScheduler::Config{2, 0});
 
     EXPECT_EQ(sched.submit(1, "a"), RequestScheduler::Admit::Ok);
@@ -196,7 +198,7 @@ TEST(RequestScheduler, DroppedConnectionDiscardsQueuedAndInflight)
     bool release = false, started = false;
     RequestScheduler sched(
         pool,
-        [&](std::uint64_t, const std::string &) {
+        [&](std::uint64_t, const std::string &, std::uint64_t) {
             std::unique_lock<std::mutex> lock(mu);
             started = true;
             cv.notify_all();
@@ -678,7 +680,7 @@ TEST(RequestScheduler, ShedsWhenOldestQueuedWaitExceedsBound)
     cfg.shed_queue_wait_ms = 50;
     RequestScheduler sched(
         pool,
-        [&](std::uint64_t, const std::string &) {
+        [&](std::uint64_t, const std::string &, std::uint64_t) {
             std::unique_lock<std::mutex> lock(mu);
             started = true;
             cv.notify_all();

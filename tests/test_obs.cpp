@@ -1,0 +1,505 @@
+/** @file Tests for the observability layer: histogram bucketing and
+ *  deterministic quantiles, snapshot merging, the allocation-free
+ *  record() hot path, the metrics registry's Prometheus rendering,
+ *  and the per-request trace span tree under a ManualClock. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+// ------------------------------------------------- allocation counter
+//
+// Global operator new/delete replacements that tally every heap
+// allocation in the test binary, so RecordIsAllocationFree can assert
+// the histogram hot path never touches the allocator.  The
+// replacements delegate to malloc/free (and posix_memalign for the
+// over-aligned variants), which keeps the sanitizer lanes' malloc
+// interceptors in the loop.
+
+namespace {
+// Constant-initialized: safe to bump from any static initializer.
+std::atomic<std::uint64_t> g_heap_allocs{0};
+} // namespace
+
+void *
+operator new(std::size_t n)
+{
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return ::operator new(n);
+}
+
+void *
+operator new(std::size_t n, std::align_val_t align)
+{
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    void *p = nullptr;
+    if (posix_memalign(&p, std::size_t(align) < sizeof(void *)
+                               ? sizeof(void *)
+                               : std::size_t(align),
+                       n ? n : 1) != 0)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t n, std::align_val_t align)
+{
+    return ::operator new(n, align);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+namespace ploop {
+namespace {
+
+// ----------------------------------------------------------- buckets
+
+TEST(Histogram, BucketBoundariesArePowersOfTwo)
+{
+    EXPECT_EQ(Histogram::bucketUpperNs(0), 1024u);
+    EXPECT_EQ(Histogram::bucketUpperNs(1), 2048u);
+    EXPECT_EQ(Histogram::bucketUpperNs(Histogram::kBuckets - 1),
+              std::uint64_t(1024) << (Histogram::kBuckets - 1));
+
+    // A bucket's range is (previous upper, upper]: the boundary value
+    // itself lands in the lower bucket, boundary + 1 in the next.
+    EXPECT_EQ(Histogram::bucketFor(0), 0u);
+    EXPECT_EQ(Histogram::bucketFor(1), 0u);
+    EXPECT_EQ(Histogram::bucketFor(1024), 0u);
+    EXPECT_EQ(Histogram::bucketFor(1025), 1u);
+    EXPECT_EQ(Histogram::bucketFor(2048), 1u);
+    EXPECT_EQ(Histogram::bucketFor(2049), 2u);
+
+    std::uint64_t top =
+        Histogram::bucketUpperNs(Histogram::kBuckets - 1);
+    EXPECT_EQ(Histogram::bucketFor(top), Histogram::kBuckets - 1);
+    // Past the largest finite bound: the overflow bucket.
+    EXPECT_EQ(Histogram::bucketFor(top + 1), Histogram::kBuckets);
+    EXPECT_EQ(Histogram::bucketFor(UINT64_MAX), Histogram::kBuckets);
+}
+
+TEST(Histogram, RecordCountsIntoTheRightBucket)
+{
+    Histogram h;
+    h.record(100);     // bucket 0
+    h.record(1024);    // bucket 0
+    h.record(1025);    // bucket 1
+    h.record(5000000); // 5 ms -> bucket 13 (upper 8.388608 ms)
+    Histogram::Snapshot s = h.snapshot();
+    EXPECT_EQ(s.counts[0], 2u);
+    EXPECT_EQ(s.counts[1], 1u);
+    EXPECT_EQ(s.counts[Histogram::bucketFor(5000000)], 1u);
+    EXPECT_EQ(s.total(), 4u);
+    EXPECT_EQ(s.sum_ns, 100u + 1024u + 1025u + 5000000u);
+}
+
+// --------------------------------------------------------- quantiles
+
+TEST(Histogram, QuantilesAreExactOnKnownSequences)
+{
+    // 100 fast values (bucket 0) and one slow outlier near 1 s
+    // (bucket 20, upper 2^30 ns): the quantile at any rank <= 100 is
+    // bucket 0's upper bound; only rank 101 reaches the outlier.
+    Histogram h;
+    for (int i = 0; i < 100; ++i)
+        h.record(1000);
+    h.record(1000000000);
+    Histogram::Snapshot s = h.snapshot();
+    ASSERT_EQ(s.total(), 101u);
+    EXPECT_EQ(s.quantileNs(0.50), 1024u); // rank 51
+    EXPECT_EQ(s.quantileNs(0.95), 1024u); // rank 96
+    EXPECT_EQ(s.quantileNs(0.99), 1024u); // rank 100
+    EXPECT_EQ(s.quantileNs(1.00),         // rank 101: the outlier
+              Histogram::bucketUpperNs(Histogram::bucketFor(
+                  1000000000)));
+
+    // An even split across two buckets: p50's rank lands exactly on
+    // the last value of the lower bucket.
+    Histogram h2;
+    for (int i = 0; i < 10; ++i)
+        h2.record(1000); // bucket 0
+    for (int i = 0; i < 10; ++i)
+        h2.record(3000); // bucket 2 (upper 4096)
+    Histogram::Snapshot s2 = h2.snapshot();
+    EXPECT_EQ(s2.quantileNs(0.50), 1024u); // rank 10
+    EXPECT_EQ(s2.quantileNs(0.51), 4096u); // rank 11
+}
+
+TEST(Histogram, QuantileOfEmptySnapshotIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.snapshot().quantileNs(0.99), 0u);
+}
+
+TEST(Histogram, OverflowBucketSaturatesAtLargestFiniteBound)
+{
+    Histogram h;
+    h.record(UINT64_MAX / 2);
+    EXPECT_EQ(h.snapshot().quantileNs(1.0),
+              Histogram::bucketUpperNs(Histogram::kBuckets - 1));
+}
+
+// ------------------------------------------------------------- merge
+
+TEST(Histogram, MergeIsAssociativeAndCommutative)
+{
+    Histogram ha, hb, hc;
+    for (int i = 0; i < 7; ++i)
+        ha.record(std::uint64_t(i) * 997);
+    for (int i = 0; i < 11; ++i)
+        hb.record(std::uint64_t(i) * 131071);
+    for (int i = 0; i < 3; ++i)
+        hc.record(std::uint64_t(1) << (20 + i));
+    Histogram::Snapshot a = ha.snapshot();
+    Histogram::Snapshot b = hb.snapshot();
+    Histogram::Snapshot c = hc.snapshot();
+
+    Histogram::Snapshot ab_c = a; // (a + b) + c
+    ab_c.merge(b);
+    ab_c.merge(c);
+    Histogram::Snapshot bc = b; // a + (b + c)
+    bc.merge(c);
+    Histogram::Snapshot a_bc = a;
+    a_bc.merge(bc);
+    Histogram::Snapshot ba = b; // b + a, for commutativity
+    ba.merge(a);
+    Histogram::Snapshot ab = a;
+    ab.merge(b);
+
+    EXPECT_EQ(ab_c.counts, a_bc.counts);
+    EXPECT_EQ(ab_c.sum_ns, a_bc.sum_ns);
+    EXPECT_EQ(ab.counts, ba.counts);
+    EXPECT_EQ(ab.sum_ns, ba.sum_ns);
+    EXPECT_EQ(ab_c.total(), a.total() + b.total() + c.total());
+    // Merged quantiles are a pure function of the combined multiset.
+    EXPECT_EQ(ab_c.quantileNs(0.95), a_bc.quantileNs(0.95));
+}
+
+// ---------------------------------------------------------- hot path
+
+TEST(Histogram, RecordIsAllocationFree)
+{
+    Histogram h;
+    h.record(1); // warm this thread's shard assignment
+    std::uint64_t before =
+        g_heap_allocs.load(std::memory_order_relaxed);
+    for (std::uint64_t i = 0; i < 10000; ++i)
+        h.record(i * 37);
+    std::uint64_t after =
+        g_heap_allocs.load(std::memory_order_relaxed);
+    EXPECT_EQ(after, before);
+    EXPECT_EQ(h.snapshot().total(), 10001u);
+}
+
+TEST(Histogram, ConcurrentRecordsAllLand)
+{
+    Histogram h;
+    constexpr int kThreads = 8;
+    constexpr std::uint64_t kPerThread = 20000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&h] {
+            for (std::uint64_t i = 0; i < kPerThread; ++i)
+                h.record(i);
+        });
+    for (std::thread &t : threads)
+        t.join();
+    Histogram::Snapshot s = h.snapshot();
+    EXPECT_EQ(s.total(), kThreads * kPerThread);
+    // Every thread recorded the same multiset, so the sum is exactly
+    // kThreads times one thread's arithmetic series.
+    EXPECT_EQ(s.sum_ns,
+              kThreads * (kPerThread * (kPerThread - 1) / 2));
+}
+
+// ---------------------------------------------------------- registry
+
+TEST(MetricsRegistry, ValidatesMetricNames)
+{
+    EXPECT_TRUE(validMetricName("ploop_requests_total"));
+    EXPECT_TRUE(validMetricName("ploop_p99"));
+    EXPECT_FALSE(validMetricName("ploop_"));
+    EXPECT_FALSE(validMetricName("requests_total"));
+    EXPECT_FALSE(validMetricName("ploop_Requests"));
+    EXPECT_FALSE(validMetricName("ploop_req-total"));
+    EXPECT_FALSE(validMetricName(""));
+
+    MetricsRegistry reg;
+    EXPECT_THROW(reg.counter("bad_name", "help"), FatalError);
+    EXPECT_THROW(reg.counter("ploop_ok", ""), FatalError);
+}
+
+TEST(MetricsRegistry, SameSeriesReturnsSameHandle)
+{
+    MetricsRegistry reg;
+    Counter &a = reg.counter("ploop_events_total", "Events.",
+                             {{"kind", "x"}});
+    Counter &b = reg.counter("ploop_events_total", "Events.",
+                             {{"kind", "x"}});
+    Counter &c = reg.counter("ploop_events_total", "Events.",
+                             {{"kind", "y"}});
+    EXPECT_EQ(&a, &b);
+    EXPECT_NE(&a, &c);
+    // Same name with a different shape is a programming error.
+    EXPECT_THROW(reg.histogram("ploop_events_total", "Events."),
+                 FatalError);
+}
+
+TEST(MetricsRegistry, RendersPrometheusText)
+{
+    MetricsRegistry reg;
+    Counter &errs = reg.counter("ploop_errors_total",
+                                "Requests answered with ok=false.");
+    errs.inc(3);
+    reg.gauge("ploop_queue_depth", "Queued request lines.",
+              [] { return 7.0; });
+    Histogram &lat = reg.histogram(
+        "ploop_request_latency_seconds",
+        "Wall time per request.", {{"op", "ping"}});
+    lat.record(1000);    // bucket 0 (le 1.024e-06 s)
+    lat.record(2000000); // 2 ms
+
+    std::string text = reg.renderPrometheus();
+    EXPECT_NE(text.find("# HELP ploop_errors_total Requests "
+                        "answered with ok=false.\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE ploop_errors_total counter\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("ploop_errors_total 3\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE ploop_queue_depth gauge\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("ploop_queue_depth 7\n"), std::string::npos);
+    EXPECT_NE(
+        text.find("# TYPE ploop_request_latency_seconds histogram"),
+        std::string::npos);
+    // Cumulative buckets in seconds; +Inf equals _count.
+    EXPECT_NE(text.find("ploop_request_latency_seconds_bucket{"
+                        "op=\"ping\",le=\"1.024e-06\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("ploop_request_latency_seconds_bucket{"
+                        "op=\"ping\",le=\"+Inf\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("ploop_request_latency_seconds_count{"
+                        "op=\"ping\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("ploop_request_latency_seconds_sum{"
+                        "op=\"ping\"} "),
+              std::string::npos);
+}
+
+TEST(MetricsRegistry, RemoveUnregistersCallbackSeries)
+{
+    MetricsRegistry reg;
+    std::uint64_t id = reg.gauge("ploop_live_gauge", "A gauge.",
+                                 [] { return 1.0; });
+    EXPECT_NE(reg.renderPrometheus().find("ploop_live_gauge 1"),
+              std::string::npos);
+    reg.remove(id);
+    EXPECT_EQ(reg.renderPrometheus().find("ploop_live_gauge"),
+              std::string::npos);
+    reg.remove(id); // double remove is harmless
+}
+
+TEST(MetricsRegistry, HistogramSnapshotByNameAndLabels)
+{
+    MetricsRegistry reg;
+    Histogram &h = reg.histogram("ploop_latency_seconds", "Latency.",
+                                 {{"op", "search"}});
+    h.record(1000);
+    EXPECT_EQ(reg.histogramSnapshot("ploop_latency_seconds",
+                                    {{"op", "search"}})
+                  .total(),
+              1u);
+    // Absent series and absent names read as empty, not errors.
+    EXPECT_EQ(reg.histogramSnapshot("ploop_latency_seconds",
+                                    {{"op", "ping"}})
+                  .total(),
+              0u);
+    EXPECT_EQ(reg.histogramSnapshot("ploop_nope", {}).total(), 0u);
+}
+
+// ------------------------------------------------------------- trace
+
+TEST(Trace, SpanTreeDurationsUnderManualClock)
+{
+    ManualClock clock(1000000);
+    Trace trace(&clock);
+
+    Trace::SpanId decode =
+        trace.begin("decode", Trace::kRoot);
+    clock.advanceNs(3000);
+    trace.end(decode);
+
+    Trace::SpanId exec = trace.begin("execute", Trace::kRoot);
+    Trace::SpanId round0 = trace.begin("round", exec, 0);
+    clock.advanceNs(10000);
+    trace.end(round0);
+    Trace::SpanId round1 = trace.begin("round", exec, 1);
+    clock.advanceNs(20000);
+    trace.end(round1);
+    trace.end(exec);
+    trace.endRoot();
+
+    EXPECT_EQ(trace.rootDurationNs(), 33000u);
+
+    JsonValue root = trace.toJson();
+    EXPECT_EQ(root.get("name")->asString(), "request");
+    EXPECT_DOUBLE_EQ(root.get("start_us")->asNumber(), 0.0);
+    EXPECT_DOUBLE_EQ(root.get("dur_us")->asNumber(), 33.0);
+    ASSERT_NE(root.get("children"), nullptr);
+    const auto &kids = root.get("children")->items();
+    ASSERT_EQ(kids.size(), 2u);
+    EXPECT_EQ(kids[0].get("name")->asString(), "decode");
+    EXPECT_DOUBLE_EQ(kids[0].get("dur_us")->asNumber(), 3.0);
+    EXPECT_EQ(kids[1].get("name")->asString(), "execute");
+    EXPECT_DOUBLE_EQ(kids[1].get("start_us")->asNumber(), 3.0);
+    EXPECT_DOUBLE_EQ(kids[1].get("dur_us")->asNumber(), 30.0);
+    const auto &rounds = kids[1].get("children")->items();
+    ASSERT_EQ(rounds.size(), 2u);
+    EXPECT_EQ(rounds[0].get("index")->asNumber(), 0.0);
+    EXPECT_EQ(rounds[1].get("index")->asNumber(), 1.0);
+    EXPECT_DOUBLE_EQ(rounds[1].get("dur_us")->asNumber(), 20.0);
+
+    // The sum invariant the protocol smoke also asserts: sibling
+    // durations under the root never exceed the root's duration.
+    double sum = 0.0;
+    for (const JsonValue &kid : kids)
+        sum += kid.get("dur_us")->asNumber();
+    EXPECT_LE(sum, root.get("dur_us")->asNumber());
+}
+
+TEST(Trace, BackdateAndSyntheticSpansCoverQueueWait)
+{
+    ManualClock clock(500000);
+    Trace trace(&clock);
+    // The scheduler measured 40 us of queue wait before the handler
+    // (and this Trace) existed: backdate the root and add the
+    // synthetic span the protocol layer would.
+    trace.backdateRootNs(40000);
+    std::uint64_t t0 = trace.nowNs();
+    trace.addSpan("queue_wait", Trace::kRoot, t0 - 40000, t0);
+    clock.advanceNs(2000);
+    trace.endRoot();
+    EXPECT_EQ(trace.rootDurationNs(), 42000u);
+
+    JsonValue root = trace.toJson();
+    const auto &kids = root.get("children")->items();
+    ASSERT_EQ(kids.size(), 1u);
+    EXPECT_EQ(kids[0].get("name")->asString(), "queue_wait");
+    EXPECT_DOUBLE_EQ(kids[0].get("start_us")->asNumber(), 0.0);
+    EXPECT_DOUBLE_EQ(kids[0].get("dur_us")->asNumber(), 40.0);
+}
+
+TEST(Trace, UnclosedSpanReportsZeroDuration)
+{
+    ManualClock clock;
+    Trace trace(&clock);
+    trace.begin("decode", Trace::kRoot);
+    clock.advanceNs(1000);
+    trace.endRoot();
+    JsonValue root = trace.toJson();
+    EXPECT_DOUBLE_EQ(root.get("children")
+                         ->items()[0]
+                         .get("dur_us")
+                         ->asNumber(),
+                     0.0);
+}
+
+TEST(Trace, InertSpanScopeIsHarmless)
+{
+    // The default SpanRef carries no trace: scopes and nested refs
+    // must all be no-ops, so instrumented code paths run untraced
+    // without any null checks of their own.
+    SpanRef none;
+    SpanScope outer(none, "execute");
+    SpanScope inner(outer.ref(), "round", 3);
+    EXPECT_EQ(inner.ref().trace, nullptr);
+}
+
+TEST(Trace, ConcurrentSpansFromWorkerThreads)
+{
+    ManualClock clock;
+    Trace trace(&clock);
+    Trace::SpanId exec = trace.begin("execute", Trace::kRoot);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t)
+        threads.emplace_back([&trace, exec, t] {
+            for (int i = 0; i < 100; ++i) {
+                SpanScope point(SpanRef{&trace, exec}, "point",
+                                t * 100 + i);
+            }
+        });
+    for (std::thread &t : threads)
+        t.join();
+    trace.end(exec);
+    trace.endRoot();
+    JsonValue root = trace.toJson();
+    EXPECT_EQ(root.get("children")
+                  ->items()[0]
+                  .get("children")
+                  ->items()
+                  .size(),
+              800u);
+}
+
+} // namespace
+} // namespace ploop

@@ -6,10 +6,12 @@
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <thread>
 
 #include "api/json.hpp"
+#include "obs/clock.hpp"
 #include "service/serve_session.hpp"
 
 namespace ploop {
@@ -705,6 +707,253 @@ TEST(ServeSession, HookInstallRacesWithStatsAndHealthOps)
 
     stop.store(true, std::memory_order_release);
     installer.join();
+}
+
+// ------------------------------------------------------ observability
+
+namespace {
+const char *kObsSearch =
+    "{\"op\":\"search\",\"id\":\"obs-1\","
+    "\"layer\":{\"name\":\"c\",\"k\":16,\"c\":16,\"p\":7,"
+    "\"q\":7,\"r\":3,\"s\":3},"
+    "\"options\":{\"random_samples\":10,"
+    "\"hill_climb_rounds\":2,\"seed\":3,\"threads\":1}}";
+} // namespace
+
+TEST(ServeSession, MetricsOpServesPrometheusText)
+{
+    ServeSession session;
+    ASSERT_TRUE(parseJson(session.handleLine(kObsSearch))
+                    ->get("ok")
+                    ->asBool());
+
+    std::optional<JsonValue> v = parseJson(
+        session.handleLine("{\"op\":\"metrics\",\"id\":9}"));
+    ASSERT_TRUE(v.has_value());
+    EXPECT_TRUE(v->get("ok")->asBool());
+    EXPECT_EQ(v->get("op")->asString(), "metrics");
+    EXPECT_EQ(v->get("id")->asNumber(), 9.0);
+    EXPECT_EQ(v->get("content_type")->asString(),
+              "text/plain; version=0.0.4");
+
+    std::string body = v->get("body")->asString();
+    // The ISSUE's required inventory: per-op latency, caches, pool,
+    // protection events -- with HELP/TYPE headers.
+    EXPECT_NE(body.find("# HELP ploop_request_latency_seconds"),
+              std::string::npos);
+    EXPECT_NE(body.find("# TYPE ploop_request_latency_seconds "
+                        "histogram"),
+              std::string::npos);
+    EXPECT_NE(body.find("ploop_request_latency_seconds_count{"
+                        "op=\"search\"} 1"),
+              std::string::npos);
+    EXPECT_NE(body.find("ploop_eval_cache_hits_total"),
+              std::string::npos);
+    EXPECT_NE(body.find("ploop_result_cache_entries"),
+              std::string::npos);
+    EXPECT_NE(body.find("ploop_thread_pool_size"),
+              std::string::npos);
+    EXPECT_NE(body.find("ploop_protection_events_total{"
+                        "kind=\"deadline_exceeded\"}"),
+              std::string::npos);
+    EXPECT_NE(body.find("ploop_uptime_seconds"), std::string::npos);
+
+    // The capabilities op advertises what just worked.
+    std::optional<JsonValue> caps = parseJson(
+        session.handleLine("{\"op\":\"capabilities\"}"));
+    bool has_metrics = false;
+    for (const JsonValue &op : caps->get("ops")->items())
+        has_metrics = has_metrics || op.asString() == "metrics";
+    EXPECT_TRUE(has_metrics);
+}
+
+TEST(ServeSession, ObserveOffDisablesMetricsNotServing)
+{
+    ServeConfig cfg;
+    cfg.observe = false;
+    ServeSession session(cfg);
+    EXPECT_TRUE(parseJson(session.handleLine("{\"op\":\"ping\"}"))
+                    ->get("ok")
+                    ->asBool());
+    std::optional<JsonValue> v =
+        parseJson(session.handleLine("{\"op\":\"metrics\"}"));
+    EXPECT_FALSE(v->get("ok")->asBool());
+    EXPECT_NE(v->get("error")->asString().find("--no-observe"),
+              std::string::npos);
+    // No histograms -> no latency/p99 sections, but the ops succeed.
+    std::optional<JsonValue> stats =
+        parseJson(session.handleLine("{\"op\":\"stats\"}"));
+    EXPECT_TRUE(stats->get("ok")->asBool());
+    EXPECT_EQ(stats->get("latency"), nullptr);
+    std::optional<JsonValue> health =
+        parseJson(session.handleLine("{\"op\":\"health\"}"));
+    EXPECT_TRUE(health->get("ok")->asBool());
+    EXPECT_EQ(health->get("p99_ms"), nullptr);
+}
+
+TEST(ServeSession, TraceAttachesSpanTreeWhenAsked)
+{
+    ServeSession session;
+
+    // Without the transport key: no trace in the response.
+    std::optional<JsonValue> plain =
+        parseJson(session.handleLine(kObsSearch));
+    ASSERT_TRUE(plain->get("ok")->asBool());
+    EXPECT_EQ(plain->get("trace"), nullptr);
+
+    // Same request with trace: the span tree rides along AND the
+    // result comes from the ResultCache -- `trace` is a transport
+    // key, so it cannot change the request fingerprint.
+    std::string traced_req = kObsSearch;
+    traced_req.insert(traced_req.size() - 1, ",\"trace\":true");
+    std::optional<JsonValue> traced =
+        parseJson(session.handleLine(traced_req));
+    ASSERT_TRUE(traced->get("ok")->asBool()) << traced->serialize();
+    EXPECT_TRUE(traced->get("from_result_cache")->asBool());
+    const JsonValue *root = traced->get("trace");
+    ASSERT_NE(root, nullptr);
+    EXPECT_EQ(root->get("name")->asString(), "request");
+
+    double root_dur = root->get("dur_us")->asNumber();
+    double child_sum = 0.0;
+    bool saw_parse = false, saw_decode = false, saw_execute = false,
+         saw_serialize = false;
+    for (const JsonValue &kid : root->get("children")->items()) {
+        std::string name = kid.get("name")->asString();
+        saw_parse = saw_parse || name == "parse";
+        saw_decode = saw_decode || name == "decode";
+        saw_execute = saw_execute || name == "execute";
+        saw_serialize = saw_serialize || name == "serialize";
+        child_sum += kid.get("dur_us")->asNumber();
+    }
+    EXPECT_TRUE(saw_parse);
+    EXPECT_TRUE(saw_decode);
+    EXPECT_TRUE(saw_execute);
+    EXPECT_TRUE(saw_serialize);
+    // Sibling phases are sequential sections of one request: their
+    // durations sum to at most the root's.
+    EXPECT_LE(child_sum, root_dur + 1e-9);
+
+    // A COLD traced search shows the execute breakdown.
+    std::string cold = traced_req;
+    std::size_t pos = cold.find("\"seed\":3");
+    ASSERT_NE(pos, std::string::npos);
+    cold.replace(pos, 8, "\"seed\":4");
+    std::optional<JsonValue> deep = parseJson(session.handleLine(cold));
+    ASSERT_TRUE(deep->get("ok")->asBool());
+    bool saw_phase = false;
+    for (const JsonValue &kid :
+         deep->get("trace")->get("children")->items()) {
+        if (kid.get("name")->asString() != "execute")
+            continue;
+        for (const JsonValue &inner : kid.get("children")->items()) {
+            std::string name = inner.get("name")->asString();
+            saw_phase = saw_phase || name == "seeds" ||
+                        name == "random_search" ||
+                        name == "hill_climb";
+        }
+    }
+    EXPECT_TRUE(saw_phase) << deep->get("trace")->serialize();
+
+    // The transport key is validated like everything else.
+    std::string bad = kObsSearch;
+    bad.insert(bad.size() - 1, ",\"trace\":\"yes\"");
+    std::optional<JsonValue> rejected =
+        parseJson(session.handleLine(bad));
+    EXPECT_FALSE(rejected->get("ok")->asBool());
+    EXPECT_NE(rejected->get("error")->asString().find("trace"),
+              std::string::npos);
+}
+
+TEST(ServeSession, HealthAndStatsReportLatencyQuantiles)
+{
+    ServeSession session;
+
+    // Before any search: p99_ms present but zero, latency omits
+    // untouched ops.
+    std::optional<JsonValue> health =
+        parseJson(session.handleLine("{\"op\":\"health\"}"));
+    ASSERT_NE(health->get("p99_ms"), nullptr);
+    EXPECT_EQ(health->get("p99_ms")->asNumber(), 0.0);
+
+    ASSERT_TRUE(parseJson(session.handleLine(kObsSearch))
+                    ->get("ok")
+                    ->asBool());
+
+    health = parseJson(session.handleLine("{\"op\":\"health\"}"));
+    EXPECT_GT(health->get("p99_ms")->asNumber(), 0.0);
+
+    std::optional<JsonValue> stats =
+        parseJson(session.handleLine("{\"op\":\"stats\"}"));
+    const JsonValue *latency = stats->get("latency");
+    ASSERT_NE(latency, nullptr);
+    const JsonValue *search = latency->get("search");
+    ASSERT_NE(search, nullptr);
+    EXPECT_EQ(search->get("count")->asNumber(), 1.0);
+    EXPECT_GT(search->get("p50_ms")->asNumber(), 0.0);
+    EXPECT_LE(search->get("p50_ms")->asNumber(),
+              search->get("p99_ms")->asNumber());
+    // No sweep ran: its row is omitted, not zero-filled.
+    EXPECT_EQ(latency->get("sweep"), nullptr);
+}
+
+TEST(ServeSession, SlowRequestLogUnderManualClock)
+{
+    std::string log_path =
+        ::testing::TempDir() + "ploop_obs_log.jsonl";
+    std::remove(log_path.c_str());
+
+    // Origin far from zero, like a real steady clock: the session
+    // clamps the backdated queue-admission time at 0, and a span
+    // that long predates the clock origin would be truncated.
+    ManualClock clock(2'000'000'000);
+    ServeConfig cfg;
+    cfg.slow_request_ms = 10;
+    cfg.obs_log = log_path;
+    cfg.clock = &clock;
+    {
+        ServeSession session(cfg);
+        // Fast request: under the threshold, no log line.
+        EXPECT_TRUE(parseJson(session.handleLine("{\"op\":\"ping\"}"))
+                        ->get("ok")
+                        ->asBool());
+        // 50 ms of scheduler-measured queue wait pushes the total
+        // over the 10 ms threshold even though handling itself takes
+        // zero manual-clock time.
+        EXPECT_TRUE(
+            parseJson(session.handleLine(
+                          "{\"op\":\"ping\",\"id\":\"slow-9\"}",
+                          50'000'000))
+                ->get("ok")
+                ->asBool());
+    }
+
+    std::ifstream in(log_path);
+    ASSERT_TRUE(in.is_open());
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    std::optional<JsonValue> entry = parseJson(line);
+    ASSERT_TRUE(entry.has_value()) << line;
+    EXPECT_TRUE(entry->get("slow_request")->asBool());
+    EXPECT_EQ(entry->get("op")->asString(), "ping");
+    EXPECT_EQ(entry->get("id")->asString(), "slow-9");
+    EXPECT_TRUE(entry->get("ok")->asBool());
+    EXPECT_DOUBLE_EQ(entry->get("ms")->asNumber(), 50.0);
+    EXPECT_DOUBLE_EQ(entry->get("queue_wait_ms")->asNumber(), 50.0);
+    // The attached trace explains WHERE the time went: all of it in
+    // the queue_wait span, which the root covers via backdating.
+    const JsonValue *root = entry->get("trace");
+    ASSERT_NE(root, nullptr);
+    EXPECT_DOUBLE_EQ(root->get("dur_us")->asNumber(), 50000.0);
+    const auto &kids = root->get("children")->items();
+    ASSERT_FALSE(kids.empty());
+    EXPECT_EQ(kids[0].get("name")->asString(), "queue_wait");
+    EXPECT_DOUBLE_EQ(kids[0].get("start_us")->asNumber(), 0.0);
+    EXPECT_DOUBLE_EQ(kids[0].get("dur_us")->asNumber(), 50000.0);
+
+    // Exactly one offender, exactly one line.
+    EXPECT_FALSE(std::getline(in, line));
+    std::remove(log_path.c_str());
 }
 
 } // namespace

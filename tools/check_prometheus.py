@@ -1,0 +1,271 @@
+#!/usr/bin/env python3
+"""Strict Prometheus text-exposition checker for the metrics op.
+
+Reads an exposition body (file argument, or stdin) and enforces the
+format contract the `metrics` op promises -- strictly enough that a
+regression in the renderer fails CI rather than a scrape three tools
+downstream:
+
+  * every sample is preceded by its family's `# HELP` (non-empty) and
+    `# TYPE` (counter | gauge | histogram) lines, in that order, and
+    belongs to the family declared by the nearest header (samples of
+    one family are contiguous);
+  * family names match ^ploop_[a-z0-9_]+$ (the project naming
+    contract; see tools/lint_invariants.py rule metric-naming);
+  * histogram samples use only the _bucket/_sum/_count suffixes;
+    counter and gauge samples use the bare family name;
+  * no duplicate series (same sample name + label set);
+  * label values are well-formed (balanced quotes, known escapes);
+  * every value parses as a finite number; counters and bucket
+    counts are non-negative;
+  * per histogram series: le bounds strictly increase, cumulative
+    bucket counts never decrease, the +Inf bucket is present and
+    equals _count, and _sum/_count are present exactly once.
+
+`--require NAME` (repeatable) additionally demands that family be
+present -- the smoke uses it to pin the required metric inventory.
+
+Exit 0 and a one-line summary on success; one `line N: message` per
+violation and exit 1 otherwise.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+FAMILY_NAME = re.compile(r"^ploop_[a-z0-9_]+$")
+TYPES = ("counter", "gauge", "histogram")
+HIST_SUFFIXES = ("_bucket", "_sum", "_count")
+
+SAMPLE = re.compile(
+    r"^([A-Za-z_:][A-Za-z0-9_:]*)"  # sample name
+    r"(?:\{(.*)\})?"                # optional label block
+    r" (\S+)"                       # value
+    r"(?: \d+)?$")                  # optional timestamp
+
+LABEL = re.compile(r'([A-Za-z_][A-Za-z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_labels(block, errors, lineno):
+    """The label block as a sorted tuple of (name, value) pairs, or
+    None when malformed."""
+    if block is None or block == "":
+        return ()
+    pos, labels = 0, []
+    while pos < len(block):
+        m = LABEL.match(block, pos)
+        if not m:
+            errors.append("line %d: malformed label block at '%s'"
+                          % (lineno, block[pos:pos + 20]))
+            return None
+        labels.append((m.group(1), m.group(2)))
+        pos = m.end()
+        if pos < len(block):
+            if block[pos] != ",":
+                errors.append("line %d: expected ',' between labels"
+                              % lineno)
+                return None
+            pos += 1
+    return tuple(sorted(labels))
+
+
+def parse_value(text, errors, lineno):
+    try:
+        v = float(text)
+    except ValueError:
+        errors.append("line %d: unparseable value '%s'"
+                      % (lineno, text))
+        return None
+    if math.isnan(v) or math.isinf(v):
+        errors.append("line %d: non-finite sample value '%s'"
+                      % (lineno, text))
+        return None
+    return v
+
+
+def check(text, required):
+    errors = []
+    helps = {}    # family -> help text
+    types = {}    # family -> type
+    current = None
+    seen_series = set()
+    # histogram family -> base labelset -> {"buckets": [(le, v)...],
+    #                                       "sum": v|None, "count": v|None}
+    histograms = {}
+
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        if raw.strip() == "":
+            errors.append("line %d: blank line in exposition"
+                          % lineno)
+            continue
+        if raw.startswith("#"):
+            m = re.match(r"^# (HELP|TYPE) (\S+)(?: (.*))?$", raw)
+            if not m:
+                errors.append("line %d: malformed comment line"
+                              % lineno)
+                continue
+            kind, family, rest = m.group(1), m.group(2), m.group(3)
+            if not FAMILY_NAME.match(family):
+                errors.append(
+                    "line %d: family '%s' violates the naming "
+                    "contract (^ploop_[a-z0-9_]+$)"
+                    % (lineno, family))
+            if kind == "HELP":
+                if family in helps:
+                    errors.append("line %d: duplicate HELP for '%s'"
+                                  % (lineno, family))
+                if not (rest or "").strip():
+                    errors.append("line %d: empty HELP text for '%s'"
+                                  % (lineno, family))
+                helps[family] = rest or ""
+            else:
+                if family not in helps:
+                    errors.append(
+                        "line %d: TYPE for '%s' precedes its HELP"
+                        % (lineno, family))
+                if family in types:
+                    errors.append("line %d: duplicate TYPE for '%s'"
+                                  % (lineno, family))
+                if rest not in TYPES:
+                    errors.append(
+                        "line %d: TYPE '%s' for '%s' not one of %s"
+                        % (lineno, rest, family, "/".join(TYPES)))
+                types[family] = rest
+                current = family
+            continue
+
+        m = SAMPLE.match(raw)
+        if not m:
+            errors.append("line %d: malformed sample line: %s"
+                          % (lineno, raw[:60]))
+            continue
+        name, label_block, value_text = m.groups()
+        if current is None:
+            errors.append("line %d: sample before any TYPE header"
+                          % lineno)
+            continue
+        ftype = types.get(current)
+        if ftype == "histogram":
+            if not (name.startswith(current) and
+                    name[len(current):] in HIST_SUFFIXES):
+                errors.append(
+                    "line %d: sample '%s' does not belong to "
+                    "histogram family '%s'" % (lineno, name, current))
+                continue
+        elif name != current:
+            errors.append(
+                "line %d: sample '%s' does not belong to %s family "
+                "'%s' (samples must follow their header)"
+                % (lineno, name, ftype, current))
+            continue
+
+        labels = parse_labels(label_block, errors, lineno)
+        if labels is None:
+            continue
+        series = (name, labels)
+        if series in seen_series:
+            errors.append("line %d: duplicate series %s%s"
+                          % (lineno, name, dict(labels)))
+        seen_series.add(series)
+
+        value = parse_value(value_text, errors, lineno)
+        if value is None:
+            continue
+        if ftype in ("counter", "histogram") and value < 0:
+            errors.append("line %d: negative %s value in '%s'"
+                          % (lineno, ftype, name))
+
+        if ftype == "histogram":
+            base = tuple(kv for kv in labels if kv[0] != "le")
+            h = histograms.setdefault(current, {}).setdefault(
+                base, {"buckets": [], "sum": None, "count": None})
+            suffix = name[len(current):]
+            if suffix == "_bucket":
+                le = dict(labels).get("le")
+                if le is None:
+                    errors.append(
+                        "line %d: _bucket sample without le"
+                        % lineno)
+                    continue
+                bound = math.inf if le == "+Inf" else None
+                if bound is None:
+                    try:
+                        bound = float(le)
+                    except ValueError:
+                        errors.append(
+                            "line %d: unparseable le '%s'"
+                            % (lineno, le))
+                        continue
+                h["buckets"].append((bound, value, lineno))
+            elif suffix == "_sum":
+                h["sum"] = (value, lineno)
+            else:
+                h["count"] = (value, lineno)
+
+    for family, by_labels in sorted(histograms.items()):
+        for base, h in by_labels.items():
+            where = "%s%s" % (family, dict(base))
+            bounds = [b for b, _, _ in h["buckets"]]
+            if bounds != sorted(bounds) or len(set(bounds)) != len(
+                    bounds):
+                errors.append("histogram %s: le bounds not strictly "
+                              "increasing" % where)
+            counts = [v for _, v, _ in h["buckets"]]
+            if any(b > a for a, b in zip(counts[1:], counts)):
+                errors.append("histogram %s: cumulative bucket "
+                              "counts decrease" % where)
+            if not bounds or bounds[-1] != math.inf:
+                errors.append("histogram %s: missing +Inf bucket"
+                              % where)
+            if h["count"] is None:
+                errors.append("histogram %s: missing _count" % where)
+            if h["sum"] is None:
+                errors.append("histogram %s: missing _sum" % where)
+            if (h["count"] is not None and bounds and
+                    bounds[-1] == math.inf and
+                    counts[-1] != h["count"][0]):
+                errors.append(
+                    "histogram %s: +Inf bucket (%g) != _count (%g)"
+                    % (where, counts[-1], h["count"][0]))
+
+    for family in sorted(types):
+        if family not in helps:
+            errors.append("family '%s' has TYPE but no HELP" % family)
+    for family in required:
+        if family not in types:
+            errors.append("required family '%s' is absent" % family)
+
+    return errors, len(types), len(seen_series)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="strict Prometheus text-format checker")
+    parser.add_argument("file", nargs="?",
+                        help="exposition body (default: stdin)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="FAMILY",
+                        help="fail unless this family is present "
+                             "(repeatable)")
+    args = parser.parse_args()
+
+    if args.file:
+        with open(args.file, encoding="utf-8") as f:
+            text = f.read()
+    else:
+        text = sys.stdin.read()
+
+    errors, families, series = check(text, args.require)
+    for e in errors:
+        print("check_prometheus: %s" % e)
+    if errors:
+        print("check_prometheus: %d violation(s)" % len(errors))
+        return 1
+    print("check_prometheus: OK (%d families, %d series)"
+          % (families, series))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

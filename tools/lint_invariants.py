@@ -34,6 +34,13 @@ check them.  This linter does, as a ctest and a CI step:
                       hand-rolled {"ok":false,...} JSON -- hand-rolled
                       errors lose the op/id echo and the
                       code/retry_after_ms contract clients rely on.
+  metric-naming       every literal-named metric registration
+                      (counter/counterFn/gauge/histogram on a
+                      MetricsRegistry) must use a name matching
+                      ^ploop_[a-z0-9_]+$ and carry non-empty help
+                      text -- the registry fatal()s on violations at
+                      runtime, but only on code paths that run; this
+                      catches the series nobody exercised.
 
 Output: one `file:line: rule-name: message` per violation on stdout;
 exit status 1 when any fired, 0 on a clean tree.  `--root` points at
@@ -365,6 +372,43 @@ def check_error_response(root):
     return violations
 
 
+# A registration call with a LITERAL name (and help): method name,
+# then one-or-more adjacent string literals for the name, a comma,
+# and one-or-more adjacent literals for the help.  Variable-named
+# registrations are the registry's runtime fatal()'s job; literals
+# are checkable here, before any code runs.  counterFn precedes
+# counter so the alternation cannot split it.
+METRIC_CALL = re.compile(
+    r"\b(counterFn|counter|gauge|histogram)\(\s*"
+    r'("[^"]*"(?:\s*"[^"]*")*)\s*,\s*'
+    r'("[^"]*"(?:\s*"[^"]*")*)\s*[,)]')
+
+METRIC_NAME = re.compile(r"ploop_[a-z0-9_]+\Z")
+
+
+def check_metric_naming(root):
+    """metric-naming over src/ and tools/."""
+    violations = []
+    for path in sorted(source_files(root, ["src", "tools"])):
+        text = strip_comments(read(path))
+        for m in METRIC_CALL.finditer(text):
+            name = "".join(re.findall(r'"([^"]*)"', m.group(2)))
+            help_text = "".join(re.findall(r'"([^"]*)"', m.group(3)))
+            if not METRIC_NAME.match(name):
+                violations.append(Violation(
+                    relpath(root, path), line_of(text, m.start()),
+                    "metric-naming",
+                    "metric name '%s' violates the naming contract "
+                    "(^ploop_[a-z0-9_]+$)" % name))
+            if not help_text.strip():
+                violations.append(Violation(
+                    relpath(root, path), line_of(text, m.start()),
+                    "metric-naming",
+                    "metric '%s' is registered with empty help text"
+                    % name))
+    return violations
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="ploop project-invariant linter")
@@ -381,6 +425,7 @@ def main():
     violations += check_knob_dispatch(root)
     violations += check_raw_mutex(root)
     violations += check_error_response(root)
+    violations += check_metric_naming(root)
 
     for v in violations:
         print(v)

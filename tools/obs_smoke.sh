@@ -1,0 +1,212 @@
+#!/usr/bin/env bash
+# Observability smoke for ploop_serve.
+#
+#   obs_smoke.sh <ploop_serve binary> <ploop_client binary> [--chaos]
+#
+# Default mode, against the real binary over stdio at PLOOP_THREADS=1
+# and 4:
+#   1. a `trace: true` search returns a span tree whose root is
+#      "request", whose phases include decode/execute/serialize, and
+#      whose sibling durations sum to at most the root's duration
+#      (recursively);
+#   2. repeating the traced search is answered from the ResultCache:
+#      the trace transport key cannot change the request fingerprint;
+#   3. the metrics op returns a valid Prometheus exposition -- strict
+#      format check via check_prometheus.py -- covering the required
+#      inventory (per-op latency, caches, pool, protection events);
+#   4. health reports p99_ms and stats reports per-op latency rows;
+#   5. --slow-request-ms/--obs-log write a JSONL offender line with
+#      the trace attached.
+#
+# --chaos: the same server under deterministic fault injection
+# (PLOOP_FAULTS) behind a real socket; after a faulted client
+# session, a metrics scrape through the socket must still be strictly
+# valid and the ploop_faults_injected_total counters must be > 0 --
+# injected faults are OBSERVABLE, not just survivable.
+set -euo pipefail
+
+SERVE="$1"
+CLIENT="$2"
+CHAOS=0
+[ "${3:-}" = "--chaos" ] && CHAOS=1
+TOOLS_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+TMP="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+TAG="obs_smoke"
+[ "$CHAOS" -eq 1 ] && TAG="obs_smoke[chaos]"
+fail() { echo "$TAG: FAIL: $*" >&2; exit 1; }
+
+SEARCH='{"op":"search","id":1,"layer":{"name":"c","k":16,"c":16,"p":7,"q":7,"r":3,"s":3},"options":{"random_samples":12,"hill_climb_rounds":2,"seed":5}}'
+TRACED="${SEARCH%\}},\"trace\":true}"
+
+# Pull .body out of a metrics response line (stdin) as raw text.
+extract_body() {
+    python3 -c '
+import json, sys
+resp = json.loads(sys.stdin.readline())
+assert resp.get("ok") is True, resp
+sys.stdout.write(resp["body"])
+'
+}
+
+# Assert the span-tree contract on a traced response line (stdin):
+# root "request", required phases present, and every node's children
+# durations sum to at most the node's own duration.
+check_trace() { # expect_cached
+    python3 -c '
+import json, sys
+
+expect_cached = sys.argv[1] == "cached"
+resp = json.loads(sys.stdin.readline())
+assert resp.get("ok") is True, resp
+assert resp.get("from_result_cache") is expect_cached, resp
+root = resp["trace"]
+assert root["name"] == "request", root["name"]
+
+def walk(node):
+    kids = node.get("children", [])
+    total = sum(k["dur_us"] for k in kids)
+    assert total <= node["dur_us"] + 1e-6, (
+        "children of %r sum to %g > %g"
+        % (node["name"], total, node["dur_us"]))
+    names = {k["name"] for k in kids}
+    for k in kids:
+        walk(k)
+    return names
+
+phases = walk(root)
+for phase in ("decode", "execute", "serialize"):
+    assert phase in phases, "missing phase %r in %r" % (phase, phases)
+' "$1" || fail "trace contract violated (see assertion above)"
+}
+
+REQUIRED_FAMILIES=(
+    ploop_request_latency_seconds
+    ploop_request_errors_total
+    ploop_eval_cache_hits_total
+    ploop_result_cache_entries
+    ploop_thread_pool_size
+    ploop_thread_pool_active_workers
+    ploop_protection_events_total
+    ploop_uptime_seconds
+)
+
+check_exposition() { # body_file extra_require...
+    local body="$1"; shift
+    local args=()
+    for fam in "${REQUIRED_FAMILIES[@]}" "$@"; do
+        args+=(--require "$fam")
+    done
+    python3 "$TOOLS_DIR/check_prometheus.py" "$body" "${args[@]}" \
+        || fail "metrics exposition failed the strict checker"
+}
+
+stdio_pass() { # threads
+    local t="$1" out="$TMP/stdio_$1.out"
+    {
+        echo "$TRACED"
+        echo "$TRACED"
+        echo '{"op":"metrics","id":"m"}'
+        echo '{"op":"health","id":"h"}'
+        echo '{"op":"stats","id":"s"}'
+    } | PLOOP_THREADS="$t" "$SERVE" >"$out" 2>"$TMP/stdio_$t.err"
+    [ "$(wc -l <"$out")" -eq 5 ] || fail "threads=$t: expected 5 responses"
+
+    # 1+2: cold trace with the execute breakdown, then a warm repeat
+    # (the trace key must not perturb the fingerprint).
+    sed -n 1p "$out" | check_trace cold
+    sed -n 1p "$out" | grep -q '"name":"random_search"' \
+        || fail "threads=$t: cold trace lacks the search breakdown"
+    sed -n 2p "$out" | check_trace cached
+
+    # 3: strictly valid Prometheus text with the required inventory.
+    sed -n 3p "$out" | extract_body >"$TMP/metrics_$t.txt" \
+        || fail "threads=$t: metrics op failed"
+    check_exposition "$TMP/metrics_$t.txt"
+    grep -q 'ploop_request_latency_seconds_count{op="search"} 2' \
+        "$TMP/metrics_$t.txt" \
+        || fail "threads=$t: search latency count != 2 in scrape"
+
+    # 4: quantiles surface in health and stats.
+    sed -n 4p "$out" | grep -q '"p99_ms":' \
+        || fail "threads=$t: health lacks p99_ms"
+    sed -n 5p "$out" | grep -q '"latency":{.*"search":{"count":2' \
+        || fail "threads=$t: stats lacks the search latency row"
+}
+
+slow_log_pass() {
+    local log="$TMP/slow.jsonl"
+    # Heavy enough (~20 ms at one thread) that the 1 ms threshold is
+    # crossed with an order-of-magnitude margin even on a loaded
+    # runner; the tiny $SEARCH request answers in ~0.2 ms.
+    echo '{"op":"search","id":"heavy","layer":{"name":"c","k":64,"c":64,"p":28,"q":28,"r":3,"s":3},"options":{"random_samples":20000,"hill_climb_rounds":8,"seed":5}}' \
+        | "$SERVE" --slow-request-ms 1 --obs-log "$log" \
+        >/dev/null 2>&1 || fail "--slow-request-ms run failed"
+    [ -s "$log" ] || fail "slow-request log is empty"
+    grep -q '"slow_request":true' "$log" || fail "no offender line in $log"
+    grep -q '"op":"search"' "$log" || fail "offender line lost its op"
+    grep -q '"trace":{"name":"request"' "$log" \
+        || fail "offender line lacks its trace"
+}
+
+chaos_pass() {
+    local PORT_FILE="$TMP/port"
+    PLOOP_FAULTS="short_read=35,short_write=35,eintr=25,stall=20,seed=9" \
+        "$SERVE" --listen 0 --port-file "$PORT_FILE" \
+        2>"$TMP/server.err" &
+    SERVER_PID=$!
+    for i in $(seq 200); do [ -s "$PORT_FILE" ] && break; sleep 0.05; done
+    [ -s "$PORT_FILE" ] || fail "server never wrote its port file"
+    local PORT; PORT="$(cat "$PORT_FILE")"
+
+    # Enough faulted traffic to guarantee injections fire.
+    local REQS="$TMP/chaos_reqs.jsonl"
+    for seed in 5 6 7; do
+        echo '{"op":"search","id":'"$seed"',"layer":{"name":"c","k":16,"c":16,"p":7,"q":7,"r":3,"s":3},"options":{"random_samples":12,"hill_climb_rounds":2,"seed":'"$seed"'}}'
+    done >"$REQS"
+    "$CLIENT" --port "$PORT" --retries 5 --script "$REQS" \
+        >"$TMP/chaos_client.out" || fail "faulted client failed"
+
+    # A scrape THROUGH the faulted socket: still strictly valid, now
+    # with the serving-layer families, and the fault counters > 0.
+    echo '{"op":"metrics","id":"m"}' \
+        | "$CLIENT" --port "$PORT" --retries 5 \
+        | extract_body >"$TMP/chaos_metrics.txt" \
+        || fail "metrics scrape over the socket failed"
+    check_exposition "$TMP/chaos_metrics.txt" \
+        ploop_faults_injected_total \
+        ploop_connections_accepted_total \
+        ploop_connections_open \
+        ploop_queue_depth \
+        ploop_queue_wait_seconds \
+        ploop_request_run_seconds
+    python3 -c '
+import re, sys
+text = open(sys.argv[1], encoding="utf-8").read()
+total = sum(float(m) for m in re.findall(
+    r"^ploop_faults_injected_total\{[^}]*\} (\S+)$", text, re.M))
+assert total > 0, "no faults surfaced in the scrape"
+' "$TMP/chaos_metrics.txt" \
+        || fail "ploop_faults_injected_total never counted a fault"
+
+    echo '{"op":"shutdown"}' | "$CLIENT" --port "$PORT" --retries 5 \
+        >/dev/null || fail "shutdown request failed"
+    wait "$SERVER_PID" || fail "server exited non-zero"
+    SERVER_PID=""
+}
+
+if [ "$CHAOS" -eq 1 ]; then
+    chaos_pass
+    echo "$TAG: OK (faults observable through a valid scrape)"
+else
+    stdio_pass 1
+    stdio_pass 4
+    slow_log_pass
+    echo "$TAG: OK (trace + metrics + slow log at threads 1 and 4)"
+fi

@@ -17,7 +17,16 @@
  *               [--max-connections N] [--max-queue N]
  *               [--idle-timeout-ms MS] [--rate-limit RPS]
  *               [--rate-limit-burst N] [--shed-queue-wait-ms MS]
- *               [--compact]
+ *               [--slow-request-ms MS] [--obs-log FILE]
+ *               [--no-observe] [--compact]
+ *
+ * Observability (README "Observability"): the session keeps per-op
+ * latency histograms, cache/queue/pool gauges and fault counters,
+ * scraped via the `metrics` op (Prometheus text format); any request
+ * may carry `"trace": true` for a span-tree breakdown.
+ * --slow-request-ms logs every slower request as one JSONL object
+ * (with its trace) to stderr or --obs-log FILE; --no-observe turns
+ * the whole layer off (the overhead bench's baseline).
  *
  * Hardening knobs (all off by default; see README "Operating under
  * load"): --idle-timeout-ms reaps silent connections, --rate-limit
@@ -72,7 +81,9 @@ usage(const char *argv0)
         "          [--max-connections N] [--max-queue N]\n"
         "          [--idle-timeout-ms MS] [--rate-limit RPS]\n"
         "          [--rate-limit-burst N]\n"
-        "          [--shed-queue-wait-ms MS] [--compact]\n"
+        "          [--shed-queue-wait-ms MS]\n"
+        "          [--slow-request-ms MS] [--obs-log FILE]\n"
+        "          [--no-observe] [--compact]\n"
         "\n"
         "Line-oriented JSON evaluation service (one request object\n"
         "per line, one response per line; ops: ping, capabilities,\n"
@@ -90,7 +101,11 @@ usage(const char *argv0)
         "connections silent that long; --rate-limit/-burst bound\n"
         "each connection's request rate (rejects carry\n"
         "retry_after_ms); --shed-queue-wait-ms sheds new work once\n"
-        "queued requests wait too long.  --compact loads, verifies,\n"
+        "queued requests wait too long.  The metrics op serves\n"
+        "Prometheus text; any request may carry \"trace\": true.\n"
+        "--slow-request-ms logs slower requests as JSONL (with\n"
+        "traces) to stderr or --obs-log FILE; --no-observe disables\n"
+        "the observability layer.  --compact loads, verifies,\n"
         "compacts and rewrites the cache store, then exits.\n",
         argv0);
     return 2;
@@ -199,6 +214,12 @@ main(int argc, char **argv)
             cfg.rate_limit_burst = double(cap_value());
         } else if (arg == "--shed-queue-wait-ms") {
             cfg.shed_queue_wait_ms = cap_value();
+        } else if (arg == "--slow-request-ms") {
+            cfg.slow_request_ms = cap_value();
+        } else if (arg == "--obs-log") {
+            cfg.obs_log = value();
+        } else if (arg == "--no-observe") {
+            cfg.observe = false;
         } else if (arg == "--compact") {
             compact = true;
         } else if (arg == "--help" || arg == "-h") {
