@@ -1,5 +1,6 @@
 #include "api/fingerprint.hpp"
 
+#include <cmath>
 #include <cstring>
 
 #include "common/math_util.hpp"
@@ -117,6 +118,133 @@ fingerprintOf(T req)
     return f.value();
 }
 
+/**
+ * Lenient field-list decoder for the routing fast path (see
+ * requestLineFingerprint() in the header): assigns a field only when
+ * the JSON member exists with exactly the value the strict codec
+ * would accept, and silently keeps the default otherwise.  No
+ * duplicate-key scan, no unknown-field pass, no error strings --
+ * and, critically, no fatal(): routing must never throw.
+ */
+class LenientFieldReader
+{
+  public:
+    explicit LenientFieldReader(const JsonValue &obj) : obj_(&obj) {}
+
+    void field(const FieldMeta &m, double &v)
+    {
+        const JsonValue *j = obj_->get(m.name);
+        if (j && j->isNumber() && std::isfinite(j->asNumber()))
+            v = j->asNumber();
+    }
+
+    void field(const FieldMeta &m, std::uint64_t &v)
+    {
+        integer(m, 18446744073709551616.0 /* 2^64 */, v);
+    }
+
+    void field(const FieldMeta &m, unsigned &v)
+    {
+        std::uint64_t wide = v;
+        integer(m, 4294967296.0 /* 2^32 */, wide);
+        v = static_cast<unsigned>(wide);
+    }
+
+    void field(const FieldMeta &m, bool &v)
+    {
+        const JsonValue *j = obj_->get(m.name);
+        if (j && j->isBool())
+            v = j->asBool();
+    }
+
+    void field(const FieldMeta &m, std::string &v)
+    {
+        const JsonValue *j = obj_->get(m.name);
+        if (j && j->isString())
+            v = j->asString();
+    }
+
+    void numberList(const FieldMeta &m, std::vector<double> &v)
+    {
+        const JsonValue *j = obj_->get(m.name);
+        if (!j || !j->isArray())
+            return;
+        v.clear();
+        for (const JsonValue &item : j->items())
+            if (item.isNumber() && std::isfinite(item.asNumber()))
+                v.push_back(item.asNumber());
+    }
+
+    template <class T, class Names>
+    void enumField(const FieldMeta &m, T &v, const Names &names)
+    {
+        const JsonValue *j = obj_->get(m.name);
+        if (!j || !j->isString())
+            return;
+        for (const auto &n : names) {
+            if (j->asString() == n.name) {
+                v = n.value;
+                return;
+            }
+        }
+    }
+
+    template <class T> void object(const FieldMeta &m, T &sub)
+    {
+        const JsonValue *j = obj_->get(m.name);
+        if (j && j->isObject()) {
+            LenientFieldReader r(*j);
+            describeFields(r, sub);
+        }
+    }
+
+    template <class T>
+    void objectList(const FieldMeta &m, std::vector<T> &out)
+    {
+        const JsonValue *j = obj_->get(m.name);
+        if (!j || !j->isArray())
+            return;
+        out.clear();
+        for (const JsonValue &item : j->items()) {
+            T decoded{};
+            if (item.isObject()) {
+                LenientFieldReader r(item);
+                describeFields(r, decoded);
+            }
+            out.push_back(std::move(decoded));
+        }
+    }
+
+    /** Decode-order hook (the arch baseline re-derivation): runs
+     *  immediately, exactly like the strict decoder. */
+    template <class F> void checkpoint(F &&fixup) { fixup(); }
+
+  private:
+    void integer(const FieldMeta &m, double limit, std::uint64_t &v)
+    {
+        const JsonValue *j = obj_->get(m.name);
+        if (!j || !j->isNumber())
+            return;
+        double d = j->asNumber();
+        // Same acceptance set as the strict decoder (non-negative,
+        // integral, in range); anything else keeps the default.
+        if (d >= 0 && d < limit && d == std::floor(d))
+            v = static_cast<std::uint64_t>(d);
+    }
+
+    const JsonValue *obj_;
+};
+
+template <class T>
+std::uint64_t
+lenientFingerprint(const JsonValue &obj)
+{
+    T req{};
+    LenientFieldReader r(obj);
+    describeFields(r, req);
+    return requestFingerprint(req);
+}
+
 } // namespace
 
 std::uint64_t
@@ -141,6 +269,26 @@ std::uint64_t
 requestFingerprint(const NetworkRequest &req)
 {
     return fingerprintOf(req);
+}
+
+std::optional<std::uint64_t>
+requestLineFingerprint(const JsonValue &parsed)
+{
+    if (!parsed.isObject())
+        return std::nullopt;
+    const JsonValue *opv = parsed.get("op");
+    if (!opv || !opv->isString())
+        return std::nullopt;
+    const std::string &op = opv->asString();
+    if (op == "evaluate")
+        return lenientFingerprint<EvaluateRequest>(parsed);
+    if (op == "search")
+        return lenientFingerprint<SearchRequest>(parsed);
+    if (op == "sweep")
+        return lenientFingerprint<SweepRequest>(parsed);
+    if (op == "network")
+        return lenientFingerprint<NetworkRequest>(parsed);
+    return std::nullopt;
 }
 
 } // namespace ploop

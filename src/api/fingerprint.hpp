@@ -28,6 +28,9 @@
 #ifndef PHOTONLOOP_API_FINGERPRINT_HPP
 #define PHOTONLOOP_API_FINGERPRINT_HPP
 
+#include <optional>
+
+#include "api/json.hpp"
 #include "api/requests.hpp"
 
 namespace ploop {
@@ -36,6 +39,29 @@ std::uint64_t requestFingerprint(const EvaluateRequest &req);
 std::uint64_t requestFingerprint(const SearchRequest &req);
 std::uint64_t requestFingerprint(const SweepRequest &req);
 std::uint64_t requestFingerprint(const NetworkRequest &req);
+
+/**
+ * Fingerprint-only fast-path decode for routing (the cluster
+ * router): map a parsed request line straight to its fingerprint
+ * WITHOUT the strict codec.  Field values are read leniently --
+ * absent, mistyped or out-of-range members keep their defaults
+ * instead of failing -- so this never throws; the worker that
+ * ultimately executes the request still applies the strict decode
+ * and owns the error message.
+ *
+ * Contract (asserted in tests): for any request the strict decoder
+ * accepts, the result equals requestFingerprint() of the strictly
+ * decoded struct -- a router using this key agrees with the
+ * workers' ResultCache keys, which is what makes consistent-hash
+ * placement equal cache affinity.
+ *
+ * std::nullopt when the line is not an object or its "op" is not
+ * one of the fingerprintable request ops (evaluate, search, sweep,
+ * network) -- those are session-level ops the router handles by
+ * policy instead.
+ */
+std::optional<std::uint64_t>
+requestLineFingerprint(const JsonValue &parsed);
 
 } // namespace ploop
 

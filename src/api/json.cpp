@@ -113,6 +113,32 @@ JsonValue::set(std::string key, JsonValue v)
     members_.emplace_back(std::move(key), std::move(v));
 }
 
+void
+JsonValue::replace(const std::string &key, JsonValue v)
+{
+    fatalIf(kind_ != Kind::Object, "JSON replace on a non-object");
+    for (auto &[k, value] : members_) {
+        if (k == key) {
+            value = std::move(v);
+            return;
+        }
+    }
+    members_.emplace_back(key, std::move(v));
+}
+
+bool
+JsonValue::remove(const std::string &key)
+{
+    fatalIf(kind_ != Kind::Object, "JSON remove on a non-object");
+    for (auto it = members_.begin(); it != members_.end(); ++it) {
+        if (it->first == key) {
+            members_.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
 std::string
 JsonValue::serialize() const
 {

@@ -82,6 +82,18 @@ class JsonValue
      *  builders set each key once).  fatal() unless object. */
     void set(std::string key, JsonValue v);
 
+    /**
+     * Replace an existing member's value IN PLACE (member order is
+     * preserved -- the cluster router rewrites "id" on forwarded
+     * lines and must not perturb the rest of the document), or
+     * append when absent.  fatal() unless object.
+     */
+    void replace(const std::string &key, JsonValue v);
+
+    /** Remove a member (first occurrence); false when absent.
+     *  fatal() unless object. */
+    bool remove(const std::string &key);
+
     /** Compact one-line rendering (see file comment). */
     std::string serialize() const;
 

@@ -1,0 +1,189 @@
+#include "cluster/backend.hpp"
+
+#include <algorithm>
+
+#include <poll.h>
+#include <unistd.h>
+
+namespace ploop {
+
+Backend::Backend(BackendConfig cfg, const Clock *clock)
+    : cfg_(std::move(cfg)), clock_(clock)
+{}
+
+int
+Backend::fd() const
+{
+    return conn_ ? conn_->fd() : -1;
+}
+
+short
+Backend::pollEvents() const
+{
+    short events = 0;
+    if (state_ == State::Connecting)
+        events |= POLLOUT;
+    if (state_ == State::Connected) {
+        events |= POLLIN;
+        if (out_off_ < out_.size())
+            events |= POLLOUT;
+    }
+    return events;
+}
+
+bool
+Backend::ensureConnected()
+{
+    if (state_ != State::Disconnected)
+        return true;
+    const std::uint64_t now = clockOrSteady(clock_).nowNs();
+    if (now < next_attempt_ns_)
+        return false; // still backing off
+    bool in_progress = false;
+    int fd = startLoopbackConnect(cfg_.port, in_progress);
+    if (fd < 0) {
+        ++connect_failures_;
+        const std::uint64_t backoff_ms = std::min<std::uint64_t>(
+            std::uint64_t(cfg_.backoff_base_ms)
+                << std::min(connect_failures_, 16u),
+            cfg_.backoff_cap_ms);
+        next_attempt_ns_ = now + backoff_ms * 1000000ull;
+        return false;
+    }
+    conn_ = std::make_unique<Connection>(fd);
+    splitter_ = LineSplitter();
+    out_.clear();
+    out_off_ = 0;
+    if (in_progress) {
+        state_ = State::Connecting;
+    } else {
+        state_ = State::Connected;
+        connect_failures_ = 0;
+        if (ever_connected_)
+            ++reconnects_;
+        ever_connected_ = true;
+    }
+    return true;
+}
+
+bool
+Backend::send(std::uint64_t corr, const std::string &line,
+              std::vector<std::uint64_t> &failed)
+{
+    if (!ensureConnected())
+        return false;
+    out_ += line;
+    out_ += '\n';
+    inflight_.push_back(corr);
+    if (state_ == State::Connected && !flushOut()) {
+        // The connection died under this very write.  The false
+        // return covers THIS corr (the caller fails it over), so
+        // take it back out, then harvest the rest.
+        inflight_.pop_back();
+        fail(failed);
+        return false;
+    }
+    return true;
+}
+
+bool
+Backend::flushOut()
+{
+    if (out_off_ >= out_.size()) {
+        // Nothing pending; reclaim the buffer so a long session
+        // cannot grow it monotonically.
+        out_.clear();
+        out_off_ = 0;
+        return true;
+    }
+    IoStatus st = conn_->writeSome(out_, out_off_);
+    if (st == IoStatus::Ok) {
+        out_.clear();
+        out_off_ = 0;
+        return true;
+    }
+    if (st == IoStatus::WouldBlock)
+        return true; // POLLOUT re-arms via pollEvents()
+    dropConnection();
+    return false;
+}
+
+void
+Backend::onReadable(std::vector<std::string> &responses,
+                    std::vector<std::uint64_t> &failed)
+{
+    if (state_ != State::Connected || !conn_)
+        return;
+    std::string data;
+    IoStatus st = conn_->readAvailable(data);
+    if (!data.empty()) {
+        bool overflow = false;
+        splitter_.append(data.data(), data.size(), responses,
+                         overflow);
+        // An over-long response line poisons the stream (worker
+        // misbehaving); treat it as a dead connection.
+        if (overflow)
+            st = IoStatus::Error;
+    }
+    if (st == IoStatus::Closed || st == IoStatus::Error)
+        fail(failed);
+}
+
+void
+Backend::onWritable(std::vector<std::uint64_t> &failed)
+{
+    if (state_ == State::Connecting) {
+        if (!finishLoopbackConnect(conn_->fd())) {
+            fail(failed); // dropConnection() schedules the backoff
+            return;
+        }
+        state_ = State::Connected;
+        connect_failures_ = 0;
+        if (ever_connected_)
+            ++reconnects_;
+        ever_connected_ = true;
+    }
+    if (state_ == State::Connected && !flushOut())
+        fail(failed);
+}
+
+void
+Backend::fail(std::vector<std::uint64_t> &failed)
+{
+    for (std::uint64_t corr : inflight_)
+        failed.push_back(corr);
+    inflight_.clear();
+    dropConnection();
+}
+
+void
+Backend::completed(std::uint64_t corr)
+{
+    auto it = std::find(inflight_.begin(), inflight_.end(), corr);
+    if (it != inflight_.end())
+        inflight_.erase(it);
+}
+
+void
+Backend::dropConnection()
+{
+    if (!conn_)
+        return;
+    conn_.reset();
+    state_ = State::Disconnected;
+    out_.clear();
+    out_off_ = 0;
+    splitter_ = LineSplitter();
+    // Backoff before the next attempt: a worker that just died will
+    // not be back within microseconds, and a tight reconnect spin
+    // would melt the poll loop.
+    ++connect_failures_;
+    const std::uint64_t backoff_ms = std::min<std::uint64_t>(
+        std::uint64_t(cfg_.backoff_base_ms)
+            << std::min(connect_failures_, 16u),
+        cfg_.backoff_cap_ms);
+    next_attempt_ns_ =
+        clockOrSteady(clock_).nowNs() + backoff_ms * 1000000ull;
+}
+
+} // namespace ploop

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * One worker's connection, as seen from the router's poll loop: a
+ * non-blocking Connection (the same primitive the server side uses,
+ * so fault injection covers router<->worker links too), LineSplitter
+ * framing for pipelined responses, an outbound buffer with partial-
+ * write resume, and the in-flight correlation-id set that lets the
+ * router re-map worker responses to the originating clients.
+ *
+ * Connection lifecycle: Disconnected -> Connecting (non-blocking
+ * connect underway; POLLOUT completes it) -> Connected.  Any
+ * failure drops back to Disconnected and starts an exponential
+ * backoff (base << consecutive-failures, capped) on the injected
+ * clock; send() during the backoff window fails fast so the router
+ * can fail over instead of queueing onto a corpse.
+ *
+ * Requests may be queued while Connecting -- they flush the moment
+ * the handshake completes, so a router restarted before its workers
+ * (or a worker restarting under traffic) costs latency, not errors.
+ *
+ * Not thread-safe: router poll-loop thread only.
+ */
+
+#ifndef PHOTONLOOP_CLUSTER_BACKEND_HPP
+#define PHOTONLOOP_CLUSTER_BACKEND_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "obs/clock.hpp"
+
+namespace ploop {
+
+/** Per-worker connection knobs. */
+struct BackendConfig
+{
+    std::string name;        ///< Display/ring name ("127.0.0.1:P").
+    std::uint16_t port = 0;  ///< Loopback port of the worker.
+    unsigned backoff_base_ms = 50;
+    unsigned backoff_cap_ms = 2000;
+};
+
+/** See file comment. */
+class Backend
+{
+  public:
+    enum class State : std::uint8_t {
+        Disconnected,
+        Connecting,
+        Connected,
+    };
+
+    /** @param clock nullptr = steady clock (tests inject Manual). */
+    explicit Backend(BackendConfig cfg,
+                     const Clock *clock = nullptr);
+
+    const std::string &name() const { return cfg_.name; }
+    State state() const { return state_; }
+
+    /** fd for the router's pollfd set; -1 while disconnected. */
+    int fd() const;
+
+    /** POLLIN/POLLOUT interest right now (POLLOUT while connecting
+     *  or while unflushed output remains). */
+    short pollEvents() const;
+
+    /**
+     * Queue one already-framed request line (correlation id
+     * injected by the router; no trailing newline) and record
+     * @p corr as in flight.  Connects on demand.  False when the
+     * worker is unreachable right now (connect refused, or the
+     * backoff window still holds) -- the caller fails over.  When
+     * the eager flush kills the connection, @p corr is excluded
+     * (the false return covers it) but every OTHER in-flight id is
+     * moved to @p failed, exactly like fail().
+     */
+    bool send(std::uint64_t corr, const std::string &line,
+              std::vector<std::uint64_t> &failed);
+
+    /**
+     * POLLIN fired: drain the socket.  Complete response lines are
+     * appended to @p responses; when the connection died, every
+     * in-flight corr id is moved to @p failed.  The caller MUST
+     * process @p responses before @p failed -- a response read in
+     * the same slice as the EOF was still answered.
+     */
+    void onReadable(std::vector<std::string> &responses,
+                    std::vector<std::uint64_t> &failed);
+
+    /**
+     * POLLOUT fired: complete an in-progress connect and/or flush
+     * buffered output; failures move in-flight ids to @p failed.
+     */
+    void onWritable(std::vector<std::uint64_t> &failed);
+
+    /** POLLERR/POLLHUP (or router-initiated teardown): drop the
+     *  connection now, failing everything in flight. */
+    void fail(std::vector<std::uint64_t> &failed);
+
+    /** A response for @p corr was matched: no longer in flight. */
+    void completed(std::uint64_t corr);
+
+    std::size_t inflight() const { return inflight_.size(); }
+
+    /** Completed reconnects after the initial connect (metrics). */
+    std::uint64_t reconnects() const { return reconnects_; }
+
+  private:
+    /** Ensure Connected/Connecting, honoring the backoff window.
+     *  False when unreachable right now. */
+    bool ensureConnected();
+
+    /** Flush as much of out_ as the socket accepts.  False when the
+     *  connection died (caller harvests in-flight via fail()). */
+    bool flushOut();
+
+    void dropConnection();
+
+    BackendConfig cfg_;
+    const Clock *clock_;
+    State state_ = State::Disconnected;
+    std::unique_ptr<Connection> conn_;
+    LineSplitter splitter_;
+    std::string out_;       ///< Unwritten request bytes.
+    std::size_t out_off_ = 0;
+    std::vector<std::uint64_t> inflight_;
+    unsigned connect_failures_ = 0;
+    std::uint64_t next_attempt_ns_ = 0; ///< Backoff gate (0 = now).
+    std::uint64_t reconnects_ = 0;
+    bool ever_connected_ = false;
+};
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_CLUSTER_BACKEND_HPP

@@ -1,0 +1,102 @@
+#include "cluster/hash_ring.hpp"
+
+#include <algorithm>
+
+#include "api/fields.hpp"
+#include "common/math_util.hpp"
+
+namespace ploop {
+
+HashRing::HashRing(unsigned vnodes)
+    : vnodes_(vnodes == 0 ? 1 : vnodes)
+{}
+
+void
+HashRing::add(const std::string &worker)
+{
+    auto it = std::lower_bound(workers_.begin(), workers_.end(),
+                               worker);
+    if (it != workers_.end() && *it == worker)
+        return;
+    workers_.insert(it, worker);
+    rebuild();
+}
+
+void
+HashRing::remove(const std::string &worker)
+{
+    auto it = std::lower_bound(workers_.begin(), workers_.end(),
+                               worker);
+    if (it == workers_.end() || *it != worker)
+        return;
+    workers_.erase(it);
+    rebuild();
+}
+
+bool
+HashRing::contains(const std::string &worker) const
+{
+    return std::binary_search(workers_.begin(), workers_.end(),
+                              worker);
+}
+
+void
+HashRing::rebuild()
+{
+    points_.clear();
+    points_.reserve(workers_.size() * vnodes_);
+    for (std::uint32_t w = 0; w < workers_.size(); ++w) {
+        const std::uint64_t base = stringValueHash(workers_[w]);
+        for (unsigned i = 0; i < vnodes_; ++i)
+            points_.push_back(
+                Point{mix64(base ^ mix64(i + 1)), w});
+    }
+    // Tie-break on the worker index (itself derived from the sorted
+    // name order) so even a 64-bit hash collision between two
+    // workers' vnodes cannot make placement depend on insertion
+    // history.
+    std::sort(points_.begin(), points_.end(),
+              [](const Point &a, const Point &b) {
+                  return a.hash != b.hash ? a.hash < b.hash
+                                          : a.worker < b.worker;
+              });
+}
+
+const std::string *
+HashRing::lookup(std::uint64_t key) const
+{
+    if (points_.empty())
+        return nullptr;
+    auto it = std::upper_bound(
+        points_.begin(), points_.end(), key,
+        [](std::uint64_t k, const Point &p) { return k < p.hash; });
+    if (it == points_.end())
+        it = points_.begin(); // wrap: the ring is circular
+    return &workers_[it->worker];
+}
+
+const std::string *
+HashRing::next(std::uint64_t key, const std::string &skip) const
+{
+    if (points_.empty())
+        return nullptr;
+    auto start = std::upper_bound(
+        points_.begin(), points_.end(), key,
+        [](std::uint64_t k, const Point &p) { return k < p.hash; });
+    if (start == points_.end())
+        start = points_.begin();
+    // Walk clockwise until a different worker appears; one full lap
+    // with no luck means skip is the only member.
+    auto it = start;
+    for (std::size_t n = 0; n < points_.size(); ++n) {
+        const std::string &w = workers_[it->worker];
+        if (w != skip)
+            return &w;
+        ++it;
+        if (it == points_.end())
+            it = points_.begin();
+    }
+    return nullptr;
+}
+
+} // namespace ploop

@@ -1,0 +1,124 @@
+#include "cluster/health.hpp"
+
+namespace ploop {
+
+HealthMonitor::HealthMonitor(HealthConfig cfg, const Clock *clock)
+    : cfg_(cfg), clock_(clock)
+{}
+
+void
+HealthMonitor::addWorker(const std::string &name)
+{
+    if (find(name))
+        return;
+    Worker w;
+    w.name = name;
+    workers_.push_back(std::move(w));
+}
+
+std::vector<std::string>
+HealthMonitor::dueProbes()
+{
+    const std::uint64_t now = clockOrSteady(clock_).nowNs();
+    std::vector<std::string> due;
+    for (Worker &w : workers_) {
+        if (w.probe_outstanding || now < w.next_probe_ns)
+            continue;
+        w.probe_outstanding = true;
+        w.probe_sent_ns = now;
+        w.next_probe_ns = now + cfg_.probe_interval_ms * 1000000ull;
+        due.push_back(w.name);
+    }
+    return due;
+}
+
+std::vector<std::string>
+HealthMonitor::expiredProbes()
+{
+    const std::uint64_t now = clockOrSteady(clock_).nowNs();
+    std::vector<std::string> expired;
+    for (Worker &w : workers_) {
+        if (!w.probe_outstanding)
+            continue;
+        if (now - w.probe_sent_ns >=
+            cfg_.probe_timeout_ms * 1000000ull) {
+            w.probe_outstanding = false;
+            expired.push_back(w.name);
+        }
+    }
+    return expired;
+}
+
+HealthMonitor::Transition
+HealthMonitor::onProbePass(const std::string &name)
+{
+    Worker *w = find(name);
+    if (!w)
+        return Transition::None;
+    w->probe_outstanding = false;
+    w->consecutive_failures = 0;
+    if (!w->healthy) {
+        w->healthy = true;
+        return Transition::Readmitted;
+    }
+    return Transition::None;
+}
+
+HealthMonitor::Transition
+HealthMonitor::onProbeFail(const std::string &name)
+{
+    Worker *w = find(name);
+    if (!w)
+        return Transition::None;
+    w->probe_outstanding = false;
+    ++w->consecutive_failures;
+    if (w->healthy &&
+        w->consecutive_failures >= cfg_.eject_after) {
+        w->healthy = false;
+        return Transition::Ejected;
+    }
+    return Transition::None;
+}
+
+bool
+HealthMonitor::healthy(const std::string &name) const
+{
+    const Worker *w = find(name);
+    return w && w->healthy;
+}
+
+unsigned
+HealthMonitor::consecutiveFailures(const std::string &name) const
+{
+    const Worker *w = find(name);
+    return w ? w->consecutive_failures : 0;
+}
+
+std::size_t
+HealthMonitor::healthyCount() const
+{
+    std::size_t n = 0;
+    for (const Worker &w : workers_)
+        n += w.healthy ? 1 : 0;
+    return n;
+}
+
+HealthMonitor::Worker *
+HealthMonitor::find(const std::string &name)
+{
+    for (Worker &w : workers_)
+        if (w.name == name)
+            return &w;
+    return nullptr;
+}
+
+const HealthMonitor::Worker *
+HealthMonitor::find(const std::string &name) const
+{
+    for (const Worker &w : workers_)
+        if (w.name == name)
+            return &w;
+    return nullptr;
+}
+
+} // namespace ploop

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Worker health tracking for the cluster router: WHEN to probe,
+ * and WHAT a probe result (or a connection failure) means for ring
+ * membership.  Pure policy -- the router owns the sockets and sends
+ * the actual `health`-op lines; this class only keeps per-worker
+ * clocks and counters, so every ejection/re-admission schedule is
+ * unit-testable against a ManualClock with zero sleeping.
+ *
+ * Lifecycle per worker:
+ *  - starts HEALTHY (workers are presumed alive at startup; the
+ *    first probe round corrects optimism within one interval);
+ *  - a probe is due every probe_interval_ms; an outstanding probe
+ *    unanswered for probe_timeout_ms counts as a failure;
+ *  - eject_after CONSECUTIVE failures (probe timeouts, probe error
+ *    responses, or transport failures reported by the router) mark
+ *    the worker unhealthy -> the router removes it from the ring;
+ *  - ONE passing probe re-admits it -- probes keep flowing to
+ *    unhealthy workers precisely so they can come back.
+ *
+ * Not thread-safe: router poll-loop thread only.
+ */
+
+#ifndef PHOTONLOOP_CLUSTER_HEALTH_HPP
+#define PHOTONLOOP_CLUSTER_HEALTH_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/clock.hpp"
+
+namespace ploop {
+
+/** Probe/ejection knobs (the router tool's command line). */
+struct HealthConfig
+{
+    /** Gap between probes to one worker (ms). */
+    std::uint64_t probe_interval_ms = 1000;
+
+    /** An outstanding probe unanswered this long failed (ms). */
+    std::uint64_t probe_timeout_ms = 1000;
+
+    /** Consecutive failures before ejection (the K in the design:
+     *  one lost probe on a busy box must not empty the ring). */
+    unsigned eject_after = 3;
+};
+
+/** See file comment. */
+class HealthMonitor
+{
+  public:
+    /** What a probe result did to ring membership. */
+    enum class Transition : std::uint8_t {
+        None,      ///< No membership change.
+        Ejected,   ///< Healthy -> unhealthy (remove from ring).
+        Readmitted ///< Unhealthy -> healthy (add back to ring).
+    };
+
+    /** @param clock nullptr = steady clock (tests inject Manual). */
+    explicit HealthMonitor(HealthConfig cfg,
+                           const Clock *clock = nullptr);
+
+    /** Register a worker (healthy, first probe due immediately). */
+    void addWorker(const std::string &name);
+
+    /**
+     * Workers whose next probe is due now; each is marked
+     * outstanding (no duplicate probes) with its timeout clock
+     * started.  The router sends one `health` line per entry.
+     */
+    std::vector<std::string> dueProbes();
+
+    /**
+     * Workers whose outstanding probe exceeded probe_timeout_ms;
+     * the outstanding flag is cleared, but the failure is NOT yet
+     * counted -- the router feeds each through onProbeFail() so the
+     * ejection bookkeeping and its metrics live on one path.
+     */
+    std::vector<std::string> expiredProbes();
+
+    /** A probe answered.  Returns Readmitted on the unhealthy ->
+     *  healthy edge. */
+    Transition onProbePass(const std::string &name);
+
+    /**
+     * A probe failed (timeout, error response, or the router could
+     * not reach the worker at all -- transport failures count: a
+     * dead connection is as ejectable as a silent one).  Returns
+     * Ejected on the healthy -> unhealthy edge.
+     */
+    Transition onProbeFail(const std::string &name);
+
+    bool healthy(const std::string &name) const;
+    unsigned consecutiveFailures(const std::string &name) const;
+    std::size_t healthyCount() const;
+    std::size_t workerCount() const { return workers_.size(); }
+
+  private:
+    struct Worker
+    {
+        std::string name;
+        bool healthy = true;
+        bool probe_outstanding = false;
+        unsigned consecutive_failures = 0;
+        std::uint64_t next_probe_ns = 0; ///< 0 = due immediately.
+        std::uint64_t probe_sent_ns = 0;
+    };
+
+    Worker *find(const std::string &name);
+    const Worker *find(const std::string &name) const;
+
+    HealthConfig cfg_;
+    const Clock *clock_;
+    std::vector<Worker> workers_;
+};
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_CLUSTER_HEALTH_HPP

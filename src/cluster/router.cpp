@@ -1,0 +1,1332 @@
+#include "cluster/router.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <set>
+
+#include <poll.h>
+
+#include "api/fields.hpp"
+#include "api/fingerprint.hpp"
+#include "common/math_util.hpp"
+#include "common/string_util.hpp"
+#include "service/serve_session.hpp"
+
+namespace ploop {
+
+ClusterRouter::ClusterRouter(RouterConfig cfg)
+    : cfg_(std::move(cfg)), ring_(cfg_.vnodes),
+      health_(cfg_.health, cfg_.clock)
+{
+    started_ns_ = clockOrSteady(cfg_.clock).nowNs();
+    for (std::uint16_t port : cfg_.worker_ports) {
+        std::string name =
+            strFormat("127.0.0.1:%u", unsigned(port));
+        if (backends_.count(name))
+            continue; // duplicate port: one backend is plenty
+        BackendConfig bc;
+        bc.name = name;
+        bc.port = port;
+        bc.backoff_base_ms = cfg_.backoff_base_ms;
+        bc.backoff_cap_ms = cfg_.backoff_cap_ms;
+        backends_.emplace(
+            std::piecewise_construct, std::forward_as_tuple(name),
+            std::forward_as_tuple(std::move(bc), cfg_.clock));
+        worker_names_.push_back(name);
+        ring_.add(name);
+        health_.addWorker(name);
+    }
+    std::sort(worker_names_.begin(), worker_names_.end());
+    if (cfg_.observe)
+        setupMetrics();
+}
+
+ClusterRouter::~ClusterRouter()
+{
+    if (metrics_)
+        for (std::uint64_t id : metric_ids_)
+            metrics_->remove(id);
+}
+
+void
+ClusterRouter::setupMetrics()
+{
+    metrics_ = std::make_unique<MetricsRegistry>();
+    failovers_ = &metrics_->counter(
+        "ploop_router_failovers_total",
+        "In-flight requests re-dispatched to the ring's next "
+        "worker.");
+    probes_total_ = &metrics_->counter(
+        "ploop_router_probes_total",
+        "Health probes sent to workers.");
+    probe_failures_ = &metrics_->counter(
+        "ploop_router_probe_failures_total",
+        "Probe failures counted toward ejection (timeouts, error "
+        "responses, transport failures).");
+    ejections_ = &metrics_->counter(
+        "ploop_router_worker_ejections_total",
+        "Healthy -> unhealthy transitions (worker left the ring).");
+    readmissions_ = &metrics_->counter(
+        "ploop_router_worker_readmissions_total",
+        "Unhealthy -> healthy transitions (worker re-joined the "
+        "ring).");
+    request_hist_ = &metrics_->histogram(
+        "ploop_router_request_seconds",
+        "Router-observed latency from client line to response "
+        "delivery.");
+    // Gauge callbacks read router state without locks: they run only
+    // inside renderPrometheus(), which the single router thread
+    // calls while finalizing a `metrics` fanout.
+    metric_ids_.push_back(metrics_->gauge(
+        "ploop_router_workers_total", "Configured workers.",
+        [this] { return double(worker_names_.size()); }));
+    metric_ids_.push_back(metrics_->gauge(
+        "ploop_router_workers_healthy",
+        "Workers currently in the ring.",
+        [this] { return double(health_.healthyCount()); }));
+    metric_ids_.push_back(metrics_->gauge(
+        "ploop_router_connections_open",
+        "Client connections open now.",
+        [this] { return double(clients_.size()); }));
+    metric_ids_.push_back(metrics_->gauge(
+        "ploop_router_inflight_requests",
+        "Correlation ids outstanding on workers (probes included).",
+        [this] { return double(pending_.size()); }));
+    metric_ids_.push_back(metrics_->counterFn(
+        "ploop_router_backend_reconnects_total",
+        "Completed worker reconnects after the initial connect.",
+        [this] {
+            double n = 0;
+            for (const auto &[name, b] : backends_) {
+                (void)name;
+                n += double(b.reconnects());
+            }
+            return n;
+        }));
+}
+
+Counter &
+ClusterRouter::opCounter(const std::string &op)
+{
+    static const char *const kKnown[] = {
+        "ping",  "capabilities", "evaluate", "search",
+        "sweep", "network",      "stats",    "health",
+        "metrics", "save_cache", "shutdown"};
+    // Clamp the label to the known op set: metric cardinality must
+    // not be client-controlled.
+    std::string label = "other";
+    for (const char *k : kKnown)
+        if (op == k) {
+            label = op;
+            break;
+        }
+    auto it = op_counters_.find(label);
+    if (it != op_counters_.end())
+        return *it->second;
+    Counter &c = metrics_->counter(
+        "ploop_router_requests_total",
+        "Client request lines by op (unknown ops as \"other\").",
+        {{"op", label}});
+    op_counters_[label] = &c;
+    return c;
+}
+
+Counter &
+ClusterRouter::rejectCounter(const std::string &code)
+{
+    auto it = reject_counters_.find(code);
+    if (it != reject_counters_.end())
+        return *it->second;
+    Counter &c = metrics_->counter(
+        "ploop_router_rejects_total",
+        "Rejections answered by the router itself, by code.",
+        {{"code", code}});
+    reject_counters_[code] = &c;
+    return c;
+}
+
+Counter &
+ClusterRouter::forwardCounter(const std::string &worker)
+{
+    auto it = forward_counters_.find(worker);
+    if (it != forward_counters_.end())
+        return *it->second;
+    Counter &c = metrics_->counter(
+        "ploop_router_forwards_total",
+        "Request lines forwarded, by target worker (initial "
+        "dispatch; failover resends count under "
+        "ploop_router_failovers_total).",
+        {{"worker", worker}});
+    forward_counters_[worker] = &c;
+    return c;
+}
+
+bool
+ClusterRouter::open(std::string *error)
+{
+    return listener_.open(cfg_.port, error);
+}
+
+std::uint64_t
+ClusterRouter::run()
+{
+    const Clock &clk = clockOrSteady(cfg_.clock);
+    enum : int { kListener, kWorker, kClient };
+    struct Ref
+    {
+        int kind;
+        std::uint64_t id;
+        const std::string *name;
+    };
+    // Hoisted out of the loop: a lockstep round trip costs at least
+    // two iterations, so per-iteration vector churn is hot-path.
+    std::vector<pollfd> fds;
+    std::vector<Ref> refs;
+    std::vector<std::string> responses;
+    std::vector<std::uint64_t> failed;
+    while (true) {
+        if (!draining_ && stop_.load(std::memory_order_relaxed))
+            beginDrain();
+        if (!draining_)
+            sendProbes();
+
+        fds.clear();
+        refs.clear();
+        if (listener_.isOpen() && !draining_) {
+            fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
+            refs.push_back(Ref{kListener, 0, nullptr});
+        }
+        for (auto &[name, b] : backends_) {
+            short ev = b.pollEvents();
+            if (b.fd() >= 0 && ev) {
+                fds.push_back(pollfd{b.fd(), ev, 0});
+                refs.push_back(Ref{kWorker, 0, &name});
+            }
+        }
+        for (auto &[id, c] : clients_) {
+            if (c.dead)
+                continue;
+            short ev = 0;
+            // Backpressure: past the per-client in-flight cap the
+            // socket stops being read -- requests back up into the
+            // client's TCP buffers, not router memory.
+            if (!c.input_closed &&
+                c.slots.size() < cfg_.max_client_inflight)
+                ev |= POLLIN;
+            if (c.out_off < c.out.size())
+                ev |= POLLOUT;
+            if (!ev)
+                continue;
+            fds.push_back(pollfd{c.conn->fd(), ev, 0});
+            refs.push_back(Ref{kClient, id, nullptr});
+        }
+
+        // Short timeout: probe schedules, reconnect backoffs and the
+        // drain deadline advance on time, not on socket traffic.
+        int rc = ::poll(fds.data(), nfds_t(fds.size()), 25);
+        if (rc < 0 && errno != EINTR)
+            break; // unrecoverable poll failure
+        if (rc < 0)
+            continue;
+
+        for (std::size_t i = 0; i < fds.size(); ++i) {
+            if (!fds[i].revents)
+                continue;
+            const Ref &ref = refs[i];
+            if (ref.kind == kListener) {
+                acceptPending();
+            } else if (ref.kind == kWorker) {
+                Backend &b = backends_.at(*ref.name);
+                responses.clear();
+                failed.clear();
+                const bool was_up =
+                    b.state() != Backend::State::Disconnected;
+                if (fds[i].revents & POLLOUT)
+                    b.onWritable(failed);
+                if (fds[i].revents & (POLLIN | POLLHUP | POLLERR))
+                    b.onReadable(responses, failed);
+                // Responses first: lines read in the same slice as
+                // an EOF were still answered.
+                for (const std::string &r : responses)
+                    handleWorkerResponse(*ref.name, r);
+                if (was_up &&
+                    b.state() == Backend::State::Disconnected)
+                    strike(*ref.name, failed);
+                drainFailed(failed);
+            } else {
+                auto it = clients_.find(ref.id);
+                if (it == clients_.end())
+                    continue;
+                if ((fds[i].revents &
+                     (POLLIN | POLLHUP | POLLERR)) &&
+                    !it->second.input_closed)
+                    readFromClient(it->second);
+            }
+        }
+
+        flushClients();
+        reapClients();
+
+        if (draining_) {
+            if (!busyPending() && allClientsFlushed())
+                break;
+            if (clk.nowNs() >= drain_deadline_ns_)
+                break; // a client that never reads its responses
+        }
+    }
+    clients_.clear();
+    listener_.close();
+    return accepted_;
+}
+
+void
+ClusterRouter::acceptPending()
+{
+    for (;;) {
+        int fd = listener_.acceptFd();
+        if (fd < 0)
+            return;
+        if (clients_.size() >= cfg_.max_connections) {
+            // Greet-and-close (NetServer's idiom): one line fits a
+            // fresh socket's buffer, so the client learns why.
+            Connection doomed(fd);
+            std::string line =
+                protocolErrorResponse(
+                    "",
+                    strFormat("router full (max %zu connections)",
+                              cfg_.max_connections),
+                    "server_full") +
+                "\n";
+            std::size_t off = 0;
+            doomed.writeSome(line, off);
+            if (metrics_)
+                rejectCounter("server_full").inc();
+            continue;
+        }
+        const std::uint64_t id = next_client_++;
+        Client c;
+        c.id = id;
+        c.conn = std::make_unique<Connection>(fd);
+        clients_.emplace(id, std::move(c));
+        ++accepted_;
+    }
+}
+
+void
+ClusterRouter::readFromClient(Client &c)
+{
+    // Scratch buffers are members: one POLLIN fires per lockstep
+    // round trip, so per-call allocation here is hot-path churn.
+    scratch_data_.clear();
+    scratch_lines_.clear();
+    IoStatus st = c.conn->readAvailable(scratch_data_);
+    bool overflow = false;
+    if (!scratch_data_.empty())
+        c.in.append(scratch_data_.data(), scratch_data_.size(),
+                    scratch_lines_, overflow);
+    for (std::string &line : scratch_lines_)
+        handleClientLine(c, std::move(line));
+    if (overflow) {
+        // Protocol violation: answer (correlatably) and stop
+        // reading, exactly like NetServer.
+        const std::uint64_t seq = newSlot(c);
+        if (metrics_)
+            rejectCounter("protocol").inc();
+        resolve(c.id, seq,
+                protocolErrorResponse(
+                    "",
+                    strFormat("request line exceeds %zu bytes",
+                              LineSplitter::kMaxLineBytes)));
+        c.input_closed = true;
+    }
+    if (st == IoStatus::Closed) {
+        // Half-close: answers for everything already received still
+        // get delivered before the reap.
+        c.input_closed = true;
+    } else if (st == IoStatus::Error) {
+        c.input_closed = true;
+        c.dead = true;
+    }
+}
+
+std::uint64_t
+ClusterRouter::newSlot(Client &c)
+{
+    const std::uint64_t seq = c.next_seq++;
+    c.slots.push_back(Slot{seq, false, std::string()});
+    return seq;
+}
+
+void
+ClusterRouter::handleClientLine(Client &c, std::string line)
+{
+    const std::uint64_t seq = newSlot(c);
+    if (draining_) {
+        if (metrics_)
+            rejectCounter("draining").inc();
+        resolve(c.id, seq,
+                protocolErrorResponse(line, "router is draining",
+                                      "draining"));
+        return;
+    }
+    std::string err;
+    std::optional<JsonValue> parsed = parseJson(line, &err);
+    if (!parsed) {
+        // Same bytes a worker would answer (same parser, same
+        // message; protocolErrorResponse cannot echo op/id from an
+        // unparseable line).
+        if (metrics_) {
+            opCounter("").inc();
+            rejectCounter("protocol").inc();
+        }
+        resolve(c.id, seq,
+                protocolErrorResponse(line, "bad JSON: " + err));
+        return;
+    }
+    if (!parsed->isObject()) {
+        if (metrics_) {
+            opCounter("").inc();
+            rejectCounter("protocol").inc();
+        }
+        resolve(c.id, seq,
+                protocolErrorResponse(line,
+                                      "request must be an object"));
+        return;
+    }
+    const JsonValue *opv = parsed->get("op");
+    const std::string op =
+        opv && opv->isString() ? opv->asString() : std::string();
+    if (metrics_)
+        opCounter(op).inc();
+
+    if (op == "ping" || op == "health" || op == "shutdown") {
+        handleLocal(c, seq, *parsed, op);
+        return;
+    }
+    if (op == "stats" || op == "metrics" || op == "save_cache") {
+        startFanout(c, seq, op, line, *parsed);
+        return;
+    }
+    std::uint64_t fp;
+    if (std::optional<std::uint64_t> f =
+            requestLineFingerprint(*parsed)) {
+        fp = *f;
+    } else if (op == "capabilities") {
+        // A fixed ring position: "any healthy worker", chosen
+        // deterministically.
+        fp = mix64(stringValueHash(op));
+    } else {
+        // Unknown/missing op: forward by raw-line hash so the WORKER
+        // generates the canonical error response.
+        fp = mix64(stringValueHash(line));
+    }
+    forward(c, seq, std::move(line), *parsed, fp);
+}
+
+void
+ClusterRouter::handleLocal(Client &c, std::uint64_t seq,
+                           const JsonValue &parsed,
+                           const std::string &op)
+{
+    JsonValue resp = JsonValue::object();
+    if (op == "ping") {
+        // Byte-identical to a worker's ping (the smoke asserts
+        // identity against a direct session).
+        resp.set("ok", JsonValue::boolean(true));
+    } else if (op == "health") {
+        const std::size_t total = health_.workerCount();
+        const std::size_t healthy = health_.healthyCount();
+        resp.set("ok", JsonValue::boolean(true));
+        resp.set("status",
+                 JsonValue::string(healthy == total ? "ok"
+                                   : healthy > 0   ? "degraded"
+                                                   : "down"));
+        resp.set("workers_total", JsonValue::number(double(total)));
+        resp.set("workers_healthy",
+                 JsonValue::number(double(healthy)));
+        resp.set("uptime_ms",
+                 JsonValue::number(
+                     double(clockOrSteady(cfg_.clock).nowNs() -
+                            started_ns_) /
+                     1e6));
+    } else { // shutdown
+        resp.set("ok", JsonValue::boolean(true));
+        resp.set("detail",
+                 JsonValue::string(
+                     "router draining; workers keep running"));
+        beginDrain();
+    }
+    // Echo exactly like ServeSession::handleLine does.
+    const JsonValue *opv = parsed.get("op");
+    if (opv && opv->isString() && !opv->asString().empty())
+        resp.set("op", *opv);
+    if (const JsonValue *id = parsed.get("id"))
+        resp.set("id", *id);
+    resolve(c.id, seq, resp.serialize());
+}
+
+void
+ClusterRouter::startFanout(Client &c, std::uint64_t seq,
+                           const std::string &op,
+                           const std::string &line,
+                           const JsonValue &parsed)
+{
+    const std::uint64_t fid = next_fanout_++;
+    Fanout f;
+    f.client = c.id;
+    f.seq = seq;
+    f.op = op;
+    f.line = line;
+    const JsonValue *id = parsed.get("id");
+    f.had_id = id != nullptr;
+    if (id)
+        f.original_id = *id;
+    f.enqueued_ns = clockOrSteady(cfg_.clock).nowNs();
+    // Copy the healthy set: sends below can eject a worker and
+    // rebuild the ring mid-iteration.
+    const std::vector<std::string> targets = ring_.workers();
+    for (const std::string &w : targets) {
+        Fanout::Part part;
+        part.worker = w;
+        f.parts.push_back(std::move(part));
+    }
+    f.remaining = f.parts.size();
+    auto [fit, inserted] = fanouts_.emplace(fid, std::move(f));
+    (void)inserted;
+
+    Fanout &group = fit->second;
+    std::vector<std::uint64_t> collateral;
+    for (Fanout::Part &part : group.parts) {
+        const std::uint64_t corr = next_corr_++;
+        JsonValue fwd = parsed;
+        fwd.replace("id", JsonValue::number(double(corr)));
+        Pending p;
+        p.kind = PendingKind::FanoutPart;
+        p.worker = part.worker;
+        p.fanout = fid;
+        pending_.emplace(corr, std::move(p));
+        if (!sendTo(part.worker, corr, fwd.serialize(),
+                    collateral)) {
+            pending_.erase(corr);
+            part.done = true;
+            part.failed = true;
+            if (group.remaining > 0)
+                --group.remaining;
+        }
+    }
+    // An empty ring (or every send refused) still answers: the
+    // router's own share -- stats/metrics -- plus per-worker errors.
+    if (group.remaining == 0)
+        finalizeFanout(fid);
+    drainFailed(collateral);
+}
+
+namespace {
+
+/**
+ * Byte surgery twin of JsonValue::replace("id", corr) +
+ * serialize(), for the forward hot path: rewrite the TOP-LEVEL "id"
+ * member of the serialized object in @p line to @p corr (or append
+ * one), without re-serializing the document -- the parse already
+ * happened for fingerprinting; re-emitting every number through
+ * %.17g again is the expensive part.  The walk is string-aware
+ * (braces occur raw inside JSON strings; quotes do not, they are
+ * escaped), so a key match is always structural.  False when the
+ * line's shape defeats the scan -- the caller falls back to the
+ * parser path, which handles anything parseJson accepted.
+ */
+bool
+spliceTopLevelId(const std::string &line, std::uint64_t corr,
+                 std::string &out)
+{
+    const std::size_t n = line.size();
+    char digits[24];
+    const int dn =
+        std::snprintf(digits, sizeof(digits), "%llu",
+                      static_cast<unsigned long long>(corr));
+    int depth = 0;
+    bool in_str = false, esc = false;
+    std::size_t key_pos = std::string::npos; // of the '"' in "id"
+    std::size_t val_start = 0, val_end = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const char ch = line[i];
+        if (in_str) {
+            if (esc)
+                esc = false;
+            else if (ch == '\\')
+                esc = true;
+            else if (ch == '"')
+                in_str = false;
+            continue;
+        }
+        if (ch == '"') {
+            if (depth == 1 && key_pos == std::string::npos &&
+                line.compare(i, 5, "\"id\":") == 0) {
+                key_pos = i;
+                std::size_t v = i + 5;
+                while (v < n &&
+                       (line[v] == ' ' || line[v] == '\t'))
+                    ++v;
+                if (v >= n)
+                    return false;
+                // Value extent: to the next top-level ',' or the
+                // closing '}' (id values are primitives in practice;
+                // nested values are tracked anyway).
+                int vdepth = 0;
+                bool vstr = false, vesc = false;
+                std::size_t e = v;
+                for (; e < n; ++e) {
+                    const char vc = line[e];
+                    if (vstr) {
+                        if (vesc)
+                            vesc = false;
+                        else if (vc == '\\')
+                            vesc = true;
+                        else if (vc == '"')
+                            vstr = false;
+                        continue;
+                    }
+                    if (vc == '"')
+                        vstr = true;
+                    else if (vc == '{' || vc == '[')
+                        ++vdepth;
+                    else if (vc == '}' || vc == ']') {
+                        if (vdepth == 0)
+                            break;
+                        --vdepth;
+                    } else if (vc == ',' && vdepth == 0)
+                        break;
+                }
+                if (e >= n)
+                    return false;
+                val_start = v;
+                val_end = e;
+                i = e - 1; // resume the outer walk at the delimiter
+                continue;
+            }
+            in_str = true;
+            continue;
+        }
+        if (ch == '{' || ch == '[')
+            ++depth;
+        else if (ch == '}' || ch == ']')
+            --depth;
+    }
+    if (in_str || depth != 0)
+        return false;
+    out.clear();
+    out.reserve(n + std::size_t(dn) + 8);
+    if (key_pos != std::string::npos) {
+        out.append(line, 0, val_start);
+        out.append(digits, std::size_t(dn));
+        out.append(line, val_end, std::string::npos);
+        return true;
+    }
+    // No id member: append one before the final '}' (what
+    // JsonValue::replace on an absent key does).
+    const std::size_t close = line.find_last_of('}');
+    if (close == std::string::npos)
+        return false;
+    const std::size_t open = line.find('{');
+    bool empty_object = true;
+    for (std::size_t i = open + 1; i < close && empty_object; ++i)
+        empty_object = line[i] == ' ' || line[i] == '\t';
+    out.append(line, 0, close);
+    if (!empty_object)
+        out += ',';
+    out += "\"id\":";
+    out.append(digits, std::size_t(dn));
+    out.append(line, close, std::string::npos);
+    return true;
+}
+
+} // namespace
+
+void
+ClusterRouter::forward(Client &c, std::uint64_t seq,
+                       std::string line, const JsonValue &parsed,
+                       std::uint64_t fingerprint)
+{
+    const std::string *w = ring_.lookup(fingerprint);
+    if (!w) {
+        if (metrics_)
+            rejectCounter("upstream_unavailable").inc();
+        resolve(c.id, seq,
+                protocolErrorResponse(line, "no healthy workers",
+                                      "upstream_unavailable"));
+        return;
+    }
+    const std::string target = *w; // sendTo may rebuild the ring
+    const std::uint64_t corr = next_corr_++;
+    Pending p;
+    p.kind = PendingKind::Forward;
+    p.worker = target;
+    p.client = c.id;
+    p.seq = seq;
+    p.fingerprint = fingerprint;
+    p.enqueued_ns = clockOrSteady(cfg_.clock).nowNs();
+    const JsonValue *id = parsed.get("id");
+    p.had_id = id != nullptr;
+    if (id)
+        p.original_id = *id;
+    // Replace (not set) semantics: member order is preserved, so
+    // the worker sees the same document with only the id swapped.
+    // The textual splice does it without re-serializing; the parser
+    // path is the fallback for shapes the scan refuses.
+    if (!spliceTopLevelId(line, corr, p.forwarded_line)) {
+        JsonValue rewritten = parsed;
+        rewritten.replace("id", JsonValue::number(double(corr)));
+        p.forwarded_line = rewritten.serialize();
+    }
+    p.line = std::move(line); // only read again on failover/reject
+    pending_.emplace(corr, std::move(p));
+    if (metrics_)
+        forwardCounter(target).inc();
+    std::vector<std::uint64_t> collateral;
+    if (!sendTo(target, corr, pending_.at(corr).forwarded_line,
+                collateral))
+        failoverOrReject(corr, collateral);
+    drainFailed(collateral);
+}
+
+bool
+ClusterRouter::sendTo(const std::string &worker, std::uint64_t corr,
+                      const std::string &line,
+                      std::vector<std::uint64_t> &collateral)
+{
+    Backend &b = backends_.at(worker);
+    const bool was_up = b.state() != Backend::State::Disconnected;
+    const bool ok = b.send(corr, line, collateral);
+    if (!ok && was_up &&
+        b.state() == Backend::State::Disconnected)
+        strike(worker, collateral);
+    return ok;
+}
+
+void
+ClusterRouter::handleWorkerResponse(const std::string &worker,
+                                    const std::string &line)
+{
+    // Fast path for the hot case (a Forward's response): find the
+    // correlation id textually and restore the client's id by
+    // splicing bytes, skipping the parse + re-serialize of a
+    // response that can run to kilobytes.  Sound because (a) the
+    // byte sequence `"id":` cannot occur inside a JSON string value
+    // (a quote character there is escaped to \"), so every match is
+    // a structural key, and (b) correlation ids start at 2^40, far
+    // above any integer a response body contains, so digit-matching
+    // an OUTSTANDING corr identifies our own rewrite.  Anything
+    // irregular falls through to the full parse below.
+    do {
+        const std::size_t pos = line.rfind("\"id\":");
+        if (pos == std::string::npos || pos == 0)
+            break;
+        const std::size_t vstart = pos + 5;
+        std::size_t vend = vstart;
+        std::uint64_t corr = 0;
+        while (vend < line.size() && line[vend] >= '0' &&
+               line[vend] <= '9' && corr < (1ull << 62))
+            corr = corr * 10 + std::uint64_t(line[vend++] - '0');
+        if (vend == vstart || vend >= line.size() ||
+            (line[vend] != ',' && line[vend] != '}'))
+            break;
+        auto it = pending_.find(corr);
+        if (it == pending_.end() || it->second.worker != worker ||
+            it->second.kind != PendingKind::Forward)
+            break;
+        // "ok" always leads a response, so an id member is never
+        // first: the byte before it is the comma to drop when the
+        // client sent no id.  (Checked before any state mutation.)
+        if (!it->second.had_id && line[pos - 1] != ',')
+            break;
+        backends_.at(worker).completed(corr);
+        Pending done = std::move(it->second);
+        pending_.erase(it);
+        std::string out;
+        out.reserve(line.size() + 16);
+        if (done.had_id) {
+            out.append(line, 0, vstart);
+            out += done.original_id.serialize();
+            out.append(line, vend, std::string::npos);
+        } else {
+            out.append(line, 0, pos - 1);
+            out.append(line, vend, std::string::npos);
+        }
+        const std::uint64_t now = clockOrSteady(cfg_.clock).nowNs();
+        if (request_hist_ && now >= done.enqueued_ns)
+            request_hist_->record(now - done.enqueued_ns);
+        resolve(done.client, done.seq, std::move(out));
+        return;
+    } while (false);
+
+    std::optional<JsonValue> parsed = parseJson(line);
+    if (!parsed || !parsed->isObject())
+        return; // a garbled worker line matches nothing
+    const JsonValue *idv = parsed->get("id");
+    if (!idv || !idv->isNumber())
+        return;
+    const double d = idv->asNumber();
+    if (d < 0 || d != std::floor(d))
+        return;
+    const std::uint64_t corr = std::uint64_t(d);
+    auto it = pending_.find(corr);
+    if (it == pending_.end() || it->second.worker != worker)
+        return; // late echo from a failed-over correlation
+    backends_.at(worker).completed(corr);
+
+    switch (it->second.kind) {
+    case PendingKind::Probe: {
+        pending_.erase(it);
+        auto pit = probe_corr_.find(worker);
+        if (pit != probe_corr_.end() && pit->second == corr)
+            probe_corr_.erase(pit);
+        const JsonValue *okv = parsed->get("ok");
+        std::vector<std::uint64_t> collateral;
+        if (okv && okv->isBool() && okv->asBool())
+            applyTransition(worker, health_.onProbePass(worker),
+                            collateral);
+        else
+            probeFail(worker, collateral);
+        drainFailed(collateral);
+        break;
+    }
+    case PendingKind::FanoutPart:
+        fanoutPartDone(corr, false, line);
+        break;
+    case PendingKind::Forward: {
+        Pending done = std::move(it->second);
+        pending_.erase(it);
+        // Restore the client's id (or its absence): replace keeps
+        // the member position, so the delivered bytes match what a
+        // direct session would have produced.
+        JsonValue resp = std::move(*parsed);
+        if (done.had_id)
+            resp.replace("id", done.original_id);
+        else
+            resp.remove("id");
+        const std::uint64_t now =
+            clockOrSteady(cfg_.clock).nowNs();
+        if (request_hist_ && now >= done.enqueued_ns)
+            request_hist_->record(now - done.enqueued_ns);
+        resolve(done.client, done.seq, resp.serialize());
+        break;
+    }
+    }
+}
+
+void
+ClusterRouter::drainFailed(std::vector<std::uint64_t> &failed)
+{
+    // Re-dispatching a failed correlation can fail more of them
+    // (another backend dies under the resend); a work queue bounds
+    // this without recursion.
+    std::deque<std::uint64_t> work(failed.begin(), failed.end());
+    failed.clear();
+    while (!work.empty()) {
+        const std::uint64_t corr = work.front();
+        work.pop_front();
+        auto it = pending_.find(corr);
+        if (it == pending_.end())
+            continue; // already handled this round
+        std::vector<std::uint64_t> more;
+        switch (it->second.kind) {
+        case PendingKind::Probe: {
+            const std::string worker = it->second.worker;
+            auto pit = probe_corr_.find(worker);
+            if (pit != probe_corr_.end() && pit->second == corr)
+                probe_corr_.erase(pit);
+            pending_.erase(it);
+            probeFail(worker, more);
+            break;
+        }
+        case PendingKind::FanoutPart:
+            fanoutPartDone(corr, true, std::string());
+            break;
+        case PendingKind::Forward:
+            failoverOrReject(corr, more);
+            break;
+        }
+        for (std::uint64_t extra : more)
+            work.push_back(extra);
+    }
+}
+
+void
+ClusterRouter::failoverOrReject(
+    std::uint64_t corr, std::vector<std::uint64_t> &collateral)
+{
+    auto it = pending_.find(corr);
+    if (it == pending_.end())
+        return;
+    Pending &p = it->second;
+    if (cfg_.failover == RouterConfig::Failover::Next) {
+        // Walk the ring clockwise from the fingerprint; the attempt
+        // cap bounds a lap across a mostly-dead cluster.
+        while (p.attempts < worker_names_.size()) {
+            const std::string *next =
+                ring_.next(p.fingerprint, p.worker);
+            if (!next)
+                break;
+            const std::string target = *next; // sendTo may rebuild
+            p.worker = target;
+            ++p.attempts;
+            if (metrics_)
+                failovers_->inc();
+            if (sendTo(target, corr, p.forwarded_line, collateral))
+                return;
+        }
+    }
+    Pending done = std::move(it->second);
+    pending_.erase(it);
+    rejectPending(std::move(done));
+}
+
+void
+ClusterRouter::rejectPending(Pending done)
+{
+    if (metrics_)
+        rejectCounter("upstream_unavailable").inc();
+    resolve(done.client, done.seq,
+            protocolErrorResponse(
+                done.line,
+                strFormat("upstream worker %s unavailable",
+                          done.worker.c_str()),
+                "upstream_unavailable"));
+}
+
+void
+ClusterRouter::fanoutPartDone(std::uint64_t corr, bool failed,
+                              const std::string &response)
+{
+    auto it = pending_.find(corr);
+    if (it == pending_.end())
+        return;
+    const std::string worker = it->second.worker;
+    const std::uint64_t fid = it->second.fanout;
+    pending_.erase(it);
+    auto fit = fanouts_.find(fid);
+    if (fit == fanouts_.end())
+        return;
+    Fanout &f = fit->second;
+    for (Fanout::Part &part : f.parts) {
+        if (part.worker != worker || part.done)
+            continue;
+        part.done = true;
+        part.failed = failed;
+        part.response = response;
+        if (f.remaining > 0)
+            --f.remaining;
+        break;
+    }
+    if (f.remaining == 0)
+        finalizeFanout(fid);
+}
+
+void
+ClusterRouter::finalizeFanout(std::uint64_t fanout_id)
+{
+    auto it = fanouts_.find(fanout_id);
+    if (it == fanouts_.end())
+        return;
+    Fanout f = std::move(it->second);
+    fanouts_.erase(it);
+
+    JsonValue resp = JsonValue::object();
+    resp.set("ok", JsonValue::boolean(true));
+    if (f.op == "metrics") {
+        std::vector<std::pair<std::string, std::string>> bodies;
+        for (const Fanout::Part &part : f.parts) {
+            if (part.failed)
+                continue;
+            std::optional<JsonValue> parsed =
+                parseJson(part.response);
+            if (!parsed || !parsed->isObject())
+                continue;
+            const JsonValue *body = parsed->get("body");
+            if (body && body->isString())
+                bodies.emplace_back(part.worker, body->asString());
+        }
+        const std::string router_body =
+            metrics_ ? metrics_->renderPrometheus() : std::string();
+        resp.set("content_type",
+                 JsonValue::string("text/plain; version=0.0.4"));
+        resp.set("body", JsonValue::string(
+                             mergeWorkerMetrics(router_body,
+                                                bodies)));
+    } else {
+        if (f.op == "stats")
+            resp.set("router", routerStatsJson());
+        JsonValue arr = JsonValue::array();
+        for (Fanout::Part &part : f.parts) {
+            JsonValue row = JsonValue::object();
+            row.set("worker", JsonValue::string(part.worker));
+            if (part.failed) {
+                row.set("error", JsonValue::string("unreachable"));
+            } else {
+                std::optional<JsonValue> parsed =
+                    parseJson(part.response);
+                if (parsed && parsed->isObject()) {
+                    // The embedded op/id are the fanout's plumbing
+                    // (the id is a router correlation id), not part
+                    // of the worker's answer.
+                    parsed->remove("op");
+                    parsed->remove("id");
+                    row.set("response", std::move(*parsed));
+                } else {
+                    row.set("error",
+                            JsonValue::string(
+                                "unparseable response"));
+                }
+            }
+            arr.push(std::move(row));
+        }
+        resp.set("workers", std::move(arr));
+    }
+    resp.set("op", JsonValue::string(f.op));
+    if (f.had_id)
+        resp.set("id", f.original_id);
+    const std::uint64_t now = clockOrSteady(cfg_.clock).nowNs();
+    if (request_hist_ && now >= f.enqueued_ns)
+        request_hist_->record(now - f.enqueued_ns);
+    resolve(f.client, f.seq, resp.serialize());
+}
+
+void
+ClusterRouter::sendProbes()
+{
+    std::vector<std::uint64_t> collateral;
+    for (const std::string &name : health_.expiredProbes()) {
+        auto it = probe_corr_.find(name);
+        if (it != probe_corr_.end()) {
+            // The worker may still answer later; with the pending
+            // entry gone, a late echo is ignored.
+            backends_.at(name).completed(it->second);
+            pending_.erase(it->second);
+            probe_corr_.erase(it);
+        }
+        probeFail(name, collateral);
+    }
+    for (const std::string &name : health_.dueProbes()) {
+        const std::uint64_t corr = next_corr_++;
+        JsonValue req = JsonValue::object();
+        req.set("op", JsonValue::string("health"));
+        req.set("id", JsonValue::number(double(corr)));
+        Pending p;
+        p.kind = PendingKind::Probe;
+        p.worker = name;
+        pending_.emplace(corr, std::move(p));
+        probe_corr_[name] = corr;
+        if (metrics_)
+            probes_total_->inc();
+        if (!sendTo(name, corr, req.serialize(), collateral)) {
+            pending_.erase(corr);
+            probe_corr_.erase(name);
+            probeFail(name, collateral);
+        }
+    }
+    drainFailed(collateral);
+}
+
+void
+ClusterRouter::probeFail(const std::string &worker,
+                         std::vector<std::uint64_t> &collateral)
+{
+    if (metrics_)
+        probe_failures_->inc();
+    applyTransition(worker, health_.onProbeFail(worker), collateral);
+}
+
+void
+ClusterRouter::strike(const std::string &worker,
+                      std::vector<std::uint64_t> &collateral)
+{
+    // A dead connection is as ejectable as a silent probe.
+    probeFail(worker, collateral);
+}
+
+void
+ClusterRouter::applyTransition(std::string worker,
+                               HealthMonitor::Transition t,
+                               std::vector<std::uint64_t> &collateral)
+{
+    // By-value worker: callers may pass a reference into the ring's
+    // own membership vector, which remove() below would invalidate.
+    if (t == HealthMonitor::Transition::Ejected) {
+        ring_.remove(worker);
+        // A wedged-but-connected worker must not hold requests
+        // hostage: ejecting it fails its in-flight work over.
+        backends_.at(worker).fail(collateral);
+        if (metrics_)
+            ejections_->inc();
+    } else if (t == HealthMonitor::Transition::Readmitted) {
+        ring_.add(worker);
+        if (metrics_)
+            readmissions_->inc();
+    }
+}
+
+void
+ClusterRouter::resolve(std::uint64_t client, std::uint64_t seq,
+                       std::string response)
+{
+    auto it = clients_.find(client);
+    if (it == clients_.end())
+        return; // client vanished; the answer has nowhere to go
+    Client &c = it->second;
+    for (Slot &s : c.slots) {
+        if (s.seq != seq)
+            continue;
+        s.ready = true;
+        s.response = std::move(response);
+        break;
+    }
+    // Release strictly in request order: pipelined clients correlate
+    // positionally as well as by id.
+    while (!c.slots.empty() && c.slots.front().ready) {
+        c.out += c.slots.front().response;
+        c.out += '\n';
+        c.slots.pop_front();
+    }
+}
+
+void
+ClusterRouter::flushClients()
+{
+    for (auto &[id, c] : clients_) {
+        (void)id;
+        if (c.dead)
+            continue;
+        if (c.out_off >= c.out.size()) {
+            c.out.clear();
+            c.out_off = 0;
+            continue;
+        }
+        IoStatus st = c.conn->writeSome(c.out, c.out_off);
+        if (st == IoStatus::Ok) {
+            c.out.clear();
+            c.out_off = 0;
+        } else if (st == IoStatus::Closed ||
+                   st == IoStatus::Error) {
+            c.dead = true;
+        }
+    }
+}
+
+void
+ClusterRouter::reapClients()
+{
+    for (auto it = clients_.begin(); it != clients_.end();) {
+        Client &c = it->second;
+        const bool flushed = c.out_off >= c.out.size();
+        if (c.dead ||
+            (c.input_closed && c.slots.empty() && flushed))
+            it = clients_.erase(it);
+        else
+            ++it;
+    }
+}
+
+bool
+ClusterRouter::allClientsFlushed() const
+{
+    for (const auto &[id, c] : clients_) {
+        (void)id;
+        if (!c.dead &&
+            (c.out_off < c.out.size() || !c.slots.empty()))
+            return false;
+    }
+    return true;
+}
+
+bool
+ClusterRouter::busyPending() const
+{
+    if (!fanouts_.empty())
+        return true;
+    for (const auto &[corr, p] : pending_) {
+        (void)corr;
+        if (p.kind != PendingKind::Probe)
+            return true;
+    }
+    return false;
+}
+
+void
+ClusterRouter::beginDrain()
+{
+    if (draining_)
+        return;
+    draining_ = true;
+    listener_.close();
+    drain_deadline_ns_ =
+        clockOrSteady(cfg_.clock).nowNs() +
+        std::uint64_t(cfg_.drain_timeout_ms) * 1000000ull;
+}
+
+JsonValue
+ClusterRouter::routerStatsJson() const
+{
+    JsonValue r = JsonValue::object();
+    JsonValue workers = JsonValue::array();
+    for (const std::string &name : worker_names_) {
+        const Backend &b = backends_.at(name);
+        JsonValue row = JsonValue::object();
+        row.set("worker", JsonValue::string(name));
+        row.set("healthy",
+                JsonValue::boolean(health_.healthy(name)));
+        row.set("consecutive_failures",
+                JsonValue::number(
+                    double(health_.consecutiveFailures(name))));
+        row.set("inflight", JsonValue::number(double(b.inflight())));
+        row.set("reconnects",
+                JsonValue::number(double(b.reconnects())));
+        workers.push(std::move(row));
+    }
+    r.set("workers", std::move(workers));
+    JsonValue conns = JsonValue::object();
+    conns.set("open", JsonValue::number(double(clients_.size())));
+    conns.set("accepted", JsonValue::number(double(accepted_)));
+    r.set("connections", std::move(conns));
+    r.set("failover",
+          JsonValue::string(cfg_.failover ==
+                                    RouterConfig::Failover::Next
+                                ? "next"
+                                : "reject"));
+    r.set("draining", JsonValue::boolean(draining_));
+    return r;
+}
+
+namespace {
+
+/** One worker sample line with worker="<name>" injected into its
+ *  label block (created when absent). */
+std::string
+injectWorkerLabel(const std::string &line, const std::string &worker)
+{
+    const std::size_t brace = line.find('{');
+    const std::size_t space = line.find(' ');
+    if (brace != std::string::npos &&
+        (space == std::string::npos || brace < space)) {
+        const bool empty_labels =
+            brace + 1 < line.size() && line[brace + 1] == '}';
+        return line.substr(0, brace + 1) + "worker=\"" + worker +
+               "\"" + (empty_labels ? "" : ",") +
+               line.substr(brace + 1);
+    }
+    if (space == std::string::npos)
+        return line; // not a sample line; pass through untouched
+    return line.substr(0, space) + "{worker=\"" + worker + "\"}" +
+           line.substr(space);
+}
+
+} // namespace
+
+std::string
+mergeWorkerMetrics(
+    const std::string &router_body,
+    const std::vector<std::pair<std::string, std::string>> &workers)
+{
+    std::string out = router_body;
+    if (!out.empty() && out.back() != '\n')
+        out += '\n';
+
+    // Family names the router already rendered: a worker family that
+    // collides would duplicate HELP/TYPE, so drop it instead of
+    // corrupting the exposition.  (Router families are
+    // ploop_router_*; worker families are not -- this is a guard,
+    // not an expected path.)
+    std::set<std::string> router_fams;
+    {
+        std::size_t pos = 0;
+        while (pos < router_body.size()) {
+            std::size_t nl = router_body.find('\n', pos);
+            std::size_t end =
+                nl == std::string::npos ? router_body.size() : nl;
+            if (router_body.compare(pos, 7, "# HELP ") == 0) {
+                std::size_t start = pos + 7;
+                std::size_t sp = router_body.find(' ', start);
+                if (sp != std::string::npos && sp < end)
+                    router_fams.insert(
+                        router_body.substr(start, sp - start));
+                else
+                    router_fams.insert(
+                        router_body.substr(start, end - start));
+            }
+            pos = end + 1;
+        }
+    }
+
+    struct Fam
+    {
+        std::string help;
+        std::string type;
+        std::vector<std::string> samples;
+    };
+    std::vector<std::string> order; // first-seen family order
+    std::map<std::string, Fam> fams;
+
+    for (const auto &[wname, body] : workers) {
+        std::string current;
+        bool skip = false;
+        std::size_t pos = 0;
+        while (pos < body.size()) {
+            std::size_t nl = body.find('\n', pos);
+            std::size_t end =
+                nl == std::string::npos ? body.size() : nl;
+            const std::string line = body.substr(pos, end - pos);
+            pos = end + 1;
+            if (line.empty())
+                continue;
+            const bool is_help = line.rfind("# HELP ", 0) == 0;
+            const bool is_type = line.rfind("# TYPE ", 0) == 0;
+            if (is_help || is_type) {
+                std::size_t sp = line.find(' ', 7);
+                const std::string family = line.substr(
+                    7, (sp == std::string::npos ? line.size()
+                                                : sp) -
+                           7);
+                current = family;
+                skip = router_fams.count(family) > 0;
+                if (skip)
+                    continue;
+                auto fit = fams.find(family);
+                if (fit == fams.end()) {
+                    order.push_back(family);
+                    fit = fams.emplace(family, Fam{}).first;
+                }
+                // HELP/TYPE from the first worker that exposes the
+                // family; all workers run the same binary, so the
+                // texts agree.
+                if (is_help && fit->second.help.empty())
+                    fit->second.help = line;
+                if (is_type && fit->second.type.empty())
+                    fit->second.type = line;
+            } else if (line[0] == '#') {
+                continue; // stray comment: drop, don't corrupt
+            } else {
+                if (skip || current.empty())
+                    continue;
+                fams[current].samples.push_back(
+                    injectWorkerLabel(line, wname));
+            }
+        }
+    }
+
+    for (const std::string &family : order) {
+        const Fam &f = fams[family];
+        if (f.help.empty() || f.type.empty())
+            continue; // headerless family would fail the checker
+        out += f.help;
+        out += '\n';
+        out += f.type;
+        out += '\n';
+        for (const std::string &s : f.samples) {
+            out += s;
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+} // namespace ploop

@@ -1,0 +1,340 @@
+/**
+ * @file
+ * ClusterRouter: one listening endpoint in front of N ploop_serve
+ * workers.  Clients speak the ordinary line protocol; the router
+ * decodes just enough of each request line to compute its semantic
+ * fingerprint (api/fingerprint.hpp's lenient fast path) and forwards
+ * the line to the worker that owns that fingerprint on a consistent-
+ * hash ring -- so repeats of a request land on the worker whose
+ * EvalCache/result cache is already warm, and adding or removing a
+ * worker remaps only ~1/N of the key space.
+ *
+ * Routing policy by op:
+ *  - evaluate / search / sweep / network: fingerprint affinity.
+ *  - ping, health, shutdown: answered by the router itself (ping
+ *    byte-identical to a worker's; shutdown drains the ROUTER only
+ *    -- externally-managed workers keep running, and the --spawn
+ *    tool shuts its children down after run() returns).
+ *  - stats / metrics / save_cache: fanned out to every healthy
+ *    worker and merged (metrics as one Prometheus exposition with a
+ *    worker="host:port" label injected on worker samples).
+ *  - capabilities: proxied to one healthy worker (a fixed ring
+ *    position, so the answer is stable while membership is).
+ *  - anything else (unknown op, missing op): forwarded by a hash of
+ *    the raw line so the WORKER generates the canonical error.
+ *
+ * Correlation: the router owns the worker-side "id" space.  Each
+ * forwarded line gets its top-level "id" replaced IN PLACE with a
+ * router correlation id (JsonValue::replace keeps member order, so
+ * the rewrite cannot perturb the rest of the document); the worker's
+ * echo maps the response back, and the client's original id (or its
+ * absence) is restored before delivery -- responses are byte-
+ * identical to a direct single-worker session.
+ *
+ * Failure policy: a worker connection death fails every in-flight
+ * correlation on it.  Failover::Next re-dispatches each to the
+ * ring's next worker (bounded by the worker count); Failover::Reject
+ * (and exhausted failover) answers with a protocolErrorResponse
+ * carrying code "upstream_unavailable".  A HealthMonitor probes
+ * every worker with `health` ops on an injectable clock; K
+ * consecutive failures eject the worker from the ring (its in-flight
+ * work fails over), one passing probe re-admits it.
+ *
+ * Threading: the router is SINGLE-THREADED -- one poll() loop owns
+ * every socket, table and metric handle, so there are no locks to
+ * get wrong.  The only cross-thread surface is requestStop().
+ */
+
+#ifndef PHOTONLOOP_CLUSTER_ROUTER_HPP
+#define PHOTONLOOP_CLUSTER_ROUTER_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "api/json.hpp"
+#include "cluster/backend.hpp"
+#include "cluster/hash_ring.hpp"
+#include "cluster/health.hpp"
+#include "net/socket.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+
+namespace ploop {
+
+/** Router knobs (the ploop_router tool's command line). */
+struct RouterConfig
+{
+    /** Listen port (0 = kernel-chosen; see ClusterRouter::port()). */
+    std::uint16_t port = 0;
+
+    /** Loopback ports of the ploop_serve workers (duplicates are
+     *  collapsed; the worker's ring name is "127.0.0.1:PORT"). */
+    std::vector<std::uint16_t> worker_ports;
+
+    /** What to do with in-flight requests when their worker dies. */
+    enum class Failover : std::uint8_t {
+        Reject, ///< Answer code "upstream_unavailable" immediately.
+        Next,   ///< Re-dispatch to the ring's next worker first.
+    };
+    Failover failover = Failover::Next;
+
+    /** Virtual nodes per worker on the ring. */
+    unsigned vnodes = HashRing::kDefaultVnodes;
+
+    /** Client connection cap (greet-and-close beyond it). */
+    std::size_t max_connections = 64;
+
+    /** Per-client pipelined-request cap; past it the client's socket
+     *  stops being read (TCP backpressure, not memory growth). */
+    std::size_t max_client_inflight = 64;
+
+    /** Worker reconnect backoff (see BackendConfig). */
+    unsigned backoff_base_ms = 50;
+    unsigned backoff_cap_ms = 2000;
+
+    HealthConfig health;
+
+    /** Bound on the drain after shutdown/requestStop (ms). */
+    int drain_timeout_ms = 5000;
+
+    /** Register ploop_router_* metrics (the router's own `metrics`
+     *  fanout merges them ahead of the workers'). */
+    bool observe = true;
+
+    /** nullptr = steady clock (tests inject ManualClock). */
+    const Clock *clock = nullptr;
+};
+
+/** See file comment. */
+class ClusterRouter
+{
+  public:
+    explicit ClusterRouter(RouterConfig cfg);
+    ~ClusterRouter();
+
+    ClusterRouter(const ClusterRouter &) = delete;
+    ClusterRouter &operator=(const ClusterRouter &) = delete;
+
+    /** Bind the listening socket.  False with a message in
+     *  @p error on failure. */
+    bool open(std::string *error);
+
+    /** The bound port (after open(); the answer to port 0). */
+    std::uint16_t port() const { return listener_.port(); }
+
+    /**
+     * Serve until a `shutdown` request (or requestStop()) drains the
+     * router.  Returns the number of client connections accepted.
+     */
+    std::uint64_t run();
+
+    /** Ask run() to drain and return; callable from any thread. */
+    void requestStop()
+    {
+        // Relaxed: a standalone flag polled once per loop iteration;
+        // no other data is published through it.
+        stop_.store(true, std::memory_order_relaxed);
+    }
+
+    /** The router's own registry (null when observe is off). */
+    MetricsRegistry *metrics() { return metrics_.get(); }
+
+  private:
+    /** One client connection and its in-order response slots. */
+    struct Slot
+    {
+        std::uint64_t seq = 0;
+        bool ready = false;
+        std::string response;
+    };
+
+    struct Client
+    {
+        std::uint64_t id = 0;
+        std::unique_ptr<Connection> conn;
+        LineSplitter in;
+        std::string out;
+        std::size_t out_off = 0;
+        /** Responses are delivered strictly in request order: a slot
+         *  per received line, released only once every earlier slot
+         *  flushed -- pipelined clients correlate positionally. */
+        std::deque<Slot> slots;
+        std::uint64_t next_seq = 1;
+        bool input_closed = false;
+        bool dead = false;
+    };
+
+    enum class PendingKind : std::uint8_t {
+        Forward,    ///< One client line on one worker.
+        Probe,      ///< A router-originated health probe.
+        FanoutPart, ///< One worker's share of a fanned-out op.
+    };
+
+    /** One outstanding worker-side correlation id. */
+    struct Pending
+    {
+        PendingKind kind = PendingKind::Forward;
+        std::string worker;
+        std::uint64_t client = 0;
+        std::uint64_t seq = 0;
+        std::string line;           ///< Original client line.
+        std::string forwarded_line; ///< With "id" = the corr id.
+        bool had_id = false;
+        JsonValue original_id;
+        std::uint64_t fingerprint = 0;
+        unsigned attempts = 1;
+        std::uint64_t fanout = 0; ///< FanoutPart's group.
+        std::uint64_t enqueued_ns = 0;
+    };
+
+    /** One fanned-out request (stats/metrics/save_cache). */
+    struct Fanout
+    {
+        struct Part
+        {
+            std::string worker;
+            bool done = false;
+            bool failed = false;
+            std::string response;
+        };
+
+        std::uint64_t client = 0;
+        std::uint64_t seq = 0;
+        std::string op;
+        std::string line;
+        bool had_id = false;
+        JsonValue original_id;
+        std::vector<Part> parts;
+        std::size_t remaining = 0;
+        std::uint64_t enqueued_ns = 0;
+    };
+
+    void setupMetrics();
+    Counter &opCounter(const std::string &op);
+    Counter &rejectCounter(const std::string &code);
+    Counter &forwardCounter(const std::string &worker);
+
+    void acceptPending();
+    void readFromClient(Client &c);
+    /** By-value @p line: the hot path moves it into the Pending it
+     *  creates instead of copying. */
+    void handleClientLine(Client &c, std::string line);
+    std::uint64_t newSlot(Client &c);
+
+    void handleLocal(Client &c, std::uint64_t seq,
+                     const JsonValue &parsed, const std::string &op);
+    void startFanout(Client &c, std::uint64_t seq,
+                     const std::string &op, const std::string &line,
+                     const JsonValue &parsed);
+    void forward(Client &c, std::uint64_t seq, std::string line,
+                 const JsonValue &parsed,
+                 std::uint64_t fingerprint);
+
+    /** send() through the named backend, striking its health record
+     *  when the connection died under the write. */
+    bool sendTo(const std::string &worker, std::uint64_t corr,
+                const std::string &line,
+                std::vector<std::uint64_t> &collateral);
+
+    void handleWorkerResponse(const std::string &worker,
+                              const std::string &line);
+    /** Drain a failed-corr list, including the collateral failures
+     *  re-dispatching can itself produce. */
+    void drainFailed(std::vector<std::uint64_t> &failed);
+    void failoverOrReject(std::uint64_t corr,
+                          std::vector<std::uint64_t> &collateral);
+    void rejectPending(Pending done);
+    void fanoutPartDone(std::uint64_t corr, bool failed,
+                        const std::string &response);
+    void finalizeFanout(std::uint64_t fanout_id);
+
+    void sendProbes();
+    void probeFail(const std::string &worker,
+                   std::vector<std::uint64_t> &collateral);
+    void strike(const std::string &worker,
+                std::vector<std::uint64_t> &collateral);
+    /** By-value @p worker: callers may hold a reference into the
+     *  ring's membership vector, which an ejection invalidates. */
+    void applyTransition(std::string worker,
+                         HealthMonitor::Transition t,
+                         std::vector<std::uint64_t> &collateral);
+
+    void resolve(std::uint64_t client, std::uint64_t seq,
+                 std::string response);
+    void flushClients();
+    void reapClients();
+    bool allClientsFlushed() const;
+    /** Forward/fanout work still owed to clients (probes excluded --
+     *  they must not hold the drain open). */
+    bool busyPending() const;
+    void beginDrain();
+
+    JsonValue routerStatsJson() const;
+
+    RouterConfig cfg_;
+    TcpListener listener_;
+    std::vector<std::string> worker_names_; ///< Sorted, unique.
+    std::map<std::string, Backend> backends_;
+    HashRing ring_;
+    HealthMonitor health_;
+
+    std::map<std::uint64_t, Client> clients_;
+    /** Hot per-request insert/find/erase: hashed, not ordered. */
+    std::unordered_map<std::uint64_t, Pending> pending_;
+    std::map<std::uint64_t, Fanout> fanouts_;
+    std::map<std::string, std::uint64_t> probe_corr_;
+
+    std::uint64_t next_client_ = 1;
+    /** Correlation ids start at 2^40: still exact in a JSON double,
+     *  but far above any integer a response body contains, which is
+     *  what licenses handleWorkerResponse's textual fast path. */
+    std::uint64_t next_corr_ = (1ull << 40) + 1;
+    std::uint64_t next_fanout_ = 1;
+    std::uint64_t accepted_ = 0;
+    std::uint64_t started_ns_ = 0;
+
+    std::atomic<bool> stop_{false};
+    bool draining_ = false;
+    std::uint64_t drain_deadline_ns_ = 0;
+
+    /** readFromClient scratch (single-threaded; avoids per-read
+     *  allocation on the lockstep hot path). */
+    std::string scratch_data_;
+    std::vector<std::string> scratch_lines_;
+
+    std::unique_ptr<MetricsRegistry> metrics_;
+    std::map<std::string, Counter *> op_counters_;
+    std::map<std::string, Counter *> reject_counters_;
+    std::map<std::string, Counter *> forward_counters_;
+    Counter *failovers_ = nullptr;
+    Counter *probes_total_ = nullptr;
+    Counter *probe_failures_ = nullptr;
+    Counter *ejections_ = nullptr;
+    Counter *readmissions_ = nullptr;
+    Histogram *request_hist_ = nullptr;
+    std::vector<std::uint64_t> metric_ids_;
+};
+
+/**
+ * Merge worker `metrics` bodies into the router's own exposition:
+ * router families first (ploop_router_*), then each worker family
+ * once (HELP/TYPE from its first appearance) with every sample
+ * re-labeled worker="<name>" so series from different workers stay
+ * distinct.  Worker families that collide with a router family are
+ * dropped rather than corrupting the exposition.  Exposed for unit
+ * tests; the merged text passes tools/check_prometheus.py.
+ */
+std::string mergeWorkerMetrics(
+    const std::string &router_body,
+    const std::vector<std::pair<std::string, std::string>> &workers);
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_CLUSTER_ROUTER_HPP

@@ -15,6 +15,7 @@
 #include <unistd.h>
 
 #include "api/json.hpp"
+#include "net/socket.hpp"
 
 namespace ploop {
 
@@ -22,36 +23,20 @@ bool
 LineClient::connect(std::uint16_t port, int timeout_ms)
 {
     close();
-    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd_ < 0)
-        return false;
-    int one = 1;
-    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(port);
 
     // Non-blocking connect so the handshake can be bounded: a
     // blocking connect() to a wedged server (listening socket alive,
     // accept loop stuck) can hang for the kernel's SYN-retry
-    // schedule -- minutes.  EINPROGRESS + poll(POLLOUT) + SO_ERROR
-    // is the classic bounded form; the socket reverts to blocking
-    // before data I/O.
-    int flags = ::fcntl(fd_, F_GETFL, 0);
-    if (flags < 0 ||
-        ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) < 0) {
-        close();
+    // schedule -- minutes.  startLoopbackConnect() (shared with the
+    // cluster router's backend connections) + poll(POLLOUT) +
+    // finishLoopbackConnect() is the classic bounded form; the
+    // socket reverts to blocking before data I/O.
+    bool in_progress = false;
+    fd_ = startLoopbackConnect(port, in_progress);
+    if (fd_ < 0)
         return false;
-    }
 
-    int rc = ::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
-                       sizeof(addr));
-    if (rc < 0 && errno != EINPROGRESS && errno != EINTR) {
-        close();
-        return false;
-    }
-    if (rc < 0) {
+    if (in_progress) {
         // Wait for writability within the deadline, surviving EINTR
         // with the REMAINING time (not the full timeout again).
         auto deadline = std::chrono::steady_clock::now() +
@@ -81,17 +66,16 @@ LineClient::connect(std::uint16_t port, int timeout_ms)
             }
             break;
         }
-        int soerr = 0;
-        socklen_t len = sizeof(soerr);
-        if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &soerr, &len) <
-                0 ||
-            soerr != 0) {
+        if (!finishLoopbackConnect(fd_)) {
             close();
             return false;
         }
     }
 
-    if (::fcntl(fd_, F_SETFL, flags) < 0) { // restore blocking mode
+    // Restore blocking mode (LineClient's contract is blocking I/O).
+    int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (flags < 0 ||
+        ::fcntl(fd_, F_SETFL, flags & ~O_NONBLOCK) < 0) {
         close();
         return false;
     }

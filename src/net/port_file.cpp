@@ -1,0 +1,85 @@
+#include "net/port_file.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace ploop {
+
+bool
+writePortFile(const std::string &path, std::uint16_t port,
+              std::string *error)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out.is_open()) {
+        if (error)
+            *error = "cannot write port file '" + path + "'";
+        return false;
+    }
+    out << port << "\n";
+    out.flush();
+    if (!out) {
+        if (error)
+            *error = "short write to port file '" + path + "'";
+        return false;
+    }
+    return true;
+}
+
+int
+parsePortFileText(const std::string &text)
+{
+    std::size_t nl = text.find('\n');
+    if (nl == std::string::npos)
+        return -1; // incomplete line: writer may be mid-write
+    std::string line = text.substr(0, nl);
+    // Tolerate CR (a hand-written file) and surrounding spaces.
+    while (!line.empty() &&
+           (line.back() == '\r' || line.back() == ' ' ||
+            line.back() == '\t'))
+        line.pop_back();
+    std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos)
+        return -1;
+    line.erase(0, first);
+    if (line.empty() || line.size() > 5)
+        return -1;
+    long value = 0;
+    for (char c : line) {
+        if (c < '0' || c > '9')
+            return -1;
+        value = value * 10 + (c - '0');
+    }
+    if (value < 1 || value > 65535)
+        return -1;
+    return static_cast<int>(value);
+}
+
+int
+readPortFile(const std::string &path, int wait_ms,
+             std::string *error)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(wait_ms < 0 ? 0 : wait_ms);
+    for (;;) {
+        std::ifstream in(path);
+        if (in.is_open()) {
+            std::ostringstream content;
+            content << in.rdbuf();
+            int port = parsePortFileText(content.str());
+            if (port > 0)
+                return port;
+        }
+        if (std::chrono::steady_clock::now() >= deadline)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    if (error)
+        *error = "no valid port in '" + path + "' after " +
+                 std::to_string(wait_ms < 0 ? 0 : wait_ms) + "ms";
+    return -1;
+}
+
+} // namespace ploop

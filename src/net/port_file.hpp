@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The port-file handshake, in one place: a server that bound an
+ * ephemeral port (--listen 0) writes "PORT\n" to a file; whoever
+ * launched it (shell scripts, ploop_client --port-file, the cluster
+ * router's --spawn path) polls the file until the line appears.
+ *
+ * The write is line-atomic from the reader's perspective: readers
+ * require the trailing newline before trusting the content, so a
+ * reader that races the writer mid-write simply retries instead of
+ * parsing a truncated number.  Previously each tool hand-rolled
+ * this; the duplicated variants disagreed on exactly these races.
+ */
+
+#ifndef PHOTONLOOP_NET_PORT_FILE_HPP
+#define PHOTONLOOP_NET_PORT_FILE_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace ploop {
+
+/**
+ * Write @p port to @p path as "PORT\n" (truncating).  False with a
+ * message in @p error when the file cannot be written.
+ */
+bool writePortFile(const std::string &path, std::uint16_t port,
+                   std::string *error = nullptr);
+
+/**
+ * Parse port-file CONTENT: a single line holding one integer in
+ * [1, 65535], terminated by '\n' (surrounding spaces tolerated,
+ * trailing junk rejected).  Returns -1 on anything else -- including
+ * a missing terminator, which means the writer may still be mid-
+ * write and the caller should retry.
+ */
+int parsePortFileText(const std::string &text);
+
+/**
+ * Read a port file, polling until it exists and holds a complete
+ * line (the writer may not have started yet -- the normal handshake
+ * race when the server was just forked).  @p wait_ms bounds the
+ * wait (0 = single attempt).  Returns the port, or -1 with a
+ * message in @p error on timeout or malformed content.
+ */
+int readPortFile(const std::string &path, int wait_ms,
+                 std::string *error = nullptr);
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_NET_PORT_FILE_HPP

@@ -330,6 +330,49 @@ Connection::writeSome(const std::string &data, std::size_t &offset)
     return IoStatus::Ok;
 }
 
+// ------------------------------------------- client-side connect
+
+int
+startLoopbackConnect(std::uint16_t port, bool &in_progress)
+{
+    in_progress = false;
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (!setNonBlocking(fd)) {
+        ::close(fd);
+        return -1;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    int rc = ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+    if (rc == 0)
+        return fd;
+    // EINTR on a non-blocking connect means the handshake continues
+    // asynchronously, exactly like EINPROGRESS (POSIX).
+    if (errno == EINPROGRESS || errno == EINTR) {
+        in_progress = true;
+        return fd;
+    }
+    ::close(fd);
+    return -1;
+}
+
+bool
+finishLoopbackConnect(int fd)
+{
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    return ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) ==
+               0 &&
+           soerr == 0;
+}
+
 // ------------------------------------------------------ TcpListener
 
 bool

@@ -204,6 +204,27 @@ class Connection
     std::unique_ptr<FaultState> faults_; ///< Null when injection off.
 };
 
+/**
+ * Begin a NON-BLOCKING loopback connect to 127.0.0.1:@p port
+ * (TCP_NODELAY set): the client-side twin of TcpListener, extracted
+ * from LineClient so poll()-loop callers (the cluster router's
+ * backend connections) can share the connect details with the
+ * blocking client instead of re-deriving them.
+ *
+ * Returns the fd with the handshake either already complete
+ * (@p in_progress false) or underway (@p in_progress true: wait for
+ * POLLOUT, then call finishLoopbackConnect()); -1 on immediate
+ * failure.  The fd stays non-blocking -- Connection's native mode.
+ */
+int startLoopbackConnect(std::uint16_t port, bool &in_progress);
+
+/**
+ * Resolve an in-progress connect after POLLOUT fired: true when the
+ * handshake succeeded (SO_ERROR clear), false when it failed (the
+ * caller owns closing the fd either way it chooses).
+ */
+bool finishLoopbackConnect(int fd);
+
 /** Loopback TCP listener (see file comment). */
 class TcpListener
 {

@@ -1,0 +1,15 @@
+// Fixture: a hand-rolled {"ok":false,...} protocol error in
+// src/cluster/ -> error-response must fire (the router's rejects
+// must route through protocolErrorResponse() so op/id echo and the
+// code/retry_after_ms contract hold for routed clients too).
+#include <string>
+
+namespace ploop {
+
+std::string
+rejectUpstreamByHand()
+{
+    return "{\"ok\":false,\"error\":\"upstream unavailable\"}";
+}
+
+} // namespace ploop

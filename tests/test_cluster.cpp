@@ -1,0 +1,673 @@
+/** @file Tests for the cluster subsystem (src/cluster/): hash-ring
+ *  determinism / remap / balance, health-probe ejection schedules on
+ *  a ManualClock, the port-file handshake, the lenient routing
+ *  fingerprint's parity with the strict decoder, the Prometheus
+ *  merge, and an in-process router-plus-two-workers cluster
+ *  asserting byte-identical responses, cache affinity and failover
+ *  (the process-boundary twin lives in tools/cluster_smoke.sh). */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/codec.hpp"
+#include "api/fingerprint.hpp"
+#include "api/json.hpp"
+#include "cluster/hash_ring.hpp"
+#include "cluster/health.hpp"
+#include "cluster/router.hpp"
+#include "common/math_util.hpp"
+#include "net/line_client.hpp"
+#include "net/port_file.hpp"
+#include "net/server.hpp"
+#include "obs/clock.hpp"
+#include "service/serve_session.hpp"
+
+namespace ploop {
+namespace {
+
+// ---------------------------------------------------------- HashRing
+
+std::vector<std::uint64_t>
+sampleKeys(std::size_t n)
+{
+    std::vector<std::uint64_t> keys;
+    keys.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        keys.push_back(mix64(i + 1));
+    return keys;
+}
+
+TEST(HashRing, EmptyRingLooksUpNothing)
+{
+    HashRing ring;
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.lookup(42), nullptr);
+    EXPECT_EQ(ring.next(42, "a"), nullptr);
+
+    ring.add("a");
+    EXPECT_NE(ring.lookup(42), nullptr);
+    // One worker: there is no DISTINCT next.
+    EXPECT_EQ(ring.next(42, "a"), nullptr);
+    ring.remove("a");
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.lookup(42), nullptr);
+}
+
+TEST(HashRing, DeterministicAcrossInstancesAndInsertionOrder)
+{
+    // A restarted router (fresh ring, any construction order) must
+    // route every fingerprint to the same worker.
+    HashRing a, b;
+    for (const char *w : {"w0", "w1", "w2", "w3"})
+        a.add(w);
+    for (const char *w : {"w3", "w1", "w0", "w2"})
+        b.add(w);
+
+    for (std::uint64_t key : sampleKeys(10000)) {
+        ASSERT_NE(a.lookup(key), nullptr);
+        EXPECT_EQ(*a.lookup(key), *b.lookup(key));
+    }
+}
+
+TEST(HashRing, RemovalRemapsAboutOneNth)
+{
+    // The consistent-hashing contract: ejecting one of N workers
+    // moves ~1/N of the keyspace, and NEVER moves a key that was not
+    // owned by the removed worker.
+    const std::size_t kKeys = 10000;
+    HashRing ring;
+    for (const char *w : {"w0", "w1", "w2", "w3"})
+        ring.add(w);
+
+    std::vector<std::uint64_t> keys = sampleKeys(kKeys);
+    std::map<std::uint64_t, std::string> before;
+    for (std::uint64_t key : keys)
+        before[key] = *ring.lookup(key);
+
+    ring.remove("w2");
+    std::size_t moved = 0;
+    for (std::uint64_t key : keys) {
+        const std::string &now = *ring.lookup(key);
+        if (before[key] == "w2") {
+            ++moved;
+            EXPECT_NE(now, "w2");
+        } else {
+            // Survivors keep their keys: this is what preserves the
+            // other workers' warm caches through an ejection.
+            EXPECT_EQ(now, before[key]);
+        }
+    }
+    // w2 owned ~1/4 of the keyspace (vnode balance bounds the
+    // share); far from the ~100% a modulo scheme would remap.
+    EXPECT_GT(moved, kKeys / 8);
+    EXPECT_LT(moved, kKeys / 2);
+
+    // Re-adding restores the exact old placement (determinism).
+    ring.add("w2");
+    for (std::uint64_t key : keys)
+        EXPECT_EQ(*ring.lookup(key), before[key]);
+}
+
+TEST(HashRing, VnodeBalanceKeepsSharesWithinOnePointFive)
+{
+    HashRing ring(64);
+    for (const char *w : {"w0", "w1", "w2", "w3"})
+        ring.add(w);
+
+    std::map<std::string, std::size_t> share;
+    for (std::uint64_t key : sampleKeys(10000))
+        ++share[*ring.lookup(key)];
+
+    ASSERT_EQ(share.size(), 4u); // every worker owns some keys
+    std::size_t min = SIZE_MAX, max = 0;
+    for (const auto &entry : share) {
+        min = std::min(min, entry.second);
+        max = std::max(max, entry.second);
+    }
+    EXPECT_LT(double(max) / double(min), 1.5)
+        << "max share " << max << " vs min share " << min;
+}
+
+TEST(HashRing, NextSkipsTheDeadWorkerButStaysOnTheRing)
+{
+    HashRing ring;
+    for (const char *w : {"w0", "w1", "w2"})
+        ring.add(w);
+    for (std::uint64_t key : sampleKeys(500)) {
+        const std::string owner = *ring.lookup(key);
+        const std::string *fo = ring.next(key, owner);
+        ASSERT_NE(fo, nullptr);
+        EXPECT_NE(*fo, owner);
+        EXPECT_TRUE(ring.contains(*fo));
+
+        // And the failover target is exactly where the key lands
+        // once the owner is ejected -- failover agrees with the
+        // post-ejection ring, so retried requests stay affine.
+        HashRing after = ring;
+        after.remove(owner);
+        EXPECT_EQ(*after.lookup(key), *fo);
+    }
+}
+
+// ----------------------------------------------------- HealthMonitor
+
+TEST(HealthMonitor, EjectsAfterKConsecutiveFailuresReadmitsOnPass)
+{
+    HealthConfig cfg;
+    cfg.probe_interval_ms = 100;
+    cfg.probe_timeout_ms = 50;
+    cfg.eject_after = 3;
+    ManualClock clock;
+    HealthMonitor mon(cfg, &clock);
+    mon.addWorker("w");
+
+    using T = HealthMonitor::Transition;
+    EXPECT_TRUE(mon.healthy("w"));
+    EXPECT_EQ(mon.onProbeFail("w"), T::None);
+    EXPECT_EQ(mon.onProbeFail("w"), T::None);
+    EXPECT_TRUE(mon.healthy("w")); // two strikes: still in the ring
+    EXPECT_EQ(mon.onProbeFail("w"), T::Ejected); // third strike
+    EXPECT_FALSE(mon.healthy("w"));
+    EXPECT_EQ(mon.healthyCount(), 0u);
+    // Further failures keep it out without re-ejecting.
+    EXPECT_EQ(mon.onProbeFail("w"), T::None);
+
+    // ONE passing probe re-admits (and resets the strike count).
+    EXPECT_EQ(mon.onProbePass("w"), T::Readmitted);
+    EXPECT_TRUE(mon.healthy("w"));
+    EXPECT_EQ(mon.consecutiveFailures("w"), 0u);
+    EXPECT_EQ(mon.onProbePass("w"), T::None);
+}
+
+TEST(HealthMonitor, ProbeScheduleOnAManualClock)
+{
+    HealthConfig cfg;
+    cfg.probe_interval_ms = 100;
+    cfg.probe_timeout_ms = 50;
+    ManualClock clock;
+    HealthMonitor mon(cfg, &clock);
+    mon.addWorker("a");
+    mon.addWorker("b");
+
+    // First round is due immediately; marking outstanding means no
+    // duplicate probes while one is in flight.
+    std::vector<std::string> due = mon.dueProbes();
+    ASSERT_EQ(due.size(), 2u);
+    EXPECT_TRUE(mon.dueProbes().empty());
+
+    // Before the timeout nothing expires; after it, both do.
+    clock.advanceNs(49ull * 1000 * 1000);
+    EXPECT_TRUE(mon.expiredProbes().empty());
+    clock.advanceNs(2ull * 1000 * 1000);
+    std::vector<std::string> expired = mon.expiredProbes();
+    ASSERT_EQ(expired.size(), 2u);
+    for (const std::string &w : expired)
+        mon.onProbeFail(w);
+
+    // Answering one worker's next probe keeps its schedule: not due
+    // again until a full interval after the SEND time.
+    clock.advanceNs(100ull * 1000 * 1000);
+    due = mon.dueProbes();
+    ASSERT_EQ(due.size(), 2u);
+    EXPECT_EQ(mon.onProbePass("a"), HealthMonitor::Transition::None);
+    EXPECT_TRUE(mon.dueProbes().empty());
+    clock.advanceNs(100ull * 1000 * 1000);
+    due = mon.dueProbes();
+    // b's probe is still outstanding (will expire); a's is due.
+    ASSERT_EQ(due.size(), 1u);
+    EXPECT_EQ(due[0], "a");
+}
+
+// --------------------------------------------------------- port file
+
+TEST(PortFile, RoundTripAndHandshakeRaces)
+{
+    std::string path =
+        testing::TempDir() + "/ploop_port_file_test.port";
+    std::string error;
+    ASSERT_TRUE(writePortFile(path, 43210, &error)) << error;
+    EXPECT_EQ(readPortFile(path, 0, &error), 43210) << error;
+
+    // Content-level contract: the trailing newline is the writer's
+    // commit mark; without it the reader treats the file as still
+    // being written (retry, not error).
+    EXPECT_EQ(parsePortFileText("43210\n"), 43210);
+    EXPECT_EQ(parsePortFileText(" 43210 \n"), 43210);
+    EXPECT_EQ(parsePortFileText("43210"), -1);   // mid-write
+    EXPECT_EQ(parsePortFileText(""), -1);
+    EXPECT_EQ(parsePortFileText("0\n"), -1);     // out of range
+    EXPECT_EQ(parsePortFileText("65536\n"), -1); // out of range
+    EXPECT_EQ(parsePortFileText("4321x\n"), -1); // trailing junk
+    EXPECT_EQ(parsePortFileText("port\n"), -1);
+
+    // A missing file fails fast when wait_ms is 0.
+    EXPECT_EQ(readPortFile(path + ".nope", 0, &error), -1);
+    EXPECT_FALSE(error.empty());
+    std::remove(path.c_str());
+}
+
+// --------------------------------------- routing fingerprint parity
+
+TEST(RoutingFingerprint, LenientFastPathMatchesStrictDecode)
+{
+    // The contract that makes consistent-hash placement equal cache
+    // affinity: for any line the strict codec accepts, the router's
+    // lenient fingerprint equals requestFingerprint() of the strict
+    // decode (the workers' ResultCache key).
+    const char *kLines[] = {
+        "{\"op\":\"search\",\"id\":1,\"layer\":{\"name\":\"c\","
+        "\"k\":16,\"c\":16,\"p\":7,\"q\":7,\"r\":3,\"s\":3},"
+        "\"options\":{\"random_samples\":12,"
+        "\"hill_climb_rounds\":2,\"seed\":5}}",
+        "{\"op\":\"evaluate\",\"layer\":{\"k\":32,\"c\":16,"
+        "\"p\":14,\"q\":14,\"r\":3,\"s\":3}}",
+        "{\"op\":\"sweep\",\"layer\":{\"k\":16,\"c\":16,\"p\":7,"
+        "\"q\":7,\"r\":3,\"s\":3},\"grid\":[{\"knob\":"
+        "\"output_reuse\",\"values\":[4,9]}],\"options\":"
+        "{\"random_samples\":10,\"hill_climb_rounds\":2}}",
+        "{\"op\":\"network\",\"network\":\"tiny\",\"batch\":2}",
+    };
+    for (const char *text : kLines) {
+        std::optional<JsonValue> parsed = parseJson(text);
+        ASSERT_TRUE(parsed) << text;
+        std::optional<std::uint64_t> fast =
+            requestLineFingerprint(*parsed);
+        ASSERT_TRUE(fast) << text;
+
+        const std::string op = parsed->get("op")->asString();
+        std::uint64_t strict = 0;
+        if (op == "search")
+            strict = requestFingerprint(
+                decodeRequestJson<SearchRequest>(*parsed));
+        else if (op == "evaluate")
+            strict = requestFingerprint(
+                decodeRequestJson<EvaluateRequest>(*parsed));
+        else if (op == "sweep")
+            strict = requestFingerprint(
+                decodeRequestJson<SweepRequest>(*parsed));
+        else
+            strict = requestFingerprint(
+                decodeRequestJson<NetworkRequest>(*parsed));
+        EXPECT_EQ(*fast, strict) << text;
+    }
+
+    // Key order must not matter (fingerprints are computed over
+    // decoded fields, not wire bytes).
+    std::optional<JsonValue> a = parseJson(
+        "{\"op\":\"evaluate\",\"layer\":{\"k\":32,\"c\":16,"
+        "\"p\":14,\"q\":14,\"r\":3,\"s\":3}}");
+    std::optional<JsonValue> b = parseJson(
+        "{\"layer\":{\"s\":3,\"r\":3,\"q\":14,\"p\":14,\"c\":16,"
+        "\"k\":32},\"op\":\"evaluate\"}");
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(requestLineFingerprint(*a), requestLineFingerprint(*b));
+
+    // Session-level ops are not fingerprintable: policy, not hash.
+    for (const char *line :
+         {"{\"op\":\"ping\"}", "{\"op\":\"stats\"}", "{}",
+          "{\"op\":\"shutdown\"}", "[1,2]"}) {
+        std::optional<JsonValue> parsed = parseJson(line);
+        ASSERT_TRUE(parsed) << line;
+        EXPECT_FALSE(requestLineFingerprint(*parsed)) << line;
+    }
+}
+
+// --------------------------------------------- JsonValue id rewrite
+
+TEST(JsonValueRewrite, ReplacePreservesMemberOrderRemoveDrops)
+{
+    // The router's correlation rewrite depends on replace() keeping
+    // member order (the forwarded line must differ from the client's
+    // ONLY in the id value) and remove() dropping cleanly.
+    std::optional<JsonValue> parsed = parseJson(
+        "{\"op\":\"search\",\"id\":\"abc\",\"layer\":{\"k\":1}}");
+    ASSERT_TRUE(parsed);
+    parsed->replace("id", JsonValue::number(7));
+    EXPECT_EQ(parsed->serialize(),
+              "{\"op\":\"search\",\"id\":7,\"layer\":{\"k\":1}}");
+
+    // replace() on an absent key appends (the no-client-id case).
+    std::optional<JsonValue> bare = parseJson("{\"op\":\"ping\"}");
+    ASSERT_TRUE(bare);
+    bare->replace("id", JsonValue::number(9));
+    EXPECT_EQ(bare->serialize(), "{\"op\":\"ping\",\"id\":9}");
+    bare->remove("id");
+    EXPECT_EQ(bare->serialize(), "{\"op\":\"ping\"}");
+    bare->remove("id"); // idempotent
+    EXPECT_EQ(bare->serialize(), "{\"op\":\"ping\"}");
+}
+
+// ------------------------------------------------ Prometheus merge
+
+TEST(MergeWorkerMetrics, LabelsWorkerSamplesAndKeepsStructure)
+{
+    const std::string router_body =
+        "# HELP ploop_router_failovers_total Failovers.\n"
+        "# TYPE ploop_router_failovers_total counter\n"
+        "ploop_router_failovers_total 1\n";
+    const std::string w1 =
+        "# HELP ploop_requests_total Requests.\n"
+        "# TYPE ploop_requests_total counter\n"
+        "ploop_requests_total{op=\"search\"} 3\n"
+        "ploop_requests_total{op=\"ping\"} 2\n"
+        "# HELP ploop_uptime_seconds Uptime.\n"
+        "# TYPE ploop_uptime_seconds gauge\n"
+        "ploop_uptime_seconds 5\n";
+    const std::string w2 =
+        "# HELP ploop_requests_total Requests.\n"
+        "# TYPE ploop_requests_total counter\n"
+        "ploop_requests_total{op=\"search\"} 4\n";
+
+    const std::string merged = mergeWorkerMetrics(
+        router_body, {{"127.0.0.1:1111", w1}, {"127.0.0.1:2222", w2}});
+
+    // Router families come through untouched and first.
+    EXPECT_EQ(merged.find("# HELP ploop_router_failovers_total"), 0u);
+    // Every worker sample gains a worker label; existing labels are
+    // extended, bare names get a fresh label set.
+    EXPECT_NE(merged.find("ploop_requests_total{worker=\"127.0.0.1:"
+                          "1111\",op=\"search\"} 3"),
+              std::string::npos);
+    EXPECT_NE(merged.find("ploop_requests_total{worker=\"127.0.0.1:"
+                          "2222\",op=\"search\"} 4"),
+              std::string::npos);
+    EXPECT_NE(merged.find("ploop_uptime_seconds{worker=\"127.0.0.1:"
+                          "1111\"} 5"),
+              std::string::npos);
+
+    // One family header per family, samples contiguous under it, no
+    // blank lines: the shape tools/check_prometheus.py enforces.
+    std::set<std::string> help_seen;
+    std::size_t pos = 0;
+    bool blank = false;
+    while (pos < merged.size()) {
+        std::size_t eol = merged.find('\n', pos);
+        ASSERT_NE(eol, std::string::npos); // newline-terminated
+        std::string line = merged.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.empty())
+            blank = true;
+        if (line.rfind("# HELP ", 0) == 0)
+            EXPECT_TRUE(
+                help_seen.insert(line.substr(7, line.find(' ', 7)))
+                    .second)
+                << "duplicate family header: " << line;
+    }
+    EXPECT_FALSE(blank);
+
+    // A worker family colliding with a router family is dropped
+    // (never a duplicate exposition), not merged in.
+    const std::string evil =
+        "# HELP ploop_router_failovers_total Fake.\n"
+        "# TYPE ploop_router_failovers_total counter\n"
+        "ploop_router_failovers_total 999\n";
+    const std::string guarded =
+        mergeWorkerMetrics(router_body, {{"127.0.0.1:3333", evil}});
+    EXPECT_EQ(guarded.find("999"), std::string::npos);
+}
+
+// ------------------------------------------------- in-process e2e
+
+/** A worker: one warm ServeSession behind a NetServer on an
+ *  ephemeral port (mirrors test_net.cpp's ServedSession). */
+struct Worker
+{
+    ServeSession session;
+    NetServer server;
+    std::thread thread;
+
+    Worker() : session(tcpConfig()), server(session, NetConfig{})
+    {
+        std::string error;
+        if (!server.open(&error))
+            ADD_FAILURE() << error;
+        thread = std::thread([this] { server.run(); });
+    }
+
+    static ServeConfig tcpConfig()
+    {
+        ServeConfig cfg;
+        cfg.transport = "tcp";
+        return cfg;
+    }
+
+    std::uint16_t port() const { return server.port(); }
+
+    void shutdown()
+    {
+        if (!thread.joinable())
+            return;
+        for (int attempt = 0;
+             attempt < 500 && !session.shutdownRequested();
+             ++attempt) {
+            LineClient killer(port());
+            if (killer.connected() &&
+                !killer.roundTrip("{\"op\":\"shutdown\"}").empty())
+                break;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(5));
+        }
+        thread.join();
+    }
+
+    ~Worker() { shutdown(); }
+};
+
+/** A router over the given workers, running on its own thread. */
+struct RoutedCluster
+{
+    ClusterRouter router;
+    std::thread thread;
+
+    explicit RoutedCluster(RouterConfig cfg) : router(std::move(cfg))
+    {
+        std::string error;
+        if (!router.open(&error))
+            ADD_FAILURE() << error;
+        thread = std::thread([this] { router.run(); });
+    }
+
+    std::uint16_t port() const { return router.port(); }
+
+    void shutdown()
+    {
+        if (!thread.joinable())
+            return;
+        LineClient killer(port());
+        if (killer.connected())
+            killer.roundTrip("{\"op\":\"shutdown\"}");
+        else
+            router.requestStop();
+        thread.join();
+    }
+
+    ~RoutedCluster()
+    {
+        if (thread.joinable()) {
+            router.requestStop();
+            thread.join();
+        }
+    }
+};
+
+const char *kSearchLine =
+    "{\"op\":\"search\",\"id\":1,\"layer\":{\"name\":\"c\","
+    "\"k\":16,\"c\":16,\"p\":7,\"q\":7,\"r\":3,\"s\":3},"
+    "\"options\":{\"random_samples\":12,\"hill_climb_rounds\":2,"
+    "\"seed\":5}}";
+
+/** Drop the one nondeterministic response field (wall-clock timing
+ *  in search stats) so byte-level comparisons see only semantics. */
+std::string
+stripWallTime(std::string s)
+{
+    const std::string key = "\"wall_time_s\":";
+    const std::size_t pos = s.find(key);
+    if (pos == std::string::npos)
+        return s;
+    std::size_t end = s.find_first_of(",}", pos + key.size());
+    if (end == std::string::npos)
+        return s;
+    if (pos > 0 && s[pos - 1] == ',')
+        s.erase(pos - 1, end - pos + 1);
+    else
+        s.erase(pos, end - pos);
+    return s;
+}
+
+std::string
+getStr(const std::string &resp, const char *key)
+{
+    std::optional<JsonValue> parsed = parseJson(resp);
+    if (!parsed || !parsed->isObject() || !parsed->get(key))
+        return std::string();
+    const JsonValue *v = parsed->get(key);
+    return v->isString() ? v->asString() : v->serialize();
+}
+
+TEST(ClusterRouter, ForwardedResponsesAreByteIdenticalAndAffine)
+{
+    Worker w1, w2;
+    // A direct single-worker session is the byte-identity oracle.
+    Worker oracle;
+
+    RouterConfig cfg;
+    cfg.worker_ports = {w1.port(), w2.port()};
+    // No probes during the test window: health timing is covered on
+    // the ManualClock tests; here the workers are simply alive.
+    cfg.health.probe_interval_ms = 60 * 1000;
+    RoutedCluster cluster(cfg);
+
+    LineClient via_router(cluster.port());
+    LineClient direct(oracle.port());
+    ASSERT_TRUE(via_router.connected());
+    ASSERT_TRUE(direct.connected());
+
+    // ping: answered by the router, byte-identical to a worker's.
+    EXPECT_EQ(via_router.roundTrip("{\"op\":\"ping\",\"id\":\"p\"}"),
+              direct.roundTrip("{\"op\":\"ping\",\"id\":\"p\"}"));
+
+    // A forwarded search: byte-identical to the direct session,
+    // including the id round-trip through the router's correlation
+    // rewrite.
+    const std::string routed = via_router.roundTrip(kSearchLine);
+    const std::string ref = direct.roundTrip(kSearchLine);
+    ASSERT_FALSE(routed.empty());
+    EXPECT_EQ(stripWallTime(routed), stripWallTime(ref));
+    EXPECT_EQ(getStr(routed, "from_result_cache"), "false");
+
+    // The repeat hits the SAME worker's ResultCache: affinity.
+    const std::string repeat = via_router.roundTrip(kSearchLine);
+    EXPECT_EQ(getStr(repeat, "from_result_cache"), "true");
+    EXPECT_EQ(getStr(repeat, "mapping_key"),
+              getStr(routed, "mapping_key"));
+
+    // Requests without an id come back without one.
+    std::string no_id = kSearchLine;
+    no_id.erase(no_id.find(",\"id\":1"), 7);
+    const std::string bare = via_router.roundTrip(no_id);
+    ASSERT_FALSE(bare.empty());
+    EXPECT_EQ(getStr(bare, "id"), "");
+    EXPECT_EQ(getStr(bare, "from_result_cache"), "true");
+
+    // Errors: bad JSON and non-object lines are answered by the
+    // router with the worker's exact bytes for the same input.
+    EXPECT_EQ(via_router.roundTrip("not json"),
+              direct.roundTrip("not json"));
+    EXPECT_EQ(via_router.roundTrip("[1,2]"),
+              direct.roundTrip("[1,2]"));
+
+    // An unknown op is forwarded so the WORKER authors the error.
+    const std::string unknown =
+        via_router.roundTrip("{\"op\":\"bogus\",\"id\":9}");
+    EXPECT_EQ(unknown, direct.roundTrip("{\"op\":\"bogus\",\"id\":9}"));
+
+    // stats fans out: a router section plus one row per worker.
+    const std::string stats =
+        via_router.roundTrip("{\"op\":\"stats\",\"id\":\"s\"}");
+    EXPECT_NE(stats.find("\"router\":{"), std::string::npos);
+    EXPECT_NE(stats.find("\"workers\":["), std::string::npos);
+    EXPECT_EQ(getStr(stats, "ok"), "true");
+    EXPECT_EQ(getStr(stats, "id"), "s");
+
+    // metrics fans out into ONE merged exposition with worker
+    // labels (full exposition lint runs in cluster_smoke.sh via
+    // tools/check_prometheus.py).
+    const std::string metrics =
+        via_router.roundTrip("{\"op\":\"metrics\",\"id\":\"m\"}");
+    EXPECT_EQ(getStr(metrics, "ok"), "true");
+    EXPECT_NE(metrics.find("ploop_router_requests_total"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("worker=\\\"127.0.0.1:"),
+              std::string::npos);
+
+    cluster.shutdown();
+}
+
+TEST(ClusterRouter, FailoverNextRedispatchesRejectAnswersCode)
+{
+    // Failover::Next -- kill the owning worker, repeat the request:
+    // it must be re-answered by the surviving worker.
+    Worker w1, w2;
+    RouterConfig cfg;
+    cfg.worker_ports = {w1.port(), w2.port()};
+    cfg.health.probe_interval_ms = 60 * 1000;
+    cfg.failover = RouterConfig::Failover::Next;
+    RoutedCluster cluster(cfg);
+
+    LineClient client(cluster.port());
+    ASSERT_TRUE(client.connected());
+    const std::string first = client.roundTrip(kSearchLine);
+    ASSERT_EQ(getStr(first, "ok"), "true");
+
+    // Find and kill the worker that answered (its session counted a
+    // connection; the other worker's did not serve this search).
+    // Simpler and deterministic: kill BOTH candidates' ability to
+    // answer by shutting one down and checking the repeat works
+    // either way -- with Next, the ring always finds the survivor.
+    w1.shutdown();
+    const std::string after = client.roundTrip(kSearchLine);
+    ASSERT_FALSE(after.empty());
+    EXPECT_EQ(getStr(after, "ok"), "true");
+    EXPECT_EQ(getStr(after, "mapping_key"),
+              getStr(first, "mapping_key"));
+
+    cluster.shutdown();
+}
+
+TEST(ClusterRouter, RejectModeAnswersUpstreamUnavailable)
+{
+    Worker w1;
+    RouterConfig cfg;
+    cfg.worker_ports = {w1.port()};
+    cfg.health.probe_interval_ms = 60 * 1000;
+    cfg.failover = RouterConfig::Failover::Reject;
+    RoutedCluster cluster(cfg);
+
+    LineClient client(cluster.port());
+    ASSERT_TRUE(client.connected());
+    ASSERT_EQ(getStr(client.roundTrip(kSearchLine), "ok"), "true");
+
+    w1.shutdown();
+    // The dead worker is the only ring member: the forward fails and
+    // reject mode answers immediately with the documented code and
+    // the request's op/id echoed (protocolErrorResponse shape).
+    const std::string rejected = client.roundTrip(kSearchLine);
+    ASSERT_FALSE(rejected.empty());
+    EXPECT_EQ(getStr(rejected, "ok"), "false");
+    EXPECT_EQ(getStr(rejected, "code"), "upstream_unavailable");
+    EXPECT_EQ(getStr(rejected, "op"), "search");
+    EXPECT_EQ(getStr(rejected, "id"), "1");
+
+    cluster.shutdown();
+}
+
+} // namespace
+} // namespace ploop

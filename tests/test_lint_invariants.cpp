@@ -147,6 +147,21 @@ TEST(LintInvariants, HandRolledErrorResponseFires)
         << r.output;
 }
 
+TEST(LintInvariants, HandRolledErrorResponseFiresInCluster)
+{
+    REQUIRE_PYTHON();
+    RunResult r = runLinter(fixtureRoot("error_response_cluster"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("error-response"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("src/cluster/bad_response.cpp:12"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("protocolErrorResponse"),
+              std::string::npos)
+        << r.output;
+}
+
 TEST(LintInvariants, MetricNamingFires)
 {
     REQUIRE_PYTHON();

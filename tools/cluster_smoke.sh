@@ -1,0 +1,267 @@
+#!/usr/bin/env bash
+# Cluster smoke for ploop_router in front of N ploop_serve workers.
+#
+#   cluster_smoke.sh <ploop_serve> <ploop_client> <ploop_router> [--chaos]
+#
+# Asserts, against real processes on ephemeral loopback ports:
+#   1. responses routed through a 2-worker cluster are bit-identical
+#      (mapping_key / energy_bits / runtime_bits, and the echoed id)
+#      to a serial single-worker stdio session answering the same
+#      requests;
+#   2. fingerprint affinity: repeating the same requests reports
+#      from_result_cache -- the repeat landed on the worker whose
+#      result cache the first pass warmed, across 4 CONCURRENT
+#      clients sharing the router;
+#   3. kill -9 of one worker leaves the other client streams correct:
+#      under --failover next the doomed worker's keys are re-
+#      dispatched and every response stays bit-identical; a
+#      --failover reject router answers code=upstream_unavailable
+#      (echoing op and id) instead;
+#   4. the router's `metrics` op merges its own ploop_router_*
+#      families with worker-labeled worker families and the merged
+#      exposition passes the strict check_prometheus.py checker;
+#   5. stats fans out (a "router" section plus per-worker entries),
+#      shutdown drains the ROUTER while externally-managed workers
+#      keep running, and --spawn mode owns its workers end to end.
+#
+# --chaos re-runs the flow with deterministic fault injection
+# (PLOOP_FAULTS: short reads/writes, EINTR bursts, write stalls)
+# active on the ROUTER process only -- both its client-facing and its
+# worker-facing sockets misbehave -- and asserts the surviving
+# responses stay bit-identical to the clean serial oracle.
+#
+# The in-process equivalents live in tests/test_cluster.cpp; this
+# script checks the same contracts across real process boundaries,
+# where kill -9 and execv are possible.
+set -euo pipefail
+
+SERVE="$1"
+CLIENT="$2"
+ROUTER="$3"
+CHAOS=0
+[ "${4:-}" = "--chaos" ] && CHAOS=1
+TMP="$(mktemp -d)"
+TOOLS_DIR="$(cd "$(dirname "$0")" && pwd)"
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]}"; do kill -9 "$pid" 2>/dev/null || true; done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+TAG="cluster_smoke"
+[ "$CHAOS" -eq 1 ] && TAG="cluster_smoke[chaos]"
+fail() { echo "$TAG: FAIL: $*" >&2; exit 1; }
+
+# Extract the first "key":"value" / "key":value for a key from $2.
+jget() { # key line
+    printf '%s\n' "$2" | grep -o "\"$1\":\"[^\"]*\"\|\"$1\":[^,}]*" \
+        | head -n1 | sed -e 's/^"[^"]*"://' -e 's/^"//' -e 's/"$//'
+}
+
+# Pull .body out of a metrics response line (stdin) as raw text.
+extract_body() {
+    python3 -c '
+import json, sys
+resp = json.loads(sys.stdin.readline())
+assert resp.get("ok") is True, resp
+sys.stdout.write(resp["body"])
+'
+}
+
+wait_port_file() { # path
+    for i in $(seq 200); do [ -s "$1" ] && break; sleep 0.05; done
+    [ -s "$1" ] || fail "$1 was never written"
+    cat "$1"
+}
+
+# Chaos mode: the ROUTER gets deterministic fault injection; workers
+# and the serial oracle stay clean, and clients retry through the
+# injected trouble.
+CLIENT_RETRY=""
+FAULT_SPEC=""
+if [ "$CHAOS" -eq 1 ]; then
+    CLIENT_RETRY="--retries 5"
+    FAULT_SPEC="short_read=35,short_write=35,eintr=25,stall=20,seed=9"
+fi
+
+# Three distinct small searches, ids 1..3 (seed varies).
+REQS="$TMP/requests.jsonl"
+for seed in 5 6 7; do
+    echo '{"op":"search","id":'"$seed"',"layer":{"name":"c","k":16,"c":16,"p":7,"q":7,"r":3,"s":3},"options":{"random_samples":12,"hill_climb_rounds":2,"seed":'"$seed"'}}'
+done >"$REQS"
+
+# ---- serial single-worker reference (stdio transport) -------------
+# Always a CLEAN run: the oracle every routed response must match bit
+# for bit (modulo stats.wall_time_s, which jget never reads).
+"$SERVE" <"$REQS" >"$TMP/serial.out" 2>/dev/null
+[ "$(wc -l <"$TMP/serial.out")" -eq 3 ] || fail "serial run: expected 3 responses"
+
+# Compare one response line against the serial oracle line $1.
+check_identity() { # index line
+    local ref got
+    ref="$(sed -n "$1"p "$TMP/serial.out")"
+    got="$2"
+    [ "$(jget ok "$got")" = "true" ] || fail "response $1 not ok: $got"
+    [ "$(jget id "$got")" = "$(jget id "$ref")" ] \
+        || fail "response $1 id mismatch: $got"
+    for key in mapping_key energy_bits runtime_bits; do
+        [ "$(jget $key "$got")" = "$(jget $key "$ref")" ] \
+            || fail "response $1: $key diverged from the serial run"
+    done
+}
+
+# ---- start 2 script-owned workers + the router --------------------
+# The script (not --spawn) owns the workers so kill -9 is possible.
+"$SERVE" --listen 0 --port-file "$TMP/w1.port" 2>"$TMP/w1.err" &
+W1_PID=$!; PIDS+=($W1_PID)
+"$SERVE" --listen 0 --port-file "$TMP/w2.port" 2>"$TMP/w2.err" &
+W2_PID=$!; PIDS+=($W2_PID)
+W1="$(wait_port_file "$TMP/w1.port")"
+W2="$(wait_port_file "$TMP/w2.port")"
+
+PLOOP_FAULTS="$FAULT_SPEC" "$ROUTER" --listen 0 \
+    --port-file "$TMP/r.port" --workers "$W1,$W2" --failover next \
+    --probe-interval-ms 200 --probe-timeout-ms 500 --eject-after 2 \
+    2>"$TMP/router.err" &
+ROUTER_PID=$!; PIDS+=($ROUTER_PID)
+RPORT="$(wait_port_file "$TMP/r.port")"
+
+# ---- 1. bit-identity through the router (cold pass) ---------------
+"$CLIENT" --port "$RPORT" $CLIENT_RETRY --script "$REQS" \
+    >"$TMP/cold.out" || fail "cold client through the router failed"
+[ "$(wc -l <"$TMP/cold.out")" -eq 3 ] || fail "cold pass: expected 3 responses"
+for i in 1 2 3; do
+    check_identity "$i" "$(sed -n ${i}p "$TMP/cold.out")"
+done
+
+# ---- 2. fingerprint affinity: repeats are result-cache hits -------
+# The cold pass warmed whichever worker owns each fingerprint; every
+# repeat must land on the SAME worker and be answered from its result
+# cache -- across 4 concurrent clients sharing the router.
+CLIENT_PIDS=()
+for c in 1 2 3 4; do
+    "$CLIENT" --port "$RPORT" $CLIENT_RETRY --script "$REQS" \
+        >"$TMP/client$c.out" 2>"$TMP/client$c.err" &
+    CLIENT_PIDS+=($!)
+done
+for pid in "${CLIENT_PIDS[@]}"; do
+    wait "$pid" || fail "a concurrent client exited non-zero"
+done
+for c in 1 2 3 4; do
+    [ "$(wc -l <"$TMP/client$c.out")" -eq 3 ] \
+        || fail "client $c: expected 3 responses"
+    for i in 1 2 3; do
+        line="$(sed -n ${i}p "$TMP/client$c.out")"
+        check_identity "$i" "$line"
+        [ "$(jget from_result_cache "$line")" = "true" ] \
+            || fail "client $c response $i missed the warm worker (affinity broken): $line"
+    done
+done
+
+# ---- ping / health / unknown op are byte-compatible ----------------
+PING="$(echo '{"op":"ping","id":"p1"}' | "$CLIENT" --port "$RPORT" $CLIENT_RETRY)"
+PING_REF="$(echo '{"op":"ping","id":"p1"}' | "$SERVE" 2>/dev/null)"
+[ "$PING" = "$PING_REF" ] || fail "router ping not byte-identical: $PING vs $PING_REF"
+HEALTH="$(echo '{"op":"health","id":"h"}' | "$CLIENT" --port "$RPORT" $CLIENT_RETRY)"
+[ "$(jget ok "$HEALTH")" = "true" ] || fail "router health failed: $HEALTH"
+[ "$(jget status "$HEALTH")" = "ok" ] || fail "router health not ok with 2 live workers: $HEALTH"
+[ "$(jget workers_healthy "$HEALTH")" = "2" ] || fail "router health workers_healthy: $HEALTH"
+# Unknown ops are forwarded so the WORKER authors the canonical error.
+BOGUS="$(echo '{"op":"bogus","id":"b"}' | "$CLIENT" --port "$RPORT" $CLIENT_RETRY)"
+BOGUS_REF="$(echo '{"op":"bogus","id":"b"}' | "$SERVE" 2>/dev/null)"
+[ "$BOGUS" = "$BOGUS_REF" ] || fail "unknown-op error diverged: $BOGUS vs $BOGUS_REF"
+
+# ---- stats fans out ------------------------------------------------
+STATS="$(echo '{"op":"stats","id":"s"}' | "$CLIENT" --port "$RPORT" $CLIENT_RETRY)"
+printf '%s' "$STATS" | grep -q '"router":{' || fail "stats lacks router section: $STATS"
+printf '%s' "$STATS" | grep -q '"workers":\[' || fail "stats lacks workers array: $STATS"
+printf '%s' "$STATS" | grep -q "\"worker\":\"127.0.0.1:$W1\"" \
+    || fail "stats lacks worker $W1 entry: $STATS"
+
+# ---- 4. merged metrics pass the strict Prometheus checker ---------
+echo '{"op":"metrics","id":"m"}' | "$CLIENT" --port "$RPORT" $CLIENT_RETRY \
+    | extract_body >"$TMP/metrics.txt" \
+    || fail "metrics op through the router failed"
+python3 "$TOOLS_DIR/check_prometheus.py" "$TMP/metrics.txt" \
+    --require ploop_router_requests_total \
+    --require ploop_router_forwards_total \
+    --require ploop_router_workers_healthy \
+    --require ploop_uptime_seconds \
+    || fail "merged metrics exposition failed the strict checker"
+grep -q "worker=\"127.0.0.1:$W1\"" "$TMP/metrics.txt" \
+    || fail "merged metrics lack worker-labeled samples for $W1"
+grep -q "worker=\"127.0.0.1:$W2\"" "$TMP/metrics.txt" \
+    || fail "merged metrics lack worker-labeled samples for $W2"
+
+# ---- 3a. kill -9 one worker: failover keeps every stream correct --
+kill -9 "$W2_PID" 2>/dev/null || true
+wait "$W2_PID" 2>/dev/null || true
+# The doomed worker's keys re-dispatch to the survivor (cold there,
+# so from_result_cache may flip false); bit-identity must hold.
+"$CLIENT" --port "$RPORT" $CLIENT_RETRY --script "$REQS" \
+    >"$TMP/failover.out" || fail "client after the worker kill failed"
+[ "$(wc -l <"$TMP/failover.out")" -eq 3 ] || fail "failover pass: expected 3 responses"
+for i in 1 2 3; do
+    check_identity "$i" "$(sed -n ${i}p "$TMP/failover.out")"
+done
+# The probe loop notices within ~eject_after * interval.
+sleep 1
+HEALTH2="$(echo '{"op":"health","id":"h2"}' | "$CLIENT" --port "$RPORT" $CLIENT_RETRY)"
+[ "$(jget status "$HEALTH2")" = "degraded" ] \
+    || fail "router health should be degraded after losing a worker: $HEALTH2"
+
+# ---- router shutdown drains; the external worker keeps running ----
+BYE="$(echo '{"op":"shutdown","id":"z"}' | "$CLIENT" --port "$RPORT" $CLIENT_RETRY)"
+[ "$(jget ok "$BYE")" = "true" ] || fail "router shutdown not ok: $BYE"
+printf '%s' "$BYE" | grep -q "workers keep running" \
+    || fail "router shutdown detail missing: $BYE"
+wait "$ROUTER_PID" || fail "router exited non-zero after shutdown"
+grep -q "drained" "$TMP/router.err" || fail "router never logged its drain"
+# The surviving EXTERNAL worker still answers directly.
+DIRECT="$(echo '{"op":"ping","id":"d"}' | "$CLIENT" --port "$W1")"
+[ "$(jget ok "$DIRECT")" = "true" ] \
+    || fail "external worker died with the router: $DIRECT"
+echo '{"op":"shutdown"}' | "$CLIENT" --port "$W1" >/dev/null
+wait "$W1_PID" || fail "worker 1 exited non-zero after shutdown"
+
+# ---- 3b. reject mode answers upstream_unavailable -----------------
+"$SERVE" --listen 0 --port-file "$TMP/w3.port" 2>"$TMP/w3.err" &
+W3_PID=$!; PIDS+=($W3_PID)
+W3="$(wait_port_file "$TMP/w3.port")"
+PLOOP_FAULTS="$FAULT_SPEC" "$ROUTER" --listen 0 \
+    --port-file "$TMP/r2.port" --workers "$W3" --failover reject \
+    --probe-interval-ms 200 --probe-timeout-ms 500 --eject-after 2 \
+    2>"$TMP/router2.err" &
+R2_PID=$!; PIDS+=($R2_PID)
+R2PORT="$(wait_port_file "$TMP/r2.port")"
+# Healthy first, then the only worker dies: no failover target left.
+OK1="$(echo '{"op":"ping","id":"p"}' | "$CLIENT" --port "$R2PORT" $CLIENT_RETRY)"
+[ "$(jget ok "$OK1")" = "true" ] || fail "reject-mode router did not start healthy: $OK1"
+kill -9 "$W3_PID" 2>/dev/null || true
+wait "$W3_PID" 2>/dev/null || true
+REJ="$(head -n1 "$REQS" | "$CLIENT" --port "$R2PORT")" \
+    || fail "reject-mode client lost its connection"
+[ "$(jget ok "$REJ")" = "false" ] || fail "reject-mode request was answered ok: $REJ"
+[ "$(jget code "$REJ")" = "upstream_unavailable" ] \
+    || fail "reject without code=upstream_unavailable: $REJ"
+[ "$(jget op "$REJ")" = "search" ] || fail "reject lost its op: $REJ"
+[ "$(jget id "$REJ")" = "5" ] || fail "reject lost its id: $REJ"
+echo '{"op":"shutdown"}' | "$CLIENT" --port "$R2PORT" $CLIENT_RETRY >/dev/null
+wait "$R2_PID" || fail "reject-mode router exited non-zero"
+
+# ---- 5. --spawn mode owns its workers end to end ------------------
+PLOOP_FAULTS="$FAULT_SPEC" "$ROUTER" --listen 0 \
+    --port-file "$TMP/rs.port" --spawn 2 --worker-bin "$SERVE" \
+    2>"$TMP/spawn.err" &
+RS_PID=$!; PIDS+=($RS_PID)
+RSPORT="$(wait_port_file "$TMP/rs.port")"
+"$CLIENT" --port "$RSPORT" $CLIENT_RETRY --script "$REQS" \
+    >"$TMP/spawn.out" || fail "client against the spawned cluster failed"
+for i in 1 2 3; do
+    check_identity "$i" "$(sed -n ${i}p "$TMP/spawn.out")"
+done
+echo '{"op":"shutdown","id":"z"}' | "$CLIENT" --port "$RSPORT" $CLIENT_RETRY >/dev/null
+wait "$RS_PID" || fail "spawning router exited non-zero"
+
+echo "$TAG: PASS"

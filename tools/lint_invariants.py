@@ -28,8 +28,8 @@ check them.  This linter does, as a ctest and a CI step:
                       src/common/annotations.hpp: every lock must be a
                       ploop::Mutex so clang Thread Safety Analysis
                       sees it (see annotations.hpp's house rules).
-  error-response      protocol-level error responses in src/net/ and
-                      src/service/ must route through
+  error-response      protocol-level error responses in src/net/,
+                      src/cluster/ and src/service/ must route through
                       protocolErrorResponse() (serve_session.cpp), not
                       hand-rolled {"ok":false,...} JSON -- hand-rolled
                       errors lose the op/id echo and the
@@ -350,11 +350,12 @@ BUILT_ERROR_JSON = re.compile(
 
 
 def check_error_response(root):
-    """error-response over src/net/ and src/service/."""
+    """error-response over src/net/, src/cluster/ and src/service/."""
     exempt = os.path.join(root, "src", "service", "serve_session.cpp")
     violations = []
     for path in sorted(source_files(root,
                                     [os.path.join("src", "net"),
+                                     os.path.join("src", "cluster"),
                                      os.path.join("src", "service")])):
         if os.path.abspath(path) == os.path.abspath(exempt):
             # protocolErrorResponse() itself plus the session's

@@ -35,6 +35,7 @@
 #include <string>
 
 #include "net/line_client.hpp"
+#include "net/port_file.hpp"
 
 namespace {
 
@@ -42,14 +43,17 @@ int
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s --port PORT [--script FILE] "
-                 "[--pipeline]\n"
+                 "usage: %s {--port PORT | --port-file PATH}\n"
+                 "          [--script FILE] [--pipeline]\n"
                  "          [--retries N] [--timeout-ms MS] "
                  "[--verbose]\n"
                  "\n"
-                 "--retries/--timeout-ms add reconnect-and-resend\n"
-                 "resilience (lockstep mode only; retry semantics\n"
-                 "for a pipelined window are ambiguous).\n",
+                 "--port-file reads the port a server wrote with\n"
+                 "ploop_serve --port-file (waits briefly for the\n"
+                 "handshake).  --retries/--timeout-ms add\n"
+                 "reconnect-and-resend resilience (lockstep mode\n"
+                 "only; retry semantics for a pipelined window are\n"
+                 "ambiguous).\n",
                  argv0);
     return 2;
 }
@@ -95,6 +99,14 @@ main(int argc, char **argv)
             if (port < 1) {
                 std::fprintf(stderr, "bad --port %ld\n", port);
                 return 2;
+            }
+        } else if (arg == "--port-file") {
+            std::string pf_err;
+            port = readPortFile(value(), 5000, &pf_err);
+            if (port < 0) {
+                std::fprintf(stderr, "ploop_client: %s\n",
+                             pf_err.c_str());
+                return 1;
             }
         } else if (arg == "--script") {
             script = value();

@@ -1,0 +1,453 @@
+/**
+ * @file
+ * ploop_router: a sharded cluster front-end for ploop_serve.  One
+ * listening endpoint, N workers; each request line is forwarded to
+ * the worker owning its semantic fingerprint on a consistent-hash
+ * ring, so repeats hit the worker whose caches are already warm.
+ * See cluster/router.hpp for the routing policy (which ops are
+ * answered locally, fanned out, or forwarded) and the failure model.
+ *
+ *   ploop_router [--listen PORT] [--port-file PATH]
+ *                {--workers PORT[,PORT...] | --spawn N}
+ *                [--worker-bin PATH] [--cache-store-dir DIR]
+ *                [--failover {next,reject}]
+ *                [--probe-interval-ms MS] [--probe-timeout-ms MS]
+ *                [--eject-after K] [--vnodes N]
+ *                [--max-connections N] [--drain-timeout-ms MS]
+ *                [--no-observe]
+ *
+ * Worker sources (exactly one):
+ *  - --workers: loopback ports of externally-managed ploop_serve
+ *    --listen instances ("PORT" or "127.0.0.1:PORT"; the router, like
+ *    the rest of the serving layer, is loopback-only).  Shutting the
+ *    router down leaves these workers running.
+ *  - --spawn N: fork N local ploop_serve workers on ephemeral ports
+ *    (port-file handshake); with --cache-store-dir each worker gets
+ *    its own store DIR/worker-<i>.plc.  After the router drains, the
+ *    workers are sent shutdown ops (so they save their stores) and
+ *    reaped.
+ *
+ * Diagnostics go to stderr; the protocol flows over TCP only.
+ */
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "cluster/router.hpp"
+#include "net/line_client.hpp"
+#include "net/port_file.hpp"
+#include "net/socket.hpp"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--listen PORT] [--port-file PATH]\n"
+        "          {--workers PORT[,PORT...] | --spawn N}\n"
+        "          [--worker-bin PATH] [--cache-store-dir DIR]\n"
+        "          [--failover {next,reject}]\n"
+        "          [--probe-interval-ms MS] [--probe-timeout-ms MS]\n"
+        "          [--eject-after K] [--vnodes N]\n"
+        "          [--max-connections N] [--drain-timeout-ms MS]\n"
+        "          [--no-observe]\n"
+        "\n"
+        "Fingerprint-affinity router in front of N ploop_serve\n"
+        "workers: one endpoint, consistent-hash request placement,\n"
+        "health-probe ejection/re-admission, failover (--failover\n"
+        "next) or fast rejects with code \"upstream_unavailable\"\n"
+        "(--failover reject).  ping/health/shutdown are answered by\n"
+        "the router; stats/metrics/save_cache fan out to every\n"
+        "healthy worker and merge.  --listen 0 binds an ephemeral\n"
+        "port (written to --port-file).  --workers takes loopback\n"
+        "ports of externally-managed workers; --spawn forks local\n"
+        "ones (per-worker cache stores under --cache-store-dir) and\n"
+        "shuts them down after the router drains.\n",
+        argv0);
+    return 2;
+}
+
+ploop::ClusterRouter *g_router = nullptr;
+
+void
+onSignal(int)
+{
+    // requestStop() is one relaxed atomic store: async-signal-safe.
+    if (g_router)
+        g_router->requestStop();
+}
+
+/** "PORT" or "127.0.0.1:PORT" / "localhost:PORT" -> port, or -1. */
+int
+parseWorkerSpec(const std::string &spec, std::string *error)
+{
+    std::string text = spec;
+    const std::size_t colon = text.rfind(':');
+    if (colon != std::string::npos) {
+        const std::string host = text.substr(0, colon);
+        if (host != "127.0.0.1" && host != "localhost") {
+            *error = "worker '" + spec +
+                     "': only loopback workers are supported "
+                     "(the serving layer binds 127.0.0.1 only)";
+            return -1;
+        }
+        text = text.substr(colon + 1);
+    }
+    char *end = nullptr;
+    errno = 0;
+    unsigned long port = std::strtoul(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE ||
+        port < 1 || port > 65535) {
+        *error = "worker '" + spec + "': bad port";
+        return -1;
+    }
+    return int(port);
+}
+
+struct SpawnedWorker
+{
+    pid_t pid = -1;
+    std::uint16_t port = 0;
+};
+
+/** Fork one ploop_serve --listen 0 worker; port via the port-file
+ *  handshake.  False (with everything cleaned up by the caller) on
+ *  any failure. */
+bool
+spawnWorker(const std::string &worker_bin,
+            const std::string &port_file,
+            const std::string &cache_store, SpawnedWorker &out)
+{
+    ::unlink(port_file.c_str());
+    std::vector<std::string> args = {worker_bin, "--listen", "0",
+                                     "--port-file", port_file};
+    if (!cache_store.empty()) {
+        args.push_back("--cache-store");
+        args.push_back(cache_store);
+    }
+    std::vector<char *> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string &a : args)
+        argv.push_back(a.data());
+    argv.push_back(nullptr);
+
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        std::fprintf(stderr, "ploop_router: fork: %s\n",
+                     std::strerror(errno));
+        return false;
+    }
+    if (pid == 0) {
+        ::execv(worker_bin.c_str(), argv.data());
+        std::fprintf(stderr, "ploop_router: execv %s: %s\n",
+                     worker_bin.c_str(), std::strerror(errno));
+        std::_Exit(127);
+    }
+    std::string err;
+    int port = ploop::readPortFile(port_file, 10000, &err);
+    if (port < 0) {
+        std::fprintf(stderr,
+                     "ploop_router: worker %s never published its "
+                     "port: %s\n",
+                     worker_bin.c_str(), err.c_str());
+        ::kill(pid, SIGKILL);
+        ::waitpid(pid, nullptr, 0);
+        return false;
+    }
+    out.pid = pid;
+    out.port = std::uint16_t(port);
+    return true;
+}
+
+/** Politely shut one spawned worker down (shutdown op saves its
+ *  cache store), then reap it -- SIGKILL only past the timeout. */
+void
+stopWorker(const SpawnedWorker &w)
+{
+    {
+        ploop::LineClient client;
+        std::string resp;
+        if (client.connect(w.port, 2000) &&
+            client.sendLine("{\"op\":\"shutdown\"}"))
+            client.recvLine(resp);
+    }
+    for (int i = 0; i < 50; ++i) { // up to ~5s of polite waiting
+        int status = 0;
+        pid_t rc = ::waitpid(w.pid, &status, WNOHANG);
+        if (rc == w.pid || (rc < 0 && errno == ECHILD))
+            return;
+        ::usleep(100 * 1000);
+    }
+    ::kill(w.pid, SIGKILL);
+    ::waitpid(w.pid, nullptr, 0);
+}
+
+/** Directory of /proc/self/exe, for the default --worker-bin. */
+std::string
+siblingBinary(const char *name)
+{
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0)
+        return name; // PATH lookup as a last resort
+    buf[n] = '\0';
+    std::string path(buf);
+    const std::size_t slash = path.rfind('/');
+    if (slash == std::string::npos)
+        return name;
+    return path.substr(0, slash + 1) + name;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ploop;
+
+    RouterConfig cfg;
+    std::string port_file;
+    std::string workers_spec;
+    std::string worker_bin = siblingBinary("ploop_serve");
+    std::string cache_store_dir;
+    std::size_t spawn = 0;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        // Strict parse: a typo'd cap must not silently mean
+        // "unbounded" (ploop_serve's idiom).
+        auto cap_value = [&]() -> std::size_t {
+            const char *text = value();
+            char *end = nullptr;
+            errno = 0;
+            unsigned long long cap = std::strtoull(text, &end, 10);
+            if (end == text || *end != '\0' || errno == ERANGE ||
+                std::strchr(text, '-') != nullptr) {
+                std::fprintf(stderr,
+                             "%s '%s' is not a non-negative "
+                             "integer\n",
+                             arg.c_str(), text);
+                std::exit(2);
+            }
+            return static_cast<std::size_t>(cap);
+        };
+        if (arg == "--listen") {
+            std::size_t port = cap_value();
+            if (port > 65535) {
+                std::fprintf(stderr,
+                             "--listen port %zu out of range\n",
+                             port);
+                return 2;
+            }
+            cfg.port = std::uint16_t(port);
+        } else if (arg == "--port-file") {
+            port_file = value();
+        } else if (arg == "--workers") {
+            workers_spec = value();
+        } else if (arg == "--spawn") {
+            spawn = cap_value();
+        } else if (arg == "--worker-bin") {
+            worker_bin = value();
+        } else if (arg == "--cache-store-dir") {
+            cache_store_dir = value();
+        } else if (arg == "--failover") {
+            std::string mode = value();
+            if (mode == "next") {
+                cfg.failover = RouterConfig::Failover::Next;
+            } else if (mode == "reject") {
+                cfg.failover = RouterConfig::Failover::Reject;
+            } else {
+                std::fprintf(stderr,
+                             "--failover must be 'next' or "
+                             "'reject', not '%s'\n",
+                             mode.c_str());
+                return 2;
+            }
+        } else if (arg == "--probe-interval-ms") {
+            cfg.health.probe_interval_ms = cap_value();
+        } else if (arg == "--probe-timeout-ms") {
+            cfg.health.probe_timeout_ms = cap_value();
+        } else if (arg == "--eject-after") {
+            std::size_t k = cap_value();
+            if (k < 1) {
+                std::fprintf(stderr,
+                             "--eject-after must be >= 1\n");
+                return 2;
+            }
+            cfg.health.eject_after = unsigned(k);
+        } else if (arg == "--vnodes") {
+            std::size_t v = cap_value();
+            if (v < 1 || v > 4096) {
+                std::fprintf(stderr,
+                             "--vnodes must be in [1, 4096]\n");
+                return 2;
+            }
+            cfg.vnodes = unsigned(v);
+        } else if (arg == "--max-connections") {
+            cfg.max_connections = cap_value();
+        } else if (arg == "--drain-timeout-ms") {
+            cfg.drain_timeout_ms = int(cap_value());
+        } else if (arg == "--no-observe") {
+            cfg.observe = false;
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(argv[0]);
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n",
+                         arg.c_str());
+            return usage(argv[0]);
+        }
+    }
+
+    if (workers_spec.empty() == (spawn == 0)) {
+        std::fprintf(stderr,
+                     "exactly one of --workers or --spawn is "
+                     "required\n");
+        return usage(argv[0]);
+    }
+
+    // A worker (or client) disconnecting mid-write must be an EPIPE
+    // on that connection, never a process-killing SIGPIPE.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    // Chaos visibility, same as ploop_serve: the injector silently
+    // ignores a bad spec; the tool reports it.
+    if (const char *spec = std::getenv("PLOOP_FAULTS")) {
+        FaultInjector::Config faults;
+        std::string fault_err;
+        if (!FaultInjector::parse(spec, faults, &fault_err))
+            std::fprintf(stderr,
+                         "ploop_router: ignoring PLOOP_FAULTS: "
+                         "%s\n",
+                         fault_err.c_str());
+        else if (faults.enabled())
+            std::fprintf(stderr,
+                         "ploop_router: fault injection ACTIVE "
+                         "(PLOOP_FAULTS=%s)\n",
+                         spec);
+    }
+
+    std::vector<SpawnedWorker> spawned;
+    if (spawn > 0) {
+        // Spawned workers must NOT inherit the router's fault
+        // injection: the chaos harness targets the router's
+        // sockets; faulting both sides at once makes failures
+        // unattributable.
+        ::unsetenv("PLOOP_FAULTS");
+        char dir_template[] = "/tmp/ploop_router.XXXXXX";
+        const char *dir = ::mkdtemp(dir_template);
+        if (!dir) {
+            std::fprintf(stderr, "ploop_router: mkdtemp: %s\n",
+                         std::strerror(errno));
+            return 1;
+        }
+        for (std::size_t i = 0; i < spawn; ++i) {
+            const std::string pf =
+                std::string(dir) + "/worker-" +
+                std::to_string(i) + ".port";
+            std::string store;
+            if (!cache_store_dir.empty())
+                store = cache_store_dir + "/worker-" +
+                        std::to_string(i) + ".plc";
+            SpawnedWorker w;
+            if (!spawnWorker(worker_bin, pf, store, w)) {
+                for (const SpawnedWorker &s : spawned) {
+                    ::kill(s.pid, SIGKILL);
+                    ::waitpid(s.pid, nullptr, 0);
+                }
+                return 1;
+            }
+            std::fprintf(stderr,
+                         "ploop_router: spawned worker %zu (pid "
+                         "%d) on 127.0.0.1:%u\n",
+                         i, int(w.pid), unsigned(w.port));
+            spawned.push_back(w);
+            cfg.worker_ports.push_back(w.port);
+        }
+    } else {
+        std::size_t pos = 0;
+        while (pos <= workers_spec.size()) {
+            std::size_t comma = workers_spec.find(',', pos);
+            const std::string tok = workers_spec.substr(
+                pos, (comma == std::string::npos
+                          ? workers_spec.size()
+                          : comma) -
+                         pos);
+            pos = comma == std::string::npos
+                      ? workers_spec.size() + 1
+                      : comma + 1;
+            if (tok.empty())
+                continue;
+            std::string err;
+            int port = parseWorkerSpec(tok, &err);
+            if (port < 0) {
+                std::fprintf(stderr, "ploop_router: %s\n",
+                             err.c_str());
+                return 2;
+            }
+            cfg.worker_ports.push_back(std::uint16_t(port));
+        }
+        if (cfg.worker_ports.empty()) {
+            std::fprintf(stderr,
+                         "--workers needs at least one port\n");
+            return 2;
+        }
+    }
+
+    ClusterRouter router(cfg);
+    std::string error;
+    if (!router.open(&error)) {
+        std::fprintf(stderr, "ploop_router: %s\n", error.c_str());
+        for (const SpawnedWorker &s : spawned)
+            stopWorker(s);
+        return 1;
+    }
+    if (!port_file.empty()) {
+        std::string pf_err;
+        if (!writePortFile(port_file, router.port(), &pf_err)) {
+            std::fprintf(stderr, "ploop_router: %s\n",
+                         pf_err.c_str());
+            for (const SpawnedWorker &s : spawned)
+                stopWorker(s);
+            return 1;
+        }
+    }
+    g_router = &router;
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    std::fprintf(stderr,
+                 "ploop_router: listening on 127.0.0.1:%u in front "
+                 "of %zu workers (failover %s)\n",
+                 unsigned(router.port()), cfg.worker_ports.size(),
+                 cfg.failover == RouterConfig::Failover::Next
+                     ? "next"
+                     : "reject");
+    std::uint64_t served = router.run();
+    g_router = nullptr;
+    std::fprintf(stderr,
+                 "ploop_router: drained; served %llu client "
+                 "connections\n",
+                 static_cast<unsigned long long>(served));
+
+    for (const SpawnedWorker &s : spawned)
+        stopWorker(s);
+    return 0;
+}

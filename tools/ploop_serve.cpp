@@ -63,6 +63,7 @@
 #include <string>
 
 #include "mapper/cache_store.hpp"
+#include "net/port_file.hpp"
 #include "net/server.hpp"
 #include "net/socket.hpp"
 #include "service/serve_session.hpp"
@@ -276,14 +277,13 @@ main(int argc, char **argv)
             return 1;
         }
         if (!port_file.empty()) {
-            std::ofstream pf(port_file, std::ios::trunc);
-            if (!pf.is_open()) {
-                std::fprintf(stderr,
-                             "cannot write port file '%s'\n",
-                             port_file.c_str());
+            std::string pf_err;
+            if (!writePortFile(port_file, server.port(),
+                               &pf_err)) {
+                std::fprintf(stderr, "ploop_serve: %s\n",
+                             pf_err.c_str());
                 return 1;
             }
-            pf << server.port() << "\n";
         }
         std::fprintf(stderr,
                      "ploop_serve: listening on 127.0.0.1:%u "
