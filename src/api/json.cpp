@@ -99,6 +99,25 @@ JsonValue::get(const std::string &key) const
     return nullptr;
 }
 
+JsonValue *
+JsonValue::getMutable(const std::string &key)
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (auto &[k, v] : members_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+std::vector<JsonValue> &
+JsonValue::itemsMutable()
+{
+    fatalIf(kind_ != Kind::Array, "JSON value is not an array");
+    return items_;
+}
+
 void
 JsonValue::push(JsonValue v)
 {

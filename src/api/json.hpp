@@ -75,6 +75,14 @@ class JsonValue
      */
     const JsonValue *get(const std::string &key) const;
 
+    /** Mutable member lookup (the router grafts a worker's span
+     *  subtree into its own rendered trace); nullptr when absent or
+     *  not an object. */
+    JsonValue *getMutable(const std::string &key);
+
+    /** Mutable array elements; fatal() unless array. */
+    std::vector<JsonValue> &itemsMutable();
+
     /** Append to an array; fatal() unless array. */
     void push(JsonValue v);
 

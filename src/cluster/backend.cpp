@@ -39,15 +39,27 @@ Backend::ensureConnected()
     const std::uint64_t now = clockOrSteady(clock_).nowNs();
     if (now < next_attempt_ns_)
         return false; // still backing off
+    // A post-failure attempt is a reconnect: record it (with the
+    // backoff that gated it) before its outcome is known, so a
+    // worker that never comes back still leaves a record of every
+    // try.  Backoff keeps the event rate bounded.
+    if (cfg_.event_log && connect_failures_ > 0)
+        cfg_.event_log->emit(
+            "reconnect_attempt",
+            {{"worker", JsonValue::string(cfg_.name)},
+             {"attempt",
+              JsonValue::number(double(connect_failures_ + 1))},
+             {"backoff_ms",
+              JsonValue::number(double(last_backoff_ms_))}});
     bool in_progress = false;
     int fd = startLoopbackConnect(cfg_.port, in_progress);
     if (fd < 0) {
         ++connect_failures_;
-        const std::uint64_t backoff_ms = std::min<std::uint64_t>(
+        last_backoff_ms_ = std::min<std::uint64_t>(
             std::uint64_t(cfg_.backoff_base_ms)
                 << std::min(connect_failures_, 16u),
             cfg_.backoff_cap_ms);
-        next_attempt_ns_ = now + backoff_ms * 1000000ull;
+        next_attempt_ns_ = now + last_backoff_ms_ * 1000000ull;
         return false;
     }
     conn_ = std::make_unique<Connection>(fd);
@@ -178,12 +190,12 @@ Backend::dropConnection()
     // not be back within microseconds, and a tight reconnect spin
     // would melt the poll loop.
     ++connect_failures_;
-    const std::uint64_t backoff_ms = std::min<std::uint64_t>(
+    last_backoff_ms_ = std::min<std::uint64_t>(
         std::uint64_t(cfg_.backoff_base_ms)
             << std::min(connect_failures_, 16u),
         cfg_.backoff_cap_ms);
-    next_attempt_ns_ =
-        clockOrSteady(clock_).nowNs() + backoff_ms * 1000000ull;
+    next_attempt_ns_ = clockOrSteady(clock_).nowNs() +
+                       last_backoff_ms_ * 1000000ull;
 }
 
 } // namespace ploop

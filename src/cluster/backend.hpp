@@ -31,6 +31,7 @@
 
 #include "net/socket.hpp"
 #include "obs/clock.hpp"
+#include "obs/event_log.hpp"
 
 namespace ploop {
 
@@ -41,6 +42,10 @@ struct BackendConfig
     std::uint16_t port = 0;  ///< Loopback port of the worker.
     unsigned backoff_base_ms = 50;
     unsigned backoff_cap_ms = 2000;
+    /** Operational event sink (not owned; nullptr = no events):
+     *  each post-failure connect attempt emits reconnect_attempt
+     *  with the backoff delay that gated it. */
+    EventLog *event_log = nullptr;
 };
 
 /** See file comment. */
@@ -129,6 +134,7 @@ class Backend
     std::vector<std::uint64_t> inflight_;
     unsigned connect_failures_ = 0;
     std::uint64_t next_attempt_ns_ = 0; ///< Backoff gate (0 = now).
+    std::uint64_t last_backoff_ms_ = 0; ///< For reconnect events.
     std::uint64_t reconnects_ = 0;
     bool ever_connected_ = false;
 };

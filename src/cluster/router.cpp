@@ -30,6 +30,7 @@ ClusterRouter::ClusterRouter(RouterConfig cfg)
         bc.port = port;
         bc.backoff_base_ms = cfg_.backoff_base_ms;
         bc.backoff_cap_ms = cfg_.backoff_cap_ms;
+        bc.event_log = cfg_.event_log;
         backends_.emplace(
             std::piecewise_construct, std::forward_as_tuple(name),
             std::forward_as_tuple(std::move(bc), cfg_.clock));
@@ -104,23 +105,62 @@ ClusterRouter::setupMetrics()
             }
             return n;
         }));
+    // Per-worker in-flight: backends_ never gains or loses entries
+    // after construction, so the captured pointers stay valid for
+    // the registry's life (the destructor removes the ids anyway).
+    for (const std::string &name : worker_names_) {
+        const Backend *b = &backends_.at(name);
+        metric_ids_.push_back(metrics_->gauge(
+            "ploop_router_upstream_inflight",
+            "Correlation ids outstanding on this worker right now "
+            "(probes included).",
+            [b] { return double(b->inflight()); },
+            {{"worker", name}}));
+    }
 }
 
-Counter &
-ClusterRouter::opCounter(const std::string &op)
+std::string
+ClusterRouter::clampOpLabel(const std::string &op)
 {
     static const char *const kKnown[] = {
         "ping",  "capabilities", "evaluate", "search",
         "sweep", "network",      "stats",    "health",
         "metrics", "save_cache", "shutdown"};
-    // Clamp the label to the known op set: metric cardinality must
-    // not be client-controlled.
-    std::string label = "other";
     for (const char *k : kKnown)
-        if (op == k) {
-            label = op;
-            break;
-        }
+        if (op == k)
+            return op;
+    return "other";
+}
+
+Histogram &
+ClusterRouter::upstreamHist(const std::string &worker,
+                            const std::string &op)
+{
+    auto key = std::make_pair(worker, clampOpLabel(op));
+    auto it = upstream_hists_.find(key);
+    if (it != upstream_hists_.end())
+        return *it->second;
+    Histogram &h = metrics_->histogram(
+        "ploop_router_upstream_latency_seconds",
+        "Router-observed upstream latency from first dispatch to "
+        "response, by worker and op (failover attempts included; "
+        "unknown ops as \"other\").",
+        {{"worker", key.first}, {"op", key.second}});
+    upstream_hists_[std::move(key)] = &h;
+    return h;
+}
+
+void
+ClusterRouter::logEvent(const char *event, EventLog::Fields fields)
+{
+    if (cfg_.event_log)
+        cfg_.event_log->emit(event, fields);
+}
+
+Counter &
+ClusterRouter::opCounter(const std::string &op)
+{
+    const std::string label = clampOpLabel(op);
     auto it = op_counters_.find(label);
     if (it != op_counters_.end())
         return *it->second;
@@ -277,6 +317,9 @@ ClusterRouter::run()
     }
     clients_.clear();
     listener_.close();
+    logEvent("drain_end",
+             {{"accepted",
+               JsonValue::number(double(accepted_))}});
     return accepted_;
 }
 
@@ -648,6 +691,25 @@ ClusterRouter::forward(Client &c, std::uint64_t seq,
                        std::string line, const JsonValue &parsed,
                        std::uint64_t fingerprint)
 {
+    // Tracing rides the transport, mirroring the worker's own rule:
+    // `trace: true` on the request, or the router-side slow-request
+    // log (which needs the breakdown before it knows the request
+    // was slow, so arming it traces every forward).  A NON-BOOL
+    // trace value is left untouched -- the worker generates its
+    // canonical error for it, byte-identical to a direct session.
+    const JsonValue *tv = parsed.get("trace");
+    const bool trace_invalid = tv && !tv->isBool();
+    const bool want_trace = tv && tv->isBool() && tv->asBool();
+    const bool armed = !trace_invalid &&
+                       (want_trace || cfg_.slow_request_ms > 0);
+
+    std::unique_ptr<Trace> trace;
+    Trace::SpanId route_span = Trace::kRoot;
+    if (armed) {
+        trace = std::make_unique<Trace>(cfg_.clock);
+        route_span = trace->begin("route_decision", Trace::kRoot);
+    }
+
     const std::string *w = ring_.lookup(fingerprint);
     if (!w) {
         if (metrics_)
@@ -670,11 +732,23 @@ ClusterRouter::forward(Client &c, std::uint64_t seq,
     p.had_id = id != nullptr;
     if (id)
         p.original_id = *id;
+    const JsonValue *opv = parsed.get("op");
+    p.op = opv && opv->isString() ? opv->asString() : std::string();
     // Replace (not set) semantics: member order is preserved, so
     // the worker sees the same document with only the id swapped.
     // The textual splice does it without re-serializing; the parser
-    // path is the fallback for shapes the scan refuses.
-    if (!spliceTopLevelId(line, corr, p.forwarded_line)) {
+    // path is the fallback for shapes the scan refuses -- and for
+    // traced forwards, which also force `trace: true` on the worker
+    // so its span tree comes back for grafting even when only the
+    // slow-request log armed tracing here.
+    if (armed) {
+        JsonValue rewritten = parsed;
+        rewritten.replace("id", JsonValue::number(double(corr)));
+        rewritten.replace("trace", JsonValue::boolean(true));
+        p.forwarded_line = rewritten.serialize();
+        p.trace = std::move(trace);
+        p.want_trace = want_trace;
+    } else if (!spliceTopLevelId(line, corr, p.forwarded_line)) {
         JsonValue rewritten = parsed;
         rewritten.replace("id", JsonValue::number(double(corr)));
         p.forwarded_line = rewritten.serialize();
@@ -684,8 +758,25 @@ ClusterRouter::forward(Client &c, std::uint64_t seq,
     if (metrics_)
         forwardCounter(target).inc();
     std::vector<std::uint64_t> collateral;
-    if (!sendTo(target, corr, pending_.at(corr).forwarded_line,
-                collateral))
+    Pending &placed = pending_.at(corr);
+    bool sent;
+    if (placed.trace) {
+        placed.trace->end(route_span);
+        const Trace::SpanId write_span =
+            placed.trace->begin("upstream_write", Trace::kRoot);
+        sent = sendTo(target, corr, placed.forwarded_line,
+                      collateral);
+        placed.trace->end(write_span);
+        if (sent) {
+            placed.wait_span =
+                placed.trace->begin("upstream_wait", Trace::kRoot);
+            placed.wait_open = true;
+        }
+    } else {
+        sent = sendTo(target, corr, placed.forwarded_line,
+                      collateral);
+    }
+    if (!sent)
         failoverOrReject(corr, collateral);
     drainFailed(collateral);
 }
@@ -703,6 +794,112 @@ ClusterRouter::sendTo(const std::string &worker, std::uint64_t corr,
         strike(worker, collateral);
     return ok;
 }
+
+namespace {
+
+/** Shift a rendered span node (and its subtree) @p delta_us later:
+ *  worker spans are relative to the WORKER's root; grafting anchors
+ *  them at the router's upstream_wait start instead. */
+void
+rebaseSpanStart(JsonValue &span, double delta_us)
+{
+    if (!span.isObject())
+        return;
+    if (JsonValue *s = span.getMutable("start_us"))
+        if (s->isNumber())
+            *s = JsonValue::number(s->asNumber() + delta_us);
+    if (JsonValue *kids = span.getMutable("children"))
+        if (kids->isArray())
+            for (JsonValue &k : kids->itemsMutable())
+                rebaseSpanStart(k, delta_us);
+}
+
+/**
+ * Graft the worker's span tree into the router's rendered tree as a
+ * child of the FINAL upstream_wait span (the one that got the
+ * response; earlier waits ended when their worker died).  Worker
+ * timestamps are root-relative on both sides, so the graft is pure
+ * arithmetic -- no clock sync: the worker root is anchored at the
+ * wait span's start, and the wait span gains "transit_us" =
+ * wait duration minus worker-root duration (socket + router-loop
+ * overhead; clamped at 0 against cross-process clock-rate jitter).
+ *
+ * One reconciliation is needed to keep the tree's invariant (child
+ * durations sum to at most the parent's): the worker starts the
+ * moment the router's write() DELIVERS the bytes, which can be well
+ * before write() returns when the router thread is preempted inside
+ * the syscall -- worker time then leaks into the span preceding the
+ * wait, and the measured wait comes out SHORTER than the worker's
+ * own tree.  That overlap is reattributed to the wait: widen it
+ * backward until it contains the worker root, truncating the
+ * preceding siblings by the same amount.  Totals are preserved, so
+ * the sum invariant holds at every level of the stitched tree.
+ *
+ * @p worker_root may be null (the worker answered without a trace,
+ * e.g. an error response): the router-only tree is returned as-is.
+ */
+JsonValue
+stitchTrace(JsonValue router_tree, JsonValue *worker_root)
+{
+    if (!worker_root || !worker_root->isObject())
+        return router_tree;
+    JsonValue *children = router_tree.getMutable("children");
+    if (!children || !children->isArray())
+        return router_tree;
+    JsonValue *wait = nullptr;
+    for (JsonValue &child : children->itemsMutable()) {
+        const JsonValue *name = child.get("name");
+        if (name && name->isString() &&
+            name->asString() == "upstream_wait")
+            wait = &child;
+    }
+    if (!wait)
+        return router_tree;
+    const JsonValue *ws = wait->get("start_us");
+    const JsonValue *wd = wait->get("dur_us");
+    double wait_start =
+        ws && ws->isNumber() ? ws->asNumber() : 0.0;
+    double wait_dur =
+        wd && wd->isNumber() ? wd->asNumber() : 0.0;
+    const JsonValue *rd = worker_root->get("dur_us");
+    const double worker_dur =
+        rd && rd->isNumber() ? rd->asNumber() : 0.0;
+    if (worker_dur > wait_dur) {
+        // See the file comment: reattribute write()-syscall overlap
+        // to the wait so the grafted subtree fits inside it.
+        const double wait_end = wait_start + wait_dur;
+        const double new_start =
+            std::max(0.0, wait_end - worker_dur);
+        for (JsonValue &child : children->itemsMutable()) {
+            if (&child == wait)
+                continue;
+            const JsonValue *cs = child.get("start_us");
+            JsonValue *cd = child.getMutable("dur_us");
+            if (!cs || !cs->isNumber() || !cd || !cd->isNumber())
+                continue;
+            const double s = cs->asNumber();
+            if (s >= wait_start)
+                continue; // post-response span (splice): untouched
+            if (s + cd->asNumber() > new_start)
+                *cd = JsonValue::number(std::max(0.0,
+                                                 new_start - s));
+        }
+        wait_start = new_start;
+        wait_dur = wait_end - new_start;
+        wait->replace("start_us", JsonValue::number(wait_start));
+        wait->replace("dur_us", JsonValue::number(wait_dur));
+    }
+    rebaseSpanStart(*worker_root, wait_start);
+    wait->set("transit_us",
+              JsonValue::number(std::max(0.0,
+                                         wait_dur - worker_dur)));
+    JsonValue *wait_children = wait->getMutable("children");
+    if (wait_children && wait_children->isArray())
+        wait_children->push(std::move(*worker_root));
+    return router_tree;
+}
+
+} // namespace
 
 void
 ClusterRouter::handleWorkerResponse(const std::string &worker,
@@ -733,8 +930,9 @@ ClusterRouter::handleWorkerResponse(const std::string &worker,
             break;
         auto it = pending_.find(corr);
         if (it == pending_.end() || it->second.worker != worker ||
-            it->second.kind != PendingKind::Forward)
-            break;
+            it->second.kind != PendingKind::Forward ||
+            it->second.trace)
+            break; // traced forwards need the full parse (graft)
         // "ok" always leads a response, so an id member is never
         // first: the byte before it is the comma to drop when the
         // client sent no id.  (Checked before any state mutation.)
@@ -756,6 +954,9 @@ ClusterRouter::handleWorkerResponse(const std::string &worker,
         const std::uint64_t now = clockOrSteady(cfg_.clock).nowNs();
         if (request_hist_ && now >= done.enqueued_ns)
             request_hist_->record(now - done.enqueued_ns);
+        if (metrics_ && now >= done.enqueued_ns)
+            upstreamHist(done.worker, done.op)
+                .record(now - done.enqueued_ns);
         resolve(done.client, done.seq, std::move(out));
         return;
     } while (false);
@@ -797,6 +998,15 @@ ClusterRouter::handleWorkerResponse(const std::string &worker,
     case PendingKind::Forward: {
         Pending done = std::move(it->second);
         pending_.erase(it);
+        Trace::SpanId splice_span = Trace::kRoot;
+        if (done.trace) {
+            if (done.wait_open) {
+                done.trace->end(done.wait_span);
+                done.wait_open = false;
+            }
+            splice_span =
+                done.trace->begin("splice_response", Trace::kRoot);
+        }
         // Restore the client's id (or its absence): replace keeps
         // the member position, so the delivered bytes match what a
         // direct session would have produced.
@@ -809,6 +1019,52 @@ ClusterRouter::handleWorkerResponse(const std::string &worker,
             clockOrSteady(cfg_.clock).nowNs();
         if (request_hist_ && now >= done.enqueued_ns)
             request_hist_->record(now - done.enqueued_ns);
+        if (metrics_ && now >= done.enqueued_ns)
+            upstreamHist(done.worker, done.op)
+                .record(now - done.enqueued_ns);
+        if (!done.trace) {
+            resolve(done.client, done.seq, resp.serialize());
+            break;
+        }
+        // Stitch: pull the worker's tree out of the response (set
+        // LAST by the worker, so removing/replacing it preserves
+        // the untraced byte shape), graft it under upstream_wait,
+        // and deliver one cross-process tree -- or none, when only
+        // the slow-request log armed tracing.
+        JsonValue worker_trace;
+        bool have_worker_trace = false;
+        if (JsonValue *wt = resp.getMutable("trace")) {
+            if (wt->isObject()) {
+                worker_trace = std::move(*wt);
+                have_worker_trace = true;
+            }
+        }
+        done.trace->end(splice_span);
+        done.trace->endRoot();
+        JsonValue stitched = stitchTrace(
+            done.trace->toJson(),
+            have_worker_trace ? &worker_trace : nullptr);
+        const std::uint64_t total_ns = done.trace->rootDurationNs();
+        if (cfg_.slow_request_ms > 0 &&
+            total_ns / 1000000ull >= cfg_.slow_request_ms) {
+            EventLog::Fields fields;
+            fields.emplace_back("op", JsonValue::string(done.op));
+            if (done.had_id)
+                fields.emplace_back("id", done.original_id);
+            fields.emplace_back(
+                "ms", JsonValue::number(double(total_ns) / 1e6));
+            fields.emplace_back("worker",
+                                JsonValue::string(done.worker));
+            fields.emplace_back(
+                "attempts",
+                JsonValue::number(double(done.attempts)));
+            fields.emplace_back("trace", stitched);
+            logEvent("slow_request", std::move(fields));
+        }
+        if (done.want_trace)
+            resp.replace("trace", std::move(stitched));
+        else
+            resp.remove("trace");
         resolve(done.client, done.seq, resp.serialize());
         break;
     }
@@ -860,6 +1116,11 @@ ClusterRouter::failoverOrReject(
     if (it == pending_.end())
         return;
     Pending &p = it->second;
+    if (p.trace && p.wait_open) {
+        // The wait on the dead worker is over, however this ends.
+        p.trace->end(p.wait_span);
+        p.wait_open = false;
+    }
     if (cfg_.failover == RouterConfig::Failover::Next) {
         // Walk the ring clockwise from the fingerprint; the attempt
         // cap bounds a lap across a mostly-dead cluster.
@@ -869,12 +1130,35 @@ ClusterRouter::failoverOrReject(
             if (!next)
                 break;
             const std::string target = *next; // sendTo may rebuild
+            const std::string from = p.worker;
             p.worker = target;
             ++p.attempts;
             if (metrics_)
                 failovers_->inc();
-            if (sendTo(target, corr, p.forwarded_line, collateral))
+            Trace::SpanId redispatch = Trace::kRoot;
+            if (p.trace)
+                redispatch = p.trace->begin(
+                    "failover_redispatch", Trace::kRoot,
+                    std::int64_t(p.attempts));
+            const bool sent =
+                sendTo(target, corr, p.forwarded_line, collateral);
+            if (p.trace)
+                p.trace->end(redispatch);
+            logEvent("failover_redispatch",
+                     {{"corr", JsonValue::number(double(corr))},
+                      {"from", JsonValue::string(from)},
+                      {"to", JsonValue::string(target)},
+                      {"attempt",
+                       JsonValue::number(double(p.attempts))},
+                      {"ok", JsonValue::boolean(sent)}});
+            if (sent) {
+                if (p.trace) {
+                    p.wait_span = p.trace->begin("upstream_wait",
+                                                 Trace::kRoot);
+                    p.wait_open = true;
+                }
                 return;
+            }
         }
     }
     Pending done = std::move(it->second);
@@ -887,12 +1171,24 @@ ClusterRouter::rejectPending(Pending done)
 {
     if (metrics_)
         rejectCounter("upstream_unavailable").inc();
-    resolve(done.client, done.seq,
-            protocolErrorResponse(
-                done.line,
-                strFormat("upstream worker %s unavailable",
-                          done.worker.c_str()),
-                "upstream_unavailable"));
+    std::string response = protocolErrorResponse(
+        done.line,
+        strFormat("upstream worker %s unavailable",
+                  done.worker.c_str()),
+        "upstream_unavailable");
+    if (done.trace && done.want_trace) {
+        // The router-only tree (no worker subtree to graft) still
+        // shows WHERE the request's time went before it failed.
+        if (done.wait_open)
+            done.trace->end(done.wait_span);
+        done.trace->endRoot();
+        if (std::optional<JsonValue> parsed = parseJson(response)) {
+            parsed->set("trace",
+                        stitchTrace(done.trace->toJson(), nullptr));
+            response = parsed->serialize();
+        }
+    }
+    resolve(done.client, done.seq, std::move(response));
 }
 
 void
@@ -917,6 +1213,13 @@ ClusterRouter::fanoutPartDone(std::uint64_t corr, bool failed,
         part.response = response;
         if (f.remaining > 0)
             --f.remaining;
+        if (!failed && metrics_) {
+            const std::uint64_t now =
+                clockOrSteady(cfg_.clock).nowNs();
+            if (now >= f.enqueued_ns)
+                upstreamHist(worker, f.op)
+                    .record(now - f.enqueued_ns);
+        }
         break;
     }
     if (f.remaining == 0)
@@ -1054,13 +1357,26 @@ ClusterRouter::applyTransition(std::string worker,
     // own membership vector, which remove() below would invalidate.
     if (t == HealthMonitor::Transition::Ejected) {
         ring_.remove(worker);
+        Backend &b = backends_.at(worker);
+        // In-flight count read BEFORE fail() empties it: the event
+        // records how much work the ejection failed over.
+        logEvent(
+            "worker_ejected",
+            {{"worker", JsonValue::string(worker)},
+             {"consecutive_failures",
+              JsonValue::number(
+                  double(health_.consecutiveFailures(worker)))},
+             {"inflight",
+              JsonValue::number(double(b.inflight()))}});
         // A wedged-but-connected worker must not hold requests
         // hostage: ejecting it fails its in-flight work over.
-        backends_.at(worker).fail(collateral);
+        b.fail(collateral);
         if (metrics_)
             ejections_->inc();
     } else if (t == HealthMonitor::Transition::Readmitted) {
         ring_.add(worker);
+        logEvent("worker_readmitted",
+                 {{"worker", JsonValue::string(worker)}});
         if (metrics_)
             readmissions_->inc();
     }
@@ -1162,6 +1478,11 @@ ClusterRouter::beginDrain()
     drain_deadline_ns_ =
         clockOrSteady(cfg_.clock).nowNs() +
         std::uint64_t(cfg_.drain_timeout_ms) * 1000000ull;
+    logEvent("drain_begin",
+             {{"clients_open",
+               JsonValue::number(double(clients_.size()))},
+              {"inflight",
+               JsonValue::number(double(pending_.size()))}});
 }
 
 JsonValue

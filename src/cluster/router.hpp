@@ -31,6 +31,21 @@
  * absence) is restored before delivery -- responses are byte-
  * identical to a direct single-worker session.
  *
+ * Tracing: a forwarded request carrying `trace: true` (or any
+ * forward while --slow-request-ms arms the offender log) gets a
+ * router-side span tree (route_decision -> upstream_write ->
+ * upstream_wait -> splice_response, plus failover_redispatch spans
+ * when the worker dies mid-request); the worker's returned tree --
+ * its spans are root-relative, so no clock sync is needed -- is
+ * grafted under the final upstream_wait span, whose "transit_us"
+ * reports wait minus worker-root duration, and the response's
+ * "trace" field is replaced with the stitched tree.  Untraced
+ * requests keep the textual id-splice fast paths; traced ones take
+ * the full-parse fallback (they are rare by construction).
+ * Operational state changes (ejections, readmissions, reconnects,
+ * failover redispatches, drain) additionally emit JSONL lines to an
+ * optional EventLog (see obs/event_log.hpp).
+ *
  * Failure policy: a worker connection death fails every in-flight
  * correlation on it.  Failover::Next re-dispatches each to the
  * ring's next worker (bounded by the worker count); Failover::Reject
@@ -64,7 +79,9 @@
 #include "cluster/health.hpp"
 #include "net/socket.hpp"
 #include "obs/clock.hpp"
+#include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ploop {
 
@@ -107,6 +124,16 @@ struct RouterConfig
     /** Register ploop_router_* metrics (the router's own `metrics`
      *  fanout merges them ahead of the workers'). */
     bool observe = true;
+
+    /** Router-side slow-request threshold (0 = off).  Arms tracing
+     *  on every forwarded request -- the offender line needs the
+     *  stitched breakdown in hand BEFORE it knows the request was
+     *  slow -- and emits a "slow_request" event to the event log. */
+    unsigned slow_request_ms = 0;
+
+    /** Operational event sink (not owned; nullptr = no events).
+     *  Shared with the backends for reconnect_attempt lines. */
+    EventLog *event_log = nullptr;
 
     /** nullptr = steady clock (tests inject ManualClock). */
     const Clock *clock = nullptr;
@@ -184,6 +211,7 @@ class ClusterRouter
         std::string worker;
         std::uint64_t client = 0;
         std::uint64_t seq = 0;
+        std::string op;             ///< Clamped for metric labels.
         std::string line;           ///< Original client line.
         std::string forwarded_line; ///< With "id" = the corr id.
         bool had_id = false;
@@ -192,6 +220,14 @@ class ClusterRouter
         unsigned attempts = 1;
         std::uint64_t fanout = 0; ///< FanoutPart's group.
         std::uint64_t enqueued_ns = 0;
+        /** Router-side span tree (null = untraced; armed by the
+         *  request's `trace: true` or the slow-request log).  The
+         *  worker's returned tree is grafted under the final
+         *  upstream_wait span on response. */
+        std::unique_ptr<Trace> trace;
+        bool want_trace = false; ///< Client asked for the tree.
+        bool wait_open = false;  ///< wait_span currently open.
+        Trace::SpanId wait_span = Trace::kRoot;
     };
 
     /** One fanned-out request (stats/metrics/save_cache). */
@@ -217,9 +253,18 @@ class ClusterRouter
     };
 
     void setupMetrics();
+    /** Clamp @p op to the known op set ("other" otherwise): metric
+     *  cardinality must not be client-controlled. */
+    static std::string clampOpLabel(const std::string &op);
     Counter &opCounter(const std::string &op);
     Counter &rejectCounter(const std::string &code);
     Counter &forwardCounter(const std::string &worker);
+    /** Find-or-create the per-worker per-op upstream latency
+     *  histogram (only valid when observe is on). */
+    Histogram &upstreamHist(const std::string &worker,
+                            const std::string &op);
+    /** Emit to the operational event log, if one is configured. */
+    void logEvent(const char *event, EventLog::Fields fields);
 
     void acceptPending();
     void readFromClient(Client &c);
@@ -313,6 +358,8 @@ class ClusterRouter
     std::map<std::string, Counter *> op_counters_;
     std::map<std::string, Counter *> reject_counters_;
     std::map<std::string, Counter *> forward_counters_;
+    std::map<std::pair<std::string, std::string>, Histogram *>
+        upstream_hists_; ///< (worker, clamped op) -> histogram.
     Counter *failovers_ = nullptr;
     Counter *probes_total_ = nullptr;
     Counter *probe_failures_ = nullptr;

@@ -1,0 +1,96 @@
+#include "obs/event_log.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace ploop {
+
+namespace {
+
+/** Wall-clock ms since the Unix epoch (the no-injected-clock
+ *  default; see the schema contract in the header). */
+double
+wallMs()
+{
+    using namespace std::chrono;
+    return double(duration_cast<milliseconds>(
+                      system_clock::now().time_since_epoch())
+                      .count());
+}
+
+/** Write all of @p line; retries the rare short write / EINTR.
+ *  O_APPEND makes each individual write(2) an atomic append, and
+ *  JSONL lines are far below any pipe/file atomicity bound, so in
+ *  practice the loop runs once. */
+void
+writeAll(int fd, const std::string &line)
+{
+    std::size_t off = 0;
+    while (off < line.size()) {
+        ssize_t n =
+            ::write(fd, line.data() + off, line.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // Sink gone; events are best-effort.
+        }
+        off += std::size_t(n);
+    }
+}
+
+} // namespace
+
+EventLog::EventLog(const std::string &path, const Clock *clock)
+    : clock_(clock)
+{
+    if (path.empty())
+        return;
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND,
+                    0644);
+    if (fd < 0) {
+        std::fprintf(stderr,
+                     "ploop: warning: cannot open event log '%s'; "
+                     "events go to stderr\n",
+                     path.c_str());
+        return;
+    }
+    MutexLock lock(mu_);
+    fd_ = fd;
+}
+
+EventLog::~EventLog()
+{
+    MutexLock lock(mu_);
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+EventLog::emit(const std::string &event, const Fields &fields)
+{
+    double ts_ms = clock_ ? double(clock_->nowNs()) / 1e6 : wallMs();
+    JsonValue entry = JsonValue::object();
+    entry.set("ts_ms", JsonValue::number(ts_ms));
+    entry.set("event", JsonValue::string(event));
+    for (const auto &[key, value] : fields)
+        entry.set(key, value);
+    std::string line = entry.serialize();
+    line.push_back('\n');
+
+    MutexLock lock(mu_);
+    writeAll(fd_ >= 0 ? fd_ : STDERR_FILENO, line);
+    ++lines_;
+}
+
+std::uint64_t
+EventLog::linesWritten() const
+{
+    MutexLock lock(mu_);
+    return lines_;
+}
+
+} // namespace ploop

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Structured operational event log: one JSON object per line, in
+ * occurrence order, recording state CHANGES rather than request
+ * traffic -- worker ejected/readmitted, reconnect attempt with its
+ * backoff delay, failover redispatch, worker spawn/death, drain
+ * begin/end.  Counters say how often something happened; the event
+ * log says when, to whom, and in what order, which is what a 3am
+ * incident needs.
+ *
+ * Schema contract (stable; tests parse it field-by-field): every
+ * line is `{"ts_ms": <number>, "event": "<name>", ...}` with ts_ms
+ * and event FIRST, followed by the event's own fields in the order
+ * the emitter listed them.  ts_ms comes from the injected Clock
+ * (ns / 1e6) so tests drive it with ManualClock; without an
+ * injected clock it is wall-clock milliseconds since the Unix
+ * epoch, so lines from different processes sort together.
+ *
+ * Write atomicity: each line is serialized to one buffer and handed
+ * to the kernel as a single write(2) on an O_APPEND descriptor, so
+ * concurrent writers (or a second process appending to the same
+ * file) interleave whole lines, never fragments.  The emitter mutex
+ * additionally orders lines from this process.  Events are rare
+ * (state changes, not requests), so the lock is never contended on
+ * a hot path.
+ */
+
+#ifndef PHOTONLOOP_OBS_EVENT_LOG_HPP
+#define PHOTONLOOP_OBS_EVENT_LOG_HPP
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/json.hpp"
+#include "common/annotations.hpp"
+#include "obs/clock.hpp"
+
+namespace ploop {
+
+/** See file comment. */
+class EventLog
+{
+  public:
+    /** Ordered event payload: appended after ts_ms/event verbatim. */
+    using Fields = std::vector<std::pair<std::string, JsonValue>>;
+
+    /**
+     * @param path  JSONL sink; empty = stderr (the warning banner on
+     *              open failure also falls back to stderr).
+     * @param clock Injectable time source for ts_ms (nullptr =
+     *              steady clock).
+     */
+    explicit EventLog(const std::string &path,
+                      const Clock *clock = nullptr);
+    ~EventLog();
+
+    EventLog(const EventLog &) = delete;
+    EventLog &operator=(const EventLog &) = delete;
+
+    /** Append `{"ts_ms":..., "event": name, <fields...>}` as one
+     *  atomic line. */
+    void emit(const std::string &event, const Fields &fields);
+
+    /** Lines written so far (tests; cheap, takes the lock). */
+    std::uint64_t linesWritten() const;
+
+  private:
+    const Clock *clock_; ///< nullptr = steady.
+    mutable Mutex mu_;
+    int fd_ GUARDED_BY(mu_) = -1; ///< -1 = stderr fallback.
+    std::uint64_t lines_ GUARDED_BY(mu_) = 0;
+};
+
+} // namespace ploop
+
+#endif // PHOTONLOOP_OBS_EVENT_LOG_HPP

@@ -1,0 +1,18 @@
+// Fixture: seeded metric-naming violations under src/cluster/, so
+// the rule provably covers the router's registrations (upstream
+// histograms, inflight gauges) and not just src/obs/.  Line numbers
+// matter to the self-test in test_lint_invariants.cpp.
+
+void
+registerRouterFixtureMetrics(MetricsRegistry &reg)
+{
+    // Fine: the real router idiom (must NOT fire).
+    reg.histogram("ploop_router_upstream_latency_seconds",
+                  "Router-observed upstream latency.");
+    // Violation (line 13): name lacks the ploop_ prefix.
+    reg.counter("router_failovers_total", "Counts failovers.");
+    // Violation (line 15): uppercase breaks ^ploop_[a-z0-9_]+$.
+    reg.gauge("ploop_upstreamInflight", "In flight.", [] { return 0.0; });
+    // Violation (line 17): empty help text.
+    reg.counter("ploop_router_ejects_total", "");
+}

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <set>
 #include <string>
@@ -27,6 +28,7 @@
 #include "net/port_file.hpp"
 #include "net/server.hpp"
 #include "obs/clock.hpp"
+#include "obs/event_log.hpp"
 #include "service/serve_session.hpp"
 
 namespace ploop {
@@ -640,6 +642,297 @@ TEST(ClusterRouter, FailoverNextRedispatchesRejectAnswersCode)
               getStr(first, "mapping_key"));
 
     cluster.shutdown();
+}
+
+// ------------------------------------------- cross-process tracing
+
+/** kSearchLine with the non-semantic trace transport key. */
+std::string
+tracedSearchLine()
+{
+    std::string s = kSearchLine;
+    s.insert(s.size() - 1, ",\"trace\":true");
+    return s;
+}
+
+/** LAST child span named @p name (matches the stitch rule: the
+ *  final upstream_wait is the one that got the response). */
+const JsonValue *
+findChildSpan(const JsonValue &span, const std::string &name)
+{
+    const JsonValue *kids = span.get("children");
+    if (!kids || !kids->isArray())
+        return nullptr;
+    const JsonValue *found = nullptr;
+    for (const JsonValue &k : kids->items()) {
+        const JsonValue *n = k.get("name");
+        if (n && n->isString() && n->asString() == name)
+            found = &k;
+    }
+    return found;
+}
+
+bool
+treeContainsSpan(const JsonValue &span, const std::string &name)
+{
+    const JsonValue *n = span.get("name");
+    if (n && n->isString() && n->asString() == name)
+        return true;
+    const JsonValue *kids = span.get("children");
+    if (!kids || !kids->isArray())
+        return false;
+    for (const JsonValue &k : kids->items())
+        if (treeContainsSpan(k, name))
+            return true;
+    return false;
+}
+
+/** The sum invariant, recursively: sibling spans are sequential
+ *  sections of their parent, so child durations sum to at most the
+ *  parent's (half a microsecond of ns->us rounding slack). */
+void
+checkSpanSums(const JsonValue &span)
+{
+    const JsonValue *d = span.get("dur_us");
+    ASSERT_TRUE(d && d->isNumber()) << span.serialize();
+    const JsonValue *kids = span.get("children");
+    ASSERT_TRUE(kids && kids->isArray()) << span.serialize();
+    double sum = 0;
+    for (const JsonValue &k : kids->items()) {
+        const JsonValue *kd = k.get("dur_us");
+        ASSERT_TRUE(kd && kd->isNumber());
+        sum += kd->asNumber();
+        checkSpanSums(k);
+    }
+    EXPECT_LE(sum, d->asNumber() + 0.5) << span.serialize();
+}
+
+TEST(ClusterRouter, StitchedTraceSpansBothSidesOfTheBoundary)
+{
+    Worker w1, w2;
+    RouterConfig cfg;
+    cfg.worker_ports = {w1.port(), w2.port()};
+    cfg.health.probe_interval_ms = 60 * 1000;
+    RoutedCluster cluster(cfg);
+
+    LineClient client(cluster.port());
+    ASSERT_TRUE(client.connected());
+    const std::string resp = client.roundTrip(tracedSearchLine());
+    ASSERT_EQ(getStr(resp, "ok"), "true");
+
+    std::optional<JsonValue> parsed = parseJson(resp);
+    ASSERT_TRUE(parsed && parsed->isObject());
+    const JsonValue *trace = parsed->get("trace");
+    ASSERT_TRUE(trace && trace->isObject()) << resp;
+
+    // One tree: router spans at the top ...
+    EXPECT_EQ(getStr(trace->serialize(), "name"), "request");
+    EXPECT_TRUE(findChildSpan(*trace, "route_decision"));
+    EXPECT_TRUE(findChildSpan(*trace, "upstream_write"));
+    EXPECT_TRUE(findChildSpan(*trace, "splice_response"));
+    const JsonValue *wait = findChildSpan(*trace, "upstream_wait");
+    ASSERT_TRUE(wait);
+
+    // ... with the WORKER's full subtree grafted under the wait
+    // span (the worker's own root is "request" too, and its execute
+    // phase is what the search spent its time in).
+    const JsonValue *worker_root =
+        findChildSpan(*wait, "request");
+    ASSERT_TRUE(worker_root) << trace->serialize();
+    EXPECT_TRUE(treeContainsSpan(*worker_root, "execute"));
+
+    // Transit overhead = wait minus worker-root duration, >= 0.
+    const JsonValue *transit = wait->get("transit_us");
+    ASSERT_TRUE(transit && transit->isNumber());
+    EXPECT_GE(transit->asNumber(), 0.0);
+
+    // Grafted worker spans were rebased onto the router timeline:
+    // the worker root starts where the wait span starts.
+    EXPECT_GE(worker_root->get("start_us")->asNumber(),
+              wait->get("start_us")->asNumber() - 1e-6);
+
+    // The sum invariant holds across the stitched boundary.
+    checkSpanSums(*trace);
+
+    // Untraced requests keep the untraced shape (fast path).
+    const std::string untraced = client.roundTrip(kSearchLine);
+    EXPECT_EQ(untraced.find("\"trace\""), std::string::npos);
+
+    cluster.shutdown();
+}
+
+TEST(ClusterRouter, TraceKeyIsFingerprintInvariantThroughRouter)
+{
+    Worker w1, w2;
+    RouterConfig cfg;
+    cfg.worker_ports = {w1.port(), w2.port()};
+    cfg.health.probe_interval_ms = 60 * 1000;
+    RoutedCluster cluster(cfg);
+
+    LineClient client(cluster.port());
+    ASSERT_TRUE(client.connected());
+
+    // Cold untraced search, then a TRACED repeat: the trace key is
+    // non-semantic, so the repeat routes to the same worker and
+    // hits its ResultCache.
+    const std::string cold = client.roundTrip(kSearchLine);
+    ASSERT_EQ(getStr(cold, "from_result_cache"), "false");
+    const std::string traced =
+        client.roundTrip(tracedSearchLine());
+    EXPECT_EQ(getStr(traced, "from_result_cache"), "true");
+    EXPECT_EQ(getStr(traced, "mapping_key"),
+              getStr(cold, "mapping_key"));
+    EXPECT_NE(traced.find("\"trace\""), std::string::npos);
+
+    // And the other direction: an untraced repeat of the traced
+    // request is the same request too.
+    const std::string untraced = client.roundTrip(kSearchLine);
+    EXPECT_EQ(getStr(untraced, "from_result_cache"), "true");
+
+    cluster.shutdown();
+}
+
+/** Routed-vs-direct byte identity, modulo the trace field: both
+ *  sides parsed, "trace" removed, re-serialized (the shared %.17g
+ *  serializer makes that canonicalization byte-stable). */
+std::string
+stripTraceField(const std::string &resp)
+{
+    std::optional<JsonValue> parsed = parseJson(resp);
+    if (!parsed || !parsed->isObject())
+        return resp;
+    parsed->remove("trace");
+    return parsed->serialize();
+}
+
+TEST(ClusterRouter, TracedRoutedMatchesDirectModuloTraceField)
+{
+    Worker w1, w2;
+    Worker oracle;
+    RouterConfig cfg;
+    cfg.worker_ports = {w1.port(), w2.port()};
+    cfg.health.probe_interval_ms = 60 * 1000;
+    RoutedCluster cluster(cfg);
+
+    LineClient via_router(cluster.port());
+    LineClient direct(oracle.port());
+    ASSERT_TRUE(via_router.connected());
+    ASSERT_TRUE(direct.connected());
+
+    const std::string routed =
+        via_router.roundTrip(tracedSearchLine());
+    const std::string ref = direct.roundTrip(tracedSearchLine());
+    ASSERT_EQ(getStr(routed, "ok"), "true");
+    EXPECT_EQ(stripWallTime(stripTraceField(routed)),
+              stripWallTime(stripTraceField(ref)));
+
+    cluster.shutdown();
+}
+
+TEST(ClusterRouter, SlowRequestArmingKeepsUntracedBytesIdentical)
+{
+    // --slow-request-ms arms tracing on every forward (the worker
+    // is asked for its tree so a slow offender line could carry
+    // it), but a client that did not ask for a trace must still
+    // get the untraced byte shape back.
+    Worker w1, w2;
+    Worker oracle;
+    RouterConfig cfg;
+    cfg.worker_ports = {w1.port(), w2.port()};
+    cfg.health.probe_interval_ms = 60 * 1000;
+    cfg.slow_request_ms = 60 * 1000; // armed; nothing is that slow
+    RoutedCluster cluster(cfg);
+
+    LineClient via_router(cluster.port());
+    LineClient direct(oracle.port());
+    ASSERT_TRUE(via_router.connected());
+    ASSERT_TRUE(direct.connected());
+
+    const std::string routed = via_router.roundTrip(kSearchLine);
+    const std::string ref = direct.roundTrip(kSearchLine);
+    ASSERT_EQ(getStr(routed, "ok"), "true");
+    EXPECT_EQ(routed.find("\"trace\""), std::string::npos);
+    EXPECT_EQ(stripWallTime(routed), stripWallTime(ref));
+
+    cluster.shutdown();
+}
+
+TEST(ClusterRouter, TracedFailoverCarriesRedispatchSpanAndEvent)
+{
+    Worker w1, w2;
+    const std::string log_path =
+        testing::TempDir() + "ploop_router_events.jsonl";
+    std::remove(log_path.c_str());
+    EventLog events(log_path);
+
+    RouterConfig cfg;
+    cfg.worker_ports = {w1.port(), w2.port()};
+    cfg.health.probe_interval_ms = 60 * 1000;
+    cfg.failover = RouterConfig::Failover::Next;
+    cfg.event_log = &events;
+    RoutedCluster cluster(cfg);
+
+    LineClient client(cluster.port());
+    ASSERT_TRUE(client.connected());
+    const std::string first = client.roundTrip(kSearchLine);
+    ASSERT_EQ(getStr(first, "ok"), "true");
+
+    // Deterministic victim: the worker whose ResultCache is warm is
+    // the one the ring routed to (asking the other computes fresh,
+    // which only warms the eventual failover target).
+    const bool w1_owns = [&] {
+        LineClient probe(w1.port());
+        return probe.connected() &&
+               getStr(probe.roundTrip(kSearchLine),
+                      "from_result_cache") == "true";
+    }();
+    Worker &victim = w1_owns ? w1 : w2;
+    victim.shutdown();
+
+    // The traced repeat maps to the dead worker: the router must
+    // fail it over AND show that in the stitched tree.
+    const std::string resp = client.roundTrip(tracedSearchLine());
+    ASSERT_EQ(getStr(resp, "ok"), "true");
+    EXPECT_EQ(getStr(resp, "mapping_key"),
+              getStr(first, "mapping_key"));
+    std::optional<JsonValue> parsed = parseJson(resp);
+    ASSERT_TRUE(parsed && parsed->isObject());
+    const JsonValue *trace = parsed->get("trace");
+    ASSERT_TRUE(trace && trace->isObject()) << resp;
+    EXPECT_TRUE(treeContainsSpan(*trace, "failover_redispatch"))
+        << trace->serialize();
+    // The surviving worker's subtree is still grafted (under the
+    // FINAL upstream_wait).
+    const JsonValue *wait = findChildSpan(*trace, "upstream_wait");
+    ASSERT_TRUE(wait);
+    EXPECT_TRUE(treeContainsSpan(*wait, "execute"))
+        << trace->serialize();
+    checkSpanSums(*trace);
+
+    // And the event log recorded the redispatch, as parseable JSONL
+    // with the documented fields.
+    cluster.shutdown();
+    std::ifstream in(log_path);
+    ASSERT_TRUE(in.is_open());
+    std::string line;
+    bool saw_redispatch = false;
+    while (std::getline(in, line)) {
+        std::optional<JsonValue> ev = parseJson(line);
+        ASSERT_TRUE(ev && ev->isObject()) << line;
+        ASSERT_TRUE(ev->get("ts_ms")) << line;
+        const JsonValue *name = ev->get("event");
+        ASSERT_TRUE(name && name->isString()) << line;
+        if (name->asString() != "failover_redispatch")
+            continue;
+        saw_redispatch = true;
+        EXPECT_TRUE(ev->get("corr") && ev->get("corr")->isNumber());
+        EXPECT_TRUE(ev->get("from") && ev->get("from")->isString());
+        EXPECT_TRUE(ev->get("to") && ev->get("to")->isString());
+        EXPECT_TRUE(ev->get("attempt"));
+        EXPECT_TRUE(ev->get("ok"));
+    }
+    EXPECT_TRUE(saw_redispatch);
+    std::remove(log_path.c_str());
 }
 
 TEST(ClusterRouter, RejectModeAnswersUpstreamUnavailable)

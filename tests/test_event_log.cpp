@@ -1,0 +1,139 @@
+/** @file Tests for the structured operational event log
+ *  (src/obs/event_log.hpp): the JSONL schema contract -- every line
+ *  is one self-contained JSON object opening with ts_ms then event,
+ *  followed by the emitter's fields in emission order -- checked
+ *  field by field on a ManualClock-driven eject / readmit / failover
+ *  sequence, plus the append/line-count bookkeeping. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/json.hpp"
+#include "obs/clock.hpp"
+#include "obs/event_log.hpp"
+
+namespace ploop {
+namespace {
+
+std::vector<std::string>
+readLines(const std::string &path)
+{
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    return lines;
+}
+
+TEST(EventLog, ManualClockSequenceProducesExactJsonl)
+{
+    const std::string path =
+        testing::TempDir() + "ploop_event_log_schema.jsonl";
+    std::remove(path.c_str());
+
+    ManualClock clock(2'000'000'000ull); // t = 2000 ms
+    EventLog log(path, &clock);
+
+    // The router's health-driven lifecycle, replayed by hand: a
+    // worker fails its probes and is ejected, traffic fails over,
+    // and the worker is later readmitted.
+    log.emit("worker_ejected",
+             {{"worker", JsonValue::string("127.0.0.1:4101")},
+              {"consecutive_failures", JsonValue::number(3)},
+              {"inflight", JsonValue::number(2)}});
+    clock.advanceNs(250'000'000ull); // +250 ms
+    log.emit("failover_redispatch",
+             {{"corr", JsonValue::number(1099511627777.0)},
+              {"from", JsonValue::string("127.0.0.1:4101")},
+              {"to", JsonValue::string("127.0.0.1:4102")},
+              {"attempt", JsonValue::number(2)},
+              {"ok", JsonValue::boolean(true)}});
+    clock.advanceNs(1'750'000'000ull); // +1750 ms
+    log.emit("worker_readmitted",
+             {{"worker", JsonValue::string("127.0.0.1:4101")}});
+
+    EXPECT_EQ(log.linesWritten(), 3u);
+    const std::vector<std::string> lines = readLines(path);
+    ASSERT_EQ(lines.size(), 3u);
+
+    // Byte-exact lines: the schema IS the bytes (ts_ms first, event
+    // second, then the emitter's fields in order).
+    EXPECT_EQ(lines[0],
+              "{\"ts_ms\":2000,\"event\":\"worker_ejected\","
+              "\"worker\":\"127.0.0.1:4101\","
+              "\"consecutive_failures\":3,\"inflight\":2}");
+    EXPECT_EQ(lines[1],
+              "{\"ts_ms\":2250,\"event\":\"failover_redispatch\","
+              "\"corr\":1099511627777,\"from\":\"127.0.0.1:4101\","
+              "\"to\":\"127.0.0.1:4102\",\"attempt\":2,"
+              "\"ok\":true}");
+    EXPECT_EQ(lines[2],
+              "{\"ts_ms\":4000,\"event\":\"worker_readmitted\","
+              "\"worker\":\"127.0.0.1:4101\"}");
+
+    // And field by field through the parser, so the contract does
+    // not silently depend on serializer quirks.
+    for (const std::string &line : lines) {
+        std::optional<JsonValue> parsed = parseJson(line);
+        ASSERT_TRUE(parsed && parsed->isObject()) << line;
+        const auto &members = parsed->members();
+        ASSERT_GE(members.size(), 2u);
+        EXPECT_EQ(members[0].first, "ts_ms");
+        EXPECT_TRUE(members[0].second.isNumber());
+        EXPECT_EQ(members[1].first, "event");
+        EXPECT_TRUE(members[1].second.isString());
+    }
+    std::optional<JsonValue> fo = parseJson(lines[1]);
+    ASSERT_TRUE(fo);
+    EXPECT_EQ(fo->get("ts_ms")->asNumber(), 2250.0);
+    EXPECT_EQ(fo->get("event")->asString(), "failover_redispatch");
+    EXPECT_EQ(fo->get("corr")->asNumber(), 1099511627777.0);
+    EXPECT_EQ(fo->get("from")->asString(), "127.0.0.1:4101");
+    EXPECT_EQ(fo->get("to")->asString(), "127.0.0.1:4102");
+    EXPECT_EQ(fo->get("attempt")->asNumber(), 2.0);
+    EXPECT_TRUE(fo->get("ok")->asBool());
+
+    std::remove(path.c_str());
+}
+
+TEST(EventLog, AppendsToExistingFileAndCountsLines)
+{
+    const std::string path =
+        testing::TempDir() + "ploop_event_log_append.jsonl";
+    std::remove(path.c_str());
+
+    ManualClock clock(0);
+    {
+        EventLog first(path, &clock);
+        first.emit("drain_begin",
+                   {{"clients_open", JsonValue::number(0)},
+                    {"inflight", JsonValue::number(0)}});
+        EXPECT_EQ(first.linesWritten(), 1u);
+    }
+    {
+        // A restarted process appends -- it must not truncate the
+        // history already on disk.
+        EventLog second(path, &clock);
+        second.emit("drain_end",
+                    {{"accepted", JsonValue::number(7)}});
+        EXPECT_EQ(second.linesWritten(), 1u);
+    }
+
+    const std::vector<std::string> lines = readLines(path);
+    ASSERT_EQ(lines.size(), 2u);
+    std::optional<JsonValue> a = parseJson(lines[0]);
+    std::optional<JsonValue> b = parseJson(lines[1]);
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(a->get("event")->asString(), "drain_begin");
+    EXPECT_EQ(b->get("event")->asString(), "drain_end");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace ploop

@@ -187,4 +187,29 @@ TEST(LintInvariants, MetricNamingFires)
         << r.output;
 }
 
+TEST(LintInvariants, MetricNamingFiresInCluster)
+{
+    REQUIRE_PYTHON();
+    RunResult r = runLinter(fixtureRoot("metric_naming_cluster"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("metric-naming"), std::string::npos)
+        << r.output;
+    // The unprefixed name (line 13), the uppercase name (line 15)
+    // and the empty help (line 17).
+    EXPECT_NE(r.output.find("src/cluster/bad_metrics.cpp:13"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("src/cluster/bad_metrics.cpp:15"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("src/cluster/bad_metrics.cpp:17"),
+              std::string::npos)
+        << r.output;
+    // The real router registration idiom must NOT fire.
+    EXPECT_EQ(
+        r.output.find("ploop_router_upstream_latency_seconds"),
+        std::string::npos)
+        << r.output;
+}
+
 } // namespace

@@ -18,17 +18,30 @@
 #      --failover reject router answers code=upstream_unavailable
 #      (echoing op and id) instead;
 #   4. the router's `metrics` op merges its own ploop_router_*
-#      families with worker-labeled worker families and the merged
-#      exposition passes the strict check_prometheus.py checker;
+#      families (including the per-worker upstream latency histograms
+#      and in-flight gauges) with worker-labeled worker families and
+#      the merged exposition passes the strict check_prometheus.py
+#      checker;
 #   5. stats fans out (a "router" section plus per-worker entries),
 #      shutdown drains the ROUTER while externally-managed workers
-#      keep running, and --spawn mode owns its workers end to end.
+#      keep running, and --spawn mode owns its workers end to end;
+#   6. a `trace: true` search through the router returns ONE stitched
+#      span tree -- router spans (route_decision, upstream_wait) on
+#      top, the worker's subtree grafted under upstream_wait -- with
+#      child durations summing to at most each parent's, and the
+#      trace key does not break cache affinity; a request failed over
+#      from a kill -9'd worker carries a failover_redispatch span;
+#   7. the router's --obs-log event log is valid JSONL ({ts_ms,
+#      event, ...} per line, never torn) recording the lifecycle:
+#      failover_redispatch, worker_ejected, drain_begin/drain_end,
+#      and worker_spawned/worker_stopped in --spawn mode.
 #
 # --chaos re-runs the flow with deterministic fault injection
 # (PLOOP_FAULTS: short reads/writes, EINTR bursts, write stalls)
 # active on the ROUTER process only -- both its client-facing and its
 # worker-facing sockets misbehave -- and asserts the surviving
-# responses stay bit-identical to the clean serial oracle.
+# responses stay bit-identical to the clean serial oracle, stitched
+# traces stay well-formed, and no event-log line is ever malformed.
 #
 # The in-process equivalents live in tests/test_cluster.cpp; this
 # script checks the same contracts across real process boundaries,
@@ -73,6 +86,74 @@ wait_port_file() { # path
     for i in $(seq 200); do [ -s "$1" ] && break; sleep 0.05; done
     [ -s "$1" ] || fail "$1 was never written"
     cat "$1"
+}
+
+# Assert the stitched-trace contract on a traced routed response line
+# (stdin): one tree rooted at "request" whose top-level children
+# include the ROUTER's spans, whose final upstream_wait carries the
+# WORKER's grafted subtree (with the worker phases), and whose child
+# durations sum to at most each parent's, recursively.
+check_stitched_trace() { # cached|cold|any [failover]
+    python3 -c '
+import json, sys
+
+cache_mode = sys.argv[1]
+need_failover = len(sys.argv) > 2 and sys.argv[2] == "failover"
+resp = json.loads(sys.stdin.readline())
+assert resp.get("ok") is True, resp
+if cache_mode != "any":
+    assert resp.get("from_result_cache") is (cache_mode == "cached"), resp
+root = resp["trace"]
+assert root["name"] == "request", root["name"]
+
+def walk(node, names):
+    kids = node.get("children", [])
+    total = sum(k["dur_us"] for k in kids)
+    assert total <= node["dur_us"] + 1e-6, (
+        "children of %r sum to %g > %g"
+        % (node["name"], total, node["dur_us"]))
+    names.add(node["name"])
+    for k in kids:
+        walk(k, names)
+
+walk(root, set())
+top = {k["name"] for k in root["children"]}
+assert "route_decision" in top, top
+assert "upstream_wait" in top, top
+if need_failover:
+    assert "failover_redispatch" in top, top
+wait = [k for k in root["children"] if k["name"] == "upstream_wait"][-1]
+assert wait.get("transit_us", 0) >= 0, wait
+grafted = [k for k in wait.get("children", []) if k["name"] == "request"]
+assert grafted, "no worker subtree under upstream_wait: %r" % wait
+worker_names = set()
+walk(grafted[0], worker_names)
+for phase in ("decode", "execute", "serialize"):
+    assert phase in worker_names, (phase, worker_names)
+' "$@" || fail "stitched trace contract violated (see assertion above)"
+}
+
+# Assert every line of an event log ($1) is one well-formed JSON
+# object opening with ts_ms then event (chaos: a faulted router
+# socket must never tear a line), and that the named events ($2...)
+# all appear.
+check_event_log() { # path event...
+    python3 -c '
+import json, sys
+
+path, required = sys.argv[1], set(sys.argv[2:])
+seen = set()
+with open(path) as f:
+    for n, line in enumerate(f, 1):
+        assert line.endswith("\n"), "torn final line %d: %r" % (n, line)
+        entry = json.loads(line)
+        keys = list(entry)
+        assert keys[:2] == ["ts_ms", "event"], "line %d: %r" % (n, keys)
+        assert isinstance(entry["ts_ms"], (int, float)), entry
+        seen.add(entry["event"])
+missing = required - seen
+assert not missing, "events never logged: %r (saw %r)" % (missing, seen)
+' "$@" || fail "event log contract violated (see assertion above)"
 }
 
 # Chaos mode: the ROUTER gets deterministic fault injection; workers
@@ -123,6 +204,7 @@ W2="$(wait_port_file "$TMP/w2.port")"
 PLOOP_FAULTS="$FAULT_SPEC" "$ROUTER" --listen 0 \
     --port-file "$TMP/r.port" --workers "$W1,$W2" --failover next \
     --probe-interval-ms 200 --probe-timeout-ms 500 --eject-after 2 \
+    --obs-log "$TMP/events.jsonl" \
     2>"$TMP/router.err" &
 ROUTER_PID=$!; PIDS+=($ROUTER_PID)
 RPORT="$(wait_port_file "$TMP/r.port")"
@@ -159,6 +241,15 @@ for c in 1 2 3 4; do
     done
 done
 
+# ---- 6. cross-process trace stitching -----------------------------
+# A traced repeat of request 1: the trace transport key must not
+# change the fingerprint (still routed to the warm worker, still a
+# result-cache hit) and the response carries ONE stitched span tree
+# with the router's spans on top and the worker's subtree inside.
+TRACED1="$(sed -n 1p "$REQS" | sed 's/}$/,"trace":true}/')"
+echo "$TRACED1" | "$CLIENT" --port "$RPORT" $CLIENT_RETRY \
+    | check_stitched_trace cached
+
 # ---- ping / health / unknown op are byte-compatible ----------------
 PING="$(echo '{"op":"ping","id":"p1"}' | "$CLIENT" --port "$RPORT" $CLIENT_RETRY)"
 PING_REF="$(echo '{"op":"ping","id":"p1"}' | "$SERVE" 2>/dev/null)"
@@ -187,16 +278,63 @@ python3 "$TOOLS_DIR/check_prometheus.py" "$TMP/metrics.txt" \
     --require ploop_router_requests_total \
     --require ploop_router_forwards_total \
     --require ploop_router_workers_healthy \
+    --require ploop_router_upstream_latency_seconds \
+    --require ploop_router_upstream_inflight \
     --require ploop_uptime_seconds \
     || fail "merged metrics exposition failed the strict checker"
+# The searches all landed SOMEWHERE: at least one per-worker per-op
+# histogram row must exist (which worker depends on the ring).
+grep -q 'ploop_router_upstream_latency_seconds[^ ]*worker="127\.0\.0\.1:' \
+    "$TMP/metrics.txt" \
+    || fail "upstream latency histogram lacks worker-labeled rows"
+grep -q 'ploop_router_upstream_latency_seconds[^ ]*op="search"' \
+    "$TMP/metrics.txt" \
+    || fail "upstream latency histogram lacks op=\"search\" rows"
 grep -q "worker=\"127.0.0.1:$W1\"" "$TMP/metrics.txt" \
     || fail "merged metrics lack worker-labeled samples for $W1"
 grep -q "worker=\"127.0.0.1:$W2\"" "$TMP/metrics.txt" \
     || fail "merged metrics lack worker-labeled samples for $W2"
 
 # ---- 3a. kill -9 one worker: failover keeps every stream correct --
-kill -9 "$W2_PID" 2>/dev/null || true
-wait "$W2_PID" 2>/dev/null || true
+# Pick the victim DETERMINISTICALLY: probe each request directly
+# against w2 -- a result-cache hit means the ring routed that
+# fingerprint to w2 -- so the post-kill traced request provably maps
+# to the dead worker and must exercise failover.  (The probe warms
+# the non-owner too; identity checks don't read the cache flag.)
+VICTIM_SEED=""
+for i in 1 2 3; do
+    line="$(sed -n ${i}p "$REQS")"
+    resp="$(printf '%s\n' "$line" | "$CLIENT" --port "$W2")"
+    if [ "$(jget from_result_cache "$resp")" = "true" ]; then
+        VICTIM_SEED="$(jget id "$resp")"
+        break
+    fi
+done
+if [ -n "$VICTIM_SEED" ]; then
+    VICTIM_PID=$W2_PID
+    SURVIVOR=$W1 SURVIVOR_PID=$W1_PID
+else
+    # w2 owned none of the three: w1 owns them all.
+    VICTIM_SEED=5
+    VICTIM_PID=$W1_PID
+    SURVIVOR=$W2 SURVIVOR_PID=$W2_PID
+fi
+kill -9 "$VICTIM_PID" 2>/dev/null || true
+wait "$VICTIM_PID" 2>/dev/null || true
+# A traced request whose fingerprint maps to the corpse: the router
+# redispatches it AND shows that in the stitched tree (the survivor's
+# subtree grafted under the final upstream_wait).  Under chaos the
+# client may retry past the ejection window, so the redispatch span
+# is only guaranteed on the clean run; well-formedness always holds.
+TRACED_FAILOVER="$(grep "\"id\":$VICTIM_SEED," "$REQS" \
+    | sed 's/}$/,"trace":true}/')"
+if [ "$CHAOS" -eq 0 ]; then
+    echo "$TRACED_FAILOVER" | "$CLIENT" --port "$RPORT" \
+        | check_stitched_trace any failover
+else
+    echo "$TRACED_FAILOVER" | "$CLIENT" --port "$RPORT" $CLIENT_RETRY \
+        | check_stitched_trace any
+fi
 # The doomed worker's keys re-dispatch to the survivor (cold there,
 # so from_result_cache may flip false); bit-identity must hold.
 "$CLIENT" --port "$RPORT" $CLIENT_RETRY --script "$REQS" \
@@ -219,11 +357,20 @@ printf '%s' "$BYE" | grep -q "workers keep running" \
 wait "$ROUTER_PID" || fail "router exited non-zero after shutdown"
 grep -q "drained" "$TMP/router.err" || fail "router never logged its drain"
 # The surviving EXTERNAL worker still answers directly.
-DIRECT="$(echo '{"op":"ping","id":"d"}' | "$CLIENT" --port "$W1")"
+DIRECT="$(echo '{"op":"ping","id":"d"}' | "$CLIENT" --port "$SURVIVOR")"
 [ "$(jget ok "$DIRECT")" = "true" ] \
     || fail "external worker died with the router: $DIRECT"
-echo '{"op":"shutdown"}' | "$CLIENT" --port "$W1" >/dev/null
-wait "$W1_PID" || fail "worker 1 exited non-zero after shutdown"
+echo '{"op":"shutdown"}' | "$CLIENT" --port "$SURVIVOR" >/dev/null
+wait "$SURVIVOR_PID" || fail "surviving worker exited non-zero after shutdown"
+
+# ---- 7. the event log recorded the whole lifecycle ----------------
+# Valid JSONL throughout (chaos: faults must never tear a line); the
+# ejection, the drain bracket, and the reconnect probes against the
+# corpse must all be there.  The redispatch record is only guaranteed
+# on the clean run (see the traced failover above).
+REQUIRED_EVENTS=(worker_ejected reconnect_attempt drain_begin drain_end)
+[ "$CHAOS" -eq 0 ] && REQUIRED_EVENTS+=(failover_redispatch)
+check_event_log "$TMP/events.jsonl" "${REQUIRED_EVENTS[@]}"
 
 # ---- 3b. reject mode answers upstream_unavailable -----------------
 "$SERVE" --listen 0 --port-file "$TMP/w3.port" 2>"$TMP/w3.err" &
@@ -253,6 +400,7 @@ wait "$R2_PID" || fail "reject-mode router exited non-zero"
 # ---- 5. --spawn mode owns its workers end to end ------------------
 PLOOP_FAULTS="$FAULT_SPEC" "$ROUTER" --listen 0 \
     --port-file "$TMP/rs.port" --spawn 2 --worker-bin "$SERVE" \
+    --obs-log "$TMP/spawn_events.jsonl" \
     2>"$TMP/spawn.err" &
 RS_PID=$!; PIDS+=($RS_PID)
 RSPORT="$(wait_port_file "$TMP/rs.port")"
@@ -263,5 +411,8 @@ for i in 1 2 3; do
 done
 echo '{"op":"shutdown","id":"z"}' | "$CLIENT" --port "$RSPORT" $CLIENT_RETRY >/dev/null
 wait "$RS_PID" || fail "spawning router exited non-zero"
+# Owned workers leave a spawn/stop record around the drain bracket.
+check_event_log "$TMP/spawn_events.jsonl" \
+    worker_spawned worker_stopped drain_begin drain_end
 
 echo "$TAG: PASS"

@@ -40,7 +40,10 @@ check them.  This linter does, as a ctest and a CI step:
                       ^ploop_[a-z0-9_]+$ and carry non-empty help
                       text -- the registry fatal()s on violations at
                       runtime, but only on code paths that run; this
-                      catches the series nobody exercised.
+                      catches the series nobody exercised.  Scans all
+                      of src/ (including src/cluster/'s router
+                      families, e.g. the per-worker upstream
+                      histograms) and tools/.
 
 Output: one `file:line: rule-name: message` per violation on stdout;
 exit status 1 when any fired, 0 on a clean tree.  `--root` points at

@@ -14,7 +14,8 @@
  *                [--probe-interval-ms MS] [--probe-timeout-ms MS]
  *                [--eject-after K] [--vnodes N]
  *                [--max-connections N] [--drain-timeout-ms MS]
- *                [--no-observe]
+ *                [--no-observe] [--obs-log FILE]
+ *                [--slow-request-ms MS]
  *
  * Worker sources (exactly one):
  *  - --workers: loopback ports of externally-managed ploop_serve
@@ -61,7 +62,8 @@ usage(const char *argv0)
         "          [--probe-interval-ms MS] [--probe-timeout-ms MS]\n"
         "          [--eject-after K] [--vnodes N]\n"
         "          [--max-connections N] [--drain-timeout-ms MS]\n"
-        "          [--no-observe]\n"
+        "          [--no-observe] [--obs-log FILE]\n"
+        "          [--slow-request-ms MS]\n"
         "\n"
         "Fingerprint-affinity router in front of N ploop_serve\n"
         "workers: one endpoint, consistent-hash request placement,\n"
@@ -73,7 +75,12 @@ usage(const char *argv0)
         "port (written to --port-file).  --workers takes loopback\n"
         "ports of externally-managed workers; --spawn forks local\n"
         "ones (per-worker cache stores under --cache-store-dir) and\n"
-        "shuts them down after the router drains.\n",
+        "shuts them down after the router drains.  --obs-log writes\n"
+        "operational events (ejections, readmissions, reconnects,\n"
+        "failover redispatches, spawn/stop, drain) as JSONL;\n"
+        "--slow-request-ms adds a slow_request offender line\n"
+        "carrying the stitched router+worker trace for any forward\n"
+        "at or over the threshold (stderr when no --obs-log).\n",
         argv0);
     return 2;
 }
@@ -173,8 +180,14 @@ spawnWorker(const std::string &worker_bin,
 /** Politely shut one spawned worker down (shutdown op saves its
  *  cache store), then reap it -- SIGKILL only past the timeout. */
 void
-stopWorker(const SpawnedWorker &w)
+stopWorker(const SpawnedWorker &w, ploop::EventLog *events)
 {
+    using ploop::JsonValue;
+    if (events)
+        events->emit(
+            "worker_stopped",
+            {{"pid", JsonValue::number(double(w.pid))},
+             {"port", JsonValue::number(double(w.port))}});
     {
         ploop::LineClient client;
         std::string resp;
@@ -221,6 +234,7 @@ main(int argc, char **argv)
     std::string workers_spec;
     std::string worker_bin = siblingBinary("ploop_serve");
     std::string cache_store_dir;
+    std::string obs_log;
     std::size_t spawn = 0;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -307,6 +321,10 @@ main(int argc, char **argv)
             cfg.drain_timeout_ms = int(cap_value());
         } else if (arg == "--no-observe") {
             cfg.observe = false;
+        } else if (arg == "--obs-log") {
+            obs_log = value();
+        } else if (arg == "--slow-request-ms") {
+            cfg.slow_request_ms = unsigned(cap_value());
         } else if (arg == "--help" || arg == "-h") {
             return usage(argv[0]);
         } else {
@@ -344,6 +362,15 @@ main(int argc, char **argv)
                          spec);
     }
 
+    // The event log outlives the router (worker spawn/stop events
+    // bracket its lifetime) and is shared with it by pointer.  It
+    // also exists -- writing to stderr -- when only the slow-request
+    // log is armed, mirroring ploop_serve's obs-log fallback.
+    std::unique_ptr<EventLog> event_log;
+    if (!obs_log.empty() || cfg.slow_request_ms > 0)
+        event_log = std::make_unique<EventLog>(obs_log);
+    cfg.event_log = event_log.get();
+
     std::vector<SpawnedWorker> spawned;
     if (spawn > 0) {
         // Spawned workers must NOT inherit the router's fault
@@ -378,6 +405,13 @@ main(int argc, char **argv)
                          "ploop_router: spawned worker %zu (pid "
                          "%d) on 127.0.0.1:%u\n",
                          i, int(w.pid), unsigned(w.port));
+            if (event_log)
+                event_log->emit(
+                    "worker_spawned",
+                    {{"index", JsonValue::number(double(i))},
+                     {"pid", JsonValue::number(double(w.pid))},
+                     {"port",
+                      JsonValue::number(double(w.port))}});
             spawned.push_back(w);
             cfg.worker_ports.push_back(w.port);
         }
@@ -416,7 +450,7 @@ main(int argc, char **argv)
     if (!router.open(&error)) {
         std::fprintf(stderr, "ploop_router: %s\n", error.c_str());
         for (const SpawnedWorker &s : spawned)
-            stopWorker(s);
+            stopWorker(s, event_log.get());
         return 1;
     }
     if (!port_file.empty()) {
@@ -425,7 +459,7 @@ main(int argc, char **argv)
             std::fprintf(stderr, "ploop_router: %s\n",
                          pf_err.c_str());
             for (const SpawnedWorker &s : spawned)
-                stopWorker(s);
+                stopWorker(s, event_log.get());
             return 1;
         }
     }
@@ -448,6 +482,6 @@ main(int argc, char **argv)
                  static_cast<unsigned long long>(served));
 
     for (const SpawnedWorker &s : spawned)
-        stopWorker(s);
+        stopWorker(s, event_log.get());
     return 0;
 }
